@@ -1,0 +1,302 @@
+//! APNN — approximate private kNN queries (Yi et al., TKDE 2016 \[36\]),
+//! the paper's `n = 1` baseline (§8.2).
+//!
+//! LSP partitions the space into a uniform grid and **pre-computes** the
+//! kNN answer w.r.t. the center of every cell. At query time the user
+//! picks a square cloak block of `b²` cells containing her own cell and
+//! privately retrieves the pre-computed answer of her cell from that
+//! block; LSP learns neither the cell (Privacy I–II at level `b²`) nor
+//! anything beyond the single retrieved answer reaches the user
+//! (Privacy III). Answers are *approximate* (the kNN of the cell center,
+//! not of the user), and any database update forces re-computation of
+//! every cell — the two drawbacks §8.2 highlights.
+//!
+//! The two-stage cryptographic retrieval of \[36\] is realized with the
+//! same generalized-Paillier private selection machinery as PPGNN, which
+//! preserves its communication/computation profile: `b²` ciphertexts up,
+//! `m` ciphertexts down, and *no* kNN work on LSP at query time.
+
+use ppgnn_bigint::BigUint;
+use ppgnn_core::encoding::AnswerCodec;
+use ppgnn_geo::{DynamicRTree, Grid, Point, Poi, Rect};
+use ppgnn_paillier::{decrypt_vector, encrypt_indicator, matrix_select, DjContext, Keypair};
+use ppgnn_sim::{CostLedger, Party, SCALAR_BYTES};
+use rand::Rng;
+
+use crate::common::BaselineRun;
+
+/// The APNN service: grid + pre-computed per-cell answers.
+pub struct Apnn {
+    grid: Grid,
+    /// Pre-computed kNN (up to `k_max`) per flat cell index.
+    precomputed: Vec<Vec<Poi>>,
+    k_max: usize,
+    keysize: usize,
+    /// The live database, kept so updates can recompute cells.
+    db: DynamicRTree,
+}
+
+impl Apnn {
+    /// Builds the service: pre-computes `k_max`-NN for every cell center
+    /// (the expensive offline step the paper contrasts against).
+    pub fn build(pois: Vec<Poi>, cells_per_axis: usize, k_max: usize, keysize: usize) -> Self {
+        let db = DynamicRTree::new(pois);
+        let grid = Grid::new(Rect::UNIT, cells_per_axis);
+        let mut precomputed = Vec::with_capacity(grid.cell_count());
+        for row in 0..cells_per_axis {
+            for col in 0..cells_per_axis {
+                let center = grid.cell_center((col, row));
+                precomputed.push(db.knn(&center, k_max));
+            }
+        }
+        Apnn { grid, precomputed, k_max, keysize, db }
+    }
+
+    /// The grid resolution.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Applies one database insertion: every cell whose pre-computed
+    /// answer the new POI could enter (its center is closer to the POI
+    /// than to its current `k_max`-th neighbor) must be recomputed —
+    /// the "potentially expensive update cost" §8.2 highlights.
+    ///
+    /// Returns the number of cells recomputed.
+    pub fn insert(&mut self, poi: Poi) -> usize {
+        self.db.insert(poi);
+        let mut recomputed = 0;
+        for row in 0..self.grid.cells_per_axis() {
+            for col in 0..self.grid.cells_per_axis() {
+                let idx = self.grid.flat_index((col, row));
+                let center = self.grid.cell_center((col, row));
+                let kth_dist = self.precomputed[idx]
+                    .last()
+                    .map(|p| p.location.dist(&center))
+                    .unwrap_or(f64::INFINITY);
+                if poi.location.dist(&center) <= kth_dist
+                    || self.precomputed[idx].len() < self.k_max
+                {
+                    self.precomputed[idx] = self.db.knn(&center, self.k_max);
+                    recomputed += 1;
+                }
+            }
+        }
+        recomputed
+    }
+
+    /// Applies one database deletion: every cell whose answer contains
+    /// the POI must be recomputed. Returns the number of cells touched.
+    pub fn remove(&mut self, id: ppgnn_geo::PoiId) -> usize {
+        self.db.remove(id);
+        let mut recomputed = 0;
+        for row in 0..self.grid.cells_per_axis() {
+            for col in 0..self.grid.cells_per_axis() {
+                let idx = self.grid.flat_index((col, row));
+                if self.precomputed[idx].iter().any(|p| p.id == id) {
+                    let center = self.grid.cell_center((col, row));
+                    self.precomputed[idx] = self.db.knn(&center, self.k_max);
+                    recomputed += 1;
+                }
+            }
+        }
+        recomputed
+    }
+
+    /// One private query: the user at `location` retrieves the
+    /// (approximate) `k`-NN with a `b × b` cloak block.
+    ///
+    /// # Panics
+    /// Panics if `k > k_max`.
+    pub fn query<R: Rng + ?Sized>(
+        &self,
+        location: Point,
+        k: usize,
+        b: usize,
+        keys: &Keypair,
+        rng: &mut R,
+    ) -> BaselineRun {
+        assert!(k <= self.k_max, "k = {k} exceeds precomputed k_max = {}", self.k_max);
+        let (pk, sk) = keys;
+        let mut ledger = CostLedger::new();
+        let user = Party::User(0);
+
+        // User: choose the cloak block and encrypt the indicator of her
+        // own cell within it.
+        let ctx1 = DjContext::new(pk, 1);
+        let (block, indicator) = ledger.time(user, || {
+            let cell = self.grid.locate(&location);
+            let block = self.grid.cloak_block(cell, b);
+            let position = block
+                .iter()
+                .position(|&c| c == cell)
+                .expect("cloak block contains the user's cell");
+            (block.clone(), encrypt_indicator(block.len(), position, &ctx1, rng))
+        });
+        // Query upload: block spec (corner + b) + b² ciphertexts + k.
+        ledger.record_msg(
+            user,
+            Party::Lsp,
+            3 * SCALAR_BYTES + indicator.len() * pk.ciphertext_bytes(1) + SCALAR_BYTES,
+        );
+
+        // LSP: gather the block's pre-computed answers and privately
+        // select — no kNN computation at query time.
+        let codec = AnswerCodec::new(self.keysize, 1, k);
+        let selected = ledger.time(Party::Lsp, || {
+            let columns: Vec<Vec<BigUint>> = block
+                .iter()
+                .map(|&cell| {
+                    let idx = self.grid.flat_index(cell);
+                    codec.encode(&self.precomputed[idx][..k])
+                })
+                .collect();
+            matrix_select(&columns, &indicator, &ctx1).expect("dimensions match by construction")
+        });
+        ledger.record_msg(Party::Lsp, user, selected.len() * pk.ciphertext_bytes(1));
+
+        // User: decrypt.
+        let answer = ledger.time(user, || {
+            codec
+                .decode(&decrypt_vector(&selected, &ctx1, sk))
+                .expect("well-formed answer")
+        });
+
+        BaselineRun { answer, report: ledger.report() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppgnn_geo::knn_brute_force;
+    use ppgnn_paillier::generate_keypair;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn db() -> Vec<Poi> {
+        (0..400)
+            .map(|i| {
+                Poi::new(i, Point::new((i % 20) as f64 / 20.0, (i / 20) as f64 / 20.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn answer_matches_cell_center_knn() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let apnn = Apnn::build(db(), 20, 8, 128);
+        let keys = generate_keypair(128, &mut rng);
+        let user = Point::new(0.33, 0.71);
+        let run = apnn.query(user, 4, 5, &keys, &mut rng);
+
+        let cell = apnn.grid().locate(&user);
+        let center = apnn.grid().cell_center(cell);
+        let expected = knn_brute_force(&db(), &center, 4);
+        assert_eq!(run.answer.len(), 4);
+        for (got, want) in run.answer.iter().zip(&expected) {
+            assert!(got.dist(&want.location) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn answer_is_approximate_not_exact() {
+        // With a coarse grid the cell-center answer can differ from the
+        // user's true kNN — the defining drawback of APNN.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let apnn = Apnn::build(db(), 4, 8, 128); // very coarse: 4×4 cells
+        let keys = generate_keypair(128, &mut rng);
+        let mut differs = false;
+        for i in 0..10 {
+            let user = Point::new(0.03 + 0.09 * i as f64, 0.21);
+            let run = apnn.query(user, 3, 2, &keys, &mut rng);
+            let exact = knn_brute_force(&db(), &user, 3);
+            if run
+                .answer
+                .iter()
+                .zip(&exact)
+                .any(|(g, w)| g.dist(&w.location) > 1e-6)
+            {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "a 4×4 grid must produce at least one approximate answer");
+    }
+
+    #[test]
+    fn lsp_does_no_knn_at_query_time() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let apnn = Apnn::build(db(), 20, 8, 128);
+        let keys = generate_keypair(128, &mut rng);
+        let run = apnn.query(Point::new(0.5, 0.5), 4, 5, &keys, &mut rng);
+        assert_eq!(run.report.counters.get("kgnn_queries"), None);
+        assert!(run.report.lsp_cpu_secs > 0.0, "selection still costs time");
+    }
+
+    #[test]
+    fn comm_scales_with_cloak_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let apnn = Apnn::build(db(), 20, 8, 128);
+        let keys = generate_keypair(128, &mut rng);
+        let small = apnn.query(Point::new(0.5, 0.5), 4, 3, &keys, &mut rng);
+        let large = apnn.query(Point::new(0.5, 0.5), 4, 7, &keys, &mut rng);
+        assert!(large.report.comm_bytes_total > small.report.comm_bytes_total);
+    }
+
+    #[test]
+    fn insert_recomputes_affected_cells() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut apnn = Apnn::build(db(), 10, 4, 128);
+        let keys = generate_keypair(128, &mut rng);
+        // A new POI right next to a cell center must enter that cell's
+        // pre-computed answer (the db already has a POI exactly at the
+        // center, so check membership in the top-2 rather than rank 1).
+        let cell = (3usize, 7usize);
+        let center = apnn.grid().cell_center(cell);
+        let new_poi = Poi::new(5000, Point::new(center.x + 1e-4, center.y));
+        let touched = apnn.insert(new_poi);
+        assert!(touched >= 1, "at least the host cell recomputes");
+        let run = apnn.query(center, 2, 3, &keys, &mut rng);
+        assert!(
+            run.answer.iter().any(|p| p.dist(&new_poi.location) < 1e-6),
+            "inserted POI missing from the recomputed cell answer"
+        );
+    }
+
+    #[test]
+    fn remove_recomputes_only_containing_cells() {
+        let mut apnn = Apnn::build(db(), 10, 4, 128);
+        // The POI at (0.05, 0.05) sits exactly on cell (0,0)'s center and
+        // is certainly in that cell's pre-computed answer.
+        let touched = apnn.remove(21);
+        assert!(touched >= 1);
+        assert!(touched < 100, "a corner POI must not touch every cell");
+        // A POI in no cell's answer touches nothing.
+        let mut apnn2 = Apnn::build(db(), 10, 4, 128);
+        let untouched = apnn2.remove(0); // (0,0) is never among any center's top-4
+        assert_eq!(untouched, 0);
+    }
+
+    #[test]
+    fn update_cost_grows_with_grid_resolution() {
+        // The §8.2 argument: finer grids make updates more expensive.
+        let coarse_touched = Apnn::build(db(), 5, 4, 128)
+            .insert(Poi::new(9000, Point::new(0.5, 0.5)));
+        let fine_touched = Apnn::build(db(), 40, 4, 128)
+            .insert(Poi::new(9000, Point::new(0.5, 0.5)));
+        assert!(
+            fine_touched > coarse_touched,
+            "fine {fine_touched} !> coarse {coarse_touched}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds precomputed")]
+    fn k_above_precomputed_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let apnn = Apnn::build(db(), 10, 4, 128);
+        let keys = generate_keypair(128, &mut rng);
+        let _ = apnn.query(Point::new(0.5, 0.5), 8, 3, &keys, &mut rng);
+    }
+}

@@ -1,0 +1,148 @@
+//! Concrete attacks demonstrating the ✗ entries of the paper's Table 4.
+//!
+//! * [`glp_centroid_attack`]: in GLP, `n − 1` colluders holding the
+//!   centroid recover the remaining user's location *exactly*.
+//! * [`ippf_chain_attack`]: in IPPF's filter chain, user `i`'s
+//!   predecessor and successor see the running aggregates before and
+//!   after `i`'s contribution, i.e. `dist(p, u_i)` for every candidate
+//!   `p` — three such distances pin `u_i` down by multilateration.
+//!
+//! These functions are exercised by the integration tests and by the
+//! `figures table4` harness to *verify* (not just assert) each privacy
+//! classification.
+
+use ppgnn_geo::Point;
+
+/// GLP (Table 4, Privacy IV ✗): given the group centroid and the `n − 1`
+/// colluders' own locations, the remaining user's location is
+/// `n·centroid − Σ colluders` — exact recovery.
+pub fn glp_centroid_attack(centroid: Point, colluders: &[Point]) -> Point {
+    let n = (colluders.len() + 1) as f64;
+    let (sx, sy) = colluders
+        .iter()
+        .fold((0.0, 0.0), |(x, y), c| (x + c.x, y + c.y));
+    Point::new(n * centroid.x - sx, n * centroid.y - sy)
+}
+
+/// IPPF (Table 4, Privacy IV ✗): the predecessor and successor of user
+/// `i` collude. For each candidate POI `p` they know the running sums
+/// before and after `i`, so `d_p = after(p) − before(p) = dist(p, u_i)`.
+///
+/// Solves the multilateration least-squares system built from
+/// consecutive circle-equation differences:
+/// `2(p_b − p_a)·u = (|p_b|² − |p_a|²) − (d_b² − d_a²)`.
+///
+/// Returns `None` when fewer than 3 candidates are available or the
+/// system is degenerate (collinear candidates).
+pub fn ippf_chain_attack(candidates: &[(Point, f64)]) -> Option<Point> {
+    if candidates.len() < 3 {
+        return None;
+    }
+    // Normal equations for the stacked linear system A·u = b.
+    let (p0, d0) = candidates[0];
+    let mut ata = [[0.0f64; 2]; 2];
+    let mut atb = [0.0f64; 2];
+    for &(p, d) in &candidates[1..] {
+        let ax = 2.0 * (p.x - p0.x);
+        let ay = 2.0 * (p.y - p0.y);
+        let rhs = (p.x * p.x + p.y * p.y - p0.x * p0.x - p0.y * p0.y) - (d * d - d0 * d0);
+        ata[0][0] += ax * ax;
+        ata[0][1] += ax * ay;
+        ata[1][0] += ay * ax;
+        ata[1][1] += ay * ay;
+        atb[0] += ax * rhs;
+        atb[1] += ay * rhs;
+    }
+    let det = ata[0][0] * ata[1][1] - ata[0][1] * ata[1][0];
+    if det.abs() < 1e-12 {
+        return None; // collinear candidates: direction unresolved
+    }
+    Some(Point::new(
+        (atb[0] * ata[1][1] - atb[1] * ata[0][1]) / det,
+        (atb[1] * ata[0][0] - atb[0] * ata[1][0]) / det,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glp_attack_is_exact() {
+        let users = [
+            Point::new(0.12, 0.87),
+            Point::new(0.55, 0.31),
+            Point::new(0.71, 0.64),
+            Point::new(0.05, 0.22),
+        ];
+        let centroid = Point::centroid(&users);
+        for target in 0..users.len() {
+            let colluders: Vec<Point> = users
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != target)
+                .map(|(_, p)| *p)
+                .collect();
+            let recovered = glp_centroid_attack(centroid, &colluders);
+            assert!(
+                recovered.dist(&users[target]) < 1e-9,
+                "target {target}: {recovered:?} vs {:?}",
+                users[target]
+            );
+        }
+    }
+
+    #[test]
+    fn ippf_attack_recovers_location() {
+        let victim = Point::new(0.37, 0.58);
+        let candidates: Vec<(Point, f64)> = [
+            Point::new(0.1, 0.1),
+            Point::new(0.9, 0.2),
+            Point::new(0.5, 0.9),
+            Point::new(0.2, 0.7),
+        ]
+        .iter()
+        .map(|p| (*p, p.dist(&victim)))
+        .collect();
+        let recovered = ippf_chain_attack(&candidates).expect("well-posed system");
+        assert!(recovered.dist(&victim) < 1e-9, "{recovered:?}");
+    }
+
+    #[test]
+    fn ippf_attack_needs_three_candidates() {
+        let victim = Point::new(0.4, 0.4);
+        let two: Vec<(Point, f64)> = [Point::new(0.1, 0.1), Point::new(0.9, 0.9)]
+            .iter()
+            .map(|p| (*p, p.dist(&victim)))
+            .collect();
+        assert!(ippf_chain_attack(&two).is_none());
+    }
+
+    #[test]
+    fn ippf_attack_degenerate_collinear() {
+        // Candidates on one line leave a reflection ambiguity.
+        let victim = Point::new(0.3, 0.8);
+        let collinear: Vec<(Point, f64)> = [
+            Point::new(0.1, 0.5),
+            Point::new(0.5, 0.5),
+            Point::new(0.9, 0.5),
+        ]
+        .iter()
+        .map(|p| (*p, p.dist(&victim)))
+        .collect();
+        assert!(ippf_chain_attack(&collinear).is_none());
+    }
+
+    #[test]
+    fn ippf_attack_tolerates_many_candidates() {
+        let victim = Point::new(0.66, 0.21);
+        let candidates: Vec<(Point, f64)> = (0..50)
+            .map(|i| {
+                let p = Point::new(((i * 13) % 50) as f64 / 50.0, ((i * 7) % 50) as f64 / 50.0);
+                (p, p.dist(&victim))
+            })
+            .collect();
+        let recovered = ippf_chain_attack(&candidates).unwrap();
+        assert!(recovered.dist(&victim) < 1e-9);
+    }
+}

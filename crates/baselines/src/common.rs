@@ -1,0 +1,14 @@
+//! Shared baseline-run result type.
+
+use ppgnn_geo::Point;
+use ppgnn_sim::CostReport;
+
+/// The outcome of one baseline query: the answer locations (best first)
+/// and the measured costs.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Answer POI locations, best first. Approximate for APNN/GLP.
+    pub answer: Vec<Point>,
+    /// Aggregated costs of the run.
+    pub report: CostReport,
+}

@@ -1,0 +1,37 @@
+//! Baseline approaches from the paper's evaluation (§8), each built from
+//! scratch and instrumented with the same cost ledger as PPGNN:
+//!
+//! * [`Apnn`] — the approximate private kNN of Yi et al. \[36\] (`n = 1`):
+//!   LSP pre-computes kNN answers per grid cell; the user retrieves the
+//!   answer for her (hidden) cell out of a `b × b` cloak block with a
+//!   Paillier private selection. Privacy I–III, approximate answers,
+//!   expensive updates.
+//! * [`Ippf`] — the incremental-pruning private filter of Hashem et
+//!   al. \[14\] (`n > 1`): LSP answers a group query w.r.t. a cloak
+//!   rectangle, returning a candidate superset that the users filter by
+//!   passing partial aggregates around the group chain. Privacy I–II
+//!   only; the superset breaks Privacy III and chain collusion breaks
+//!   Privacy IV.
+//! * [`Glp`] — the group-location-privacy protocol of Ashouri-Talouki et
+//!   al. \[2\] (`n > 1`): the users compute their centroid by secure
+//!   multiparty addition (O(n²) ciphertexts) and LSP returns the kNN of
+//!   the centroid. Privacy I and III only; LSP sees the answer
+//!   (Privacy II ✗) and `n − 1` users recover the last location from the
+//!   centroid (Privacy IV ✗).
+//!
+//! [`attacks`] implements the concrete attacks that justify the ✗ marks
+//! in the paper's Table 4 — used by the integration tests and the
+//! `figures table4` harness.
+
+pub mod apnn;
+pub mod attacks;
+mod common;
+pub mod glp;
+pub mod ippf;
+pub mod singleuser;
+
+pub use apnn::Apnn;
+pub use common::BaselineRun;
+pub use glp::Glp;
+pub use ippf::Ippf;
+pub use singleuser::{CloakRegionKnn, DummyKnn, PerturbationKnn, PirKnn};

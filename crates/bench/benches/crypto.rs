@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the cryptographic substrate: the `C_e` unit cost
+//! of Table 2's formulas (encryption, decryption, homomorphic ops) at
+//! ε₁ and ε₂, plus the underlying modular exponentiation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppgnn_bigint::{BigUint, UniformBigUint};
+use ppgnn_paillier::{generate_keypair, DjContext};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_paillier_ops(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for keysize in [256usize, 512] {
+        let (pk, sk) = generate_keypair(keysize, &mut rng);
+        for s in [1usize, 2] {
+            let ctx = DjContext::new(&pk, s);
+            let m = rng.gen_biguint_below(ctx.plaintext_modulus());
+            let ct = ctx.encrypt(&m, &mut rng);
+            let scalar = rng.gen_biguint(keysize - 17);
+
+            let mut group = c.benchmark_group(format!("paillier/{keysize}b/eps{s}"));
+            group.sample_size(20);
+            group.bench_function("encrypt", |b| {
+                b.iter(|| ctx.encrypt(&m, &mut rng));
+            });
+            group.bench_function("decrypt", |b| {
+                b.iter(|| ctx.decrypt(&ct, &sk));
+            });
+            group.bench_function("scalar_mul", |b| {
+                b.iter(|| ctx.scalar_mul(&scalar, &ct));
+            });
+            group.bench_function("add", |b| {
+                b.iter(|| ctx.add(&ct, &ct));
+            });
+            group.finish();
+        }
+    }
+}
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut group = c.benchmark_group("bigint/modpow");
+    group.sample_size(30);
+    for bits in [512usize, 1024, 2048] {
+        let mut modulus = rng.gen_biguint(bits);
+        modulus.set_bit(bits - 1, true);
+        modulus.set_bit(0, true);
+        let base = rng.gen_biguint(bits - 1);
+        let exp = rng.gen_biguint(bits / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| base.modpow(&exp, &modulus));
+        });
+    }
+    group.finish();
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier/keygen");
+    group.sample_size(10);
+    for keysize in [256usize, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(keysize), &keysize, |b, &ks| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| generate_keypair(ks, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mul_div(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut group = c.benchmark_group("bigint");
+    for limbs in [16usize, 64] {
+        let a = BigUint::from_limbs((0..limbs).map(|_| rand::Rng::gen(&mut rng)).collect());
+        let b_ = BigUint::from_limbs((0..limbs).map(|_| rand::Rng::gen(&mut rng)).collect());
+        group.bench_with_input(BenchmarkId::new("mul", limbs), &limbs, |bch, _| {
+            bch.iter(|| &a * &b_);
+        });
+        let prod = &a * &b_;
+        group.bench_with_input(BenchmarkId::new("div_rem", limbs), &limbs, |bch, _| {
+            bch.iter(|| prod.div_rem(&b_));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paillier_ops, bench_modpow, bench_keygen, bench_mul_div);
+criterion_main!(benches);

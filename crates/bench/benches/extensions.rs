@@ -1,0 +1,94 @@
+//! Benchmarks for the extension subsystems: dynamic updates, road-network
+//! distances, quasi-Monte-Carlo sanitation, and the CRT decryptor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppgnn_core::params::HypothesisConfig;
+use ppgnn_core::sanitize::{Sanitizer, SamplerKind};
+use ppgnn_datagen::{sequoia_like, Workload};
+use ppgnn_geo::{
+    group_knn_brute_force, Aggregate, DynamicRTree, Point, Poi, Rect, RoadNetwork,
+};
+use ppgnn_paillier::{generate_keypair, Decryptor, DjContext};
+use ppgnn_bigint::BigUint;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_dynamic_updates(c: &mut Criterion) {
+    let pois = sequoia_like(62_556, 1);
+    let mut group = c.benchmark_group("dynamic");
+    group.sample_size(20);
+    group.bench_function("insert_amortized", |b| {
+        let mut tree = DynamicRTree::new(pois.clone());
+        let mut i = 0u32;
+        b.iter(|| {
+            tree.insert(Poi::new(1_000_000 + i, Point::new(0.5, 0.5)));
+            i += 1;
+        });
+    });
+    group.bench_function("query_with_dirty_buffer", |b| {
+        let mut tree = DynamicRTree::new(pois.clone());
+        for i in 0..500 {
+            tree.insert(Poi::new(1_000_000 + i, Point::new(0.3, 0.7)));
+        }
+        let q = Workload::unit(2).next_group(8);
+        b.iter(|| tree.group_knn(&q, 8, Aggregate::Sum));
+    });
+    group.finish();
+}
+
+fn bench_roadnet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roadnet");
+    group.sample_size(20);
+    for side in [20usize, 50] {
+        let net = RoadNetwork::grid(side, side, 0.01, 3);
+        group.bench_with_input(BenchmarkId::new("sssp", side * side), &side, |b, _| {
+            b.iter(|| net.sssp(0));
+        });
+    }
+    let net = RoadNetwork::grid(30, 30, 0.01, 3);
+    let pois = sequoia_like(5_000, 5);
+    let q = Workload::unit(4).next_group(8);
+    group.bench_function("group_knn_5000pois_n8", |b| {
+        b.iter(|| net.group_knn(&pois, &q, 8, Aggregate::Sum));
+    });
+    group.finish();
+}
+
+fn bench_sampler_kinds(c: &mut Criterion) {
+    let pois = sequoia_like(20_000, 1);
+    let users = Workload::unit(7).next_group(8);
+    let answer = group_knn_brute_force(&pois, &users, 8, Aggregate::Sum);
+    let hyp = HypothesisConfig::default();
+    let mut group = c.benchmark_group("sanitation/sampler");
+    group.sample_size(10);
+    for (name, kind) in [("pseudo", SamplerKind::Pseudo), ("halton", SamplerKind::Halton)] {
+        let sanitizer = Sanitizer::new(0.05, &hyp, Rect::UNIT).with_sampler(kind);
+        group.bench_function(name, |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            b.iter(|| sanitizer.safe_prefix_len(&answer, &users, Aggregate::Sum, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_crt_decryptor(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let (pk, sk) = generate_keypair(512, &mut rng);
+    let ctx = DjContext::new(&pk, 1);
+    let dec = Decryptor::new(&ctx, &sk);
+    let ct = ctx.encrypt(&BigUint::from(424242u64), &mut rng);
+    let mut group = c.benchmark_group("paillier/512b/decrypt");
+    group.sample_size(20);
+    group.bench_function("plain", |b| b.iter(|| ctx.decrypt(&ct, &sk)));
+    group.bench_function("crt", |b| b.iter(|| dec.decrypt(&ctx, &ct)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dynamic_updates,
+    bench_roadnet,
+    bench_sampler_kinds,
+    bench_crt_decryptor
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Partition-parameter solver benchmarks: the Eqn 7–10 MINLP instances
+//! the paper delegates to Bonmin, solved exactly here. These run once
+//! per query configuration, so single-digit milliseconds suffice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppgnn_core::partition::solve_partition;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition/solve");
+    // The paper's whole experimental grid (§8.3): n ∈ [2,32], d ∈ [5,50],
+    // δ ∈ [25,200].
+    for (n, d, delta) in [
+        (2usize, 25usize, 100usize),
+        (8, 25, 100),
+        (32, 25, 100),
+        (8, 5, 25),
+        (8, 50, 200),
+        (32, 50, 200),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{d}_delta{delta}")),
+            &(n, d, delta),
+            |b, &(n, d, delta)| {
+                b.iter(|| solve_partition(n, d, delta).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

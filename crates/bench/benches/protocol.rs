@@ -1,0 +1,54 @@
+//! Whole-protocol benchmarks: one end-to-end query per variant at a
+//! reduced key size (the sweep harness in `src/bin/figures.rs` covers
+//! the full parameter grid; this is the per-variant unit cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppgnn_core::{run_ppgnn_with_keys, Lsp, PpgnnConfig, Variant};
+use ppgnn_datagen::{sequoia_like, Workload};
+use ppgnn_paillier::generate_keypair;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_variants(c: &mut Criterion) {
+    let pois = sequoia_like(20_000, 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let keys = generate_keypair(256, &mut rng);
+    let users = Workload::unit(9).next_group(8);
+
+    let mut group = c.benchmark_group("protocol/n8_k8_d25_delta100");
+    group.sample_size(10);
+    for variant in [Variant::Plain, Variant::Opt, Variant::Naive] {
+        let cfg = PpgnnConfig { keysize: 256, variant, ..PpgnnConfig::paper_defaults() };
+        let lsp = Lsp::new(pois.clone(), cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant:?}")),
+            &variant,
+            |b, _| {
+                b.iter(|| run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sanitation_toggle(c: &mut Criterion) {
+    // PPGNN vs PPGNN-NAS: the LSP-side price of Privacy IV (Figure 8c/f).
+    let pois = sequoia_like(20_000, 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let keys = generate_keypair(256, &mut rng);
+    let users = Workload::unit(10).next_group(8);
+
+    let mut group = c.benchmark_group("protocol/sanitation");
+    group.sample_size(10);
+    for (name, sanitize) in [("PPGNN", true), ("PPGNN-NAS", false)] {
+        let cfg = PpgnnConfig { keysize: 256, sanitize, ..PpgnnConfig::paper_defaults() };
+        let lsp = Lsp::new(pois.clone(), cfg);
+        group.bench_function(name, |b| {
+            b.iter(|| run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_sanitation_toggle);
+criterion_main!(benches);

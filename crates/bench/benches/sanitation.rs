@@ -1,0 +1,50 @@
+//! Answer-sanitation benchmarks: the `C_s` unit of Table 2, across θ₀
+//! (which drives the sample size of Eqn 17 — the Figure 6l effect) and
+//! across the group size n (the Figure 6i linear growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppgnn_core::params::HypothesisConfig;
+use ppgnn_core::sanitize::Sanitizer;
+use ppgnn_datagen::{sequoia_like, Workload};
+use ppgnn_geo::{group_knn_brute_force, Aggregate, Rect};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_theta0(c: &mut Criterion) {
+    let pois = sequoia_like(20_000, 1);
+    let users = Workload::unit(2).next_group(8);
+    let answer = group_knn_brute_force(&pois, &users, 8, Aggregate::Sum);
+    let hyp = HypothesisConfig::default();
+
+    let mut group = c.benchmark_group("sanitation/theta0");
+    group.sample_size(10);
+    for theta0 in [0.01f64, 0.05, 0.1] {
+        let sanitizer = Sanitizer::new(theta0, &hyp, Rect::UNIT);
+        group.bench_with_input(BenchmarkId::from_parameter(theta0), &theta0, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| sanitizer.safe_prefix_len(&answer, &users, Aggregate::Sum, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_size(c: &mut Criterion) {
+    let pois = sequoia_like(20_000, 1);
+    let hyp = HypothesisConfig::default();
+    let sanitizer = Sanitizer::new(0.05, &hyp, Rect::UNIT);
+
+    let mut group = c.benchmark_group("sanitation/n");
+    group.sample_size(10);
+    for n in [2usize, 8, 32] {
+        let users = Workload::unit(n as u64).next_group(n);
+        let answer = group_knn_brute_force(&pois, &users, 8, Aggregate::Sum);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            b.iter(|| sanitizer.safe_prefix_len(&answer, &users, Aggregate::Sum, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theta0, bench_group_size);
+criterion_main!(benches);

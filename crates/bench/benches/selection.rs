@@ -1,0 +1,95 @@
+//! Private-selection benchmarks: Theorem 3.1's `A ⨂ [v]` versus the
+//! §6 two-phase selection, across δ′ — the LSP-side cost trade-off the
+//! paper analyzes at the end of §7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppgnn_bigint::{BigUint, UniformBigUint};
+use ppgnn_core::opt_split;
+use ppgnn_paillier::{encrypt_indicator, generate_keypair, matrix_select, DjContext};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_selection(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let (pk, _sk) = generate_keypair(256, &mut rng);
+    let ctx1 = DjContext::new(&pk, 1);
+    let ctx2 = DjContext::new(&pk, 2);
+    let m = 2; // answer column height
+
+    for delta_prime in [25usize, 100] {
+        // Answer matrix with plausible payloads (< N).
+        let columns: Vec<Vec<BigUint>> = (0..delta_prime)
+            .map(|_| (0..m).map(|_| rng.gen_biguint(200)).collect())
+            .collect();
+
+        let mut group = c.benchmark_group(format!("selection/dp{delta_prime}"));
+        group.sample_size(10);
+
+        let plain_ind = encrypt_indicator(delta_prime, delta_prime / 2, &ctx1, &mut rng);
+        group.bench_function("single_phase", |b| {
+            b.iter(|| matrix_select(&columns, &plain_ind, &ctx1).unwrap());
+        });
+
+        let (omega, block) = opt_split(delta_prime);
+        let inner = encrypt_indicator(block, 1, &ctx1, &mut rng);
+        let outer = encrypt_indicator(omega, omega / 2, &ctx2, &mut rng);
+        group.bench_function("two_phase", |b| {
+            b.iter(|| {
+                let mut padded = columns.clone();
+                padded.resize(block * omega, vec![BigUint::zero(); m]);
+                let blocks: Vec<_> = (0..omega)
+                    .map(|bi| {
+                        matrix_select(&padded[bi * block..(bi + 1) * block], &inner, &ctx1)
+                            .unwrap()
+                    })
+                    .collect();
+                let rows: Vec<_> = (0..m)
+                    .map(|r| {
+                        let x: Vec<BigUint> =
+                            blocks.iter().map(|bl| bl.elements()[r].as_plaintext()).collect();
+                        outer.dot(&x, &ctx2).unwrap()
+                    })
+                    .collect();
+                rows
+            });
+        });
+        group.finish();
+    }
+}
+
+fn bench_indicator_encryption(c: &mut Criterion) {
+    // The user-side cost the OPT split reduces: δ′ ε₁ encryptions vs
+    // (δ′/ω) ε₁ + ω ε₂ encryptions.
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let (pk, _sk) = generate_keypair(256, &mut rng);
+    let ctx1 = DjContext::new(&pk, 1);
+    let ctx2 = DjContext::new(&pk, 2);
+    let mut group = c.benchmark_group("indicator");
+    group.sample_size(10);
+    for delta_prime in [25usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("plain", delta_prime),
+            &delta_prime,
+            |b, &dp| {
+                b.iter(|| encrypt_indicator(dp, dp / 2, &ctx1, &mut rng));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("two_phase", delta_prime),
+            &delta_prime,
+            |b, &dp| {
+                let (omega, block) = opt_split(dp);
+                b.iter(|| {
+                    (
+                        encrypt_indicator(block, 0, &ctx1, &mut rng),
+                        encrypt_indicator(omega, 0, &ctx2, &mut rng),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_indicator_encryption);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Spatial-substrate benchmarks: the `C_q` unit of Table 2 (one MBM kGNN
+//! query) on the paper-scale dataset, against the brute-force oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppgnn_datagen::{sequoia_like, Workload, SEQUOIA_SIZE};
+use ppgnn_geo::{group_knn_brute_force, Aggregate, RTree};
+
+fn bench_gnn(c: &mut Criterion) {
+    let pois = sequoia_like(SEQUOIA_SIZE, 1);
+    let tree = RTree::bulk_load(pois.clone());
+    let mut workload = Workload::unit(2);
+
+    let mut group = c.benchmark_group("gnn/62556pois");
+    group.sample_size(20);
+    for n in [1usize, 8, 32] {
+        let queries = workload.next_group(n);
+        group.bench_with_input(BenchmarkId::new("mbm", n), &n, |b, _| {
+            b.iter(|| tree.group_knn(&queries, 8, Aggregate::Sum));
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| group_knn_brute_force(&pois, &queries, 8, Aggregate::Sum));
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let pois = sequoia_like(SEQUOIA_SIZE, 1);
+    let tree = RTree::bulk_load(pois);
+    let queries = Workload::unit(3).next_group(8);
+    let mut group = c.benchmark_group("gnn/aggregates");
+    group.sample_size(20);
+    for agg in Aggregate::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(agg), &agg, |b, &agg| {
+            b.iter(|| tree.group_knn(&queries, 8, agg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree/bulk_load");
+    group.sample_size(10);
+    for size in [10_000usize, SEQUOIA_SIZE] {
+        let pois = sequoia_like(size, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| RTree::bulk_load(pois.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gnn, bench_aggregates, bench_bulk_load);
+criterion_main!(benches);

@@ -1,0 +1,307 @@
+//! Ablation experiments for design choices DESIGN.md calls out — beyond
+//! the paper's own figures:
+//!
+//! * [`ablation_update`]: the §1/§8.2 dynamic-database argument measured:
+//!   per-update cost of PPGNN's index (no pre-computation to invalidate)
+//!   vs APNN's per-cell pre-computed answers.
+//! * [`ablation_partition`]: what the Eqn 7–10 optimization buys — the
+//!   optimal δ′ versus the naive "one segment, α = n" and "δ segments"
+//!   fallbacks.
+//! * [`ablation_opt_omega`]: the §6 communication model `cost(ω)` swept
+//!   over ω, confirming the analytic optimum `ω* ≈ √(δ′/2)`.
+
+use serde::{Deserialize, Serialize};
+
+use ppgnn_baselines::Apnn;
+use ppgnn_core::engine::{DynamicMbmEngine, QueryEngine};
+use ppgnn_core::partition::solve_partition;
+use ppgnn_datagen::Workload;
+use ppgnn_geo::{Aggregate, Point, Poi};
+
+use crate::config::ExperimentConfig;
+use crate::runner::database;
+
+/// One row of the update-cost ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UpdateCostRow {
+    pub approach: String,
+    pub updates: usize,
+    pub total_ms: f64,
+    pub per_update_us: f64,
+    /// Pre-computed cells recomputed (APNN only).
+    pub cells_recomputed: u64,
+    /// Query latency after the update burst (index still healthy?).
+    pub post_query_us: f64,
+}
+
+/// Dynamic-database ablation: apply a burst of insertions to both
+/// indexes and measure per-update cost plus post-burst query latency.
+pub fn ablation_update(cfg: &ExperimentConfig) -> Vec<UpdateCostRow> {
+    let pois = database(cfg);
+    let updates = 200usize.min(cfg.db_size / 10).max(10);
+    let new_pois: Vec<Poi> = Workload::unit(cfg.seed ^ 0xD1)
+        .batch(updates, 1)
+        .into_iter()
+        .enumerate()
+        .map(|(i, g)| Poi::new((cfg.db_size + i) as u32, g[0]))
+        .collect();
+    let probe = vec![Point::new(0.4, 0.6), Point::new(0.6, 0.4)];
+
+    let mut rows = Vec::new();
+
+    // PPGNN's engine: buffered dynamic R-tree.
+    let engine = DynamicMbmEngine::new(pois.clone());
+    let t0 = std::time::Instant::now();
+    for p in &new_pois {
+        engine.insert(*p);
+    }
+    let total = t0.elapsed();
+    let tq = std::time::Instant::now();
+    let _ = engine.answer(&probe, 8, Aggregate::Sum);
+    rows.push(UpdateCostRow {
+        approach: "PPGNN (dynamic R-tree)".into(),
+        updates,
+        total_ms: total.as_secs_f64() * 1e3,
+        per_update_us: total.as_secs_f64() * 1e6 / updates as f64,
+        cells_recomputed: 0,
+        post_query_us: tq.elapsed().as_secs_f64() * 1e6,
+    });
+
+    // APNN: pre-computed per-cell answers (the paper's default-equivalent
+    // 100×100 grid is expensive to even build at full db size; scale the
+    // grid with the budget).
+    let grid_cells = 50;
+    let mut apnn = Apnn::build(pois, grid_cells, 8, cfg.keysize);
+    let mut cells = 0u64;
+    let t0 = std::time::Instant::now();
+    for p in &new_pois {
+        cells += apnn.insert(*p) as u64;
+    }
+    let total = t0.elapsed();
+    rows.push(UpdateCostRow {
+        approach: format!("APNN ({grid_cells}×{grid_cells} pre-computed grid)"),
+        updates,
+        total_ms: total.as_secs_f64() * 1e3,
+        per_update_us: total.as_secs_f64() * 1e6 / updates as f64,
+        cells_recomputed: cells,
+        post_query_us: 0.0,
+    });
+
+    rows
+}
+
+/// One row of the partition ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionAblationRow {
+    pub n: usize,
+    pub d: usize,
+    pub delta: usize,
+    /// δ′ from the exact Eqn 7–10 solver.
+    pub optimal: u128,
+    /// δ′ if LSP naively used one segment with α = n (full cartesian power).
+    pub naive_full_power: u128,
+    /// δ′ of the Naive protocol (δ columns, every user pays δ locations).
+    pub naive_columns: u128,
+    pub solver_micros: f64,
+}
+
+/// Partition-solver ablation: how many *unnecessary* candidate queries
+/// the optimization avoids, and what solving costs.
+pub fn ablation_partition(_cfg: &ExperimentConfig) -> Vec<PartitionAblationRow> {
+    let mut rows = Vec::new();
+    for (n, d, delta) in [
+        (2usize, 25usize, 50usize),
+        (4, 25, 100),
+        (8, 25, 100),
+        (8, 25, 200),
+        (16, 25, 100),
+        (32, 50, 200),
+    ] {
+        let t0 = std::time::Instant::now();
+        let p = solve_partition(n, d, delta).expect("feasible paper-scale instance");
+        let micros = t0.elapsed().as_secs_f64() * 1e6;
+        rows.push(PartitionAblationRow {
+            n,
+            d,
+            delta,
+            optimal: p.delta_prime(),
+            naive_full_power: (d as u128).saturating_pow(n as u32),
+            naive_columns: delta as u128,
+            solver_micros: micros,
+        });
+    }
+    rows
+}
+
+/// One row of the ω-sweep ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OmegaRow {
+    pub omega: usize,
+    /// The §6 model `cost(ω) = (2ω + δ′/ω + 2m)·L_e`, in ciphertext units.
+    pub model_cost_units: f64,
+    pub is_analytic_optimum: bool,
+}
+
+/// Sweeps ω for a fixed δ′ and confirms the analytic optimum of Eqn 18.
+pub fn ablation_opt_omega(delta_prime: usize, m: usize) -> Vec<OmegaRow> {
+    let analytic = ppgnn_core::opt_split(delta_prime).0;
+    (1..=delta_prime.min(40))
+        .map(|omega| {
+            let block = delta_prime.div_ceil(omega);
+            OmegaRow {
+                omega,
+                model_cost_units: 2.0 * omega as f64 + block as f64 + 2.0 * m as f64,
+                is_analytic_optimum: omega == analytic,
+            }
+        })
+        .collect()
+}
+
+/// One row of the group-spread ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpreadRow {
+    /// Per-axis half-width of the group cluster (1.0 ≈ uniform groups).
+    pub spread: f64,
+    /// Average POIs surviving sanitation.
+    pub pois_returned: f64,
+    /// Average LSP milliseconds.
+    pub lsp_ms: f64,
+}
+
+/// Group-spread ablation (beyond the paper): how the geometry of the
+/// group affects answer sanitation. Measured effect: *tight* groups
+/// keep MORE POIs (≈4 at spread 0.02 vs ≈2 at uniform). Intuition: a
+/// tight group's ranked POIs all sit in one neighborhood, so their
+/// pairwise bisectors cut the space into nearly-parallel slabs that
+/// still leave a large feasible region for each member; spread-out
+/// groups produce bisectors with diverse orientations whose
+/// intersection pins the target much harder.
+pub fn ablation_spread(cfg: &ExperimentConfig) -> Vec<SpreadRow> {
+    use ppgnn_core::{run_ppgnn_with_keys, Lsp, PpgnnConfig};
+    use ppgnn_paillier::generate_keypair;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    let pois = database(cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5BAD);
+    let keys = generate_keypair(cfg.keysize, &mut rng);
+    let ppgnn = PpgnnConfig { keysize: cfg.keysize, ..PpgnnConfig::paper_defaults() };
+    let lsp = Lsp::new(pois, ppgnn);
+    let mut rows = Vec::new();
+    for spread in [0.02f64, 0.05, 0.1, 0.25, 1.0] {
+        let mut workload = Workload::unit(cfg.seed ^ 0x5BAE);
+        let mut pois_sum = 0usize;
+        let mut lsp_secs = 0.0;
+        for _ in 0..cfg.queries {
+            let users = workload.next_clustered_group(8, spread);
+            let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng)
+                .expect("spread ablation run");
+            pois_sum += run.pois_returned;
+            lsp_secs += run.report.lsp_cpu_secs;
+        }
+        rows.push(SpreadRow {
+            spread,
+            pois_returned: pois_sum as f64 / cfg.queries as f64,
+            lsp_ms: lsp_secs * 1e3 / cfg.queries as f64,
+        });
+    }
+    rows
+}
+
+/// Renders the spread ablation.
+pub fn render_spread(rows: &[SpreadRow]) -> String {
+    let mut out = format!(
+        "## Ablation — group spread vs sanitation\n{:>8} {:>14} {:>10}\n",
+        "spread", "pois_returned", "lsp_ms"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8.2} {:>14.2} {:>10.1}\n",
+            r.spread, r.pois_returned, r.lsp_ms
+        ));
+    }
+    out
+}
+
+/// Renders the update ablation.
+pub fn render_update(rows: &[UpdateCostRow]) -> String {
+    let mut out = format!(
+        "## Ablation — database update cost\n{:<34} {:>8} {:>10} {:>14} {:>10}\n",
+        "approach", "updates", "total_ms", "per_update_us", "cells"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<34} {:>8} {:>10.2} {:>14.2} {:>10}\n",
+            r.approach, r.updates, r.total_ms, r.per_update_us, r.cells_recomputed
+        ));
+    }
+    out
+}
+
+/// Renders the partition ablation.
+pub fn render_partition(rows: &[PartitionAblationRow]) -> String {
+    let mut out = format!(
+        "## Ablation — partition optimization (Eqn 7-10)\n{:>4} {:>4} {:>6} {:>10} {:>16} {:>14} {:>12}\n",
+        "n", "d", "δ", "optimal δ'", "1-segment δ'", "Naive cols", "solver_us"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>4} {:>4} {:>6} {:>10} {:>16} {:>14} {:>12.1}\n",
+            r.n, r.d, r.delta, r.optimal, r.naive_full_power, r.naive_columns, r.solver_micros
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_ablation_shows_ppgnn_advantage() {
+        let cfg = ExperimentConfig { db_size: 3_000, queries: 1, keysize: 128, seed: 5 };
+        let rows = ablation_update(&cfg);
+        assert_eq!(rows.len(), 2);
+        let ppgnn = &rows[0];
+        let apnn = &rows[1];
+        assert!(
+            ppgnn.per_update_us < apnn.per_update_us,
+            "PPGNN updates ({} µs) must be cheaper than APNN ({} µs)",
+            ppgnn.per_update_us,
+            apnn.per_update_us
+        );
+        assert!(apnn.cells_recomputed > 0);
+    }
+
+    #[test]
+    fn partition_ablation_optimal_between_bounds() {
+        let cfg = ExperimentConfig::smoke();
+        for r in ablation_partition(&cfg) {
+            assert!(r.optimal >= r.delta as u128, "feasibility");
+            assert!(
+                r.optimal <= r.naive_full_power,
+                "the optimum cannot exceed the full cartesian power"
+            );
+        }
+    }
+
+    #[test]
+    fn omega_sweep_minimum_is_analytic() {
+        for (dp, m) in [(50usize, 1usize), (100, 1), (200, 2)] {
+            let rows = ablation_opt_omega(dp, m);
+            let best = rows
+                .iter()
+                .min_by(|a, b| a.model_cost_units.total_cmp(&b.model_cost_units))
+                .unwrap();
+            let analytic = rows.iter().find(|r| r.is_analytic_optimum).unwrap();
+            // The analytic ω is within one unit of cost of the swept optimum
+            // (integer rounding of √(δ'/2)).
+            assert!(
+                analytic.model_cost_units <= best.model_cost_units + 2.0,
+                "δ'={dp}: analytic {} vs best {}",
+                analytic.model_cost_units,
+                best.model_cost_units
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The experiment runner: regenerates every table and figure of §8.
+//!
+//! ```text
+//! figures <experiment|all> [--queries N] [--keysize BITS] [--db N] [--seed S] [--out DIR]
+//!
+//! experiments: fig5_d fig5_k fig6_delta fig6_k fig6_n fig6_theta
+//!              fig7 fig8_k fig8_n table2 table4 all
+//! ```
+//!
+//! Results print as aligned tables and, with `--out`, are also written
+//! as JSON (one file per experiment) for EXPERIMENTS.md bookkeeping.
+
+use std::io::Write;
+
+use ppgnn_bench::{
+    ablation_opt_omega, ablation_partition, ablation_spread, ablation_update, render_spread, fig5_d, fig5_k, fig6_delta, fig6_k,
+    fig6_n, fig6_theta, fig7, fig8_k, fig8_n, render_partition, render_rows, render_table2,
+    render_table4, render_update, table2, table4, table4_single, ExperimentConfig, FigureRow,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: figures <experiment|all> [--queries N] [--keysize BITS] [--db N] [--seed S] [--out DIR]");
+        std::process::exit(2);
+    }
+    let experiment = args[0].clone();
+    let mut cfg = ExperimentConfig::default();
+    let mut out_dir: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        });
+        match flag {
+            "--queries" => cfg.queries = value.parse().expect("--queries N"),
+            "--keysize" => cfg.keysize = value.parse().expect("--keysize BITS"),
+            "--db" => cfg.db_size = value.parse().expect("--db N"),
+            "--seed" => cfg.seed = value.parse().expect("--seed S"),
+            "--out" => out_dir = Some(value.clone()),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    eprintln!(
+        "# config: db={} queries={} keysize={} seed={}",
+        cfg.db_size, cfg.queries, cfg.keysize, cfg.seed
+    );
+
+    let experiments: Vec<&str> = if experiment == "all" {
+        vec![
+            "fig5_d", "fig5_k", "fig6_delta", "fig6_k", "fig6_n", "fig6_theta", "fig7",
+            "fig8_k", "fig8_n", "table2", "table4", "table4_single",
+            "ablation_update", "ablation_partition", "ablation_omega", "ablation_spread",
+        ]
+    } else {
+        vec![experiment.as_str()]
+    };
+
+    for exp in experiments {
+        let started = std::time::Instant::now();
+        eprintln!("# running {exp} ...");
+        match exp {
+            "table2" => {
+                let rows = table2(&cfg);
+                println!("{}", render_table2(&rows));
+                write_json(&out_dir, exp, &rows);
+            }
+            "table4" => {
+                let rows = table4(&cfg);
+                println!("{}", render_table4(&rows));
+                write_json(&out_dir, exp, &rows);
+            }
+            "table4_single" => {
+                let rows = table4_single(&cfg);
+                println!("{}", render_table4(&rows));
+                write_json(&out_dir, exp, &rows);
+            }
+            "ablation_update" => {
+                let rows = ablation_update(&cfg);
+                println!("{}", render_update(&rows));
+                write_json(&out_dir, exp, &rows);
+            }
+            "ablation_spread" => {
+                let rows = ablation_spread(&cfg);
+                println!("{}", render_spread(&rows));
+                write_json(&out_dir, exp, &rows);
+            }
+            "ablation_partition" => {
+                let rows = ablation_partition(&cfg);
+                println!("{}", render_partition(&rows));
+                write_json(&out_dir, exp, &rows);
+            }
+            "ablation_omega" => {
+                let rows = ablation_opt_omega(100, 1);
+                println!("## Ablation — ω sweep at δ' = 100, m = 1");
+                for r in &rows {
+                    println!(
+                        "ω = {:>3}  cost = {:>7.1} L_e {}",
+                        r.omega,
+                        r.model_cost_units,
+                        if r.is_analytic_optimum { " <= analytic ω*" } else { "" }
+                    );
+                }
+                write_json(&out_dir, exp, &rows);
+            }
+            name => {
+                let rows: Vec<FigureRow> = match name {
+                    "fig5_d" => fig5_d(&cfg),
+                    "fig5_k" => fig5_k(&cfg),
+                    "fig6_delta" => fig6_delta(&cfg),
+                    "fig6_k" => fig6_k(&cfg),
+                    "fig6_n" => fig6_n(&cfg),
+                    "fig6_theta" => fig6_theta(&cfg),
+                    "fig7" => fig7(&cfg),
+                    "fig8_k" => fig8_k(&cfg),
+                    "fig8_n" => fig8_n(&cfg),
+                    other => {
+                        eprintln!("unknown experiment {other}");
+                        std::process::exit(2);
+                    }
+                };
+                println!("{}", render_rows(name, &rows));
+                write_json(&out_dir, name, &rows);
+            }
+        }
+        eprintln!("# {exp} done in {:.1}s", started.elapsed().as_secs_f64());
+    }
+}
+
+fn write_json<T: serde::Serialize>(out_dir: &Option<String>, name: &str, rows: &T) {
+    let Some(dir) = out_dir else { return };
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let path = format!("{dir}/{name}.json");
+    let mut f = std::fs::File::create(&path).expect("create json");
+    f.write_all(serde_json::to_string_pretty(rows).expect("serialize").as_bytes())
+        .expect("write json");
+    eprintln!("# wrote {path}");
+}

@@ -1,0 +1,51 @@
+//! Experiment configuration and result rows.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// POIs in the synthetic Sequoia-like database (paper: 62 556).
+    pub db_size: usize,
+    /// Randomized queries averaged per data point (paper: 500; the
+    /// default is smaller so a full sweep fits in CI time — raise it
+    /// with `--queries` for publication-grade numbers).
+    pub queries: usize,
+    /// Paillier key size in bits (paper: 1024; default 512 so sweeps
+    /// run quickly — ciphertext *counts*, and therefore every
+    /// crossover/shape, are key-size independent).
+    pub keysize: usize,
+    /// Master seed for datasets, workloads and protocol randomness.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig { db_size: 62_556, queries: 20, keysize: 512, seed: 20180326 }
+    }
+}
+
+impl ExperimentConfig {
+    /// A tiny configuration for unit tests of the harness itself.
+    pub fn smoke() -> Self {
+        ExperimentConfig { db_size: 2_000, queries: 2, keysize: 128, seed: 7 }
+    }
+}
+
+/// One (series, x) data point of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureRow {
+    /// Series label ("PPGNN", "PPGNN-OPT", "Naive", "APNN", "IPPF",
+    /// "GLP", "PPGNN-NAS").
+    pub series: String,
+    /// The swept parameter value.
+    pub x: f64,
+    /// Average total communication per query, KB.
+    pub comm_kb: f64,
+    /// Average summed user CPU per query, milliseconds.
+    pub user_ms: f64,
+    /// Average LSP CPU per query, milliseconds.
+    pub lsp_ms: f64,
+    /// Average POIs returned per answer (Figure 7's metric).
+    pub pois_returned: f64,
+}

@@ -1,0 +1,210 @@
+//! One function per figure of §8. Every sweep mirrors the paper's
+//! parameter ranges (Table 3) and series exactly.
+
+use ppgnn_baselines::{Apnn, Glp, Ippf};
+use ppgnn_core::PpgnnConfig;
+
+use crate::config::{ExperimentConfig, FigureRow};
+use crate::runner::{
+    average_apnn, average_glp, average_ippf, average_ppgnn, database, Approach,
+};
+
+/// Base PPGNN configuration for the single-user scenario (Table 3).
+fn single_base(cfg: &ExperimentConfig) -> PpgnnConfig {
+    PpgnnConfig {
+        k: 8,
+        d: 25,
+        delta: 25,
+        keysize: cfg.keysize,
+        ..PpgnnConfig::paper_defaults()
+    }
+}
+
+/// Base PPGNN configuration for the group scenario (Table 3).
+fn group_base(cfg: &ExperimentConfig) -> PpgnnConfig {
+    PpgnnConfig { keysize: cfg.keysize, ..PpgnnConfig::paper_defaults() }
+}
+
+/// Figure 5a–c: `n = 1`, vary `d ∈ \[5, 50\]` (δ = d). Series: PPGNN,
+/// PPGNN-OPT. Expected shape: OPT wins on communication from d ≈ 15 and
+/// on user cost from d ≈ 25; PPGNN always wins on LSP cost.
+pub fn fig5_d(cfg: &ExperimentConfig) -> Vec<FigureRow> {
+    let pois = database(cfg);
+    let mut rows = Vec::new();
+    for d in [5usize, 15, 25, 35, 50] {
+        let base = PpgnnConfig { d, delta: d, ..single_base(cfg) };
+        for approach in [Approach::Ppgnn, Approach::PpgnnOpt] {
+            rows.push(average_ppgnn(&pois, base.clone(), approach, 1, cfg, d as f64));
+        }
+    }
+    rows
+}
+
+/// Figure 5d–f: `n = 1`, vary `k ∈ \[2, 32\]` at d = 25. Series: PPGNN,
+/// PPGNN-OPT, APNN (cloak of 5² cells ≡ d = 25). Expected: staged comm
+/// growth (integer packing); APNN's LSP cost lowest (pre-computation).
+pub fn fig5_k(cfg: &ExperimentConfig) -> Vec<FigureRow> {
+    let pois = database(cfg);
+    let apnn = Apnn::build(pois.clone(), 100, 32, cfg.keysize);
+    let mut rows = Vec::new();
+    for k in [2usize, 4, 8, 16, 32] {
+        let base = PpgnnConfig { k, ..single_base(cfg) };
+        for approach in [Approach::Ppgnn, Approach::PpgnnOpt] {
+            rows.push(average_ppgnn(&pois, base.clone(), approach, 1, cfg, k as f64));
+        }
+        rows.push(average_apnn(&apnn, k, 5, cfg, k as f64));
+    }
+    rows
+}
+
+/// Figure 6a–c: `n = 8`, vary `δ ∈ \[25, 200\]`. Series: PPGNN, PPGNN-OPT,
+/// Naive. Expected: OPT ≪ PPGNN ≪ Naive on comm/user cost with the gap
+/// growing in δ; LSP costs nearly identical (sanitation dominates).
+pub fn fig6_delta(cfg: &ExperimentConfig) -> Vec<FigureRow> {
+    let pois = database(cfg);
+    let mut rows = Vec::new();
+    for delta in [25usize, 50, 100, 150, 200] {
+        let base = PpgnnConfig { delta, ..group_base(cfg) };
+        for approach in [Approach::Ppgnn, Approach::PpgnnOpt, Approach::Naive] {
+            rows.push(average_ppgnn(&pois, base.clone(), approach, 8, cfg, delta as f64));
+        }
+    }
+    rows
+}
+
+/// Figure 6d–f: `n = 8`, vary `k ∈ \[2, 32\]`.
+pub fn fig6_k(cfg: &ExperimentConfig) -> Vec<FigureRow> {
+    let pois = database(cfg);
+    let mut rows = Vec::new();
+    for k in [2usize, 4, 8, 16, 32] {
+        let base = PpgnnConfig { k, ..group_base(cfg) };
+        for approach in [Approach::Ppgnn, Approach::PpgnnOpt, Approach::Naive] {
+            rows.push(average_ppgnn(&pois, base.clone(), approach, 8, cfg, k as f64));
+        }
+    }
+    rows
+}
+
+/// Figure 6g–i: vary `n ∈ \[2, 32\]`. Expected: LSP cost linear in n
+/// (sanitation inequalities grow with n); Naive's comm grows fastest.
+pub fn fig6_n(cfg: &ExperimentConfig) -> Vec<FigureRow> {
+    let pois = database(cfg);
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8, 16, 32] {
+        let base = group_base(cfg);
+        for approach in [Approach::Ppgnn, Approach::PpgnnOpt, Approach::Naive] {
+            rows.push(average_ppgnn(&pois, base.clone(), approach, n, cfg, n as f64));
+        }
+    }
+    rows
+}
+
+/// Figure 6j–l: vary `θ₀ ∈ [0.01, 0.1]`. Expected: comm/user cost flat;
+/// LSP cost decreases then flattens (Eqn 17's sample size).
+pub fn fig6_theta(cfg: &ExperimentConfig) -> Vec<FigureRow> {
+    let pois = database(cfg);
+    let mut rows = Vec::new();
+    for theta0 in [0.01f64, 0.025, 0.05, 0.075, 0.1] {
+        let base = PpgnnConfig { theta0, ..group_base(cfg) };
+        for approach in [Approach::Ppgnn, Approach::PpgnnOpt, Approach::Naive] {
+            rows.push(average_ppgnn(&pois, base.clone(), approach, 8, cfg, theta0));
+        }
+    }
+    rows
+}
+
+/// Figure 7a–c: POIs returned per answer after sanitation, under the §8.3
+/// defaults k = 8, n = 8, θ₀ = 0.01, varying each in turn. The swept
+/// parameter is recorded in `x`; the three sub-figures are distinguished
+/// by the series label.
+pub fn fig7(cfg: &ExperimentConfig) -> Vec<FigureRow> {
+    let pois = database(cfg);
+    let base = PpgnnConfig { theta0: 0.01, ..group_base(cfg) };
+    let mut rows = Vec::new();
+    // 7a: vary k.
+    for k in [2usize, 4, 8, 16, 32] {
+        let mut row = average_ppgnn(
+            &pois,
+            PpgnnConfig { k, ..base.clone() },
+            Approach::Ppgnn,
+            8,
+            cfg,
+            k as f64,
+        );
+        row.series = "POIs-vs-k".into();
+        rows.push(row);
+    }
+    // 7b: vary n.
+    for n in [2usize, 4, 8, 16, 32] {
+        let mut row =
+            average_ppgnn(&pois, base.clone(), Approach::Ppgnn, n, cfg, n as f64);
+        row.series = "POIs-vs-n".into();
+        rows.push(row);
+    }
+    // 7c: vary θ0.
+    for theta0 in [0.01f64, 0.025, 0.05, 0.075, 0.1] {
+        let mut row = average_ppgnn(
+            &pois,
+            PpgnnConfig { theta0, ..base.clone() },
+            Approach::Ppgnn,
+            8,
+            cfg,
+            theta0,
+        );
+        row.series = "POIs-vs-theta0".into();
+        rows.push(row);
+    }
+    rows
+}
+
+/// Figure 8a–c: `n = 8`, vary `k`. Series: PPGNN, PPGNN-NAS, IPPF, GLP.
+/// Expected: IPPF's comm dwarfs the others (candidate superset); the
+/// PPGNN − PPGNN-NAS LSP gap is the sanitation cost.
+pub fn fig8_k(cfg: &ExperimentConfig) -> Vec<FigureRow> {
+    let pois = database(cfg);
+    let ippf = Ippf::new(pois.clone());
+    let glp = Glp::new(pois.clone(), cfg.keysize);
+    let mut rows = Vec::new();
+    for k in [2usize, 4, 8, 16, 32] {
+        let base = PpgnnConfig { k, ..group_base(cfg) };
+        rows.push(average_ppgnn(&pois, base.clone(), Approach::Ppgnn, 8, cfg, k as f64));
+        rows.push(average_ppgnn(&pois, base, Approach::PpgnnNas, 8, cfg, k as f64));
+        rows.push(average_ippf(&ippf, 8, k, cfg, k as f64));
+        rows.push(average_glp(&glp, 8, k, cfg, k as f64));
+    }
+    rows
+}
+
+/// Figure 8d–f: `k = 8`, vary `n ∈ \[2, 32\]`. Expected: GLP's comm/user
+/// cost grows O(n²); PPGNN's communication stays nearly flat.
+pub fn fig8_n(cfg: &ExperimentConfig) -> Vec<FigureRow> {
+    let pois = database(cfg);
+    let ippf = Ippf::new(pois.clone());
+    let glp = Glp::new(pois.clone(), cfg.keysize);
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8, 16, 32] {
+        let base = group_base(cfg);
+        rows.push(average_ppgnn(&pois, base.clone(), Approach::Ppgnn, n, cfg, n as f64));
+        rows.push(average_ppgnn(&pois, base, Approach::PpgnnNas, n, cfg, n as f64));
+        rows.push(average_ippf(&ippf, n, 8, cfg, n as f64));
+        rows.push(average_glp(&glp, n, 8, cfg, n as f64));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One smoke sweep end-to-end (tiny database, 2 queries, d=4/δ=8
+    /// via the smoke profile would diverge from the paper's Table 3, so
+    /// the real configs run at reduced scale instead).
+    #[test]
+    fn fig5_d_smoke() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.queries = 1;
+        let rows = fig5_d(&cfg);
+        assert_eq!(rows.len(), 10); // 5 points × 2 series
+        assert!(rows.iter().all(|r| r.comm_kb > 0.0));
+    }
+}

@@ -1,0 +1,126 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§8) — see DESIGN.md §6 for the experiment index
+//! and EXPERIMENTS.md for recorded paper-vs-measured results.
+//!
+//! Each `figN_*` function sweeps one parameter (exactly the sweep of the
+//! corresponding paper figure), runs a batch of randomized queries per
+//! point for every approach in the figure, and returns [`FigureRow`]s
+//! carrying the three §8.1 metrics (communication KB, user ms, LSP ms)
+//! plus the answer size. The `figures` binary prints them as aligned
+//! tables and writes JSON for EXPERIMENTS.md.
+
+mod ablations;
+mod config;
+mod figures;
+mod runner;
+mod tables;
+
+pub use ablations::{
+    ablation_opt_omega, ablation_partition, ablation_spread, ablation_update, render_partition,
+    render_spread, render_update, OmegaRow, PartitionAblationRow, SpreadRow, UpdateCostRow,
+};
+pub use config::{ExperimentConfig, FigureRow};
+pub use figures::{fig5_d, fig5_k, fig6_delta, fig6_k, fig6_n, fig6_theta, fig7, fig8_k, fig8_n};
+pub use runner::{average_apnn, average_glp, average_ippf, average_ppgnn, database, Approach};
+pub use tables::{render_table2, render_table4, table2, table4, table4_single, PrivacyCheckRow, Table2Row};
+
+/// Renders rows as an aligned text table (the harness's stdout format),
+/// followed by per-series sparklines of the communication metric so the
+/// figure's *shape* is visible at a glance in a terminal.
+pub fn render_rows(title: &str, rows: &[FigureRow]) -> String {
+    let mut out = format!(
+        "## {title}\n{:<18} {:>8} {:>12} {:>12} {:>12} {:>8}\n",
+        "series", "x", "comm_KB", "user_ms", "lsp_ms", "pois"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>8.3} {:>12.3} {:>12.3} {:>12.3} {:>8.2}\n",
+            r.series, r.x, r.comm_kb, r.user_ms, r.lsp_ms, r.pois_returned
+        ));
+    }
+    // One sparkline per series, in first-appearance order.
+    let mut series: Vec<&str> = Vec::new();
+    for r in rows {
+        if !series.contains(&r.series.as_str()) {
+            series.push(&r.series);
+        }
+    }
+    if rows.len() > series.len() {
+        out.push('\n');
+        for s in series {
+            let values: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.series == s)
+                .map(|r| r.comm_kb)
+                .collect();
+            out.push_str(&format!("{:<18} comm {}\n", s, sparkline(&values)));
+        }
+    }
+    out
+}
+
+/// Renders values as a unicode sparkline (shared scale ⁄ eight levels).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    if values.is_empty() || !max.is_finite() {
+        return String::new();
+    }
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|v| {
+            let level = (((v - min) / span) * 7.0).round() as usize;
+            BARS[level.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_levels() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0]), "▁");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        // Constant series renders at the floor, not NaN.
+        assert_eq!(sparkline(&[2.0, 2.0, 2.0]), "▁▁▁");
+    }
+
+    #[test]
+    fn render_includes_sparklines_for_multirow_series() {
+        let rows: Vec<FigureRow> = (0..3)
+            .map(|i| FigureRow {
+                series: "PPGNN".into(),
+                x: i as f64,
+                comm_kb: i as f64,
+                user_ms: 0.0,
+                lsp_ms: 0.0,
+                pois_returned: 0.0,
+            })
+            .collect();
+        let s = render_rows("t", &rows);
+        assert!(s.contains('█'), "sparkline expected in:\n{s}");
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let rows = vec![FigureRow {
+            series: "PPGNN".into(),
+            x: 25.0,
+            comm_kb: 1.5,
+            user_ms: 2.25,
+            lsp_ms: 100.0,
+            pois_returned: 4.0,
+        }];
+        let s = render_rows("fig5a", &rows);
+        assert!(s.contains("fig5a"));
+        assert!(s.contains("PPGNN"));
+        assert!(s.contains("1.500"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Batched protocol execution: run `queries` randomized group queries for
+//! one approach and average the cost reports into a [`FigureRow`].
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use ppgnn_baselines::{Apnn, Glp, Ippf};
+use ppgnn_core::{run_ppgnn_with_keys, Lsp, PpgnnConfig, Variant};
+use ppgnn_datagen::{sequoia_like, Workload};
+use ppgnn_geo::Poi;
+use ppgnn_paillier::{generate_keypair, Keypair};
+use ppgnn_sim::CostReport;
+
+use crate::config::{ExperimentConfig, FigureRow};
+
+/// The approaches that appear across Figures 5–8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    Ppgnn,
+    PpgnnOpt,
+    PpgnnNas,
+    Naive,
+    Apnn,
+    Ippf,
+    Glp,
+}
+
+impl Approach {
+    /// Series label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Approach::Ppgnn => "PPGNN",
+            Approach::PpgnnOpt => "PPGNN-OPT",
+            Approach::PpgnnNas => "PPGNN-NAS",
+            Approach::Naive => "Naive",
+            Approach::Apnn => "APNN",
+            Approach::Ippf => "IPPF",
+            Approach::Glp => "GLP",
+        }
+    }
+}
+
+/// Builds the shared synthetic database once per experiment.
+pub fn database(cfg: &ExperimentConfig) -> Vec<Poi> {
+    sequoia_like(cfg.db_size, cfg.seed)
+}
+
+fn row_from(series: &str, x: f64, report: &CostReport, runs: u64) -> FigureRow {
+    let avg = report.averaged(1); // reports are already summed; scale below
+    let runs_f = runs as f64;
+    FigureRow {
+        series: series.to_string(),
+        x,
+        comm_kb: avg.comm_kb() / runs_f,
+        user_ms: avg.user_cpu_secs * 1000.0 / runs_f,
+        lsp_ms: avg.lsp_cpu_secs * 1000.0 / runs_f,
+        pois_returned: report.counters.get("pois_returned").copied().unwrap_or(0) as f64 / runs_f,
+    }
+}
+
+/// Runs a PPGNN-family approach for `queries` random `n`-user groups and
+/// averages the costs. A single keypair is generated per batch and its
+/// generation cost amortized over the batch (see EXPERIMENTS.md §Method).
+pub fn average_ppgnn(
+    pois: &[Poi],
+    ppgnn: PpgnnConfig,
+    approach: Approach,
+    n: usize,
+    cfg: &ExperimentConfig,
+    x: f64,
+) -> FigureRow {
+    let ppgnn = match approach {
+        Approach::Ppgnn => PpgnnConfig { variant: Variant::Plain, ..ppgnn },
+        Approach::PpgnnOpt => PpgnnConfig { variant: Variant::Opt, ..ppgnn },
+        Approach::PpgnnNas => PpgnnConfig { variant: Variant::Plain, sanitize: false, ..ppgnn },
+        Approach::Naive => PpgnnConfig { variant: Variant::Naive, ..ppgnn },
+        _ => panic!("{approach:?} is not a PPGNN-family approach"),
+    };
+    let keysize = ppgnn.keysize;
+    let lsp = Lsp::new(pois.to_vec(), ppgnn);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xBEEF);
+    let keys: Keypair = generate_keypair(keysize, &mut rng);
+    let mut workload = Workload::unit(cfg.seed ^ 0xCAFE);
+
+    let mut total = CostReport::default();
+    let mut pois_sum = 0u64;
+    for _ in 0..cfg.queries {
+        let users = workload.next_group(n);
+        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng)
+            .expect("configured experiment must be runnable");
+        accumulate(&mut total, &run.report);
+        pois_sum += run.pois_returned as u64;
+    }
+    total.counters.insert("pois_returned".into(), pois_sum);
+    row_from(approach.label(), x, &total, cfg.queries as u64)
+}
+
+/// Runs the APNN baseline (`n = 1`) for a batch of random users.
+pub fn average_apnn(apnn: &Apnn, k: usize, b: usize, cfg: &ExperimentConfig, x: f64) -> FigureRow {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xA1);
+    let keys = generate_keypair(cfg.keysize, &mut rng);
+    let mut workload = Workload::unit(cfg.seed ^ 0xA2);
+    let mut total = CostReport::default();
+    let mut pois_sum = 0u64;
+    for _ in 0..cfg.queries {
+        let user = workload.next_group(1)[0];
+        let run = apnn.query(user, k, b, &keys, &mut rng);
+        accumulate(&mut total, &run.report);
+        pois_sum += run.answer.len() as u64;
+    }
+    total.counters.insert("pois_returned".into(), pois_sum);
+    row_from(Approach::Apnn.label(), x, &total, cfg.queries as u64)
+}
+
+/// Runs the IPPF baseline for a batch of random groups.
+pub fn average_ippf(ippf: &Ippf, n: usize, k: usize, cfg: &ExperimentConfig, x: f64) -> FigureRow {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x1FF);
+    let mut workload = Workload::unit(cfg.seed ^ 0x200);
+    let mut total = CostReport::default();
+    let mut pois_sum = 0u64;
+    for _ in 0..cfg.queries {
+        let users = workload.next_group(n);
+        let run = ippf.query(&users, k, &mut rng);
+        accumulate(&mut total, &run.report);
+        pois_sum += run.answer.len() as u64;
+    }
+    total.counters.insert("pois_returned".into(), pois_sum);
+    row_from(Approach::Ippf.label(), x, &total, cfg.queries as u64)
+}
+
+/// Runs the GLP baseline for a batch of random groups (per-user keys are
+/// generated once per batch, mirroring the PPGNN amortization).
+pub fn average_glp(glp: &Glp, n: usize, k: usize, cfg: &ExperimentConfig, x: f64) -> FigureRow {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x61F);
+    let keys: Vec<Keypair> = (0..n).map(|_| generate_keypair(cfg.keysize, &mut rng)).collect();
+    let mut workload = Workload::unit(cfg.seed ^ 0x620);
+    let mut total = CostReport::default();
+    let mut pois_sum = 0u64;
+    for _ in 0..cfg.queries {
+        let users = workload.next_group(n);
+        let run = glp.query(&users, k, Some(&keys), &mut rng);
+        accumulate(&mut total, &run.report);
+        pois_sum += run.answer.len() as u64;
+    }
+    total.counters.insert("pois_returned".into(), pois_sum);
+    row_from(Approach::Glp.label(), x, &total, cfg.queries as u64)
+}
+
+fn accumulate(total: &mut CostReport, run: &CostReport) {
+    total.comm_bytes_total += run.comm_bytes_total;
+    total.comm_bytes_intra_group += run.comm_bytes_intra_group;
+    total.comm_bytes_user_lsp += run.comm_bytes_user_lsp;
+    total.user_cpu_secs += run.user_cpu_secs;
+    total.lsp_cpu_secs += run.lsp_cpu_secs;
+    for (k, v) in &run.counters {
+        *total.counters.entry(k.clone()).or_default() += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppgnn_smoke_row() {
+        let cfg = ExperimentConfig::smoke();
+        let pois = database(&cfg);
+        let ppgnn = PpgnnConfig {
+            k: 4, d: 4, delta: 8, keysize: cfg.keysize, sanitize: false,
+            ..PpgnnConfig::fast_test()
+        };
+        let row = average_ppgnn(&pois, ppgnn, Approach::Ppgnn, 2, &cfg, 8.0);
+        assert_eq!(row.series, "PPGNN");
+        assert!(row.comm_kb > 0.0);
+        assert!(row.user_ms > 0.0);
+        assert!(row.lsp_ms > 0.0);
+        assert!(row.pois_returned > 0.0);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let all = [
+            Approach::Ppgnn, Approach::PpgnnOpt, Approach::PpgnnNas,
+            Approach::Naive, Approach::Apnn, Approach::Ippf, Approach::Glp,
+        ];
+        let mut labels: Vec<&str> = all.iter().map(|a| a.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
+    }
+}

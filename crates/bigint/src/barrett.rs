@@ -1,0 +1,155 @@
+//! Barrett reduction: division-free modular reduction for a fixed
+//! modulus of *any* parity. Montgomery form (the default fast path)
+//! requires an odd modulus; Barrett fills the gap for even moduli, so
+//! `modpow` never falls back to per-step long division.
+
+use crate::uint::BigUint;
+use crate::LIMB_BITS;
+
+/// Reusable context for reduction modulo a fixed `m > 1`.
+///
+/// Precomputes `μ = ⌊b^{2k} / m⌋` with `b = 2^64`, `k = limbs(m)`.
+/// [`BarrettCtx::reduce`] then reduces any `x < m²` with two
+/// multiplications and at most two subtractions.
+#[derive(Debug, Clone)]
+pub struct BarrettCtx {
+    m: BigUint,
+    mu: BigUint,
+    k: usize,
+}
+
+impl BarrettCtx {
+    /// Creates a context for `m > 1`.
+    ///
+    /// # Panics
+    /// Panics if `m <= 1`.
+    pub fn new(m: BigUint) -> Self {
+        assert!(!m.is_zero() && !m.is_one(), "Barrett modulus must be > 1");
+        let k = m.limbs().len();
+        let mu = &BigUint::one().shl_bits(2 * k * LIMB_BITS) / &m;
+        BarrettCtx { m, mu, k }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.m
+    }
+
+    /// `x mod m` for `x < m²` (panics in debug mode otherwise — use
+    /// `%` for arbitrary operands).
+    pub fn reduce(&self, x: &BigUint) -> BigUint {
+        debug_assert!(x < &self.m.square(), "Barrett input must be < m^2");
+        // q = ⌊⌊x / b^{k−1}⌋ · μ / b^{k+1}⌋ — an estimate of ⌊x/m⌋ that
+        // is low by at most 2.
+        let q1 = x.shr_bits((self.k - 1) * LIMB_BITS);
+        let q2 = &q1 * &self.mu;
+        let q3 = q2.shr_bits((self.k + 1) * LIMB_BITS);
+        let mut r = x - &(&q3 * &self.m);
+        while r >= self.m {
+            r = &r - &self.m;
+        }
+        r
+    }
+
+    /// `(a · b) mod m` for reduced operands.
+    pub fn mod_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        debug_assert!(a < &self.m && b < &self.m);
+        self.reduce(&(a * b))
+    }
+
+    /// `base^exp mod m` by square-and-multiply over Barrett reduction.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let mut b = base % &self.m;
+        let mut acc = BigUint::one() % &self.m;
+        for i in 0..exp.bit_length() {
+            if exp.bit(i) {
+                acc = self.mod_mul(&acc, &b);
+            }
+            if i + 1 < exp.bit_length() {
+                b = self.mod_mul(&b.clone(), &b);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn reduce_matches_rem_random() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let mlen = rng.gen_range(1..6);
+            let mut m = BigUint::from_limbs((0..mlen).map(|_| rng.gen()).collect());
+            if m.is_zero() || m.is_one() {
+                m = m.add_limb(2);
+            }
+            let ctx = BarrettCtx::new(m.clone());
+            let a = rng.gen_biguint_below_helper(&m);
+            let b = rng.gen_biguint_below_helper(&m);
+            let x = &a * &b;
+            assert_eq!(ctx.reduce(&x), &x % &m);
+        }
+    }
+
+    #[test]
+    fn even_modulus_supported() {
+        let m = BigUint::from(1_000_000u64); // even
+        let ctx = BarrettCtx::new(m.clone());
+        let x = BigUint::from(999_999u64).square();
+        assert_eq!(ctx.reduce(&x), &x % &m);
+    }
+
+    #[test]
+    fn modpow_matches_plain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..30 {
+            let mut m = BigUint::from(rng.gen::<u128>());
+            if m.is_zero() || m.is_one() {
+                m = m.add_limb(2);
+            }
+            let ctx = BarrettCtx::new(m.clone());
+            let base = BigUint::from(rng.gen::<u128>());
+            let exp = BigUint::from(rng.gen::<u64>());
+            assert_eq!(ctx.modpow(&base, &exp), base.modpow_plain(&exp, &m));
+        }
+    }
+
+    #[test]
+    fn modpow_edges() {
+        let ctx = BarrettCtx::new(BigUint::from(100u64));
+        assert_eq!(ctx.modpow(&BigUint::from(7u64), &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.modpow(&BigUint::zero(), &BigUint::from(5u64)), BigUint::zero());
+        assert_eq!(
+            ctx.modpow(&BigUint::from(7u64), &BigUint::from(13u64)).to_u64(),
+            Some({
+                let mut acc = 1u64;
+                for _ in 0..13 {
+                    acc = acc * 7 % 100;
+                }
+                acc
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be > 1")]
+    fn tiny_modulus_rejected() {
+        let _ = BarrettCtx::new(BigUint::one());
+    }
+
+    // Local helper avoiding a dev-dependency cycle on the random trait.
+    trait BelowHelper {
+        fn gen_biguint_below_helper(&mut self, bound: &BigUint) -> BigUint;
+    }
+    impl BelowHelper for ChaCha8Rng {
+        fn gen_biguint_below_helper(&mut self, bound: &BigUint) -> BigUint {
+            use crate::random::UniformBigUint;
+            self.gen_biguint_below(bound)
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Long division: Knuth's Algorithm D (TAOCP vol. 2, 4.3.1) with a
+//! single-limb fast path. Division is the hot inner operation of plain
+//! (non-Montgomery) modular reduction, used for even moduli and for
+//! the Damgård–Jurik decryption's `L(u) = (u - 1) / n` step.
+
+use core::ops::{Div, Rem};
+
+use crate::uint::BigUint;
+use crate::{Limb, Wide, LIMB_BITS};
+
+impl BigUint {
+    /// Computes `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero BigUint");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(divisor.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Computes `(self / d, self % d)` for a single non-zero limb `d`.
+    pub fn div_rem_limb(&self, d: Limb) -> (BigUint, Limb) {
+        assert_ne!(d, 0, "division by zero limb");
+        let mut q = vec![0 as Limb; self.limbs.len()];
+        let mut rem: Wide = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << LIMB_BITS) | self.limbs[i] as Wide;
+            q[i] = (cur / d as Wide) as Limb;
+            rem = cur % d as Wide;
+        }
+        (BigUint::from_limbs(q), rem as Limb)
+    }
+
+    /// `self % divisor` (allocates only the remainder).
+    pub fn rem_ref(&self, divisor: &BigUint) -> BigUint {
+        self.div_rem(divisor).1
+    }
+
+    /// Knuth Algorithm D. Requires `divisor.limbs.len() >= 2` and
+    /// `self >= divisor`.
+    fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        let n = divisor.limbs.len();
+        let m = self.limbs.len() - n;
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs[n - 1].leading_zeros() as usize;
+        let v = divisor.shl_bits(shift);
+        let u_norm = self.shl_bits(shift);
+        // u gets an extra high limb so u has exactly m + n + 1 limbs.
+        let mut u: Vec<Limb> = u_norm.limbs.clone();
+        u.resize(m + n + 1, 0);
+        let v = &v.limbs;
+        debug_assert_eq!(v.len(), n);
+
+        let mut q = vec![0 as Limb; m + 1];
+        let v_top = v[n - 1] as Wide;
+        let v_second = v[n - 2] as Wide;
+
+        // D2–D7: main loop.
+        for j in (0..=m).rev() {
+            // D3: estimate qhat from the top two limbs of the current window
+            // against the top limb of v, then refine with the third limb.
+            let numer = ((u[j + n] as Wide) << LIMB_BITS) | u[j + n - 1] as Wide;
+            let mut qhat = numer / v_top;
+            let mut rhat = numer % v_top;
+            if qhat >> LIMB_BITS != 0 {
+                qhat = ((1 as Wide) << LIMB_BITS) - 1;
+                rhat = numer - qhat * v_top;
+            }
+            while rhat >> LIMB_BITS == 0
+                && qhat * v_second > ((rhat << LIMB_BITS) | u[j + n - 2] as Wide)
+            {
+                qhat -= 1;
+                rhat += v_top;
+            }
+
+            // D4: multiply and subtract: u[j..j+n+1] -= qhat * v.
+            let mut borrow: Wide = 0;
+            let mut carry: Wide = 0;
+            for i in 0..n {
+                let p = qhat * v[i] as Wide + carry;
+                carry = p >> LIMB_BITS;
+                let sub = (u[j + i] as Wide).wrapping_sub(p & (Limb::MAX as Wide)).wrapping_sub(borrow);
+                u[j + i] = sub as Limb;
+                // The subtraction borrowed iff the wrapped result's high part
+                // is non-zero (interpreting as two's-complement of 128 bits).
+                borrow = (sub >> LIMB_BITS) & 1;
+            }
+            let sub = (u[j + n] as Wide).wrapping_sub(carry).wrapping_sub(borrow);
+            u[j + n] = sub as Limb;
+            let negative = (sub >> LIMB_BITS) & 1 == 1;
+
+            q[j] = qhat as Limb;
+
+            // D6: add back if we overshot (probability ~2/2^64).
+            if negative {
+                q[j] -= 1;
+                let mut carry: Wide = 0;
+                for i in 0..n {
+                    let t = u[j + i] as Wide + v[i] as Wide + carry;
+                    u[j + i] = t as Limb;
+                    carry = t >> LIMB_BITS;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as Limb);
+            }
+        }
+
+        // D8: denormalize the remainder.
+        let rem = BigUint::from_limbs(u[..n].to_vec()).shr_bits(shift);
+        (BigUint::from_limbs(q), rem)
+    }
+}
+
+impl<'b> Div<&'b BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &'b BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+impl Div for BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: BigUint) -> BigUint {
+        self.div_rem(&rhs).0
+    }
+}
+impl<'b> Rem<&'b BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &'b BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+impl Rem for BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: BigUint) -> BigUint {
+        self.div_rem(&rhs).1
+    }
+}
+impl Rem<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+impl Rem<BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: BigUint) -> BigUint {
+        self.div_rem(&rhs).1
+    }
+}
+impl Div<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+impl Div<BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: BigUint) -> BigUint {
+        self.div_rem(&rhs).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn div_small_matches_u128() {
+        let cases: [(u128, u128); 6] = [
+            (0, 1),
+            (100, 7),
+            (u128::MAX, 3),
+            (u128::MAX, u64::MAX as u128),
+            (1 << 100, (1 << 50) + 1),
+            (999999999999999999, 999999999999999998),
+        ];
+        for (a, b) in cases {
+            let (q, r) = BigUint::from(a).div_rem(&BigUint::from(b));
+            assert_eq!(q.to_u128(), Some(a / b), "{a}/{b}");
+            assert_eq!(r.to_u128(), Some(a % b), "{a}%{b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn div_smaller_than_divisor() {
+        let (q, r) = BigUint::from(5u64).div_rem(&BigUint::from(u128::MAX));
+        assert!(q.is_zero());
+        assert_eq!(r.to_u64(), Some(5));
+    }
+
+    #[test]
+    fn div_rem_limb_fast_path() {
+        let x = BigUint::from(u128::MAX);
+        let (q, r) = x.div_rem_limb(10);
+        assert_eq!(q.to_u128(), Some(u128::MAX / 10));
+        assert_eq!(r, (u128::MAX % 10) as Limb);
+    }
+
+    #[test]
+    fn knuth_reconstruction_random() {
+        // Invariant: a == q*b + r with r < b, over many random sizes.
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..200 {
+            let alen = rng.gen_range(1..20);
+            let blen = rng.gen_range(2..=alen.max(2));
+            let a = BigUint::from_limbs((0..alen).map(|_| rng.gen()).collect());
+            let mut b = BigUint::from_limbs((0..blen).map(|_| rng.gen()).collect());
+            if b.is_zero() {
+                b = BigUint::one();
+            }
+            let (q, r) = a.div_rem(&b);
+            assert!(r < b, "remainder must be < divisor");
+            assert_eq!(&(&q * &b) + &r, a, "a = q*b + r");
+        }
+    }
+
+    #[test]
+    fn knuth_addback_branch() {
+        // Crafted case that historically triggers the D6 add-back:
+        // u = (B^4 - 1)*B^4, v = B^4 - 1 where B = 2^64 (via all-ones limbs).
+        let u = BigUint::from_limbs(vec![0, 0, 0, 0, Limb::MAX, Limb::MAX, Limb::MAX, Limb::MAX]);
+        let v = BigUint::from_limbs(vec![Limb::MAX, Limb::MAX, Limb::MAX, Limb::MAX]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn exact_division() {
+        let b = BigUint::from(u128::MAX).pow(3);
+        let q0 = BigUint::from(987654321u64);
+        let a = &b * &q0;
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, q0);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn operator_forms() {
+        let a = BigUint::from(1000u64);
+        let b = BigUint::from(7u64);
+        assert_eq!((&a / &b).to_u64(), Some(142));
+        assert_eq!((&a % &b).to_u64(), Some(6));
+        assert_eq!((a.clone() / b.clone()).to_u64(), Some(142));
+        assert_eq!((a % b).to_u64(), Some(6));
+    }
+}

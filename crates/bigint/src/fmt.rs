@@ -1,0 +1,163 @@
+//! Formatting and parsing: decimal `Display`/`FromStr`, hex conversions,
+//! and `Debug`.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::uint::{BigUint, ParseBigUintError, ParseErrorKind};
+
+impl BigUint {
+    /// Parses a decimal string (ASCII digits only, no sign, no separators).
+    pub fn from_decimal_str(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError { kind: ParseErrorKind::Empty });
+        }
+        let mut acc = BigUint::zero();
+        for c in s.chars() {
+            let digit = c
+                .to_digit(10)
+                .ok_or(ParseBigUintError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            acc = acc.mul_limb(10).add_limb(digit as u64);
+        }
+        Ok(acc)
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
+    pub fn from_hex(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError { kind: ParseErrorKind::Empty });
+        }
+        let mut acc = BigUint::zero();
+        for c in s.chars() {
+            let digit = c
+                .to_digit(16)
+                .ok_or(ParseBigUintError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            acc = acc.shl_bits(4).add_limb(digit as u64);
+        }
+        Ok(acc)
+    }
+
+    /// Lowercase hexadecimal string with no leading zeros (`"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut out = String::with_capacity(self.limbs.len() * 16);
+        let mut iter = self.limbs.iter().rev();
+        if let Some(top) = iter.next() {
+            out.push_str(&format!("{top:x}"));
+        }
+        for limb in iter {
+            out.push_str(&format!("{limb:016x}"));
+        }
+        out
+    }
+
+    /// Decimal string.
+    pub fn to_decimal_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Peel 19 decimal digits at a time (largest power of 10 in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_limb(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = String::new();
+        let mut iter = chunks.iter().rev();
+        if let Some(top) = iter.next() {
+            out.push_str(&top.to_string());
+        }
+        for c in iter {
+            out.push_str(&format!("{c:019}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal_string())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Hex is more useful than decimal when debugging limb-level issues.
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex())
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BigUint::from_decimal_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_roundtrip() {
+        for s in ["0", "1", "10", "18446744073709551616", "340282366920938463463374607431768211456"] {
+            let x = BigUint::from_decimal_str(s).unwrap();
+            assert_eq!(x.to_decimal_string(), s);
+            assert_eq!(x, s.parse::<BigUint>().unwrap());
+        }
+    }
+
+    #[test]
+    fn decimal_matches_u128() {
+        let v = 123456789012345678901234567890u128;
+        assert_eq!(BigUint::from(v).to_decimal_string(), v.to_string());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["0", "1", "ff", "deadbeefcafebabe", "123456789abcdef0123456789abcdef"] {
+            let x = BigUint::from_hex(s).unwrap();
+            assert_eq!(x.to_hex(), s);
+        }
+    }
+
+    #[test]
+    fn hex_case_insensitive() {
+        assert_eq!(BigUint::from_hex("DeadBEEF").unwrap(), BigUint::from(0xDEADBEEFu64));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(BigUint::from_decimal_str("").is_err());
+        assert!(BigUint::from_decimal_str("12a").is_err());
+        assert!(BigUint::from_hex("xyz").is_err());
+        assert!(BigUint::from_hex("").is_err());
+        let err = BigUint::from_decimal_str("1_000").unwrap_err();
+        assert!(err.to_string().contains("invalid digit"));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let x = BigUint::from(255u64);
+        assert_eq!(format!("{x}"), "255");
+        assert_eq!(format!("{x:x}"), "ff");
+        assert_eq!(format!("{x:?}"), "BigUint(0xff)");
+    }
+
+    #[test]
+    fn leading_zeros_in_input_ok() {
+        assert_eq!(BigUint::from_decimal_str("000123").unwrap().to_u64(), Some(123));
+        assert_eq!(BigUint::from_hex("000ff").unwrap().to_u64(), Some(255));
+    }
+}

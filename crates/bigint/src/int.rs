@@ -1,0 +1,237 @@
+//! Minimal signed big integer: sign + magnitude. Only what the extended
+//! Euclidean algorithm and inequality-attack geometry need — add, sub,
+//! mul, division by magnitude, and comparisons.
+
+use core::cmp::Ordering;
+use core::ops::{Add, Mul, Neg, Sub};
+
+use crate::uint::BigUint;
+
+/// Sign of a [`BigInt`]. Zero is canonically [`Sign::Plus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    Plus,
+    Minus,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// Signed arbitrary-precision integer (sign–magnitude representation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    magnitude: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Plus, magnitude: BigUint::zero() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Plus, magnitude: BigUint::one() }
+    }
+
+    /// Builds from a sign and magnitude; zero is normalized to `Plus`.
+    pub fn from_biguint(sign: Sign, magnitude: BigUint) -> Self {
+        let sign = if magnitude.is_zero() { Sign::Plus } else { sign };
+        BigInt { sign, magnitude }
+    }
+
+    /// The sign (zero reports [`Sign::Plus`]).
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The absolute value.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.magnitude
+    }
+
+    /// Consumes `self`, returning the absolute value.
+    pub fn into_magnitude(self) -> BigUint {
+        self.magnitude
+    }
+
+    /// `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus && !self.magnitude.is_zero()
+    }
+
+    /// Quotient of magnitudes as a non-negative `BigInt` — the step value
+    /// used by the extended Euclid loop (both operands non-negative there).
+    pub fn div_floor_magnitude(&self, other: &BigInt) -> BigInt {
+        BigInt::from_biguint(Sign::Plus, &self.magnitude / &other.magnitude)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            BigInt::from_biguint(Sign::Minus, BigUint::from(v.unsigned_abs()))
+        } else {
+            BigInt::from_biguint(Sign::Plus, BigUint::from(v as u64))
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(v: BigUint) -> Self {
+        BigInt::from_biguint(Sign::Plus, v)
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.is_negative(), other.is_negative()) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.magnitude.cmp(&other.magnitude),
+            (true, true) => other.magnitude.cmp(&self.magnitude),
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt::from_biguint(self.sign.flip(), self.magnitude)
+    }
+}
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt::from_biguint(self.sign.flip(), self.magnitude.clone())
+    }
+}
+
+impl<'b> Add<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &'b BigInt) -> BigInt {
+        if self.sign == rhs.sign {
+            BigInt::from_biguint(self.sign, &self.magnitude + &rhs.magnitude)
+        } else {
+            // Opposite signs: result takes the sign of the larger magnitude.
+            match self.magnitude.cmp(&rhs.magnitude) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_biguint(self.sign, &self.magnitude - &rhs.magnitude)
+                }
+                Ordering::Less => BigInt::from_biguint(rhs.sign, &rhs.magnitude - &self.magnitude),
+            }
+        }
+    }
+}
+impl Add for BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: BigInt) -> BigInt {
+        &self + &rhs
+    }
+}
+
+impl<'b> Sub<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &'b BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+impl Sub for BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: BigInt) -> BigInt {
+        &self - &rhs
+    }
+}
+
+impl<'b> Mul<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &'b BigInt) -> BigInt {
+        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        BigInt::from_biguint(sign, &self.magnitude * &rhs.magnitude)
+    }
+}
+impl Mul for BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: BigInt) -> BigInt {
+        &self * &rhs
+    }
+}
+
+impl core::fmt::Display for BigInt {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_negative() {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.magnitude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_sign_normalized() {
+        let z = BigInt::from_biguint(Sign::Minus, BigUint::zero());
+        assert_eq!(z.sign(), Sign::Plus);
+        assert!(!z.is_negative());
+        assert_eq!(z, BigInt::zero());
+    }
+
+    #[test]
+    fn add_matches_i64() {
+        for a in [-5i64, -1, 0, 1, 7] {
+            for b in [-9i64, -2, 0, 3, 11] {
+                assert_eq!(&i(a) + &i(b), i(a + b), "{a}+{b}");
+                assert_eq!(&i(a) - &i(b), i(a - b), "{a}-{b}");
+                assert_eq!(&i(a) * &i(b), i(a * b), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(i(-5) < i(3));
+        assert!(i(-5) < i(-2));
+        assert!(i(7) > i(2));
+        assert_eq!(i(0).cmp(&i(0)), Ordering::Equal);
+        assert!(i(0) > i(-1));
+    }
+
+    #[test]
+    fn negation_involutive() {
+        let x = i(-42);
+        assert_eq!(-(-x.clone()), x);
+        assert_eq!((-BigInt::zero()), BigInt::zero());
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(i(-123).to_string(), "-123");
+        assert_eq!(i(0).to_string(), "0");
+        assert_eq!(i(99).to_string(), "99");
+    }
+}

@@ -1,0 +1,59 @@
+//! Arbitrary-precision integer arithmetic for the PPGNN reproduction.
+//!
+//! The original paper implements its cryptography on top of GMP (big
+//! integers) and libhcs (generalized Paillier). This crate is the
+//! from-scratch replacement for the former: an unsigned big integer
+//! ([`BigUint`]) with the full arithmetic kit needed by a Paillier-style
+//! cryptosystem, plus a signed wrapper ([`BigInt`]) used by the extended
+//! Euclidean algorithm.
+//!
+//! Highlights:
+//!
+//! * limb-based (64-bit) representation, little-endian, always normalized;
+//! * schoolbook and Karatsuba multiplication with an empirical threshold;
+//! * Knuth Algorithm D long division;
+//! * Montgomery multiplication ([`MontgomeryCtx`]) and windowed modular
+//!   exponentiation;
+//! * extended-Euclid modular inverse, binary GCD and LCM;
+//! * Miller–Rabin primality testing and random prime generation;
+//! * hex / decimal parsing and formatting, big-endian byte serialization.
+//!
+//! # Example
+//!
+//! ```
+//! use ppgnn_bigint::BigUint;
+//!
+//! let a = BigUint::from_decimal_str("123456789012345678901234567890").unwrap();
+//! let b = BigUint::from(42u64);
+//! let (q, r) = (&a * &b).div_rem(&a);
+//! assert_eq!(q, b);
+//! assert!(r.is_zero());
+//! ```
+
+mod barrett;
+mod div;
+mod fmt;
+mod int;
+mod modular;
+mod montgomery;
+mod mul;
+mod prime;
+mod random;
+mod uint;
+
+pub use barrett::BarrettCtx;
+pub use int::{BigInt, Sign};
+pub use modular::ExtendedGcd;
+pub use montgomery::MontgomeryCtx;
+pub use prime::{gen_prime, is_probable_prime, MillerRabin};
+pub use random::UniformBigUint;
+pub use uint::{BigUint, ParseBigUintError};
+
+/// Number of bits in one limb of a [`BigUint`].
+pub const LIMB_BITS: usize = 64;
+
+/// One limb of a [`BigUint`].
+pub type Limb = u64;
+
+/// Double-width type used for limb-level intermediate arithmetic.
+pub(crate) type Wide = u128;

@@ -1,0 +1,253 @@
+//! Montgomery-form modular arithmetic (CIOS multiplication) and windowed
+//! exponentiation. This is the performance-critical path: every Paillier
+//! encryption/decryption and every homomorphic scalar multiplication is a
+//! modular exponentiation with a 1024–3072-bit modulus.
+
+use crate::uint::BigUint;
+use crate::{Limb, Wide, LIMB_BITS};
+
+/// Reusable context for arithmetic modulo a fixed odd modulus `n`.
+///
+/// Values are kept in Montgomery form `aR mod n` with `R = 2^(64·len)`.
+/// Construction computes `n' = -n^{-1} mod 2^64` and `R² mod n` once so that
+/// repeated exponentiations amortize the setup.
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx {
+    n: BigUint,
+    /// Number of limbs of `n` (the width of all Montgomery representatives).
+    len: usize,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: Limb,
+    /// `R² mod n`, used to convert into Montgomery form.
+    rr: BigUint,
+    /// `R mod n` = Montgomery form of 1.
+    r1: BigUint,
+}
+
+/// Window size (bits) for the fixed-window exponentiation.
+const WINDOW: usize = 4;
+
+impl MontgomeryCtx {
+    /// Creates a context for an odd modulus `n > 1`.
+    ///
+    /// # Panics
+    /// Panics if `n` is even or `<= 1`.
+    pub fn new(n: BigUint) -> Self {
+        assert!(n.is_odd(), "Montgomery modulus must be odd");
+        assert!(!n.is_one() && !n.is_zero(), "modulus must be > 1");
+        let len = n.limbs().len();
+        let n0_inv = inv_limb(n.limbs()[0]);
+        let r = BigUint::one().shl_bits(len * LIMB_BITS);
+        let r1 = &r % &n;
+        let rr = &(&r1 * &r1) % &n;
+        MontgomeryCtx { n, len, n0_inv, rr, r1 }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Converts `a` (reduced automatically) into Montgomery form.
+    pub fn to_mont(&self, a: &BigUint) -> BigUint {
+        let a = if a >= &self.n { a % &self.n } else { a.clone() };
+        self.mont_mul(&a, &self.rr)
+    }
+
+    /// Converts out of Montgomery form.
+    pub fn from_mont(&self, a: &BigUint) -> BigUint {
+        self.mont_mul(a, &BigUint::one())
+    }
+
+    /// Montgomery product `a·b·R^{-1} mod n` (CIOS).
+    pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let len = self.len;
+        let n = self.n.limbs();
+        let mut t = vec![0 as Limb; len + 2];
+        let zero = [0 as Limb];
+        let a_limbs = if a.limbs().is_empty() { &zero[..] } else { a.limbs() };
+
+        for i in 0..len {
+            let ai = a_limbs.get(i).copied().unwrap_or(0);
+            // t += ai * b
+            let mut carry: Wide = 0;
+            #[allow(clippy::needless_range_loop)] // lockstep over t and b
+            for j in 0..len {
+                let bj = b.limbs().get(j).copied().unwrap_or(0);
+                let x = (t[j] as Wide) + (ai as Wide) * (bj as Wide) + carry;
+                t[j] = x as Limb;
+                carry = x >> LIMB_BITS;
+            }
+            let x = (t[len] as Wide) + carry;
+            t[len] = x as Limb;
+            t[len + 1] = (x >> LIMB_BITS) as Limb;
+
+            // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let x = (t[0] as Wide) + (m as Wide) * (n[0] as Wide);
+            let mut carry = x >> LIMB_BITS;
+            for j in 1..len {
+                let x = (t[j] as Wide) + (m as Wide) * (n[j] as Wide) + carry;
+                t[j - 1] = x as Limb;
+                carry = x >> LIMB_BITS;
+            }
+            let x = (t[len] as Wide) + carry;
+            t[len - 1] = x as Limb;
+            let x2 = (t[len + 1] as Wide) + (x >> LIMB_BITS);
+            t[len] = x2 as Limb;
+            t[len + 1] = (x2 >> LIMB_BITS) as Limb;
+        }
+        debug_assert_eq!(t[len + 1], 0);
+        let mut out = BigUint::from_limbs(t[..=len].to_vec());
+        if out >= self.n {
+            out = &out - &self.n;
+        }
+        out
+    }
+
+    /// `base^exp mod n` using fixed 4-bit windows.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one() % &self.n;
+        }
+        let base_m = self.to_mont(base);
+        // Precompute base^0..base^(2^W - 1) in Montgomery form.
+        let mut table = Vec::with_capacity(1 << WINDOW);
+        table.push(self.r1.clone());
+        for i in 1..(1 << WINDOW) {
+            let prev: &BigUint = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+
+        let bits = exp.bit_length();
+        let mut acc = self.r1.clone();
+        let mut started = false;
+        // Consume the exponent in W-bit chunks from the top.
+        let top_chunk = bits.div_ceil(WINDOW) * WINDOW;
+        let mut pos = top_chunk;
+        while pos > 0 {
+            pos -= WINDOW;
+            if started {
+                for _ in 0..WINDOW {
+                    acc = self.mont_mul(&acc, &acc.clone());
+                }
+            }
+            let mut w = 0usize;
+            for b in 0..WINDOW {
+                if exp.bit(pos + (WINDOW - 1 - b)) {
+                    w |= 1 << (WINDOW - 1 - b);
+                }
+            }
+            if w != 0 {
+                acc = self.mont_mul(&acc, &table[w]);
+                started = true;
+            } else if started {
+                // squarings already applied; nothing to multiply
+            }
+        }
+        if !started {
+            // exponent was zero (handled above), defensive
+            return BigUint::one() % &self.n;
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// `-n^{-1} mod 2^64` via Newton–Hensel iteration on the low limb.
+fn inv_limb(n0: Limb) -> Limb {
+    debug_assert!(n0 & 1 == 1);
+    // x = n0^{-1} mod 2^64 by 6 Newton steps (each doubles precision).
+    let mut x: Limb = n0; // correct mod 2^3 already? use standard trick
+    for _ in 0..6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(x)));
+    }
+    debug_assert_eq!(n0.wrapping_mul(x), 1);
+    x.wrapping_neg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn inv_limb_correct() {
+        for n0 in [1u64, 3, 5, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5679, 987654321] {
+            let inv = inv_limb(n0);
+            assert_eq!(n0.wrapping_mul(inv.wrapping_neg()), 1, "n0 = {n0}");
+        }
+    }
+
+    #[test]
+    fn mont_roundtrip() {
+        let n = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(n);
+        for v in [0u64, 1, 2, 999_999_999, 123456] {
+            let x = BigUint::from(v);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_plain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..50 {
+            let mut n = BigUint::from(rng.gen::<u128>());
+            if n.is_even() {
+                n = n.add_limb(1);
+            }
+            let ctx = MontgomeryCtx::new(n.clone());
+            let a = BigUint::from(rng.gen::<u128>()) % &n;
+            let b = BigUint::from(rng.gen::<u128>()) % &n;
+            let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+            assert_eq!(got, a.mod_mul(&b, &n));
+        }
+    }
+
+    #[test]
+    fn modpow_matches_plain_random() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for _ in 0..25 {
+            let limbs: Vec<Limb> = (0..4).map(|_| rng.gen()).collect();
+            let mut n = BigUint::from_limbs(limbs);
+            if n.is_even() {
+                n = n.add_limb(1);
+            }
+            let ctx = MontgomeryCtx::new(n.clone());
+            let base = BigUint::from(rng.gen::<u128>());
+            let exp = BigUint::from(rng.gen::<u128>());
+            assert_eq!(ctx.modpow(&base, &exp), base.modpow_plain(&exp, &n));
+        }
+    }
+
+    #[test]
+    fn modpow_exponent_edge_cases() {
+        let n = BigUint::from(101u64);
+        let ctx = MontgomeryCtx::new(n.clone());
+        assert_eq!(ctx.modpow(&BigUint::from(5u64), &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.modpow(&BigUint::from(5u64), &BigUint::one()).to_u64(), Some(5));
+        assert_eq!(ctx.modpow(&BigUint::zero(), &BigUint::from(3u64)), BigUint::zero());
+        // Exponent exactly at a window boundary (16 bits).
+        let e = BigUint::from(0xFFFFu64);
+        assert_eq!(
+            ctx.modpow(&BigUint::from(3u64), &e),
+            BigUint::from(3u64).modpow_plain(&e, &n)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_rejected() {
+        let _ = MontgomeryCtx::new(BigUint::from(100u64));
+    }
+
+    #[test]
+    fn base_larger_than_modulus() {
+        let n = BigUint::from(97u64);
+        let ctx = MontgomeryCtx::new(n.clone());
+        let base = BigUint::from(10_000u64);
+        let exp = BigUint::from(13u64);
+        assert_eq!(ctx.modpow(&base, &exp), base.modpow_plain(&exp, &n));
+    }
+}

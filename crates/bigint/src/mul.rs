@@ -1,0 +1,194 @@
+//! Multiplication: schoolbook for small operands, Karatsuba above a
+//! threshold. The threshold was picked empirically; Karatsuba's constant
+//! factor only pays off once operands exceed ~32 limbs (2048 bits), which
+//! matters for the ε₂ (mod N³) arithmetic in the optimized protocol.
+
+use core::ops::{Mul, MulAssign};
+
+use crate::uint::BigUint;
+use crate::{Limb, Wide, LIMB_BITS};
+
+/// Operand size (in limbs) above which Karatsuba multiplication is used.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Schoolbook multiply-accumulate: `acc[i..] += a * b`.
+fn mac_vec(acc: &mut [Limb], a: &[Limb], b: &[Limb]) {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: Wide = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let idx = i + j;
+            let t = (ai as Wide) * (bj as Wide) + (acc[idx] as Wide) + carry;
+            acc[idx] = t as Limb;
+            carry = t >> LIMB_BITS;
+        }
+        // Propagate the remaining carry.
+        let mut idx = i + b.len();
+        while carry != 0 {
+            let t = (acc[idx] as Wide) + carry;
+            acc[idx] = t as Limb;
+            carry = t >> LIMB_BITS;
+            idx += 1;
+        }
+    }
+}
+
+fn mul_schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let mut out = vec![0 as Limb; a.len() + b.len() + 1];
+    mac_vec(&mut out, a, b);
+    out
+}
+
+/// Karatsuba: split both operands at `half` limbs and recurse.
+/// `a*b = hi_a*hi_b*B^2 + ((hi_a+lo_a)(hi_b+lo_b) - hi*hi - lo*lo)*B + lo_a*lo_b`.
+fn mul_karatsuba(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    if a.len().min(b.len()) <= KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    let half = a.len().max(b.len()) / 2;
+    let (a_lo, a_hi) = split(a, half);
+    let (b_lo, b_hi) = split(b, half);
+
+    let lo = BigUint::from_limbs(mul_karatsuba(&a_lo, &b_lo));
+    let hi = BigUint::from_limbs(mul_karatsuba(&a_hi, &b_hi));
+    let a_sum = &BigUint::from_limbs(a_lo) + &BigUint::from_limbs(a_hi);
+    let b_sum = &BigUint::from_limbs(b_lo) + &BigUint::from_limbs(b_hi);
+    let mid_full = BigUint::from_limbs(mul_karatsuba(a_sum.limbs(), b_sum.limbs()));
+    let mid = &(&mid_full - &lo) - &hi;
+
+    let result = &(&lo + &mid.shl_bits(half * LIMB_BITS)) + &hi.shl_bits(2 * half * LIMB_BITS);
+    result.limbs().to_vec()
+}
+
+fn split(x: &[Limb], at: usize) -> (Vec<Limb>, Vec<Limb>) {
+    if x.len() <= at {
+        (x.to_vec(), Vec::new())
+    } else {
+        (x[..at].to_vec(), x[at..].to_vec())
+    }
+}
+
+impl BigUint {
+    /// `self * other`, allocating.
+    pub fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        if self.limbs.len().min(other.limbs.len()) > KARATSUBA_THRESHOLD {
+            BigUint::from_limbs(mul_karatsuba(&self.limbs, &other.limbs))
+        } else {
+            BigUint::from_limbs(mul_schoolbook(&self.limbs, &other.limbs))
+        }
+    }
+}
+
+impl<'b> Mul<&'b BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &'b BigUint) -> BigUint {
+        self.mul_ref(rhs)
+    }
+}
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self.mul_ref(&rhs)
+    }
+}
+impl Mul<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_ref(rhs)
+    }
+}
+impl Mul<BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self.mul_ref(&rhs)
+    }
+}
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [
+            (0u64, 0u64),
+            (1, u64::MAX),
+            (u64::MAX, u64::MAX),
+            (0xDEADBEEF, 0xCAFEBABE),
+            (1 << 63, 2),
+        ];
+        for (a, b) in cases {
+            let got = &BigUint::from(a) * &BigUint::from(b);
+            assert_eq!(got.to_u128(), Some(a as u128 * b as u128), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn mul_zero_identity() {
+        let x = BigUint::from(123456789u64);
+        assert!((&x * &BigUint::zero()).is_zero());
+        assert_eq!(&x * &BigUint::one(), x);
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            let n = KARATSUBA_THRESHOLD * 2 + rng.gen_range(0..20);
+            let a: Vec<Limb> = (0..n).map(|_| rng.gen()).collect();
+            let b: Vec<Limb> = (0..n + 3).map(|_| rng.gen()).collect();
+            let k = BigUint::from_limbs(mul_karatsuba(&a, &b));
+            let s = BigUint::from_limbs(mul_schoolbook(&a, &b));
+            assert_eq!(k, s);
+        }
+    }
+
+    #[test]
+    fn karatsuba_unbalanced_operands() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let a: Vec<Limb> = (0..100).map(|_| rng.gen()).collect();
+        let b: Vec<Limb> = (0..40).map(|_| rng.gen()).collect();
+        assert_eq!(
+            BigUint::from_limbs(mul_karatsuba(&a, &b)),
+            BigUint::from_limbs(mul_schoolbook(&a, &b))
+        );
+    }
+
+    #[test]
+    fn mul_commutative_and_associative_random() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..20 {
+            let a = BigUint::from(rng.gen::<u128>());
+            let b = BigUint::from(rng.gen::<u128>());
+            let c = BigUint::from(rng.gen::<u64>());
+            assert_eq!(&a * &b, &b * &a);
+            assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        }
+    }
+
+    #[test]
+    fn distributes_over_add() {
+        let a = BigUint::from(0xFFFF_FFFF_FFFF_FFFFu64);
+        let b = BigUint::from(u128::MAX);
+        let c = BigUint::from(12345u64);
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn square_is_self_mul() {
+        let x = BigUint::from(u128::MAX).pow(3);
+        assert_eq!(x.square(), &x * &x);
+    }
+}

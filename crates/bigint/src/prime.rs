@@ -1,0 +1,171 @@
+//! Primality testing (Miller–Rabin) and random prime generation, the
+//! key-generation substrate for the Paillier/Damgård–Jurik cryptosystem.
+
+use rand::Rng;
+
+use crate::random::UniformBigUint;
+use crate::uint::BigUint;
+
+/// Small primes used for trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// A reusable Miller–Rabin tester with a configurable round count.
+#[derive(Debug, Clone, Copy)]
+pub struct MillerRabin {
+    rounds: usize,
+}
+
+impl Default for MillerRabin {
+    fn default() -> Self {
+        // 2^-80 error bound for random candidates.
+        MillerRabin { rounds: 40 }
+    }
+}
+
+impl MillerRabin {
+    /// Creates a tester performing `rounds` random-base rounds.
+    pub fn new(rounds: usize) -> Self {
+        MillerRabin { rounds }
+    }
+
+    /// Probabilistic primality test.
+    pub fn test<R: Rng + ?Sized>(&self, n: &BigUint, rng: &mut R) -> bool {
+        if n < &BigUint::from(2u64) {
+            return false;
+        }
+        // Trial division by small primes (also catches the primes themselves).
+        for &p in &SMALL_PRIMES {
+            let pb = BigUint::from(p);
+            if n == &pb {
+                return true;
+            }
+            if (n % &pb).is_zero() {
+                return false;
+            }
+        }
+
+        // Write n - 1 = d * 2^s with d odd.
+        let n_minus_1 = n - &BigUint::one();
+        let s = n_minus_1.trailing_zeros().expect("n > 2 so n-1 > 0");
+        let d = n_minus_1.shr_bits(s);
+
+        let two = BigUint::from(2u64);
+        let n_minus_2 = n - &two;
+        'witness: for _ in 0..self.rounds {
+            let a = rng.gen_biguint_range(&two, &n_minus_2);
+            let mut x = a.modpow(&d, n);
+            if x.is_one() || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..s - 1 {
+                x = x.mod_mul(&x.clone(), n);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// Convenience wrapper: Miller–Rabin with the default 40 rounds.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
+    MillerRabin::default().test(n, rng)
+}
+
+/// Generates a random probable prime of exactly `bits` bits.
+///
+/// The top **two** bits are forced to 1 so that the product of two such
+/// primes has exactly `2·bits` bits — required so the Paillier modulus `N`
+/// reaches its nominal key size.
+///
+/// # Panics
+/// Panics if `bits < 3` (no two-top-bit odd prime exists below that).
+pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 3, "prime size too small: {bits} bits");
+    let tester = MillerRabin::default();
+    loop {
+        let mut candidate = rng.gen_biguint(bits);
+        candidate.set_bit(bits - 1, true);
+        candidate.set_bit(bits - 2, true);
+        candidate.set_bit(0, true);
+        if tester.test(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 7, 199, 211, 65537, 1_000_000_007] {
+            assert!(is_probable_prime(&BigUint::from(p), &mut rng), "{p}");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for c in [0u64, 1, 4, 6, 9, 15, 200, 65536, 1_000_000_005] {
+            assert!(!is_probable_prime(&BigUint::from(c), &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Fermat pseudoprimes that fool a^(n-1) = 1 testing but not MR.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_probable_prime(&BigUint::from(c), &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn product_of_two_primes_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let p = gen_prime(32, &mut rng);
+        let q = gen_prime(32, &mut rng);
+        assert!(!is_probable_prime(&(&p * &q), &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits_and_top_bits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for bits in [16usize, 32, 64, 128] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bit_length(), bits);
+            assert!(p.bit(bits - 2), "second-top bit forced");
+            assert!(p.is_odd());
+        }
+    }
+
+    #[test]
+    fn product_of_generated_primes_has_double_bits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let p = gen_prime(64, &mut rng);
+        let q = gen_prime(64, &mut rng);
+        assert_eq!((&p * &q).bit_length(), 128);
+    }
+
+    #[test]
+    fn known_large_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let m127 = BigUint::one().shl_bits(127).sub_limb(1);
+        assert!(is_probable_prime(&m127, &mut rng));
+        // 2^128 - 1 factors (it is divisible by 3).
+        let m128 = BigUint::one().shl_bits(128).sub_limb(1);
+        assert!(!is_probable_prime(&m128, &mut rng));
+    }
+}

@@ -1,0 +1,120 @@
+//! Random generation of big integers from any [`rand::Rng`] source.
+
+use rand::Rng;
+
+use crate::uint::BigUint;
+use crate::{Limb, LIMB_BITS};
+
+/// Extension trait: uniform sampling of [`BigUint`] values.
+pub trait UniformBigUint {
+    /// Uniformly random integer in `[0, 2^bits)`.
+    fn gen_biguint(&mut self, bits: usize) -> BigUint;
+
+    /// Uniformly random integer in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint;
+
+    /// Uniformly random integer in `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if `low >= high`.
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint;
+}
+
+impl<R: Rng + ?Sized> UniformBigUint for R {
+    fn gen_biguint(&mut self, bits: usize) -> BigUint {
+        if bits == 0 {
+            return BigUint::zero();
+        }
+        let limbs = bits.div_ceil(LIMB_BITS);
+        let mut v: Vec<Limb> = (0..limbs).map(|_| self.gen()).collect();
+        let extra = limbs * LIMB_BITS - bits;
+        if extra > 0 {
+            let last = v.last_mut().expect("at least one limb");
+            *last >>= extra;
+        }
+        BigUint::from_limbs(v)
+    }
+
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "empty sampling range");
+        let bits = bound.bit_length();
+        loop {
+            let candidate = self.gen_biguint(bits);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint {
+        assert!(low < high, "empty sampling range");
+        let width = high - low;
+        low + &self.gen_biguint_below(&width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gen_respects_bit_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for bits in [0usize, 1, 7, 64, 65, 130, 1024] {
+            for _ in 0..20 {
+                let x = rng.gen_biguint(bits);
+                assert!(x.bit_length() <= bits, "bits={bits} got {}", x.bit_length());
+            }
+        }
+    }
+
+    #[test]
+    fn gen_hits_high_bits_sometimes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let hit = (0..200).any(|_| rng.gen_biguint(128).bit_length() == 128);
+        assert!(hit, "top bit should be set about half the time");
+    }
+
+    #[test]
+    fn below_always_below() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let bound = BigUint::from(1000u64);
+        for _ in 0..500 {
+            assert!(rng.gen_biguint_below(&bound) < bound);
+        }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let bound = BigUint::from(4u64);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_biguint_below(&bound).to_u64().unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn range_within_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let low = BigUint::from(100u64);
+        let high = BigUint::from(110u64);
+        for _ in 0..200 {
+            let x = rng.gen_biguint_range(&low, &high);
+            assert!(x >= low && x < high);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sampling range")]
+    fn empty_range_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let _ = rng.gen_biguint_below(&BigUint::zero());
+    }
+}

@@ -1,0 +1,698 @@
+//! Core [`BigUint`] type: representation, construction, comparison, and the
+//! additive/shift/bit-level operations. Multiplication and division live in
+//! sibling modules (`mul`, `div`).
+
+use core::cmp::Ordering;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, BitAnd, BitOr, BitXor, Shl, Shr, Sub, SubAssign};
+
+use crate::{Limb, Wide, LIMB_BITS};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian 64-bit limbs with no trailing zero limbs
+/// (the canonical form of zero is an empty limb vector). All public
+/// constructors and operations preserve this normalization invariant.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<Limb>,
+}
+
+/// Error returned when parsing a [`BigUint`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    pub(crate) kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl core::fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse an integer from an empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer literal"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<Limb>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Read-only view of the little-endian limbs.
+    pub fn limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// `true` iff the value is even (zero is even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// `true` iff the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (`0` for the value zero).
+    pub fn bit_length(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * LIMB_BITS - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of the bit at position `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / LIMB_BITS, i % LIMB_BITS);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets the bit at position `i` to `value`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let (limb, off) = (i / LIMB_BITS, i % LIMB_BITS);
+        if value {
+            if limb >= self.limbs.len() {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1 << off;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !(1 << off);
+            self.normalize();
+        }
+    }
+
+    /// Number of trailing zero bits; `None` for the value zero.
+    pub fn trailing_zeros(&self) -> Option<usize> {
+        self.limbs.iter().position(|&l| l != 0).map(|i| i * LIMB_BITS + self.limbs[i].trailing_zeros() as usize)
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Big-endian byte serialization with no leading zero bytes
+    /// (the value zero serializes to an empty vector).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let skip = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..skip);
+        out
+    }
+
+    /// Parses a big-endian byte slice (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut buf = [0u8; 8];
+            buf[8 - chunk.len()..].copy_from_slice(chunk);
+            limbs.push(u64::from_be_bytes(buf));
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Little-endian byte serialization with no trailing zero bytes.
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let mut out = self.to_bytes_be();
+        out.reverse();
+        out
+    }
+
+    /// Parses a little-endian byte slice (trailing zeros allowed).
+    pub fn from_bytes_le(bytes: &[u8]) -> Self {
+        let mut be = bytes.to_vec();
+        be.reverse();
+        Self::from_bytes_be(&be)
+    }
+
+    /// Drops trailing zero limbs to restore the canonical form.
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`, allocating.
+    pub fn add_ref(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: Limb = 0;
+        #[allow(clippy::needless_range_loop)] // lockstep over two slices
+        for i in 0..long.len() {
+            let rhs = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(rhs);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as Limb) + (c2 as Limb);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self - other`; panics on underflow (use [`BigUint::checked_sub`] to
+    /// handle the possibly-negative case).
+    pub fn sub_ref(&self, other: &BigUint) -> BigUint {
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
+    }
+
+    /// `self - other`, or `None` when `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: Limb = 0;
+        for i in 0..self.limbs.len() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as Limb) + (b2 as Limb);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(out))
+    }
+
+    /// `|self - other|`.
+    pub fn abs_diff(&self, other: &BigUint) -> BigUint {
+        if self >= other {
+            self.sub_ref(other)
+        } else {
+            other.sub_ref(self)
+        }
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / LIMB_BITS;
+        let bit_shift = bits % LIMB_BITS;
+        let mut out = vec![0 as Limb; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: Limb = 0;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Logical right shift by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / LIMB_BITS;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % LIMB_BITS;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return BigUint::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let hi = src.get(i + 1).copied().unwrap_or(0);
+            out.push((src[i] >> bit_shift) | (hi << (LIMB_BITS - bit_shift)));
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self^exp` by binary exponentiation (plain, non-modular).
+    pub fn pow(&self, exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Squares the value (dispatches to multiplication).
+    pub fn square(&self) -> BigUint {
+        self * self
+    }
+
+    /// Integer square root `⌊√self⌋` by Newton's method.
+    pub fn isqrt(&self) -> BigUint {
+        if self.limbs.len() <= 2 {
+            let v = self.to_u128().expect("<= 2 limbs");
+            return BigUint::from(v.isqrt());
+        }
+        // Initial guess: 2^(ceil(bits/2)) >= sqrt(self).
+        let mut x = BigUint::one().shl_bits(self.bit_length().div_ceil(2));
+        loop {
+            // x_{k+1} = (x + self/x) / 2; converges from above.
+            let next = (&x + &(self / &x)).shr_bits(1);
+            if next >= x {
+                return x;
+            }
+            x = next;
+        }
+    }
+
+    /// `self + small` for a single limb, avoiding an allocation for the rhs.
+    pub fn add_limb(&self, small: Limb) -> BigUint {
+        let mut out = self.limbs.clone();
+        let mut carry = small;
+        for l in out.iter_mut() {
+            let (s, c) = l.overflowing_add(carry);
+            *l = s;
+            carry = c as Limb;
+            if carry == 0 {
+                break;
+            }
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self - small` for a single limb; panics on underflow.
+    pub fn sub_limb(&self, small: Limb) -> BigUint {
+        self.sub_ref(&BigUint::from(small))
+    }
+
+    /// `self * small` for a single limb.
+    pub fn mul_limb(&self, small: Limb) -> BigUint {
+        if small == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: Wide = 0;
+        for &l in &self.limbs {
+            let prod = (l as Wide) * (small as Wide) + carry;
+            out.push(prod as Limb);
+            carry = prod >> LIMB_BITS;
+        }
+        if carry != 0 {
+            out.push(carry as Limb);
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+macro_rules! impl_from_small {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigUint {
+            fn from(v: $t) -> Self {
+                BigUint::from_limbs(vec![v as Limb])
+            }
+        }
+    )*};
+}
+impl_from_small!(u8, u16, u32, u64, usize);
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as Limb, (v >> 64) as Limb])
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq<u64> for BigUint {
+    fn eq(&self, other: &u64) -> bool {
+        self.to_u64() == Some(*other)
+    }
+}
+
+// Operator impls for both owned and borrowed operands. The borrowed forms
+// are the primitive ones; owned forms delegate.
+impl<'b> Add<&'b BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &'b BigUint) -> BigUint {
+        self.add_ref(rhs)
+    }
+}
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        self.add_ref(&rhs)
+    }
+}
+impl Add<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        self.add_ref(rhs)
+    }
+}
+impl Add<BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        self.add_ref(&rhs)
+    }
+}
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = self.add_ref(rhs);
+    }
+}
+impl<'b> Sub<&'b BigUint> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &'b BigUint) -> BigUint {
+        self.sub_ref(rhs)
+    }
+}
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        self.sub_ref(&rhs)
+    }
+}
+impl Sub<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.sub_ref(rhs)
+    }
+}
+impl Sub<BigUint> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        self.sub_ref(&rhs)
+    }
+}
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = self.sub_ref(rhs);
+    }
+}
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+macro_rules! impl_bitop {
+    ($trait:ident, $method:ident, $op:tt, $keep_longer:expr) => {
+        impl<'a, 'b> $trait<&'b BigUint> for &'a BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &'b BigUint) -> BigUint {
+                let n = if $keep_longer {
+                    self.limbs.len().max(rhs.limbs.len())
+                } else {
+                    self.limbs.len().min(rhs.limbs.len())
+                };
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let a = self.limbs.get(i).copied().unwrap_or(0);
+                    let b = rhs.limbs.get(i).copied().unwrap_or(0);
+                    out.push(a $op b);
+                }
+                BigUint::from_limbs(out)
+            }
+        }
+    };
+}
+impl_bitop!(BitAnd, bitand, &, false);
+impl_bitop!(BitOr, bitor, |, true);
+impl_bitop!(BitXor, bitxor, ^, true);
+
+impl Sum for BigUint {
+    fn sum<I: Iterator<Item = BigUint>>(iter: I) -> BigUint {
+        iter.fold(BigUint::zero(), |acc, x| &acc + &x)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for BigUint {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_hex())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for BigUint {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        BigUint::from_hex(&s).map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_normalized_empty() {
+        assert!(BigUint::zero().limbs().is_empty());
+        assert!(BigUint::from_limbs(vec![0, 0, 0]).is_zero());
+        assert_eq!(BigUint::zero(), BigUint::from(0u64));
+    }
+
+    #[test]
+    fn small_roundtrip() {
+        for v in [0u64, 1, 2, u64::MAX, 12345] {
+            assert_eq!(BigUint::from(v).to_u64(), Some(v));
+        }
+        let big = BigUint::from(u128::MAX);
+        assert_eq!(big.to_u64(), None);
+        assert_eq!(big.to_u128(), Some(u128::MAX));
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::from(1u64);
+        assert_eq!((&a + &b).to_u128(), Some(1u128 << 64));
+        let c = BigUint::from(u128::MAX);
+        assert_eq!((&c + &BigUint::one()).bit_length(), 129);
+    }
+
+    #[test]
+    fn sub_underflow_checked() {
+        let a = BigUint::from(5u64);
+        let b = BigUint::from(7u64);
+        assert_eq!(a.checked_sub(&b), None);
+        assert_eq!(b.checked_sub(&a), Some(BigUint::from(2u64)));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = BigUint::from(1u64) - BigUint::from(2u64);
+    }
+
+    #[test]
+    fn abs_diff_symmetric() {
+        let a = BigUint::from(100u64);
+        let b = BigUint::from(42u64);
+        assert_eq!(a.abs_diff(&b), b.abs_diff(&a));
+        assert_eq!(a.abs_diff(&b).to_u64(), Some(58));
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let x = BigUint::from(0xDEADBEEFCAFEBABEu64);
+        for s in [0usize, 1, 63, 64, 65, 127, 200] {
+            assert_eq!(x.shl_bits(s).shr_bits(s), x, "shift {s}");
+        }
+        assert_eq!(BigUint::one().shl_bits(128).bit_length(), 129);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut x = BigUint::zero();
+        x.set_bit(100, true);
+        assert!(x.bit(100));
+        assert_eq!(x.bit_length(), 101);
+        x.set_bit(100, false);
+        assert!(x.is_zero());
+    }
+
+    #[test]
+    fn trailing_zeros_matches() {
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+        assert_eq!(BigUint::one().trailing_zeros(), Some(0));
+        assert_eq!(BigUint::one().shl_bits(77).trailing_zeros(), Some(77));
+    }
+
+    #[test]
+    fn bytes_be_roundtrip() {
+        let x = BigUint::from(0x0102030405060708u64);
+        assert_eq!(x.to_bytes_be(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(BigUint::from_bytes_be(&x.to_bytes_be()), x);
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 1]), BigUint::one());
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+    }
+
+    #[test]
+    fn bytes_le_roundtrip() {
+        let x = BigUint::from(0xAABBCCDDu64);
+        assert_eq!(BigUint::from_bytes_le(&x.to_bytes_le()), x);
+    }
+
+    #[test]
+    fn ordering_cross_length() {
+        let small = BigUint::from(u64::MAX);
+        let big = BigUint::one().shl_bits(64);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(BigUint::from(2u64).pow(10).to_u64(), Some(1024));
+        assert_eq!(BigUint::from(7u64).pow(0), BigUint::one());
+        assert_eq!(BigUint::zero().pow(5), BigUint::zero());
+        assert_eq!(BigUint::from(10u64).pow(20).to_u128(), Some(10u128.pow(20)));
+    }
+
+    #[test]
+    fn isqrt_small_and_large() {
+        for v in [0u64, 1, 2, 3, 4, 8, 9, 99, 100, u64::MAX] {
+            let got = BigUint::from(v).isqrt().to_u64().unwrap();
+            assert_eq!(got, (v as u128).isqrt() as u64, "isqrt({v})");
+        }
+        // Exact square of a large value.
+        let base = BigUint::from(u128::MAX).pow(3);
+        let sq = base.square();
+        assert_eq!(sq.isqrt(), base);
+        // One below the square must floor to base - 1.
+        let below = &sq - &BigUint::one();
+        assert_eq!(below.isqrt(), &base - &BigUint::one());
+    }
+
+    #[test]
+    fn isqrt_invariant_random_widths() {
+        for bits in [130usize, 200, 511] {
+            let x = BigUint::one().shl_bits(bits).sub_limb(12345);
+            let r = x.isqrt();
+            assert!(r.square() <= x, "r^2 <= x");
+            assert!((&r + &BigUint::one()).square() > x, "(r+1)^2 > x");
+        }
+    }
+
+    #[test]
+    fn limb_helpers() {
+        let x = BigUint::from(u64::MAX);
+        assert_eq!(x.add_limb(1).to_u128(), Some(1u128 << 64));
+        assert_eq!(x.mul_limb(2).to_u128(), Some((u64::MAX as u128) * 2));
+        assert_eq!(x.sub_limb(5).to_u64(), Some(u64::MAX - 5));
+    }
+
+    #[test]
+    fn bitops_match_u128() {
+        let a = BigUint::from(0xF0F0_1234_5678_9ABCu128 << 30);
+        let b = BigUint::from(0x0FF0_AAAA_BBBB_CCCCu128);
+        let (ua, ub) = (a.to_u128().unwrap(), b.to_u128().unwrap());
+        assert_eq!((&a & &b).to_u128(), Some(ua & ub));
+        assert_eq!((&a | &b).to_u128(), Some(ua | ub));
+        assert_eq!((&a ^ &b).to_u128(), Some(ua ^ ub));
+    }
+
+    #[test]
+    fn even_odd() {
+        assert!(BigUint::zero().is_even());
+        assert!(BigUint::one().is_odd());
+        assert!(BigUint::from(2u64).is_even());
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: BigUint = (1u64..=100).map(BigUint::from).sum();
+        assert_eq!(total.to_u64(), Some(5050));
+    }
+}

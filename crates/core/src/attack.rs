@@ -1,0 +1,247 @@
+//! The inequality attack of §5.1 — implemented from the *attacker's*
+//! perspective, exactly as `n − 1` colluding users would run it.
+//!
+//! Given the ranked answer `P = {p₁, …, p_k}` and the colluders' own
+//! locations, the target's location must satisfy the `k − 1` inequalities
+//! `F(p_i, C) ≤ F(p_{i+1}, C)` (Eqn 14), where only the target's location
+//! is unknown. The feasible region's relative area `θ` is estimated by
+//! uniform Monte-Carlo sampling; the attack *succeeds* when `θ ≤ θ₀`.
+//!
+//! The same machinery powers LSP's sanitation (§5.2), which simulates the
+//! attack before releasing each answer prefix.
+
+use ppgnn_geo::{Aggregate, Point, Poi, Rect};
+use rand::Rng;
+
+/// The inequality system of Eqn 14 for one (answer, colluders) pair, with
+/// per-POI colluder aggregates precomputed so that testing a candidate
+/// target location costs O(1) distance evaluations per inequality.
+#[derive(Debug, Clone)]
+pub struct InequalitySystem {
+    agg: Aggregate,
+    /// Per ranked POI: (aggregate over colluders only, POI location).
+    entries: Vec<(f64, Point)>,
+}
+
+impl InequalitySystem {
+    /// Builds the system for a ranked `answer` and the colluders'
+    /// locations (the group minus the target user). `colluders` may be
+    /// empty (n = 1), in which case `F` degenerates to the target's own
+    /// distance.
+    pub fn new(answer: &[Poi], colluders: &[Point], agg: Aggregate) -> Self {
+        let entries = answer
+            .iter()
+            .map(|p| {
+                let dists = colluders.iter().map(|c| p.location.dist(c));
+                let stat = match agg {
+                    Aggregate::Sum => dists.sum::<f64>(),
+                    Aggregate::Max => dists.fold(f64::NEG_INFINITY, f64::max),
+                    Aggregate::Min => dists.fold(f64::INFINITY, f64::min),
+                };
+                (stat, p.location)
+            })
+            .collect();
+        InequalitySystem { agg, entries }
+    }
+
+    /// Number of inequalities (`answer.len() − 1`).
+    pub fn len(&self) -> usize {
+        self.entries.len().saturating_sub(1)
+    }
+
+    /// `true` iff the system has no inequalities (answers of length ≤ 1
+    /// constrain nothing — why the shortest prefix is always safe).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `F(p_i, colluders ∪ {x})` for ranked POI `i`.
+    fn cost(&self, i: usize, x: &Point) -> f64 {
+        let (stat, loc) = self.entries[i];
+        let own = loc.dist(x);
+        match self.agg {
+            Aggregate::Sum => stat + own,
+            Aggregate::Max => stat.max(own),
+            Aggregate::Min => stat.min(own),
+        }
+    }
+
+    /// Does candidate target location `x` satisfy inequality `i`
+    /// (`F(p_i) ≤ F(p_{i+1})`)?
+    pub fn satisfies(&self, i: usize, x: &Point) -> bool {
+        self.cost(i, x) <= self.cost(i + 1, x)
+    }
+
+    /// Does `x` satisfy *all* inequalities (lie in the feasible region)?
+    pub fn satisfies_all(&self, x: &Point) -> bool {
+        (0..self.len()).all(|i| self.satisfies(i, x))
+    }
+}
+
+/// Monte-Carlo estimate of `θ`: the fraction of `space` consistent with
+/// the ranked answer from the colluders' viewpoint.
+pub fn feasible_region_fraction<R: Rng + ?Sized>(
+    answer: &[Poi],
+    colluders: &[Point],
+    agg: Aggregate,
+    space: &Rect,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let system = InequalitySystem::new(answer, colluders, agg);
+    if system.is_empty() {
+        return 1.0; // no constraints: the target could be anywhere
+    }
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let x = sample_point(space, rng);
+        if system.satisfies_all(&x) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+/// The attack verdict: `θ ≤ θ₀` means the target's location has been
+/// narrowed below the Privacy IV threshold — the attack *succeeds*.
+pub fn inequality_attack_succeeds<R: Rng + ?Sized>(
+    answer: &[Poi],
+    colluders: &[Point],
+    agg: Aggregate,
+    space: &Rect,
+    theta0: f64,
+    samples: usize,
+    rng: &mut R,
+) -> bool {
+    feasible_region_fraction(answer, colluders, agg, space, samples, rng) <= theta0
+}
+
+/// Uniform sample inside a rectangle.
+pub(crate) fn sample_point<R: Rng + ?Sized>(space: &Rect, rng: &mut R) -> Point {
+    Point::new(
+        space.min_x + rng.gen::<f64>() * space.width(),
+        space.min_y + rng.gen::<f64>() * space.height(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn single_poi_answer_constrains_nothing() {
+        let answer = [Poi::new(0, Point::new(0.5, 0.5))];
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let theta = feasible_region_fraction(
+            &answer, &[Point::new(0.2, 0.2)], Aggregate::Sum, &Rect::UNIT, 1000, &mut rng,
+        );
+        assert_eq!(theta, 1.0);
+    }
+
+    #[test]
+    fn n1_ranked_pair_halves_the_space() {
+        // Single user (no colluders), two ranked POIs at mirrored
+        // positions: the user must be in the half-plane nearer p₁.
+        let answer = [
+            Poi::new(0, Point::new(0.25, 0.5)),
+            Poi::new(1, Point::new(0.75, 0.5)),
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let theta =
+            feasible_region_fraction(&answer, &[], Aggregate::Sum, &Rect::UNIT, 20_000, &mut rng);
+        assert!((theta - 0.5).abs() < 0.02, "got {theta}");
+    }
+
+    #[test]
+    fn more_inequalities_shrink_the_region() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // A fan of POIs around the target narrows it down progressively.
+        let target = Point::new(0.3, 0.4);
+        let colluders = vec![Point::new(0.9, 0.9)];
+        let pois: Vec<Poi> = (0..6)
+            .map(|i| {
+                let angle = i as f64;
+                Poi::new(i, Point::new(
+                    (target.x + 0.05 * (i as f64 + 1.0) * angle.cos()).clamp(0.0, 1.0),
+                    (target.y + 0.05 * (i as f64 + 1.0) * angle.sin()).clamp(0.0, 1.0),
+                ))
+            })
+            .collect();
+        // Rank them by true aggregate cost so the inequalities are
+        // consistent with a real query from (target, colluders).
+        let mut query = colluders.clone();
+        query.push(target);
+        let mut ranked = pois;
+        ranked.sort_by(|a, b| {
+            Aggregate::Sum
+                .eval(&a.location, &query)
+                .total_cmp(&Aggregate::Sum.eval(&b.location, &query))
+        });
+        let theta2 =
+            feasible_region_fraction(&ranked[..2], &colluders, Aggregate::Sum, &Rect::UNIT, 5000, &mut rng);
+        let theta6 =
+            feasible_region_fraction(&ranked, &colluders, Aggregate::Sum, &Rect::UNIT, 5000, &mut rng);
+        assert!(theta6 <= theta2 + 1e-9, "theta must shrink: {theta2} -> {theta6}");
+    }
+
+    #[test]
+    fn true_target_always_feasible() {
+        // The target's real location always satisfies a correctly ranked
+        // answer — the attack region always contains the truth.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for agg in Aggregate::ALL {
+            let target = Point::new(0.62, 0.17);
+            let colluders = vec![Point::new(0.1, 0.8), Point::new(0.4, 0.4)];
+            let mut query = colluders.clone();
+            query.push(target);
+            let mut pois: Vec<Poi> = (0..8)
+                .map(|i| Poi::new(i, sample_point(&Rect::UNIT, &mut rng)))
+                .collect();
+            pois.sort_by(|a, b| {
+                agg.eval(&a.location, &query).total_cmp(&agg.eval(&b.location, &query))
+            });
+            let system = InequalitySystem::new(&pois, &colluders, agg);
+            assert!(system.satisfies_all(&target), "{agg}");
+        }
+    }
+
+    #[test]
+    fn satisfies_matches_direct_aggregate_comparison() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for agg in Aggregate::ALL {
+            let colluders = vec![Point::new(0.2, 0.9), Point::new(0.7, 0.3)];
+            let pois = [
+                Poi::new(0, Point::new(0.4, 0.6)),
+                Poi::new(1, Point::new(0.8, 0.1)),
+            ];
+            let system = InequalitySystem::new(&pois, &colluders, agg);
+            for _ in 0..200 {
+                let x = sample_point(&Rect::UNIT, &mut rng);
+                let mut query = colluders.clone();
+                query.push(x);
+                let direct = agg.eval(&pois[0].location, &query)
+                    <= agg.eval(&pois[1].location, &query);
+                assert_eq!(system.satisfies(0, &x), direct, "{agg}");
+            }
+        }
+    }
+
+    #[test]
+    fn attack_verdict_thresholds() {
+        let answer = [
+            Poi::new(0, Point::new(0.25, 0.5)),
+            Poi::new(1, Point::new(0.75, 0.5)),
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        // θ ≈ 0.5: attack fails against θ0 = 0.05, succeeds against 0.9.
+        assert!(!inequality_attack_succeeds(
+            &answer, &[], Aggregate::Sum, &Rect::UNIT, 0.05, 10_000, &mut rng
+        ));
+        assert!(inequality_attack_succeeds(
+            &answer, &[], Aggregate::Sum, &Rect::UNIT, 0.9, 10_000, &mut rng
+        ));
+    }
+}

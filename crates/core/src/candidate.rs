@@ -1,0 +1,223 @@
+//! Candidate-query generation (§4.1) and the query index (Eqn 12).
+//!
+//! LSP receives one length-`d` location set per user plus the partition
+//! parameters, and deterministically expands them into the *candidate
+//! query list* — `δ′ = Σ_i d̄_i^α` queries of `n` locations each, listed
+//! in lexicographic order of (segment, per-subgroup position tuples). One
+//! of them — at an index only the users can compute — is the real query.
+
+use ppgnn_geo::Point;
+
+use crate::error::PpgnnError;
+use crate::partition::PartitionParams;
+
+/// One candidate query: a location per user, in user order.
+pub type CandidateQuery = Vec<Point>;
+
+/// Generates the full candidate query list from the users' location sets.
+///
+/// `location_sets[i]` is user `i`'s set `L_i` (each of length `d`).
+/// For segment `i`, the queries are the cartesian product over subgroups
+/// of the segment's positions (Eqn 6): every subgroup independently picks
+/// one position `t_j ∈ [0, d̄_i)`, and all of the subgroup's users
+/// contribute the location at that absolute position.
+pub fn candidate_queries(
+    location_sets: &[Vec<Point>],
+    params: &PartitionParams,
+) -> Result<Vec<CandidateQuery>, PpgnnError> {
+    let d: usize = params.segment_sizes.iter().sum();
+    for (i, set) in location_sets.iter().enumerate() {
+        if set.len() != d {
+            return Err(PpgnnError::BadLocationSet { user: i, expected: d, got: set.len() });
+        }
+    }
+    let n = location_sets.len();
+    let alpha = params.alpha();
+    // user -> subgroup resolved once.
+    let subgroup: Vec<usize> = (0..n).map(|u| params.subgroup_of(u)).collect();
+
+    let mut out = Vec::with_capacity(params.delta_prime() as usize);
+    for (seg, &seg_size) in params.segment_sizes.iter().enumerate() {
+        let offset = params.segment_offset(seg);
+        // Odometer over (t_1, …, t_α) ∈ [0, seg_size)^α in lexicographic
+        // order (t_1 most significant), matching Eqn 12's weighting.
+        let mut positions = vec![0usize; alpha];
+        loop {
+            let query: CandidateQuery = (0..n)
+                .map(|u| location_sets[u][offset + positions[subgroup[u]]])
+                .collect();
+            out.push(query);
+
+            // Advance the odometer (least-significant digit = t_α).
+            let mut digit = alpha;
+            loop {
+                if digit == 0 {
+                    break;
+                }
+                digit -= 1;
+                positions[digit] += 1;
+                if positions[digit] < seg_size {
+                    break;
+                }
+                positions[digit] = 0;
+                if digit == 0 {
+                    break;
+                }
+            }
+            if positions.iter().all(|&p| p == 0) {
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(out.len() as u128, params.delta_prime());
+    Ok(out)
+}
+
+/// Eqn 12: the 0-based index of the real query in the candidate list,
+/// given the chosen segment `seg` (0-based) and the per-subgroup relative
+/// positions `x` (0-based, length `α`).
+///
+/// The paper's formula (1-based) is
+/// `QI = Σ_{i<seg} d̄_i^α + Σ_j x_j·d̄_seg^(α−j) + 1`; we return `QI − 1`.
+pub fn query_index(params: &PartitionParams, seg: usize, x: &[usize]) -> usize {
+    assert_eq!(x.len(), params.alpha(), "one position per subgroup");
+    let alpha = params.alpha();
+    let seg_size = params.segment_sizes[seg];
+    let before: u128 = params.segment_sizes[..seg]
+        .iter()
+        .map(|&s| (s as u128).saturating_pow(alpha as u32))
+        .sum();
+    let mut within: u128 = 0;
+    for (j, &xj) in x.iter().enumerate() {
+        assert!(xj < seg_size, "position {xj} outside segment of size {seg_size}");
+        within = within * seg_size as u128 + xj as u128;
+        debug_assert!(j < alpha);
+    }
+    (before + within) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionParams;
+
+    /// The Figure 3/4 running example: n=4, d=4, n̄=(2,2), d̄=(2,2).
+    fn example() -> (Vec<Vec<Point>>, PartitionParams) {
+        let params = PartitionParams { subgroup_sizes: vec![2, 2], segment_sizes: vec![2, 2] };
+        // location_sets[i][j] encoded as Point(i, j) so assertions can
+        // check exactly which slot each candidate pulled.
+        let sets: Vec<Vec<Point>> = (0..4)
+            .map(|i| (0..4).map(|j| Point::new(i as f64, j as f64)).collect())
+            .collect();
+        (sets, params)
+    }
+
+    #[test]
+    fn figure_3_candidate_count_and_order() {
+        let (sets, params) = example();
+        let cands = candidate_queries(&sets, &params).unwrap();
+        assert_eq!(cands.len(), 8);
+        // First candidate: segment 0, t=(0,0) -> everyone's slot 0.
+        assert_eq!(cands[0], vec![
+            Point::new(0.0, 0.0), Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0), Point::new(3.0, 0.0),
+        ]);
+        // Second candidate: segment 0, t=(0,1): subgroup 2 (users 2,3) at
+        // slot 1, subgroup 1 (users 0,1) still at slot 0.
+        assert_eq!(cands[1], vec![
+            Point::new(0.0, 0.0), Point::new(1.0, 0.0),
+            Point::new(2.0, 1.0), Point::new(3.0, 1.0),
+        ]);
+        // Candidate 4 (index 4): first of segment 1 -> everyone's slot 2.
+        assert_eq!(cands[4], vec![
+            Point::new(0.0, 2.0), Point::new(1.0, 2.0),
+            Point::new(2.0, 2.0), Point::new(3.0, 2.0),
+        ]);
+    }
+
+    #[test]
+    fn example_4_2_query_index() {
+        // seg=2 (1-based) with x=(2,1) (1-based) gives QI=7 (1-based),
+        // i.e. index 6 in 0-based terms.
+        let (_, params) = example();
+        assert_eq!(query_index(&params, 1, &[1, 0]), 6);
+    }
+
+    #[test]
+    fn index_points_at_real_query_everywhere() {
+        // For every (seg, x), the candidate at query_index must equal the
+        // query built from those positions.
+        let (sets, params) = example();
+        let cands = candidate_queries(&sets, &params).unwrap();
+        for seg in 0..params.beta() {
+            let size = params.segment_sizes[seg];
+            let offset = params.segment_offset(seg);
+            for x1 in 0..size {
+                for x2 in 0..size {
+                    let qi = query_index(&params, seg, &[x1, x2]);
+                    let expected = vec![
+                        sets[0][offset + x1], sets[1][offset + x1],
+                        sets[2][offset + x2], sets[3][offset + x2],
+                    ];
+                    assert_eq!(cands[qi], expected, "seg={seg} x=({x1},{x2})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_segments_and_subgroups() {
+        let params = PartitionParams { subgroup_sizes: vec![2, 1], segment_sizes: vec![3, 2] };
+        let sets: Vec<Vec<Point>> = (0..3)
+            .map(|i| (0..5).map(|j| Point::new(i as f64, j as f64)).collect())
+            .collect();
+        let cands = candidate_queries(&sets, &params).unwrap();
+        assert_eq!(cands.len() as u128, params.delta_prime());
+        assert_eq!(cands.len(), 9 + 4);
+        // Cross-check every index.
+        for seg in 0..2 {
+            let size = params.segment_sizes[seg];
+            let offset = params.segment_offset(seg);
+            for x1 in 0..size {
+                for x2 in 0..size {
+                    let qi = query_index(&params, seg, &[x1, x2]);
+                    let expected = vec![
+                        sets[0][offset + x1], sets[1][offset + x1], sets[2][offset + x2],
+                    ];
+                    assert_eq!(cands[qi], expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_user_unit_segments() {
+        // n=1 with unit segments: the candidate list is exactly the
+        // location set (the §3 single-user protocol).
+        let params = PartitionParams { subgroup_sizes: vec![1], segment_sizes: vec![1; 4] };
+        let set: Vec<Point> = (0..4).map(|j| Point::new(0.0, j as f64)).collect();
+        let cands = candidate_queries(std::slice::from_ref(&set), &params).unwrap();
+        assert_eq!(cands.len(), 4);
+        for (i, c) in cands.iter().enumerate() {
+            assert_eq!(c, &vec![set[i]]);
+            assert_eq!(query_index(&params, i, &[0]), i);
+        }
+    }
+
+    #[test]
+    fn wrong_length_location_set_rejected() {
+        let (mut sets, params) = example();
+        sets[2].pop();
+        assert!(matches!(
+            candidate_queries(&sets, &params),
+            Err(PpgnnError::BadLocationSet { user: 2, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside segment")]
+    fn query_index_validates_positions() {
+        let (_, params) = example();
+        let _ = query_index(&params, 0, &[2, 0]);
+    }
+}

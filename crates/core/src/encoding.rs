@@ -1,0 +1,148 @@
+//! Answer encoding (§3.2): each (possibly sanitized) answer is encoded as
+//! a fixed-length vector of `m` big integers `< N`, zero-padded so every
+//! column of the answer matrix `A` has the same height.
+//!
+//! Layout: record 0 is a count header (how many POIs the answer actually
+//! holds — needed because sanitation truncates different candidates to
+//! different lengths), followed by one 8-byte record per POI (quantized
+//! coordinates, as in §8.1).
+
+use ppgnn_bigint::BigUint;
+use ppgnn_geo::{Point, Poi};
+use ppgnn_paillier::packing::Packer;
+
+use crate::error::PpgnnError;
+
+/// Encoder/decoder for fixed-height answer columns.
+#[derive(Debug, Clone, Copy)]
+pub struct AnswerCodec {
+    packer: Packer,
+    /// Maximum POIs per answer (`k`).
+    k: usize,
+}
+
+impl AnswerCodec {
+    /// Creates a codec for answers of up to `k` POIs under a `key_bits`
+    /// modulus at Damgård–Jurik level `s`.
+    pub fn new(key_bits: usize, s: usize, k: usize) -> Self {
+        AnswerCodec { packer: Packer::new(key_bits, s), k }
+    }
+
+    /// The fixed column height `m` (count header + `k` records, packed).
+    pub fn column_height(&self) -> usize {
+        self.packer.packed_len(self.k + 1)
+    }
+
+    /// The per-answer payload capacity in POIs.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Encodes an answer (at most `k` POIs) into exactly
+    /// [`AnswerCodec::column_height`] integers.
+    ///
+    /// # Panics
+    /// Panics if `answer.len() > k`.
+    pub fn encode(&self, answer: &[Poi]) -> Vec<BigUint> {
+        assert!(
+            answer.len() <= self.k,
+            "answer of {} POIs exceeds k = {}",
+            answer.len(),
+            self.k
+        );
+        let mut records = Vec::with_capacity(self.k + 1);
+        records.push(answer.len() as u64);
+        records.extend(answer.iter().map(|p| p.encode_record()));
+        records.resize(self.k + 1, 0);
+        let packed = self.packer.pack(&records);
+        debug_assert_eq!(packed.len(), self.column_height());
+        packed
+    }
+
+    /// Decodes a column back into the POI locations it carries.
+    pub fn decode(&self, column: &[BigUint]) -> Result<Vec<Point>, PpgnnError> {
+        let records = self
+            .packer
+            .unpack(column, self.k + 1)
+            .map_err(|e| PpgnnError::BadAnswerEncoding(e.to_string()))?;
+        let count = records[0] as usize;
+        if count > self.k {
+            return Err(PpgnnError::BadAnswerEncoding(format!(
+                "count header {count} exceeds k = {}",
+                self.k
+            )));
+        }
+        Ok(records[1..=count].iter().map(|&r| Poi::decode_record(r)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> AnswerCodec {
+        AnswerCodec::new(256, 1, 8)
+    }
+
+    fn pois(n: usize) -> Vec<Poi> {
+        (0..n)
+            .map(|i| Poi::new(i as u32, Point::new(i as f64 / 10.0, 1.0 - i as f64 / 10.0)))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_full_answer() {
+        let c = codec();
+        let answer = pois(8);
+        let decoded = c.decode(&c.encode(&answer)).unwrap();
+        assert_eq!(decoded.len(), 8);
+        for (d, p) in decoded.iter().zip(&answer) {
+            assert!(d.dist(&p.location) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn roundtrip_truncated_answer() {
+        // Sanitation may return fewer than k POIs; count header handles it.
+        let c = codec();
+        for len in 0..=8 {
+            let answer = pois(len);
+            let decoded = c.decode(&c.encode(&answer)).unwrap();
+            assert_eq!(decoded.len(), len, "len={len}");
+        }
+    }
+
+    #[test]
+    fn column_height_is_uniform() {
+        let c = codec();
+        let h = c.column_height();
+        assert_eq!(c.encode(&pois(0)).len(), h);
+        assert_eq!(c.encode(&pois(8)).len(), h);
+        // 256-bit key → 3 records per integer; 9 records → 3 integers.
+        assert_eq!(h, 3);
+    }
+
+    #[test]
+    fn paper_scale_column_height() {
+        // 1024-bit key packs 15 records: k=8 → 9 records → m = 1 integer,
+        // matching the paper's "15 POIs … encoded by a big integer".
+        assert_eq!(AnswerCodec::new(1024, 1, 8).column_height(), 1);
+        assert_eq!(AnswerCodec::new(1024, 1, 14).column_height(), 1);
+        assert_eq!(AnswerCodec::new(1024, 1, 16).column_height(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds k")]
+    fn oversized_answer_panics() {
+        codec().encode(&pois(9));
+    }
+
+    #[test]
+    fn corrupt_count_header_rejected() {
+        let c = codec();
+        let mut col = c.encode(&pois(2));
+        // Overwrite the packed block holding the header with a huge count.
+        col[0] = BigUint::from(1000u64);
+        assert!(matches!(c.decode(&col), Err(PpgnnError::BadAnswerEncoding(_))));
+    }
+}

@@ -1,0 +1,167 @@
+//! The pluggable "query answering black box" of §1: "the proposed privacy
+//! preserving approach can be easily adopted to any group query because it
+//! treats the query answering (i.e., kGNN) as a black box."
+//!
+//! [`QueryEngine`] is that box. The default is [`MbmEngine`] (the MBM
+//! algorithm \[24\] over an R-tree, as in the paper's experiments); the
+//! brute-force oracle and any custom group query (e.g. a meeting-location
+//! determination algorithm for PPMLD — see `examples/ppmld.rs`) plug in
+//! the same way.
+
+use std::sync::RwLock;
+
+use ppgnn_geo::{group_knn_brute_force, Aggregate, DynamicRTree, Point, Poi, PoiId, RTree};
+
+/// A plaintext group-query answering engine.
+pub trait QueryEngine: Send + Sync {
+    /// Answers one candidate query: the best `k` POIs for the given
+    /// locations, best first.
+    fn answer(&self, query: &[Point], k: usize, agg: Aggregate) -> Vec<Poi>;
+
+    /// Number of POIs in the database (used for diagnostics only).
+    fn database_size(&self) -> usize;
+}
+
+/// The MBM group-kNN engine (R-tree best-first with aggregate MINDIST).
+#[derive(Debug, Clone)]
+pub struct MbmEngine {
+    tree: RTree,
+}
+
+impl MbmEngine {
+    /// Bulk-loads the database.
+    pub fn new(pois: Vec<Poi>) -> Self {
+        MbmEngine { tree: RTree::bulk_load(pois) }
+    }
+
+    /// The underlying R-tree.
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+}
+
+impl QueryEngine for MbmEngine {
+    fn answer(&self, query: &[Point], k: usize, agg: Aggregate) -> Vec<Poi> {
+        self.tree.group_knn(query, k, agg)
+    }
+
+    fn database_size(&self) -> usize {
+        self.tree.len()
+    }
+}
+
+/// An updatable engine: the `§1` dynamic-database claim in executable
+/// form. Insertions and deletions are O(1) amortized (buffered
+/// [`DynamicRTree`]), and the *next query* reflects them — no
+/// pre-computed answers exist to invalidate (contrast with
+/// `Apnn::insert`, which must recompute grid cells).
+#[derive(Debug)]
+pub struct DynamicMbmEngine {
+    tree: RwLock<DynamicRTree>,
+}
+
+impl DynamicMbmEngine {
+    /// Bulk-loads the initial database.
+    pub fn new(pois: Vec<Poi>) -> Self {
+        DynamicMbmEngine { tree: RwLock::new(DynamicRTree::new(pois)) }
+    }
+
+    /// Inserts a POI; visible to the next query.
+    pub fn insert(&self, poi: Poi) {
+        self.tree.write().expect("index lock").insert(poi);
+    }
+
+    /// Removes a POI by id; hidden from the next query.
+    pub fn remove(&self, id: PoiId) {
+        self.tree.write().expect("index lock").remove(id);
+    }
+}
+
+impl QueryEngine for DynamicMbmEngine {
+    fn answer(&self, query: &[Point], k: usize, agg: Aggregate) -> Vec<Poi> {
+        self.tree.read().expect("index lock").group_knn(query, k, agg)
+    }
+
+    fn database_size(&self) -> usize {
+        self.tree.read().expect("index lock").len()
+    }
+}
+
+/// Brute-force engine: exact by construction, O(D log D) per query.
+#[derive(Debug, Clone)]
+pub struct BruteForceEngine {
+    pois: Vec<Poi>,
+}
+
+impl BruteForceEngine {
+    /// Wraps the database.
+    pub fn new(pois: Vec<Poi>) -> Self {
+        BruteForceEngine { pois }
+    }
+}
+
+impl QueryEngine for BruteForceEngine {
+    fn answer(&self, query: &[Point], k: usize, agg: Aggregate) -> Vec<Poi> {
+        group_knn_brute_force(&self.pois, query, k, agg)
+    }
+
+    fn database_size(&self) -> usize {
+        self.pois.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Vec<Poi> {
+        (0..50)
+            .map(|i| Poi::new(i, Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 5.0)))
+            .collect()
+    }
+
+    #[test]
+    fn engines_agree() {
+        let mbm = MbmEngine::new(db());
+        let bf = BruteForceEngine::new(db());
+        let q = vec![Point::new(0.3, 0.3), Point::new(0.6, 0.7)];
+        for agg in Aggregate::ALL {
+            let a = mbm.answer(&q, 5, agg);
+            let b = bf.answer(&q, 5, agg);
+            assert_eq!(
+                a.iter().map(|p| p.id).collect::<Vec<_>>(),
+                b.iter().map(|p| p.id).collect::<Vec<_>>(),
+                "{agg}"
+            );
+        }
+    }
+
+    #[test]
+    fn database_size_reported() {
+        assert_eq!(MbmEngine::new(db()).database_size(), 50);
+        assert_eq!(BruteForceEngine::new(db()).database_size(), 50);
+    }
+
+    #[test]
+    fn dynamic_engine_reflects_updates() {
+        let engine = DynamicMbmEngine::new(db());
+        let q = vec![Point::new(0.123, 0.456)];
+        let before = engine.answer(&q, 1, Aggregate::Sum)[0];
+        engine.insert(Poi::new(777, q[0]));
+        let after = engine.answer(&q, 1, Aggregate::Sum)[0];
+        assert_eq!(after.id, 777, "insert visible to the next query");
+        engine.remove(777);
+        assert_eq!(engine.answer(&q, 1, Aggregate::Sum)[0].id, before.id);
+        assert_eq!(engine.database_size(), 50);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let engines: Vec<Box<dyn QueryEngine>> =
+            vec![Box::new(MbmEngine::new(db())), Box::new(BruteForceEngine::new(db()))];
+        for e in &engines {
+            let ans = e.answer(&[Point::new(0.0, 0.0)], 3, Aggregate::Sum);
+            assert_eq!(ans.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Protocol errors.
+
+use core::fmt;
+
+/// Errors raised while configuring or running the PPGNN protocols.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PpgnnError {
+    /// A configuration constraint of Definition 2.2 / §4.1 is violated.
+    InvalidConfig(String),
+    /// `δ > d^n`: no partition can produce enough candidate queries;
+    /// "a larger d should be specified by the users" (§4.1).
+    DeltaUnreachable { delta: usize, d: usize, n: usize },
+    /// A user submitted a location set of the wrong length.
+    BadLocationSet { user: usize, expected: usize, got: usize },
+    /// The encrypted indicator vector has the wrong length for the
+    /// candidate list.
+    BadIndicator { expected: usize, got: usize },
+    /// An answer could not be decoded (corrupt count header or packing).
+    BadAnswerEncoding(String),
+}
+
+impl fmt::Display for PpgnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpgnnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PpgnnError::DeltaUnreachable { delta, d, n } => write!(
+                f,
+                "delta = {delta} exceeds d^n = {d}^{n}; users must specify a larger d"
+            ),
+            PpgnnError::BadLocationSet { user, expected, got } => {
+                write!(f, "user {user} sent a location set of {got} locations, expected {expected}")
+            }
+            PpgnnError::BadIndicator { expected, got } => {
+                write!(f, "indicator vector has {got} components, expected {expected}")
+            }
+            PpgnnError::BadAnswerEncoding(msg) => write!(f, "bad answer encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PpgnnError {}

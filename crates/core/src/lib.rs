@@ -1,0 +1,80 @@
+//! # PPGNN — Privacy Preserving Group Nearest Neighbor Search
+//!
+//! A complete implementation of the protocols from *"Privacy Preserving
+//! Group Nearest Neighbor Search"* (EDBT 2018): a group of `n` users
+//! retrieves the top-`k` POIs minimizing a monotone aggregate distance
+//! from an LSP, under four privacy guarantees:
+//!
+//! * **Privacy I** — each user's location is hidden among `d` dummies;
+//! * **Privacy II** — the group query and answer are hidden among
+//!   `δ′ ≥ δ` candidate queries, resolved by Paillier private selection;
+//! * **Privacy III** — the users learn exactly the requested answer and
+//!   nothing else of the LSP's database;
+//! * **Privacy IV** — under *full user collusion*, every user's location
+//!   stays hidden in at least a `θ₀` fraction of the space, enforced by
+//!   LSP-side answer sanitation against the inequality attack.
+//!
+//! ## Architecture
+//!
+//! | module | paper | what it does |
+//! |---|---|---|
+//! | [`params`] | §2, Table 3 | configuration & validation |
+//! | [`partition`] | §4.1 Eqn 7–10 | exact partition-parameter solver |
+//! | [`candidate`] | §4.1, Eqn 12 | candidate-query list & query index |
+//! | [`stats`] | §5.3 | normal quantiles, Z-test, sample size (Eqn 16–17) |
+//! | [`sanitize`] | §5.2 | inequality attack & longest-safe-prefix search |
+//! | [`attack`] | §5.1 | the colluders' attack (for evaluation/tests) |
+//! | [`encoding`] | §3.2 | packing answers into integers `< N` |
+//! | [`engine`] | §1 | the pluggable "query answering black box" |
+//! | [`messages`] | §4.2 | wire messages with exact byte accounting |
+//! | [`lsp`] | Alg. 2 | LSP-side query processing |
+//! | [`protocol`] | Alg. 1 + §3/§4/§6 | the user/coordinator driver for PPGNN, PPGNN-OPT and Naive |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ppgnn_core::prelude::*;
+//! use ppgnn_geo::{Point, Poi};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! // LSP's database.
+//! let pois: Vec<Poi> = (0..100)
+//!     .map(|i| Poi::new(i, Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0)))
+//!     .collect();
+//! let lsp = Lsp::new(pois, PpgnnConfig { keysize: 128, d: 4, delta: 8, k: 2, ..PpgnnConfig::fast_test() });
+//! // Three users run the full protocol.
+//! let users = vec![Point::new(0.1, 0.1), Point::new(0.3, 0.1), Point::new(0.2, 0.4)];
+//! let run = run_ppgnn(&lsp, &users, &mut rng).unwrap();
+//! assert!(!run.answer.is_empty());
+//! ```
+
+pub mod attack;
+pub mod attack_exact;
+pub mod candidate;
+pub mod encoding;
+pub mod engine;
+pub mod error;
+pub mod lsp;
+pub mod messages;
+pub mod params;
+pub mod partition;
+pub mod partition_cache;
+pub mod protocol;
+pub mod sanitize;
+pub mod session;
+pub mod wire;
+pub mod stats;
+
+/// Convenient re-exports of the main API surface.
+pub mod prelude {
+    pub use crate::engine::{BruteForceEngine, DynamicMbmEngine, MbmEngine, QueryEngine};
+    pub use crate::error::PpgnnError;
+    pub use crate::lsp::Lsp;
+    pub use crate::params::{HypothesisConfig, PpgnnConfig, Variant};
+    pub use crate::protocol::{run_ppgnn, run_ppgnn_with_keys, ProtocolRun};
+    pub use crate::session::PpgnnSession;
+}
+
+pub use prelude::*;
+pub use protocol::opt_split;

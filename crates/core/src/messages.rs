@@ -1,0 +1,176 @@
+//! Wire messages with exact byte accounting.
+//!
+//! The simulation passes Rust structs around instead of serialized bytes,
+//! but every message knows its exact wire width so the communication
+//! ledger reproduces the paper's cost model: a location costs `L_l`
+//! bytes, an ε_s ciphertext `(s+1)·keysize/8` bytes, scalars 4 bytes.
+
+use ppgnn_geo::Point;
+use ppgnn_paillier::{EncryptedVector, PublicKey};
+use ppgnn_sim::{LOCATION_BYTES, SCALAR_BYTES};
+
+use crate::partition::PartitionParams;
+
+/// The encrypted indicator(s) sent by the coordinator.
+#[derive(Debug, Clone)]
+pub enum IndicatorPayload {
+    /// PPGNN / Naive: one ε₁ indicator of length `δ′`.
+    Plain(EncryptedVector),
+    /// PPGNN-OPT (§6): `[v₁]` (ε₁, length `δ′/ω`) selects the position
+    /// within a block, `[[v₂]]` (ε₂, length `ω`) selects the block.
+    TwoPhase {
+        inner: EncryptedVector,
+        outer: EncryptedVector,
+    },
+}
+
+impl IndicatorPayload {
+    /// Wire width in bytes.
+    pub fn byte_len(&self, pk: &PublicKey) -> usize {
+        match self {
+            IndicatorPayload::Plain(v) => v.len() * pk.ciphertext_bytes(1),
+            IndicatorPayload::TwoPhase { inner, outer } => {
+                inner.len() * pk.ciphertext_bytes(1) + outer.len() * pk.ciphertext_bytes(2)
+            }
+        }
+    }
+}
+
+/// The coordinator's query (Algorithm 1 line 11):
+/// `{k, pk, n̄, d̄, [v], θ₀}`.
+#[derive(Debug, Clone)]
+pub struct QueryMessage {
+    /// POIs to retrieve.
+    pub k: usize,
+    /// The Paillier public key.
+    pub pk: PublicKey,
+    /// Partition parameters; `None` for the Naive variant (aligned
+    /// candidate columns, no partitioning).
+    pub partition: Option<PartitionParams>,
+    /// Encrypted indicator vector(s).
+    pub indicator: IndicatorPayload,
+    /// Privacy IV parameter.
+    pub theta0: f64,
+}
+
+impl QueryMessage {
+    /// Wire width in bytes: `k` + pk (modulus) + partition vectors +
+    /// indicator ciphertexts + θ₀.
+    pub fn byte_len(&self) -> usize {
+        let partition_bytes = self
+            .partition
+            .as_ref()
+            .map(|p| (p.alpha() + p.beta() + 2) * SCALAR_BYTES)
+            .unwrap_or(0);
+        SCALAR_BYTES                       // k
+            + self.pk.key_bits().div_ceil(8) // pk modulus
+            + partition_bytes
+            + self.indicator.byte_len(&self.pk)
+            + 8                             // theta0 (f64)
+    }
+}
+
+/// One user's location set (Algorithm 1 line 15): `(i, L_i)`.
+#[derive(Debug, Clone)]
+pub struct LocationSetMessage {
+    /// The user's index in the group (lets LSP rebuild subgroups).
+    pub user_index: usize,
+    /// The locations, with the real one at the broadcast position.
+    pub locations: Vec<Point>,
+}
+
+impl LocationSetMessage {
+    /// Wire width: user id + locations.
+    pub fn byte_len(&self) -> usize {
+        SCALAR_BYTES + self.locations.len() * LOCATION_BYTES
+    }
+}
+
+/// LSP's reply: the privately selected encrypted answer `[a_*]`.
+#[derive(Debug, Clone)]
+pub enum AnswerMessage {
+    /// PPGNN / Naive: `m` ε₁ ciphertexts.
+    Plain(EncryptedVector),
+    /// PPGNN-OPT: `m` ε₂ ciphertexts (doubly-encrypted answer).
+    TwoPhase(EncryptedVector),
+}
+
+impl AnswerMessage {
+    /// Wire width in bytes.
+    pub fn byte_len(&self, pk: &PublicKey) -> usize {
+        match self {
+            AnswerMessage::Plain(v) => v.len() * pk.ciphertext_bytes(1),
+            AnswerMessage::TwoPhase(v) => v.len() * pk.ciphertext_bytes(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppgnn_paillier::{encrypt_indicator, generate_keypair, DjContext};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (PublicKey, DjContext, DjContext, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (pk, _) = generate_keypair(128, &mut rng);
+        let c1 = DjContext::new(&pk, 1);
+        let c2 = DjContext::new(&pk, 2);
+        (pk, c1, c2, rng)
+    }
+
+    #[test]
+    fn plain_indicator_bytes() {
+        let (pk, c1, _, mut rng) = setup();
+        let ind = IndicatorPayload::Plain(encrypt_indicator(10, 3, &c1, &mut rng));
+        // 128-bit key: ε₁ ciphertext = 32 bytes.
+        assert_eq!(ind.byte_len(&pk), 10 * 32);
+    }
+
+    #[test]
+    fn two_phase_indicator_bytes() {
+        let (pk, c1, c2, mut rng) = setup();
+        let ind = IndicatorPayload::TwoPhase {
+            inner: encrypt_indicator(5, 0, &c1, &mut rng),
+            outer: encrypt_indicator(2, 1, &c2, &mut rng),
+        };
+        // ε₂ ciphertext = 48 bytes: exactly 1.5× ε₁ (the paper rounds to 2×).
+        assert_eq!(ind.byte_len(&pk), 5 * 32 + 2 * 48);
+    }
+
+    #[test]
+    fn query_message_bytes_accumulate() {
+        let (pk, c1, _, mut rng) = setup();
+        let msg = QueryMessage {
+            k: 8,
+            pk: pk.clone(),
+            partition: Some(crate::partition::PartitionParams {
+                subgroup_sizes: vec![2, 2],
+                segment_sizes: vec![2, 2],
+            }),
+            indicator: IndicatorPayload::Plain(encrypt_indicator(8, 6, &c1, &mut rng)),
+            theta0: 0.05,
+        };
+        let expected = 4 + 16 + (2 + 2 + 2) * 4 + 8 * 32 + 8;
+        assert_eq!(msg.byte_len(), expected);
+    }
+
+    #[test]
+    fn location_set_bytes() {
+        let msg = LocationSetMessage {
+            user_index: 3,
+            locations: vec![Point::ORIGIN; 25],
+        };
+        assert_eq!(msg.byte_len(), 4 + 25 * 16);
+    }
+
+    #[test]
+    fn answer_bytes_by_level() {
+        let (pk, c1, c2, mut rng) = setup();
+        let plain = AnswerMessage::Plain(encrypt_indicator(3, 0, &c1, &mut rng));
+        assert_eq!(plain.byte_len(&pk), 3 * 32);
+        let two = AnswerMessage::TwoPhase(encrypt_indicator(3, 0, &c2, &mut rng));
+        assert_eq!(two.byte_len(&pk), 3 * 48);
+    }
+}

@@ -1,0 +1,225 @@
+//! Protocol configuration (the paper's Table 1/Table 3 parameters) and
+//! its validation against Definition 2.2.
+
+use ppgnn_geo::Aggregate;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PpgnnError;
+
+/// Which protocol variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// PPGNN (§4.2): single-level private selection.
+    Plain,
+    /// PPGNN-OPT (§6): two-phase selection with ε₁/ε₂ layering.
+    Opt,
+    /// Naive (§4): every user sends `δ` locations, no partitioning.
+    Naive,
+}
+
+/// Confidence parameters of the §5.3 hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HypothesisConfig {
+    /// Type-I error bound γ (missed attacks).
+    pub gamma: f64,
+    /// Type-II error bound η (false alarms).
+    pub eta: f64,
+    /// Ratio difference φ between θ₁ and θ₀: `θ₁ = (1+φ)·θ₀`.
+    pub phi: f64,
+}
+
+impl Default for HypothesisConfig {
+    /// The "commonly used" values of §5.3: γ = 0.05, η = 0.2, φ = 0.1.
+    fn default() -> Self {
+        HypothesisConfig { gamma: 0.05, eta: 0.2, phi: 0.1 }
+    }
+}
+
+/// Full protocol configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpgnnConfig {
+    /// POIs to retrieve, `k`.
+    pub k: usize,
+    /// Privacy I anonymity parameter `d > 1` (location-set size).
+    pub d: usize,
+    /// Privacy II anonymity parameter `δ ≥ d`.
+    pub delta: usize,
+    /// Privacy IV parameter `θ₀ ∈ (0, 1]`.
+    pub theta0: f64,
+    /// Paillier key size in bits (the paper's default: 1024).
+    pub keysize: usize,
+    /// Aggregate cost function `F` (the paper's experiments use `sum`).
+    pub aggregate: Aggregate,
+    /// Hypothesis-test confidence parameters.
+    pub hypothesis: HypothesisConfig,
+    /// Run answer sanitation (disable for PPGNN-NAS, the no-collusion
+    /// relaxation used as a baseline in §8.3.2)?
+    pub sanitize: bool,
+    /// Protocol variant.
+    pub variant: Variant,
+    /// Pre-compute encryption randomizers offline (the mobile-user
+    /// optimization: `r^{N^s}` is plaintext-independent, so an idle
+    /// device can prepare it before the query). When set, the pool
+    /// generation is *not* charged to the per-query user cost; the
+    /// `offline_randomizers` counter records how many were consumed.
+    pub offline_randomness: bool,
+}
+
+impl PpgnnConfig {
+    /// The paper's default group-query configuration (Table 3) at the
+    /// paper's 1024-bit key size.
+    pub fn paper_defaults() -> Self {
+        PpgnnConfig {
+            k: 8,
+            d: 25,
+            delta: 100,
+            theta0: 0.05,
+            keysize: 1024,
+            aggregate: Aggregate::Sum,
+            hypothesis: HypothesisConfig::default(),
+            sanitize: true,
+            variant: Variant::Plain,
+            offline_randomness: false,
+        }
+    }
+
+    /// A small-key configuration for fast tests: protocol-identical, just
+    /// a 128-bit toy modulus.
+    pub fn fast_test() -> Self {
+        PpgnnConfig { keysize: 128, ..Self::paper_defaults() }
+    }
+
+    /// Validates the configuration for a group of `n` users
+    /// (Definition 2.2 plus the `δ ≤ d^n` requirement of §4.1).
+    pub fn validate(&self, n: usize) -> Result<(), PpgnnError> {
+        if n == 0 {
+            return Err(PpgnnError::InvalidConfig("group size n must be >= 1".into()));
+        }
+        if self.k == 0 {
+            return Err(PpgnnError::InvalidConfig("k must be >= 1".into()));
+        }
+        if self.d < 2 {
+            return Err(PpgnnError::InvalidConfig(format!(
+                "Privacy I requires d > 1, got d = {}",
+                self.d
+            )));
+        }
+        if self.delta < self.d {
+            return Err(PpgnnError::InvalidConfig(format!(
+                "Privacy II requires delta >= d, got delta = {} < d = {}",
+                self.delta, self.d
+            )));
+        }
+        if !(self.theta0 > 0.0 && self.theta0 <= 1.0) {
+            return Err(PpgnnError::InvalidConfig(format!(
+                "theta0 must lie in (0, 1], got {}",
+                self.theta0
+            )));
+        }
+        // δ ≤ d^n, computed with saturation (d^n overflows fast).
+        let mut cap: u128 = 1;
+        for _ in 0..n {
+            cap = cap.saturating_mul(self.d as u128);
+            if cap >= self.delta as u128 {
+                break;
+            }
+        }
+        if cap < self.delta as u128 {
+            return Err(PpgnnError::DeltaUnreachable { delta: self.delta, d: self.d, n });
+        }
+        if self.keysize < 80 {
+            return Err(PpgnnError::InvalidConfig(format!(
+                "keysize {} is too small to pack one 64-bit answer record",
+                self.keysize
+            )));
+        }
+        let h = &self.hypothesis;
+        for (name, v) in [("gamma", h.gamma), ("eta", h.eta)] {
+            if !(v > 0.0 && v < 0.5) {
+                return Err(PpgnnError::InvalidConfig(format!(
+                    "hypothesis parameter {name} must lie in (0, 0.5), got {v}"
+                )));
+            }
+        }
+        if h.phi <= 0.0 {
+            return Err(PpgnnError::InvalidConfig("phi must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        PpgnnConfig::paper_defaults().validate(8).unwrap();
+        // n = 1 requires δ = d (Table 3's single-user scenario).
+        let single = PpgnnConfig { delta: 25, ..PpgnnConfig::fast_test() };
+        single.validate(1).unwrap();
+    }
+
+    #[test]
+    fn single_user_needs_delta_le_d() {
+        // n = 1: delta <= d^1 = d, and delta >= d, so delta == d.
+        let mut c = PpgnnConfig::fast_test();
+        c.d = 25;
+        c.delta = 25;
+        c.validate(1).unwrap();
+        c.delta = 26;
+        assert!(matches!(c.validate(1), Err(PpgnnError::DeltaUnreachable { .. })));
+    }
+
+    #[test]
+    fn delta_below_d_rejected() {
+        let mut c = PpgnnConfig::fast_test();
+        c.delta = c.d - 1;
+        assert!(c.validate(4).is_err());
+    }
+
+    #[test]
+    fn d_of_one_rejected() {
+        let mut c = PpgnnConfig::fast_test();
+        c.d = 1;
+        c.delta = 1;
+        assert!(c.validate(2).is_err());
+    }
+
+    #[test]
+    fn theta0_bounds() {
+        let mut c = PpgnnConfig::fast_test();
+        c.theta0 = 0.0;
+        assert!(c.validate(2).is_err());
+        c.theta0 = 1.0;
+        c.validate(2).unwrap();
+        c.theta0 = 1.5;
+        assert!(c.validate(2).is_err());
+    }
+
+    #[test]
+    fn huge_n_does_not_overflow_cap_check() {
+        let mut c = PpgnnConfig::fast_test();
+        c.delta = 200;
+        c.validate(1000).unwrap();
+    }
+
+    #[test]
+    fn zero_n_or_k_rejected() {
+        let c = PpgnnConfig::fast_test();
+        assert!(c.validate(0).is_err());
+        let mut c2 = c.clone();
+        c2.k = 0;
+        assert!(c2.validate(2).is_err());
+    }
+
+    #[test]
+    fn hypothesis_params_validated() {
+        let mut c = PpgnnConfig::fast_test();
+        c.hypothesis.gamma = 0.0;
+        assert!(c.validate(2).is_err());
+        let mut c2 = PpgnnConfig::fast_test();
+        c2.hypothesis.phi = -0.1;
+        assert!(c2.validate(2).is_err());
+    }
+}

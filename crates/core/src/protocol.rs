@@ -1,0 +1,453 @@
+//! The full protocol driver: Algorithm 1 (query generation), the LSP
+//! round (Algorithm 2), and answer decryption — for all three variants
+//! (PPGNN §4.2, PPGNN-OPT §6, Naive §4).
+//!
+//! The driver simulates every party on one machine while the
+//! [`CostLedger`] records exactly what each party computed and every byte
+//! each message would occupy on the wire.
+
+use ppgnn_geo::Point;
+use ppgnn_paillier::{
+    encrypt_indicator, encrypt_indicator_pooled, generate_keypair, Ciphertext, Decryptor,
+    DjContext, Keypair, RandomnessPool,
+};
+use ppgnn_sim::{CostLedger, CostReport, Party, SCALAR_BYTES};
+use rand::Rng;
+
+use crate::candidate::query_index;
+use crate::encoding::AnswerCodec;
+use crate::error::PpgnnError;
+use crate::lsp::Lsp;
+use crate::messages::{AnswerMessage, IndicatorPayload, LocationSetMessage, QueryMessage};
+use crate::params::Variant;
+use crate::partition::PartitionParams;
+use crate::partition_cache::solve_partition_cached;
+
+/// The outcome of one protocol run.
+#[derive(Debug, Clone)]
+pub struct ProtocolRun {
+    /// The decrypted answer: the (sanitized) top-`t` POI locations,
+    /// best first.
+    pub answer: Vec<Point>,
+    /// `t`: POIs actually returned (≤ k after sanitation — Figure 7).
+    pub pois_returned: usize,
+    /// `δ′`: candidate queries the LSP evaluated.
+    pub delta_prime: usize,
+    /// The aggregated cost report.
+    pub report: CostReport,
+    /// The ordered message transcript (who sent what, in order).
+    pub transcript: ppgnn_sim::Transcript,
+}
+
+/// Runs the configured protocol variant end to end, generating a fresh
+/// keypair (Algorithm 1 line 8).
+pub fn run_ppgnn<R: Rng + ?Sized>(
+    lsp: &Lsp,
+    real_locations: &[Point],
+    rng: &mut R,
+) -> Result<ProtocolRun, PpgnnError> {
+    run_ppgnn_with_keys(lsp, real_locations, None, rng)
+}
+
+/// Runs the protocol, optionally reusing a pre-generated keypair.
+///
+/// Key generation is part of Algorithm 1 and is timed as coordinator
+/// work when performed here; benchmarks that sweep hundreds of queries
+/// pass a shared keypair instead (and say so — see EXPERIMENTS.md).
+pub fn run_ppgnn_with_keys<R: Rng + ?Sized>(
+    lsp: &Lsp,
+    real_locations: &[Point],
+    keys: Option<&Keypair>,
+    rng: &mut R,
+) -> Result<ProtocolRun, PpgnnError> {
+    let config = lsp.config().clone();
+    let n = real_locations.len();
+    config.validate(n)?;
+    let mut ledger = CostLedger::new();
+
+    // ---- Coordinator: partition parameters, positions, query index ----
+    let coordinator_plan = ledger.time(Party::Coordinator, || -> Result<_, PpgnnError> {
+        match config.variant {
+            Variant::Plain | Variant::Opt => {
+                // §4.1: partition parameters for frequent (n, d, δ) are
+                // precomputed once; the memo realizes that assumption.
+                let params = solve_partition_cached(n, config.d, config.delta)?;
+                // Eqn 11: pick the segment with probability d̄_i / d.
+                let seg = weighted_segment(&params, config.d, rng);
+                let seg_size = params.segment_sizes[seg];
+                let x: Vec<usize> =
+                    (0..params.alpha()).map(|_| rng.gen_range(0..seg_size)).collect();
+                let qi = query_index(&params, seg, &x);
+                let offset = params.segment_offset(seg);
+                let positions: Vec<usize> =
+                    (0..n).map(|u| offset + x[params.subgroup_of(u)]).collect();
+                Ok((Some(params), positions, qi, config.d))
+            }
+            Variant::Naive => {
+                // Every user sends δ locations; reals share one position.
+                let pos = rng.gen_range(0..config.delta);
+                Ok((None, vec![pos; n], pos, config.delta))
+            }
+        }
+    })?;
+    let (partition, positions, qi, set_len) = coordinator_plan;
+    let delta_prime = partition
+        .as_ref()
+        .map(|p| p.delta_prime() as usize)
+        .unwrap_or(config.delta);
+
+    // Broadcast pos_j to the other users (Algorithm 1 line 7).
+    for u in 1..n {
+        ledger.record_msg_labeled(
+            Party::Coordinator, Party::User(u as u32), SCALAR_BYTES, "pos broadcast",
+        );
+    }
+
+    // ---- Coordinator: keys and encrypted indicator(s) ----
+    let owned_keys;
+    let (pk, sk) = match keys {
+        Some((pk, sk)) => (pk.clone(), sk),
+        None => {
+            owned_keys = ledger.time(Party::Coordinator, || generate_keypair(config.keysize, rng));
+            (owned_keys.0.clone(), &owned_keys.1)
+        }
+    };
+    let ctx1 = DjContext::new(&pk, 1);
+    // Offline phase (not charged to the per-query user cost): the
+    // mobile-user randomizer pools, when enabled.
+    let mut pools: Option<(RandomnessPool, Option<RandomnessPool>)> =
+        if config.offline_randomness {
+            match config.variant {
+                Variant::Plain | Variant::Naive => {
+                    let p = RandomnessPool::generate(&ctx1, delta_prime, rng);
+                    ledger.count("offline_randomizers", delta_prime as u64);
+                    Some((p, None))
+                }
+                Variant::Opt => {
+                    let (omega, block_size) = opt_split(delta_prime);
+                    let ctx2 = DjContext::new(&pk, 2);
+                    let p1 = RandomnessPool::generate(&ctx1, block_size, rng);
+                    let p2 = RandomnessPool::generate(&ctx2, omega, rng);
+                    ledger.count("offline_randomizers", (block_size + omega) as u64);
+                    Some((p1, Some(p2)))
+                }
+            }
+        } else {
+            None
+        };
+    let indicator = ledger.time(Party::Coordinator, || match config.variant {
+        Variant::Plain | Variant::Naive => {
+            let enc = match pools.as_mut() {
+                Some((pool, _)) => encrypt_indicator_pooled(delta_prime, qi, &ctx1, pool)
+                    .expect("pool sized to δ'"),
+                None => encrypt_indicator(delta_prime, qi, &ctx1, rng),
+            };
+            IndicatorPayload::Plain(enc)
+        }
+        Variant::Opt => {
+            let (omega, block_size) = opt_split(delta_prime);
+            let ctx2 = DjContext::new(&pk, 2);
+            match pools.as_mut() {
+                Some((p1, Some(p2))) => IndicatorPayload::TwoPhase {
+                    inner: encrypt_indicator_pooled(block_size, qi % block_size, &ctx1, p1)
+                        .expect("pool sized to the block"),
+                    outer: encrypt_indicator_pooled(omega, qi / block_size, &ctx2, p2)
+                        .expect("pool sized to ω"),
+                },
+                _ => IndicatorPayload::TwoPhase {
+                    inner: encrypt_indicator(block_size, qi % block_size, &ctx1, rng),
+                    outer: encrypt_indicator(omega, qi / block_size, &ctx2, rng),
+                },
+            }
+        }
+    });
+
+    let query = QueryMessage {
+        k: config.k,
+        pk: pk.clone(),
+        partition,
+        indicator,
+        theta0: config.theta0,
+    };
+    ledger.record_msg_labeled(Party::Coordinator, Party::Lsp, query.byte_len(), "query");
+
+    // ---- Every user: location set with the real location planted ----
+    let space = lsp.space();
+    let mut location_sets = Vec::with_capacity(n);
+    for (u, (&real, &pos)) in real_locations.iter().zip(&positions).enumerate() {
+        let party = Party::User(u as u32);
+        let msg = ledger.time(party, || {
+            let mut locations: Vec<Point> = (0..set_len - 1)
+                .map(|_| crate::attack::sample_point(&space, rng))
+                .collect();
+            locations.insert(pos, real);
+            LocationSetMessage { user_index: u, locations }
+        });
+        ledger.record_msg_labeled(party, Party::Lsp, msg.byte_len(), "location set");
+        location_sets.push(msg);
+    }
+
+    // ---- LSP: Algorithm 2 ----
+    let answer_msg = lsp.process_query(&query, &location_sets, &mut ledger, rng)?;
+    ledger.record_msg_labeled(Party::Lsp, Party::Coordinator, answer_msg.byte_len(&pk), "answer");
+
+    // ---- Coordinator: decryption (CRT-accelerated) ----
+    let codec = AnswerCodec::new(pk.key_bits(), 1, config.k);
+    let answer = ledger.time(Party::Coordinator, || match &answer_msg {
+        AnswerMessage::Plain(enc) => {
+            let dec1 = Decryptor::new(&ctx1, sk);
+            codec.decode(&dec1.decrypt_vector(&ctx1, enc))
+        }
+        AnswerMessage::TwoPhase(enc) => {
+            let ctx2 = DjContext::new(&pk, 2);
+            let dec1 = Decryptor::new(&ctx1, sk);
+            let dec2 = Decryptor::new(&ctx2, sk);
+            let inner_values: Vec<_> = enc
+                .elements()
+                .iter()
+                .map(|c| {
+                    let inner = dec2.decrypt(&ctx2, c);
+                    dec1.decrypt(&ctx1, &Ciphertext::from_parts(inner, 1))
+                })
+                .collect();
+            codec.decode(&inner_values)
+        }
+    })?;
+
+    // Broadcast the answer to the other users.
+    let answer_bytes = SCALAR_BYTES + 8 * answer.len();
+    for u in 1..n {
+        ledger.record_msg_labeled(
+            Party::Coordinator, Party::User(u as u32), answer_bytes, "answer broadcast",
+        );
+    }
+
+    let pois_returned = answer.len();
+    ledger.count("pois_returned", pois_returned as u64);
+    Ok(ProtocolRun {
+        answer,
+        pois_returned,
+        delta_prime,
+        report: ledger.report(),
+        transcript: ledger.transcript().clone(),
+    })
+}
+
+/// Eqn 11: sample a segment with probability `d̄_i / d`.
+fn weighted_segment<R: Rng + ?Sized>(params: &PartitionParams, d: usize, rng: &mut R) -> usize {
+    let mut pick = rng.gen_range(0..d);
+    for (i, &size) in params.segment_sizes.iter().enumerate() {
+        if pick < size {
+            return i;
+        }
+        pick -= size;
+    }
+    unreachable!("segment sizes sum to d")
+}
+
+/// §6: the communication-optimal split. `ω` is the nearest integer to
+/// `√(δ′/2)`; the inner vector covers `⌈δ′/ω⌉` columns per block.
+pub fn opt_split(delta_prime: usize) -> (usize, usize) {
+    let omega = ((delta_prime as f64 / 2.0).sqrt().round() as usize).max(1);
+    let block_size = delta_prime.div_ceil(omega);
+    (omega, block_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PpgnnConfig;
+    use ppgnn_geo::Poi;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn grid_db(side: u32) -> Vec<Poi> {
+        (0..side * side)
+            .map(|i| {
+                Poi::new(i, Point::new(
+                    (i % side) as f64 / side as f64,
+                    (i / side) as f64 / side as f64,
+                ))
+            })
+            .collect()
+    }
+
+    fn base_config(variant: Variant) -> PpgnnConfig {
+        PpgnnConfig {
+            k: 3,
+            d: 4,
+            delta: 8,
+            keysize: 128,
+            sanitize: false,
+            variant,
+            ..PpgnnConfig::fast_test()
+        }
+    }
+
+    fn check_answer_correct(run: &ProtocolRun, lsp: &Lsp, users: &[Point]) {
+        let expected = lsp.plaintext_answer(users, lsp.config().k);
+        assert_eq!(run.answer.len(), expected.len());
+        for (got, want) in run.answer.iter().zip(&expected) {
+            assert!(got.dist(&want.location) < 1e-6, "answer mismatch");
+        }
+    }
+
+    #[test]
+    fn plain_variant_exact_answer() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let lsp = Lsp::new(grid_db(10), base_config(Variant::Plain));
+        let users = vec![Point::new(0.2, 0.3), Point::new(0.4, 0.1), Point::new(0.3, 0.5)];
+        let run = run_ppgnn(&lsp, &users, &mut rng).unwrap();
+        check_answer_correct(&run, &lsp, &users);
+        assert!(run.delta_prime >= 8);
+        assert!(run.report.comm_bytes_total > 0);
+        assert!(run.report.user_cpu_secs > 0.0);
+        assert!(run.report.lsp_cpu_secs > 0.0);
+    }
+
+    #[test]
+    fn opt_variant_exact_answer() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let lsp = Lsp::new(grid_db(10), base_config(Variant::Opt));
+        let users = vec![Point::new(0.8, 0.8), Point::new(0.6, 0.9)];
+        let run = run_ppgnn(&lsp, &users, &mut rng).unwrap();
+        check_answer_correct(&run, &lsp, &users);
+    }
+
+    #[test]
+    fn naive_variant_exact_answer() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let lsp = Lsp::new(grid_db(10), base_config(Variant::Naive));
+        let users = vec![Point::new(0.1, 0.9), Point::new(0.2, 0.8)];
+        let run = run_ppgnn(&lsp, &users, &mut rng).unwrap();
+        check_answer_correct(&run, &lsp, &users);
+        assert_eq!(run.delta_prime, 8); // Naive evaluates exactly δ columns
+    }
+
+    #[test]
+    fn single_user_reduces_to_section_3() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut cfg = base_config(Variant::Plain);
+        cfg.delta = cfg.d; // δ = d when n = 1
+        let lsp = Lsp::new(grid_db(10), cfg);
+        let users = vec![Point::new(0.55, 0.55)];
+        let run = run_ppgnn(&lsp, &users, &mut rng).unwrap();
+        check_answer_correct(&run, &lsp, &users);
+        assert_eq!(run.delta_prime, 4);
+    }
+
+    #[test]
+    fn shared_keys_accepted() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let keys = generate_keypair(128, &mut rng);
+        let lsp = Lsp::new(grid_db(10), base_config(Variant::Plain));
+        let users = vec![Point::new(0.3, 0.3), Point::new(0.5, 0.5)];
+        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+        check_answer_correct(&run, &lsp, &users);
+    }
+
+    #[test]
+    fn many_random_runs_always_correct() {
+        // The planted position, segment choice and query index are random;
+        // hammer the protocol to cover many (seg, x) combinations.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let keys = generate_keypair(128, &mut rng);
+        let lsp = Lsp::new(grid_db(8), base_config(Variant::Plain));
+        for i in 0..10 {
+            let users: Vec<Point> = (0..4)
+                .map(|j| Point::new(((i * 4 + j) % 7) as f64 / 7.0, ((i + j) % 5) as f64 / 5.0))
+                .collect();
+            let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+            check_answer_correct(&run, &lsp, &users);
+        }
+    }
+
+    #[test]
+    fn offline_randomness_still_exact_and_cheaper_online() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let keys = generate_keypair(256, &mut rng);
+        let users = vec![Point::new(0.2, 0.3), Point::new(0.7, 0.1)];
+        let pois = grid_db(10);
+        let mut online = Vec::new();
+        for offline_randomness in [false, true] {
+            let cfg = PpgnnConfig {
+                keysize: 256,
+                offline_randomness,
+                d: 5,
+                delta: 25,
+                ..base_config(Variant::Plain)
+            };
+            let lsp = Lsp::new(pois.clone(), cfg);
+            let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+            check_answer_correct(&run, &lsp, &users);
+            if offline_randomness {
+                assert_eq!(run.report.counters["offline_randomizers"], 25);
+            }
+            online.push(run.report.user_cpu_secs);
+        }
+        assert!(
+            online[1] < online[0],
+            "pooled online cost {} must undercut full encryption {}",
+            online[1],
+            online[0]
+        );
+    }
+
+    #[test]
+    fn offline_randomness_with_opt_variant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let keys = generate_keypair(128, &mut rng);
+        let users = vec![Point::new(0.4, 0.4), Point::new(0.5, 0.6)];
+        let cfg = PpgnnConfig {
+            offline_randomness: true,
+            ..base_config(Variant::Opt)
+        };
+        let lsp = Lsp::new(grid_db(10), cfg);
+        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+        check_answer_correct(&run, &lsp, &users);
+        assert!(run.report.counters["offline_randomizers"] > 0);
+    }
+
+    #[test]
+    fn opt_split_is_near_sqrt() {
+        for dp in [1usize, 2, 8, 50, 100, 200] {
+            let (omega, block) = opt_split(dp);
+            assert!(omega * block >= dp, "grid must cover δ′ = {dp}");
+            assert!(omega >= 1 && block >= 1);
+        }
+        assert_eq!(opt_split(8).0, 2); // √(8/2) = 2 exactly (Figure 4)
+        assert_eq!(opt_split(8).1, 4);
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_any_crypto() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut cfg = base_config(Variant::Plain);
+        cfg.delta = 100; // > d^n for n=2, d=4 ⇒ 16
+        let lsp = Lsp::new(grid_db(5), cfg);
+        let users = vec![Point::ORIGIN, Point::new(0.5, 0.5)];
+        assert!(matches!(
+            run_ppgnn(&lsp, &users, &mut rng),
+            Err(PpgnnError::DeltaUnreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn sanitation_reduces_or_keeps_answer_length() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut cfg = base_config(Variant::Plain);
+        cfg.sanitize = true;
+        cfg.theta0 = 0.3; // aggressive: expect truncation
+        cfg.k = 6;
+        let lsp = Lsp::new(grid_db(10), cfg);
+        let users = vec![Point::new(0.3, 0.4), Point::new(0.6, 0.5)];
+        let run = run_ppgnn(&lsp, &users, &mut rng).unwrap();
+        assert!(run.pois_returned <= 6);
+        assert!(run.pois_returned >= 1);
+        // The returned prefix must equal the head of the plaintext answer.
+        let expected = lsp.plaintext_answer(&users, 6);
+        for (got, want) in run.answer.iter().zip(&expected) {
+            assert!(got.dist(&want.location) < 1e-6);
+        }
+    }
+}

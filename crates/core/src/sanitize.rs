@@ -1,0 +1,372 @@
+//! Answer sanitation (§5.2–5.3): LSP returns the longest prefix of the
+//! top-k answer that keeps Privacy IV under full user collusion.
+//!
+//! For every prefix and every possible target user, LSP *simulates* the
+//! inequality attack: it samples `N_H` uniform points (Theorem 5.1 fixes
+//! `N_H` from `(θ₀, γ, η, φ)`), counts how many satisfy the prefix's
+//! inequalities, and accepts the prefix only when the Z-test (Eqn 16)
+//! rejects `H₀: θ ≤ θ₀` for *every* target.
+//!
+//! Implementation note: extending a safe prefix from length `t−1` to `t`
+//! adds exactly one inequality, so each target keeps its set of
+//! still-feasible samples and filters it incrementally — total work is
+//! `O(n · N_H · k)` single-inequality tests per answer instead of the
+//! naive `O(n · N_H · k²)`.
+
+use ppgnn_geo::{Aggregate, Point, Poi, Rect};
+use rand::Rng;
+
+use crate::attack::{sample_point, InequalitySystem};
+use crate::params::HypothesisConfig;
+use crate::stats::{reject_h0, sample_size};
+
+/// How the sanitizer draws its `N_H` test points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Independent uniform pseudo-random samples — the paper's method.
+    Pseudo,
+    /// A randomly-shifted Halton (2, 3) low-discrepancy sequence: the
+    /// same Z-test with quasi-Monte-Carlo error `O(log N / N)` instead
+    /// of `O(1/√N)` — an ablation on the §5.3 design choice.
+    Halton,
+}
+
+/// LSP-side sanitizer for a fixed privacy configuration.
+#[derive(Debug, Clone)]
+pub struct Sanitizer {
+    theta0: f64,
+    gamma: f64,
+    n_samples: u64,
+    space: Rect,
+    sampler: SamplerKind,
+}
+
+/// Van der Corput radical inverse in the given base.
+fn radical_inverse(mut i: u64, base: u64) -> f64 {
+    let mut inv = 1.0 / base as f64;
+    let mut result = 0.0;
+    while i > 0 {
+        result += (i % base) as f64 * inv;
+        i /= base;
+        inv /= base as f64;
+    }
+    result
+}
+
+impl Sanitizer {
+    /// Builds a sanitizer; `N_H` is derived from Theorem 5.1.
+    pub fn new(theta0: f64, hypothesis: &HypothesisConfig, space: Rect) -> Self {
+        let n_samples = sample_size(theta0, hypothesis.gamma, hypothesis.eta, hypothesis.phi);
+        Sanitizer { theta0, gamma: hypothesis.gamma, n_samples, space, sampler: SamplerKind::Pseudo }
+    }
+
+    /// Switches the sampling strategy.
+    pub fn with_sampler(mut self, sampler: SamplerKind) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Draws the `N_H` test points for one target.
+    fn draw_samples<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Point> {
+        match self.sampler {
+            SamplerKind::Pseudo => (0..self.n_samples)
+                .map(|_| sample_point(&self.space, rng))
+                .collect(),
+            SamplerKind::Halton => {
+                // Cranley–Patterson rotation keeps the sequence
+                // unpredictable to an adversary while preserving the
+                // low-discrepancy structure.
+                let (sx, sy): (f64, f64) = (rng.gen(), rng.gen());
+                (0..self.n_samples)
+                    .map(|i| {
+                        let x = (radical_inverse(i + 1, 2) + sx).fract();
+                        let y = (radical_inverse(i + 1, 3) + sy).fract();
+                        Point::new(
+                            self.space.min_x + x * self.space.width(),
+                            self.space.min_y + y * self.space.height(),
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The Monte-Carlo sample size `N_H` in use (Eqn 17).
+    pub fn sample_count(&self) -> u64 {
+        self.n_samples
+    }
+
+    /// The longest safe prefix length `t ∈ [min(1, len), len]` for the
+    /// ranked `answer` to the candidate query at `query_locations`.
+    ///
+    /// A prefix is safe when, for every target user, the Z-test rejects
+    /// `H₀: θ ≤ θ₀` — i.e. LSP is confident the target stays hidden in
+    /// more than a `θ₀` fraction of the space.
+    pub fn safe_prefix_len<R: Rng + ?Sized>(
+        &self,
+        answer: &[Poi],
+        query_locations: &[Point],
+        agg: Aggregate,
+        rng: &mut R,
+    ) -> usize {
+        if answer.len() <= 1 {
+            return answer.len(); // {p₁} is always safe (§5.2)
+        }
+        let n = query_locations.len();
+        if n <= 1 {
+            // Privacy IV only applies to groups (Definition 2.2).
+            return answer.len();
+        }
+
+        // One inequality system + surviving-sample set per target user.
+        let mut targets: Vec<(InequalitySystem, Vec<Point>)> = (0..n)
+            .map(|target| {
+                let colluders: Vec<Point> = query_locations
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != target)
+                    .map(|(_, p)| *p)
+                    .collect();
+                let system = InequalitySystem::new(answer, &colluders, agg);
+                let samples = self.draw_samples(rng);
+                (system, samples)
+            })
+            .collect();
+
+        for t in 2..=answer.len() {
+            let new_ineq = t - 2; // F(p_{t-1}) ≤ F(p_t), 0-based
+            let mut all_safe = true;
+            for (system, survivors) in targets.iter_mut() {
+                survivors.retain(|x| system.satisfies(new_ineq, x));
+                if !reject_h0(survivors.len() as u64, self.n_samples, self.theta0, self.gamma) {
+                    all_safe = false;
+                    // Keep filtering the other targets? No — once any
+                    // target is exposed the prefix is rejected outright.
+                    break;
+                }
+            }
+            if !all_safe {
+                return t - 1;
+            }
+        }
+        answer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sanitizer(theta0: f64) -> Sanitizer {
+        Sanitizer::new(theta0, &HypothesisConfig::default(), Rect::UNIT)
+    }
+
+    /// Builds a correctly-ranked answer for the given group.
+    fn ranked_answer(pois: &mut [Poi], query: &[Point], agg: Aggregate) -> Vec<Poi> {
+        pois.sort_by(|a, b| {
+            agg.eval(&a.location, query).total_cmp(&agg.eval(&b.location, query))
+        });
+        pois.to_vec()
+    }
+
+    #[test]
+    fn sample_size_matches_theorem() {
+        let s = sanitizer(0.05);
+        assert_eq!(
+            s.sample_count(),
+            sample_size(0.05, 0.05, 0.2, 0.1)
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_answers_pass_through() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = sanitizer(0.05);
+        let q = vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9)];
+        assert_eq!(s.safe_prefix_len(&[], &q, Aggregate::Sum, &mut rng), 0);
+        let one = [Poi::new(0, Point::new(0.5, 0.5))];
+        assert_eq!(s.safe_prefix_len(&one, &q, Aggregate::Sum, &mut rng), 1);
+    }
+
+    #[test]
+    fn single_user_group_skips_sanitation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let s = sanitizer(0.05);
+        let answer: Vec<Poi> = (0..5)
+            .map(|i| Poi::new(i, Point::new(i as f64 / 5.0, 0.5)))
+            .collect();
+        assert_eq!(
+            s.safe_prefix_len(&answer, &[Point::new(0.0, 0.5)], Aggregate::Sum, &mut rng),
+            5
+        );
+    }
+
+    #[test]
+    fn tight_theta0_permits_longer_prefixes() {
+        // A smaller θ0 is a weaker requirement on the attacker's region,
+        // so prefixes stay safe longer (Figure 7c's trend).
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let query: Vec<Point> = vec![
+            Point::new(0.2, 0.3), Point::new(0.7, 0.6),
+            Point::new(0.4, 0.8), Point::new(0.6, 0.2),
+        ];
+        let mut pois: Vec<Poi> = (0..16)
+            .map(|i| {
+                Poi::new(i, Point::new(((i * 7) % 16) as f64 / 16.0, ((i * 5) % 16) as f64 / 16.0))
+            })
+            .collect();
+        let answer = ranked_answer(&mut pois, &query, Aggregate::Sum);
+
+        let loose = sanitizer(0.30).safe_prefix_len(&answer, &query, Aggregate::Sum, &mut rng);
+        let tight = sanitizer(0.01).safe_prefix_len(&answer, &query, Aggregate::Sum, &mut rng);
+        assert!(tight >= loose, "θ0=0.01 gave {tight}, θ0=0.3 gave {loose}");
+    }
+
+    #[test]
+    fn full_answer_safe_when_region_stays_large() {
+        // POIs clustered in a tiny blob far from the group: their relative
+        // order conveys almost nothing about any single user, so the whole
+        // answer should survive at a modest θ0.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let query = vec![Point::new(0.1, 0.1), Point::new(0.12, 0.13), Point::new(0.09, 0.14)];
+        let mut pois: Vec<Poi> = (0..4)
+            .map(|i| Poi::new(i, Point::new(0.9 + (i as f64) * 1e-6, 0.9)))
+            .collect();
+        let answer = ranked_answer(&mut pois, &query, Aggregate::Sum);
+        let len = sanitizer(0.001).safe_prefix_len(&answer, &query, Aggregate::Sum, &mut rng);
+        assert_eq!(len, 4);
+    }
+
+    #[test]
+    fn prefix_shrinks_when_answer_pins_target() {
+        // A long, informative ranked answer around a 2-user group at a
+        // strict θ0 must be truncated.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let query = vec![Point::new(0.3, 0.5), Point::new(0.7, 0.5)];
+        let mut pois: Vec<Poi> = (0..32)
+            .map(|i| {
+                Poi::new(i, Point::new(((i * 13) % 32) as f64 / 32.0, ((i * 11) % 32) as f64 / 32.0))
+            })
+            .collect();
+        let answer = ranked_answer(&mut pois, &query, Aggregate::Sum);
+        let len = sanitizer(0.5).safe_prefix_len(&answer, &query, Aggregate::Sum, &mut rng);
+        assert!(len < 32, "a 32-POI ranked answer cannot keep θ > 0.5");
+        assert!(len >= 1);
+    }
+
+    #[test]
+    fn sanitized_prefix_defeats_the_attack() {
+        // End-to-end §5.4 check: after sanitation, the colluders' region
+        // estimate stays above θ0 for every target.
+        use crate::attack::feasible_region_fraction;
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let theta0 = 0.10;
+        let query = vec![
+            Point::new(0.25, 0.4), Point::new(0.65, 0.7), Point::new(0.5, 0.15),
+        ];
+        let mut pois: Vec<Poi> = (0..24)
+            .map(|i| {
+                Poi::new(i, Point::new(((i * 17) % 24) as f64 / 24.0, ((i * 7) % 24) as f64 / 24.0))
+            })
+            .collect();
+        let answer = ranked_answer(&mut pois, &query, Aggregate::Sum);
+        let len = sanitizer(theta0).safe_prefix_len(&answer, &query, Aggregate::Sum, &mut rng);
+        let safe = &answer[..len];
+        for target in 0..query.len() {
+            let colluders: Vec<Point> = query
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != target)
+                .map(|(_, p)| *p)
+                .collect();
+            let theta = feasible_region_fraction(
+                safe, &colluders, Aggregate::Sum, &Rect::UNIT, 20_000, &mut rng,
+            );
+            // γ = 0.05 Type-I error: allow a little statistical slack.
+            assert!(theta > theta0 * 0.8, "target {target} exposed: θ = {theta}");
+        }
+    }
+
+    #[test]
+    fn halton_sampler_agrees_with_pseudo() {
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let query = vec![Point::new(0.3, 0.4), Point::new(0.7, 0.5), Point::new(0.5, 0.8)];
+        let mut pois: Vec<Poi> = (0..12)
+            .map(|i| Poi::new(i, Point::new(((i * 5) % 12) as f64 / 12.0, ((i * 7) % 12) as f64 / 12.0)))
+            .collect();
+        let answer = ranked_answer(&mut pois, &query, Aggregate::Sum);
+        let pseudo = sanitizer(0.05).safe_prefix_len(&answer, &query, Aggregate::Sum, &mut rng);
+        let halton = sanitizer(0.05)
+            .with_sampler(SamplerKind::Halton)
+            .safe_prefix_len(&answer, &query, Aggregate::Sum, &mut rng);
+        // The estimators target the same θ; prefixes may differ by at
+        // most the boundary step.
+        assert!((pseudo as i64 - halton as i64).abs() <= 1, "{pseudo} vs {halton}");
+    }
+
+    #[test]
+    fn halton_estimates_area_more_accurately() {
+        // Quasi-MC beats pseudo-MC at equal sample count on a smooth
+        // indicator: estimate the area of an axis-aligned box.
+        let inside = |p: &Point| p.x < 0.37 && p.y < 0.61;
+        let exact = 0.37 * 0.61;
+        let n = 4096u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = Sanitizer {
+            theta0: 0.05,
+            gamma: 0.05,
+            n_samples: n,
+            space: Rect::UNIT,
+            sampler: SamplerKind::Halton,
+        };
+        let halton_pts = s.draw_samples(&mut rng);
+        let halton_est =
+            halton_pts.iter().filter(|p| inside(p)).count() as f64 / n as f64;
+        let mut pseudo_err_sum = 0.0;
+        for seed in 0..5 {
+            let mut prng = ChaCha8Rng::seed_from_u64(100 + seed);
+            let pseudo_pts: Vec<Point> =
+                (0..n).map(|_| crate::attack::sample_point(&Rect::UNIT, &mut prng)).collect();
+            let est = pseudo_pts.iter().filter(|p| inside(p)).count() as f64 / n as f64;
+            pseudo_err_sum += (est - exact).abs();
+        }
+        let pseudo_err = pseudo_err_sum / 5.0;
+        assert!(
+            (halton_est - exact).abs() < pseudo_err * 2.0,
+            "halton err {} should rival pseudo err {pseudo_err}",
+            (halton_est - exact).abs()
+        );
+    }
+
+    #[test]
+    fn radical_inverse_properties() {
+        assert_eq!(radical_inverse(0, 2), 0.0);
+        assert_eq!(radical_inverse(1, 2), 0.5);
+        assert_eq!(radical_inverse(2, 2), 0.25);
+        assert_eq!(radical_inverse(3, 2), 0.75);
+        assert!((radical_inverse(1, 3) - 1.0 / 3.0).abs() < 1e-12);
+        for i in 0..100 {
+            let v = radical_inverse(i, 5);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn monotone_in_prefix_length() {
+        // If prefix t is reported safe, every shorter prefix must be safe
+        // too — the search stops at the first unsafe extension, so the
+        // reported length is well-defined.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let query = vec![Point::new(0.4, 0.4), Point::new(0.6, 0.6)];
+        let mut pois: Vec<Poi> = (0..12)
+            .map(|i| Poi::new(i, Point::new((i as f64) / 12.0, ((i * 3) % 12) as f64 / 12.0)))
+            .collect();
+        let answer = ranked_answer(&mut pois, &query, Aggregate::Sum);
+        let s = sanitizer(0.05);
+        let len_full = s.safe_prefix_len(&answer, &query, Aggregate::Sum, &mut rng);
+        let len_clipped = s.safe_prefix_len(&answer[..len_full], &query, Aggregate::Sum, &mut rng);
+        assert_eq!(len_clipped, len_full);
+    }
+}

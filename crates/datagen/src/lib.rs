@@ -1,0 +1,21 @@
+//! Synthetic datasets and query workloads.
+//!
+//! The paper evaluates on the **Sequoia** dataset: 62 556 POIs from
+//! California, normalized into a square space, with user locations drawn
+//! uniformly at random from that space. The original download link is
+//! dead, so [`sequoia_like`] generates a deterministic synthetic stand-in:
+//! a Gaussian-mixture over the unit square whose heavy clustering mimics
+//! California's metro areas (see DESIGN.md §3 for the substitution
+//! rationale). All protocol and cost behaviour in the paper depends only
+//! on the normalized space, the cardinality, and clustered density — all
+//! preserved here.
+
+mod dummy;
+mod loader;
+mod sequoia;
+mod workload;
+
+pub use dummy::{DummyGenerator, DummyStrategy};
+pub use loader::{load_poi_csv, normalize_to_unit_square, parse_poi_csv, LoadError};
+pub use sequoia::{sequoia_like, uniform_pois, SEQUOIA_SIZE};
+pub use workload::{QuerySpec, Workload};

@@ -1,0 +1,189 @@
+//! Loading a real POI dataset from disk.
+//!
+//! The paper's Sequoia download link is dead, but deployments that do
+//! have the file (or any other `x,y[,name]` CSV) can drop it in: this
+//! loader parses it, normalizes the coordinates into the unit square
+//! (exactly the paper's normalization step), and hands back the same
+//! `Vec<Poi>` shape as the synthetic generator.
+
+use std::io::BufRead;
+use std::path::Path;
+
+use ppgnn_geo::{Point, Poi};
+
+/// Errors raised while loading a POI CSV.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number, message).
+    Parse(usize, String),
+    /// Fewer than two points: normalization is undefined.
+    TooFewPoints(usize),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            LoadError::TooFewPoints(n) => {
+                write!(f, "dataset has {n} points; need at least 2 to normalize")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parses `x,y[,anything…]` lines (blank lines and `#` comments skipped).
+pub fn parse_poi_csv<R: BufRead>(reader: R) -> Result<Vec<Point>, LoadError> {
+    let mut raw = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let x: f64 = fields
+            .next()
+            .ok_or_else(|| LoadError::Parse(idx + 1, "missing x".into()))?
+            .trim()
+            .parse()
+            .map_err(|e| LoadError::Parse(idx + 1, format!("bad x: {e}")))?;
+        let y: f64 = fields
+            .next()
+            .ok_or_else(|| LoadError::Parse(idx + 1, "missing y".into()))?
+            .trim()
+            .parse()
+            .map_err(|e| LoadError::Parse(idx + 1, format!("bad y: {e}")))?;
+        raw.push(Point::new(x, y));
+    }
+    Ok(raw)
+}
+
+/// Normalizes raw coordinates into the unit square, preserving aspect
+/// ratio on the dominant axis (the paper's "normalized into a square
+/// space").
+pub fn normalize_to_unit_square(raw: &[Point]) -> Result<Vec<Poi>, LoadError> {
+    if raw.len() < 2 {
+        return Err(LoadError::TooFewPoints(raw.len()));
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in raw {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let scale = (max_x - min_x).max(max_y - min_y);
+    if scale <= 0.0 {
+        return Err(LoadError::TooFewPoints(1)); // all points identical
+    }
+    Ok(raw
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            Poi::new(
+                i as u32,
+                Point::new((p.x - min_x) / scale, (p.y - min_y) / scale),
+            )
+        })
+        .collect())
+}
+
+/// Loads and normalizes a POI CSV file.
+pub fn load_poi_csv(path: &Path) -> Result<Vec<Poi>, LoadError> {
+    let file = std::fs::File::open(path)?;
+    let raw = parse_poi_csv(std::io::BufReader::new(file))?;
+    normalize_to_unit_square(&raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_simple_csv() {
+        let csv = "1.0,2.0\n3.5,4.5,Some Name\n\n# comment\n5.0, 6.0\n";
+        let pts = parse_poi_csv(Cursor::new(csv)).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1], Point::new(3.5, 4.5));
+        assert_eq!(pts[2], Point::new(5.0, 6.0));
+    }
+
+    #[test]
+    fn rejects_malformed_line() {
+        let err = parse_poi_csv(Cursor::new("1.0,2.0\nnot,a number\n")).unwrap_err();
+        assert!(matches!(err, LoadError::Parse(2, _)), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_column() {
+        let err = parse_poi_csv(Cursor::new("42\n")).unwrap_err();
+        assert!(err.to_string().contains("bad y") || err.to_string().contains("missing y"));
+    }
+
+    #[test]
+    fn normalization_fits_unit_square() {
+        // California-ish longitudes/latitudes.
+        let raw = vec![
+            Point::new(-124.4, 32.5),
+            Point::new(-114.1, 42.0),
+            Point::new(-120.0, 37.2),
+        ];
+        let pois = normalize_to_unit_square(&raw).unwrap();
+        for p in &pois {
+            assert!(p.location.x >= 0.0 && p.location.x <= 1.0);
+            assert!(p.location.y >= 0.0 && p.location.y <= 1.0);
+        }
+        // Aspect ratio preserved: relative x-distances scale uniformly.
+        let dx_raw = (raw[1].x - raw[0].x).abs();
+        let dy_raw = (raw[1].y - raw[0].y).abs();
+        let dx = (pois[1].location.x - pois[0].location.x).abs();
+        let dy = (pois[1].location.y - pois[0].location.y).abs();
+        assert!((dx / dy - dx_raw / dy_raw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(matches!(
+            normalize_to_unit_square(&[Point::new(1.0, 1.0)]),
+            Err(LoadError::TooFewPoints(1))
+        ));
+        assert!(normalize_to_unit_square(&[]).is_err());
+    }
+
+    #[test]
+    fn identical_points_rejected() {
+        let raw = vec![Point::new(5.0, 5.0); 3];
+        assert!(normalize_to_unit_square(&raw).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ppgnn_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pois.csv");
+        std::fs::write(&path, "0.0,0.0\n10.0,5.0\n5.0,10.0\n").unwrap();
+        let pois = load_poi_csv(&path).unwrap();
+        assert_eq!(pois.len(), 3);
+        assert_eq!(pois[0].id, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_poi_csv(Path::new("/nonexistent/x.csv")).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+}

@@ -1,0 +1,146 @@
+//! The synthetic Sequoia-like POI generator.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use ppgnn_geo::{Point, Poi, Rect};
+
+/// Cardinality of the real Sequoia dataset (62 556 California POIs).
+pub const SEQUOIA_SIZE: usize = 62_556;
+
+/// Relative sizes and shapes of the synthetic "metro area" clusters.
+/// Roughly inspired by California's population geography after the
+/// dataset's normalization into the unit square: a handful of dense
+/// clusters plus a diffuse background along a coastal band.
+const CLUSTERS: [(f64, f64, f64, f64); 6] = [
+    // (center_x, center_y, std_dev, weight)
+    (0.22, 0.75, 0.05, 0.30), // bay-area-like dense cluster
+    (0.55, 0.25, 0.07, 0.28), // southern metro cluster
+    (0.60, 0.32, 0.03, 0.12), // inner dense core of the above
+    (0.40, 0.55, 0.09, 0.12), // central valley band
+    (0.75, 0.15, 0.05, 0.08), // inland south
+    (0.15, 0.90, 0.04, 0.05), // northern cluster
+];
+/// Remaining weight is uniform background noise.
+const BACKGROUND_WEIGHT: f64 = 0.05;
+
+/// Generates `size` POIs over the unit square from a fixed seed.
+///
+/// Deterministic: the same `(size, seed)` always yields the same dataset,
+/// so every experiment in EXPERIMENTS.md is exactly reproducible.
+pub fn sequoia_like(size: usize, seed: u64) -> Vec<Poi> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let total_weight: f64 =
+        CLUSTERS.iter().map(|c| c.3).sum::<f64>() + BACKGROUND_WEIGHT;
+    (0..size)
+        .map(|id| {
+            let mut pick = rng.gen::<f64>() * total_weight;
+            let mut location = None;
+            for &(cx, cy, sd, w) in &CLUSTERS {
+                if pick < w {
+                    location = Some(clamped_gaussian(&mut rng, cx, cy, sd));
+                    break;
+                }
+                pick -= w;
+            }
+            let location =
+                location.unwrap_or_else(|| Point::new(rng.gen(), rng.gen()));
+            Poi::new(id as u32, location)
+        })
+        .collect()
+}
+
+/// Uniform POIs over the unit square (a structureless control dataset).
+pub fn uniform_pois(size: usize, seed: u64) -> Vec<Poi> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..size)
+        .map(|id| Poi::new(id as u32, Point::new(rng.gen(), rng.gen())))
+        .collect()
+}
+
+/// Box–Muller Gaussian sample, resampled until it lands inside the
+/// unit square (keeps the space exactly normalized).
+fn clamped_gaussian<R: Rng>(rng: &mut R, cx: f64, cy: f64, sd: f64) -> Point {
+    loop {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let mag = sd * (-2.0 * u1.ln()).sqrt();
+        let p = Point::new(
+            cx + mag * (2.0 * std::f64::consts::PI * u2).cos(),
+            cy + mag * (2.0 * std::f64::consts::PI * u2).sin(),
+        );
+        if Rect::UNIT.contains(&p) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = sequoia_like(1000, 42);
+        let b = sequoia_like(1000, 42);
+        assert_eq!(a, b);
+        let c = sequoia_like(1000, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_points_in_unit_square() {
+        for poi in sequoia_like(5000, 1) {
+            assert!(Rect::UNIT.contains(&poi.location), "{:?}", poi.location);
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let pois = sequoia_like(100, 2);
+        for (i, poi) in pois.iter().enumerate() {
+            assert_eq!(poi.id, i as u32);
+        }
+    }
+
+    #[test]
+    fn dataset_is_clustered_not_uniform() {
+        // The densest 10% × 10% cell should hold far more than the uniform
+        // expectation (1% of points).
+        let pois = sequoia_like(20_000, 3);
+        let mut cells = [[0u32; 10]; 10];
+        for p in &pois {
+            let cx = ((p.location.x * 10.0) as usize).min(9);
+            let cy = ((p.location.y * 10.0) as usize).min(9);
+            cells[cx][cy] += 1;
+        }
+        let max_cell = cells.iter().flatten().copied().max().unwrap();
+        assert!(
+            max_cell as f64 > 0.05 * pois.len() as f64,
+            "densest cell holds {max_cell} of {} — not clustered enough",
+            pois.len()
+        );
+    }
+
+    #[test]
+    fn uniform_is_not_clustered() {
+        let pois = uniform_pois(20_000, 3);
+        let mut cells = [[0u32; 10]; 10];
+        for p in &pois {
+            let cx = ((p.location.x * 10.0) as usize).min(9);
+            let cy = ((p.location.y * 10.0) as usize).min(9);
+            cells[cx][cy] += 1;
+        }
+        let max_cell = cells.iter().flatten().copied().max().unwrap();
+        assert!(
+            (max_cell as f64) < 0.03 * pois.len() as f64,
+            "uniform data should have no cell above 3%"
+        );
+    }
+
+    #[test]
+    fn full_size_generation_is_fast_enough() {
+        let pois = sequoia_like(SEQUOIA_SIZE, 7);
+        assert_eq!(pois.len(), SEQUOIA_SIZE);
+    }
+}

@@ -1,0 +1,149 @@
+//! Query workloads: batches of random group queries over the data space,
+//! as in §8.1 ("the real location for every user in a group query was
+//! randomly generated as a point in this space... We executed 500 queries
+//! and reported the average cost").
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use ppgnn_geo::{Point, Rect};
+
+/// The parameters of one experiment configuration (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    /// Group size `n`.
+    pub n: usize,
+    /// POIs to retrieve `k`.
+    pub k: usize,
+    /// Privacy I parameter `d` (location-set size).
+    pub d: usize,
+    /// Privacy II parameter `δ` (candidate-query anonymity).
+    pub delta: usize,
+    /// Privacy IV parameter `θ₀` (minimum hidden-region fraction).
+    pub theta0: f64,
+}
+
+impl QuerySpec {
+    /// Table 3 defaults for the group scenario (`n > 1`).
+    pub fn group_defaults() -> Self {
+        QuerySpec { n: 8, k: 8, d: 25, delta: 100, theta0: 0.05 }
+    }
+
+    /// Table 3 defaults for the single-user scenario (`n = 1`,
+    /// where `δ = d` and Privacy IV does not apply).
+    pub fn single_defaults() -> Self {
+        QuerySpec { n: 1, k: 8, d: 25, delta: 25, theta0: 0.05 }
+    }
+}
+
+/// A reproducible stream of random group queries.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    space: Rect,
+    rng: ChaCha8Rng,
+}
+
+impl Workload {
+    /// Creates a workload over `space` from a fixed seed.
+    pub fn new(space: Rect, seed: u64) -> Self {
+        Workload { space, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Workload over the unit square.
+    pub fn unit(seed: u64) -> Self {
+        Workload::new(Rect::UNIT, seed)
+    }
+
+    /// Draws the real locations of one `n`-user group query.
+    pub fn next_group(&mut self, n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    self.space.min_x + self.rng.gen::<f64>() * self.space.width(),
+                    self.space.min_y + self.rng.gen::<f64>() * self.space.height(),
+                )
+            })
+            .collect()
+    }
+
+    /// Draws a batch of `count` group queries.
+    pub fn batch(&mut self, count: usize, n: usize) -> Vec<Vec<Point>> {
+        (0..count).map(|_| self.next_group(n)).collect()
+    }
+
+    /// Draws an `n`-user group clustered around a random anchor: every
+    /// member lies within `spread` (per axis) of the anchor, clamped to
+    /// the space. Models friends meeting in the same part of town —
+    /// uniform groups (the paper's workload) are the `spread → space`
+    /// limit.
+    pub fn next_clustered_group(&mut self, n: usize, spread: f64) -> Vec<Point> {
+        assert!(spread > 0.0, "spread must be positive");
+        let anchor = self.next_group(1)[0];
+        (0..n)
+            .map(|_| {
+                let dx = (self.rng.gen::<f64>() - 0.5) * 2.0 * spread;
+                let dy = (self.rng.gen::<f64>() - 0.5) * 2.0 * spread;
+                Point::new(
+                    (anchor.x + dx).clamp(self.space.min_x, self.space.max_x),
+                    (anchor.y + dy).clamp(self.space.min_y, self.space.max_y),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_3() {
+        let g = QuerySpec::group_defaults();
+        assert_eq!((g.n, g.k, g.d, g.delta), (8, 8, 25, 100));
+        assert_eq!(g.theta0, 0.05);
+        let s = QuerySpec::single_defaults();
+        assert_eq!((s.n, s.d, s.delta), (1, 25, 25));
+    }
+
+    #[test]
+    fn queries_inside_space() {
+        let mut w = Workload::unit(1);
+        for group in w.batch(50, 4) {
+            assert_eq!(group.len(), 4);
+            assert!(group.iter().all(|p| Rect::UNIT.contains(p)));
+        }
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Workload::unit(9);
+        let mut b = Workload::unit(9);
+        assert_eq!(a.next_group(3), b.next_group(3));
+        assert_eq!(a.next_group(5), b.next_group(5));
+    }
+
+    #[test]
+    fn clustered_groups_are_tight() {
+        let mut w = Workload::unit(3);
+        for _ in 0..20 {
+            let group = w.next_clustered_group(6, 0.05);
+            assert_eq!(group.len(), 6);
+            let bb = Rect::bounding(&group);
+            assert!(bb.width() <= 0.1 + 1e-12 && bb.height() <= 0.1 + 1e-12);
+            assert!(group.iter().all(|p| Rect::UNIT.contains(p)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_spread_rejected() {
+        Workload::unit(4).next_clustered_group(3, 0.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Workload::unit(1);
+        let mut b = Workload::unit(2);
+        assert_ne!(a.next_group(3), b.next_group(3));
+    }
+}

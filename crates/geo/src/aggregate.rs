@@ -1,0 +1,138 @@
+//! Aggregate cost functions `F` over the distances from a candidate POI to
+//! every query location (Eqn 1 of the paper). `sum`, `max` and `min` are
+//! the paper's examples; all are monotonically increasing in each argument,
+//! which is what makes the MBM lower bound sound.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A monotone aggregate over per-user distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Aggregate {
+    /// Total distance — the "meeting place" semantics (default in §8).
+    #[default]
+    Sum,
+    /// Maximum distance — earliest time until *all* users can arrive.
+    Max,
+    /// Minimum distance — earliest time until *any* user can arrive.
+    Min,
+}
+
+impl Aggregate {
+    /// `F(p, C) = F(dis(p, l₁), …, dis(p, l_n))`.
+    ///
+    /// # Panics
+    /// Panics if `queries` is empty.
+    pub fn eval(&self, p: &Point, queries: &[Point]) -> f64 {
+        assert!(!queries.is_empty(), "aggregate over an empty query set");
+        let dists = queries.iter().map(|q| p.dist(q));
+        match self {
+            Aggregate::Sum => dists.sum(),
+            Aggregate::Max => dists.fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Min => dists.fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// Lower bound of `F(p, C)` over all `p` inside `rect` — the MBM
+    /// pruning key: aggregate the per-query MINDISTs. Sound because `F`
+    /// is monotone in each distance.
+    pub fn lower_bound(&self, rect: &Rect, queries: &[Point]) -> f64 {
+        assert!(!queries.is_empty(), "aggregate over an empty query set");
+        let dists = queries.iter().map(|q| rect.min_dist(q));
+        match self {
+            Aggregate::Sum => dists.sum(),
+            Aggregate::Max => dists.fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Min => dists.fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// All supported aggregates (for parameterized tests/benches).
+    pub const ALL: [Aggregate; 3] = [Aggregate::Sum, Aggregate::Max, Aggregate::Min];
+}
+
+
+impl core::fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Aggregate::Sum => write!(f, "sum"),
+            Aggregate::Max => write!(f, "max"),
+            Aggregate::Min => write!(f, "min"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queries() -> Vec<Point> {
+        vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]
+    }
+
+    #[test]
+    fn eval_sum_max_min() {
+        let p = Point::new(0.0, 0.0);
+        let q = queries();
+        assert_eq!(Aggregate::Sum.eval(&p, &q), 1.0);
+        assert_eq!(Aggregate::Max.eval(&p, &q), 1.0);
+        assert_eq!(Aggregate::Min.eval(&p, &q), 0.0);
+    }
+
+    #[test]
+    fn single_query_point_all_equal() {
+        let p = Point::new(0.3, 0.4);
+        let q = vec![Point::ORIGIN];
+        for agg in Aggregate::ALL {
+            assert_eq!(agg.eval(&p, &q), 0.5, "{agg}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query set")]
+    fn empty_queries_panics() {
+        let _ = Aggregate::Sum.eval(&Point::ORIGIN, &[]);
+    }
+
+    #[test]
+    fn lower_bound_is_a_lower_bound() {
+        // Any point in the rect must cost at least the bound.
+        let rect = Rect::new(0.4, 0.4, 0.6, 0.6);
+        let q = queries();
+        let samples = [
+            Point::new(0.4, 0.4),
+            Point::new(0.6, 0.6),
+            Point::new(0.5, 0.5),
+            Point::new(0.45, 0.57),
+        ];
+        for agg in Aggregate::ALL {
+            let lb = agg.lower_bound(&rect, &q);
+            for s in &samples {
+                assert!(
+                    agg.eval(s, &q) >= lb - 1e-12,
+                    "{agg}: eval {} < bound {lb}",
+                    agg.eval(s, &q)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_tight_for_point_rect() {
+        let p = Point::new(0.2, 0.7);
+        let rect = Rect::from_point(p);
+        let q = queries();
+        for agg in Aggregate::ALL {
+            assert!((agg.lower_bound(&rect, &q) - agg.eval(&p, &q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Aggregate::Sum.to_string(), "sum");
+        assert_eq!(Aggregate::Max.to_string(), "max");
+        assert_eq!(Aggregate::Min.to_string(), "min");
+    }
+}

@@ -1,0 +1,255 @@
+//! A dynamic POI index — substantiates the paper's claim that PPGNN
+//! "can easily handle a dynamic database on LSP" (§1), in contrast to
+//! pre-computation approaches (APNN) that must rebuild per-cell answers
+//! on every update.
+//!
+//! Design: a static bulk-loaded R-tree plus an insertion buffer and a
+//! deletion tombstone set. Queries merge the tree's answer with the
+//! buffer and filter tombstones; when the buffer outgrows a threshold
+//! the tree is rebuilt. Updates are therefore O(1) amortized, queries
+//! pay `O(|buffer|)` extra — negligible at the rebuild threshold.
+
+use std::collections::HashSet;
+
+use crate::aggregate::Aggregate;
+use crate::point::Point;
+use crate::poi::{Poi, PoiId};
+use crate::rtree::RTree;
+
+/// Buffer size that triggers a rebuild.
+const DEFAULT_REBUILD_THRESHOLD: usize = 1024;
+
+/// An updatable POI index with R-tree query performance.
+#[derive(Debug, Clone)]
+pub struct DynamicRTree {
+    tree: RTree,
+    /// Ids currently stored in the static tree (for O(1) delete checks).
+    tree_ids: HashSet<PoiId>,
+    inserts: Vec<Poi>,
+    tombstones: HashSet<PoiId>,
+    rebuild_threshold: usize,
+    rebuilds: u64,
+}
+
+impl DynamicRTree {
+    /// Bulk-loads the initial database.
+    pub fn new(pois: Vec<Poi>) -> Self {
+        let tree_ids = pois.iter().map(|p| p.id).collect();
+        DynamicRTree {
+            tree: RTree::bulk_load(pois),
+            tree_ids,
+            inserts: Vec::new(),
+            tombstones: HashSet::new(),
+            rebuild_threshold: DEFAULT_REBUILD_THRESHOLD,
+            rebuilds: 0,
+        }
+    }
+
+    /// Overrides the rebuild threshold (mostly for tests).
+    pub fn with_rebuild_threshold(mut self, threshold: usize) -> Self {
+        self.rebuild_threshold = threshold.max(1);
+        self
+    }
+
+    /// Live POI count (tree + buffer − tombstones).
+    pub fn len(&self) -> usize {
+        self.tree.len() + self.inserts.len() - self.tombstones.len()
+    }
+
+    /// `true` iff no live POIs remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many rebuilds updates have triggered so far.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Inserts a POI, *replacing* any live POI with the same id.
+    /// Amortized O(1); triggers a rebuild when the buffer fills.
+    pub fn insert(&mut self, poi: Poi) {
+        self.remove(poi.id);
+        self.inserts.push(poi);
+        if self.inserts.len() >= self.rebuild_threshold {
+            self.rebuild();
+        }
+    }
+
+    /// Deletes a POI by id (no-op if absent). O(1).
+    pub fn remove(&mut self, id: PoiId) {
+        if let Some(pos) = self.inserts.iter().position(|p| p.id == id) {
+            self.inserts.swap_remove(pos);
+        } else if self.tree_ids.contains(&id) {
+            self.tombstones.insert(id);
+        }
+    }
+
+    /// Folds the buffer and tombstones back into a fresh static tree.
+    pub fn rebuild(&mut self) {
+        let mut all: Vec<Poi> = self
+            .tree
+            .iter()
+            .filter(|p| !self.tombstones.contains(&p.id))
+            .copied()
+            .collect();
+        all.append(&mut self.inserts);
+        self.tombstones.clear();
+        self.tree_ids = all.iter().map(|p| p.id).collect();
+        self.tree = RTree::bulk_load(all);
+        self.rebuilds += 1;
+    }
+
+    /// Group-kNN over the live POIs (Definition 2.1 semantics, ties by
+    /// id, exactly like [`RTree::group_knn`]).
+    pub fn group_knn(&self, queries: &[Point], k: usize, agg: Aggregate) -> Vec<Poi> {
+        // Over-fetch from the tree: tombstoned POIs may occupy top slots.
+        let fetch = k + self.tombstones.len();
+        let mut merged: Vec<Poi> = self
+            .tree
+            .group_knn(queries, fetch, agg)
+            .into_iter()
+            .filter(|p| !self.tombstones.contains(&p.id))
+            .collect();
+        merged.extend(self.inserts.iter().copied());
+        let mut scored: Vec<(f64, Poi)> = merged
+            .into_iter()
+            .map(|p| (agg.eval(&p.location, queries), p))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
+        scored.into_iter().take(k).map(|(_, p)| p).collect()
+    }
+
+    /// Classic kNN over the live POIs.
+    pub fn knn(&self, query: &Point, k: usize) -> Vec<Poi> {
+        self.group_knn(std::slice::from_ref(query), k, Aggregate::Sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnn::group_knn_brute_force;
+
+    fn grid(n: u32) -> Vec<Poi> {
+        (0..n * n)
+            .map(|i| Poi::new(i, Point::new((i % n) as f64 / n as f64, (i / n) as f64 / n as f64)))
+            .collect()
+    }
+
+    /// Oracle: live set maintained as a plain vector.
+    struct Oracle(Vec<Poi>);
+    impl Oracle {
+        fn insert(&mut self, p: Poi) {
+            self.0.retain(|q| q.id != p.id);
+            self.0.push(p);
+        }
+        fn remove(&mut self, id: PoiId) {
+            self.0.retain(|q| q.id != id);
+        }
+    }
+
+    #[test]
+    fn insert_visible_immediately() {
+        let mut t = DynamicRTree::new(grid(10));
+        let q = Point::new(0.345, 0.345);
+        let star = Poi::new(9999, q);
+        t.insert(star);
+        assert_eq!(t.knn(&q, 1)[0].id, 9999);
+        assert_eq!(t.len(), 101);
+    }
+
+    #[test]
+    fn remove_hides_immediately() {
+        let mut t = DynamicRTree::new(grid(10));
+        let q = Point::new(0.0, 0.0);
+        let nearest = t.knn(&q, 1)[0];
+        t.remove(nearest.id);
+        assert_ne!(t.knn(&q, 1)[0].id, nearest.id);
+        assert_eq!(t.len(), 99);
+    }
+
+    #[test]
+    fn remove_buffered_insert() {
+        let mut t = DynamicRTree::new(grid(5));
+        t.insert(Poi::new(777, Point::new(0.5, 0.5)));
+        t.remove(777);
+        assert_eq!(t.len(), 25);
+        assert!(t.knn(&Point::new(0.5, 0.5), 25).iter().all(|p| p.id != 777));
+    }
+
+    #[test]
+    fn reinsert_after_delete_revives() {
+        let mut t = DynamicRTree::new(grid(5));
+        t.remove(12);
+        t.insert(Poi::new(12, Point::new(0.9, 0.9)));
+        assert_eq!(t.len(), 25);
+        let hit = t.knn(&Point::new(0.9, 0.9), 1)[0];
+        assert_eq!(hit.id, 12);
+    }
+
+    #[test]
+    fn rebuild_preserves_results() {
+        let mut t = DynamicRTree::new(grid(8)).with_rebuild_threshold(4);
+        // Off-grid positions so no insert ties with an existing POI.
+        for i in 0..10 {
+            t.insert(Poi::new(1000 + i, Point::new(0.05 * i as f64 + 0.012, 0.47)));
+        }
+        assert!(t.rebuild_count() >= 2, "threshold 4 with 10 inserts");
+        assert_eq!(t.len(), 74);
+        let q = Point::new(0.012, 0.47);
+        assert_eq!(t.knn(&q, 1)[0].id, 1000);
+    }
+
+    #[test]
+    fn randomized_update_stream_matches_oracle() {
+        let mut t = DynamicRTree::new(grid(10)).with_rebuild_threshold(16);
+        let mut oracle = Oracle(grid(10));
+        // A deterministic pseudo-random update stream.
+        let mut state = 0x12345u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..300 {
+            let r = rnd();
+            if r % 3 == 0 {
+                let id = (r % 100) as u32;
+                t.remove(id);
+                oracle.remove(id);
+            } else {
+                let p = Poi::new(
+                    200 + (r % 500) as u32,
+                    Point::new((r % 97) as f64 / 97.0, (r % 89) as f64 / 89.0),
+                );
+                t.insert(p);
+                oracle.insert(p);
+            }
+            if step % 25 == 0 {
+                let q = vec![Point::new(0.3, 0.3), Point::new(0.7, 0.6)];
+                let got: Vec<u32> =
+                    t.group_knn(&q, 5, Aggregate::Sum).iter().map(|p| p.id).collect();
+                let want: Vec<u32> = group_knn_brute_force(&oracle.0, &q, 5, Aggregate::Sum)
+                    .iter()
+                    .map(|p| p.id)
+                    .collect();
+                assert_eq!(got, want, "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_id_both_returned_consistently() {
+        // Duplicate ids in the buffer are the caller's bug, but deletes
+        // must still clear the one in the buffer deterministically.
+        let mut t = DynamicRTree::new(vec![]);
+        t.insert(Poi::new(1, Point::new(0.1, 0.1)));
+        t.insert(Poi::new(2, Point::new(0.2, 0.2)));
+        assert_eq!(t.len(), 2);
+        t.remove(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.knn(&Point::new(0.0, 0.0), 2).len(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Brute-force group-kNN oracle (Definition 2.1 evaluated literally).
+
+use crate::aggregate::Aggregate;
+use crate::point::Point;
+use crate::poi::Poi;
+
+/// The `k` POIs minimizing `F(p, queries)`, ascending by `(F, id)`.
+///
+/// # Panics
+/// Panics if `queries` is empty.
+pub fn group_knn_brute_force(
+    pois: &[Poi],
+    queries: &[Point],
+    k: usize,
+    agg: Aggregate,
+) -> Vec<Poi> {
+    assert!(!queries.is_empty(), "group kNN with no query locations");
+    let mut scored: Vec<(f64, Poi)> = pois
+        .iter()
+        .map(|p| (agg.eval(&p.location, queries), *p))
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.id.cmp(&b.1.id)));
+    scored.into_iter().take(k).map(|(_, p)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_semantics() {
+        // Three users; p1 minimizes the total distance, p2 is second.
+        let users = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 1.0),
+        ];
+        let pois = vec![
+            Poi::new(1, Point::new(0.5, 0.3)),  // central: best for sum
+            Poi::new(2, Point::new(0.5, 0.55)), // near-central
+            Poi::new(3, Point::new(0.0, 1.0)),  // corner: bad for sum
+        ];
+        let top2 = group_knn_brute_force(&pois, &users, 2, Aggregate::Sum);
+        assert_eq!(top2.iter().map(|p| p.id).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn min_aggregate_prefers_any_close_poi() {
+        let users = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let pois = vec![
+            Poi::new(1, Point::new(0.5, 0.5)),   // middling for min
+            Poi::new(2, Point::new(0.01, 0.01)), // hugging user 1: best min
+        ];
+        let top = group_knn_brute_force(&pois, &users, 1, Aggregate::Min);
+        assert_eq!(top[0].id, 2);
+    }
+
+    #[test]
+    fn max_aggregate_prefers_balanced_poi() {
+        let users = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let pois = vec![
+            Poi::new(1, Point::new(0.5, 0.5)),   // balanced: best max
+            Poi::new(2, Point::new(0.01, 0.01)), // far from user 2
+        ];
+        let top = group_knn_brute_force(&pois, &users, 1, Aggregate::Max);
+        assert_eq!(top[0].id, 1);
+    }
+
+    #[test]
+    fn single_user_reduces_to_knn() {
+        let q = vec![Point::new(0.2, 0.2)];
+        let pois = vec![
+            Poi::new(1, Point::new(0.9, 0.9)),
+            Poi::new(2, Point::new(0.25, 0.2)),
+        ];
+        for agg in Aggregate::ALL {
+            let top = group_knn_brute_force(&pois, &q, 1, agg);
+            assert_eq!(top[0].id, 2, "{agg}");
+        }
+    }
+
+    #[test]
+    fn answers_sorted_by_aggregate() {
+        let users = vec![Point::new(0.3, 0.3), Point::new(0.7, 0.7)];
+        let pois: Vec<Poi> = (0..20)
+            .map(|i| Poi::new(i, Point::new(i as f64 / 20.0, 0.5)))
+            .collect();
+        let res = group_knn_brute_force(&pois, &users, 20, Aggregate::Sum);
+        for w in res.windows(2) {
+            assert!(
+                Aggregate::Sum.eval(&w[0].location, &users)
+                    <= Aggregate::Sum.eval(&w[1].location, &users) + 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Uniform grid partition of the data space — the substrate of the APNN
+//! baseline (\[36\]): LSP pre-computes a kNN answer per grid cell, and the
+//! user's cloak region is a `b × b` block of cells.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A `cells × cells` uniform grid over a bounding space.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    space: Rect,
+    cells: usize,
+}
+
+impl Grid {
+    /// Creates a grid with `cells` columns and rows.
+    ///
+    /// # Panics
+    /// Panics if `cells == 0` or the space is degenerate.
+    pub fn new(space: Rect, cells: usize) -> Self {
+        assert!(cells > 0, "grid needs at least one cell");
+        assert!(space.width() > 0.0 && space.height() > 0.0, "degenerate grid space");
+        Grid { space, cells }
+    }
+
+    /// Grid resolution per axis.
+    pub fn cells_per_axis(&self) -> usize {
+        self.cells
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells * self.cells
+    }
+
+    /// The cell `(col, row)` containing `p` (clamped to the grid).
+    pub fn locate(&self, p: &Point) -> (usize, usize) {
+        let fx = (p.x - self.space.min_x) / self.space.width();
+        let fy = (p.y - self.space.min_y) / self.space.height();
+        let col = ((fx * self.cells as f64) as isize).clamp(0, self.cells as isize - 1) as usize;
+        let row = ((fy * self.cells as f64) as isize).clamp(0, self.cells as isize - 1) as usize;
+        (col, row)
+    }
+
+    /// Flat index of a cell.
+    pub fn flat_index(&self, (col, row): (usize, usize)) -> usize {
+        row * self.cells + col
+    }
+
+    /// Center point of a cell — the anchor of APNN's pre-computed answers.
+    pub fn cell_center(&self, (col, row): (usize, usize)) -> Point {
+        let w = self.space.width() / self.cells as f64;
+        let h = self.space.height() / self.cells as f64;
+        Point::new(
+            self.space.min_x + (col as f64 + 0.5) * w,
+            self.space.min_y + (row as f64 + 0.5) * h,
+        )
+    }
+
+    /// Rectangle of a cell.
+    pub fn cell_rect(&self, (col, row): (usize, usize)) -> Rect {
+        let w = self.space.width() / self.cells as f64;
+        let h = self.space.height() / self.cells as f64;
+        Rect::new(
+            self.space.min_x + col as f64 * w,
+            self.space.min_y + row as f64 * h,
+            self.space.min_x + (col as f64 + 1.0) * w,
+            self.space.min_y + (row as f64 + 1.0) * h,
+        )
+    }
+
+    /// The `b × b` block of cells anchored so it contains `(col, row)` and
+    /// stays inside the grid — APNN's square cloak region of `b²` cells.
+    pub fn cloak_block(&self, (col, row): (usize, usize), b: usize) -> Vec<(usize, usize)> {
+        let b = b.min(self.cells);
+        let start_col = col.saturating_sub(b / 2).min(self.cells - b);
+        let start_row = row.saturating_sub(b / 2).min(self.cells - b);
+        let mut out = Vec::with_capacity(b * b);
+        for r in start_row..start_row + b {
+            for c in start_col..start_col + b {
+                out.push((c, r));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(Rect::UNIT, 10)
+    }
+
+    #[test]
+    fn locate_basic() {
+        let g = grid();
+        assert_eq!(g.locate(&Point::new(0.05, 0.05)), (0, 0));
+        assert_eq!(g.locate(&Point::new(0.95, 0.95)), (9, 9));
+        assert_eq!(g.locate(&Point::new(0.55, 0.25)), (5, 2));
+    }
+
+    #[test]
+    fn locate_clamps_outside_points() {
+        let g = grid();
+        assert_eq!(g.locate(&Point::new(-1.0, 2.0)), (0, 9));
+        assert_eq!(g.locate(&Point::new(1.0, 1.0)), (9, 9));
+    }
+
+    #[test]
+    fn cell_center_is_inside_cell() {
+        let g = grid();
+        for cell in [(0, 0), (5, 2), (9, 9)] {
+            let c = g.cell_center(cell);
+            assert!(g.cell_rect(cell).contains(&c));
+            assert_eq!(g.locate(&c), cell);
+        }
+    }
+
+    #[test]
+    fn flat_index_unique() {
+        let g = grid();
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..10 {
+            for col in 0..10 {
+                assert!(seen.insert(g.flat_index((col, row))));
+            }
+        }
+        assert_eq!(seen.len(), g.cell_count());
+    }
+
+    #[test]
+    fn cloak_block_size_and_containment() {
+        let g = grid();
+        for cell in [(0, 0), (5, 5), (9, 9), (9, 0)] {
+            let block = g.cloak_block(cell, 5);
+            assert_eq!(block.len(), 25);
+            assert!(block.contains(&cell), "block must contain the user's cell");
+            assert!(block.iter().all(|&(c, r)| c < 10 && r < 10));
+        }
+    }
+
+    #[test]
+    fn cloak_block_clipped_to_grid_size() {
+        let g = Grid::new(Rect::UNIT, 3);
+        let block = g.cloak_block((1, 1), 5);
+        assert_eq!(block.len(), 9, "b is clipped to the grid axis");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_rejected() {
+        let _ = Grid::new(Rect::UNIT, 0);
+    }
+}

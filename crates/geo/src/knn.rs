@@ -1,0 +1,59 @@
+//! Brute-force kNN oracle: the reference implementation index-based
+//! algorithms are validated against.
+
+use crate::point::Point;
+use crate::poi::Poi;
+
+/// The `k` POIs nearest to `query`, ascending by `(distance, id)`.
+pub fn knn_brute_force(pois: &[Poi], query: &Point, k: usize) -> Vec<Poi> {
+    let mut all: Vec<Poi> = pois.to_vec();
+    all.sort_by(|a, b| {
+        a.location
+            .dist_sq(query)
+            .total_cmp(&b.location.dist_sq(query))
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pois() -> Vec<Poi> {
+        vec![
+            Poi::new(0, Point::new(0.9, 0.9)),
+            Poi::new(1, Point::new(0.1, 0.1)),
+            Poi::new(2, Point::new(0.5, 0.5)),
+            Poi::new(3, Point::new(0.11, 0.1)),
+        ]
+    }
+
+    #[test]
+    fn returns_nearest_in_order() {
+        let res = knn_brute_force(&pois(), &Point::ORIGIN, 2);
+        assert_eq!(res.iter().map(|p| p.id).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn k_exceeds_size() {
+        assert_eq!(knn_brute_force(&pois(), &Point::ORIGIN, 10).len(), 4);
+    }
+
+    #[test]
+    fn k_zero() {
+        assert!(knn_brute_force(&pois(), &Point::ORIGIN, 0).is_empty());
+    }
+
+    #[test]
+    fn equidistant_tie_broken_by_id() {
+        let tied = vec![
+            Poi::new(5, Point::new(1.0, 0.0)),
+            Poi::new(2, Point::new(0.0, 1.0)),
+            Poi::new(8, Point::new(-1.0, 0.0)),
+        ];
+        let res = knn_brute_force(&tied, &Point::ORIGIN, 3);
+        assert_eq!(res.iter().map(|p| p.id).collect::<Vec<_>>(), vec![2, 5, 8]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Spatial substrate for the PPGNN reproduction.
+//!
+//! The paper treats "the query answering (i.e., kGNN) as a black box" and
+//! uses the classic Minimum Bounding Method (MBM, Papadias et al. ICDE'04)
+//! as that box. This crate builds the whole box from scratch:
+//!
+//! * [`Point`] / [`Rect`] geometry over the normalized unit square the
+//!   paper's experiments use;
+//! * aggregate cost functions `F ∈ {sum, max, min}` ([`Aggregate`],
+//!   Eqn 1 of the paper);
+//! * an STR-bulk-loaded R-tree ([`RTree`]) with best-first kNN;
+//! * the MBM group-kNN ([`RTree::group_knn`]) whose priority key is the
+//!   aggregate of per-query-point MINDISTs — a valid lower bound for any
+//!   monotone `F`;
+//! * brute-force oracles ([`knn_brute_force`], [`group_knn_brute_force`])
+//!   used by tests and by small baselines;
+//! * a uniform [`Grid`] index used by the APNN baseline's pre-computation.
+//!
+//! Ties in distance are broken by POI id everywhere, so the index-based
+//! algorithms and the oracles agree exactly.
+
+mod aggregate;
+mod dynamic;
+mod gnn;
+mod grid;
+mod knn;
+mod poi;
+mod point;
+mod rect;
+pub mod roadnet;
+mod rtree;
+
+pub use aggregate::Aggregate;
+pub use dynamic::DynamicRTree;
+pub use gnn::group_knn_brute_force;
+pub use grid::Grid;
+pub use knn::knn_brute_force;
+pub use poi::{Poi, PoiId};
+pub use point::Point;
+pub use rect::Rect;
+pub use roadnet::{NodeId, RoadNetwork};
+pub use rtree::{GroupNearestIter, RTree};

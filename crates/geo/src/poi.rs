@@ -1,0 +1,64 @@
+//! Points of interest — the records of the LSP's database `𝔻`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+
+/// Identifier of a POI within the LSP database.
+pub type PoiId = u32;
+
+/// A point of interest: an id plus a location. The paper's POIs also carry
+/// names; the id stands in for any associated payload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    pub id: PoiId,
+    pub location: Point,
+}
+
+impl Poi {
+    /// Creates a POI.
+    pub const fn new(id: PoiId, location: Point) -> Self {
+        Poi { id, location }
+    }
+
+    /// Encodes this POI's quantized coordinates into one 8-byte answer
+    /// record, matching §8.1 ("the coordinates of POIs (8 bytes per POI)
+    /// are returned as the query answer").
+    pub fn encode_record(&self) -> u64 {
+        let (qx, qy) = self.location.quantize();
+        ((qx as u64) << 32) | qy as u64
+    }
+
+    /// Decodes an 8-byte answer record back into a location.
+    pub fn decode_record(rec: u64) -> Point {
+        Point::dequantize(((rec >> 32) as u32, rec as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip_within_quantization_error() {
+        let poi = Poi::new(7, Point::new(0.123, 0.987));
+        let back = Poi::decode_record(poi.encode_record());
+        assert!(back.dist(&poi.location) < 1e-8);
+    }
+
+    #[test]
+    fn record_corner_cases() {
+        for p in [Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(0.0, 1.0)] {
+            let poi = Poi::new(0, p);
+            let back = Poi::decode_record(poi.encode_record());
+            assert!(back.dist(&p) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distinct_points_distinct_records() {
+        let a = Poi::new(0, Point::new(0.25, 0.5)).encode_record();
+        let b = Poi::new(0, Point::new(0.5, 0.25)).encode_record();
+        assert_ne!(a, b);
+    }
+}

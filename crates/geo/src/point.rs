@@ -1,0 +1,133 @@
+//! 2-D points in the normalized location space.
+
+use serde::{Deserialize, Serialize};
+
+/// A location in the (normalized, unit-square) data space.
+///
+/// The paper normalizes California into a square space and represents both
+/// POIs and user locations as points in it; Euclidean distance is the
+/// `dis` function of Definition 2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper for comparisons).
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Centroid of a non-empty set of points.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn centroid(points: &[Point]) -> Point {
+        assert!(!points.is_empty(), "centroid of an empty point set");
+        let n = points.len() as f64;
+        let (sx, sy) = points
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+        Point::new(sx / n, sy / n)
+    }
+
+    /// Quantizes a coordinate in `\[0, 1\]` to a `u32` fixed-point value.
+    /// Used when POI coordinates are encoded into answer records
+    /// ("the coordinates of POIs (8 bytes per POI) are returned", §8.1).
+    pub fn quantize_coord(c: f64) -> u32 {
+        (c.clamp(0.0, 1.0) * u32::MAX as f64).round() as u32
+    }
+
+    /// Inverse of [`Point::quantize_coord`].
+    pub fn dequantize_coord(q: u32) -> f64 {
+        q as f64 / u32::MAX as f64
+    }
+
+    /// Quantizes both coordinates.
+    pub fn quantize(&self) -> (u32, u32) {
+        (Self::quantize_coord(self.x), Self::quantize_coord(self.y))
+    }
+
+    /// Rebuilds a point from quantized coordinates.
+    pub fn dequantize(q: (u32, u32)) -> Point {
+        Point::new(Self::dequantize_coord(q.0), Self::dequantize_coord(q.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&a), 0.0);
+        assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        let c = Point::centroid(&pts);
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn centroid_empty_panics() {
+        let _ = Point::centroid(&[]);
+    }
+
+    #[test]
+    fn quantization_roundtrip_error_bound() {
+        for c in [0.0, 1.0, 0.5, 0.123456789, 0.999999] {
+            let q = Point::quantize_coord(c);
+            assert!((Point::dequantize_coord(q) - c).abs() < 1.0 / u32::MAX as f64);
+        }
+    }
+
+    #[test]
+    fn quantization_clamps() {
+        assert_eq!(Point::quantize_coord(-0.5), 0);
+        assert_eq!(Point::quantize_coord(1.5), u32::MAX);
+    }
+
+    #[test]
+    fn point_quantize_roundtrip() {
+        let p = Point::new(0.25, 0.75);
+        let back = Point::dequantize(p.quantize());
+        assert!(back.dist(&p) < 1e-8);
+    }
+
+    #[test]
+    fn triangle_inequality_sample() {
+        let a = Point::new(0.1, 0.2);
+        let b = Point::new(0.8, 0.9);
+        let c = Point::new(0.4, 0.1);
+        assert!(a.dist(&b) <= a.dist(&c) + c.dist(&b) + 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! Axis-aligned rectangles: MBRs for the R-tree, cloak regions for the
+//! IPPF baseline, and the data-space boundary for sampling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle; swaps coordinates if given in the wrong order.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Rect {
+            min_x: min_x.min(max_x),
+            min_y: min_y.min(max_y),
+            max_x: min_x.max(max_x),
+            max_y: min_y.max(max_y),
+        }
+    }
+
+    /// The unit square — the paper's normalized location space.
+    pub const UNIT: Rect = Rect { min_x: 0.0, min_y: 0.0, max_x: 1.0, max_y: 1.0 };
+
+    /// A degenerate rectangle covering a single point.
+    pub fn from_point(p: Point) -> Self {
+        Rect { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+    }
+
+    /// Tight bounding rectangle of a non-empty point set.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn bounding(points: &[Point]) -> Self {
+        assert!(!points.is_empty(), "bounding box of an empty point set");
+        let mut r = Rect::from_point(points[0]);
+        for p in &points[1..] {
+            r = r.expanded_to(*p);
+        }
+        r
+    }
+
+    /// Smallest rectangle containing both `self` and `p`.
+    pub fn expanded_to(&self, p: Point) -> Rect {
+        Rect {
+            min_x: self.min_x.min(p.x),
+            min_y: self.min_y.min(p.y),
+            max_x: self.max_x.max(p.x),
+            max_y: self.max_y.max(p.y),
+        }
+    }
+
+    /// Smallest rectangle containing both rectangles.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> Point {
+        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+    }
+
+    /// `true` iff the point lies inside (boundary inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// `true` iff the rectangles overlap (boundary touching counts).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// MINDIST: the minimum Euclidean distance from `p` to any point of
+    /// the rectangle (0 if `p` is inside). The R-tree pruning bound.
+    pub fn min_dist(&self, p: &Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// MAXDIST: the maximum Euclidean distance from `p` to any point of
+    /// the rectangle (attained at a corner).
+    pub fn max_dist(&self, p: &Point) -> f64 {
+        let dx = (p.x - self.min_x).abs().max((p.x - self.max_x).abs());
+        let dy = (p.y - self.min_y).abs().max((p.y - self.max_y).abs());
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_swaps_misordered_coords() {
+        let r = Rect::new(0.8, 0.9, 0.1, 0.2);
+        assert_eq!(r, Rect::new(0.1, 0.2, 0.8, 0.9));
+    }
+
+    #[test]
+    fn area_width_height() {
+        let r = Rect::new(0.0, 0.0, 0.5, 0.25);
+        assert_eq!(r.width(), 0.5);
+        assert_eq!(r.height(), 0.25);
+        assert_eq!(r.area(), 0.125);
+        assert_eq!(Rect::UNIT.area(), 1.0);
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let r = Rect::UNIT;
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(r.contains(&Point::new(1.0, 1.0)));
+        assert!(r.contains(&Point::new(0.5, 0.5)));
+        assert!(!r.contains(&Point::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn min_dist_inside_is_zero() {
+        let r = Rect::new(0.2, 0.2, 0.8, 0.8);
+        assert_eq!(r.min_dist(&Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(r.min_dist(&Point::new(0.2, 0.8)), 0.0);
+    }
+
+    #[test]
+    fn min_dist_outside_axis_and_corner() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        // Directly left of the rect.
+        assert!((r.min_dist(&Point::new(-0.3, 0.5)) - 0.3).abs() < 1e-12);
+        // Diagonal from the corner.
+        let d = r.min_dist(&Point::new(-3.0, -4.0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_dist_is_corner_distance() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let d = r.max_dist(&Point::new(0.0, 0.0));
+        assert!((d - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_le_max_dist_everywhere() {
+        let r = Rect::new(0.3, 0.1, 0.7, 0.9);
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.5),
+            Point::new(1.0, 0.2),
+            Point::new(-1.0, 2.0),
+        ] {
+            assert!(r.min_dist(&p) <= r.max_dist(&p) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn union_and_expand() {
+        let a = Rect::new(0.0, 0.0, 0.2, 0.2);
+        let b = Rect::new(0.5, 0.5, 0.9, 0.6);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 0.9, 0.6));
+        let e = a.expanded_to(Point::new(0.4, -0.1));
+        assert_eq!(e, Rect::new(0.0, -0.1, 0.4, 0.2));
+    }
+
+    #[test]
+    fn intersects_cases() {
+        let a = Rect::new(0.0, 0.0, 0.5, 0.5);
+        assert!(a.intersects(&Rect::new(0.4, 0.4, 0.8, 0.8)));
+        assert!(a.intersects(&Rect::new(0.5, 0.0, 1.0, 0.5))); // touching edge
+        assert!(!a.intersects(&Rect::new(0.6, 0.6, 0.9, 0.9)));
+    }
+
+    #[test]
+    fn bounding_covers_all() {
+        let pts = [Point::new(0.3, 0.9), Point::new(0.1, 0.2), Point::new(0.7, 0.5)];
+        let bb = Rect::bounding(&pts);
+        assert!(pts.iter().all(|p| bb.contains(p)));
+        assert_eq!(bb, Rect::new(0.1, 0.2, 0.7, 0.9));
+    }
+}

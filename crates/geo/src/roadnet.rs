@@ -1,0 +1,371 @@
+//! Road-network distance — the paper's Definition 2.1 allows any metric
+//! `dis`, citing road-network distance \[38\] alongside Euclidean. This
+//! module provides the substrate: a weighted road graph, Dijkstra
+//! shortest paths, snapping of free points to the network, and a
+//! road-distance group-kNN evaluated via one single-source shortest-path
+//! tree per query location.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::aggregate::Aggregate;
+use crate::point::Point;
+use crate::poi::Poi;
+
+/// Node identifier within a road network.
+pub type NodeId = u32;
+
+/// A weighted, undirected road network embedded in the plane.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    nodes: Vec<Point>,
+    /// Adjacency: `adj[u]` lists `(v, weight)`.
+    adj: Vec<Vec<(NodeId, f64)>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapNode {
+    dist: f64,
+    node: NodeId,
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the closest node.
+        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl RoadNetwork {
+    /// Builds a network from embedded nodes and undirected edges with
+    /// Euclidean edge weights.
+    ///
+    /// # Panics
+    /// Panics on an edge referencing a missing node.
+    pub fn from_edges(nodes: Vec<Point>, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut adj = vec![Vec::new(); nodes.len()];
+        for &(a, b) in edges {
+            let (ai, bi) = (a as usize, b as usize);
+            assert!(ai < nodes.len() && bi < nodes.len(), "edge ({a},{b}) out of range");
+            let w = nodes[ai].dist(&nodes[bi]);
+            adj[ai].push((b, w));
+            adj[bi].push((a, w));
+        }
+        RoadNetwork { nodes, adj }
+    }
+
+    /// A jittered grid network over the unit square (`rows × cols`
+    /// intersections, 4-connected) — a synthetic city street plan.
+    /// Deterministic in `(rows, cols, jitter, seed)`.
+    pub fn grid(rows: usize, cols: usize, jitter: f64, seed: u64) -> Self {
+        assert!(rows >= 2 && cols >= 2, "grid needs at least 2×2 intersections");
+        // A tiny xorshift so geo does not depend on rand.
+        let mut state = seed | 1;
+        let mut next_unit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut nodes = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let x = c as f64 / (cols - 1) as f64;
+                let y = r as f64 / (rows - 1) as f64;
+                nodes.push(Point::new(
+                    (x + (next_unit() - 0.5) * jitter).clamp(0.0, 1.0),
+                    (y + (next_unit() - 0.5) * jitter).clamp(0.0, 1.0),
+                ));
+            }
+        }
+        let mut edges = Vec::new();
+        let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((id(r, c), id(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((id(r, c), id(r + 1, c)));
+                }
+            }
+        }
+        Self::from_edges(nodes, &edges)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The embedded location of a node.
+    pub fn node_location(&self, id: NodeId) -> Point {
+        self.nodes[id as usize]
+    }
+
+    /// The network node nearest to a free point (linear scan; snapping
+    /// happens once per query location, not in inner loops).
+    pub fn snap(&self, p: &Point) -> NodeId {
+        assert!(!self.nodes.is_empty(), "snap on an empty network");
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let d = n.dist_sq(p);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best as NodeId
+    }
+
+    /// Single-source shortest-path distances (Dijkstra). Unreachable
+    /// nodes report `f64::INFINITY`.
+    pub fn sssp(&self, source: NodeId) -> Vec<f64> {
+        let mut dist = vec![f64::INFINITY; self.nodes.len()];
+        let mut heap = BinaryHeap::new();
+        dist[source as usize] = 0.0;
+        heap.push(HeapNode { dist: 0.0, node: source });
+        while let Some(HeapNode { dist: d, node }) = heap.pop() {
+            if d > dist[node as usize] {
+                continue; // stale entry
+            }
+            for &(next, w) in &self.adj[node as usize] {
+                let nd = d + w;
+                if nd < dist[next as usize] {
+                    dist[next as usize] = nd;
+                    heap.push(HeapNode { dist: nd, node: next });
+                }
+            }
+        }
+        dist
+    }
+
+    /// Network distance between two free points: snap both endpoints,
+    /// walk the network, and add the snap offsets (the standard
+    /// snap-based approximation of \[38\]-style road kGNN).
+    pub fn network_dist(&self, a: &Point, b: &Point) -> f64 {
+        let (sa, sb) = (self.snap(a), self.snap(b));
+        let on_net = self.sssp(sa)[sb as usize];
+        a.dist(&self.node_location(sa)) + on_net + b.dist(&self.node_location(sb))
+    }
+
+    /// Road-distance group-kNN: the `k` POIs minimizing the aggregate of
+    /// *network* distances to all query locations — one Dijkstra per
+    /// query location, then a scored scan over the POIs.
+    ///
+    /// # Panics
+    /// Panics if `queries` is empty.
+    pub fn group_knn(
+        &self,
+        pois: &[Poi],
+        queries: &[Point],
+        k: usize,
+        agg: Aggregate,
+    ) -> Vec<Poi> {
+        assert!(!queries.is_empty(), "group kNN with no query locations");
+        // Per-query SSSP trees plus the snap offsets.
+        let trees: Vec<(Vec<f64>, f64)> = queries
+            .iter()
+            .map(|q| {
+                let s = self.snap(q);
+                (self.sssp(s), q.dist(&self.node_location(s)))
+            })
+            .collect();
+        let mut scored: Vec<(f64, Poi)> = pois
+            .iter()
+            .map(|p| {
+                let ps = self.snap(&p.location);
+                let off = p.location.dist(&self.node_location(ps));
+                let dists = trees.iter().map(|(tree, qoff)| qoff + tree[ps as usize] + off);
+                let cost = match agg {
+                    Aggregate::Sum => dists.sum(),
+                    Aggregate::Max => dists.fold(f64::NEG_INFINITY, f64::max),
+                    Aggregate::Min => dists.fold(f64::INFINITY, f64::min),
+                };
+                (cost, *p)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
+        scored.into_iter().take(k).map(|(_, p)| p).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-node diamond: 0-1, 1-3, 0-2, 2-3 with asymmetric side lengths.
+    fn diamond() -> RoadNetwork {
+        let nodes = vec![
+            Point::new(0.0, 0.5),  // 0 west
+            Point::new(0.5, 1.0),  // 1 north
+            Point::new(0.5, 0.0),  // 2 south
+            Point::new(1.0, 0.5),  // 3 east
+        ];
+        RoadNetwork::from_edges(nodes, &[(0, 1), (1, 3), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn sssp_matches_hand_computation() {
+        let net = diamond();
+        let dist = net.sssp(0);
+        let side = Point::new(0.0, 0.5).dist(&Point::new(0.5, 1.0)); // ≈ 0.7071
+        assert!((dist[0] - 0.0).abs() < 1e-12);
+        assert!((dist[1] - side).abs() < 1e-12);
+        assert!((dist[2] - side).abs() < 1e-12);
+        assert!((dist[3] - 2.0 * side).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sssp_matches_floyd_warshall_oracle() {
+        let net = RoadNetwork::grid(4, 5, 0.02, 7);
+        let n = net.node_count();
+        // Floyd–Warshall oracle.
+        let mut fw = vec![vec![f64::INFINITY; n]; n];
+        for (i, row) in fw.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        #[allow(clippy::needless_range_loop)] // u indexes the oracle matrix too
+        for u in 0..n {
+            for &(v, w) in &net.adj[u] {
+                fw[u][v as usize] = fw[u][v as usize].min(w);
+            }
+        }
+        for m in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let through = fw[i][m] + fw[m][j];
+                    if through < fw[i][j] {
+                        fw[i][j] = through;
+                    }
+                }
+            }
+        }
+        for src in [0usize, n / 2, n - 1] {
+            let d = net.sssp(src as NodeId);
+            for j in 0..n {
+                assert!((d[j] - fw[src][j]).abs() < 1e-9, "src={src} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_nodes_are_infinite() {
+        let nodes = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let net = RoadNetwork::from_edges(nodes, &[]);
+        let d = net.sssp(0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], f64::INFINITY);
+    }
+
+    #[test]
+    fn network_dist_at_least_euclidean() {
+        // Road distance can never beat the straight line (triangle
+        // inequality through the snap points).
+        let net = RoadNetwork::grid(6, 6, 0.0, 1);
+        for (a, b) in [
+            (Point::new(0.1, 0.1), Point::new(0.9, 0.9)),
+            (Point::new(0.0, 0.5), Point::new(1.0, 0.5)),
+            (Point::new(0.33, 0.77), Point::new(0.51, 0.12)),
+        ] {
+            assert!(net.network_dist(&a, &b) >= a.dist(&b) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn network_dist_symmetric() {
+        let net = RoadNetwork::grid(5, 5, 0.03, 3);
+        let a = Point::new(0.2, 0.7);
+        let b = Point::new(0.8, 0.3);
+        assert!((net.network_dist(&a, &b) - net.network_dist(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snap_picks_nearest_node() {
+        let net = diamond();
+        assert_eq!(net.snap(&Point::new(0.05, 0.5)), 0);
+        assert_eq!(net.snap(&Point::new(0.5, 0.95)), 1);
+        assert_eq!(net.snap(&Point::new(0.99, 0.51)), 3);
+    }
+
+    #[test]
+    fn grid_connectivity() {
+        let net = RoadNetwork::grid(3, 4, 0.0, 1);
+        assert_eq!(net.node_count(), 12);
+        assert_eq!(net.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+        // Fully connected: every node reachable.
+        let d = net.sssp(0);
+        assert!(d.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn road_group_knn_differs_from_euclidean() {
+        // A wall of missing streets makes a Euclidean-near POI far by road.
+        // Network: a 2×5 ladder missing all rungs except the ends — going
+        // "across" in the middle requires a long detour.
+        let mut nodes = Vec::new();
+        for c in 0..5 {
+            nodes.push(Point::new(c as f64 / 4.0, 0.0)); // bottom row 0..5
+        }
+        for c in 0..5 {
+            nodes.push(Point::new(c as f64 / 4.0, 0.2)); // top row 5..10
+        }
+        let mut edges = Vec::new();
+        for c in 0..4u32 {
+            edges.push((c, c + 1)); // bottom
+            edges.push((5 + c, 5 + c + 1)); // top
+        }
+        edges.push((0, 5)); // only the left end connects the rows
+        let net = RoadNetwork::from_edges(nodes, &edges);
+
+        let user = vec![Point::new(1.0, 0.0)]; // bottom-right corner
+        let pois = vec![
+            Poi::new(0, Point::new(1.0, 0.2)),  // straight above: near in L2, far by road
+            Poi::new(1, Point::new(0.5, 0.0)),  // two blocks west on the same row
+        ];
+        let road = net.group_knn(&pois, &user, 1, Aggregate::Sum);
+        assert_eq!(road[0].id, 1, "road distance must prefer the same-row POI");
+        // Euclidean would pick POI 0 (distance 0.2 vs 0.5).
+        let euclid = crate::gnn::group_knn_brute_force(&pois, &user, 1, Aggregate::Sum);
+        assert_eq!(euclid[0].id, 0);
+    }
+
+    #[test]
+    fn road_group_knn_all_aggregates_sorted() {
+        let net = RoadNetwork::grid(5, 5, 0.02, 9);
+        let pois: Vec<Poi> = (0..30)
+            .map(|i| Poi::new(i, Point::new(((i * 7) % 30) as f64 / 30.0, ((i * 11) % 30) as f64 / 30.0)))
+            .collect();
+        let queries = vec![Point::new(0.2, 0.2), Point::new(0.8, 0.6)];
+        for agg in Aggregate::ALL {
+            let res = net.group_knn(&pois, &queries, 10, agg);
+            assert_eq!(res.len(), 10, "{agg}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_rejected() {
+        let _ = RoadNetwork::from_edges(vec![Point::ORIGIN], &[(0, 5)]);
+    }
+
+    #[test]
+    fn grid_is_deterministic() {
+        let a = RoadNetwork::grid(4, 4, 0.05, 42);
+        let b = RoadNetwork::grid(4, 4, 0.05, 42);
+        for i in 0..a.node_count() {
+            assert_eq!(a.node_location(i as NodeId), b.node_location(i as NodeId));
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! An R-tree over POIs, bulk-loaded with the Sort-Tile-Recursive (STR)
+//! algorithm, supporting best-first kNN and the MBM group-kNN of
+//! Papadias et al. — the plaintext `kGNN` black box of Algorithm 2 line 3.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::aggregate::Aggregate;
+use crate::point::Point;
+use crate::poi::Poi;
+use crate::rect::Rect;
+
+/// Maximum entries per node (fanout).
+const NODE_CAPACITY: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Leaf: a run of POIs.
+    Leaf { mbr: Rect, pois: Vec<Poi> },
+    /// Internal: child node indexes with their MBRs.
+    Internal { mbr: Rect, children: Vec<usize> },
+}
+
+impl Node {
+    fn mbr(&self) -> &Rect {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Internal { mbr, .. } => mbr,
+        }
+    }
+}
+
+/// A static (bulk-loaded) R-tree.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    len: usize,
+}
+
+/// An f64 priority that is `Ord` (total order via `total_cmp`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Heap entry for best-first traversal: min-heap by (cost, tie-break id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeapItem {
+    Node { idx: usize },
+    Poi { poi_idx: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    cost: OrdF64,
+    tie: u32,
+    item: HeapItem,
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so BinaryHeap (a max-heap) pops the minimum cost first;
+        // nodes sort before POIs at equal cost so bounds are refined eagerly.
+        other
+            .cost
+            .cmp(&self.cost)
+            .then_with(|| other.tie.cmp(&self.tie))
+    }
+}
+
+impl RTree {
+    /// Bulk-loads an R-tree from POIs using Sort-Tile-Recursive packing.
+    pub fn bulk_load(mut pois: Vec<Poi>) -> Self {
+        let len = pois.len();
+        if pois.is_empty() {
+            return RTree { nodes: Vec::new(), root: None, len: 0 };
+        }
+        let mut nodes = Vec::new();
+
+        // STR leaf packing: sort by x, cut into vertical slabs of
+        // ~sqrt(#leaves) leaves each, sort each slab by y, pack runs.
+        let leaf_count = len.div_ceil(NODE_CAPACITY);
+        let slab_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let slab_size = len.div_ceil(slab_count.max(1));
+        pois.sort_by(|a, b| a.location.x.total_cmp(&b.location.x));
+
+        let mut leaf_ids = Vec::with_capacity(leaf_count);
+        for slab in pois.chunks_mut(slab_size.max(1)) {
+            slab.sort_by(|a, b| a.location.y.total_cmp(&b.location.y));
+            for run in slab.chunks(NODE_CAPACITY) {
+                let mbr = Rect::bounding(&run.iter().map(|p| p.location).collect::<Vec<_>>());
+                nodes.push(Node::Leaf { mbr, pois: run.to_vec() });
+                leaf_ids.push(nodes.len() - 1);
+            }
+        }
+
+        // Pack levels upward until a single root remains.
+        let mut level = leaf_ids;
+        while level.len() > 1 {
+            let group_count = level.len().div_ceil(NODE_CAPACITY);
+            let slab_count = (group_count as f64).sqrt().ceil() as usize;
+            let slab_size = level.len().div_ceil(slab_count.max(1));
+            level.sort_by(|&a, &b| {
+                nodes[a].mbr().center().x.total_cmp(&nodes[b].mbr().center().x)
+            });
+            let mut next = Vec::with_capacity(group_count);
+            let chunks: Vec<Vec<usize>> =
+                level.chunks(slab_size.max(1)).map(|c| c.to_vec()).collect();
+            for mut slab in chunks {
+                slab.sort_by(|&a, &b| {
+                    nodes[a].mbr().center().y.total_cmp(&nodes[b].mbr().center().y)
+                });
+                for run in slab.chunks(NODE_CAPACITY) {
+                    let mbr = run
+                        .iter()
+                        .map(|&i| *nodes[i].mbr())
+                        .reduce(|a, b| a.union(&b))
+                        .expect("non-empty run");
+                    nodes.push(Node::Internal { mbr, children: run.to_vec() });
+                    next.push(nodes.len() - 1);
+                }
+            }
+            level = next;
+        }
+
+        let root = level.first().copied();
+        RTree { nodes, root, len }
+    }
+
+    /// Number of indexed POIs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// MBR of the whole dataset (`None` when empty).
+    pub fn mbr(&self) -> Option<Rect> {
+        self.root.map(|r| *self.nodes[r].mbr())
+    }
+
+    /// Classic k-nearest-neighbor query by best-first traversal.
+    /// Returns at most `k` POIs in ascending `(distance, id)` order.
+    pub fn knn(&self, query: &Point, k: usize) -> Vec<Poi> {
+        let q = std::slice::from_ref(query);
+        self.group_knn(q, k, Aggregate::Sum)
+    }
+
+    /// MBM group-kNN (Definition 2.1): the `k` POIs minimizing
+    /// `F(p, queries)`, ascending, ties broken by POI id.
+    ///
+    /// Best-first traversal where an internal node's key is
+    /// [`Aggregate::lower_bound`] of its MBR — a sound lower bound for
+    /// monotone `F`, so the first `k` POIs popped are exactly the answer.
+    ///
+    /// # Panics
+    /// Panics if `queries` is empty.
+    pub fn group_knn(&self, queries: &[Point], k: usize, agg: Aggregate) -> Vec<Poi> {
+        assert!(!queries.is_empty(), "group_knn with no query locations");
+        let mut result = Vec::with_capacity(k.min(self.len));
+        if k == 0 {
+            return result;
+        }
+        let Some(root) = self.root else { return result };
+
+        // Flattened POI store for heap entries: (cost computed lazily when
+        // a leaf is expanded).
+        let mut poi_buf: Vec<Poi> = Vec::new();
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            cost: OrdF64(agg.lower_bound(self.nodes[root].mbr(), queries)),
+            tie: 0,
+            item: HeapItem::Node { idx: root },
+        });
+
+        while let Some(entry) = heap.pop() {
+            match entry.item {
+                HeapItem::Poi { poi_idx } => {
+                    result.push(poi_buf[poi_idx as usize]);
+                    if result.len() == k {
+                        break;
+                    }
+                }
+                HeapItem::Node { idx } => match &self.nodes[idx] {
+                    Node::Internal { children, .. } => {
+                        for &c in children {
+                            heap.push(HeapEntry {
+                                cost: OrdF64(agg.lower_bound(self.nodes[c].mbr(), queries)),
+                                tie: 0,
+                                item: HeapItem::Node { idx: c },
+                            });
+                        }
+                    }
+                    Node::Leaf { pois, .. } => {
+                        for poi in pois {
+                            let cost = agg.eval(&poi.location, queries);
+                            poi_buf.push(*poi);
+                            heap.push(HeapEntry {
+                                cost: OrdF64(cost),
+                                tie: poi.id,
+                                item: HeapItem::Poi { poi_idx: (poi_buf.len() - 1) as u32 },
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        result
+    }
+
+    /// All POIs whose location falls inside `rect`, in id order.
+    pub fn range(&self, rect: &Rect) -> Vec<Poi> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            match &self.nodes[idx] {
+                Node::Internal { mbr, children } => {
+                    if mbr.intersects(rect) {
+                        stack.extend(children.iter().copied());
+                    }
+                }
+                Node::Leaf { mbr, pois } => {
+                    if mbr.intersects(rect) {
+                        out.extend(pois.iter().filter(|p| rect.contains(&p.location)));
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|p| p.id);
+        out
+    }
+
+    /// Iterates over all indexed POIs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Poi> {
+        self.nodes.iter().flat_map(|n| match n {
+            Node::Leaf { pois, .. } => pois.iter(),
+            Node::Internal { .. } => [].iter(),
+        })
+    }
+
+    /// Streaming best-first traversal: yields POIs in ascending
+    /// `(F(p, queries), id)` order, lazily — callers that stop early
+    /// (e.g. "expand until the next POI is unsafe") never pay for the
+    /// full k-set.
+    pub fn group_nearest_iter<'a>(
+        &'a self,
+        queries: &'a [Point],
+        agg: Aggregate,
+    ) -> GroupNearestIter<'a> {
+        assert!(!queries.is_empty(), "iterator with no query locations");
+        let mut heap = BinaryHeap::new();
+        if let Some(root) = self.root {
+            heap.push(HeapEntry {
+                cost: OrdF64(agg.lower_bound(self.nodes[root].mbr(), queries)),
+                tie: 0,
+                item: HeapItem::Node { idx: root },
+            });
+        }
+        GroupNearestIter { tree: self, queries, agg, heap, poi_buf: Vec::new() }
+    }
+
+    /// Tree height (0 for an empty tree, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let Some(mut idx) = self.root else { return 0 };
+        let mut h = 1;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return h,
+                Node::Internal { children, .. } => {
+                    idx = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Lazy best-first group-nearest iterator (see
+/// [`RTree::group_nearest_iter`]). Yields `(poi, aggregate_cost)`.
+pub struct GroupNearestIter<'a> {
+    tree: &'a RTree,
+    queries: &'a [Point],
+    agg: Aggregate,
+    heap: BinaryHeap<HeapEntry>,
+    poi_buf: Vec<Poi>,
+}
+
+impl Iterator for GroupNearestIter<'_> {
+    type Item = (Poi, f64);
+
+    fn next(&mut self) -> Option<(Poi, f64)> {
+        while let Some(entry) = self.heap.pop() {
+            match entry.item {
+                HeapItem::Poi { poi_idx } => {
+                    return Some((self.poi_buf[poi_idx as usize], entry.cost.0));
+                }
+                HeapItem::Node { idx } => match &self.tree.nodes[idx] {
+                    Node::Internal { children, .. } => {
+                        for &c in children {
+                            self.heap.push(HeapEntry {
+                                cost: OrdF64(
+                                    self.agg.lower_bound(self.tree.nodes[c].mbr(), self.queries),
+                                ),
+                                tie: 0,
+                                item: HeapItem::Node { idx: c },
+                            });
+                        }
+                    }
+                    Node::Leaf { pois, .. } => {
+                        for poi in pois {
+                            let cost = self.agg.eval(&poi.location, self.queries);
+                            self.poi_buf.push(*poi);
+                            self.heap.push(HeapEntry {
+                                cost: OrdF64(cost),
+                                tie: poi.id,
+                                item: HeapItem::Poi {
+                                    poi_idx: (self.poi_buf.len() - 1) as u32,
+                                },
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnn::group_knn_brute_force;
+    use crate::knn::knn_brute_force;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_pois(n: usize, seed: u64) -> Vec<Poi> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| Poi::new(i as u32, Point::new(rng.gen(), rng.gen())))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+        assert!(t.knn(&Point::ORIGIN, 3).is_empty());
+        assert!(t.mbr().is_none());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn single_poi() {
+        let poi = Poi::new(1, Point::new(0.5, 0.5));
+        let t = RTree::bulk_load(vec![poi]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.knn(&Point::ORIGIN, 5), vec![poi]);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pois = random_pois(500, 1);
+        let t = RTree::bulk_load(pois.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..20 {
+            let q = Point::new(rng.gen(), rng.gen());
+            for k in [1usize, 3, 10, 100] {
+                let got = t.knn(&q, k);
+                let want = knn_brute_force(&pois, &q, k);
+                assert_eq!(got.iter().map(|p| p.id).collect::<Vec<_>>(),
+                           want.iter().map(|p| p.id).collect::<Vec<_>>(),
+                           "k={k} q=({},{})", q.x, q.y);
+            }
+        }
+    }
+
+    #[test]
+    fn group_knn_matches_brute_force_all_aggregates() {
+        let pois = random_pois(300, 3);
+        let t = RTree::bulk_load(pois.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for agg in Aggregate::ALL {
+            for _ in 0..10 {
+                let n = rng.gen_range(1..6);
+                let queries: Vec<Point> =
+                    (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+                let got = t.group_knn(&queries, 8, agg);
+                let want = group_knn_brute_force(&pois, &queries, 8, agg);
+                assert_eq!(got.iter().map(|p| p.id).collect::<Vec<_>>(),
+                           want.iter().map(|p| p.id).collect::<Vec<_>>(),
+                           "{agg}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_results_sorted_ascending() {
+        let pois = random_pois(200, 5);
+        let t = RTree::bulk_load(pois);
+        let q = Point::new(0.5, 0.5);
+        let res = t.knn(&q, 50);
+        for w in res.windows(2) {
+            assert!(w[0].location.dist(&q) <= w[1].location.dist(&q) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset() {
+        let pois = random_pois(10, 6);
+        let t = RTree::bulk_load(pois.clone());
+        let res = t.knn(&Point::ORIGIN, 100);
+        assert_eq!(res.len(), 10);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let t = RTree::bulk_load(random_pois(10, 7));
+        assert!(t.knn(&Point::ORIGIN, 0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_locations_tie_broken_by_id() {
+        let p = Point::new(0.5, 0.5);
+        let pois = vec![Poi::new(9, p), Poi::new(3, p), Poi::new(7, p)];
+        let t = RTree::bulk_load(pois);
+        let ids: Vec<u32> = t.knn(&p, 3).iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let pois = random_pois(400, 8);
+        let t = RTree::bulk_load(pois.clone());
+        let rect = Rect::new(0.2, 0.3, 0.6, 0.7);
+        let got: Vec<u32> = t.range(&rect).iter().map(|p| p.id).collect();
+        let mut want: Vec<u32> = pois
+            .iter()
+            .filter(|p| rect.contains(&p.location))
+            .map(|p| p.id)
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+        assert!(!got.is_empty(), "rect should catch some of 400 points");
+    }
+
+    #[test]
+    fn iter_covers_everything() {
+        let pois = random_pois(150, 9);
+        let t = RTree::bulk_load(pois.clone());
+        let mut ids: Vec<u32> = t.iter().map(|p| p.id).collect();
+        ids.sort();
+        assert_eq!(ids, (0..150).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn multi_level_tree_built_for_large_input() {
+        let t = RTree::bulk_load(random_pois(10_000, 10));
+        assert!(t.height() >= 2, "10k POIs must not fit in one leaf");
+        assert_eq!(t.len(), 10_000);
+        // Sanity: large-tree kNN still correct at the fringe.
+        let res = t.knn(&Point::new(-1.0, -1.0), 5);
+        assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    fn nearest_iter_matches_group_knn() {
+        let pois = random_pois(300, 20);
+        let t = RTree::bulk_load(pois.clone());
+        let queries = vec![Point::new(0.4, 0.6), Point::new(0.7, 0.2)];
+        for agg in Aggregate::ALL {
+            let from_iter: Vec<u32> = t
+                .group_nearest_iter(&queries, agg)
+                .take(25)
+                .map(|(p, _)| p.id)
+                .collect();
+            let from_knn: Vec<u32> =
+                t.group_knn(&queries, 25, agg).iter().map(|p| p.id).collect();
+            assert_eq!(from_iter, from_knn, "{agg}");
+        }
+    }
+
+    #[test]
+    fn nearest_iter_costs_nondecreasing_and_exhaustive() {
+        let pois = random_pois(120, 21);
+        let t = RTree::bulk_load(pois);
+        let queries = vec![Point::new(0.5, 0.5)];
+        let all: Vec<(Poi, f64)> = t.group_nearest_iter(&queries, Aggregate::Sum).collect();
+        assert_eq!(all.len(), 120, "iterator must drain the whole tree");
+        for w in all.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_iter_empty_tree() {
+        let t = RTree::bulk_load(vec![]);
+        assert_eq!(t.group_nearest_iter(&[Point::ORIGIN], Aggregate::Sum).count(), 0);
+    }
+
+    #[test]
+    fn group_knn_with_query_outside_space() {
+        let pois = random_pois(100, 11);
+        let t = RTree::bulk_load(pois.clone());
+        let queries = vec![Point::new(5.0, 5.0), Point::new(-3.0, 0.5)];
+        let got = t.group_knn(&queries, 4, Aggregate::Max);
+        let want = group_knn_brute_force(&pois, &queries, 4, Aggregate::Max);
+        assert_eq!(got.iter().map(|p| p.id).collect::<Vec<_>>(),
+                   want.iter().map(|p| p.id).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for cryptosystem misuse.
+
+use core::fmt;
+
+/// Errors raised by the Paillier layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaillierError {
+    /// Plaintext is outside `Z_{N^s}`.
+    PlaintextOutOfRange { plaintext_bits: usize, capacity_bits: usize },
+    /// Ciphertext is outside `Z_{N^{s+1}}` or shares a factor with `N`.
+    MalformedCiphertext,
+    /// A vector operation received operands of mismatched length.
+    LengthMismatch { left: usize, right: usize },
+    /// The requested key size is too small to be meaningful.
+    KeySizeTooSmall(usize),
+    /// Packing: a record does not fit the configured width.
+    RecordTooWide { bits: usize, width_bits: usize },
+}
+
+impl fmt::Display for PaillierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaillierError::PlaintextOutOfRange { plaintext_bits, capacity_bits } => write!(
+                f,
+                "plaintext of {plaintext_bits} bits exceeds the {capacity_bits}-bit plaintext space"
+            ),
+            PaillierError::MalformedCiphertext => write!(f, "malformed ciphertext"),
+            PaillierError::LengthMismatch { left, right } => {
+                write!(f, "vector length mismatch: {left} vs {right}")
+            }
+            PaillierError::KeySizeTooSmall(bits) => {
+                write!(f, "key size of {bits} bits is too small (minimum 16)")
+            }
+            PaillierError::RecordTooWide { bits, width_bits } => {
+                write!(f, "record of {bits} bits exceeds the {width_bits}-bit slot width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PaillierError {}

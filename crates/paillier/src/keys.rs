@@ -1,0 +1,188 @@
+//! Key generation for the (generalized) Paillier cryptosystem.
+//!
+//! Matches §3.1 of the paper: `(sk, pk) = Gen(keysize)` where `N`, the
+//! product of two large primes, is determined by `pk`. A single keypair
+//! serves every ε_s level — "the encryption and decryption with ε₂ can use
+//! the same public key and secret key as those with ε₁" (§6).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ppgnn_bigint::{gen_prime, BigUint};
+
+/// Public key: the modulus `N` (and its nominal bit size).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicKey {
+    n: BigUint,
+    key_bits: usize,
+}
+
+/// Secret key: the factorization of `N` and `λ = lcm(p−1, q−1)`.
+///
+/// Serializable for key storage; treat serialized forms as secrets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SecretKey {
+    p: BigUint,
+    q: BigUint,
+    lambda: BigUint,
+    n: BigUint,
+}
+
+/// A matching `(PublicKey, SecretKey)` pair.
+pub type Keypair = (PublicKey, SecretKey);
+
+impl PublicKey {
+    /// The modulus `N = p·q`.
+    pub fn n(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Nominal key size in bits (the paper's `keysize`; `N` has exactly
+    /// this many bits).
+    pub fn key_bits(&self) -> usize {
+        self.key_bits
+    }
+
+    /// Byte length of one ε_s ciphertext: an element of `Z_{N^{s+1}}`.
+    ///
+    /// This is the `L_e` of the paper's cost model (for `s = 1`); the
+    /// ε₂ ciphertext is 1.5× an ε₁ ciphertext in exact byte terms
+    /// (`N³` vs `N²`), which the paper rounds to "about twice".
+    pub fn ciphertext_bytes(&self, s: usize) -> usize {
+        (self.key_bits * (s + 1)).div_ceil(8)
+    }
+
+    /// Constructs a public key directly from a modulus (for tests and for
+    /// deserialization). The caller asserts `n` is a valid RSA modulus.
+    pub fn from_modulus(n: BigUint) -> Self {
+        let key_bits = n.bit_length();
+        PublicKey { n, key_bits }
+    }
+}
+
+impl SecretKey {
+    /// `λ = lcm(p−1, q−1)` (the Carmichael function of `N`).
+    pub fn lambda(&self) -> &BigUint {
+        &self.lambda
+    }
+
+    /// The modulus (redundant copy so decryption needs no public key).
+    pub fn n(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Prime factors, exposed for CRT-accelerated experiments.
+    pub fn primes(&self) -> (&BigUint, &BigUint) {
+        (&self.p, &self.q)
+    }
+}
+
+/// Generates a Paillier keypair with an exactly-`keysize`-bit modulus.
+///
+/// Primes are drawn with their top two bits forced so `N = p·q` has exactly
+/// `keysize` bits, and re-drawn until `gcd(N, λ) = 1` (required for
+/// Damgård–Jurik decryption; holds with overwhelming probability).
+///
+/// # Panics
+/// Panics if `keysize < 16` — too small for even a toy modulus.
+pub fn generate_keypair<R: Rng + ?Sized>(keysize: usize, rng: &mut R) -> Keypair {
+    assert!(keysize >= 16, "keysize must be at least 16 bits, got {keysize}");
+    let half = keysize / 2;
+    loop {
+        let p = gen_prime(half, rng);
+        let q = gen_prime(keysize - half, rng);
+        if p == q {
+            continue;
+        }
+        let n = &p * &q;
+        debug_assert_eq!(n.bit_length(), keysize);
+        let p1 = &p - &BigUint::one();
+        let q1 = &q - &BigUint::one();
+        let lambda = p1.lcm(&q1);
+        if !n.gcd(&lambda).is_one() {
+            continue;
+        }
+        let pk = PublicKey { n: n.clone(), key_bits: keysize };
+        let sk = SecretKey { p, q, lambda, n };
+        return (pk, sk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn keypair_has_exact_modulus_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for bits in [64usize, 128, 256] {
+            let (pk, sk) = generate_keypair(bits, &mut rng);
+            assert_eq!(pk.n().bit_length(), bits);
+            assert_eq!(pk.key_bits(), bits);
+            assert_eq!(pk.n(), sk.n());
+        }
+    }
+
+    #[test]
+    fn lambda_is_carmichael() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let (pk, sk) = generate_keypair(64, &mut rng);
+        let (p, q) = sk.primes();
+        assert_eq!(&(p * q), pk.n());
+        // λ divides (p-1)(q-1) and both p-1, q-1 divide λ.
+        let p1 = p - &BigUint::one();
+        let q1 = q - &BigUint::one();
+        assert!((sk.lambda() % &p1).is_zero());
+        assert!((sk.lambda() % &q1).is_zero());
+        assert!(((&p1 * &q1) % sk.lambda()).is_zero());
+    }
+
+    #[test]
+    fn gcd_n_lambda_is_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (pk, sk) = generate_keypair(96, &mut rng);
+        assert!(pk.n().gcd(sk.lambda()).is_one());
+    }
+
+    #[test]
+    fn ciphertext_byte_lengths() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let (pk, _) = generate_keypair(128, &mut rng);
+        assert_eq!(pk.ciphertext_bytes(1), 32); // N^2 = 256 bits
+        assert_eq!(pk.ciphertext_bytes(2), 48); // N^3 = 384 bits
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16 bits")]
+    fn tiny_keysize_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = generate_keypair(8, &mut rng);
+    }
+
+    #[test]
+    fn key_serde_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let (pk, sk) = generate_keypair(96, &mut rng);
+        let pk_json = serde_json::to_string(&pk).unwrap();
+        let sk_json = serde_json::to_string(&sk).unwrap();
+        let pk2: PublicKey = serde_json::from_str(&pk_json).unwrap();
+        let sk2: SecretKey = serde_json::from_str(&sk_json).unwrap();
+        assert_eq!(pk2, pk);
+        assert_eq!(sk2.lambda(), sk.lambda());
+        assert_eq!(sk2.primes().0, sk.primes().0);
+        // The restored keys still decrypt.
+        let ctx = crate::DjContext::new(&pk2, 1);
+        let m = BigUint::from(123u64);
+        let c = ctx.encrypt(&m, &mut rng);
+        assert_eq!(ctx.decrypt(&c, &sk2), m);
+    }
+
+    #[test]
+    fn odd_keysize_supported() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let (pk, _) = generate_keypair(65, &mut rng);
+        assert_eq!(pk.n().bit_length(), 65);
+    }
+}

@@ -1,0 +1,54 @@
+//! Generalized Paillier cryptosystem ε_s (Damgård–Jurik, PKC 2001) —
+//! the cryptographic substrate of the PPGNN protocols.
+//!
+//! The original paper uses GMP + libhcs; this crate is the from-scratch
+//! equivalent built on [`ppgnn_bigint`]. It provides:
+//!
+//! * key generation ([`generate_keypair`]) for a modulus `N = p·q`;
+//! * the ε_s scheme for any `s ≥ 1` via [`DjContext`]: plaintexts in
+//!   `Z_{N^s}`, ciphertexts in `Z^*_{N^{s+1}}`, with the fast binomial
+//!   evaluation of `(1+N)^m` and the Damgård–Jurik discrete-log
+//!   decryption;
+//! * the homomorphisms the paper relies on (its Eqn 2–4): addition `⊕`,
+//!   plaintext–ciphertext multiplication `⊗`, dot product `⊙`, and the
+//!   matrix private selection `A ⨂ [v]` of Theorem 3.1
+//!   ([`matrix_select`]);
+//! * layered encryption: an ε₁ ciphertext (an element of `Z_{N²}`) can be
+//!   treated as an ε₂ plaintext, which is exactly the trick PPGNN-OPT's
+//!   two-phase selection uses;
+//! * plaintext packing ([`packing`]) of fixed-width records (POI
+//!   coordinates) into integers `< N^s`.
+//!
+//! # Example
+//!
+//! ```
+//! use ppgnn_paillier::{generate_keypair, DjContext};
+//! use ppgnn_bigint::BigUint;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let (pk, sk) = generate_keypair(256, &mut rng);
+//! let ctx = DjContext::new(&pk, 1);
+//! let c1 = ctx.encrypt(&BigUint::from(20u64), &mut rng);
+//! let c2 = ctx.encrypt(&BigUint::from(22u64), &mut rng);
+//! let sum = ctx.add(&c1, &c2);
+//! assert_eq!(ctx.decrypt(&sum, &sk), BigUint::from(42u64));
+//! ```
+
+mod context;
+mod decryptor;
+mod error;
+mod keys;
+pub mod packing;
+mod pool;
+mod vector;
+
+pub use context::{Ciphertext, DjContext};
+pub use decryptor::Decryptor;
+pub use error::PaillierError;
+pub use keys::{generate_keypair, Keypair, PublicKey, SecretKey};
+pub use pool::RandomnessPool;
+pub use vector::{
+    decrypt_vector, encrypt_indicator, encrypt_indicator_pooled, encrypt_vector, matrix_select,
+    EncryptedVector,
+};

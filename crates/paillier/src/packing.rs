@@ -1,0 +1,189 @@
+//! Plaintext packing: encoding several fixed-width records (POI
+//! coordinates / identifiers) into one big integer `< N^s`.
+//!
+//! §8.2 of the paper: "15 POIs information can be encoded by a big
+//! integer in our settings" — 1024-bit `N`, 8 bytes per POI, with a little
+//! headroom so the packed value stays strictly below `N`. We reproduce
+//! that exactly: each record occupies a fixed 64-bit slot and a pack of
+//! `capacity` slots occupies `64·capacity ≤ key_bits − 16` bits, so the
+//! value is `< 2^{key_bits−16} < N` (since `N ≥ 2^{key_bits−1}`).
+
+use ppgnn_bigint::BigUint;
+
+use crate::error::PaillierError;
+
+/// Width of one record slot in bits (8 bytes per POI, as in the paper).
+pub const SLOT_BITS: usize = 64;
+
+/// Safety margin subtracted from the key size so packed integers stay
+/// strictly below `N`.
+pub const HEADROOM_BITS: usize = 16;
+
+/// A fixed-slot packer for `u64` records into plaintexts `< N^s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packer {
+    /// Records per packed integer.
+    capacity: usize,
+}
+
+impl Packer {
+    /// Creates a packer for an ε_s plaintext space with `key_bits`-bit `N`.
+    ///
+    /// # Panics
+    /// Panics if the plaintext space cannot hold even one slot.
+    pub fn new(key_bits: usize, s: usize) -> Self {
+        let usable = (key_bits * s).saturating_sub(HEADROOM_BITS);
+        let capacity = usable / SLOT_BITS;
+        assert!(capacity >= 1, "key of {key_bits} bits cannot hold one {SLOT_BITS}-bit slot");
+        Packer { capacity }
+    }
+
+    /// Records per packed integer (the paper's "15 POIs per big integer"
+    /// at 1024-bit keys and s = 1).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of packed integers needed to hold `count` records
+    /// (the paper's `m`, for one answer of `k` POIs: `m = ⌈k/capacity⌉·x`).
+    pub fn packed_len(&self, count: usize) -> usize {
+        count.div_ceil(self.capacity.max(1)).max(1)
+    }
+
+    /// Packs records into integers; the final integer is zero-padded
+    /// (the paper pads answers with 0's to the common length `m`).
+    pub fn pack(&self, records: &[u64]) -> Vec<BigUint> {
+        if records.is_empty() {
+            return vec![BigUint::zero()];
+        }
+        records
+            .chunks(self.capacity)
+            .map(|chunk| {
+                let mut acc = BigUint::zero();
+                for (slot, &rec) in chunk.iter().enumerate() {
+                    acc = &acc + &BigUint::from(rec).shl_bits(slot * SLOT_BITS);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Unpacks `count` records from packed integers.
+    ///
+    /// Returns an error if any packed integer is wider than its slots
+    /// allow (indicating corruption or a key mismatch).
+    pub fn unpack(&self, packed: &[BigUint], count: usize) -> Result<Vec<u64>, PaillierError> {
+        let mut out = Vec::with_capacity(count);
+        for p in packed {
+            if p.bit_length() > self.capacity * SLOT_BITS {
+                return Err(PaillierError::RecordTooWide {
+                    bits: p.bit_length(),
+                    width_bits: self.capacity * SLOT_BITS,
+                });
+            }
+            for slot in 0..self.capacity {
+                if out.len() == count {
+                    return Ok(out);
+                }
+                let rec = p
+                    .shr_bits(slot * SLOT_BITS)
+                    .limbs()
+                    .first()
+                    .copied()
+                    .unwrap_or(0);
+                out.push(rec);
+            }
+        }
+        if out.len() < count {
+            // Missing integers mean implicit zero padding.
+            out.resize(count, 0);
+        }
+        Ok(out)
+    }
+}
+
+/// Encodes an `(x, y)` pair of `u32` coordinates into one record slot.
+pub fn encode_point(x: u32, y: u32) -> u64 {
+    ((x as u64) << 32) | y as u64
+}
+
+/// Decodes a record slot back into `(x, y)`.
+pub fn decode_point(rec: u64) -> (u32, u32) {
+    ((rec >> 32) as u32, rec as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacity_at_1024_bits() {
+        // (1024 - 16) / 64 = 15 POIs per integer, as §8.2 reports.
+        assert_eq!(Packer::new(1024, 1).capacity(), 15);
+    }
+
+    #[test]
+    fn capacity_scales_with_level() {
+        assert_eq!(Packer::new(1024, 2).capacity(), (2048 - 16) / 64);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let p = Packer::new(256, 1); // capacity 3
+        assert_eq!(p.capacity(), 3);
+        let recs = [1u64, u64::MAX, 0, 42, 7];
+        let packed = p.pack(&recs);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(p.unpack(&packed, recs.len()).unwrap(), recs);
+    }
+
+    #[test]
+    fn empty_records_pack_to_zero() {
+        let p = Packer::new(256, 1);
+        let packed = p.pack(&[]);
+        assert_eq!(packed, vec![BigUint::zero()]);
+        assert_eq!(p.unpack(&packed, 0).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn unpack_fewer_integers_pads_zero() {
+        let p = Packer::new(256, 1);
+        let packed = p.pack(&[5]);
+        assert_eq!(p.unpack(&packed, 4).unwrap(), vec![5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn packed_len_formula() {
+        let p = Packer::new(256, 1); // capacity 3
+        assert_eq!(p.packed_len(0), 1);
+        assert_eq!(p.packed_len(3), 1);
+        assert_eq!(p.packed_len(4), 2);
+        assert_eq!(p.packed_len(9), 3);
+    }
+
+    #[test]
+    fn oversized_integer_rejected() {
+        let p = Packer::new(256, 1);
+        let too_wide = BigUint::one().shl_bits(p.capacity() * SLOT_BITS + 1);
+        assert!(matches!(
+            p.unpack(&[too_wide], 1),
+            Err(PaillierError::RecordTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn packed_value_below_modulus_bound() {
+        let p = Packer::new(256, 1);
+        let recs = vec![u64::MAX; p.capacity()];
+        let packed = p.pack(&recs);
+        // Strictly below 2^(key_bits - 16) <= N.
+        assert!(packed[0].bit_length() <= 256 - HEADROOM_BITS);
+    }
+
+    #[test]
+    fn point_codec_roundtrip() {
+        for (x, y) in [(0u32, 0u32), (1, 2), (u32::MAX, 12345), (999999, u32::MAX)] {
+            assert_eq!(decode_point(encode_point(x, y)), (x, y));
+        }
+    }
+}

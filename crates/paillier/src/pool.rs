@@ -1,0 +1,134 @@
+//! Pre-computed encryption randomness.
+//!
+//! The expensive half of an ε_s encryption is `r^{N^s} mod N^{s+1}` — it
+//! does not depend on the plaintext. A mobile user (the paper's target
+//! scenario: "users' computational power being limited") can therefore
+//! pre-compute a pool of randomizers while idle/charging and spend only
+//! the cheap binomial `(1+N)^m` plus one modular multiplication per
+//! encryption at query time.
+
+use rand::Rng;
+
+use ppgnn_bigint::{BigUint, UniformBigUint};
+
+use crate::context::{Ciphertext, DjContext};
+use crate::error::PaillierError;
+
+/// A pool of pre-computed `r^{N^s} mod N^{s+1}` randomizers for one
+/// `(pk, s)` context.
+#[derive(Debug, Clone)]
+pub struct RandomnessPool {
+    randomizers: Vec<BigUint>,
+}
+
+impl RandomnessPool {
+    /// Pre-computes `capacity` randomizers (the slow, offline step).
+    pub fn generate<R: Rng + ?Sized>(ctx: &DjContext, capacity: usize, rng: &mut R) -> Self {
+        let n = ctx.public_key().n();
+        let randomizers = (0..capacity)
+            .map(|_| {
+                let r = loop {
+                    let r = rng.gen_biguint_range(&BigUint::one(), n);
+                    if r.gcd(n).is_one() {
+                        break r;
+                    }
+                };
+                ctx.pow_n_s(&r)
+            })
+            .collect();
+        RandomnessPool { randomizers }
+    }
+
+    /// Remaining pre-computed randomizers.
+    pub fn remaining(&self) -> usize {
+        self.randomizers.len()
+    }
+
+    /// Encrypts using one pooled randomizer (the fast, online step).
+    ///
+    /// Returns [`PaillierError::PlaintextOutOfRange`] when `m ≥ N^s` and
+    /// an empty-pool error via `None` when exhausted.
+    pub fn encrypt(
+        &mut self,
+        ctx: &DjContext,
+        m: &BigUint,
+    ) -> Option<Result<Ciphertext, PaillierError>> {
+        let rn = self.randomizers.pop()?;
+        Some(ctx.encrypt_with_randomizer(m, &rn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::generate_keypair;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pooled_encryption_decrypts_correctly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (pk, sk) = generate_keypair(128, &mut rng);
+        let ctx = DjContext::new(&pk, 1);
+        let mut pool = RandomnessPool::generate(&ctx, 5, &mut rng);
+        for i in 0..5u64 {
+            let m = BigUint::from(i * 1000);
+            let c = pool.encrypt(&ctx, &m).unwrap().unwrap();
+            assert_eq!(ctx.decrypt(&c, &sk), m);
+        }
+        assert_eq!(pool.remaining(), 0);
+        assert!(pool.encrypt(&ctx, &BigUint::one()).is_none());
+    }
+
+    #[test]
+    fn pooled_ciphertexts_are_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let (pk, _) = generate_keypair(128, &mut rng);
+        let ctx = DjContext::new(&pk, 1);
+        let mut pool = RandomnessPool::generate(&ctx, 3, &mut rng);
+        let m = BigUint::from(7u64);
+        let c1 = pool.encrypt(&ctx, &m).unwrap().unwrap();
+        let c2 = pool.encrypt(&ctx, &m).unwrap().unwrap();
+        assert_ne!(c1, c2, "distinct randomizers => distinct ciphertexts");
+    }
+
+    #[test]
+    fn online_phase_is_fast() {
+        // The point of the pool: online encryption must beat full
+        // encryption by a wide margin.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (pk, _) = generate_keypair(256, &mut rng);
+        let ctx = DjContext::new(&pk, 1);
+        let mut pool = RandomnessPool::generate(&ctx, 50, &mut rng);
+        let m = BigUint::from(123u64);
+
+        let t0 = std::time::Instant::now();
+        for _ in 0..50 {
+            let _ = ctx.encrypt(&m, &mut rng);
+        }
+        let full = t0.elapsed();
+
+        let t0 = std::time::Instant::now();
+        for _ in 0..50 {
+            let _ = pool.encrypt(&ctx, &m).unwrap().unwrap();
+        }
+        let online = t0.elapsed();
+        assert!(
+            online * 5 < full,
+            "online {online:?} should be ≫ 5× faster than full {full:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_plaintext_reported() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let (pk, _) = generate_keypair(128, &mut rng);
+        let ctx = DjContext::new(&pk, 1);
+        let mut pool = RandomnessPool::generate(&ctx, 1, &mut rng);
+        let too_big = ctx.plaintext_modulus().clone();
+        assert!(matches!(
+            pool.encrypt(&ctx, &too_big),
+            Some(Err(PaillierError::PlaintextOutOfRange { .. }))
+        ));
+    }
+}

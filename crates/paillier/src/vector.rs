@@ -1,0 +1,258 @@
+//! Vector and matrix homomorphisms: element-wise encryption, the dot
+//! product `⊙` (Eqn 4), and the private-selection matrix product `A ⨂ [v]`
+//! of Theorem 3.1 — the core LSP-side primitive of the whole paper.
+
+use rand::Rng;
+
+use ppgnn_bigint::BigUint;
+
+use crate::context::{Ciphertext, DjContext};
+use crate::error::PaillierError;
+use crate::keys::SecretKey;
+
+/// An element-wise encrypted vector `[v] = ([v₁], …, [v_m])`.
+#[derive(Debug, Clone)]
+pub struct EncryptedVector {
+    elements: Vec<Ciphertext>,
+}
+
+impl EncryptedVector {
+    /// Wraps pre-built ciphertexts.
+    pub fn from_ciphertexts(elements: Vec<Ciphertext>) -> Self {
+        EncryptedVector { elements }
+    }
+
+    /// The component ciphertexts.
+    pub fn elements(&self) -> &[Ciphertext] {
+        &self.elements
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` iff the vector has no components.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Homomorphic dot product with a plaintext vector (the paper's `⊙`):
+    /// returns `Enc(x · v)`.
+    pub fn dot(&self, x: &[BigUint], ctx: &DjContext) -> Result<Ciphertext, PaillierError> {
+        if x.len() != self.elements.len() {
+            return Err(PaillierError::LengthMismatch { left: x.len(), right: self.elements.len() });
+        }
+        let mut acc = ctx.one_ciphertext();
+        for (xi, ci) in x.iter().zip(&self.elements) {
+            if xi.is_zero() {
+                // 0 ⊗ [v] contributes Enc(0); skip the exponentiation.
+                continue;
+            }
+            acc = ctx.add(&acc, &ctx.scalar_mul(xi, ci));
+        }
+        Ok(acc)
+    }
+
+    /// Total serialized size in bytes.
+    pub fn byte_len(&self, ctx: &DjContext) -> usize {
+        self.elements.len() * ctx.public_key().ciphertext_bytes(ctx.level())
+    }
+}
+
+/// Encrypts a plaintext vector element-wise.
+pub fn encrypt_vector<R: Rng + ?Sized>(
+    values: &[BigUint],
+    ctx: &DjContext,
+    rng: &mut R,
+) -> EncryptedVector {
+    EncryptedVector {
+        elements: values.iter().map(|v| ctx.encrypt(v, rng)).collect(),
+    }
+}
+
+/// Builds and encrypts an indicator vector of length `len` with a single 1
+/// at `position` (the paper's Eqn 5 / Algorithm 1 line 9–10).
+///
+/// # Panics
+/// Panics if `position >= len`.
+pub fn encrypt_indicator<R: Rng + ?Sized>(
+    len: usize,
+    position: usize,
+    ctx: &DjContext,
+    rng: &mut R,
+) -> EncryptedVector {
+    assert!(position < len, "indicator position {position} out of range {len}");
+    let values: Vec<BigUint> = (0..len)
+        .map(|i| if i == position { BigUint::one() } else { BigUint::zero() })
+        .collect();
+    encrypt_vector(&values, ctx, rng)
+}
+
+/// Decrypts a vector element-wise.
+pub fn decrypt_vector(v: &EncryptedVector, ctx: &DjContext, sk: &SecretKey) -> Vec<BigUint> {
+    v.elements.iter().map(|c| ctx.decrypt(c, sk)).collect()
+}
+
+/// Encrypts an indicator vector with pooled randomizers (the fast online
+/// step of the mobile-user optimization).
+///
+/// Returns `None` when the pool runs dry before `len` encryptions.
+///
+/// # Panics
+/// Panics if `position >= len`.
+pub fn encrypt_indicator_pooled(
+    len: usize,
+    position: usize,
+    ctx: &DjContext,
+    pool: &mut crate::RandomnessPool,
+) -> Option<EncryptedVector> {
+    assert!(position < len, "indicator position {position} out of range {len}");
+    let mut elements = Vec::with_capacity(len);
+    for i in 0..len {
+        let m = if i == position { BigUint::one() } else { BigUint::zero() };
+        let ct = pool.encrypt(ctx, &m)?.expect("0/1 always in range");
+        elements.push(ct);
+    }
+    Some(EncryptedVector { elements })
+}
+
+/// Theorem 3.1: homomorphic matrix product `A ⨂ [v]`.
+///
+/// `columns[j]` is the answer vector `a_j` (length `m`, entries `< N^s`);
+/// `[v]` is the encrypted indicator with `columns.len()` components.
+/// Returns the encrypted selected column `[a_i]` (length `m`).
+///
+/// Columns may have differing lengths; shorter columns are implicitly
+/// zero-padded to the longest (`m`), mirroring the paper's padding of
+/// answers to a common `m`.
+pub fn matrix_select(
+    columns: &[Vec<BigUint>],
+    v: &EncryptedVector,
+    ctx: &DjContext,
+) -> Result<EncryptedVector, PaillierError> {
+    if columns.len() != v.len() {
+        return Err(PaillierError::LengthMismatch { left: columns.len(), right: v.len() });
+    }
+    let m = columns.iter().map(|c| c.len()).max().unwrap_or(0);
+    let zero = BigUint::zero();
+    let mut rows = Vec::with_capacity(m);
+    for row in 0..m {
+        // Row `row` of A is (a_{1,row}, …, a_{δ',row}); dot with [v].
+        let x: Vec<BigUint> = columns
+            .iter()
+            .map(|col| col.get(row).unwrap_or(&zero).clone())
+            .collect();
+        rows.push(v.dot(&x, ctx)?);
+    }
+    Ok(EncryptedVector { elements: rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::generate_keypair;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (DjContext, SecretKey, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let (pk, sk) = generate_keypair(128, &mut rng);
+        (DjContext::new(&pk, 1), sk, rng)
+    }
+
+    fn nums(vals: &[u64]) -> Vec<BigUint> {
+        vals.iter().map(|&v| BigUint::from(v)).collect()
+    }
+
+    #[test]
+    fn encrypt_decrypt_vector_roundtrip() {
+        let (ctx, sk, mut rng) = setup();
+        let vals = nums(&[0, 1, 99, 12345]);
+        let enc = encrypt_vector(&vals, &ctx, &mut rng);
+        assert_eq!(decrypt_vector(&enc, &ctx, &sk), vals);
+    }
+
+    #[test]
+    fn dot_product_matches_plain() {
+        let (ctx, sk, mut rng) = setup();
+        let v = nums(&[3, 0, 7]);
+        let x = nums(&[2, 100, 5]);
+        let enc = encrypt_vector(&v, &ctx, &mut rng);
+        let dot = enc.dot(&x, &ctx).unwrap();
+        assert_eq!(ctx.decrypt(&dot, &sk), BigUint::from(3 * 2 + 7 * 5u64));
+    }
+
+    #[test]
+    fn dot_length_mismatch_rejected() {
+        let (ctx, _, mut rng) = setup();
+        let enc = encrypt_vector(&nums(&[1, 2]), &ctx, &mut rng);
+        assert!(matches!(
+            enc.dot(&nums(&[1]), &ctx),
+            Err(PaillierError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn indicator_selects_element() {
+        let (ctx, sk, mut rng) = setup();
+        let x = nums(&[10, 20, 30, 40]);
+        for pos in 0..4 {
+            let ind = encrypt_indicator(4, pos, &ctx, &mut rng);
+            let sel = ind.dot(&x, &ctx).unwrap();
+            assert_eq!(ctx.decrypt(&sel, &sk), x[pos]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indicator_position_out_of_range() {
+        let (ctx, _, mut rng) = setup();
+        let _ = encrypt_indicator(3, 3, &ctx, &mut rng);
+    }
+
+    #[test]
+    fn matrix_select_returns_chosen_column() {
+        let (ctx, sk, mut rng) = setup();
+        let columns = vec![nums(&[1, 2, 3]), nums(&[4, 5, 6]), nums(&[7, 8, 9])];
+        for pick in 0..3 {
+            let ind = encrypt_indicator(3, pick, &ctx, &mut rng);
+            let sel = matrix_select(&columns, &ind, &ctx).unwrap();
+            assert_eq!(decrypt_vector(&sel, &ctx, &sk), columns[pick]);
+        }
+    }
+
+    #[test]
+    fn matrix_select_pads_ragged_columns() {
+        let (ctx, sk, mut rng) = setup();
+        let columns = vec![nums(&[1, 2, 3]), nums(&[9])];
+        let ind = encrypt_indicator(2, 1, &ctx, &mut rng);
+        let sel = matrix_select(&columns, &ind, &ctx).unwrap();
+        assert_eq!(decrypt_vector(&sel, &ctx, &sk), nums(&[9, 0, 0]));
+    }
+
+    #[test]
+    fn matrix_select_dimension_mismatch() {
+        let (ctx, _, mut rng) = setup();
+        let ind = encrypt_indicator(2, 0, &ctx, &mut rng);
+        let columns = vec![nums(&[1])];
+        assert!(matrix_select(&columns, &ind, &ctx).is_err());
+    }
+
+    #[test]
+    fn matrix_select_empty_matrix() {
+        let (ctx, _, mut rng) = setup();
+        let ind = encrypt_indicator(2, 0, &ctx, &mut rng);
+        let columns = vec![vec![], vec![]];
+        let sel = matrix_select(&columns, &ind, &ctx).unwrap();
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn byte_len_matches_key() {
+        let (ctx, _, mut rng) = setup();
+        let enc = encrypt_vector(&nums(&[1, 2, 3]), &ctx, &mut rng);
+        // 128-bit key, s=1 ⇒ 32 bytes per ciphertext.
+        assert_eq!(enc.byte_len(&ctx), 3 * 32);
+    }
+}

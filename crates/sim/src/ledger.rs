@@ -1,0 +1,247 @@
+//! The mutable cost ledger protocol implementations report into.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::party::Party;
+use crate::report::CostReport;
+use crate::trace::Transcript;
+
+/// Accumulates message bytes and per-party CPU time for one protocol run.
+#[derive(Debug, Default)]
+pub struct CostLedger {
+    /// Bytes sent, keyed by (sender, receiver).
+    messages: HashMap<(Party, Party), u64>,
+    /// CPU time attributed to each party.
+    cpu: HashMap<Party, Duration>,
+    /// Free-form counters (e.g. "kgnn_queries", "sanitation_samples").
+    counters: HashMap<&'static str, u64>,
+    /// Ordered message transcript (labels via [`CostLedger::record_msg_labeled`]).
+    transcript: Transcript,
+}
+
+/// RAII guard that attributes elapsed wall time to a party when dropped.
+pub struct TimerGuard<'a> {
+    ledger: &'a mut CostLedger,
+    party: Party,
+    start: Instant,
+}
+
+impl Drop for TimerGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        *self.ledger.cpu.entry(self.party).or_default() += elapsed;
+    }
+}
+
+impl CostLedger {
+    /// Fresh, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a message of `bytes` bytes from `from` to `to`.
+    pub fn record_msg(&mut self, from: Party, to: Party, bytes: usize) {
+        self.record_msg_labeled(from, to, bytes, "");
+    }
+
+    /// Records a message with a transcript label (protocol step name).
+    pub fn record_msg_labeled(
+        &mut self,
+        from: Party,
+        to: Party,
+        bytes: usize,
+        label: impl Into<String>,
+    ) {
+        *self.messages.entry((from, to)).or_default() += bytes as u64;
+        self.transcript.record(from, to, bytes, label);
+    }
+
+    /// The ordered message transcript of this run.
+    pub fn transcript(&self) -> &Transcript {
+        &self.transcript
+    }
+
+    /// Attributes a pre-measured duration to a party.
+    pub fn record_cpu(&mut self, party: Party, d: Duration) {
+        *self.cpu.entry(party).or_default() += d;
+    }
+
+    /// Times a closure, attributing its wall time to `party`.
+    pub fn time<T>(&mut self, party: Party, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record_cpu(party, start.elapsed());
+        out
+    }
+
+    /// Starts a scoped timer; the elapsed time is attributed on drop.
+    pub fn timer(&mut self, party: Party) -> TimerGuard<'_> {
+        TimerGuard { ledger: self, party, start: Instant::now() }
+    }
+
+    /// Increments a named counter.
+    pub fn count(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_default() += by;
+    }
+
+    /// Reads a named counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total bytes over all messages.
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.messages.values().sum()
+    }
+
+    /// Bytes exchanged strictly within the user group (both endpoints
+    /// user-side).
+    pub fn intra_group_bytes(&self) -> u64 {
+        self.messages
+            .iter()
+            .filter(|((f, t), _)| f.is_user_side() && t.is_user_side())
+            .map(|(_, b)| b)
+            .sum()
+    }
+
+    /// Bytes on the user↔LSP links.
+    pub fn user_lsp_bytes(&self) -> u64 {
+        self.total_comm_bytes() - self.intra_group_bytes()
+    }
+
+    /// CPU time of a single party.
+    pub fn cpu_of(&self, party: Party) -> Duration {
+        self.cpu.get(&party).copied().unwrap_or_default()
+    }
+
+    /// Summed CPU over all user-side parties (the paper's "user cost").
+    pub fn user_cpu(&self) -> Duration {
+        self.cpu
+            .iter()
+            .filter(|(p, _)| p.is_user_side())
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// LSP CPU (the paper's "LSP cost").
+    pub fn lsp_cpu(&self) -> Duration {
+        self.cpu_of(Party::Lsp)
+    }
+
+    /// Snapshot into an aggregated, serializable report.
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            comm_bytes_total: self.total_comm_bytes(),
+            comm_bytes_intra_group: self.intra_group_bytes(),
+            comm_bytes_user_lsp: self.user_lsp_bytes(),
+            user_cpu_secs: self.user_cpu().as_secs_f64(),
+            lsp_cpu_secs: self.lsp_cpu().as_secs_f64(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+
+    /// Merges another ledger's totals into this one (for averaging runs).
+    pub fn absorb(&mut self, other: &CostLedger) {
+        for (&key, &bytes) in &other.messages {
+            *self.messages.entry(key).or_default() += bytes;
+        }
+        for (&party, &d) in &other.cpu {
+            *self.cpu.entry(party).or_default() += d;
+        }
+        for (&name, &v) in &other.counters {
+            *self.counters.entry(name).or_default() += v;
+        }
+        for m in other.transcript.messages() {
+            self.transcript.record(m.from, m.to, m.bytes, m.label.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_accounting() {
+        let mut l = CostLedger::new();
+        l.record_msg(Party::User(0), Party::Lsp, 100);
+        l.record_msg(Party::Coordinator, Party::Lsp, 50);
+        l.record_msg(Party::Coordinator, Party::User(1), 10);
+        l.record_msg(Party::Lsp, Party::Coordinator, 200);
+        assert_eq!(l.total_comm_bytes(), 360);
+        assert_eq!(l.intra_group_bytes(), 10);
+        assert_eq!(l.user_lsp_bytes(), 350);
+    }
+
+    #[test]
+    fn cpu_attribution() {
+        let mut l = CostLedger::new();
+        l.record_cpu(Party::User(0), Duration::from_millis(5));
+        l.record_cpu(Party::Coordinator, Duration::from_millis(7));
+        l.record_cpu(Party::Lsp, Duration::from_millis(100));
+        assert_eq!(l.user_cpu(), Duration::from_millis(12));
+        assert_eq!(l.lsp_cpu(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut l = CostLedger::new();
+        let v = l.time(Party::Lsp, || {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(l.lsp_cpu() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn timer_guard_records_on_drop() {
+        let mut l = CostLedger::new();
+        {
+            let _g = l.timer(Party::User(0));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(l.user_cpu() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn counters() {
+        let mut l = CostLedger::new();
+        l.count("kgnn_queries", 3);
+        l.count("kgnn_queries", 2);
+        assert_eq!(l.counter("kgnn_queries"), 5);
+        assert_eq!(l.counter("missing"), 0);
+    }
+
+    #[test]
+    fn absorb_merges_everything() {
+        let mut a = CostLedger::new();
+        a.record_msg(Party::User(0), Party::Lsp, 10);
+        a.record_cpu(Party::Lsp, Duration::from_millis(1));
+        a.count("x", 1);
+        let mut b = CostLedger::new();
+        b.record_msg(Party::User(0), Party::Lsp, 20);
+        b.record_cpu(Party::Lsp, Duration::from_millis(2));
+        b.count("x", 4);
+        a.absorb(&b);
+        assert_eq!(a.total_comm_bytes(), 30);
+        assert_eq!(a.lsp_cpu(), Duration::from_millis(3));
+        assert_eq!(a.counter("x"), 5);
+    }
+
+    #[test]
+    fn report_snapshot() {
+        let mut l = CostLedger::new();
+        l.record_msg(Party::Coordinator, Party::Lsp, 64);
+        l.record_cpu(Party::Coordinator, Duration::from_millis(3));
+        let r = l.report();
+        assert_eq!(r.comm_bytes_total, 64);
+        assert!(r.user_cpu_secs > 0.0);
+        assert_eq!(r.lsp_cpu_secs, 0.0);
+    }
+}

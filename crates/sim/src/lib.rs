@@ -1,0 +1,32 @@
+//! Cost-accounting testbed.
+//!
+//! The paper's evaluation (§8.1) measures three dominating costs per
+//! query: total **communication cost** (user↔LSP and user↔user bytes),
+//! total **user cost** (sum of all users' CPU time, coordinator included)
+//! and **LSP cost**. This crate provides the byte-accurate message ledger
+//! and per-party CPU ledger the protocol implementations report into,
+//! plus the aggregated [`CostReport`] the benchmark harness prints.
+//!
+//! Parties are identified by [`Party`]; message sizes are recorded
+//! explicitly by the protocol code (the protocols know the exact wire
+//! width of every field: a location is `L_l` bytes, an ε_s ciphertext is
+//! `(s+1)·keysize/8` bytes, …).
+
+mod ledger;
+mod network;
+mod party;
+mod report;
+mod trace;
+
+pub use ledger::{CostLedger, TimerGuard};
+pub use network::{LinkModel, NetworkModel};
+pub use party::Party;
+pub use report::CostReport;
+pub use trace::{TracedMessage, Transcript};
+
+/// Byte width of one plaintext location on the wire (two f64 coordinates)
+/// — the paper's `L_l`.
+pub const LOCATION_BYTES: usize = 16;
+
+/// Byte width of small scalar protocol fields (`k`, positions, parameters).
+pub const SCALAR_BYTES: usize = 4;

@@ -1,0 +1,105 @@
+//! Network cost models: turning the byte-exact ledger into estimated
+//! end-to-end latency under a link model.
+//!
+//! The paper reports communication in bytes and lets the reader supply
+//! the link; deployments care about wall-clock. A [`NetworkModel`]
+//! assigns each link class (user↔LSP over mobile data, user↔user via
+//! the base station) an RTT and a bandwidth, and prices a transcript.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Transcript;
+
+/// Per-link-class parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+    /// Bandwidth in kilobytes per second.
+    pub bandwidth_kbps: f64,
+}
+
+impl LinkModel {
+    /// Transfer time for one message of `bytes` bytes.
+    pub fn message_ms(&self, bytes: usize) -> f64 {
+        self.latency_ms + (bytes as f64 / 1024.0) / self.bandwidth_kbps * 1000.0
+    }
+}
+
+/// A two-class network model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// User ↔ LSP links (mobile data through the base station).
+    pub user_lsp: LinkModel,
+    /// Links inside the user group (also relayed; typically similar).
+    pub intra_group: LinkModel,
+}
+
+impl NetworkModel {
+    /// A 4G-ish profile: 50 ms one-way, ~2 MB/s.
+    pub fn mobile_4g() -> Self {
+        let link = LinkModel { latency_ms: 50.0, bandwidth_kbps: 2048.0 };
+        NetworkModel { user_lsp: link, intra_group: link }
+    }
+
+    /// A constrained 3G-ish profile: 150 ms one-way, ~128 KB/s.
+    pub fn mobile_3g() -> Self {
+        let link = LinkModel { latency_ms: 150.0, bandwidth_kbps: 128.0 };
+        NetworkModel { user_lsp: link, intra_group: link }
+    }
+
+    /// Serial transfer time of an entire transcript (upper bound: no
+    /// message overlap; broadcasts to different users count once each).
+    pub fn transcript_ms(&self, t: &Transcript) -> f64 {
+        t.messages()
+            .iter()
+            .map(|m| {
+                let link = if m.from.is_user_side() && m.to.is_user_side() {
+                    &self.intra_group
+                } else {
+                    &self.user_lsp
+                };
+                link.message_ms(m.bytes)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::Party;
+
+    #[test]
+    fn message_cost_includes_latency_and_transfer() {
+        let link = LinkModel { latency_ms: 10.0, bandwidth_kbps: 1024.0 };
+        // 1024 KB at 1024 KB/s = 1000 ms + 10 ms latency.
+        assert!((link.message_ms(1024 * 1024) - 1010.0).abs() < 1e-9);
+        // Empty message still pays the latency.
+        assert_eq!(link.message_ms(0), 10.0);
+    }
+
+    #[test]
+    fn transcript_pricing_uses_link_classes() {
+        let mut t = Transcript::new();
+        t.record(Party::Coordinator, Party::Lsp, 2048, "query");
+        t.record(Party::Coordinator, Party::User(1), 2048, "pos");
+        let model = NetworkModel {
+            user_lsp: LinkModel { latency_ms: 100.0, bandwidth_kbps: 1024.0 },
+            intra_group: LinkModel { latency_ms: 1.0, bandwidth_kbps: 1024.0 },
+        };
+        let total = model.transcript_ms(&t);
+        // 2 KB transfers ≈ 1.953 ms each; latencies 100 + 1.
+        assert!((total - (100.0 + 1.0 + 2.0 * (2.0 / 1024.0 * 1000.0))).abs() < 0.1);
+    }
+
+    #[test]
+    fn slower_network_costs_more() {
+        let mut t = Transcript::new();
+        t.record(Party::User(0), Party::Lsp, 50_000, "location set");
+        assert!(
+            NetworkModel::mobile_3g().transcript_ms(&t)
+                > NetworkModel::mobile_4g().transcript_ms(&t)
+        );
+    }
+}

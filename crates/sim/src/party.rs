@@ -1,0 +1,55 @@
+//! Protocol participants.
+
+use serde::{Deserialize, Serialize};
+
+/// A participant in the protocol.
+///
+/// The coordinator `u_c` is itself one of the users (Algorithm 1), so its
+/// computation and communication count toward the *user* side of every
+/// cost metric, exactly as in the paper's "total user cost (the sum of all
+/// users' computational cost)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Party {
+    /// Group member `u_i` (0-based index).
+    User(u32),
+    /// The coordinator `u_c`.
+    Coordinator,
+    /// The location-based service provider.
+    Lsp,
+}
+
+impl Party {
+    /// `true` for every party whose cost counts as "user cost".
+    pub fn is_user_side(&self) -> bool {
+        !matches!(self, Party::Lsp)
+    }
+}
+
+impl core::fmt::Display for Party {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Party::User(i) => write!(f, "u{i}"),
+            Party::Coordinator => write!(f, "u_c"),
+            Party::Lsp => write!(f, "LSP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_side_classification() {
+        assert!(Party::User(0).is_user_side());
+        assert!(Party::Coordinator.is_user_side());
+        assert!(!Party::Lsp.is_user_side());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Party::User(3).to_string(), "u3");
+        assert_eq!(Party::Coordinator.to_string(), "u_c");
+        assert_eq!(Party::Lsp.to_string(), "LSP");
+    }
+}

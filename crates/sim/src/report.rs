@@ -1,0 +1,87 @@
+//! Aggregated, serializable cost summaries.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of one (or an averaged batch of) protocol run(s):
+/// the three dominating costs of §8.1 plus named counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CostReport {
+    /// Total communication (all links), bytes.
+    pub comm_bytes_total: u64,
+    /// Communication within the user group, bytes.
+    pub comm_bytes_intra_group: u64,
+    /// Communication on user↔LSP links, bytes.
+    pub comm_bytes_user_lsp: u64,
+    /// Summed CPU seconds of all user-side parties.
+    pub user_cpu_secs: f64,
+    /// CPU seconds of LSP.
+    pub lsp_cpu_secs: f64,
+    /// Named counters (queries executed, samples drawn, POIs returned…).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl CostReport {
+    /// Scales every cost by `1/runs` — turning a summed ledger into a
+    /// per-query average (the paper reports the average of 500 queries).
+    pub fn averaged(&self, runs: u64) -> CostReport {
+        assert!(runs > 0, "cannot average over zero runs");
+        CostReport {
+            comm_bytes_total: self.comm_bytes_total / runs,
+            comm_bytes_intra_group: self.comm_bytes_intra_group / runs,
+            comm_bytes_user_lsp: self.comm_bytes_user_lsp / runs,
+            user_cpu_secs: self.user_cpu_secs / runs as f64,
+            lsp_cpu_secs: self.lsp_cpu_secs / runs as f64,
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), v / runs)).collect(),
+        }
+    }
+
+    /// Communication cost in KB (the y-axis unit of Figures 5a/6a/8a).
+    pub fn comm_kb(&self) -> f64 {
+        self.comm_bytes_total as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averaging_divides_everything() {
+        let mut counters = BTreeMap::new();
+        counters.insert("pois".to_string(), 40u64);
+        let r = CostReport {
+            comm_bytes_total: 1000,
+            comm_bytes_intra_group: 100,
+            comm_bytes_user_lsp: 900,
+            user_cpu_secs: 2.0,
+            lsp_cpu_secs: 10.0,
+            counters,
+        };
+        let avg = r.averaged(10);
+        assert_eq!(avg.comm_bytes_total, 100);
+        assert_eq!(avg.user_cpu_secs, 0.2);
+        assert_eq!(avg.counters["pois"], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn zero_runs_panics() {
+        CostReport::default().averaged(0);
+    }
+
+    #[test]
+    fn kb_conversion() {
+        let r = CostReport { comm_bytes_total: 2048, ..Default::default() };
+        assert_eq!(r.comm_kb(), 2.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = CostReport { comm_bytes_total: 5, ..Default::default() };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CostReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,114 @@
+//! Message transcript recording.
+//!
+//! Beyond aggregate byte counts, a [`Transcript`] records the ordered
+//! sequence of `(from, to, bytes, label)` events of a protocol run, so
+//! tests can assert the *shape* of Algorithm 1/2 — who talks to whom,
+//! in what order, and that nothing else crosses the wire.
+
+use serde::{Deserialize, Serialize};
+
+use crate::party::Party;
+
+/// One recorded message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracedMessage {
+    pub from: Party,
+    pub to: Party,
+    pub bytes: usize,
+    /// Free-form step label ("pos broadcast", "query", "location set"…).
+    pub label: String,
+}
+
+/// An ordered transcript of protocol messages.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Transcript {
+    messages: Vec<TracedMessage>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a message event.
+    pub fn record(&mut self, from: Party, to: Party, bytes: usize, label: impl Into<String>) {
+        self.messages.push(TracedMessage { from, to, bytes, label: label.into() });
+    }
+
+    /// All events in order.
+    pub fn messages(&self) -> &[TracedMessage] {
+        &self.messages
+    }
+
+    /// Events with a given label.
+    pub fn with_label<'a>(
+        &'a self,
+        label: &'a str,
+    ) -> impl Iterator<Item = &'a TracedMessage> + 'a {
+        self.messages.iter().filter(move |m| m.label == label)
+    }
+
+    /// Total bytes across all events (must agree with the ledger).
+    pub fn total_bytes(&self) -> usize {
+        self.messages.iter().map(|m| m.bytes).sum()
+    }
+
+    /// `true` iff any event was sent from `from` to `to`.
+    pub fn talked(&self, from: Party, to: Party) -> bool {
+        self.messages.iter().any(|m| m.from == from && m.to == to)
+    }
+
+    /// Index of the first event with the label, if any.
+    pub fn first_index_of(&self, label: &str) -> Option<usize> {
+        self.messages.iter().position(|m| m.label == label)
+    }
+
+    /// Asserts label `earlier` first occurs before label `later`.
+    pub fn ordered(&self, earlier: &str, later: &str) -> bool {
+        match (self.first_index_of(earlier), self.first_index_of(later)) {
+            (Some(a), Some(b)) => a < b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Transcript {
+        let mut t = Transcript::new();
+        t.record(Party::Coordinator, Party::User(1), 4, "pos broadcast");
+        t.record(Party::Coordinator, Party::Lsp, 100, "query");
+        t.record(Party::User(0), Party::Lsp, 64, "location set");
+        t.record(Party::Lsp, Party::Coordinator, 32, "answer");
+        t
+    }
+
+    #[test]
+    fn total_and_lookup() {
+        let t = sample();
+        assert_eq!(t.total_bytes(), 200);
+        assert_eq!(t.with_label("query").count(), 1);
+        assert!(t.talked(Party::Lsp, Party::Coordinator));
+        assert!(!t.talked(Party::User(1), Party::Lsp));
+    }
+
+    #[test]
+    fn ordering_checks() {
+        let t = sample();
+        assert!(t.ordered("pos broadcast", "query"));
+        assert!(t.ordered("query", "answer"));
+        assert!(!t.ordered("answer", "query"));
+        assert!(!t.ordered("answer", "missing"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Transcript = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.messages(), t.messages());
+    }
+}

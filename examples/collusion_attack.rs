@@ -1,0 +1,76 @@
+//! Full user collusion in action (§5): n − 1 users attack the remaining
+//! one with the inequality attack, against both the unsanitized protocol
+//! (PPGNN-NAS) and the sanitized one (PPGNN).
+//!
+//! ```sh
+//! cargo run --release --example collusion_attack
+//! ```
+
+use ppgnn::core::attack::feasible_region_fraction;
+use ppgnn::core::run_ppgnn_with_keys;
+use ppgnn::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1234);
+    let pois = ppgnn::datagen::sequoia_like(20_000, 3);
+    let keys = ppgnn::paillier::generate_keypair(512, &mut rng);
+    let theta0 = 0.05;
+
+    let users: Vec<Point> = ppgnn::datagen::Workload::unit(5).next_group(4);
+    println!("group: {} users, θ0 = {theta0} (each user must stay hidden in", users.len());
+    println!("≥ {:.0}% of the space even if the other {} collude)\n", theta0 * 100.0, users.len() - 1);
+
+    for (name, sanitize) in [("PPGNN-NAS (no sanitation)", false), ("PPGNN (sanitized)", true)] {
+        let config = PpgnnConfig {
+            keysize: 512,
+            k: 16,
+            sanitize,
+            theta0,
+            ..PpgnnConfig::paper_defaults()
+        };
+        let lsp = Lsp::new(pois.clone(), config);
+        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).expect("run");
+
+        // The colluders attack every possible target with the ranked
+        // answer they received.
+        let answer_pois: Vec<Poi> = run
+            .answer
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Poi::new(i as u32, *p))
+            .collect();
+        println!("{name}: {} POIs returned", run.pois_returned);
+        let mut exposed = 0;
+        for target in 0..users.len() {
+            let colluders: Vec<Point> = users
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != target)
+                .map(|(_, p)| *p)
+                .collect();
+            let theta = feasible_region_fraction(
+                &answer_pois,
+                &colluders,
+                Aggregate::Sum,
+                &Rect::UNIT,
+                50_000,
+                &mut rng,
+            );
+            let verdict = if theta <= theta0 { exposed += 1; "EXPOSED" } else { "safe" };
+            println!(
+                "  target u{target}: feasible region = {:>5.1}% of space  -> {verdict}",
+                theta * 100.0
+            );
+        }
+        println!(
+            "  attack {} against {}\n",
+            if exposed > 0 { "SUCCEEDED" } else { "failed" },
+            name
+        );
+    }
+
+    println!("The sanitized protocol returns a shorter ranked prefix, keeping");
+    println!("every user's feasible region above θ0 — Privacy IV holds under");
+    println!("full user collusion (Theorem 5.2).");
+}

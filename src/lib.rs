@@ -1,0 +1,32 @@
+//! # ppgnn — Privacy Preserving Group Nearest Neighbor Search
+//!
+//! The facade crate of the PPGNN workspace: a full, from-scratch Rust
+//! implementation of *"Privacy Preserving Group Nearest Neighbor Search"*
+//! (EDBT 2018), including every substrate the paper depends on.
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`bigint`] | `ppgnn-bigint` | arbitrary-precision integers (GMP replacement) |
+//! | [`paillier`] | `ppgnn-paillier` | generalized Paillier / Damgård–Jurik (libhcs replacement) |
+//! | [`geo`] | `ppgnn-geo` | R-tree, kNN, MBM group-kNN (the plaintext black box) |
+//! | [`datagen`] | `ppgnn-datagen` | synthetic Sequoia-like datasets and workloads |
+//! | [`sim`] | `ppgnn-sim` | byte/CPU cost ledger |
+//! | [`core`] | `ppgnn-core` | the PPGNN / PPGNN-OPT / Naive protocols |
+//! | [`baselines`] | `ppgnn-baselines` | APNN, IPPF, GLP + the Table 4 attacks |
+//!
+//! See `examples/quickstart.rs` for a three-user end-to-end run and
+//! README.md for the architecture overview.
+
+pub use ppgnn_baselines as baselines;
+pub use ppgnn_bigint as bigint;
+pub use ppgnn_core as core;
+pub use ppgnn_datagen as datagen;
+pub use ppgnn_geo as geo;
+pub use ppgnn_paillier as paillier;
+pub use ppgnn_sim as sim;
+
+/// The most common imports for library users.
+pub mod prelude {
+    pub use ppgnn_core::prelude::*;
+    pub use ppgnn_geo::{Aggregate, Point, Poi, Rect};
+}

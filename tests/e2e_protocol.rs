@@ -1,0 +1,235 @@
+//! End-to-end protocol correctness across crates: the decrypted answer of
+//! every variant must equal the plaintext kGNN answer (prefix) computed
+//! directly — for every aggregate function and a spread of parameters.
+
+use ppgnn::core::{run_ppgnn, run_ppgnn_with_keys, Variant};
+use ppgnn::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn db(size: usize) -> Vec<Poi> {
+    ppgnn::datagen::sequoia_like(size, 42)
+}
+
+fn assert_prefix_of_plaintext(run: &ppgnn::core::ProtocolRun, lsp: &Lsp, users: &[Point], k: usize) {
+    let expected = lsp.plaintext_answer(users, k);
+    assert!(run.answer.len() <= expected.len());
+    for (got, want) in run.answer.iter().zip(&expected) {
+        assert!(
+            got.dist(&want.location) < 1e-6,
+            "answer must be a prefix of the plaintext kGNN"
+        );
+    }
+}
+
+#[test]
+fn all_variants_match_plaintext_oracle() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let pois = db(3_000);
+    let keys = ppgnn::paillier::generate_keypair(128, &mut rng);
+    let users = vec![Point::new(0.3, 0.4), Point::new(0.5, 0.2), Point::new(0.45, 0.6)];
+    for variant in [Variant::Plain, Variant::Opt, Variant::Naive] {
+        let cfg = PpgnnConfig {
+            k: 5,
+            d: 5,
+            delta: 20,
+            keysize: 128,
+            sanitize: false,
+            variant,
+            ..PpgnnConfig::fast_test()
+        };
+        let lsp = Lsp::new(pois.clone(), cfg);
+        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+        assert_eq!(run.answer.len(), 5, "{variant:?}");
+        assert_prefix_of_plaintext(&run, &lsp, &users, 5);
+    }
+}
+
+#[test]
+fn every_aggregate_function_works() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let pois = db(2_000);
+    let keys = ppgnn::paillier::generate_keypair(128, &mut rng);
+    let users = vec![Point::new(0.2, 0.8), Point::new(0.7, 0.7)];
+    for aggregate in Aggregate::ALL {
+        let cfg = PpgnnConfig {
+            k: 4,
+            d: 4,
+            delta: 10,
+            keysize: 128,
+            sanitize: false,
+            aggregate,
+            ..PpgnnConfig::fast_test()
+        };
+        let lsp = Lsp::new(pois.clone(), cfg);
+        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+        assert_prefix_of_plaintext(&run, &lsp, &users, 4);
+    }
+}
+
+#[test]
+fn group_sizes_from_one_to_twelve() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let pois = db(2_000);
+    let keys = ppgnn::paillier::generate_keypair(128, &mut rng);
+    let mut workload = ppgnn::datagen::Workload::unit(9);
+    for n in [1usize, 2, 3, 5, 8, 12] {
+        let cfg = PpgnnConfig {
+            k: 3,
+            d: 4,
+            delta: 4, // δ = d keeps n = 1 feasible; larger n just exceeds it
+            keysize: 128,
+            sanitize: false,
+            ..PpgnnConfig::fast_test()
+        };
+        let lsp = Lsp::new(pois.clone(), cfg);
+        let users = workload.next_group(n);
+        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+        assert_prefix_of_plaintext(&run, &lsp, &users, 3);
+        assert!(run.delta_prime >= 4, "n={n}");
+    }
+}
+
+#[test]
+fn delta_prime_meets_delta_across_parameters() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let pois = db(1_000);
+    let keys = ppgnn::paillier::generate_keypair(128, &mut rng);
+    let mut workload = ppgnn::datagen::Workload::unit(10);
+    for (d, delta) in [(4, 8), (5, 25), (6, 30), (8, 60)] {
+        let cfg = PpgnnConfig {
+            k: 2,
+            d,
+            delta,
+            keysize: 128,
+            sanitize: false,
+            ..PpgnnConfig::fast_test()
+        };
+        let lsp = Lsp::new(pois.clone(), cfg);
+        let users = workload.next_group(3);
+        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+        assert!(run.delta_prime >= delta, "d={d} δ={delta}: δ'={}", run.delta_prime);
+        assert_prefix_of_plaintext(&run, &lsp, &users, 2);
+    }
+}
+
+#[test]
+fn k_larger_than_typical_packing_capacity() {
+    // k = 20 at a 128-bit key forces a multi-integer answer column
+    // (capacity 1 record per integer at 128 bits): m > 1 exercises the
+    // multi-row private selection.
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let pois = db(1_000);
+    let keys = ppgnn::paillier::generate_keypair(128, &mut rng);
+    let cfg = PpgnnConfig {
+        k: 20,
+        d: 3,
+        delta: 6,
+        keysize: 128,
+        sanitize: false,
+        ..PpgnnConfig::fast_test()
+    };
+    let lsp = Lsp::new(pois.clone(), cfg);
+    let users = vec![Point::new(0.5, 0.5), Point::new(0.6, 0.6)];
+    let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+    assert_eq!(run.answer.len(), 20);
+    assert_prefix_of_plaintext(&run, &lsp, &users, 20);
+}
+
+#[test]
+fn fresh_keys_every_run_also_works() {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let pois = db(500);
+    let cfg = PpgnnConfig {
+        k: 2,
+        d: 3,
+        delta: 6,
+        keysize: 96,
+        sanitize: false,
+        ..PpgnnConfig::fast_test()
+    };
+    let lsp = Lsp::new(pois, cfg);
+    let users = vec![Point::new(0.1, 0.2), Point::new(0.3, 0.4)];
+    let run = run_ppgnn(&lsp, &users, &mut rng).unwrap();
+    assert_eq!(run.answer.len(), 2);
+}
+
+#[test]
+fn opt_variant_multi_row_and_padding() {
+    // δ' = 10 with ω = round(√5) = 2 ⇒ block 5 — and with k = 9 at
+    // 192 bits m = 5: exercises phase-2 across several rows plus the
+    // zero-column padding path (2·5 = 10 exactly) and a non-square 11.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let pois = db(800);
+    let keys = ppgnn::paillier::generate_keypair(192, &mut rng);
+    for delta in [10usize, 11] {
+        let cfg = PpgnnConfig {
+            k: 9,
+            d: 4,
+            delta,
+            keysize: 192,
+            sanitize: false,
+            variant: Variant::Opt,
+            ..PpgnnConfig::fast_test()
+        };
+        let lsp = Lsp::new(pois.clone(), cfg);
+        let users = vec![Point::new(0.25, 0.35), Point::new(0.75, 0.65)];
+        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+        assert_eq!(run.answer.len(), 9, "delta={delta}");
+        assert_prefix_of_plaintext(&run, &lsp, &users, 9);
+    }
+}
+
+#[test]
+fn sanitized_answer_is_exact_prefix() {
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let pois = db(5_000);
+    let keys = ppgnn::paillier::generate_keypair(128, &mut rng);
+    let cfg = PpgnnConfig {
+        k: 10,
+        d: 4,
+        delta: 12,
+        keysize: 128,
+        sanitize: true,
+        theta0: 0.05,
+        ..PpgnnConfig::fast_test()
+    };
+    let lsp = Lsp::new(pois.clone(), cfg);
+    let mut workload = ppgnn::datagen::Workload::unit(77);
+    for _ in 0..3 {
+        let users = workload.next_group(4);
+        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+        assert!(run.pois_returned >= 1, "at least the top POI is always safe");
+        assert!(run.pois_returned <= 10);
+        assert_prefix_of_plaintext(&run, &lsp, &users, 10);
+    }
+}
+
+#[test]
+fn communication_accounting_matches_structure() {
+    // The ledger's byte totals must reflect the protocol structure:
+    // OPT sends fewer indicator bytes than Plain at larger δ'.
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let pois = db(500);
+    let keys = ppgnn::paillier::generate_keypair(128, &mut rng);
+    let users = vec![Point::new(0.4, 0.4), Point::new(0.6, 0.5)];
+    let mut comm = std::collections::HashMap::new();
+    for variant in [Variant::Plain, Variant::Opt] {
+        let cfg = PpgnnConfig {
+            k: 2,
+            d: 10,
+            delta: 100,
+            keysize: 128,
+            sanitize: false,
+            variant,
+            ..PpgnnConfig::fast_test()
+        };
+        let lsp = Lsp::new(pois.clone(), cfg);
+        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
+        comm.insert(format!("{variant:?}"), run.report.comm_bytes_total);
+    }
+    assert!(
+        comm["Opt"] < comm["Plain"],
+        "OPT must beat Plain at δ' ≈ 100: {comm:?}"
+    );
+}

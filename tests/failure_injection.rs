@@ -1,0 +1,190 @@
+//! Failure injection: malformed inputs, protocol misuse, and boundary
+//! configurations must fail loudly (typed errors or panics) rather than
+//! silently degrade privacy or correctness.
+
+use ppgnn::core::encoding::AnswerCodec;
+use ppgnn::core::messages::{IndicatorPayload, LocationSetMessage, QueryMessage};
+use ppgnn::core::{run_ppgnn, PpgnnError};
+use ppgnn::prelude::*;
+use ppgnn::sim::CostLedger;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn small_db() -> Vec<Poi> {
+    (0..100)
+        .map(|i| Poi::new(i, Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0)))
+        .collect()
+}
+
+fn lax_config() -> PpgnnConfig {
+    PpgnnConfig {
+        k: 3,
+        d: 4,
+        delta: 8,
+        keysize: 128,
+        sanitize: false,
+        ..PpgnnConfig::fast_test()
+    }
+}
+
+#[test]
+fn delta_above_d_pow_n_rejected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let cfg = PpgnnConfig { d: 3, delta: 100, ..lax_config() };
+    let lsp = Lsp::new(small_db(), cfg);
+    let users = vec![Point::ORIGIN, Point::new(0.5, 0.5)]; // 3^2 = 9 < 100
+    let err = run_ppgnn(&lsp, &users, &mut rng).unwrap_err();
+    assert!(matches!(err, PpgnnError::DeltaUnreachable { delta: 100, d: 3, n: 2 }));
+    assert!(err.to_string().contains("larger d"));
+}
+
+#[test]
+fn empty_group_rejected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let lsp = Lsp::new(small_db(), lax_config());
+    assert!(matches!(
+        run_ppgnn(&lsp, &[], &mut rng),
+        Err(PpgnnError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn wrong_size_location_set_rejected_by_lsp() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let lsp = Lsp::new(small_db(), lax_config());
+    let (pk, _sk) = ppgnn::paillier::generate_keypair(128, &mut rng);
+    let ctx = ppgnn::paillier::DjContext::new(&pk, 1);
+    let params = ppgnn::core::partition::solve_partition(2, 4, 8).unwrap();
+    let dp = params.delta_prime() as usize;
+    let query = QueryMessage {
+        k: 3,
+        pk,
+        partition: Some(params),
+        indicator: IndicatorPayload::Plain(ppgnn::paillier::encrypt_indicator(
+            dp, 0, &ctx, &mut rng,
+        )),
+        theta0: 0.05,
+    };
+    // User 1 sends 3 locations instead of d = 4.
+    let sets = vec![
+        LocationSetMessage { user_index: 0, locations: vec![Point::ORIGIN; 4] },
+        LocationSetMessage { user_index: 1, locations: vec![Point::ORIGIN; 3] },
+    ];
+    let mut ledger = CostLedger::new();
+    assert!(matches!(
+        lsp.process_query(&query, &sets, &mut ledger, &mut rng),
+        Err(PpgnnError::BadLocationSet { user: 1, expected: 4, got: 3 })
+    ));
+}
+
+#[test]
+fn indicator_too_short_for_two_phase_grid() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let lsp = Lsp::new(small_db(), lax_config());
+    let (pk, _sk) = ppgnn::paillier::generate_keypair(128, &mut rng);
+    let ctx1 = ppgnn::paillier::DjContext::new(&pk, 1);
+    let ctx2 = ppgnn::paillier::DjContext::new(&pk, 2);
+    let params = ppgnn::core::partition::solve_partition(2, 4, 8).unwrap();
+    // 2×2 grid covers 4 < δ' = 8 columns: must be rejected.
+    let query = QueryMessage {
+        k: 3,
+        pk,
+        partition: Some(params),
+        indicator: IndicatorPayload::TwoPhase {
+            inner: ppgnn::paillier::encrypt_indicator(2, 0, &ctx1, &mut rng),
+            outer: ppgnn::paillier::encrypt_indicator(2, 0, &ctx2, &mut rng),
+        },
+        theta0: 0.05,
+    };
+    let sets: Vec<LocationSetMessage> = (0..2)
+        .map(|i| LocationSetMessage { user_index: i, locations: vec![Point::ORIGIN; 4] })
+        .collect();
+    let mut ledger = CostLedger::new();
+    assert!(matches!(
+        lsp.process_query(&query, &sets, &mut ledger, &mut rng),
+        Err(PpgnnError::BadIndicator { .. })
+    ));
+}
+
+#[test]
+fn corrupt_answer_column_detected() {
+    let codec = AnswerCodec::new(128, 1, 4);
+    // A count header claiming more POIs than k.
+    let mut col = codec.encode(&[Poi::new(0, Point::new(0.5, 0.5))]);
+    col[0] = ppgnn::bigint::BigUint::from(77u64); // count = 77 > 4
+    assert!(matches!(
+        codec.decode(&col),
+        Err(PpgnnError::BadAnswerEncoding(_))
+    ));
+}
+
+#[test]
+fn config_validation_catches_every_bad_field() {
+    let good = lax_config();
+    good.validate(2).unwrap();
+
+    let cases: Vec<(&str, PpgnnConfig)> = vec![
+        ("k=0", PpgnnConfig { k: 0, ..good.clone() }),
+        ("d=1", PpgnnConfig { d: 1, delta: 1, ..good.clone() }),
+        ("delta<d", PpgnnConfig { delta: 3, ..good.clone() }),
+        ("theta0=0", PpgnnConfig { theta0: 0.0, ..good.clone() }),
+        ("theta0>1", PpgnnConfig { theta0: 1.1, ..good.clone() }),
+        ("tiny key", PpgnnConfig { keysize: 64, ..good.clone() }),
+        (
+            "gamma=0.9",
+            PpgnnConfig {
+                hypothesis: ppgnn::core::params::HypothesisConfig {
+                    gamma: 0.9,
+                    ..Default::default()
+                },
+                ..good.clone()
+            },
+        ),
+    ];
+    for (name, cfg) in cases {
+        assert!(cfg.validate(2).is_err(), "{name} must be rejected");
+    }
+}
+
+#[test]
+fn empty_database_yields_empty_answers() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let lsp = Lsp::new(vec![], lax_config());
+    let users = vec![Point::new(0.5, 0.5), Point::new(0.6, 0.6)];
+    let run = run_ppgnn(&lsp, &users, &mut rng).unwrap();
+    assert!(run.answer.is_empty());
+    assert_eq!(run.pois_returned, 0);
+}
+
+#[test]
+fn database_smaller_than_k() {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let pois = vec![Poi::new(0, Point::new(0.4, 0.4)), Poi::new(1, Point::new(0.6, 0.6))];
+    let lsp = Lsp::new(pois, lax_config()); // k = 3 > 2 POIs
+    let users = vec![Point::new(0.5, 0.5), Point::new(0.55, 0.5)];
+    let run = run_ppgnn(&lsp, &users, &mut rng).unwrap();
+    assert_eq!(run.answer.len(), 2, "answers capped at |D|");
+}
+
+#[test]
+fn mismatched_indicator_vs_naive_columns() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let lsp = Lsp::new(small_db(), lax_config());
+    let (pk, _sk) = ppgnn::paillier::generate_keypair(128, &mut rng);
+    let ctx = ppgnn::paillier::DjContext::new(&pk, 1);
+    let query = QueryMessage {
+        k: 3,
+        pk,
+        partition: None, // Naive: columns = location-set length = 5
+        indicator: IndicatorPayload::Plain(ppgnn::paillier::encrypt_indicator(
+            9, 0, &ctx, &mut rng,
+        )),
+        theta0: 0.05,
+    };
+    let sets = vec![LocationSetMessage { user_index: 0, locations: vec![Point::ORIGIN; 5] }];
+    let mut ledger = CostLedger::new();
+    assert!(matches!(
+        lsp.process_query(&query, &sets, &mut ledger, &mut rng),
+        Err(PpgnnError::BadIndicator { expected: 5, got: 9 })
+    ));
+}

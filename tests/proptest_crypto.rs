@@ -1,0 +1,170 @@
+//! Property-based tests over the cryptographic substrates: ring axioms
+//! of the big-integer arithmetic and the homomorphism laws of the
+//! generalized Paillier cryptosystem.
+
+use ppgnn::bigint::{BigUint, MontgomeryCtx, UniformBigUint};
+use ppgnn::paillier::{generate_keypair, DjContext, Keypair};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::OnceLock;
+
+/// A shared 128-bit keypair: keygen is the slow part, the laws are not.
+fn shared_keys() -> &'static Keypair {
+    static KEYS: OnceLock<Keypair> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xFEED);
+        generate_keypair(128, &mut rng)
+    })
+}
+
+/// Strategy: an arbitrary BigUint of up to `limbs` limbs.
+fn big(limbs: usize) -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u64>(), 0..=limbs).prop_map(BigUint::from_limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutative(a in big(6), b in big(6)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in big(5), b in big(5), c in big(5)) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutative(a in big(5), b in big(5)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in big(4), b in big(4), c in big(4)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in big(6), b in big(6)) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in big(8), b in big(4)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_is_power_of_two_mul(a in big(4), s in 0usize..200) {
+        let shifted = a.shl_bits(s);
+        let pow = BigUint::one().shl_bits(s);
+        prop_assert_eq!(shifted, &a * &pow);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in big(8)) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a.clone());
+        prop_assert_eq!(BigUint::from_bytes_le(&a.to_bytes_le()), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in big(5)) {
+        let s = a.to_decimal_string();
+        prop_assert_eq!(BigUint::from_decimal_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn montgomery_matches_plain_modpow(base in big(4), exp in big(2), m in big(3)) {
+        prop_assume!(!m.is_zero() && !m.is_one());
+        let modulus = if m.is_even() { m.add_limb(1) } else { m };
+        let ctx = MontgomeryCtx::new(modulus.clone());
+        prop_assert_eq!(ctx.modpow(&base, &exp), base.modpow_plain(&exp, &modulus));
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in big(3), m in big(3)) {
+        prop_assume!(!m.is_zero() && !m.is_one());
+        if let Some(inv) = a.mod_inverse(&m) {
+            prop_assert_eq!((&a % &m).mod_mul(&inv, &m), BigUint::one() % &m);
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in big(4), b in big(4)) {
+        prop_assume!(!a.is_zero() || !b.is_zero());
+        let g = a.gcd(&b);
+        if !a.is_zero() { prop_assert!((&a % &g).is_zero()); }
+        if !b.is_zero() { prop_assert!((&b % &g).is_zero()); }
+    }
+}
+
+proptest! {
+    // Crypto laws are slower per case; fewer cases suffice.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn paillier_roundtrip_random_plaintexts(seed in any::<u64>()) {
+        let (pk, sk) = shared_keys();
+        let ctx = DjContext::new(pk, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = rng.gen_biguint_below(ctx.plaintext_modulus());
+        let c = ctx.encrypt(&m, &mut rng);
+        prop_assert_eq!(ctx.decrypt(&c, sk), m);
+    }
+
+    #[test]
+    fn homomorphic_add_law(seed in any::<u64>()) {
+        let (pk, sk) = shared_keys();
+        let ctx = DjContext::new(pk, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = rng.gen_biguint_below(ctx.plaintext_modulus());
+        let b = rng.gen_biguint_below(ctx.plaintext_modulus());
+        let sum = ctx.add(&ctx.encrypt(&a, &mut rng), &ctx.encrypt(&b, &mut rng));
+        let expected = a.mod_add(&b, ctx.plaintext_modulus());
+        prop_assert_eq!(ctx.decrypt(&sum, sk), expected);
+    }
+
+    #[test]
+    fn homomorphic_scalar_law(seed in any::<u64>(), k in 0u64..1000) {
+        let (pk, sk) = shared_keys();
+        let ctx = DjContext::new(pk, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = rng.gen_biguint_below(ctx.plaintext_modulus());
+        let prod = ctx.scalar_mul(&BigUint::from(k), &ctx.encrypt(&m, &mut rng));
+        let expected = m.mod_mul(&BigUint::from(k), ctx.plaintext_modulus());
+        prop_assert_eq!(ctx.decrypt(&prod, sk), expected);
+    }
+
+    #[test]
+    fn dot_product_law(seed in any::<u64>()) {
+        use ppgnn::paillier::encrypt_vector;
+        let (pk, sk) = shared_keys();
+        let ctx = DjContext::new(pk, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let v: Vec<BigUint> = (0..4).map(|_| BigUint::from(rng.gen_biguint(20).to_u64().unwrap_or(0))).collect();
+        let x: Vec<BigUint> = (0..4).map(|_| BigUint::from(rng.gen_biguint(20).to_u64().unwrap_or(0))).collect();
+        let enc = encrypt_vector(&v, &ctx, &mut rng);
+        let dot = enc.dot(&x, &ctx).unwrap();
+        let expected = v.iter().zip(&x).fold(BigUint::zero(), |acc, (a, b)| &acc + &(a * b));
+        prop_assert_eq!(ctx.decrypt(&dot, sk), expected % ctx.plaintext_modulus());
+    }
+
+    #[test]
+    fn layered_epsilon2_roundtrip(seed in any::<u64>()) {
+        let (pk, sk) = shared_keys();
+        let ctx1 = DjContext::new(pk, 1);
+        let ctx2 = DjContext::new(pk, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = rng.gen_biguint_below(ctx1.plaintext_modulus());
+        let inner = ctx1.encrypt(&m, &mut rng);
+        let outer = ctx2.encrypt(&inner.as_plaintext(), &mut rng);
+        let rec_inner = ctx2.decrypt(&outer, sk);
+        let rec = ctx1.decrypt(&ppgnn::paillier::Ciphertext::from_parts(rec_inner, 1), sk);
+        prop_assert_eq!(rec, m);
+    }
+}

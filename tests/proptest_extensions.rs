@@ -1,0 +1,109 @@
+//! Property-based tests over the extension subsystems: road networks,
+//! the dynamic index, wire framing, and the exact-vs-sampled region.
+
+use ppgnn::core::attack_exact::exact_feasible_fraction;
+use ppgnn::core::messages::LocationSetMessage;
+use ppgnn::geo::{
+    group_knn_brute_force, Aggregate, DynamicRTree, Point, Poi, Rect, RoadNetwork,
+};
+use proptest::prelude::*;
+
+fn points(n: usize, seed: u64) -> Vec<Point> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dijkstra satisfies the triangle inequality over nodes.
+    #[test]
+    fn sssp_triangle_inequality(rows in 2usize..6, cols in 2usize..6, seed in any::<u64>()) {
+        let net = RoadNetwork::grid(rows, cols, 0.05, seed);
+        let n = net.node_count();
+        let d0 = net.sssp(0);
+        let mid = (n / 2) as u32;
+        let dmid = net.sssp(mid);
+        for j in 0..n {
+            // d(0, j) <= d(0, mid) + d(mid, j)
+            prop_assert!(d0[j] <= d0[mid as usize] + dmid[j] + 1e-9);
+        }
+    }
+
+    /// SSSP from a node to itself is zero and symmetric pairwise.
+    #[test]
+    fn sssp_symmetry(rows in 2usize..5, cols in 2usize..5, seed in any::<u64>()) {
+        let net = RoadNetwork::grid(rows, cols, 0.05, seed);
+        let a = 0u32;
+        let b = (net.node_count() - 1) as u32;
+        prop_assert!((net.sssp(a)[b as usize] - net.sssp(b)[a as usize]).abs() < 1e-9);
+        prop_assert_eq!(net.sssp(a)[a as usize], 0.0);
+    }
+
+    /// The dynamic tree equals brute force after an arbitrary
+    /// insert/delete interleaving.
+    #[test]
+    fn dynamic_tree_matches_oracle(
+        ops in prop::collection::vec((any::<bool>(), 0u32..60, 0.0f64..1.0, 0.0f64..1.0), 0..40),
+        seed in any::<u64>(),
+    ) {
+        let base: Vec<Poi> = points(30, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Poi::new(i as u32, p))
+            .collect();
+        let mut tree = DynamicRTree::new(base.clone()).with_rebuild_threshold(8);
+        let mut oracle = base;
+        for (insert, id, x, y) in ops {
+            if insert {
+                let poi = Poi::new(id, Point::new(x, y));
+                oracle.retain(|p| p.id != id);
+                oracle.push(poi);
+                tree.insert(poi);
+            } else {
+                oracle.retain(|p| p.id != id);
+                tree.remove(id);
+            }
+        }
+        prop_assert_eq!(tree.len(), oracle.len());
+        let q = vec![Point::new(0.5, 0.5)];
+        let got: Vec<u32> = tree.group_knn(&q, 7, Aggregate::Sum).iter().map(|p| p.id).collect();
+        let want: Vec<u32> =
+            group_knn_brute_force(&oracle, &q, 7, Aggregate::Sum).iter().map(|p| p.id).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Location-set wire framing roundtrips for any size.
+    #[test]
+    fn location_set_wire_roundtrip(user in 0usize..100, count in 0usize..40, seed in any::<u64>()) {
+        let msg = LocationSetMessage { user_index: user, locations: points(count, seed) };
+        let wire = msg.to_wire();
+        prop_assert_eq!(wire.len(), msg.byte_len());
+        let back = LocationSetMessage::from_wire(&wire).unwrap();
+        prop_assert_eq!(back.user_index, user);
+        prop_assert_eq!(back.locations, msg.locations);
+    }
+
+    /// The exact feasible fraction is within [0, 1] and shrinks with
+    /// every extra ranked POI.
+    #[test]
+    fn exact_region_monotone(count in 2usize..8, seed in any::<u64>()) {
+        let target = points(1, seed ^ 1)[0];
+        let mut pois: Vec<Poi> = points(count, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Poi::new(i as u32, p))
+            .collect();
+        pois.sort_by(|a, b| a.location.dist(&target).total_cmp(&b.location.dist(&target)));
+        let mut prev = 1.0f64;
+        for t in 1..=count {
+            let theta = exact_feasible_fraction(&pois[..t], &Rect::UNIT);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&theta));
+            prop_assert!(theta <= prev + 1e-12);
+            prev = theta;
+        }
+        // The true target always stays inside the exact region (θ > 0).
+        prop_assert!(prev > 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests over the protocol machinery: partition solver,
+//! candidate-list/query-index agreement, spatial index vs oracle, answer
+//! codec, and sanitation invariants.
+
+use ppgnn::core::candidate::{candidate_queries, query_index};
+use ppgnn::core::encoding::AnswerCodec;
+use ppgnn::core::partition::{solve_partition, solve_partition_oracle, PartitionParams};
+use ppgnn::core::sanitize::Sanitizer;
+use ppgnn::core::params::HypothesisConfig;
+use ppgnn::geo::{group_knn_brute_force, knn_brute_force, RTree};
+use ppgnn::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rand::Rng::gen(&mut rng), rand::Rng::gen(&mut rng)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The solver is feasible and optimal (vs the exhaustive oracle) on
+    /// every small instance.
+    #[test]
+    fn partition_solver_feasible_and_optimal(n in 1usize..=5, d in 2usize..=9, mult in 1usize..=4) {
+        let delta = d * mult;
+        match (solve_partition(n, d, delta), solve_partition_oracle(n, d, delta)) {
+            (Ok(p), Some((best, _))) => {
+                prop_assert_eq!(p.segment_sizes.iter().sum::<usize>(), d);
+                prop_assert_eq!(p.subgroup_sizes.iter().sum::<usize>(), n);
+                prop_assert!(p.delta_prime() >= delta as u128);
+                prop_assert_eq!(p.delta_prime(), best);
+            }
+            (Err(_), None) => {} // both infeasible
+            (got, oracle) => prop_assert!(false, "disagreement: {got:?} vs {oracle:?}"),
+        }
+    }
+
+    /// For every (segment, positions) choice, the candidate at the
+    /// Eqn-12 index is exactly the query assembled from those positions.
+    #[test]
+    fn query_index_agrees_with_candidate_list(
+        n in 1usize..=5,
+        seg_sizes in prop::collection::vec(1usize..=3, 1..=3),
+        alpha_seed in any::<u64>(),
+    ) {
+        let d: usize = seg_sizes.iter().sum();
+        let mut rng = ChaCha8Rng::seed_from_u64(alpha_seed);
+        let alpha = 1 + (rand::Rng::gen_range(&mut rng, 0..n));
+        let mut subgroup_sizes = vec![n / alpha; alpha];
+        for s in subgroup_sizes.iter_mut().take(n % alpha) { *s += 1; }
+        prop_assume!(subgroup_sizes.iter().all(|&s| s >= 1));
+        let params = PartitionParams { subgroup_sizes, segment_sizes: seg_sizes.clone() };
+
+        // Encode slots as Point(user, slot).
+        let sets: Vec<Vec<Point>> = (0..n)
+            .map(|u| (0..d).map(|j| Point::new(u as f64, j as f64)).collect())
+            .collect();
+        let cands = candidate_queries(&sets, &params).unwrap();
+        prop_assert_eq!(cands.len() as u128, params.delta_prime());
+
+        for seg in 0..params.beta() {
+            let size = params.segment_sizes[seg];
+            let offset = params.segment_offset(seg);
+            // Try a handful of position tuples per segment.
+            for trial in 0..3u64 {
+                let mut trng = ChaCha8Rng::seed_from_u64(alpha_seed ^ trial);
+                let x: Vec<usize> = (0..params.alpha())
+                    .map(|_| rand::Rng::gen_range(&mut trng, 0..size))
+                    .collect();
+                let qi = query_index(&params, seg, &x);
+                let expected: Vec<Point> = (0..n)
+                    .map(|u| sets[u][offset + x[params.subgroup_of(u)]])
+                    .collect();
+                prop_assert_eq!(&cands[qi], &expected);
+            }
+        }
+    }
+
+    /// R-tree kNN equals the brute-force oracle on random data.
+    #[test]
+    fn rtree_knn_matches_oracle(seed in any::<u64>(), k in 1usize..=20) {
+        let pts = points(120, seed);
+        let pois: Vec<Poi> = pts.iter().enumerate().map(|(i, p)| Poi::new(i as u32, *p)).collect();
+        let tree = RTree::bulk_load(pois.clone());
+        let q = Point::new(0.5, 0.5);
+        let got: Vec<u32> = tree.knn(&q, k).iter().map(|p| p.id).collect();
+        let want: Vec<u32> = knn_brute_force(&pois, &q, k).iter().map(|p| p.id).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// MBM group-kNN equals the brute-force oracle for every aggregate.
+    #[test]
+    fn mbm_matches_oracle(seed in any::<u64>(), n in 1usize..=5, agg_idx in 0usize..3) {
+        let agg = Aggregate::ALL[agg_idx];
+        let pts = points(100, seed);
+        let pois: Vec<Poi> = pts.iter().enumerate().map(|(i, p)| Poi::new(i as u32, *p)).collect();
+        let tree = RTree::bulk_load(pois.clone());
+        let queries = points(n, seed ^ 0xABCD);
+        let got: Vec<u32> = tree.group_knn(&queries, 7, agg).iter().map(|p| p.id).collect();
+        let want: Vec<u32> = group_knn_brute_force(&pois, &queries, 7, agg)
+            .iter().map(|p| p.id).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The answer codec roundtrips any truncation length.
+    #[test]
+    fn codec_roundtrips(seed in any::<u64>(), k in 1usize..=12, len_frac in 0.0f64..=1.0) {
+        let codec = AnswerCodec::new(256, 1, k);
+        let len = ((k as f64) * len_frac) as usize;
+        let pts = points(len, seed);
+        let pois: Vec<Poi> = pts.iter().enumerate().map(|(i, p)| Poi::new(i as u32, *p)).collect();
+        let decoded = codec.decode(&codec.encode(&pois)).unwrap();
+        prop_assert_eq!(decoded.len(), len);
+        for (d, p) in decoded.iter().zip(&pts) {
+            prop_assert!(d.dist(p) < 1e-8);
+        }
+    }
+
+    /// Sanitation always returns 1 ≤ t ≤ len for groups, exactly len for
+    /// singletons and empty answers.
+    #[test]
+    fn sanitizer_prefix_bounds(seed in any::<u64>(), n in 2usize..=5, len in 2usize..=10) {
+        let users = points(n, seed);
+        let pts = points(len, seed ^ 0x55);
+        let mut pois: Vec<Poi> = pts.iter().enumerate().map(|(i, p)| Poi::new(i as u32, *p)).collect();
+        pois.sort_by(|a, b| {
+            Aggregate::Sum.eval(&a.location, &users)
+                .total_cmp(&Aggregate::Sum.eval(&b.location, &users))
+        });
+        // Loose confidence settings keep the sample count small and fast.
+        let hyp = HypothesisConfig { gamma: 0.1, eta: 0.3, phi: 0.5 };
+        let sanitizer = Sanitizer::new(0.05, &hyp, Rect::UNIT);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = sanitizer.safe_prefix_len(&pois, &users, Aggregate::Sum, &mut rng);
+        prop_assert!(t >= 1, "the top-1 prefix is always safe");
+        prop_assert!(t <= pois.len());
+    }
+
+    /// Range query equals a filter scan.
+    #[test]
+    fn rtree_range_matches_filter(seed in any::<u64>(),
+                                  x0 in 0.0f64..0.8, y0 in 0.0f64..0.8,
+                                  w in 0.05f64..0.4, h in 0.05f64..0.4) {
+        let pts = points(150, seed);
+        let pois: Vec<Poi> = pts.iter().enumerate().map(|(i, p)| Poi::new(i as u32, *p)).collect();
+        let tree = RTree::bulk_load(pois.clone());
+        let rect = Rect::new(x0, y0, x0 + w, y0 + h);
+        let got: Vec<u32> = tree.range(&rect).iter().map(|p| p.id).collect();
+        let mut want: Vec<u32> = pois.iter()
+            .filter(|p| rect.contains(&p.location))
+            .map(|p| p.id).collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,95 @@
+//! Protocol-shape verification via the message transcript: the run must
+//! follow Algorithm 1/2's communication pattern exactly — and nothing
+//! else may cross the wire (e.g. no user-to-user location leaks).
+
+use ppgnn::core::run_ppgnn_with_keys;
+use ppgnn::prelude::*;
+use ppgnn::sim::Party;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn run() -> ppgnn::core::ProtocolRun {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let pois: Vec<Poi> = (0..200)
+        .map(|i| Poi::new(i, Point::new((i % 20) as f64 / 20.0, (i / 20) as f64 / 10.0)))
+        .collect();
+    let cfg = PpgnnConfig {
+        k: 3,
+        d: 4,
+        delta: 8,
+        keysize: 128,
+        sanitize: false,
+        ..PpgnnConfig::fast_test()
+    };
+    let lsp = Lsp::new(pois, cfg);
+    let keys = ppgnn::paillier::generate_keypair(128, &mut rng);
+    let users = vec![Point::new(0.2, 0.3), Point::new(0.5, 0.6), Point::new(0.7, 0.2)];
+    run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap()
+}
+
+#[test]
+fn message_order_follows_algorithm_1_and_2() {
+    let t = run().transcript;
+    assert!(t.ordered("pos broadcast", "query"), "positions precede the query");
+    assert!(t.ordered("query", "location set"), "sets follow the query here");
+    assert!(t.ordered("location set", "answer"), "LSP answers after inputs");
+    assert!(t.ordered("answer", "answer broadcast"), "broadcast is last");
+}
+
+#[test]
+fn message_counts_match_group_size() {
+    let t = run().transcript;
+    let n = 3;
+    assert_eq!(t.with_label("pos broadcast").count(), n - 1);
+    assert_eq!(t.with_label("query").count(), 1);
+    assert_eq!(t.with_label("location set").count(), n);
+    assert_eq!(t.with_label("answer").count(), 1);
+    assert_eq!(t.with_label("answer broadcast").count(), n - 1);
+    // Nothing else crossed the wire.
+    assert_eq!(t.messages().len(), (n - 1) + 1 + n + 1 + (n - 1));
+}
+
+#[test]
+fn no_direct_user_to_user_traffic() {
+    // Only the coordinator talks inside the group; ordinary users never
+    // message each other (the "first observation" of §5: the only
+    // intra-group traffic is the position broadcast).
+    let t = run().transcript;
+    for m in t.messages() {
+        if let (Party::User(a), Party::User(b)) = (m.from, m.to) {
+            panic!("user u{a} talked directly to u{b}");
+        }
+    }
+}
+
+#[test]
+fn transcript_totals_agree_with_ledger() {
+    let r = run();
+    assert_eq!(r.transcript.total_bytes() as u64, r.report.comm_bytes_total);
+}
+
+#[test]
+fn network_model_prices_a_real_run() {
+    use ppgnn::sim::NetworkModel;
+    let r = run();
+    let fast = NetworkModel::mobile_4g().transcript_ms(&r.transcript);
+    let slow = NetworkModel::mobile_3g().transcript_ms(&r.transcript);
+    assert!(fast > 0.0);
+    assert!(slow > fast, "3G must be slower: {slow} vs {fast}");
+    // Sanity: the latency floor alone is #messages × one-way latency.
+    let floor_4g = r.transcript.messages().len() as f64 * 50.0;
+    assert!(fast >= floor_4g);
+}
+
+#[test]
+fn every_user_submits_exactly_one_location_set() {
+    let t = run().transcript;
+    for u in 0..3u32 {
+        let count = t
+            .messages()
+            .iter()
+            .filter(|m| m.label == "location set" && m.from == Party::User(u) && m.to == Party::Lsp)
+            .count();
+        assert_eq!(count, 1, "user u{u}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Wire-level end-to-end test: every protocol message crosses a real
+//! byte boundary (serialize → deserialize) between the parties, proving
+//! the in-memory simulation and the cost model correspond to an actual
+//! network protocol.
+
+use ppgnn::core::encoding::AnswerCodec;
+use ppgnn::core::messages::{AnswerMessage, IndicatorPayload, LocationSetMessage, QueryMessage};
+use ppgnn::core::opt_split;
+use ppgnn::core::partition::solve_partition;
+use ppgnn::core::candidate::query_index;
+use ppgnn::core::wire::WireContext;
+use ppgnn::prelude::*;
+use ppgnn::sim::CostLedger;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn grid_db(side: u32) -> Vec<Poi> {
+    (0..side * side)
+        .map(|i| {
+            Poi::new(i, Point::new((i % side) as f64 / side as f64, (i / side) as f64 / side as f64))
+        })
+        .collect()
+}
+
+/// Runs the full protocol manually with every message passing through
+/// its wire encoding, for both Plain and Opt indicator layouts.
+fn run_over_the_wire(two_phase: bool) {
+    let mut rng = ChaCha8Rng::seed_from_u64(if two_phase { 2 } else { 1 });
+    let cfg = PpgnnConfig {
+        k: 3,
+        d: 4,
+        delta: 8,
+        keysize: 128,
+        sanitize: false,
+        ..PpgnnConfig::fast_test()
+    };
+    let lsp = Lsp::new(grid_db(10), cfg.clone());
+    let users = vec![Point::new(0.2, 0.3), Point::new(0.4, 0.2), Point::new(0.3, 0.5)];
+    let n = users.len();
+
+    // --- Coordinator side.
+    let (pk, sk) = ppgnn::paillier::generate_keypair(cfg.keysize, &mut rng);
+    let params = solve_partition(n, cfg.d, cfg.delta).unwrap();
+    let delta_prime = params.delta_prime() as usize;
+    let seg = 0usize;
+    let x: Vec<usize> = (0..params.alpha())
+        .map(|_| rng.gen_range(0..params.segment_sizes[seg]))
+        .collect();
+    let qi = query_index(&params, seg, &x);
+    let positions: Vec<usize> =
+        (0..n).map(|u| params.segment_offset(seg) + x[params.subgroup_of(u)]).collect();
+
+    let ctx1 = ppgnn::paillier::DjContext::new(&pk, 1);
+    let indicator = if two_phase {
+        let (omega, block) = opt_split(delta_prime);
+        let ctx2 = ppgnn::paillier::DjContext::new(&pk, 2);
+        IndicatorPayload::TwoPhase {
+            inner: ppgnn::paillier::encrypt_indicator(block, qi % block, &ctx1, &mut rng),
+            outer: ppgnn::paillier::encrypt_indicator(omega, qi / block, &ctx2, &mut rng),
+        }
+    } else {
+        IndicatorPayload::Plain(ppgnn::paillier::encrypt_indicator(delta_prime, qi, &ctx1, &mut rng))
+    };
+    let query = QueryMessage {
+        k: cfg.k,
+        pk: pk.clone(),
+        partition: Some(params),
+        indicator,
+        theta0: cfg.theta0,
+    };
+
+    // === WIRE: coordinator -> LSP ===
+    let query_bytes = query.to_wire();
+    assert_eq!(query_bytes.len(), query.byte_len());
+    let wire_ctx = WireContext {
+        key_bits: cfg.keysize,
+        two_phase_omega: two_phase.then(|| opt_split(delta_prime).0),
+        has_partition: true,
+    };
+    let query_rx = QueryMessage::from_wire(&query_bytes, &wire_ctx).unwrap();
+
+    // --- Users build and "send" their location sets over the wire.
+    let mut sets_rx = Vec::new();
+    for (u, (&real, &pos)) in users.iter().zip(&positions).enumerate() {
+        let mut locations: Vec<Point> =
+            (0..cfg.d - 1).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        locations.insert(pos, real);
+        let msg = LocationSetMessage { user_index: u, locations };
+        let bytes = msg.to_wire();
+        assert_eq!(bytes.len(), msg.byte_len());
+        sets_rx.push(LocationSetMessage::from_wire(&bytes).unwrap());
+    }
+
+    // --- LSP processes the *deserialized* messages.
+    let mut ledger = CostLedger::new();
+    let answer = lsp.process_query(&query_rx, &sets_rx, &mut ledger, &mut rng).unwrap();
+
+    // === WIRE: LSP -> coordinator ===
+    let answer_bytes = answer.to_wire(&pk);
+    assert_eq!(answer_bytes.len(), answer.byte_len(&pk));
+    let answer_rx = AnswerMessage::from_wire(&answer_bytes, &pk, two_phase).unwrap();
+
+    // --- Coordinator decrypts.
+    let codec = AnswerCodec::new(pk.key_bits(), 1, cfg.k);
+    let decoded = match &answer_rx {
+        AnswerMessage::Plain(enc) => {
+            codec.decode(&ppgnn::paillier::decrypt_vector(enc, &ctx1, &sk)).unwrap()
+        }
+        AnswerMessage::TwoPhase(enc) => {
+            let ctx2 = ppgnn::paillier::DjContext::new(&pk, 2);
+            let inner: Vec<_> = enc
+                .elements()
+                .iter()
+                .map(|c| {
+                    let v = ctx2.decrypt(c, &sk);
+                    ctx1.decrypt(&ppgnn::paillier::Ciphertext::from_parts(v, 1), &sk)
+                })
+                .collect();
+            codec.decode(&inner).unwrap()
+        }
+    };
+
+    let expected = lsp.plaintext_answer(&users, cfg.k);
+    assert_eq!(decoded.len(), cfg.k);
+    for (got, want) in decoded.iter().zip(&expected) {
+        assert!(got.dist(&want.location) < 1e-6, "two_phase={two_phase}");
+    }
+}
+
+#[test]
+fn plain_protocol_over_the_wire() {
+    run_over_the_wire(false);
+}
+
+#[test]
+fn two_phase_protocol_over_the_wire() {
+    run_over_the_wire(true);
+}
