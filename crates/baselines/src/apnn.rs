@@ -18,7 +18,7 @@
 
 use ppgnn_bigint::BigUint;
 use ppgnn_core::encoding::AnswerCodec;
-use ppgnn_geo::{DynamicRTree, Grid, Point, Poi, Rect};
+use ppgnn_geo::{DynamicRTree, Grid, Poi, Point, Rect};
 use ppgnn_paillier::{decrypt_vector, encrypt_indicator, matrix_select, DjContext, Keypair};
 use ppgnn_sim::{CostLedger, Party, SCALAR_BYTES};
 use rand::Rng;
@@ -49,7 +49,13 @@ impl Apnn {
                 precomputed.push(db.knn(&center, k_max));
             }
         }
-        Apnn { grid, precomputed, k_max, keysize, db }
+        Apnn {
+            grid,
+            precomputed,
+            k_max,
+            keysize,
+            db,
+        }
     }
 
     /// The grid resolution.
@@ -116,7 +122,11 @@ impl Apnn {
         keys: &Keypair,
         rng: &mut R,
     ) -> BaselineRun {
-        assert!(k <= self.k_max, "k = {k} exceeds precomputed k_max = {}", self.k_max);
+        assert!(
+            k <= self.k_max,
+            "k = {k} exceeds precomputed k_max = {}",
+            self.k_max
+        );
         let (pk, sk) = keys;
         let mut ledger = CostLedger::new();
         let user = Party::User(0);
@@ -131,7 +141,10 @@ impl Apnn {
                 .iter()
                 .position(|&c| c == cell)
                 .expect("cloak block contains the user's cell");
-            (block.clone(), encrypt_indicator(block.len(), position, &ctx1, rng))
+            (
+                block.clone(),
+                encrypt_indicator(block.len(), position, &ctx1, rng),
+            )
         });
         // Query upload: block spec (corner + b) + b² ciphertexts + k.
         ledger.record_msg(
@@ -162,7 +175,10 @@ impl Apnn {
                 .expect("well-formed answer")
         });
 
-        BaselineRun { answer, report: ledger.report() }
+        BaselineRun {
+            answer,
+            report: ledger.report(),
+        }
     }
 }
 
@@ -177,7 +193,10 @@ mod tests {
     fn db() -> Vec<Poi> {
         (0..400)
             .map(|i| {
-                Poi::new(i, Point::new((i % 20) as f64 / 20.0, (i / 20) as f64 / 20.0))
+                Poi::new(
+                    i,
+                    Point::new((i % 20) as f64 / 20.0, (i / 20) as f64 / 20.0),
+                )
             })
             .collect()
     }
@@ -221,7 +240,10 @@ mod tests {
                 break;
             }
         }
-        assert!(differs, "a 4×4 grid must produce at least one approximate answer");
+        assert!(
+            differs,
+            "a 4×4 grid must produce at least one approximate answer"
+        );
     }
 
     #[test]
@@ -281,10 +303,10 @@ mod tests {
     #[test]
     fn update_cost_grows_with_grid_resolution() {
         // The §8.2 argument: finer grids make updates more expensive.
-        let coarse_touched = Apnn::build(db(), 5, 4, 128)
-            .insert(Poi::new(9000, Point::new(0.5, 0.5)));
-        let fine_touched = Apnn::build(db(), 40, 4, 128)
-            .insert(Poi::new(9000, Point::new(0.5, 0.5)));
+        let coarse_touched =
+            Apnn::build(db(), 5, 4, 128).insert(Poi::new(9000, Point::new(0.5, 0.5)));
+        let fine_touched =
+            Apnn::build(db(), 40, 4, 128).insert(Poi::new(9000, Point::new(0.5, 0.5)));
         assert!(
             fine_touched > coarse_touched,
             "fine {fine_touched} !> coarse {coarse_touched}"

@@ -17,7 +17,7 @@
 //! crypto work that dominates GLP's user cost in Figure 8e.
 
 use ppgnn_bigint::{BigUint, UniformBigUint};
-use ppgnn_geo::{Point, Poi, RTree};
+use ppgnn_geo::{Poi, Point, RTree};
 use ppgnn_paillier::{generate_keypair, DjContext, Keypair};
 use ppgnn_sim::{CostLedger, Party, LOCATION_BYTES, SCALAR_BYTES};
 use rand::Rng;
@@ -37,7 +37,10 @@ pub struct Glp {
 impl Glp {
     /// Builds the runner over the POI database.
     pub fn new(pois: Vec<Poi>, keysize: usize) -> Self {
-        Glp { tree: RTree::bulk_load(pois), keysize }
+        Glp {
+            tree: RTree::bulk_load(pois),
+            keysize,
+        }
     }
 
     /// Runs one group query.
@@ -66,7 +69,9 @@ impl Glp {
             None => {
                 owned_keys = (0..n)
                     .map(|i| {
-                        ledger.time(Party::User(i as u32), || generate_keypair(self.keysize, rng))
+                        ledger.time(Party::User(i as u32), || {
+                            generate_keypair(self.keysize, rng)
+                        })
                     })
                     .collect();
                 &owned_keys
@@ -85,8 +90,9 @@ impl Glp {
             let (qx, qy) = u.quantize();
             for &coord in &[qx as u64, qy as u64] {
                 let shares = ledger.time(party, || {
-                    let mut shares: Vec<BigUint> =
-                        (0..n - 1).map(|_| rng.gen_biguint_below(&share_mod)).collect();
+                    let mut shares: Vec<BigUint> = (0..n - 1)
+                        .map(|_| rng.gen_biguint_below(&share_mod))
+                        .collect();
                     let sum: BigUint = shares.iter().cloned().sum();
                     let own = BigUint::from(coord)
                         .add_ref(&share_mod.mul_limb(n as u64))
@@ -141,7 +147,11 @@ impl Glp {
         // --- Phase 3: LSP answers the kNN of the centroid in plaintext.
         ledger.record_msg(Party::User(0), Party::Lsp, LOCATION_BYTES + SCALAR_BYTES);
         let answer: Vec<Point> = ledger.time(Party::Lsp, || {
-            self.tree.knn(&centroid, k).iter().map(|p| p.location).collect()
+            self.tree
+                .knn(&centroid, k)
+                .iter()
+                .map(|p| p.location)
+                .collect()
         });
         // LSP sends the k POIs to every user (LSP knows the answer —
         // the Privacy II violation).
@@ -149,7 +159,10 @@ impl Glp {
             ledger.record_msg(Party::Lsp, Party::User(i as u32), answer.len() * 8);
         }
 
-        BaselineRun { answer, report: ledger.report() }
+        BaselineRun {
+            answer,
+            report: ledger.report(),
+        }
     }
 
     /// The centroid a correct run computes (for tests and attacks).
@@ -167,7 +180,12 @@ mod tests {
 
     fn db() -> Vec<Poi> {
         (0..400)
-            .map(|i| Poi::new(i, Point::new((i % 20) as f64 / 20.0, (i / 20) as f64 / 20.0)))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new((i % 20) as f64 / 20.0, (i / 20) as f64 / 20.0),
+                )
+            })
             .collect()
     }
 
@@ -178,7 +196,11 @@ mod tests {
     #[test]
     fn answer_is_knn_of_centroid() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let users = vec![Point::new(0.2, 0.2), Point::new(0.4, 0.6), Point::new(0.6, 0.4)];
+        let users = vec![
+            Point::new(0.2, 0.2),
+            Point::new(0.4, 0.6),
+            Point::new(0.6, 0.4),
+        ];
         let ks = keys(3, &mut rng);
         let glp = Glp::new(db(), 128);
         let run = glp.query(&users, 4, Some(&ks), &mut rng);
@@ -198,7 +220,11 @@ mod tests {
         // Whatever k: the reconstructed centroid drives the query; verify
         // via a database with one POI exactly at the expected centroid.
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let users = vec![Point::new(0.1, 0.3), Point::new(0.5, 0.5), Point::new(0.9, 0.7)];
+        let users = vec![
+            Point::new(0.1, 0.3),
+            Point::new(0.5, 0.5),
+            Point::new(0.9, 0.7),
+        ];
         let centroid = Point::centroid(&users); // (0.5, 0.5)
         let mut pois = db();
         pois.push(Poi::new(9999, centroid));
@@ -214,8 +240,9 @@ mod tests {
         let glp = Glp::new(db(), 128);
         let mut comms = Vec::new();
         for &n in &[2usize, 4, 8] {
-            let users: Vec<Point> =
-                (0..n).map(|i| Point::new(i as f64 / n as f64, 0.5)).collect();
+            let users: Vec<Point> = (0..n)
+                .map(|i| Point::new(i as f64 / n as f64, 0.5))
+                .collect();
             let ks = keys(n, &mut rng);
             let run = glp.query(&users, 4, Some(&ks), &mut rng);
             comms.push(run.report.comm_bytes_total as f64);
@@ -237,7 +264,11 @@ mod tests {
             Poi::new(2, Point::new(0.95, 0.5)),
             Poi::new(3, Point::new(0.5, 0.52)),
         ];
-        let users = vec![Point::new(0.05, 0.5), Point::new(0.95, 0.5), Point::new(0.5, 0.6)];
+        let users = vec![
+            Point::new(0.05, 0.5),
+            Point::new(0.95, 0.5),
+            Point::new(0.5, 0.6),
+        ];
         let ks = keys(3, &mut rng);
         let glp = Glp::new(pois.clone(), 128);
         let run = glp.query(&users, 1, Some(&ks), &mut rng);

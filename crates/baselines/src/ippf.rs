@@ -23,7 +23,7 @@
 //! successor in the chain can collude to recover its distances, hence its
 //! location (Privacy IV ✗) — see [`crate::attacks::ippf_chain_attack`].
 
-use ppgnn_geo::{Aggregate, Point, Poi, Rect};
+use ppgnn_geo::{Aggregate, Poi, Point, Rect};
 use ppgnn_sim::{CostLedger, Party, SCALAR_BYTES};
 use rand::Rng;
 
@@ -48,7 +48,10 @@ impl Ippf {
     /// Creates a runner with the paper's default rectangle area
     /// (0.0005% of the data space per user).
     pub fn new(pois: Vec<Poi>) -> Self {
-        Ippf { pois, rect_area_fraction: 0.000005 }
+        Ippf {
+            pois,
+            rect_area_fraction: 0.000005,
+        }
     }
 
     /// Overrides the per-user rectangle area fraction.
@@ -59,12 +62,7 @@ impl Ippf {
     }
 
     /// Runs one group query (sum aggregate, as in §8).
-    pub fn query<R: Rng + ?Sized>(
-        &self,
-        users: &[Point],
-        k: usize,
-        rng: &mut R,
-    ) -> BaselineRun {
+    pub fn query<R: Rng + ?Sized>(&self, users: &[Point], k: usize, rng: &mut R) -> BaselineRun {
         assert!(!users.is_empty(), "IPPF needs at least one user");
         let n = users.len();
         let mut ledger = CostLedger::new();
@@ -124,7 +122,11 @@ impl Ippf {
         });
         ledger.count("candidate_pois", candidates.len() as u64);
         // LSP -> chain head: the candidates (8 bytes each, as answers).
-        ledger.record_msg(Party::Lsp, Party::User(0), candidates.len() * 8 + SCALAR_BYTES);
+        ledger.record_msg(
+            Party::Lsp,
+            Party::User(0),
+            candidates.len() * 8 + SCALAR_BYTES,
+        );
 
         // --- The private filter chain.
         let diam = 2f64.sqrt(); // max possible per-user distance in the unit square
@@ -158,7 +160,11 @@ impl Ippf {
 
         // --- Tail user: exact top-k, broadcast to the group.
         let answer: Vec<Point> = ledger.time(Party::User(n as u32 - 1), || {
-            chain.sort_by(|a, b| a.partial.total_cmp(&b.partial).then(a.poi.id.cmp(&b.poi.id)));
+            chain.sort_by(|a, b| {
+                a.partial
+                    .total_cmp(&b.partial)
+                    .then(a.poi.id.cmp(&b.poi.id))
+            });
             chain.iter().take(k).map(|e| e.poi.location).collect()
         });
         for i in 0..n - 1 {
@@ -169,7 +175,10 @@ impl Ippf {
             );
         }
 
-        BaselineRun { answer, report: ledger.report() }
+        BaselineRun {
+            answer,
+            report: ledger.report(),
+        }
     }
 
     /// Sanity oracle: the exact sum-aggregate group kNN.
@@ -186,7 +195,12 @@ mod tests {
 
     fn db() -> Vec<Poi> {
         (0..900)
-            .map(|i| Poi::new(i, Point::new((i % 30) as f64 / 30.0, (i / 30) as f64 / 30.0)))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new((i % 30) as f64 / 30.0, (i / 30) as f64 / 30.0),
+                )
+            })
             .collect()
     }
 
@@ -195,8 +209,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let ippf = Ippf::new(db());
         let users = vec![
-            Point::new(0.2, 0.3), Point::new(0.7, 0.6),
-            Point::new(0.5, 0.1), Point::new(0.4, 0.8),
+            Point::new(0.2, 0.3),
+            Point::new(0.7, 0.6),
+            Point::new(0.5, 0.1),
+            Point::new(0.4, 0.8),
         ];
         let run = ippf.query(&users, 5, &mut rng);
         let expected = ippf.exact_answer(&users, 5);
@@ -215,7 +231,10 @@ mod tests {
         let spread = vec![Point::new(0.05, 0.05), Point::new(0.95, 0.95)];
         let run = ippf.query(&spread, 4, &mut rng);
         let candidates = run.report.counters["candidate_pois"];
-        assert!(candidates > 100, "spread group produced only {candidates} candidates");
+        assert!(
+            candidates > 100,
+            "spread group produced only {candidates} candidates"
+        );
     }
 
     #[test]
@@ -236,7 +255,11 @@ mod tests {
     fn communication_dominated_by_candidates() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let ippf = Ippf::new(db());
-        let users = vec![Point::new(0.1, 0.2), Point::new(0.8, 0.7), Point::new(0.4, 0.9)];
+        let users = vec![
+            Point::new(0.1, 0.2),
+            Point::new(0.8, 0.7),
+            Point::new(0.4, 0.9),
+        ];
         let run = ippf.query(&users, 4, &mut rng);
         let candidates = run.report.counters["candidate_pois"];
         assert!(run.report.comm_bytes_total as f64 > candidates as f64 * 8.0);

@@ -13,7 +13,7 @@
 //! privacy profile the paper's Table 4 assigns to its family — verified
 //! by the integration tests and the `figures table4` harness.
 
-use ppgnn_geo::{knn_brute_force, Grid, Point, Poi, RTree, Rect};
+use ppgnn_geo::{knn_brute_force, Grid, Poi, Point, RTree, Rect};
 use ppgnn_paillier::{decrypt_vector, encrypt_indicator, matrix_select, DjContext, Keypair};
 use ppgnn_sim::{CostLedger, Party, LOCATION_BYTES, SCALAR_BYTES};
 use rand::Rng;
@@ -83,7 +83,10 @@ impl CloakRegionKnn {
                 .map(|p| p.location)
                 .collect()
         });
-        BaselineRun { answer, report: ledger.report() }
+        BaselineRun {
+            answer,
+            report: ledger.report(),
+        }
     }
 }
 
@@ -98,7 +101,9 @@ pub struct DummyKnn {
 impl DummyKnn {
     /// Builds the runner.
     pub fn new(pois: Vec<Poi>) -> Self {
-        DummyKnn { tree: RTree::bulk_load(pois) }
+        DummyKnn {
+            tree: RTree::bulk_load(pois),
+        }
     }
 
     /// One query with `d − 1` dummies.
@@ -114,8 +119,9 @@ impl DummyKnn {
         let user = Party::User(0);
 
         let (queries, real_pos) = ledger.time(user, || {
-            let mut queries: Vec<Point> =
-                (0..d - 1).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+            let mut queries: Vec<Point> = (0..d - 1)
+                .map(|_| Point::new(rng.gen(), rng.gen()))
+                .collect();
             let pos = rng.gen_range(0..d);
             queries.insert(pos, location);
             (queries, pos)
@@ -131,7 +137,10 @@ impl DummyKnn {
         let answer: Vec<Point> = ledger.time(user, || {
             all_answers[real_pos].iter().map(|p| p.location).collect()
         });
-        BaselineRun { answer, report: ledger.report() }
+        BaselineRun {
+            answer,
+            report: ledger.report(),
+        }
     }
 }
 
@@ -160,7 +169,11 @@ impl PirKnn {
             buckets[idx].push(poi);
         }
         let bucket_capacity = buckets.iter().map(Vec::len).max().unwrap_or(0).max(1);
-        PirKnn { grid, buckets, bucket_capacity }
+        PirKnn {
+            grid,
+            buckets,
+            bucket_capacity,
+        }
     }
 
     /// The padded bucket size (every PIR reply carries this many slots).
@@ -188,7 +201,11 @@ impl PirKnn {
             let idx = self.grid.flat_index(self.grid.locate(&location));
             encrypt_indicator(cell_count, idx, &ctx, rng)
         });
-        ledger.record_msg(user, Party::Lsp, cell_count * pk.ciphertext_bytes(1) + SCALAR_BYTES);
+        ledger.record_msg(
+            user,
+            Party::Lsp,
+            cell_count * pk.ciphertext_bytes(1) + SCALAR_BYTES,
+        );
 
         // LSP: PIR select the bucket (one 8-byte record per slot).
         let selected = ledger.time(Party::Lsp, || {
@@ -206,7 +223,11 @@ impl PirKnn {
                 .collect();
             matrix_select(&columns, &indicator, &ctx).expect("dimensions match")
         });
-        ledger.record_msg(Party::Lsp, user, self.bucket_capacity * pk.ciphertext_bytes(1));
+        ledger.record_msg(
+            Party::Lsp,
+            user,
+            self.bucket_capacity * pk.ciphertext_bytes(1),
+        );
         ledger.count("returned_pois", self.bucket_capacity as u64);
 
         let answer: Vec<Point> = ledger.time(user, || {
@@ -223,7 +244,10 @@ impl PirKnn {
                 .map(|p| p.location)
                 .collect()
         });
-        BaselineRun { answer, report: ledger.report() }
+        BaselineRun {
+            answer,
+            report: ledger.report(),
+        }
     }
 }
 
@@ -239,7 +263,9 @@ pub struct PerturbationKnn {
 impl PerturbationKnn {
     /// Builds the runner.
     pub fn new(pois: Vec<Poi>) -> Self {
-        PerturbationKnn { tree: RTree::bulk_load(pois) }
+        PerturbationKnn {
+            tree: RTree::bulk_load(pois),
+        }
     }
 
     /// Draws planar Laplace noise with scale `1/epsilon` (the standard
@@ -270,10 +296,17 @@ impl PerturbationKnn {
         let noised = ledger.time(user, || Self::perturb(location, epsilon, rng));
         ledger.record_msg(user, Party::Lsp, LOCATION_BYTES + SCALAR_BYTES);
         let answer: Vec<Point> = ledger.time(Party::Lsp, || {
-            self.tree.knn(&noised, k).iter().map(|p| p.location).collect()
+            self.tree
+                .knn(&noised, k)
+                .iter()
+                .map(|p| p.location)
+                .collect()
         });
         ledger.record_msg(Party::Lsp, user, answer.len() * 8);
-        BaselineRun { answer, report: ledger.report() }
+        BaselineRun {
+            answer,
+            report: ledger.report(),
+        }
     }
 }
 
@@ -286,7 +319,12 @@ mod tests {
 
     fn db() -> Vec<Poi> {
         (0..400)
-            .map(|i| Poi::new(i, Point::new((i % 20) as f64 / 20.0, (i / 20) as f64 / 20.0)))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new((i % 20) as f64 / 20.0, (i / 20) as f64 / 20.0),
+                )
+            })
             .collect()
     }
 
@@ -363,7 +401,10 @@ mod tests {
         };
         let strong = error_at(2.0, &mut rng); // heavy noise
         let weak = error_at(100.0, &mut rng); // light noise
-        assert!(strong > weak, "strong privacy {strong} must err more than weak {weak}");
+        assert!(
+            strong > weak,
+            "strong privacy {strong} must err more than weak {weak}"
+        );
     }
 
     #[test]

@@ -83,5 +83,11 @@ fn bench_mul_div(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_paillier_ops, bench_modpow, bench_keygen, bench_mul_div);
+criterion_group!(
+    benches,
+    bench_paillier_ops,
+    bench_modpow,
+    bench_keygen,
+    bench_mul_div
+);
 criterion_main!(benches);

@@ -2,14 +2,12 @@
 //! distances, quasi-Monte-Carlo sanitation, and the CRT decryptor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ppgnn_core::params::HypothesisConfig;
-use ppgnn_core::sanitize::{Sanitizer, SamplerKind};
-use ppgnn_datagen::{sequoia_like, Workload};
-use ppgnn_geo::{
-    group_knn_brute_force, Aggregate, DynamicRTree, Point, Poi, Rect, RoadNetwork,
-};
-use ppgnn_paillier::{generate_keypair, Decryptor, DjContext};
 use ppgnn_bigint::BigUint;
+use ppgnn_core::params::HypothesisConfig;
+use ppgnn_core::sanitize::{SamplerKind, Sanitizer};
+use ppgnn_datagen::{sequoia_like, Workload};
+use ppgnn_geo::{group_knn_brute_force, Aggregate, DynamicRTree, Poi, Point, Rect, RoadNetwork};
+use ppgnn_paillier::{generate_keypair, Decryptor, DjContext};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -61,7 +59,10 @@ fn bench_sampler_kinds(c: &mut Criterion) {
     let hyp = HypothesisConfig::default();
     let mut group = c.benchmark_group("sanitation/sampler");
     group.sample_size(10);
-    for (name, kind) in [("pseudo", SamplerKind::Pseudo), ("halton", SamplerKind::Halton)] {
+    for (name, kind) in [
+        ("pseudo", SamplerKind::Pseudo),
+        ("halton", SamplerKind::Halton),
+    ] {
         let sanitizer = Sanitizer::new(0.05, &hyp, Rect::UNIT).with_sampler(kind);
         group.bench_function(name, |b| {
             let mut rng = ChaCha8Rng::seed_from_u64(9);

@@ -18,7 +18,11 @@ fn bench_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol/n8_k8_d25_delta100");
     group.sample_size(10);
     for variant in [Variant::Plain, Variant::Opt, Variant::Naive] {
-        let cfg = PpgnnConfig { keysize: 256, variant, ..PpgnnConfig::paper_defaults() };
+        let cfg = PpgnnConfig {
+            keysize: 256,
+            variant,
+            ..PpgnnConfig::paper_defaults()
+        };
         let lsp = Lsp::new(pois.clone(), cfg);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{variant:?}")),
@@ -41,7 +45,11 @@ fn bench_sanitation_toggle(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol/sanitation");
     group.sample_size(10);
     for (name, sanitize) in [("PPGNN", true), ("PPGNN-NAS", false)] {
-        let cfg = PpgnnConfig { keysize: 256, sanitize, ..PpgnnConfig::paper_defaults() };
+        let cfg = PpgnnConfig {
+            keysize: 256,
+            sanitize,
+            ..PpgnnConfig::paper_defaults()
+        };
         let lsp = Lsp::new(pois.clone(), cfg);
         group.bench_function(name, |b| {
             b.iter(|| run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap());

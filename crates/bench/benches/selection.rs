@@ -39,14 +39,15 @@ fn bench_selection(c: &mut Criterion) {
                 padded.resize(block * omega, vec![BigUint::zero(); m]);
                 let blocks: Vec<_> = (0..omega)
                     .map(|bi| {
-                        matrix_select(&padded[bi * block..(bi + 1) * block], &inner, &ctx1)
-                            .unwrap()
+                        matrix_select(&padded[bi * block..(bi + 1) * block], &inner, &ctx1).unwrap()
                     })
                     .collect();
                 let rows: Vec<_> = (0..m)
                     .map(|r| {
-                        let x: Vec<BigUint> =
-                            blocks.iter().map(|bl| bl.elements()[r].as_plaintext()).collect();
+                        let x: Vec<BigUint> = blocks
+                            .iter()
+                            .map(|bl| bl.elements()[r].as_plaintext())
+                            .collect();
                         outer.dot(&x, &ctx2).unwrap()
                     })
                     .collect();

@@ -16,7 +16,7 @@ use ppgnn_baselines::Apnn;
 use ppgnn_core::engine::{DynamicMbmEngine, QueryEngine};
 use ppgnn_core::partition::solve_partition;
 use ppgnn_datagen::Workload;
-use ppgnn_geo::{Aggregate, Point, Poi};
+use ppgnn_geo::{Aggregate, Poi, Point};
 
 use crate::config::ExperimentConfig;
 use crate::runner::database;
@@ -185,7 +185,10 @@ pub fn ablation_spread(cfg: &ExperimentConfig) -> Vec<SpreadRow> {
     let pois = database(cfg);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5BAD);
     let keys = generate_keypair(cfg.keysize, &mut rng);
-    let ppgnn = PpgnnConfig { keysize: cfg.keysize, ..PpgnnConfig::paper_defaults() };
+    let ppgnn = PpgnnConfig {
+        keysize: cfg.keysize,
+        ..PpgnnConfig::paper_defaults()
+    };
     let lsp = Lsp::new(pois, ppgnn);
     let mut rows = Vec::new();
     for spread in [0.02f64, 0.05, 0.1, 0.25, 1.0] {
@@ -259,7 +262,12 @@ mod tests {
 
     #[test]
     fn update_ablation_shows_ppgnn_advantage() {
-        let cfg = ExperimentConfig { db_size: 3_000, queries: 1, keysize: 128, seed: 5 };
+        let cfg = ExperimentConfig {
+            db_size: 3_000,
+            queries: 1,
+            keysize: 128,
+            seed: 5,
+        };
         let rows = ablation_update(&cfg);
         assert_eq!(rows.len(), 2);
         let ppgnn = &rows[0];

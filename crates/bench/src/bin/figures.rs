@@ -13,9 +13,10 @@
 use std::io::Write;
 
 use ppgnn_bench::{
-    ablation_opt_omega, ablation_partition, ablation_spread, ablation_update, render_spread, fig5_d, fig5_k, fig6_delta, fig6_k,
-    fig6_n, fig6_theta, fig7, fig8_k, fig8_n, render_partition, render_rows, render_table2,
-    render_table4, render_update, table2, table4, table4_single, ExperimentConfig, FigureRow,
+    ablation_opt_omega, ablation_partition, ablation_spread, ablation_update, fig5_d, fig5_k,
+    fig6_delta, fig6_k, fig6_n, fig6_theta, fig7, fig8_k, fig8_n, render_partition, render_rows,
+    render_spread, render_table2, render_table4, render_update, table2, table4, table4_single,
+    ExperimentConfig, FigureRow,
 };
 
 fn main() {
@@ -55,9 +56,22 @@ fn main() {
 
     let experiments: Vec<&str> = if experiment == "all" {
         vec![
-            "fig5_d", "fig5_k", "fig6_delta", "fig6_k", "fig6_n", "fig6_theta", "fig7",
-            "fig8_k", "fig8_n", "table2", "table4", "table4_single",
-            "ablation_update", "ablation_partition", "ablation_omega", "ablation_spread",
+            "fig5_d",
+            "fig5_k",
+            "fig6_delta",
+            "fig6_k",
+            "fig6_n",
+            "fig6_theta",
+            "fig7",
+            "fig8_k",
+            "fig8_n",
+            "table2",
+            "table4",
+            "table4_single",
+            "ablation_update",
+            "ablation_partition",
+            "ablation_omega",
+            "ablation_spread",
         ]
     } else {
         vec![experiment.as_str()]
@@ -105,7 +119,11 @@ fn main() {
                         "ω = {:>3}  cost = {:>7.1} L_e {}",
                         r.omega,
                         r.model_cost_units,
-                        if r.is_analytic_optimum { " <= analytic ω*" } else { "" }
+                        if r.is_analytic_optimum {
+                            " <= analytic ω*"
+                        } else {
+                            ""
+                        }
                     );
                 }
                 write_json(&out_dir, exp, &rows);
@@ -139,7 +157,11 @@ fn write_json<T: serde::Serialize>(out_dir: &Option<String>, name: &str, rows: &
     std::fs::create_dir_all(dir).expect("create output dir");
     let path = format!("{dir}/{name}.json");
     let mut f = std::fs::File::create(&path).expect("create json");
-    f.write_all(serde_json::to_string_pretty(rows).expect("serialize").as_bytes())
-        .expect("write json");
+    f.write_all(
+        serde_json::to_string_pretty(rows)
+            .expect("serialize")
+            .as_bytes(),
+    )
+    .expect("write json");
     eprintln!("# wrote {path}");
 }

@@ -21,14 +21,24 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { db_size: 62_556, queries: 20, keysize: 512, seed: 20180326 }
+        ExperimentConfig {
+            db_size: 62_556,
+            queries: 20,
+            keysize: 512,
+            seed: 20180326,
+        }
     }
 }
 
 impl ExperimentConfig {
     /// A tiny configuration for unit tests of the harness itself.
     pub fn smoke() -> Self {
-        ExperimentConfig { db_size: 2_000, queries: 2, keysize: 128, seed: 7 }
+        ExperimentConfig {
+            db_size: 2_000,
+            queries: 2,
+            keysize: 128,
+            seed: 7,
+        }
     }
 }
 

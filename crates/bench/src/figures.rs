@@ -5,9 +5,7 @@ use ppgnn_baselines::{Apnn, Glp, Ippf};
 use ppgnn_core::PpgnnConfig;
 
 use crate::config::{ExperimentConfig, FigureRow};
-use crate::runner::{
-    average_apnn, average_glp, average_ippf, average_ppgnn, database, Approach,
-};
+use crate::runner::{average_apnn, average_glp, average_ippf, average_ppgnn, database, Approach};
 
 /// Base PPGNN configuration for the single-user scenario (Table 3).
 fn single_base(cfg: &ExperimentConfig) -> PpgnnConfig {
@@ -22,7 +20,10 @@ fn single_base(cfg: &ExperimentConfig) -> PpgnnConfig {
 
 /// Base PPGNN configuration for the group scenario (Table 3).
 fn group_base(cfg: &ExperimentConfig) -> PpgnnConfig {
-    PpgnnConfig { keysize: cfg.keysize, ..PpgnnConfig::paper_defaults() }
+    PpgnnConfig {
+        keysize: cfg.keysize,
+        ..PpgnnConfig::paper_defaults()
+    }
 }
 
 /// Figure 5a–c: `n = 1`, vary `d ∈ \[5, 50\]` (δ = d). Series: PPGNN,
@@ -32,9 +33,20 @@ pub fn fig5_d(cfg: &ExperimentConfig) -> Vec<FigureRow> {
     let pois = database(cfg);
     let mut rows = Vec::new();
     for d in [5usize, 15, 25, 35, 50] {
-        let base = PpgnnConfig { d, delta: d, ..single_base(cfg) };
+        let base = PpgnnConfig {
+            d,
+            delta: d,
+            ..single_base(cfg)
+        };
         for approach in [Approach::Ppgnn, Approach::PpgnnOpt] {
-            rows.push(average_ppgnn(&pois, base.clone(), approach, 1, cfg, d as f64));
+            rows.push(average_ppgnn(
+                &pois,
+                base.clone(),
+                approach,
+                1,
+                cfg,
+                d as f64,
+            ));
         }
     }
     rows
@@ -48,9 +60,19 @@ pub fn fig5_k(cfg: &ExperimentConfig) -> Vec<FigureRow> {
     let apnn = Apnn::build(pois.clone(), 100, 32, cfg.keysize);
     let mut rows = Vec::new();
     for k in [2usize, 4, 8, 16, 32] {
-        let base = PpgnnConfig { k, ..single_base(cfg) };
+        let base = PpgnnConfig {
+            k,
+            ..single_base(cfg)
+        };
         for approach in [Approach::Ppgnn, Approach::PpgnnOpt] {
-            rows.push(average_ppgnn(&pois, base.clone(), approach, 1, cfg, k as f64));
+            rows.push(average_ppgnn(
+                &pois,
+                base.clone(),
+                approach,
+                1,
+                cfg,
+                k as f64,
+            ));
         }
         rows.push(average_apnn(&apnn, k, 5, cfg, k as f64));
     }
@@ -64,9 +86,19 @@ pub fn fig6_delta(cfg: &ExperimentConfig) -> Vec<FigureRow> {
     let pois = database(cfg);
     let mut rows = Vec::new();
     for delta in [25usize, 50, 100, 150, 200] {
-        let base = PpgnnConfig { delta, ..group_base(cfg) };
+        let base = PpgnnConfig {
+            delta,
+            ..group_base(cfg)
+        };
         for approach in [Approach::Ppgnn, Approach::PpgnnOpt, Approach::Naive] {
-            rows.push(average_ppgnn(&pois, base.clone(), approach, 8, cfg, delta as f64));
+            rows.push(average_ppgnn(
+                &pois,
+                base.clone(),
+                approach,
+                8,
+                cfg,
+                delta as f64,
+            ));
         }
     }
     rows
@@ -77,9 +109,19 @@ pub fn fig6_k(cfg: &ExperimentConfig) -> Vec<FigureRow> {
     let pois = database(cfg);
     let mut rows = Vec::new();
     for k in [2usize, 4, 8, 16, 32] {
-        let base = PpgnnConfig { k, ..group_base(cfg) };
+        let base = PpgnnConfig {
+            k,
+            ..group_base(cfg)
+        };
         for approach in [Approach::Ppgnn, Approach::PpgnnOpt, Approach::Naive] {
-            rows.push(average_ppgnn(&pois, base.clone(), approach, 8, cfg, k as f64));
+            rows.push(average_ppgnn(
+                &pois,
+                base.clone(),
+                approach,
+                8,
+                cfg,
+                k as f64,
+            ));
         }
     }
     rows
@@ -93,7 +135,14 @@ pub fn fig6_n(cfg: &ExperimentConfig) -> Vec<FigureRow> {
     for n in [2usize, 4, 8, 16, 32] {
         let base = group_base(cfg);
         for approach in [Approach::Ppgnn, Approach::PpgnnOpt, Approach::Naive] {
-            rows.push(average_ppgnn(&pois, base.clone(), approach, n, cfg, n as f64));
+            rows.push(average_ppgnn(
+                &pois,
+                base.clone(),
+                approach,
+                n,
+                cfg,
+                n as f64,
+            ));
         }
     }
     rows
@@ -105,7 +154,10 @@ pub fn fig6_theta(cfg: &ExperimentConfig) -> Vec<FigureRow> {
     let pois = database(cfg);
     let mut rows = Vec::new();
     for theta0 in [0.01f64, 0.025, 0.05, 0.075, 0.1] {
-        let base = PpgnnConfig { theta0, ..group_base(cfg) };
+        let base = PpgnnConfig {
+            theta0,
+            ..group_base(cfg)
+        };
         for approach in [Approach::Ppgnn, Approach::PpgnnOpt, Approach::Naive] {
             rows.push(average_ppgnn(&pois, base.clone(), approach, 8, cfg, theta0));
         }
@@ -119,7 +171,10 @@ pub fn fig6_theta(cfg: &ExperimentConfig) -> Vec<FigureRow> {
 /// by the series label.
 pub fn fig7(cfg: &ExperimentConfig) -> Vec<FigureRow> {
     let pois = database(cfg);
-    let base = PpgnnConfig { theta0: 0.01, ..group_base(cfg) };
+    let base = PpgnnConfig {
+        theta0: 0.01,
+        ..group_base(cfg)
+    };
     let mut rows = Vec::new();
     // 7a: vary k.
     for k in [2usize, 4, 8, 16, 32] {
@@ -136,8 +191,7 @@ pub fn fig7(cfg: &ExperimentConfig) -> Vec<FigureRow> {
     }
     // 7b: vary n.
     for n in [2usize, 4, 8, 16, 32] {
-        let mut row =
-            average_ppgnn(&pois, base.clone(), Approach::Ppgnn, n, cfg, n as f64);
+        let mut row = average_ppgnn(&pois, base.clone(), Approach::Ppgnn, n, cfg, n as f64);
         row.series = "POIs-vs-n".into();
         rows.push(row);
     }
@@ -145,7 +199,10 @@ pub fn fig7(cfg: &ExperimentConfig) -> Vec<FigureRow> {
     for theta0 in [0.01f64, 0.025, 0.05, 0.075, 0.1] {
         let mut row = average_ppgnn(
             &pois,
-            PpgnnConfig { theta0, ..base.clone() },
+            PpgnnConfig {
+                theta0,
+                ..base.clone()
+            },
             Approach::Ppgnn,
             8,
             cfg,
@@ -166,9 +223,26 @@ pub fn fig8_k(cfg: &ExperimentConfig) -> Vec<FigureRow> {
     let glp = Glp::new(pois.clone(), cfg.keysize);
     let mut rows = Vec::new();
     for k in [2usize, 4, 8, 16, 32] {
-        let base = PpgnnConfig { k, ..group_base(cfg) };
-        rows.push(average_ppgnn(&pois, base.clone(), Approach::Ppgnn, 8, cfg, k as f64));
-        rows.push(average_ppgnn(&pois, base, Approach::PpgnnNas, 8, cfg, k as f64));
+        let base = PpgnnConfig {
+            k,
+            ..group_base(cfg)
+        };
+        rows.push(average_ppgnn(
+            &pois,
+            base.clone(),
+            Approach::Ppgnn,
+            8,
+            cfg,
+            k as f64,
+        ));
+        rows.push(average_ppgnn(
+            &pois,
+            base,
+            Approach::PpgnnNas,
+            8,
+            cfg,
+            k as f64,
+        ));
         rows.push(average_ippf(&ippf, 8, k, cfg, k as f64));
         rows.push(average_glp(&glp, 8, k, cfg, k as f64));
     }
@@ -184,8 +258,22 @@ pub fn fig8_n(cfg: &ExperimentConfig) -> Vec<FigureRow> {
     let mut rows = Vec::new();
     for n in [2usize, 4, 8, 16, 32] {
         let base = group_base(cfg);
-        rows.push(average_ppgnn(&pois, base.clone(), Approach::Ppgnn, n, cfg, n as f64));
-        rows.push(average_ppgnn(&pois, base, Approach::PpgnnNas, n, cfg, n as f64));
+        rows.push(average_ppgnn(
+            &pois,
+            base.clone(),
+            Approach::Ppgnn,
+            n,
+            cfg,
+            n as f64,
+        ));
+        rows.push(average_ppgnn(
+            &pois,
+            base,
+            Approach::PpgnnNas,
+            n,
+            cfg,
+            n as f64,
+        ));
         rows.push(average_ippf(&ippf, n, 8, cfg, n as f64));
         rows.push(average_glp(&glp, n, 8, cfg, n as f64));
     }

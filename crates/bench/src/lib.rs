@@ -22,7 +22,9 @@ pub use ablations::{
 pub use config::{ExperimentConfig, FigureRow};
 pub use figures::{fig5_d, fig5_k, fig6_delta, fig6_k, fig6_n, fig6_theta, fig7, fig8_k, fig8_n};
 pub use runner::{average_apnn, average_glp, average_ippf, average_ppgnn, database, Approach};
-pub use tables::{render_table2, render_table4, table2, table4, table4_single, PrivacyCheckRow, Table2Row};
+pub use tables::{
+    render_table2, render_table4, table2, table4, table4_single, PrivacyCheckRow, Table2Row,
+};
 
 /// Renders rows as an aligned text table (the harness's stdout format),
 /// followed by per-series sparklines of the communication metric so the

@@ -70,10 +70,23 @@ pub fn average_ppgnn(
     x: f64,
 ) -> FigureRow {
     let ppgnn = match approach {
-        Approach::Ppgnn => PpgnnConfig { variant: Variant::Plain, ..ppgnn },
-        Approach::PpgnnOpt => PpgnnConfig { variant: Variant::Opt, ..ppgnn },
-        Approach::PpgnnNas => PpgnnConfig { variant: Variant::Plain, sanitize: false, ..ppgnn },
-        Approach::Naive => PpgnnConfig { variant: Variant::Naive, ..ppgnn },
+        Approach::Ppgnn => PpgnnConfig {
+            variant: Variant::Plain,
+            ..ppgnn
+        },
+        Approach::PpgnnOpt => PpgnnConfig {
+            variant: Variant::Opt,
+            ..ppgnn
+        },
+        Approach::PpgnnNas => PpgnnConfig {
+            variant: Variant::Plain,
+            sanitize: false,
+            ..ppgnn
+        },
+        Approach::Naive => PpgnnConfig {
+            variant: Variant::Naive,
+            ..ppgnn
+        },
         _ => panic!("{approach:?} is not a PPGNN-family approach"),
     };
     let keysize = ppgnn.keysize;
@@ -132,7 +145,9 @@ pub fn average_ippf(ippf: &Ippf, n: usize, k: usize, cfg: &ExperimentConfig, x: 
 /// generated once per batch, mirroring the PPGNN amortization).
 pub fn average_glp(glp: &Glp, n: usize, k: usize, cfg: &ExperimentConfig, x: f64) -> FigureRow {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x61F);
-    let keys: Vec<Keypair> = (0..n).map(|_| generate_keypair(cfg.keysize, &mut rng)).collect();
+    let keys: Vec<Keypair> = (0..n)
+        .map(|_| generate_keypair(cfg.keysize, &mut rng))
+        .collect();
     let mut workload = Workload::unit(cfg.seed ^ 0x620);
     let mut total = CostReport::default();
     let mut pois_sum = 0u64;
@@ -166,7 +181,11 @@ mod tests {
         let cfg = ExperimentConfig::smoke();
         let pois = database(&cfg);
         let ppgnn = PpgnnConfig {
-            k: 4, d: 4, delta: 8, keysize: cfg.keysize, sanitize: false,
+            k: 4,
+            d: 4,
+            delta: 8,
+            keysize: cfg.keysize,
+            sanitize: false,
             ..PpgnnConfig::fast_test()
         };
         let row = average_ppgnn(&pois, ppgnn, Approach::Ppgnn, 2, &cfg, 8.0);
@@ -180,8 +199,13 @@ mod tests {
     #[test]
     fn labels_are_unique() {
         let all = [
-            Approach::Ppgnn, Approach::PpgnnOpt, Approach::PpgnnNas,
-            Approach::Naive, Approach::Apnn, Approach::Ippf, Approach::Glp,
+            Approach::Ppgnn,
+            Approach::PpgnnOpt,
+            Approach::PpgnnNas,
+            Approach::Naive,
+            Approach::Apnn,
+            Approach::Ippf,
+            Approach::Glp,
         ];
         let mut labels: Vec<&str> = all.iter().map(|a| a.label()).collect();
         labels.sort();

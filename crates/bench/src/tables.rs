@@ -43,7 +43,10 @@ pub fn table2(cfg: &ExperimentConfig) -> Vec<Table2Row> {
     let measure = |delta: usize, approach: Approach| {
         average_ppgnn(
             &pois,
-            PpgnnConfig { delta, ..base.clone() },
+            PpgnnConfig {
+                delta,
+                ..base.clone()
+            },
             approach,
             8,
             cfg,
@@ -122,8 +125,8 @@ pub fn table4(cfg: &ExperimentConfig) -> Vec<PrivacyCheckRow> {
     let trials = 5usize;
     for _ in 0..trials {
         let users = workload.next_group(n);
-        let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng)
-            .expect("table4 PPGNN run");
+        let run =
+            run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).expect("table4 PPGNN run");
         let answer_pois: Vec<ppgnn_geo::Poi> = run
             .answer
             .iter()
@@ -138,7 +141,12 @@ pub fn table4(cfg: &ExperimentConfig) -> Vec<PrivacyCheckRow> {
                 .map(|(_, p)| *p)
                 .collect();
             let theta = feasible_region_fraction(
-                &answer_pois, &colluders, Aggregate::Sum, &Rect::UNIT, attack_samples, &mut rng,
+                &answer_pois,
+                &colluders,
+                Aggregate::Sum,
+                &Rect::UNIT,
+                attack_samples,
+                &mut rng,
             );
             if theta <= theta0 {
                 ppgnn_exposed += 1;
@@ -150,7 +158,9 @@ pub fn table4(cfg: &ExperimentConfig) -> Vec<PrivacyCheckRow> {
     // --- IPPF: the chain attack recovers a victim exactly.
     let victim = Point::new(0.37, 0.58);
     let chain_candidates: Vec<(Point, f64)> = [
-        Point::new(0.1, 0.1), Point::new(0.9, 0.2), Point::new(0.5, 0.9),
+        Point::new(0.1, 0.1),
+        Point::new(0.9, 0.2),
+        Point::new(0.5, 0.9),
     ]
     .iter()
     .map(|p| (*p, p.dist(&victim)))
@@ -162,15 +172,14 @@ pub fn table4(cfg: &ExperimentConfig) -> Vec<PrivacyCheckRow> {
     // --- GLP: the centroid attack recovers a victim exactly.
     let glp_users = workload.next_group(n);
     let centroid = Point::centroid(&glp_users);
-    let glp_recovered =
-        glp_centroid_attack(centroid, &glp_users[1..]).dist(&glp_users[0]) < 1e-9;
+    let glp_recovered = glp_centroid_attack(centroid, &glp_users[1..]).dist(&glp_users[0]) < 1e-9;
 
     vec![
         PrivacyCheckRow {
             approach: "PPGNN".into(),
-            privacy1: true,  // structural: d-anonymity of location sets
-            privacy2: true,  // structural: δ' candidates + private selection
-            privacy3: true,  // structural: only the selected column decrypts
+            privacy1: true, // structural: d-anonymity of location sets
+            privacy2: true, // structural: δ' candidates + private selection
+            privacy3: true, // structural: only the selected column decrypts
             privacy4: Some(ppgnn_p4),
             evidence: format!(
                 "inequality attack on {} (answer,target) pairs exposed {} (θ0 = {theta0})",
@@ -184,9 +193,7 @@ pub fn table4(cfg: &ExperimentConfig) -> Vec<PrivacyCheckRow> {
             privacy2: true,
             privacy3: false, // candidate superset reaches the users
             privacy4: Some(!ippf_recovered),
-            evidence: format!(
-                "chain attack recovered the victim exactly: {ippf_recovered}"
-            ),
+            evidence: format!("chain attack recovered the victim exactly: {ippf_recovered}"),
         },
         PrivacyCheckRow {
             approach: "GLP".into(),
@@ -194,9 +201,7 @@ pub fn table4(cfg: &ExperimentConfig) -> Vec<PrivacyCheckRow> {
             privacy2: false, // LSP sees the centroid and the answer
             privacy3: true,
             privacy4: Some(!glp_recovered),
-            evidence: format!(
-                "centroid attack recovered the victim exactly: {glp_recovered}"
-            ),
+            evidence: format!("centroid attack recovered the victim exactly: {glp_recovered}"),
         },
     ]
 }
@@ -237,8 +242,10 @@ pub fn table4_single(cfg: &ExperimentConfig) -> Vec<PrivacyCheckRow> {
             privacy2: true,
             privacy3: !cr_leak,
             privacy4: None,
-            evidence: format!("{} candidate POIs reached the user (k = {k})",
-                cr.report.counters["candidate_pois"]),
+            evidence: format!(
+                "{} candidate POIs reached the user (k = {k})",
+                cr.report.counters["candidate_pois"]
+            ),
         },
         PrivacyCheckRow {
             approach: "Dummy".into(),
@@ -246,8 +253,10 @@ pub fn table4_single(cfg: &ExperimentConfig) -> Vec<PrivacyCheckRow> {
             privacy2: true,
             privacy3: !dk_leak,
             privacy4: None,
-            evidence: format!("{} POIs returned for d = 25 dummy queries",
-                dk.report.counters["returned_pois"]),
+            evidence: format!(
+                "{} POIs returned for d = 25 dummy queries",
+                dk.report.counters["returned_pois"]
+            ),
         },
         PrivacyCheckRow {
             approach: "PIR".into(),
@@ -255,8 +264,10 @@ pub fn table4_single(cfg: &ExperimentConfig) -> Vec<PrivacyCheckRow> {
             privacy2: true,
             privacy3: !pir_leak,
             privacy4: None,
-            evidence: format!("bucket of {} records retrieved per query",
-                pir_run.report.counters["returned_pois"]),
+            evidence: format!(
+                "bucket of {} records retrieved per query",
+                pir_run.report.counters["returned_pois"]
+            ),
         },
         PrivacyCheckRow {
             approach: "Perturbation".into(),

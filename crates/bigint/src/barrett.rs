@@ -122,10 +122,17 @@ mod tests {
     #[test]
     fn modpow_edges() {
         let ctx = BarrettCtx::new(BigUint::from(100u64));
-        assert_eq!(ctx.modpow(&BigUint::from(7u64), &BigUint::zero()), BigUint::one());
-        assert_eq!(ctx.modpow(&BigUint::zero(), &BigUint::from(5u64)), BigUint::zero());
         assert_eq!(
-            ctx.modpow(&BigUint::from(7u64), &BigUint::from(13u64)).to_u64(),
+            ctx.modpow(&BigUint::from(7u64), &BigUint::zero()),
+            BigUint::one()
+        );
+        assert_eq!(
+            ctx.modpow(&BigUint::zero(), &BigUint::from(5u64)),
+            BigUint::zero()
+        );
+        assert_eq!(
+            ctx.modpow(&BigUint::from(7u64), &BigUint::from(13u64))
+                .to_u64(),
             Some({
                 let mut acc = 1u64;
                 for _ in 0..13 {

@@ -87,7 +87,9 @@ impl BigUint {
             for i in 0..n {
                 let p = qhat * v[i] as Wide + carry;
                 carry = p >> LIMB_BITS;
-                let sub = (u[j + i] as Wide).wrapping_sub(p & (Limb::MAX as Wide)).wrapping_sub(borrow);
+                let sub = (u[j + i] as Wide)
+                    .wrapping_sub(p & (Limb::MAX as Wide))
+                    .wrapping_sub(borrow);
                 u[j + i] = sub as Limb;
                 // The subtraction borrowed iff the wrapped result's high part
                 // is non-zero (interpreting as two's-complement of 128 bits).

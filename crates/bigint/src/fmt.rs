@@ -10,13 +10,15 @@ impl BigUint {
     /// Parses a decimal string (ASCII digits only, no sign, no separators).
     pub fn from_decimal_str(s: &str) -> Result<Self, ParseBigUintError> {
         if s.is_empty() {
-            return Err(ParseBigUintError { kind: ParseErrorKind::Empty });
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
         }
         let mut acc = BigUint::zero();
         for c in s.chars() {
-            let digit = c
-                .to_digit(10)
-                .ok_or(ParseBigUintError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            let digit = c.to_digit(10).ok_or(ParseBigUintError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
             acc = acc.mul_limb(10).add_limb(digit as u64);
         }
         Ok(acc)
@@ -25,13 +27,15 @@ impl BigUint {
     /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
     pub fn from_hex(s: &str) -> Result<Self, ParseBigUintError> {
         if s.is_empty() {
-            return Err(ParseBigUintError { kind: ParseErrorKind::Empty });
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
         }
         let mut acc = BigUint::zero();
         for c in s.chars() {
-            let digit = c
-                .to_digit(16)
-                .ok_or(ParseBigUintError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            let digit = c.to_digit(16).ok_or(ParseBigUintError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
             acc = acc.shl_bits(4).add_limb(digit as u64);
         }
         Ok(acc)
@@ -111,7 +115,13 @@ mod tests {
 
     #[test]
     fn decimal_roundtrip() {
-        for s in ["0", "1", "10", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "10",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
             let x = BigUint::from_decimal_str(s).unwrap();
             assert_eq!(x.to_decimal_string(), s);
             assert_eq!(x, s.parse::<BigUint>().unwrap());
@@ -126,7 +136,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeefcafebabe", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeefcafebabe",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let x = BigUint::from_hex(s).unwrap();
             assert_eq!(x.to_hex(), s);
         }
@@ -134,7 +150,10 @@ mod tests {
 
     #[test]
     fn hex_case_insensitive() {
-        assert_eq!(BigUint::from_hex("DeadBEEF").unwrap(), BigUint::from(0xDEADBEEFu64));
+        assert_eq!(
+            BigUint::from_hex("DeadBEEF").unwrap(),
+            BigUint::from(0xDEADBEEFu64)
+        );
     }
 
     #[test]
@@ -157,7 +176,10 @@ mod tests {
 
     #[test]
     fn leading_zeros_in_input_ok() {
-        assert_eq!(BigUint::from_decimal_str("000123").unwrap().to_u64(), Some(123));
+        assert_eq!(
+            BigUint::from_decimal_str("000123").unwrap().to_u64(),
+            Some(123)
+        );
         assert_eq!(BigUint::from_hex("000ff").unwrap().to_u64(), Some(255));
     }
 }

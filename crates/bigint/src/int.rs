@@ -33,17 +33,27 @@ pub struct BigInt {
 impl BigInt {
     /// The value `0`.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Plus, magnitude: BigUint::zero() }
+        BigInt {
+            sign: Sign::Plus,
+            magnitude: BigUint::zero(),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Plus, magnitude: BigUint::one() }
+        BigInt {
+            sign: Sign::Plus,
+            magnitude: BigUint::one(),
+        }
     }
 
     /// Builds from a sign and magnitude; zero is normalized to `Plus`.
     pub fn from_biguint(sign: Sign, magnitude: BigUint) -> Self {
-        let sign = if magnitude.is_zero() { Sign::Plus } else { sign };
+        let sign = if magnitude.is_zero() {
+            Sign::Plus
+        } else {
+            sign
+        };
         BigInt { sign, magnitude }
     }
 
@@ -165,7 +175,11 @@ impl Sub for BigInt {
 impl<'b> Mul<&'b BigInt> for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &'b BigInt) -> BigInt {
-        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         BigInt::from_biguint(sign, &self.magnitude * &rhs.magnitude)
     }
 }

@@ -40,7 +40,13 @@ impl MontgomeryCtx {
         let r = BigUint::one().shl_bits(len * LIMB_BITS);
         let r1 = &r % &n;
         let rr = &(&r1 * &r1) % &n;
-        MontgomeryCtx { n, len, n0_inv, rr, r1 }
+        MontgomeryCtx {
+            n,
+            len,
+            n0_inv,
+            rr,
+            r1,
+        }
     }
 
     /// The modulus this context reduces by.
@@ -65,7 +71,11 @@ impl MontgomeryCtx {
         let n = self.n.limbs();
         let mut t = vec![0 as Limb; len + 2];
         let zero = [0 as Limb];
-        let a_limbs = if a.limbs().is_empty() { &zero[..] } else { a.limbs() };
+        let a_limbs = if a.limbs().is_empty() {
+            &zero[..]
+        } else {
+            a.limbs()
+        };
 
         for i in 0..len {
             let ai = a_limbs.get(i).copied().unwrap_or(0);
@@ -225,9 +235,18 @@ mod tests {
     fn modpow_exponent_edge_cases() {
         let n = BigUint::from(101u64);
         let ctx = MontgomeryCtx::new(n.clone());
-        assert_eq!(ctx.modpow(&BigUint::from(5u64), &BigUint::zero()), BigUint::one());
-        assert_eq!(ctx.modpow(&BigUint::from(5u64), &BigUint::one()).to_u64(), Some(5));
-        assert_eq!(ctx.modpow(&BigUint::zero(), &BigUint::from(3u64)), BigUint::zero());
+        assert_eq!(
+            ctx.modpow(&BigUint::from(5u64), &BigUint::zero()),
+            BigUint::one()
+        );
+        assert_eq!(
+            ctx.modpow(&BigUint::from(5u64), &BigUint::one()).to_u64(),
+            Some(5)
+        );
+        assert_eq!(
+            ctx.modpow(&BigUint::zero(), &BigUint::from(3u64)),
+            BigUint::zero()
+        );
         // Exponent exactly at a window boundary (16 bits).
         let e = BigUint::from(0xFFFFu64);
         assert_eq!(

@@ -115,7 +115,10 @@ impl BigUint {
 
     /// Number of trailing zero bits; `None` for the value zero.
     pub fn trailing_zeros(&self) -> Option<usize> {
-        self.limbs.iter().position(|&l| l != 0).map(|i| i * LIMB_BITS + self.limbs[i].trailing_zeros() as usize)
+        self.limbs
+            .iter()
+            .position(|&l| l != 0)
+            .map(|i| i * LIMB_BITS + self.limbs[i].trailing_zeros() as usize)
     }
 
     /// Converts to `u64` if the value fits.

@@ -10,7 +10,7 @@
 //! The same machinery powers LSP's sanitation (§5.2), which simulates the
 //! attack before releasing each answer prefix.
 
-use ppgnn_geo::{Aggregate, Point, Poi, Rect};
+use ppgnn_geo::{Aggregate, Poi, Point, Rect};
 use rand::Rng;
 
 /// The inequality system of Eqn 14 for one (answer, colluders) pair, with
@@ -136,7 +136,12 @@ mod tests {
         let answer = [Poi::new(0, Point::new(0.5, 0.5))];
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let theta = feasible_region_fraction(
-            &answer, &[Point::new(0.2, 0.2)], Aggregate::Sum, &Rect::UNIT, 1000, &mut rng,
+            &answer,
+            &[Point::new(0.2, 0.2)],
+            Aggregate::Sum,
+            &Rect::UNIT,
+            1000,
+            &mut rng,
         );
         assert_eq!(theta, 1.0);
     }
@@ -164,10 +169,13 @@ mod tests {
         let pois: Vec<Poi> = (0..6)
             .map(|i| {
                 let angle = i as f64;
-                Poi::new(i, Point::new(
-                    (target.x + 0.05 * (i as f64 + 1.0) * angle.cos()).clamp(0.0, 1.0),
-                    (target.y + 0.05 * (i as f64 + 1.0) * angle.sin()).clamp(0.0, 1.0),
-                ))
+                Poi::new(
+                    i,
+                    Point::new(
+                        (target.x + 0.05 * (i as f64 + 1.0) * angle.cos()).clamp(0.0, 1.0),
+                        (target.y + 0.05 * (i as f64 + 1.0) * angle.sin()).clamp(0.0, 1.0),
+                    ),
+                )
             })
             .collect();
         // Rank them by true aggregate cost so the inequalities are
@@ -180,11 +188,26 @@ mod tests {
                 .eval(&a.location, &query)
                 .total_cmp(&Aggregate::Sum.eval(&b.location, &query))
         });
-        let theta2 =
-            feasible_region_fraction(&ranked[..2], &colluders, Aggregate::Sum, &Rect::UNIT, 5000, &mut rng);
-        let theta6 =
-            feasible_region_fraction(&ranked, &colluders, Aggregate::Sum, &Rect::UNIT, 5000, &mut rng);
-        assert!(theta6 <= theta2 + 1e-9, "theta must shrink: {theta2} -> {theta6}");
+        let theta2 = feasible_region_fraction(
+            &ranked[..2],
+            &colluders,
+            Aggregate::Sum,
+            &Rect::UNIT,
+            5000,
+            &mut rng,
+        );
+        let theta6 = feasible_region_fraction(
+            &ranked,
+            &colluders,
+            Aggregate::Sum,
+            &Rect::UNIT,
+            5000,
+            &mut rng,
+        );
+        assert!(
+            theta6 <= theta2 + 1e-9,
+            "theta must shrink: {theta2} -> {theta6}"
+        );
     }
 
     #[test]
@@ -201,7 +224,8 @@ mod tests {
                 .map(|i| Poi::new(i, sample_point(&Rect::UNIT, &mut rng)))
                 .collect();
             pois.sort_by(|a, b| {
-                agg.eval(&a.location, &query).total_cmp(&agg.eval(&b.location, &query))
+                agg.eval(&a.location, &query)
+                    .total_cmp(&agg.eval(&b.location, &query))
             });
             let system = InequalitySystem::new(&pois, &colluders, agg);
             assert!(system.satisfies_all(&target), "{agg}");
@@ -222,8 +246,8 @@ mod tests {
                 let x = sample_point(&Rect::UNIT, &mut rng);
                 let mut query = colluders.clone();
                 query.push(x);
-                let direct = agg.eval(&pois[0].location, &query)
-                    <= agg.eval(&pois[1].location, &query);
+                let direct =
+                    agg.eval(&pois[0].location, &query) <= agg.eval(&pois[1].location, &query);
                 assert_eq!(system.satisfies(0, &x), direct, "{agg}");
             }
         }
@@ -238,10 +262,22 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         // θ ≈ 0.5: attack fails against θ0 = 0.05, succeeds against 0.9.
         assert!(!inequality_attack_succeeds(
-            &answer, &[], Aggregate::Sum, &Rect::UNIT, 0.05, 10_000, &mut rng
+            &answer,
+            &[],
+            Aggregate::Sum,
+            &Rect::UNIT,
+            0.05,
+            10_000,
+            &mut rng
         ));
         assert!(inequality_attack_succeeds(
-            &answer, &[], Aggregate::Sum, &Rect::UNIT, 0.9, 10_000, &mut rng
+            &answer,
+            &[],
+            Aggregate::Sum,
+            &Rect::UNIT,
+            0.9,
+            10_000,
+            &mut rng
         ));
     }
 }

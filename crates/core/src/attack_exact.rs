@@ -12,7 +12,7 @@
 //! cross-validate the Monte-Carlo estimator against it — evidence that
 //! the Z-test machinery measures the right quantity.
 
-use ppgnn_geo::{Point, Poi, Rect};
+use ppgnn_geo::{Poi, Point, Rect};
 
 /// A half-plane `a·x + b·y ≤ c`.
 #[derive(Debug, Clone, Copy)]
@@ -125,7 +125,10 @@ mod tests {
             Poi::new(1, Point::new(0.75, 0.5)),
         ];
         let theta = exact_feasible_fraction(&answer, &Rect::UNIT);
-        assert!((theta - 0.5).abs() < 1e-12, "bisector splits the square: {theta}");
+        assert!(
+            (theta - 0.5).abs() < 1e-12,
+            "bisector splits the square: {theta}"
+        );
     }
 
     #[test]
@@ -177,7 +180,10 @@ mod tests {
             let mut gen = ChaCha8Rng::seed_from_u64(seed);
             let answer: Vec<Poi> = (0..5)
                 .map(|i| {
-                    Poi::new(i, Point::new(rand::Rng::gen(&mut gen), rand::Rng::gen(&mut gen)))
+                    Poi::new(
+                        i,
+                        Point::new(rand::Rng::gen(&mut gen), rand::Rng::gen(&mut gen)),
+                    )
                 })
                 .collect();
             // Rank consistently with some true location so the region is
@@ -185,11 +191,18 @@ mod tests {
             let target = Point::new(rand::Rng::gen(&mut gen), rand::Rng::gen(&mut gen));
             let mut ranked = answer;
             ranked.sort_by(|a, b| {
-                a.location.dist(&target).total_cmp(&b.location.dist(&target))
+                a.location
+                    .dist(&target)
+                    .total_cmp(&b.location.dist(&target))
             });
             let exact = exact_feasible_fraction(&ranked, &Rect::UNIT);
             let mc = feasible_region_fraction(
-                &ranked, &[], Aggregate::Sum, &Rect::UNIT, 40_000, &mut rng,
+                &ranked,
+                &[],
+                Aggregate::Sum,
+                &Rect::UNIT,
+                40_000,
+                &mut rng,
             );
             assert!(
                 (mc - exact).abs() < 0.02,
@@ -200,13 +213,11 @@ mod tests {
 
     #[test]
     fn region_shrinks_monotonically_with_prefix() {
-        let answer: Vec<Poi> = [
-            (0.1, 0.2), (0.9, 0.4), (0.3, 0.8), (0.6, 0.1), (0.5, 0.5),
-        ]
-        .iter()
-        .enumerate()
-        .map(|(i, &(x, y))| Poi::new(i as u32, Point::new(x, y)))
-        .collect();
+        let answer: Vec<Poi> = [(0.1, 0.2), (0.9, 0.4), (0.3, 0.8), (0.6, 0.1), (0.5, 0.5)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Poi::new(i as u32, Point::new(x, y)))
+            .collect();
         let mut prev = 1.0;
         for t in 1..=answer.len() {
             let theta = exact_feasible_fraction(&answer[..t], &Rect::UNIT);

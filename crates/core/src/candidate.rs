@@ -28,7 +28,11 @@ pub fn candidate_queries(
     let d: usize = params.segment_sizes.iter().sum();
     for (i, set) in location_sets.iter().enumerate() {
         if set.len() != d {
-            return Err(PpgnnError::BadLocationSet { user: i, expected: d, got: set.len() });
+            return Err(PpgnnError::BadLocationSet {
+                user: i,
+                expected: d,
+                got: set.len(),
+            });
         }
     }
     let n = location_sets.len();
@@ -89,7 +93,10 @@ pub fn query_index(params: &PartitionParams, seg: usize, x: &[usize]) -> usize {
         .sum();
     let mut within: u128 = 0;
     for (j, &xj) in x.iter().enumerate() {
-        assert!(xj < seg_size, "position {xj} outside segment of size {seg_size}");
+        assert!(
+            xj < seg_size,
+            "position {xj} outside segment of size {seg_size}"
+        );
         within = within * seg_size as u128 + xj as u128;
         debug_assert!(j < alpha);
     }
@@ -103,7 +110,10 @@ mod tests {
 
     /// The Figure 3/4 running example: n=4, d=4, n̄=(2,2), d̄=(2,2).
     fn example() -> (Vec<Vec<Point>>, PartitionParams) {
-        let params = PartitionParams { subgroup_sizes: vec![2, 2], segment_sizes: vec![2, 2] };
+        let params = PartitionParams {
+            subgroup_sizes: vec![2, 2],
+            segment_sizes: vec![2, 2],
+        };
         // location_sets[i][j] encoded as Point(i, j) so assertions can
         // check exactly which slot each candidate pulled.
         let sets: Vec<Vec<Point>> = (0..4)
@@ -118,21 +128,36 @@ mod tests {
         let cands = candidate_queries(&sets, &params).unwrap();
         assert_eq!(cands.len(), 8);
         // First candidate: segment 0, t=(0,0) -> everyone's slot 0.
-        assert_eq!(cands[0], vec![
-            Point::new(0.0, 0.0), Point::new(1.0, 0.0),
-            Point::new(2.0, 0.0), Point::new(3.0, 0.0),
-        ]);
+        assert_eq!(
+            cands[0],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(3.0, 0.0),
+            ]
+        );
         // Second candidate: segment 0, t=(0,1): subgroup 2 (users 2,3) at
         // slot 1, subgroup 1 (users 0,1) still at slot 0.
-        assert_eq!(cands[1], vec![
-            Point::new(0.0, 0.0), Point::new(1.0, 0.0),
-            Point::new(2.0, 1.0), Point::new(3.0, 1.0),
-        ]);
+        assert_eq!(
+            cands[1],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 1.0),
+                Point::new(3.0, 1.0),
+            ]
+        );
         // Candidate 4 (index 4): first of segment 1 -> everyone's slot 2.
-        assert_eq!(cands[4], vec![
-            Point::new(0.0, 2.0), Point::new(1.0, 2.0),
-            Point::new(2.0, 2.0), Point::new(3.0, 2.0),
-        ]);
+        assert_eq!(
+            cands[4],
+            vec![
+                Point::new(0.0, 2.0),
+                Point::new(1.0, 2.0),
+                Point::new(2.0, 2.0),
+                Point::new(3.0, 2.0),
+            ]
+        );
     }
 
     #[test]
@@ -156,8 +181,10 @@ mod tests {
                 for x2 in 0..size {
                     let qi = query_index(&params, seg, &[x1, x2]);
                     let expected = vec![
-                        sets[0][offset + x1], sets[1][offset + x1],
-                        sets[2][offset + x2], sets[3][offset + x2],
+                        sets[0][offset + x1],
+                        sets[1][offset + x1],
+                        sets[2][offset + x2],
+                        sets[3][offset + x2],
                     ];
                     assert_eq!(cands[qi], expected, "seg={seg} x=({x1},{x2})");
                 }
@@ -167,7 +194,10 @@ mod tests {
 
     #[test]
     fn uneven_segments_and_subgroups() {
-        let params = PartitionParams { subgroup_sizes: vec![2, 1], segment_sizes: vec![3, 2] };
+        let params = PartitionParams {
+            subgroup_sizes: vec![2, 1],
+            segment_sizes: vec![3, 2],
+        };
         let sets: Vec<Vec<Point>> = (0..3)
             .map(|i| (0..5).map(|j| Point::new(i as f64, j as f64)).collect())
             .collect();
@@ -182,7 +212,9 @@ mod tests {
                 for x2 in 0..size {
                     let qi = query_index(&params, seg, &[x1, x2]);
                     let expected = vec![
-                        sets[0][offset + x1], sets[1][offset + x1], sets[2][offset + x2],
+                        sets[0][offset + x1],
+                        sets[1][offset + x1],
+                        sets[2][offset + x2],
                     ];
                     assert_eq!(cands[qi], expected);
                 }
@@ -194,7 +226,10 @@ mod tests {
     fn single_user_unit_segments() {
         // n=1 with unit segments: the candidate list is exactly the
         // location set (the §3 single-user protocol).
-        let params = PartitionParams { subgroup_sizes: vec![1], segment_sizes: vec![1; 4] };
+        let params = PartitionParams {
+            subgroup_sizes: vec![1],
+            segment_sizes: vec![1; 4],
+        };
         let set: Vec<Point> = (0..4).map(|j| Point::new(0.0, j as f64)).collect();
         let cands = candidate_queries(std::slice::from_ref(&set), &params).unwrap();
         assert_eq!(cands.len(), 4);

@@ -8,7 +8,7 @@
 //! coordinates, as in §8.1).
 
 use ppgnn_bigint::BigUint;
-use ppgnn_geo::{Point, Poi};
+use ppgnn_geo::{Poi, Point};
 use ppgnn_paillier::packing::Packer;
 
 use crate::error::PpgnnError;
@@ -25,7 +25,10 @@ impl AnswerCodec {
     /// Creates a codec for answers of up to `k` POIs under a `key_bits`
     /// modulus at Damgård–Jurik level `s`.
     pub fn new(key_bits: usize, s: usize, k: usize) -> Self {
-        AnswerCodec { packer: Packer::new(key_bits, s), k }
+        AnswerCodec {
+            packer: Packer::new(key_bits, s),
+            k,
+        }
     }
 
     /// The fixed column height `m` (count header + `k` records, packed).
@@ -72,7 +75,10 @@ impl AnswerCodec {
                 self.k
             )));
         }
-        Ok(records[1..=count].iter().map(|&r| Poi::decode_record(r)).collect())
+        Ok(records[1..=count]
+            .iter()
+            .map(|&r| Poi::decode_record(r))
+            .collect())
     }
 }
 
@@ -143,6 +149,9 @@ mod tests {
         let mut col = c.encode(&pois(2));
         // Overwrite the packed block holding the header with a huge count.
         col[0] = BigUint::from(1000u64);
-        assert!(matches!(c.decode(&col), Err(PpgnnError::BadAnswerEncoding(_))));
+        assert!(matches!(
+            c.decode(&col),
+            Err(PpgnnError::BadAnswerEncoding(_))
+        ));
     }
 }

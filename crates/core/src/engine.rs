@@ -10,7 +10,7 @@
 
 use std::sync::RwLock;
 
-use ppgnn_geo::{group_knn_brute_force, Aggregate, DynamicRTree, Point, Poi, PoiId, RTree};
+use ppgnn_geo::{group_knn_brute_force, Aggregate, DynamicRTree, Poi, PoiId, Point, RTree};
 
 /// A plaintext group-query answering engine.
 pub trait QueryEngine: Send + Sync {
@@ -31,7 +31,9 @@ pub struct MbmEngine {
 impl MbmEngine {
     /// Bulk-loads the database.
     pub fn new(pois: Vec<Poi>) -> Self {
-        MbmEngine { tree: RTree::bulk_load(pois) }
+        MbmEngine {
+            tree: RTree::bulk_load(pois),
+        }
     }
 
     /// The underlying R-tree.
@@ -63,7 +65,9 @@ pub struct DynamicMbmEngine {
 impl DynamicMbmEngine {
     /// Bulk-loads the initial database.
     pub fn new(pois: Vec<Poi>) -> Self {
-        DynamicMbmEngine { tree: RwLock::new(DynamicRTree::new(pois)) }
+        DynamicMbmEngine {
+            tree: RwLock::new(DynamicRTree::new(pois)),
+        }
     }
 
     /// Inserts a POI; visible to the next query.
@@ -79,7 +83,10 @@ impl DynamicMbmEngine {
 
 impl QueryEngine for DynamicMbmEngine {
     fn answer(&self, query: &[Point], k: usize, agg: Aggregate) -> Vec<Poi> {
-        self.tree.read().expect("index lock").group_knn(query, k, agg)
+        self.tree
+            .read()
+            .expect("index lock")
+            .group_knn(query, k, agg)
     }
 
     fn database_size(&self) -> usize {
@@ -157,8 +164,10 @@ mod tests {
 
     #[test]
     fn trait_object_usable() {
-        let engines: Vec<Box<dyn QueryEngine>> =
-            vec![Box::new(MbmEngine::new(db())), Box::new(BruteForceEngine::new(db()))];
+        let engines: Vec<Box<dyn QueryEngine>> = vec![
+            Box::new(MbmEngine::new(db())),
+            Box::new(BruteForceEngine::new(db())),
+        ];
         for e in &engines {
             let ans = e.answer(&[Point::new(0.0, 0.0)], 3, Aggregate::Sum);
             assert_eq!(ans.len(), 3);

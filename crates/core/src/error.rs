@@ -11,12 +11,43 @@ pub enum PpgnnError {
     /// "a larger d should be specified by the users" (§4.1).
     DeltaUnreachable { delta: usize, d: usize, n: usize },
     /// A user submitted a location set of the wrong length.
-    BadLocationSet { user: usize, expected: usize, got: usize },
+    BadLocationSet {
+        user: usize,
+        expected: usize,
+        got: usize,
+    },
     /// The encrypted indicator vector has the wrong length for the
     /// candidate list.
     BadIndicator { expected: usize, got: usize },
     /// An answer could not be decoded (corrupt count header or packing).
     BadAnswerEncoding(String),
+    /// A wire buffer ended before a field could be read.
+    TruncatedMessage {
+        /// Which field the decoder was reading.
+        field: &'static str,
+        /// Bytes the field needs.
+        needed: usize,
+        /// Bytes left in the buffer.
+        have: usize,
+    },
+    /// A message decoded cleanly but did not account for every byte of
+    /// its frame — the declared length disagrees with `byte_len()`.
+    TrailingBytes {
+        /// Bytes the decoder consumed.
+        consumed: usize,
+        /// Bytes the frame declared.
+        total: usize,
+    },
+    /// A wire field's value exceeds its protocol bound (garbage or an
+    /// attempted resource-exhaustion frame).
+    FieldOutOfRange {
+        /// Which field was out of range.
+        field: &'static str,
+        /// The decoded value.
+        value: u64,
+        /// The largest accepted value.
+        max: u64,
+    },
 }
 
 impl fmt::Display for PpgnnError {
@@ -27,13 +58,42 @@ impl fmt::Display for PpgnnError {
                 f,
                 "delta = {delta} exceeds d^n = {d}^{n}; users must specify a larger d"
             ),
-            PpgnnError::BadLocationSet { user, expected, got } => {
-                write!(f, "user {user} sent a location set of {got} locations, expected {expected}")
+            PpgnnError::BadLocationSet {
+                user,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "user {user} sent a location set of {got} locations, expected {expected}"
+                )
             }
             PpgnnError::BadIndicator { expected, got } => {
-                write!(f, "indicator vector has {got} components, expected {expected}")
+                write!(
+                    f,
+                    "indicator vector has {got} components, expected {expected}"
+                )
             }
             PpgnnError::BadAnswerEncoding(msg) => write!(f, "bad answer encoding: {msg}"),
+            PpgnnError::TruncatedMessage {
+                field,
+                needed,
+                have,
+            } => {
+                write!(
+                    f,
+                    "truncated message: field {field} needs {needed} bytes, {have} left"
+                )
+            }
+            PpgnnError::TrailingBytes { consumed, total } => {
+                write!(f, "message consumed {consumed} of {total} framed bytes")
+            }
+            PpgnnError::FieldOutOfRange { field, value, max } => {
+                write!(
+                    f,
+                    "field {field} = {value} exceeds the protocol bound {max}"
+                )
+            }
         }
     }
 }

@@ -63,8 +63,8 @@ pub mod partition_cache;
 pub mod protocol;
 pub mod sanitize;
 pub mod session;
-pub mod wire;
 pub mod stats;
+pub mod wire;
 
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
@@ -72,7 +72,9 @@ pub mod prelude {
     pub use crate::error::PpgnnError;
     pub use crate::lsp::Lsp;
     pub use crate::params::{HypothesisConfig, PpgnnConfig, Variant};
-    pub use crate::protocol::{run_ppgnn, run_ppgnn_with_keys, ProtocolRun};
+    pub use crate::protocol::{
+        decode_answer, plan_query, run_ppgnn, run_ppgnn_with_keys, ProtocolRun, QueryPlan,
+    };
     pub use crate::session::PpgnnSession;
 }
 

@@ -6,7 +6,7 @@
 //! privately selects the real answer with the encrypted indicator(s).
 
 use ppgnn_bigint::BigUint;
-use ppgnn_geo::{Point, Poi, Rect};
+use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_paillier::{matrix_select, DjContext, EncryptedVector};
 use ppgnn_sim::{CostLedger, Party};
 use rand::{Rng, SeedableRng};
@@ -20,6 +20,12 @@ use crate::params::PpgnnConfig;
 use crate::sanitize::Sanitizer;
 
 /// The location-based service provider.
+///
+/// One `Lsp` instance is shared by every worker thread of the networked
+/// service (`ppgnn-server`), so it must stay `Send + Sync`: the engine
+/// box inherits both bounds from the [`QueryEngine`] supertraits and the
+/// remaining fields are plain data. The assertion below keeps that true
+/// as fields evolve.
 pub struct Lsp {
     engine: Box<dyn QueryEngine>,
     config: PpgnnConfig,
@@ -32,6 +38,11 @@ pub struct Lsp {
     parallelism: usize,
 }
 
+const _: () = {
+    const fn shareable_across_threads<T: Send + Sync>() {}
+    shareable_across_threads::<Lsp>();
+};
+
 impl Lsp {
     /// Creates an LSP over a POI database with the default MBM engine.
     pub fn new(pois: Vec<Poi>, config: PpgnnConfig) -> Self {
@@ -40,7 +51,12 @@ impl Lsp {
 
     /// Creates an LSP with a custom query black box and data space.
     pub fn with_engine(engine: Box<dyn QueryEngine>, config: PpgnnConfig, space: Rect) -> Self {
-        Lsp { engine, config, space, parallelism: 1 }
+        Lsp {
+            engine,
+            config,
+            space,
+            parallelism: 1,
+        }
     }
 
     /// Sets the number of worker threads for candidate evaluation.
@@ -162,16 +178,14 @@ impl Lsp {
                         let agg = self.config.aggregate;
                         let k = query.k;
                         scope.spawn(move || {
-                            let mut local_rng =
-                                rand::rngs::StdRng::seed_from_u64(seed);
+                            let mut local_rng = rand::rngs::StdRng::seed_from_u64(seed);
                             let mut cols = Vec::with_capacity(chunk_cands.len());
                             let mut removed = 0u64;
                             for cand in chunk_cands {
                                 let full = engine.answer(cand, k, agg);
                                 let kept = if sanitize {
-                                    let t = sanitizer.safe_prefix_len(
-                                        &full, cand, agg, &mut local_rng,
-                                    );
+                                    let t =
+                                        sanitizer.safe_prefix_len(&full, cand, agg, &mut local_rng);
                                     removed += (full.len() - t) as u64;
                                     t
                                 } else {
@@ -248,7 +262,9 @@ impl Lsp {
                         .map_err(|e| PpgnnError::BadAnswerEncoding(e.to_string()))?;
                     rows.push(row);
                 }
-                Ok(AnswerMessage::TwoPhase(EncryptedVector::from_ciphertexts(rows)))
+                Ok(AnswerMessage::TwoPhase(EncryptedVector::from_ciphertexts(
+                    rows,
+                )))
             }
         }
     }
@@ -265,10 +281,13 @@ mod tests {
     fn grid_db(side: u32) -> Vec<Poi> {
         (0..side * side)
             .map(|i| {
-                Poi::new(i, Point::new(
-                    (i % side) as f64 / side as f64,
-                    (i / side) as f64 / side as f64,
-                ))
+                Poi::new(
+                    i,
+                    Point::new(
+                        (i % side) as f64 / side as f64,
+                        (i / side) as f64 / side as f64,
+                    ),
+                )
             })
             .collect()
     }
@@ -307,15 +326,19 @@ mod tests {
             LocationSetMessage {
                 user_index: 0,
                 locations: vec![
-                    Point::new(0.9, 0.9), Point::new(0.8, 0.1),
-                    Point::new(0.1, 0.1), Point::new(0.5, 0.9),
+                    Point::new(0.9, 0.9),
+                    Point::new(0.8, 0.1),
+                    Point::new(0.1, 0.1),
+                    Point::new(0.5, 0.9),
                 ],
             },
             LocationSetMessage {
                 user_index: 1,
                 locations: vec![
-                    Point::new(0.7, 0.2), Point::new(0.3, 0.8),
-                    Point::new(0.2, 0.2), Point::new(0.6, 0.4),
+                    Point::new(0.7, 0.2),
+                    Point::new(0.3, 0.8),
+                    Point::new(0.2, 0.2),
+                    Point::new(0.6, 0.4),
                 ],
             },
         ];
@@ -327,16 +350,15 @@ mod tests {
             theta0: 0.05,
         };
         let mut ledger = CostLedger::new();
-        let answer = lsp.process_query(&query, &sets, &mut ledger, &mut rng).unwrap();
-        let AnswerMessage::Plain(enc) = answer else { panic!("expected plain") };
-        let decoded = codec
-            .decode(&decrypt_vector(&enc, &ctx1, &sk))
+        let answer = lsp
+            .process_query(&query, &sets, &mut ledger, &mut rng)
             .unwrap();
+        let AnswerMessage::Plain(enc) = answer else {
+            panic!("expected plain")
+        };
+        let decoded = codec.decode(&decrypt_vector(&enc, &ctx1, &sk)).unwrap();
 
-        let expected = lsp.plaintext_answer(
-            &[Point::new(0.1, 0.1), Point::new(0.2, 0.2)],
-            3,
-        );
+        let expected = lsp.plaintext_answer(&[Point::new(0.1, 0.1), Point::new(0.2, 0.2)], 3);
         assert_eq!(decoded.len(), 3);
         for (got, want) in decoded.iter().zip(&expected) {
             assert!(got.dist(&want.location) < 1e-6);
@@ -361,15 +383,19 @@ mod tests {
             LocationSetMessage {
                 user_index: 0,
                 locations: vec![
-                    Point::new(0.9, 0.9), Point::new(0.8, 0.1),
-                    Point::new(0.1, 0.1), Point::new(0.5, 0.9),
+                    Point::new(0.9, 0.9),
+                    Point::new(0.8, 0.1),
+                    Point::new(0.1, 0.1),
+                    Point::new(0.5, 0.9),
                 ],
             },
             LocationSetMessage {
                 user_index: 1,
                 locations: vec![
-                    Point::new(0.7, 0.2), Point::new(0.3, 0.8),
-                    Point::new(0.2, 0.2), Point::new(0.6, 0.4),
+                    Point::new(0.7, 0.2),
+                    Point::new(0.3, 0.8),
+                    Point::new(0.2, 0.2),
+                    Point::new(0.6, 0.4),
                 ],
             },
         ];
@@ -404,6 +430,29 @@ mod tests {
     }
 
     #[test]
+    fn one_lsp_shared_across_threads() {
+        // The server worker pool holds one `Arc<Lsp>`; concurrent
+        // processing from plain threads must work and agree with the
+        // sequential answer.
+        use std::sync::Arc;
+        let lsp = Arc::new(Lsp::new(grid_db(10), config()));
+        let expected = lsp.plaintext_answer(&[Point::new(0.15, 0.2)], 3);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lsp = Arc::clone(&lsp);
+                std::thread::spawn(move || lsp.plaintext_answer(&[Point::new(0.15, 0.2)], 3))
+            })
+            .collect();
+        for h in handles {
+            let got = h.join().unwrap();
+            assert_eq!(
+                got.iter().map(|p| p.id).collect::<Vec<_>>(),
+                expected.iter().map(|p| p.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
     fn wrong_indicator_length_rejected() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let lsp = Lsp::new(grid_db(5), config());
@@ -423,7 +472,10 @@ mod tests {
         let mut ledger = CostLedger::new();
         assert!(matches!(
             lsp.process_query(&query, &sets, &mut ledger, &mut rng),
-            Err(PpgnnError::BadIndicator { expected: 4, got: 3 })
+            Err(PpgnnError::BadIndicator {
+                expected: 4,
+                got: 3
+            })
         ));
     }
 
@@ -434,8 +486,14 @@ mod tests {
         let (pk, _) = generate_keypair(128, &mut rng);
         let ctx1 = DjContext::new(&pk, 1);
         let sets = vec![
-            LocationSetMessage { user_index: 0, locations: vec![Point::ORIGIN; 4] },
-            LocationSetMessage { user_index: 1, locations: vec![Point::ORIGIN; 3] },
+            LocationSetMessage {
+                user_index: 0,
+                locations: vec![Point::ORIGIN; 4],
+            },
+            LocationSetMessage {
+                user_index: 1,
+                locations: vec![Point::ORIGIN; 3],
+            },
         ];
         let query = QueryMessage {
             k: 3,

@@ -66,7 +66,7 @@ impl QueryMessage {
             + self.pk.key_bits().div_ceil(8) // pk modulus
             + partition_bytes
             + self.indicator.byte_len(&self.pk)
-            + 8                             // theta0 (f64)
+            + 8 // theta0 (f64)
     }
 }
 

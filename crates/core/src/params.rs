@@ -31,7 +31,11 @@ pub struct HypothesisConfig {
 impl Default for HypothesisConfig {
     /// The "commonly used" values of §5.3: γ = 0.05, η = 0.2, φ = 0.1.
     fn default() -> Self {
-        HypothesisConfig { gamma: 0.05, eta: 0.2, phi: 0.1 }
+        HypothesisConfig {
+            gamma: 0.05,
+            eta: 0.2,
+            phi: 0.1,
+        }
     }
 }
 
@@ -86,14 +90,19 @@ impl PpgnnConfig {
     /// A small-key configuration for fast tests: protocol-identical, just
     /// a 128-bit toy modulus.
     pub fn fast_test() -> Self {
-        PpgnnConfig { keysize: 128, ..Self::paper_defaults() }
+        PpgnnConfig {
+            keysize: 128,
+            ..Self::paper_defaults()
+        }
     }
 
     /// Validates the configuration for a group of `n` users
     /// (Definition 2.2 plus the `δ ≤ d^n` requirement of §4.1).
     pub fn validate(&self, n: usize) -> Result<(), PpgnnError> {
         if n == 0 {
-            return Err(PpgnnError::InvalidConfig("group size n must be >= 1".into()));
+            return Err(PpgnnError::InvalidConfig(
+                "group size n must be >= 1".into(),
+            ));
         }
         if self.k == 0 {
             return Err(PpgnnError::InvalidConfig("k must be >= 1".into()));
@@ -125,7 +134,11 @@ impl PpgnnConfig {
             }
         }
         if cap < self.delta as u128 {
-            return Err(PpgnnError::DeltaUnreachable { delta: self.delta, d: self.d, n });
+            return Err(PpgnnError::DeltaUnreachable {
+                delta: self.delta,
+                d: self.d,
+                n,
+            });
         }
         if self.keysize < 80 {
             return Err(PpgnnError::InvalidConfig(format!(
@@ -156,7 +169,10 @@ mod tests {
     fn paper_defaults_are_valid() {
         PpgnnConfig::paper_defaults().validate(8).unwrap();
         // n = 1 requires δ = d (Table 3's single-user scenario).
-        let single = PpgnnConfig { delta: 25, ..PpgnnConfig::fast_test() };
+        let single = PpgnnConfig {
+            delta: 25,
+            ..PpgnnConfig::fast_test()
+        };
         single.validate(1).unwrap();
     }
 
@@ -168,7 +184,10 @@ mod tests {
         c.delta = 25;
         c.validate(1).unwrap();
         c.delta = 26;
-        assert!(matches!(c.validate(1), Err(PpgnnError::DeltaUnreachable { .. })));
+        assert!(matches!(
+            c.validate(1),
+            Err(PpgnnError::DeltaUnreachable { .. })
+        ));
     }
 
     #[test]

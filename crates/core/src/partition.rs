@@ -79,7 +79,10 @@ impl PartitionParams {
 /// Returns an error when `δ > d^n` (no partition can reach `δ`
 /// candidates, §4.1 tells users to raise `d`).
 pub fn solve_partition(n: usize, d: usize, delta: usize) -> Result<PartitionParams, PpgnnError> {
-    assert!(n >= 1 && d >= 1 && delta >= 1, "n, d, delta must be positive");
+    assert!(
+        n >= 1 && d >= 1 && delta >= 1,
+        "n, d, delta must be positive"
+    );
 
     let mut best: Option<(u128, usize, Vec<usize>)> = None; // (δ′, α, d̄)
     for alpha in 1..=n {
@@ -103,7 +106,10 @@ pub fn solve_partition(n: usize, d: usize, delta: usize) -> Result<PartitionPara
     for s in subgroup_sizes.iter_mut().take(n % alpha) {
         *s += 1;
     }
-    Ok(PartitionParams { subgroup_sizes, segment_sizes })
+    Ok(PartitionParams {
+        subgroup_sizes,
+        segment_sizes,
+    })
 }
 
 fn cost_of(segments: &[usize], alpha: usize) -> u128 {
@@ -150,8 +156,7 @@ fn best_segments_for_alpha(
         fn dfs(&mut self, remaining: usize, max_part: usize, cost: u128) {
             if remaining == 0 {
                 if cost >= self.delta {
-                    let better_local =
-                        self.best.as_ref().is_none_or(|(b, _)| cost < *b);
+                    let better_local = self.best.as_ref().is_none_or(|(b, _)| cost < *b);
                     if better_local {
                         self.best = Some((cost, self.stack.clone()));
                     }
@@ -259,7 +264,13 @@ mod tests {
 
     #[test]
     fn solution_always_feasible() {
-        for (n, d, delta) in [(2, 5, 10), (4, 25, 100), (8, 25, 100), (3, 10, 50), (2, 50, 200)] {
+        for (n, d, delta) in [
+            (2, 5, 10),
+            (4, 25, 100),
+            (8, 25, 100),
+            (3, 10, 50),
+            (2, 50, 200),
+        ] {
             let p = solve_partition(n, d, delta).unwrap();
             assert!(p.delta_prime() >= delta as u128, "{n},{d},{delta}");
             assert_eq!(p.segment_sizes.iter().sum::<usize>(), d);
@@ -305,7 +316,10 @@ mod tests {
 
     #[test]
     fn subgroup_of_maps_users_correctly() {
-        let p = PartitionParams { subgroup_sizes: vec![2, 2], segment_sizes: vec![2, 2] };
+        let p = PartitionParams {
+            subgroup_sizes: vec![2, 2],
+            segment_sizes: vec![2, 2],
+        };
         assert_eq!(p.subgroup_of(0), 0);
         assert_eq!(p.subgroup_of(1), 0);
         assert_eq!(p.subgroup_of(2), 1);
@@ -315,13 +329,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn subgroup_of_out_of_range() {
-        let p = PartitionParams { subgroup_sizes: vec![2], segment_sizes: vec![2] };
+        let p = PartitionParams {
+            subgroup_sizes: vec![2],
+            segment_sizes: vec![2],
+        };
         let _ = p.subgroup_of(5);
     }
 
     #[test]
     fn segment_offsets() {
-        let p = PartitionParams { subgroup_sizes: vec![1], segment_sizes: vec![3, 2, 4] };
+        let p = PartitionParams {
+            subgroup_sizes: vec![1],
+            segment_sizes: vec![3, 2, 4],
+        };
         assert_eq!(p.segment_offset(0), 0);
         assert_eq!(p.segment_offset(1), 3);
         assert_eq!(p.segment_offset(2), 5);
@@ -332,6 +352,10 @@ mod tests {
         let start = std::time::Instant::now();
         let p = solve_partition(32, 50, 200).unwrap();
         assert!(p.delta_prime() >= 200);
-        assert!(start.elapsed().as_secs() < 5, "solver too slow: {:?}", start.elapsed());
+        assert!(
+            start.elapsed().as_secs() < 5,
+            "solver too slow: {:?}",
+            start.elapsed()
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! [`CostLedger`] records exactly what each party computed and every byte
 //! each message would occupy on the wire.
 
-use ppgnn_geo::Point;
+use ppgnn_geo::{Point, Rect};
 use ppgnn_paillier::{
     encrypt_indicator, encrypt_indicator_pooled, generate_keypair, Ciphertext, Decryptor,
     DjContext, Keypair, RandomnessPool,
@@ -19,9 +19,10 @@ use crate::encoding::AnswerCodec;
 use crate::error::PpgnnError;
 use crate::lsp::Lsp;
 use crate::messages::{AnswerMessage, IndicatorPayload, LocationSetMessage, QueryMessage};
-use crate::params::Variant;
+use crate::params::{PpgnnConfig, Variant};
 use crate::partition::PartitionParams;
 use crate::partition_cache::solve_partition_cached;
+use crate::wire::WireContext;
 
 /// The outcome of one protocol run.
 #[derive(Debug, Clone)]
@@ -49,21 +50,58 @@ pub fn run_ppgnn<R: Rng + ?Sized>(
     run_ppgnn_with_keys(lsp, real_locations, None, rng)
 }
 
-/// Runs the protocol, optionally reusing a pre-generated keypair.
+/// Everything the coordinator (Algorithm 1) produces for one query: the
+/// wire-ready messages, plus the public facts the querying side needs to
+/// frame the request and decode the reply.
 ///
-/// Key generation is part of Algorithm 1 and is timed as coordinator
-/// work when performed here; benchmarks that sweep hundreds of queries
-/// pass a shared keypair instead (and say so — see EXPERIMENTS.md).
-pub fn run_ppgnn_with_keys<R: Rng + ?Sized>(
-    lsp: &Lsp,
+/// This is the unit a *remote* client sends to a networked LSP
+/// (`ppgnn-server`); [`run_ppgnn_with_keys`] drives the same plan against
+/// an in-process [`Lsp`].
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The coordinator's query message (Algorithm 1 line 11).
+    pub query: QueryMessage,
+    /// One location set per user, real locations planted (line 15).
+    pub location_sets: Vec<LocationSetMessage>,
+    /// Whether the answer comes back doubly encrypted (PPGNN-OPT).
+    pub two_phase: bool,
+    /// `δ′`: candidate queries the LSP will evaluate.
+    pub delta_prime: usize,
+}
+
+impl QueryPlan {
+    /// The public decode context a receiver needs for this query.
+    pub fn wire_context(&self) -> WireContext {
+        let omega = match &self.query.indicator {
+            IndicatorPayload::Plain(_) => None,
+            IndicatorPayload::TwoPhase { outer, .. } => Some(outer.len()),
+        };
+        WireContext {
+            key_bits: self.query.pk.key_bits(),
+            two_phase_omega: omega,
+            has_partition: self.query.partition.is_some(),
+        }
+    }
+}
+
+/// Algorithm 1, the coordinator/user side only: partition the location
+/// sets, plant the real locations, and build the encrypted indicator(s).
+///
+/// CPU time is charged to [`Party::Coordinator`] / [`Party::User`] on
+/// `ledger` and the intra-group position broadcast plus the outbound
+/// query/location-set messages are recorded, exactly as in the
+/// single-process driver — so a remote client's ledger matches the
+/// simulation byte for byte.
+pub fn plan_query<R: Rng + ?Sized>(
+    config: &PpgnnConfig,
+    space: Rect,
     real_locations: &[Point],
-    keys: Option<&Keypair>,
+    keys: &Keypair,
+    ledger: &mut CostLedger,
     rng: &mut R,
-) -> Result<ProtocolRun, PpgnnError> {
-    let config = lsp.config().clone();
+) -> Result<QueryPlan, PpgnnError> {
     let n = real_locations.len();
     config.validate(n)?;
-    let mut ledger = CostLedger::new();
 
     // ---- Coordinator: partition parameters, positions, query index ----
     let coordinator_plan = ledger.time(Party::Coordinator, || -> Result<_, PpgnnError> {
@@ -75,8 +113,9 @@ pub fn run_ppgnn_with_keys<R: Rng + ?Sized>(
                 // Eqn 11: pick the segment with probability d̄_i / d.
                 let seg = weighted_segment(&params, config.d, rng);
                 let seg_size = params.segment_sizes[seg];
-                let x: Vec<usize> =
-                    (0..params.alpha()).map(|_| rng.gen_range(0..seg_size)).collect();
+                let x: Vec<usize> = (0..params.alpha())
+                    .map(|_| rng.gen_range(0..seg_size))
+                    .collect();
                 let qi = query_index(&params, seg, &x);
                 let offset = params.segment_offset(seg);
                 let positions: Vec<usize> =
@@ -99,42 +138,37 @@ pub fn run_ppgnn_with_keys<R: Rng + ?Sized>(
     // Broadcast pos_j to the other users (Algorithm 1 line 7).
     for u in 1..n {
         ledger.record_msg_labeled(
-            Party::Coordinator, Party::User(u as u32), SCALAR_BYTES, "pos broadcast",
+            Party::Coordinator,
+            Party::User(u as u32),
+            SCALAR_BYTES,
+            "pos broadcast",
         );
     }
 
-    // ---- Coordinator: keys and encrypted indicator(s) ----
-    let owned_keys;
-    let (pk, sk) = match keys {
-        Some((pk, sk)) => (pk.clone(), sk),
-        None => {
-            owned_keys = ledger.time(Party::Coordinator, || generate_keypair(config.keysize, rng));
-            (owned_keys.0.clone(), &owned_keys.1)
-        }
-    };
+    // ---- Coordinator: encrypted indicator(s) under the session key ----
+    let pk = keys.0.clone();
     let ctx1 = DjContext::new(&pk, 1);
     // Offline phase (not charged to the per-query user cost): the
     // mobile-user randomizer pools, when enabled.
-    let mut pools: Option<(RandomnessPool, Option<RandomnessPool>)> =
-        if config.offline_randomness {
-            match config.variant {
-                Variant::Plain | Variant::Naive => {
-                    let p = RandomnessPool::generate(&ctx1, delta_prime, rng);
-                    ledger.count("offline_randomizers", delta_prime as u64);
-                    Some((p, None))
-                }
-                Variant::Opt => {
-                    let (omega, block_size) = opt_split(delta_prime);
-                    let ctx2 = DjContext::new(&pk, 2);
-                    let p1 = RandomnessPool::generate(&ctx1, block_size, rng);
-                    let p2 = RandomnessPool::generate(&ctx2, omega, rng);
-                    ledger.count("offline_randomizers", (block_size + omega) as u64);
-                    Some((p1, Some(p2)))
-                }
+    let mut pools: Option<(RandomnessPool, Option<RandomnessPool>)> = if config.offline_randomness {
+        match config.variant {
+            Variant::Plain | Variant::Naive => {
+                let p = RandomnessPool::generate(&ctx1, delta_prime, rng);
+                ledger.count("offline_randomizers", delta_prime as u64);
+                Some((p, None))
             }
-        } else {
-            None
-        };
+            Variant::Opt => {
+                let (omega, block_size) = opt_split(delta_prime);
+                let ctx2 = DjContext::new(&pk, 2);
+                let p1 = RandomnessPool::generate(&ctx1, block_size, rng);
+                let p2 = RandomnessPool::generate(&ctx2, omega, rng);
+                ledger.count("offline_randomizers", (block_size + omega) as u64);
+                Some((p1, Some(p2)))
+            }
+        }
+    } else {
+        None
+    };
     let indicator = ledger.time(Party::Coordinator, || match config.variant {
         Variant::Plain | Variant::Naive => {
             let enc = match pools.as_mut() {
@@ -172,7 +206,6 @@ pub fn run_ppgnn_with_keys<R: Rng + ?Sized>(
     ledger.record_msg_labeled(Party::Coordinator, Party::Lsp, query.byte_len(), "query");
 
     // ---- Every user: location set with the real location planted ----
-    let space = lsp.space();
     let mut location_sets = Vec::with_capacity(n);
     for (u, (&real, &pos)) in real_locations.iter().zip(&positions).enumerate() {
         let party = Party::User(u as u32);
@@ -181,25 +214,41 @@ pub fn run_ppgnn_with_keys<R: Rng + ?Sized>(
                 .map(|_| crate::attack::sample_point(&space, rng))
                 .collect();
             locations.insert(pos, real);
-            LocationSetMessage { user_index: u, locations }
+            LocationSetMessage {
+                user_index: u,
+                locations,
+            }
         });
         ledger.record_msg_labeled(party, Party::Lsp, msg.byte_len(), "location set");
         location_sets.push(msg);
     }
 
-    // ---- LSP: Algorithm 2 ----
-    let answer_msg = lsp.process_query(&query, &location_sets, &mut ledger, rng)?;
-    ledger.record_msg_labeled(Party::Lsp, Party::Coordinator, answer_msg.byte_len(&pk), "answer");
+    Ok(QueryPlan {
+        two_phase: matches!(query.indicator, IndicatorPayload::TwoPhase { .. }),
+        query,
+        location_sets,
+        delta_prime,
+    })
+}
 
-    // ---- Coordinator: decryption (CRT-accelerated) ----
-    let codec = AnswerCodec::new(pk.key_bits(), 1, config.k);
-    let answer = ledger.time(Party::Coordinator, || match &answer_msg {
+/// Decrypts and unpacks the LSP's reply (CRT-accelerated), charging the
+/// CPU time to [`Party::Coordinator`].
+pub fn decode_answer(
+    keys: &Keypair,
+    k: usize,
+    answer_msg: &AnswerMessage,
+    ledger: &mut CostLedger,
+) -> Result<Vec<Point>, PpgnnError> {
+    let (pk, sk) = (&keys.0, &keys.1);
+    let ctx1 = DjContext::new(pk, 1);
+    let codec = AnswerCodec::new(pk.key_bits(), 1, k);
+    ledger.time(Party::Coordinator, || match answer_msg {
         AnswerMessage::Plain(enc) => {
             let dec1 = Decryptor::new(&ctx1, sk);
             codec.decode(&dec1.decrypt_vector(&ctx1, enc))
         }
         AnswerMessage::TwoPhase(enc) => {
-            let ctx2 = DjContext::new(&pk, 2);
+            let ctx2 = DjContext::new(pk, 2);
             let dec1 = Decryptor::new(&ctx1, sk);
             let dec2 = Decryptor::new(&ctx2, sk);
             let inner_values: Vec<_> = enc
@@ -212,13 +261,60 @@ pub fn run_ppgnn_with_keys<R: Rng + ?Sized>(
                 .collect();
             codec.decode(&inner_values)
         }
-    })?;
+    })
+}
+
+/// Runs the protocol, optionally reusing a pre-generated keypair.
+///
+/// Key generation is part of Algorithm 1 and is timed as coordinator
+/// work when performed here; benchmarks that sweep hundreds of queries
+/// pass a shared keypair instead (and say so — see EXPERIMENTS.md).
+pub fn run_ppgnn_with_keys<R: Rng + ?Sized>(
+    lsp: &Lsp,
+    real_locations: &[Point],
+    keys: Option<&Keypair>,
+    rng: &mut R,
+) -> Result<ProtocolRun, PpgnnError> {
+    let config = lsp.config().clone();
+    let n = real_locations.len();
+    config.validate(n)?;
+    let mut ledger = CostLedger::new();
+
+    // ---- Coordinator: session keys (Algorithm 1 line 8) ----
+    let owned_keys;
+    let keys = match keys {
+        Some(k) => k,
+        None => {
+            owned_keys = ledger.time(Party::Coordinator, || generate_keypair(config.keysize, rng));
+            &owned_keys
+        }
+    };
+    let pk = keys.0.clone();
+
+    // ---- Coordinator + users: Algorithm 1 ----
+    let plan = plan_query(&config, lsp.space(), real_locations, keys, &mut ledger, rng)?;
+    let delta_prime = plan.delta_prime;
+
+    // ---- LSP: Algorithm 2 ----
+    let answer_msg = lsp.process_query(&plan.query, &plan.location_sets, &mut ledger, rng)?;
+    ledger.record_msg_labeled(
+        Party::Lsp,
+        Party::Coordinator,
+        answer_msg.byte_len(&pk),
+        "answer",
+    );
+
+    // ---- Coordinator: decryption ----
+    let answer = decode_answer(keys, config.k, &answer_msg, &mut ledger)?;
 
     // Broadcast the answer to the other users.
     let answer_bytes = SCALAR_BYTES + 8 * answer.len();
     for u in 1..n {
         ledger.record_msg_labeled(
-            Party::Coordinator, Party::User(u as u32), answer_bytes, "answer broadcast",
+            Party::Coordinator,
+            Party::User(u as u32),
+            answer_bytes,
+            "answer broadcast",
         );
     }
 
@@ -264,10 +360,13 @@ mod tests {
     fn grid_db(side: u32) -> Vec<Poi> {
         (0..side * side)
             .map(|i| {
-                Poi::new(i, Point::new(
-                    (i % side) as f64 / side as f64,
-                    (i / side) as f64 / side as f64,
-                ))
+                Poi::new(
+                    i,
+                    Point::new(
+                        (i % side) as f64 / side as f64,
+                        (i / side) as f64 / side as f64,
+                    ),
+                )
             })
             .collect()
     }
@@ -296,7 +395,11 @@ mod tests {
     fn plain_variant_exact_answer() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let lsp = Lsp::new(grid_db(10), base_config(Variant::Plain));
-        let users = vec![Point::new(0.2, 0.3), Point::new(0.4, 0.1), Point::new(0.3, 0.5)];
+        let users = vec![
+            Point::new(0.2, 0.3),
+            Point::new(0.4, 0.1),
+            Point::new(0.3, 0.5),
+        ];
         let run = run_ppgnn(&lsp, &users, &mut rng).unwrap();
         check_answer_correct(&run, &lsp, &users);
         assert!(run.delta_prime >= 8);

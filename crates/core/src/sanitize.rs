@@ -13,7 +13,7 @@
 //! `O(n · N_H · k)` single-inequality tests per answer instead of the
 //! naive `O(n · N_H · k²)`.
 
-use ppgnn_geo::{Aggregate, Point, Poi, Rect};
+use ppgnn_geo::{Aggregate, Poi, Point, Rect};
 use rand::Rng;
 
 use crate::attack::{sample_point, InequalitySystem};
@@ -57,7 +57,13 @@ impl Sanitizer {
     /// Builds a sanitizer; `N_H` is derived from Theorem 5.1.
     pub fn new(theta0: f64, hypothesis: &HypothesisConfig, space: Rect) -> Self {
         let n_samples = sample_size(theta0, hypothesis.gamma, hypothesis.eta, hypothesis.phi);
-        Sanitizer { theta0, gamma: hypothesis.gamma, n_samples, space, sampler: SamplerKind::Pseudo }
+        Sanitizer {
+            theta0,
+            gamma: hypothesis.gamma,
+            n_samples,
+            space,
+            sampler: SamplerKind::Pseudo,
+        }
     }
 
     /// Switches the sampling strategy.
@@ -138,7 +144,12 @@ impl Sanitizer {
             let mut all_safe = true;
             for (system, survivors) in targets.iter_mut() {
                 survivors.retain(|x| system.satisfies(new_ineq, x));
-                if !reject_h0(survivors.len() as u64, self.n_samples, self.theta0, self.gamma) {
+                if !reject_h0(
+                    survivors.len() as u64,
+                    self.n_samples,
+                    self.theta0,
+                    self.gamma,
+                ) {
                     all_safe = false;
                     // Keep filtering the other targets? No — once any
                     // target is exposed the prefix is rejected outright.
@@ -166,7 +177,8 @@ mod tests {
     /// Builds a correctly-ranked answer for the given group.
     fn ranked_answer(pois: &mut [Poi], query: &[Point], agg: Aggregate) -> Vec<Poi> {
         pois.sort_by(|a, b| {
-            agg.eval(&a.location, query).total_cmp(&agg.eval(&b.location, query))
+            agg.eval(&a.location, query)
+                .total_cmp(&agg.eval(&b.location, query))
         });
         pois.to_vec()
     }
@@ -174,10 +186,7 @@ mod tests {
     #[test]
     fn sample_size_matches_theorem() {
         let s = sanitizer(0.05);
-        assert_eq!(
-            s.sample_count(),
-            sample_size(0.05, 0.05, 0.2, 0.1)
-        );
+        assert_eq!(s.sample_count(), sample_size(0.05, 0.05, 0.2, 0.1));
     }
 
     #[test]
@@ -209,12 +218,17 @@ mod tests {
         // so prefixes stay safe longer (Figure 7c's trend).
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let query: Vec<Point> = vec![
-            Point::new(0.2, 0.3), Point::new(0.7, 0.6),
-            Point::new(0.4, 0.8), Point::new(0.6, 0.2),
+            Point::new(0.2, 0.3),
+            Point::new(0.7, 0.6),
+            Point::new(0.4, 0.8),
+            Point::new(0.6, 0.2),
         ];
         let mut pois: Vec<Poi> = (0..16)
             .map(|i| {
-                Poi::new(i, Point::new(((i * 7) % 16) as f64 / 16.0, ((i * 5) % 16) as f64 / 16.0))
+                Poi::new(
+                    i,
+                    Point::new(((i * 7) % 16) as f64 / 16.0, ((i * 5) % 16) as f64 / 16.0),
+                )
             })
             .collect();
         let answer = ranked_answer(&mut pois, &query, Aggregate::Sum);
@@ -230,7 +244,11 @@ mod tests {
         // order conveys almost nothing about any single user, so the whole
         // answer should survive at a modest θ0.
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let query = vec![Point::new(0.1, 0.1), Point::new(0.12, 0.13), Point::new(0.09, 0.14)];
+        let query = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.12, 0.13),
+            Point::new(0.09, 0.14),
+        ];
         let mut pois: Vec<Poi> = (0..4)
             .map(|i| Poi::new(i, Point::new(0.9 + (i as f64) * 1e-6, 0.9)))
             .collect();
@@ -247,7 +265,10 @@ mod tests {
         let query = vec![Point::new(0.3, 0.5), Point::new(0.7, 0.5)];
         let mut pois: Vec<Poi> = (0..32)
             .map(|i| {
-                Poi::new(i, Point::new(((i * 13) % 32) as f64 / 32.0, ((i * 11) % 32) as f64 / 32.0))
+                Poi::new(
+                    i,
+                    Point::new(((i * 13) % 32) as f64 / 32.0, ((i * 11) % 32) as f64 / 32.0),
+                )
             })
             .collect();
         let answer = ranked_answer(&mut pois, &query, Aggregate::Sum);
@@ -264,11 +285,16 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let theta0 = 0.10;
         let query = vec![
-            Point::new(0.25, 0.4), Point::new(0.65, 0.7), Point::new(0.5, 0.15),
+            Point::new(0.25, 0.4),
+            Point::new(0.65, 0.7),
+            Point::new(0.5, 0.15),
         ];
         let mut pois: Vec<Poi> = (0..24)
             .map(|i| {
-                Poi::new(i, Point::new(((i * 17) % 24) as f64 / 24.0, ((i * 7) % 24) as f64 / 24.0))
+                Poi::new(
+                    i,
+                    Point::new(((i * 17) % 24) as f64 / 24.0, ((i * 7) % 24) as f64 / 24.0),
+                )
             })
             .collect();
         let answer = ranked_answer(&mut pois, &query, Aggregate::Sum);
@@ -282,7 +308,12 @@ mod tests {
                 .map(|(_, p)| *p)
                 .collect();
             let theta = feasible_region_fraction(
-                safe, &colluders, Aggregate::Sum, &Rect::UNIT, 20_000, &mut rng,
+                safe,
+                &colluders,
+                Aggregate::Sum,
+                &Rect::UNIT,
+                20_000,
+                &mut rng,
             );
             // γ = 0.05 Type-I error: allow a little statistical slack.
             assert!(theta > theta0 * 0.8, "target {target} exposed: θ = {theta}");
@@ -292,9 +323,18 @@ mod tests {
     #[test]
     fn halton_sampler_agrees_with_pseudo() {
         let mut rng = ChaCha8Rng::seed_from_u64(20);
-        let query = vec![Point::new(0.3, 0.4), Point::new(0.7, 0.5), Point::new(0.5, 0.8)];
+        let query = vec![
+            Point::new(0.3, 0.4),
+            Point::new(0.7, 0.5),
+            Point::new(0.5, 0.8),
+        ];
         let mut pois: Vec<Poi> = (0..12)
-            .map(|i| Poi::new(i, Point::new(((i * 5) % 12) as f64 / 12.0, ((i * 7) % 12) as f64 / 12.0)))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new(((i * 5) % 12) as f64 / 12.0, ((i * 7) % 12) as f64 / 12.0),
+                )
+            })
             .collect();
         let answer = ranked_answer(&mut pois, &query, Aggregate::Sum);
         let pseudo = sanitizer(0.05).safe_prefix_len(&answer, &query, Aggregate::Sum, &mut rng);
@@ -303,7 +343,10 @@ mod tests {
             .safe_prefix_len(&answer, &query, Aggregate::Sum, &mut rng);
         // The estimators target the same θ; prefixes may differ by at
         // most the boundary step.
-        assert!((pseudo as i64 - halton as i64).abs() <= 1, "{pseudo} vs {halton}");
+        assert!(
+            (pseudo as i64 - halton as i64).abs() <= 1,
+            "{pseudo} vs {halton}"
+        );
     }
 
     #[test]
@@ -322,13 +365,13 @@ mod tests {
             sampler: SamplerKind::Halton,
         };
         let halton_pts = s.draw_samples(&mut rng);
-        let halton_est =
-            halton_pts.iter().filter(|p| inside(p)).count() as f64 / n as f64;
+        let halton_est = halton_pts.iter().filter(|p| inside(p)).count() as f64 / n as f64;
         let mut pseudo_err_sum = 0.0;
         for seed in 0..5 {
             let mut prng = ChaCha8Rng::seed_from_u64(100 + seed);
-            let pseudo_pts: Vec<Point> =
-                (0..n).map(|_| crate::attack::sample_point(&Rect::UNIT, &mut prng)).collect();
+            let pseudo_pts: Vec<Point> = (0..n)
+                .map(|_| crate::attack::sample_point(&Rect::UNIT, &mut prng))
+                .collect();
             let est = pseudo_pts.iter().filter(|p| inside(p)).count() as f64 / n as f64;
             pseudo_err_sum += (est - exact).abs();
         }
@@ -361,7 +404,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let query = vec![Point::new(0.4, 0.4), Point::new(0.6, 0.6)];
         let mut pois: Vec<Poi> = (0..12)
-            .map(|i| Poi::new(i, Point::new((i as f64) / 12.0, ((i * 3) % 12) as f64 / 12.0)))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new((i as f64) / 12.0, ((i * 3) % 12) as f64 / 12.0),
+                )
+            })
             .collect();
         let answer = ranked_answer(&mut pois, &query, Aggregate::Sum);
         let s = sanitizer(0.05);

@@ -6,13 +6,16 @@
 //! app would embed; `run_ppgnn`/`run_ppgnn_with_keys` remain the
 //! lower-level building blocks.
 
-use ppgnn_geo::Point;
+use ppgnn_geo::{Point, Rect};
 use ppgnn_paillier::{generate_keypair, Keypair};
+use ppgnn_sim::CostLedger;
 use rand::Rng;
 
 use crate::error::PpgnnError;
 use crate::lsp::Lsp;
-use crate::protocol::{run_ppgnn_with_keys, ProtocolRun};
+use crate::messages::AnswerMessage;
+use crate::params::PpgnnConfig;
+use crate::protocol::{decode_answer, plan_query, run_ppgnn_with_keys, ProtocolRun, QueryPlan};
 
 /// A long-lived client session holding reusable key material.
 pub struct PpgnnSession {
@@ -23,12 +26,18 @@ pub struct PpgnnSession {
 impl PpgnnSession {
     /// Creates a session with a fresh keypair of the given size.
     pub fn new<R: Rng + ?Sized>(keysize: usize, rng: &mut R) -> Self {
-        PpgnnSession { keys: generate_keypair(keysize, rng), queries_issued: 0 }
+        PpgnnSession {
+            keys: generate_keypair(keysize, rng),
+            queries_issued: 0,
+        }
     }
 
     /// Wraps an existing keypair (e.g. restored from storage).
     pub fn with_keys(keys: Keypair) -> Self {
-        PpgnnSession { keys, queries_issued: 0 }
+        PpgnnSession {
+            keys,
+            queries_issued: 0,
+        }
     }
 
     /// The session's public key.
@@ -62,6 +71,37 @@ impl PpgnnSession {
         self.queries_issued += 1;
         Ok(run)
     }
+
+    /// Builds the wire-ready [`QueryPlan`] for a *remote* LSP (Algorithm
+    /// 1 only). Every successfully planned query — local or networked —
+    /// increments [`PpgnnSession::queries_issued`].
+    pub fn plan<R: Rng + ?Sized>(
+        &mut self,
+        config: &PpgnnConfig,
+        space: Rect,
+        real_locations: &[Point],
+        rng: &mut R,
+    ) -> Result<QueryPlan, PpgnnError> {
+        if self.keys.0.key_bits() != config.keysize {
+            return Err(PpgnnError::InvalidConfig(format!(
+                "session key is {} bits but the protocol expects {}",
+                self.keys.0.key_bits(),
+                config.keysize
+            )));
+        }
+        // The remote client keeps its own wall-clock stats; the protocol
+        // cost accounting of the plan is not surfaced here.
+        let mut ledger = CostLedger::new();
+        let plan = plan_query(config, space, real_locations, &self.keys, &mut ledger, rng)?;
+        self.queries_issued += 1;
+        Ok(plan)
+    }
+
+    /// Decrypts and unpacks a remote LSP's answer to a planned query.
+    pub fn decode(&self, k: usize, answer: &AnswerMessage) -> Result<Vec<Point>, PpgnnError> {
+        let mut ledger = CostLedger::new();
+        decode_answer(&self.keys, k, answer, &mut ledger)
+    }
 }
 
 #[cfg(test)]
@@ -74,7 +114,12 @@ mod tests {
 
     fn db() -> Vec<Poi> {
         (0..100)
-            .map(|i| Poi::new(i, Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0)))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0),
+                )
+            })
             .collect()
     }
 
@@ -112,6 +157,46 @@ mod tests {
             session.query(&lsp, &users, &mut rng),
             Err(PpgnnError::InvalidConfig(_))
         ));
+        assert_eq!(session.queries_issued(), 0);
+    }
+
+    #[test]
+    fn planned_queries_count_toward_queries_issued() {
+        // The networked path (plan + decode) must hit the same counter as
+        // the in-process path.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut session = PpgnnSession::new(128, &mut rng);
+        let lsp = Lsp::new(db(), cfg());
+        let users = vec![Point::new(0.1, 0.2), Point::new(0.4, 0.4)];
+        let plan = session
+            .plan(lsp.config(), lsp.space(), &users, &mut rng)
+            .unwrap();
+        assert_eq!(session.queries_issued(), 1);
+        // Drive the plan against the in-process LSP and decode.
+        let mut ledger = CostLedger::new();
+        let answer_msg = lsp
+            .process_query(&plan.query, &plan.location_sets, &mut ledger, &mut rng)
+            .unwrap();
+        let answer = session.decode(lsp.config().k, &answer_msg).unwrap();
+        let expected = lsp.plaintext_answer(&users, lsp.config().k);
+        assert_eq!(answer.len(), expected.len());
+        for (got, want) in answer.iter().zip(&expected) {
+            assert!(got.dist(&want.location) < 1e-6);
+        }
+        // The in-process convenience path keeps counting from there.
+        session.query(&lsp, &users, &mut rng).unwrap();
+        assert_eq!(session.queries_issued(), 2);
+    }
+
+    #[test]
+    fn failed_plans_do_not_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut session = PpgnnSession::new(96, &mut rng);
+        let lsp = Lsp::new(db(), cfg()); // expects 128-bit keys
+        let users = vec![Point::new(0.5, 0.5)];
+        assert!(session
+            .plan(lsp.config(), lsp.space(), &users, &mut rng)
+            .is_err());
         assert_eq!(session.queries_issued(), 0);
     }
 

@@ -8,7 +8,10 @@
 /// # Panics
 /// Panics unless `0 < p < 1`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile argument must lie in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile argument must lie in (0,1), got {p}"
+    );
 
     // Coefficients of Acklam's approximation.
     const A: [f64; 6] = [
@@ -79,7 +82,10 @@ pub fn sample_size(theta0: f64, gamma: f64, eta: f64, phi: f64) -> u64 {
     let ze = z_critical(eta);
     let num = zg * (theta0 * (1.0 - theta0)).sqrt() + ze * (theta1 * (1.0 - theta1)).sqrt();
     let denom = theta1 - theta0;
-    assert!(denom > 0.0, "theta1 must exceed theta0 (phi > 0, theta0 < 1)");
+    assert!(
+        denom > 0.0,
+        "theta1 must exceed theta0 (phi > 0, theta0 < 1)"
+    );
     (num / denom).powi(2).ceil() as u64
 }
 

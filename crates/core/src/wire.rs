@@ -26,33 +26,69 @@ pub struct WireContext {
     pub has_partition: bool,
 }
 
+/// Largest accepted `k` in a wire query.
+pub const MAX_WIRE_K: usize = 1 << 20;
+/// Largest accepted subgroup count α / segment count β. The paper's
+/// grid tops out at n = 32, d = 50; this bound is generous while
+/// keeping a garbage frame from forcing huge allocations.
+pub const MAX_WIRE_PARTITION: usize = 1 << 16;
+/// Largest accepted single subgroup/segment size.
+pub const MAX_WIRE_PARTITION_SIZE: usize = 1 << 20;
+/// Largest accepted user index in a location set.
+pub const MAX_WIRE_USER_INDEX: usize = 1 << 20;
+
 fn put_u32(buf: &mut Vec<u8>, v: usize) {
     buf.extend_from_slice(&(v as u32).to_le_bytes());
 }
 
-fn get_u32(buf: &[u8], pos: &mut usize) -> Result<usize, PpgnnError> {
-    let end = *pos + 4;
-    let bytes: [u8; 4] = buf
-        .get(*pos..end)
-        .ok_or_else(|| PpgnnError::BadAnswerEncoding("truncated u32".into()))?
-        .try_into()
-        .expect("slice of 4");
+fn take<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    width: usize,
+    field: &'static str,
+) -> Result<&'a [u8], PpgnnError> {
+    let end = pos.checked_add(width).ok_or(PpgnnError::TruncatedMessage {
+        field,
+        needed: width,
+        have: buf.len().saturating_sub(*pos),
+    })?;
+    let slice = buf.get(*pos..end).ok_or(PpgnnError::TruncatedMessage {
+        field,
+        needed: width,
+        have: buf.len().saturating_sub(*pos),
+    })?;
     *pos = end;
+    Ok(slice)
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize, field: &'static str) -> Result<usize, PpgnnError> {
+    let bytes: [u8; 4] = take(buf, pos, 4, field)?.try_into().expect("slice of 4");
     Ok(u32::from_le_bytes(bytes) as usize)
+}
+
+fn get_u32_bounded(
+    buf: &[u8],
+    pos: &mut usize,
+    field: &'static str,
+    max: usize,
+) -> Result<usize, PpgnnError> {
+    let v = get_u32(buf, pos, field)?;
+    if v > max {
+        return Err(PpgnnError::FieldOutOfRange {
+            field,
+            value: v as u64,
+            max: max as u64,
+        });
+    }
+    Ok(v)
 }
 
 fn put_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, PpgnnError> {
-    let end = *pos + 8;
-    let bytes: [u8; 8] = buf
-        .get(*pos..end)
-        .ok_or_else(|| PpgnnError::BadAnswerEncoding("truncated f64".into()))?
-        .try_into()
-        .expect("slice of 8");
-    *pos = end;
+fn get_f64(buf: &[u8], pos: &mut usize, field: &'static str) -> Result<f64, PpgnnError> {
+    let bytes: [u8; 8] = take(buf, pos, 8, field)?.try_into().expect("slice of 8");
     Ok(f64::from_le_bytes(bytes))
 }
 
@@ -64,13 +100,25 @@ fn put_big(buf: &mut Vec<u8>, v: &BigUint, width: usize) {
     buf.extend_from_slice(&bytes);
 }
 
-fn get_big(buf: &[u8], pos: &mut usize, width: usize) -> Result<BigUint, PpgnnError> {
-    let end = *pos + width;
-    let slice = buf
-        .get(*pos..end)
-        .ok_or_else(|| PpgnnError::BadAnswerEncoding("truncated integer".into()))?;
-    *pos = end;
-    Ok(BigUint::from_bytes_be(slice))
+fn get_big(
+    buf: &[u8],
+    pos: &mut usize,
+    width: usize,
+    field: &'static str,
+) -> Result<BigUint, PpgnnError> {
+    Ok(BigUint::from_bytes_be(take(buf, pos, width, field)?))
+}
+
+/// Rejects a frame whose decoder did not consume every byte: the
+/// declared frame length must agree with the message's `byte_len()`.
+fn expect_consumed(buf: &[u8], pos: usize) -> Result<(), PpgnnError> {
+    if pos != buf.len() {
+        return Err(PpgnnError::TrailingBytes {
+            consumed: pos,
+            total: buf.len(),
+        });
+    }
+    Ok(())
 }
 
 impl LocationSetMessage {
@@ -88,19 +136,26 @@ impl LocationSetMessage {
 
     /// Parses a wire location set (count inferred from the length).
     pub fn from_wire(buf: &[u8]) -> Result<Self, PpgnnError> {
-        if (buf.len() < SCALAR_BYTES) || !(buf.len() - SCALAR_BYTES).is_multiple_of(LOCATION_BYTES) {
-            return Err(PpgnnError::BadAnswerEncoding("bad location-set framing".into()));
+        if (buf.len() < SCALAR_BYTES) || !(buf.len() - SCALAR_BYTES).is_multiple_of(LOCATION_BYTES)
+        {
+            return Err(PpgnnError::BadAnswerEncoding(
+                "bad location-set framing".into(),
+            ));
         }
         let mut pos = 0;
-        let user_index = get_u32(buf, &mut pos)?;
+        let user_index = get_u32_bounded(buf, &mut pos, "user_index", MAX_WIRE_USER_INDEX)?;
         let count = (buf.len() - SCALAR_BYTES) / LOCATION_BYTES;
         let mut locations = Vec::with_capacity(count);
         for _ in 0..count {
-            let x = get_f64(buf, &mut pos)?;
-            let y = get_f64(buf, &mut pos)?;
+            let x = get_f64(buf, &mut pos, "location.x")?;
+            let y = get_f64(buf, &mut pos, "location.y")?;
             locations.push(Point::new(x, y));
         }
-        Ok(LocationSetMessage { user_index, locations })
+        expect_consumed(buf, pos)?;
+        Ok(LocationSetMessage {
+            user_index,
+            locations,
+        })
     }
 }
 
@@ -119,7 +174,10 @@ fn get_vector(
 ) -> Result<EncryptedVector, PpgnnError> {
     let mut elements = Vec::with_capacity(count);
     for _ in 0..count {
-        elements.push(Ciphertext::from_parts(get_big(buf, pos, width)?, level));
+        elements.push(Ciphertext::from_parts(
+            get_big(buf, pos, width, "ciphertext")?,
+            level,
+        ));
     }
     Ok(EncryptedVector::from_ciphertexts(elements))
 }
@@ -155,48 +213,99 @@ impl QueryMessage {
     }
 
     /// Parses a wire query under the session context.
+    ///
+    /// Every malformed input — truncated, oversized counts, trailing
+    /// garbage — returns a typed [`PpgnnError`]; this function never
+    /// panics on attacker-controlled bytes.
     pub fn from_wire(buf: &[u8], ctx: &WireContext) -> Result<Self, PpgnnError> {
         let mut pos = 0;
-        let k = get_u32(buf, &mut pos)?;
+        let k = get_u32_bounded(buf, &mut pos, "k", MAX_WIRE_K)?;
         let n_width = ctx.key_bits.div_ceil(8);
-        let pk = PublicKey::from_modulus(get_big(buf, &mut pos, n_width)?);
+        let pk = PublicKey::from_modulus(get_big(buf, &mut pos, n_width, "pk modulus")?);
         let partition = if ctx.has_partition {
-            let alpha = get_u32(buf, &mut pos)?;
-            let beta = get_u32(buf, &mut pos)?;
+            let alpha = get_u32_bounded(buf, &mut pos, "alpha", MAX_WIRE_PARTITION)?;
+            let beta = get_u32_bounded(buf, &mut pos, "beta", MAX_WIRE_PARTITION)?;
+            // A count that cannot fit in the remaining bytes is rejected
+            // before the allocation it sizes.
+            let declared = (alpha + beta) * SCALAR_BYTES;
+            if declared > buf.len().saturating_sub(pos) {
+                return Err(PpgnnError::TruncatedMessage {
+                    field: "partition sizes",
+                    needed: declared,
+                    have: buf.len().saturating_sub(pos),
+                });
+            }
             let mut subgroup_sizes = Vec::with_capacity(alpha);
             for _ in 0..alpha {
-                subgroup_sizes.push(get_u32(buf, &mut pos)?);
+                subgroup_sizes.push(get_u32_bounded(
+                    buf,
+                    &mut pos,
+                    "subgroup size",
+                    MAX_WIRE_PARTITION_SIZE,
+                )?);
             }
             let mut segment_sizes = Vec::with_capacity(beta);
             for _ in 0..beta {
-                segment_sizes.push(get_u32(buf, &mut pos)?);
+                segment_sizes.push(get_u32_bounded(
+                    buf,
+                    &mut pos,
+                    "segment size",
+                    MAX_WIRE_PARTITION_SIZE,
+                )?);
             }
-            Some(PartitionParams { subgroup_sizes, segment_sizes })
+            Some(PartitionParams {
+                subgroup_sizes,
+                segment_sizes,
+            })
         } else {
             None
         };
         let w1 = pk.ciphertext_bytes(1);
         let w2 = pk.ciphertext_bytes(2);
-        let remaining = buf.len() - pos - 8; // θ0 trails
+        // θ0 trails the indicator; a buffer too short to even hold it is
+        // truncated, not a zero-length indicator.
+        let remaining = buf
+            .len()
+            .checked_sub(pos + 8)
+            .ok_or(PpgnnError::TruncatedMessage {
+                field: "theta0",
+                needed: 8,
+                have: buf.len().saturating_sub(pos),
+            })?;
         let indicator = match ctx.two_phase_omega {
             None => {
                 if !remaining.is_multiple_of(w1) {
-                    return Err(PpgnnError::BadAnswerEncoding("bad indicator framing".into()));
+                    return Err(PpgnnError::BadAnswerEncoding(
+                        "bad indicator framing".into(),
+                    ));
                 }
                 IndicatorPayload::Plain(get_vector(buf, &mut pos, remaining / w1, w1, 1)?)
             }
             Some(omega) => {
-                let outer_bytes = omega * w2;
+                let outer_bytes = omega.checked_mul(w2).ok_or(PpgnnError::FieldOutOfRange {
+                    field: "omega",
+                    value: omega as u64,
+                    max: (usize::MAX / w2.max(1)) as u64,
+                })?;
                 if remaining < outer_bytes || !(remaining - outer_bytes).is_multiple_of(w1) {
-                    return Err(PpgnnError::BadAnswerEncoding("bad two-phase framing".into()));
+                    return Err(PpgnnError::BadAnswerEncoding(
+                        "bad two-phase framing".into(),
+                    ));
                 }
                 let inner = get_vector(buf, &mut pos, (remaining - outer_bytes) / w1, w1, 1)?;
                 let outer = get_vector(buf, &mut pos, omega, w2, 2)?;
                 IndicatorPayload::TwoPhase { inner, outer }
             }
         };
-        let theta0 = get_f64(buf, &mut pos)?;
-        Ok(QueryMessage { k, pk, partition, indicator, theta0 })
+        let theta0 = get_f64(buf, &mut pos, "theta0")?;
+        expect_consumed(buf, pos)?;
+        Ok(QueryMessage {
+            k,
+            pk,
+            partition,
+            indicator,
+            theta0,
+        })
     }
 }
 
@@ -213,24 +322,32 @@ impl AnswerMessage {
     }
 
     /// Parses a wire answer under the session context.
-    pub fn from_wire(
-        buf: &[u8],
-        pk: &PublicKey,
-        two_phase: bool,
-    ) -> Result<Self, PpgnnError> {
+    pub fn from_wire(buf: &[u8], pk: &PublicKey, two_phase: bool) -> Result<Self, PpgnnError> {
         let mut pos = 0;
         if two_phase {
             let w = pk.ciphertext_bytes(2);
             if !buf.len().is_multiple_of(w) {
                 return Err(PpgnnError::BadAnswerEncoding("bad answer framing".into()));
             }
-            Ok(AnswerMessage::TwoPhase(get_vector(buf, &mut pos, buf.len() / w, w, 2)?))
+            Ok(AnswerMessage::TwoPhase(get_vector(
+                buf,
+                &mut pos,
+                buf.len() / w,
+                w,
+                2,
+            )?))
         } else {
             let w = pk.ciphertext_bytes(1);
             if !buf.len().is_multiple_of(w) {
                 return Err(PpgnnError::BadAnswerEncoding("bad answer framing".into()));
             }
-            Ok(AnswerMessage::Plain(get_vector(buf, &mut pos, buf.len() / w, w, 1)?))
+            Ok(AnswerMessage::Plain(get_vector(
+                buf,
+                &mut pos,
+                buf.len() / w,
+                w,
+                1,
+            )?))
         }
     }
 }
@@ -278,14 +395,22 @@ mod tests {
         };
         let wire = msg.to_wire();
         assert_eq!(wire.len(), msg.byte_len(), "ledger bytes must be honest");
-        let ctx = WireContext { key_bits: 128, two_phase_omega: None, has_partition: true };
+        let ctx = WireContext {
+            key_bits: 128,
+            two_phase_omega: None,
+            has_partition: true,
+        };
         let back = QueryMessage::from_wire(&wire, &ctx).unwrap();
         assert_eq!(back.k, 8);
         assert_eq!(back.pk, pk);
         assert_eq!(back.partition, msg.partition);
         assert_eq!(back.theta0, 0.05);
-        let IndicatorPayload::Plain(v) = back.indicator else { panic!() };
-        let IndicatorPayload::Plain(orig) = msg.indicator else { panic!() };
+        let IndicatorPayload::Plain(v) = back.indicator else {
+            panic!()
+        };
+        let IndicatorPayload::Plain(orig) = msg.indicator else {
+            panic!()
+        };
         assert_eq!(v.elements(), orig.elements());
     }
 
@@ -304,12 +429,24 @@ mod tests {
         };
         let wire = msg.to_wire();
         assert_eq!(wire.len(), msg.byte_len());
-        let ctx = WireContext { key_bits: 128, two_phase_omega: Some(3), has_partition: false };
+        let ctx = WireContext {
+            key_bits: 128,
+            two_phase_omega: Some(3),
+            has_partition: false,
+        };
         let back = QueryMessage::from_wire(&wire, &ctx).unwrap();
-        let IndicatorPayload::TwoPhase { inner, outer } = back.indicator else { panic!() };
+        let IndicatorPayload::TwoPhase { inner, outer } = back.indicator else {
+            panic!()
+        };
         assert_eq!(inner.len(), 5);
         assert_eq!(outer.len(), 3);
-        let IndicatorPayload::TwoPhase { inner: oi, outer: oo } = msg.indicator else { panic!() };
+        let IndicatorPayload::TwoPhase {
+            inner: oi,
+            outer: oo,
+        } = msg.indicator
+        else {
+            panic!()
+        };
         assert_eq!(inner.elements(), oi.elements());
         assert_eq!(outer.elements(), oo.elements());
     }
@@ -321,7 +458,9 @@ mod tests {
         let wire = plain.to_wire(&pk);
         assert_eq!(wire.len(), plain.byte_len(&pk));
         let back = AnswerMessage::from_wire(&wire, &pk, false).unwrap();
-        let (AnswerMessage::Plain(a), AnswerMessage::Plain(b)) = (&plain, &back) else { panic!() };
+        let (AnswerMessage::Plain(a), AnswerMessage::Plain(b)) = (&plain, &back) else {
+            panic!()
+        };
         assert_eq!(a.elements(), b.elements());
 
         let two = AnswerMessage::TwoPhase(encrypt_indicator(2, 0, &c2, &mut rng));
@@ -341,11 +480,128 @@ mod tests {
             theta0: 0.05,
         };
         let wire = msg.to_wire();
-        let ctx = WireContext { key_bits: 128, two_phase_omega: None, has_partition: false };
+        let ctx = WireContext {
+            key_bits: 128,
+            two_phase_omega: None,
+            has_partition: false,
+        };
         // Chop bytes off: either framing or trailing-f64 reads must fail.
         assert!(QueryMessage::from_wire(&wire[..wire.len() - 3], &ctx).is_err());
         assert!(LocationSetMessage::from_wire(&[1, 2, 3]).is_err());
         assert!(AnswerMessage::from_wire(&wire[..5], &pk, false).is_err());
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_rejected_not_panicking() {
+        // Chop the valid query at every length: the decoder must return a
+        // typed error (or, for a few lucky prefixes, a shorter-but-valid
+        // message) — never panic or accept trailing garbage.
+        let (pk, c1, _, mut rng) = setup();
+        let msg = QueryMessage {
+            k: 2,
+            pk,
+            partition: Some(PartitionParams {
+                subgroup_sizes: vec![1, 1],
+                segment_sizes: vec![2, 2],
+            }),
+            indicator: IndicatorPayload::Plain(encrypt_indicator(4, 1, &c1, &mut rng)),
+            theta0: 0.05,
+        };
+        let wire = msg.to_wire();
+        let ctx = WireContext {
+            key_bits: 128,
+            two_phase_omega: None,
+            has_partition: true,
+        };
+        for cut in 0..wire.len() {
+            let _ = QueryMessage::from_wire(&wire[..cut], &ctx);
+        }
+        for cut in 0..wire.len() {
+            let _ = LocationSetMessage::from_wire(&wire[..cut]);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (pk, c1, _, mut rng) = setup();
+        let msg = QueryMessage {
+            k: 2,
+            pk,
+            partition: None,
+            indicator: IndicatorPayload::Plain(encrypt_indicator(3, 0, &c1, &mut rng)),
+            theta0: 0.05,
+        };
+        let wire = msg.to_wire();
+        let ctx = WireContext {
+            key_bits: 128,
+            two_phase_omega: None,
+            has_partition: false,
+        };
+        // Trailing garbage that misaligns the ε₁ ciphertext framing must
+        // be rejected, whatever the amount.
+        for pad in [1usize, 7, 31, 33] {
+            let mut padded = wire.clone();
+            padded.extend(std::iter::repeat_n(0u8, pad));
+            assert!(matches!(
+                QueryMessage::from_wire(&padded, &ctx),
+                Err(PpgnnError::BadAnswerEncoding(_)) | Err(PpgnnError::TrailingBytes { .. })
+            ));
+        }
+        // Exactly one ciphertext width of padding is indistinguishable at
+        // this layer — the indicator count is length-inferred — so it
+        // decodes as one extra element, which the protocol layer rejects
+        // against δ′. What matters here: no panic, and nothing silently
+        // dropped.
+        let mut padded = wire;
+        padded.extend(std::iter::repeat_n(0u8, 32));
+        let back = QueryMessage::from_wire(&padded, &ctx).unwrap();
+        let IndicatorPayload::Plain(v) = back.indicator else {
+            panic!()
+        };
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn oversized_partition_counts_rejected_without_allocation() {
+        // A frame declaring α = u32::MAX must be rejected before the
+        // decoder sizes any allocation from it.
+        let mut wire = Vec::new();
+        put_u32(&mut wire, 2); // k
+        wire.extend_from_slice(&[0xFF; 16]); // pk modulus (128-bit ctx)
+        wire.extend_from_slice(&u32::MAX.to_le_bytes()); // alpha
+        wire.extend_from_slice(&u32::MAX.to_le_bytes()); // beta
+        let ctx = WireContext {
+            key_bits: 128,
+            two_phase_omega: None,
+            has_partition: true,
+        };
+        assert!(matches!(
+            QueryMessage::from_wire(&wire, &ctx),
+            Err(PpgnnError::FieldOutOfRange { field: "alpha", .. })
+        ));
+    }
+
+    #[test]
+    fn plausible_partition_counts_still_need_the_bytes() {
+        // Counts within bounds but larger than the buffer are truncation,
+        // not allocation.
+        let mut wire = Vec::new();
+        put_u32(&mut wire, 2);
+        wire.extend_from_slice(&[0xFF; 16]);
+        put_u32(&mut wire, 4096); // alpha, in bounds
+        put_u32(&mut wire, 4096); // beta, in bounds
+        let ctx = WireContext {
+            key_bits: 128,
+            two_phase_omega: None,
+            has_partition: true,
+        };
+        assert!(matches!(
+            QueryMessage::from_wire(&wire, &ctx),
+            Err(PpgnnError::TruncatedMessage {
+                field: "partition sizes",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -358,7 +614,9 @@ mod tests {
         let v = encrypt_indicator(4, 2, &c1, &mut rng);
         let msg = AnswerMessage::Plain(v);
         let back = AnswerMessage::from_wire(&msg.to_wire(&pk), &pk, false).unwrap();
-        let AnswerMessage::Plain(v2) = back else { panic!() };
+        let AnswerMessage::Plain(v2) = back else {
+            panic!()
+        };
         let values = ppgnn_paillier::decrypt_vector(&v2, &c1, &sk);
         assert_eq!(values[2], BigUint::one());
         assert!(values[0].is_zero() && values[1].is_zero() && values[3].is_zero());

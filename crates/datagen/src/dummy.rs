@@ -116,8 +116,8 @@ mod tests {
     fn grid_spread_is_spread_out() {
         // Minimum pairwise distance should beat uniform's typical minimum.
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let spread = DummyGenerator::new(Rect::UNIT, DummyStrategy::GridSpread)
-            .generate(25, &mut rng);
+        let spread =
+            DummyGenerator::new(Rect::UNIT, DummyStrategy::GridSpread).generate(25, &mut rng);
         let min_d = |pts: &[Point]| {
             let mut m = f64::INFINITY;
             for i in 0..pts.len() {

@@ -9,7 +9,7 @@
 use std::io::BufRead;
 use std::path::Path;
 
-use ppgnn_geo::{Point, Poi};
+use ppgnn_geo::{Poi, Point};
 
 /// Errors raised while loading a POI CSV.
 #[derive(Debug)]

@@ -3,7 +3,7 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use ppgnn_geo::{Point, Poi, Rect};
+use ppgnn_geo::{Poi, Point, Rect};
 
 /// Cardinality of the real Sequoia dataset (62 556 California POIs).
 pub const SEQUOIA_SIZE: usize = 62_556;
@@ -30,8 +30,7 @@ const BACKGROUND_WEIGHT: f64 = 0.05;
 /// so every experiment in EXPERIMENTS.md is exactly reproducible.
 pub fn sequoia_like(size: usize, seed: u64) -> Vec<Poi> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let total_weight: f64 =
-        CLUSTERS.iter().map(|c| c.3).sum::<f64>() + BACKGROUND_WEIGHT;
+    let total_weight: f64 = CLUSTERS.iter().map(|c| c.3).sum::<f64>() + BACKGROUND_WEIGHT;
     (0..size)
         .map(|id| {
             let mut pick = rng.gen::<f64>() * total_weight;
@@ -43,8 +42,7 @@ pub fn sequoia_like(size: usize, seed: u64) -> Vec<Poi> {
                 }
                 pick -= w;
             }
-            let location =
-                location.unwrap_or_else(|| Point::new(rng.gen(), rng.gen()));
+            let location = location.unwrap_or_else(|| Point::new(rng.gen(), rng.gen()));
             Poi::new(id as u32, location)
         })
         .collect()

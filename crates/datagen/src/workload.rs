@@ -26,13 +26,25 @@ pub struct QuerySpec {
 impl QuerySpec {
     /// Table 3 defaults for the group scenario (`n > 1`).
     pub fn group_defaults() -> Self {
-        QuerySpec { n: 8, k: 8, d: 25, delta: 100, theta0: 0.05 }
+        QuerySpec {
+            n: 8,
+            k: 8,
+            d: 25,
+            delta: 100,
+            theta0: 0.05,
+        }
     }
 
     /// Table 3 defaults for the single-user scenario (`n = 1`,
     /// where `δ = d` and Privacy IV does not apply).
     pub fn single_defaults() -> Self {
-        QuerySpec { n: 1, k: 8, d: 25, delta: 25, theta0: 0.05 }
+        QuerySpec {
+            n: 1,
+            k: 8,
+            d: 25,
+            delta: 25,
+            theta0: 0.05,
+        }
     }
 }
 
@@ -46,7 +58,10 @@ pub struct Workload {
 impl Workload {
     /// Creates a workload over `space` from a fixed seed.
     pub fn new(space: Rect, seed: u64) -> Self {
-        Workload { space, rng: ChaCha8Rng::seed_from_u64(seed) }
+        Workload {
+            space,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Workload over the unit square.

@@ -9,8 +9,7 @@ use crate::point::Point;
 use crate::rect::Rect;
 
 /// A monotone aggregate over per-user distances.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Aggregate {
     /// Total distance — the "meeting place" semantics (default in §8).
     #[default]
@@ -52,7 +51,6 @@ impl Aggregate {
     /// All supported aggregates (for parameterized tests/benches).
     pub const ALL: [Aggregate; 3] = [Aggregate::Sum, Aggregate::Max, Aggregate::Min];
 }
-
 
 impl core::fmt::Display for Aggregate {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {

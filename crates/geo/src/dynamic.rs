@@ -12,8 +12,8 @@
 use std::collections::HashSet;
 
 use crate::aggregate::Aggregate;
-use crate::point::Point;
 use crate::poi::{Poi, PoiId};
+use crate::point::Point;
 use crate::rtree::RTree;
 
 /// Buffer size that triggers a rebuild.
@@ -133,7 +133,12 @@ mod tests {
 
     fn grid(n: u32) -> Vec<Poi> {
         (0..n * n)
-            .map(|i| Poi::new(i, Point::new((i % n) as f64 / n as f64, (i / n) as f64 / n as f64)))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new((i % n) as f64 / n as f64, (i / n) as f64 / n as f64),
+                )
+            })
             .collect()
     }
 
@@ -193,7 +198,10 @@ mod tests {
         let mut t = DynamicRTree::new(grid(8)).with_rebuild_threshold(4);
         // Off-grid positions so no insert ties with an existing POI.
         for i in 0..10 {
-            t.insert(Poi::new(1000 + i, Point::new(0.05 * i as f64 + 0.012, 0.47)));
+            t.insert(Poi::new(
+                1000 + i,
+                Point::new(0.05 * i as f64 + 0.012, 0.47),
+            ));
         }
         assert!(t.rebuild_count() >= 2, "threshold 4 with 10 inserts");
         assert_eq!(t.len(), 74);
@@ -229,8 +237,11 @@ mod tests {
             }
             if step % 25 == 0 {
                 let q = vec![Point::new(0.3, 0.3), Point::new(0.7, 0.6)];
-                let got: Vec<u32> =
-                    t.group_knn(&q, 5, Aggregate::Sum).iter().map(|p| p.id).collect();
+                let got: Vec<u32> = t
+                    .group_knn(&q, 5, Aggregate::Sum)
+                    .iter()
+                    .map(|p| p.id)
+                    .collect();
                 let want: Vec<u32> = group_knn_brute_force(&oracle.0, &q, 5, Aggregate::Sum)
                     .iter()
                     .map(|p| p.id)

@@ -1,8 +1,8 @@
 //! Brute-force group-kNN oracle (Definition 2.1 evaluated literally).
 
 use crate::aggregate::Aggregate;
-use crate::point::Point;
 use crate::poi::Poi;
+use crate::point::Point;
 
 /// The `k` POIs minimizing `F(p, queries)`, ascending by `(F, id)`.
 ///

@@ -19,7 +19,10 @@ impl Grid {
     /// Panics if `cells == 0` or the space is degenerate.
     pub fn new(space: Rect, cells: usize) -> Self {
         assert!(cells > 0, "grid needs at least one cell");
-        assert!(space.width() > 0.0 && space.height() > 0.0, "degenerate grid space");
+        assert!(
+            space.width() > 0.0 && space.height() > 0.0,
+            "degenerate grid space"
+        );
         Grid { space, cells }
     }
 

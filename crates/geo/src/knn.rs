@@ -1,8 +1,8 @@
 //! Brute-force kNN oracle: the reference implementation index-based
 //! algorithms are validated against.
 
-use crate::point::Point;
 use crate::poi::Poi;
+use crate::point::Point;
 
 /// The `k` POIs nearest to `query`, ascending by `(distance, id)`.
 pub fn knn_brute_force(pois: &[Poi], query: &Point, k: usize) -> Vec<Poi> {

@@ -48,7 +48,11 @@ mod tests {
 
     #[test]
     fn record_corner_cases() {
-        for p in [Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(0.0, 1.0)] {
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ] {
             let poi = Poi::new(0, p);
             let back = Poi::decode_record(poi.encode_record());
             assert!(back.dist(&p) < 1e-9);

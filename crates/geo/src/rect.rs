@@ -26,11 +26,21 @@ impl Rect {
     }
 
     /// The unit square — the paper's normalized location space.
-    pub const UNIT: Rect = Rect { min_x: 0.0, min_y: 0.0, max_x: 1.0, max_y: 1.0 };
+    pub const UNIT: Rect = Rect {
+        min_x: 0.0,
+        min_y: 0.0,
+        max_x: 1.0,
+        max_y: 1.0,
+    };
 
     /// A degenerate rectangle covering a single point.
     pub fn from_point(p: Point) -> Self {
-        Rect { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+        Rect {
+            min_x: p.x,
+            min_y: p.y,
+            max_x: p.x,
+            max_y: p.y,
+        }
     }
 
     /// Tight bounding rectangle of a non-empty point set.
@@ -83,7 +93,10 @@ impl Rect {
 
     /// Geometric center.
     pub fn center(&self) -> Point {
-        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
     }
 
     /// `true` iff the point lies inside (boundary inclusive).
@@ -201,7 +214,11 @@ mod tests {
 
     #[test]
     fn bounding_covers_all() {
-        let pts = [Point::new(0.3, 0.9), Point::new(0.1, 0.2), Point::new(0.7, 0.5)];
+        let pts = [
+            Point::new(0.3, 0.9),
+            Point::new(0.1, 0.2),
+            Point::new(0.7, 0.5),
+        ];
         let bb = Rect::bounding(&pts);
         assert!(pts.iter().all(|p| bb.contains(p)));
         assert_eq!(bb, Rect::new(0.1, 0.2, 0.7, 0.9));

@@ -9,8 +9,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::aggregate::Aggregate;
-use crate::point::Point;
 use crate::poi::Poi;
+use crate::point::Point;
 
 /// Node identifier within a road network.
 pub type NodeId = u32;
@@ -37,7 +37,10 @@ impl PartialOrd for HeapNode {
 impl Ord for HeapNode {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the closest node.
-        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
     }
 }
 
@@ -51,7 +54,10 @@ impl RoadNetwork {
         let mut adj = vec![Vec::new(); nodes.len()];
         for &(a, b) in edges {
             let (ai, bi) = (a as usize, b as usize);
-            assert!(ai < nodes.len() && bi < nodes.len(), "edge ({a},{b}) out of range");
+            assert!(
+                ai < nodes.len() && bi < nodes.len(),
+                "edge ({a},{b}) out of range"
+            );
             let w = nodes[ai].dist(&nodes[bi]);
             adj[ai].push((b, w));
             adj[bi].push((a, w));
@@ -63,7 +69,10 @@ impl RoadNetwork {
     /// intersections, 4-connected) — a synthetic city street plan.
     /// Deterministic in `(rows, cols, jitter, seed)`.
     pub fn grid(rows: usize, cols: usize, jitter: f64, seed: u64) -> Self {
-        assert!(rows >= 2 && cols >= 2, "grid needs at least 2×2 intersections");
+        assert!(
+            rows >= 2 && cols >= 2,
+            "grid needs at least 2×2 intersections"
+        );
         // A tiny xorshift so geo does not depend on rand.
         let mut state = seed | 1;
         let mut next_unit = move || {
@@ -135,7 +144,10 @@ impl RoadNetwork {
         let mut dist = vec![f64::INFINITY; self.nodes.len()];
         let mut heap = BinaryHeap::new();
         dist[source as usize] = 0.0;
-        heap.push(HeapNode { dist: 0.0, node: source });
+        heap.push(HeapNode {
+            dist: 0.0,
+            node: source,
+        });
         while let Some(HeapNode { dist: d, node }) = heap.pop() {
             if d > dist[node as usize] {
                 continue; // stale entry
@@ -144,7 +156,10 @@ impl RoadNetwork {
                 let nd = d + w;
                 if nd < dist[next as usize] {
                     dist[next as usize] = nd;
-                    heap.push(HeapNode { dist: nd, node: next });
+                    heap.push(HeapNode {
+                        dist: nd,
+                        node: next,
+                    });
                 }
             }
         }
@@ -166,13 +181,7 @@ impl RoadNetwork {
     ///
     /// # Panics
     /// Panics if `queries` is empty.
-    pub fn group_knn(
-        &self,
-        pois: &[Poi],
-        queries: &[Point],
-        k: usize,
-        agg: Aggregate,
-    ) -> Vec<Poi> {
+    pub fn group_knn(&self, pois: &[Poi], queries: &[Point], k: usize, agg: Aggregate) -> Vec<Poi> {
         assert!(!queries.is_empty(), "group kNN with no query locations");
         // Per-query SSSP trees plus the snap offsets.
         let trees: Vec<(Vec<f64>, f64)> = queries
@@ -187,7 +196,9 @@ impl RoadNetwork {
             .map(|p| {
                 let ps = self.snap(&p.location);
                 let off = p.location.dist(&self.node_location(ps));
-                let dists = trees.iter().map(|(tree, qoff)| qoff + tree[ps as usize] + off);
+                let dists = trees
+                    .iter()
+                    .map(|(tree, qoff)| qoff + tree[ps as usize] + off);
                 let cost = match agg {
                     Aggregate::Sum => dists.sum(),
                     Aggregate::Max => dists.fold(f64::NEG_INFINITY, f64::max),
@@ -208,10 +219,10 @@ mod tests {
     /// A 4-node diamond: 0-1, 1-3, 0-2, 2-3 with asymmetric side lengths.
     fn diamond() -> RoadNetwork {
         let nodes = vec![
-            Point::new(0.0, 0.5),  // 0 west
-            Point::new(0.5, 1.0),  // 1 north
-            Point::new(0.5, 0.0),  // 2 south
-            Point::new(1.0, 0.5),  // 3 east
+            Point::new(0.0, 0.5), // 0 west
+            Point::new(0.5, 1.0), // 1 north
+            Point::new(0.5, 0.0), // 2 south
+            Point::new(1.0, 0.5), // 3 east
         ];
         RoadNetwork::from_edges(nodes, &[(0, 1), (1, 3), (0, 2), (2, 3)])
     }
@@ -304,7 +315,7 @@ mod tests {
         let net = RoadNetwork::grid(3, 4, 0.0, 1);
         assert_eq!(net.node_count(), 12);
         assert_eq!(net.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
-        // Fully connected: every node reachable.
+                                                     // Fully connected: every node reachable.
         let d = net.sssp(0);
         assert!(d.iter().all(|x| x.is_finite()));
     }
@@ -331,8 +342,8 @@ mod tests {
 
         let user = vec![Point::new(1.0, 0.0)]; // bottom-right corner
         let pois = vec![
-            Poi::new(0, Point::new(1.0, 0.2)),  // straight above: near in L2, far by road
-            Poi::new(1, Point::new(0.5, 0.0)),  // two blocks west on the same row
+            Poi::new(0, Point::new(1.0, 0.2)), // straight above: near in L2, far by road
+            Poi::new(1, Point::new(0.5, 0.0)), // two blocks west on the same row
         ];
         let road = net.group_knn(&pois, &user, 1, Aggregate::Sum);
         assert_eq!(road[0].id, 1, "road distance must prefer the same-row POI");
@@ -345,7 +356,12 @@ mod tests {
     fn road_group_knn_all_aggregates_sorted() {
         let net = RoadNetwork::grid(5, 5, 0.02, 9);
         let pois: Vec<Poi> = (0..30)
-            .map(|i| Poi::new(i, Point::new(((i * 7) % 30) as f64 / 30.0, ((i * 11) % 30) as f64 / 30.0)))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new(((i * 7) % 30) as f64 / 30.0, ((i * 11) % 30) as f64 / 30.0),
+                )
+            })
             .collect();
         let queries = vec![Point::new(0.2, 0.2), Point::new(0.8, 0.6)];
         for agg in Aggregate::ALL {

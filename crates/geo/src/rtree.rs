@@ -6,8 +6,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::aggregate::Aggregate;
-use crate::point::Point;
 use crate::poi::Poi;
+use crate::point::Point;
 use crate::rect::Rect;
 
 /// Maximum entries per node (fanout).
@@ -88,7 +88,11 @@ impl RTree {
     pub fn bulk_load(mut pois: Vec<Poi>) -> Self {
         let len = pois.len();
         if pois.is_empty() {
-            return RTree { nodes: Vec::new(), root: None, len: 0 };
+            return RTree {
+                nodes: Vec::new(),
+                root: None,
+                len: 0,
+            };
         }
         let mut nodes = Vec::new();
 
@@ -104,7 +108,10 @@ impl RTree {
             slab.sort_by(|a, b| a.location.y.total_cmp(&b.location.y));
             for run in slab.chunks(NODE_CAPACITY) {
                 let mbr = Rect::bounding(&run.iter().map(|p| p.location).collect::<Vec<_>>());
-                nodes.push(Node::Leaf { mbr, pois: run.to_vec() });
+                nodes.push(Node::Leaf {
+                    mbr,
+                    pois: run.to_vec(),
+                });
                 leaf_ids.push(nodes.len() - 1);
             }
         }
@@ -116,14 +123,22 @@ impl RTree {
             let slab_count = (group_count as f64).sqrt().ceil() as usize;
             let slab_size = level.len().div_ceil(slab_count.max(1));
             level.sort_by(|&a, &b| {
-                nodes[a].mbr().center().x.total_cmp(&nodes[b].mbr().center().x)
+                nodes[a]
+                    .mbr()
+                    .center()
+                    .x
+                    .total_cmp(&nodes[b].mbr().center().x)
             });
             let mut next = Vec::with_capacity(group_count);
             let chunks: Vec<Vec<usize>> =
                 level.chunks(slab_size.max(1)).map(|c| c.to_vec()).collect();
             for mut slab in chunks {
                 slab.sort_by(|&a, &b| {
-                    nodes[a].mbr().center().y.total_cmp(&nodes[b].mbr().center().y)
+                    nodes[a]
+                        .mbr()
+                        .center()
+                        .y
+                        .total_cmp(&nodes[b].mbr().center().y)
                 });
                 for run in slab.chunks(NODE_CAPACITY) {
                     let mbr = run
@@ -131,7 +146,10 @@ impl RTree {
                         .map(|&i| *nodes[i].mbr())
                         .reduce(|a, b| a.union(&b))
                         .expect("non-empty run");
-                    nodes.push(Node::Internal { mbr, children: run.to_vec() });
+                    nodes.push(Node::Internal {
+                        mbr,
+                        children: run.to_vec(),
+                    });
                     next.push(nodes.len() - 1);
                 }
             }
@@ -216,7 +234,9 @@ impl RTree {
                             heap.push(HeapEntry {
                                 cost: OrdF64(cost),
                                 tie: poi.id,
-                                item: HeapItem::Poi { poi_idx: (poi_buf.len() - 1) as u32 },
+                                item: HeapItem::Poi {
+                                    poi_idx: (poi_buf.len() - 1) as u32,
+                                },
                             });
                         }
                     }
@@ -275,7 +295,13 @@ impl RTree {
                 item: HeapItem::Node { idx: root },
             });
         }
-        GroupNearestIter { tree: self, queries, agg, heap, poi_buf: Vec::new() }
+        GroupNearestIter {
+            tree: self,
+            queries,
+            agg,
+            heap,
+            poi_buf: Vec::new(),
+        }
     }
 
     /// Tree height (0 for an empty tree, 1 for a single leaf).
@@ -388,9 +414,13 @@ mod tests {
             for k in [1usize, 3, 10, 100] {
                 let got = t.knn(&q, k);
                 let want = knn_brute_force(&pois, &q, k);
-                assert_eq!(got.iter().map(|p| p.id).collect::<Vec<_>>(),
-                           want.iter().map(|p| p.id).collect::<Vec<_>>(),
-                           "k={k} q=({},{})", q.x, q.y);
+                assert_eq!(
+                    got.iter().map(|p| p.id).collect::<Vec<_>>(),
+                    want.iter().map(|p| p.id).collect::<Vec<_>>(),
+                    "k={k} q=({},{})",
+                    q.x,
+                    q.y
+                );
             }
         }
     }
@@ -407,9 +437,11 @@ mod tests {
                     (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect();
                 let got = t.group_knn(&queries, 8, agg);
                 let want = group_knn_brute_force(&pois, &queries, 8, agg);
-                assert_eq!(got.iter().map(|p| p.id).collect::<Vec<_>>(),
-                           want.iter().map(|p| p.id).collect::<Vec<_>>(),
-                           "{agg}");
+                assert_eq!(
+                    got.iter().map(|p| p.id).collect::<Vec<_>>(),
+                    want.iter().map(|p| p.id).collect::<Vec<_>>(),
+                    "{agg}"
+                );
             }
         }
     }
@@ -494,8 +526,11 @@ mod tests {
                 .take(25)
                 .map(|(p, _)| p.id)
                 .collect();
-            let from_knn: Vec<u32> =
-                t.group_knn(&queries, 25, agg).iter().map(|p| p.id).collect();
+            let from_knn: Vec<u32> = t
+                .group_knn(&queries, 25, agg)
+                .iter()
+                .map(|p| p.id)
+                .collect();
             assert_eq!(from_iter, from_knn, "{agg}");
         }
     }
@@ -515,7 +550,11 @@ mod tests {
     #[test]
     fn nearest_iter_empty_tree() {
         let t = RTree::bulk_load(vec![]);
-        assert_eq!(t.group_nearest_iter(&[Point::ORIGIN], Aggregate::Sum).count(), 0);
+        assert_eq!(
+            t.group_nearest_iter(&[Point::ORIGIN], Aggregate::Sum)
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -525,7 +564,9 @@ mod tests {
         let queries = vec![Point::new(5.0, 5.0), Point::new(-3.0, 0.5)];
         let got = t.group_knn(&queries, 4, Aggregate::Max);
         let want = group_knn_brute_force(&pois, &queries, 4, Aggregate::Max);
-        assert_eq!(got.iter().map(|p| p.id).collect::<Vec<_>>(),
-                   want.iter().map(|p| p.id).collect::<Vec<_>>());
+        assert_eq!(
+            got.iter().map(|p| p.id).collect::<Vec<_>>(),
+            want.iter().map(|p| p.id).collect::<Vec<_>>()
+        );
     }
 }

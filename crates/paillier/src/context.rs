@@ -89,7 +89,13 @@ impl DjContext {
                     .expect("k! is coprime to N for k << p, q"),
             );
         }
-        DjContext { pk: pk.clone(), s, n_pow, mont, fact_inv }
+        DjContext {
+            pk: pk.clone(),
+            s,
+            n_pow,
+            mont,
+            fact_inv,
+        }
     }
 
     /// The public key this context encrypts under.
@@ -279,7 +285,10 @@ impl DjContext {
     /// Enc(x·y)` via exponentiation.
     pub fn scalar_mul(&self, x: &BigUint, c: &Ciphertext) -> Ciphertext {
         assert_eq!(c.s, self.s, "ciphertext level mismatch");
-        Ciphertext { value: self.mont.modpow(&c.value, x), s: self.s }
+        Ciphertext {
+            value: self.mont.modpow(&c.value, x),
+            s: self.s,
+        }
     }
 
     /// Homomorphic negation: `⊖Enc(x) = Enc(N^s − x)`.
@@ -308,7 +317,10 @@ impl DjContext {
     /// identity of the ⊕ operation. Deterministic, so **not** semantically
     /// secure; used only as an accumulator seed.
     pub fn one_ciphertext(&self) -> Ciphertext {
-        Ciphertext { value: BigUint::one(), s: self.s }
+        Ciphertext {
+            value: BigUint::one(),
+            s: self.s,
+        }
     }
 }
 
@@ -411,7 +423,10 @@ mod tests {
     #[test]
     fn scalar_mul_by_zero_gives_zero() {
         let (ctx, sk, mut rng) = setup(1);
-        let c = ctx.scalar_mul(&BigUint::zero(), &ctx.encrypt(&BigUint::from(5u64), &mut rng));
+        let c = ctx.scalar_mul(
+            &BigUint::zero(),
+            &ctx.encrypt(&BigUint::from(5u64), &mut rng),
+        );
         assert_eq!(ctx.decrypt(&c, &sk), BigUint::zero());
     }
 

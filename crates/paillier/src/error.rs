@@ -6,7 +6,10 @@ use core::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PaillierError {
     /// Plaintext is outside `Z_{N^s}`.
-    PlaintextOutOfRange { plaintext_bits: usize, capacity_bits: usize },
+    PlaintextOutOfRange {
+        plaintext_bits: usize,
+        capacity_bits: usize,
+    },
     /// Ciphertext is outside `Z_{N^{s+1}}` or shares a factor with `N`.
     MalformedCiphertext,
     /// A vector operation received operands of mismatched length.
@@ -20,7 +23,10 @@ pub enum PaillierError {
 impl fmt::Display for PaillierError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PaillierError::PlaintextOutOfRange { plaintext_bits, capacity_bits } => write!(
+            PaillierError::PlaintextOutOfRange {
+                plaintext_bits,
+                capacity_bits,
+            } => write!(
                 f,
                 "plaintext of {plaintext_bits} bits exceeds the {capacity_bits}-bit plaintext space"
             ),
@@ -32,7 +38,10 @@ impl fmt::Display for PaillierError {
                 write!(f, "key size of {bits} bits is too small (minimum 16)")
             }
             PaillierError::RecordTooWide { bits, width_bits } => {
-                write!(f, "record of {bits} bits exceeds the {width_bits}-bit slot width")
+                write!(
+                    f,
+                    "record of {bits} bits exceeds the {width_bits}-bit slot width"
+                )
             }
         }
     }

@@ -86,7 +86,10 @@ impl SecretKey {
 /// # Panics
 /// Panics if `keysize < 16` — too small for even a toy modulus.
 pub fn generate_keypair<R: Rng + ?Sized>(keysize: usize, rng: &mut R) -> Keypair {
-    assert!(keysize >= 16, "keysize must be at least 16 bits, got {keysize}");
+    assert!(
+        keysize >= 16,
+        "keysize must be at least 16 bits, got {keysize}"
+    );
     let half = keysize / 2;
     loop {
         let p = gen_prime(half, rng);
@@ -102,7 +105,10 @@ pub fn generate_keypair<R: Rng + ?Sized>(keysize: usize, rng: &mut R) -> Keypair
         if !n.gcd(&lambda).is_one() {
             continue;
         }
-        let pk = PublicKey { n: n.clone(), key_bits: keysize };
+        let pk = PublicKey {
+            n: n.clone(),
+            key_bits: keysize,
+        };
         let sk = SecretKey { p, q, lambda, n };
         return (pk, sk);
     }

@@ -34,7 +34,10 @@ impl Packer {
     pub fn new(key_bits: usize, s: usize) -> Self {
         let usable = (key_bits * s).saturating_sub(HEADROOM_BITS);
         let capacity = usable / SLOT_BITS;
-        assert!(capacity >= 1, "key of {key_bits} bits cannot hold one {SLOT_BITS}-bit slot");
+        assert!(
+            capacity >= 1,
+            "key of {key_bits} bits cannot hold one {SLOT_BITS}-bit slot"
+        );
         Packer { capacity }
     }
 

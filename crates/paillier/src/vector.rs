@@ -41,7 +41,10 @@ impl EncryptedVector {
     /// returns `Enc(x · v)`.
     pub fn dot(&self, x: &[BigUint], ctx: &DjContext) -> Result<Ciphertext, PaillierError> {
         if x.len() != self.elements.len() {
-            return Err(PaillierError::LengthMismatch { left: x.len(), right: self.elements.len() });
+            return Err(PaillierError::LengthMismatch {
+                left: x.len(),
+                right: self.elements.len(),
+            });
         }
         let mut acc = ctx.one_ciphertext();
         for (xi, ci) in x.iter().zip(&self.elements) {
@@ -82,9 +85,18 @@ pub fn encrypt_indicator<R: Rng + ?Sized>(
     ctx: &DjContext,
     rng: &mut R,
 ) -> EncryptedVector {
-    assert!(position < len, "indicator position {position} out of range {len}");
+    assert!(
+        position < len,
+        "indicator position {position} out of range {len}"
+    );
     let values: Vec<BigUint> = (0..len)
-        .map(|i| if i == position { BigUint::one() } else { BigUint::zero() })
+        .map(|i| {
+            if i == position {
+                BigUint::one()
+            } else {
+                BigUint::zero()
+            }
+        })
         .collect();
     encrypt_vector(&values, ctx, rng)
 }
@@ -107,10 +119,17 @@ pub fn encrypt_indicator_pooled(
     ctx: &DjContext,
     pool: &mut crate::RandomnessPool,
 ) -> Option<EncryptedVector> {
-    assert!(position < len, "indicator position {position} out of range {len}");
+    assert!(
+        position < len,
+        "indicator position {position} out of range {len}"
+    );
     let mut elements = Vec::with_capacity(len);
     for i in 0..len {
-        let m = if i == position { BigUint::one() } else { BigUint::zero() };
+        let m = if i == position {
+            BigUint::one()
+        } else {
+            BigUint::zero()
+        };
         let ct = pool.encrypt(ctx, &m)?.expect("0/1 always in range");
         elements.push(ct);
     }
@@ -132,7 +151,10 @@ pub fn matrix_select(
     ctx: &DjContext,
 ) -> Result<EncryptedVector, PaillierError> {
     if columns.len() != v.len() {
-        return Err(PaillierError::LengthMismatch { left: columns.len(), right: v.len() });
+        return Err(PaillierError::LengthMismatch {
+            left: columns.len(),
+            right: v.len(),
+        });
     }
     let m = columns.iter().map(|c| c.len()).max().unwrap_or(0);
     let zero = BigUint::zero();

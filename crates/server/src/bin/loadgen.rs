@@ -1,0 +1,221 @@
+//! Load generator: N concurrent client groups hammer a PPGNN server and
+//! report throughput and latency percentiles.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--groups 8] [--queries 13] [--users 2]
+//!         [--keysize 128] [--k 2] [--d 3] [--delta 6] [--opt] [--seed 7]
+//! ```
+//!
+//! Without `--addr`, an in-process server is spun up on an ephemeral
+//! port (same defaults as `ppgnn-server`), so the binary is
+//! self-contained. Every group runs on its own thread with its own
+//! keypair; `Busy` sheds are retried after the server's suggested
+//! backoff and counted separately from protocol errors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppgnn_core::{Lsp, PpgnnConfig, Variant};
+use ppgnn_geo::{Poi, Point, Rect};
+use ppgnn_server::{serve, summarize, GroupClient, ServerConfig, ServerError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    addr: Option<String>,
+    groups: usize,
+    queries: usize,
+    users: usize,
+    keysize: usize,
+    k: usize,
+    d: usize,
+    delta: usize,
+    opt: bool,
+    seed: u64,
+    pois: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        groups: 8,
+        queries: 13,
+        users: 2,
+        keysize: 128,
+        k: 2,
+        d: 3,
+        delta: 6,
+        opt: false,
+        seed: 7,
+        pois: 400,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--groups" => args.groups = parse(&value("--groups")?)?,
+            "--queries" => args.queries = parse(&value("--queries")?)?,
+            "--users" => args.users = parse(&value("--users")?)?,
+            "--keysize" => args.keysize = parse(&value("--keysize")?)?,
+            "--k" => args.k = parse(&value("--k")?)?,
+            "--d" => args.d = parse(&value("--d")?)?,
+            "--delta" => args.delta = parse(&value("--delta")?)?,
+            "--pois" => args.pois = parse(&value("--pois")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--opt" => args.opt = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--addr HOST:PORT] [--groups N] [--queries M] \
+                     [--users U] [--keysize B] [--k K] [--d D] [--delta DELTA] \
+                     [--pois P] [--opt] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad numeric value {s:?}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = PpgnnConfig {
+        k: args.k,
+        d: args.d,
+        delta: args.delta,
+        keysize: args.keysize,
+        sanitize: false,
+        variant: if args.opt {
+            Variant::Opt
+        } else {
+            Variant::Plain
+        },
+        ..PpgnnConfig::fast_test()
+    };
+
+    // Spin up an in-process server when no address was given.
+    let local_server = if args.addr.is_none() {
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0xdb);
+        let pois: Vec<Poi> = (0..args.pois)
+            .map(|i| Poi::new(i as u32, Point::new(rng.gen::<f64>(), rng.gen::<f64>())))
+            .collect();
+        let lsp = Arc::new(Lsp::new(pois, config.clone()));
+        let handle = serve(lsp, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+        println!("loadgen: in-process server on {}", handle.local_addr());
+        Some(handle)
+    } else {
+        None
+    };
+    let addr = match (&args.addr, &local_server) {
+        (Some(a), _) => a.clone(),
+        (None, Some(h)) => h.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    let busy_retries = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..args.groups)
+        .map(|g| {
+            let addr = addr.clone();
+            let config = config.clone();
+            let busy_retries = Arc::clone(&busy_retries);
+            let errors = Arc::clone(&errors);
+            let seed = args.seed;
+            let (users, queries) = (args.users, args.queries);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(g as u64));
+                let mut latencies_us: Vec<u64> = Vec::with_capacity(queries);
+                let mut client = loop {
+                    match GroupClient::connect(
+                        addr.as_str(),
+                        g as u64 + 1,
+                        config.clone(),
+                        Rect::UNIT,
+                        users,
+                        &mut rng,
+                    ) {
+                        Ok(c) => break c,
+                        Err(ServerError::ServerBusy { retry_after_ms }) => {
+                            busy_retries.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(retry_after_ms as u64));
+                        }
+                        Err(e) => {
+                            eprintln!("group {g}: connect failed: {e}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            return latencies_us;
+                        }
+                    }
+                };
+                for _ in 0..queries {
+                    let locations: Vec<Point> = (0..users)
+                        .map(|_| Point::new(rng.gen(), rng.gen()))
+                        .collect();
+                    let t0 = Instant::now();
+                    loop {
+                        match client.query(&locations, &mut rng) {
+                            Ok(answer) => {
+                                assert!(!answer.is_empty(), "empty answer");
+                                latencies_us.push(t0.elapsed().as_micros() as u64);
+                                break;
+                            }
+                            Err(ServerError::ServerBusy { retry_after_ms }) => {
+                                busy_retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(retry_after_ms as u64));
+                            }
+                            Err(e) => {
+                                eprintln!("group {g}: query failed: {e}");
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                }
+                client.goodbye();
+                latencies_us
+            })
+        })
+        .collect();
+
+    let mut all_latencies = Vec::with_capacity(args.groups * args.queries);
+    for h in handles {
+        all_latencies.extend(h.join().expect("group thread panicked"));
+    }
+    let elapsed = start.elapsed();
+    let errors = errors.load(Ordering::Relaxed);
+    let busy = busy_retries.load(Ordering::Relaxed);
+    let summary = summarize(all_latencies, elapsed);
+
+    println!(
+        "groups={} queries={} errors={} busy_retries={} elapsed={:.2}s throughput={:.1} qps",
+        args.groups,
+        summary.count,
+        errors,
+        busy,
+        elapsed.as_secs_f64(),
+        summary.throughput_qps
+    );
+    println!(
+        "latency_us p50={} p95={} p99={} mean={} max={}",
+        summary.p50_us, summary.p95_us, summary.p99_us, summary.mean_us, summary.max_us
+    );
+
+    if let Some(handle) = local_server {
+        handle.shutdown();
+    }
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

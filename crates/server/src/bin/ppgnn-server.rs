@@ -1,0 +1,152 @@
+//! The standalone LSP daemon: serves a synthetic POI database over TCP.
+//!
+//! ```text
+//! ppgnn-server [--addr 127.0.0.1:7878] [--pois 1000] [--workers 4]
+//!              [--queue-depth 32] [--max-connections 64]
+//!              [--keysize 128] [--k 2] [--d 3] [--delta 6] [--seed 42]
+//! ```
+//!
+//! Shutdown: send `quit` on stdin (or close it). In-flight queries are
+//! drained before the process exits, and final stats are printed.
+
+use std::io::BufRead;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppgnn_core::{Lsp, PpgnnConfig};
+use ppgnn_geo::{Poi, Point};
+use ppgnn_server::{serve, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    addr: String,
+    pois: usize,
+    seed: u64,
+    keysize: usize,
+    k: usize,
+    d: usize,
+    delta: usize,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        pois: 1000,
+        seed: 42,
+        keysize: 128,
+        k: 2,
+        d: 3,
+        delta: 6,
+        config: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--pois" => args.pois = parse(&value("--pois")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--keysize" => args.keysize = parse(&value("--keysize")?)?,
+            "--k" => args.k = parse(&value("--k")?)?,
+            "--d" => args.d = parse(&value("--d")?)?,
+            "--delta" => args.delta = parse(&value("--delta")?)?,
+            "--workers" => args.config.workers = parse(&value("--workers")?)?,
+            "--queue-depth" => args.config.queue_depth = parse(&value("--queue-depth")?)?,
+            "--max-connections" => {
+                args.config.max_connections = parse(&value("--max-connections")?)?
+            }
+            "--deadline-ms" => {
+                args.config.default_deadline =
+                    Duration::from_millis(parse(&value("--deadline-ms")?)?)
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ppgnn-server [--addr A] [--pois N] [--workers W] \
+                     [--queue-depth Q] [--max-connections C] [--deadline-ms MS] \
+                     [--keysize B] [--k K] [--d D] [--delta DELTA] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad numeric value {s:?}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ppgnn-server: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = PpgnnConfig {
+        k: args.k,
+        d: args.d,
+        delta: args.delta,
+        keysize: args.keysize,
+        sanitize: false,
+        ..PpgnnConfig::fast_test()
+    };
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let pois: Vec<Poi> = (0..args.pois)
+        .map(|i| Poi::new(i as u32, Point::new(rng.gen::<f64>(), rng.gen::<f64>())))
+        .collect();
+    let lsp = Arc::new(Lsp::new(pois, config));
+
+    let handle = match serve(lsp, args.addr.as_str(), args.config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("ppgnn-server: bind {} failed: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "ppgnn-server listening on {} ({} POIs, {} workers, queue depth {})",
+        handle.local_addr(),
+        args.pois,
+        args.config.workers,
+        args.config.queue_depth
+    );
+    println!("type 'stats' for counters, 'quit' (or EOF) to drain and exit");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line.as_deref().map(str::trim) {
+            Ok("quit") | Ok("exit") | Err(_) => break,
+            Ok("stats") => {
+                let s = handle.stats();
+                println!(
+                    "accepted={} refused={} ok={} err={} busy_shed={} \
+                     deadline_expired={} inflight={} sessions={}",
+                    s.accepted.load(Ordering::Relaxed),
+                    s.refused.load(Ordering::Relaxed),
+                    s.queries_ok.load(Ordering::Relaxed),
+                    s.queries_err.load(Ordering::Relaxed),
+                    s.busy_shed.load(Ordering::Relaxed),
+                    s.deadline_expired.load(Ordering::Relaxed),
+                    s.inflight.load(Ordering::Relaxed),
+                    handle.registry().len(),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    println!("draining in-flight queries...");
+    let s = handle.stats();
+    let (ok, err) = (
+        s.queries_ok.load(Ordering::Relaxed),
+        s.queries_err.load(Ordering::Relaxed),
+    );
+    handle.shutdown();
+    println!("done: {ok} queries answered, {err} failed");
+}

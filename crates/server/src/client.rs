@@ -1,0 +1,275 @@
+//! The group-side client: one TCP connection driving the coordinator's
+//! side of the protocol (Algorithm 1) against a remote LSP.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ppgnn_core::messages::AnswerMessage;
+use ppgnn_core::partition_cache::solve_partition_cached;
+use ppgnn_core::{opt_split, PpgnnConfig, PpgnnSession, Variant};
+use ppgnn_geo::{Point, Rect};
+use rand::Rng;
+
+use crate::error::{ErrorCode, ServerError};
+use crate::frame::{
+    read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
+    HelloPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
+};
+use crate::registry::SessionParams;
+
+/// A connected group: holds the TCP stream, the [`PpgnnSession`] (keys
+/// + query counter), and the negotiated public parameters.
+pub struct GroupClient {
+    stream: TcpStream,
+    session: PpgnnSession,
+    config: PpgnnConfig,
+    space: Rect,
+    group_id: u64,
+    next_request_id: u32,
+    /// Per-request deadline sent to the server; 0 uses the server default.
+    pub deadline_ms: u32,
+    max_payload: usize,
+    negotiated: Option<SessionParams>,
+    server_info: HelloAckPayload,
+}
+
+fn variant_tag(v: Variant) -> u8 {
+    match v {
+        Variant::Plain => 0,
+        Variant::Opt => 1,
+        Variant::Naive => 2,
+    }
+}
+
+/// Derives the session parameters a group of `n_users` will need under
+/// `config`: for PPGNN-OPT the indicator splits into ω blocks, and ω is
+/// a deterministic function of the (cached) partition solution.
+pub fn session_params_for(
+    config: &PpgnnConfig,
+    n_users: usize,
+) -> Result<SessionParams, ServerError> {
+    let two_phase_omega = match config.variant {
+        Variant::Opt => {
+            let partition = solve_partition_cached(n_users, config.d, config.delta)?;
+            let delta_prime = partition.delta_prime();
+            let delta_prime = usize::try_from(delta_prime)
+                .map_err(|_| ServerError::Malformed("delta_prime overflows usize"))?;
+            Some(opt_split(delta_prime).0)
+        }
+        Variant::Plain | Variant::Naive => None,
+    };
+    Ok(SessionParams {
+        key_bits: config.keysize,
+        variant: variant_tag(config.variant),
+        two_phase_omega,
+        has_partition: !matches!(config.variant, Variant::Naive),
+    })
+}
+
+impl GroupClient {
+    /// Connects, generating a fresh keypair of `config.keysize` bits,
+    /// and negotiates the session for a group of `n_users`.
+    pub fn connect<A: ToSocketAddrs, R: Rng + ?Sized>(
+        addr: A,
+        group_id: u64,
+        config: PpgnnConfig,
+        space: Rect,
+        n_users: usize,
+        rng: &mut R,
+    ) -> Result<Self, ServerError> {
+        let session = PpgnnSession::new(config.keysize, rng);
+        Self::with_session(addr, group_id, config, space, n_users, session)
+    }
+
+    /// Connects with an existing session (restored keys).
+    pub fn with_session<A: ToSocketAddrs>(
+        addr: A,
+        group_id: u64,
+        config: PpgnnConfig,
+        space: Rect,
+        n_users: usize,
+        session: PpgnnSession,
+    ) -> Result<Self, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        let mut client = GroupClient {
+            stream,
+            session,
+            config,
+            space,
+            group_id,
+            next_request_id: 1,
+            deadline_ms: 0,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            negotiated: None,
+            server_info: HelloAckPayload {
+                group_id,
+                database_size: 0,
+                max_payload: 0,
+                workers: 0,
+            },
+        };
+        let params = session_params_for(&client.config, n_users)?;
+        client.handshake(params)?;
+        Ok(client)
+    }
+
+    /// Server facts from the last `HelloAck`.
+    pub fn server_info(&self) -> &HelloAckPayload {
+        &self.server_info
+    }
+
+    /// Queries issued by the underlying session (successful plans).
+    pub fn queries_issued(&self) -> u64 {
+        self.session.queries_issued()
+    }
+
+    /// The session's public key.
+    pub fn public_key(&self) -> &ppgnn_paillier::PublicKey {
+        self.session.public_key()
+    }
+
+    fn handshake(&mut self, params: SessionParams) -> Result<(), ServerError> {
+        let hello = HelloPayload {
+            group_id: self.group_id,
+            key_bits: params.key_bits as u32,
+            variant: params.variant,
+            omega: params.two_phase_omega.unwrap_or(0) as u32,
+            has_partition: params.has_partition,
+        };
+        write_frame(&mut self.stream, FrameType::Hello, &hello.encode())?;
+        let frame = read_frame(&mut self.stream, self.max_payload)?;
+        match frame.frame_type {
+            FrameType::HelloAck => {
+                let ack = HelloAckPayload::decode(&frame.payload)?;
+                if ack.group_id != self.group_id {
+                    return Err(ServerError::Malformed("hello_ack for a different group"));
+                }
+                self.server_info = ack;
+                self.negotiated = Some(params);
+                Ok(())
+            }
+            FrameType::Busy => {
+                let busy = BusyPayload::decode(&frame.payload)?;
+                Err(ServerError::ServerBusy {
+                    retry_after_ms: busy.retry_after_ms,
+                })
+            }
+            FrameType::Error => {
+                let err = ErrorPayload::decode(&frame.payload)?;
+                Err(ServerError::Remote {
+                    code: err.code,
+                    message: err.message,
+                })
+            }
+            other => Err(ServerError::UnexpectedFrame {
+                expected: "HelloAck",
+                got: other,
+            }),
+        }
+    }
+
+    /// Checks server liveness.
+    pub fn ping(&mut self) -> Result<(), ServerError> {
+        write_frame(&mut self.stream, FrameType::Ping, &[])?;
+        let frame = read_frame(&mut self.stream, self.max_payload)?;
+        match frame.frame_type {
+            FrameType::Pong => Ok(()),
+            other => Err(ServerError::UnexpectedFrame {
+                expected: "Pong",
+                got: other,
+            }),
+        }
+    }
+
+    /// Runs one full group query: plans locally (Algorithm 1), ships
+    /// the wire messages, and decrypts the answer.
+    ///
+    /// A shed request surfaces as [`ServerError::ServerBusy`]; callers
+    /// decide whether to back off and retry.
+    pub fn query<R: Rng + ?Sized>(
+        &mut self,
+        real_locations: &[Point],
+        rng: &mut R,
+    ) -> Result<Vec<Point>, ServerError> {
+        let plan = self
+            .session
+            .plan(&self.config, self.space, real_locations, rng)?;
+        let ctx = plan.wire_context();
+        // Re-negotiate if this plan's decode context drifted (e.g. the
+        // group size changed, shifting ω).
+        let params = SessionParams {
+            key_bits: ctx.key_bits,
+            variant: variant_tag(self.config.variant),
+            two_phase_omega: ctx.two_phase_omega,
+            has_partition: ctx.has_partition,
+        };
+        if self.negotiated != Some(params) {
+            self.handshake(params)?;
+        }
+        let request_id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
+        let payload = QueryPayload {
+            group_id: self.group_id,
+            request_id,
+            deadline_ms: self.deadline_ms,
+            location_sets: plan.location_sets.iter().map(|s| s.to_wire()).collect(),
+            query: plan.query.to_wire(),
+        };
+        write_frame(&mut self.stream, FrameType::Query, &payload.encode())?;
+        loop {
+            let frame = read_frame(&mut self.stream, self.max_payload)?;
+            match frame.frame_type {
+                FrameType::Answer => {
+                    let ans = AnswerPayload::decode(&frame.payload)?;
+                    if ans.request_id != request_id {
+                        return Err(ServerError::Malformed("answer for a different request"));
+                    }
+                    if ans.two_phase != plan.two_phase {
+                        return Err(ServerError::Malformed("answer encryption level mismatch"));
+                    }
+                    let msg = AnswerMessage::from_wire(
+                        &ans.answer,
+                        self.session.public_key(),
+                        ans.two_phase,
+                    )?;
+                    return Ok(self.session.decode(self.config.k, &msg)?);
+                }
+                FrameType::Busy => {
+                    let busy = BusyPayload::decode(&frame.payload)?;
+                    return Err(ServerError::ServerBusy {
+                        retry_after_ms: busy.retry_after_ms,
+                    });
+                }
+                FrameType::Error => {
+                    let err = ErrorPayload::decode(&frame.payload)?;
+                    return Err(ServerError::Remote {
+                        code: err.code,
+                        message: err.message,
+                    });
+                }
+                // A server draining mid-request says Goodbye; surface it.
+                FrameType::Goodbye => {
+                    return Err(ServerError::Remote {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server said goodbye".into(),
+                    });
+                }
+                FrameType::Pong => continue,
+                other => {
+                    return Err(ServerError::UnexpectedFrame {
+                        expected: "Answer",
+                        got: other,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Closes the connection cleanly.
+    pub fn goodbye(mut self) {
+        let _ = write_frame(&mut self.stream, FrameType::Goodbye, &[]);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}

@@ -1,0 +1,653 @@
+//! The length-prefixed frame layer.
+//!
+//! Every message on the socket is one frame:
+//!
+//! ```text
+//! +------+---------+------+----------------+---------+
+//! | PPGN | version | type | payload length | payload |
+//! | 4 B  | 1 B     | 1 B  | u32 LE         | N bytes |
+//! +------+---------+------+----------------+---------+
+//! ```
+//!
+//! The payload of `Query`/`Answer` frames wraps the byte-exact
+//! [`ppgnn_core::wire`] encodings; the frame layer itself only does
+//! framing, typing, and length policing. Decoding never panics: every
+//! truncated, oversized, or garbage input maps to a typed
+//! [`ServerError`].
+
+use std::io::{Read, Write};
+
+use crate::error::{ErrorCode, ServerError};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"PPGN";
+/// Frame-layer version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header width: magic + version + type + u32 length.
+pub const HEADER_BYTES: usize = 10;
+/// Default cap on a single frame payload (16 MiB).
+pub const DEFAULT_MAX_PAYLOAD: usize = 16 << 20;
+/// Cap on location sets per query (one per user; groups are small).
+pub const MAX_LOCATION_SETS: usize = 4096;
+
+/// The frame type tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Client → server: negotiate a group session.
+    Hello,
+    /// Server → client: session accepted, server facts attached.
+    HelloAck,
+    /// Client → server: one group query (sets + query message).
+    Query,
+    /// Server → client: the encrypted answer.
+    Answer,
+    /// Server → client: load shed, retry later.
+    Busy,
+    /// Server → client: typed failure for one request.
+    Error,
+    /// Either side: clean connection close.
+    Goodbye,
+    /// Liveness probe.
+    Ping,
+    /// Liveness reply.
+    Pong,
+}
+
+impl FrameType {
+    /// Wire tag.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            FrameType::Hello => 0x01,
+            FrameType::HelloAck => 0x02,
+            FrameType::Query => 0x03,
+            FrameType::Answer => 0x04,
+            FrameType::Busy => 0x05,
+            FrameType::Error => 0x06,
+            FrameType::Goodbye => 0x07,
+            FrameType::Ping => 0x08,
+            FrameType::Pong => 0x09,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_u8(v: u8) -> Result<Self, ServerError> {
+        Ok(match v {
+            0x01 => FrameType::Hello,
+            0x02 => FrameType::HelloAck,
+            0x03 => FrameType::Query,
+            0x04 => FrameType::Answer,
+            0x05 => FrameType::Busy,
+            0x06 => FrameType::Error,
+            0x07 => FrameType::Goodbye,
+            0x08 => FrameType::Ping,
+            0x09 => FrameType::Pong,
+            other => return Err(ServerError::UnknownFrameType(other)),
+        })
+    }
+}
+
+/// One decoded frame: its type and raw payload bytes.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The type tag.
+    pub frame_type: FrameType,
+    /// The raw payload (still to be parsed by the payload structs).
+    pub payload: Vec<u8>,
+}
+
+fn map_eof(e: std::io::Error) -> ServerError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        ServerError::ConnectionClosed
+    } else {
+        ServerError::Io(e)
+    }
+}
+
+/// Writes one frame as a single `write_all`.
+pub fn write_frame(
+    w: &mut impl Write,
+    frame_type: FrameType,
+    payload: &[u8],
+) -> Result<(), ServerError> {
+    let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(frame_type.to_u8());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, rejecting payloads larger than `max_payload`.
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, ServerError> {
+    let mut lead = [0u8; 1];
+    r.read_exact(&mut lead).map_err(map_eof)?;
+    read_frame_with_lead(r, lead[0], max_payload)
+}
+
+/// Completes a frame whose first byte was already consumed.
+///
+/// The server reads the first byte separately (with a short timeout, as
+/// its shutdown poll point) and only then commits to a blocking read of
+/// the rest — so a read timeout can never strand a half-consumed header.
+pub fn read_frame_with_lead(
+    r: &mut impl Read,
+    lead: u8,
+    max_payload: usize,
+) -> Result<Frame, ServerError> {
+    let mut rest = [0u8; HEADER_BYTES - 1];
+    r.read_exact(&mut rest).map_err(map_eof)?;
+    let magic = [lead, rest[0], rest[1], rest[2]];
+    if magic != MAGIC {
+        return Err(ServerError::BadMagic(magic));
+    }
+    if rest[3] != VERSION {
+        return Err(ServerError::BadVersion(rest[3]));
+    }
+    let frame_type = FrameType::from_u8(rest[4])?;
+    let len = u32::from_le_bytes([rest[5], rest[6], rest[7], rest[8]]) as usize;
+    if len > max_payload {
+        return Err(ServerError::Oversize {
+            len,
+            max: max_payload,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(map_eof)?;
+    Ok(Frame {
+        frame_type,
+        payload,
+    })
+}
+
+// ---- payload primitives -------------------------------------------------
+
+fn take<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    width: usize,
+    what: &'static str,
+) -> Result<&'a [u8], ServerError> {
+    let end = pos.checked_add(width).ok_or(ServerError::Malformed(what))?;
+    let slice = buf.get(*pos..end).ok_or(ServerError::Malformed(what))?;
+    *pos = end;
+    Ok(slice)
+}
+
+fn get_u8(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u8, ServerError> {
+    Ok(take(buf, pos, 1, what)?[0])
+}
+
+fn get_u16(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u16, ServerError> {
+    let b: [u8; 2] = take(buf, pos, 2, what)?.try_into().expect("slice of 2");
+    Ok(u16::from_le_bytes(b))
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u32, ServerError> {
+    let b: [u8; 4] = take(buf, pos, 4, what)?.try_into().expect("slice of 4");
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, ServerError> {
+    let b: [u8; 8] = take(buf, pos, 8, what)?.try_into().expect("slice of 8");
+    Ok(u64::from_le_bytes(b))
+}
+
+fn expect_consumed(buf: &[u8], pos: usize, what: &'static str) -> Result<(), ServerError> {
+    if pos != buf.len() {
+        return Err(ServerError::Malformed(what));
+    }
+    Ok(())
+}
+
+// ---- payload structs ----------------------------------------------------
+
+/// `Hello`: the public session parameters a decoder needs, keyed by
+/// group ID in the server's registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloPayload {
+    /// The group's stable identifier.
+    pub group_id: u64,
+    /// Negotiated Paillier key size in bits.
+    pub key_bits: u32,
+    /// Protocol variant tag (0 = Plain, 1 = Opt, 2 = Naive) — for
+    /// observability; decoding is driven by `omega`/`has_partition`.
+    pub variant: u8,
+    /// Two-phase outer block count ω; 0 means a plain indicator.
+    pub omega: u32,
+    /// Whether queries carry a partition block (absent for Naive).
+    pub has_partition: bool,
+}
+
+impl HelloPayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(18);
+        buf.extend_from_slice(&self.group_id.to_le_bytes());
+        buf.extend_from_slice(&self.key_bits.to_le_bytes());
+        buf.push(self.variant);
+        buf.extend_from_slice(&self.omega.to_le_bytes());
+        buf.push(self.has_partition as u8);
+        buf
+    }
+
+    /// Parses the payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        let mut pos = 0;
+        let group_id = get_u64(buf, &mut pos, "hello.group_id")?;
+        let key_bits = get_u32(buf, &mut pos, "hello.key_bits")?;
+        let variant = get_u8(buf, &mut pos, "hello.variant")?;
+        let omega = get_u32(buf, &mut pos, "hello.omega")?;
+        let has_partition = match get_u8(buf, &mut pos, "hello.has_partition")? {
+            0 => false,
+            1 => true,
+            _ => return Err(ServerError::Malformed("hello.has_partition")),
+        };
+        expect_consumed(buf, pos, "hello trailing bytes")?;
+        if key_bits == 0 || key_bits > 1 << 16 {
+            return Err(ServerError::Malformed("hello.key_bits out of range"));
+        }
+        Ok(HelloPayload {
+            group_id,
+            key_bits,
+            variant,
+            omega,
+            has_partition,
+        })
+    }
+}
+
+/// `HelloAck`: server facts echoed back on session acceptance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloAckPayload {
+    /// Echo of the accepted group ID.
+    pub group_id: u64,
+    /// Number of POIs in the LSP's database.
+    pub database_size: u64,
+    /// Largest frame payload the server will accept.
+    pub max_payload: u32,
+    /// Worker threads serving queries.
+    pub workers: u32,
+}
+
+impl HelloAckPayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(24);
+        buf.extend_from_slice(&self.group_id.to_le_bytes());
+        buf.extend_from_slice(&self.database_size.to_le_bytes());
+        buf.extend_from_slice(&self.max_payload.to_le_bytes());
+        buf.extend_from_slice(&self.workers.to_le_bytes());
+        buf
+    }
+
+    /// Parses the payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        let mut pos = 0;
+        let group_id = get_u64(buf, &mut pos, "hello_ack.group_id")?;
+        let database_size = get_u64(buf, &mut pos, "hello_ack.database_size")?;
+        let max_payload = get_u32(buf, &mut pos, "hello_ack.max_payload")?;
+        let workers = get_u32(buf, &mut pos, "hello_ack.workers")?;
+        expect_consumed(buf, pos, "hello_ack trailing bytes")?;
+        Ok(HelloAckPayload {
+            group_id,
+            database_size,
+            max_payload,
+            workers,
+        })
+    }
+}
+
+/// `Query`: one group query — the coordinator's query message plus every
+/// user's location set, each as its own length-prefixed `wire` blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPayload {
+    /// The session (group) this query decodes under.
+    pub group_id: u64,
+    /// Client-chosen request identifier, echoed in the reply.
+    pub request_id: u32,
+    /// Per-request deadline in milliseconds; 0 means the server default.
+    pub deadline_ms: u32,
+    /// `n` encoded [`ppgnn_core::messages::LocationSetMessage`]s.
+    pub location_sets: Vec<Vec<u8>>,
+    /// The encoded [`ppgnn_core::messages::QueryMessage`].
+    pub query: Vec<u8>,
+}
+
+impl QueryPayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let sets: usize = self.location_sets.iter().map(|s| 4 + s.len()).sum();
+        let mut buf = Vec::with_capacity(20 + sets + 4 + self.query.len());
+        buf.extend_from_slice(&self.group_id.to_le_bytes());
+        buf.extend_from_slice(&self.request_id.to_le_bytes());
+        buf.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        buf.extend_from_slice(&(self.location_sets.len() as u32).to_le_bytes());
+        for set in &self.location_sets {
+            buf.extend_from_slice(&(set.len() as u32).to_le_bytes());
+            buf.extend_from_slice(set);
+        }
+        buf.extend_from_slice(&(self.query.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.query);
+        buf
+    }
+
+    /// Parses the payload. Inner blobs stay raw — they are decoded
+    /// against the session's `WireContext` by the connection handler.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        let mut pos = 0;
+        let group_id = get_u64(buf, &mut pos, "query.group_id")?;
+        let request_id = get_u32(buf, &mut pos, "query.request_id")?;
+        let deadline_ms = get_u32(buf, &mut pos, "query.deadline_ms")?;
+        let set_count = get_u32(buf, &mut pos, "query.set_count")? as usize;
+        if set_count > MAX_LOCATION_SETS {
+            return Err(ServerError::Malformed("query.set_count out of range"));
+        }
+        let mut location_sets = Vec::with_capacity(set_count);
+        for _ in 0..set_count {
+            let len = get_u32(buf, &mut pos, "query.set_len")? as usize;
+            location_sets.push(take(buf, &mut pos, len, "query.set_bytes")?.to_vec());
+        }
+        let qlen = get_u32(buf, &mut pos, "query.query_len")? as usize;
+        let query = take(buf, &mut pos, qlen, "query.query_bytes")?.to_vec();
+        expect_consumed(buf, pos, "query trailing bytes")?;
+        Ok(QueryPayload {
+            group_id,
+            request_id,
+            deadline_ms,
+            location_sets,
+            query,
+        })
+    }
+}
+
+/// `Answer`: the LSP's encrypted answer to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnswerPayload {
+    /// Echo of the request identifier.
+    pub request_id: u32,
+    /// Whether the answer is doubly encrypted (PPGNN-OPT).
+    pub two_phase: bool,
+    /// The encoded [`ppgnn_core::messages::AnswerMessage`].
+    pub answer: Vec<u8>,
+}
+
+impl AnswerPayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(5 + self.answer.len());
+        buf.extend_from_slice(&self.request_id.to_le_bytes());
+        buf.push(self.two_phase as u8);
+        buf.extend_from_slice(&self.answer);
+        buf
+    }
+
+    /// Parses the payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        let mut pos = 0;
+        let request_id = get_u32(buf, &mut pos, "answer.request_id")?;
+        let two_phase = match get_u8(buf, &mut pos, "answer.two_phase")? {
+            0 => false,
+            1 => true,
+            _ => return Err(ServerError::Malformed("answer.two_phase")),
+        };
+        let answer = buf[pos..].to_vec();
+        Ok(AnswerPayload {
+            request_id,
+            two_phase,
+            answer,
+        })
+    }
+}
+
+/// `Busy`: backpressure shed for one request (or a refused connection,
+/// with `request_id == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyPayload {
+    /// Echo of the shed request identifier (0 when refusing a connect).
+    pub request_id: u32,
+    /// Suggested client backoff.
+    pub retry_after_ms: u32,
+}
+
+impl BusyPayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8);
+        buf.extend_from_slice(&self.request_id.to_le_bytes());
+        buf.extend_from_slice(&self.retry_after_ms.to_le_bytes());
+        buf
+    }
+
+    /// Parses the payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        let mut pos = 0;
+        let request_id = get_u32(buf, &mut pos, "busy.request_id")?;
+        let retry_after_ms = get_u32(buf, &mut pos, "busy.retry_after_ms")?;
+        expect_consumed(buf, pos, "busy trailing bytes")?;
+        Ok(BusyPayload {
+            request_id,
+            retry_after_ms,
+        })
+    }
+}
+
+/// `Error`: a typed failure for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorPayload {
+    /// Echo of the failed request identifier (0 for session-level errors).
+    pub request_id: u32,
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable detail (truncated to 64 KiB on the wire).
+    pub message: String,
+}
+
+impl ErrorPayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let msg = self.message.as_bytes();
+        let len = msg.len().min(u16::MAX as usize);
+        let mut buf = Vec::with_capacity(8 + len);
+        buf.extend_from_slice(&self.request_id.to_le_bytes());
+        buf.extend_from_slice(&self.code.to_u16().to_le_bytes());
+        buf.extend_from_slice(&(len as u16).to_le_bytes());
+        buf.extend_from_slice(&msg[..len]);
+        buf
+    }
+
+    /// Parses the payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        let mut pos = 0;
+        let request_id = get_u32(buf, &mut pos, "error.request_id")?;
+        let code = ErrorCode::from_u16(get_u16(buf, &mut pos, "error.code")?)
+            .ok_or(ServerError::Malformed("error.code"))?;
+        let len = get_u16(buf, &mut pos, "error.msg_len")? as usize;
+        let bytes = take(buf, &mut pos, len, "error.message")?;
+        let message = String::from_utf8_lossy(bytes).into_owned();
+        expect_consumed(buf, pos, "error trailing bytes")?;
+        Ok(ErrorPayload {
+            request_id,
+            code,
+            message,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = vec![7u8; 100];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Query, &payload).unwrap();
+        assert_eq!(buf.len(), HEADER_BYTES + 100);
+        let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(frame.frame_type, FrameType::Query);
+        assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Ping, &[]).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD),
+            Err(ServerError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Ping, &[]).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD),
+            Err(ServerError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Ping, &[]).unwrap();
+        buf[5] = 0x7f;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD),
+            Err(ServerError::UnknownFrameType(0x7f))
+        ));
+    }
+
+    #[test]
+    fn oversize_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Query, &[]).unwrap();
+        buf[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), 1024),
+            Err(ServerError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_connection_closed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Query, &[1, 2, 3, 4]).unwrap();
+        for cut in 0..buf.len() {
+            let err = read_frame(&mut &buf[..cut], DEFAULT_MAX_PAYLOAD).unwrap_err();
+            assert!(
+                matches!(err, ServerError::ConnectionClosed),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_round_trip() {
+        let hello = HelloPayload {
+            group_id: 42,
+            key_bits: 128,
+            variant: 1,
+            omega: 7,
+            has_partition: true,
+        };
+        assert_eq!(HelloPayload::decode(&hello.encode()).unwrap(), hello);
+    }
+
+    #[test]
+    fn hello_ack_round_trip() {
+        let ack = HelloAckPayload {
+            group_id: 42,
+            database_size: 10_000,
+            max_payload: 1 << 20,
+            workers: 8,
+        };
+        assert_eq!(HelloAckPayload::decode(&ack.encode()).unwrap(), ack);
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = QueryPayload {
+            group_id: 3,
+            request_id: 9,
+            deadline_ms: 2500,
+            location_sets: vec![vec![1, 2, 3], vec![], vec![5; 40]],
+            query: vec![0xab; 17],
+        };
+        assert_eq!(QueryPayload::decode(&q.encode()).unwrap(), q);
+    }
+
+    #[test]
+    fn answer_busy_error_round_trips() {
+        let a = AnswerPayload {
+            request_id: 1,
+            two_phase: true,
+            answer: vec![9; 96],
+        };
+        assert_eq!(AnswerPayload::decode(&a.encode()).unwrap(), a);
+        let b = BusyPayload {
+            request_id: 2,
+            retry_after_ms: 50,
+        };
+        assert_eq!(BusyPayload::decode(&b.encode()).unwrap(), b);
+        let e = ErrorPayload {
+            request_id: 3,
+            code: ErrorCode::DeadlineExceeded,
+            message: "too slow".into(),
+        };
+        assert_eq!(ErrorPayload::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn payload_decoders_reject_all_truncations() {
+        let hello = HelloPayload {
+            group_id: 42,
+            key_bits: 128,
+            variant: 1,
+            omega: 7,
+            has_partition: true,
+        }
+        .encode();
+        let q = QueryPayload {
+            group_id: 1,
+            request_id: 9,
+            deadline_ms: 0,
+            location_sets: vec![vec![1, 2, 3]],
+            query: vec![4; 8],
+        }
+        .encode();
+        for cut in 0..hello.len() {
+            assert!(
+                HelloPayload::decode(&hello[..cut]).is_err(),
+                "hello cut {cut}"
+            );
+        }
+        for cut in 0..q.len() {
+            assert!(QueryPayload::decode(&q[..cut]).is_err(), "query cut {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_set_count_rejected() {
+        let mut q = QueryPayload {
+            group_id: 1,
+            request_id: 1,
+            deadline_ms: 0,
+            location_sets: vec![],
+            query: vec![],
+        }
+        .encode();
+        // set_count sits after group_id (8) + request_id (4) + deadline (4).
+        q[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            QueryPayload::decode(&q),
+            Err(ServerError::Malformed("query.set_count out of range"))
+        ));
+    }
+}

@@ -1,0 +1,54 @@
+//! # ppgnn-server — the networked LSP
+//!
+//! The rest of the workspace runs the PPGNN protocols in-process with a
+//! byte-exact cost ledger; this crate puts the LSP (Algorithm 2) behind
+//! a real TCP service and gives groups a client for the coordinator
+//! side (Algorithm 1):
+//!
+//! * [`frame`] — the length-prefixed, versioned frame layer wrapping
+//!   the [`ppgnn_core::wire`] encodings; decoding never panics;
+//! * [`registry`] — negotiated public session parameters per group ID,
+//!   so frames decode against the right [`ppgnn_core::wire::WireContext`];
+//! * [`server`] — acceptor + bounded worker pool sharing one
+//!   `Arc<Lsp>`, with per-request deadlines, `Busy` load shedding, and
+//!   graceful drain on shutdown;
+//! * [`client`] — [`client::GroupClient`], one group's connection;
+//! * [`metrics`] — latency percentiles for the `loadgen` binary.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ppgnn_core::{Lsp, PpgnnConfig};
+//! use ppgnn_geo::{Point, Poi, Rect};
+//! use ppgnn_server::{serve, GroupClient, ServerConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let config = PpgnnConfig { k: 2, d: 3, delta: 6, sanitize: false, ..PpgnnConfig::fast_test() };
+//! let pois: Vec<Poi> = (0..100)
+//!     .map(|i| Poi::new(i, Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0)))
+//!     .collect();
+//! let lsp = Arc::new(Lsp::new(pois, config.clone()));
+//! let handle = serve(lsp, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let mut client =
+//!     GroupClient::connect(handle.local_addr(), 1, config, Rect::UNIT, 2, &mut rng).unwrap();
+//! let answer = client
+//!     .query(&[Point::new(0.2, 0.2), Point::new(0.4, 0.3)], &mut rng)
+//!     .unwrap();
+//! assert!(!answer.is_empty());
+//! handle.shutdown();
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use client::{session_params_for, GroupClient};
+pub use error::{ErrorCode, ServerError};
+pub use frame::{Frame, FrameType};
+pub use metrics::{percentile, summarize, LatencySummary};
+pub use registry::{SessionParams, SessionRegistry};
+pub use server::{serve, ServerConfig, ServerHandle, ServerStats};

@@ -1,0 +1,170 @@
+//! The session registry: negotiated public parameters per group.
+//!
+//! Wire messages are only decodable under the session's public context
+//! (key size, indicator shape, partition presence). The registry is the
+//! server-global map from group ID to that context, written by `Hello`
+//! handshakes and read on every query — so a group may reconnect on a
+//! fresh TCP connection and keep querying without re-negotiating.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use ppgnn_core::wire::WireContext;
+
+use crate::frame::HelloPayload;
+
+/// The negotiated public parameters of one group session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionParams {
+    /// Paillier key size in bits.
+    pub key_bits: usize,
+    /// Variant tag from the handshake (0 = Plain, 1 = Opt, 2 = Naive).
+    pub variant: u8,
+    /// Two-phase outer block count; `None` for a plain indicator.
+    pub two_phase_omega: Option<usize>,
+    /// Whether queries carry a partition block.
+    pub has_partition: bool,
+}
+
+impl SessionParams {
+    /// Builds the params from a `Hello` payload.
+    pub fn from_hello(hello: &HelloPayload) -> Self {
+        SessionParams {
+            key_bits: hello.key_bits as usize,
+            variant: hello.variant,
+            two_phase_omega: (hello.omega > 0).then_some(hello.omega as usize),
+            has_partition: hello.has_partition,
+        }
+    }
+
+    /// The wire decode context these params imply.
+    pub fn wire_context(&self) -> WireContext {
+        WireContext {
+            key_bits: self.key_bits,
+            two_phase_omega: self.two_phase_omega,
+            has_partition: self.has_partition,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SessionEntry {
+    params: SessionParams,
+    queries: u64,
+}
+
+/// Server-global map of negotiated sessions, keyed by group ID.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    inner: Mutex<HashMap<u64, SessionEntry>>,
+}
+
+impl SessionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-negotiates) a group session. Re-registration
+    /// replaces the parameters but keeps the query count.
+    pub fn register(&self, group_id: u64, params: SessionParams) {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        map.entry(group_id)
+            .and_modify(|e| e.params = params)
+            .or_insert(SessionEntry { params, queries: 0 });
+    }
+
+    /// Looks up a session's parameters.
+    pub fn get(&self, group_id: u64) -> Option<SessionParams> {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .get(&group_id)
+            .map(|e| e.params)
+    }
+
+    /// Counts one served query against a session.
+    pub fn record_query(&self, group_id: u64) {
+        if let Some(e) = self
+            .inner
+            .lock()
+            .expect("registry poisoned")
+            .get_mut(&group_id)
+        {
+            e.queries += 1;
+        }
+    }
+
+    /// Queries served for one group so far.
+    pub fn queries_served(&self, group_id: u64) -> u64 {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .get(&group_id)
+            .map(|e| e.queries)
+            .unwrap_or(0)
+    }
+
+    /// Number of registered sessions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").len()
+    }
+
+    /// Whether no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(key_bits: usize, omega: Option<usize>) -> SessionParams {
+        SessionParams {
+            key_bits,
+            variant: 0,
+            two_phase_omega: omega,
+            has_partition: true,
+        }
+    }
+
+    #[test]
+    fn register_lookup_and_count() {
+        let reg = SessionRegistry::new();
+        assert!(reg.get(7).is_none());
+        reg.register(7, params(128, None));
+        assert_eq!(reg.get(7).unwrap().key_bits, 128);
+        reg.record_query(7);
+        reg.record_query(7);
+        assert_eq!(reg.queries_served(7), 2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn renegotiation_replaces_params_keeps_count() {
+        let reg = SessionRegistry::new();
+        reg.register(7, params(128, None));
+        reg.record_query(7);
+        reg.register(7, params(256, Some(5)));
+        let p = reg.get(7).unwrap();
+        assert_eq!(p.key_bits, 256);
+        assert_eq!(p.two_phase_omega, Some(5));
+        assert_eq!(reg.queries_served(7), 1);
+    }
+
+    #[test]
+    fn hello_maps_to_wire_context() {
+        let hello = crate::frame::HelloPayload {
+            group_id: 1,
+            key_bits: 128,
+            variant: 1,
+            omega: 6,
+            has_partition: true,
+        };
+        let ctx = SessionParams::from_hello(&hello).wire_context();
+        assert_eq!(ctx.key_bits, 128);
+        assert_eq!(ctx.two_phase_omega, Some(6));
+        assert!(ctx.has_partition);
+    }
+}

@@ -1,0 +1,575 @@
+//! The networked LSP: TCP acceptor, bounded worker pool, backpressure,
+//! deadlines, and graceful drain.
+//!
+//! Threading model:
+//!
+//! * one **acceptor** thread polls a non-blocking listener and spawns a
+//!   connection thread per socket, refusing (with a `Busy` frame) past
+//!   `max_connections`;
+//! * each **connection** thread parses frames, resolves the group's
+//!   [`SessionParams`] from the registry, decodes the wire messages, and
+//!   enqueues a job on a bounded channel — a full queue sheds the
+//!   request with `Busy` instead of queueing unboundedly;
+//! * a fixed pool of **worker** threads shares one `Arc<Lsp>` (the
+//!   engine is `Send + Sync`), drops jobs whose deadline expired while
+//!   queued, and replies through a per-request channel.
+//!
+//! Shutdown: the flag stops the acceptor and makes connection threads
+//! say `Goodbye` at their next idle poll; requests already enqueued are
+//! still processed and answered (the workers drain the channel before
+//! exiting), so no accepted query is lost.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use ppgnn_core::messages::{AnswerMessage, LocationSetMessage, QueryMessage};
+use ppgnn_core::Lsp;
+use ppgnn_sim::CostLedger;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::{ErrorCode, ServerError};
+use crate::frame::{
+    read_frame_with_lead, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType,
+    HelloAckPayload, HelloPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
+};
+use crate::registry::{SessionParams, SessionRegistry};
+
+/// How often an idle connection thread checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// Blocking-read guard while the rest of a frame is in flight.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Suggested client backoff carried in `Busy` frames.
+const RETRY_AFTER_MS: u32 = 50;
+/// Grace added to a request deadline while waiting for the worker reply.
+const REPLY_GRACE: Duration = Duration::from_secs(5);
+
+/// Tunables for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads processing queries.
+    pub workers: usize,
+    /// Accepted connections at once; more are refused with `Busy`.
+    pub max_connections: usize,
+    /// Bounded depth of the job queue — the max in-flight backpressure
+    /// limit; a full queue sheds with `Busy`.
+    pub queue_depth: usize,
+    /// Deadline applied when a query carries `deadline_ms == 0`.
+    pub default_deadline: Duration,
+    /// Largest accepted frame payload.
+    pub max_payload: usize,
+    /// Seed for the workers' randomizer RNGs.
+    pub rng_seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_connections: 64,
+            queue_depth: 32,
+            default_deadline: Duration::from_secs(30),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            rng_seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Monotonic service counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections refused over `max_connections`.
+    pub refused: AtomicU64,
+    /// Queries answered.
+    pub queries_ok: AtomicU64,
+    /// Queries failed (malformed, protocol error, internal).
+    pub queries_err: AtomicU64,
+    /// Queries shed with `Busy` because the queue was full.
+    pub busy_shed: AtomicU64,
+    /// Queries dropped because their deadline expired in the queue.
+    pub deadline_expired: AtomicU64,
+    /// Jobs currently enqueued or being processed.
+    pub inflight: AtomicU64,
+}
+
+struct Job {
+    request_id: u32,
+    query: QueryMessage,
+    location_sets: Vec<LocationSetMessage>,
+    enqueued: Instant,
+    deadline: Duration,
+    reply: Sender<Reply>,
+}
+
+enum Reply {
+    Answer {
+        request_id: u32,
+        two_phase: bool,
+        answer: Vec<u8>,
+    },
+    Failure {
+        request_id: u32,
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+struct Shared {
+    lsp: Arc<Lsp>,
+    config: ServerConfig,
+    registry: SessionRegistry,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+}
+
+/// Handle to a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    job_tx: Option<Sender<Job>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// The session registry.
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.shared.registry
+    }
+
+    /// Signals shutdown and blocks until every thread exits. Queries
+    /// already enqueued are processed and answered before workers stop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Connection threads notice the flag at their next poll, finish
+        // any request they are waiting on, say Goodbye, and exit —
+        // dropping their job senders.
+        let conns = std::mem::take(&mut *self.conn_threads.lock().expect("conn list poisoned"));
+        for h in conns {
+            let _ = h.join();
+        }
+        // With every sender gone the channel disconnects; workers drain
+        // whatever is still queued, then exit.
+        drop(self.job_tx.take());
+        for h in std::mem::take(&mut self.workers) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Binds `addr` and starts serving `lsp` with `config`.
+pub fn serve(
+    lsp: Arc<Lsp>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+
+    let (job_tx, job_rx) = bounded::<Job>(config.queue_depth.max(1));
+    let shared = Arc::new(Shared {
+        lsp,
+        config: config.clone(),
+        registry: SessionRegistry::new(),
+        stats: ServerStats::default(),
+        shutdown: AtomicBool::new(false),
+        connections: AtomicU64::new(0),
+    });
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let rx = job_rx.clone();
+            std::thread::Builder::new()
+                .name(format!("ppgnn-worker-{i}"))
+                .spawn(move || worker_loop(shared, rx, i as u64))
+                .expect("spawn worker")
+        })
+        .collect();
+    drop(job_rx);
+
+    let conn_threads = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let job_tx = job_tx.clone();
+        let conn_threads = Arc::clone(&conn_threads);
+        std::thread::Builder::new()
+            .name("ppgnn-acceptor".into())
+            .spawn(move || accept_loop(listener, shared, job_tx, conn_threads))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        job_tx: Some(job_tx),
+        acceptor: Some(acceptor),
+        workers,
+        conn_threads,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    job_tx: Sender<Job>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let active = shared.connections.load(Ordering::SeqCst);
+                if active >= shared.config.max_connections as u64 {
+                    shared.stats.refused.fetch_add(1, Ordering::Relaxed);
+                    refuse(stream);
+                    continue;
+                }
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                let shared2 = Arc::clone(&shared);
+                let tx = job_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name("ppgnn-conn".into())
+                    .spawn(move || {
+                        let _ = connection_loop(&shared2, stream, tx);
+                        shared2.connections.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn connection");
+                conn_threads
+                    .lock()
+                    .expect("conn list poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn refuse(mut stream: TcpStream) {
+    let payload = BusyPayload {
+        request_id: 0,
+        retry_after_ms: RETRY_AFTER_MS,
+    }
+    .encode();
+    let _ = write_frame(&mut stream, FrameType::Busy, &payload);
+    let _ = stream.flush();
+}
+
+/// Serves one connection until the peer leaves or shutdown is signaled.
+fn connection_loop(
+    shared: &Shared,
+    mut stream: TcpStream,
+    job_tx: Sender<Job>,
+) -> Result<(), ServerError> {
+    use std::io::Read as _;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    loop {
+        // The first byte is the idle poll point: a timeout here leaves
+        // the stream exactly at a frame boundary.
+        let mut lead = [0u8; 1];
+        match stream.read(&mut lead) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {
+                stream.set_read_timeout(Some(FRAME_READ_TIMEOUT))?;
+                let frame = read_frame_with_lead(&mut stream, lead[0], shared.config.max_payload)?;
+                stream.set_read_timeout(Some(POLL_INTERVAL))?;
+                match frame.frame_type {
+                    FrameType::Hello => handle_hello(shared, &mut stream, &frame.payload)?,
+                    // Queries accepted before the signal drain; ones
+                    // arriving after it are refused.
+                    FrameType::Query if shared.shutdown.load(Ordering::SeqCst) => {
+                        let request_id = QueryPayload::decode(&frame.payload)
+                            .map(|q| q.request_id)
+                            .unwrap_or(0);
+                        send_error(
+                            &mut stream,
+                            request_id,
+                            ErrorCode::ShuttingDown,
+                            "server is draining",
+                        )?;
+                    }
+                    FrameType::Query => handle_query(shared, &mut stream, &frame.payload, &job_tx)?,
+                    FrameType::Ping => write_frame(&mut stream, FrameType::Pong, &[])?,
+                    FrameType::Goodbye => return Ok(()),
+                    other => {
+                        send_error(
+                            &mut stream,
+                            0,
+                            ErrorCode::MalformedPayload,
+                            &format!("unexpected {other:?} frame"),
+                        )?;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = write_frame(&mut stream, FrameType::Goodbye, &[]);
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(ServerError::Io(e)),
+        }
+    }
+}
+
+fn handle_hello(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    payload: &[u8],
+) -> Result<(), ServerError> {
+    let hello = match HelloPayload::decode(payload) {
+        Ok(h) => h,
+        Err(e) => {
+            return send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string());
+        }
+    };
+    shared
+        .registry
+        .register(hello.group_id, SessionParams::from_hello(&hello));
+    let ack = HelloAckPayload {
+        group_id: hello.group_id,
+        database_size: shared.lsp.database_size() as u64,
+        max_payload: shared.config.max_payload as u32,
+        workers: shared.config.workers as u32,
+    };
+    write_frame(stream, FrameType::HelloAck, &ack.encode())
+}
+
+fn handle_query(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    payload: &[u8],
+    job_tx: &Sender<Job>,
+) -> Result<(), ServerError> {
+    let q = match QueryPayload::decode(payload) {
+        Ok(q) => q,
+        Err(e) => {
+            shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
+            return send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string());
+        }
+    };
+    let Some(params) = shared.registry.get(q.group_id) else {
+        shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
+        return send_error(
+            stream,
+            q.request_id,
+            ErrorCode::NoSession,
+            &format!("group {} has no negotiated session", q.group_id),
+        );
+    };
+    let ctx = params.wire_context();
+    let query = match QueryMessage::from_wire(&q.query, &ctx) {
+        Ok(m) => m,
+        Err(e) => {
+            shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
+            return send_error(
+                stream,
+                q.request_id,
+                ErrorCode::MalformedPayload,
+                &e.to_string(),
+            );
+        }
+    };
+    let mut location_sets = Vec::with_capacity(q.location_sets.len());
+    for set in &q.location_sets {
+        match LocationSetMessage::from_wire(set) {
+            Ok(m) => location_sets.push(m),
+            Err(e) => {
+                shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
+                return send_error(
+                    stream,
+                    q.request_id,
+                    ErrorCode::MalformedPayload,
+                    &e.to_string(),
+                );
+            }
+        }
+    }
+    let deadline = if q.deadline_ms == 0 {
+        shared.config.default_deadline
+    } else {
+        Duration::from_millis(q.deadline_ms as u64)
+    };
+    let (reply_tx, reply_rx) = bounded::<Reply>(1);
+    let job = Job {
+        request_id: q.request_id,
+        query,
+        location_sets,
+        enqueued: Instant::now(),
+        deadline,
+        reply: reply_tx,
+    };
+    match job_tx.try_send(job) {
+        Ok(()) => {
+            shared.stats.inflight.fetch_add(1, Ordering::SeqCst);
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.stats.busy_shed.fetch_add(1, Ordering::Relaxed);
+            let busy = BusyPayload {
+                request_id: q.request_id,
+                retry_after_ms: RETRY_AFTER_MS,
+            };
+            return write_frame(stream, FrameType::Busy, &busy.encode());
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return send_error(
+                stream,
+                q.request_id,
+                ErrorCode::ShuttingDown,
+                "server is draining",
+            );
+        }
+    }
+    // Wait for the worker; grace past the deadline covers processing
+    // time after a last-moment dequeue.
+    let reply = reply_rx.recv_timeout(deadline + REPLY_GRACE);
+    shared.stats.inflight.fetch_sub(1, Ordering::SeqCst);
+    match reply {
+        Ok(Reply::Answer {
+            request_id,
+            two_phase,
+            answer,
+        }) => {
+            shared.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+            shared.registry.record_query(q.group_id);
+            let payload = AnswerPayload {
+                request_id,
+                two_phase,
+                answer,
+            };
+            write_frame(stream, FrameType::Answer, &payload.encode())
+        }
+        Ok(Reply::Failure {
+            request_id,
+            code,
+            message,
+        }) => {
+            if code == ErrorCode::DeadlineExceeded {
+                shared
+                    .stats
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
+            }
+            send_error(stream, request_id, code, &message)
+        }
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+            shared
+                .stats
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            send_error(
+                stream,
+                q.request_id,
+                ErrorCode::DeadlineExceeded,
+                "no worker reply within the deadline",
+            )
+        }
+    }
+}
+
+fn send_error(
+    stream: &mut TcpStream,
+    request_id: u32,
+    code: ErrorCode,
+    message: &str,
+) -> Result<(), ServerError> {
+    let payload = ErrorPayload {
+        request_id,
+        code,
+        message: to_owned_capped(message),
+    };
+    write_frame(stream, FrameType::Error, &payload.encode())
+}
+
+fn to_owned_capped(message: &str) -> String {
+    const CAP: usize = 512;
+    if message.len() <= CAP {
+        message.to_owned()
+    } else {
+        let mut end = CAP;
+        while !message.is_char_boundary(end) {
+            end -= 1;
+        }
+        message[..end].to_owned()
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>, index: u64) {
+    let mut rng = StdRng::seed_from_u64(shared.config.rng_seed.wrapping_add(index));
+    // `recv` returns Err only when every sender is dropped AND the
+    // queue is empty — exactly the drain semantics shutdown needs.
+    while let Ok(job) = rx.recv() {
+        if job.enqueued.elapsed() >= job.deadline {
+            let _ = job.reply.send(Reply::Failure {
+                request_id: job.request_id,
+                code: ErrorCode::DeadlineExceeded,
+                message: "deadline expired while queued".into(),
+            });
+            continue;
+        }
+        let mut ledger = CostLedger::new();
+        let result =
+            shared
+                .lsp
+                .process_query(&job.query, &job.location_sets, &mut ledger, &mut rng);
+        let reply = match result {
+            Ok(answer) => Reply::Answer {
+                request_id: job.request_id,
+                two_phase: matches!(answer, AnswerMessage::TwoPhase(_)),
+                answer: answer.to_wire(&job.query.pk),
+            },
+            Err(e) => Reply::Failure {
+                request_id: job.request_id,
+                code: ErrorCode::Protocol,
+                message: e.to_string(),
+            },
+        };
+        // A gone receiver means the connection died or timed out; the
+        // query result is simply dropped.
+        let _ = job.reply.send(reply);
+    }
+}

@@ -77,7 +77,11 @@ impl CostLedger {
 
     /// Starts a scoped timer; the elapsed time is attributed on drop.
     pub fn timer(&mut self, party: Party) -> TimerGuard<'_> {
-        TimerGuard { ledger: self, party, start: Instant::now() }
+        TimerGuard {
+            ledger: self,
+            party,
+            start: Instant::now(),
+        }
     }
 
     /// Increments a named counter.
@@ -157,7 +161,8 @@ impl CostLedger {
             *self.counters.entry(name).or_default() += v;
         }
         for m in other.transcript.messages() {
-            self.transcript.record(m.from, m.to, m.bytes, m.label.clone());
+            self.transcript
+                .record(m.from, m.to, m.bytes, m.label.clone());
         }
     }
 }

@@ -38,14 +38,26 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// A 4G-ish profile: 50 ms one-way, ~2 MB/s.
     pub fn mobile_4g() -> Self {
-        let link = LinkModel { latency_ms: 50.0, bandwidth_kbps: 2048.0 };
-        NetworkModel { user_lsp: link, intra_group: link }
+        let link = LinkModel {
+            latency_ms: 50.0,
+            bandwidth_kbps: 2048.0,
+        };
+        NetworkModel {
+            user_lsp: link,
+            intra_group: link,
+        }
     }
 
     /// A constrained 3G-ish profile: 150 ms one-way, ~128 KB/s.
     pub fn mobile_3g() -> Self {
-        let link = LinkModel { latency_ms: 150.0, bandwidth_kbps: 128.0 };
-        NetworkModel { user_lsp: link, intra_group: link }
+        let link = LinkModel {
+            latency_ms: 150.0,
+            bandwidth_kbps: 128.0,
+        };
+        NetworkModel {
+            user_lsp: link,
+            intra_group: link,
+        }
     }
 
     /// Serial transfer time of an entire transcript (upper bound: no
@@ -72,7 +84,10 @@ mod tests {
 
     #[test]
     fn message_cost_includes_latency_and_transfer() {
-        let link = LinkModel { latency_ms: 10.0, bandwidth_kbps: 1024.0 };
+        let link = LinkModel {
+            latency_ms: 10.0,
+            bandwidth_kbps: 1024.0,
+        };
         // 1024 KB at 1024 KB/s = 1000 ms + 10 ms latency.
         assert!((link.message_ms(1024 * 1024) - 1010.0).abs() < 1e-9);
         // Empty message still pays the latency.
@@ -85,8 +100,14 @@ mod tests {
         t.record(Party::Coordinator, Party::Lsp, 2048, "query");
         t.record(Party::Coordinator, Party::User(1), 2048, "pos");
         let model = NetworkModel {
-            user_lsp: LinkModel { latency_ms: 100.0, bandwidth_kbps: 1024.0 },
-            intra_group: LinkModel { latency_ms: 1.0, bandwidth_kbps: 1024.0 },
+            user_lsp: LinkModel {
+                latency_ms: 100.0,
+                bandwidth_kbps: 1024.0,
+            },
+            intra_group: LinkModel {
+                latency_ms: 1.0,
+                bandwidth_kbps: 1024.0,
+            },
         };
         let total = model.transcript_ms(&t);
         // 2 KB transfers ≈ 1.953 ms each; latencies 100 + 1.

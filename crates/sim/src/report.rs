@@ -33,7 +33,11 @@ impl CostReport {
             comm_bytes_user_lsp: self.comm_bytes_user_lsp / runs,
             user_cpu_secs: self.user_cpu_secs / runs as f64,
             lsp_cpu_secs: self.lsp_cpu_secs / runs as f64,
-            counters: self.counters.iter().map(|(k, v)| (k.clone(), v / runs)).collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v / runs))
+                .collect(),
         }
     }
 
@@ -73,13 +77,19 @@ mod tests {
 
     #[test]
     fn kb_conversion() {
-        let r = CostReport { comm_bytes_total: 2048, ..Default::default() };
+        let r = CostReport {
+            comm_bytes_total: 2048,
+            ..Default::default()
+        };
         assert_eq!(r.comm_kb(), 2.0);
     }
 
     #[test]
     fn serde_roundtrip() {
-        let r = CostReport { comm_bytes_total: 5, ..Default::default() };
+        let r = CostReport {
+            comm_bytes_total: 5,
+            ..Default::default()
+        };
         let json = serde_json::to_string(&r).unwrap();
         let back: CostReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);

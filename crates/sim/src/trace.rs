@@ -33,7 +33,12 @@ impl Transcript {
 
     /// Appends a message event.
     pub fn record(&mut self, from: Party, to: Party, bytes: usize, label: impl Into<String>) {
-        self.messages.push(TracedMessage { from, to, bytes, label: label.into() });
+        self.messages.push(TracedMessage {
+            from,
+            to,
+            bytes,
+            label: label.into(),
+        });
     }
 
     /// All events in order.

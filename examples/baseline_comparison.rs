@@ -28,7 +28,11 @@ fn main() {
     let keys = ppgnn::paillier::generate_keypair(512, &mut rng);
     let lsp = Lsp::new(
         pois.clone(),
-        PpgnnConfig { k, keysize: 512, ..PpgnnConfig::paper_defaults() },
+        PpgnnConfig {
+            k,
+            keysize: 512,
+            ..PpgnnConfig::paper_defaults()
+        },
     );
     let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).expect("ppgnn");
     println!(
@@ -70,7 +74,11 @@ fn main() {
     let recovered = glp_centroid_attack(centroid, &users[1..]);
     println!(
         "GLP centroid attack: recovered u0 at ({:.6}, {:.6}), true ({:.6}, {:.6}) — error {:.2e}",
-        recovered.x, recovered.y, users[0].x, users[0].y, recovered.dist(&users[0])
+        recovered.x,
+        recovered.y,
+        users[0].x,
+        users[0].y,
+        recovered.dist(&users[0])
     );
 
     // IPPF: predecessor+successor see dist(p, u1) for each candidate.

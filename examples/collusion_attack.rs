@@ -18,10 +18,20 @@ fn main() {
     let theta0 = 0.05;
 
     let users: Vec<Point> = ppgnn::datagen::Workload::unit(5).next_group(4);
-    println!("group: {} users, θ0 = {theta0} (each user must stay hidden in", users.len());
-    println!("≥ {:.0}% of the space even if the other {} collude)\n", theta0 * 100.0, users.len() - 1);
+    println!(
+        "group: {} users, θ0 = {theta0} (each user must stay hidden in",
+        users.len()
+    );
+    println!(
+        "≥ {:.0}% of the space even if the other {} collude)\n",
+        theta0 * 100.0,
+        users.len() - 1
+    );
 
-    for (name, sanitize) in [("PPGNN-NAS (no sanitation)", false), ("PPGNN (sanitized)", true)] {
+    for (name, sanitize) in [
+        ("PPGNN-NAS (no sanitation)", false),
+        ("PPGNN (sanitized)", true),
+    ] {
         let config = PpgnnConfig {
             keysize: 512,
             k: 16,
@@ -57,7 +67,12 @@ fn main() {
                 50_000,
                 &mut rng,
             );
-            let verdict = if theta <= theta0 { exposed += 1; "EXPOSED" } else { "safe" };
+            let verdict = if theta <= theta0 {
+                exposed += 1;
+                "EXPOSED"
+            } else {
+                "safe"
+            };
             println!(
                 "  target u{target}: feasible region = {:>5.1}% of space  -> {verdict}",
                 theta * 100.0

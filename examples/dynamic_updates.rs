@@ -42,7 +42,10 @@ fn main() {
     ];
     let run = session.query(&lsp, &users, &mut rng).expect("query");
     let found = run.answer.iter().any(|p| p.dist(&hotspot) < 1e-6);
-    println!("PPGNN:  insert took {:>10.1?}; new POI in the very next private answer: {found}", ppgnn_update);
+    println!(
+        "PPGNN:  insert took {:>10.1?}; new POI in the very next private answer: {found}",
+        ppgnn_update
+    );
     assert!(found);
 
     // --- APNN must recompute cells.

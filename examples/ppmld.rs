@@ -60,7 +60,11 @@ fn main() {
         })
         .collect();
     let open_big = venues.iter().filter(|v| v.open && v.capacity >= 5).count();
-    println!("{} venues, {} open with capacity ≥ 5", venues.len(), open_big);
+    println!(
+        "{} venues, {} open with capacity ≥ 5",
+        venues.len(),
+        open_big
+    );
 
     let config = PpgnnConfig {
         k: 3,

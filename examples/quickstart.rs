@@ -42,11 +42,23 @@ fn main() {
     }
     println!();
     println!("Privacy bill for this query:");
-    println!("  candidate queries evaluated by LSP (δ'): {}", run.delta_prime);
-    println!("  POIs returned after sanitation:          {}", run.pois_returned);
+    println!(
+        "  candidate queries evaluated by LSP (δ'): {}",
+        run.delta_prime
+    );
+    println!(
+        "  POIs returned after sanitation:          {}",
+        run.pois_returned
+    );
     println!("  total communication:  {:.2} KB", run.report.comm_kb());
-    println!("  user CPU (all users): {:.1} ms", run.report.user_cpu_secs * 1e3);
-    println!("  LSP CPU:              {:.1} ms", run.report.lsp_cpu_secs * 1e3);
+    println!(
+        "  user CPU (all users): {:.1} ms",
+        run.report.user_cpu_secs * 1e3
+    );
+    println!(
+        "  LSP CPU:              {:.1} ms",
+        run.report.lsp_cpu_secs * 1e3
+    );
 
     // Sanity: the privacy-preserving answer equals the plaintext answer.
     let plain = lsp.plaintext_answer(&users, 3);

@@ -49,7 +49,10 @@ fn main() {
         ..PpgnnConfig::paper_defaults()
     };
     let road_lsp = Lsp::with_engine(
-        Box::new(RoadGnnEngine { network: network.clone(), pois: pois.clone() }),
+        Box::new(RoadGnnEngine {
+            network: network.clone(),
+            pois: pois.clone(),
+        }),
         config.clone(),
         Rect::UNIT,
     );

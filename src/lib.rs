@@ -13,6 +13,7 @@
 //! | [`sim`] | `ppgnn-sim` | byte/CPU cost ledger |
 //! | [`core`] | `ppgnn-core` | the PPGNN / PPGNN-OPT / Naive protocols |
 //! | [`baselines`] | `ppgnn-baselines` | APNN, IPPF, GLP + the Table 4 attacks |
+//! | [`server`] | `ppgnn-server` | networked LSP: framed TCP transport, session registry, load generator |
 //!
 //! See `examples/quickstart.rs` for a three-user end-to-end run and
 //! README.md for the architecture overview.
@@ -23,10 +24,11 @@ pub use ppgnn_core as core;
 pub use ppgnn_datagen as datagen;
 pub use ppgnn_geo as geo;
 pub use ppgnn_paillier as paillier;
+pub use ppgnn_server as server;
 pub use ppgnn_sim as sim;
 
 /// The most common imports for library users.
 pub mod prelude {
     pub use ppgnn_core::prelude::*;
-    pub use ppgnn_geo::{Aggregate, Point, Poi, Rect};
+    pub use ppgnn_geo::{Aggregate, Poi, Point, Rect};
 }

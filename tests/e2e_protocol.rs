@@ -11,7 +11,12 @@ fn db(size: usize) -> Vec<Poi> {
     ppgnn::datagen::sequoia_like(size, 42)
 }
 
-fn assert_prefix_of_plaintext(run: &ppgnn::core::ProtocolRun, lsp: &Lsp, users: &[Point], k: usize) {
+fn assert_prefix_of_plaintext(
+    run: &ppgnn::core::ProtocolRun,
+    lsp: &Lsp,
+    users: &[Point],
+    k: usize,
+) {
     let expected = lsp.plaintext_answer(users, k);
     assert!(run.answer.len() <= expected.len());
     for (got, want) in run.answer.iter().zip(&expected) {
@@ -27,7 +32,11 @@ fn all_variants_match_plaintext_oracle() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let pois = db(3_000);
     let keys = ppgnn::paillier::generate_keypair(128, &mut rng);
-    let users = vec![Point::new(0.3, 0.4), Point::new(0.5, 0.2), Point::new(0.45, 0.6)];
+    let users = vec![
+        Point::new(0.3, 0.4),
+        Point::new(0.5, 0.2),
+        Point::new(0.45, 0.6),
+    ];
     for variant in [Variant::Plain, Variant::Opt, Variant::Naive] {
         let cfg = PpgnnConfig {
             k: 5,
@@ -108,7 +117,11 @@ fn delta_prime_meets_delta_across_parameters() {
         let lsp = Lsp::new(pois.clone(), cfg);
         let users = workload.next_group(3);
         let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
-        assert!(run.delta_prime >= delta, "d={d} δ={delta}: δ'={}", run.delta_prime);
+        assert!(
+            run.delta_prime >= delta,
+            "d={d} δ={delta}: δ'={}",
+            run.delta_prime
+        );
         assert_prefix_of_plaintext(&run, &lsp, &users, 2);
     }
 }
@@ -199,7 +212,10 @@ fn sanitized_answer_is_exact_prefix() {
     for _ in 0..3 {
         let users = workload.next_group(4);
         let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
-        assert!(run.pois_returned >= 1, "at least the top POI is always safe");
+        assert!(
+            run.pois_returned >= 1,
+            "at least the top POI is always safe"
+        );
         assert!(run.pois_returned <= 10);
         assert_prefix_of_plaintext(&run, &lsp, &users, 10);
     }

@@ -12,7 +12,12 @@ use rand_chacha::ChaCha8Rng;
 
 fn small_db() -> Vec<Poi> {
     (0..100)
-        .map(|i| Poi::new(i, Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0)))
+        .map(|i| {
+            Poi::new(
+                i,
+                Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0),
+            )
+        })
         .collect()
 }
 
@@ -30,11 +35,22 @@ fn lax_config() -> PpgnnConfig {
 #[test]
 fn delta_above_d_pow_n_rejected() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let cfg = PpgnnConfig { d: 3, delta: 100, ..lax_config() };
+    let cfg = PpgnnConfig {
+        d: 3,
+        delta: 100,
+        ..lax_config()
+    };
     let lsp = Lsp::new(small_db(), cfg);
     let users = vec![Point::ORIGIN, Point::new(0.5, 0.5)]; // 3^2 = 9 < 100
     let err = run_ppgnn(&lsp, &users, &mut rng).unwrap_err();
-    assert!(matches!(err, PpgnnError::DeltaUnreachable { delta: 100, d: 3, n: 2 }));
+    assert!(matches!(
+        err,
+        PpgnnError::DeltaUnreachable {
+            delta: 100,
+            d: 3,
+            n: 2
+        }
+    ));
     assert!(err.to_string().contains("larger d"));
 }
 
@@ -67,13 +83,23 @@ fn wrong_size_location_set_rejected_by_lsp() {
     };
     // User 1 sends 3 locations instead of d = 4.
     let sets = vec![
-        LocationSetMessage { user_index: 0, locations: vec![Point::ORIGIN; 4] },
-        LocationSetMessage { user_index: 1, locations: vec![Point::ORIGIN; 3] },
+        LocationSetMessage {
+            user_index: 0,
+            locations: vec![Point::ORIGIN; 4],
+        },
+        LocationSetMessage {
+            user_index: 1,
+            locations: vec![Point::ORIGIN; 3],
+        },
     ];
     let mut ledger = CostLedger::new();
     assert!(matches!(
         lsp.process_query(&query, &sets, &mut ledger, &mut rng),
-        Err(PpgnnError::BadLocationSet { user: 1, expected: 4, got: 3 })
+        Err(PpgnnError::BadLocationSet {
+            user: 1,
+            expected: 4,
+            got: 3
+        })
     ));
 }
 
@@ -97,7 +123,10 @@ fn indicator_too_short_for_two_phase_grid() {
         theta0: 0.05,
     };
     let sets: Vec<LocationSetMessage> = (0..2)
-        .map(|i| LocationSetMessage { user_index: i, locations: vec![Point::ORIGIN; 4] })
+        .map(|i| LocationSetMessage {
+            user_index: i,
+            locations: vec![Point::ORIGIN; 4],
+        })
         .collect();
     let mut ledger = CostLedger::new();
     assert!(matches!(
@@ -124,12 +153,49 @@ fn config_validation_catches_every_bad_field() {
     good.validate(2).unwrap();
 
     let cases: Vec<(&str, PpgnnConfig)> = vec![
-        ("k=0", PpgnnConfig { k: 0, ..good.clone() }),
-        ("d=1", PpgnnConfig { d: 1, delta: 1, ..good.clone() }),
-        ("delta<d", PpgnnConfig { delta: 3, ..good.clone() }),
-        ("theta0=0", PpgnnConfig { theta0: 0.0, ..good.clone() }),
-        ("theta0>1", PpgnnConfig { theta0: 1.1, ..good.clone() }),
-        ("tiny key", PpgnnConfig { keysize: 64, ..good.clone() }),
+        (
+            "k=0",
+            PpgnnConfig {
+                k: 0,
+                ..good.clone()
+            },
+        ),
+        (
+            "d=1",
+            PpgnnConfig {
+                d: 1,
+                delta: 1,
+                ..good.clone()
+            },
+        ),
+        (
+            "delta<d",
+            PpgnnConfig {
+                delta: 3,
+                ..good.clone()
+            },
+        ),
+        (
+            "theta0=0",
+            PpgnnConfig {
+                theta0: 0.0,
+                ..good.clone()
+            },
+        ),
+        (
+            "theta0>1",
+            PpgnnConfig {
+                theta0: 1.1,
+                ..good.clone()
+            },
+        ),
+        (
+            "tiny key",
+            PpgnnConfig {
+                keysize: 64,
+                ..good.clone()
+            },
+        ),
         (
             "gamma=0.9",
             PpgnnConfig {
@@ -159,7 +225,10 @@ fn empty_database_yields_empty_answers() {
 #[test]
 fn database_smaller_than_k() {
     let mut rng = ChaCha8Rng::seed_from_u64(6);
-    let pois = vec![Poi::new(0, Point::new(0.4, 0.4)), Poi::new(1, Point::new(0.6, 0.6))];
+    let pois = vec![
+        Poi::new(0, Point::new(0.4, 0.4)),
+        Poi::new(1, Point::new(0.6, 0.6)),
+    ];
     let lsp = Lsp::new(pois, lax_config()); // k = 3 > 2 POIs
     let users = vec![Point::new(0.5, 0.5), Point::new(0.55, 0.5)];
     let run = run_ppgnn(&lsp, &users, &mut rng).unwrap();
@@ -181,10 +250,16 @@ fn mismatched_indicator_vs_naive_columns() {
         )),
         theta0: 0.05,
     };
-    let sets = vec![LocationSetMessage { user_index: 0, locations: vec![Point::ORIGIN; 5] }];
+    let sets = vec![LocationSetMessage {
+        user_index: 0,
+        locations: vec![Point::ORIGIN; 5],
+    }];
     let mut ledger = CostLedger::new();
     assert!(matches!(
         lsp.process_query(&query, &sets, &mut ledger, &mut rng),
-        Err(PpgnnError::BadIndicator { expected: 5, got: 9 })
+        Err(PpgnnError::BadIndicator {
+            expected: 5,
+            got: 9
+        })
     ));
 }

@@ -30,7 +30,10 @@ fn privacy1_location_hidden_among_dummies() {
     let gen = ppgnn::datagen::DummyGenerator::uniform_unit();
     let mut locations = gen.generate(d - 1, &mut rng);
     locations.insert(7, real);
-    let msg = LocationSetMessage { user_index: 0, locations };
+    let msg = LocationSetMessage {
+        user_index: 0,
+        locations,
+    };
     assert_eq!(msg.locations.len(), d);
     let occurrences = msg
         .locations
@@ -109,7 +112,12 @@ fn privacy4_sanitized_runs_resist_full_collusion() {
                 .map(|(_, p)| *p)
                 .collect();
             let theta = feasible_region_fraction(
-                &answer, &colluders, Aggregate::Sum, &Rect::UNIT, 20_000, &mut rng,
+                &answer,
+                &colluders,
+                Aggregate::Sum,
+                &Rect::UNIT,
+                20_000,
+                &mut rng,
             );
             // γ = 0.05 Type-I slack: allow the estimate to brush θ0.
             assert!(
@@ -159,7 +167,12 @@ fn privacy4_unsanitized_runs_are_attackable() {
                 .map(|(_, p)| *p)
                 .collect();
             let theta = feasible_region_fraction(
-                &answer, &colluders, Aggregate::Sum, &Rect::UNIT, 20_000, &mut rng,
+                &answer,
+                &colluders,
+                Aggregate::Sum,
+                &Rect::UNIT,
+                20_000,
+                &mut rng,
             );
             if theta <= theta0 {
                 exposures += 1;
@@ -202,7 +215,11 @@ fn ippf_breaks_privacy3_and_4() {
     let mut rng = ChaCha8Rng::seed_from_u64(6);
     let pois = db();
     let ippf = Ippf::new(pois.clone());
-    let users = vec![Point::new(0.1, 0.15), Point::new(0.85, 0.8), Point::new(0.4, 0.6)];
+    let users = vec![
+        Point::new(0.1, 0.15),
+        Point::new(0.85, 0.8),
+        Point::new(0.4, 0.6),
+    ];
     let run = ippf.query(&users, 4, &mut rng);
     // Privacy III: more POI information than the k requested reached users.
     assert!(
@@ -212,13 +229,12 @@ fn ippf_breaks_privacy3_and_4() {
     // Privacy IV: the chain neighbours of u1 observe dist(p, u1) for every
     // candidate and recover u1.
     let victim = users[1];
-    let observed: Vec<(Point, f64)> = run
-        .answer
-        .iter()
-        .map(|p| (*p, p.dist(&victim)))
-        .collect();
+    let observed: Vec<(Point, f64)> = run.answer.iter().map(|p| (*p, p.dist(&victim))).collect();
     if let Some(recovered) = ippf_chain_attack(&observed) {
-        assert!(recovered.dist(&victim) < 1e-6, "chain attack recovers the victim");
+        assert!(
+            recovered.dist(&victim) < 1e-6,
+            "chain attack recovers the victim"
+        );
     } else {
         panic!("attack had enough candidates but was degenerate");
     }
@@ -232,8 +248,10 @@ fn glp_breaks_privacy2_and_4() {
     let pois = db();
     let glp = Glp::new(pois, 128);
     let users = vec![
-        Point::new(0.22, 0.71), Point::new(0.64, 0.28),
-        Point::new(0.47, 0.55), Point::new(0.81, 0.9),
+        Point::new(0.22, 0.71),
+        Point::new(0.64, 0.28),
+        Point::new(0.47, 0.55),
+        Point::new(0.81, 0.9),
     ];
     let keys: Vec<_> = (0..4)
         .map(|_| ppgnn::paillier::generate_keypair(128, &mut rng))
@@ -266,7 +284,11 @@ fn intra_group_traffic_carries_no_locations() {
         ..PpgnnConfig::fast_test()
     };
     let lsp = Lsp::new(pois, cfg);
-    let users = vec![Point::new(0.3, 0.3), Point::new(0.4, 0.4), Point::new(0.5, 0.5)];
+    let users = vec![
+        Point::new(0.3, 0.3),
+        Point::new(0.4, 0.4),
+        Point::new(0.5, 0.5),
+    ];
     let run = run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap();
     // Intra-group: (n−1) position scalars + (n−1) answer broadcasts.
     let max_expected = 2 * (4 + (4 + 8 * 4));

@@ -3,9 +3,7 @@
 
 use ppgnn::core::attack_exact::exact_feasible_fraction;
 use ppgnn::core::messages::LocationSetMessage;
-use ppgnn::geo::{
-    group_knn_brute_force, Aggregate, DynamicRTree, Point, Poi, Rect, RoadNetwork,
-};
+use ppgnn::geo::{group_knn_brute_force, Aggregate, DynamicRTree, Poi, Point, Rect, RoadNetwork};
 use proptest::prelude::*;
 
 fn points(n: usize, seed: u64) -> Vec<Point> {

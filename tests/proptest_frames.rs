@@ -1,0 +1,199 @@
+//! Property tests of the frame layer and the wire decoders underneath
+//! it: arbitrary byte mutations (and truncations) of valid frames must
+//! never panic any decoder — every malformed input maps to a typed
+//! error or, by luck, another valid message.
+
+use std::sync::OnceLock;
+
+use ppgnn::prelude::*;
+use ppgnn::server::frame::{
+    read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
+    HelloPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
+};
+use ppgnn::server::ErrorCode;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The decode context valid query frames in the corpus were built under.
+fn wire_context() -> ppgnn::core::wire::WireContext {
+    ppgnn::core::wire::WireContext {
+        key_bits: 128,
+        two_phase_omega: None,
+        has_partition: true,
+    }
+}
+
+/// One valid frame of every type, built once: the mutation targets.
+fn corpus() -> &'static Vec<(FrameType, Vec<u8>)> {
+    static CORPUS: OnceLock<Vec<(FrameType, Vec<u8>)>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xf2a3e);
+        let config = PpgnnConfig {
+            k: 2,
+            d: 3,
+            delta: 6,
+            keysize: 128,
+            sanitize: false,
+            ..PpgnnConfig::fast_test()
+        };
+        let mut session = PpgnnSession::new(128, &mut rng);
+        let users = vec![Point::new(0.2, 0.3), Point::new(0.6, 0.5)];
+        let plan = session.plan(&config, Rect::UNIT, &users, &mut rng).unwrap();
+        let query = QueryPayload {
+            group_id: 7,
+            request_id: 1,
+            deadline_ms: 1000,
+            location_sets: plan.location_sets.iter().map(|s| s.to_wire()).collect(),
+            query: plan.query.to_wire(),
+        };
+        let payloads = vec![
+            (
+                FrameType::Hello,
+                HelloPayload {
+                    group_id: 7,
+                    key_bits: 128,
+                    variant: 0,
+                    omega: 0,
+                    has_partition: true,
+                }
+                .encode(),
+            ),
+            (
+                FrameType::HelloAck,
+                HelloAckPayload {
+                    group_id: 7,
+                    database_size: 100,
+                    max_payload: 1 << 20,
+                    workers: 4,
+                }
+                .encode(),
+            ),
+            (FrameType::Query, query.encode()),
+            (
+                FrameType::Answer,
+                AnswerPayload {
+                    request_id: 1,
+                    two_phase: false,
+                    answer: vec![3; 64],
+                }
+                .encode(),
+            ),
+            (
+                FrameType::Busy,
+                BusyPayload {
+                    request_id: 1,
+                    retry_after_ms: 50,
+                }
+                .encode(),
+            ),
+            (
+                FrameType::Error,
+                ErrorPayload {
+                    request_id: 1,
+                    code: ErrorCode::Protocol,
+                    message: "nope".into(),
+                }
+                .encode(),
+            ),
+            (FrameType::Goodbye, Vec::new()),
+        ];
+        payloads
+            .into_iter()
+            .map(|(t, p)| {
+                let mut framed = Vec::new();
+                write_frame(&mut framed, t, &p).unwrap();
+                (t, framed)
+            })
+            .collect()
+    })
+}
+
+/// Feeds possibly-corrupt frame bytes through every decode layer a
+/// server or client would run. Only panics matter; errors are expected.
+fn exercise_decoders(bytes: &[u8]) {
+    let Ok(frame) = read_frame(&mut &bytes[..], DEFAULT_MAX_PAYLOAD) else {
+        return;
+    };
+    match frame.frame_type {
+        FrameType::Hello => {
+            let _ = HelloPayload::decode(&frame.payload);
+        }
+        FrameType::HelloAck => {
+            let _ = HelloAckPayload::decode(&frame.payload);
+        }
+        FrameType::Query => {
+            if let Ok(q) = QueryPayload::decode(&frame.payload) {
+                // The inner blobs go through the hardened wire decoders.
+                let _ = ppgnn::core::messages::QueryMessage::from_wire(&q.query, &wire_context());
+                for set in &q.location_sets {
+                    let _ = ppgnn::core::messages::LocationSetMessage::from_wire(set);
+                }
+            }
+        }
+        FrameType::Answer => {
+            let _ = AnswerPayload::decode(&frame.payload);
+        }
+        FrameType::Busy => {
+            let _ = BusyPayload::decode(&frame.payload);
+        }
+        FrameType::Error => {
+            let _ = ErrorPayload::decode(&frame.payload);
+        }
+        FrameType::Goodbye | FrameType::Ping | FrameType::Pong => {}
+    }
+}
+
+proptest! {
+    /// Flip one byte anywhere in a valid frame: no decoder may panic.
+    #[test]
+    fn single_byte_mutations_never_panic(
+        which in any::<prop::sample::Index>(),
+        pos in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let corpus = corpus();
+        let (_, frame) = &corpus[which.index(corpus.len())];
+        let mut bytes = frame.clone();
+        let i = pos.index(bytes.len());
+        bytes[i] ^= xor;
+        exercise_decoders(&bytes);
+    }
+
+    /// Mutate a whole window of bytes: no decoder may panic.
+    #[test]
+    fn window_mutations_never_panic(
+        which in any::<prop::sample::Index>(),
+        start in any::<prop::sample::Index>(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let corpus = corpus();
+        let (_, frame) = &corpus[which.index(corpus.len())];
+        let mut bytes = frame.clone();
+        let s = start.index(bytes.len());
+        for (off, g) in garbage.iter().enumerate() {
+            if s + off < bytes.len() {
+                bytes[s + off] = *g;
+            }
+        }
+        exercise_decoders(&bytes);
+    }
+
+    /// Truncate anywhere: decoders report closure/truncation, no panic.
+    #[test]
+    fn truncations_never_panic(
+        which in any::<prop::sample::Index>(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let corpus = corpus();
+        let (_, frame) = &corpus[which.index(corpus.len())];
+        let bytes = &frame[..cut.index(frame.len())];
+        exercise_decoders(bytes);
+    }
+
+    /// Pure garbage streams never panic the frame reader.
+    #[test]
+    fn garbage_streams_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        exercise_decoders(&bytes);
+    }
+}

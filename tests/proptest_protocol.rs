@@ -4,9 +4,9 @@
 
 use ppgnn::core::candidate::{candidate_queries, query_index};
 use ppgnn::core::encoding::AnswerCodec;
+use ppgnn::core::params::HypothesisConfig;
 use ppgnn::core::partition::{solve_partition, solve_partition_oracle, PartitionParams};
 use ppgnn::core::sanitize::Sanitizer;
-use ppgnn::core::params::HypothesisConfig;
 use ppgnn::geo::{group_knn_brute_force, knn_brute_force, RTree};
 use ppgnn::prelude::*;
 use proptest::prelude::*;

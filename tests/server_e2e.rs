@@ -1,0 +1,367 @@
+//! End-to-end tests of the networked LSP: concurrent client groups over
+//! real TCP sockets on an ephemeral port, answers checked against the
+//! in-process protocol, plus backpressure, deadline, and drain
+//! semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppgnn::prelude::*;
+use ppgnn::server::{serve, ErrorCode, GroupClient, ServerConfig, ServerError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn grid_db(side: usize) -> Vec<Poi> {
+    (0..side * side)
+        .map(|i| {
+            Poi::new(
+                i as u32,
+                Point::new(
+                    (i % side) as f64 / side as f64,
+                    (i / side) as f64 / side as f64,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn test_config(variant: Variant) -> PpgnnConfig {
+    PpgnnConfig {
+        k: 2,
+        d: 3,
+        delta: 6,
+        keysize: 128,
+        sanitize: false,
+        variant,
+        ..PpgnnConfig::fast_test()
+    }
+}
+
+/// ≥4 concurrent client groups — half PPGNN, half PPGNN-OPT — issue
+/// queries over TCP; every answer must match the in-process protocol
+/// (both resolve to the exact plaintext top-k of the shared database).
+#[test]
+fn concurrent_groups_match_in_process_protocol() {
+    // The server's own variant setting is irrelevant to Algorithm 2
+    // (the query message is self-describing); groups pick per-session.
+    let lsp = Arc::new(Lsp::new(grid_db(10), test_config(Variant::Plain)));
+    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    let threads: Vec<_> = (0..4)
+        .map(|g| {
+            let lsp = Arc::clone(&lsp);
+            std::thread::spawn(move || {
+                let variant = if g % 2 == 0 {
+                    Variant::Plain
+                } else {
+                    Variant::Opt
+                };
+                let config = test_config(variant);
+                let mut rng = ChaCha8Rng::seed_from_u64(100 + g);
+                let mut client =
+                    GroupClient::connect(addr, g + 1, config.clone(), lsp.space(), 2, &mut rng)
+                        .expect("connect");
+                for q in 0..3 {
+                    let users = vec![
+                        Point::new(0.1 + 0.07 * g as f64, 0.2 + 0.05 * q as f64),
+                        Point::new(0.6 - 0.05 * g as f64, 0.4),
+                    ];
+                    let remote = client.query(&users, &mut rng).expect("remote query");
+                    // The same query through the in-process driver.
+                    let local = run_ppgnn(&lsp, &users, &mut rng).expect("local run");
+                    assert_eq!(remote.len(), local.answer.len(), "group {g} query {q}");
+                    for (r, l) in remote.iter().zip(&local.answer) {
+                        assert!(r.dist(l) < 1e-9, "group {g} query {q}: {r:?} vs {l:?}");
+                    }
+                    // And both match the plaintext oracle.
+                    let oracle = lsp.plaintext_answer(&users, config.k);
+                    for (r, o) in remote.iter().zip(&oracle) {
+                        assert!(r.dist(&o.location) < 1e-6);
+                    }
+                }
+                assert_eq!(client.queries_issued(), 3);
+                client.goodbye();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client group panicked");
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.queries_ok.load(Ordering::Relaxed), 12);
+    assert_eq!(stats.queries_err.load(Ordering::Relaxed), 0);
+    assert_eq!(handle.registry().len(), 4);
+    assert_eq!(handle.registry().queries_served(1), 3);
+    handle.shutdown();
+}
+
+/// An engine that sleeps per candidate answer, to hold the worker busy.
+struct SlowEngine {
+    inner: MbmEngine,
+    delay: Duration,
+    calls: AtomicU64,
+}
+
+impl QueryEngine for SlowEngine {
+    fn answer(&self, query: &[Point], k: usize, agg: Aggregate) -> Vec<Poi> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(self.delay);
+        self.inner.answer(query, k, agg)
+    }
+
+    fn database_size(&self) -> usize {
+        self.inner.database_size()
+    }
+}
+
+fn slow_lsp(delay: Duration) -> Arc<Lsp> {
+    let engine = SlowEngine {
+        inner: MbmEngine::new(grid_db(8)),
+        delay,
+        calls: AtomicU64::new(0),
+    };
+    Arc::new(Lsp::with_engine(
+        Box::new(engine),
+        test_config(Variant::Plain),
+        Rect::UNIT,
+    ))
+}
+
+/// With one worker and a one-deep queue, a burst of concurrent queries
+/// must be shed with `Busy` — not queued unboundedly, not dropped
+/// silently, not panicking.
+#[test]
+fn full_queue_sheds_with_busy() {
+    let lsp = slow_lsp(Duration::from_millis(30));
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    };
+    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let addr = handle.local_addr();
+
+    let threads: Vec<_> = (0..6)
+        .map(|g| {
+            std::thread::spawn(move || {
+                let mut rng = ChaCha8Rng::seed_from_u64(200 + g);
+                let mut client = GroupClient::connect(
+                    addr,
+                    g + 1,
+                    test_config(Variant::Plain),
+                    Rect::UNIT,
+                    2,
+                    &mut rng,
+                )
+                .expect("connect");
+                let users = vec![Point::new(0.2, 0.2), Point::new(0.5, 0.5)];
+                match client.query(&users, &mut rng) {
+                    Ok(answer) => {
+                        assert!(!answer.is_empty());
+                        Ok(())
+                    }
+                    Err(ServerError::ServerBusy { retry_after_ms }) => {
+                        assert!(retry_after_ms > 0);
+                        Err(())
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let answered = outcomes.iter().filter(|o| o.is_ok()).count();
+    let shed = outcomes.len() - answered;
+
+    // The worker plus the one queue slot bound concurrency: with six
+    // simultaneous slow queries at least one must have been shed, and
+    // whatever got through must have been answered correctly.
+    assert!(answered >= 1, "no query got through");
+    assert!(shed >= 1, "no query was shed");
+    assert_eq!(
+        handle.stats().busy_shed.load(Ordering::Relaxed),
+        shed as u64
+    );
+    handle.shutdown();
+}
+
+/// A request whose deadline expires while it waits in the queue is
+/// answered with a typed `DeadlineExceeded` error, not processed late.
+#[test]
+fn queued_past_deadline_is_rejected() {
+    let lsp = slow_lsp(Duration::from_millis(40));
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..ServerConfig::default()
+    };
+    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let addr = handle.local_addr();
+
+    // Occupy the single worker with a long query.
+    let blocker = std::thread::spawn(move || {
+        let mut rng = ChaCha8Rng::seed_from_u64(300);
+        let mut client = GroupClient::connect(
+            addr,
+            1,
+            test_config(Variant::Plain),
+            Rect::UNIT,
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        client
+            .query(&[Point::new(0.1, 0.1), Point::new(0.2, 0.2)], &mut rng)
+            .expect("blocker query")
+    });
+    std::thread::sleep(Duration::from_millis(60));
+
+    // This query can only wait in the queue; its 1 ms deadline expires
+    // long before the worker frees up.
+    let mut rng = ChaCha8Rng::seed_from_u64(301);
+    let mut client = GroupClient::connect(
+        addr,
+        2,
+        test_config(Variant::Plain),
+        Rect::UNIT,
+        2,
+        &mut rng,
+    )
+    .unwrap();
+    client.deadline_ms = 1;
+    let err = client
+        .query(&[Point::new(0.3, 0.3), Point::new(0.4, 0.4)], &mut rng)
+        .expect_err("deadline should expire in queue");
+    match err {
+        ServerError::Remote { code, .. } => assert_eq!(code, ErrorCode::DeadlineExceeded),
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+
+    assert!(!blocker.join().unwrap().is_empty());
+    assert!(handle.stats().deadline_expired.load(Ordering::Relaxed) >= 1);
+    handle.shutdown();
+}
+
+/// Shutdown drains: a query already accepted keeps its worker and its
+/// reply; `shutdown()` returns only after the in-flight answer is out.
+#[test]
+fn shutdown_drains_inflight_queries() {
+    let lsp = slow_lsp(Duration::from_millis(25));
+    let handle = serve(
+        lsp,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let client_thread = std::thread::spawn(move || {
+        let mut rng = ChaCha8Rng::seed_from_u64(400);
+        let mut client = GroupClient::connect(
+            addr,
+            9,
+            test_config(Variant::Plain),
+            Rect::UNIT,
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        client.query(&[Point::new(0.25, 0.25), Point::new(0.75, 0.5)], &mut rng)
+    });
+
+    // Let the query reach the queue, then shut down while it is in
+    // flight. The slow engine guarantees processing outlives the signal.
+    std::thread::sleep(Duration::from_millis(80));
+    handle.shutdown();
+
+    let answer = client_thread
+        .join()
+        .expect("client panicked")
+        .expect("in-flight query must be drained, not dropped");
+    assert!(!answer.is_empty());
+}
+
+/// The registry outlives connections: a fresh TCP connection may send a
+/// raw `Query` for an already-negotiated group without any `Hello`, and
+/// the server decodes it under the registered session parameters. An
+/// unknown group on the same socket gets a typed `NoSession` error.
+#[test]
+fn registry_survives_reconnect_without_handshake() {
+    use ppgnn::server::frame::{
+        read_frame, write_frame, AnswerPayload, ErrorPayload, FrameType, QueryPayload,
+        DEFAULT_MAX_PAYLOAD,
+    };
+
+    let lsp = Arc::new(Lsp::new(grid_db(10), test_config(Variant::Plain)));
+    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut rng = ChaCha8Rng::seed_from_u64(500);
+
+    // First connection performs the handshake and one query, then leaves.
+    let config = test_config(Variant::Plain);
+    let mut first =
+        GroupClient::connect(addr, 77, config.clone(), lsp.space(), 2, &mut rng).unwrap();
+    let users = vec![Point::new(0.3, 0.3), Point::new(0.6, 0.6)];
+    first.query(&users, &mut rng).unwrap();
+    first.goodbye();
+
+    // Second connection: raw frames, no Hello. The session must resolve
+    // from the registry by group ID alone.
+    let mut session = ppgnn::prelude::PpgnnSession::new(128, &mut rng);
+    let plan = session
+        .plan(&config, lsp.space(), &users, &mut rng)
+        .unwrap();
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let payload = QueryPayload {
+        group_id: 77,
+        request_id: 5,
+        deadline_ms: 0,
+        location_sets: plan.location_sets.iter().map(|s| s.to_wire()).collect(),
+        query: plan.query.to_wire(),
+    };
+    write_frame(&mut stream, FrameType::Query, &payload.encode()).unwrap();
+    let frame = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(frame.frame_type, FrameType::Answer);
+    let ans = AnswerPayload::decode(&frame.payload).unwrap();
+    assert_eq!(ans.request_id, 5);
+    let msg = ppgnn::core::messages::AnswerMessage::from_wire(
+        &ans.answer,
+        session.public_key(),
+        ans.two_phase,
+    )
+    .unwrap();
+    let answer = session.decode(config.k, &msg).unwrap();
+    let oracle = lsp.plaintext_answer(&users, 2);
+    for (r, o) in answer.iter().zip(&oracle) {
+        assert!(r.dist(&o.location) < 1e-6);
+    }
+
+    // An unregistered group on the same socket: typed NoSession error.
+    let plan2 = session
+        .plan(&config, lsp.space(), &users, &mut rng)
+        .unwrap();
+    let stray = QueryPayload {
+        group_id: 99_999,
+        request_id: 6,
+        deadline_ms: 0,
+        location_sets: plan2.location_sets.iter().map(|s| s.to_wire()).collect(),
+        query: plan2.query.to_wire(),
+    };
+    write_frame(&mut stream, FrameType::Query, &stray.encode()).unwrap();
+    let frame = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(frame.frame_type, FrameType::Error);
+    let err = ErrorPayload::decode(&frame.payload).unwrap();
+    assert_eq!(err.request_id, 6);
+    assert_eq!(err.code, ErrorCode::NoSession);
+
+    assert_eq!(handle.registry().len(), 1);
+    assert_eq!(handle.registry().queries_served(77), 2);
+    handle.shutdown();
+}

@@ -11,7 +11,12 @@ use rand_chacha::ChaCha8Rng;
 fn run() -> ppgnn::core::ProtocolRun {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let pois: Vec<Poi> = (0..200)
-        .map(|i| Poi::new(i, Point::new((i % 20) as f64 / 20.0, (i / 20) as f64 / 10.0)))
+        .map(|i| {
+            Poi::new(
+                i,
+                Point::new((i % 20) as f64 / 20.0, (i / 20) as f64 / 10.0),
+            )
+        })
         .collect();
     let cfg = PpgnnConfig {
         k: 3,
@@ -23,16 +28,29 @@ fn run() -> ppgnn::core::ProtocolRun {
     };
     let lsp = Lsp::new(pois, cfg);
     let keys = ppgnn::paillier::generate_keypair(128, &mut rng);
-    let users = vec![Point::new(0.2, 0.3), Point::new(0.5, 0.6), Point::new(0.7, 0.2)];
+    let users = vec![
+        Point::new(0.2, 0.3),
+        Point::new(0.5, 0.6),
+        Point::new(0.7, 0.2),
+    ];
     run_ppgnn_with_keys(&lsp, &users, Some(&keys), &mut rng).unwrap()
 }
 
 #[test]
 fn message_order_follows_algorithm_1_and_2() {
     let t = run().transcript;
-    assert!(t.ordered("pos broadcast", "query"), "positions precede the query");
-    assert!(t.ordered("query", "location set"), "sets follow the query here");
-    assert!(t.ordered("location set", "answer"), "LSP answers after inputs");
+    assert!(
+        t.ordered("pos broadcast", "query"),
+        "positions precede the query"
+    );
+    assert!(
+        t.ordered("query", "location set"),
+        "sets follow the query here"
+    );
+    assert!(
+        t.ordered("location set", "answer"),
+        "LSP answers after inputs"
+    );
     assert!(t.ordered("answer", "answer broadcast"), "broadcast is last");
 }
 

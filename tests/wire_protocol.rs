@@ -3,11 +3,11 @@
 //! the in-memory simulation and the cost model correspond to an actual
 //! network protocol.
 
+use ppgnn::core::candidate::query_index;
 use ppgnn::core::encoding::AnswerCodec;
 use ppgnn::core::messages::{AnswerMessage, IndicatorPayload, LocationSetMessage, QueryMessage};
 use ppgnn::core::opt_split;
 use ppgnn::core::partition::solve_partition;
-use ppgnn::core::candidate::query_index;
 use ppgnn::core::wire::WireContext;
 use ppgnn::prelude::*;
 use ppgnn::sim::CostLedger;
@@ -17,7 +17,13 @@ use rand_chacha::ChaCha8Rng;
 fn grid_db(side: u32) -> Vec<Poi> {
     (0..side * side)
         .map(|i| {
-            Poi::new(i, Point::new((i % side) as f64 / side as f64, (i / side) as f64 / side as f64))
+            Poi::new(
+                i,
+                Point::new(
+                    (i % side) as f64 / side as f64,
+                    (i / side) as f64 / side as f64,
+                ),
+            )
         })
         .collect()
 }
@@ -35,7 +41,11 @@ fn run_over_the_wire(two_phase: bool) {
         ..PpgnnConfig::fast_test()
     };
     let lsp = Lsp::new(grid_db(10), cfg.clone());
-    let users = vec![Point::new(0.2, 0.3), Point::new(0.4, 0.2), Point::new(0.3, 0.5)];
+    let users = vec![
+        Point::new(0.2, 0.3),
+        Point::new(0.4, 0.2),
+        Point::new(0.3, 0.5),
+    ];
     let n = users.len();
 
     // --- Coordinator side.
@@ -47,8 +57,9 @@ fn run_over_the_wire(two_phase: bool) {
         .map(|_| rng.gen_range(0..params.segment_sizes[seg]))
         .collect();
     let qi = query_index(&params, seg, &x);
-    let positions: Vec<usize> =
-        (0..n).map(|u| params.segment_offset(seg) + x[params.subgroup_of(u)]).collect();
+    let positions: Vec<usize> = (0..n)
+        .map(|u| params.segment_offset(seg) + x[params.subgroup_of(u)])
+        .collect();
 
     let ctx1 = ppgnn::paillier::DjContext::new(&pk, 1);
     let indicator = if two_phase {
@@ -59,7 +70,12 @@ fn run_over_the_wire(two_phase: bool) {
             outer: ppgnn::paillier::encrypt_indicator(omega, qi / block, &ctx2, &mut rng),
         }
     } else {
-        IndicatorPayload::Plain(ppgnn::paillier::encrypt_indicator(delta_prime, qi, &ctx1, &mut rng))
+        IndicatorPayload::Plain(ppgnn::paillier::encrypt_indicator(
+            delta_prime,
+            qi,
+            &ctx1,
+            &mut rng,
+        ))
     };
     let query = QueryMessage {
         k: cfg.k,
@@ -82,10 +98,14 @@ fn run_over_the_wire(two_phase: bool) {
     // --- Users build and "send" their location sets over the wire.
     let mut sets_rx = Vec::new();
     for (u, (&real, &pos)) in users.iter().zip(&positions).enumerate() {
-        let mut locations: Vec<Point> =
-            (0..cfg.d - 1).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        let mut locations: Vec<Point> = (0..cfg.d - 1)
+            .map(|_| Point::new(rng.gen(), rng.gen()))
+            .collect();
         locations.insert(pos, real);
-        let msg = LocationSetMessage { user_index: u, locations };
+        let msg = LocationSetMessage {
+            user_index: u,
+            locations,
+        };
         let bytes = msg.to_wire();
         assert_eq!(bytes.len(), msg.byte_len());
         sets_rx.push(LocationSetMessage::from_wire(&bytes).unwrap());
@@ -93,7 +113,9 @@ fn run_over_the_wire(two_phase: bool) {
 
     // --- LSP processes the *deserialized* messages.
     let mut ledger = CostLedger::new();
-    let answer = lsp.process_query(&query_rx, &sets_rx, &mut ledger, &mut rng).unwrap();
+    let answer = lsp
+        .process_query(&query_rx, &sets_rx, &mut ledger, &mut rng)
+        .unwrap();
 
     // === WIRE: LSP -> coordinator ===
     let answer_bytes = answer.to_wire(&pk);
@@ -103,9 +125,9 @@ fn run_over_the_wire(two_phase: bool) {
     // --- Coordinator decrypts.
     let codec = AnswerCodec::new(pk.key_bits(), 1, cfg.k);
     let decoded = match &answer_rx {
-        AnswerMessage::Plain(enc) => {
-            codec.decode(&ppgnn::paillier::decrypt_vector(enc, &ctx1, &sk)).unwrap()
-        }
+        AnswerMessage::Plain(enc) => codec
+            .decode(&ppgnn::paillier::decrypt_vector(enc, &ctx1, &sk))
+            .unwrap(),
         AnswerMessage::TwoPhase(enc) => {
             let ctx2 = ppgnn::paillier::DjContext::new(&pk, 2);
             let inner: Vec<_> = enc
