@@ -1,0 +1,167 @@
+//! Client retry pacing: a jittered exponential backoff schedule.
+//!
+//! The schedule is a pure, seedable value type — no clocks, no I/O —
+//! so its invariants (bounded by the cap, honoring the server's
+//! `retry_after_ms` hint as a floor, deterministic per seed) are
+//! directly property-testable. [`crate::GroupClient`] drives one
+//! schedule per query attempt sequence and enforces the wall-clock
+//! budget around it.
+
+use std::time::Duration;
+
+/// Tunables for the client's retry loop.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// First-retry backoff; doubles per attempt.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+    /// Total wall-clock budget for one query including all retries;
+    /// once exceeded the last error surfaces to the caller.
+    pub budget: Duration,
+    /// Maximum number of send attempts (first try included).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            budget: Duration::from_secs(60),
+            max_attempts: 10,
+        }
+    }
+}
+
+/// The live state of one retry sequence.
+#[derive(Debug, Clone)]
+pub struct BackoffSchedule {
+    policy: RetryPolicy,
+    attempt: u32,
+    rng_state: u64,
+}
+
+impl BackoffSchedule {
+    /// Starts a schedule; `seed` makes the jitter reproducible.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        BackoffSchedule {
+            policy,
+            attempt: 0,
+            rng_state: seed,
+        }
+    }
+
+    /// Retries consumed so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Whether another attempt is allowed by the policy's count limit.
+    pub fn attempts_left(&self) -> bool {
+        // `attempt` counts completed retries; the first try is free.
+        self.attempt + 1 < self.policy.max_attempts
+    }
+
+    /// The un-jittered backoff envelope for a given retry index:
+    /// `base << attempt`, saturating, capped at `cap`.
+    pub fn envelope(&self, attempt: u32) -> Duration {
+        let base = self.policy.base.as_nanos() as u64;
+        let raw = base.saturating_shl(attempt.min(63));
+        Duration::from_nanos(raw).min(self.policy.cap)
+    }
+
+    /// Consumes one retry and returns how long to sleep before it.
+    ///
+    /// The sleep is the jittered envelope — uniform in
+    /// `[envelope/2, envelope]` — raised to at least the server's
+    /// `retry_after_ms` hint when one was given. The hint is a floor,
+    /// not a ceiling: it may exceed the cap.
+    pub fn next_delay(&mut self, retry_after_ms: Option<u32>) -> Duration {
+        let envelope = self.envelope(self.attempt);
+        self.attempt += 1;
+        let nanos = envelope.as_nanos() as u64;
+        let half = nanos / 2;
+        let jittered = if half == 0 {
+            envelope
+        } else {
+            Duration::from_nanos(half + self.next_u64() % (nanos - half + 1))
+        };
+        let floor = Duration::from_millis(retry_after_ms.unwrap_or(0) as u64);
+        jittered.max(floor)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64, self-contained so the schedule is stable across
+        // `rand` versions.
+        self.rng_state = self.rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if self == 0 {
+            0
+        } else if shift >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_is_monotone_and_capped() {
+        let s = BackoffSchedule::new(RetryPolicy::default(), 0);
+        let mut prev = Duration::ZERO;
+        for attempt in 0..80 {
+            let e = s.envelope(attempt);
+            assert!(e >= prev, "envelope shrank at attempt {attempt}");
+            assert!(e <= s.policy.cap);
+            prev = e;
+        }
+        assert_eq!(s.envelope(79), s.policy.cap);
+    }
+
+    #[test]
+    fn same_seed_same_delays() {
+        let mut a = BackoffSchedule::new(RetryPolicy::default(), 99);
+        let mut b = BackoffSchedule::new(RetryPolicy::default(), 99);
+        for _ in 0..20 {
+            assert_eq!(a.next_delay(None), b.next_delay(None));
+        }
+    }
+
+    #[test]
+    fn hint_is_a_floor() {
+        let mut s = BackoffSchedule::new(RetryPolicy::default(), 5);
+        let d = s.next_delay(Some(10_000));
+        assert!(d >= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn attempt_budget_counts_down() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut s = BackoffSchedule::new(policy, 1);
+        assert!(s.attempts_left());
+        s.next_delay(None);
+        assert!(s.attempts_left());
+        s.next_delay(None);
+        assert!(!s.attempts_left());
+    }
+}

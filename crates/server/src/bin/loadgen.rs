@@ -1,24 +1,29 @@
 //! Load generator: N concurrent client groups hammer a PPGNN server and
-//! report throughput and latency percentiles.
+//! report throughput, latency percentiles, and resilience counters.
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--groups 8] [--queries 13] [--users 2]
 //!         [--keysize 128] [--k 2] [--d 3] [--delta 6] [--opt] [--seed 7]
+//!         [--chaos-seed S] [--chaos-delay-prob P] [--chaos-delay-ms MS]
+//!         [--chaos-corrupt-prob P] [--chaos-truncate-prob P]
+//!         [--chaos-sever-prob P]
 //! ```
 //!
 //! Without `--addr`, an in-process server is spun up on an ephemeral
 //! port (same defaults as `ppgnn-server`), so the binary is
-//! self-contained. Every group runs on its own thread with its own
-//! keypair; `Busy` sheds are retried after the server's suggested
-//! backoff and counted separately from protocol errors.
+//! self-contained. The `--chaos-*` flags arm seeded fault injection on
+//! that in-process server's connections; the client's built-in retry
+//! (which honors the server's `retry_after_ms` hint) rides through the
+//! faults, and sheds, retries, reconnects, and replayed answers are
+//! reported per group and in total.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ppgnn_core::{Lsp, PpgnnConfig, Variant};
 use ppgnn_geo::{Poi, Point, Rect};
-use ppgnn_server::{serve, summarize, GroupClient, ServerConfig, ServerError};
+use ppgnn_server::{serve, summarize, ClientStats, FaultConfig, GroupClient, ServerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,6 +39,7 @@ struct Args {
     opt: bool,
     seed: u64,
     pois: usize,
+    chaos: FaultConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,7 +55,9 @@ fn parse_args() -> Result<Args, String> {
         opt: false,
         seed: 7,
         pois: 400,
+        chaos: FaultConfig::off(1),
     };
+    args.chaos.max_delay = Duration::from_millis(20);
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -65,22 +73,48 @@ fn parse_args() -> Result<Args, String> {
             "--pois" => args.pois = parse(&value("--pois")?)?,
             "--seed" => args.seed = parse(&value("--seed")?)?,
             "--opt" => args.opt = true,
+            "--chaos-seed" => args.chaos.seed = parse(&value("--chaos-seed")?)?,
+            "--chaos-delay-prob" => args.chaos.delay_prob = parse(&value("--chaos-delay-prob")?)?,
+            "--chaos-delay-ms" => {
+                args.chaos.max_delay = Duration::from_millis(parse(&value("--chaos-delay-ms")?)?)
+            }
+            "--chaos-corrupt-prob" => {
+                args.chaos.corrupt_prob = parse(&value("--chaos-corrupt-prob")?)?
+            }
+            "--chaos-truncate-prob" => {
+                args.chaos.truncate_prob = parse(&value("--chaos-truncate-prob")?)?
+            }
+            "--chaos-sever-prob" => args.chaos.sever_prob = parse(&value("--chaos-sever-prob")?)?,
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--groups N] [--queries M] \
                      [--users U] [--keysize B] [--k K] [--d D] [--delta DELTA] \
-                     [--pois P] [--opt] [--seed S]"
+                     [--pois P] [--opt] [--seed S] [--chaos-seed S] \
+                     [--chaos-delay-prob P] [--chaos-delay-ms MS] \
+                     [--chaos-corrupt-prob P] [--chaos-truncate-prob P] \
+                     [--chaos-sever-prob P]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if args.chaos.is_active() && args.addr.is_some() {
+        return Err("--chaos-* flags require the in-process server (drop --addr)".into());
+    }
     Ok(args)
 }
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("bad numeric value {s:?}"))
+}
+
+/// One group's worth of results, joined back on the main thread.
+struct GroupReport {
+    group: usize,
+    latencies_us: Vec<u64>,
+    errors: u64,
+    stats: ClientStats,
 }
 
 fn main() {
@@ -112,8 +146,26 @@ fn main() {
             .map(|i| Poi::new(i as u32, Point::new(rng.gen::<f64>(), rng.gen::<f64>())))
             .collect();
         let lsp = Arc::new(Lsp::new(pois, config.clone()));
-        let handle = serve(lsp, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
-        println!("loadgen: in-process server on {}", handle.local_addr());
+        let server_config = ServerConfig {
+            fault: args.chaos.is_active().then(|| args.chaos.clone()),
+            ..ServerConfig::default()
+        };
+        let handle = match serve(lsp, "127.0.0.1:0", server_config) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("loadgen: failed to start in-process server: {e}");
+                std::process::exit(1);
+            }
+        };
+        if args.chaos.is_active() {
+            println!(
+                "loadgen: in-process server on {} (chaos seed {})",
+                handle.local_addr(),
+                args.chaos.seed
+            );
+        } else {
+            println!("loadgen: in-process server on {}", handle.local_addr());
+        }
         Some(handle)
     } else {
         None
@@ -124,21 +176,25 @@ fn main() {
         (None, None) => unreachable!(),
     };
 
-    let busy_retries = Arc::new(AtomicU64::new(0));
-    let errors = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     let handles: Vec<_> = (0..args.groups)
         .map(|g| {
             let addr = addr.clone();
             let config = config.clone();
-            let busy_retries = Arc::clone(&busy_retries);
-            let errors = Arc::clone(&errors);
             let seed = args.seed;
             let (users, queries) = (args.users, args.queries);
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(g as u64));
-                let mut latencies_us: Vec<u64> = Vec::with_capacity(queries);
-                let mut client = loop {
+                let mut report = GroupReport {
+                    group: g,
+                    latencies_us: Vec::with_capacity(queries),
+                    errors: 0,
+                    stats: ClientStats::default(),
+                };
+                // The handshake itself can be hit by an injected fault;
+                // it carries no session state, so just connect again.
+                let mut client = None;
+                for attempt in 0u32..5 {
                     match GroupClient::connect(
                         addr.as_str(),
                         g as u64 + 1,
@@ -147,63 +203,96 @@ fn main() {
                         users,
                         &mut rng,
                     ) {
-                        Ok(c) => break c,
-                        Err(ServerError::ServerBusy { retry_after_ms }) => {
-                            busy_retries.fetch_add(1, Ordering::Relaxed);
-                            std::thread::sleep(Duration::from_millis(retry_after_ms as u64));
+                        Ok(c) => {
+                            client = Some(c);
+                            break;
                         }
                         Err(e) => {
-                            eprintln!("group {g}: connect failed: {e}");
-                            errors.fetch_add(1, Ordering::Relaxed);
-                            return latencies_us;
+                            eprintln!("group {g}: connect attempt {attempt} failed: {e}");
+                            std::thread::sleep(Duration::from_millis(10 << attempt));
                         }
                     }
+                }
+                let Some(mut client) = client else {
+                    report.errors += 1;
+                    return report;
                 };
                 for _ in 0..queries {
                     let locations: Vec<Point> = (0..users)
                         .map(|_| Point::new(rng.gen(), rng.gen()))
                         .collect();
                     let t0 = Instant::now();
-                    loop {
-                        match client.query(&locations, &mut rng) {
-                            Ok(answer) => {
-                                assert!(!answer.is_empty(), "empty answer");
-                                latencies_us.push(t0.elapsed().as_micros() as u64);
-                                break;
-                            }
-                            Err(ServerError::ServerBusy { retry_after_ms }) => {
-                                busy_retries.fetch_add(1, Ordering::Relaxed);
-                                std::thread::sleep(Duration::from_millis(retry_after_ms as u64));
-                            }
-                            Err(e) => {
-                                eprintln!("group {g}: query failed: {e}");
-                                errors.fetch_add(1, Ordering::Relaxed);
-                                break;
-                            }
+                    // Busy sheds and transient faults are retried
+                    // inside the client (honoring retry_after_ms);
+                    // only budget-exhausted or deterministic failures
+                    // surface here.
+                    match client.query(&locations, &mut rng) {
+                        Ok(answer) => {
+                            assert!(!answer.is_empty(), "empty answer");
+                            report.latencies_us.push(t0.elapsed().as_micros() as u64);
+                        }
+                        Err(e) => {
+                            eprintln!("group {g}: query failed: {e}");
+                            report.errors += 1;
                         }
                     }
                 }
+                report.stats = client.stats();
                 client.goodbye();
-                latencies_us
+                report
             })
         })
         .collect();
 
     let mut all_latencies = Vec::with_capacity(args.groups * args.queries);
+    let mut reports = Vec::with_capacity(args.groups);
+    let mut join_failures = 0u64;
     for h in handles {
-        all_latencies.extend(h.join().expect("group thread panicked"));
+        match h.join() {
+            Ok(r) => {
+                all_latencies.extend(r.latencies_us.iter().copied());
+                reports.push(r);
+            }
+            Err(_) => join_failures += 1,
+        }
     }
     let elapsed = start.elapsed();
-    let errors = errors.load(Ordering::Relaxed);
-    let busy = busy_retries.load(Ordering::Relaxed);
     let summary = summarize(all_latencies, elapsed);
 
+    println!("group   ok  errors  sheds  retries  reconnects  replays");
+    let mut errors = join_failures;
+    let mut total = ClientStats::default();
+    for r in &reports {
+        println!(
+            "{:>5} {:>4} {:>7} {:>6} {:>8} {:>11} {:>8}",
+            r.group,
+            r.latencies_us.len(),
+            r.errors,
+            r.stats.busy_sheds,
+            r.stats.retries,
+            r.stats.reconnects,
+            r.stats.replayed_answers,
+        );
+        errors += r.errors;
+        total.busy_sheds += r.stats.busy_sheds;
+        total.retries += r.stats.retries;
+        total.reconnects += r.stats.reconnects;
+        total.replayed_answers += r.stats.replayed_answers;
+    }
+    if join_failures > 0 {
+        eprintln!("loadgen: {join_failures} group thread(s) panicked");
+    }
+
     println!(
-        "groups={} queries={} errors={} busy_retries={} elapsed={:.2}s throughput={:.1} qps",
+        "groups={} queries={} errors={} sheds={} retries={} reconnects={} replays={} \
+         elapsed={:.2}s throughput={:.1} qps",
         args.groups,
         summary.count,
         errors,
-        busy,
+        total.busy_sheds,
+        total.retries,
+        total.reconnects,
+        total.replayed_answers,
         elapsed.as_secs_f64(),
         summary.throughput_qps
     );
@@ -213,6 +302,18 @@ fn main() {
     );
 
     if let Some(handle) = local_server {
+        let s = handle.stats();
+        println!(
+            "server: ok={} err={} busy_shed={} replayed={} worker_panics={} \
+             respawned={} faults_injected={}",
+            s.queries_ok.load(Ordering::Relaxed),
+            s.queries_err.load(Ordering::Relaxed),
+            s.busy_shed.load(Ordering::Relaxed),
+            s.replayed.load(Ordering::Relaxed),
+            s.worker_panics.load(Ordering::Relaxed),
+            s.workers_respawned.load(Ordering::Relaxed),
+            s.faults_injected.load(Ordering::Relaxed),
+        );
         handle.shutdown();
     }
     if errors > 0 {

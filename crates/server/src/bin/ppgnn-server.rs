@@ -126,7 +126,8 @@ fn main() {
                 let s = handle.stats();
                 println!(
                     "accepted={} refused={} ok={} err={} busy_shed={} \
-                     deadline_expired={} inflight={} sessions={}",
+                     deadline_expired={} inflight={} sessions={} replayed={} \
+                     worker_panics={} respawned={} live_workers={}",
                     s.accepted.load(Ordering::Relaxed),
                     s.refused.load(Ordering::Relaxed),
                     s.queries_ok.load(Ordering::Relaxed),
@@ -135,6 +136,10 @@ fn main() {
                     s.deadline_expired.load(Ordering::Relaxed),
                     s.inflight.load(Ordering::Relaxed),
                     handle.registry().len(),
+                    s.replayed.load(Ordering::Relaxed),
+                    s.worker_panics.load(Ordering::Relaxed),
+                    s.workers_respawned.load(Ordering::Relaxed),
+                    s.live_workers.load(Ordering::Relaxed),
                 );
             }
             _ => {}

@@ -1,8 +1,18 @@
 //! The group-side client: one TCP connection driving the coordinator's
 //! side of the protocol (Algorithm 1) against a remote LSP.
+//!
+//! The client is resilient by default: a query plans (and counts
+//! against the session) **once**, and the resulting bytes are retried
+//! under a [`RetryPolicy`] — jittered exponential backoff that honors
+//! the server's `retry_after_ms` hint as a floor, a per-query
+//! wall-clock budget, and a bounded attempt count. Transport failures
+//! reconnect and resend the *same* request ID without re-running the
+//! handshake (the server's session registry survives reconnects), so a
+//! request the server already answered is replayed from its answer
+//! cache instead of being recomputed or double-counted.
 
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use ppgnn_core::messages::AnswerMessage;
 use ppgnn_core::partition_cache::solve_partition_cached;
@@ -10,17 +20,38 @@ use ppgnn_core::{opt_split, PpgnnConfig, PpgnnSession, Variant};
 use ppgnn_geo::{Point, Rect};
 use rand::Rng;
 
+use crate::backoff::{BackoffSchedule, RetryPolicy};
 use crate::error::{ErrorCode, ServerError};
 use crate::frame::{
     read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
-    HelloPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
+    HelloPayload, PongPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
 };
 use crate::registry::SessionParams;
+
+/// Ceiling on one attempt's blocking read (the per-query budget usually
+/// binds first).
+const READ_TIMEOUT: Duration = Duration::from_secs(120);
+/// Smallest read timeout worth arming (0 would disable the timeout).
+const MIN_READ_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Client-side resilience counters for one [`GroupClient`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClientStats {
+    /// Send attempts beyond the first, across all queries.
+    pub retries: u64,
+    /// Fresh TCP connections established after the initial one.
+    pub reconnects: u64,
+    /// Answers served from the server's replay cache.
+    pub replayed_answers: u64,
+    /// `Busy` sheds observed (each one backed off and retried).
+    pub busy_sheds: u64,
+}
 
 /// A connected group: holds the TCP stream, the [`PpgnnSession`] (keys
 /// + query counter), and the negotiated public parameters.
 pub struct GroupClient {
     stream: TcpStream,
+    addr: SocketAddr,
     session: PpgnnSession,
     config: PpgnnConfig,
     space: Rect,
@@ -28,9 +59,15 @@ pub struct GroupClient {
     next_request_id: u32,
     /// Per-request deadline sent to the server; 0 uses the server default.
     pub deadline_ms: u32,
+    /// Retry pacing and budget for [`GroupClient::query`].
+    pub retry: RetryPolicy,
     max_payload: usize,
     negotiated: Option<SessionParams>,
     server_info: HelloAckPayload,
+    /// The connection is known dead and must be re-established before
+    /// the next attempt.
+    broken: bool,
+    stats: ClientStats,
 }
 
 fn variant_tag(v: Variant) -> u8 {
@@ -66,6 +103,51 @@ pub fn session_params_for(
     })
 }
 
+/// What the retry loop should do about one failed attempt.
+struct Recovery {
+    /// Whether retrying can help at all.
+    retryable: bool,
+    /// Server-suggested backoff floor, if any.
+    retry_after_ms: Option<u32>,
+    /// The stream is desynced or dead: reconnect before retrying.
+    reconnect: bool,
+    /// The server lost the session: re-handshake before retrying.
+    rehandshake: bool,
+}
+
+/// Classifies an attempt failure. Transport-level failures (dead or
+/// desynced streams) reconnect; typed remote failures retry in place;
+/// deterministic failures (bad input, local protocol errors, a
+/// deliberately draining server) surface immediately.
+fn classify(e: &ServerError) -> Recovery {
+    let (retryable, retry_after_ms, reconnect, rehandshake) = match e {
+        ServerError::Io(_)
+        | ServerError::ConnectionClosed
+        | ServerError::BadMagic(_)
+        | ServerError::BadVersion(_)
+        | ServerError::UnknownFrameType(_)
+        | ServerError::Oversize { .. }
+        | ServerError::ChecksumMismatch { .. }
+        | ServerError::Malformed(_)
+        | ServerError::UnexpectedFrame { .. } => (true, None, true, false),
+        ServerError::ServerBusy { retry_after_ms } => (true, Some(*retry_after_ms), false, false),
+        ServerError::Remote { code, .. } => match code {
+            ErrorCode::NoSession => (true, None, false, true),
+            ErrorCode::DeadlineExceeded | ErrorCode::Internal => (true, None, false, false),
+            ErrorCode::ShuttingDown | ErrorCode::MalformedPayload | ErrorCode::Protocol => {
+                (false, None, false, false)
+            }
+        },
+        ServerError::Protocol(_) => (false, None, false, false),
+    };
+    Recovery {
+        retryable,
+        retry_after_ms,
+        reconnect,
+        rehandshake,
+    }
+}
+
 impl GroupClient {
     /// Connects, generating a fresh keypair of `config.keysize` bits,
     /// and negotiates the session for a group of `n_users`.
@@ -92,15 +174,18 @@ impl GroupClient {
     ) -> Result<Self, ServerError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        let addr = stream.peer_addr()?;
         let mut client = GroupClient {
             stream,
+            addr,
             session,
             config,
             space,
             group_id,
             next_request_id: 1,
             deadline_ms: 0,
+            retry: RetryPolicy::default(),
             max_payload: DEFAULT_MAX_PAYLOAD,
             negotiated: None,
             server_info: HelloAckPayload {
@@ -109,6 +194,8 @@ impl GroupClient {
                 max_payload: 0,
                 workers: 0,
             },
+            broken: false,
+            stats: ClientStats::default(),
         };
         let params = session_params_for(&client.config, n_users)?;
         client.handshake(params)?;
@@ -121,13 +208,35 @@ impl GroupClient {
     }
 
     /// Queries issued by the underlying session (successful plans).
+    /// Retries of one query never move this counter.
     pub fn queries_issued(&self) -> u64 {
         self.session.queries_issued()
+    }
+
+    /// Resilience counters for this client.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
     }
 
     /// The session's public key.
     pub fn public_key(&self) -> &ppgnn_paillier::PublicKey {
         self.session.public_key()
+    }
+
+    /// Re-establishes the TCP connection if the last attempt killed it.
+    /// Deliberately does **not** re-handshake: the server's registry
+    /// keeps the session across reconnects.
+    fn ensure_connected(&mut self) -> Result<(), ServerError> {
+        if !self.broken {
+            return Ok(());
+        }
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        self.stream = stream;
+        self.broken = false;
+        self.stats.reconnects += 1;
+        Ok(())
     }
 
     fn handshake(&mut self, params: SessionParams) -> Result<(), ServerError> {
@@ -170,12 +279,17 @@ impl GroupClient {
         }
     }
 
-    /// Checks server liveness.
-    pub fn ping(&mut self) -> Result<(), ServerError> {
-        write_frame(&mut self.stream, FrameType::Ping, &[])?;
-        let frame = read_frame(&mut self.stream, self.max_payload)?;
+    /// Checks server liveness and returns its health snapshot.
+    pub fn ping(&mut self) -> Result<PongPayload, ServerError> {
+        self.ensure_connected()?;
+        write_frame(&mut self.stream, FrameType::Ping, &[]).inspect_err(|_| {
+            self.broken = true;
+        })?;
+        let frame = read_frame(&mut self.stream, self.max_payload).inspect_err(|_| {
+            self.broken = true;
+        })?;
         match frame.frame_type {
-            FrameType::Pong => Ok(()),
+            FrameType::Pong => PongPayload::decode(&frame.payload),
             other => Err(ServerError::UnexpectedFrame {
                 expected: "Pong",
                 got: other,
@@ -186,8 +300,12 @@ impl GroupClient {
     /// Runs one full group query: plans locally (Algorithm 1), ships
     /// the wire messages, and decrypts the answer.
     ///
-    /// A shed request surfaces as [`ServerError::ServerBusy`]; callers
-    /// decide whether to back off and retry.
+    /// The plan (and the session's query counter) happens exactly once;
+    /// the encoded bytes are then attempted under [`Self::retry`]:
+    /// `Busy` sheds and transient failures back off and resend the same
+    /// request ID, reconnecting if the connection died, until the
+    /// wall-clock budget or attempt count runs out — at which point the
+    /// last error surfaces. Deterministic failures surface immediately.
     pub fn query<R: Rng + ?Sized>(
         &mut self,
         real_locations: &[Point],
@@ -205,26 +323,31 @@ impl GroupClient {
             two_phase_omega: ctx.two_phase_omega,
             has_partition: ctx.has_partition,
         };
-        if self.negotiated != Some(params) {
-            self.handshake(params)?;
-        }
         let request_id = self.next_request_id;
         self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
+        // Encoded once: every retry resends these exact bytes, so the
+        // server sees the identical ciphertexts and request ID.
         let payload = QueryPayload {
             group_id: self.group_id,
             request_id,
             deadline_ms: self.deadline_ms,
             location_sets: plan.location_sets.iter().map(|s| s.to_wire()).collect(),
             query: plan.query.to_wire(),
-        };
-        write_frame(&mut self.stream, FrameType::Query, &payload.encode())?;
+        }
+        .encode();
+
+        let started = Instant::now();
+        let mut schedule = BackoffSchedule::new(
+            self.retry.clone(),
+            self.group_id ^ ((request_id as u64) << 32),
+        );
         loop {
-            let frame = read_frame(&mut self.stream, self.max_payload)?;
-            match frame.frame_type {
-                FrameType::Answer => {
-                    let ans = AnswerPayload::decode(&frame.payload)?;
-                    if ans.request_id != request_id {
-                        return Err(ServerError::Malformed("answer for a different request"));
+            let remaining = self.retry.budget.saturating_sub(started.elapsed());
+            let result = self.attempt(params, &payload, request_id, remaining);
+            let err = match result {
+                Ok(ans) => {
+                    if ans.replayed {
+                        self.stats.replayed_answers += 1;
                     }
                     if ans.two_phase != plan.two_phase {
                         return Err(ServerError::Malformed("answer encryption level mismatch"));
@@ -235,6 +358,63 @@ impl GroupClient {
                         ans.two_phase,
                     )?;
                     return Ok(self.session.decode(self.config.k, &msg)?);
+                }
+                Err(e) => e,
+            };
+            let recovery = classify(&err);
+            if matches!(err, ServerError::ServerBusy { .. }) {
+                self.stats.busy_sheds += 1;
+            }
+            if recovery.reconnect {
+                self.broken = true;
+            }
+            if recovery.rehandshake {
+                self.negotiated = None;
+            }
+            if !recovery.retryable || !schedule.attempts_left() {
+                return Err(err);
+            }
+            let delay = schedule.next_delay(recovery.retry_after_ms);
+            if started.elapsed() + delay >= self.retry.budget {
+                return Err(err);
+            }
+            std::thread::sleep(delay);
+            self.stats.retries += 1;
+        }
+    }
+
+    /// One send/receive attempt for an already-encoded query.
+    fn attempt(
+        &mut self,
+        params: SessionParams,
+        payload: &[u8],
+        request_id: u32,
+        remaining: Duration,
+    ) -> Result<AnswerPayload, ServerError> {
+        if remaining.is_zero() {
+            return Err(ServerError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "query retry budget exhausted",
+            )));
+        }
+        self.ensure_connected()?;
+        if self.negotiated != Some(params) {
+            self.handshake(params)?;
+        }
+        // Bound the wait for this attempt by what is left of the
+        // budget, so a lost reply cannot stall past it.
+        self.stream
+            .set_read_timeout(Some(remaining.min(READ_TIMEOUT).max(MIN_READ_TIMEOUT)))?;
+        write_frame(&mut self.stream, FrameType::Query, payload)?;
+        loop {
+            let frame = read_frame(&mut self.stream, self.max_payload)?;
+            match frame.frame_type {
+                FrameType::Answer => {
+                    let ans = AnswerPayload::decode(&frame.payload)?;
+                    if ans.request_id != request_id {
+                        return Err(ServerError::Malformed("answer for a different request"));
+                    }
+                    return Ok(ans);
                 }
                 FrameType::Busy => {
                     let busy = BusyPayload::decode(&frame.payload)?;

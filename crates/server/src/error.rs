@@ -81,6 +81,9 @@ pub enum ServerError {
     UnknownFrameType(u8),
     /// Declared payload length exceeds the negotiated maximum.
     Oversize { len: usize, max: usize },
+    /// The payload failed its header CRC — bytes were corrupted in
+    /// transit; nothing in the frame can be trusted.
+    ChecksumMismatch { expected: u32, actual: u32 },
     /// A frame payload failed structural validation.
     Malformed(&'static str),
     /// The protocol layer rejected a message.
@@ -106,6 +109,12 @@ impl fmt::Display for ServerError {
             ServerError::UnknownFrameType(t) => write!(f, "unknown frame type 0x{t:02x}"),
             ServerError::Oversize { len, max } => {
                 write!(f, "frame payload of {len} bytes exceeds maximum {max}")
+            }
+            ServerError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "frame payload crc mismatch: header says {expected:#010x}, got {actual:#010x}"
+                )
             }
             ServerError::Malformed(what) => write!(f, "malformed frame payload: {what}"),
             ServerError::Protocol(e) => write!(f, "protocol error: {e}"),

@@ -1,0 +1,476 @@
+//! Deterministic fault injection for the framed transport.
+//!
+//! Chaos testing needs the network to misbehave *reproducibly*: the
+//! same seed must produce the same schedule of delays, corruptions,
+//! truncations, and severed connections, so a failing soak run can be
+//! replayed byte for byte. [`FaultConfig`] is the knob set, a
+//! [`FaultPlan`] is the per-connection schedule derived from it, and
+//! [`FaultyStream`] applies the plan to any [`Transport`].
+//!
+//! Faults are injected on the server side of the socket and hit both
+//! directions of traffic: corrupting a read mangles client→server
+//! frames, corrupting a write mangles server→client frames. Every
+//! fault resolves quickly — a sever also shuts the underlying socket
+//! down so the peer observes EOF instead of hanging until a timeout.
+//!
+//! The RNG here is a self-contained SplitMix64, deliberately not the
+//! `rand` crate: the schedule stays identical across `rand` versions
+//! and build configurations.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The transport surface the server needs from a connection: byte I/O
+/// plus the socket controls `connection_loop` uses for its idle poll.
+/// Implemented by [`TcpStream`] and by [`FaultyStream`] wrapping one.
+pub trait Transport: Read + Write + Send {
+    /// Sets (or clears) the blocking-read timeout.
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()>;
+    /// Disables Nagle batching.
+    fn set_nodelay(&self, on: bool) -> std::io::Result<()>;
+    /// Closes both directions of the underlying socket.
+    fn shutdown(&self) -> std::io::Result<()>;
+}
+
+impl Transport for TcpStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_read_timeout(self, dur)
+    }
+
+    fn set_nodelay(&self, on: bool) -> std::io::Result<()> {
+        TcpStream::set_nodelay(self, on)
+    }
+
+    fn shutdown(&self) -> std::io::Result<()> {
+        TcpStream::shutdown(self, std::net::Shutdown::Both)
+    }
+}
+
+/// Probabilities and bounds for injected transport faults.
+///
+/// Each probability is evaluated independently per I/O call (a frame is
+/// typically one write and a handful of reads). All zeros means the
+/// wrapper is transparent.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for the whole schedule; each connection derives its own
+    /// stream from this and its connection index.
+    pub seed: u64,
+    /// Probability of stalling an I/O call.
+    pub delay_prob: f64,
+    /// Upper bound on one injected stall.
+    pub max_delay: Duration,
+    /// Probability of flipping one byte passing through a call.
+    pub corrupt_prob: f64,
+    /// Probability of delivering only a prefix of a call's bytes and
+    /// then severing — a mid-frame cut.
+    pub truncate_prob: f64,
+    /// Probability of severing the connection outright.
+    pub sever_prob: f64,
+}
+
+impl FaultConfig {
+    /// A transparent plan (all probabilities zero).
+    pub fn off(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            delay_prob: 0.0,
+            max_delay: Duration::ZERO,
+            corrupt_prob: 0.0,
+            truncate_prob: 0.0,
+            sever_prob: 0.0,
+        }
+    }
+
+    /// A moderate all-faults mix, useful as a chaos-test default.
+    pub fn mixed(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            delay_prob: 0.05,
+            max_delay: Duration::from_millis(20),
+            corrupt_prob: 0.02,
+            truncate_prob: 0.01,
+            sever_prob: 0.01,
+        }
+    }
+
+    /// Whether any fault can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.delay_prob > 0.0
+            || self.corrupt_prob > 0.0
+            || self.truncate_prob > 0.0
+            || self.sever_prob > 0.0
+    }
+
+    /// Derives the deterministic schedule for one connection.
+    pub fn plan_for(&self, connection_index: u64) -> FaultPlan {
+        // Splitting the seed through one SplitMix64 step decorrelates
+        // consecutive connection indices.
+        let mut mix = SplitMix64::new(self.seed ^ connection_index.wrapping_mul(0x9e37_79b9));
+        FaultPlan {
+            rng: SplitMix64::new(mix.next_u64()),
+            config: self.clone(),
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, and stable across builds.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// What the plan says to do to one I/O call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Pass the call through untouched.
+    None,
+    /// Stall for the given duration first, then pass through.
+    Delay(Duration),
+    /// Flip one byte (offset chosen modulo the buffer length).
+    Corrupt { offset: u64 },
+    /// Deliver only a prefix, then sever.
+    Truncate,
+    /// Sever immediately.
+    Sever,
+}
+
+/// The deterministic per-connection fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: SplitMix64,
+    config: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Rolls the dice for the next I/O call. Severing faults win over
+    /// corrupting ones so a schedule cannot corrupt-after-cut.
+    pub fn next_action(&mut self) -> FaultAction {
+        // One roll per fault class keeps the stream aligned no matter
+        // which classes are enabled.
+        let sever = self.rng.next_f64();
+        let truncate = self.rng.next_f64();
+        let corrupt = self.rng.next_f64();
+        let delay = self.rng.next_f64();
+        let offset = self.rng.next_u64();
+        if sever < self.config.sever_prob {
+            FaultAction::Sever
+        } else if truncate < self.config.truncate_prob {
+            FaultAction::Truncate
+        } else if corrupt < self.config.corrupt_prob {
+            FaultAction::Corrupt { offset }
+        } else if delay < self.config.delay_prob {
+            let nanos = self.config.max_delay.as_nanos() as u64;
+            let d = if nanos == 0 { 0 } else { offset % nanos };
+            FaultAction::Delay(Duration::from_nanos(d))
+        } else {
+            FaultAction::None
+        }
+    }
+}
+
+/// A [`Transport`] that injects its plan's faults into every call.
+pub struct FaultyStream<S: Transport> {
+    inner: S,
+    plan: FaultPlan,
+    severed: bool,
+    /// Counts every injected fault (shared with server stats).
+    injected: Arc<AtomicU64>,
+}
+
+impl<S: Transport> FaultyStream<S> {
+    /// Wraps `inner`, counting injected faults into `injected`.
+    pub fn new(inner: S, plan: FaultPlan, injected: Arc<AtomicU64>) -> Self {
+        FaultyStream {
+            inner,
+            plan,
+            severed: false,
+            injected,
+        }
+    }
+
+    /// Severs now: shuts the socket down so the peer sees EOF promptly
+    /// instead of stalling in a blocked read.
+    fn sever(&mut self) -> std::io::Error {
+        self.severed = true;
+        let _ = self.inner.shutdown();
+        std::io::Error::new(std::io::ErrorKind::ConnectionReset, "injected sever")
+    }
+}
+
+impl<S: Transport> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.severed {
+            // A severed connection reads as clean EOF mid-frame.
+            return Ok(0);
+        }
+        match self.plan.next_action() {
+            FaultAction::None => self.inner.read(buf),
+            FaultAction::Delay(d) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            FaultAction::Corrupt { offset } => {
+                let n = self.inner.read(buf)?;
+                if n > 0 {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    buf[(offset % n as u64) as usize] ^= 0x55;
+                }
+                Ok(n)
+            }
+            FaultAction::Truncate => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                let n = self.inner.read(buf)?;
+                self.severed = true;
+                let _ = self.inner.shutdown();
+                // Deliver a strict prefix; the next read reports EOF.
+                Ok(n / 2)
+            }
+            FaultAction::Sever => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(self.sever())
+            }
+        }
+    }
+}
+
+impl<S: Transport> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.severed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "injected sever",
+            ));
+        }
+        match self.plan.next_action() {
+            FaultAction::None => self.inner.write(buf),
+            FaultAction::Delay(d) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            FaultAction::Corrupt { offset } => {
+                if buf.is_empty() {
+                    return self.inner.write(buf);
+                }
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                let mut copy = buf.to_vec();
+                copy[(offset % buf.len() as u64) as usize] ^= 0x55;
+                // Write the mangled copy in full so the caller's
+                // write_all sees success and the frame stays aligned:
+                // the CRC, not a short write, must catch this.
+                let mut sent = 0;
+                while sent < copy.len() {
+                    match self.inner.write(&copy[sent..]) {
+                        Ok(0) => break,
+                        Ok(n) => sent += n,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(buf.len())
+            }
+            FaultAction::Truncate => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                let half = buf.len() / 2;
+                if half > 0 {
+                    let _ = self.inner.write(&buf[..half]);
+                    let _ = self.inner.flush();
+                }
+                Err(self.sever())
+            }
+            FaultAction::Sever => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(self.sever())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.severed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "injected sever",
+            ));
+        }
+        self.inner.flush()
+    }
+}
+
+impl<S: Transport> Transport for FaultyStream<S> {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+
+    fn set_nodelay(&self, on: bool) -> std::io::Result<()> {
+        self.inner.set_nodelay(on)
+    }
+
+    fn shutdown(&self) -> std::io::Result<()> {
+        self.inner.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// An in-memory Transport: reads from a script, collects writes.
+    #[derive(Default)]
+    struct MemStream {
+        input: Mutex<Vec<u8>>,
+        output: Mutex<Vec<u8>>,
+    }
+
+    struct MemRef<'a>(&'a MemStream);
+
+    impl Read for MemRef<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let mut input = self.0.input.lock().unwrap();
+            let n = buf.len().min(input.len());
+            buf[..n].copy_from_slice(&input[..n]);
+            input.drain(..n);
+            Ok(n)
+        }
+    }
+
+    impl Write for MemRef<'_> {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.output.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Transport for MemRef<'_> {
+        fn set_read_timeout(&self, _dur: Option<Duration>) -> std::io::Result<()> {
+            Ok(())
+        }
+
+        fn set_nodelay(&self, _on: bool) -> std::io::Result<()> {
+            Ok(())
+        }
+
+        fn shutdown(&self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultConfig::mixed(42);
+        let mut a = cfg.plan_for(3);
+        let mut b = cfg.plan_for(3);
+        for _ in 0..256 {
+            assert_eq!(a.next_action(), b.next_action());
+        }
+    }
+
+    #[test]
+    fn different_connections_differ() {
+        let cfg = FaultConfig::mixed(42);
+        let mut a = cfg.plan_for(1);
+        let mut b = cfg.plan_for(2);
+        let same = (0..256)
+            .filter(|_| a.next_action() == b.next_action())
+            .count();
+        assert!(same < 256, "plans for different connections are identical");
+    }
+
+    #[test]
+    fn off_config_is_transparent() {
+        let cfg = FaultConfig::off(7);
+        assert!(!cfg.is_active());
+        let mut plan = cfg.plan_for(0);
+        for _ in 0..64 {
+            assert_eq!(plan.next_action(), FaultAction::None);
+        }
+        let mem = MemStream::default();
+        mem.input.lock().unwrap().extend_from_slice(b"hello");
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut s = FaultyStream::new(MemRef(&mem), cfg.plan_for(0), Arc::clone(&counter));
+        let mut buf = [0u8; 5];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        s.write_all(b"world").unwrap();
+        assert_eq!(&*mem.output.lock().unwrap(), b"world");
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_byte() {
+        let cfg = FaultConfig {
+            corrupt_prob: 1.0,
+            ..FaultConfig::off(9)
+        };
+        let mem = MemStream::default();
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut s = FaultyStream::new(MemRef(&mem), cfg.plan_for(0), Arc::clone(&counter));
+        let original = [0u8; 32];
+        s.write_all(&original).unwrap();
+        let written = mem.output.lock().unwrap().clone();
+        assert_eq!(written.len(), 32);
+        let flipped = written.iter().filter(|&&b| b != 0).count();
+        assert_eq!(flipped, 1, "exactly one byte must differ");
+        assert!(counter.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn sever_fails_fast_and_stays_dead() {
+        let cfg = FaultConfig {
+            sever_prob: 1.0,
+            ..FaultConfig::off(11)
+        };
+        let mem = MemStream::default();
+        mem.input.lock().unwrap().extend_from_slice(b"data");
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut s = FaultyStream::new(MemRef(&mem), cfg.plan_for(0), counter);
+        assert!(s.write_all(b"x").is_err());
+        // After a sever, reads are EOF and writes keep failing.
+        let mut buf = [0u8; 4];
+        assert_eq!(s.read(&mut buf).unwrap(), 0);
+        assert!(s.write_all(b"y").is_err());
+        assert!(s.flush().is_err());
+    }
+
+    #[test]
+    fn truncate_delivers_a_strict_prefix() {
+        let cfg = FaultConfig {
+            truncate_prob: 1.0,
+            ..FaultConfig::off(13)
+        };
+        let mem = MemStream::default();
+        mem.input.lock().unwrap().extend_from_slice(&[7u8; 16]);
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut s = FaultyStream::new(MemRef(&mem), cfg.plan_for(0), counter);
+        let mut buf = [0u8; 16];
+        let n = s.read(&mut buf).unwrap();
+        assert!(n < 16, "read must be cut short, got {n}");
+        // The stream is dead afterwards: EOF.
+        assert_eq!(s.read(&mut buf).unwrap(), 0);
+    }
+}

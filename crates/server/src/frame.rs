@@ -3,17 +3,19 @@
 //! Every message on the socket is one frame:
 //!
 //! ```text
-//! +------+---------+------+----------------+---------+
-//! | PPGN | version | type | payload length | payload |
-//! | 4 B  | 1 B     | 1 B  | u32 LE         | N bytes |
-//! +------+---------+------+----------------+---------+
+//! +------+---------+------+----------------+-------------+---------+
+//! | PPGN | version | type | payload length | payload crc | payload |
+//! | 4 B  | 1 B     | 1 B  | u32 LE         | u32 LE      | N bytes |
+//! +------+---------+------+----------------+-------------+---------+
 //! ```
 //!
 //! The payload of `Query`/`Answer` frames wraps the byte-exact
 //! [`ppgnn_core::wire`] encodings; the frame layer itself only does
-//! framing, typing, and length policing. Decoding never panics: every
-//! truncated, oversized, or garbage input maps to a typed
-//! [`ServerError`].
+//! framing, typing, length policing, and integrity (version 2 added a
+//! CRC-32 of the payload: a flipped ciphertext byte would otherwise
+//! decrypt to a plausible-but-wrong answer with no way to tell).
+//! Decoding never panics: every truncated, oversized, corrupted, or
+//! garbage input maps to a typed [`ServerError`].
 
 use std::io::{Read, Write};
 
@@ -21,10 +23,10 @@ use crate::error::{ErrorCode, ServerError};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"PPGN";
-/// Frame-layer version this build speaks.
-pub const VERSION: u8 = 1;
-/// Fixed header width: magic + version + type + u32 length.
-pub const HEADER_BYTES: usize = 10;
+/// Frame-layer version this build speaks (2 = payload CRC in header).
+pub const VERSION: u8 = 2;
+/// Fixed header width: magic + version + type + u32 length + u32 crc.
+pub const HEADER_BYTES: usize = 14;
 /// Default cap on a single frame payload (16 MiB).
 pub const DEFAULT_MAX_PAYLOAD: usize = 16 << 20;
 /// Cap on location sets per query (one per user; groups are small).
@@ -103,6 +105,35 @@ fn map_eof(e: std::io::Error) -> ServerError {
     }
 }
 
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3) of `data`, as carried in the frame header.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = u32::MAX;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 /// Writes one frame as a single `write_all`.
 pub fn write_frame(
     w: &mut impl Write,
@@ -114,6 +145,7 @@ pub fn write_frame(
     buf.push(VERSION);
     buf.push(frame_type.to_u8());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
     buf.extend_from_slice(payload);
     w.write_all(&buf)?;
     w.flush()?;
@@ -148,6 +180,7 @@ pub fn read_frame_with_lead(
     }
     let frame_type = FrameType::from_u8(rest[4])?;
     let len = u32::from_le_bytes([rest[5], rest[6], rest[7], rest[8]]) as usize;
+    let expected_crc = u32::from_le_bytes([rest[9], rest[10], rest[11], rest[12]]);
     if len > max_payload {
         return Err(ServerError::Oversize {
             len,
@@ -156,6 +189,13 @@ pub fn read_frame_with_lead(
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload).map_err(map_eof)?;
+    let actual_crc = crc32(&payload);
+    if actual_crc != expected_crc {
+        return Err(ServerError::ChecksumMismatch {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
+    }
     Ok(Frame {
         frame_type,
         payload,
@@ -181,17 +221,24 @@ fn get_u8(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u8, ServerE
 }
 
 fn get_u16(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u16, ServerError> {
-    let b: [u8; 2] = take(buf, pos, 2, what)?.try_into().expect("slice of 2");
+    // `take` returned exactly 2 bytes, so the conversion cannot fail.
+    let b: [u8; 2] = take(buf, pos, 2, what)?
+        .try_into()
+        .map_err(|_| ServerError::Malformed(what))?;
     Ok(u16::from_le_bytes(b))
 }
 
 fn get_u32(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u32, ServerError> {
-    let b: [u8; 4] = take(buf, pos, 4, what)?.try_into().expect("slice of 4");
+    let b: [u8; 4] = take(buf, pos, 4, what)?
+        .try_into()
+        .map_err(|_| ServerError::Malformed(what))?;
     Ok(u32::from_le_bytes(b))
 }
 
 fn get_u64(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, ServerError> {
-    let b: [u8; 8] = take(buf, pos, 8, what)?.try_into().expect("slice of 8");
+    let b: [u8; 8] = take(buf, pos, 8, what)?
+        .try_into()
+        .map_err(|_| ServerError::Malformed(what))?;
     Ok(u64::from_le_bytes(b))
 }
 
@@ -370,6 +417,9 @@ pub struct AnswerPayload {
     pub request_id: u32,
     /// Whether the answer is doubly encrypted (PPGNN-OPT).
     pub two_phase: bool,
+    /// Whether this answer was replayed from the session's answer cache
+    /// (an idempotent retry of an already-served request).
+    pub replayed: bool,
     /// The encoded [`ppgnn_core::messages::AnswerMessage`].
     pub answer: Vec<u8>,
 }
@@ -377,9 +427,10 @@ pub struct AnswerPayload {
 impl AnswerPayload {
     /// Serializes the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(5 + self.answer.len());
+        let mut buf = Vec::with_capacity(6 + self.answer.len());
         buf.extend_from_slice(&self.request_id.to_le_bytes());
         buf.push(self.two_phase as u8);
+        buf.push(self.replayed as u8);
         buf.extend_from_slice(&self.answer);
         buf
     }
@@ -393,10 +444,16 @@ impl AnswerPayload {
             1 => true,
             _ => return Err(ServerError::Malformed("answer.two_phase")),
         };
+        let replayed = match get_u8(buf, &mut pos, "answer.replayed")? {
+            0 => false,
+            1 => true,
+            _ => return Err(ServerError::Malformed("answer.replayed")),
+        };
         let answer = buf[pos..].to_vec();
         Ok(AnswerPayload {
             request_id,
             two_phase,
+            replayed,
             answer,
         })
     }
@@ -472,6 +529,59 @@ impl ErrorPayload {
             request_id,
             code,
             message,
+        })
+    }
+}
+
+/// `Pong`: the health probe reply — a liveness check that also carries
+/// the server's load picture, so clients and operators can see queue
+/// pressure and worker health without a side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PongPayload {
+    /// Jobs currently waiting in the bounded queue.
+    pub queue_depth: u32,
+    /// Jobs enqueued or being processed right now.
+    pub inflight: u32,
+    /// Worker threads currently alive.
+    pub live_workers: u32,
+    /// Worker panics caught since startup.
+    pub worker_panics: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Queries answered since startup (fresh answers, not replays).
+    pub queries_ok: u64,
+}
+
+impl PongPayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(36);
+        buf.extend_from_slice(&self.queue_depth.to_le_bytes());
+        buf.extend_from_slice(&self.inflight.to_le_bytes());
+        buf.extend_from_slice(&self.live_workers.to_le_bytes());
+        buf.extend_from_slice(&self.worker_panics.to_le_bytes());
+        buf.extend_from_slice(&self.uptime_ms.to_le_bytes());
+        buf.extend_from_slice(&self.queries_ok.to_le_bytes());
+        buf
+    }
+
+    /// Parses the payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        let mut pos = 0;
+        let queue_depth = get_u32(buf, &mut pos, "pong.queue_depth")?;
+        let inflight = get_u32(buf, &mut pos, "pong.inflight")?;
+        let live_workers = get_u32(buf, &mut pos, "pong.live_workers")?;
+        let worker_panics = get_u64(buf, &mut pos, "pong.worker_panics")?;
+        let uptime_ms = get_u64(buf, &mut pos, "pong.uptime_ms")?;
+        let queries_ok = get_u64(buf, &mut pos, "pong.queries_ok")?;
+        expect_consumed(buf, pos, "pong trailing bytes")?;
+        Ok(PongPayload {
+            queue_depth,
+            inflight,
+            live_workers,
+            worker_panics,
+            uptime_ms,
+            queries_ok,
         })
     }
 }
@@ -584,10 +694,49 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_payload_byte_fails_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Answer, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        for i in HEADER_BYTES..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                matches!(
+                    read_frame(&mut bad.as_slice(), DEFAULT_MAX_PAYLOAD),
+                    Err(ServerError::ChecksumMismatch { .. })
+                ),
+                "flip at {i} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn pong_round_trip() {
+        let p = PongPayload {
+            queue_depth: 3,
+            inflight: 5,
+            live_workers: 4,
+            worker_panics: 1,
+            uptime_ms: 123_456,
+            queries_ok: 42,
+        };
+        assert_eq!(PongPayload::decode(&p.encode()).unwrap(), p);
+        assert!(PongPayload::decode(&p.encode()[..35]).is_err());
+    }
+
+    #[test]
     fn answer_busy_error_round_trips() {
         let a = AnswerPayload {
             request_id: 1,
             two_phase: true,
+            replayed: true,
             answer: vec![9; 96],
         };
         assert_eq!(AnswerPayload::decode(&a.encode()).unwrap(), a);

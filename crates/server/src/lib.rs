@@ -9,10 +9,15 @@
 //!   the [`ppgnn_core::wire`] encodings; decoding never panics;
 //! * [`registry`] — negotiated public session parameters per group ID,
 //!   so frames decode against the right [`ppgnn_core::wire::WireContext`];
-//! * [`server`] — acceptor + bounded worker pool sharing one
-//!   `Arc<Lsp>`, with per-request deadlines, `Busy` load shedding, and
-//!   graceful drain on shutdown;
-//! * [`client`] — [`client::GroupClient`], one group's connection;
+//! * [`server`] — acceptor + supervised bounded worker pool sharing one
+//!   `Arc<Lsp>`, with per-request deadlines, `Busy` load shedding,
+//!   per-session answer replay for idempotent retries, and graceful
+//!   drain on shutdown;
+//! * [`client`] — [`client::GroupClient`], one group's connection, with
+//!   budgeted retry, backoff, and reconnect-resume built in;
+//! * [`backoff`] — the client's jittered exponential retry schedule;
+//! * [`fault`] — seeded fault injection ([`fault::FaultyStream`]) for
+//!   chaos testing the whole stack;
 //! * [`metrics`] — latency percentiles for the `loadgen` binary.
 //!
 //! ```no_run
@@ -39,16 +44,20 @@
 //! handle.shutdown();
 //! ```
 
+pub mod backoff;
 pub mod client;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod metrics;
 pub mod registry;
 pub mod server;
 
-pub use client::{session_params_for, GroupClient};
+pub use backoff::{BackoffSchedule, RetryPolicy};
+pub use client::{session_params_for, ClientStats, GroupClient};
 pub use error::{ErrorCode, ServerError};
-pub use frame::{Frame, FrameType};
+pub use fault::{FaultAction, FaultConfig, FaultPlan, FaultyStream, Transport};
+pub use frame::{Frame, FrameType, PongPayload};
 pub use metrics::{percentile, summarize, LatencySummary};
-pub use registry::{SessionParams, SessionRegistry};
+pub use registry::{CachedAnswer, SessionParams, SessionRegistry};
 pub use server::{serve, ServerConfig, ServerHandle, ServerStats};

@@ -5,8 +5,15 @@
 //! server-global map from group ID to that context, written by `Hello`
 //! handshakes and read on every query — so a group may reconnect on a
 //! fresh TCP connection and keep querying without re-negotiating.
+//!
+//! Each session also keeps a small **answer cache** keyed by request
+//! ID. A client that never saw its answer (the connection died between
+//! send and reply) retries the *same* request ID; the cache replays the
+//! stored ciphertext instead of re-running the query, which keeps
+//! retries idempotent: the query counter moves once per distinct
+//! request, and the replayed bytes are identical to the originals.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 
 use ppgnn_core::wire::WireContext;
@@ -47,16 +54,53 @@ impl SessionParams {
     }
 }
 
+/// Answers remembered per session for idempotent retries. Old entries
+/// are evicted in insertion order past this cap; a client retry that
+/// outlives the cache simply re-runs the query.
+const ANSWER_CACHE_CAP: usize = 32;
+
+/// One answer held for replay.
+#[derive(Debug, Clone)]
+pub struct CachedAnswer {
+    /// Whether the answer is doubly encrypted (PPGNN-OPT).
+    pub two_phase: bool,
+    /// The encoded [`ppgnn_core::messages::AnswerMessage`] bytes,
+    /// byte-identical to what the first reply carried.
+    pub answer: Vec<u8>,
+}
+
 #[derive(Debug, Clone)]
 struct SessionEntry {
     params: SessionParams,
     queries: u64,
+    answers: HashMap<u32, CachedAnswer>,
+    answer_order: VecDeque<u32>,
+}
+
+impl SessionEntry {
+    fn new(params: SessionParams) -> Self {
+        SessionEntry {
+            params,
+            queries: 0,
+            answers: HashMap::new(),
+            answer_order: VecDeque::new(),
+        }
+    }
 }
 
 /// Server-global map of negotiated sessions, keyed by group ID.
 #[derive(Debug, Default)]
 pub struct SessionRegistry {
     inner: Mutex<HashMap<u64, SessionEntry>>,
+}
+
+/// Recovers the map from a poisoned lock: every critical section here
+/// upholds the entry invariants before any point that can panic, so
+/// the data is still consistent and the service can keep going.
+fn lock(
+    m: &Mutex<HashMap<u64, SessionEntry>>,
+) -> std::sync::MutexGuard<'_, HashMap<u64, SessionEntry>> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
 impl SessionRegistry {
@@ -66,40 +110,66 @@ impl SessionRegistry {
     }
 
     /// Registers (or re-negotiates) a group session. Re-registration
-    /// replaces the parameters but keeps the query count.
+    /// replaces the parameters but keeps the query count and cache.
     pub fn register(&self, group_id: u64, params: SessionParams) {
-        let mut map = self.inner.lock().expect("registry poisoned");
+        let mut map = lock(&self.inner);
         map.entry(group_id)
             .and_modify(|e| e.params = params)
-            .or_insert(SessionEntry { params, queries: 0 });
+            .or_insert_with(|| SessionEntry::new(params));
     }
 
     /// Looks up a session's parameters.
     pub fn get(&self, group_id: u64) -> Option<SessionParams> {
-        self.inner
-            .lock()
-            .expect("registry poisoned")
-            .get(&group_id)
-            .map(|e| e.params)
+        lock(&self.inner).get(&group_id).map(|e| e.params)
     }
 
-    /// Counts one served query against a session.
-    pub fn record_query(&self, group_id: u64) {
-        if let Some(e) = self
-            .inner
-            .lock()
-            .expect("registry poisoned")
-            .get_mut(&group_id)
-        {
-            e.queries += 1;
+    /// Records one served query and caches its answer for replay.
+    ///
+    /// Returns `true` if the request ID was new (the query counter
+    /// moved); `false` if it was already recorded — a retry that raced
+    /// the original, which must not double-count.
+    pub fn record_answer(
+        &self,
+        group_id: u64,
+        request_id: u32,
+        two_phase: bool,
+        answer: &[u8],
+    ) -> bool {
+        let mut map = lock(&self.inner);
+        let Some(e) = map.get_mut(&group_id) else {
+            return false;
+        };
+        if e.answers.contains_key(&request_id) {
+            return false;
         }
+        e.queries += 1;
+        e.answers.insert(
+            request_id,
+            CachedAnswer {
+                two_phase,
+                answer: answer.to_vec(),
+            },
+        );
+        e.answer_order.push_back(request_id);
+        while e.answer_order.len() > ANSWER_CACHE_CAP {
+            if let Some(old) = e.answer_order.pop_front() {
+                e.answers.remove(&old);
+            }
+        }
+        true
     }
 
-    /// Queries served for one group so far.
+    /// Looks up a cached answer for an idempotent retry.
+    pub fn cached_answer(&self, group_id: u64, request_id: u32) -> Option<CachedAnswer> {
+        lock(&self.inner)
+            .get(&group_id)
+            .and_then(|e| e.answers.get(&request_id))
+            .cloned()
+    }
+
+    /// Queries served for one group so far (distinct request IDs).
     pub fn queries_served(&self, group_id: u64) -> u64 {
-        self.inner
-            .lock()
-            .expect("registry poisoned")
+        lock(&self.inner)
             .get(&group_id)
             .map(|e| e.queries)
             .unwrap_or(0)
@@ -107,7 +177,7 @@ impl SessionRegistry {
 
     /// Number of registered sessions.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry poisoned").len()
+        lock(&self.inner).len()
     }
 
     /// Whether no session is registered.
@@ -135,8 +205,8 @@ mod tests {
         assert!(reg.get(7).is_none());
         reg.register(7, params(128, None));
         assert_eq!(reg.get(7).unwrap().key_bits, 128);
-        reg.record_query(7);
-        reg.record_query(7);
+        assert!(reg.record_answer(7, 1, false, &[1]));
+        assert!(reg.record_answer(7, 2, false, &[2]));
         assert_eq!(reg.queries_served(7), 2);
         assert_eq!(reg.len(), 1);
     }
@@ -145,12 +215,48 @@ mod tests {
     fn renegotiation_replaces_params_keeps_count() {
         let reg = SessionRegistry::new();
         reg.register(7, params(128, None));
-        reg.record_query(7);
+        assert!(reg.record_answer(7, 1, false, &[1]));
         reg.register(7, params(256, Some(5)));
         let p = reg.get(7).unwrap();
         assert_eq!(p.key_bits, 256);
         assert_eq!(p.two_phase_omega, Some(5));
         assert_eq!(reg.queries_served(7), 1);
+        // The answer cache also survives the re-handshake.
+        assert_eq!(reg.cached_answer(7, 1).unwrap().answer, vec![1]);
+    }
+
+    #[test]
+    fn replay_is_idempotent_and_byte_identical() {
+        let reg = SessionRegistry::new();
+        reg.register(3, params(128, None));
+        assert!(reg.record_answer(3, 9, true, &[0xaa, 0xbb]));
+        // A retry of the same request must not move the counter...
+        assert!(!reg.record_answer(3, 9, true, &[0xaa, 0xbb]));
+        assert_eq!(reg.queries_served(3), 1);
+        // ...and the cached bytes are exactly the originals.
+        let hit = reg.cached_answer(3, 9).unwrap();
+        assert!(hit.two_phase);
+        assert_eq!(hit.answer, vec![0xaa, 0xbb]);
+        assert!(reg.cached_answer(3, 10).is_none());
+        assert!(reg.cached_answer(4, 9).is_none());
+    }
+
+    #[test]
+    fn answer_cache_evicts_oldest() {
+        let reg = SessionRegistry::new();
+        reg.register(1, params(128, None));
+        for id in 0..(super::ANSWER_CACHE_CAP as u32 + 5) {
+            assert!(reg.record_answer(1, id, false, &[id as u8]));
+        }
+        // The oldest entries fell out; the newest are still there.
+        assert!(reg.cached_answer(1, 0).is_none());
+        assert!(reg.cached_answer(1, 4).is_none());
+        assert!(reg.cached_answer(1, 5).is_some());
+        // Eviction does not reset the query counter...
+        assert_eq!(reg.queries_served(1), super::ANSWER_CACHE_CAP as u64 + 5);
+        // ...but an evicted request ID may be re-recorded (and then
+        // counts again: the cap bounds memory, not exactness).
+        assert!(reg.record_answer(1, 0, false, &[0]));
     }
 
     #[test]

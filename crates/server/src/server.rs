@@ -1,5 +1,5 @@
 //! The networked LSP: TCP acceptor, bounded worker pool, backpressure,
-//! deadlines, and graceful drain.
+//! deadlines, supervision, and graceful drain.
 //!
 //! Threading model:
 //!
@@ -12,7 +12,23 @@
 //!   request with `Busy` instead of queueing unboundedly;
 //! * a fixed pool of **worker** threads shares one `Arc<Lsp>` (the
 //!   engine is `Send + Sync`), drops jobs whose deadline expired while
-//!   queued, and replies through a per-request channel.
+//!   queued, and replies through a per-request channel. A panic inside
+//!   the engine is caught per request: the client gets a typed
+//!   `Internal` error, and the worker then exits (its state is suspect
+//!   after an unwind) for the supervisor to replace;
+//! * a **supervisor** thread watches the pool and respawns any worker
+//!   that died, so a poison-pill query degrades one request, not the
+//!   service.
+//!
+//! Retried queries are idempotent: each session keeps a bounded answer
+//! cache keyed by request ID, and a request the server already answered
+//! is replayed byte-identically without touching the engine or the
+//! query counter (see [`SessionRegistry::record_answer`]).
+//!
+//! When [`ServerConfig::fault`] is set, every accepted connection is
+//! wrapped in a [`FaultyStream`] with a seed-derived schedule — the
+//! chaos harness used by `tests/server_chaos.rs` and `loadgen
+//! --chaos-*`.
 //!
 //! Shutdown: the flag stops the acceptor and makes connection threads
 //! say `Goodbye` at their next idle poll; requests already enqueued are
@@ -21,6 +37,7 @@
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -34,20 +51,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::error::{ErrorCode, ServerError};
+use crate::fault::{FaultConfig, FaultyStream, Transport};
 use crate::frame::{
     read_frame_with_lead, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType,
-    HelloAckPayload, HelloPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
+    HelloAckPayload, HelloPayload, PongPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
 };
 use crate::registry::{SessionParams, SessionRegistry};
 
 /// How often an idle connection thread checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
-/// Blocking-read guard while the rest of a frame is in flight.
-const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(30);
 /// Suggested client backoff carried in `Busy` frames.
 const RETRY_AFTER_MS: u32 = 50;
 /// Grace added to a request deadline while waiting for the worker reply.
 const REPLY_GRACE: Duration = Duration::from_secs(5);
+/// How often the supervisor sweeps the pool for dead workers.
+const SUPERVISOR_SWEEP: Duration = Duration::from_millis(50);
 
 /// Tunables for [`serve`].
 #[derive(Debug, Clone)]
@@ -65,6 +83,13 @@ pub struct ServerConfig {
     pub max_payload: usize,
     /// Seed for the workers' randomizer RNGs.
     pub rng_seed: u64,
+    /// Blocking-read guard while the rest of a frame is in flight; a
+    /// peer (or a corrupted length field) that stalls a frame longer
+    /// than this loses the connection.
+    pub frame_read_timeout: Duration,
+    /// Fault-injection schedule wrapped around every accepted
+    /// connection; `None` (the default) serves on the bare socket.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for ServerConfig {
@@ -76,18 +101,20 @@ impl Default for ServerConfig {
             default_deadline: Duration::from_secs(30),
             max_payload: DEFAULT_MAX_PAYLOAD,
             rng_seed: 0x5eed_cafe,
+            frame_read_timeout: Duration::from_secs(30),
+            fault: None,
         }
     }
 }
 
-/// Monotonic service counters.
+/// Monotonic service counters (plus two gauges).
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections accepted.
     pub accepted: AtomicU64,
     /// Connections refused over `max_connections`.
     pub refused: AtomicU64,
-    /// Queries answered.
+    /// Queries answered fresh (replays not included).
     pub queries_ok: AtomicU64,
     /// Queries failed (malformed, protocol error, internal).
     pub queries_err: AtomicU64,
@@ -95,11 +122,23 @@ pub struct ServerStats {
     pub busy_shed: AtomicU64,
     /// Queries dropped because their deadline expired in the queue.
     pub deadline_expired: AtomicU64,
-    /// Jobs currently enqueued or being processed.
+    /// Jobs currently enqueued or being processed (gauge).
     pub inflight: AtomicU64,
+    /// Retried queries answered from the session answer cache.
+    pub replayed: AtomicU64,
+    /// Worker panics caught and surfaced as typed `Internal` errors.
+    pub worker_panics: AtomicU64,
+    /// Workers the supervisor respawned after a death.
+    pub workers_respawned: AtomicU64,
+    /// Worker threads currently alive (gauge).
+    pub live_workers: AtomicU64,
+    /// Faults injected by the chaos wrapper across all connections
+    /// (behind an `Arc` so [`FaultyStream`]s can share the counter).
+    pub faults_injected: Arc<AtomicU64>,
 }
 
 struct Job {
+    group_id: u64,
     request_id: u32,
     query: QueryMessage,
     location_sets: Vec<LocationSetMessage>,
@@ -128,6 +167,7 @@ struct Shared {
     stats: ServerStats,
     shutdown: AtomicBool,
     connections: AtomicU64,
+    started: Instant,
 }
 
 /// Handle to a running server; dropping it shuts the server down.
@@ -136,7 +176,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     job_tx: Option<Sender<Job>>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -170,14 +210,15 @@ impl ServerHandle {
         // Connection threads notice the flag at their next poll, finish
         // any request they are waiting on, say Goodbye, and exit —
         // dropping their job senders.
-        let conns = std::mem::take(&mut *self.conn_threads.lock().expect("conn list poisoned"));
+        let conns = std::mem::take(&mut *lock_list(&self.conn_threads));
         for h in conns {
             let _ = h.join();
         }
         // With every sender gone the channel disconnects; workers drain
-        // whatever is still queued, then exit.
+        // whatever is still queued, then exit, and the supervisor
+        // collects them.
         drop(self.job_tx.take());
-        for h in std::mem::take(&mut self.workers) {
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
     }
@@ -185,18 +226,27 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        if self.acceptor.is_some() || self.supervisor.is_some() {
             self.shutdown_inner();
         }
     }
 }
 
+/// Recovers the connection-thread list from a poisoned lock: pushes and
+/// takes are single operations that cannot leave the vec inconsistent.
+fn lock_list(list: &Mutex<Vec<JoinHandle<()>>>) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    list.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
 /// Binds `addr` and starts serving `lsp` with `config`.
+///
+/// Startup failures (bind, thread spawn) surface as
+/// [`ServerError::Io`] instead of panicking.
 pub fn serve(
     lsp: Arc<Lsp>,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
-) -> std::io::Result<ServerHandle> {
+) -> Result<ServerHandle, ServerError> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
@@ -209,18 +259,21 @@ pub fn serve(
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
         connections: AtomicU64::new(0),
+        started: Instant::now(),
     });
 
-    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-        .map(|i| {
-            let shared = Arc::clone(&shared);
-            let rx = job_rx.clone();
-            std::thread::Builder::new()
-                .name(format!("ppgnn-worker-{i}"))
-                .spawn(move || worker_loop(shared, rx, i as u64))
-                .expect("spawn worker")
-        })
-        .collect();
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        workers.push(spawn_worker(&shared, &job_rx, i as u64)?);
+    }
+
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        let rx = job_rx.clone();
+        std::thread::Builder::new()
+            .name("ppgnn-supervisor".into())
+            .spawn(move || supervisor_loop(shared, rx, workers))?
+    };
     drop(job_rx);
 
     let conn_threads = Arc::new(Mutex::new(Vec::new()));
@@ -230,8 +283,7 @@ pub fn serve(
         let conn_threads = Arc::clone(&conn_threads);
         std::thread::Builder::new()
             .name("ppgnn-acceptor".into())
-            .spawn(move || accept_loop(listener, shared, job_tx, conn_threads))
-            .expect("spawn acceptor")
+            .spawn(move || accept_loop(listener, shared, job_tx, conn_threads))?
     };
 
     Ok(ServerHandle {
@@ -239,9 +291,74 @@ pub fn serve(
         shared,
         job_tx: Some(job_tx),
         acceptor: Some(acceptor),
-        workers,
+        supervisor: Some(supervisor),
         conn_threads,
     })
+}
+
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    job_rx: &Receiver<Job>,
+    index: u64,
+) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    let rx = job_rx.clone();
+    std::thread::Builder::new()
+        .name(format!("ppgnn-worker-{index}"))
+        .spawn(move || worker_loop(shared, rx, index))
+}
+
+/// Watches the pool; a worker that died (panic escape, or the
+/// deliberate exit after a caught panic) is replaced as long as the
+/// server is running. Exits once shutdown is signaled and every worker
+/// has drained and stopped.
+fn supervisor_loop(shared: Arc<Shared>, job_rx: Receiver<Job>, mut workers: Vec<JoinHandle<()>>) {
+    let mut next_index = workers.len() as u64;
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        let mut alive = Vec::with_capacity(workers.len());
+        for handle in workers {
+            if handle.is_finished() {
+                let _ = handle.join();
+                // A spawn failure (out of threads) leaves the pool
+                // degraded; the next sweep retries as long as any pool
+                // slot is missing.
+                if !shutting_down {
+                    if let Ok(h) = spawn_worker(&shared, &job_rx, next_index) {
+                        next_index += 1;
+                        shared
+                            .stats
+                            .workers_respawned
+                            .fetch_add(1, Ordering::Relaxed);
+                        alive.push(h);
+                    }
+                }
+            } else {
+                alive.push(handle);
+            }
+        }
+        // Top back up to the configured size if a respawn failed earlier.
+        if !shutting_down {
+            while alive.len() < shared.config.workers.max(1) {
+                match spawn_worker(&shared, &job_rx, next_index) {
+                    Ok(h) => {
+                        next_index += 1;
+                        shared
+                            .stats
+                            .workers_respawned
+                            .fetch_add(1, Ordering::Relaxed);
+                        alive.push(h);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        workers = alive;
+        if shutting_down && workers.is_empty() {
+            return;
+        }
+        std::thread::sleep(SUPERVISOR_SWEEP);
+    }
 }
 
 fn accept_loop(
@@ -250,6 +367,7 @@ fn accept_loop(
     job_tx: Sender<Job>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
+    let mut conn_index: u64 = 0;
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -261,19 +379,41 @@ fn accept_loop(
                 }
                 shared.connections.fetch_add(1, Ordering::SeqCst);
                 shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                let index = conn_index;
+                conn_index += 1;
                 let shared2 = Arc::clone(&shared);
                 let tx = job_tx.clone();
-                let handle = std::thread::Builder::new()
-                    .name("ppgnn-conn".into())
-                    .spawn(move || {
-                        let _ = connection_loop(&shared2, stream, tx);
-                        shared2.connections.fetch_sub(1, Ordering::SeqCst);
-                    })
-                    .expect("spawn connection");
-                conn_threads
-                    .lock()
-                    .expect("conn list poisoned")
-                    .push(handle);
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("ppgnn-conn".into())
+                        .spawn(move || {
+                            let fault_plan = shared2
+                                .config
+                                .fault
+                                .as_ref()
+                                .filter(|f| f.is_active())
+                                .map(|f| f.plan_for(index));
+                            match fault_plan {
+                                Some(plan) => {
+                                    let counter = Arc::clone(&shared2.stats.faults_injected);
+                                    let faulty = FaultyStream::new(stream, plan, counter);
+                                    let _ = connection_loop(&shared2, faulty, tx);
+                                }
+                                None => {
+                                    let _ = connection_loop(&shared2, stream, tx);
+                                }
+                            }
+                            shared2.connections.fetch_sub(1, Ordering::SeqCst);
+                        });
+                match spawned {
+                    Ok(handle) => lock_list(&conn_threads).push(handle),
+                    Err(_) => {
+                        // Could not spawn a thread: undo the slot and
+                        // shed the connection instead of crashing.
+                        shared.connections.fetch_sub(1, Ordering::SeqCst);
+                        shared.stats.refused.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -294,12 +434,11 @@ fn refuse(mut stream: TcpStream) {
 }
 
 /// Serves one connection until the peer leaves or shutdown is signaled.
-fn connection_loop(
+fn connection_loop<S: Transport>(
     shared: &Shared,
-    mut stream: TcpStream,
+    mut stream: S,
     job_tx: Sender<Job>,
 ) -> Result<(), ServerError> {
-    use std::io::Read as _;
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     loop {
@@ -309,7 +448,7 @@ fn connection_loop(
         match stream.read(&mut lead) {
             Ok(0) => return Ok(()),
             Ok(_) => {
-                stream.set_read_timeout(Some(FRAME_READ_TIMEOUT))?;
+                stream.set_read_timeout(Some(shared.config.frame_read_timeout))?;
                 let frame = read_frame_with_lead(&mut stream, lead[0], shared.config.max_payload)?;
                 stream.set_read_timeout(Some(POLL_INTERVAL))?;
                 match frame.frame_type {
@@ -328,7 +467,10 @@ fn connection_loop(
                         )?;
                     }
                     FrameType::Query => handle_query(shared, &mut stream, &frame.payload, &job_tx)?,
-                    FrameType::Ping => write_frame(&mut stream, FrameType::Pong, &[])?,
+                    FrameType::Ping => {
+                        let pong = health_pong(shared, &job_tx);
+                        write_frame(&mut stream, FrameType::Pong, &pong.encode())?;
+                    }
                     FrameType::Goodbye => return Ok(()),
                     other => {
                         send_error(
@@ -354,9 +496,21 @@ fn connection_loop(
     }
 }
 
+/// Snapshot of server load for a `Pong` health reply.
+fn health_pong(shared: &Shared, job_tx: &Sender<Job>) -> PongPayload {
+    PongPayload {
+        queue_depth: job_tx.len() as u32,
+        inflight: shared.stats.inflight.load(Ordering::SeqCst) as u32,
+        live_workers: shared.stats.live_workers.load(Ordering::SeqCst) as u32,
+        worker_panics: shared.stats.worker_panics.load(Ordering::Relaxed),
+        uptime_ms: shared.started.elapsed().as_millis() as u64,
+        queries_ok: shared.stats.queries_ok.load(Ordering::Relaxed),
+    }
+}
+
 fn handle_hello(
     shared: &Shared,
-    stream: &mut TcpStream,
+    stream: &mut impl std::io::Write,
     payload: &[u8],
 ) -> Result<(), ServerError> {
     let hello = match HelloPayload::decode(payload) {
@@ -379,7 +533,7 @@ fn handle_hello(
 
 fn handle_query(
     shared: &Shared,
-    stream: &mut TcpStream,
+    stream: &mut impl std::io::Write,
     payload: &[u8],
     job_tx: &Sender<Job>,
 ) -> Result<(), ServerError> {
@@ -399,6 +553,20 @@ fn handle_query(
             &format!("group {} has no negotiated session", q.group_id),
         );
     };
+    // An idempotent retry: the request was already answered, so replay
+    // the cached ciphertext without re-running the query or moving the
+    // counters. This check is cheap (one map lookup) and happens before
+    // the expensive wire decode.
+    if let Some(hit) = shared.registry.cached_answer(q.group_id, q.request_id) {
+        shared.stats.replayed.fetch_add(1, Ordering::Relaxed);
+        let payload = AnswerPayload {
+            request_id: q.request_id,
+            two_phase: hit.two_phase,
+            replayed: true,
+            answer: hit.answer,
+        };
+        return write_frame(stream, FrameType::Answer, &payload.encode());
+    }
     let ctx = params.wire_context();
     let query = match QueryMessage::from_wire(&q.query, &ctx) {
         Ok(m) => m,
@@ -434,6 +602,7 @@ fn handle_query(
     };
     let (reply_tx, reply_rx) = bounded::<Reply>(1);
     let job = Job {
+        group_id: q.group_id,
         request_id: q.request_id,
         query,
         location_sets,
@@ -472,11 +641,20 @@ fn handle_query(
             two_phase,
             answer,
         }) => {
-            shared.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
-            shared.registry.record_query(q.group_id);
+            // Cache before replying; `record_answer` also dedups the
+            // query counter if a duplicate raced us.
+            let fresh = shared
+                .registry
+                .record_answer(q.group_id, request_id, two_phase, &answer);
+            if fresh {
+                shared.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.stats.replayed.fetch_add(1, Ordering::Relaxed);
+            }
             let payload = AnswerPayload {
                 request_id,
                 two_phase,
+                replayed: !fresh,
                 answer,
             };
             write_frame(stream, FrameType::Answer, &payload.encode())
@@ -512,7 +690,7 @@ fn handle_query(
 }
 
 fn send_error(
-    stream: &mut TcpStream,
+    stream: &mut impl std::io::Write,
     request_id: u32,
     code: ErrorCode,
     message: &str,
@@ -538,7 +716,19 @@ fn to_owned_capped(message: &str) -> String {
     }
 }
 
+/// Decrements the live-worker gauge however the thread exits — normal
+/// drain, deliberate post-panic exit, or an unwind escaping the loop.
+struct LiveWorkerGuard<'a>(&'a ServerStats);
+
+impl Drop for LiveWorkerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.live_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>, index: u64) {
+    shared.stats.live_workers.fetch_add(1, Ordering::SeqCst);
+    let _guard = LiveWorkerGuard(&shared.stats);
     let mut rng = StdRng::seed_from_u64(shared.config.rng_seed.wrapping_add(index));
     // `recv` returns Err only when every sender is dropped AND the
     // queue is empty — exactly the drain semantics shutdown needs.
@@ -551,25 +741,55 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>, index: u64) {
             });
             continue;
         }
-        let mut ledger = CostLedger::new();
-        let result =
+        // Engine panics must not take the reply channel down with them:
+        // catch the unwind, turn it into a typed failure, then let this
+        // worker die for the supervisor to replace — after an unwind
+        // the engine's internal state is not worth trusting.
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut ledger = CostLedger::new();
             shared
                 .lsp
-                .process_query(&job.query, &job.location_sets, &mut ledger, &mut rng);
-        let reply = match result {
-            Ok(answer) => Reply::Answer {
+                .process_query(&job.query, &job.location_sets, &mut ledger, &mut rng)
+        }));
+        let reply = match caught {
+            Ok(Ok(answer)) => Reply::Answer {
                 request_id: job.request_id,
                 two_phase: matches!(answer, AnswerMessage::TwoPhase(_)),
                 answer: answer.to_wire(&job.query.pk),
             },
-            Err(e) => Reply::Failure {
+            Ok(Err(e)) => Reply::Failure {
                 request_id: job.request_id,
                 code: ErrorCode::Protocol,
                 message: e.to_string(),
             },
+            Err(panic) => {
+                shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                let detail = panic_message(&panic);
+                let reply = Reply::Failure {
+                    request_id: job.request_id,
+                    code: ErrorCode::Internal,
+                    message: format!(
+                        "worker panicked processing request {} of group {}: {detail}",
+                        job.request_id, job.group_id
+                    ),
+                };
+                let _ = job.reply.send(reply);
+                return; // the supervisor respawns a clean replacement
+            }
         };
         // A gone receiver means the connection died or timed out; the
         // query result is simply dropped.
         let _ = job.reply.send(reply);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }

@@ -1,0 +1,109 @@
+//! Property-based tests of the client's retry backoff schedule.
+//!
+//! [`BackoffSchedule`] is a pure value type — no clocks, no I/O — so
+//! its contract is directly checkable over random policies, seeds, and
+//! server hints: every delay stays inside the jittered envelope, the
+//! `retry_after_ms` hint acts as a floor, the envelope itself is
+//! monotone and capped, and the whole sequence is a deterministic
+//! function of the seed.
+
+use std::time::Duration;
+
+use ppgnn::server::{BackoffSchedule, RetryPolicy};
+use proptest::prelude::*;
+
+fn policy(base_ms: u64, cap_ms: u64, max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_millis(base_ms),
+        cap: Duration::from_millis(cap_ms.max(base_ms)),
+        budget: Duration::from_secs(60),
+        max_attempts,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every delay lies in `[envelope/2, envelope]` before the hint is
+    /// applied, and never exceeds `max(cap, hint)` after it.
+    #[test]
+    fn delay_is_bounded_by_envelope_and_hint(
+        seed in any::<u64>(),
+        base_ms in 1u64..500,
+        cap_ms in 1u64..5_000,
+        hint_ms in 0u32..3_000,
+    ) {
+        let p = policy(base_ms, cap_ms, u32::MAX);
+        let mut s = BackoffSchedule::new(p.clone(), seed);
+        for attempt in 0..24 {
+            let envelope = s.envelope(attempt);
+            let hint = (attempt % 2 == 0).then_some(hint_ms);
+            let d = s.next_delay(hint);
+            let floor = Duration::from_millis(hint.unwrap_or(0) as u64);
+            // Never beyond the envelope unless the hint pushed it up...
+            prop_assert!(d <= envelope.max(floor), "attempt {attempt}: {d:?} > {envelope:?}");
+            // ...never below half the envelope unless the envelope is
+            // sub-nanosecond-jitterable, and never below the hint.
+            prop_assert!(d >= floor, "attempt {attempt}: {d:?} < hint floor {floor:?}");
+            prop_assert!(
+                d.max(floor) >= Duration::from_nanos(envelope.as_nanos() as u64 / 2),
+                "attempt {attempt}: {d:?} below half-envelope"
+            );
+            prop_assert!(d <= p.cap.max(floor));
+        }
+    }
+
+    /// The un-jittered envelope is monotone non-decreasing in the
+    /// attempt index and capped, for any base/cap combination.
+    #[test]
+    fn envelope_is_monotone_and_capped(
+        base_ms in 1u64..2_000,
+        cap_ms in 1u64..60_000,
+    ) {
+        let p = policy(base_ms, cap_ms, 10);
+        let s = BackoffSchedule::new(p.clone(), 0);
+        let mut prev = Duration::ZERO;
+        for attempt in 0..96 {
+            let e = s.envelope(attempt);
+            prop_assert!(e >= prev, "envelope shrank at attempt {attempt}");
+            prop_assert!(e <= p.cap);
+            prev = e;
+        }
+        // Far out, the cap binds exactly (base >= 1ms, so 2^60 * base
+        // saturates far beyond any cap here).
+        prop_assert_eq!(s.envelope(95), p.cap);
+    }
+
+    /// The delay sequence is a pure function of (policy, seed): two
+    /// schedules with the same inputs agree forever, and the sequence
+    /// does not depend on global state.
+    #[test]
+    fn schedule_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        base_ms in 1u64..200,
+        cap_ms in 1u64..2_000,
+    ) {
+        let p = policy(base_ms, cap_ms, u32::MAX);
+        let mut a = BackoffSchedule::new(p.clone(), seed);
+        let mut b = BackoffSchedule::new(p, seed);
+        for i in 0..32 {
+            let hint = if i % 3 == 0 { Some(7) } else { None };
+            prop_assert_eq!(a.next_delay(hint), b.next_delay(hint));
+        }
+    }
+
+    /// `attempts_left` admits exactly `max_attempts` total attempts:
+    /// the first try plus `max_attempts - 1` retries.
+    #[test]
+    fn attempt_count_is_exact(max_attempts in 1u32..20, seed in any::<u64>()) {
+        let p = policy(1, 10, max_attempts);
+        let mut s = BackoffSchedule::new(p, seed);
+        let mut retries = 0u32;
+        while s.attempts_left() {
+            s.next_delay(None);
+            retries += 1;
+            prop_assert!(retries <= max_attempts, "attempts_left never went false");
+        }
+        prop_assert_eq!(retries, max_attempts - 1);
+    }
+}

@@ -75,6 +75,7 @@ fn corpus() -> &'static Vec<(FrameType, Vec<u8>)> {
                 AnswerPayload {
                     request_id: 1,
                     two_phase: false,
+                    replayed: false,
                     answer: vec![3; 64],
                 }
                 .encode(),

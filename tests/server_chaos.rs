@@ -1,0 +1,419 @@
+//! Chaos tests: the networked LSP under seeded fault injection.
+//!
+//! The server wraps every accepted connection in a
+//! [`ppgnn::server::FaultyStream`] that delays, corrupts, truncates,
+//! and severs traffic on a schedule derived from a single seed, and the
+//! resilient client rides through it. The invariants under chaos:
+//!
+//! * every query either decodes to the exact plaintext top-k (checked
+//!   against the oracle) or surfaces a **typed** error — never a wrong
+//!   answer, never a hang;
+//! * `queries_issued` equals the number of *distinct* queries planned,
+//!   no matter how many retries, reconnects, or replays it took;
+//! * the server's per-group query counter never exceeds the distinct
+//!   request IDs a group sent (replays are not double-counted);
+//! * a panicking worker produces a typed `Internal` error, and the
+//!   supervisor heals the pool back to full strength.
+//!
+//! The seed comes from `PPGNN_CHAOS_SEED` when set (CI pins two), so a
+//! failing schedule is reproducible by exporting the same value.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use ppgnn::prelude::*;
+use ppgnn::server::{
+    serve, ErrorCode, FaultConfig, GroupClient, RetryPolicy, ServerConfig, ServerError,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const GROUPS: u64 = 5;
+const QUERIES_PER_GROUP: usize = 100;
+/// Hard ceiling on the whole soak: if the harness has not heard from a
+/// group by then, something is hanging and the test fails loudly.
+const SOAK_DEADLINE: Duration = Duration::from_secs(300);
+
+fn grid_db(side: usize) -> Vec<Poi> {
+    (0..side * side)
+        .map(|i| {
+            Poi::new(
+                i as u32,
+                Point::new(
+                    (i % side) as f64 / side as f64,
+                    (i / side) as f64 / side as f64,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn test_config(variant: Variant) -> PpgnnConfig {
+    PpgnnConfig {
+        k: 2,
+        d: 3,
+        delta: 6,
+        keysize: 128,
+        sanitize: false,
+        variant,
+        ..PpgnnConfig::fast_test()
+    }
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("PPGNN_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC4A0_5EED)
+}
+
+/// What one group reports back to the harness.
+struct GroupOutcome {
+    group: u64,
+    ok: u64,
+    typed_errors: u64,
+    queries_issued: u64,
+}
+
+/// ≥500 queries across ≥5 groups, with every connection subject to
+/// seeded delay/corrupt/truncate/sever faults. Answers are checked
+/// against the plaintext oracle; failures must be typed; nothing hangs.
+#[test]
+fn seeded_soak_survives_fault_injection() {
+    let seed = chaos_seed();
+    let lsp = Arc::new(Lsp::new(grid_db(10), test_config(Variant::Plain)));
+    let mut fault = FaultConfig::mixed(seed);
+    // Keep injected latency small so the soak finishes promptly; the
+    // schedule still exercises every fault class.
+    fault.max_delay = Duration::from_millis(5);
+    let config = ServerConfig {
+        fault: Some(fault),
+        // A corrupted length prefix can leave a read waiting for bytes
+        // that never come; a short frame timeout turns that into a
+        // typed error instead of a stall.
+        frame_read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", config).unwrap();
+    let addr = handle.local_addr();
+
+    let (tx, rx) = mpsc::channel::<GroupOutcome>();
+    for g in 1..=GROUPS {
+        let lsp = Arc::clone(&lsp);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let config = test_config(if g % 2 == 0 {
+                Variant::Opt
+            } else {
+                Variant::Plain
+            });
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (g << 8));
+            let mut outcome = GroupOutcome {
+                group: g,
+                ok: 0,
+                typed_errors: 0,
+                queries_issued: 0,
+            };
+            // The initial handshake itself can be hit by a fault; it
+            // carries no session state yet, so just connect again.
+            let mut client = None;
+            for attempt in 0..10 {
+                match GroupClient::connect(addr, g, config.clone(), lsp.space(), 2, &mut rng) {
+                    Ok(c) => {
+                        client = Some(c);
+                        break;
+                    }
+                    Err(e) if attempt < 9 => {
+                        eprintln!("group {g}: connect attempt {attempt} failed: {e}");
+                        std::thread::sleep(Duration::from_millis(10 << attempt));
+                    }
+                    Err(e) => panic!("group {g}: connect failed after retries: {e}"),
+                }
+            }
+            let mut client = client.expect("connect loop either breaks or panics");
+            client.retry = RetryPolicy {
+                budget: Duration::from_secs(20),
+                ..RetryPolicy::default()
+            };
+            for q in 0..QUERIES_PER_GROUP {
+                let users = vec![
+                    Point::new(
+                        0.05 + 0.9 * ((q * 7 + g as usize) % 97) as f64 / 97.0,
+                        0.05 + 0.9 * ((q * 13 + 3) % 89) as f64 / 89.0,
+                    ),
+                    Point::new(
+                        0.05 + 0.9 * ((q * 31 + 11) % 83) as f64 / 83.0,
+                        0.05 + 0.9 * ((q * 5 + g as usize) % 79) as f64 / 79.0,
+                    ),
+                ];
+                match client.query(&users, &mut rng) {
+                    Ok(answer) => {
+                        // The answer must be the *exact* top-k: a
+                        // corrupted frame may never decrypt to a
+                        // plausible-but-wrong result.
+                        let oracle = lsp.plaintext_answer(&users, config.k);
+                        assert_eq!(answer.len(), oracle.len(), "group {g} query {q}");
+                        for (r, o) in answer.iter().zip(&oracle) {
+                            assert!(
+                                r.dist(&o.location) < 1e-6,
+                                "group {g} query {q}: {r:?} vs oracle {:?}",
+                                o.location
+                            );
+                        }
+                        outcome.ok += 1;
+                    }
+                    // Typed failures are acceptable under chaos; a
+                    // panic (wrong answer, protocol corruption leaking
+                    // through) is not.
+                    Err(
+                        ServerError::Io(_)
+                        | ServerError::ConnectionClosed
+                        | ServerError::ChecksumMismatch { .. }
+                        | ServerError::ServerBusy { .. }
+                        | ServerError::Remote { .. },
+                    ) => outcome.typed_errors += 1,
+                    Err(other) => panic!("group {g} query {q}: untyped failure: {other}"),
+                }
+            }
+            outcome.queries_issued = client.queries_issued();
+            let stats = client.stats();
+            eprintln!(
+                "group {g}: ok={} typed_errors={} retries={} reconnects={} replays={} sheds={}",
+                outcome.ok,
+                outcome.typed_errors,
+                stats.retries,
+                stats.reconnects,
+                stats.replayed_answers,
+                stats.busy_sheds
+            );
+            client.goodbye();
+            tx.send(outcome).ok();
+        });
+    }
+    drop(tx);
+
+    let deadline = std::time::Instant::now() + SOAK_DEADLINE;
+    let mut outcomes = Vec::new();
+    while outcomes.len() < GROUPS as usize {
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        match rx.recv_timeout(left) {
+            Ok(o) => outcomes.push(o),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                panic!(
+                    "soak hung: only {}/{GROUPS} groups finished within {SOAK_DEADLINE:?} \
+                     (seed {seed})",
+                    outcomes.len()
+                );
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!(
+                    "a group thread died without reporting (seed {seed}); \
+                     {}/{GROUPS} finished",
+                    outcomes.len()
+                );
+            }
+        }
+    }
+
+    let total_ok: u64 = outcomes.iter().map(|o| o.ok).sum();
+    let total_err: u64 = outcomes.iter().map(|o| o.typed_errors).sum();
+    assert_eq!(
+        total_ok + total_err,
+        GROUPS * QUERIES_PER_GROUP as u64,
+        "every query must resolve"
+    );
+    // The chaos mix is mild enough that the retrying client should pull
+    // the vast majority of queries through.
+    assert!(
+        total_ok >= GROUPS * QUERIES_PER_GROUP as u64 * 9 / 10,
+        "too many failures under chaos: ok={total_ok} err={total_err} (seed {seed})"
+    );
+    for o in &outcomes {
+        // One plan per query, regardless of retries/replays.
+        assert_eq!(
+            o.queries_issued, QUERIES_PER_GROUP as u64,
+            "group {}: queries_issued must count distinct queries (seed {seed})",
+            o.group
+        );
+        // The server never counts a request ID twice, and can only have
+        // served distinct IDs that reached it.
+        let served = handle.registry().queries_served(o.group);
+        assert!(
+            served <= QUERIES_PER_GROUP as u64,
+            "group {}: served {served} > distinct requests (seed {seed})",
+            o.group
+        );
+        assert!(
+            served >= o.ok,
+            "group {}: served {served} < answered {} (seed {seed})",
+            o.group,
+            o.ok
+        );
+    }
+
+    let stats = handle.stats();
+    eprintln!(
+        "server: ok={} err={} replayed={} faults_injected={} worker_panics={}",
+        stats.queries_ok.load(Ordering::Relaxed),
+        stats.queries_err.load(Ordering::Relaxed),
+        stats.replayed.load(Ordering::Relaxed),
+        stats.faults_injected.load(Ordering::Relaxed),
+        stats.worker_panics.load(Ordering::Relaxed),
+    );
+    // The schedule must actually have fired — otherwise this test
+    // silently degrades into the plain e2e test.
+    assert!(
+        stats.faults_injected.load(Ordering::Relaxed) > 0,
+        "chaos config injected no faults (seed {seed})"
+    );
+    assert_eq!(stats.worker_panics.load(Ordering::Relaxed), 0);
+    handle.shutdown();
+}
+
+/// An engine that panics on demand, to exercise worker supervision.
+struct PanicEngine {
+    inner: MbmEngine,
+    /// Panic on the next `n` calls.
+    panics_left: AtomicU64,
+}
+
+impl QueryEngine for PanicEngine {
+    fn answer(&self, query: &[Point], k: usize, agg: Aggregate) -> Vec<Poi> {
+        if self
+            .panics_left
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            panic!("injected engine panic");
+        }
+        self.inner.answer(query, k, agg)
+    }
+
+    fn database_size(&self) -> usize {
+        self.inner.database_size()
+    }
+}
+
+/// A worker that panics mid-query yields a typed `Internal` error (the
+/// retrying client absorbs it), and the supervisor respawns the worker
+/// so the pool returns to full strength — observable via the health
+/// probe.
+#[test]
+fn worker_panic_heals_and_query_still_succeeds() {
+    let engine = PanicEngine {
+        inner: MbmEngine::new(grid_db(8)),
+        panics_left: AtomicU64::new(2),
+    };
+    let lsp = Arc::new(Lsp::with_engine(
+        Box::new(engine),
+        test_config(Variant::Plain),
+        Rect::UNIT,
+    ));
+    let config = ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", config).unwrap();
+    let addr = handle.local_addr();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let ppgnn_config = test_config(Variant::Plain);
+    let mut client = GroupClient::connect(addr, 1, ppgnn_config, Rect::UNIT, 2, &mut rng).unwrap();
+
+    // The first attempts hit the injected panics and come back as typed
+    // Internal errors; the client's retry resends the same request ID
+    // until a healthy worker answers it.
+    let users = vec![Point::new(0.3, 0.3), Point::new(0.6, 0.6)];
+    let answer = client
+        .query(&users, &mut rng)
+        .expect("query must survive worker panics via retry");
+    let oracle = lsp.plaintext_answer(&users, 2);
+    for (r, o) in answer.iter().zip(&oracle) {
+        assert!(r.dist(&o.location) < 1e-6);
+    }
+    assert_eq!(client.queries_issued(), 1);
+
+    let stats = handle.stats();
+    assert_eq!(stats.worker_panics.load(Ordering::Relaxed), 2);
+    assert!(stats.workers_respawned.load(Ordering::Relaxed) >= 2);
+
+    // The pool heals: poll the health probe until live_workers is back
+    // to the configured size (bounded, so a broken supervisor fails the
+    // test instead of hanging it).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let pong = client.ping().expect("health probe");
+        if pong.live_workers == 2 {
+            assert!(pong.uptime_ms > 0 || pong.queries_ok <= 1);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pool never healed: live_workers={}",
+            pong.live_workers
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // And the healed pool serves fresh queries normally.
+    let users2 = vec![Point::new(0.1, 0.8), Point::new(0.7, 0.2)];
+    let answer2 = client.query(&users2, &mut rng).expect("post-heal query");
+    let oracle2 = lsp.plaintext_answer(&users2, 2);
+    for (r, o) in answer2.iter().zip(&oracle2) {
+        assert!(r.dist(&o.location) < 1e-6);
+    }
+    client.goodbye();
+    handle.shutdown();
+}
+
+/// A worker panic with retries disabled surfaces as a typed `Internal`
+/// remote error — the caller sees the failure class, not a dead socket.
+#[test]
+fn worker_panic_is_a_typed_error_without_retry() {
+    let engine = PanicEngine {
+        inner: MbmEngine::new(grid_db(8)),
+        panics_left: AtomicU64::new(1),
+    };
+    let lsp = Arc::new(Lsp::with_engine(
+        Box::new(engine),
+        test_config(Variant::Plain),
+        Rect::UNIT,
+    ));
+    let handle = serve(
+        Arc::clone(&lsp),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    let mut client = GroupClient::connect(
+        handle.local_addr(),
+        1,
+        test_config(Variant::Plain),
+        Rect::UNIT,
+        2,
+        &mut rng,
+    )
+    .unwrap();
+    client.retry.max_attempts = 1;
+    let err = client
+        .query(&[Point::new(0.2, 0.2), Point::new(0.4, 0.4)], &mut rng)
+        .expect_err("panicked worker must yield an error");
+    match err {
+        ServerError::Remote { code, message } => {
+            assert_eq!(code, ErrorCode::Internal);
+            assert!(
+                message.contains("panic"),
+                "panic message should be carried: {message:?}"
+            );
+        }
+        other => panic!("expected typed Internal, got {other}"),
+    }
+    client.goodbye();
+    handle.shutdown();
+}

@@ -157,6 +157,9 @@ fn full_queue_sheds_with_busy() {
                     &mut rng,
                 )
                 .expect("connect");
+                // This test is about the shed itself, so turn off the
+                // client's built-in retry and let `Busy` surface.
+                client.retry.max_attempts = 1;
                 let users = vec![Point::new(0.2, 0.2), Point::new(0.5, 0.5)];
                 match client.query(&users, &mut rng) {
                     Ok(answer) => {
@@ -232,6 +235,9 @@ fn queued_past_deadline_is_rejected() {
     )
     .unwrap();
     client.deadline_ms = 1;
+    // A 1 ms deadline would also expire on a retry; disable retries so
+    // the typed error surfaces instead of burning the backoff budget.
+    client.retry.max_attempts = 1;
     let err = client
         .query(&[Point::new(0.3, 0.3), Point::new(0.4, 0.4)], &mut rng)
         .expect_err("deadline should expire in queue");
