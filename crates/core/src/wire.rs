@@ -222,6 +222,18 @@ impl QueryMessage {
         let k = get_u32_bounded(buf, &mut pos, "k", MAX_WIRE_K)?;
         let n_width = ctx.key_bits.div_ceil(8);
         let pk = PublicKey::from_modulus(get_big(buf, &mut pos, n_width, "pk modulus")?);
+        // An honest modulus N = p·q of a `key_bits` session has exactly
+        // `key_bits` bits and is odd. Anything else desyncs every
+        // ciphertext width derived from `pk` below — and a zero modulus
+        // would make those widths zero, turning the length-inferred
+        // element counts into divisions by zero.
+        if pk.key_bits() != ctx.key_bits || !pk.n().bit(0) {
+            return Err(PpgnnError::FieldOutOfRange {
+                field: "pk modulus bits",
+                value: pk.key_bits() as u64,
+                max: ctx.key_bits as u64,
+            });
+        }
         let partition = if ctx.has_partition {
             let alpha = get_u32_bounded(buf, &mut pos, "alpha", MAX_WIRE_PARTITION)?;
             let beta = get_u32_bounded(buf, &mut pos, "beta", MAX_WIRE_PARTITION)?;
@@ -601,6 +613,49 @@ mod tests {
                 field: "partition sizes",
                 ..
             })
+        ));
+    }
+
+    #[test]
+    fn degenerate_pk_modulus_rejected_not_divide_by_zero() {
+        // A query whose modulus slot is all zeros once drove
+        // `ciphertext_bytes` to 0 and the length-inferred indicator
+        // count into `0 / 0`. Every degenerate modulus (zero, undersized,
+        // even) must now map to a typed error.
+        let ctx = WireContext {
+            key_bits: 128,
+            two_phase_omega: None,
+            has_partition: false,
+        };
+        // k + 16 zero bytes of modulus + θ0 and nothing else.
+        let mut wire = Vec::new();
+        put_u32(&mut wire, 2);
+        wire.extend_from_slice(&[0u8; 16]);
+        put_f64(&mut wire, 0.05);
+        assert!(matches!(
+            QueryMessage::from_wire(&wire, &ctx),
+            Err(PpgnnError::FieldOutOfRange {
+                field: "pk modulus bits",
+                ..
+            })
+        ));
+        // Same shape under a two-phase context: also typed, no panic.
+        let ctx2 = WireContext {
+            key_bits: 128,
+            two_phase_omega: Some(3),
+            has_partition: false,
+        };
+        assert!(QueryMessage::from_wire(&wire, &ctx2).is_err());
+        // An even modulus of the right width is still not an RSA modulus.
+        let mut wire = Vec::new();
+        put_u32(&mut wire, 2);
+        let mut modulus = [0xFFu8; 16];
+        modulus[15] = 0xFE; // even
+        wire.extend_from_slice(&modulus);
+        put_f64(&mut wire, 0.05);
+        assert!(matches!(
+            QueryMessage::from_wire(&wire, &ctx),
+            Err(PpgnnError::FieldOutOfRange { .. })
         ));
     }
 

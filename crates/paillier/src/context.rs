@@ -40,6 +40,35 @@ impl Ciphertext {
         pk.ciphertext_bytes(self.s)
     }
 
+    /// Structural validity of an untrusted ciphertext under `pk`.
+    ///
+    /// A well-formed ε_s ciphertext is a **unit** of `Z^*_{N^{s+1}}`:
+    /// strictly inside `[1, N^{s+1})` and coprime to the modulus. Every
+    /// honest encryption satisfies this by construction; bytes arriving
+    /// off the network do not, so a server must check before feeding
+    /// them into modular exponentiation (a zero or out-of-range value
+    /// silently degrades the private selection of Theorem 3.1, and a
+    /// non-unit would leak a factor of `N` on decryption).
+    pub fn validate(&self, pk: &PublicKey) -> Result<(), PaillierError> {
+        let modulus = pk.n().pow(self.s as u32 + 1);
+        self.validate_in(pk.n(), &modulus)
+    }
+
+    /// [`Ciphertext::validate`] with the moduli precomputed — the batch
+    /// form for validating whole vectors without re-deriving `N^{s+1}`
+    /// per element.
+    pub fn validate_in(
+        &self,
+        n: &BigUint,
+        ciphertext_modulus: &BigUint,
+    ) -> Result<(), PaillierError> {
+        if self.value.is_zero() || &self.value >= ciphertext_modulus || !self.value.gcd(n).is_one()
+        {
+            return Err(PaillierError::MalformedCiphertext);
+        }
+        Ok(())
+    }
+
     /// Reinterprets this ε_s ciphertext as an ε_{s+1} *plaintext*
     /// (an element of `Z_{N^{s+1}}`). This is the layering trick of §6:
     /// the second selection phase of PPGNN-OPT encrypts ε₁ ciphertexts
@@ -478,6 +507,49 @@ mod tests {
         let cb = ctx.encrypt(&b, &mut rng);
         let combo = ctx.add(&ctx.scalar_mul(&k1, &ca), &ctx.scalar_mul(&k2, &cb));
         assert_eq!(ctx.decrypt(&combo, &sk), BigUint::from(3 * 13 + 5 * 29u64));
+    }
+
+    #[test]
+    fn validate_accepts_honest_ciphertexts() {
+        let (ctx, _, mut rng) = setup(1);
+        let pk = ctx.public_key().clone();
+        for m in [0u64, 1, 42, u64::MAX] {
+            let c = ctx.encrypt(&BigUint::from(m), &mut rng);
+            assert!(c.validate(&pk).is_ok());
+        }
+        // ε₂ ciphertexts validate against N³.
+        let (ctx2, _, mut rng2) = setup(2);
+        let c2 = ctx2.encrypt(&BigUint::from(7u64), &mut rng2);
+        assert!(c2.validate(ctx2.public_key()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_oversize_and_nonunit() {
+        let (ctx, _, mut rng) = setup(1);
+        let pk = ctx.public_key().clone();
+        // Zero is never a unit.
+        let zero = Ciphertext::from_parts(BigUint::zero(), 1);
+        assert_eq!(zero.validate(&pk), Err(PaillierError::MalformedCiphertext));
+        // Values at or past N² are out of the ring.
+        let n2 = pk.n().pow(2);
+        let at = Ciphertext::from_parts(n2.clone(), 1);
+        assert_eq!(at.validate(&pk), Err(PaillierError::MalformedCiphertext));
+        let past = Ciphertext::from_parts(&n2 + &BigUint::from(5u64), 1);
+        assert_eq!(past.validate(&pk), Err(PaillierError::MalformedCiphertext));
+        // A multiple of N shares a factor with the modulus: not a unit.
+        let non_unit = Ciphertext::from_parts(pk.n().mul_limb(3), 1);
+        assert_eq!(
+            non_unit.validate(&pk),
+            Err(PaillierError::MalformedCiphertext)
+        );
+        // An honest ciphertext tagged with the wrong level fails the
+        // range check against the smaller ring with overwhelming
+        // probability only at higher levels; the level-1 check against
+        // N² still accepts it — level agreement is the wire layer's
+        // job. What must hold: validation never panics.
+        let c = ctx.encrypt(&BigUint::from(9u64), &mut rng);
+        let retagged = Ciphertext::from_parts(c.value().clone(), 2);
+        let _ = retagged.validate(&pk);
     }
 
     #[test]

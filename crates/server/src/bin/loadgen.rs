@@ -314,6 +314,18 @@ fn main() {
             s.workers_respawned.load(Ordering::Relaxed),
             s.faults_injected.load(Ordering::Relaxed),
         );
+        println!(
+            "admission: sessions={} evicted={} rejected={} violations={} \
+             rate_limited={} strike_disconnects={} slow_reaped={} frame_garbage={}",
+            handle.registry().len(),
+            handle.registry().evicted(),
+            handle.registry().rejected(),
+            handle.registry().violations(),
+            s.rate_limited.load(Ordering::Relaxed),
+            s.strike_disconnects.load(Ordering::Relaxed),
+            s.slow_reaped.load(Ordering::Relaxed),
+            s.frame_garbage.load(Ordering::Relaxed),
+        );
         handle.shutdown();
     }
     if errors > 0 {

@@ -1,0 +1,308 @@
+//! `mallory`: adversarial load generator for the PPGNN server.
+//!
+//! Runs the seeded attack catalog (see `ppgnn_server::mallory`) against
+//! a server *concurrently with legitimate group traffic*, then reports
+//! whether every attack was contained — answered with a typed error, a
+//! `Busy` shed, or a clean disconnect — and whether the legitimate
+//! queries still came back correct while the abuse was in flight.
+//!
+//! ```text
+//! mallory [--addr HOST:PORT] [--seed 1] [--rounds 3] [--attackers 2]
+//!         [--legit-groups 2] [--legit-queries 4] [--users 2]
+//!         [--pois 200] [--slow-stall-ms 1500]
+//! ```
+//!
+//! Without `--addr`, a hardened in-process server is spun up on an
+//! ephemeral port (short frame deadline, bounded session table, strike
+//! escalation armed), so the binary is a self-contained smoke test:
+//! exit status 0 means every attack run was contained AND every
+//! legitimate query matched the plaintext oracle.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppgnn_core::{Lsp, PpgnnConfig};
+use ppgnn_geo::{Poi, Point, Rect};
+use ppgnn_server::mallory::{run_catalog, AttackContext, MalloryReport};
+use ppgnn_server::{serve, GroupClient, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    addr: Option<String>,
+    seed: u64,
+    rounds: usize,
+    attackers: usize,
+    legit_groups: usize,
+    legit_queries: usize,
+    users: usize,
+    pois: usize,
+    slow_stall: Duration,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        seed: 1,
+        rounds: 3,
+        attackers: 2,
+        legit_groups: 2,
+        legit_queries: 4,
+        users: 2,
+        pois: 200,
+        slow_stall: Duration::from_millis(1500),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--rounds" => args.rounds = parse(&value("--rounds")?)?,
+            "--attackers" => args.attackers = parse(&value("--attackers")?)?,
+            "--legit-groups" => args.legit_groups = parse(&value("--legit-groups")?)?,
+            "--legit-queries" => args.legit_queries = parse(&value("--legit-queries")?)?,
+            "--users" => args.users = parse(&value("--users")?)?,
+            "--pois" => args.pois = parse(&value("--pois")?)?,
+            "--slow-stall-ms" => {
+                args.slow_stall = Duration::from_millis(parse(&value("--slow-stall-ms")?)?)
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: mallory [--addr HOST:PORT] [--seed S] [--rounds R] \
+                     [--attackers A] [--legit-groups G] [--legit-queries Q] \
+                     [--users U] [--pois P] [--slow-stall-ms MS]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad numeric value {s:?}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mallory: {e}");
+            std::process::exit(2);
+        }
+    };
+    // The same session shape AttackContext plans with, so legitimate
+    // traffic and attack traffic exercise the same gate rules.
+    let config = PpgnnConfig {
+        k: 2,
+        d: 3,
+        delta: 6,
+        sanitize: false,
+        ..PpgnnConfig::fast_test()
+    };
+
+    let local_server = if args.addr.is_none() {
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0xbad);
+        let pois: Vec<Poi> = (0..args.pois)
+            .map(|i| Poi::new(i as u32, Point::new(rng.gen::<f64>(), rng.gen::<f64>())))
+            .collect();
+        let lsp = Arc::new(Lsp::new(pois, config.clone()));
+        let server_config = ServerConfig {
+            // Hardened posture: the slow-writer attack must out-stall
+            // this deadline, and the flood must be able to hit the cap.
+            frame_read_timeout: Duration::from_millis(500),
+            max_sessions: 24,
+            session_idle_ttl: Duration::from_secs(2),
+            ..ServerConfig::default()
+        };
+        let handle = match serve(Arc::clone(&lsp), "127.0.0.1:0", server_config) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("mallory: failed to start in-process server: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "mallory: in-process hardened server on {}",
+            handle.local_addr()
+        );
+        Some((handle, lsp))
+    } else {
+        None
+    };
+    let addr = match (&args.addr, &local_server) {
+        (Some(a), _) => a.clone(),
+        (None, Some((h, _))) => h.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+    let sock_addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mallory: bad address {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("mallory: planning attack material (seed {})...", args.seed);
+    let mut ctx = match AttackContext::new(args.seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mallory: failed to plan attack context: {e}");
+            std::process::exit(1);
+        }
+    };
+    ctx.slow_stall = args.slow_stall;
+    let ctx = Arc::new(ctx);
+
+    let start = Instant::now();
+
+    // Adversaries and honest groups share the wall clock.
+    let attack_threads: Vec<_> = (0..args.attackers.max(1))
+        .map(|a| {
+            let ctx = Arc::clone(&ctx);
+            let seed = args.seed.wrapping_add(a as u64).wrapping_mul(0x100_0001);
+            let rounds = args.rounds;
+            std::thread::spawn(move || run_catalog(sock_addr, &ctx, seed, rounds))
+        })
+        .collect();
+
+    let legit_threads: Vec<_> = (0..args.legit_groups)
+        .map(|g| {
+            let addr = addr.clone();
+            let config = config.clone();
+            let lsp = local_server.as_ref().map(|(_, l)| Arc::clone(l));
+            let (users, queries, seed) = (args.users, args.legit_queries, args.seed);
+            std::thread::spawn(move || -> (u64, u64) {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1000 + g as u64));
+                let mut ok = 0u64;
+                let mut bad = 0u64;
+                let mut client = match GroupClient::connect(
+                    addr.as_str(),
+                    g as u64 + 1,
+                    config.clone(),
+                    Rect::UNIT,
+                    users,
+                    &mut rng,
+                ) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("legit group {g}: connect failed: {e}");
+                        return (0, queries as u64);
+                    }
+                };
+                for q in 0..queries {
+                    let locations: Vec<Point> = (0..users)
+                        .map(|_| Point::new(rng.gen(), rng.gen()))
+                        .collect();
+                    match client.query(&locations, &mut rng) {
+                        Ok(answer) => {
+                            // With the in-process server we hold the
+                            // database, so check against the oracle.
+                            let correct = match &lsp {
+                                Some(lsp) => {
+                                    let oracle = lsp.plaintext_answer(&locations, config.k);
+                                    answer.len() == oracle.len()
+                                        && answer
+                                            .iter()
+                                            .zip(&oracle)
+                                            .all(|(a, o)| a.dist(&o.location) < 1e-6)
+                                }
+                                None => !answer.is_empty(),
+                            };
+                            if correct {
+                                ok += 1;
+                            } else {
+                                eprintln!("legit group {g}: query {q} answer mismatch");
+                                bad += 1;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("legit group {g}: query {q} failed: {e}");
+                            bad += 1;
+                        }
+                    }
+                }
+                client.goodbye();
+                (ok, bad)
+            })
+        })
+        .collect();
+
+    let mut report = MalloryReport::default();
+    for t in attack_threads {
+        match t.join() {
+            Ok(r) => report.runs.extend(r.runs),
+            Err(_) => {
+                eprintln!("mallory: attacker thread panicked");
+                std::process::exit(1);
+            }
+        }
+    }
+    let mut legit_ok = 0u64;
+    let mut legit_bad = 0u64;
+    for t in legit_threads {
+        match t.join() {
+            Ok((ok, bad)) => {
+                legit_ok += ok;
+                legit_bad += bad;
+            }
+            Err(_) => {
+                eprintln!("mallory: legit group thread panicked");
+                std::process::exit(1);
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+
+    println!("attack                outcome");
+    for (attack, outcome) in &report.runs {
+        println!("{:<21} {:?}", attack.to_string(), outcome);
+    }
+    println!(
+        "attacks={} contained={} uncontained={} legit_ok={} legit_failed={} elapsed={:.2}s",
+        report.total(),
+        report.contained(),
+        report.uncontained().len(),
+        legit_ok,
+        legit_bad,
+        elapsed.as_secs_f64(),
+    );
+
+    if let Some((handle, _)) = local_server {
+        let s = handle.stats();
+        println!(
+            "server: ok={} err={} violations={} rate_limited={} strike_disconnects={} \
+             slow_reaped={} frame_garbage={} sessions={} evicted={} rejected={} \
+             worker_panics={}",
+            s.queries_ok.load(Ordering::Relaxed),
+            s.queries_err.load(Ordering::Relaxed),
+            handle.registry().violations(),
+            s.rate_limited.load(Ordering::Relaxed),
+            s.strike_disconnects.load(Ordering::Relaxed),
+            s.slow_reaped.load(Ordering::Relaxed),
+            s.frame_garbage.load(Ordering::Relaxed),
+            handle.registry().len(),
+            handle.registry().evicted(),
+            handle.registry().rejected(),
+            s.worker_panics.load(Ordering::Relaxed),
+        );
+        let panics = s.worker_panics.load(Ordering::Relaxed);
+        handle.shutdown();
+        if panics > 0 {
+            eprintln!("mallory: FAIL — {panics} worker panic(s) under attack");
+            std::process::exit(1);
+        }
+    }
+
+    if !report.uncontained().is_empty() || legit_bad > 0 {
+        for (attack, outcome) in report.uncontained() {
+            eprintln!("mallory: UNCONTAINED {attack}: {outcome:?}");
+        }
+        eprintln!("mallory: FAIL");
+        std::process::exit(1);
+    }
+    println!("mallory: all attacks contained, legitimate traffic unharmed");
+}

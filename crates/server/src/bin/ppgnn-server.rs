@@ -4,6 +4,10 @@
 //! ppgnn-server [--addr 127.0.0.1:7878] [--pois 1000] [--workers 4]
 //!              [--queue-depth 32] [--max-connections 64]
 //!              [--keysize 128] [--k 2] [--d 3] [--delta 6] [--seed 42]
+//!              [--max-sessions 1024] [--session-ttl-ms 900000]
+//!              [--min-delta 2] [--min-key-bits 32] [--max-payload BYTES]
+//!              [--rate-limit QPS] [--rate-burst N] [--max-strikes 8]
+//!              [--frame-timeout-ms 30000] [--write-timeout-ms 30000]
 //! ```
 //!
 //! Shutdown: send `quit` on stdin (or close it). In-flight queries are
@@ -62,11 +66,36 @@ fn parse_args() -> Result<Args, String> {
                 args.config.default_deadline =
                     Duration::from_millis(parse(&value("--deadline-ms")?)?)
             }
+            "--max-sessions" => args.config.max_sessions = parse(&value("--max-sessions")?)?,
+            "--session-ttl-ms" => {
+                args.config.session_idle_ttl =
+                    Duration::from_millis(parse(&value("--session-ttl-ms")?)?)
+            }
+            "--min-delta" => args.config.hello_policy.min_delta = parse(&value("--min-delta")?)?,
+            "--min-key-bits" => {
+                args.config.hello_policy.min_key_bits = parse(&value("--min-key-bits")?)?
+            }
+            "--max-payload" => args.config.max_payload = parse(&value("--max-payload")?)?,
+            "--rate-limit" => args.config.rate_limit_per_sec = parse(&value("--rate-limit")?)?,
+            "--rate-burst" => args.config.rate_limit_burst = parse(&value("--rate-burst")?)?,
+            "--max-strikes" => args.config.max_strikes = parse(&value("--max-strikes")?)?,
+            "--frame-timeout-ms" => {
+                args.config.frame_read_timeout =
+                    Duration::from_millis(parse(&value("--frame-timeout-ms")?)?)
+            }
+            "--write-timeout-ms" => {
+                args.config.write_timeout =
+                    Duration::from_millis(parse(&value("--write-timeout-ms")?)?)
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ppgnn-server [--addr A] [--pois N] [--workers W] \
                      [--queue-depth Q] [--max-connections C] [--deadline-ms MS] \
-                     [--keysize B] [--k K] [--d D] [--delta DELTA] [--seed S]"
+                     [--keysize B] [--k K] [--d D] [--delta DELTA] [--seed S] \
+                     [--max-sessions N] [--session-ttl-ms MS] [--min-delta D] \
+                     [--min-key-bits B] [--max-payload BYTES] [--rate-limit QPS] \
+                     [--rate-burst N] [--max-strikes N] [--frame-timeout-ms MS] \
+                     [--write-timeout-ms MS]"
                 );
                 std::process::exit(0);
             }
@@ -127,7 +156,9 @@ fn main() {
                 println!(
                     "accepted={} refused={} ok={} err={} busy_shed={} \
                      deadline_expired={} inflight={} sessions={} replayed={} \
-                     worker_panics={} respawned={} live_workers={}",
+                     worker_panics={} respawned={} live_workers={} \
+                     evicted={} rejected={} violations={} rate_limited={} \
+                     strike_disconnects={} slow_reaped={} frame_garbage={}",
                     s.accepted.load(Ordering::Relaxed),
                     s.refused.load(Ordering::Relaxed),
                     s.queries_ok.load(Ordering::Relaxed),
@@ -140,6 +171,13 @@ fn main() {
                     s.worker_panics.load(Ordering::Relaxed),
                     s.workers_respawned.load(Ordering::Relaxed),
                     s.live_workers.load(Ordering::Relaxed),
+                    handle.registry().evicted(),
+                    handle.registry().rejected(),
+                    handle.registry().violations(),
+                    s.rate_limited.load(Ordering::Relaxed),
+                    s.strike_disconnects.load(Ordering::Relaxed),
+                    s.slow_reaped.load(Ordering::Relaxed),
+                    s.frame_garbage.load(Ordering::Relaxed),
                 );
             }
             _ => {}

@@ -100,7 +100,22 @@ pub fn session_params_for(
         variant: variant_tag(config.variant),
         two_phase_omega,
         has_partition: !matches!(config.variant, Variant::Naive),
+        n_users,
+        delta: config.delta,
+        k: config.k,
+        // Naive ships the whole candidate set per user; the
+        // partitioned variants ship d dummy slots.
+        d: effective_set_len(config),
     })
+}
+
+/// Locations per user set under `config` — what the server's gate will
+/// hold every query to.
+fn effective_set_len(config: &PpgnnConfig) -> usize {
+    match config.variant {
+        Variant::Naive => config.delta,
+        Variant::Plain | Variant::Opt => config.d,
+    }
 }
 
 /// What the retry loop should do about one failed attempt.
@@ -118,7 +133,10 @@ struct Recovery {
 /// Classifies an attempt failure. Transport-level failures (dead or
 /// desynced streams) reconnect; typed remote failures retry in place;
 /// deterministic failures (bad input, local protocol errors, a
-/// deliberately draining server) surface immediately.
+/// deliberately draining server) surface immediately. A remote
+/// `Violation` is deterministic by construction — the server's gate
+/// rejects the same bytes the same way every time — so it must fail
+/// fast instead of burning the wall-clock budget on backoff.
 fn classify(e: &ServerError) -> Recovery {
     let (retryable, retry_after_ms, reconnect, rehandshake) = match e {
         ServerError::Io(_)
@@ -126,19 +144,26 @@ fn classify(e: &ServerError) -> Recovery {
         | ServerError::BadMagic(_)
         | ServerError::BadVersion(_)
         | ServerError::UnknownFrameType(_)
-        | ServerError::Oversize { .. }
         | ServerError::ChecksumMismatch { .. }
         | ServerError::Malformed(_)
         | ServerError::UnexpectedFrame { .. } => (true, None, true, false),
+        // An oversized frame is deterministic in both directions: our
+        // payload will not shrink on retry, and a server reply past
+        // the cap will be past it again.
+        ServerError::FrameTooLarge { .. } => (false, None, false, false),
         ServerError::ServerBusy { retry_after_ms } => (true, Some(*retry_after_ms), false, false),
         ServerError::Remote { code, .. } => match code {
             ErrorCode::NoSession => (true, None, false, true),
             ErrorCode::DeadlineExceeded | ErrorCode::Internal => (true, None, false, false),
-            ErrorCode::ShuttingDown | ErrorCode::MalformedPayload | ErrorCode::Protocol => {
-                (false, None, false, false)
-            }
+            // Quota pressure (full session table, strike disconnect)
+            // may drain; give the backoff a chance.
+            ErrorCode::QuotaExceeded => (true, None, false, false),
+            ErrorCode::ShuttingDown
+            | ErrorCode::MalformedPayload
+            | ErrorCode::Protocol
+            | ErrorCode::Violation => (false, None, false, false),
         },
-        ServerError::Protocol(_) => (false, None, false, false),
+        ServerError::Protocol(_) | ServerError::Violation(_) => (false, None, false, false),
     };
     Recovery {
         retryable,
@@ -246,6 +271,10 @@ impl GroupClient {
             variant: params.variant,
             omega: params.two_phase_omega.unwrap_or(0) as u32,
             has_partition: params.has_partition,
+            n_users: params.n_users as u32,
+            delta: params.delta as u32,
+            k: params.k as u32,
+            d: params.d as u32,
         };
         write_frame(&mut self.stream, FrameType::Hello, &hello.encode())?;
         let frame = read_frame(&mut self.stream, self.max_payload)?;
@@ -254,6 +283,12 @@ impl GroupClient {
                 let ack = HelloAckPayload::decode(&frame.payload)?;
                 if ack.group_id != self.group_id {
                     return Err(ServerError::Malformed("hello_ack for a different group"));
+                }
+                // Adopt the server's advertised frame cap so an
+                // oversized query fails fast client-side instead of
+                // earning a strike at the server's gate.
+                if ack.max_payload > 0 {
+                    self.max_payload = ack.max_payload as usize;
                 }
                 self.server_info = ack;
                 self.negotiated = Some(params);
@@ -322,6 +357,10 @@ impl GroupClient {
             variant: variant_tag(self.config.variant),
             two_phase_omega: ctx.two_phase_omega,
             has_partition: ctx.has_partition,
+            n_users: real_locations.len(),
+            delta: self.config.delta,
+            k: self.config.k,
+            d: effective_set_len(&self.config),
         };
         let request_id = self.next_request_id;
         self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
@@ -405,6 +444,14 @@ impl GroupClient {
         // budget, so a lost reply cannot stall past it.
         self.stream
             .set_read_timeout(Some(remaining.min(READ_TIMEOUT).max(MIN_READ_TIMEOUT)))?;
+        // Fail fast on a query the server's frame cap would reject
+        // anyway; shipping it would only earn us a strike.
+        if payload.len() > self.max_payload {
+            return Err(ServerError::FrameTooLarge {
+                len: payload.len(),
+                max: self.max_payload,
+            });
+        }
         write_frame(&mut self.stream, FrameType::Query, payload)?;
         loop {
             let frame = read_frame(&mut self.stream, self.max_payload)?;

@@ -5,6 +5,7 @@ use std::fmt;
 use ppgnn_core::PpgnnError;
 
 use crate::frame::FrameType;
+use crate::validate::ProtocolViolation;
 
 /// Machine-readable error codes carried by `Error` frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +22,13 @@ pub enum ErrorCode {
     ShuttingDown,
     /// Unexpected server-side failure.
     Internal,
+    /// The validation gate rejected the request: it broke a session
+    /// invariant (see [`ProtocolViolation`]). Deterministic — a retry
+    /// of the same bytes will be rejected again.
+    Violation,
+    /// An admission-control quota (session cap, strike limit) refused
+    /// the request; retrying later may succeed once load drains.
+    QuotaExceeded,
 }
 
 impl ErrorCode {
@@ -33,6 +41,8 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => 4,
             ErrorCode::ShuttingDown => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::Violation => 7,
+            ErrorCode::QuotaExceeded => 8,
         }
     }
 
@@ -45,6 +55,8 @@ impl ErrorCode {
             4 => ErrorCode::DeadlineExceeded,
             5 => ErrorCode::ShuttingDown,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::Violation,
+            8 => ErrorCode::QuotaExceeded,
             _ => return None,
         })
     }
@@ -59,6 +71,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline exceeded",
             ErrorCode::ShuttingDown => "shutting down",
             ErrorCode::Internal => "internal error",
+            ErrorCode::Violation => "protocol violation",
+            ErrorCode::QuotaExceeded => "quota exceeded",
         };
         f.write_str(s)
     }
@@ -79,8 +93,10 @@ pub enum ServerError {
     BadVersion(u8),
     /// Unknown frame type tag.
     UnknownFrameType(u8),
-    /// Declared payload length exceeds the negotiated maximum.
-    Oversize { len: usize, max: usize },
+    /// Declared payload length exceeds the negotiated maximum. Raised
+    /// from the frame header alone, before any payload buffer is
+    /// allocated, so a hostile length field cannot drive allocation.
+    FrameTooLarge { len: usize, max: usize },
     /// The payload failed its header CRC — bytes were corrupted in
     /// transit; nothing in the frame can be trusted.
     ChecksumMismatch { expected: u32, actual: u32 },
@@ -88,6 +104,9 @@ pub enum ServerError {
     Malformed(&'static str),
     /// The protocol layer rejected a message.
     Protocol(PpgnnError),
+    /// The validation gate rejected a decoded request before it
+    /// reached a worker.
+    Violation(ProtocolViolation),
     /// The peer answered with an `Error` frame.
     Remote { code: ErrorCode, message: String },
     /// The peer shed the request (or connection) with a `Busy` frame.
@@ -107,7 +126,7 @@ impl fmt::Display for ServerError {
             ServerError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
             ServerError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
             ServerError::UnknownFrameType(t) => write!(f, "unknown frame type 0x{t:02x}"),
-            ServerError::Oversize { len, max } => {
+            ServerError::FrameTooLarge { len, max } => {
                 write!(f, "frame payload of {len} bytes exceeds maximum {max}")
             }
             ServerError::ChecksumMismatch { expected, actual } => {
@@ -118,6 +137,7 @@ impl fmt::Display for ServerError {
             }
             ServerError::Malformed(what) => write!(f, "malformed frame payload: {what}"),
             ServerError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ServerError::Violation(v) => write!(f, "protocol violation: {v}"),
             ServerError::Remote { code, message } => {
                 write!(f, "server error ({code}): {message}")
             }
@@ -150,5 +170,11 @@ impl From<std::io::Error> for ServerError {
 impl From<PpgnnError> for ServerError {
     fn from(e: PpgnnError) -> Self {
         ServerError::Protocol(e)
+    }
+}
+
+impl From<ProtocolViolation> for ServerError {
+    fn from(v: ProtocolViolation) -> Self {
+        ServerError::Violation(v)
     }
 }

@@ -29,6 +29,9 @@ use std::time::Duration;
 pub trait Transport: Read + Write + Send {
     /// Sets (or clears) the blocking-read timeout.
     fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()>;
+    /// Sets (or clears) the blocking-write timeout, so a peer that
+    /// never drains its receive buffer cannot wedge a writer thread.
+    fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()>;
     /// Disables Nagle batching.
     fn set_nodelay(&self, on: bool) -> std::io::Result<()>;
     /// Closes both directions of the underlying socket.
@@ -38,6 +41,10 @@ pub trait Transport: Read + Write + Send {
 impl Transport for TcpStream {
     fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
         TcpStream::set_read_timeout(self, dur)
+    }
+
+    fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_write_timeout(self, dur)
     }
 
     fn set_nodelay(&self, on: bool) -> std::io::Result<()> {
@@ -322,6 +329,10 @@ impl<S: Transport> Transport for FaultyStream<S> {
         self.inner.set_read_timeout(dur)
     }
 
+    fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_write_timeout(dur)
+    }
+
     fn set_nodelay(&self, on: bool) -> std::io::Result<()> {
         self.inner.set_nodelay(on)
     }
@@ -368,6 +379,10 @@ mod tests {
 
     impl Transport for MemRef<'_> {
         fn set_read_timeout(&self, _dur: Option<Duration>) -> std::io::Result<()> {
+            Ok(())
+        }
+
+        fn set_write_timeout(&self, _dur: Option<Duration>) -> std::io::Result<()> {
             Ok(())
         }
 

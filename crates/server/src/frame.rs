@@ -23,8 +23,11 @@ use crate::error::{ErrorCode, ServerError};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"PPGN";
-/// Frame-layer version this build speaks (2 = payload CRC in header).
-pub const VERSION: u8 = 2;
+/// Frame-layer version this build speaks (2 added a payload CRC in the
+/// header; 3 widened `Hello` with the session shape — n/δ/k/d — that
+/// the server's validation gate holds every query to, and `Pong` with
+/// the admission-control counters).
+pub const VERSION: u8 = 3;
 /// Fixed header width: magic + version + type + u32 length + u32 crc.
 pub const HEADER_BYTES: usize = 14;
 /// Default cap on a single frame payload (16 MiB).
@@ -182,7 +185,7 @@ pub fn read_frame_with_lead(
     let len = u32::from_le_bytes([rest[5], rest[6], rest[7], rest[8]]) as usize;
     let expected_crc = u32::from_le_bytes([rest[9], rest[10], rest[11], rest[12]]);
     if len > max_payload {
-        return Err(ServerError::Oversize {
+        return Err(ServerError::FrameTooLarge {
             len,
             max: max_payload,
         });
@@ -253,6 +256,11 @@ fn expect_consumed(buf: &[u8], pos: usize, what: &'static str) -> Result<(), Ser
 
 /// `Hello`: the public session parameters a decoder needs, keyed by
 /// group ID in the server's registry.
+///
+/// Version 3 added the session *shape* — group size, δ, k, d. The
+/// server pins every later query of the session to these numbers: a
+/// query whose vectors disagree with its own handshake is a protocol
+/// violation, not an honest decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HelloPayload {
     /// The group's stable identifier.
@@ -266,17 +274,29 @@ pub struct HelloPayload {
     pub omega: u32,
     /// Whether queries carry a partition block (absent for Naive).
     pub has_partition: bool,
+    /// Number of users in the group (= location sets per query).
+    pub n_users: u32,
+    /// Candidate-set size δ the group committed to.
+    pub delta: u32,
+    /// Neighbors requested per query.
+    pub k: u32,
+    /// Per-user dummy-set size d (Plain/Opt); equals δ for Naive.
+    pub d: u32,
 }
 
 impl HelloPayload {
     /// Serializes the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(18);
+        let mut buf = Vec::with_capacity(34);
         buf.extend_from_slice(&self.group_id.to_le_bytes());
         buf.extend_from_slice(&self.key_bits.to_le_bytes());
         buf.push(self.variant);
         buf.extend_from_slice(&self.omega.to_le_bytes());
         buf.push(self.has_partition as u8);
+        buf.extend_from_slice(&self.n_users.to_le_bytes());
+        buf.extend_from_slice(&self.delta.to_le_bytes());
+        buf.extend_from_slice(&self.k.to_le_bytes());
+        buf.extend_from_slice(&self.d.to_le_bytes());
         buf
     }
 
@@ -292,9 +312,16 @@ impl HelloPayload {
             1 => true,
             _ => return Err(ServerError::Malformed("hello.has_partition")),
         };
+        let n_users = get_u32(buf, &mut pos, "hello.n_users")?;
+        let delta = get_u32(buf, &mut pos, "hello.delta")?;
+        let k = get_u32(buf, &mut pos, "hello.k")?;
+        let d = get_u32(buf, &mut pos, "hello.d")?;
         expect_consumed(buf, pos, "hello trailing bytes")?;
         if key_bits == 0 || key_bits > 1 << 16 {
             return Err(ServerError::Malformed("hello.key_bits out of range"));
+        }
+        if n_users == 0 || n_users as usize > MAX_LOCATION_SETS {
+            return Err(ServerError::Malformed("hello.n_users out of range"));
         }
         Ok(HelloPayload {
             group_id,
@@ -302,6 +329,10 @@ impl HelloPayload {
             variant,
             omega,
             has_partition,
+            n_users,
+            delta,
+            k,
+            d,
         })
     }
 }
@@ -550,18 +581,33 @@ pub struct PongPayload {
     pub uptime_ms: u64,
     /// Queries answered since startup (fresh answers, not replays).
     pub queries_ok: u64,
+    /// Sessions currently registered.
+    pub sessions: u32,
+    /// Sessions evicted for idling past the TTL.
+    pub sessions_evicted: u64,
+    /// Hellos refused because the session table was full.
+    pub sessions_rejected: u64,
+    /// Requests the validation gate rejected since startup.
+    pub violations: u64,
+    /// Frames shed by the per-connection token bucket.
+    pub rate_limited: u64,
 }
 
 impl PongPayload {
     /// Serializes the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(36);
+        let mut buf = Vec::with_capacity(72);
         buf.extend_from_slice(&self.queue_depth.to_le_bytes());
         buf.extend_from_slice(&self.inflight.to_le_bytes());
         buf.extend_from_slice(&self.live_workers.to_le_bytes());
         buf.extend_from_slice(&self.worker_panics.to_le_bytes());
         buf.extend_from_slice(&self.uptime_ms.to_le_bytes());
         buf.extend_from_slice(&self.queries_ok.to_le_bytes());
+        buf.extend_from_slice(&self.sessions.to_le_bytes());
+        buf.extend_from_slice(&self.sessions_evicted.to_le_bytes());
+        buf.extend_from_slice(&self.sessions_rejected.to_le_bytes());
+        buf.extend_from_slice(&self.violations.to_le_bytes());
+        buf.extend_from_slice(&self.rate_limited.to_le_bytes());
         buf
     }
 
@@ -574,6 +620,11 @@ impl PongPayload {
         let worker_panics = get_u64(buf, &mut pos, "pong.worker_panics")?;
         let uptime_ms = get_u64(buf, &mut pos, "pong.uptime_ms")?;
         let queries_ok = get_u64(buf, &mut pos, "pong.queries_ok")?;
+        let sessions = get_u32(buf, &mut pos, "pong.sessions")?;
+        let sessions_evicted = get_u64(buf, &mut pos, "pong.sessions_evicted")?;
+        let sessions_rejected = get_u64(buf, &mut pos, "pong.sessions_rejected")?;
+        let violations = get_u64(buf, &mut pos, "pong.violations")?;
+        let rate_limited = get_u64(buf, &mut pos, "pong.rate_limited")?;
         expect_consumed(buf, pos, "pong trailing bytes")?;
         Ok(PongPayload {
             queue_depth,
@@ -582,6 +633,11 @@ impl PongPayload {
             worker_panics,
             uptime_ms,
             queries_ok,
+            sessions,
+            sessions_evicted,
+            sessions_rejected,
+            violations,
+            rate_limited,
         })
     }
 }
@@ -641,7 +697,7 @@ mod tests {
         buf[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             read_frame(&mut buf.as_slice(), 1024),
-            Err(ServerError::Oversize { .. })
+            Err(ServerError::FrameTooLarge { .. })
         ));
     }
 
@@ -666,8 +722,32 @@ mod tests {
             variant: 1,
             omega: 7,
             has_partition: true,
+            n_users: 5,
+            delta: 12,
+            k: 2,
+            d: 4,
         };
         assert_eq!(HelloPayload::decode(&hello.encode()).unwrap(), hello);
+    }
+
+    #[test]
+    fn hello_zero_or_huge_group_size_rejected() {
+        let mut hello = HelloPayload {
+            group_id: 42,
+            key_bits: 128,
+            variant: 0,
+            omega: 0,
+            has_partition: true,
+            n_users: 0,
+            delta: 12,
+            k: 2,
+            d: 4,
+        };
+        assert!(HelloPayload::decode(&hello.encode()).is_err());
+        hello.n_users = MAX_LOCATION_SETS as u32 + 1;
+        assert!(HelloPayload::decode(&hello.encode()).is_err());
+        hello.n_users = MAX_LOCATION_SETS as u32;
+        assert!(HelloPayload::decode(&hello.encode()).is_ok());
     }
 
     #[test]
@@ -726,9 +806,17 @@ mod tests {
             worker_panics: 1,
             uptime_ms: 123_456,
             queries_ok: 42,
+            sessions: 17,
+            sessions_evicted: 6,
+            sessions_rejected: 2,
+            violations: 9,
+            rate_limited: 31,
         };
-        assert_eq!(PongPayload::decode(&p.encode()).unwrap(), p);
-        assert!(PongPayload::decode(&p.encode()[..35]).is_err());
+        let wire = p.encode();
+        assert_eq!(PongPayload::decode(&wire).unwrap(), p);
+        for cut in 0..wire.len() {
+            assert!(PongPayload::decode(&wire[..cut]).is_err(), "pong cut {cut}");
+        }
     }
 
     #[test]
@@ -761,6 +849,10 @@ mod tests {
             variant: 1,
             omega: 7,
             has_partition: true,
+            n_users: 5,
+            delta: 12,
+            k: 2,
+            d: 4,
         }
         .encode();
         let q = QueryPayload {

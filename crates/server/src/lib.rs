@@ -18,6 +18,11 @@
 //! * [`backoff`] — the client's jittered exponential retry schedule;
 //! * [`fault`] — seeded fault injection ([`fault::FaultyStream`]) for
 //!   chaos testing the whole stack;
+//! * [`validate`] — the hostile-client validation gate (typed
+//!   [`validate::ProtocolViolation`]s) and the per-connection
+//!   [`validate::TokenBucket`] rate limiter;
+//! * [`mallory`] — the seeded adversarial attack catalog driven by the
+//!   `mallory` binary and the hostile soak tests;
 //! * [`metrics`] — latency percentiles for the `loadgen` binary.
 //!
 //! ```no_run
@@ -49,15 +54,21 @@ pub mod client;
 pub mod error;
 pub mod fault;
 pub mod frame;
+pub mod mallory;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod validate;
 
 pub use backoff::{BackoffSchedule, RetryPolicy};
 pub use client::{session_params_for, ClientStats, GroupClient};
 pub use error::{ErrorCode, ServerError};
 pub use fault::{FaultAction, FaultConfig, FaultPlan, FaultyStream, Transport};
 pub use frame::{Frame, FrameType, PongPayload};
+pub use mallory::{Attack, AttackContext, MalloryOutcome, MalloryReport, ATTACK_CATALOG};
 pub use metrics::{percentile, summarize, LatencySummary};
-pub use registry::{CachedAnswer, SessionParams, SessionRegistry};
+pub use registry::{
+    CachedAnswer, RegistryLimits, SessionParams, SessionRegistry, SessionTableFull,
+};
 pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use validate::{HelloPolicy, ProtocolViolation, TokenBucket};

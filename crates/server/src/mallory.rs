@@ -1,0 +1,646 @@
+//! `mallory` — the seeded adversarial client.
+//!
+//! Every hardening claim in this crate is only as good as the hostile
+//! traffic it has actually faced, so this module packages the attacks
+//! as a reusable catalog instead of burying them in one test file: the
+//! `mallory` binary drives them against a live server concurrently with
+//! legitimate [`crate::client::GroupClient`] traffic, and
+//! `tests/server_hostile.rs` drives them in-process.
+//!
+//! An attack is **contained** when the server answers it with a typed
+//! reply (`Error`, `Busy`, `HelloAck` for floods under the cap) or a
+//! clean disconnect. Two outcomes are never acceptable: an `Answer` to
+//! malformed input (the gate leaked) and silence (a wedged connection
+//! thread). The server process panicking is caught by the harness
+//! around this module, not here.
+//!
+//! Attacks derive all randomness from an explicit seed, so a failing
+//! catalog run reproduces byte-for-byte.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use ppgnn_bigint::BigUint;
+use ppgnn_core::messages::IndicatorPayload;
+use ppgnn_core::protocol::QueryPlan;
+use ppgnn_core::{PpgnnConfig, PpgnnSession};
+use ppgnn_geo::{Point, Rect};
+use ppgnn_paillier::{Ciphertext, EncryptedVector};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::client::session_params_for;
+use crate::error::{ErrorCode, ServerError};
+use crate::frame::{
+    crc32, read_frame, write_frame, FrameType, HelloAckPayload, HelloPayload, QueryPayload, MAGIC,
+    VERSION,
+};
+use crate::registry::SessionParams;
+
+/// One entry in the attack catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attack {
+    /// A frame header advertising a payload far past any sane cap.
+    OversizedFrame,
+    /// A well-framed `Hello` whose payload is cut short.
+    TruncatedHello,
+    /// Seeded random bytes that are not a frame at all.
+    GarbageBytes,
+    /// A valid frame carrying an unknown protocol version.
+    BadVersion,
+    /// A valid frame carrying an unassigned frame-type tag.
+    UnknownFrameType,
+    /// A valid frame whose payload CRC does not match.
+    CorruptChecksum,
+    /// A handshake whose δ is below the server's policy floor.
+    UndersizedDelta,
+    /// A query smuggling the zero ciphertext into the indicator.
+    ZeroCiphertext,
+    /// A query smuggling a ciphertext `≥ n²` (outside the ring).
+    OversizedCiphertext,
+    /// A query smuggling `n` itself (shares a factor with the modulus).
+    NonUnitCiphertext,
+    /// A query shipping fewer location sets than the handshake promised.
+    WrongSetCount,
+    /// A query shipping a location set shorter than the handshake's `d`.
+    WrongSetLength,
+    /// A fresh query reusing a request ID below the session high-water.
+    ReplayedRequestId,
+    /// A burst of handshakes for distinct groups to fill the registry.
+    SessionFlood,
+    /// A frame dribbled byte-by-byte to hold a connection thread.
+    SlowWriter,
+}
+
+/// Every attack, in a fixed order (so `seed + index` reproduces).
+pub const ATTACK_CATALOG: &[Attack] = &[
+    Attack::OversizedFrame,
+    Attack::TruncatedHello,
+    Attack::GarbageBytes,
+    Attack::BadVersion,
+    Attack::UnknownFrameType,
+    Attack::CorruptChecksum,
+    Attack::UndersizedDelta,
+    Attack::ZeroCiphertext,
+    Attack::OversizedCiphertext,
+    Attack::NonUnitCiphertext,
+    Attack::WrongSetCount,
+    Attack::WrongSetLength,
+    Attack::ReplayedRequestId,
+    Attack::SessionFlood,
+    Attack::SlowWriter,
+];
+
+impl std::fmt::Display for Attack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Attack::OversizedFrame => "oversized-frame",
+            Attack::TruncatedHello => "truncated-hello",
+            Attack::GarbageBytes => "garbage-bytes",
+            Attack::BadVersion => "bad-version",
+            Attack::UnknownFrameType => "unknown-frame-type",
+            Attack::CorruptChecksum => "corrupt-checksum",
+            Attack::UndersizedDelta => "undersized-delta",
+            Attack::ZeroCiphertext => "zero-ciphertext",
+            Attack::OversizedCiphertext => "oversized-ciphertext",
+            Attack::NonUnitCiphertext => "non-unit-ciphertext",
+            Attack::WrongSetCount => "wrong-set-count",
+            Attack::WrongSetLength => "wrong-set-length",
+            Attack::ReplayedRequestId => "replayed-request-id",
+            Attack::SessionFlood => "session-flood",
+            Attack::SlowWriter => "slow-writer",
+        };
+        f.write_str(name)
+    }
+}
+
+/// How the server handled one attack run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MalloryOutcome {
+    /// A typed `Error` frame came back.
+    TypedError(ErrorCode),
+    /// A `Busy` frame came back (rate limit or queue pressure).
+    Shed,
+    /// The server closed the connection (Goodbye, EOF, or reset).
+    Disconnected,
+    /// A flood was fully admitted (registry had room for all of it).
+    AckedAll,
+    /// The server *answered* the attack — the gate leaked.
+    Answered,
+    /// No reply within the probe timeout — a wedged connection thread.
+    Hung,
+    /// The attack could not run (connect failure, unexpected frame).
+    Aborted(String),
+}
+
+impl MalloryOutcome {
+    /// Whether this outcome means the server contained the attack.
+    pub fn contained(&self) -> bool {
+        matches!(
+            self,
+            MalloryOutcome::TypedError(_)
+                | MalloryOutcome::Shed
+                | MalloryOutcome::Disconnected
+                | MalloryOutcome::AckedAll
+        )
+    }
+}
+
+/// Shared, reusable attack material: one honestly planned query whose
+/// bytes the mutation attacks start from. Planning is the expensive
+/// part (keygen + encryption), so it happens once per context, not once
+/// per attack.
+pub struct AttackContext {
+    /// The honest configuration the planned query was built under.
+    pub config: PpgnnConfig,
+    /// Session parameters matching [`AttackContext::plan`].
+    pub params: SessionParams,
+    /// The honest plan (valid ciphertexts, valid shapes).
+    pub plan: QueryPlan,
+    /// Read timeout when probing for the server's reaction; hitting it
+    /// classifies the run as [`MalloryOutcome::Hung`].
+    pub probe_timeout: Duration,
+    /// How long the slow-writer stalls mid-frame. Must exceed the
+    /// server's `frame_read_timeout` for the attack to bite.
+    pub slow_stall: Duration,
+    /// Handshakes one [`Attack::SessionFlood`] run attempts.
+    pub flood_sessions: usize,
+}
+
+impl AttackContext {
+    /// Plans one honest two-user query under a small test key.
+    pub fn new(seed: u64) -> Result<Self, ServerError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let config = PpgnnConfig {
+            k: 2,
+            d: 3,
+            delta: 6,
+            sanitize: false,
+            ..PpgnnConfig::fast_test()
+        };
+        let mut session = PpgnnSession::new(config.keysize, &mut rng);
+        let users = [Point::new(0.25, 0.25), Point::new(0.6, 0.4)];
+        let plan = session.plan(&config, Rect::UNIT, &users, &mut rng)?;
+        let params = session_params_for(&config, users.len())?;
+        Ok(AttackContext {
+            config,
+            params,
+            plan,
+            probe_timeout: Duration::from_secs(10),
+            slow_stall: Duration::from_millis(1500),
+            flood_sessions: 12,
+        })
+    }
+
+    /// A `Hello` payload consistent with the planned query.
+    pub fn hello(&self, group_id: u64) -> HelloPayload {
+        HelloPayload {
+            group_id,
+            key_bits: self.params.key_bits as u32,
+            variant: self.params.variant,
+            omega: self.params.two_phase_omega.unwrap_or(0) as u32,
+            has_partition: self.params.has_partition,
+            n_users: self.params.n_users as u32,
+            delta: self.params.delta as u32,
+            k: self.params.k as u32,
+            d: self.params.d as u32,
+        }
+    }
+
+    /// The honest query payload — valid through the whole gate.
+    pub fn honest_query(&self, group_id: u64, request_id: u32) -> Vec<u8> {
+        QueryPayload {
+            group_id,
+            request_id,
+            deadline_ms: 0,
+            location_sets: self
+                .plan
+                .location_sets
+                .iter()
+                .map(|s| s.to_wire())
+                .collect(),
+            query: self.plan.query.to_wire(),
+        }
+        .encode()
+    }
+
+    /// The honest query with indicator ciphertext 0 swapped for `value`.
+    fn forged_query(&self, group_id: u64, request_id: u32, value: BigUint) -> Vec<u8> {
+        let mut query = self.plan.query.clone();
+        if let IndicatorPayload::Plain(v) = &query.indicator {
+            let mut elems = v.elements().to_vec();
+            if let Some(first) = elems.first_mut() {
+                *first = Ciphertext::from_parts(value, 1);
+            }
+            query.indicator = IndicatorPayload::Plain(EncryptedVector::from_ciphertexts(elems));
+        }
+        QueryPayload {
+            group_id,
+            request_id,
+            deadline_ms: 0,
+            location_sets: self
+                .plan
+                .location_sets
+                .iter()
+                .map(|s| s.to_wire())
+                .collect(),
+            query: query.to_wire(),
+        }
+        .encode()
+    }
+}
+
+/// Aggregated result of a catalog run.
+#[derive(Debug, Default)]
+pub struct MalloryReport {
+    /// Every attack run with its observed outcome.
+    pub runs: Vec<(Attack, MalloryOutcome)>,
+}
+
+impl MalloryReport {
+    /// Attacks the server contained.
+    pub fn contained(&self) -> usize {
+        self.runs.iter().filter(|(_, o)| o.contained()).count()
+    }
+
+    /// Attack runs the server did NOT contain (answered, hung, or the
+    /// run itself aborted).
+    pub fn uncontained(&self) -> Vec<&(Attack, MalloryOutcome)> {
+        self.runs.iter().filter(|(_, o)| !o.contained()).collect()
+    }
+
+    /// Total attack runs recorded.
+    pub fn total(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+/// Runs `rounds` passes over the full catalog against `addr`, group IDs
+/// derived from `seed` so runs never collide with legitimate traffic
+/// (mallory group IDs carry a high tag bit).
+pub fn run_catalog(
+    addr: SocketAddr,
+    ctx: &AttackContext,
+    seed: u64,
+    rounds: usize,
+) -> MalloryReport {
+    let mut report = MalloryReport::default();
+    for round in 0..rounds {
+        for (i, &attack) in ATTACK_CATALOG.iter().enumerate() {
+            let run_seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((round * ATTACK_CATALOG.len() + i) as u64);
+            let outcome = run_attack(attack, addr, ctx, run_seed);
+            report.runs.push((attack, outcome));
+        }
+    }
+    report
+}
+
+/// Derives a collision-free hostile group ID from a run seed.
+fn hostile_group_id(run_seed: u64) -> u64 {
+    0x4d41_0000_0000_0000 | (run_seed & 0x0000_ffff_ffff_ffff)
+}
+
+/// Executes one attack against a live server and classifies the result.
+pub fn run_attack(
+    attack: Attack,
+    addr: SocketAddr,
+    ctx: &AttackContext,
+    run_seed: u64,
+) -> MalloryOutcome {
+    match attack_inner(attack, addr, ctx, run_seed) {
+        Ok(outcome) => outcome,
+        Err(e) => classify_transport(e),
+    }
+}
+
+/// Transport failures mid-attack are the server slamming the door —
+/// which is containment, not a defect. Only failures to *start* the
+/// attack abort the run.
+fn classify_transport(e: ServerError) -> MalloryOutcome {
+    match e {
+        ServerError::ConnectionClosed => MalloryOutcome::Disconnected,
+        ServerError::Io(ref io) => match io.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => MalloryOutcome::Hung,
+            std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => MalloryOutcome::Disconnected,
+            _ => MalloryOutcome::Aborted(e.to_string()),
+        },
+        other => MalloryOutcome::Aborted(other.to_string()),
+    }
+}
+
+fn connect(addr: SocketAddr, probe_timeout: Duration) -> Result<TcpStream, ServerError> {
+    let stream = TcpStream::connect_timeout(&addr, probe_timeout)?;
+    stream.set_read_timeout(Some(probe_timeout))?;
+    stream.set_write_timeout(Some(probe_timeout))?;
+    stream.set_nodelay(true).ok();
+    Ok(stream)
+}
+
+/// Reads the server's next frame and classifies it as an outcome.
+fn probe(stream: &mut TcpStream) -> MalloryOutcome {
+    match read_frame(stream, crate::frame::DEFAULT_MAX_PAYLOAD) {
+        Ok(frame) => match frame.frame_type {
+            FrameType::Error => match crate::frame::ErrorPayload::decode(&frame.payload) {
+                Ok(err) => MalloryOutcome::TypedError(err.code),
+                Err(e) => MalloryOutcome::Aborted(format!("undecodable error frame: {e}")),
+            },
+            FrameType::Busy => MalloryOutcome::Shed,
+            FrameType::Goodbye => MalloryOutcome::Disconnected,
+            FrameType::Answer => MalloryOutcome::Answered,
+            other => MalloryOutcome::Aborted(format!("unexpected {other:?} frame")),
+        },
+        Err(e) => classify_transport(e),
+    }
+}
+
+/// Performs the honest handshake an attack needs before it can reach
+/// the query gate. `Ok(None)` means the session is up; `Ok(Some(_))`
+/// carries the early outcome (e.g. the registry refused the session —
+/// still a typed, contained reply).
+fn handshake(
+    stream: &mut TcpStream,
+    hello: &HelloPayload,
+) -> Result<Option<MalloryOutcome>, ServerError> {
+    write_frame(stream, FrameType::Hello, &hello.encode())?;
+    match read_frame(stream, crate::frame::DEFAULT_MAX_PAYLOAD) {
+        Ok(frame) => match frame.frame_type {
+            FrameType::HelloAck => {
+                HelloAckPayload::decode(&frame.payload)?;
+                Ok(None)
+            }
+            FrameType::Error => match crate::frame::ErrorPayload::decode(&frame.payload) {
+                Ok(err) => Ok(Some(MalloryOutcome::TypedError(err.code))),
+                Err(e) => Ok(Some(MalloryOutcome::Aborted(format!(
+                    "undecodable error frame: {e}"
+                )))),
+            },
+            FrameType::Busy => Ok(Some(MalloryOutcome::Shed)),
+            FrameType::Goodbye => Ok(Some(MalloryOutcome::Disconnected)),
+            other => Ok(Some(MalloryOutcome::Aborted(format!(
+                "unexpected {other:?} during handshake"
+            )))),
+        },
+        Err(e) => Ok(Some(classify_transport(e))),
+    }
+}
+
+/// A raw frame with full control over every header field.
+fn raw_frame(version: u8, frame_type: u8, len: u32, crc: u32, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(14 + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(version);
+    buf.push(frame_type);
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+fn attack_inner(
+    attack: Attack,
+    addr: SocketAddr,
+    ctx: &AttackContext,
+    run_seed: u64,
+) -> Result<MalloryOutcome, ServerError> {
+    let group_id = hostile_group_id(run_seed);
+    let mut stream = connect(addr, ctx.probe_timeout)?;
+    match attack {
+        Attack::OversizedFrame => {
+            // A header promising ~4 GiB; the body never follows.
+            let buf = raw_frame(VERSION, FrameType::Hello.to_u8(), u32::MAX - 16, 0, &[]);
+            stream.write_all(&buf)?;
+            stream.flush()?;
+            Ok(probe(&mut stream))
+        }
+        Attack::TruncatedHello => {
+            // A perfectly framed Hello whose payload stops mid-field.
+            let full = ctx.hello(group_id).encode();
+            let cut = &full[..full.len() / 2];
+            write_frame(&mut stream, FrameType::Hello, cut)?;
+            Ok(probe(&mut stream))
+        }
+        Attack::GarbageBytes => {
+            let mut rng = ChaCha8Rng::seed_from_u64(run_seed);
+            let mut junk = [0u8; 64];
+            rng.fill_bytes(&mut junk);
+            junk[0] = junk[0].wrapping_add(1).max(1); // never 'P'
+            if junk[0] == b'P' {
+                junk[0] = b'Q';
+            }
+            stream.write_all(&junk)?;
+            stream.flush()?;
+            Ok(probe(&mut stream))
+        }
+        Attack::BadVersion => {
+            let buf = raw_frame(
+                VERSION.wrapping_add(7),
+                FrameType::Ping.to_u8(),
+                0,
+                crc32(&[]),
+                &[],
+            );
+            stream.write_all(&buf)?;
+            stream.flush()?;
+            Ok(probe(&mut stream))
+        }
+        Attack::UnknownFrameType => {
+            let buf = raw_frame(VERSION, 0x3f, 0, crc32(&[]), &[]);
+            stream.write_all(&buf)?;
+            stream.flush()?;
+            Ok(probe(&mut stream))
+        }
+        Attack::CorruptChecksum => {
+            let payload = ctx.hello(group_id).encode();
+            let buf = raw_frame(
+                VERSION,
+                FrameType::Hello.to_u8(),
+                payload.len() as u32,
+                crc32(&payload) ^ 0x00ff_00ff,
+                &payload,
+            );
+            stream.write_all(&buf)?;
+            stream.flush()?;
+            Ok(probe(&mut stream))
+        }
+        Attack::UndersizedDelta => {
+            let mut hello = ctx.hello(group_id);
+            hello.delta = 1;
+            hello.d = 1;
+            write_frame(&mut stream, FrameType::Hello, &hello.encode())?;
+            Ok(probe(&mut stream))
+        }
+        Attack::ZeroCiphertext => {
+            if let Some(early) = handshake(&mut stream, &ctx.hello(group_id))? {
+                return Ok(early);
+            }
+            let payload = ctx.forged_query(group_id, 1, BigUint::zero());
+            write_frame(&mut stream, FrameType::Query, &payload)?;
+            Ok(probe(&mut stream))
+        }
+        Attack::OversizedCiphertext => {
+            if let Some(early) = handshake(&mut stream, &ctx.hello(group_id))? {
+                return Ok(early);
+            }
+            let n = ctx.plan.query.pk.n();
+            let n2 = n * n; // exactly n² — one past the largest ring element
+            let payload = ctx.forged_query(group_id, 1, n2);
+            write_frame(&mut stream, FrameType::Query, &payload)?;
+            Ok(probe(&mut stream))
+        }
+        Attack::NonUnitCiphertext => {
+            if let Some(early) = handshake(&mut stream, &ctx.hello(group_id))? {
+                return Ok(early);
+            }
+            // n is in range but shares every factor with the modulus.
+            let payload = ctx.forged_query(group_id, 1, ctx.plan.query.pk.n().clone());
+            write_frame(&mut stream, FrameType::Query, &payload)?;
+            Ok(probe(&mut stream))
+        }
+        Attack::WrongSetCount => {
+            if let Some(early) = handshake(&mut stream, &ctx.hello(group_id))? {
+                return Ok(early);
+            }
+            let mut sets: Vec<Vec<u8>> =
+                ctx.plan.location_sets.iter().map(|s| s.to_wire()).collect();
+            sets.pop();
+            let payload = QueryPayload {
+                group_id,
+                request_id: 1,
+                deadline_ms: 0,
+                location_sets: sets,
+                query: ctx.plan.query.to_wire(),
+            }
+            .encode();
+            write_frame(&mut stream, FrameType::Query, &payload)?;
+            Ok(probe(&mut stream))
+        }
+        Attack::WrongSetLength => {
+            if let Some(early) = handshake(&mut stream, &ctx.hello(group_id))? {
+                return Ok(early);
+            }
+            let mut sets = ctx.plan.location_sets.clone();
+            if let Some(first) = sets.first_mut() {
+                first.locations.pop();
+            }
+            let payload = QueryPayload {
+                group_id,
+                request_id: 1,
+                deadline_ms: 0,
+                location_sets: sets.iter().map(|s| s.to_wire()).collect(),
+                query: ctx.plan.query.to_wire(),
+            }
+            .encode();
+            write_frame(&mut stream, FrameType::Query, &payload)?;
+            Ok(probe(&mut stream))
+        }
+        Attack::ReplayedRequestId => {
+            if let Some(early) = handshake(&mut stream, &ctx.hello(group_id))? {
+                return Ok(early);
+            }
+            // Establish a high-water mark with an honest query...
+            write_frame(
+                &mut stream,
+                FrameType::Query,
+                &ctx.honest_query(group_id, 7),
+            )?;
+            match probe(&mut stream) {
+                MalloryOutcome::Answered => {}
+                other => return Ok(other), // shed/error already typed
+            }
+            // ...then rewind to an ID the session never saw answered.
+            write_frame(
+                &mut stream,
+                FrameType::Query,
+                &ctx.honest_query(group_id, 3),
+            )?;
+            Ok(probe(&mut stream))
+        }
+        Attack::SessionFlood => {
+            let mut rejected = false;
+            for i in 0..ctx.flood_sessions {
+                let flood_id = hostile_group_id(run_seed.wrapping_add(1 + i as u64));
+                match handshake(&mut stream, &ctx.hello(flood_id))? {
+                    None => {}
+                    Some(MalloryOutcome::TypedError(code)) => {
+                        rejected = true;
+                        if code != ErrorCode::QuotaExceeded {
+                            return Ok(MalloryOutcome::TypedError(code));
+                        }
+                    }
+                    Some(MalloryOutcome::Shed) => rejected = true,
+                    Some(other) => return Ok(other),
+                }
+            }
+            Ok(if rejected {
+                MalloryOutcome::TypedError(ErrorCode::QuotaExceeded)
+            } else {
+                MalloryOutcome::AckedAll
+            })
+        }
+        Attack::SlowWriter => {
+            // Start a legitimate-looking frame, then dribble: one header
+            // byte, a stall past the server's whole-frame deadline, then
+            // an attempt to finish. A hardened server reaps us.
+            let payload = ctx.hello(group_id).encode();
+            let buf = raw_frame(
+                VERSION,
+                FrameType::Hello.to_u8(),
+                payload.len() as u32,
+                crc32(&payload),
+                &payload,
+            );
+            stream.write_all(&buf[..5])?;
+            stream.flush()?;
+            std::thread::sleep(ctx.slow_stall);
+            match stream.write_all(&buf[5..]).and_then(|_| stream.flush()) {
+                Ok(()) => Ok(probe(&mut stream)),
+                // The reaper already closed our socket mid-dribble.
+                Err(e) => Ok(classify_transport(ServerError::Io(e))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_displayable() {
+        assert_eq!(ATTACK_CATALOG.len(), 15);
+        let mut names: Vec<String> = ATTACK_CATALOG.iter().map(|a| a.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ATTACK_CATALOG.len(), "duplicate attack names");
+    }
+
+    #[test]
+    fn attack_context_builds_valid_material() {
+        let ctx = AttackContext::new(11).unwrap();
+        // The honest payload passes the same gate the server runs.
+        let sets = &ctx.plan.location_sets;
+        assert_eq!(sets.len(), ctx.params.n_users);
+        crate::validate::validate_query(&ctx.params, &ctx.plan.query, sets).unwrap();
+        // The forged zero ciphertext fails it.
+        let forged = ctx.forged_query(1, 1, BigUint::zero());
+        let decoded = QueryPayload::decode(&forged[..]).unwrap();
+        let wire_ctx = ctx.params.wire_context();
+        let bad_query =
+            ppgnn_core::messages::QueryMessage::from_wire(&decoded.query, &wire_ctx).unwrap();
+        assert!(matches!(
+            crate::validate::validate_query(&ctx.params, &bad_query, sets),
+            Err(crate::validate::ProtocolViolation::InvalidCiphertext { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_group_ids_carry_the_tag() {
+        assert_eq!(hostile_group_id(0) >> 48, 0x4d41);
+        assert_eq!(hostile_group_id(u64::MAX) >> 48, 0x4d41);
+    }
+}

@@ -12,9 +12,18 @@
 //! stored ciphertext instead of re-running the query, which keeps
 //! retries idempotent: the query counter moves once per distinct
 //! request, and the replayed bytes are identical to the originals.
+//!
+//! The registry is also the server's **admission-control ledger**: the
+//! session table is bounded (`RegistryLimits::max_sessions`), entries
+//! idle past the TTL are evicted to make room, and each session tracks
+//! the highest request ID served plus a strike counter fed by the
+//! validation gate — a hostile client can neither grow the table
+//! without bound nor rewind its request IDs.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use ppgnn_core::wire::WireContext;
 
@@ -31,6 +40,14 @@ pub struct SessionParams {
     pub two_phase_omega: Option<usize>,
     /// Whether queries carry a partition block.
     pub has_partition: bool,
+    /// Number of users in the group (= location sets per query).
+    pub n_users: usize,
+    /// Candidate-set size δ the group committed to at handshake.
+    pub delta: usize,
+    /// Neighbors requested per query.
+    pub k: usize,
+    /// Per-user dummy-set size d (equals δ for Naive).
+    pub d: usize,
 }
 
 impl SessionParams {
@@ -41,6 +58,10 @@ impl SessionParams {
             variant: hello.variant,
             two_phase_omega: (hello.omega > 0).then_some(hello.omega as usize),
             has_partition: hello.has_partition,
+            n_users: hello.n_users as usize,
+            delta: hello.delta as usize,
+            k: hello.k as usize,
+            d: hello.d as usize,
         }
     }
 
@@ -69,21 +90,54 @@ pub struct CachedAnswer {
     pub answer: Vec<u8>,
 }
 
+/// Admission refused: the table is at `max_sessions` live sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTableFull;
+
+/// Caps on the session table.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryLimits {
+    /// Most sessions held at once; `Hello`s past the cap are rejected
+    /// once no idle entry can be evicted.
+    pub max_sessions: usize,
+    /// Sessions idle longer than this are evicted to make room.
+    pub idle_ttl: Duration,
+}
+
+impl Default for RegistryLimits {
+    fn default() -> Self {
+        RegistryLimits {
+            max_sessions: usize::MAX,
+            idle_ttl: Duration::MAX,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct SessionEntry {
     params: SessionParams,
     queries: u64,
     answers: HashMap<u32, CachedAnswer>,
     answer_order: VecDeque<u32>,
+    last_seen: Instant,
+    /// Highest request ID admitted so far (0 = none yet; clients
+    /// number requests from 1).
+    max_request_id: u32,
+    strikes: u32,
+    violations: u64,
 }
 
 impl SessionEntry {
-    fn new(params: SessionParams) -> Self {
+    fn new(params: SessionParams, now: Instant) -> Self {
         SessionEntry {
             params,
             queries: 0,
             answers: HashMap::new(),
             answer_order: VecDeque::new(),
+            last_seen: now,
+            max_request_id: 0,
+            strikes: 0,
+            violations: 0,
         }
     }
 }
@@ -92,6 +146,10 @@ impl SessionEntry {
 #[derive(Debug, Default)]
 pub struct SessionRegistry {
     inner: Mutex<HashMap<u64, SessionEntry>>,
+    limits: RegistryLimits,
+    evicted: AtomicU64,
+    rejected: AtomicU64,
+    violations: AtomicU64,
 }
 
 /// Recovers the map from a poisoned lock: every critical section here
@@ -104,23 +162,146 @@ fn lock(
 }
 
 impl SessionRegistry {
-    /// Creates an empty registry.
+    /// Creates an unbounded registry (tests, embedded use).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Registers (or re-negotiates) a group session. Re-registration
-    /// replaces the parameters but keeps the query count and cache.
-    pub fn register(&self, group_id: u64, params: SessionParams) {
-        let mut map = lock(&self.inner);
-        map.entry(group_id)
-            .and_modify(|e| e.params = params)
-            .or_insert_with(|| SessionEntry::new(params));
+    /// Creates a registry with admission limits.
+    pub fn with_limits(limits: RegistryLimits) -> Self {
+        SessionRegistry {
+            limits,
+            ..Self::default()
+        }
     }
 
-    /// Looks up a session's parameters.
+    fn evict_expired(&self, map: &mut HashMap<u64, SessionEntry>, now: Instant) {
+        if self.limits.idle_ttl == Duration::MAX {
+            return;
+        }
+        let ttl = self.limits.idle_ttl;
+        let before = map.len();
+        map.retain(|_, e| now.saturating_duration_since(e.last_seen) <= ttl);
+        let gone = (before - map.len()) as u64;
+        if gone > 0 {
+            self.evicted.fetch_add(gone, Ordering::Relaxed);
+        }
+    }
+
+    /// Registers (or re-negotiates) a group session. Re-registration
+    /// replaces the parameters but keeps the query count and cache.
+    ///
+    /// A new group is admitted only under `max_sessions`; idle entries
+    /// are evicted first, and `Err(SessionTableFull)` means the table
+    /// is genuinely full of live sessions — the caller should refuse
+    /// the handshake.
+    pub fn register(&self, group_id: u64, params: SessionParams) -> Result<(), SessionTableFull> {
+        let now = Instant::now();
+        let mut map = lock(&self.inner);
+        if let Some(e) = map.get_mut(&group_id) {
+            e.params = params;
+            e.last_seen = now;
+            return Ok(());
+        }
+        self.evict_expired(&mut map, now);
+        if map.len() >= self.limits.max_sessions {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SessionTableFull);
+        }
+        map.insert(group_id, SessionEntry::new(params, now));
+        Ok(())
+    }
+
+    /// Looks up a session's parameters, refreshing its idle clock.
     pub fn get(&self, group_id: u64) -> Option<SessionParams> {
-        lock(&self.inner).get(&group_id).map(|e| e.params)
+        let now = Instant::now();
+        lock(&self.inner).get_mut(&group_id).map(|e| {
+            e.last_seen = now;
+            e.params
+        })
+    }
+
+    /// Evicts every session idle past the TTL; returns how many went.
+    /// The server's supervisor calls this periodically so the table
+    /// shrinks even when no new `Hello` arrives to trigger eviction.
+    pub fn sweep_idle(&self) -> usize {
+        let now = Instant::now();
+        let mut map = lock(&self.inner);
+        let before = map.len();
+        self.evict_expired(&mut map, now);
+        before - map.len()
+    }
+
+    /// Enforces per-session request-id monotonicity. An ID equal to
+    /// the highest seen is admitted (the legitimate retry of the
+    /// latest in-flight request — older retries are served from the
+    /// answer cache before this check); an ID *below* it is a rewind
+    /// and is rejected with the current high-water mark.
+    pub fn admit_request_id(&self, group_id: u64, request_id: u32) -> Result<(), u32> {
+        let mut map = lock(&self.inner);
+        let Some(e) = map.get_mut(&group_id) else {
+            return Ok(());
+        };
+        if request_id < e.max_request_id {
+            return Err(e.max_request_id);
+        }
+        e.max_request_id = request_id;
+        Ok(())
+    }
+
+    /// Counts one violation that has no session to pin it on —
+    /// frame-layer garbage arriving before any handshake.
+    pub fn count_violation(&self) {
+        self.violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one validation-gate violation against the session and
+    /// returns its running strike total. Unknown groups still count
+    /// toward the global tally (pre-handshake abuse) but hold no
+    /// per-session state.
+    pub fn strike(&self, group_id: u64) -> u32 {
+        self.violations.fetch_add(1, Ordering::Relaxed);
+        let mut map = lock(&self.inner);
+        match map.get_mut(&group_id) {
+            Some(e) => {
+                e.strikes += 1;
+                e.violations += 1;
+                e.strikes
+            }
+            None => 0,
+        }
+    }
+
+    /// Clears a session's strike counter — called when the connection
+    /// it escalated on is dropped (the penalty is the disconnect, not
+    /// a permanent ban) and after each fresh answered query.
+    pub fn reset_strikes(&self, group_id: u64) {
+        if let Some(e) = lock(&self.inner).get_mut(&group_id) {
+            e.strikes = 0;
+        }
+    }
+
+    /// Lifetime violation count for one session.
+    pub fn session_violations(&self, group_id: u64) -> u64 {
+        lock(&self.inner)
+            .get(&group_id)
+            .map(|e| e.violations)
+            .unwrap_or(0)
+    }
+
+    /// Sessions evicted for idling past the TTL, since startup.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Hellos refused because the table was full, since startup.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Validation-gate violations across all sessions, since startup.
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
     }
 
     /// Records one served query and caches its answer for replay.
@@ -139,6 +320,7 @@ impl SessionRegistry {
         let Some(e) = map.get_mut(&group_id) else {
             return false;
         };
+        e.last_seen = Instant::now();
         if e.answers.contains_key(&request_id) {
             return false;
         }
@@ -196,6 +378,10 @@ mod tests {
             variant: 0,
             two_phase_omega: omega,
             has_partition: true,
+            n_users: 3,
+            delta: 8,
+            k: 2,
+            d: 4,
         }
     }
 
@@ -203,7 +389,7 @@ mod tests {
     fn register_lookup_and_count() {
         let reg = SessionRegistry::new();
         assert!(reg.get(7).is_none());
-        reg.register(7, params(128, None));
+        reg.register(7, params(128, None)).unwrap();
         assert_eq!(reg.get(7).unwrap().key_bits, 128);
         assert!(reg.record_answer(7, 1, false, &[1]));
         assert!(reg.record_answer(7, 2, false, &[2]));
@@ -214,9 +400,9 @@ mod tests {
     #[test]
     fn renegotiation_replaces_params_keeps_count() {
         let reg = SessionRegistry::new();
-        reg.register(7, params(128, None));
+        reg.register(7, params(128, None)).unwrap();
         assert!(reg.record_answer(7, 1, false, &[1]));
-        reg.register(7, params(256, Some(5)));
+        reg.register(7, params(256, Some(5))).unwrap();
         let p = reg.get(7).unwrap();
         assert_eq!(p.key_bits, 256);
         assert_eq!(p.two_phase_omega, Some(5));
@@ -228,7 +414,7 @@ mod tests {
     #[test]
     fn replay_is_idempotent_and_byte_identical() {
         let reg = SessionRegistry::new();
-        reg.register(3, params(128, None));
+        reg.register(3, params(128, None)).unwrap();
         assert!(reg.record_answer(3, 9, true, &[0xaa, 0xbb]));
         // A retry of the same request must not move the counter...
         assert!(!reg.record_answer(3, 9, true, &[0xaa, 0xbb]));
@@ -244,7 +430,7 @@ mod tests {
     #[test]
     fn answer_cache_evicts_oldest() {
         let reg = SessionRegistry::new();
-        reg.register(1, params(128, None));
+        reg.register(1, params(128, None)).unwrap();
         for id in 0..(super::ANSWER_CACHE_CAP as u32 + 5) {
             assert!(reg.record_answer(1, id, false, &[id as u8]));
         }
@@ -267,10 +453,94 @@ mod tests {
             variant: 1,
             omega: 6,
             has_partition: true,
+            n_users: 4,
+            delta: 10,
+            k: 2,
+            d: 5,
         };
-        let ctx = SessionParams::from_hello(&hello).wire_context();
+        let p = SessionParams::from_hello(&hello);
+        assert_eq!((p.n_users, p.delta, p.k, p.d), (4, 10, 2, 5));
+        let ctx = p.wire_context();
         assert_eq!(ctx.key_bits, 128);
         assert_eq!(ctx.two_phase_omega, Some(6));
         assert!(ctx.has_partition);
+    }
+
+    #[test]
+    fn session_cap_rejects_when_full_of_live_sessions() {
+        let reg = SessionRegistry::with_limits(RegistryLimits {
+            max_sessions: 2,
+            idle_ttl: Duration::from_secs(3600),
+        });
+        reg.register(1, params(128, None)).unwrap();
+        reg.register(2, params(128, None)).unwrap();
+        assert!(reg.register(3, params(128, None)).is_err());
+        assert_eq!(reg.rejected(), 1);
+        assert_eq!(reg.len(), 2);
+        // Re-registration of a live group is never a new admission.
+        assert!(reg.register(2, params(256, None)).is_ok());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn idle_sessions_evicted_to_make_room() {
+        let reg = SessionRegistry::with_limits(RegistryLimits {
+            max_sessions: 1,
+            idle_ttl: Duration::ZERO,
+        });
+        reg.register(1, params(128, None)).unwrap();
+        // TTL zero: the moment any time passes, group 1 is idle and a
+        // new registration evicts it rather than being rejected.
+        std::thread::sleep(Duration::from_millis(5));
+        reg.register(2, params(128, None)).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get(1).is_none());
+        assert_eq!(reg.evicted(), 1);
+        assert_eq!(reg.rejected(), 0);
+    }
+
+    #[test]
+    fn sweep_idle_shrinks_without_new_hellos() {
+        let reg = SessionRegistry::with_limits(RegistryLimits {
+            max_sessions: 8,
+            idle_ttl: Duration::from_millis(5),
+        });
+        reg.register(1, params(128, None)).unwrap();
+        reg.register(2, params(128, None)).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(reg.sweep_idle(), 2);
+        assert!(reg.is_empty());
+        assert_eq!(reg.evicted(), 2);
+    }
+
+    #[test]
+    fn request_ids_must_be_monotone() {
+        let reg = SessionRegistry::new();
+        reg.register(1, params(128, None)).unwrap();
+        assert!(reg.admit_request_id(1, 5).is_ok());
+        // Equal = retry of the latest request: admitted.
+        assert!(reg.admit_request_id(1, 5).is_ok());
+        assert!(reg.admit_request_id(1, 6).is_ok());
+        // Rewind: rejected with the high-water mark.
+        assert_eq!(reg.admit_request_id(1, 3), Err(6));
+        // Unknown groups pass through (NoSession is caught elsewhere).
+        assert!(reg.admit_request_id(99, 1).is_ok());
+    }
+
+    #[test]
+    fn strikes_accumulate_and_reset() {
+        let reg = SessionRegistry::new();
+        reg.register(1, params(128, None)).unwrap();
+        assert_eq!(reg.strike(1), 1);
+        assert_eq!(reg.strike(1), 2);
+        assert_eq!(reg.session_violations(1), 2);
+        assert_eq!(reg.violations(), 2);
+        reg.reset_strikes(1);
+        // Strikes clear; the violation tally is forever.
+        assert_eq!(reg.strike(1), 1);
+        assert_eq!(reg.session_violations(1), 3);
+        // Pre-handshake abuse still counts globally.
+        assert_eq!(reg.strike(42), 0);
+        assert_eq!(reg.violations(), 4);
     }
 }

@@ -56,7 +56,10 @@ use crate::frame::{
     read_frame_with_lead, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType,
     HelloAckPayload, HelloPayload, PongPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
 };
-use crate::registry::{SessionParams, SessionRegistry};
+use crate::registry::{RegistryLimits, SessionParams, SessionRegistry};
+use crate::validate::{
+    validate_hello, validate_query, validate_set_count, HelloPolicy, ProtocolViolation, TokenBucket,
+};
 
 /// How often an idle connection thread checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
@@ -83,10 +86,29 @@ pub struct ServerConfig {
     pub max_payload: usize,
     /// Seed for the workers' randomizer RNGs.
     pub rng_seed: u64,
-    /// Blocking-read guard while the rest of a frame is in flight; a
-    /// peer (or a corrupted length field) that stalls a frame longer
-    /// than this loses the connection.
+    /// Whole-frame read deadline: once a frame's first byte arrives,
+    /// the *entire* frame must be in within this window. Enforced by
+    /// re-arming a shrinking socket timeout on every partial read, so
+    /// a slowloris peer dribbling one byte per poll interval cannot
+    /// hold the connection open indefinitely.
     pub frame_read_timeout: Duration,
+    /// Per-write socket deadline; a peer that never drains its side
+    /// loses the connection instead of wedging a connection thread.
+    pub write_timeout: Duration,
+    /// Most sessions held in the registry at once; `Hello`s past the
+    /// cap (after idle eviction) are refused with `QuotaExceeded`.
+    pub max_sessions: usize,
+    /// Sessions idle longer than this are evicted.
+    pub session_idle_ttl: Duration,
+    /// Handshake policy floors (minimum δ and key size).
+    pub hello_policy: HelloPolicy,
+    /// Token-bucket burst per connection (Hello/Query frames).
+    pub rate_limit_burst: u32,
+    /// Token-bucket refill rate per connection; 0 disables limiting.
+    pub rate_limit_per_sec: f64,
+    /// Violations (per session or per connection, whichever is higher)
+    /// tolerated before the connection is dropped.
+    pub max_strikes: u32,
     /// Fault-injection schedule wrapped around every accepted
     /// connection; `None` (the default) serves on the bare socket.
     pub fault: Option<FaultConfig>,
@@ -102,6 +124,13 @@ impl Default for ServerConfig {
             max_payload: DEFAULT_MAX_PAYLOAD,
             rng_seed: 0x5eed_cafe,
             frame_read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_sessions: 1024,
+            session_idle_ttl: Duration::from_secs(15 * 60),
+            hello_policy: HelloPolicy::default(),
+            rate_limit_burst: 256,
+            rate_limit_per_sec: 128.0,
+            max_strikes: 8,
             fault: None,
         }
     }
@@ -132,6 +161,15 @@ pub struct ServerStats {
     pub workers_respawned: AtomicU64,
     /// Worker threads currently alive (gauge).
     pub live_workers: AtomicU64,
+    /// Frames shed by the per-connection token bucket.
+    pub rate_limited: AtomicU64,
+    /// Connections dropped after reaching the strike limit.
+    pub strike_disconnects: AtomicU64,
+    /// Connections reaped for dribbling a frame past the deadline.
+    pub slow_reaped: AtomicU64,
+    /// Frame-layer garbage (bad magic/version/type, CRC, oversize)
+    /// answered with a typed error and a close.
+    pub frame_garbage: AtomicU64,
     /// Faults injected by the chaos wrapper across all connections
     /// (behind an `Arc` so [`FaultyStream`]s can share the counter).
     pub faults_injected: Arc<AtomicU64>,
@@ -252,10 +290,14 @@ pub fn serve(
     let local_addr = listener.local_addr()?;
 
     let (job_tx, job_rx) = bounded::<Job>(config.queue_depth.max(1));
+    let registry = SessionRegistry::with_limits(RegistryLimits {
+        max_sessions: config.max_sessions.max(1),
+        idle_ttl: config.session_idle_ttl,
+    });
     let shared = Arc::new(Shared {
         lsp,
         config: config.clone(),
-        registry: SessionRegistry::new(),
+        registry,
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
         connections: AtomicU64::new(0),
@@ -316,6 +358,9 @@ fn supervisor_loop(shared: Arc<Shared>, job_rx: Receiver<Job>, mut workers: Vec<
     let mut next_index = workers.len() as u64;
     loop {
         let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        // Idle sessions age out even when no new Hello arrives to
+        // trigger eviction on the registration path.
+        shared.registry.sweep_idle();
         let mut alive = Vec::with_capacity(workers.len());
         for handle in workers {
             if handle.is_finished() {
@@ -433,6 +478,44 @@ fn refuse(mut stream: TcpStream) {
     let _ = stream.flush();
 }
 
+/// Per-connection admission state: the token bucket and the strike
+/// count this connection has accumulated (session strikes live in the
+/// registry; the connection is dropped when either reaches the limit).
+struct ConnGuard {
+    bucket: TokenBucket,
+    strikes: u32,
+}
+
+/// What a frame handler tells the connection loop to do next.
+#[derive(PartialEq, Eq)]
+enum ConnAction {
+    Continue,
+    Close,
+}
+
+/// Enforces the whole-frame read deadline: every partial read re-arms
+/// the socket timeout with the time *remaining*, so the total wall
+/// clock a peer can spend dribbling one frame is bounded no matter how
+/// many one-byte reads it splits the frame into.
+struct FrameDeadline<'a, S: Transport> {
+    inner: &'a mut S,
+    deadline: Instant,
+}
+
+impl<S: Transport> std::io::Read for FrameDeadline<'_, S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "whole-frame read deadline exhausted",
+            ));
+        }
+        self.inner.set_read_timeout(Some(remaining))?;
+        self.inner.read(buf)
+    }
+}
+
 /// Serves one connection until the peer leaves or shutdown is signaled.
 fn connection_loop<S: Transport>(
     shared: &Shared,
@@ -440,7 +523,17 @@ fn connection_loop<S: Transport>(
     job_tx: Sender<Job>,
 ) -> Result<(), ServerError> {
     stream.set_nodelay(true).ok();
+    stream
+        .set_write_timeout(Some(shared.config.write_timeout))
+        .ok();
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut conn = ConnGuard {
+        bucket: TokenBucket::new(
+            shared.config.rate_limit_burst,
+            shared.config.rate_limit_per_sec,
+        ),
+        strikes: 0,
+    };
     loop {
         // The first byte is the idle poll point: a timeout here leaves
         // the stream exactly at a frame boundary.
@@ -448,11 +541,69 @@ fn connection_loop<S: Transport>(
         match stream.read(&mut lead) {
             Ok(0) => return Ok(()),
             Ok(_) => {
-                stream.set_read_timeout(Some(shared.config.frame_read_timeout))?;
-                let frame = read_frame_with_lead(&mut stream, lead[0], shared.config.max_payload)?;
+                let frame = {
+                    let mut guarded = FrameDeadline {
+                        deadline: Instant::now() + shared.config.frame_read_timeout,
+                        inner: &mut stream,
+                    };
+                    read_frame_with_lead(&mut guarded, lead[0], shared.config.max_payload)
+                };
                 stream.set_read_timeout(Some(POLL_INTERVAL))?;
-                match frame.frame_type {
-                    FrameType::Hello => handle_hello(shared, &mut stream, &frame.payload)?,
+                let frame = match frame {
+                    Ok(f) => f,
+                    Err(ServerError::ConnectionClosed) => return Ok(()),
+                    Err(ServerError::Io(e))
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        // A slowloris peer: the frame did not complete
+                        // within the whole-frame deadline. Reap it.
+                        shared.stats.slow_reaped.fetch_add(1, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    Err(ServerError::Io(e)) => return Err(ServerError::Io(e)),
+                    Err(e) => {
+                        // Frame-layer garbage (bad magic/version/type,
+                        // oversized length, CRC mismatch): framing sync
+                        // is gone, so give the peer a typed error and a
+                        // clean close rather than a silent reset.
+                        shared.stats.frame_garbage.fetch_add(1, Ordering::Relaxed);
+                        shared.registry.count_violation();
+                        let code = match e {
+                            ServerError::FrameTooLarge { .. } => ErrorCode::Violation,
+                            _ => ErrorCode::MalformedPayload,
+                        };
+                        let _ = send_error(&mut stream, 0, code, &e.to_string());
+                        return Ok(());
+                    }
+                };
+                // Hello and Query pay a token; liveness traffic (Ping,
+                // Goodbye) stays free so health probes see through load.
+                if matches!(frame.frame_type, FrameType::Hello | FrameType::Query) {
+                    if let Err(wait) = conn.bucket.try_take() {
+                        shared.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                        let request_id = match frame.frame_type {
+                            // request_id sits after group_id in the payload.
+                            FrameType::Query => frame
+                                .payload
+                                .get(8..12)
+                                .and_then(|b| b.try_into().ok())
+                                .map(u32::from_le_bytes)
+                                .unwrap_or(0),
+                            _ => 0,
+                        };
+                        let busy = BusyPayload {
+                            request_id,
+                            retry_after_ms: (wait.as_millis() as u32).max(1),
+                        };
+                        write_frame(&mut stream, FrameType::Busy, &busy.encode())?;
+                        continue;
+                    }
+                }
+                let action = match frame.frame_type {
+                    FrameType::Hello => {
+                        handle_hello(shared, &mut conn, &mut stream, &frame.payload)?
+                    }
                     // Queries accepted before the signal drain; ones
                     // arriving after it are refused.
                     FrameType::Query if shared.shutdown.load(Ordering::SeqCst) => {
@@ -465,11 +616,15 @@ fn connection_loop<S: Transport>(
                             ErrorCode::ShuttingDown,
                             "server is draining",
                         )?;
+                        ConnAction::Continue
                     }
-                    FrameType::Query => handle_query(shared, &mut stream, &frame.payload, &job_tx)?,
+                    FrameType::Query => {
+                        handle_query(shared, &mut conn, &mut stream, &frame.payload, &job_tx)?
+                    }
                     FrameType::Ping => {
                         let pong = health_pong(shared, &job_tx);
                         write_frame(&mut stream, FrameType::Pong, &pong.encode())?;
+                        ConnAction::Continue
                     }
                     FrameType::Goodbye => return Ok(()),
                     other => {
@@ -479,7 +634,12 @@ fn connection_loop<S: Transport>(
                             ErrorCode::MalformedPayload,
                             &format!("unexpected {other:?} frame"),
                         )?;
+                        ConnAction::Continue
                     }
+                };
+                if action == ConnAction::Close {
+                    let _ = write_frame(&mut stream, FrameType::Goodbye, &[]);
+                    return Ok(());
                 }
             }
             Err(e)
@@ -505,53 +665,118 @@ fn health_pong(shared: &Shared, job_tx: &Sender<Job>) -> PongPayload {
         worker_panics: shared.stats.worker_panics.load(Ordering::Relaxed),
         uptime_ms: shared.started.elapsed().as_millis() as u64,
         queries_ok: shared.stats.queries_ok.load(Ordering::Relaxed),
+        sessions: shared.registry.len() as u32,
+        sessions_evicted: shared.registry.evicted(),
+        sessions_rejected: shared.registry.rejected(),
+        violations: shared.registry.violations(),
+        rate_limited: shared.stats.rate_limited.load(Ordering::Relaxed),
     }
+}
+
+/// Sends the typed `Violation` reply, counts the strike against both
+/// the session and the connection, and decides whether the strike
+/// limit escalates to a disconnect.
+fn reject_violation(
+    shared: &Shared,
+    conn: &mut ConnGuard,
+    stream: &mut impl std::io::Write,
+    group_id: u64,
+    request_id: u32,
+    violation: ProtocolViolation,
+) -> Result<ConnAction, ServerError> {
+    let session_strikes = shared.registry.strike(group_id);
+    conn.strikes = conn.strikes.saturating_add(1);
+    send_error(
+        stream,
+        request_id,
+        ErrorCode::Violation,
+        &violation.to_string(),
+    )?;
+    if session_strikes.max(conn.strikes) >= shared.config.max_strikes.max(1) {
+        shared
+            .stats
+            .strike_disconnects
+            .fetch_add(1, Ordering::Relaxed);
+        // The penalty is this disconnect, not a permanent ban: the
+        // session starts its next connection with a clean count.
+        shared.registry.reset_strikes(group_id);
+        let _ = send_error(
+            stream,
+            0,
+            ErrorCode::QuotaExceeded,
+            "strike limit reached; disconnecting",
+        );
+        return Ok(ConnAction::Close);
+    }
+    Ok(ConnAction::Continue)
 }
 
 fn handle_hello(
     shared: &Shared,
+    conn: &mut ConnGuard,
     stream: &mut impl std::io::Write,
     payload: &[u8],
-) -> Result<(), ServerError> {
+) -> Result<ConnAction, ServerError> {
     let hello = match HelloPayload::decode(payload) {
         Ok(h) => h,
         Err(e) => {
-            return send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string());
+            send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string())?;
+            return Ok(ConnAction::Continue);
         }
     };
-    shared
+    if let Err(v) = validate_hello(&hello, &shared.config.hello_policy) {
+        return reject_violation(shared, conn, stream, hello.group_id, 0, v);
+    }
+    if shared
         .registry
-        .register(hello.group_id, SessionParams::from_hello(&hello));
+        .register(hello.group_id, SessionParams::from_hello(&hello))
+        .is_err()
+    {
+        send_error(
+            stream,
+            0,
+            ErrorCode::QuotaExceeded,
+            &format!(
+                "session table full ({} live sessions); retry later",
+                shared.registry.len()
+            ),
+        )?;
+        return Ok(ConnAction::Continue);
+    }
     let ack = HelloAckPayload {
         group_id: hello.group_id,
         database_size: shared.lsp.database_size() as u64,
         max_payload: shared.config.max_payload as u32,
         workers: shared.config.workers as u32,
     };
-    write_frame(stream, FrameType::HelloAck, &ack.encode())
+    write_frame(stream, FrameType::HelloAck, &ack.encode())?;
+    Ok(ConnAction::Continue)
 }
 
 fn handle_query(
     shared: &Shared,
+    conn: &mut ConnGuard,
     stream: &mut impl std::io::Write,
     payload: &[u8],
     job_tx: &Sender<Job>,
-) -> Result<(), ServerError> {
+) -> Result<ConnAction, ServerError> {
     let q = match QueryPayload::decode(payload) {
         Ok(q) => q,
         Err(e) => {
             shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
-            return send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string());
+            send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string())?;
+            return Ok(ConnAction::Continue);
         }
     };
     let Some(params) = shared.registry.get(q.group_id) else {
         shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
-        return send_error(
+        send_error(
             stream,
             q.request_id,
             ErrorCode::NoSession,
             &format!("group {} has no negotiated session", q.group_id),
-        );
+        )?;
+        return Ok(ConnAction::Continue);
     };
     // An idempotent retry: the request was already answered, so replay
     // the cached ciphertext without re-running the query or moving the
@@ -565,19 +790,38 @@ fn handle_query(
             replayed: true,
             answer: hit.answer,
         };
-        return write_frame(stream, FrameType::Answer, &payload.encode());
+        write_frame(stream, FrameType::Answer, &payload.encode())?;
+        return Ok(ConnAction::Continue);
+    }
+    // --- the validation gate: everything below is checked against the
+    // session's own handshake before a worker spends a microsecond. The
+    // set count is visible pre-decode; a rewound request ID is caught
+    // next (replays of *cached* requests were already served above);
+    // the full shape and ciphertext checks run after the wire decode.
+    if let Err(v) = validate_set_count(&params, q.location_sets.len()) {
+        shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
+        return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
+    }
+    if let Err(high_water) = shared.registry.admit_request_id(q.group_id, q.request_id) {
+        shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
+        let v = ProtocolViolation::RequestIdRewind {
+            high_water,
+            got: q.request_id,
+        };
+        return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
     }
     let ctx = params.wire_context();
     let query = match QueryMessage::from_wire(&q.query, &ctx) {
         Ok(m) => m,
         Err(e) => {
             shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
-            return send_error(
+            send_error(
                 stream,
                 q.request_id,
                 ErrorCode::MalformedPayload,
                 &e.to_string(),
-            );
+            )?;
+            return Ok(ConnAction::Continue);
         }
     };
     let mut location_sets = Vec::with_capacity(q.location_sets.len());
@@ -586,14 +830,19 @@ fn handle_query(
             Ok(m) => location_sets.push(m),
             Err(e) => {
                 shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
-                return send_error(
+                send_error(
                     stream,
                     q.request_id,
                     ErrorCode::MalformedPayload,
                     &e.to_string(),
-                );
+                )?;
+                return Ok(ConnAction::Continue);
             }
         }
+    }
+    if let Err(v) = validate_query(&params, &query, &location_sets) {
+        shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
+        return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
     }
     let deadline = if q.deadline_ms == 0 {
         shared.config.default_deadline
@@ -620,15 +869,17 @@ fn handle_query(
                 request_id: q.request_id,
                 retry_after_ms: RETRY_AFTER_MS,
             };
-            return write_frame(stream, FrameType::Busy, &busy.encode());
+            write_frame(stream, FrameType::Busy, &busy.encode())?;
+            return Ok(ConnAction::Continue);
         }
         Err(TrySendError::Disconnected(_)) => {
-            return send_error(
+            send_error(
                 stream,
                 q.request_id,
                 ErrorCode::ShuttingDown,
                 "server is draining",
-            );
+            )?;
+            return Ok(ConnAction::Continue);
         }
     }
     // Wait for the worker; grace past the deadline covers processing
@@ -648,6 +899,8 @@ fn handle_query(
                 .record_answer(q.group_id, request_id, two_phase, &answer);
             if fresh {
                 shared.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+                // A served honest query clears the session's slate.
+                shared.registry.reset_strikes(q.group_id);
             } else {
                 shared.stats.replayed.fetch_add(1, Ordering::Relaxed);
             }
@@ -657,7 +910,8 @@ fn handle_query(
                 replayed: !fresh,
                 answer,
             };
-            write_frame(stream, FrameType::Answer, &payload.encode())
+            write_frame(stream, FrameType::Answer, &payload.encode())?;
+            Ok(ConnAction::Continue)
         }
         Ok(Reply::Failure {
             request_id,
@@ -672,7 +926,8 @@ fn handle_query(
             } else {
                 shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
             }
-            send_error(stream, request_id, code, &message)
+            send_error(stream, request_id, code, &message)?;
+            Ok(ConnAction::Continue)
         }
         Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
             shared
@@ -684,7 +939,8 @@ fn handle_query(
                 q.request_id,
                 ErrorCode::DeadlineExceeded,
                 "no worker reply within the deadline",
-            )
+            )?;
+            Ok(ConnAction::Continue)
         }
     }
 }

@@ -1,16 +1,21 @@
 //! Property tests of the frame layer and the wire decoders underneath
 //! it: arbitrary byte mutations (and truncations) of valid frames must
 //! never panic any decoder — every malformed input maps to a typed
-//! error or, by luck, another valid message.
+//! error or, by luck, another valid message. A second, live-server
+//! property drives the mutated bytes at a real TCP server and demands
+//! a typed reply or a clean disconnect, never a wedged connection.
 
-use std::sync::OnceLock;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use ppgnn::prelude::*;
 use ppgnn::server::frame::{
     read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
     HelloPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
 };
-use ppgnn::server::ErrorCode;
+use ppgnn::server::{serve, ErrorCode, ServerConfig, ServerError, ServerHandle};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -56,6 +61,10 @@ fn corpus() -> &'static Vec<(FrameType, Vec<u8>)> {
                     variant: 0,
                     omega: 0,
                     has_partition: true,
+                    n_users: 2,
+                    delta: 6,
+                    k: 2,
+                    d: 3,
                 }
                 .encode(),
             ),
@@ -196,5 +205,129 @@ proptest! {
     #[test]
     fn garbage_streams_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         exercise_decoders(&bytes);
+    }
+}
+
+/// One hardened server shared by every live-mutation case (startup is
+/// expensive; the property only needs the server to *survive*).
+fn live_server() -> &'static ServerHandle {
+    static SERVER: OnceLock<ServerHandle> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let config = PpgnnConfig {
+            k: 2,
+            d: 3,
+            delta: 6,
+            keysize: 128,
+            sanitize: false,
+            ..PpgnnConfig::fast_test()
+        };
+        let pois: Vec<Poi> = (0..64)
+            .map(|i| Poi::new(i, Point::new((i % 8) as f64 / 8.0, (i / 8) as f64 / 8.0)))
+            .collect();
+        let server_config = ServerConfig {
+            // Short whole-frame deadline so a length-field mutation
+            // (server waits for bytes that never come) reaps quickly.
+            frame_read_timeout: Duration::from_millis(300),
+            rate_limit_per_sec: 0.0, // cases arrive in a burst
+            ..ServerConfig::default()
+        };
+        serve(
+            Arc::new(Lsp::new(pois, config)),
+            "127.0.0.1:0",
+            server_config,
+        )
+        .expect("live server")
+    })
+}
+
+/// Sends raw bytes at the live server and demands a *bounded, typed*
+/// reaction: some reply frame or a clean EOF within the probe timeout.
+/// A read timeout means a connection thread wedged — the defect the
+/// hostile-client hardening exists to prevent.
+fn assert_contained(bytes: &[u8]) {
+    let handle = live_server();
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.set_nodelay(true).ok();
+    // A write error means the server already closed on us mid-send
+    // (possible for large mutated query frames): that is containment.
+    let sent = stream.write_all(bytes).and_then(|()| stream.flush());
+    if let Err(e) = sent {
+        assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            "send failed oddly: {e}"
+        );
+    }
+    loop {
+        match read_frame(&mut stream, DEFAULT_MAX_PAYLOAD) {
+            // Any typed frame back is containment; keep draining until
+            // the server closes or stops talking within one poll.
+            Ok(_) => {
+                stream
+                    .set_read_timeout(Some(Duration::from_millis(500)))
+                    .unwrap();
+            }
+            Err(ServerError::ConnectionClosed) => break,
+            Err(ServerError::Io(e)) => match e.kind() {
+                // The server chose to keep the connection open: fine.
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => break,
+                // A reset is still the server slamming the door (closing
+                // with our bytes unread sends RST, not FIN): containment.
+                std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe => break,
+                _ => panic!("client-side decode of server reply failed: {e}"),
+            },
+            Err(e) => panic!("client-side decode of server reply failed: {e}"),
+        }
+    }
+    // The server must still answer honest traffic on a fresh socket.
+    let mut probe = TcpStream::connect(handle.local_addr()).expect("reconnect");
+    probe
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write_frame(&mut probe, FrameType::Ping, &[]).expect("ping");
+    let frame = read_frame(&mut probe, DEFAULT_MAX_PAYLOAD).expect("pong");
+    assert_eq!(frame.frame_type, FrameType::Pong, "server wedged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any single-byte mutation of any valid frame, fired at a live
+    /// server: the server answers with a typed error or closes the
+    /// connection, never panics, and keeps serving honest pings.
+    #[test]
+    fn live_server_contains_mutated_frames(
+        which in any::<prop::sample::Index>(),
+        pos in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let corpus = corpus();
+        let (_, frame) = &corpus[which.index(corpus.len())];
+        let mut bytes = frame.clone();
+        let i = pos.index(bytes.len());
+        bytes[i] ^= xor;
+        assert_contained(&bytes);
+    }
+
+    /// Truncated frames (the slowloris shape: a header promising more
+    /// than arrives) are reaped by the whole-frame deadline.
+    #[test]
+    fn live_server_contains_truncated_frames(
+        which in any::<prop::sample::Index>(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let corpus = corpus();
+        let (_, frame) = &corpus[which.index(corpus.len())];
+        let bytes = &frame[..cut.index(frame.len())];
+        assert_contained(bytes);
     }
 }

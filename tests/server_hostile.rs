@@ -1,0 +1,535 @@
+//! Hostile-client tests: the validation gate, admission control, and
+//! the mallory catalog driven at a live server — concurrently with
+//! legitimate, oracle-checked traffic.
+//!
+//! The headline soak mirrors the acceptance bar for the hardening work:
+//! hundreds of adversarial connections drawn from the full attack
+//! catalog, every one answered with a typed error or a clean
+//! disconnect, while honest groups keep getting exact answers and the
+//! session table never grows past its cap.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppgnn::prelude::*;
+use ppgnn::server::frame::{
+    read_frame, write_frame, ErrorPayload, FrameType, QueryPayload, DEFAULT_MAX_PAYLOAD,
+};
+use ppgnn::server::mallory::{run_attack, run_catalog, Attack, AttackContext, MalloryOutcome};
+use ppgnn::server::{serve, ErrorCode, GroupClient, HelloPolicy, ServerConfig, ServerError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn grid_db(side: usize) -> Vec<Poi> {
+    (0..side * side)
+        .map(|i| {
+            Poi::new(
+                i as u32,
+                Point::new(
+                    (i % side) as f64 / side as f64,
+                    (i / side) as f64 / side as f64,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn test_config() -> PpgnnConfig {
+    PpgnnConfig {
+        k: 2,
+        d: 3,
+        delta: 6,
+        keysize: 128,
+        sanitize: false,
+        ..PpgnnConfig::fast_test()
+    }
+}
+
+fn hardened(frame_timeout: Duration, max_sessions: usize) -> ServerConfig {
+    ServerConfig {
+        frame_read_timeout: frame_timeout,
+        max_sessions,
+        session_idle_ttl: Duration::from_secs(2),
+        rate_limit_per_sec: 0.0, // soak throughput; rate tests arm it
+        ..ServerConfig::default()
+    }
+}
+
+/// The acceptance soak: ≥200 adversarial connections from the full
+/// catalog and ≥100 legitimate oracle-checked queries, interleaved on
+/// one server. Zero panics, every attack contained, session table
+/// bounded throughout.
+#[test]
+fn mallory_soak_contains_catalog_while_legit_traffic_flows() {
+    const SESSION_CAP: usize = 32;
+    const ATTACKERS: usize = 2;
+    const ROUNDS: usize = 7; // 2 × 7 × 15 = 210 adversarial connections
+    const LEGIT_GROUPS: usize = 4;
+    const LEGIT_QUERIES: usize = 25; // 4 × 25 = 100 oracle-checked
+
+    let lsp = Arc::new(Lsp::new(grid_db(10), test_config()));
+    let handle = serve(
+        Arc::clone(&lsp),
+        "127.0.0.1:0",
+        hardened(Duration::from_millis(300), SESSION_CAP),
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let mut ctx = AttackContext::new(0xa77ac4).expect("attack context");
+    ctx.slow_stall = Duration::from_millis(800);
+
+    // Watchdog: the session gauge must respect the cap at every sample,
+    // not just at the end.
+    let done = AtomicBool::new(false);
+    let max_seen = AtomicUsize::new(0);
+
+    let (mut runs, mut legit_ok) = (Vec::new(), 0usize);
+    std::thread::scope(|scope| {
+        let monitor = scope.spawn(|| {
+            while !done.load(Ordering::Relaxed) {
+                max_seen.fetch_max(handle.registry().len(), Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        let attackers: Vec<_> = (0..ATTACKERS)
+            .map(|a| {
+                let ctx = &ctx;
+                scope.spawn(move || run_catalog(addr, ctx, 0xbead + a as u64, ROUNDS))
+            })
+            .collect();
+
+        let legit: Vec<_> = (0..LEGIT_GROUPS)
+            .map(|g| {
+                let lsp = Arc::clone(&lsp);
+                scope.spawn(move || {
+                    let config = test_config();
+                    let mut rng = ChaCha8Rng::seed_from_u64(500 + g as u64);
+                    // A momentarily full table is a retryable shed, not
+                    // a failure — honest clients wait out the TTL.
+                    let deadline = Instant::now() + Duration::from_secs(10);
+                    let mut client = loop {
+                        match GroupClient::connect(
+                            addr,
+                            g as u64 + 1,
+                            config.clone(),
+                            Rect::UNIT,
+                            2,
+                            &mut rng,
+                        ) {
+                            Ok(c) => break c,
+                            Err(ServerError::Remote {
+                                code: ErrorCode::QuotaExceeded,
+                                ..
+                            }) if Instant::now() < deadline => {
+                                std::thread::sleep(Duration::from_millis(250));
+                            }
+                            Err(e) => panic!("legit group {g} connect failed: {e}"),
+                        }
+                    };
+                    for q in 0..LEGIT_QUERIES {
+                        let users = vec![
+                            Point::new(0.05 + 0.11 * g as f64, (q as f64 * 0.037) % 1.0),
+                            Point::new(0.9 - 0.13 * g as f64, (q as f64 * 0.053) % 1.0),
+                        ];
+                        let answer = client
+                            .query(&users, &mut rng)
+                            .unwrap_or_else(|e| panic!("legit group {g} query {q} failed: {e}"));
+                        let oracle = lsp.plaintext_answer(&users, config.k);
+                        assert_eq!(answer.len(), oracle.len());
+                        for (a, o) in answer.iter().zip(&oracle) {
+                            assert!(
+                                a.dist(&o.location) < 1e-6,
+                                "legit group {g} query {q}: wrong answer under attack"
+                            );
+                        }
+                    }
+                    client.goodbye();
+                    LEGIT_QUERIES
+                })
+            })
+            .collect();
+
+        for t in attackers {
+            runs.extend(t.join().expect("attacker thread panicked").runs);
+        }
+        for t in legit {
+            legit_ok += t.join().expect("legit thread panicked");
+        }
+        done.store(true, Ordering::Relaxed);
+        monitor.join().unwrap();
+    });
+
+    assert_eq!(
+        runs.len(),
+        ATTACKERS * ROUNDS * ppgnn::server::ATTACK_CATALOG.len()
+    );
+    assert!(runs.len() >= 200, "soak too small: {} runs", runs.len());
+    assert_eq!(legit_ok, LEGIT_GROUPS * LEGIT_QUERIES);
+    for (attack, outcome) in &runs {
+        assert!(
+            outcome.contained(),
+            "attack {attack} was NOT contained: {outcome:?}"
+        );
+    }
+    assert!(
+        max_seen.load(Ordering::Relaxed) <= SESSION_CAP,
+        "session table exceeded its cap: {} > {SESSION_CAP}",
+        max_seen.load(Ordering::Relaxed)
+    );
+
+    let stats = handle.stats();
+    assert_eq!(
+        stats.worker_panics.load(Ordering::Relaxed),
+        0,
+        "worker panicked under hostile load"
+    );
+    assert!(handle.registry().violations() > 0, "gate never fired");
+    assert!(
+        stats.slow_reaped.load(Ordering::Relaxed) > 0,
+        "slowloris never reaped"
+    );
+    assert!(
+        stats.frame_garbage.load(Ordering::Relaxed) > 0,
+        "frame garbage never counted"
+    );
+
+    // The server is still healthy for a fresh honest session. Right
+    // after the soak the table may still hold hostile sessions whose
+    // idle TTL has not expired — QuotaExceeded here is the admission
+    // control doing its job, so retry past the TTL window.
+    let mut rng = ChaCha8Rng::seed_from_u64(999);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut client = loop {
+        match GroupClient::connect(addr, 4242, test_config(), Rect::UNIT, 2, &mut rng) {
+            Ok(c) => break c,
+            Err(ServerError::Remote {
+                code: ErrorCode::QuotaExceeded,
+                ..
+            }) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Err(e) => panic!("post-soak connect failed: {e}"),
+        }
+    };
+    let users = vec![Point::new(0.3, 0.3), Point::new(0.7, 0.7)];
+    let answer = client.query(&users, &mut rng).expect("post-soak query");
+    let oracle = lsp.plaintext_answer(&users, 2);
+    for (a, o) in answer.iter().zip(&oracle) {
+        assert!(a.dist(&o.location) < 1e-6);
+    }
+    client.goodbye();
+    handle.shutdown();
+}
+
+/// Every query-level attack in the catalog individually maps to the
+/// expected typed error code.
+#[test]
+fn each_attack_variant_yields_its_typed_rejection() {
+    let lsp = Arc::new(Lsp::new(grid_db(8), test_config()));
+    let handle = serve(lsp, "127.0.0.1:0", hardened(Duration::from_millis(300), 64)).unwrap();
+    let addr = handle.local_addr();
+    let mut ctx = AttackContext::new(7).unwrap();
+    ctx.slow_stall = Duration::from_millis(800);
+
+    let expectations: &[(Attack, MalloryOutcome)] = &[
+        (
+            Attack::OversizedFrame,
+            MalloryOutcome::TypedError(ErrorCode::Violation),
+        ),
+        (
+            Attack::TruncatedHello,
+            MalloryOutcome::TypedError(ErrorCode::MalformedPayload),
+        ),
+        (
+            Attack::GarbageBytes,
+            MalloryOutcome::TypedError(ErrorCode::MalformedPayload),
+        ),
+        (
+            Attack::BadVersion,
+            MalloryOutcome::TypedError(ErrorCode::MalformedPayload),
+        ),
+        (
+            Attack::UnknownFrameType,
+            MalloryOutcome::TypedError(ErrorCode::MalformedPayload),
+        ),
+        (
+            Attack::CorruptChecksum,
+            MalloryOutcome::TypedError(ErrorCode::MalformedPayload),
+        ),
+        (
+            Attack::UndersizedDelta,
+            MalloryOutcome::TypedError(ErrorCode::Violation),
+        ),
+        (
+            Attack::ZeroCiphertext,
+            MalloryOutcome::TypedError(ErrorCode::Violation),
+        ),
+        (
+            Attack::OversizedCiphertext,
+            MalloryOutcome::TypedError(ErrorCode::Violation),
+        ),
+        (
+            Attack::NonUnitCiphertext,
+            MalloryOutcome::TypedError(ErrorCode::Violation),
+        ),
+        (
+            Attack::WrongSetCount,
+            MalloryOutcome::TypedError(ErrorCode::Violation),
+        ),
+        (
+            Attack::WrongSetLength,
+            MalloryOutcome::TypedError(ErrorCode::Violation),
+        ),
+        (
+            Attack::ReplayedRequestId,
+            MalloryOutcome::TypedError(ErrorCode::Violation),
+        ),
+        (Attack::SessionFlood, MalloryOutcome::AckedAll),
+        (Attack::SlowWriter, MalloryOutcome::Disconnected),
+    ];
+    for (i, (attack, expected)) in expectations.iter().enumerate() {
+        let outcome = run_attack(*attack, addr, &ctx, 0xc0de + i as u64);
+        assert_eq!(&outcome, expected, "attack {attack}");
+    }
+    handle.shutdown();
+}
+
+/// Strikes escalate: a client that keeps violating gets disconnected
+/// after `max_strikes`, with a final QuotaExceeded notice.
+#[test]
+fn repeated_violations_escalate_to_disconnect() {
+    let lsp = Arc::new(Lsp::new(grid_db(8), test_config()));
+    let config = ServerConfig {
+        max_strikes: 3,
+        ..hardened(Duration::from_millis(300), 16)
+    };
+    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let ctx = AttackContext::new(9).unwrap();
+
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let group_id = 0x5111;
+    write_frame(&mut stream, FrameType::Hello, &ctx.hello(group_id).encode()).unwrap();
+    let ack = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(ack.frame_type, FrameType::HelloAck);
+
+    // Same violation, repeatedly: one set short of the handshake.
+    let mut sets: Vec<Vec<u8>> = ctx.plan.location_sets.iter().map(|s| s.to_wire()).collect();
+    sets.pop();
+    let mut saw_quota_notice = false;
+    let mut violations = 0;
+    'outer: for req in 1..=10u32 {
+        let payload = QueryPayload {
+            group_id,
+            request_id: req,
+            deadline_ms: 0,
+            location_sets: sets.clone(),
+            query: ctx.plan.query.to_wire(),
+        }
+        .encode();
+        if write_frame(&mut stream, FrameType::Query, &payload).is_err() {
+            break; // already disconnected
+        }
+        loop {
+            match read_frame(&mut stream, DEFAULT_MAX_PAYLOAD) {
+                Ok(frame) if frame.frame_type == FrameType::Error => {
+                    let err = ErrorPayload::decode(&frame.payload).unwrap();
+                    match err.code {
+                        ErrorCode::Violation => {
+                            violations += 1;
+                            continue 'outer;
+                        }
+                        ErrorCode::QuotaExceeded => saw_quota_notice = true,
+                        other => panic!("unexpected error code {other:?}"),
+                    }
+                }
+                Ok(frame) if frame.frame_type == FrameType::Goodbye => break 'outer,
+                Ok(other) => panic!("unexpected frame {:?}", other.frame_type),
+                Err(ServerError::ConnectionClosed) => break 'outer,
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+    }
+    assert_eq!(
+        violations, 3,
+        "disconnect should land exactly at max_strikes"
+    );
+    assert!(saw_quota_notice, "no final QuotaExceeded notice");
+    assert_eq!(handle.stats().strike_disconnects.load(Ordering::Relaxed), 1);
+    handle.shutdown();
+}
+
+/// The per-connection token bucket sheds bursts with `Busy` + a retry
+/// hint instead of serving them.
+#[test]
+fn token_bucket_sheds_hello_bursts() {
+    let lsp = Arc::new(Lsp::new(grid_db(8), test_config()));
+    let config = ServerConfig {
+        rate_limit_burst: 2,
+        rate_limit_per_sec: 0.5,
+        ..ServerConfig::default()
+    };
+    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let ctx = AttackContext::new(11).unwrap();
+
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut acks = 0;
+    let mut sheds = 0;
+    for i in 0..4u64 {
+        write_frame(&mut stream, FrameType::Hello, &ctx.hello(100 + i).encode()).unwrap();
+        let frame = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD).unwrap();
+        match frame.frame_type {
+            FrameType::HelloAck => acks += 1,
+            FrameType::Busy => sheds += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(acks, 2, "burst capacity should admit exactly 2");
+    assert_eq!(sheds, 2, "the rest of the burst should be shed");
+    // Liveness traffic is never rate limited.
+    write_frame(&mut stream, FrameType::Ping, &[]).unwrap();
+    let frame = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(frame.frame_type, FrameType::Pong);
+    assert_eq!(handle.stats().rate_limited.load(Ordering::Relaxed), 2);
+    handle.shutdown();
+}
+
+/// Session admission: the table rejects past the cap, evicts idle
+/// sessions to make room, and reports all of it in `Pong`.
+#[test]
+fn session_cap_and_ttl_reported_in_pong() {
+    let lsp = Arc::new(Lsp::new(grid_db(8), test_config()));
+    let config = ServerConfig {
+        max_sessions: 2,
+        session_idle_ttl: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let ctx = AttackContext::new(13).unwrap();
+
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    for g in 0..2u64 {
+        write_frame(&mut stream, FrameType::Hello, &ctx.hello(g + 1).encode()).unwrap();
+        assert_eq!(
+            read_frame(&mut stream, DEFAULT_MAX_PAYLOAD)
+                .unwrap()
+                .frame_type,
+            FrameType::HelloAck
+        );
+    }
+    // Third distinct group: refused while both sessions are live.
+    write_frame(&mut stream, FrameType::Hello, &ctx.hello(3).encode()).unwrap();
+    let frame = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(frame.frame_type, FrameType::Error);
+    let err = ErrorPayload::decode(&frame.payload).unwrap();
+    assert_eq!(err.code, ErrorCode::QuotaExceeded);
+
+    // After the TTL, idle sessions are evicted and the Hello goes in.
+    std::thread::sleep(Duration::from_millis(400));
+    write_frame(&mut stream, FrameType::Hello, &ctx.hello(3).encode()).unwrap();
+    assert_eq!(
+        read_frame(&mut stream, DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .frame_type,
+        FrameType::HelloAck
+    );
+
+    write_frame(&mut stream, FrameType::Ping, &[]).unwrap();
+    let frame = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD).unwrap();
+    assert_eq!(frame.frame_type, FrameType::Pong);
+    let pong = ppgnn::server::PongPayload::decode(&frame.payload).unwrap();
+    assert_eq!(pong.sessions, 1);
+    assert!(pong.sessions_evicted >= 2, "evictions not reported");
+    assert_eq!(pong.sessions_rejected, 1);
+    handle.shutdown();
+}
+
+/// A handshake below the δ policy floor is a deterministic reject: the
+/// client surfaces it immediately instead of burning its retry budget.
+#[test]
+fn client_fails_fast_on_policy_violation() {
+    let lsp = Arc::new(Lsp::new(grid_db(8), test_config()));
+    let config = ServerConfig {
+        hello_policy: HelloPolicy {
+            min_delta: 50, // far above the client's δ=6
+            ..HelloPolicy::default()
+        },
+        ..ServerConfig::default()
+    };
+    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let started = Instant::now();
+    let err = match GroupClient::connect(
+        handle.local_addr(),
+        1,
+        test_config(),
+        Rect::UNIT,
+        2,
+        &mut rng,
+    ) {
+        Ok(_) => panic!("handshake should be rejected"),
+        Err(e) => e,
+    };
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "a deterministic violation must not back off: took {:?}",
+        started.elapsed()
+    );
+    assert!(
+        matches!(
+            err,
+            ServerError::Remote {
+                code: ErrorCode::Violation,
+                ..
+            }
+        ),
+        "wrong error: {err}"
+    );
+    handle.shutdown();
+}
+
+/// The client adopts the server's advertised frame cap at handshake and
+/// fails an oversized query locally with the typed `FrameTooLarge` —
+/// no bytes shipped, no strike earned.
+#[test]
+fn client_adopts_server_frame_cap() {
+    let lsp = Arc::new(Lsp::new(grid_db(8), test_config()));
+    let config = ServerConfig {
+        max_payload: 128, // admits the handshake but no real query
+        ..ServerConfig::default()
+    };
+    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let mut client = GroupClient::connect(
+        handle.local_addr(),
+        1,
+        test_config(),
+        Rect::UNIT,
+        2,
+        &mut rng,
+    )
+    .expect("handshake fits the cap");
+    assert_eq!(client.server_info().max_payload, 128);
+    let users = vec![Point::new(0.2, 0.2), Point::new(0.6, 0.6)];
+    let err = client.query(&users, &mut rng).expect_err("query over cap");
+    assert!(
+        matches!(err, ServerError::FrameTooLarge { max: 128, .. }),
+        "wrong error: {err}"
+    );
+    assert_eq!(handle.registry().violations(), 0, "bytes were shipped");
+    handle.shutdown();
+}
