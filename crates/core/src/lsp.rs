@@ -9,6 +9,7 @@ use ppgnn_bigint::BigUint;
 use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_paillier::{matrix_select, DjContext, EncryptedVector};
 use ppgnn_sim::{CostLedger, Party};
+use ppgnn_telemetry as telemetry;
 use rand::{Rng, SeedableRng};
 
 use crate::candidate::{candidate_queries, CandidateQuery};
@@ -146,6 +147,7 @@ impl Lsp {
         let sanitizer = Sanitizer::new(query.theta0, &self.config.hypothesis, self.space);
         let codec = AnswerCodec::new(query.pk.key_bits(), 1, query.k);
         let sanitize = self.config.sanitize && n > 1;
+        let eval_timer = telemetry::global().time(telemetry::Stage::CandidateEval);
         let mut columns: Vec<Vec<BigUint>>;
         if self.parallelism <= 1 || candidates.len() < 2 {
             columns = Vec::with_capacity(candidates.len());
@@ -211,7 +213,10 @@ impl Lsp {
             ledger.count("sanitation_removed", removed_total);
         }
 
+        drop(eval_timer);
+
         // Private selection (Theorem 3.1 / §6 two-phase).
+        let _select_timer = telemetry::global().time(telemetry::Stage::PrivateSelection);
         let ctx1 = DjContext::new(&query.pk, 1);
         match &query.indicator {
             IndicatorPayload::Plain(v) => {

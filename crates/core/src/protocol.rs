@@ -12,6 +12,7 @@ use ppgnn_paillier::{
     DjContext, Keypair, RandomnessPool,
 };
 use ppgnn_sim::{CostLedger, CostReport, Party, SCALAR_BYTES};
+use ppgnn_telemetry as telemetry;
 use rand::Rng;
 
 use crate::candidate::query_index;
@@ -102,6 +103,7 @@ pub fn plan_query<R: Rng + ?Sized>(
 ) -> Result<QueryPlan, PpgnnError> {
     let n = real_locations.len();
     config.validate(n)?;
+    let _plan_timer = telemetry::global().time(telemetry::Stage::ClientPlan);
 
     // ---- Coordinator: partition parameters, positions, query index ----
     let coordinator_plan = ledger.time(Party::Coordinator, || -> Result<_, PpgnnError> {

@@ -14,6 +14,7 @@
 //! naive `O(n · N_H · k²)`.
 
 use ppgnn_geo::{Aggregate, Poi, Point, Rect};
+use ppgnn_telemetry as telemetry;
 use rand::Rng;
 
 use crate::attack::{sample_point, InequalitySystem};
@@ -123,6 +124,7 @@ impl Sanitizer {
             // Privacy IV only applies to groups (Definition 2.2).
             return answer.len();
         }
+        let _t = telemetry::global().time(telemetry::Stage::Sanitation);
 
         // One inequality system + surviving-sample set per target user.
         let mut targets: Vec<(InequalitySystem, Vec<Point>)> = (0..n)
@@ -144,6 +146,7 @@ impl Sanitizer {
             let mut all_safe = true;
             for (system, survivors) in targets.iter_mut() {
                 survivors.retain(|x| system.satisfies(new_ineq, x));
+                telemetry::global().incr(telemetry::Op::SanitationZTest);
                 if !reject_h0(
                     survivors.len() as u64,
                     self.n_samples,

@@ -8,6 +8,7 @@
 use rand::Rng;
 
 use ppgnn_bigint::{BigUint, MontgomeryCtx, UniformBigUint};
+use ppgnn_telemetry as telemetry;
 
 use crate::error::PaillierError;
 use crate::keys::{PublicKey, SecretKey};
@@ -203,6 +204,8 @@ impl DjContext {
                 capacity_bits: self.plaintext_modulus().bit_length(),
             });
         }
+        let _t = telemetry::global().time(telemetry::Stage::PaillierEncrypt);
+        telemetry::global().incr(telemetry::Op::PaillierEncrypt);
         let r = self.random_unit(rng);
         Ok(self.encrypt_with_randomness(m, &r))
     }
@@ -237,6 +240,8 @@ impl DjContext {
                 capacity_bits: self.plaintext_modulus().bit_length(),
             });
         }
+        let _t = telemetry::global().time(telemetry::Stage::PaillierEncrypt);
+        telemetry::global().incr(telemetry::Op::PaillierEncrypt);
         let gm = self.one_plus_n_pow(m);
         Ok(Ciphertext {
             value: gm.mod_mul(rn, self.ciphertext_modulus()),
@@ -250,6 +255,8 @@ impl DjContext {
     /// Panics if the ciphertext's level differs from the context's.
     pub fn decrypt(&self, c: &Ciphertext, sk: &SecretKey) -> BigUint {
         assert_eq!(c.s, self.s, "ciphertext level mismatch");
+        let _t = telemetry::global().time(telemetry::Stage::PaillierDecrypt);
+        telemetry::global().incr(telemetry::Op::PaillierDecrypt);
         // c^λ = (1+N)^{λ·m mod N^s} in Z_{N^{s+1}}.
         let c_lambda = self.mont.modpow(&c.value, sk.lambda());
         let x = self.dj_log(&c_lambda); // λ·m mod N^s
@@ -304,6 +311,7 @@ impl DjContext {
     pub fn add(&self, c1: &Ciphertext, c2: &Ciphertext) -> Ciphertext {
         assert_eq!(c1.s, self.s, "ciphertext level mismatch");
         assert_eq!(c2.s, self.s, "ciphertext level mismatch");
+        telemetry::global().incr(telemetry::Op::PaillierAdd);
         Ciphertext {
             value: c1.value.mod_mul(&c2.value, self.ciphertext_modulus()),
             s: self.s,
@@ -314,6 +322,7 @@ impl DjContext {
     /// Enc(x·y)` via exponentiation.
     pub fn scalar_mul(&self, x: &BigUint, c: &Ciphertext) -> Ciphertext {
         assert_eq!(c.s, self.s, "ciphertext level mismatch");
+        telemetry::global().incr(telemetry::Op::PaillierScalarMul);
         Ciphertext {
             value: self.mont.modpow(&c.value, x),
             s: self.s,

@@ -6,6 +6,7 @@
 //! coordinator's answer-decryption step.
 
 use ppgnn_bigint::{BigUint, MontgomeryCtx};
+use ppgnn_telemetry as telemetry;
 
 use crate::context::{Ciphertext, DjContext};
 use crate::keys::SecretKey;
@@ -79,6 +80,8 @@ impl Decryptor {
     /// Panics if the ciphertext level differs from the context's.
     pub fn decrypt(&self, ctx: &DjContext, c: &Ciphertext) -> BigUint {
         assert_eq!(c.level(), ctx.level(), "ciphertext level mismatch");
+        let _t = telemetry::global().time(telemetry::Stage::PaillierDecrypt);
+        telemetry::global().incr(telemetry::Op::PaillierDecrypt);
         let c_lambda = self.pow_lambda_crt(c.value());
         let x = ctx.dj_log_public(&c_lambda);
         x.mod_mul(&self.lambda_inv, ctx.plaintext_modulus())

@@ -5,6 +5,7 @@
 use rand::Rng;
 
 use ppgnn_bigint::BigUint;
+use ppgnn_telemetry as telemetry;
 
 use crate::context::{Ciphertext, DjContext};
 use crate::error::PaillierError;
@@ -46,6 +47,8 @@ impl EncryptedVector {
                 right: self.elements.len(),
             });
         }
+        let _t = telemetry::global().time(telemetry::Stage::PaillierDot);
+        telemetry::global().incr(telemetry::Op::PaillierDot);
         let mut acc = ctx.one_ciphertext();
         for (xi, ci) in x.iter().zip(&self.elements) {
             if xi.is_zero() {

@@ -4,6 +4,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--groups 8] [--queries 13] [--users 2]
 //!         [--keysize 128] [--k 2] [--d 3] [--delta 6] [--opt] [--seed 7]
+//!         [--sanitize] [--bench-json PATH] [--require-stages a,b,c]
 //!         [--chaos-seed S] [--chaos-delay-prob P] [--chaos-delay-ms MS]
 //!         [--chaos-corrupt-prob P] [--chaos-truncate-prob P]
 //!         [--chaos-sever-prob P]
@@ -16,6 +17,16 @@
 //! (which honors the server's `retry_after_ms` hint) rides through the
 //! faults, and sheds, retries, reconnects, and replayed answers are
 //! reported per group and in total.
+//!
+//! Observability: `--bench-json PATH` writes a machine-readable report
+//! (`BENCH_server.json` in CI) with the run metadata, the end-to-end
+//! latency summary, and the full telemetry snapshot — per-stage
+//! p50/p95/p99 for every pipeline stage plus the crypto op and service
+//! counters. For an in-process run the snapshot comes straight off the
+//! shared registry; against `--addr` the client-side stages are
+//! overlaid with the server's own `Stats` reply. `--require-stages`
+//! names stages that must have non-zero counts, and exits 1 when one
+//! is missing — the CI bench-smoke gate.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -23,7 +34,12 @@ use std::time::{Duration, Instant};
 
 use ppgnn_core::{Lsp, PpgnnConfig, Variant};
 use ppgnn_geo::{Poi, Point, Rect};
-use ppgnn_server::{serve, summarize, ClientStats, FaultConfig, GroupClient, ServerConfig};
+use ppgnn_server::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
+use ppgnn_server::{
+    serve, summarize, ClientStats, FaultConfig, FrameType, GroupClient, LatencySummary,
+    ServerConfig, ServerError, StatsReplyPayload, TelemetrySnapshot,
+};
+use ppgnn_telemetry::json;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,8 +53,11 @@ struct Args {
     d: usize,
     delta: usize,
     opt: bool,
+    sanitize: bool,
     seed: u64,
     pois: usize,
+    bench_json: Option<String>,
+    require_stages: Option<String>,
     chaos: FaultConfig,
 }
 
@@ -53,8 +72,11 @@ fn parse_args() -> Result<Args, String> {
         d: 3,
         delta: 6,
         opt: false,
+        sanitize: false,
         seed: 7,
         pois: 400,
+        bench_json: None,
+        require_stages: None,
         chaos: FaultConfig::off(1),
     };
     args.chaos.max_delay = Duration::from_millis(20);
@@ -73,6 +95,9 @@ fn parse_args() -> Result<Args, String> {
             "--pois" => args.pois = parse(&value("--pois")?)?,
             "--seed" => args.seed = parse(&value("--seed")?)?,
             "--opt" => args.opt = true,
+            "--sanitize" => args.sanitize = true,
+            "--bench-json" => args.bench_json = Some(value("--bench-json")?),
+            "--require-stages" => args.require_stages = Some(value("--require-stages")?),
             "--chaos-seed" => args.chaos.seed = parse(&value("--chaos-seed")?)?,
             "--chaos-delay-prob" => args.chaos.delay_prob = parse(&value("--chaos-delay-prob")?)?,
             "--chaos-delay-ms" => {
@@ -89,8 +114,9 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--groups N] [--queries M] \
                      [--users U] [--keysize B] [--k K] [--d D] [--delta DELTA] \
-                     [--pois P] [--opt] [--seed S] [--chaos-seed S] \
-                     [--chaos-delay-prob P] [--chaos-delay-ms MS] \
+                     [--pois P] [--opt] [--sanitize] [--seed S] \
+                     [--bench-json PATH] [--require-stages a,b,c] \
+                     [--chaos-seed S] [--chaos-delay-prob P] [--chaos-delay-ms MS] \
                      [--chaos-corrupt-prob P] [--chaos-truncate-prob P] \
                      [--chaos-sever-prob P]"
                 );
@@ -130,7 +156,7 @@ fn main() {
         d: args.d,
         delta: args.delta,
         keysize: args.keysize,
-        sanitize: false,
+        sanitize: args.sanitize,
         variant: if args.opt {
             Variant::Opt
         } else {
@@ -301,6 +327,50 @@ fn main() {
         summary.p50_us, summary.p95_us, summary.p99_us, summary.mean_us, summary.max_us
     );
 
+    // In-process runs share one global registry, so the handle snapshot
+    // already holds both client- and server-side stages. Against a
+    // remote server this process only sees the client stages; fetch the
+    // server's own snapshot over the wire and overlay what is missing.
+    let snapshot = match &local_server {
+        Some(handle) => handle.telemetry_snapshot(),
+        None => {
+            let mut local = ppgnn_telemetry::global().snapshot();
+            match fetch_remote_stats(&addr) {
+                Ok(remote) => local.fill_missing_stages_from(&remote),
+                Err(e) => eprintln!("loadgen: fetching server stats from {addr}: {e}"),
+            }
+            local
+        }
+    };
+    if let Some(path) = &args.bench_json {
+        let report = bench_report(&args, &summary, errors, &total, elapsed, &snapshot);
+        match std::fs::write(path, report.as_bytes()) {
+            Ok(()) => println!("bench report written to {path}"),
+            Err(e) => {
+                eprintln!("loadgen: writing {path}: {e}");
+                errors += 1;
+            }
+        }
+    }
+    let mut gate_failed = false;
+    if let Some(required) = &args.require_stages {
+        let names: Vec<&str> = required
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let missing = snapshot.missing_stages(&names);
+        if missing.is_empty() {
+            println!("required stages all recorded: {}", names.join(", "));
+        } else {
+            eprintln!(
+                "loadgen: required stage metrics missing or zero: {}",
+                missing.join(", ")
+            );
+            gate_failed = true;
+        }
+    }
+
     if let Some(handle) = local_server {
         let s = handle.stats();
         println!(
@@ -328,7 +398,72 @@ fn main() {
         );
         handle.shutdown();
     }
-    if errors > 0 {
+    if errors > 0 || gate_failed {
         std::process::exit(1);
     }
+}
+
+/// Asks a remote server for its telemetry snapshot with a sessionless
+/// `Stats` exchange on a fresh connection.
+fn fetch_remote_stats(addr: &str) -> Result<TelemetrySnapshot, ServerError> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write_frame(&mut stream, FrameType::Stats, &[])?;
+    let frame = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD)?;
+    match frame.frame_type {
+        FrameType::StatsReply => Ok(StatsReplyPayload::decode(&frame.payload)?.snapshot),
+        other => Err(ServerError::UnexpectedFrame {
+            expected: "StatsReply",
+            got: other,
+        }),
+    }
+}
+
+/// The machine-readable bench report (`BENCH_server.json` in CI): run
+/// metadata, the end-to-end latency summary, client resilience totals,
+/// and the full telemetry snapshot.
+fn bench_report(
+    args: &Args,
+    summary: &LatencySummary,
+    errors: u64,
+    total: &ClientStats,
+    elapsed: Duration,
+    snapshot: &TelemetrySnapshot,
+) -> String {
+    let mut meta = json::Obj::new();
+    meta.field_str(
+        "mode",
+        if args.addr.is_some() {
+            "remote"
+        } else {
+            "in-process"
+        },
+    );
+    meta.field_u64("groups", args.groups as u64);
+    meta.field_u64("queries_per_group", args.queries as u64);
+    meta.field_u64("users", args.users as u64);
+    meta.field_u64("keysize", args.keysize as u64);
+    meta.field_u64("k", args.k as u64);
+    meta.field_u64("d", args.d as u64);
+    meta.field_u64("delta", args.delta as u64);
+    meta.field_str("variant", if args.opt { "opt" } else { "plain" });
+    meta.field_bool("sanitize", args.sanitize);
+    meta.field_bool("chaos", args.chaos.is_active());
+    meta.field_u64("seed", args.seed);
+    meta.field_u64("elapsed_ms", elapsed.as_millis() as u64);
+
+    let mut client = json::Obj::new();
+    client.field_u64("errors", errors);
+    client.field_u64("busy_sheds", total.busy_sheds);
+    client.field_u64("retries", total.retries);
+    client.field_u64("reconnects", total.reconnects);
+    client.field_u64("replayed_answers", total.replayed_answers);
+
+    let mut obj = json::Obj::new();
+    obj.field_raw("meta", &meta.finish());
+    obj.field_f64("throughput_qps", summary.throughput_qps);
+    obj.field_raw("latency", &summary.to_json());
+    obj.field_raw("client", &client.finish());
+    obj.field_raw("telemetry", &snapshot.to_json());
+    obj.finish()
 }

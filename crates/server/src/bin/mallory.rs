@@ -9,7 +9,7 @@
 //! ```text
 //! mallory [--addr HOST:PORT] [--seed 1] [--rounds 3] [--attackers 2]
 //!         [--legit-groups 2] [--legit-queries 4] [--users 2]
-//!         [--pois 200] [--slow-stall-ms 1500]
+//!         [--pois 200] [--slow-stall-ms 1500] [--json PATH]
 //! ```
 //!
 //! Without `--addr`, a hardened in-process server is spun up on an
@@ -17,6 +17,11 @@
 //! escalation armed), so the binary is a self-contained smoke test:
 //! exit status 0 means every attack run was contained AND every
 //! legitimate query matched the plaintext oracle.
+//!
+//! `--json PATH` writes a machine-readable report: run metadata, the
+//! per-outcome counters and per-run verdicts (on the shared telemetry
+//! counter types), legitimate-traffic totals, and — for the in-process
+//! server — its full telemetry snapshot.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -39,6 +44,7 @@ struct Args {
     users: usize,
     pois: usize,
     slow_stall: Duration,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         users: 2,
         pois: 200,
         slow_stall: Duration::from_millis(1500),
+        json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,11 +75,12 @@ fn parse_args() -> Result<Args, String> {
             "--slow-stall-ms" => {
                 args.slow_stall = Duration::from_millis(parse(&value("--slow-stall-ms")?)?)
             }
+            "--json" => args.json = Some(value("--json")?),
             "--help" | "-h" => {
                 println!(
                     "usage: mallory [--addr HOST:PORT] [--seed S] [--rounds R] \
                      [--attackers A] [--legit-groups G] [--legit-queries Q] \
-                     [--users U] [--pois P] [--slow-stall-ms MS]"
+                     [--users U] [--pois P] [--slow-stall-ms MS] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -270,6 +278,34 @@ fn main() {
         legit_bad,
         elapsed.as_secs_f64(),
     );
+
+    // Written before the pass/fail checks so a failing run still leaves
+    // a report behind for the postmortem.
+    if let Some(path) = &args.json {
+        let mut meta = ppgnn_telemetry::json::Obj::new();
+        meta.field_u64("seed", args.seed);
+        meta.field_u64("rounds", args.rounds as u64);
+        meta.field_u64("attackers", args.attackers as u64);
+        meta.field_u64("legit_groups", args.legit_groups as u64);
+        meta.field_u64("elapsed_ms", elapsed.as_millis() as u64);
+        let mut legit = ppgnn_telemetry::json::Obj::new();
+        legit.field_u64("ok", legit_ok);
+        legit.field_u64("failed", legit_bad);
+        let mut obj = ppgnn_telemetry::json::Obj::new();
+        obj.field_raw("meta", &meta.finish());
+        obj.field_raw("report", &report.to_json());
+        obj.field_raw("legit", &legit.finish());
+        if let Some((handle, _)) = &local_server {
+            obj.field_raw("telemetry", &handle.telemetry_snapshot().to_json());
+        }
+        match std::fs::write(path, obj.finish().as_bytes()) {
+            Ok(()) => println!("mallory report written to {path}"),
+            Err(e) => {
+                eprintln!("mallory: writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if let Some((handle, _)) = local_server {
         let s = handle.stats();

@@ -8,19 +8,32 @@
 //!              [--min-delta 2] [--min-key-bits 32] [--max-payload BYTES]
 //!              [--rate-limit QPS] [--rate-burst N] [--max-strikes 8]
 //!              [--frame-timeout-ms 30000] [--write-timeout-ms 30000]
+//!              [--stats-json PATH] [--stats-interval-ms 5000]
 //! ```
+//!
+//! Every tunable flows through [`ServerConfig::builder`], so an
+//! inconsistent combination (zero workers, rate limiting with no burst)
+//! is rejected at startup with a message naming the offending knob
+//! instead of producing a server that sheds everything.
+//!
+//! Observability: with `--stats-json PATH` the full telemetry snapshot
+//! (pipeline-stage histograms, crypto op counters, service counters,
+//! load gauges — the same payload a wire `Stats` request returns) is
+//! rewritten to PATH every `--stats-interval-ms`, and once more at
+//! exit. Without a path, `--stats-interval-ms` dumps the same JSON to
+//! stderr. The interactive `stats` stdin command prints it on demand.
 //!
 //! Shutdown: send `quit` on stdin (or close it). In-flight queries are
 //! drained before the process exits, and final stats are printed.
 
 use std::io::BufRead;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use ppgnn_core::{Lsp, PpgnnConfig};
 use ppgnn_geo::{Poi, Point};
-use ppgnn_server::{serve, ServerConfig};
+use ppgnn_server::{serve, HelloPolicy, ServerConfig, StatsProbe};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,60 +45,68 @@ struct Args {
     k: usize,
     d: usize,
     delta: usize,
+    stats_json: Option<String>,
+    stats_interval: Option<Duration>,
     config: ServerConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        addr: "127.0.0.1:7878".into(),
-        pois: 1000,
-        seed: 42,
-        keysize: 128,
-        k: 2,
-        d: 3,
-        delta: 6,
-        config: ServerConfig::default(),
-    };
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut pois = 1000usize;
+    let mut seed = 42u64;
+    let mut keysize = 128usize;
+    let mut k = 2usize;
+    let mut d = 3usize;
+    let mut delta = 6usize;
+    let mut stats_json = None;
+    let mut stats_interval = None;
+    let mut builder = ServerConfig::builder();
+    let mut policy = HelloPolicy::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
-            "--addr" => args.addr = value("--addr")?,
-            "--pois" => args.pois = parse(&value("--pois")?)?,
-            "--seed" => args.seed = parse(&value("--seed")?)?,
-            "--keysize" => args.keysize = parse(&value("--keysize")?)?,
-            "--k" => args.k = parse(&value("--k")?)?,
-            "--d" => args.d = parse(&value("--d")?)?,
-            "--delta" => args.delta = parse(&value("--delta")?)?,
-            "--workers" => args.config.workers = parse(&value("--workers")?)?,
-            "--queue-depth" => args.config.queue_depth = parse(&value("--queue-depth")?)?,
+            "--addr" => addr = value("--addr")?,
+            "--pois" => pois = parse(&value("--pois")?)?,
+            "--seed" => seed = parse(&value("--seed")?)?,
+            "--keysize" => keysize = parse(&value("--keysize")?)?,
+            "--k" => k = parse(&value("--k")?)?,
+            "--d" => d = parse(&value("--d")?)?,
+            "--delta" => delta = parse(&value("--delta")?)?,
+            "--workers" => builder = builder.workers(parse(&value("--workers")?)?),
+            "--queue-depth" => builder = builder.queue_depth(parse(&value("--queue-depth")?)?),
             "--max-connections" => {
-                args.config.max_connections = parse(&value("--max-connections")?)?
+                builder = builder.max_connections(parse(&value("--max-connections")?)?)
             }
             "--deadline-ms" => {
-                args.config.default_deadline =
-                    Duration::from_millis(parse(&value("--deadline-ms")?)?)
+                builder = builder
+                    .default_deadline(Duration::from_millis(parse(&value("--deadline-ms")?)?))
             }
-            "--max-sessions" => args.config.max_sessions = parse(&value("--max-sessions")?)?,
+            "--max-sessions" => builder = builder.max_sessions(parse(&value("--max-sessions")?)?),
             "--session-ttl-ms" => {
-                args.config.session_idle_ttl =
-                    Duration::from_millis(parse(&value("--session-ttl-ms")?)?)
+                builder = builder
+                    .session_idle_ttl(Duration::from_millis(parse(&value("--session-ttl-ms")?)?))
             }
-            "--min-delta" => args.config.hello_policy.min_delta = parse(&value("--min-delta")?)?,
-            "--min-key-bits" => {
-                args.config.hello_policy.min_key_bits = parse(&value("--min-key-bits")?)?
-            }
-            "--max-payload" => args.config.max_payload = parse(&value("--max-payload")?)?,
-            "--rate-limit" => args.config.rate_limit_per_sec = parse(&value("--rate-limit")?)?,
-            "--rate-burst" => args.config.rate_limit_burst = parse(&value("--rate-burst")?)?,
-            "--max-strikes" => args.config.max_strikes = parse(&value("--max-strikes")?)?,
+            "--min-delta" => policy.min_delta = parse(&value("--min-delta")?)?,
+            "--min-key-bits" => policy.min_key_bits = parse(&value("--min-key-bits")?)?,
+            "--max-payload" => builder = builder.max_payload(parse(&value("--max-payload")?)?),
+            "--rate-limit" => builder = builder.rate_limit_per_sec(parse(&value("--rate-limit")?)?),
+            "--rate-burst" => builder = builder.rate_limit_burst(parse(&value("--rate-burst")?)?),
+            "--max-strikes" => builder = builder.max_strikes(parse(&value("--max-strikes")?)?),
             "--frame-timeout-ms" => {
-                args.config.frame_read_timeout =
-                    Duration::from_millis(parse(&value("--frame-timeout-ms")?)?)
+                builder = builder.frame_read_timeout(Duration::from_millis(parse(&value(
+                    "--frame-timeout-ms",
+                )?)?))
             }
             "--write-timeout-ms" => {
-                args.config.write_timeout =
-                    Duration::from_millis(parse(&value("--write-timeout-ms")?)?)
+                builder = builder
+                    .write_timeout(Duration::from_millis(parse(&value("--write-timeout-ms")?)?))
+            }
+            "--stats-json" => stats_json = Some(value("--stats-json")?),
+            "--stats-interval-ms" => {
+                stats_interval = Some(Duration::from_millis(parse(&value(
+                    "--stats-interval-ms",
+                )?)?))
             }
             "--help" | "-h" => {
                 println!(
@@ -95,18 +116,83 @@ fn parse_args() -> Result<Args, String> {
                      [--max-sessions N] [--session-ttl-ms MS] [--min-delta D] \
                      [--min-key-bits B] [--max-payload BYTES] [--rate-limit QPS] \
                      [--rate-burst N] [--max-strikes N] [--frame-timeout-ms MS] \
-                     [--write-timeout-ms MS]"
+                     [--write-timeout-ms MS] [--stats-json PATH] \
+                     [--stats-interval-ms MS]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(args)
+    // A stats file with no interval still gets periodic (and final) dumps.
+    if stats_json.is_some() && stats_interval.is_none() {
+        stats_interval = Some(Duration::from_millis(5000));
+    }
+    let config = builder
+        .hello_policy(policy)
+        .build()
+        .map_err(|e| e.to_string())?;
+    Ok(Args {
+        addr,
+        pois,
+        seed,
+        keysize,
+        k,
+        d,
+        delta,
+        stats_json,
+        stats_interval,
+        config,
+    })
 }
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("bad numeric value {s:?}"))
+}
+
+/// Writes one snapshot: to `path` when set (whole-file rewrite so a
+/// reader never sees a torn dump grow), to stderr otherwise.
+fn dump_snapshot(probe: &StatsProbe, path: Option<&str>) {
+    let json = probe.snapshot().to_json();
+    match path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, json.as_bytes()) {
+                eprintln!("ppgnn-server: writing stats to {p}: {e}");
+            }
+        }
+        None => eprintln!("{json}"),
+    }
+}
+
+fn spawn_stats_dumper(
+    probe: StatsProbe,
+    path: Option<String>,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("ppgnn-stats-dump".into())
+        .spawn(move || {
+            let tick = interval.max(Duration::from_millis(100));
+            // Sleep in short slices so a long interval does not delay
+            // shutdown; only dump on interval boundaries.
+            let slice = Duration::from_millis(200);
+            'dumping: loop {
+                let mut slept = Duration::ZERO;
+                while slept < tick {
+                    if stop.load(Ordering::SeqCst) {
+                        break 'dumping;
+                    }
+                    let step = slice.min(tick - slept);
+                    std::thread::sleep(step);
+                    slept += step;
+                }
+                dump_snapshot(&probe, path.as_deref());
+            }
+            // Final dump so the file reflects the drained totals.
+            dump_snapshot(&probe, path.as_deref());
+        })
+        .expect("spawn stats dump thread")
 }
 
 fn main() {
@@ -147,37 +233,24 @@ fn main() {
     );
     println!("type 'stats' for counters, 'quit' (or EOF) to drain and exit");
 
+    let stop_dumper = Arc::new(AtomicBool::new(false));
+    let dumper = args.stats_interval.map(|interval| {
+        spawn_stats_dumper(
+            handle.stats_probe(),
+            args.stats_json.clone(),
+            interval,
+            Arc::clone(&stop_dumper),
+        )
+    });
+
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         match line.as_deref().map(str::trim) {
             Ok("quit") | Ok("exit") | Err(_) => break,
             Ok("stats") => {
-                let s = handle.stats();
-                println!(
-                    "accepted={} refused={} ok={} err={} busy_shed={} \
-                     deadline_expired={} inflight={} sessions={} replayed={} \
-                     worker_panics={} respawned={} live_workers={} \
-                     evicted={} rejected={} violations={} rate_limited={} \
-                     strike_disconnects={} slow_reaped={} frame_garbage={}",
-                    s.accepted.load(Ordering::Relaxed),
-                    s.refused.load(Ordering::Relaxed),
-                    s.queries_ok.load(Ordering::Relaxed),
-                    s.queries_err.load(Ordering::Relaxed),
-                    s.busy_shed.load(Ordering::Relaxed),
-                    s.deadline_expired.load(Ordering::Relaxed),
-                    s.inflight.load(Ordering::Relaxed),
-                    handle.registry().len(),
-                    s.replayed.load(Ordering::Relaxed),
-                    s.worker_panics.load(Ordering::Relaxed),
-                    s.workers_respawned.load(Ordering::Relaxed),
-                    s.live_workers.load(Ordering::Relaxed),
-                    handle.registry().evicted(),
-                    handle.registry().rejected(),
-                    handle.registry().violations(),
-                    s.rate_limited.load(Ordering::Relaxed),
-                    s.strike_disconnects.load(Ordering::Relaxed),
-                    s.slow_reaped.load(Ordering::Relaxed),
-                    s.frame_garbage.load(Ordering::Relaxed),
+                print!(
+                    "{}",
+                    ppgnn_sim::render_telemetry_table(&handle.telemetry_snapshot())
                 );
             }
             _ => {}
@@ -190,6 +263,12 @@ fn main() {
         s.queries_ok.load(Ordering::Relaxed),
         s.queries_err.load(Ordering::Relaxed),
     );
+    stop_dumper.store(true, Ordering::SeqCst);
+    if let Some(h) = dumper {
+        let _ = h.join();
+    } else if let Some(path) = args.stats_json.as_deref() {
+        dump_snapshot(&handle.stats_probe(), Some(path));
+    }
     handle.shutdown();
     println!("done: {ok} queries answered, {err} failed");
 }

@@ -18,13 +18,14 @@ use ppgnn_core::messages::AnswerMessage;
 use ppgnn_core::partition_cache::solve_partition_cached;
 use ppgnn_core::{opt_split, PpgnnConfig, PpgnnSession, Variant};
 use ppgnn_geo::{Point, Rect};
+use ppgnn_telemetry::{self as telemetry, TelemetrySnapshot};
 use rand::Rng;
 
 use crate::backoff::{BackoffSchedule, RetryPolicy};
 use crate::error::{ErrorCode, ServerError};
 use crate::frame::{
     read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
-    HelloPayload, PongPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
+    HelloPayload, PongPayload, QueryPayload, StatsReplyPayload, DEFAULT_MAX_PAYLOAD,
 };
 use crate::registry::SessionParams;
 
@@ -332,6 +333,30 @@ impl GroupClient {
         }
     }
 
+    /// Fetches the server's full telemetry snapshot with a `Stats`
+    /// request: every pipeline-stage histogram, crypto op counter,
+    /// service counter, and load gauge — the wire face of
+    /// [`ServerHandle::telemetry_snapshot`].
+    ///
+    /// [`ServerHandle::telemetry_snapshot`]:
+    /// crate::server::ServerHandle::telemetry_snapshot
+    pub fn server_stats(&mut self) -> Result<TelemetrySnapshot, ServerError> {
+        self.ensure_connected()?;
+        write_frame(&mut self.stream, FrameType::Stats, &[]).inspect_err(|_| {
+            self.broken = true;
+        })?;
+        let frame = read_frame(&mut self.stream, self.max_payload).inspect_err(|_| {
+            self.broken = true;
+        })?;
+        match frame.frame_type {
+            FrameType::StatsReply => Ok(StatsReplyPayload::decode(&frame.payload)?.snapshot),
+            other => Err(ServerError::UnexpectedFrame {
+                expected: "StatsReply",
+                got: other,
+            }),
+        }
+    }
+
     /// Runs one full group query: plans locally (Algorithm 1), ships
     /// the wire messages, and decrypts the answer.
     ///
@@ -346,6 +371,10 @@ impl GroupClient {
         real_locations: &[Point],
         rng: &mut R,
     ) -> Result<Vec<Point>, ServerError> {
+        // End-to-end covers plan, encode, every wire attempt (including
+        // backoff sleeps), and the final decrypt — the latency a group
+        // member actually experiences.
+        let _e2e = telemetry::global().time(telemetry::Stage::EndToEnd);
         let plan = self
             .session
             .plan(&self.config, self.space, real_locations, rng)?;
@@ -366,14 +395,17 @@ impl GroupClient {
         self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
         // Encoded once: every retry resends these exact bytes, so the
         // server sees the identical ciphertexts and request ID.
-        let payload = QueryPayload {
-            group_id: self.group_id,
-            request_id,
-            deadline_ms: self.deadline_ms,
-            location_sets: plan.location_sets.iter().map(|s| s.to_wire()).collect(),
-            query: plan.query.to_wire(),
-        }
-        .encode();
+        let payload = {
+            let _t = telemetry::global().time(telemetry::Stage::ClientEncode);
+            QueryPayload {
+                group_id: self.group_id,
+                request_id,
+                deadline_ms: self.deadline_ms,
+                location_sets: plan.location_sets.iter().map(|s| s.to_wire()).collect(),
+                query: plan.query.to_wire(),
+            }
+            .encode()
+        };
 
         let started = Instant::now();
         let mut schedule = BackoffSchedule::new(

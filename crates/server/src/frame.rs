@@ -19,6 +19,8 @@
 
 use std::io::{Read, Write};
 
+use ppgnn_telemetry::{HealthSnapshot, TelemetrySnapshot};
+
 use crate::error::{ErrorCode, ServerError};
 
 /// Frame magic: the first four bytes of every frame.
@@ -26,8 +28,10 @@ pub const MAGIC: [u8; 4] = *b"PPGN";
 /// Frame-layer version this build speaks (2 added a payload CRC in the
 /// header; 3 widened `Hello` with the session shape — n/δ/k/d — that
 /// the server's validation gate holds every query to, and `Pong` with
-/// the admission-control counters).
-pub const VERSION: u8 = 3;
+/// the admission-control counters; 4 added the `Stats`/`StatsReply`
+/// telemetry exchange and rebased `Pong` on the fixed-width
+/// [`HealthSnapshot`] encoding).
+pub const VERSION: u8 = 4;
 /// Fixed header width: magic + version + type + u32 length + u32 crc.
 pub const HEADER_BYTES: usize = 14;
 /// Default cap on a single frame payload (16 MiB).
@@ -56,6 +60,10 @@ pub enum FrameType {
     Ping,
     /// Liveness reply.
     Pong,
+    /// Client → server: request a full telemetry snapshot.
+    Stats,
+    /// Server → client: the telemetry snapshot.
+    StatsReply,
 }
 
 impl FrameType {
@@ -71,6 +79,8 @@ impl FrameType {
             FrameType::Goodbye => 0x07,
             FrameType::Ping => 0x08,
             FrameType::Pong => 0x09,
+            FrameType::Stats => 0x0a,
+            FrameType::StatsReply => 0x0b,
         }
     }
 
@@ -86,6 +96,8 @@ impl FrameType {
             0x07 => FrameType::Goodbye,
             0x08 => FrameType::Ping,
             0x09 => FrameType::Pong,
+            0x0a => FrameType::Stats,
+            0x0b => FrameType::StatsReply,
             other => return Err(ServerError::UnknownFrameType(other)),
         })
     }
@@ -564,81 +576,66 @@ impl ErrorPayload {
     }
 }
 
-/// `Pong`: the health probe reply — a liveness check that also carries
-/// the server's load picture, so clients and operators can see queue
+/// `Pong`: the health probe reply — a liveness check that carries the
+/// server's compact [`HealthSnapshot`] (load gauges plus the
+/// admission-control counters), so clients and operators can see queue
 /// pressure and worker health without a side channel.
+///
+/// The payload is the snapshot's fixed-width encoding; `Deref` keeps
+/// `pong.live_workers`-style field access working.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PongPayload {
-    /// Jobs currently waiting in the bounded queue.
-    pub queue_depth: u32,
-    /// Jobs enqueued or being processed right now.
-    pub inflight: u32,
-    /// Worker threads currently alive.
-    pub live_workers: u32,
-    /// Worker panics caught since startup.
-    pub worker_panics: u64,
-    /// Milliseconds since the server started.
-    pub uptime_ms: u64,
-    /// Queries answered since startup (fresh answers, not replays).
-    pub queries_ok: u64,
-    /// Sessions currently registered.
-    pub sessions: u32,
-    /// Sessions evicted for idling past the TTL.
-    pub sessions_evicted: u64,
-    /// Hellos refused because the session table was full.
-    pub sessions_rejected: u64,
-    /// Requests the validation gate rejected since startup.
-    pub violations: u64,
-    /// Frames shed by the per-connection token bucket.
-    pub rate_limited: u64,
+    /// The server's health snapshot.
+    pub health: HealthSnapshot,
+}
+
+impl std::ops::Deref for PongPayload {
+    type Target = HealthSnapshot;
+
+    fn deref(&self) -> &HealthSnapshot {
+        &self.health
+    }
+}
+
+impl std::ops::DerefMut for PongPayload {
+    fn deref_mut(&mut self) -> &mut HealthSnapshot {
+        &mut self.health
+    }
 }
 
 impl PongPayload {
     /// Serializes the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(72);
-        buf.extend_from_slice(&self.queue_depth.to_le_bytes());
-        buf.extend_from_slice(&self.inflight.to_le_bytes());
-        buf.extend_from_slice(&self.live_workers.to_le_bytes());
-        buf.extend_from_slice(&self.worker_panics.to_le_bytes());
-        buf.extend_from_slice(&self.uptime_ms.to_le_bytes());
-        buf.extend_from_slice(&self.queries_ok.to_le_bytes());
-        buf.extend_from_slice(&self.sessions.to_le_bytes());
-        buf.extend_from_slice(&self.sessions_evicted.to_le_bytes());
-        buf.extend_from_slice(&self.sessions_rejected.to_le_bytes());
-        buf.extend_from_slice(&self.violations.to_le_bytes());
-        buf.extend_from_slice(&self.rate_limited.to_le_bytes());
-        buf
+        self.health.encode()
     }
 
     /// Parses the payload.
     pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
-        let mut pos = 0;
-        let queue_depth = get_u32(buf, &mut pos, "pong.queue_depth")?;
-        let inflight = get_u32(buf, &mut pos, "pong.inflight")?;
-        let live_workers = get_u32(buf, &mut pos, "pong.live_workers")?;
-        let worker_panics = get_u64(buf, &mut pos, "pong.worker_panics")?;
-        let uptime_ms = get_u64(buf, &mut pos, "pong.uptime_ms")?;
-        let queries_ok = get_u64(buf, &mut pos, "pong.queries_ok")?;
-        let sessions = get_u32(buf, &mut pos, "pong.sessions")?;
-        let sessions_evicted = get_u64(buf, &mut pos, "pong.sessions_evicted")?;
-        let sessions_rejected = get_u64(buf, &mut pos, "pong.sessions_rejected")?;
-        let violations = get_u64(buf, &mut pos, "pong.violations")?;
-        let rate_limited = get_u64(buf, &mut pos, "pong.rate_limited")?;
-        expect_consumed(buf, pos, "pong trailing bytes")?;
-        Ok(PongPayload {
-            queue_depth,
-            inflight,
-            live_workers,
-            worker_panics,
-            uptime_ms,
-            queries_ok,
-            sessions,
-            sessions_evicted,
-            sessions_rejected,
-            violations,
-            rate_limited,
-        })
+        HealthSnapshot::decode(buf)
+            .map(|health| PongPayload { health })
+            .map_err(|_| ServerError::Malformed("pong health snapshot"))
+    }
+}
+
+/// `StatsReply`: the full [`TelemetrySnapshot`] in its compact binary
+/// encoding. The `Stats` request itself has an empty payload.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsReplyPayload {
+    /// The server's full registry snapshot.
+    pub snapshot: TelemetrySnapshot,
+}
+
+impl StatsReplyPayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        self.snapshot.to_bytes()
+    }
+
+    /// Parses the payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        TelemetrySnapshot::from_bytes(buf)
+            .map(|snapshot| StatsReplyPayload { snapshot })
+            .map_err(|_| ServerError::Malformed("stats snapshot"))
     }
 }
 
@@ -800,23 +797,58 @@ mod tests {
     #[test]
     fn pong_round_trip() {
         let p = PongPayload {
-            queue_depth: 3,
-            inflight: 5,
-            live_workers: 4,
-            worker_panics: 1,
-            uptime_ms: 123_456,
-            queries_ok: 42,
-            sessions: 17,
-            sessions_evicted: 6,
-            sessions_rejected: 2,
-            violations: 9,
-            rate_limited: 31,
+            health: HealthSnapshot {
+                queue_depth: 3,
+                inflight: 5,
+                live_workers: 4,
+                worker_panics: 1,
+                uptime_ms: 123_456,
+                queries_ok: 42,
+                sessions: 17,
+                sessions_evicted: 6,
+                sessions_rejected: 2,
+                violations: 9,
+                rate_limited: 31,
+                strike_disconnects: 7,
+                slow_reaped: 3,
+                frame_garbage: 11,
+            },
         };
         let wire = p.encode();
         assert_eq!(PongPayload::decode(&wire).unwrap(), p);
+        // Deref keeps the old field access working.
+        assert_eq!(p.live_workers, 4);
         for cut in 0..wire.len() {
             assert!(PongPayload::decode(&wire[..cut]).is_err(), "pong cut {cut}");
         }
+    }
+
+    #[test]
+    fn stats_reply_round_trip() {
+        let reg = ppgnn_telemetry::MetricsRegistry::new();
+        reg.record_us(ppgnn_telemetry::Stage::Validate, 17);
+        let mut snapshot = reg.snapshot();
+        snapshot.push_counter("queries-ok", 3);
+        let p = StatsReplyPayload { snapshot };
+        let wire = p.encode();
+        let back = StatsReplyPayload::decode(&wire).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.snapshot.stage_count("validate"), 1);
+        assert!(StatsReplyPayload::decode(&wire[..wire.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn version_3_frames_rejected() {
+        // The Stats exchange and the HealthSnapshot-based Pong are a
+        // version-4 wire change; a v3 peer must get a typed rejection,
+        // never a silently misparsed payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Ping, &[]).unwrap();
+        buf[4] = 3;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD),
+            Err(ServerError::BadVersion(3))
+        ));
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!   [`validate::TokenBucket`] rate limiter;
 //! * [`mallory`] — the seeded adversarial attack catalog driven by the
 //!   `mallory` binary and the hostile soak tests;
-//! * [`metrics`] — latency percentiles for the `loadgen` binary.
+//! * [`metrics`] — latency percentiles for the `loadgen` binary
+//!   (re-exported from [`ppgnn_telemetry`], the shared observability
+//!   crate that also backs the `Stats`/`Pong` snapshots).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -64,11 +66,14 @@ pub use backoff::{BackoffSchedule, RetryPolicy};
 pub use client::{session_params_for, ClientStats, GroupClient};
 pub use error::{ErrorCode, ServerError};
 pub use fault::{FaultAction, FaultConfig, FaultPlan, FaultyStream, Transport};
-pub use frame::{Frame, FrameType, PongPayload};
+pub use frame::{Frame, FrameType, PongPayload, StatsReplyPayload};
 pub use mallory::{Attack, AttackContext, MalloryOutcome, MalloryReport, ATTACK_CATALOG};
 pub use metrics::{percentile, summarize, LatencySummary};
+pub use ppgnn_telemetry::{HealthSnapshot, StageSnapshot, TelemetrySnapshot};
 pub use registry::{
     CachedAnswer, RegistryLimits, SessionParams, SessionRegistry, SessionTableFull,
 };
-pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use server::{
+    serve, ConfigError, ServerConfig, ServerConfigBuilder, ServerHandle, ServerStats, StatsProbe,
+};
 pub use validate::{HelloPolicy, ProtocolViolation, TokenBucket};

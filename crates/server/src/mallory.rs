@@ -27,6 +27,7 @@ use ppgnn_core::protocol::QueryPlan;
 use ppgnn_core::{PpgnnConfig, PpgnnSession};
 use ppgnn_geo::{Point, Rect};
 use ppgnn_paillier::{Ciphertext, EncryptedVector};
+use ppgnn_telemetry::{json, CounterSnapshot};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -144,6 +145,19 @@ impl MalloryOutcome {
                 | MalloryOutcome::Disconnected
                 | MalloryOutcome::AckedAll
         )
+    }
+
+    /// Stable kebab-case label for counters and JSON reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MalloryOutcome::TypedError(_) => "typed-error",
+            MalloryOutcome::Shed => "shed",
+            MalloryOutcome::Disconnected => "disconnected",
+            MalloryOutcome::AckedAll => "acked-all",
+            MalloryOutcome::Answered => "answered",
+            MalloryOutcome::Hung => "hung",
+            MalloryOutcome::Aborted(_) => "aborted",
+        }
     }
 }
 
@@ -273,6 +287,58 @@ impl MalloryReport {
     /// Total attack runs recorded.
     pub fn total(&self) -> usize {
         self.runs.len()
+    }
+
+    /// The run totals on the shared telemetry counter type: overall
+    /// `attacks`/`contained`/`uncontained` plus one
+    /// `outcome-<label>` counter per observed outcome class.
+    pub fn counters(&self) -> Vec<CounterSnapshot> {
+        let mut out = vec![
+            CounterSnapshot {
+                name: "attacks".into(),
+                value: self.total() as u64,
+            },
+            CounterSnapshot {
+                name: "contained".into(),
+                value: self.contained() as u64,
+            },
+            CounterSnapshot {
+                name: "uncontained".into(),
+                value: self.uncontained().len() as u64,
+            },
+        ];
+        for (_, outcome) in &self.runs {
+            let name = format!("outcome-{}", outcome.label());
+            match out.iter_mut().find(|c| c.name == name) {
+                Some(c) => c.value += 1,
+                None => out.push(CounterSnapshot { name, value: 1 }),
+            }
+        }
+        out
+    }
+
+    /// Machine-readable report: the counters above plus every run with
+    /// its attack name, outcome label, and containment verdict.
+    pub fn to_json(&self) -> String {
+        let runs = json::arr(self.runs.iter().map(|(attack, outcome)| {
+            let mut run = json::Obj::new();
+            run.field_str("attack", &attack.to_string());
+            run.field_str("outcome", outcome.label());
+            match outcome {
+                MalloryOutcome::TypedError(code) => run.field_str("detail", &code.to_string()),
+                MalloryOutcome::Aborted(detail) => run.field_str("detail", detail),
+                _ => {}
+            }
+            run.field_bool("contained", outcome.contained());
+            run.finish()
+        }));
+        let mut obj = json::Obj::new();
+        obj.field_raw(
+            "counters",
+            &json::arr(self.counters().iter().map(|c| c.to_json())),
+        );
+        obj.field_raw("runs", &runs);
+        obj.finish()
     }
 }
 

@@ -1,78 +1,7 @@
 //! Latency aggregation for the load generator.
+//!
+//! The implementation moved to [`ppgnn_telemetry`] so loadgen, mallory,
+//! the bench crate, and the server share one definition; this module
+//! re-exports it for source compatibility.
 
-use std::time::Duration;
-
-/// Aggregated latency/throughput figures over one run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LatencySummary {
-    /// Completed queries.
-    pub count: usize,
-    /// Queries per second over the wall-clock window.
-    pub throughput_qps: f64,
-    /// Median latency, microseconds.
-    pub p50_us: u64,
-    /// 95th percentile latency, microseconds.
-    pub p95_us: u64,
-    /// 99th percentile latency, microseconds.
-    pub p99_us: u64,
-    /// Mean latency, microseconds.
-    pub mean_us: u64,
-    /// Worst latency, microseconds.
-    pub max_us: u64,
-}
-
-/// Nearest-rank percentile over a sorted sample set.
-pub fn percentile(sorted_us: &[u64], p: f64) -> u64 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    debug_assert!((0.0..=100.0).contains(&p));
-    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
-    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
-}
-
-/// Summarizes raw per-query latencies over a wall-clock window.
-pub fn summarize(mut samples_us: Vec<u64>, elapsed: Duration) -> LatencySummary {
-    samples_us.sort_unstable();
-    let count = samples_us.len();
-    let sum: u64 = samples_us.iter().sum();
-    LatencySummary {
-        count,
-        throughput_qps: if elapsed.as_secs_f64() > 0.0 {
-            count as f64 / elapsed.as_secs_f64()
-        } else {
-            0.0
-        },
-        p50_us: percentile(&samples_us, 50.0),
-        p95_us: percentile(&samples_us, 95.0),
-        p99_us: percentile(&samples_us, 99.0),
-        mean_us: if count > 0 { sum / count as u64 } else { 0 },
-        max_us: samples_us.last().copied().unwrap_or(0),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn percentiles_nearest_rank() {
-        let sorted: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&sorted, 50.0), 50);
-        assert_eq!(percentile(&sorted, 95.0), 95);
-        assert_eq!(percentile(&sorted, 99.0), 99);
-        assert_eq!(percentile(&sorted, 100.0), 100);
-        assert_eq!(percentile(&[], 50.0), 0);
-        assert_eq!(percentile(&[42], 99.0), 42);
-    }
-
-    #[test]
-    fn summary_over_window() {
-        let s = summarize(vec![300, 100, 200, 400], Duration::from_secs(2));
-        assert_eq!(s.count, 4);
-        assert_eq!(s.p50_us, 200);
-        assert_eq!(s.max_us, 400);
-        assert_eq!(s.mean_us, 250);
-        assert!((s.throughput_qps - 2.0).abs() < 1e-9);
-    }
-}
+pub use ppgnn_telemetry::{percentile, summarize, LatencySummary};

@@ -50,11 +50,14 @@ use ppgnn_sim::CostLedger;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use ppgnn_telemetry::{self as telemetry, Gauge, HealthSnapshot, TelemetrySnapshot};
+
 use crate::error::{ErrorCode, ServerError};
 use crate::fault::{FaultConfig, FaultyStream, Transport};
 use crate::frame::{
     read_frame_with_lead, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType,
-    HelloAckPayload, HelloPayload, PongPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
+    HelloAckPayload, HelloPayload, PongPayload, QueryPayload, StatsReplyPayload,
+    DEFAULT_MAX_PAYLOAD,
 };
 use crate::registry::{RegistryLimits, SessionParams, SessionRegistry};
 use crate::validate::{
@@ -136,6 +139,199 @@ impl Default for ServerConfig {
     }
 }
 
+impl ServerConfig {
+    /// Starts a validated [`ServerConfigBuilder`] seeded with the
+    /// defaults. Prefer this over mutating fields directly when the
+    /// values come from user input (CLI flags, config files): `build()`
+    /// rejects configurations `serve` would otherwise silently clamp or
+    /// choke on.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+}
+
+/// A [`ServerConfigBuilder`] rejected an inconsistent configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid server config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`ServerConfig`] that validates the knobs as a set.
+///
+/// Every setter mirrors a [`ServerConfig`] field; [`build`] checks the
+/// combination — zero-sized pools, a payload cap smaller than a frame
+/// header, a rate limiter with refill but no burst — and returns a
+/// [`ConfigError`] naming the first offending knob instead of letting
+/// the server run degenerate.
+///
+/// [`build`]: ServerConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Worker threads processing queries.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Accepted connections at once.
+    pub fn max_connections(mut self, max_connections: usize) -> Self {
+        self.config.max_connections = max_connections;
+        self
+    }
+
+    /// Bounded depth of the job queue.
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.config.queue_depth = queue_depth;
+        self
+    }
+
+    /// Deadline applied when a query carries `deadline_ms == 0`.
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.config.default_deadline = deadline;
+        self
+    }
+
+    /// Largest accepted frame payload.
+    pub fn max_payload(mut self, max_payload: usize) -> Self {
+        self.config.max_payload = max_payload;
+        self
+    }
+
+    /// Seed for the workers' randomizer RNGs.
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.config.rng_seed = seed;
+        self
+    }
+
+    /// Whole-frame read deadline.
+    pub fn frame_read_timeout(mut self, timeout: Duration) -> Self {
+        self.config.frame_read_timeout = timeout;
+        self
+    }
+
+    /// Per-write socket deadline.
+    pub fn write_timeout(mut self, timeout: Duration) -> Self {
+        self.config.write_timeout = timeout;
+        self
+    }
+
+    /// Most sessions held in the registry at once.
+    pub fn max_sessions(mut self, max_sessions: usize) -> Self {
+        self.config.max_sessions = max_sessions;
+        self
+    }
+
+    /// Idle TTL after which sessions are evicted.
+    pub fn session_idle_ttl(mut self, ttl: Duration) -> Self {
+        self.config.session_idle_ttl = ttl;
+        self
+    }
+
+    /// Handshake policy floors.
+    pub fn hello_policy(mut self, policy: HelloPolicy) -> Self {
+        self.config.hello_policy = policy;
+        self
+    }
+
+    /// Token-bucket burst per connection.
+    pub fn rate_limit_burst(mut self, burst: u32) -> Self {
+        self.config.rate_limit_burst = burst;
+        self
+    }
+
+    /// Token-bucket refill rate per connection; 0 disables limiting.
+    pub fn rate_limit_per_sec(mut self, per_sec: f64) -> Self {
+        self.config.rate_limit_per_sec = per_sec;
+        self
+    }
+
+    /// Strikes tolerated before a disconnect.
+    pub fn max_strikes(mut self, strikes: u32) -> Self {
+        self.config.max_strikes = strikes;
+        self
+    }
+
+    /// Fault-injection schedule for chaos runs.
+    pub fn fault(mut self, fault: Option<FaultConfig>) -> Self {
+        self.config.fault = fault;
+        self
+    }
+
+    /// Validates the combination and returns the config, or a
+    /// [`ConfigError`] naming the first bad knob.
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        let c = &self.config;
+        if c.workers == 0 {
+            return Err(ConfigError("workers must be at least 1".into()));
+        }
+        if c.max_connections == 0 {
+            return Err(ConfigError(
+                "max_connections of 0 would refuse every client".into(),
+            ));
+        }
+        if c.queue_depth == 0 {
+            return Err(ConfigError("queue_depth must be at least 1".into()));
+        }
+        if c.default_deadline.is_zero() {
+            return Err(ConfigError(
+                "default_deadline of 0 expires every unstamped query immediately".into(),
+            ));
+        }
+        if c.max_payload < 64 {
+            return Err(ConfigError(format!(
+                "max_payload of {} bytes cannot carry even a handshake frame",
+                c.max_payload
+            )));
+        }
+        if c.frame_read_timeout.is_zero() || c.write_timeout.is_zero() {
+            return Err(ConfigError(
+                "frame_read_timeout and write_timeout must be non-zero".into(),
+            ));
+        }
+        if c.max_sessions == 0 {
+            return Err(ConfigError(
+                "max_sessions of 0 would reject every Hello".into(),
+            ));
+        }
+        if c.session_idle_ttl.is_zero() {
+            return Err(ConfigError(
+                "session_idle_ttl of 0 evicts sessions before their first query".into(),
+            ));
+        }
+        if !c.rate_limit_per_sec.is_finite() || c.rate_limit_per_sec < 0.0 {
+            return Err(ConfigError(format!(
+                "rate_limit_per_sec of {} is not a valid refill rate",
+                c.rate_limit_per_sec
+            )));
+        }
+        if c.rate_limit_per_sec > 0.0 && c.rate_limit_burst == 0 {
+            return Err(ConfigError(
+                "rate limiting enabled (rate_limit_per_sec > 0) with a zero \
+                 rate_limit_burst would shed every frame"
+                    .into(),
+            ));
+        }
+        if c.max_strikes == 0 {
+            return Err(ConfigError(
+                "max_strikes must be at least 1 (one violation always counts)".into(),
+            ));
+        }
+        Ok(self.config)
+    }
+}
+
 /// Monotonic service counters (plus two gauges).
 #[derive(Debug, Default)]
 pub struct ServerStats {
@@ -153,6 +349,11 @@ pub struct ServerStats {
     pub deadline_expired: AtomicU64,
     /// Jobs currently enqueued or being processed (gauge).
     pub inflight: AtomicU64,
+    /// Jobs sitting in the queue, not yet picked up by a worker
+    /// (gauge). Tracked here (not via the channel) so a detached
+    /// [`StatsProbe`] can read it without holding a queue sender open,
+    /// which would block worker drain at shutdown.
+    pub queued: AtomicU64,
     /// Retried queries answered from the session answer cache.
     pub replayed: AtomicU64,
     /// Worker panics caught and surfaced as typed `Internal` errors.
@@ -234,6 +435,27 @@ impl ServerHandle {
         &self.shared.registry
     }
 
+    /// The full telemetry snapshot — the same payload a wire `Stats`
+    /// request is answered with: every pipeline-stage histogram and
+    /// crypto op counter plus the service counters and load gauges.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        full_snapshot(&self.shared)
+    }
+
+    /// The compact health snapshot — the same payload `Pong` carries.
+    pub fn health(&self) -> HealthSnapshot {
+        health_snapshot(&self.shared)
+    }
+
+    /// A detached, cloneable probe for reading the same snapshots from
+    /// another thread (the `--stats-json` dump loop) without owning the
+    /// handle.
+    pub fn stats_probe(&self) -> StatsProbe {
+        StatsProbe {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Signals shutdown and blocks until every thread exits. Queries
     /// already enqueued are processed and answered before workers stop.
     pub fn shutdown(mut self) {
@@ -267,6 +489,30 @@ impl Drop for ServerHandle {
         if self.acceptor.is_some() || self.supervisor.is_some() {
             self.shutdown_inner();
         }
+    }
+}
+
+/// A cloneable, detached view of a running server's telemetry for
+/// side threads (periodic `--stats-json` dumps, test assertions).
+///
+/// Holds only the shared state — deliberately *not* a job-queue sender,
+/// which would keep the worker channel connected and block the drain at
+/// shutdown. A probe outliving its [`ServerHandle`] keeps reading
+/// frozen final counters; it never wedges the server.
+#[derive(Clone)]
+pub struct StatsProbe {
+    shared: Arc<Shared>,
+}
+
+impl StatsProbe {
+    /// Same payload as a wire `Stats` request.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        full_snapshot(&self.shared)
+    }
+
+    /// Same payload as a `Pong` health reply.
+    pub fn health(&self) -> HealthSnapshot {
+        health_snapshot(&self.shared)
     }
 }
 
@@ -622,8 +868,20 @@ fn connection_loop<S: Transport>(
                         handle_query(shared, &mut conn, &mut stream, &frame.payload, &job_tx)?
                     }
                     FrameType::Ping => {
-                        let pong = health_pong(shared, &job_tx);
+                        let pong = PongPayload {
+                            health: health_snapshot(shared),
+                        };
                         write_frame(&mut stream, FrameType::Pong, &pong.encode())?;
+                        ConnAction::Continue
+                    }
+                    // Stats rides the liveness lane (no rate-limit
+                    // token): operators probing a loaded server should
+                    // see through the load, not queue behind it.
+                    FrameType::Stats => {
+                        let reply = StatsReplyPayload {
+                            snapshot: full_snapshot(shared),
+                        };
+                        write_frame(&mut stream, FrameType::StatsReply, &reply.encode())?;
                         ConnAction::Continue
                     }
                     FrameType::Goodbye => return Ok(()),
@@ -656,21 +914,79 @@ fn connection_loop<S: Transport>(
     }
 }
 
-/// Snapshot of server load for a `Pong` health reply.
-fn health_pong(shared: &Shared, job_tx: &Sender<Job>) -> PongPayload {
-    PongPayload {
-        queue_depth: job_tx.len() as u32,
+/// Compact load-and-health snapshot carried in every `Pong` reply.
+fn health_snapshot(shared: &Shared) -> HealthSnapshot {
+    HealthSnapshot {
+        queue_depth: shared.stats.queued.load(Ordering::SeqCst) as u32,
         inflight: shared.stats.inflight.load(Ordering::SeqCst) as u32,
         live_workers: shared.stats.live_workers.load(Ordering::SeqCst) as u32,
+        sessions: shared.registry.len() as u32,
         worker_panics: shared.stats.worker_panics.load(Ordering::Relaxed),
         uptime_ms: shared.started.elapsed().as_millis() as u64,
         queries_ok: shared.stats.queries_ok.load(Ordering::Relaxed),
-        sessions: shared.registry.len() as u32,
         sessions_evicted: shared.registry.evicted(),
         sessions_rejected: shared.registry.rejected(),
         violations: shared.registry.violations(),
         rate_limited: shared.stats.rate_limited.load(Ordering::Relaxed),
+        strike_disconnects: shared.stats.strike_disconnects.load(Ordering::Relaxed),
+        slow_reaped: shared.stats.slow_reaped.load(Ordering::Relaxed),
+        frame_garbage: shared.stats.frame_garbage.load(Ordering::Relaxed),
     }
+}
+
+/// The full registry snapshot answered to a `Stats` request: every
+/// pipeline stage histogram and crypto op counter from the global
+/// [`telemetry`] registry, overlaid with the service counters
+/// ([`ServerStats`], session registry) and the live load gauges.
+fn full_snapshot(shared: &Shared) -> TelemetrySnapshot {
+    let reg = telemetry::global();
+    reg.set_gauge(
+        Gauge::QueueDepth,
+        shared.stats.queued.load(Ordering::SeqCst),
+    );
+    reg.set_gauge(
+        Gauge::Inflight,
+        shared.stats.inflight.load(Ordering::SeqCst),
+    );
+    reg.set_gauge(
+        Gauge::LiveWorkers,
+        shared.stats.live_workers.load(Ordering::SeqCst),
+    );
+    reg.set_gauge(Gauge::Sessions, shared.registry.len() as u64);
+    let mut snap = reg.snapshot();
+    let s = &shared.stats;
+    for (name, value) in [
+        ("accepted", s.accepted.load(Ordering::Relaxed)),
+        ("refused", s.refused.load(Ordering::Relaxed)),
+        ("queries-ok", s.queries_ok.load(Ordering::Relaxed)),
+        ("queries-err", s.queries_err.load(Ordering::Relaxed)),
+        ("busy-shed", s.busy_shed.load(Ordering::Relaxed)),
+        (
+            "deadline-expired",
+            s.deadline_expired.load(Ordering::Relaxed),
+        ),
+        ("replayed", s.replayed.load(Ordering::Relaxed)),
+        ("worker-panics", s.worker_panics.load(Ordering::Relaxed)),
+        (
+            "workers-respawned",
+            s.workers_respawned.load(Ordering::Relaxed),
+        ),
+        ("rate-limited", s.rate_limited.load(Ordering::Relaxed)),
+        (
+            "strike-disconnects",
+            s.strike_disconnects.load(Ordering::Relaxed),
+        ),
+        ("slow-reaped", s.slow_reaped.load(Ordering::Relaxed)),
+        ("frame-garbage", s.frame_garbage.load(Ordering::Relaxed)),
+        ("faults-injected", s.faults_injected.load(Ordering::Relaxed)),
+        ("sessions-evicted", shared.registry.evicted()),
+        ("sessions-rejected", shared.registry.rejected()),
+        ("violations", shared.registry.violations()),
+    ] {
+        snap.push_counter(name, value);
+    }
+    snap.push_gauge("uptime-ms", shared.started.elapsed().as_millis() as u64);
+    snap
 }
 
 /// Sends the typed `Violation` reply, counts the strike against both
@@ -859,11 +1175,15 @@ fn handle_query(
         deadline,
         reply: reply_tx,
     };
+    // The queued gauge rises *before* the send so a worker's decrement
+    // (which can only follow a successful send) never underflows it.
+    shared.stats.queued.fetch_add(1, Ordering::SeqCst);
     match job_tx.try_send(job) {
         Ok(()) => {
             shared.stats.inflight.fetch_add(1, Ordering::SeqCst);
         }
         Err(TrySendError::Full(_)) => {
+            shared.stats.queued.fetch_sub(1, Ordering::SeqCst);
             shared.stats.busy_shed.fetch_add(1, Ordering::Relaxed);
             let busy = BusyPayload {
                 request_id: q.request_id,
@@ -873,6 +1193,7 @@ fn handle_query(
             return Ok(ConnAction::Continue);
         }
         Err(TrySendError::Disconnected(_)) => {
+            shared.stats.queued.fetch_sub(1, Ordering::SeqCst);
             send_error(
                 stream,
                 q.request_id,
@@ -989,6 +1310,7 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>, index: u64) {
     // `recv` returns Err only when every sender is dropped AND the
     // queue is empty — exactly the drain semantics shutdown needs.
     while let Ok(job) = rx.recv() {
+        shared.stats.queued.fetch_sub(1, Ordering::SeqCst);
         if job.enqueued.elapsed() >= job.deadline {
             let _ = job.reply.send(Reply::Failure {
                 request_id: job.request_id,
@@ -1047,5 +1369,113 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
         s
     } else {
         "non-string panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_default_passes_validation() {
+        let built = ServerConfig::builder().build().unwrap();
+        let default = ServerConfig::default();
+        assert_eq!(built.workers, default.workers);
+        assert_eq!(built.queue_depth, default.queue_depth);
+        assert_eq!(built.max_payload, default.max_payload);
+    }
+
+    #[test]
+    fn builder_setters_reach_the_config() {
+        let c = ServerConfig::builder()
+            .workers(7)
+            .queue_depth(3)
+            .max_connections(9)
+            .default_deadline(Duration::from_millis(1234))
+            .max_payload(4096)
+            .rng_seed(0xfeed)
+            .max_sessions(5)
+            .session_idle_ttl(Duration::from_secs(60))
+            .rate_limit_per_sec(10.0)
+            .rate_limit_burst(20)
+            .max_strikes(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.workers, 7);
+        assert_eq!(c.queue_depth, 3);
+        assert_eq!(c.max_connections, 9);
+        assert_eq!(c.default_deadline, Duration::from_millis(1234));
+        assert_eq!(c.max_payload, 4096);
+        assert_eq!(c.rng_seed, 0xfeed);
+        assert_eq!(c.max_sessions, 5);
+        assert_eq!(c.session_idle_ttl, Duration::from_secs(60));
+        assert_eq!(c.rate_limit_per_sec, 10.0);
+        assert_eq!(c.rate_limit_burst, 20);
+        assert_eq!(c.max_strikes, 2);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_knobs() {
+        // Each case names the offending knob in its error message.
+        let cases: [(ServerConfigBuilder, &str); 8] = [
+            (ServerConfig::builder().workers(0), "workers"),
+            (
+                ServerConfig::builder().max_connections(0),
+                "max_connections",
+            ),
+            (ServerConfig::builder().queue_depth(0), "queue_depth"),
+            (
+                ServerConfig::builder().default_deadline(Duration::ZERO),
+                "default_deadline",
+            ),
+            (ServerConfig::builder().max_payload(63), "max_payload"),
+            (ServerConfig::builder().max_sessions(0), "max_sessions"),
+            (
+                ServerConfig::builder().session_idle_ttl(Duration::ZERO),
+                "session_idle_ttl",
+            ),
+            (ServerConfig::builder().max_strikes(0), "max_strikes"),
+        ];
+        for (builder, knob) in cases {
+            let err = builder.build().unwrap_err();
+            assert!(
+                err.to_string().contains(knob),
+                "error {err} does not name {knob}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_rate_limiting() {
+        let err = ServerConfig::builder()
+            .rate_limit_per_sec(5.0)
+            .rate_limit_burst(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("rate_limit_burst"));
+
+        let err = ServerConfig::builder()
+            .rate_limit_per_sec(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("rate_limit_per_sec"));
+
+        // Zero per-sec disables limiting entirely; burst is then moot.
+        assert!(ServerConfig::builder()
+            .rate_limit_per_sec(0.0)
+            .rate_limit_burst(0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_timeouts() {
+        for builder in [
+            ServerConfig::builder().frame_read_timeout(Duration::ZERO),
+            ServerConfig::builder().write_timeout(Duration::ZERO),
+        ] {
+            let err = builder.build().unwrap_err();
+            assert!(err.to_string().contains("timeout"));
+        }
     }
 }

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use ppgnn_core::messages::{IndicatorPayload, LocationSetMessage, QueryMessage};
 use ppgnn_core::opt_split;
+use ppgnn_telemetry as telemetry;
 
 use crate::frame::HelloPayload;
 use crate::registry::SessionParams;
@@ -223,6 +224,7 @@ pub fn validate_query(
     query: &QueryMessage,
     location_sets: &[LocationSetMessage],
 ) -> Result<(), ProtocolViolation> {
+    let _t = telemetry::global().time(telemetry::Stage::Validate);
     if query.k != params.k {
         return Err(ProtocolViolation::KMismatch {
             expected: params.k,

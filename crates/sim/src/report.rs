@@ -47,6 +47,43 @@ impl CostReport {
     }
 }
 
+/// Renders a [`TelemetrySnapshot`] as an aligned, human-readable table:
+/// one row per pipeline stage (count and latency percentiles in µs),
+/// followed by the non-zero counters and the gauges. The JSON face of
+/// the same data is [`TelemetrySnapshot::to_json`]; this is the
+/// terminal face, used by the `ppgnn-server` `stats` command.
+///
+/// [`TelemetrySnapshot`]: ppgnn_telemetry::TelemetrySnapshot
+pub fn render_telemetry_table(snap: &ppgnn_telemetry::TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "stage", "count", "p50_us", "p95_us", "p99_us", "max_us"
+    ));
+    for s in &snap.stages {
+        out.push_str(&format!(
+            "{:<20} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            s.name, s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us
+        ));
+    }
+    let live: Vec<_> = snap.counters.iter().filter(|c| c.value > 0).collect();
+    if !live.is_empty() {
+        out.push_str("counters:");
+        for c in live {
+            out.push_str(&format!(" {}={}", c.name, c.value));
+        }
+        out.push('\n');
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:");
+        for g in &snap.gauges {
+            out.push_str(&format!(" {}={}", g.name, g.value));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +119,42 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(r.comm_kb(), 2.0);
+    }
+
+    #[test]
+    fn telemetry_table_lists_stages_and_counters() {
+        use ppgnn_telemetry::{CounterSnapshot, StageSnapshot, TelemetrySnapshot};
+        let snap = TelemetrySnapshot {
+            stages: vec![StageSnapshot {
+                name: "validate".into(),
+                count: 4,
+                total_us: 100,
+                max_us: 40,
+                p50_us: 20,
+                p95_us: 40,
+                p99_us: 40,
+            }],
+            counters: vec![
+                CounterSnapshot {
+                    name: "queries-ok".into(),
+                    value: 4,
+                },
+                CounterSnapshot {
+                    name: "refused".into(),
+                    value: 0,
+                },
+            ],
+            gauges: vec![CounterSnapshot {
+                name: "sessions".into(),
+                value: 1,
+            }],
+        };
+        let table = render_telemetry_table(&snap);
+        assert!(table.contains("validate"));
+        assert!(table.contains("queries-ok=4"));
+        // Zero counters are elided from the terminal face.
+        assert!(!table.contains("refused"));
+        assert!(table.contains("sessions=1"));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! A minimal JSON *emitter* for the telemetry report schemas.
+//!
+//! Telemetry only ever writes JSON (`--stats-json`, `BENCH_server.json`,
+//! mallory `--json`); it never parses it. Hand-rolling the writer keeps
+//! the runtime free of a serde dependency and the output byte-stable
+//! across builds — the schema is documented in DESIGN.md §12.
+
+/// Escapes a string for use inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Joins already-encoded JSON values into an array.
+pub fn arr(items: impl Iterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// An incremental JSON object writer.
+///
+/// ```
+/// use ppgnn_telemetry::json::Obj;
+/// let mut obj = Obj::new();
+/// obj.field_str("kind", "bench");
+/// obj.field_u64("queries", 64);
+/// assert_eq!(obj.finish(), r#"{"kind":"bench","queries":64}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct Obj {
+    out: String,
+    any: bool,
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Obj {
+            out: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.out.push(',');
+        }
+        self.any = true;
+        self.out.push('"');
+        self.out.push_str(&escape(k));
+        self.out.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.out.push('"');
+        self.out.push_str(&escape(v));
+        self.out.push('"');
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Adds a float field (3 decimal places; non-finite becomes 0).
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        let v = if v.is_finite() { v } else { 0.0 };
+        self.out.push_str(&format!("{v:.3}"));
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Adds a field whose value is already-encoded JSON.
+    pub fn field_raw(&mut self, k: &str, raw: &str) {
+        self.key(k);
+        self.out.push_str(raw);
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_and_array_compose() {
+        let mut inner = Obj::new();
+        inner.field_str("name", "validate");
+        inner.field_u64("count", 3);
+        let mut outer = Obj::new();
+        outer.field_raw("stages", &arr([inner.finish()].into_iter()));
+        outer.field_f64("qps", 12.5);
+        outer.field_bool("sanitize", false);
+        assert_eq!(
+            outer.finish(),
+            r#"{"stages":[{"name":"validate","count":3}],"qps":12.500,"sanitize":false}"#
+        );
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(arr(std::iter::empty()), "[]");
+    }
+
+    #[test]
+    fn non_finite_floats_are_zeroed() {
+        let mut obj = Obj::new();
+        obj.field_f64("qps", f64::NAN);
+        assert_eq!(obj.finish(), r#"{"qps":0.000}"#);
+    }
+}

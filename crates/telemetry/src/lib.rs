@@ -1,0 +1,1221 @@
+//! # ppgnn-telemetry — lock-light per-stage pipeline telemetry
+//!
+//! The paper's whole evaluation (Table 4, Figs 5–8) is a per-stage cost
+//! breakdown; this crate gives the live system the same lens. It sits at
+//! the bottom of the workspace dependency graph (below `ppgnn-paillier`)
+//! so every layer — crypto primitives, protocol engine, networked server
+//! and client — can report into one [`MetricsRegistry`]:
+//!
+//! * [`Stage`] — named pipeline stages, each backed by a fixed-bucket
+//!   [`Histogram`] of microsecond latencies (log₂ octaves with 4 linear
+//!   sub-buckets: ≤ 12.5 % relative error, zero allocation, atomics only);
+//! * [`Op`] — cheap monotone operation counters (one relaxed
+//!   `fetch_add`) for the hot homomorphic primitives where even an
+//!   `Instant::now()` pair would be material;
+//! * [`Gauge`] — point-in-time values the server publishes at snapshot
+//!   time (queue depth, inflight, live workers, sessions);
+//! * [`TelemetrySnapshot`] — the one unified snapshot type, serialized
+//!   both as JSON (`BENCH_server.json`, `--stats-json`) and as a compact
+//!   binary payload (the `Stats` wire reply);
+//! * [`HealthSnapshot`] — the compact health probe carried by `Pong`;
+//! * [`LatencySummary`] / [`percentile`] / [`summarize`] — raw-sample
+//!   aggregation (moved here from `ppgnn-server::metrics` so loadgen,
+//!   mallory, and the bench crate share one definition).
+//!
+//! Instrumented crates call through the process-wide [`global`] registry;
+//! handles are `Arc`-cheap to clone and every record path is wait-free.
+//! Building with `--features ppgnn-telemetry/noop` compiles every record
+//! call to nothing — that is the control arm of the overhead A/B budget
+//! in DESIGN.md §12.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+#[cfg(not(feature = "noop"))]
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+pub mod json;
+
+// ---------------------------------------------------------------------------
+// Stage / Op / Gauge name spaces
+// ---------------------------------------------------------------------------
+
+/// A named pipeline stage, timed into a fixed-bucket histogram.
+///
+/// Stages are hierarchical by design: `end-to-end` contains
+/// `client-plan`, `wire-encode` work happens inside `client-encode`, and
+/// `paillier-dot` time is part of `private-selection`. Sums across
+/// stages therefore over-count; read each stage on its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Algorithm 1 client side: partition, plant, encrypt indicator.
+    ClientPlan,
+    /// Client-side request assembly (query payload bytes).
+    ClientEncode,
+    /// `to_wire` of protocol messages (either side).
+    WireEncode,
+    /// `from_wire` of protocol messages (either side).
+    WireDecode,
+    /// Server validation gate (`validate_query`).
+    Validate,
+    /// LSP candidate evaluation loop (Algorithm 2 answers).
+    CandidateEval,
+    /// Damgård–Jurik encryption (probabilistic paths).
+    PaillierEncrypt,
+    /// Damgård–Jurik decryption.
+    PaillierDecrypt,
+    /// Homomorphic dot product `⟨x, [v]⟩`.
+    PaillierDot,
+    /// Private selection `A ⨂ [v]` (plus the OPT outer phase).
+    PrivateSelection,
+    /// Answer sanitation (`safe_prefix_len`: inequality systems + Z-tests).
+    Sanitation,
+    /// One whole client query: plan → wire → answer → decode.
+    EndToEnd,
+}
+
+impl Stage {
+    /// Every stage, in wire/report order.
+    pub const ALL: [Stage; 12] = [
+        Stage::ClientPlan,
+        Stage::ClientEncode,
+        Stage::WireEncode,
+        Stage::WireDecode,
+        Stage::Validate,
+        Stage::CandidateEval,
+        Stage::PaillierEncrypt,
+        Stage::PaillierDecrypt,
+        Stage::PaillierDot,
+        Stage::PrivateSelection,
+        Stage::Sanitation,
+        Stage::EndToEnd,
+    ];
+
+    /// Number of stages.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The stable metric name (kebab-case; used in JSON and on the wire).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::ClientPlan => "client-plan",
+            Stage::ClientEncode => "client-encode",
+            Stage::WireEncode => "wire-encode",
+            Stage::WireDecode => "wire-decode",
+            Stage::Validate => "validate",
+            Stage::CandidateEval => "candidate-eval",
+            Stage::PaillierEncrypt => "paillier-encrypt",
+            Stage::PaillierDecrypt => "paillier-decrypt",
+            Stage::PaillierDot => "paillier-dot",
+            Stage::PrivateSelection => "private-selection",
+            Stage::Sanitation => "sanitation",
+            Stage::EndToEnd => "end-to-end",
+        }
+    }
+
+    /// Inverse of [`Stage::name`].
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// A cheap monotone operation counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Op {
+    /// Probabilistic Damgård–Jurik encryptions.
+    PaillierEncrypt,
+    /// Damgård–Jurik decryptions.
+    PaillierDecrypt,
+    /// Homomorphic scalar multiplications (one modpow).
+    PaillierScalarMul,
+    /// Homomorphic additions (one modmul).
+    PaillierAdd,
+    /// Homomorphic dot products.
+    PaillierDot,
+    /// Sanitation Z-tests (`reject_h0` evaluations, §5.3).
+    SanitationZTest,
+}
+
+impl Op {
+    /// Every op counter, in wire/report order.
+    pub const ALL: [Op; 6] = [
+        Op::PaillierEncrypt,
+        Op::PaillierDecrypt,
+        Op::PaillierScalarMul,
+        Op::PaillierAdd,
+        Op::PaillierDot,
+        Op::SanitationZTest,
+    ];
+
+    /// Number of op counters.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The stable metric name. Suffixed `-ops` so op counters never
+    /// collide with the stage histogram namespace.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::PaillierEncrypt => "paillier-encrypt-ops",
+            Op::PaillierDecrypt => "paillier-decrypt-ops",
+            Op::PaillierScalarMul => "paillier-scalar-mul-ops",
+            Op::PaillierAdd => "paillier-add-ops",
+            Op::PaillierDot => "paillier-dot-ops",
+            Op::SanitationZTest => "sanitation-z-tests",
+        }
+    }
+}
+
+/// A point-in-time gauge, set (not accumulated) by its owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Jobs queued behind the worker pool.
+    QueueDepth,
+    /// Queries currently being evaluated.
+    Inflight,
+    /// Live worker threads.
+    LiveWorkers,
+    /// Live sessions in the registry.
+    Sessions,
+}
+
+impl Gauge {
+    /// Every gauge, in wire/report order.
+    pub const ALL: [Gauge; 4] = [
+        Gauge::QueueDepth,
+        Gauge::Inflight,
+        Gauge::LiveWorkers,
+        Gauge::Sessions,
+    ];
+
+    /// Number of gauges.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The stable metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::QueueDepth => "queue-depth",
+            Gauge::Inflight => "inflight",
+            Gauge::LiveWorkers => "live-workers",
+            Gauge::Sessions => "sessions",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-bucket histogram
+// ---------------------------------------------------------------------------
+
+/// Exact buckets for 0..=15 µs.
+const LINEAR_BUCKETS: usize = 16;
+/// Log₂ octaves 2⁴..2³⁶ µs (≈ 19 h), 4 linear sub-buckets each.
+const OCTAVES: usize = 32;
+const SUB_BUCKETS: usize = 4;
+/// Total bucket count.
+pub const NUM_BUCKETS: usize = LINEAR_BUCKETS + OCTAVES * SUB_BUCKETS;
+
+/// Bucket index for a microsecond value.
+fn bucket_index(us: u64) -> usize {
+    if us < LINEAR_BUCKETS as u64 {
+        return us as usize;
+    }
+    let log2 = 63 - us.leading_zeros() as u64; // ≥ 4
+    if log2 >= 36 {
+        return NUM_BUCKETS - 1;
+    }
+    let sub = ((us >> (log2 - 2)) & 3) as usize;
+    LINEAR_BUCKETS + (log2 as usize - 4) * SUB_BUCKETS + sub
+}
+
+/// Representative (midpoint) microsecond value for a bucket index.
+fn bucket_value(index: usize) -> u64 {
+    if index < LINEAR_BUCKETS {
+        return index as u64;
+    }
+    let octave = 4 + (index - LINEAR_BUCKETS) / SUB_BUCKETS;
+    let sub = ((index - LINEAR_BUCKETS) % SUB_BUCKETS) as u64;
+    (1u64 << octave) + sub * (1u64 << (octave - 2)) + (1u64 << (octave - 3))
+}
+
+/// A wait-free fixed-bucket latency histogram (microseconds).
+///
+/// Records are three relaxed atomic RMWs plus one `fetch_max`; reads are
+/// racy-but-monotone, which is all telemetry needs.
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one microsecond sample.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every bucket and aggregate.
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_us.store(0, Ordering::Relaxed);
+        self.max_us.store(0, Ordering::Relaxed);
+    }
+
+    /// Aggregates the histogram into a named [`StageSnapshot`].
+    pub fn snapshot(&self, name: &str) -> StageSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let pct = |p: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_value(i);
+                }
+            }
+            bucket_value(NUM_BUCKETS - 1)
+        };
+        StageSnapshot {
+            name: name.to_string(),
+            count: total,
+            total_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            p50_us: pct(50.0),
+            p95_us: pct(95.0),
+            p99_us: pct(99.0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct RegistryInner {
+    stages: [Histogram; Stage::COUNT],
+    ops: [AtomicU64; Op::COUNT],
+    gauges: [AtomicU64; Gauge::COUNT],
+}
+
+/// The cheap, cloneable telemetry handle: all stage histograms, op
+/// counters, and gauges behind one `Arc`.
+///
+/// Instrumented library code reports through [`global`]; embedders that
+/// need isolation (unit tests of the registry itself) can make private
+/// registries with [`MetricsRegistry::new`].
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Arc::new(RegistryInner {
+                stages: std::array::from_fn(|_| Histogram::new()),
+                ops: std::array::from_fn(|_| AtomicU64::new(0)),
+                gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+            }),
+        }
+    }
+
+    /// Starts timing `stage`; the elapsed time is recorded when the
+    /// returned guard drops. Compiles to nothing under `noop`.
+    #[inline]
+    pub fn time(&self, stage: Stage) -> StageTimer<'_> {
+        #[cfg(not(feature = "noop"))]
+        {
+            StageTimer {
+                registry: self,
+                stage,
+                start: Instant::now(),
+                armed: true,
+            }
+        }
+        #[cfg(feature = "noop")]
+        {
+            let _ = stage;
+            StageTimer {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Records an already-measured duration against `stage`.
+    #[inline]
+    pub fn record_duration(&self, stage: Stage, elapsed: Duration) {
+        self.record_us(stage, elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records a microsecond sample against `stage`.
+    #[inline]
+    pub fn record_us(&self, stage: Stage, us: u64) {
+        #[cfg(not(feature = "noop"))]
+        self.inner.stages[stage as usize].record_us(us);
+        #[cfg(feature = "noop")]
+        let _ = (stage, us);
+    }
+
+    /// Bumps an op counter by one.
+    #[inline]
+    pub fn incr(&self, op: Op) {
+        self.incr_by(op, 1);
+    }
+
+    /// Bumps an op counter by `n`.
+    #[inline]
+    pub fn incr_by(&self, op: Op, n: u64) {
+        #[cfg(not(feature = "noop"))]
+        self.inner.ops[op as usize].fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "noop")]
+        let _ = (op, n);
+    }
+
+    /// Current value of an op counter.
+    pub fn op_count(&self, op: Op) -> u64 {
+        self.inner.ops[op as usize].load(Ordering::Relaxed)
+    }
+
+    /// Samples recorded against a stage.
+    pub fn stage_count(&self, stage: Stage) -> u64 {
+        self.inner.stages[stage as usize].count()
+    }
+
+    /// Sets a gauge to its current point-in-time value.
+    pub fn set_gauge(&self, gauge: Gauge, value: u64) {
+        self.inner.gauges[gauge as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.inner.gauges[gauge as usize].load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every histogram, counter, and gauge. Meant for loadgen
+    /// warmup discard and test isolation; concurrent recorders may land
+    /// either side of the reset.
+    pub fn reset(&self) {
+        for h in &self.inner.stages {
+            h.reset();
+        }
+        for c in &self.inner.ops {
+            c.store(0, Ordering::Relaxed);
+        }
+        for g in &self.inner.gauges {
+            g.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Aggregates everything into one [`TelemetrySnapshot`]. Every stage
+    /// and op counter appears, including zero-count ones, so consumers
+    /// can distinguish "not exercised" from "not reported".
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            stages: Stage::ALL
+                .iter()
+                .map(|&s| self.inner.stages[s as usize].snapshot(s.name()))
+                .collect(),
+            counters: Op::ALL
+                .iter()
+                .map(|&o| CounterSnapshot {
+                    name: o.name().to_string(),
+                    value: self.op_count(o),
+                })
+                .collect(),
+            gauges: Gauge::ALL
+                .iter()
+                .map(|&g| CounterSnapshot {
+                    name: g.name().to_string(),
+                    value: self.gauge(g),
+                })
+                .collect(),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry every instrumented crate reports into.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Drop guard returned by [`MetricsRegistry::time`]; records the elapsed
+/// time against its stage on drop.
+#[must_use = "dropping the timer immediately records ~0µs"]
+pub struct StageTimer<'a> {
+    #[cfg(not(feature = "noop"))]
+    registry: &'a MetricsRegistry,
+    #[cfg(not(feature = "noop"))]
+    stage: Stage,
+    #[cfg(not(feature = "noop"))]
+    start: Instant,
+    #[cfg(not(feature = "noop"))]
+    armed: bool,
+    #[cfg(feature = "noop")]
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl StageTimer<'_> {
+    /// Discards the measurement (error paths that should not pollute the
+    /// latency distribution).
+    pub fn discard(mut self) {
+        #[cfg(not(feature = "noop"))]
+        {
+            self.armed = false;
+        }
+        #[cfg(feature = "noop")]
+        let _ = &mut self;
+    }
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "noop"))]
+        if self.armed {
+            let us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            self.registry.record_us(self.stage, us);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot types
+// ---------------------------------------------------------------------------
+
+/// Aggregated view of one stage histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Stable metric name ([`Stage::name`]).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub total_us: u64,
+    /// Worst sample, microseconds.
+    pub max_us: u64,
+    /// Median, microseconds (bucket midpoint, ≤ 12.5 % error).
+    pub p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+}
+
+impl StageSnapshot {
+    /// The JSON value of this stage aggregate.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new();
+        obj.field_str("name", &self.name);
+        obj.field_u64("count", self.count);
+        obj.field_u64("total_us", self.total_us);
+        obj.field_u64("max_us", self.max_us);
+        obj.field_u64("p50_us", self.p50_us);
+        obj.field_u64("p95_us", self.p95_us);
+        obj.field_u64("p99_us", self.p99_us);
+        obj.finish()
+    }
+}
+
+/// One named counter or gauge value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Stable metric name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+impl CounterSnapshot {
+    /// The JSON value of this counter.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new();
+        obj.field_str("name", &self.name);
+        obj.field_u64("value", self.value);
+        obj.finish()
+    }
+}
+
+/// The unified telemetry snapshot: every stage histogram aggregate,
+/// every monotone counter, every gauge — the payload of the `Stats` wire
+/// reply, `--stats-json`, and the `stages`/`counters` sections of
+/// `BENCH_server.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Per-stage latency aggregates.
+    pub stages: Vec<StageSnapshot>,
+    /// Monotone counters (op counters plus embedder counters).
+    pub counters: Vec<CounterSnapshot>,
+    /// Point-in-time gauges.
+    pub gauges: Vec<CounterSnapshot>,
+}
+
+/// Decode failure for the binary snapshot encodings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotDecodeError(pub &'static str);
+
+impl std::fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot decode: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
+
+/// Hard caps on the wire decoding, so a hostile `StatsReply` cannot make
+/// the client allocate unboundedly.
+const MAX_WIRE_ENTRIES: usize = 1024;
+const MAX_WIRE_NAME: usize = 64;
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotDecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(SnapshotDecodeError("truncated"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotDecodeError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotDecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotDecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn name(&mut self) -> Result<String, SnapshotDecodeError> {
+        let len = self.u8()? as usize;
+        if len == 0 || len > MAX_WIRE_NAME {
+            return Err(SnapshotDecodeError("bad name length"));
+        }
+        let raw = self.take(len)?;
+        std::str::from_utf8(raw)
+            .map(str::to_string)
+            .map_err(|_| SnapshotDecodeError("name not utf-8"))
+    }
+
+    fn done(&self) -> Result<(), SnapshotDecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SnapshotDecodeError("trailing bytes"))
+        }
+    }
+}
+
+fn put_name(out: &mut Vec<u8>, name: &str) {
+    let bytes = name.as_bytes();
+    debug_assert!(!bytes.is_empty() && bytes.len() <= MAX_WIRE_NAME);
+    out.push(bytes.len().min(MAX_WIRE_NAME) as u8);
+    out.extend_from_slice(&bytes[..bytes.len().min(MAX_WIRE_NAME)]);
+}
+
+fn put_counters(out: &mut Vec<u8>, entries: &[CounterSnapshot]) {
+    out.extend_from_slice(&(entries.len().min(MAX_WIRE_ENTRIES) as u16).to_be_bytes());
+    for c in entries.iter().take(MAX_WIRE_ENTRIES) {
+        put_name(out, &c.name);
+        out.extend_from_slice(&c.value.to_be_bytes());
+    }
+}
+
+fn get_counters(cur: &mut Cursor<'_>) -> Result<Vec<CounterSnapshot>, SnapshotDecodeError> {
+    let n = cur.u16()? as usize;
+    if n > MAX_WIRE_ENTRIES {
+        return Err(SnapshotDecodeError("too many entries"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(CounterSnapshot {
+            name: cur.name()?,
+            value: cur.u64()?,
+        });
+    }
+    Ok(out)
+}
+
+impl TelemetrySnapshot {
+    /// Looks up a stage aggregate by name.
+    pub fn stage(&self, name: &str) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Sample count for a stage, 0 when absent.
+    pub fn stage_count(&self, name: &str) -> u64 {
+        self.stage(name).map(|s| s.count).unwrap_or(0)
+    }
+
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Appends (or overwrites) a named counter.
+    pub fn push_counter(&mut self, name: &str, value: u64) {
+        match self.counters.iter_mut().find(|c| c.name == name) {
+            Some(c) => c.value = value,
+            None => self.counters.push(CounterSnapshot {
+                name: name.to_string(),
+                value,
+            }),
+        }
+    }
+
+    /// Appends (or overwrites) a named gauge.
+    pub fn push_gauge(&mut self, name: &str, value: u64) {
+        match self.gauges.iter_mut().find(|g| g.name == name) {
+            Some(g) => g.value = value,
+            None => self.gauges.push(CounterSnapshot {
+                name: name.to_string(),
+                value,
+            }),
+        }
+    }
+
+    /// Fills stages that are absent-or-empty here from `other` — used by
+    /// loadgen against a *remote* server to overlay client-side stages
+    /// onto the server's snapshot without double-counting shared ones.
+    pub fn fill_missing_stages_from(&mut self, other: &TelemetrySnapshot) {
+        for theirs in &other.stages {
+            match self.stages.iter_mut().find(|s| s.name == theirs.name) {
+                Some(mine) if mine.count == 0 && theirs.count > 0 => *mine = theirs.clone(),
+                Some(_) => {}
+                None => self.stages.push(theirs.clone()),
+            }
+        }
+    }
+
+    /// Names from `required` whose stage count is zero or missing.
+    pub fn missing_stages(&self, required: &[&str]) -> Vec<String> {
+        required
+            .iter()
+            .filter(|name| self.stage_count(name) == 0)
+            .map(|name| name.to_string())
+            .collect()
+    }
+
+    /// The JSON value of this snapshot (the `--stats-json` /
+    /// `BENCH_server.json` encoding). Hand-rolled against the stable
+    /// schema so emission never depends on a serde runtime.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new();
+        obj.field_raw(
+            "stages",
+            &json::arr(self.stages.iter().map(|s| s.to_json())),
+        );
+        obj.field_raw(
+            "counters",
+            &json::arr(self.counters.iter().map(CounterSnapshot::to_json)),
+        );
+        obj.field_raw(
+            "gauges",
+            &json::arr(self.gauges.iter().map(CounterSnapshot::to_json)),
+        );
+        obj.finish()
+    }
+
+    /// Compact binary encoding (the `StatsReply` payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 * self.stages.len() + 24 * self.counters.len());
+        out.extend_from_slice(&(self.stages.len().min(MAX_WIRE_ENTRIES) as u16).to_be_bytes());
+        for s in self.stages.iter().take(MAX_WIRE_ENTRIES) {
+            put_name(&mut out, &s.name);
+            for v in [s.count, s.total_us, s.max_us, s.p50_us, s.p95_us, s.p99_us] {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+        put_counters(&mut out, &self.counters);
+        put_counters(&mut out, &self.gauges);
+        out
+    }
+
+    /// Inverse of [`TelemetrySnapshot::to_bytes`]; rejects truncation,
+    /// trailing bytes, oversized tables, and malformed names.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, SnapshotDecodeError> {
+        let mut cur = Cursor { buf, pos: 0 };
+        let n_stages = cur.u16()? as usize;
+        if n_stages > MAX_WIRE_ENTRIES {
+            return Err(SnapshotDecodeError("too many entries"));
+        }
+        let mut stages = Vec::with_capacity(n_stages);
+        for _ in 0..n_stages {
+            let name = cur.name()?;
+            let mut vals = [0u64; 6];
+            for v in &mut vals {
+                *v = cur.u64()?;
+            }
+            stages.push(StageSnapshot {
+                name,
+                count: vals[0],
+                total_us: vals[1],
+                max_us: vals[2],
+                p50_us: vals[3],
+                p95_us: vals[4],
+                p99_us: vals[5],
+            });
+        }
+        let counters = get_counters(&mut cur)?;
+        let gauges = get_counters(&mut cur)?;
+        cur.done()?;
+        Ok(TelemetrySnapshot {
+            stages,
+            counters,
+            gauges,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Health snapshot (the Pong payload)
+// ---------------------------------------------------------------------------
+
+/// The compact health probe the server returns in `Pong`: live load
+/// gauges plus the admission-control counters, fixed-width on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Jobs queued behind the worker pool.
+    pub queue_depth: u32,
+    /// Queries currently being evaluated.
+    pub inflight: u32,
+    /// Live worker threads.
+    pub live_workers: u32,
+    /// Live sessions in the registry.
+    pub sessions: u32,
+    /// Worker panics since start.
+    pub worker_panics: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Successfully answered queries.
+    pub queries_ok: u64,
+    /// Sessions evicted idle.
+    pub sessions_evicted: u64,
+    /// Sessions refused (table full).
+    pub sessions_rejected: u64,
+    /// Protocol violations counted by the validation gate.
+    pub violations: u64,
+    /// Requests shed by the per-connection rate limiter.
+    pub rate_limited: u64,
+    /// Connections dropped after exhausting their strike budget.
+    pub strike_disconnects: u64,
+    /// Slowloris connections reaped by the read deadline.
+    pub slow_reaped: u64,
+    /// Undecodable frames dropped at the transport.
+    pub frame_garbage: u64,
+}
+
+/// Encoded size of a [`HealthSnapshot`].
+pub const HEALTH_SNAPSHOT_BYTES: usize = 4 * 4 + 8 * 10;
+
+impl HealthSnapshot {
+    /// Fixed-width big-endian encoding (96 bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEALTH_SNAPSHOT_BYTES);
+        for v in [
+            self.queue_depth,
+            self.inflight,
+            self.live_workers,
+            self.sessions,
+        ] {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        for v in [
+            self.worker_panics,
+            self.uptime_ms,
+            self.queries_ok,
+            self.sessions_evicted,
+            self.sessions_rejected,
+            self.violations,
+            self.rate_limited,
+            self.strike_disconnects,
+            self.slow_reaped,
+            self.frame_garbage,
+        ] {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`HealthSnapshot::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self, SnapshotDecodeError> {
+        let mut cur = Cursor { buf, pos: 0 };
+        let snap = HealthSnapshot {
+            queue_depth: cur.u32()?,
+            inflight: cur.u32()?,
+            live_workers: cur.u32()?,
+            sessions: cur.u32()?,
+            worker_panics: cur.u64()?,
+            uptime_ms: cur.u64()?,
+            queries_ok: cur.u64()?,
+            sessions_evicted: cur.u64()?,
+            sessions_rejected: cur.u64()?,
+            violations: cur.u64()?,
+            rate_limited: cur.u64()?,
+            strike_disconnects: cur.u64()?,
+            slow_reaped: cur.u64()?,
+            frame_garbage: cur.u64()?,
+        };
+        cur.done()?;
+        Ok(snap)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw-sample aggregation (formerly ppgnn-server::metrics)
+// ---------------------------------------------------------------------------
+
+/// Aggregated latency/throughput figures over one run of raw samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Completed queries.
+    pub count: usize,
+    /// Queries per second over the wall-clock window.
+    pub throughput_qps: f64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: u64,
+    /// Worst latency, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// The JSON value of this summary.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new();
+        obj.field_u64("count", self.count as u64);
+        obj.field_f64("throughput_qps", self.throughput_qps);
+        obj.field_u64("p50_us", self.p50_us);
+        obj.field_u64("p95_us", self.p95_us);
+        obj.field_u64("p99_us", self.p99_us);
+        obj.field_u64("mean_us", self.mean_us);
+        obj.field_u64("max_us", self.max_us);
+        obj.finish()
+    }
+}
+
+/// Nearest-rank percentile over a sorted sample set.
+pub fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    debug_assert!((0.0..=100.0).contains(&p));
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// Summarizes raw per-query latencies over a wall-clock window.
+pub fn summarize(mut samples_us: Vec<u64>, elapsed: Duration) -> LatencySummary {
+    samples_us.sort_unstable();
+    let count = samples_us.len();
+    let sum: u64 = samples_us.iter().sum();
+    LatencySummary {
+        count,
+        throughput_qps: if elapsed.as_secs_f64() > 0.0 {
+            count as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        p50_us: percentile(&samples_us, 50.0),
+        p95_us: percentile(&samples_us, 95.0),
+        p99_us: percentile(&samples_us, 99.0),
+        mean_us: if count > 0 { sum / count as u64 } else { 0 },
+        max_us: samples_us.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for us in 0..100_000u64 {
+            let i = bucket_index(us);
+            assert!(i < NUM_BUCKETS);
+            assert!(i >= last, "bucket index regressed at {us}");
+            last = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_value_lands_in_own_bucket() {
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_value(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for us in [20u64, 100, 999, 5_000, 123_456, 9_999_999] {
+            let mid = bucket_value(bucket_index(us));
+            let err = (mid as f64 - us as f64).abs() / us as f64;
+            assert!(err <= 0.125 + 1e-9, "us={us} mid={mid} err={err}");
+        }
+    }
+
+    #[test]
+    fn histogram_exact_in_linear_range() {
+        let h = Histogram::new();
+        for us in [1u64, 2, 2, 3, 15] {
+            h.record_us(us);
+        }
+        let s = h.snapshot("test");
+        assert_eq!(s.count, 5);
+        assert_eq!(s.p50_us, 2);
+        assert_eq!(s.max_us, 15);
+        assert_eq!(s.total_us, 23);
+    }
+
+    #[cfg(not(feature = "noop"))]
+    #[test]
+    fn registry_records_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        reg.record_us(Stage::Validate, 100);
+        reg.record_us(Stage::Validate, 200);
+        reg.incr(Op::PaillierDot);
+        reg.incr_by(Op::PaillierAdd, 5);
+        reg.set_gauge(Gauge::Inflight, 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.stage_count("validate"), 2);
+        assert_eq!(snap.stage_count("sanitation"), 0);
+        assert_eq!(snap.counter("paillier-dot-ops"), Some(1));
+        assert_eq!(snap.counter("paillier-add-ops"), Some(5));
+        assert_eq!(snap.gauge("inflight"), Some(3));
+        assert_eq!(snap.stages.len(), Stage::COUNT);
+        reg.reset();
+        assert_eq!(reg.snapshot().stage_count("validate"), 0);
+        assert_eq!(reg.op_count(Op::PaillierAdd), 0);
+    }
+
+    #[cfg(not(feature = "noop"))]
+    #[test]
+    fn timer_records_on_drop_and_discard_does_not() {
+        let reg = MetricsRegistry::new();
+        {
+            let _t = reg.time(Stage::CandidateEval);
+        }
+        reg.time(Stage::CandidateEval).discard();
+        assert_eq!(reg.stage_count(Stage::CandidateEval), 1);
+    }
+
+    #[cfg(not(feature = "noop"))]
+    #[test]
+    fn registry_is_thread_safe() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for i in 0..1_000 {
+                        reg.record_us(Stage::PaillierDot, i);
+                        reg.incr(Op::PaillierDot);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.stage_count(Stage::PaillierDot), 4_000);
+        assert_eq!(reg.op_count(Op::PaillierDot), 4_000);
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Stage::from_name("nope"), None);
+    }
+
+    #[test]
+    fn snapshot_binary_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.record_us(Stage::EndToEnd, 12_345);
+        reg.incr_by(Op::PaillierScalarMul, 7);
+        let mut snap = reg.snapshot();
+        snap.push_counter("queries-ok", 42);
+        snap.push_gauge("queue-depth", 9);
+        let bytes = snap.to_bytes();
+        let back = TelemetrySnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_json_has_stable_schema() {
+        let mut snap = MetricsRegistry::new().snapshot();
+        snap.push_counter("accepted", 17);
+        let json = snap.to_json();
+        assert!(json.starts_with(r#"{"stages":["#));
+        for stage in Stage::ALL {
+            assert!(json.contains(&format!(r#""name":"{}""#, stage.name())));
+        }
+        assert!(json.contains(r#"{"name":"accepted","value":17}"#));
+        assert!(json.contains(r#""gauges":["#));
+        assert!(json.contains(r#""p99_us":"#));
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_garbage() {
+        let snap = MetricsRegistry::new().snapshot();
+        let bytes = snap.to_bytes();
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(TelemetrySnapshot::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(TelemetrySnapshot::from_bytes(&padded).is_err());
+        assert!(TelemetrySnapshot::from_bytes(&[0xff; 4]).is_err());
+    }
+
+    #[cfg(not(feature = "noop"))]
+    #[test]
+    fn fill_missing_overlays_only_empty_stages() {
+        let local = MetricsRegistry::new();
+        local.record_us(Stage::ClientPlan, 10);
+        let remote = MetricsRegistry::new();
+        remote.record_us(Stage::Validate, 20);
+        remote.record_us(Stage::ClientPlan, 999);
+        let mut merged = remote.snapshot();
+        merged.fill_missing_stages_from(&local.snapshot());
+        // Remote's validate kept, remote's client-plan NOT overwritten.
+        assert_eq!(merged.stage_count("validate"), 1);
+        assert_eq!(merged.stage("client-plan").unwrap().max_us, 999);
+        assert_eq!(
+            merged.missing_stages(&["validate", "sanitation"]),
+            vec!["sanitation".to_string()]
+        );
+    }
+
+    #[test]
+    fn health_snapshot_round_trips() {
+        let h = HealthSnapshot {
+            queue_depth: 1,
+            inflight: 2,
+            live_workers: 3,
+            sessions: 4,
+            worker_panics: 5,
+            uptime_ms: 6,
+            queries_ok: 7,
+            sessions_evicted: 8,
+            sessions_rejected: 9,
+            violations: 10,
+            rate_limited: 11,
+            strike_disconnects: 12,
+            slow_reaped: 13,
+            frame_garbage: 14,
+        };
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), HEALTH_SNAPSHOT_BYTES);
+        assert_eq!(HealthSnapshot::decode(&bytes).unwrap(), h);
+        assert!(HealthSnapshot::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(HealthSnapshot::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 95.0), 95);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[42], 99.0), 42);
+    }
+
+    #[test]
+    fn summary_over_window() {
+        let s = summarize(vec![300, 100, 200, 400], Duration::from_secs(2));
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50_us, 200);
+        assert_eq!(s.max_us, 400);
+        assert_eq!(s.mean_us, 250);
+        assert!((s.throughput_qps - 2.0).abs() < 1e-9);
+    }
+
+    #[cfg(feature = "noop")]
+    #[test]
+    fn noop_records_nothing() {
+        let reg = MetricsRegistry::new();
+        reg.record_us(Stage::Validate, 100);
+        reg.incr(Op::PaillierDot);
+        {
+            let _t = reg.time(Stage::Validate);
+        }
+        assert_eq!(reg.stage_count(Stage::Validate), 0);
+        assert_eq!(reg.op_count(Op::PaillierDot), 0);
+        // Snapshots stay well-formed: every stage present, all zero.
+        assert_eq!(reg.snapshot().stages.len(), Stage::COUNT);
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`core`] | `ppgnn-core` | the PPGNN / PPGNN-OPT / Naive protocols |
 //! | [`baselines`] | `ppgnn-baselines` | APNN, IPPF, GLP + the Table 4 attacks |
 //! | [`server`] | `ppgnn-server` | networked LSP: framed TCP transport, session registry, load generator |
+//! | [`telemetry`] | `ppgnn-telemetry` | pipeline-stage metrics registry and snapshot types |
 //!
 //! See `examples/quickstart.rs` for a three-user end-to-end run and
 //! README.md for the architecture overview.
@@ -26,9 +27,21 @@ pub use ppgnn_geo as geo;
 pub use ppgnn_paillier as paillier;
 pub use ppgnn_server as server;
 pub use ppgnn_sim as sim;
+pub use ppgnn_telemetry as telemetry;
 
-/// The most common imports for library users.
+/// The most common imports for library users: the protocol engine and
+/// config ([`Lsp`], [`PpgnnConfig`]), geometry, the Damgård–Jurik
+/// context, the networked client/server pair, and the telemetry
+/// snapshot types the stats surfaces speak.
+///
+/// [`Lsp`]: ppgnn_core::Lsp
+/// [`PpgnnConfig`]: ppgnn_core::PpgnnConfig
 pub mod prelude {
     pub use ppgnn_core::prelude::*;
     pub use ppgnn_geo::{Aggregate, Poi, Point, Rect};
+    pub use ppgnn_paillier::DjContext;
+    pub use ppgnn_server::{serve, GroupClient, ServerConfig, ServerHandle};
+    pub use ppgnn_telemetry::{
+        HealthSnapshot, LatencySummary, MetricsRegistry, StageSnapshot, TelemetrySnapshot,
+    };
 }

@@ -13,7 +13,7 @@ use std::time::Duration;
 use ppgnn::prelude::*;
 use ppgnn::server::frame::{
     read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
-    HelloPayload, QueryPayload, DEFAULT_MAX_PAYLOAD,
+    HelloPayload, QueryPayload, StatsReplyPayload, DEFAULT_MAX_PAYLOAD,
 };
 use ppgnn::server::{serve, ErrorCode, ServerConfig, ServerError, ServerHandle};
 use proptest::prelude::*;
@@ -150,7 +150,10 @@ fn exercise_decoders(bytes: &[u8]) {
         FrameType::Error => {
             let _ = ErrorPayload::decode(&frame.payload);
         }
-        FrameType::Goodbye | FrameType::Ping | FrameType::Pong => {}
+        FrameType::StatsReply => {
+            let _ = StatsReplyPayload::decode(&frame.payload);
+        }
+        FrameType::Goodbye | FrameType::Ping | FrameType::Pong | FrameType::Stats => {}
     }
 }
 

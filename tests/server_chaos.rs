@@ -23,9 +23,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use ppgnn::prelude::*;
-use ppgnn::server::{
-    serve, ErrorCode, FaultConfig, GroupClient, RetryPolicy, ServerConfig, ServerError,
-};
+use ppgnn::server::{ErrorCode, FaultConfig, RetryPolicy, ServerError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ppgnn::prelude::*;
-use ppgnn::server::{serve, ErrorCode, GroupClient, ServerConfig, ServerError};
+use ppgnn::server::{ErrorCode, ServerError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 

@@ -18,7 +18,7 @@ use ppgnn::server::frame::{
     read_frame, write_frame, ErrorPayload, FrameType, QueryPayload, DEFAULT_MAX_PAYLOAD,
 };
 use ppgnn::server::mallory::{run_attack, run_catalog, Attack, AttackContext, MalloryOutcome};
-use ppgnn::server::{serve, ErrorCode, GroupClient, HelloPolicy, ServerConfig, ServerError};
+use ppgnn::server::{ErrorCode, HelloPolicy, ServerError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
