@@ -147,6 +147,12 @@ impl Lsp {
         let sanitizer = Sanitizer::new(query.theta0, &self.config.hypothesis, self.space);
         let codec = AnswerCodec::new(query.pk.key_bits(), 1, query.k);
         let sanitize = self.config.sanitize && n > 1;
+        let eval_span = telemetry::trace::span(telemetry::trace::SpanName::CandidateEval);
+        eval_span.attr(
+            telemetry::trace::AttrKey::Candidates,
+            candidates.len() as u64,
+        );
+        eval_span.attr(telemetry::trace::AttrKey::Users, n as u64);
         let eval_timer = telemetry::global().time(telemetry::Stage::CandidateEval);
         let mut columns: Vec<Vec<BigUint>>;
         if self.parallelism <= 1 || candidates.len() < 2 {
@@ -214,8 +220,11 @@ impl Lsp {
         }
 
         drop(eval_timer);
+        drop(eval_span);
 
         // Private selection (Theorem 3.1 / §6 two-phase).
+        let select_span = telemetry::trace::span(telemetry::trace::SpanName::PrivateSelection);
+        select_span.attr(telemetry::trace::AttrKey::SetLen, columns.len() as u64);
         let _select_timer = telemetry::global().time(telemetry::Stage::PrivateSelection);
         let ctx1 = DjContext::new(&query.pk, 1);
         match &query.indicator {

@@ -103,6 +103,8 @@ pub fn plan_query<R: Rng + ?Sized>(
 ) -> Result<QueryPlan, PpgnnError> {
     let n = real_locations.len();
     config.validate(n)?;
+    let plan_span = telemetry::trace::span(telemetry::trace::SpanName::ClientPlan);
+    plan_span.attr(telemetry::trace::AttrKey::Users, n as u64);
     let _plan_timer = telemetry::global().time(telemetry::Stage::ClientPlan);
 
     // ---- Coordinator: partition parameters, positions, query index ----

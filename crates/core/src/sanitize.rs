@@ -124,6 +124,9 @@ impl Sanitizer {
             // Privacy IV only applies to groups (Definition 2.2).
             return answer.len();
         }
+        let san_span = telemetry::trace::span(telemetry::trace::SpanName::Sanitation);
+        san_span.attr(telemetry::trace::AttrKey::Users, n as u64);
+        san_span.attr(telemetry::trace::AttrKey::SetLen, answer.len() as u64);
         let _t = telemetry::global().time(telemetry::Stage::Sanitation);
 
         // One inequality system + surviving-sample set per target user.
@@ -142,10 +145,16 @@ impl Sanitizer {
             .collect();
 
         for t in 2..=answer.len() {
+            // One span per prefix length: only the length under test and
+            // the surviving-sample count appear, never sample points.
+            let prefix_span = telemetry::trace::span(telemetry::trace::SpanName::SanitationPrefix);
+            prefix_span.attr(telemetry::trace::AttrKey::PrefixLen, t as u64);
+            let mut min_survivors = u64::MAX;
             let new_ineq = t - 2; // F(p_{t-1}) ≤ F(p_t), 0-based
             let mut all_safe = true;
             for (system, survivors) in targets.iter_mut() {
                 survivors.retain(|x| system.satisfies(new_ineq, x));
+                min_survivors = min_survivors.min(survivors.len() as u64);
                 telemetry::global().incr(telemetry::Op::SanitationZTest);
                 if !reject_h0(
                     survivors.len() as u64,
@@ -158,6 +167,9 @@ impl Sanitizer {
                     // target is exposed the prefix is rejected outright.
                     break;
                 }
+            }
+            if min_survivors != u64::MAX {
+                prefix_span.attr(telemetry::trace::AttrKey::Survivors, min_survivors);
             }
             if !all_safe {
                 return t - 1;

@@ -125,6 +125,7 @@ fn expect_consumed(buf: &[u8], pos: usize) -> Result<(), PpgnnError> {
 impl LocationSetMessage {
     /// Serializes to exactly [`LocationSetMessage::byte_len`] bytes.
     pub fn to_wire(&self) -> Vec<u8> {
+        let sp = telemetry::trace::span(telemetry::trace::SpanName::WireEncode);
         let _t = telemetry::global().time(telemetry::Stage::WireEncode);
         let mut buf = Vec::with_capacity(self.byte_len());
         put_u32(&mut buf, self.user_index);
@@ -133,6 +134,7 @@ impl LocationSetMessage {
             put_f64(&mut buf, l.y);
         }
         debug_assert_eq!(buf.len(), self.byte_len());
+        sp.attr(telemetry::trace::AttrKey::Bytes, buf.len() as u64);
         buf
     }
 
@@ -144,6 +146,8 @@ impl LocationSetMessage {
                 "bad location-set framing".into(),
             ));
         }
+        let sp = telemetry::trace::span(telemetry::trace::SpanName::WireDecode);
+        sp.attr(telemetry::trace::AttrKey::Bytes, buf.len() as u64);
         let _t = telemetry::global().time(telemetry::Stage::WireDecode);
         let mut pos = 0;
         let user_index = get_u32_bounded(buf, &mut pos, "user_index", MAX_WIRE_USER_INDEX)?;
@@ -188,6 +192,8 @@ fn get_vector(
 impl QueryMessage {
     /// Serializes to exactly [`QueryMessage::byte_len`] bytes.
     pub fn to_wire(&self) -> Vec<u8> {
+        let sp = telemetry::trace::span(telemetry::trace::SpanName::WireEncode);
+        sp.attr(telemetry::trace::AttrKey::Bytes, self.byte_len() as u64);
         let _t = telemetry::global().time(telemetry::Stage::WireEncode);
         let mut buf = Vec::with_capacity(self.byte_len());
         put_u32(&mut buf, self.k);
@@ -222,6 +228,8 @@ impl QueryMessage {
     /// garbage — returns a typed [`PpgnnError`]; this function never
     /// panics on attacker-controlled bytes.
     pub fn from_wire(buf: &[u8], ctx: &WireContext) -> Result<Self, PpgnnError> {
+        let sp = telemetry::trace::span(telemetry::trace::SpanName::WireDecode);
+        sp.attr(telemetry::trace::AttrKey::Bytes, buf.len() as u64);
         let _t = telemetry::global().time(telemetry::Stage::WireDecode);
         let mut pos = 0;
         let k = get_u32_bounded(buf, &mut pos, "k", MAX_WIRE_K)?;
@@ -329,6 +337,8 @@ impl QueryMessage {
 impl AnswerMessage {
     /// Serializes to exactly [`AnswerMessage::byte_len`] bytes.
     pub fn to_wire(&self, pk: &PublicKey) -> Vec<u8> {
+        let sp = telemetry::trace::span(telemetry::trace::SpanName::WireEncode);
+        sp.attr(telemetry::trace::AttrKey::Bytes, self.byte_len(pk) as u64);
         let _t = telemetry::global().time(telemetry::Stage::WireEncode);
         let mut buf = Vec::with_capacity(self.byte_len(pk));
         match self {
@@ -341,6 +351,8 @@ impl AnswerMessage {
 
     /// Parses a wire answer under the session context.
     pub fn from_wire(buf: &[u8], pk: &PublicKey, two_phase: bool) -> Result<Self, PpgnnError> {
+        let sp = telemetry::trace::span(telemetry::trace::SpanName::WireDecode);
+        sp.attr(telemetry::trace::AttrKey::Bytes, buf.len() as u64);
         let _t = telemetry::global().time(telemetry::Stage::WireDecode);
         let mut pos = 0;
         if two_phase {

@@ -89,6 +89,8 @@ impl Decryptor {
 
     /// Decrypts a whole vector.
     pub fn decrypt_vector(&self, ctx: &DjContext, v: &crate::EncryptedVector) -> Vec<BigUint> {
+        let sp = telemetry::trace::span(telemetry::trace::SpanName::PaillierDecrypt);
+        sp.attr(telemetry::trace::AttrKey::Ciphertexts, v.len() as u64);
         v.elements().iter().map(|c| self.decrypt(ctx, c)).collect()
     }
 }

@@ -72,6 +72,8 @@ pub fn encrypt_vector<R: Rng + ?Sized>(
     ctx: &DjContext,
     rng: &mut R,
 ) -> EncryptedVector {
+    let sp = telemetry::trace::span(telemetry::trace::SpanName::PaillierEncrypt);
+    sp.attr(telemetry::trace::AttrKey::Ciphertexts, values.len() as u64);
     EncryptedVector {
         elements: values.iter().map(|v| ctx.encrypt(v, rng)).collect(),
     }
@@ -160,6 +162,10 @@ pub fn matrix_select(
         });
     }
     let m = columns.iter().map(|c| c.len()).max().unwrap_or(0);
+    // One span for the whole A ⨂ [v] batch; per-dot spans would swamp
+    // the per-segment cap, and op counts already ride on the segment.
+    let sp = telemetry::trace::span(telemetry::trace::SpanName::PaillierDot);
+    sp.attr(telemetry::trace::AttrKey::Ciphertexts, (m * v.len()) as u64);
     let zero = BigUint::zero();
     let mut rows = Vec::with_capacity(m);
     for row in 0..m {

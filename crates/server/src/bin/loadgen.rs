@@ -27,6 +27,18 @@
 //! overlaid with the server's own `Stats` reply. `--require-stages`
 //! names stages that must have non-zero counts, and exits 1 when one
 //! is missing — the CI bench-smoke gate.
+//!
+//! Tracing: `--trace-out PATH` arms the span collector
+//! (`ppgnn_telemetry::trace`) for the run and writes every kept trace
+//! as Chrome `trace_event` JSON to PATH — load it in Perfetto or
+//! `chrome://tracing` to see the client→server span tree per query.
+//! In-process runs capture both halves off the shared tracer; against
+//! `--addr` the server half is fetched over the wire (`TraceFetch`)
+//! and merged. `--trace-slow-us` sets the always-keep slow threshold
+//! and `--trace-sample-permille` the probabilistic tail keep rate
+//! (default with `--trace-out`: keep everything). The run exits 1 if
+//! tracing was requested but no trace was kept — the CI trace-smoke
+//! gate.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -37,9 +49,10 @@ use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_server::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
 use ppgnn_server::{
     serve, summarize, ClientStats, FaultConfig, FrameType, GroupClient, LatencySummary,
-    ServerConfig, ServerError, StatsReplyPayload, TelemetrySnapshot,
+    ServerConfig, ServerError, StatsReplyPayload, TelemetrySnapshot, TraceReplyPayload,
 };
 use ppgnn_telemetry::json;
+use ppgnn_telemetry::trace::{self, TraceSegment, TracerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,6 +71,9 @@ struct Args {
     pois: usize,
     bench_json: Option<String>,
     require_stages: Option<String>,
+    trace_out: Option<String>,
+    trace_slow_us: u64,
+    trace_sample_permille: u32,
     chaos: FaultConfig,
 }
 
@@ -77,6 +93,9 @@ fn parse_args() -> Result<Args, String> {
         pois: 400,
         bench_json: None,
         require_stages: None,
+        trace_out: None,
+        trace_slow_us: TracerConfig::default().slow_us,
+        trace_sample_permille: 1000,
         chaos: FaultConfig::off(1),
     };
     args.chaos.max_delay = Duration::from_millis(20);
@@ -98,6 +117,14 @@ fn parse_args() -> Result<Args, String> {
             "--sanitize" => args.sanitize = true,
             "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--require-stages" => args.require_stages = Some(value("--require-stages")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--trace-slow-us" => args.trace_slow_us = parse(&value("--trace-slow-us")?)?,
+            "--trace-sample-permille" => {
+                args.trace_sample_permille = parse(&value("--trace-sample-permille")?)?;
+                if args.trace_sample_permille > 1000 {
+                    return Err("--trace-sample-permille must be 0..=1000".into());
+                }
+            }
             "--chaos-seed" => args.chaos.seed = parse(&value("--chaos-seed")?)?,
             "--chaos-delay-prob" => args.chaos.delay_prob = parse(&value("--chaos-delay-prob")?)?,
             "--chaos-delay-ms" => {
@@ -116,6 +143,8 @@ fn parse_args() -> Result<Args, String> {
                      [--users U] [--keysize B] [--k K] [--d D] [--delta DELTA] \
                      [--pois P] [--opt] [--sanitize] [--seed S] \
                      [--bench-json PATH] [--require-stages a,b,c] \
+                     [--trace-out PATH] [--trace-slow-us US] \
+                     [--trace-sample-permille P] \
                      [--chaos-seed S] [--chaos-delay-prob P] [--chaos-delay-ms MS] \
                      [--chaos-corrupt-prob P] [--chaos-truncate-prob P] \
                      [--chaos-sever-prob P]"
@@ -151,6 +180,18 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.trace_out.is_some() {
+        // Arm the collector before any client exists so the very first
+        // query is already traced. The ring must hold the whole run:
+        // tail-kept segments beyond capacity silently evict the oldest.
+        trace::global().configure(&TracerConfig {
+            enabled: true,
+            slow_us: args.trace_slow_us,
+            keep_permille: args.trace_sample_permille,
+            capacity: (2 * args.groups * args.queries).max(256),
+            ..TracerConfig::default()
+        });
+    }
     let config = PpgnnConfig {
         k: args.k,
         d: args.d,
@@ -371,6 +412,43 @@ fn main() {
         }
     }
 
+    if let Some(path) = &args.trace_out {
+        // In-process runs share one global tracer, so `segments()`
+        // already holds both the client and server halves of every
+        // kept trace. Against a remote server this process only kept
+        // the client halves; fetch the server's ring over the wire.
+        let mut segments = trace::global().segments();
+        if args.addr.is_some() {
+            match fetch_remote_traces(&addr) {
+                Ok(remote) => segments.extend(remote),
+                Err(e) => eprintln!("loadgen: fetching server traces from {addr}: {e}"),
+            }
+        }
+        let c = trace::global().counters();
+        println!(
+            "traces: finished={} kept={} (slow={} error={}) dropped={}",
+            c.finished, c.kept, c.kept_slow, c.kept_error, c.dropped
+        );
+        let mut ids: Vec<u64> = segments.iter().map(|s| s.trace_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        match std::fs::write(path, trace::chrome_trace_json(&segments)) {
+            Ok(()) => println!(
+                "trace events written to {path} ({} traces, {} segments)",
+                ids.len(),
+                segments.len()
+            ),
+            Err(e) => {
+                eprintln!("loadgen: writing {path}: {e}");
+                errors += 1;
+            }
+        }
+        if ids.is_empty() {
+            eprintln!("loadgen: tracing was on but no trace was kept");
+            gate_failed = true;
+        }
+    }
+
     if let Some(handle) = local_server {
         let s = handle.stats();
         println!(
@@ -414,6 +492,22 @@ fn fetch_remote_stats(addr: &str) -> Result<TelemetrySnapshot, ServerError> {
         FrameType::StatsReply => Ok(StatsReplyPayload::decode(&frame.payload)?.snapshot),
         other => Err(ServerError::UnexpectedFrame {
             expected: "StatsReply",
+            got: other,
+        }),
+    }
+}
+
+/// Drains a remote server's kept-trace ring with a sessionless
+/// `TraceFetch` exchange on a fresh connection.
+fn fetch_remote_traces(addr: &str) -> Result<Vec<TraceSegment>, ServerError> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write_frame(&mut stream, FrameType::TraceFetch, &[])?;
+    let frame = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD)?;
+    match frame.frame_type {
+        FrameType::TraceReply => Ok(TraceReplyPayload::decode(&frame.payload)?.segments),
+        other => Err(ServerError::UnexpectedFrame {
+            expected: "TraceReply",
             got: other,
         }),
     }

@@ -23,19 +23,68 @@
 //! exit. Without a path, `--stats-interval-ms` dumps the same JSON to
 //! stderr. The interactive `stats` stdin command prints it on demand.
 //!
-//! Shutdown: send `quit` on stdin (or close it). In-flight queries are
-//! drained before the process exits, and final stats are printed.
+//! Tracing: `--trace` turns on the per-query span collector (see
+//! `ppgnn_telemetry::trace`): kept segments are served to clients over
+//! the wire `TraceFetch` frame, slow queries are logged as one-line
+//! JSON on stderr, and the interactive `traces` stdin command renders
+//! the kept ring as a terminal tree. `--trace-slow-us`,
+//! `--trace-sample-permille`, and `--trace-buf` tune the tail sampler.
+//!
+//! Shutdown: send `quit` on stdin (or close it), or SIGINT (Ctrl-C).
+//! In-flight queries are drained before the process exits, and final
+//! stats are printed — including the `--stats-json` file, which is
+//! flushed on every exit path even when the process is interrupted
+//! before the first `--stats-interval-ms` tick.
 
 use std::io::BufRead;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::time::Duration;
 
 use ppgnn_core::{Lsp, PpgnnConfig};
 use ppgnn_geo::{Poi, Point};
 use ppgnn_server::{serve, HelloPolicy, ServerConfig, StatsProbe};
+use ppgnn_telemetry::trace::{self, TracerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// A minimal SIGINT latch (no signal crate in the tree): the handler
+/// only flips an atomic; the main loop polls it between stdin reads.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() {}
+    pub fn interrupted() -> bool {
+        false
+    }
+}
 
 struct Args {
     addr: String,
@@ -47,6 +96,7 @@ struct Args {
     delta: usize,
     stats_json: Option<String>,
     stats_interval: Option<Duration>,
+    trace: Option<TracerConfig>,
     config: ServerConfig,
 }
 
@@ -60,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
     let mut delta = 6usize;
     let mut stats_json = None;
     let mut stats_interval = None;
+    let mut trace_cfg: Option<TracerConfig> = None;
     let mut builder = ServerConfig::builder();
     let mut policy = HelloPolicy::default();
     let mut it = std::env::args().skip(1);
@@ -102,6 +153,49 @@ fn parse_args() -> Result<Args, String> {
                 builder = builder
                     .write_timeout(Duration::from_millis(parse(&value("--write-timeout-ms")?)?))
             }
+            "--trace" => {
+                trace_cfg.get_or_insert_with(|| TracerConfig {
+                    enabled: true,
+                    slow_log: true,
+                    ..TracerConfig::default()
+                });
+            }
+            "--trace-slow-us" => {
+                let us = parse(&value("--trace-slow-us")?)?;
+                trace_cfg
+                    .get_or_insert_with(|| TracerConfig {
+                        enabled: true,
+                        slow_log: true,
+                        ..TracerConfig::default()
+                    })
+                    .slow_us = us;
+            }
+            "--trace-sample-permille" => {
+                let permille: u32 = parse(&value("--trace-sample-permille")?)?;
+                if permille > 1000 {
+                    return Err("--trace-sample-permille must be 0..=1000".into());
+                }
+                trace_cfg
+                    .get_or_insert_with(|| TracerConfig {
+                        enabled: true,
+                        slow_log: true,
+                        ..TracerConfig::default()
+                    })
+                    .keep_permille = permille;
+            }
+            "--trace-buf" => {
+                let cap: usize = parse(&value("--trace-buf")?)?;
+                if cap == 0 {
+                    return Err("--trace-buf must be nonzero".into());
+                }
+                trace_cfg
+                    .get_or_insert_with(|| TracerConfig {
+                        enabled: true,
+                        slow_log: true,
+                        ..TracerConfig::default()
+                    })
+                    .capacity = cap;
+            }
             "--stats-json" => stats_json = Some(value("--stats-json")?),
             "--stats-interval-ms" => {
                 stats_interval = Some(Duration::from_millis(parse(&value(
@@ -117,7 +211,8 @@ fn parse_args() -> Result<Args, String> {
                      [--min-key-bits B] [--max-payload BYTES] [--rate-limit QPS] \
                      [--rate-burst N] [--max-strikes N] [--frame-timeout-ms MS] \
                      [--write-timeout-ms MS] [--stats-json PATH] \
-                     [--stats-interval-ms MS]"
+                     [--stats-interval-ms MS] [--trace] [--trace-slow-us US] \
+                     [--trace-sample-permille P] [--trace-buf N]"
                 );
                 std::process::exit(0);
             }
@@ -142,6 +237,7 @@ fn parse_args() -> Result<Args, String> {
         delta,
         stats_json,
         stats_interval,
+        trace: trace_cfg,
         config,
     })
 }
@@ -203,6 +299,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    sigint::install();
+    if let Some(tc) = &args.trace {
+        trace::global().configure(tc);
+    }
     let config = PpgnnConfig {
         k: args.k,
         d: args.d,
@@ -231,7 +331,7 @@ fn main() {
         args.config.workers,
         args.config.queue_depth
     );
-    println!("type 'stats' for counters, 'quit' (or EOF) to drain and exit");
+    println!("type 'stats' for counters, 'traces' for kept spans, 'quit' (or EOF, or Ctrl-C) to drain and exit");
 
     let stop_dumper = Arc::new(AtomicBool::new(false));
     let dumper = args.stats_interval.map(|interval| {
@@ -243,17 +343,54 @@ fn main() {
         )
     });
 
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        match line.as_deref().map(str::trim) {
-            Ok("quit") | Ok("exit") | Err(_) => break,
-            Ok("stats") => {
-                print!(
-                    "{}",
-                    ppgnn_sim::render_telemetry_table(&handle.telemetry_snapshot())
-                );
+    // Stdin is read on its own thread so the main loop can poll the
+    // SIGINT latch: a blocking `lines()` loop here would swallow Ctrl-C
+    // until the next keystroke and skip the final stats flush entirely.
+    let (line_tx, line_rx) = std::sync::mpsc::channel::<String>();
+    std::thread::Builder::new()
+        .name("ppgnn-stdin".into())
+        .spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(l) => {
+                        if line_tx.send(l).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
             }
-            _ => {}
+            // Dropping the sender turns EOF into a Disconnected recv.
+        })
+        .expect("spawn stdin thread");
+
+    loop {
+        if sigint::interrupted() {
+            println!("interrupted, shutting down");
+            break;
+        }
+        match line_rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(line) => match line.trim() {
+                "quit" | "exit" => break,
+                "stats" => {
+                    print!(
+                        "{}",
+                        ppgnn_sim::render_telemetry_table(&handle.telemetry_snapshot())
+                    );
+                }
+                "traces" => {
+                    let segments = trace::global().segments();
+                    if segments.is_empty() {
+                        println!("no kept traces (is --trace on?)");
+                    } else {
+                        print!("{}", ppgnn_sim::render_trace_tree(&segments));
+                    }
+                }
+                _ => {}
+            },
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
         }
     }
 

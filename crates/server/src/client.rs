@@ -18,6 +18,7 @@ use ppgnn_core::messages::AnswerMessage;
 use ppgnn_core::partition_cache::solve_partition_cached;
 use ppgnn_core::{opt_split, PpgnnConfig, PpgnnSession, Variant};
 use ppgnn_geo::{Point, Rect};
+use ppgnn_telemetry::trace::{self, AttrKey, SpanName, TraceContext, TraceSegment};
 use ppgnn_telemetry::{self as telemetry, TelemetrySnapshot};
 use rand::Rng;
 
@@ -25,7 +26,8 @@ use crate::backoff::{BackoffSchedule, RetryPolicy};
 use crate::error::{ErrorCode, ServerError};
 use crate::frame::{
     read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
-    HelloPayload, PongPayload, QueryPayload, StatsReplyPayload, DEFAULT_MAX_PAYLOAD,
+    HelloPayload, PongPayload, QueryPayload, StatsReplyPayload, TraceReplyPayload,
+    DEFAULT_MAX_PAYLOAD,
 };
 use crate::registry::SessionParams;
 
@@ -357,6 +359,27 @@ impl GroupClient {
         }
     }
 
+    /// Fetches-and-clears the server's kept trace segments with a
+    /// sessionless `TraceFetch` request (same liveness lane as `Ping`
+    /// and `Stats`). Segments already shipped are removed server-side,
+    /// so repeated polls see only new traces.
+    pub fn server_traces(&mut self) -> Result<Vec<TraceSegment>, ServerError> {
+        self.ensure_connected()?;
+        write_frame(&mut self.stream, FrameType::TraceFetch, &[]).inspect_err(|_| {
+            self.broken = true;
+        })?;
+        let frame = read_frame(&mut self.stream, self.max_payload).inspect_err(|_| {
+            self.broken = true;
+        })?;
+        match frame.frame_type {
+            FrameType::TraceReply => Ok(TraceReplyPayload::decode(&frame.payload)?.segments),
+            other => Err(ServerError::UnexpectedFrame {
+                expected: "TraceReply",
+                got: other,
+            }),
+        }
+    }
+
     /// Runs one full group query: plans locally (Algorithm 1), ships
     /// the wire messages, and decrypts the answer.
     ///
@@ -366,8 +389,45 @@ impl GroupClient {
     /// request ID, reconnecting if the connection died, until the
     /// wall-clock budget or attempt count runs out — at which point the
     /// last error surfaces. Deterministic failures surface immediately.
+    ///
+    /// Every query mints a [`TraceContext`] that rides in the frame v5
+    /// header; when tracing is enabled the client half of the query is
+    /// recorded under it (see `ppgnn_telemetry::trace`).
     pub fn query<R: Rng + ?Sized>(
         &mut self,
+        real_locations: &[Point],
+        rng: &mut R,
+    ) -> Result<Vec<Point>, ServerError> {
+        let (tctx, tracing) = trace::global().start();
+        // Activate before any stage timer is armed so timer drops still
+        // see the active trace and record their bucket exemplars.
+        let active = tracing.as_ref().map(|h| h.activate());
+        trace::attr(AttrKey::Users, real_locations.len() as u64);
+        let retries_before = self.stats.retries;
+        let result = self.query_attempts(tctx, real_locations, rng);
+        let retries = self.stats.retries - retries_before;
+        if retries > 0 {
+            trace::attr(AttrKey::Retries, retries);
+        }
+        if result.is_err() {
+            trace::mark_error();
+        }
+        drop(active);
+        if let Some(handle) = tracing {
+            match &result {
+                Ok(_) => handle.finish(),
+                // Dropping without finish commits the segment with the
+                // error flag — exactly what tail sampling must keep.
+                Err(_) => drop(handle),
+            }
+        }
+        result
+    }
+
+    /// The body of [`Self::query`], run under its trace segment.
+    fn query_attempts<R: Rng + ?Sized>(
+        &mut self,
+        tctx: TraceContext,
         real_locations: &[Point],
         rng: &mut R,
     ) -> Result<Vec<Point>, ServerError> {
@@ -396,15 +456,19 @@ impl GroupClient {
         // Encoded once: every retry resends these exact bytes, so the
         // server sees the identical ciphertexts and request ID.
         let payload = {
+            let sp = trace::span(SpanName::ClientEncode);
             let _t = telemetry::global().time(telemetry::Stage::ClientEncode);
-            QueryPayload {
+            let bytes = QueryPayload {
                 group_id: self.group_id,
                 request_id,
                 deadline_ms: self.deadline_ms,
+                trace: tctx,
                 location_sets: plan.location_sets.iter().map(|s| s.to_wire()).collect(),
                 query: plan.query.to_wire(),
             }
-            .encode()
+            .encode();
+            sp.attr(AttrKey::Bytes, bytes.len() as u64);
+            bytes
         };
 
         let started = Instant::now();
@@ -435,6 +499,7 @@ impl GroupClient {
             let recovery = classify(&err);
             if matches!(err, ServerError::ServerBusy { .. }) {
                 self.stats.busy_sheds += 1;
+                trace::mark_shed();
             }
             if recovery.reconnect {
                 self.broken = true;

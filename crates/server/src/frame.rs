@@ -19,6 +19,7 @@
 
 use std::io::{Read, Write};
 
+use ppgnn_telemetry::trace::{self, TraceContext, TraceSegment, TRACE_CONTEXT_BYTES};
 use ppgnn_telemetry::{HealthSnapshot, TelemetrySnapshot};
 
 use crate::error::{ErrorCode, ServerError};
@@ -30,8 +31,10 @@ pub const MAGIC: [u8; 4] = *b"PPGN";
 /// the server's validation gate holds every query to, and `Pong` with
 /// the admission-control counters; 4 added the `Stats`/`StatsReply`
 /// telemetry exchange and rebased `Pong` on the fixed-width
-/// [`HealthSnapshot`] encoding).
-pub const VERSION: u8 = 4;
+/// [`HealthSnapshot`] encoding; 5 added the 16-byte [`TraceContext`]
+/// to the `Query` header and the sessionless `TraceFetch`/`TraceReply`
+/// exchange for pulling kept trace segments).
+pub const VERSION: u8 = 5;
 /// Fixed header width: magic + version + type + u32 length + u32 crc.
 pub const HEADER_BYTES: usize = 14;
 /// Default cap on a single frame payload (16 MiB).
@@ -64,6 +67,10 @@ pub enum FrameType {
     Stats,
     /// Server → client: the telemetry snapshot.
     StatsReply,
+    /// Client → server: drain the kept trace segments.
+    TraceFetch,
+    /// Server → client: the drained trace segments.
+    TraceReply,
 }
 
 impl FrameType {
@@ -81,6 +88,8 @@ impl FrameType {
             FrameType::Pong => 0x09,
             FrameType::Stats => 0x0a,
             FrameType::StatsReply => 0x0b,
+            FrameType::TraceFetch => 0x0c,
+            FrameType::TraceReply => 0x0d,
         }
     }
 
@@ -98,6 +107,8 @@ impl FrameType {
             0x09 => FrameType::Pong,
             0x0a => FrameType::Stats,
             0x0b => FrameType::StatsReply,
+            0x0c => FrameType::TraceFetch,
+            0x0d => FrameType::TraceReply,
             other => return Err(ServerError::UnknownFrameType(other)),
         })
     }
@@ -400,6 +411,9 @@ pub struct QueryPayload {
     pub request_id: u32,
     /// Per-request deadline in milliseconds; 0 means the server default.
     pub deadline_ms: u32,
+    /// The query's trace identity (version 5). Always present; the
+    /// sampling bit says whether either side records spans for it.
+    pub trace: TraceContext,
     /// `n` encoded [`ppgnn_core::messages::LocationSetMessage`]s.
     pub location_sets: Vec<Vec<u8>>,
     /// The encoded [`ppgnn_core::messages::QueryMessage`].
@@ -410,10 +424,11 @@ impl QueryPayload {
     /// Serializes the payload.
     pub fn encode(&self) -> Vec<u8> {
         let sets: usize = self.location_sets.iter().map(|s| 4 + s.len()).sum();
-        let mut buf = Vec::with_capacity(20 + sets + 4 + self.query.len());
+        let mut buf = Vec::with_capacity(20 + TRACE_CONTEXT_BYTES + sets + 4 + self.query.len());
         buf.extend_from_slice(&self.group_id.to_le_bytes());
         buf.extend_from_slice(&self.request_id.to_le_bytes());
         buf.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        buf.extend_from_slice(&self.trace.to_wire());
         buf.extend_from_slice(&(self.location_sets.len() as u32).to_le_bytes());
         for set in &self.location_sets {
             buf.extend_from_slice(&(set.len() as u32).to_le_bytes());
@@ -431,6 +446,9 @@ impl QueryPayload {
         let group_id = get_u64(buf, &mut pos, "query.group_id")?;
         let request_id = get_u32(buf, &mut pos, "query.request_id")?;
         let deadline_ms = get_u32(buf, &mut pos, "query.deadline_ms")?;
+        let trace =
+            TraceContext::from_wire(take(buf, &mut pos, TRACE_CONTEXT_BYTES, "query.trace")?)
+                .map_err(|e| ServerError::Malformed(e.as_str()))?;
         let set_count = get_u32(buf, &mut pos, "query.set_count")? as usize;
         if set_count > MAX_LOCATION_SETS {
             return Err(ServerError::Malformed("query.set_count out of range"));
@@ -447,6 +465,7 @@ impl QueryPayload {
             group_id,
             request_id,
             deadline_ms,
+            trace,
             location_sets,
             query,
         })
@@ -639,6 +658,30 @@ impl StatsReplyPayload {
     }
 }
 
+/// `TraceReply`: the kept trace segments, drained from the server's
+/// ring buffer. The `TraceFetch` request itself has an empty payload;
+/// like `Stats`, the exchange lives on the sessionless liveness lane.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceReplyPayload {
+    /// Drained segments, oldest first.
+    pub segments: Vec<TraceSegment>,
+}
+
+impl TraceReplyPayload {
+    /// Serializes the payload, keeping it under `max_bytes` (segments
+    /// that would overflow are left out).
+    pub fn encode(&self, max_bytes: usize) -> Vec<u8> {
+        trace::encode_segments(&self.segments, max_bytes)
+    }
+
+    /// Parses the payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        trace::decode_segments(buf)
+            .map(|segments| TraceReplyPayload { segments })
+            .map_err(|_| ServerError::Malformed("trace segments"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -764,10 +807,40 @@ mod tests {
             group_id: 3,
             request_id: 9,
             deadline_ms: 2500,
+            trace: TraceContext::new(0x1234_5678_9abc, 0xfeed, true),
             location_sets: vec![vec![1, 2, 3], vec![], vec![5; 40]],
             query: vec![0xab; 17],
         };
-        assert_eq!(QueryPayload::decode(&q.encode()).unwrap(), q);
+        let back = QueryPayload::decode(&q.encode()).unwrap();
+        assert_eq!(back, q);
+        assert!(back.trace.sampled());
+        assert_eq!(back.trace.trace_id(), 0x1234_5678_9abc);
+    }
+
+    #[test]
+    fn query_with_corrupt_trace_context_rejected() {
+        let q = QueryPayload {
+            group_id: 3,
+            request_id: 9,
+            deadline_ms: 0,
+            trace: TraceContext::new(7, 11, false),
+            location_sets: vec![],
+            query: vec![],
+        };
+        let mut wire = q.encode();
+        // Zero out the trace id (bytes 16..24): typed error, no panic.
+        wire[16..24].copy_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            QueryPayload::decode(&wire),
+            Err(ServerError::Malformed("zero trace id"))
+        ));
+        // Zero out the parent span id (bytes 24..32).
+        let mut wire2 = q.encode();
+        wire2[24..32].copy_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            QueryPayload::decode(&wire2),
+            Err(ServerError::Malformed("zero parent span id"))
+        ));
     }
 
     #[test]
@@ -838,17 +911,53 @@ mod tests {
     }
 
     #[test]
-    fn version_3_frames_rejected() {
-        // The Stats exchange and the HealthSnapshot-based Pong are a
-        // version-4 wire change; a v3 peer must get a typed rejection,
+    fn stale_version_frames_rejected() {
+        // The trace-context query header is a version-5 wire change (as
+        // Stats was for v4); a stale peer must get a typed rejection,
         // never a silently misparsed payload.
-        let mut buf = Vec::new();
-        write_frame(&mut buf, FrameType::Ping, &[]).unwrap();
-        buf[4] = 3;
-        assert!(matches!(
-            read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD),
-            Err(ServerError::BadVersion(3))
-        ));
+        for stale in [3u8, 4] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, FrameType::Ping, &[]).unwrap();
+            buf[4] = stale;
+            assert!(matches!(
+                read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD),
+                Err(ServerError::BadVersion(v)) if v == stale
+            ));
+        }
+    }
+
+    #[test]
+    fn trace_reply_round_trip() {
+        // Segments produced by a real tracer survive the payload codec.
+        let tracer = ppgnn_telemetry::trace::Tracer::new();
+        tracer.configure(&ppgnn_telemetry::trace::TracerConfig {
+            enabled: true,
+            slow_us: 0,
+            keep_permille: 1000,
+            capacity: 8,
+            slow_log: false,
+            max_spans: 16,
+        });
+        let (ctx, client) = tracer.start();
+        let server = tracer.resume(&ctx).unwrap();
+        server.finish();
+        if let Some(h) = client {
+            h.finish();
+        }
+        let p = TraceReplyPayload {
+            segments: tracer.segments(),
+        };
+        let wire = p.encode(DEFAULT_MAX_PAYLOAD);
+        let back = TraceReplyPayload::decode(&wire).unwrap();
+        assert_eq!(back, p);
+        assert!(TraceReplyPayload::decode(&wire[..wire.len() - 1]).is_err());
+        assert!(TraceReplyPayload::decode(&[0xff; 8]).is_err());
+        // The empty reply is valid too.
+        let empty = TraceReplyPayload::default();
+        assert_eq!(
+            TraceReplyPayload::decode(&empty.encode(1024)).unwrap(),
+            empty
+        );
     }
 
     #[test]
@@ -891,6 +1000,7 @@ mod tests {
             group_id: 1,
             request_id: 9,
             deadline_ms: 0,
+            trace: TraceContext::new(5, 6, false),
             location_sets: vec![vec![1, 2, 3]],
             query: vec![4; 8],
         }
@@ -912,12 +1022,14 @@ mod tests {
             group_id: 1,
             request_id: 1,
             deadline_ms: 0,
+            trace: TraceContext::new(5, 6, false),
             location_sets: vec![],
             query: vec![],
         }
         .encode();
-        // set_count sits after group_id (8) + request_id (4) + deadline (4).
-        q[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        // set_count sits after group_id (8) + request_id (4) + deadline
+        // (4) + trace context (16).
+        q[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             QueryPayload::decode(&q),
             Err(ServerError::Malformed("query.set_count out of range"))

@@ -66,7 +66,7 @@ pub use backoff::{BackoffSchedule, RetryPolicy};
 pub use client::{session_params_for, ClientStats, GroupClient};
 pub use error::{ErrorCode, ServerError};
 pub use fault::{FaultAction, FaultConfig, FaultPlan, FaultyStream, Transport};
-pub use frame::{Frame, FrameType, PongPayload, StatsReplyPayload};
+pub use frame::{Frame, FrameType, PongPayload, StatsReplyPayload, TraceReplyPayload};
 pub use mallory::{Attack, AttackContext, MalloryOutcome, MalloryReport, ATTACK_CATALOG};
 pub use metrics::{percentile, summarize, LatencySummary};
 pub use ppgnn_telemetry::{HealthSnapshot, StageSnapshot, TelemetrySnapshot};

@@ -27,6 +27,7 @@ use ppgnn_core::protocol::QueryPlan;
 use ppgnn_core::{PpgnnConfig, PpgnnSession};
 use ppgnn_geo::{Point, Rect};
 use ppgnn_paillier::{Ciphertext, EncryptedVector};
+use ppgnn_telemetry::trace::TraceContext;
 use ppgnn_telemetry::{json, CounterSnapshot};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -228,6 +229,7 @@ impl AttackContext {
             group_id,
             request_id,
             deadline_ms: 0,
+            trace: TraceContext::new(request_id as u64 + 1, 1, false),
             location_sets: self
                 .plan
                 .location_sets
@@ -253,6 +255,7 @@ impl AttackContext {
             group_id,
             request_id,
             deadline_ms: 0,
+            trace: TraceContext::new(request_id as u64 + 1, 1, false),
             location_sets: self
                 .plan
                 .location_sets
@@ -578,6 +581,7 @@ fn attack_inner(
                 group_id,
                 request_id: 1,
                 deadline_ms: 0,
+                trace: TraceContext::new(1, 1, false),
                 location_sets: sets,
                 query: ctx.plan.query.to_wire(),
             }
@@ -597,6 +601,7 @@ fn attack_inner(
                 group_id,
                 request_id: 1,
                 deadline_ms: 0,
+                trace: TraceContext::new(1, 1, false),
                 location_sets: sets.iter().map(|s| s.to_wire()).collect(),
                 query: ctx.plan.query.to_wire(),
             }

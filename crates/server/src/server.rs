@@ -50,13 +50,14 @@ use ppgnn_sim::CostLedger;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use ppgnn_telemetry::trace::{self, AttrKey, SpanName, TraceHandle};
 use ppgnn_telemetry::{self as telemetry, Gauge, HealthSnapshot, TelemetrySnapshot};
 
 use crate::error::{ErrorCode, ServerError};
 use crate::fault::{FaultConfig, FaultyStream, Transport};
 use crate::frame::{
     read_frame_with_lead, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType,
-    HelloAckPayload, HelloPayload, PongPayload, QueryPayload, StatsReplyPayload,
+    HelloAckPayload, HelloPayload, PongPayload, QueryPayload, StatsReplyPayload, TraceReplyPayload,
     DEFAULT_MAX_PAYLOAD,
 };
 use crate::registry::{RegistryLimits, SessionParams, SessionRegistry};
@@ -384,6 +385,9 @@ struct Job {
     enqueued: Instant,
     deadline: Duration,
     reply: Sender<Reply>,
+    /// The query's in-flight server trace segment, resumed from the
+    /// frame header on the connection thread and finished by the worker.
+    trace: Option<TraceHandle>,
 }
 
 enum Reply {
@@ -884,6 +888,16 @@ fn connection_loop<S: Transport>(
                         write_frame(&mut stream, FrameType::StatsReply, &reply.encode())?;
                         ConnAction::Continue
                     }
+                    // Traces share the liveness lane: fetch-and-clear of
+                    // the kept-segment ring, bounded by the frame cap.
+                    FrameType::TraceFetch => {
+                        let reply = TraceReplyPayload {
+                            segments: trace::global().drain(),
+                        };
+                        let payload = reply.encode(shared.config.max_payload);
+                        write_frame(&mut stream, FrameType::TraceReply, &payload)?;
+                        ConnAction::Continue
+                    }
                     FrameType::Goodbye => return Ok(()),
                     other => {
                         send_error(
@@ -1084,6 +1098,11 @@ fn handle_query(
             return Ok(ConnAction::Continue);
         }
     };
+    // Resume the client's trace context: from here to the early returns
+    // below, dropping `tracing` without finish commits the server
+    // segment with the error flag — rejected queries stay visible.
+    let mut tracing = trace::global().resume(&q.trace);
+    let active = tracing.as_ref().map(|h| h.activate());
     let Some(params) = shared.registry.get(q.group_id) else {
         shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
         send_error(
@@ -1107,6 +1126,12 @@ fn handle_query(
             answer: hit.answer,
         };
         write_frame(stream, FrameType::Answer, &payload.encode())?;
+        // A replay is a success: finish the segment instead of letting
+        // the drop-path flag it as an error.
+        drop(active);
+        if let Some(h) = tracing.take() {
+            h.finish();
+        }
         return Ok(ConnAction::Continue);
     }
     // --- the validation gate: everything below is checked against the
@@ -1114,6 +1139,9 @@ fn handle_query(
     // set count is visible pre-decode; a rewound request ID is caught
     // next (replays of *cached* requests were already served above);
     // the full shape and ciphertext checks run after the wire decode.
+    let vspan = trace::span(SpanName::Validate);
+    vspan.attr(AttrKey::Users, q.location_sets.len() as u64);
+    vspan.attr(AttrKey::Bytes, payload.len() as u64);
     if let Err(v) = validate_set_count(&params, q.location_sets.len()) {
         shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
         return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
@@ -1160,12 +1188,16 @@ fn handle_query(
         shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
         return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
     }
+    drop(vspan);
     let deadline = if q.deadline_ms == 0 {
         shared.config.default_deadline
     } else {
         Duration::from_millis(q.deadline_ms as u64)
     };
     let (reply_tx, reply_rx) = bounded::<Reply>(1);
+    // Park the segment so the worker thread can activate it; from here
+    // on the handle travels with the job.
+    drop(active);
     let job = Job {
         group_id: q.group_id,
         request_id: q.request_id,
@@ -1174,6 +1206,7 @@ fn handle_query(
         enqueued: Instant::now(),
         deadline,
         reply: reply_tx,
+        trace: tracing.take(),
     };
     // The queued gauge rises *before* the send so a worker's decrement
     // (which can only follow a successful send) never underflows it.
@@ -1182,9 +1215,15 @@ fn handle_query(
         Ok(()) => {
             shared.stats.inflight.fetch_add(1, Ordering::SeqCst);
         }
-        Err(TrySendError::Full(_)) => {
+        Err(TrySendError::Full(job)) => {
             shared.stats.queued.fetch_sub(1, Ordering::SeqCst);
             shared.stats.busy_shed.fetch_add(1, Ordering::Relaxed);
+            // The bounced job still owns the trace handle: flag the
+            // segment as shed before the drop commits it.
+            if let Some(h) = &job.trace {
+                let _a = h.activate();
+                trace::mark_shed();
+            }
             let busy = BusyPayload {
                 request_id: q.request_id,
                 retry_after_ms: RETRY_AFTER_MS,
@@ -1309,9 +1348,15 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>, index: u64) {
     let mut rng = StdRng::seed_from_u64(shared.config.rng_seed.wrapping_add(index));
     // `recv` returns Err only when every sender is dropped AND the
     // queue is empty — exactly the drain semantics shutdown needs.
-    while let Ok(job) = rx.recv() {
+    while let Ok(mut job) = rx.recv() {
         shared.stats.queued.fetch_sub(1, Ordering::SeqCst);
         if job.enqueued.elapsed() >= job.deadline {
+            // Dropping the handle with the shed flag set commits the
+            // segment as shed — always kept by tail sampling.
+            if let Some(h) = &job.trace {
+                let _a = h.activate();
+                trace::mark_shed();
+            }
             let _ = job.reply.send(Reply::Failure {
                 request_id: job.request_id,
                 code: ErrorCode::DeadlineExceeded,
@@ -1319,6 +1364,9 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>, index: u64) {
             });
             continue;
         }
+        // Spans opened inside the engine (candidate-eval, crypto
+        // batches, sanitation) land in this query's server segment.
+        let active = job.trace.as_ref().map(|h| h.activate());
         // Engine panics must not take the reply channel down with them:
         // catch the unwind, turn it into a typed failure, then let this
         // worker die for the supervisor to replace — after an unwind
@@ -1335,12 +1383,16 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>, index: u64) {
                 two_phase: matches!(answer, AnswerMessage::TwoPhase(_)),
                 answer: answer.to_wire(&job.query.pk),
             },
-            Ok(Err(e)) => Reply::Failure {
-                request_id: job.request_id,
-                code: ErrorCode::Protocol,
-                message: e.to_string(),
-            },
+            Ok(Err(e)) => {
+                trace::mark_error();
+                Reply::Failure {
+                    request_id: job.request_id,
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                }
+            }
             Err(panic) => {
+                trace::mark_error();
                 shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
                 let detail = panic_message(&panic);
                 let reply = Reply::Failure {
@@ -1355,6 +1407,12 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>, index: u64) {
                 return; // the supervisor respawns a clean replacement
             }
         };
+        // The segment finishes here: error flags set above survive
+        // `finish`, which runs the tail-sampling keep decision.
+        drop(active);
+        if let Some(h) = job.trace.take() {
+            h.finish();
+        }
         // A gone receiver means the connection died or timed out; the
         // query result is simply dropped.
         let _ = job.reply.send(reply);

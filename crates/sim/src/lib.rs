@@ -21,7 +21,7 @@ mod trace;
 pub use ledger::{CostLedger, TimerGuard};
 pub use network::{LinkModel, NetworkModel};
 pub use party::Party;
-pub use report::{render_telemetry_table, CostReport};
+pub use report::{render_telemetry_table, render_trace_tree, CostReport};
 pub use trace::{TracedMessage, Transcript};
 
 /// Byte width of one plaintext location on the wire (two f64 coordinates)

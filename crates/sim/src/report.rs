@@ -84,6 +84,109 @@ pub fn render_telemetry_table(snap: &ppgnn_telemetry::TelemetrySnapshot) -> Stri
     out
 }
 
+/// Renders kept trace segments as an indented terminal tree: one block
+/// per trace id, the client segment first, each server segment nested
+/// under the client span it resumed from (the context's parent span).
+/// Only redacted span names, attribute keys, counts, and durations
+/// appear — the terminal face of the same data
+/// [`ppgnn_telemetry::trace::chrome_trace_json`] exports to Perfetto.
+pub fn render_trace_tree(segments: &[ppgnn_telemetry::trace::TraceSegment]) -> String {
+    use ppgnn_telemetry::trace::{hex_id, SegmentOrigin, SpanRecord, TraceSegment};
+    use ppgnn_telemetry::Op;
+
+    fn push_span(
+        out: &mut String,
+        spans: &[SpanRecord],
+        span: &SpanRecord,
+        indent: usize,
+        depths: &mut BTreeMap<u64, usize>,
+    ) {
+        depths.insert(span.span_id, indent);
+        out.push_str(&"  ".repeat(indent));
+        out.push_str(&format!("{} {}us", span.name.name(), span.dur_us));
+        for &(k, v) in &span.attrs {
+            out.push_str(&format!(" {}={}", k.name(), v));
+        }
+        if span.error {
+            out.push_str(" [error]");
+        }
+        out.push('\n');
+        let mut children: Vec<&SpanRecord> = spans
+            .iter()
+            .filter(|s| s.parent_id == span.span_id)
+            .collect();
+        children.sort_by_key(|s| s.start_us);
+        for child in children {
+            push_span(out, spans, child, indent + 1, depths);
+        }
+    }
+
+    fn push_segment(
+        out: &mut String,
+        seg: &TraceSegment,
+        indent: usize,
+        depths: &mut BTreeMap<u64, usize>,
+    ) {
+        if let Some(root) = seg.root() {
+            push_span(out, &seg.spans, root, indent, depths);
+        }
+        let ops: Vec<String> = Op::ALL
+            .iter()
+            .filter(|op| seg.ops[**op as usize] > 0)
+            .map(|op| format!("{}={}", op.name(), seg.ops[*op as usize]))
+            .collect();
+        if !ops.is_empty() {
+            out.push_str(&"  ".repeat(indent + 1));
+            out.push_str(&format!("ops: {}\n", ops.join(" ")));
+        }
+        if seg.spans_dropped > 0 {
+            out.push_str(&"  ".repeat(indent + 1));
+            out.push_str(&format!("({} spans dropped)\n", seg.spans_dropped));
+        }
+    }
+
+    let mut order: Vec<u64> = Vec::new();
+    let mut by_trace: BTreeMap<u64, Vec<&TraceSegment>> = BTreeMap::new();
+    for seg in segments {
+        let entry = by_trace.entry(seg.trace_id).or_default();
+        if entry.is_empty() {
+            order.push(seg.trace_id);
+        }
+        entry.push(seg);
+    }
+    let mut out = String::new();
+    for trace_id in order {
+        let segs = &by_trace[&trace_id];
+        let dur = segs.iter().map(|s| s.dur_us()).max().unwrap_or(0);
+        out.push_str(&format!("trace {} ({dur}us)", hex_id(trace_id)));
+        if segs.iter().any(|s| s.slow) {
+            out.push_str(" [slow]");
+        }
+        if segs.iter().any(|s| s.error) {
+            out.push_str(" [error]");
+        }
+        if segs.iter().any(|s| s.shed) {
+            out.push_str(" [shed]");
+        }
+        out.push('\n');
+        // Client span depths, so server segments can nest under the
+        // span that carried their context.
+        let mut depths: BTreeMap<u64, usize> = BTreeMap::new();
+        for seg in segs.iter().filter(|s| s.origin == SegmentOrigin::Client) {
+            push_segment(&mut out, seg, 1, &mut depths);
+        }
+        let client_depths = depths.clone();
+        for seg in segs.iter().filter(|s| s.origin == SegmentOrigin::Server) {
+            let indent = client_depths
+                .get(&seg.parent_span)
+                .map(|d| d + 1)
+                .unwrap_or(1);
+            push_segment(&mut out, seg, indent, &mut depths);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +236,9 @@ mod tests {
                 p50_us: 20,
                 p95_us: 40,
                 p99_us: 40,
+                p50_exemplar: 0,
+                p95_exemplar: 0,
+                p99_exemplar: 0,
             }],
             counters: vec![
                 CounterSnapshot {
@@ -155,6 +261,44 @@ mod tests {
         // Zero counters are elided from the terminal face.
         assert!(!table.contains("refused"));
         assert!(table.contains("sessions=1"));
+    }
+
+    #[test]
+    fn trace_tree_nests_server_under_client() {
+        use ppgnn_telemetry::trace::{self, AttrKey, SpanName, Tracer, TracerConfig};
+        let t = Tracer::new();
+        t.configure(&TracerConfig {
+            enabled: true,
+            slow_us: 0,
+            keep_permille: 1000,
+            capacity: 8,
+            slow_log: false,
+            max_spans: 32,
+        });
+        let (ctx, client) = t.start();
+        let client = client.unwrap();
+        {
+            let _a = client.activate();
+            let _s = trace::span(SpanName::ClientPlan);
+        }
+        let server = t.resume(&ctx).unwrap();
+        {
+            let _a = server.activate();
+            let s = trace::span(SpanName::Validate);
+            s.attr(AttrKey::Users, 3);
+        }
+        server.finish();
+        client.finish();
+        let tree = render_trace_tree(&t.segments());
+        assert!(tree.contains("client-query"));
+        assert!(tree.contains("client-plan"));
+        assert!(tree.contains("validate"));
+        assert!(tree.contains("users=3"));
+        assert!(tree.contains("[slow]")); // slow_us 0: everything slow
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        let client_line = tree.lines().find(|l| l.contains("client-query")).unwrap();
+        let server_line = tree.lines().find(|l| l.contains("server-query")).unwrap();
+        assert!(indent(server_line) > indent(client_line));
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! across builds — the schema is documented in DESIGN.md §12.
 
 /// Escapes a string for use inside a JSON string literal.
+///
+/// Beyond the mandatory escapes (quote, backslash, C0 controls) this
+/// also escapes DEL and the Unicode line separators U+2028/U+2029: the
+/// latter are legal in JSON but break consumers that evaluate the
+/// output as JavaScript (`chrome://tracing` loads trace files that
+/// way), so a hostile name must not be able to smuggle them through.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -15,7 +21,10 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            // All BMP code points, so one \uXXXX unit each.
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
+                out.push_str(&format!("\\u{:04x}", c as u32))
+            }
             c => out.push(c),
         }
     }
@@ -132,6 +141,28 @@ mod tests {
     fn escapes_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{01}"), "\\u0001");
+        assert_eq!(escape("\u{7f}"), "\\u007f");
+        assert_eq!(escape("\u{2028}\u{2029}"), "\\u2028\\u2029");
+    }
+
+    #[test]
+    fn hostile_names_stay_inside_their_string() {
+        // A name trying to break out of the key/value position must be
+        // neutralized: the output may not contain an unescaped quote,
+        // raw control byte, or JS line separator.
+        let hostile = "\"},{\"admin\":true}\u{0}\u{1b}[31m\\\u{2028}";
+        let mut obj = Obj::new();
+        obj.field_str(hostile, hostile);
+        let out = obj.finish();
+        assert_eq!(
+            out,
+            "{\"\\\"},{\\\"admin\\\":true}\\u0000\\u001b[31m\\\\\\u2028\":\
+             \"\\\"},{\\\"admin\\\":true}\\u0000\\u001b[31m\\\\\\u2028\"}"
+        );
+        assert!(!out.contains('\u{0}'));
+        assert!(!out.contains('\u{2028}'));
+        // Still exactly one top-level object with one key.
+        assert_eq!(out.matches("\":\"").count(), 1);
     }
 
     #[test]

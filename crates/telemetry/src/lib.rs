@@ -37,6 +37,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 pub mod json;
+pub mod trace;
 
 // ---------------------------------------------------------------------------
 // Stage / Op / Gauge name spaces
@@ -245,6 +246,10 @@ fn bucket_value(index: usize) -> u64 {
 /// racy-but-monotone, which is all telemetry needs.
 pub struct Histogram {
     buckets: [AtomicU64; NUM_BUCKETS],
+    /// Exemplars: per bucket, the trace id of the last sampled trace
+    /// whose measurement landed there (0 = none). Links percentiles in
+    /// `stats` output to concrete traces in the ring buffer.
+    exemplars: [AtomicU64; NUM_BUCKETS],
     count: AtomicU64,
     sum_us: AtomicU64,
     max_us: AtomicU64,
@@ -261,6 +266,7 @@ impl Histogram {
     pub fn new() -> Self {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_us: AtomicU64::new(0),
             max_us: AtomicU64::new(0),
@@ -269,7 +275,17 @@ impl Histogram {
 
     /// Records one microsecond sample.
     pub fn record_us(&self, us: u64) {
-        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.record_us_traced(us, 0);
+    }
+
+    /// Records one microsecond sample and, when `trace_id` is nonzero,
+    /// remembers it as the bucket's exemplar.
+    pub fn record_us_traced(&self, us: u64, trace_id: u64) {
+        let idx = bucket_index(us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if trace_id != 0 {
+            self.exemplars[idx].store(trace_id, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.max_us.fetch_max(us, Ordering::Relaxed);
@@ -285,6 +301,9 @@ impl Histogram {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
+        for e in &self.exemplars {
+            e.store(0, Ordering::Relaxed);
+        }
         self.count.store(0, Ordering::Relaxed);
         self.sum_us.store(0, Ordering::Relaxed);
         self.max_us.store(0, Ordering::Relaxed);
@@ -298,28 +317,38 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let total: u64 = counts.iter().sum();
-        let pct = |p: f64| -> u64 {
+        // Percentile value plus that bucket's exemplar trace id.
+        let pct = |p: f64| -> (u64, u64) {
             if total == 0 {
-                return 0;
+                return (0, 0);
             }
             let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
             let mut seen = 0u64;
             for (i, &c) in counts.iter().enumerate() {
                 seen += c;
                 if seen >= rank {
-                    return bucket_value(i);
+                    return (bucket_value(i), self.exemplars[i].load(Ordering::Relaxed));
                 }
             }
-            bucket_value(NUM_BUCKETS - 1)
+            (
+                bucket_value(NUM_BUCKETS - 1),
+                self.exemplars[NUM_BUCKETS - 1].load(Ordering::Relaxed),
+            )
         };
+        let (p50_us, p50_exemplar) = pct(50.0);
+        let (p95_us, p95_exemplar) = pct(95.0);
+        let (p99_us, p99_exemplar) = pct(99.0);
         StageSnapshot {
             name: name.to_string(),
             count: total,
             total_us: self.sum_us.load(Ordering::Relaxed),
             max_us: self.max_us.load(Ordering::Relaxed),
-            p50_us: pct(50.0),
-            p95_us: pct(95.0),
-            p99_us: pct(99.0),
+            p50_us,
+            p95_us,
+            p99_us,
+            p50_exemplar,
+            p95_exemplar,
+            p99_exemplar,
         }
     }
 }
@@ -391,11 +420,13 @@ impl MetricsRegistry {
         self.record_us(stage, elapsed.as_micros().min(u64::MAX as u128) as u64);
     }
 
-    /// Records a microsecond sample against `stage`.
+    /// Records a microsecond sample against `stage`. When a sampled
+    /// trace is active on this thread, its id becomes the landing
+    /// bucket's exemplar, linking percentiles to traces.
     #[inline]
     pub fn record_us(&self, stage: Stage, us: u64) {
         #[cfg(not(feature = "noop"))]
-        self.inner.stages[stage as usize].record_us(us);
+        self.inner.stages[stage as usize].record_us_traced(us, trace::current_trace_id());
         #[cfg(feature = "noop")]
         let _ = (stage, us);
     }
@@ -406,11 +437,16 @@ impl MetricsRegistry {
         self.incr_by(op, 1);
     }
 
-    /// Bumps an op counter by `n`.
+    /// Bumps an op counter by `n`. Also attributes the ops to the
+    /// thread's active trace (if any), so per-query op counts ride on
+    /// trace segments without extra call sites.
     #[inline]
     pub fn incr_by(&self, op: Op, n: u64) {
         #[cfg(not(feature = "noop"))]
-        self.inner.ops[op as usize].fetch_add(n, Ordering::Relaxed);
+        {
+            self.inner.ops[op as usize].fetch_add(n, Ordering::Relaxed);
+            trace::record_op(op, n);
+        }
         #[cfg(feature = "noop")]
         let _ = (op, n);
     }
@@ -544,6 +580,15 @@ pub struct StageSnapshot {
     pub p95_us: u64,
     /// 99th percentile, microseconds.
     pub p99_us: u64,
+    /// Trace id of the last sampled trace in the p50 bucket (0 = none).
+    #[serde(default)]
+    pub p50_exemplar: u64,
+    /// Trace id of the last sampled trace in the p95 bucket (0 = none).
+    #[serde(default)]
+    pub p95_exemplar: u64,
+    /// Trace id of the last sampled trace in the p99 bucket (0 = none).
+    #[serde(default)]
+    pub p99_exemplar: u64,
 }
 
 impl StageSnapshot {
@@ -557,6 +602,9 @@ impl StageSnapshot {
         obj.field_u64("p50_us", self.p50_us);
         obj.field_u64("p95_us", self.p95_us);
         obj.field_u64("p99_us", self.p99_us);
+        obj.field_str("p50_exemplar", &trace::hex_id(self.p50_exemplar));
+        obj.field_str("p95_exemplar", &trace::hex_id(self.p95_exemplar));
+        obj.field_str("p99_exemplar", &trace::hex_id(self.p99_exemplar));
         obj.finish()
     }
 }
@@ -611,9 +659,9 @@ impl std::error::Error for SnapshotDecodeError {}
 const MAX_WIRE_ENTRIES: usize = 1024;
 const MAX_WIRE_NAME: usize = 64;
 
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
@@ -626,19 +674,19 @@ impl<'a> Cursor<'a> {
         Ok(out)
     }
 
-    fn u8(&mut self) -> Result<u8, SnapshotDecodeError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotDecodeError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, SnapshotDecodeError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, SnapshotDecodeError> {
         Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
     }
 
-    fn u32(&mut self) -> Result<u32, SnapshotDecodeError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotDecodeError> {
         Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, SnapshotDecodeError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotDecodeError> {
         Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
     }
 
@@ -653,7 +701,7 @@ impl<'a> Cursor<'a> {
             .map_err(|_| SnapshotDecodeError("name not utf-8"))
     }
 
-    fn done(&self) -> Result<(), SnapshotDecodeError> {
+    pub(crate) fn done(&self) -> Result<(), SnapshotDecodeError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -786,7 +834,17 @@ impl TelemetrySnapshot {
         out.extend_from_slice(&(self.stages.len().min(MAX_WIRE_ENTRIES) as u16).to_be_bytes());
         for s in self.stages.iter().take(MAX_WIRE_ENTRIES) {
             put_name(&mut out, &s.name);
-            for v in [s.count, s.total_us, s.max_us, s.p50_us, s.p95_us, s.p99_us] {
+            for v in [
+                s.count,
+                s.total_us,
+                s.max_us,
+                s.p50_us,
+                s.p95_us,
+                s.p99_us,
+                s.p50_exemplar,
+                s.p95_exemplar,
+                s.p99_exemplar,
+            ] {
                 out.extend_from_slice(&v.to_be_bytes());
             }
         }
@@ -806,7 +864,7 @@ impl TelemetrySnapshot {
         let mut stages = Vec::with_capacity(n_stages);
         for _ in 0..n_stages {
             let name = cur.name()?;
-            let mut vals = [0u64; 6];
+            let mut vals = [0u64; 9];
             for v in &mut vals {
                 *v = cur.u64()?;
             }
@@ -818,6 +876,9 @@ impl TelemetrySnapshot {
                 p50_us: vals[3],
                 p95_us: vals[4],
                 p99_us: vals[5],
+                p50_exemplar: vals[6],
+                p95_exemplar: vals[7],
+                p99_exemplar: vals[8],
             });
         }
         let counters = get_counters(&mut cur)?;

@@ -13,9 +13,10 @@ use std::time::Duration;
 use ppgnn::prelude::*;
 use ppgnn::server::frame::{
     read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
-    HelloPayload, QueryPayload, StatsReplyPayload, DEFAULT_MAX_PAYLOAD,
+    HelloPayload, QueryPayload, StatsReplyPayload, TraceReplyPayload, DEFAULT_MAX_PAYLOAD,
 };
 use ppgnn::server::{serve, ErrorCode, ServerConfig, ServerError, ServerHandle};
+use ppgnn::telemetry::trace::{TraceContext, Tracer, TracerConfig, TRACE_CONTEXT_BYTES};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -49,8 +50,24 @@ fn corpus() -> &'static Vec<(FrameType, Vec<u8>)> {
             group_id: 7,
             request_id: 1,
             deadline_ms: 1000,
+            trace: TraceContext::new(0xfeed_beef, 0xabc, true),
             location_sets: plan.location_sets.iter().map(|s| s.to_wire()).collect(),
             query: plan.query.to_wire(),
+        };
+        // A real kept segment, so TraceReply mutations chew on
+        // realistic span tables rather than an empty payload.
+        let tracer = Tracer::new();
+        tracer.configure(&TracerConfig {
+            enabled: true,
+            slow_us: 0,
+            keep_permille: 1000,
+            ..TracerConfig::default()
+        });
+        let (tctx, handle) = tracer.start();
+        drop(tracer.resume(&tctx)); // a second, error-flagged segment
+        handle.unwrap().finish();
+        let trace_reply = TraceReplyPayload {
+            segments: tracer.drain(),
         };
         let payloads = vec![
             (
@@ -107,6 +124,11 @@ fn corpus() -> &'static Vec<(FrameType, Vec<u8>)> {
                 .encode(),
             ),
             (FrameType::Goodbye, Vec::new()),
+            (FrameType::TraceFetch, Vec::new()),
+            (
+                FrameType::TraceReply,
+                trace_reply.encode(DEFAULT_MAX_PAYLOAD),
+            ),
         ];
         payloads
             .into_iter()
@@ -153,7 +175,14 @@ fn exercise_decoders(bytes: &[u8]) {
         FrameType::StatsReply => {
             let _ = StatsReplyPayload::decode(&frame.payload);
         }
-        FrameType::Goodbye | FrameType::Ping | FrameType::Pong | FrameType::Stats => {}
+        FrameType::TraceReply => {
+            let _ = TraceReplyPayload::decode(&frame.payload);
+        }
+        FrameType::Goodbye
+        | FrameType::Ping
+        | FrameType::Pong
+        | FrameType::Stats
+        | FrameType::TraceFetch => {}
     }
 }
 
@@ -208,6 +237,64 @@ proptest! {
     #[test]
     fn garbage_streams_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         exercise_decoders(&bytes);
+    }
+}
+
+// A second block: the trace-context properties pushed the first one
+// past the proptest! macro's recursion depth.
+proptest! {
+    /// Any valid v5 trace context survives the wire byte-identically:
+    /// id, parent span, and sampling bit all round-trip.
+    #[test]
+    fn trace_context_round_trips(
+        trace_id in 1u64..(1 << 63),
+        parent_span in 1u64..u64::MAX,
+        sampled in any::<bool>(),
+    ) {
+        let ctx = TraceContext::new(trace_id, parent_span, sampled);
+        let back = TraceContext::from_wire(&ctx.to_wire()).unwrap();
+        prop_assert_eq!(back, ctx);
+        prop_assert_eq!(back.trace_id(), trace_id);
+        prop_assert_eq!(back.parent_span(), parent_span);
+        prop_assert_eq!(back.sampled(), sampled);
+    }
+
+    /// Arbitrary header bytes decode to a context or a typed error —
+    /// never a panic — and anything that decodes re-encodes stably.
+    #[test]
+    fn arbitrary_trace_headers_decode_or_typed_error(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2 * TRACE_CONTEXT_BYTES),
+    ) {
+        if let Ok(ctx) = TraceContext::from_wire(&bytes) {
+            prop_assert_eq!(ctx.to_wire().as_slice(), &bytes[..TRACE_CONTEXT_BYTES]);
+            prop_assert!(ctx.trace_id() != 0);
+            prop_assert!(ctx.parent_span() != 0);
+        }
+    }
+
+    /// Corrupting the trace-context field of a valid query frame gives
+    /// a successful decode or a typed error, never a panic; the rest of
+    /// the payload decode is unaffected by trace-header garbage.
+    #[test]
+    fn corrupted_query_trace_headers_never_panic(
+        garbage in proptest::collection::vec(any::<u8>(), TRACE_CONTEXT_BYTES),
+    ) {
+        let corpus = corpus();
+        let (_, framed) = corpus
+            .iter()
+            .find(|(t, _)| *t == FrameType::Query)
+            .expect("query frame in corpus");
+        let frame = read_frame(&mut &framed[..], DEFAULT_MAX_PAYLOAD).unwrap();
+        let mut payload = frame.payload.clone();
+        // The context sits after group_id(8) + request_id(4) + deadline(4).
+        payload[16..16 + TRACE_CONTEXT_BYTES].copy_from_slice(&garbage);
+        match QueryPayload::decode(&payload) {
+            Ok(q) => {
+                let wire = q.trace.to_wire();
+                prop_assert_eq!(wire.as_slice(), garbage.as_slice());
+            }
+            Err(e) => prop_assert!(matches!(e, ServerError::Malformed(_))),
+        }
     }
 }
 

@@ -329,6 +329,7 @@ fn registry_survives_reconnect_without_handshake() {
         group_id: 77,
         request_id: 5,
         deadline_ms: 0,
+        trace: ppgnn::telemetry::trace::TraceContext::new(1, 1, false),
         location_sets: plan.location_sets.iter().map(|s| s.to_wire()).collect(),
         query: plan.query.to_wire(),
     };
@@ -357,6 +358,7 @@ fn registry_survives_reconnect_without_handshake() {
         group_id: 99_999,
         request_id: 6,
         deadline_ms: 0,
+        trace: ppgnn::telemetry::trace::TraceContext::new(1, 1, false),
         location_sets: plan2.location_sets.iter().map(|s| s.to_wire()).collect(),
         query: plan2.query.to_wire(),
     };

@@ -329,6 +329,7 @@ fn repeated_violations_escalate_to_disconnect() {
             group_id,
             request_id: req,
             deadline_ms: 0,
+            trace: ppgnn::telemetry::trace::TraceContext::new(1, 1, false),
             location_sets: sets.clone(),
             query: ctx.plan.query.to_wire(),
         }
