@@ -94,6 +94,35 @@ impl QueryEngine for DynamicMbmEngine {
     }
 }
 
+/// A frozen, lock-free engine over one version of a dynamic database.
+///
+/// [`DynamicMbmEngine`] serializes every query through its `RwLock`;
+/// `SnapshotEngine` instead owns an immutable [`DynamicRTree`] clone, so
+/// queries against a published snapshot never contend with writers. The
+/// versioned `DynamicLsp` handle republishes a fresh `SnapshotEngine`
+/// after each mutation batch.
+#[derive(Debug, Clone)]
+pub struct SnapshotEngine {
+    tree: DynamicRTree,
+}
+
+impl SnapshotEngine {
+    /// Freezes one version of the dynamic index.
+    pub fn new(tree: DynamicRTree) -> Self {
+        SnapshotEngine { tree }
+    }
+}
+
+impl QueryEngine for SnapshotEngine {
+    fn answer(&self, query: &[Point], k: usize, agg: Aggregate) -> Vec<Poi> {
+        self.tree.group_knn(query, k, agg)
+    }
+
+    fn database_size(&self) -> usize {
+        self.tree.len()
+    }
+}
+
 /// Brute-force engine: exact by construction, O(D log D) per query.
 #[derive(Debug, Clone)]
 pub struct BruteForceEngine {

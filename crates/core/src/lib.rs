@@ -52,6 +52,7 @@
 pub mod attack;
 pub mod attack_exact;
 pub mod candidate;
+pub mod dynamic_lsp;
 pub mod encoding;
 pub mod engine;
 pub mod error;
@@ -68,9 +69,12 @@ pub mod wire;
 
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
-    pub use crate::engine::{BruteForceEngine, DynamicMbmEngine, MbmEngine, QueryEngine};
+    pub use crate::dynamic_lsp::DynamicLsp;
+    pub use crate::engine::{
+        BruteForceEngine, DynamicMbmEngine, MbmEngine, QueryEngine, SnapshotEngine,
+    };
     pub use crate::error::PpgnnError;
-    pub use crate::lsp::Lsp;
+    pub use crate::lsp::{expand_candidates, Lsp};
     pub use crate::params::{HypothesisConfig, PpgnnConfig, Variant};
     pub use crate::protocol::{
         decode_answer, plan_query, run_ppgnn, run_ppgnn_with_keys, ProtocolRun, QueryPlan,

@@ -44,6 +44,44 @@ const _: () = {
     shareable_across_threads::<Lsp>();
 };
 
+/// Expands a query's location sets into the plaintext candidate query
+/// list (§4.1) — Cartesian subgroup combinations under a partition, or
+/// aligned columns for Naive. This is the view LSP actually evaluates:
+/// the real group position is one of these candidates, and LSP cannot
+/// tell which (Privacy II). The dynamic-world subscription registry
+/// reuses the same expansion to compute per-candidate safe regions.
+pub fn expand_candidates(
+    query: &QueryMessage,
+    location_sets: &[LocationSetMessage],
+) -> Result<Vec<CandidateQuery>, PpgnnError> {
+    // Rebuild the ordered location sets from the user-indexed messages.
+    let mut sets: Vec<(usize, &Vec<Point>)> = location_sets
+        .iter()
+        .map(|m| (m.user_index, &m.locations))
+        .collect();
+    sets.sort_by_key(|(i, _)| *i);
+    let ordered: Vec<Vec<Point>> = sets.into_iter().map(|(_, l)| l.clone()).collect();
+
+    match &query.partition {
+        Some(params) => candidate_queries(&ordered, params),
+        None => {
+            let len = ordered.first().map(|s| s.len()).unwrap_or(0);
+            for (i, s) in ordered.iter().enumerate() {
+                if s.len() != len {
+                    return Err(PpgnnError::BadLocationSet {
+                        user: i,
+                        expected: len,
+                        got: s.len(),
+                    });
+                }
+            }
+            Ok((0..len)
+                .map(|t| ordered.iter().map(|s| s[t]).collect())
+                .collect())
+        }
+    }
+}
+
 impl Lsp {
     /// Creates an LSP over a POI database with the default MBM engine.
     pub fn new(pois: Vec<Poi>, config: PpgnnConfig) -> Self {
@@ -112,34 +150,8 @@ impl Lsp {
         ledger: &mut CostLedger,
         rng: &mut R,
     ) -> Result<AnswerMessage, PpgnnError> {
-        // Rebuild the ordered location sets from the user-indexed messages.
-        let mut sets: Vec<(usize, &Vec<Point>)> = location_sets
-            .iter()
-            .map(|m| (m.user_index, &m.locations))
-            .collect();
-        sets.sort_by_key(|(i, _)| *i);
-        let ordered: Vec<Vec<Point>> = sets.into_iter().map(|(_, l)| l.clone()).collect();
-        let n = ordered.len();
-
-        // Candidate query list (§4.1), or aligned columns for Naive.
-        let candidates: Vec<CandidateQuery> = match &query.partition {
-            Some(params) => candidate_queries(&ordered, params)?,
-            None => {
-                let len = ordered.first().map(|s| s.len()).unwrap_or(0);
-                for (i, s) in ordered.iter().enumerate() {
-                    if s.len() != len {
-                        return Err(PpgnnError::BadLocationSet {
-                            user: i,
-                            expected: len,
-                            got: s.len(),
-                        });
-                    }
-                }
-                (0..len)
-                    .map(|t| ordered.iter().map(|s| s[t]).collect())
-                    .collect()
-            }
-        };
+        let candidates = expand_candidates(query, location_sets)?;
+        let n = location_sets.len();
         ledger.count("candidate_queries", candidates.len() as u64);
 
         // Answer + sanitize + encode every candidate (Algorithm 2 lines 2–6),

@@ -19,6 +19,19 @@ use crate::rtree::RTree;
 /// Buffer size that triggers a rebuild.
 const DEFAULT_REBUILD_THRESHOLD: usize = 1024;
 
+/// One mutation of the live POI set.
+///
+/// The unit of the dynamic-world admin lane: wire `PoiUpdate` frames
+/// decode to a batch of these, and [`DynamicRTree::apply`] consumes
+/// them in order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PoiOp {
+    /// Insert a POI, replacing any live POI with the same id.
+    Insert(Poi),
+    /// Remove a POI by id (no-op if absent).
+    Remove(PoiId),
+}
+
 /// An updatable POI index with R-tree query performance.
 #[derive(Debug, Clone)]
 pub struct DynamicRTree {
@@ -123,6 +136,42 @@ impl DynamicRTree {
     /// Classic kNN over the live POIs.
     pub fn knn(&self, query: &Point, k: usize) -> Vec<Poi> {
         self.group_knn(std::slice::from_ref(query), k, Aggregate::Sum)
+    }
+
+    /// Applies a batch of mutations in order. Returns the number of
+    /// operations that changed the live set (an insert always counts —
+    /// replacement included — a remove only when the id was live).
+    pub fn apply(&mut self, ops: &[PoiOp]) -> usize {
+        let mut changed = 0;
+        for op in ops {
+            match *op {
+                PoiOp::Insert(poi) => {
+                    self.insert(poi);
+                    changed += 1;
+                }
+                PoiOp::Remove(id) => {
+                    let before = self.len();
+                    self.remove(id);
+                    if self.len() != before {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Snapshot of the live POI set (tree + buffer − tombstones), in no
+    /// particular order. Used to republish frozen engines.
+    pub fn live_pois(&self) -> Vec<Poi> {
+        let mut all: Vec<Poi> = self
+            .tree
+            .iter()
+            .filter(|p| !self.tombstones.contains(&p.id))
+            .copied()
+            .collect();
+        all.extend(self.inserts.iter().copied());
+        all
     }
 }
 
@@ -249,6 +298,37 @@ mod tests {
                 assert_eq!(got, want, "step {step}");
             }
         }
+    }
+
+    #[test]
+    fn apply_batch_matches_individual_ops() {
+        let mut batched = DynamicRTree::new(grid(6));
+        let mut single = DynamicRTree::new(grid(6));
+        let ops = vec![
+            PoiOp::Insert(Poi::new(500, Point::new(0.11, 0.93))),
+            PoiOp::Remove(3),
+            PoiOp::Insert(Poi::new(501, Point::new(0.44, 0.21))),
+            PoiOp::Remove(999), // absent: must not count as a change
+            PoiOp::Insert(Poi::new(500, Point::new(0.12, 0.94))), // replace
+        ];
+        let changed = batched.apply(&ops);
+        assert_eq!(changed, 4);
+        single.insert(Poi::new(500, Point::new(0.11, 0.93)));
+        single.remove(3);
+        single.insert(Poi::new(501, Point::new(0.44, 0.21)));
+        single.remove(999);
+        single.insert(Poi::new(500, Point::new(0.12, 0.94)));
+        let q = vec![Point::new(0.2, 0.8), Point::new(0.5, 0.3)];
+        assert_eq!(
+            batched.group_knn(&q, 8, Aggregate::Sum),
+            single.group_knn(&q, 8, Aggregate::Sum)
+        );
+        let mut live = batched.live_pois();
+        live.sort_by_key(|p| p.id);
+        assert_eq!(live.len(), batched.len());
+        assert!(live
+            .iter()
+            .any(|p| p.id == 500 && p.location == Point::new(0.12, 0.94)));
     }
 
     #[test]

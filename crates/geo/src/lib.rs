@@ -31,7 +31,7 @@ pub mod roadnet;
 mod rtree;
 
 pub use aggregate::Aggregate;
-pub use dynamic::DynamicRTree;
+pub use dynamic::{DynamicRTree, PoiOp};
 pub use gnn::group_knn_brute_force;
 pub use grid::Grid;
 pub use knn::knn_brute_force;

@@ -5,6 +5,7 @@
 //! loadgen [--addr HOST:PORT] [--groups 8] [--queries 13] [--users 2]
 //!         [--keysize 128] [--k 2] [--d 3] [--delta 6] [--opt] [--seed 7]
 //!         [--sanitize] [--bench-json PATH] [--require-stages a,b,c]
+//!         [--moving] [--ticks 12]
 //!         [--chaos-seed S] [--chaos-delay-prob P] [--chaos-delay-ms MS]
 //!         [--chaos-corrupt-prob P] [--chaos-truncate-prob P]
 //!         [--chaos-sever-prob P]
@@ -39,6 +40,16 @@
 //! (default with `--trace-out`: keep everything). The run exits 1 if
 //! tracing was requested but no trace was kept — the CI trace-smoke
 //! gate.
+//!
+//! Moving groups: `--moving` switches to the live-world soak — groups
+//! on seeded drifting trajectories hold standing queries (`Subscribe`)
+//! against an in-process *dynamic* server while an admin lane churns
+//! the POI index. It reports notifications/sec, invalidation precision
+//! vs the plaintext oracle, and re-query savings vs naive per-tick
+//! re-issue, and exits 1 on any missed invalidation or savings under
+//! 2x — the CI moving-smoke gate. `--seed` and `--ticks` shape the
+//! run; `--require-stages index-mutate,invalidate-scan,fanout-notify`
+//! additionally gates on the live-world pipeline stages.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -48,8 +59,9 @@ use ppgnn_core::{Lsp, PpgnnConfig, Variant};
 use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_server::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
 use ppgnn_server::{
-    serve, summarize, ClientStats, FaultConfig, FrameType, GroupClient, LatencySummary,
-    ServerConfig, ServerError, StatsReplyPayload, TelemetrySnapshot, TraceReplyPayload,
+    run_moving_soak, serve, summarize, ClientStats, FaultConfig, FrameType, GroupClient,
+    LatencySummary, MovingSoakConfig, ServerConfig, ServerError, StatsReplyPayload,
+    TelemetrySnapshot, TraceReplyPayload,
 };
 use ppgnn_telemetry::json;
 use ppgnn_telemetry::trace::{self, TraceSegment, TracerConfig};
@@ -58,6 +70,8 @@ use rand::{Rng, SeedableRng};
 
 struct Args {
     addr: Option<String>,
+    moving: bool,
+    ticks: usize,
     groups: usize,
     queries: usize,
     users: usize,
@@ -80,6 +94,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: None,
+        moving: false,
+        ticks: 12,
         groups: 8,
         queries: 13,
         users: 2,
@@ -104,6 +120,8 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--addr" => args.addr = Some(value("--addr")?),
+            "--moving" => args.moving = true,
+            "--ticks" => args.ticks = parse(&value("--ticks")?)?,
             "--groups" => args.groups = parse(&value("--groups")?)?,
             "--queries" => args.queries = parse(&value("--queries")?)?,
             "--users" => args.users = parse(&value("--users")?)?,
@@ -142,6 +160,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: loadgen [--addr HOST:PORT] [--groups N] [--queries M] \
                      [--users U] [--keysize B] [--k K] [--d D] [--delta DELTA] \
                      [--pois P] [--opt] [--sanitize] [--seed S] \
+                     [--moving] [--ticks T] \
                      [--bench-json PATH] [--require-stages a,b,c] \
                      [--trace-out PATH] [--trace-slow-us US] \
                      [--trace-sample-permille P] \
@@ -156,6 +175,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.chaos.is_active() && args.addr.is_some() {
         return Err("--chaos-* flags require the in-process server (drop --addr)".into());
+    }
+    if args.moving && args.addr.is_some() {
+        return Err("--moving boots its own dynamic in-process server (drop --addr)".into());
     }
     Ok(args)
 }
@@ -180,6 +202,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.moving {
+        run_moving(&args);
+    }
     if args.trace_out.is_some() {
         // Arm the collector before any client exists so the very first
         // query is already traced. The ring must hold the whole run:
@@ -479,6 +504,77 @@ fn main() {
     if errors > 0 || gate_failed {
         std::process::exit(1);
     }
+}
+
+/// The `--moving` mode: drives the moving-group soak — seeded drifting
+/// trajectories plus POI churn against an in-process dynamic server —
+/// and reports notifications/sec, invalidation precision against the
+/// plaintext oracle, and re-query savings vs naive per-tick re-issue.
+/// The world shape comes from [`MovingSoakConfig::default`] (tuned so
+/// sentinel margins outlive a realistic walking pace); `--seed` and
+/// `--ticks` vary the run. Exits 1 on any missed invalidation, any
+/// oracle mismatch, or savings under 2x.
+fn run_moving(args: &Args) -> ! {
+    let mut config = MovingSoakConfig::default();
+    config.world.seed = args.seed;
+    config.ticks = args.ticks;
+    println!(
+        "loadgen: moving-group soak, seed {} ({} groups x {} ticks, {} POIs)",
+        args.seed, config.world.n_groups, config.ticks, config.world.initial_pois
+    );
+    let report = match run_moving_soak(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: moving soak transport failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.render());
+
+    // The soak's server is in-process, so the shared registry already
+    // holds the live-world stages this mode exists to exercise.
+    let snapshot = ppgnn_telemetry::global().snapshot();
+    for name in ["index-mutate", "invalidate-scan", "fanout-notify"] {
+        match snapshot
+            .stages
+            .iter()
+            .find(|s| s.name == name && s.count > 0)
+        {
+            Some(s) => println!(
+                "stage {:>16}: count={} p50={}us p95={}us max={}us",
+                s.name, s.count, s.p50_us, s.p95_us, s.max_us
+            ),
+            None => println!("stage {name:>16}: never recorded"),
+        }
+    }
+    let mut gate_failed = false;
+    if let Some(required) = &args.require_stages {
+        let names: Vec<&str> = required
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let missing = snapshot.missing_stages(&names);
+        if missing.is_empty() {
+            println!("required stages all recorded: {}", names.join(", "));
+        } else {
+            eprintln!(
+                "loadgen: required stage metrics missing or zero: {}",
+                missing.join(", ")
+            );
+            gate_failed = true;
+        }
+    }
+    if report.missed_invalidations > 0 {
+        eprintln!(
+            "loadgen: {} missed invalidation(s) — the server stayed silent while an answer changed",
+            report.missed_invalidations
+        );
+    }
+    if !report.passed() || gate_failed {
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 /// Asks a remote server for its telemetry snapshot with a sessionless

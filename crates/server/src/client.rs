@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use ppgnn_core::messages::AnswerMessage;
 use ppgnn_core::partition_cache::solve_partition_cached;
 use ppgnn_core::{opt_split, PpgnnConfig, PpgnnSession, Variant};
-use ppgnn_geo::{Point, Rect};
+use ppgnn_geo::{PoiOp, Point, Rect};
 use ppgnn_telemetry::trace::{self, AttrKey, SpanName, TraceContext, TraceSegment};
 use ppgnn_telemetry::{self as telemetry, TelemetrySnapshot};
 use rand::Rng;
@@ -26,8 +26,9 @@ use crate::backoff::{BackoffSchedule, RetryPolicy};
 use crate::error::{ErrorCode, ServerError};
 use crate::frame::{
     read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
-    HelloPayload, PongPayload, QueryPayload, StatsReplyPayload, TraceReplyPayload,
-    DEFAULT_MAX_PAYLOAD,
+    HelloPayload, PoiUpdateAckPayload, PoiUpdatePayload, PongPayload, QueryPayload,
+    StatsReplyPayload, SubscriptionKind, SubscriptionUpdatePayload, TraceReplyPayload,
+    UnsubscribePayload, DEFAULT_MAX_PAYLOAD,
 };
 use crate::registry::SessionParams;
 
@@ -48,6 +49,35 @@ pub struct ClientStats {
     pub replayed_answers: u64,
     /// `Busy` sheds observed (each one backed off and retried).
     pub busy_sheds: u64,
+}
+
+/// The server's promise about a granted subscription: the group's
+/// answer cannot change while every user stays within
+/// [`SafeRegionToken::drift_radius`] of their subscribed location.
+/// The server pushes a `SubscriptionUpdate` the moment a POI mutation
+/// threatens the region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafeRegionToken {
+    /// The request the subscription was granted under.
+    pub request_id: u32,
+    /// Index version the answer and region were computed against.
+    pub version: u64,
+    /// Safe-region margin M (aggregate-cost gap, min over candidates).
+    pub margin: f64,
+    /// Aggregate scale: `n` for Sum, 1 for Max/Min.
+    pub drift_scale: u32,
+}
+
+impl SafeRegionToken {
+    /// Per-user drift radius: the answer provably holds while every
+    /// user stays within this distance of their subscribed location.
+    /// `M/(4s)`: each user's drift moves the group's aggregate cost to
+    /// any POI by at most `s·r`, so top-k costs rise by at most `M/4`
+    /// and runner-up costs fall by at most `M/4` — the gap `M` cannot
+    /// close.
+    pub fn drift_radius(&self) -> f64 {
+        self.margin / (4.0 * self.drift_scale.max(1) as f64)
+    }
 }
 
 /// A connected group: holds the TCP stream, the [`PpgnnSession`] (keys
@@ -71,6 +101,9 @@ pub struct GroupClient {
     /// the next attempt.
     broken: bool,
     stats: ClientStats,
+    /// Server pushes (invalidations, endings) received while waiting
+    /// for something else; drained by [`GroupClient::take_notifications`].
+    pending_updates: Vec<SubscriptionUpdatePayload>,
 }
 
 fn variant_tag(v: Variant) -> u8 {
@@ -224,6 +257,7 @@ impl GroupClient {
             },
             broken: false,
             stats: ClientStats::default(),
+            pending_updates: Vec::new(),
         };
         let params = session_params_for(&client.config, n_users)?;
         client.handshake(params)?;
@@ -398,13 +432,68 @@ impl GroupClient {
         real_locations: &[Point],
         rng: &mut R,
     ) -> Result<Vec<Point>, ServerError> {
+        self.issue(real_locations, rng, false)
+            .map(|(answer, _)| answer)
+    }
+
+    /// Like [`Self::query`], but registers a *standing* query: along
+    /// with the `k` answers the server returns a [`SafeRegionToken`],
+    /// and pushes a `SubscriptionUpdate` the moment a POI mutation
+    /// could change the answer (poll with [`Self::poll_notifications`]).
+    ///
+    /// Internally the query asks for `k+1` answers: the extra one is a
+    /// runner-up *sentinel* that never leaves this method. Its cost gap
+    /// to the k-th answer is the true safe-region margin, computed
+    /// right here from the decrypted answers — so the token's margin is
+    /// exact for *this* group's query, with zero extra disclosure from
+    /// the server (Privacy III), and no dependence on the server's
+    /// conservative min-over-candidates bound.
+    ///
+    /// A group holds at most one subscription — re-subscribing
+    /// replaces the previous standing query. If the grant is lost to a
+    /// retried attempt (the server replays the cached answer but a
+    /// replay never re-registers), this fails fast; re-subscribe to
+    /// recover.
+    pub fn subscribe<R: Rng + ?Sized>(
+        &mut self,
+        real_locations: &[Point],
+        rng: &mut R,
+    ) -> Result<(Vec<Point>, SafeRegionToken), ServerError> {
+        let (mut answer, token) = self.issue(real_locations, rng, true)?;
+        let mut token = token.ok_or(ServerError::Malformed(
+            "subscribe returned no safe-region token",
+        ))?;
+        let k = self.config.k;
+        let agg = self.config.aggregate;
+        if answer.len() > k {
+            // The sentinel gap, on this client's own decrypted costs.
+            let c_prot = agg.eval(&answer[k - 1], real_locations);
+            let c_sent = agg.eval(&answer[k], real_locations);
+            token.margin = (c_sent - c_prot).max(0.0);
+            answer.truncate(k);
+        } else {
+            // Fewer answers than asked: the database itself is smaller
+            // than k+1, so the answer set cannot change without a
+            // mutation — and every mutation near a free slot notifies.
+            token.margin = f64::INFINITY;
+        }
+        Ok((answer, token))
+    }
+
+    /// Shared driver behind [`Self::query`] and [`Self::subscribe`].
+    fn issue<R: Rng + ?Sized>(
+        &mut self,
+        real_locations: &[Point],
+        rng: &mut R,
+        subscribe: bool,
+    ) -> Result<(Vec<Point>, Option<SafeRegionToken>), ServerError> {
         let (tctx, tracing) = trace::global().start();
         // Activate before any stage timer is armed so timer drops still
         // see the active trace and record their bucket exemplars.
         let active = tracing.as_ref().map(|h| h.activate());
         trace::attr(AttrKey::Users, real_locations.len() as u64);
         let retries_before = self.stats.retries;
-        let result = self.query_attempts(tctx, real_locations, rng);
+        let result = self.query_attempts(tctx, real_locations, rng, subscribe);
         let retries = self.stats.retries - retries_before;
         if retries > 0 {
             trace::attr(AttrKey::Retries, retries);
@@ -430,26 +519,38 @@ impl GroupClient {
         tctx: TraceContext,
         real_locations: &[Point],
         rng: &mut R,
-    ) -> Result<Vec<Point>, ServerError> {
+        subscribe: bool,
+    ) -> Result<(Vec<Point>, Option<SafeRegionToken>), ServerError> {
         // End-to-end covers plan, encode, every wire attempt (including
         // backoff sleeps), and the final decrypt — the latency a group
         // member actually experiences.
         let _e2e = telemetry::global().time(telemetry::Stage::EndToEnd);
+        // A subscription asks for one extra answer — the runner-up
+        // sentinel `subscribe` turns into the safe-region margin.
+        let config = if subscribe {
+            PpgnnConfig {
+                k: self.config.k + 1,
+                ..self.config.clone()
+            }
+        } else {
+            self.config.clone()
+        };
         let plan = self
             .session
-            .plan(&self.config, self.space, real_locations, rng)?;
+            .plan(&config, self.space, real_locations, rng)?;
         let ctx = plan.wire_context();
         // Re-negotiate if this plan's decode context drifted (e.g. the
-        // group size changed, shifting ω).
+        // group size changed, shifting ω — or `k` shifting by the
+        // sentinel when a client alternates queries and subscribes).
         let params = SessionParams {
             key_bits: ctx.key_bits,
-            variant: variant_tag(self.config.variant),
+            variant: variant_tag(config.variant),
             two_phase_omega: ctx.two_phase_omega,
             has_partition: ctx.has_partition,
             n_users: real_locations.len(),
-            delta: self.config.delta,
-            k: self.config.k,
-            d: effective_set_len(&self.config),
+            delta: config.delta,
+            k: config.k,
+            d: effective_set_len(&config),
         };
         let request_id = self.next_request_id;
         self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
@@ -476,9 +577,14 @@ impl GroupClient {
             self.retry.clone(),
             self.group_id ^ ((request_id as u64) << 32),
         );
+        let frame_type = if subscribe {
+            FrameType::Subscribe
+        } else {
+            FrameType::Query
+        };
         loop {
             let remaining = self.retry.budget.saturating_sub(started.elapsed());
-            let result = self.attempt(params, &payload, request_id, remaining);
+            let result = self.attempt(frame_type, params, &payload, request_id, remaining);
             let err = match result {
                 Ok(ans) => {
                     if ans.replayed {
@@ -492,7 +598,21 @@ impl GroupClient {
                         self.session.public_key(),
                         ans.two_phase,
                     )?;
-                    return Ok(self.session.decode(self.config.k, &msg)?);
+                    let answer = self.session.decode(config.k, &msg)?;
+                    if !subscribe {
+                        return Ok((answer, None));
+                    }
+                    // A replayed answer comes from the server's cache;
+                    // the replay path never registers a subscription,
+                    // so no `Granted` will follow. Fail fast —
+                    // re-subscribing mints a fresh request ID.
+                    if ans.replayed {
+                        return Err(ServerError::Malformed(
+                            "subscription grant lost in answer replay; re-subscribe",
+                        ));
+                    }
+                    let token = self.wait_granted(request_id)?;
+                    return Ok((answer, Some(token)));
                 }
                 Err(e) => e,
             };
@@ -522,6 +642,7 @@ impl GroupClient {
     /// One send/receive attempt for an already-encoded query.
     fn attempt(
         &mut self,
+        frame_type: FrameType,
         params: SessionParams,
         payload: &[u8],
         request_id: u32,
@@ -549,10 +670,16 @@ impl GroupClient {
                 max: self.max_payload,
             });
         }
-        write_frame(&mut self.stream, FrameType::Query, payload)?;
+        write_frame(&mut self.stream, frame_type, payload)?;
         loop {
             let frame = read_frame(&mut self.stream, self.max_payload)?;
             match frame.frame_type {
+                // An earlier subscription's push can land while this
+                // query's answer is in flight; stash it, don't desync.
+                FrameType::SubscriptionUpdate => {
+                    let update = SubscriptionUpdatePayload::decode(&frame.payload)?;
+                    self.pending_updates.push(update);
+                }
                 FrameType::Answer => {
                     let ans = AnswerPayload::decode(&frame.payload)?;
                     if ans.request_id != request_id {
@@ -584,6 +711,208 @@ impl GroupClient {
                 other => {
                     return Err(ServerError::UnexpectedFrame {
                         expected: "Answer",
+                        got: other,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Waits for the `Granted` push that follows a `Subscribe` answer.
+    fn wait_granted(&mut self, request_id: u32) -> Result<SafeRegionToken, ServerError> {
+        loop {
+            let frame = read_frame(&mut self.stream, self.max_payload).inspect_err(|_| {
+                self.broken = true;
+            })?;
+            match frame.frame_type {
+                FrameType::SubscriptionUpdate => {
+                    let update = SubscriptionUpdatePayload::decode(&frame.payload)?;
+                    if update.request_id == request_id && update.kind == SubscriptionKind::Granted {
+                        return Ok(SafeRegionToken {
+                            request_id,
+                            version: update.version,
+                            margin: update.margin,
+                            drift_scale: update.drift_scale,
+                        });
+                    }
+                    self.pending_updates.push(update);
+                }
+                FrameType::Pong => continue,
+                FrameType::Error => {
+                    let err = ErrorPayload::decode(&frame.payload)?;
+                    return Err(ServerError::Remote {
+                        code: err.code,
+                        message: err.message,
+                    });
+                }
+                other => {
+                    return Err(ServerError::UnexpectedFrame {
+                        expected: "SubscriptionUpdate",
+                        got: other,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Drains pushes already received (stashed while waiting for other
+    /// replies) without touching the network.
+    pub fn take_notifications(&mut self) -> Vec<SubscriptionUpdatePayload> {
+        std::mem::take(&mut self.pending_updates)
+    }
+
+    /// Waits up to `wait` for subscription pushes. Returns whatever
+    /// arrived (possibly none): stashed pushes immediately, otherwise
+    /// whatever the server sends before the deadline. A quiet wire is
+    /// not an error.
+    pub fn poll_notifications(
+        &mut self,
+        wait: Duration,
+    ) -> Result<Vec<SubscriptionUpdatePayload>, ServerError> {
+        if !self.pending_updates.is_empty() {
+            return Ok(self.take_notifications());
+        }
+        self.ensure_connected()?;
+        self.stream
+            .set_read_timeout(Some(wait.min(READ_TIMEOUT).max(MIN_READ_TIMEOUT)))?;
+        loop {
+            match read_frame(&mut self.stream, self.max_payload) {
+                Ok(frame) => match frame.frame_type {
+                    FrameType::SubscriptionUpdate => {
+                        let update = SubscriptionUpdatePayload::decode(&frame.payload)?;
+                        self.pending_updates.push(update);
+                        // Drain whatever else is already in flight,
+                        // but don't wait the full deadline again.
+                        self.stream.set_read_timeout(Some(MIN_READ_TIMEOUT))?;
+                    }
+                    FrameType::Pong => continue,
+                    other => {
+                        self.broken = true;
+                        return Err(ServerError::UnexpectedFrame {
+                            expected: "SubscriptionUpdate",
+                            got: other,
+                        });
+                    }
+                },
+                // A clean timeout means "nothing pushed" — the frame
+                // header is read in one piece, so no bytes were lost.
+                Err(ServerError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break;
+                }
+                Err(e) => {
+                    self.broken = true;
+                    return Err(e);
+                }
+            }
+        }
+        self.stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        Ok(self.take_notifications())
+    }
+
+    /// Cancels the standing query granted under `token`. Idempotent:
+    /// the server confirms with an `Ended` push either way.
+    pub fn unsubscribe(&mut self, token: &SafeRegionToken) -> Result<(), ServerError> {
+        self.ensure_connected()?;
+        let payload = UnsubscribePayload {
+            group_id: self.group_id,
+            request_id: token.request_id,
+        };
+        write_frame(&mut self.stream, FrameType::Unsubscribe, &payload.encode()).inspect_err(
+            |_| {
+                self.broken = true;
+            },
+        )?;
+        loop {
+            let frame = read_frame(&mut self.stream, self.max_payload).inspect_err(|_| {
+                self.broken = true;
+            })?;
+            match frame.frame_type {
+                FrameType::SubscriptionUpdate => {
+                    let update = SubscriptionUpdatePayload::decode(&frame.payload)?;
+                    if update.request_id == token.request_id
+                        && update.kind == SubscriptionKind::Ended
+                    {
+                        return Ok(());
+                    }
+                    self.pending_updates.push(update);
+                }
+                FrameType::Pong => continue,
+                FrameType::Error => {
+                    let err = ErrorPayload::decode(&frame.payload)?;
+                    return Err(ServerError::Remote {
+                        code: err.code,
+                        message: err.message,
+                    });
+                }
+                other => {
+                    return Err(ServerError::UnexpectedFrame {
+                        expected: "SubscriptionUpdate",
+                        got: other,
+                    })
+                }
+            }
+        }
+    }
+
+    /// The admin lane: ships a POI mutation batch. Requires the
+    /// server's shared-secret `admin_token`; a wrong token earns a
+    /// protocol-violation strike, exactly like any hostile frame.
+    pub fn poi_update(
+        &mut self,
+        admin_token: u64,
+        ops: &[PoiOp],
+    ) -> Result<PoiUpdateAckPayload, ServerError> {
+        self.ensure_connected()?;
+        let request_id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
+        let payload = PoiUpdatePayload {
+            admin_token,
+            request_id,
+            ops: ops.to_vec(),
+        };
+        write_frame(&mut self.stream, FrameType::PoiUpdate, &payload.encode()).inspect_err(
+            |_| {
+                self.broken = true;
+            },
+        )?;
+        loop {
+            let frame = read_frame(&mut self.stream, self.max_payload).inspect_err(|_| {
+                self.broken = true;
+            })?;
+            match frame.frame_type {
+                FrameType::PoiUpdateAck => {
+                    let ack = PoiUpdateAckPayload::decode(&frame.payload)?;
+                    if ack.request_id != request_id {
+                        return Err(ServerError::Malformed("ack for a different request"));
+                    }
+                    return Ok(ack);
+                }
+                FrameType::SubscriptionUpdate => {
+                    let update = SubscriptionUpdatePayload::decode(&frame.payload)?;
+                    self.pending_updates.push(update);
+                }
+                FrameType::Busy => {
+                    let busy = BusyPayload::decode(&frame.payload)?;
+                    return Err(ServerError::ServerBusy {
+                        retry_after_ms: busy.retry_after_ms,
+                    });
+                }
+                FrameType::Error => {
+                    let err = ErrorPayload::decode(&frame.payload)?;
+                    return Err(ServerError::Remote {
+                        code: err.code,
+                        message: err.message,
+                    });
+                }
+                FrameType::Pong => continue,
+                other => {
+                    return Err(ServerError::UnexpectedFrame {
+                        expected: "PoiUpdateAck",
                         got: other,
                     })
                 }

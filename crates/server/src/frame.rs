@@ -19,6 +19,7 @@
 
 use std::io::{Read, Write};
 
+use ppgnn_geo::{Poi, PoiOp, Point};
 use ppgnn_telemetry::trace::{self, TraceContext, TraceSegment, TRACE_CONTEXT_BYTES};
 use ppgnn_telemetry::{HealthSnapshot, TelemetrySnapshot};
 
@@ -33,14 +34,20 @@ pub const MAGIC: [u8; 4] = *b"PPGN";
 /// telemetry exchange and rebased `Pong` on the fixed-width
 /// [`HealthSnapshot`] encoding; 5 added the 16-byte [`TraceContext`]
 /// to the `Query` header and the sessionless `TraceFetch`/`TraceReply`
-/// exchange for pulling kept trace segments).
-pub const VERSION: u8 = 5;
+/// exchange for pulling kept trace segments; 6 added the dynamic-world
+/// lanes: `PoiUpdate`/`PoiUpdateAck` admin mutations of the POI index
+/// and the `Subscribe`/`SubscriptionUpdate`/`Unsubscribe` standing-query
+/// exchange for moving groups).
+pub const VERSION: u8 = 6;
 /// Fixed header width: magic + version + type + u32 length + u32 crc.
 pub const HEADER_BYTES: usize = 14;
 /// Default cap on a single frame payload (16 MiB).
 pub const DEFAULT_MAX_PAYLOAD: usize = 16 << 20;
 /// Cap on location sets per query (one per user; groups are small).
 pub const MAX_LOCATION_SETS: usize = 4096;
+/// Cap on mutations per `PoiUpdate` frame — bounds both decode memory
+/// and the time the admin lane can hold the index's writer lock.
+pub const MAX_POI_OPS: usize = 4096;
 
 /// The frame type tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +78,18 @@ pub enum FrameType {
     TraceFetch,
     /// Server → client: the drained trace segments.
     TraceReply,
+    /// Admin → server: a batch of POI insert/remove mutations.
+    PoiUpdate,
+    /// Server → admin: mutation batch applied, new index version.
+    PoiUpdateAck,
+    /// Client → server: a standing group query (payload is a
+    /// [`QueryPayload`]); answered once, then watched for invalidation.
+    Subscribe,
+    /// Server → client: a subscription life-cycle push (granted /
+    /// invalidated / ended) with the safe-region token.
+    SubscriptionUpdate,
+    /// Client → server: drop a standing query.
+    Unsubscribe,
 }
 
 impl FrameType {
@@ -90,6 +109,11 @@ impl FrameType {
             FrameType::StatsReply => 0x0b,
             FrameType::TraceFetch => 0x0c,
             FrameType::TraceReply => 0x0d,
+            FrameType::PoiUpdate => 0x0e,
+            FrameType::PoiUpdateAck => 0x0f,
+            FrameType::Subscribe => 0x10,
+            FrameType::SubscriptionUpdate => 0x11,
+            FrameType::Unsubscribe => 0x12,
         }
     }
 
@@ -109,6 +133,11 @@ impl FrameType {
             0x0b => FrameType::StatsReply,
             0x0c => FrameType::TraceFetch,
             0x0d => FrameType::TraceReply,
+            0x0e => FrameType::PoiUpdate,
+            0x0f => FrameType::PoiUpdateAck,
+            0x10 => FrameType::Subscribe,
+            0x11 => FrameType::SubscriptionUpdate,
+            0x12 => FrameType::Unsubscribe,
             other => return Err(ServerError::UnknownFrameType(other)),
         })
     }
@@ -682,6 +711,252 @@ impl TraceReplyPayload {
     }
 }
 
+/// `PoiUpdate`: the admin lane's mutation batch against the live POI
+/// index. Only a session presenting the server's admin token may send
+/// it; everyone else gets a typed violation (the index is the LSP's
+/// asset — a client that could move POIs could trivially defeat the
+/// sanitizer by planting answers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoiUpdatePayload {
+    /// Shared-secret admin token (compared in the clear; the threat
+    /// model here is hostile *clients*, not a network MITM).
+    pub admin_token: u64,
+    /// Client-chosen request identifier, echoed in the ack.
+    pub request_id: u32,
+    /// The mutations, applied in order as one atomic batch.
+    pub ops: Vec<PoiOp>,
+}
+
+impl PoiUpdatePayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + self.ops.len() * 21);
+        buf.extend_from_slice(&self.admin_token.to_le_bytes());
+        buf.extend_from_slice(&self.request_id.to_le_bytes());
+        buf.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        for op in &self.ops {
+            match *op {
+                PoiOp::Insert(poi) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&poi.id.to_le_bytes());
+                    buf.extend_from_slice(&poi.location.x.to_bits().to_le_bytes());
+                    buf.extend_from_slice(&poi.location.y.to_bits().to_le_bytes());
+                }
+                PoiOp::Remove(id) => {
+                    buf.push(2);
+                    buf.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+        }
+        buf
+    }
+
+    /// Parses the payload, rejecting oversized batches, unknown op tags
+    /// and non-finite coordinates.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        let mut pos = 0;
+        let admin_token = get_u64(buf, &mut pos, "poi_update.admin_token")?;
+        let request_id = get_u32(buf, &mut pos, "poi_update.request_id")?;
+        let count = get_u32(buf, &mut pos, "poi_update.op_count")? as usize;
+        if count > MAX_POI_OPS {
+            return Err(ServerError::Malformed("poi_update.op_count out of range"));
+        }
+        let mut ops = Vec::with_capacity(count);
+        for _ in 0..count {
+            match get_u8(buf, &mut pos, "poi_update.op_tag")? {
+                1 => {
+                    let id = get_u32(buf, &mut pos, "poi_update.insert_id")?;
+                    let x = f64::from_bits(get_u64(buf, &mut pos, "poi_update.insert_x")?);
+                    let y = f64::from_bits(get_u64(buf, &mut pos, "poi_update.insert_y")?);
+                    if !x.is_finite() || !y.is_finite() {
+                        return Err(ServerError::Malformed("poi_update.insert not finite"));
+                    }
+                    ops.push(PoiOp::Insert(Poi::new(id, Point::new(x, y))));
+                }
+                2 => {
+                    let id = get_u32(buf, &mut pos, "poi_update.remove_id")?;
+                    ops.push(PoiOp::Remove(id));
+                }
+                _ => return Err(ServerError::Malformed("poi_update.op_tag")),
+            }
+        }
+        expect_consumed(buf, pos, "poi_update trailing bytes")?;
+        Ok(PoiUpdatePayload {
+            admin_token,
+            request_id,
+            ops,
+        })
+    }
+}
+
+/// `PoiUpdateAck`: the mutation batch landed; the new index version is
+/// what freshly pinned snapshots answer from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoiUpdateAckPayload {
+    /// Echo of the request identifier.
+    pub request_id: u32,
+    /// Index version published by this batch.
+    pub version: u64,
+    /// Operations that actually changed the live set.
+    pub applied: u32,
+    /// Standing subscriptions this batch invalidated.
+    pub invalidated: u32,
+}
+
+impl PoiUpdateAckPayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(20);
+        buf.extend_from_slice(&self.request_id.to_le_bytes());
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf.extend_from_slice(&self.applied.to_le_bytes());
+        buf.extend_from_slice(&self.invalidated.to_le_bytes());
+        buf
+    }
+
+    /// Parses the payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        let mut pos = 0;
+        let request_id = get_u32(buf, &mut pos, "poi_update_ack.request_id")?;
+        let version = get_u64(buf, &mut pos, "poi_update_ack.version")?;
+        let applied = get_u32(buf, &mut pos, "poi_update_ack.applied")?;
+        let invalidated = get_u32(buf, &mut pos, "poi_update_ack.invalidated")?;
+        expect_consumed(buf, pos, "poi_update_ack trailing bytes")?;
+        Ok(PoiUpdateAckPayload {
+            request_id,
+            version,
+            applied,
+            invalidated,
+        })
+    }
+}
+
+/// Life-cycle tag of a [`SubscriptionUpdatePayload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscriptionKind {
+    /// The subscription is registered; the safe-region token rides
+    /// along with the `Answer` frame that precedes this push.
+    Granted,
+    /// A POI mutation may have changed the group's answer — re-query.
+    Invalidated,
+    /// The server dropped the subscription (unsubscribe, disconnect,
+    /// or registry eviction).
+    Ended,
+}
+
+impl SubscriptionKind {
+    /// Wire tag.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            SubscriptionKind::Granted => 1,
+            SubscriptionKind::Invalidated => 2,
+            SubscriptionKind::Ended => 3,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_u8(v: u8) -> Result<Self, ServerError> {
+        Ok(match v {
+            1 => SubscriptionKind::Granted,
+            2 => SubscriptionKind::Invalidated,
+            3 => SubscriptionKind::Ended,
+            _ => return Err(ServerError::Malformed("subscription_update.kind")),
+        })
+    }
+}
+
+/// `SubscriptionUpdate`: a server push on a standing query. `Granted`
+/// carries the safe-region token (margin + drift scale) the client
+/// turns into a per-user drift radius; `Invalidated` tells the group
+/// its cached answer may be stale as of `version`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubscriptionUpdatePayload {
+    /// Echo of the subscribing request identifier.
+    pub request_id: u32,
+    /// Which life-cycle edge this push is.
+    pub kind: SubscriptionKind,
+    /// Index version this push was computed against.
+    pub version: u64,
+    /// Safe-region margin M: the aggregate-cost gap between the last
+    /// *protected* answer and the runner-up sentinel (a subscription
+    /// for `k` wire answers protects the top-`k−1`; the k-th is the
+    /// sentinel). On a grant the client recomputes the true M from its
+    /// own decrypted answers — zero extra disclosure — and the
+    /// protected set provably cannot change while every user stays
+    /// within `M / (4 · drift_scale)` of their subscribed location.
+    pub margin: f64,
+    /// Aggregate scale: `n` for Sum (every user's drift adds up), 1
+    /// for Max/Min.
+    pub drift_scale: u32,
+}
+
+impl SubscriptionUpdatePayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(25);
+        buf.extend_from_slice(&self.request_id.to_le_bytes());
+        buf.push(self.kind.to_u8());
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf.extend_from_slice(&self.margin.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.drift_scale.to_le_bytes());
+        buf
+    }
+
+    /// Parses the payload. The margin may be infinite (fewer than k+1
+    /// POIs: the answer can never change) but not NaN.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        let mut pos = 0;
+        let request_id = get_u32(buf, &mut pos, "subscription_update.request_id")?;
+        let kind = SubscriptionKind::from_u8(get_u8(buf, &mut pos, "subscription_update.kind")?)?;
+        let version = get_u64(buf, &mut pos, "subscription_update.version")?;
+        let margin = f64::from_bits(get_u64(buf, &mut pos, "subscription_update.margin")?);
+        if margin.is_nan() || margin < 0.0 {
+            return Err(ServerError::Malformed("subscription_update.margin"));
+        }
+        let drift_scale = get_u32(buf, &mut pos, "subscription_update.drift_scale")?;
+        expect_consumed(buf, pos, "subscription_update trailing bytes")?;
+        Ok(SubscriptionUpdatePayload {
+            request_id,
+            kind,
+            version,
+            margin,
+            drift_scale,
+        })
+    }
+}
+
+/// `Unsubscribe`: drop the group's standing query. The server confirms
+/// with a `SubscriptionUpdate` of kind `Ended`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsubscribePayload {
+    /// The subscribed group.
+    pub group_id: u64,
+    /// The request identifier the subscription was granted under.
+    pub request_id: u32,
+}
+
+impl UnsubscribePayload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(12);
+        buf.extend_from_slice(&self.group_id.to_le_bytes());
+        buf.extend_from_slice(&self.request_id.to_le_bytes());
+        buf
+    }
+
+    /// Parses the payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
+        let mut pos = 0;
+        let group_id = get_u64(buf, &mut pos, "unsubscribe.group_id")?;
+        let request_id = get_u32(buf, &mut pos, "unsubscribe.request_id")?;
+        expect_consumed(buf, pos, "unsubscribe trailing bytes")?;
+        Ok(UnsubscribePayload {
+            group_id,
+            request_id,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -915,7 +1190,7 @@ mod tests {
         // The trace-context query header is a version-5 wire change (as
         // Stats was for v4); a stale peer must get a typed rejection,
         // never a silently misparsed payload.
-        for stale in [3u8, 4] {
+        for stale in [3u8, 4, 5] {
             let mut buf = Vec::new();
             write_frame(&mut buf, FrameType::Ping, &[]).unwrap();
             buf[4] = stale;
@@ -1034,5 +1309,168 @@ mod tests {
             QueryPayload::decode(&q),
             Err(ServerError::Malformed("query.set_count out of range"))
         ));
+    }
+
+    #[test]
+    fn poi_update_round_trip() {
+        let p = PoiUpdatePayload {
+            admin_token: 0xdead_beef_cafe_f00d,
+            request_id: 77,
+            ops: vec![
+                PoiOp::Insert(Poi::new(12, Point::new(0.25, 0.75))),
+                PoiOp::Remove(9),
+                PoiOp::Insert(Poi::new(13, Point::new(0.0, 1.0))),
+            ],
+        };
+        let wire = p.encode();
+        assert_eq!(PoiUpdatePayload::decode(&wire).unwrap(), p);
+        for cut in 0..wire.len() {
+            assert!(
+                PoiUpdatePayload::decode(&wire[..cut]).is_err(),
+                "poi_update cut {cut}"
+            );
+        }
+        // The empty batch is legal on the wire (server acks it with a
+        // version bump but no changes).
+        let empty = PoiUpdatePayload {
+            admin_token: 1,
+            request_id: 0,
+            ops: vec![],
+        };
+        assert_eq!(PoiUpdatePayload::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn poi_update_rejects_hostile_encodings() {
+        let p = PoiUpdatePayload {
+            admin_token: 5,
+            request_id: 1,
+            ops: vec![PoiOp::Insert(Poi::new(1, Point::new(0.5, 0.5)))],
+        };
+        // Oversized op count claims more than MAX_POI_OPS.
+        let mut wire = p.encode();
+        wire[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            PoiUpdatePayload::decode(&wire),
+            Err(ServerError::Malformed("poi_update.op_count out of range"))
+        ));
+        // Unknown op tag.
+        let mut wire = p.encode();
+        wire[16] = 3;
+        assert!(matches!(
+            PoiUpdatePayload::decode(&wire),
+            Err(ServerError::Malformed("poi_update.op_tag"))
+        ));
+        // Non-finite coordinate (NaN x).
+        let mut wire = p.encode();
+        wire[21..29].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(
+            PoiUpdatePayload::decode(&wire),
+            Err(ServerError::Malformed("poi_update.insert not finite"))
+        ));
+        // Infinite y.
+        let mut wire = p.encode();
+        wire[29..37].copy_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
+        assert!(PoiUpdatePayload::decode(&wire).is_err());
+        // Trailing garbage.
+        let mut wire = p.encode();
+        wire.push(0);
+        assert!(matches!(
+            PoiUpdatePayload::decode(&wire),
+            Err(ServerError::Malformed("poi_update trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn poi_update_ack_round_trip() {
+        let a = PoiUpdateAckPayload {
+            request_id: 77,
+            version: 12,
+            applied: 3,
+            invalidated: 2,
+        };
+        let wire = a.encode();
+        assert_eq!(PoiUpdateAckPayload::decode(&wire).unwrap(), a);
+        for cut in 0..wire.len() {
+            assert!(PoiUpdateAckPayload::decode(&wire[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn subscription_update_round_trip() {
+        for kind in [
+            SubscriptionKind::Granted,
+            SubscriptionKind::Invalidated,
+            SubscriptionKind::Ended,
+        ] {
+            let s = SubscriptionUpdatePayload {
+                request_id: 4,
+                kind,
+                version: 9,
+                margin: 0.03125,
+                drift_scale: 3,
+            };
+            let wire = s.encode();
+            assert_eq!(SubscriptionUpdatePayload::decode(&wire).unwrap(), s);
+            for cut in 0..wire.len() {
+                assert!(SubscriptionUpdatePayload::decode(&wire[..cut]).is_err());
+            }
+        }
+        // Infinite margin is legal (fewer than k+1 POIs)...
+        let inf = SubscriptionUpdatePayload {
+            request_id: 1,
+            kind: SubscriptionKind::Granted,
+            version: 1,
+            margin: f64::INFINITY,
+            drift_scale: 1,
+        };
+        assert_eq!(
+            SubscriptionUpdatePayload::decode(&inf.encode()).unwrap(),
+            inf
+        );
+        // ...NaN and negative margins are not.
+        let mut wire = inf.encode();
+        wire[13..21].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(SubscriptionUpdatePayload::decode(&wire).is_err());
+        let mut wire = inf.encode();
+        wire[13..21].copy_from_slice(&(-1.0f64).to_bits().to_le_bytes());
+        assert!(SubscriptionUpdatePayload::decode(&wire).is_err());
+        // Unknown kind tag.
+        let mut wire = inf.encode();
+        wire[4] = 9;
+        assert!(matches!(
+            SubscriptionUpdatePayload::decode(&wire),
+            Err(ServerError::Malformed("subscription_update.kind"))
+        ));
+    }
+
+    #[test]
+    fn unsubscribe_round_trip() {
+        let u = UnsubscribePayload {
+            group_id: 88,
+            request_id: 5,
+        };
+        let wire = u.encode();
+        assert_eq!(UnsubscribePayload::decode(&wire).unwrap(), u);
+        for cut in 0..wire.len() {
+            assert!(UnsubscribePayload::decode(&wire[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn v6_frame_tags_round_trip() {
+        for ft in [
+            FrameType::PoiUpdate,
+            FrameType::PoiUpdateAck,
+            FrameType::Subscribe,
+            FrameType::SubscriptionUpdate,
+            FrameType::Unsubscribe,
+        ] {
+            assert_eq!(FrameType::from_u8(ft.to_u8()).unwrap(), ft);
+            let mut buf = Vec::new();
+            write_frame(&mut buf, ft, &[1, 2, 3]).unwrap();
+            let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD).unwrap();
+            assert_eq!(frame.frame_type, ft);
+        }
     }
 }

@@ -58,22 +58,32 @@ pub mod fault;
 pub mod frame;
 pub mod mallory;
 pub mod metrics;
+pub mod moving;
 pub mod registry;
 pub mod server;
+pub mod subscription;
 pub mod validate;
 
 pub use backoff::{BackoffSchedule, RetryPolicy};
-pub use client::{session_params_for, ClientStats, GroupClient};
+pub use client::{session_params_for, ClientStats, GroupClient, SafeRegionToken};
 pub use error::{ErrorCode, ServerError};
 pub use fault::{FaultAction, FaultConfig, FaultPlan, FaultyStream, Transport};
-pub use frame::{Frame, FrameType, PongPayload, StatsReplyPayload, TraceReplyPayload};
+pub use frame::{
+    Frame, FrameType, PoiUpdateAckPayload, PoiUpdatePayload, PongPayload, StatsReplyPayload,
+    SubscriptionKind, SubscriptionUpdatePayload, TraceReplyPayload, UnsubscribePayload,
+};
 pub use mallory::{Attack, AttackContext, MalloryOutcome, MalloryReport, ATTACK_CATALOG};
 pub use metrics::{percentile, summarize, LatencySummary};
+pub use moving::{run_moving_soak, MovingSoakConfig, MovingSoakReport};
 pub use ppgnn_telemetry::{HealthSnapshot, StageSnapshot, TelemetrySnapshot};
 pub use registry::{
     CachedAnswer, RegistryLimits, SessionParams, SessionRegistry, SessionTableFull,
 };
 pub use server::{
-    serve, ConfigError, ServerConfig, ServerConfigBuilder, ServerHandle, ServerStats, StatsProbe,
+    serve, serve_dynamic, ConfigError, ServerConfig, ServerConfigBuilder, ServerHandle,
+    ServerStats, StatsProbe, World,
+};
+pub use subscription::{
+    compute_regions, CandidateRegion, SafeRegionSummary, Subscription, SubscriptionRegistry,
 };
 pub use validate::{HelloPolicy, ProtocolViolation, TokenBucket};

@@ -25,7 +25,7 @@ use ppgnn_bigint::BigUint;
 use ppgnn_core::messages::IndicatorPayload;
 use ppgnn_core::protocol::QueryPlan;
 use ppgnn_core::{PpgnnConfig, PpgnnSession};
-use ppgnn_geo::{Point, Rect};
+use ppgnn_geo::{Poi, PoiOp, Point, Rect};
 use ppgnn_paillier::{Ciphertext, EncryptedVector};
 use ppgnn_telemetry::trace::TraceContext;
 use ppgnn_telemetry::{json, CounterSnapshot};
@@ -35,8 +35,8 @@ use rand_chacha::ChaCha8Rng;
 use crate::client::session_params_for;
 use crate::error::{ErrorCode, ServerError};
 use crate::frame::{
-    crc32, read_frame, write_frame, FrameType, HelloAckPayload, HelloPayload, QueryPayload, MAGIC,
-    VERSION,
+    crc32, read_frame, write_frame, FrameType, HelloAckPayload, HelloPayload, PoiUpdatePayload,
+    QueryPayload, MAGIC, VERSION,
 };
 use crate::registry::SessionParams;
 
@@ -73,6 +73,11 @@ pub enum Attack {
     SessionFlood,
     /// A frame dribbled byte-by-byte to hold a connection thread.
     SlowWriter,
+    /// A burst of standing-query subscriptions to fill the registry.
+    SubscribeFlood,
+    /// A `PoiUpdate` carrying a guessed admin token — a non-admin
+    /// trying to mutate the live index.
+    ForgedPoiUpdate,
 }
 
 /// Every attack, in a fixed order (so `seed + index` reproduces).
@@ -92,6 +97,8 @@ pub const ATTACK_CATALOG: &[Attack] = &[
     Attack::ReplayedRequestId,
     Attack::SessionFlood,
     Attack::SlowWriter,
+    Attack::SubscribeFlood,
+    Attack::ForgedPoiUpdate,
 ];
 
 impl std::fmt::Display for Attack {
@@ -112,6 +119,8 @@ impl std::fmt::Display for Attack {
             Attack::ReplayedRequestId => "replayed-request-id",
             Attack::SessionFlood => "session-flood",
             Attack::SlowWriter => "slow-writer",
+            Attack::SubscribeFlood => "subscribe-flood",
+            Attack::ForgedPoiUpdate => "forged-poi-update",
         };
         f.write_str(name)
     }
@@ -181,6 +190,11 @@ pub struct AttackContext {
     pub slow_stall: Duration,
     /// Handshakes one [`Attack::SessionFlood`] run attempts.
     pub flood_sessions: usize,
+    /// Standing queries one [`Attack::SubscribeFlood`] run attempts.
+    /// Each granted subscription costs the server a full PPGNN query,
+    /// so this stays small; point the attack at a server with a low
+    /// `max_subscriptions` to exercise the rejection path.
+    pub flood_subscriptions: usize,
 }
 
 impl AttackContext {
@@ -205,6 +219,7 @@ impl AttackContext {
             probe_timeout: Duration::from_secs(10),
             slow_stall: Duration::from_millis(1500),
             flood_sessions: 12,
+            flood_subscriptions: 4,
         })
     }
 
@@ -420,7 +435,9 @@ fn probe(stream: &mut TcpStream) -> MalloryOutcome {
             },
             FrameType::Busy => MalloryOutcome::Shed,
             FrameType::Goodbye => MalloryOutcome::Disconnected,
-            FrameType::Answer => MalloryOutcome::Answered,
+            // An `Answer` to malformed input, or an ack for a forged
+            // admin mutation, both mean the gate leaked.
+            FrameType::Answer | FrameType::PoiUpdateAck => MalloryOutcome::Answered,
             other => MalloryOutcome::Aborted(format!("unexpected {other:?} frame")),
         },
         Err(e) => classify_transport(e),
@@ -674,6 +691,56 @@ fn attack_inner(
                 Err(e) => Ok(classify_transport(ServerError::Io(e))),
             }
         }
+        Attack::SubscribeFlood => {
+            // Standing queries pin registry slots until unsubscribed;
+            // flood distinct groups and never unsubscribe. A hardened
+            // server turns the overflow away with a typed violation
+            // *before* spending worker time on the query.
+            for i in 0..ctx.flood_subscriptions {
+                let flood_id = hostile_group_id(run_seed.wrapping_add(0x5b5c + i as u64));
+                if let Some(early) = handshake(&mut stream, &ctx.hello(flood_id))? {
+                    return Ok(early);
+                }
+                write_frame(
+                    &mut stream,
+                    FrameType::Subscribe,
+                    &ctx.honest_query(flood_id, 1),
+                )?;
+                // A grant is Answer then SubscriptionUpdate; anything
+                // typed before the answer is the cap doing its job.
+                match probe(&mut stream) {
+                    MalloryOutcome::Answered => {}
+                    other => return Ok(other),
+                }
+                match read_frame(&mut stream, crate::frame::DEFAULT_MAX_PAYLOAD) {
+                    Ok(f) if f.frame_type == FrameType::SubscriptionUpdate => {}
+                    Ok(f) => {
+                        return Ok(MalloryOutcome::Aborted(format!(
+                            "unexpected {:?} after subscribe answer",
+                            f.frame_type
+                        )))
+                    }
+                    Err(e) => return Ok(classify_transport(e)),
+                }
+            }
+            Ok(MalloryOutcome::AckedAll)
+        }
+        Attack::ForgedPoiUpdate => {
+            if let Some(early) = handshake(&mut stream, &ctx.hello(group_id))? {
+                return Ok(early);
+            }
+            // A guessed token against the admin lane. The server must
+            // refuse it identically whether the world is static or
+            // dynamic — the check runs before the lane is revealed.
+            let payload = PoiUpdatePayload {
+                admin_token: run_seed ^ 0x5ca1_ab1e_0ddb_a11c,
+                request_id: 1,
+                ops: vec![PoiOp::Insert(Poi::new(u32::MAX, Point::new(0.5, 0.5)))],
+            }
+            .encode();
+            write_frame(&mut stream, FrameType::PoiUpdate, &payload)?;
+            Ok(probe(&mut stream))
+        }
     }
 }
 
@@ -683,7 +750,7 @@ mod tests {
 
     #[test]
     fn catalog_is_complete_and_displayable() {
-        assert_eq!(ATTACK_CATALOG.len(), 15);
+        assert_eq!(ATTACK_CATALOG.len(), 17);
         let mut names: Vec<String> = ATTACK_CATALOG.iter().map(|a| a.to_string()).collect();
         names.sort();
         names.dedup();

@@ -1,0 +1,364 @@
+//! The moving-group soak harness: continuous PPGNN queries over a
+//! live, mutating world, oracle-checked end to end.
+//!
+//! One deterministic [`MovingWorld`] drives everything: groups drift,
+//! POIs churn, and the harness plays both sides — an admin connection
+//! ships each tick's mutations down the `PoiUpdate` lane while every
+//! group holds a standing `Subscribe` query. A plaintext mirror of the
+//! live POI set acts as the oracle: after every tick, any group that
+//! was *not* told to re-plan must still hold the exact top-k — a
+//! mismatch is a **missed invalidation**, the one failure class the
+//! safe-region design promises never happens (spurious re-plans are
+//! allowed; silence on a changed answer is not).
+//!
+//! The same harness backs `loadgen --moving` and the
+//! `tests/server_moving.rs` soak, so the CI smoke and the CLI walk the
+//! identical code path.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppgnn_core::{DynamicLsp, PpgnnConfig};
+use ppgnn_geo::{PoiId, Point};
+use ppgnn_sim::moving::{MovingWorld, MovingWorldConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::client::{GroupClient, SafeRegionToken};
+use crate::error::ServerError;
+use crate::frame::SubscriptionKind;
+use crate::server::{serve_dynamic, ServerConfig, ServerHandle};
+
+/// Everything a moving-group soak needs; `Default` is the tuned CI
+/// smoke shape (seconds, not minutes).
+#[derive(Debug, Clone)]
+pub struct MovingSoakConfig {
+    /// The world: groups, drift, churn, seed.
+    pub world: MovingWorldConfig,
+    /// Ticks to run.
+    pub ticks: usize,
+    /// Protocol parameters each group subscribes under.
+    pub protocol: PpgnnConfig,
+    /// Shared secret for the admin lane.
+    pub admin_token: u64,
+    /// How long one notification poll waits when pushes are expected.
+    pub poll_wait: Duration,
+}
+
+impl Default for MovingSoakConfig {
+    fn default() -> Self {
+        MovingSoakConfig {
+            world: MovingWorldConfig {
+                seed: 7,
+                n_groups: 4,
+                users_per_group: 2,
+                // Sentinel margins (gap between the k-th protected
+                // answer and the runner-up) sit around 1e-4 on a
+                // 300-POI unit square, giving drift radii near
+                // margin/(4*users) = ~1e-5. A tick must stay well
+                // inside so one subscription survives many ticks —
+                // on a city-scale unit square this is walking pace.
+                drift_step: 4e-6,
+                churn_per_tick: 2,
+                // Sparser worlds have wider sentinel gaps (typical
+                // nearest-neighbor spacing scales as n^-1/2), so
+                // subscriptions live longer before drifting out.
+                initial_pois: 150,
+                space: ppgnn_geo::Rect::UNIT,
+            },
+            ticks: 12,
+            protocol: PpgnnConfig {
+                k: 2,
+                d: 3,
+                delta: 6,
+                keysize: 128,
+                sanitize: false,
+                ..PpgnnConfig::fast_test()
+            },
+            admin_token: 0xD00D_F00D,
+            poll_wait: Duration::from_millis(400),
+        }
+    }
+}
+
+/// What one soak run observed. [`MovingSoakReport::passed`] is the
+/// CI gate; [`MovingSoakReport::render`] the human view.
+#[derive(Debug, Clone)]
+pub struct MovingSoakReport {
+    /// Ticks executed.
+    pub ticks: usize,
+    /// Groups holding standing queries.
+    pub groups: usize,
+    /// POI mutations shipped down the admin lane.
+    pub poi_ops: u64,
+    /// Re-plans triggered by a server invalidation push.
+    pub invalidation_requeries: u64,
+    /// Re-plans triggered by a user drifting out of its safe region.
+    pub drift_requeries: u64,
+    /// What per-tick re-issue would have cost: `groups × ticks`.
+    pub naive_requeries: u64,
+    /// Subscription pushes received (grants excluded).
+    pub notifications: u64,
+    /// Oracle says the answer changed but no push arrived. The design
+    /// guarantees this is **zero**; anything else is a server bug.
+    pub missed_invalidations: u64,
+    /// Pushes whose re-plan returned the same answer — the price of
+    /// conservative regions, tolerated but tracked.
+    pub spurious_invalidations: u64,
+    /// Re-plans whose answer disagreed with the plaintext oracle.
+    pub answer_mismatches: u64,
+    /// Wall-clock for the whole soak.
+    pub wall: Duration,
+}
+
+impl MovingSoakReport {
+    /// Total re-plans the subscription machinery actually performed.
+    pub fn requeries(&self) -> u64 {
+        self.invalidation_requeries + self.drift_requeries
+    }
+
+    /// How many× cheaper standing queries were than naive per-tick
+    /// re-issue. The acceptance bar is ≥ 2.
+    pub fn requery_savings(&self) -> f64 {
+        self.naive_requeries as f64 / self.requeries().max(1) as f64
+    }
+
+    /// Pushes per wall-clock second.
+    pub fn notifications_per_sec(&self) -> f64 {
+        self.notifications as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// The acceptance gate: no missed invalidation, no wrong answer,
+    /// and standing queries at least 2× cheaper than naive re-issue.
+    pub fn passed(&self) -> bool {
+        self.missed_invalidations == 0
+            && self.answer_mismatches == 0
+            && self.requery_savings() >= 2.0
+    }
+
+    /// Plain-text summary for the CLI and CI logs.
+    pub fn render(&self) -> String {
+        format!(
+            "moving soak: {} groups x {} ticks, {} poi ops\n\
+             re-queries     {:>6} ({} invalidation + {} drift) vs {} naive -> {:.1}x savings\n\
+             notifications  {:>6} ({:.1}/s)\n\
+             invalidations  missed {} | spurious {} | wrong answers {}\n\
+             wall           {:.2?}\n\
+             verdict        {}",
+            self.groups,
+            self.ticks,
+            self.poi_ops,
+            self.requeries(),
+            self.invalidation_requeries,
+            self.drift_requeries,
+            self.naive_requeries,
+            self.requery_savings(),
+            self.notifications,
+            self.notifications_per_sec(),
+            self.missed_invalidations,
+            self.spurious_invalidations,
+            self.answer_mismatches,
+            self.wall,
+            if self.passed() { "PASS" } else { "FAIL" },
+        )
+    }
+}
+
+/// One group's standing-query state between ticks.
+struct GroupState {
+    client: GroupClient,
+    /// User positions the current subscription was planned at.
+    anchor: Vec<Point>,
+    /// The answer granted at the anchor, as a POI-id set.
+    answer: HashSet<PoiId>,
+    token: SafeRegionToken,
+}
+
+/// Maps answer locations back to POI ids via the plaintext mirror.
+/// PPGNN returns exact POI locations, so the match is (near-)exact;
+/// `None` means the server answered with a location the oracle's world
+/// does not contain — a hard correctness failure.
+fn resolve_ids(world: &MovingWorld, answer: &[Point]) -> Option<HashSet<PoiId>> {
+    let mut ids = HashSet::with_capacity(answer.len());
+    for loc in answer {
+        let poi = world
+            .live_pois()
+            .iter()
+            .find(|p| p.location.dist(loc) < 1e-9)?;
+        ids.insert(poi.id);
+    }
+    Some(ids)
+}
+
+/// Runs the full soak: boots a dynamic-world server, subscribes every
+/// group, then ticks the world — mutating, polling, re-planning, and
+/// oracle-checking — and reports what happened.
+///
+/// Fails with the transport error if the protocol itself breaks;
+/// correctness deviations (missed invalidations, wrong answers) are
+/// *reported*, not panicked, so callers choose their own severity.
+pub fn run_moving_soak(config: &MovingSoakConfig) -> Result<MovingSoakReport, ServerError> {
+    let mut world = MovingWorld::new(config.world.clone());
+    let dyn_lsp = Arc::new(DynamicLsp::new(
+        world.initial_pois(),
+        config.protocol.clone(),
+    ));
+    let server_config = ServerConfig {
+        admin_token: Some(config.admin_token),
+        max_subscriptions: config.world.n_groups.max(1) * 2,
+        ..ServerConfig::default()
+    };
+    let handle = serve_dynamic(Arc::clone(&dyn_lsp), "127.0.0.1:0", server_config)?;
+    let report = run_against(&mut world, &handle, config);
+    handle.shutdown();
+    report
+}
+
+fn run_against(
+    world: &mut MovingWorld,
+    handle: &ServerHandle,
+    config: &MovingSoakConfig,
+) -> Result<MovingSoakReport, ServerError> {
+    let addr = handle.local_addr();
+    let k = config.protocol.k;
+    let agg = config.protocol.aggregate;
+    let n_groups = world.groups.len();
+    let started = Instant::now();
+
+    // The admin connection: negotiates a session like any client (the
+    // lane itself is gated by the token, not the handshake).
+    let mut admin_rng = ChaCha8Rng::seed_from_u64(config.world.seed ^ 0xAD);
+    let mut admin = GroupClient::connect(
+        addr,
+        0xAD317, // distinct from every group id
+        config.protocol.clone(),
+        config.world.space,
+        config.world.users_per_group,
+        &mut admin_rng,
+    )?;
+
+    let mut report = MovingSoakReport {
+        ticks: config.ticks,
+        groups: n_groups,
+        poi_ops: 0,
+        invalidation_requeries: 0,
+        drift_requeries: 0,
+        naive_requeries: (n_groups * config.ticks) as u64,
+        notifications: 0,
+        missed_invalidations: 0,
+        spurious_invalidations: 0,
+        answer_mismatches: 0,
+        wall: Duration::ZERO,
+    };
+
+    // Subscribe every group at its starting position.
+    let mut states: Vec<GroupState> = Vec::with_capacity(n_groups);
+    for track in &world.groups {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.world.seed ^ track.group_id);
+        let mut client = GroupClient::connect(
+            addr,
+            track.group_id,
+            config.protocol.clone(),
+            config.world.space,
+            track.users.len(),
+            &mut rng,
+        )?;
+        let (answer, token) = client.subscribe(&track.users, &mut rng)?;
+        let ids = match resolve_ids(world, &answer) {
+            Some(ids) => ids,
+            None => {
+                report.answer_mismatches += 1;
+                HashSet::new()
+            }
+        };
+        states.push(GroupState {
+            client,
+            anchor: track.users.clone(),
+            answer: ids,
+            token,
+        });
+    }
+
+    let mut rngs: Vec<ChaCha8Rng> = (0..n_groups)
+        .map(|i| ChaCha8Rng::seed_from_u64(config.world.seed ^ 0x9E37 ^ i as u64))
+        .collect();
+
+    for _tick in 0..config.ticks {
+        // 1. The world moves: users drift, POIs churn.
+        let ops = world.tick();
+        report.poi_ops += ops.len() as u64;
+        let ack = admin.poi_update(config.admin_token, &ops)?;
+
+        for (i, state) in states.iter_mut().enumerate() {
+            let current = world.groups[i].users.clone();
+            // 2. Client-side half of the contract: a user leaving its
+            // safe region re-plans without waiting for the server.
+            let radius = state.token.drift_radius();
+            let drifted = state
+                .anchor
+                .iter()
+                .zip(&current)
+                .any(|(a, c)| a.dist(c) > radius);
+            // 3. Server-side half: did a push arrive? Only burn a real
+            // wait when the ack says the batch invalidated someone.
+            let wait = if ack.invalidated > 0 {
+                config.poll_wait
+            } else {
+                Duration::from_millis(1)
+            };
+            let pushes = state.client.poll_notifications(wait)?;
+            let invalidated = pushes
+                .iter()
+                .any(|p| p.kind == SubscriptionKind::Invalidated);
+            report.notifications += pushes.len() as u64;
+
+            if invalidated || drifted {
+                let (answer, token) = state.client.subscribe(&current, &mut rngs[i])?;
+                if invalidated {
+                    report.invalidation_requeries += 1;
+                } else {
+                    report.drift_requeries += 1;
+                }
+                let ids = match resolve_ids(world, &answer) {
+                    Some(ids) => ids,
+                    None => {
+                        report.answer_mismatches += 1;
+                        HashSet::new()
+                    }
+                };
+                let oracle: HashSet<PoiId> =
+                    world.oracle_top_k(&current, k, agg).into_iter().collect();
+                if ids != oracle {
+                    report.answer_mismatches += 1;
+                }
+                if invalidated && ids == state.answer {
+                    report.spurious_invalidations += 1;
+                }
+                state.anchor = current;
+                state.answer = ids;
+                state.token = token;
+            } else {
+                // 4. The oracle audit: silence is only correct if the
+                // subscribed answer still holds in the mutated world.
+                let oracle: HashSet<PoiId> = world
+                    .oracle_top_k(&state.anchor, k, agg)
+                    .into_iter()
+                    .collect();
+                if oracle != state.answer {
+                    report.missed_invalidations += 1;
+                    // Re-anchor so one miss is not counted every
+                    // remaining tick.
+                    state.answer = oracle;
+                }
+            }
+        }
+    }
+
+    for state in &mut states {
+        let token = state.token;
+        state.client.unsubscribe(&token)?;
+    }
+    report.wall = started.elapsed();
+    Ok(report)
+}

@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use ppgnn_core::messages::{AnswerMessage, LocationSetMessage, QueryMessage};
-use ppgnn_core::Lsp;
+use ppgnn_core::{expand_candidates, DynamicLsp, Lsp};
 use ppgnn_sim::CostLedger;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,10 +57,12 @@ use crate::error::{ErrorCode, ServerError};
 use crate::fault::{FaultConfig, FaultyStream, Transport};
 use crate::frame::{
     read_frame_with_lead, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType,
-    HelloAckPayload, HelloPayload, PongPayload, QueryPayload, StatsReplyPayload, TraceReplyPayload,
-    DEFAULT_MAX_PAYLOAD,
+    HelloAckPayload, HelloPayload, PoiUpdateAckPayload, PoiUpdatePayload, PongPayload,
+    QueryPayload, StatsReplyPayload, SubscriptionKind, SubscriptionUpdatePayload,
+    TraceReplyPayload, UnsubscribePayload, DEFAULT_MAX_PAYLOAD,
 };
 use crate::registry::{RegistryLimits, SessionParams, SessionRegistry};
+use crate::subscription::{compute_regions, Outbox, Subscription, SubscriptionRegistry};
 use crate::validate::{
     validate_hello, validate_query, validate_set_count, HelloPolicy, ProtocolViolation, TokenBucket,
 };
@@ -116,6 +118,14 @@ pub struct ServerConfig {
     /// Fault-injection schedule wrapped around every accepted
     /// connection; `None` (the default) serves on the bare socket.
     pub fault: Option<FaultConfig>,
+    /// Shared-secret token that unlocks the `PoiUpdate` admin lane;
+    /// `None` (the default) disables the lane entirely — every
+    /// mutation attempt is a typed violation.
+    pub admin_token: Option<u64>,
+    /// Standing-query registry cap: each subscription costs an
+    /// invalidation scan per mutation, so the table is bounded. 0
+    /// refuses every `Subscribe`.
+    pub max_subscriptions: usize,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +146,8 @@ impl Default for ServerConfig {
             rate_limit_per_sec: 128.0,
             max_strikes: 8,
             fault: None,
+            admin_token: None,
+            max_subscriptions: 64,
         }
     }
 }
@@ -270,6 +282,18 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Admin token unlocking the `PoiUpdate` lane; `None` disables it.
+    pub fn admin_token(mut self, token: Option<u64>) -> Self {
+        self.config.admin_token = token;
+        self
+    }
+
+    /// Standing-query registry cap; 0 refuses every `Subscribe`.
+    pub fn max_subscriptions(mut self, cap: usize) -> Self {
+        self.config.max_subscriptions = cap;
+        self
+    }
+
     /// Validates the combination and returns the config, or a
     /// [`ConfigError`] naming the first bad knob.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
@@ -375,6 +399,57 @@ pub struct ServerStats {
     /// Faults injected by the chaos wrapper across all connections
     /// (behind an `Arc` so [`FaultyStream`]s can share the counter).
     pub faults_injected: Arc<AtomicU64>,
+    /// `PoiUpdate` batches applied through the admin lane.
+    pub poi_updates: AtomicU64,
+    /// Individual POI mutations applied (sum of batch sizes).
+    pub poi_ops: AtomicU64,
+    /// Subscriptions granted (fresh registrations and replacements).
+    pub subscribes_ok: AtomicU64,
+    /// Subscriptions refused (registry cap).
+    pub subscribe_rejected: AtomicU64,
+    /// Safe regions invalidated by POI mutations.
+    pub invalidations: AtomicU64,
+    /// `SubscriptionUpdate` frames actually written to sockets.
+    pub notifications_sent: AtomicU64,
+    /// Standing queries dropped by an explicit `Unsubscribe`.
+    pub unsubscribes: AtomicU64,
+}
+
+/// The POI database the server answers from: either one immutable
+/// [`Lsp`] for the classic static deployment, or a versioned
+/// [`DynamicLsp`] whose snapshots queries pin at dispatch time.
+pub enum World {
+    /// A fixed database; the `PoiUpdate` lane is a protocol error.
+    Static(Arc<Lsp>),
+    /// A live database behind versioned snapshots.
+    Dynamic(Arc<DynamicLsp>),
+}
+
+impl World {
+    /// The snapshot queries dispatched now should answer from, plus
+    /// its version (0 for a static world, which never changes).
+    fn snapshot(&self) -> (Arc<Lsp>, u64) {
+        match self {
+            World::Static(lsp) => (Arc::clone(lsp), 0),
+            World::Dynamic(d) => d.snapshot(),
+        }
+    }
+
+    /// The live version (0 for a static world).
+    fn version(&self) -> u64 {
+        match self {
+            World::Static(_) => 0,
+            World::Dynamic(d) => d.version(),
+        }
+    }
+
+    /// Live POI count.
+    fn database_size(&self) -> usize {
+        match self {
+            World::Static(lsp) => lsp.database_size(),
+            World::Dynamic(d) => d.database_size(),
+        }
+    }
 }
 
 struct Job {
@@ -382,6 +457,10 @@ struct Job {
     request_id: u32,
     query: QueryMessage,
     location_sets: Vec<LocationSetMessage>,
+    /// The snapshot this query answers from, pinned at dispatch: a
+    /// concurrent `PoiUpdate` can publish a newer version without the
+    /// in-flight query ever seeing a half-applied batch.
+    lsp: Arc<Lsp>,
     enqueued: Instant,
     deadline: Duration,
     reply: Sender<Reply>,
@@ -404,9 +483,10 @@ enum Reply {
 }
 
 struct Shared {
-    lsp: Arc<Lsp>,
+    world: World,
     config: ServerConfig,
     registry: SessionRegistry,
+    subscriptions: SubscriptionRegistry,
     stats: ServerStats,
     shutdown: AtomicBool,
     connections: AtomicU64,
@@ -535,6 +615,26 @@ pub fn serve(
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> Result<ServerHandle, ServerError> {
+    serve_world(World::Static(lsp), addr, config)
+}
+
+/// As [`serve`], but over a live [`DynamicLsp`]: the `PoiUpdate` admin
+/// lane (gated by [`ServerConfig::admin_token`]) mutates the index,
+/// and `Subscribe` turns queries into standing ones with safe-region
+/// invalidation pushes.
+pub fn serve_dynamic(
+    world: Arc<DynamicLsp>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> Result<ServerHandle, ServerError> {
+    serve_world(World::Dynamic(world), addr, config)
+}
+
+fn serve_world(
+    world: World,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> Result<ServerHandle, ServerError> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
@@ -545,9 +645,10 @@ pub fn serve(
         idle_ttl: config.session_idle_ttl,
     });
     let shared = Arc::new(Shared {
-        lsp,
+        world,
         config: config.clone(),
         registry,
+        subscriptions: SubscriptionRegistry::new(config.max_subscriptions),
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
         connections: AtomicU64::new(0),
@@ -692,12 +793,15 @@ fn accept_loop(
                                 Some(plan) => {
                                     let counter = Arc::clone(&shared2.stats.faults_injected);
                                     let faulty = FaultyStream::new(stream, plan, counter);
-                                    let _ = connection_loop(&shared2, faulty, tx);
+                                    let _ = connection_loop(&shared2, faulty, tx, index);
                                 }
                                 None => {
-                                    let _ = connection_loop(&shared2, stream, tx);
+                                    let _ = connection_loop(&shared2, stream, tx, index);
                                 }
                             }
+                            // Standing queries die with their socket —
+                            // there is nowhere left to push to.
+                            shared2.subscriptions.remove_conn(index);
                             shared2.connections.fetch_sub(1, Ordering::SeqCst);
                         });
                 match spawned {
@@ -766,11 +870,28 @@ impl<S: Transport> std::io::Read for FrameDeadline<'_, S> {
     }
 }
 
+/// Writes every queued subscription push to the owning socket.
+fn flush_outbox(
+    shared: &Shared,
+    stream: &mut impl std::io::Write,
+    outbox: &Outbox,
+) -> Result<(), ServerError> {
+    for update in outbox.drain() {
+        write_frame(stream, FrameType::SubscriptionUpdate, &update.encode())?;
+        shared
+            .stats
+            .notifications_sent
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
 /// Serves one connection until the peer leaves or shutdown is signaled.
 fn connection_loop<S: Transport>(
     shared: &Shared,
     mut stream: S,
     job_tx: Sender<Job>,
+    conn_id: u64,
 ) -> Result<(), ServerError> {
     stream.set_nodelay(true).ok();
     stream
@@ -784,6 +905,10 @@ fn connection_loop<S: Transport>(
         ),
         strikes: 0,
     };
+    // This connection's subscription mailbox: the invalidation scan
+    // (running wherever the `PoiUpdate` landed) pushes here, and the
+    // flushes below put it on the wire within one poll interval.
+    let outbox = Arc::new(Outbox::new());
     loop {
         // The first byte is the idle poll point: a timeout here leaves
         // the stream exactly at a frame boundary.
@@ -827,14 +952,23 @@ fn connection_loop<S: Transport>(
                         return Ok(());
                     }
                 };
-                // Hello and Query pay a token; liveness traffic (Ping,
-                // Goodbye) stays free so health probes see through load.
-                if matches!(frame.frame_type, FrameType::Hello | FrameType::Query) {
+                // Work-carrying frames pay a token; liveness traffic
+                // (Ping, Goodbye) stays free so health probes see
+                // through load.
+                if matches!(
+                    frame.frame_type,
+                    FrameType::Hello
+                        | FrameType::Query
+                        | FrameType::Subscribe
+                        | FrameType::PoiUpdate
+                        | FrameType::Unsubscribe
+                ) {
                     if let Err(wait) = conn.bucket.try_take() {
                         shared.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
                         let request_id = match frame.frame_type {
-                            // request_id sits after group_id in the payload.
-                            FrameType::Query => frame
+                            // request_id sits after a u64 (group_id, or
+                            // the admin token) in all three payloads.
+                            FrameType::Query | FrameType::Subscribe | FrameType::PoiUpdate => frame
                                 .payload
                                 .get(8..12)
                                 .and_then(|b| b.try_into().ok())
@@ -856,7 +990,9 @@ fn connection_loop<S: Transport>(
                     }
                     // Queries accepted before the signal drain; ones
                     // arriving after it are refused.
-                    FrameType::Query if shared.shutdown.load(Ordering::SeqCst) => {
+                    FrameType::Query | FrameType::Subscribe
+                        if shared.shutdown.load(Ordering::SeqCst) =>
+                    {
                         let request_id = QueryPayload::decode(&frame.payload)
                             .map(|q| q.request_id)
                             .unwrap_or(0);
@@ -868,8 +1004,30 @@ fn connection_loop<S: Transport>(
                         )?;
                         ConnAction::Continue
                     }
-                    FrameType::Query => {
-                        handle_query(shared, &mut conn, &mut stream, &frame.payload, &job_tx)?
+                    FrameType::Query => handle_query(
+                        shared,
+                        &mut conn,
+                        &mut stream,
+                        &frame.payload,
+                        &job_tx,
+                        None,
+                    )?,
+                    FrameType::Subscribe => handle_query(
+                        shared,
+                        &mut conn,
+                        &mut stream,
+                        &frame.payload,
+                        &job_tx,
+                        Some(SubscribeLane {
+                            conn_id,
+                            outbox: &outbox,
+                        }),
+                    )?,
+                    FrameType::PoiUpdate => {
+                        handle_poi_update(shared, &mut conn, &mut stream, &frame.payload)?
+                    }
+                    FrameType::Unsubscribe => {
+                        handle_unsubscribe(shared, &mut stream, &frame.payload)?
                     }
                     FrameType::Ping => {
                         let pong = PongPayload {
@@ -909,6 +1067,9 @@ fn connection_loop<S: Transport>(
                         ConnAction::Continue
                     }
                 };
+                // Invalidations that landed while this frame was being
+                // handled go out right behind the reply.
+                flush_outbox(shared, &mut stream, &outbox)?;
                 if action == ConnAction::Close {
                     let _ = write_frame(&mut stream, FrameType::Goodbye, &[]);
                     return Ok(());
@@ -922,6 +1083,9 @@ fn connection_loop<S: Transport>(
                     let _ = write_frame(&mut stream, FrameType::Goodbye, &[]);
                     return Ok(());
                 }
+                // The idle poll is the push path: a quiet subscriber
+                // still hears about invalidations within POLL_INTERVAL.
+                flush_outbox(shared, &mut stream, &outbox)?;
             }
             Err(e) => return Err(ServerError::Io(e)),
         }
@@ -996,10 +1160,25 @@ fn full_snapshot(shared: &Shared) -> TelemetrySnapshot {
         ("sessions-evicted", shared.registry.evicted()),
         ("sessions-rejected", shared.registry.rejected()),
         ("violations", shared.registry.violations()),
+        ("poi-updates", s.poi_updates.load(Ordering::Relaxed)),
+        ("poi-ops", s.poi_ops.load(Ordering::Relaxed)),
+        ("subscribes-ok", s.subscribes_ok.load(Ordering::Relaxed)),
+        (
+            "subscribe-rejected",
+            s.subscribe_rejected.load(Ordering::Relaxed),
+        ),
+        ("invalidations", s.invalidations.load(Ordering::Relaxed)),
+        (
+            "notifications-sent",
+            s.notifications_sent.load(Ordering::Relaxed),
+        ),
+        ("unsubscribes", s.unsubscribes.load(Ordering::Relaxed)),
     ] {
         snap.push_counter(name, value);
     }
     snap.push_gauge("uptime-ms", shared.started.elapsed().as_millis() as u64);
+    snap.push_gauge("subscriptions", shared.subscriptions.len() as u64);
+    snap.push_gauge("index-version", shared.world.version());
     snap
 }
 
@@ -1075,12 +1254,19 @@ fn handle_hello(
     }
     let ack = HelloAckPayload {
         group_id: hello.group_id,
-        database_size: shared.lsp.database_size() as u64,
+        database_size: shared.world.database_size() as u64,
         max_payload: shared.config.max_payload as u32,
         workers: shared.config.workers as u32,
     };
     write_frame(stream, FrameType::HelloAck, &ack.encode())?;
     Ok(ConnAction::Continue)
+}
+
+/// What turns a `Query` into a `Subscribe`: the connection identity
+/// and mailbox the resulting standing query is registered under.
+struct SubscribeLane<'a> {
+    conn_id: u64,
+    outbox: &'a Arc<Outbox>,
 }
 
 fn handle_query(
@@ -1089,6 +1275,7 @@ fn handle_query(
     stream: &mut impl std::io::Write,
     payload: &[u8],
     job_tx: &Sender<Job>,
+    subscribe: Option<SubscribeLane<'_>>,
 ) -> Result<ConnAction, ServerError> {
     let q = match QueryPayload::decode(payload) {
         Ok(q) => q,
@@ -1098,6 +1285,22 @@ fn handle_query(
             return Ok(ConnAction::Continue);
         }
     };
+    // Pin the snapshot (and its version) this request will be served
+    // from: the answer, and for subscriptions the safe regions too, are
+    // all computed against this one consistent view of the index.
+    let (snapshot, pinned_version) = shared.world.snapshot();
+    // A full standing-query table turns `Subscribe`s away before any
+    // worker time is spent on them.
+    if subscribe.is_some() && shared.subscriptions.would_reject(q.group_id) {
+        shared
+            .stats
+            .subscribe_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        let v = ProtocolViolation::SubscriptionLimit {
+            max: shared.subscriptions.cap(),
+        };
+        return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
+    }
     // Resume the client's trace context: from here to the early returns
     // below, dropping `tracing` without finish commits the server
     // segment with the error flag — rejected queries stay visible.
@@ -1189,6 +1392,22 @@ fn handle_query(
         return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
     }
     drop(vspan);
+    // For a subscription the candidate expansion is needed twice: the
+    // worker runs it inside `process_query`, and the safe regions are
+    // computed over the same candidate list after the answer lands.
+    // Expand here, before the messages move into the job, so a query
+    // the engine would reject is caught with a typed error up front.
+    let candidates = match &subscribe {
+        Some(_) => match expand_candidates(&query, &location_sets) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
+                send_error(stream, q.request_id, ErrorCode::Protocol, &e.to_string())?;
+                return Ok(ConnAction::Continue);
+            }
+        },
+        None => None,
+    };
     let deadline = if q.deadline_ms == 0 {
         shared.config.default_deadline
     } else {
@@ -1198,11 +1417,13 @@ fn handle_query(
     // Park the segment so the worker thread can activate it; from here
     // on the handle travels with the job.
     drop(active);
+    let query_k = query.k;
     let job = Job {
         group_id: q.group_id,
         request_id: q.request_id,
         query,
         location_sets,
+        lsp: Arc::clone(&snapshot),
         enqueued: Instant::now(),
         deadline,
         reply: reply_tx,
@@ -1271,6 +1492,19 @@ fn handle_query(
                 answer,
             };
             write_frame(stream, FrameType::Answer, &payload.encode())?;
+            if let (Some(lane), Some(candidates)) = (subscribe, candidates) {
+                return grant_subscription(
+                    shared,
+                    conn,
+                    stream,
+                    &q,
+                    &snapshot,
+                    pinned_version,
+                    query_k,
+                    candidates,
+                    lane,
+                );
+            }
             Ok(ConnAction::Continue)
         }
         Ok(Reply::Failure {
@@ -1303,6 +1537,157 @@ fn handle_query(
             Ok(ConnAction::Continue)
         }
     }
+}
+
+/// Registers the standing query once its answer is on the wire, sends
+/// the `Granted` push with the safe-region token, and self-invalidates
+/// if a mutation raced the registration.
+#[allow(clippy::too_many_arguments)]
+fn grant_subscription(
+    shared: &Shared,
+    conn: &mut ConnGuard,
+    stream: &mut impl std::io::Write,
+    q: &QueryPayload,
+    snapshot: &Lsp,
+    pinned_version: u64,
+    k: usize,
+    candidates: Vec<Vec<ppgnn_geo::Point>>,
+    lane: SubscribeLane<'_>,
+) -> Result<ConnAction, ServerError> {
+    let (regions, topk, token) = compute_regions(snapshot, &candidates, k);
+    let sub = Subscription {
+        group_id: q.group_id,
+        request_id: q.request_id,
+        conn_id: lane.conn_id,
+        version: pinned_version,
+        agg: snapshot.config().aggregate,
+        margin: token.margin,
+        drift_scale: token.drift_scale,
+        regions,
+        topk,
+        outbox: Arc::clone(lane.outbox),
+        stale: false,
+    };
+    if shared.subscriptions.register(sub).is_err() {
+        // Lost the race to the cap since the pre-enqueue check.
+        shared
+            .stats
+            .subscribe_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        let v = ProtocolViolation::SubscriptionLimit {
+            max: shared.subscriptions.cap(),
+        };
+        return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
+    }
+    shared.stats.subscribes_ok.fetch_add(1, Ordering::Relaxed);
+    let granted = SubscriptionUpdatePayload {
+        request_id: q.request_id,
+        kind: SubscriptionKind::Granted,
+        version: pinned_version,
+        margin: token.margin,
+        drift_scale: token.drift_scale,
+    };
+    write_frame(stream, FrameType::SubscriptionUpdate, &granted.encode())?;
+    // A mutation can land between snapshot pinning and registration —
+    // its invalidation scan ran before this subscription existed. The
+    // version gap detects exactly that window; self-invalidating turns
+    // a potential missed invalidation into a spurious one.
+    let live = shared.world.version();
+    if live != pinned_version
+        && shared
+            .subscriptions
+            .invalidate_now(q.group_id, q.request_id, live)
+    {
+        shared.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(ConnAction::Continue)
+}
+
+/// The admin lane: applies a mutation batch to a dynamic world, scans
+/// the standing queries for invalidated safe regions, and acks with
+/// the new index version.
+fn handle_poi_update(
+    shared: &Shared,
+    conn: &mut ConnGuard,
+    stream: &mut impl std::io::Write,
+    payload: &[u8],
+) -> Result<ConnAction, ServerError> {
+    let p = match PoiUpdatePayload::decode(payload) {
+        Ok(p) => p,
+        Err(e) => {
+            send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string())?;
+            return Ok(ConnAction::Continue);
+        }
+    };
+    // The token check runs first: whether the lane even exists is not
+    // something an unauthenticated peer gets to probe.
+    if shared.config.admin_token.is_none() || shared.config.admin_token != Some(p.admin_token) {
+        return reject_violation(
+            shared,
+            conn,
+            stream,
+            0,
+            p.request_id,
+            ProtocolViolation::AdminUnauthorized,
+        );
+    }
+    let World::Dynamic(dyn_lsp) = &shared.world else {
+        send_error(
+            stream,
+            p.request_id,
+            ErrorCode::Protocol,
+            "server runs a static world; there is no index to mutate",
+        )?;
+        return Ok(ConnAction::Continue);
+    };
+    // `DynamicLsp::apply` spans/times the `index-mutate` stage itself.
+    let (applied, version) = dyn_lsp.apply(&p.ops);
+    shared.stats.poi_updates.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .poi_ops
+        .fetch_add(p.ops.len() as u64, Ordering::Relaxed);
+    let invalidated = shared.subscriptions.invalidate_for_ops(&p.ops, version);
+    shared
+        .stats
+        .invalidations
+        .fetch_add(invalidated as u64, Ordering::Relaxed);
+    let ack = PoiUpdateAckPayload {
+        request_id: p.request_id,
+        version,
+        applied: applied as u32,
+        invalidated: invalidated as u32,
+    };
+    write_frame(stream, FrameType::PoiUpdateAck, &ack.encode())?;
+    Ok(ConnAction::Continue)
+}
+
+/// Drops a standing query; idempotent — the confirming `Ended` push is
+/// sent whether or not the subscription still existed.
+fn handle_unsubscribe(
+    shared: &Shared,
+    stream: &mut impl std::io::Write,
+    payload: &[u8],
+) -> Result<ConnAction, ServerError> {
+    let u = match UnsubscribePayload::decode(payload) {
+        Ok(u) => u,
+        Err(e) => {
+            send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string())?;
+            return Ok(ConnAction::Continue);
+        }
+    };
+    if shared.subscriptions.remove(u.group_id, u.request_id) {
+        shared.stats.unsubscribes.fetch_add(1, Ordering::Relaxed);
+    }
+    let ended = SubscriptionUpdatePayload {
+        request_id: u.request_id,
+        kind: SubscriptionKind::Ended,
+        version: shared.world.version(),
+        margin: 0.0,
+        drift_scale: 1,
+    };
+    write_frame(stream, FrameType::SubscriptionUpdate, &ended.encode())?;
+    Ok(ConnAction::Continue)
 }
 
 fn send_error(
@@ -1373,8 +1758,7 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>, index: u64) {
         // the engine's internal state is not worth trusting.
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let mut ledger = CostLedger::new();
-            shared
-                .lsp
+            job.lsp
                 .process_query(&job.query, &job.location_sets, &mut ledger, &mut rng)
         }));
         let reply = match caught {

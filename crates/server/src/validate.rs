@@ -74,6 +74,12 @@ pub enum ProtocolViolation {
     InvalidCiphertext { which: &'static str, index: usize },
     /// The request ID rewound below the session's high-water mark.
     RequestIdRewind { high_water: u32, got: u32 },
+    /// A `PoiUpdate` presented a wrong (or missing) admin token — only
+    /// the LSP's operator may mutate the POI database.
+    AdminUnauthorized,
+    /// A `Subscribe` would exceed the server's standing-query registry
+    /// cap (each subscription costs an invalidation scan per mutation).
+    SubscriptionLimit { max: usize },
 }
 
 impl fmt::Display for ProtocolViolation {
@@ -137,6 +143,15 @@ impl fmt::Display for ProtocolViolation {
                     f,
                     "request id {got} rewinds below session high-water mark {high_water}"
                 )
+            }
+            ProtocolViolation::AdminUnauthorized => {
+                write!(
+                    f,
+                    "poi update rejected: admin token invalid or lane disabled"
+                )
+            }
+            ProtocolViolation::SubscriptionLimit { max } => {
+                write!(f, "subscription registry full (cap {max})")
             }
         }
     }

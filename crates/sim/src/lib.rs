@@ -13,6 +13,7 @@
 //! `(s+1)·keysize/8` bytes, …).
 
 mod ledger;
+pub mod moving;
 mod network;
 mod party;
 mod report;

@@ -1,0 +1,250 @@
+//! Seeded moving-world scenario generator: drifting group trajectories
+//! plus POI churn, with a plaintext mirror of the live POI set so a
+//! harness can oracle-check every invalidation decision the server
+//! makes.
+//!
+//! Everything is driven by one `ChaCha8` stream, so a `(seed, config)`
+//! pair replays the exact same world — the soak tests and the
+//! `loadgen --moving` harness pin seeds for reproducibility.
+
+use ppgnn_geo::{Aggregate, Poi, PoiId, PoiOp, Point, Rect};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Shape of a moving-world run.
+#[derive(Debug, Clone)]
+pub struct MovingWorldConfig {
+    /// Master seed; every trajectory and churn choice derives from it.
+    pub seed: u64,
+    /// Number of independently drifting groups.
+    pub n_groups: usize,
+    /// Users per group.
+    pub users_per_group: usize,
+    /// Maximum per-axis displacement of one user in one tick.
+    pub drift_step: f64,
+    /// POI mutations (inserts + removes) per tick.
+    pub churn_per_tick: usize,
+    /// Initial POI count.
+    pub initial_pois: usize,
+    /// The data space users and POIs live in.
+    pub space: Rect,
+}
+
+impl Default for MovingWorldConfig {
+    fn default() -> Self {
+        MovingWorldConfig {
+            seed: 7,
+            n_groups: 4,
+            users_per_group: 2,
+            drift_step: 0.0008,
+            churn_per_tick: 2,
+            initial_pois: 300,
+            space: Rect::UNIT,
+        }
+    }
+}
+
+/// One group's current (drifted) user positions.
+#[derive(Debug, Clone)]
+pub struct GroupTrack {
+    /// Stable group identifier (1-based, usable as a wire `group_id`).
+    pub group_id: u64,
+    /// The users' *current* positions; [`MovingWorld::tick`] drifts them.
+    pub users: Vec<Point>,
+}
+
+/// The deterministic world: drifting groups, churning POIs, and the
+/// plaintext mirror of the live POI set (the oracle's view).
+pub struct MovingWorld {
+    rng: ChaCha8Rng,
+    config: MovingWorldConfig,
+    /// Current group positions, drifted in place by [`Self::tick`].
+    pub groups: Vec<GroupTrack>,
+    /// Plaintext mirror of the live POI set, kept exactly in sync with
+    /// the ops [`Self::tick`] hands out.
+    live: Vec<Poi>,
+    next_poi_id: u32,
+    ticks: u64,
+}
+
+impl MovingWorld {
+    /// Builds the world: seeds the initial POI set and group positions.
+    pub fn new(config: MovingWorldConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let live: Vec<Poi> = (0..config.initial_pois)
+            .map(|i| Poi::new(i as u32, random_point(&mut rng, &config.space)))
+            .collect();
+        let groups = (1..=config.n_groups as u64)
+            .map(|group_id| GroupTrack {
+                group_id,
+                users: (0..config.users_per_group)
+                    .map(|_| random_point(&mut rng, &config.space))
+                    .collect(),
+            })
+            .collect();
+        let next_poi_id = config.initial_pois as u32;
+        MovingWorld {
+            rng,
+            config,
+            groups,
+            live,
+            next_poi_id,
+            ticks: 0,
+        }
+    }
+
+    /// The initial POI set — what the server's index must be seeded with
+    /// for the mirror to stay in sync.
+    pub fn initial_pois(&self) -> Vec<Poi> {
+        assert_eq!(self.ticks, 0, "initial_pois read after the world moved");
+        self.live.clone()
+    }
+
+    /// The live POI mirror (the oracle's database).
+    pub fn live_pois(&self) -> &[Poi] {
+        &self.live
+    }
+
+    /// Ticks elapsed.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Advances the world one tick: drifts every user by at most
+    /// `drift_step` per axis (clamped to the space) and generates the
+    /// tick's POI churn, already applied to the mirror. The returned
+    /// ops must be shipped to the server verbatim for the two worlds to
+    /// agree.
+    pub fn tick(&mut self) -> Vec<PoiOp> {
+        self.ticks += 1;
+        let step = self.config.drift_step;
+        let space = self.config.space;
+        for group in &mut self.groups {
+            for user in &mut group.users {
+                user.x =
+                    (user.x + self.rng.gen_range(-step..=step)).clamp(space.min_x, space.max_x);
+                user.y =
+                    (user.y + self.rng.gen_range(-step..=step)).clamp(space.min_y, space.max_y);
+            }
+        }
+        let mut ops = Vec::with_capacity(self.config.churn_per_tick);
+        for i in 0..self.config.churn_per_tick {
+            // Alternate insert/remove so the database size stays stable
+            // over a long soak; start with an insert so a remove always
+            // has something to target.
+            if i % 2 == 0 || self.live.is_empty() {
+                let poi = Poi::new(self.next_poi_id, random_point(&mut self.rng, &space));
+                self.next_poi_id += 1;
+                self.live.push(poi);
+                ops.push(PoiOp::Insert(poi));
+            } else {
+                let victim = self.rng.gen_range(0..self.live.len());
+                let poi = self.live.swap_remove(victim);
+                ops.push(PoiOp::Remove(poi.id));
+            }
+        }
+        ops
+    }
+
+    /// The plaintext oracle: exact top-`k` POI ids for `users` under
+    /// `agg` over the live mirror, cost-ordered. Invalidation checks
+    /// compare *id sets* — a pure reordering within equal cost is not
+    /// an answer change.
+    pub fn oracle_top_k(&self, users: &[Point], k: usize, agg: Aggregate) -> Vec<PoiId> {
+        let mut costs: Vec<(f64, PoiId)> = self
+            .live
+            .iter()
+            .map(|poi| (agg.eval(&poi.location, users), poi.id))
+            .collect();
+        costs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        costs.truncate(k);
+        costs.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+fn random_point<R: Rng + ?Sized>(rng: &mut R, space: &Rect) -> Point {
+    Point::new(
+        rng.gen_range(space.min_x..=space.max_x),
+        rng.gen_range(space.min_y..=space.max_y),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_world() {
+        let mut a = MovingWorld::new(MovingWorldConfig::default());
+        let mut b = MovingWorld::new(MovingWorldConfig::default());
+        assert_eq!(a.initial_pois(), b.initial_pois());
+        for _ in 0..5 {
+            assert_eq!(a.tick(), b.tick());
+        }
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            assert_eq!(ga.users, gb.users);
+        }
+    }
+
+    #[test]
+    fn mirror_tracks_ops() {
+        let mut world = MovingWorld::new(MovingWorldConfig {
+            initial_pois: 10,
+            churn_per_tick: 3,
+            ..MovingWorldConfig::default()
+        });
+        let mut shadow: Vec<Poi> = world.initial_pois();
+        for _ in 0..20 {
+            for op in world.tick() {
+                match op {
+                    PoiOp::Insert(poi) => shadow.push(poi),
+                    PoiOp::Remove(id) => shadow.retain(|p| p.id != id),
+                }
+            }
+        }
+        let mut live: Vec<PoiId> = world.live_pois().iter().map(|p| p.id).collect();
+        let mut mirror: Vec<PoiId> = shadow.iter().map(|p| p.id).collect();
+        live.sort_unstable();
+        mirror.sort_unstable();
+        assert_eq!(live, mirror);
+    }
+
+    #[test]
+    fn drift_is_bounded_per_tick() {
+        let cfg = MovingWorldConfig {
+            drift_step: 0.001,
+            ..MovingWorldConfig::default()
+        };
+        let mut world = MovingWorld::new(cfg.clone());
+        let before: Vec<Vec<Point>> = world.groups.iter().map(|g| g.users.clone()).collect();
+        world.tick();
+        for (group, old) in world.groups.iter().zip(&before) {
+            for (user, prev) in group.users.iter().zip(old) {
+                assert!(user.dist(prev) <= cfg.drift_step * std::f64::consts::SQRT_2 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_brute_force_by_hand() {
+        let mut world = MovingWorld::new(MovingWorldConfig {
+            initial_pois: 50,
+            ..MovingWorldConfig::default()
+        });
+        world.tick();
+        let users = world.groups[0].users.clone();
+        let top = world.oracle_top_k(&users, 3, Aggregate::Sum);
+        assert_eq!(top.len(), 3);
+        // The k-th cost is a lower bound for everything outside the set.
+        let cost = |id: PoiId| {
+            let poi = world.live_pois().iter().find(|p| p.id == id).unwrap();
+            Aggregate::Sum.eval(&poi.location, &users)
+        };
+        let kth = cost(top[2]);
+        for poi in world.live_pois() {
+            if !top.contains(&poi.id) {
+                assert!(Aggregate::Sum.eval(&poi.location, &users) >= kth - 1e-12);
+            }
+        }
+    }
+}

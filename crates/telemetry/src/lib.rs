@@ -76,11 +76,18 @@ pub enum Stage {
     Sanitation,
     /// One whole client query: plan → wire → answer → decode.
     EndToEnd,
+    /// Dynamic-index mutation: applying a `PoiUpdate` batch and
+    /// publishing the new snapshot.
+    IndexMutate,
+    /// Subscription registry scan: which safe regions a mutation kills.
+    InvalidateScan,
+    /// Pushing re-plan notifications to invalidated subscribers.
+    FanoutNotify,
 }
 
 impl Stage {
     /// Every stage, in wire/report order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 15] = [
         Stage::ClientPlan,
         Stage::ClientEncode,
         Stage::WireEncode,
@@ -93,6 +100,9 @@ impl Stage {
         Stage::PrivateSelection,
         Stage::Sanitation,
         Stage::EndToEnd,
+        Stage::IndexMutate,
+        Stage::InvalidateScan,
+        Stage::FanoutNotify,
     ];
 
     /// Number of stages.
@@ -113,6 +123,9 @@ impl Stage {
             Stage::PrivateSelection => "private-selection",
             Stage::Sanitation => "sanitation",
             Stage::EndToEnd => "end-to-end",
+            Stage::IndexMutate => "index-mutate",
+            Stage::InvalidateScan => "invalidate-scan",
+            Stage::FanoutNotify => "fanout-notify",
         }
     }
 

@@ -192,11 +192,17 @@ pub enum SpanName {
     Sanitation = 13,
     /// One prefix length's Z-test pass inside sanitation.
     SanitationPrefix = 14,
+    /// Dynamic-index mutation (`PoiUpdate` batch apply + republish).
+    IndexMutate = 15,
+    /// Subscription safe-region scan after a mutation.
+    InvalidateScan = 16,
+    /// Re-plan notification fanout to invalidated subscribers.
+    FanoutNotify = 17,
 }
 
 impl SpanName {
     /// Every span name, in tag order.
-    pub const ALL: [SpanName; 14] = [
+    pub const ALL: [SpanName; 17] = [
         SpanName::ClientQuery,
         SpanName::ClientPlan,
         SpanName::ClientEncode,
@@ -211,6 +217,9 @@ impl SpanName {
         SpanName::PrivateSelection,
         SpanName::Sanitation,
         SpanName::SanitationPrefix,
+        SpanName::IndexMutate,
+        SpanName::InvalidateScan,
+        SpanName::FanoutNotify,
     ];
 
     /// The stable kebab-case name (JSON, Chrome trace, terminal tree).
@@ -230,6 +239,9 @@ impl SpanName {
             SpanName::PrivateSelection => "private-selection",
             SpanName::Sanitation => "sanitation",
             SpanName::SanitationPrefix => "sanitation-prefix",
+            SpanName::IndexMutate => "index-mutate",
+            SpanName::InvalidateScan => "invalidate-scan",
+            SpanName::FanoutNotify => "fanout-notify",
         }
     }
 
@@ -260,11 +272,17 @@ pub enum AttrKey {
     Ciphertexts = 7,
     /// Client retry attempts consumed.
     Retries = 8,
+    /// Live subscriptions scanned after a mutation.
+    Subscriptions = 9,
+    /// Subscriptions whose safe region a mutation invalidated.
+    Invalidated = 10,
+    /// POI mutations in an update batch.
+    PoiOps = 11,
 }
 
 impl AttrKey {
     /// Every attribute key, in tag order.
-    pub const ALL: [AttrKey; 8] = [
+    pub const ALL: [AttrKey; 11] = [
         AttrKey::Candidates,
         AttrKey::Users,
         AttrKey::SetLen,
@@ -273,6 +291,9 @@ impl AttrKey {
         AttrKey::Survivors,
         AttrKey::Ciphertexts,
         AttrKey::Retries,
+        AttrKey::Subscriptions,
+        AttrKey::Invalidated,
+        AttrKey::PoiOps,
     ];
 
     /// The stable kebab-case key.
@@ -286,6 +307,9 @@ impl AttrKey {
             AttrKey::Survivors => "survivors",
             AttrKey::Ciphertexts => "ciphertexts",
             AttrKey::Retries => "retries",
+            AttrKey::Subscriptions => "subscriptions",
+            AttrKey::Invalidated => "invalidated",
+            AttrKey::PoiOps => "poi-ops",
         }
     }
 

@@ -13,7 +13,9 @@ use std::time::Duration;
 use ppgnn::prelude::*;
 use ppgnn::server::frame::{
     read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
-    HelloPayload, QueryPayload, StatsReplyPayload, TraceReplyPayload, DEFAULT_MAX_PAYLOAD,
+    HelloPayload, PoiUpdateAckPayload, PoiUpdatePayload, QueryPayload, StatsReplyPayload,
+    SubscriptionKind, SubscriptionUpdatePayload, TraceReplyPayload, UnsubscribePayload,
+    DEFAULT_MAX_PAYLOAD,
 };
 use ppgnn::server::{serve, ErrorCode, ServerConfig, ServerError, ServerHandle};
 use ppgnn::telemetry::trace::{TraceContext, Tracer, TracerConfig, TRACE_CONTEXT_BYTES};
@@ -129,6 +131,50 @@ fn corpus() -> &'static Vec<(FrameType, Vec<u8>)> {
                 FrameType::TraceReply,
                 trace_reply.encode(DEFAULT_MAX_PAYLOAD),
             ),
+            // The v6 live-world lanes. Subscribe shares QueryPayload,
+            // so its mutations also chew on the crypto wire decoders.
+            (FrameType::Subscribe, query.encode()),
+            (
+                FrameType::PoiUpdate,
+                PoiUpdatePayload {
+                    admin_token: 0xAD000_0001,
+                    request_id: 3,
+                    ops: vec![
+                        ppgnn::geo::PoiOp::Insert(Poi::new(900, Point::new(0.1, 0.9))),
+                        ppgnn::geo::PoiOp::Remove(17),
+                    ],
+                }
+                .encode(),
+            ),
+            (
+                FrameType::PoiUpdateAck,
+                PoiUpdateAckPayload {
+                    request_id: 3,
+                    version: 41,
+                    applied: 2,
+                    invalidated: 1,
+                }
+                .encode(),
+            ),
+            (
+                FrameType::SubscriptionUpdate,
+                SubscriptionUpdatePayload {
+                    request_id: 1,
+                    kind: SubscriptionKind::Invalidated,
+                    version: 42,
+                    margin: 2.5e-4,
+                    drift_scale: 2,
+                }
+                .encode(),
+            ),
+            (
+                FrameType::Unsubscribe,
+                UnsubscribePayload {
+                    group_id: 7,
+                    request_id: 1,
+                }
+                .encode(),
+            ),
         ];
         payloads
             .into_iter()
@@ -154,7 +200,7 @@ fn exercise_decoders(bytes: &[u8]) {
         FrameType::HelloAck => {
             let _ = HelloAckPayload::decode(&frame.payload);
         }
-        FrameType::Query => {
+        FrameType::Query | FrameType::Subscribe => {
             if let Ok(q) = QueryPayload::decode(&frame.payload) {
                 // The inner blobs go through the hardened wire decoders.
                 let _ = ppgnn::core::messages::QueryMessage::from_wire(&q.query, &wire_context());
@@ -177,6 +223,18 @@ fn exercise_decoders(bytes: &[u8]) {
         }
         FrameType::TraceReply => {
             let _ = TraceReplyPayload::decode(&frame.payload);
+        }
+        FrameType::PoiUpdate => {
+            let _ = PoiUpdatePayload::decode(&frame.payload);
+        }
+        FrameType::PoiUpdateAck => {
+            let _ = PoiUpdateAckPayload::decode(&frame.payload);
+        }
+        FrameType::SubscriptionUpdate => {
+            let _ = SubscriptionUpdatePayload::decode(&frame.payload);
+        }
+        FrameType::Unsubscribe => {
+            let _ = UnsubscribePayload::decode(&frame.payload);
         }
         FrameType::Goodbye
         | FrameType::Ping
@@ -295,6 +353,81 @@ proptest! {
             }
             Err(e) => prop_assert!(matches!(e, ServerError::Malformed(_))),
         }
+    }
+}
+
+// The v6 live-world payloads: arbitrary field values must round-trip
+// byte-exactly through their codecs.
+proptest! {
+    /// Any mutation batch — inserts and removes, any ids, any
+    /// coordinates — survives the wire unchanged.
+    #[test]
+    fn poi_update_round_trips(
+        admin_token in any::<u64>(),
+        request_id in any::<u32>(),
+        raw_ops in proptest::collection::vec(
+            (any::<bool>(), any::<u32>(), -1.0f64..2.0, -1.0f64..2.0),
+            0..16,
+        ),
+    ) {
+        let ops = raw_ops
+            .into_iter()
+            .map(|(insert, id, x, y)| {
+                if insert {
+                    ppgnn::geo::PoiOp::Insert(Poi::new(id, Point::new(x, y)))
+                } else {
+                    ppgnn::geo::PoiOp::Remove(id)
+                }
+            })
+            .collect();
+        let p = PoiUpdatePayload { admin_token, request_id, ops };
+        prop_assert_eq!(PoiUpdatePayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    /// The ack lane round-trips for any counters.
+    #[test]
+    fn poi_update_ack_round_trips(
+        request_id in any::<u32>(),
+        version in any::<u64>(),
+        applied in any::<u32>(),
+        invalidated in any::<u32>(),
+    ) {
+        let p = PoiUpdateAckPayload { request_id, version, applied, invalidated };
+        prop_assert_eq!(PoiUpdateAckPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    /// Subscription pushes round-trip for every kind and any margin a
+    /// server can legitimately compute (finite or the tiny-database
+    /// infinity — never NaN).
+    #[test]
+    fn subscription_update_round_trips(
+        request_id in any::<u32>(),
+        kind_tag in 0usize..3,
+        version in any::<u64>(),
+        finite_margin in 0.0f64..1e12,
+        tiny_database in any::<bool>(),
+        drift_scale in any::<u32>(),
+    ) {
+        let margin = if tiny_database { f64::INFINITY } else { finite_margin };
+        let kind = [
+            SubscriptionKind::Granted,
+            SubscriptionKind::Invalidated,
+            SubscriptionKind::Ended,
+        ][kind_tag];
+        let p = SubscriptionUpdatePayload { request_id, kind, version, margin, drift_scale };
+        let back = SubscriptionUpdatePayload::decode(&p.encode()).unwrap();
+        prop_assert_eq!(back.request_id, p.request_id);
+        prop_assert_eq!(back.kind, p.kind);
+        prop_assert_eq!(back.version, p.version);
+        prop_assert_eq!(back.margin.to_bits(), p.margin.to_bits());
+        prop_assert_eq!(back.drift_scale, p.drift_scale);
+    }
+
+    /// Unsubscribe round-trips for any group/request pair.
+    #[test]
+    fn unsubscribe_round_trips(group_id in any::<u64>(), request_id in any::<u32>()) {
+        let p = UnsubscribePayload { group_id, request_id };
+        prop_assert_eq!(UnsubscribePayload::decode(&p.encode()).unwrap(), p);
     }
 }
 

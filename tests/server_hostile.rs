@@ -18,7 +18,7 @@ use ppgnn::server::frame::{
     read_frame, write_frame, ErrorPayload, FrameType, QueryPayload, DEFAULT_MAX_PAYLOAD,
 };
 use ppgnn::server::mallory::{run_attack, run_catalog, Attack, AttackContext, MalloryOutcome};
-use ppgnn::server::{ErrorCode, HelloPolicy, ServerError};
+use ppgnn::server::{serve_dynamic, ErrorCode, HelloPolicy, ServerError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -65,7 +65,7 @@ fn hardened(frame_timeout: Duration, max_sessions: usize) -> ServerConfig {
 fn mallory_soak_contains_catalog_while_legit_traffic_flows() {
     const SESSION_CAP: usize = 32;
     const ATTACKERS: usize = 2;
-    const ROUNDS: usize = 7; // 2 × 7 × 15 = 210 adversarial connections
+    const ROUNDS: usize = 7; // 2 × 7 × 17 = 238 adversarial connections
     const LEGIT_GROUPS: usize = 4;
     const LEGIT_QUERIES: usize = 25; // 4 × 25 = 100 oracle-checked
 
@@ -290,11 +290,80 @@ fn each_attack_variant_yields_its_typed_rejection() {
         ),
         (Attack::SessionFlood, MalloryOutcome::AckedAll),
         (Attack::SlowWriter, MalloryOutcome::Disconnected),
+        // Four standing queries fit under this server's default cap;
+        // the low-cap rejection path gets its own test below.
+        (Attack::SubscribeFlood, MalloryOutcome::AckedAll),
+        // No admin lane is configured here, so *any* token is forged.
+        (
+            Attack::ForgedPoiUpdate,
+            MalloryOutcome::TypedError(ErrorCode::Violation),
+        ),
     ];
     for (i, (attack, expected)) in expectations.iter().enumerate() {
         let outcome = run_attack(*attack, addr, &ctx, 0xc0de + i as u64);
         assert_eq!(&outcome, expected, "attack {attack}");
     }
+    handle.shutdown();
+}
+
+/// A subscribe flood against a low standing-query cap is turned away
+/// with a typed violation before any worker time is spent — and the
+/// registry never grows past the cap.
+#[test]
+fn subscribe_flood_past_the_cap_is_refused() {
+    let lsp = Arc::new(Lsp::new(grid_db(8), test_config()));
+    let config = ServerConfig {
+        max_subscriptions: 2,
+        ..hardened(Duration::from_millis(300), 64)
+    };
+    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let mut ctx = AttackContext::new(21).unwrap();
+    ctx.flood_subscriptions = 4; // two past the cap
+
+    let outcome = run_attack(Attack::SubscribeFlood, handle.local_addr(), &ctx, 0xf100d);
+    assert_eq!(
+        outcome,
+        MalloryOutcome::TypedError(ErrorCode::Violation),
+        "the third subscription must hit the cap"
+    );
+    let stats = handle.stats();
+    assert!(
+        stats.subscribe_rejected.load(Ordering::Relaxed) >= 1,
+        "cap rejection never counted"
+    );
+    assert_eq!(
+        stats.subscribes_ok.load(Ordering::Relaxed),
+        2,
+        "exactly the cap's worth of subscriptions granted"
+    );
+    handle.shutdown();
+}
+
+/// The admin lane refuses a wrong token on a dynamic world with a typed
+/// violation, and the index version proves nothing was applied.
+#[test]
+fn forged_poi_update_cannot_mutate_a_dynamic_world() {
+    let world = Arc::new(DynamicLsp::new(grid_db(8), test_config()));
+    let config = ServerConfig {
+        admin_token: Some(0x5ec2_e7),
+        ..hardened(Duration::from_millis(300), 16)
+    };
+    let handle = serve_dynamic(Arc::clone(&world), "127.0.0.1:0", config).unwrap();
+    let ctx = AttackContext::new(23).unwrap();
+
+    let before = world.version();
+    let outcome = run_attack(
+        Attack::ForgedPoiUpdate,
+        handle.local_addr(),
+        &ctx,
+        0xbad_70ce,
+    );
+    assert_eq!(
+        outcome,
+        MalloryOutcome::TypedError(ErrorCode::Violation),
+        "a guessed admin token must be refused"
+    );
+    assert_eq!(world.version(), before, "forged update mutated the index");
     handle.shutdown();
 }
 
