@@ -40,11 +40,24 @@ impl DynamicLsp {
 
     /// As [`DynamicLsp::new`] with an explicit data space.
     pub fn with_space(pois: Vec<Poi>, config: PpgnnConfig, space: Rect) -> Self {
+        Self::restore(pois, config, space, INITIAL_VERSION)
+    }
+
+    /// Rebuilds a database at an exact version — the recovery path.
+    ///
+    /// A crashed server reloads its newest checkpoint (`pois` at some
+    /// version `V`), constructs the index here, then replays the WAL
+    /// tail through [`DynamicLsp::apply`] so the republished version
+    /// lands exactly where the pre-crash server left off. `version` is
+    /// clamped to [`INITIAL_VERSION`]; 0 is reserved as "no version"
+    /// on the wire.
+    pub fn restore(pois: Vec<Poi>, config: PpgnnConfig, space: Rect, version: u64) -> Self {
+        let version = version.max(INITIAL_VERSION);
         let master = DynamicRTree::new(pois);
         let lsp = publish(&master, &config, space, 1);
         DynamicLsp {
             master: Mutex::new(master),
-            published: RwLock::new((lsp, INITIAL_VERSION)),
+            published: RwLock::new((lsp, version)),
             config,
             space,
             parallelism: 1,
@@ -81,6 +94,17 @@ impl DynamicLsp {
     /// Live POI count of the published snapshot.
     pub fn database_size(&self) -> usize {
         self.snapshot().0.database_size()
+    }
+
+    /// The live POI set of the master index, unordered — the payload a
+    /// durable checkpoint serializes. Taken under the writer mutex, so
+    /// a caller that also serializes its mutations (the WAL lock does)
+    /// gets a set that exactly matches [`DynamicLsp::version`].
+    pub fn live_pois(&self) -> Vec<Poi> {
+        self.master
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .live_pois()
     }
 
     /// The protocol configuration shared by all snapshots.
@@ -189,6 +213,23 @@ mod tests {
         assert_eq!(dyn_lsp.database_size(), 99);
         let (_, v3) = dyn_lsp.apply(&[]);
         assert_eq!(v3, 3, "even empty batches bump the version");
+    }
+
+    #[test]
+    fn restore_resumes_at_the_exact_version() {
+        let restored = DynamicLsp::restore(db(), config(), Rect::UNIT, 17);
+        assert_eq!(restored.version(), 17);
+        let (_, v) = restored.apply(&[PoiOp::Remove(3)]);
+        assert_eq!(v, 18, "replay continues the pre-crash sequence");
+        // Version 0 is reserved; restore clamps to the first version.
+        assert_eq!(
+            DynamicLsp::restore(db(), config(), Rect::UNIT, 0).version(),
+            1
+        );
+        let mut live = restored.live_pois();
+        live.sort_by_key(|p| p.id);
+        assert_eq!(live.len(), 99);
+        assert!(live.iter().all(|p| p.id != 3));
     }
 
     #[test]

@@ -50,6 +50,13 @@
 //! 2x — the CI moving-smoke gate. `--seed` and `--ticks` shape the
 //! run; `--require-stages index-mutate,invalidate-scan,fanout-notify`
 //! additionally gates on the live-world pipeline stages.
+//!
+//! Crash chaos: `--crash` runs the kill-mid-soak harness instead — a
+//! child `ppgnn-server` on a durable `--data-dir` is SIGKILLed at
+//! seeded ticks and restarted, and the run exits 1 unless recovery is
+//! perfect (see `ppgnn_server::crash`). `--require-stages
+//! wal-append,recover-replay` gates on the durability pipeline stages,
+//! fetched from the child over the wire — the CI crash-smoke gate.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -59,9 +66,9 @@ use ppgnn_core::{Lsp, PpgnnConfig, Variant};
 use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_server::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
 use ppgnn_server::{
-    run_moving_soak, serve, summarize, ClientStats, FaultConfig, FrameType, GroupClient,
-    LatencySummary, MovingSoakConfig, ServerConfig, ServerError, StatsReplyPayload,
-    TelemetrySnapshot, TraceReplyPayload,
+    run_crash_soak, run_moving_soak, serve, summarize, ClientStats, CrashSoakConfig, FaultConfig,
+    FrameType, GroupClient, LatencySummary, MovingSoakConfig, ServerConfig, ServerError,
+    StatsReplyPayload, TelemetrySnapshot, TraceReplyPayload,
 };
 use ppgnn_telemetry::json;
 use ppgnn_telemetry::trace::{self, TraceSegment, TracerConfig};
@@ -71,6 +78,9 @@ use rand::{Rng, SeedableRng};
 struct Args {
     addr: Option<String>,
     moving: bool,
+    crash: bool,
+    server_bin: Option<String>,
+    data_dir: Option<String>,
     ticks: usize,
     groups: usize,
     queries: usize,
@@ -95,6 +105,9 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: None,
         moving: false,
+        crash: false,
+        server_bin: None,
+        data_dir: None,
         ticks: 12,
         groups: 8,
         queries: 13,
@@ -121,6 +134,9 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--addr" => args.addr = Some(value("--addr")?),
             "--moving" => args.moving = true,
+            "--crash" => args.crash = true,
+            "--server-bin" => args.server_bin = Some(value("--server-bin")?),
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
             "--ticks" => args.ticks = parse(&value("--ticks")?)?,
             "--groups" => args.groups = parse(&value("--groups")?)?,
             "--queries" => args.queries = parse(&value("--queries")?)?,
@@ -161,6 +177,7 @@ fn parse_args() -> Result<Args, String> {
                      [--users U] [--keysize B] [--k K] [--d D] [--delta DELTA] \
                      [--pois P] [--opt] [--sanitize] [--seed S] \
                      [--moving] [--ticks T] \
+                     [--crash] [--server-bin PATH] [--data-dir PATH] \
                      [--bench-json PATH] [--require-stages a,b,c] \
                      [--trace-out PATH] [--trace-slow-us US] \
                      [--trace-sample-permille P] \
@@ -178,6 +195,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.moving && args.addr.is_some() {
         return Err("--moving boots its own dynamic in-process server (drop --addr)".into());
+    }
+    if args.crash && args.addr.is_some() {
+        return Err("--crash spawns and kills its own child server (drop --addr)".into());
+    }
+    if args.crash && args.moving {
+        return Err("--crash and --moving are distinct modes; pick one".into());
     }
     Ok(args)
 }
@@ -204,6 +227,9 @@ fn main() {
     };
     if args.moving {
         run_moving(&args);
+    }
+    if args.crash {
+        run_crash(&args);
     }
     if args.trace_out.is_some() {
         // Arm the collector before any client exists so the very first
@@ -575,6 +601,76 @@ fn run_moving(args: &Args) -> ! {
         std::process::exit(1);
     }
     std::process::exit(0);
+}
+
+/// The `--crash` mode: the kill-mid-soak chaos harness — spawns a
+/// child `ppgnn-server` on a durable data dir, SIGKILLs it at seeded
+/// ticks mid-soak, restarts it, and verifies zero wrong answers, zero
+/// missed invalidations, an unbroken version chain, and idempotent
+/// redelivery against the parent's plaintext oracle. `--server-bin`
+/// names the victim binary (default: `ppgnn-server` next to this
+/// executable); `--data-dir` the durable directory (default: a
+/// per-process temp dir); the child's recovery log lands at
+/// `<data-dir>/recovery.log` for CI artifact upload. Exits 1 on any
+/// correctness deviation or missing required stage.
+fn run_crash(args: &Args) -> ! {
+    let server_bin = match &args.server_bin {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let sibling = std::env::current_exe()
+                .ok()
+                .and_then(|p| p.parent().map(|d| d.join("ppgnn-server")));
+            match sibling {
+                Some(p) if p.exists() => p,
+                _ => {
+                    eprintln!(
+                        "loadgen: cannot find ppgnn-server next to this binary; pass --server-bin"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    let data_dir = match &args.data_dir {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::env::temp_dir().join(format!("ppgnn-crash-{}", std::process::id())),
+    };
+    let mut config = CrashSoakConfig::new(server_bin, &data_dir);
+    config.world.seed = args.seed;
+    config.ticks = args.ticks;
+    config.recovery_log = Some(data_dir.join("recovery.log"));
+    if let Some(required) = &args.require_stages {
+        config.extra_required_stages = required
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+    }
+    println!(
+        "loadgen: crash soak, seed {} ({} groups x {} ticks, kills at {:?}, fsync={}, data dir {})",
+        args.seed,
+        config.world.n_groups,
+        config.ticks,
+        config.kill_at_ticks,
+        config.fsync.name(),
+        data_dir.display(),
+    );
+    let report = match run_crash_soak(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: crash soak failed before the verdict: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.render());
+    if !report.missing_stages.is_empty() {
+        eprintln!(
+            "loadgen: required stage metrics missing or zero: {}",
+            report.missing_stages.join(", ")
+        );
+    }
+    std::process::exit(if report.passed() { 0 } else { 1 });
 }
 
 /// Asks a remote server for its telemetry snapshot with a sessionless

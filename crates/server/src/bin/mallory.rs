@@ -12,11 +12,15 @@
 //!         [--pois 200] [--slow-stall-ms 1500] [--json PATH]
 //! ```
 //!
-//! Without `--addr`, a hardened in-process server is spun up on an
-//! ephemeral port (short frame deadline, bounded session table, strike
-//! escalation armed), so the binary is a self-contained smoke test:
-//! exit status 0 means every attack run was contained AND every
-//! legitimate query matched the plaintext oracle.
+//! Without `--addr`, a hardened in-process *durable* server is spun up
+//! on an ephemeral port (short frame deadline, bounded session table,
+//! strike escalation armed, WAL in a throwaway temp dir) with a
+//! seed-derived admin token, so the binary is a self-contained smoke
+//! test: exit status 0 means every attack run was contained AND every
+//! legitimate query matched the plaintext oracle. The durable setup is
+//! what arms the honest-replay half of `stale-admin-replay`; against a
+//! remote `--addr` target that attack degrades to its forged-token
+//! probe only.
 //!
 //! `--json PATH` writes a machine-readable report: run metadata, the
 //! per-outcome counters and per-run verdicts (on the shared telemetry
@@ -30,7 +34,7 @@ use std::time::{Duration, Instant};
 use ppgnn_core::{Lsp, PpgnnConfig};
 use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_server::mallory::{run_catalog, AttackContext, MalloryReport};
-use ppgnn_server::{serve, GroupClient, ServerConfig};
+use ppgnn_server::{serve_durable, DurabilityConfig, GroupClient, ServerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -112,21 +116,38 @@ fn main() {
         ..PpgnnConfig::fast_test()
     };
 
+    // The stale-admin-replay attack needs a real admin token to capture;
+    // derived from the seed so runs are reproducible but never the same
+    // constant an operator would deploy with.
+    let admin_token = args.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
     let local_server = if args.addr.is_none() {
         let mut rng = StdRng::seed_from_u64(args.seed ^ 0xbad);
         let pois: Vec<Poi> = (0..args.pois)
             .map(|i| Poi::new(i as u32, Point::new(rng.gen::<f64>(), rng.gen::<f64>())))
             .collect();
-        let lsp = Arc::new(Lsp::new(pois, config.clone()));
+        // The oracle for legitimate traffic. It stays valid against the
+        // durable server because the only mutation in the catalog is
+        // stale-admin-replay's net-zero insert+remove batch.
+        let lsp = Arc::new(Lsp::new(pois.clone(), config.clone()));
+        let data_dir = std::env::temp_dir().join(format!("ppgnn-mallory-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data_dir);
         let server_config = ServerConfig {
             // Hardened posture: the slow-writer attack must out-stall
             // this deadline, and the flood must be able to hit the cap.
             frame_read_timeout: Duration::from_millis(500),
             max_sessions: 24,
             session_idle_ttl: Duration::from_secs(2),
+            admin_token: Some(admin_token),
+            durability: Some(DurabilityConfig::new(&data_dir)),
             ..ServerConfig::default()
         };
-        let handle = match serve(Arc::clone(&lsp), "127.0.0.1:0", server_config) {
+        let handle = match serve_durable(
+            pois,
+            config.clone(),
+            Rect::UNIT,
+            "127.0.0.1:0",
+            server_config,
+        ) {
             Ok(h) => h,
             Err(e) => {
                 eprintln!("mallory: failed to start in-process server: {e}");
@@ -134,16 +155,17 @@ fn main() {
             }
         };
         println!(
-            "mallory: in-process hardened server on {}",
-            handle.local_addr()
+            "mallory: in-process hardened durable server on {} (data dir {})",
+            handle.local_addr(),
+            data_dir.display()
         );
-        Some((handle, lsp))
+        Some((handle, lsp, data_dir))
     } else {
         None
     };
     let addr = match (&args.addr, &local_server) {
         (Some(a), _) => a.clone(),
-        (None, Some((h, _))) => h.local_addr().to_string(),
+        (None, Some((h, _, _))) => h.local_addr().to_string(),
         (None, None) => unreachable!(),
     };
     let sock_addr: std::net::SocketAddr = match addr.parse() {
@@ -163,6 +185,12 @@ fn main() {
         }
     };
     ctx.slow_stall = args.slow_stall;
+    if local_server.is_some() {
+        // Only the in-process server is known to be durable; pointing
+        // the honest-replay half of stale-admin-replay at an arbitrary
+        // `--addr` target would mutate someone else's world.
+        ctx.admin_token = Some(admin_token);
+    }
     let ctx = Arc::new(ctx);
 
     let start = Instant::now();
@@ -181,7 +209,7 @@ fn main() {
         .map(|g| {
             let addr = addr.clone();
             let config = config.clone();
-            let lsp = local_server.as_ref().map(|(_, l)| Arc::clone(l));
+            let lsp = local_server.as_ref().map(|(_, l, _)| Arc::clone(l));
             let (users, queries, seed) = (args.users, args.legit_queries, args.seed);
             std::thread::spawn(move || -> (u64, u64) {
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1000 + g as u64));
@@ -295,7 +323,7 @@ fn main() {
         obj.field_raw("meta", &meta.finish());
         obj.field_raw("report", &report.to_json());
         obj.field_raw("legit", &legit.finish());
-        if let Some((handle, _)) = &local_server {
+        if let Some((handle, _, _)) = &local_server {
             obj.field_raw("telemetry", &handle.telemetry_snapshot().to_json());
         }
         match std::fs::write(path, obj.finish().as_bytes()) {
@@ -307,7 +335,7 @@ fn main() {
         }
     }
 
-    if let Some((handle, _)) = local_server {
+    if let Some((handle, _, data_dir)) = local_server {
         let s = handle.stats();
         println!(
             "server: ok={} err={} violations={} rate_limited={} strike_disconnects={} \
@@ -327,6 +355,7 @@ fn main() {
         );
         let panics = s.worker_panics.load(Ordering::Relaxed);
         handle.shutdown();
+        let _ = std::fs::remove_dir_all(&data_dir);
         if panics > 0 {
             eprintln!("mallory: FAIL — {panics} worker panic(s) under attack");
             std::process::exit(1);

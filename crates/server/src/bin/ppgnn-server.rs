@@ -9,7 +9,19 @@
 //!              [--rate-limit QPS] [--rate-burst N] [--max-strikes 8]
 //!              [--frame-timeout-ms 30000] [--write-timeout-ms 30000]
 //!              [--stats-json PATH] [--stats-interval-ms 5000]
+//!              [--data-dir PATH] [--fsync always|interval|never]
+//!              [--checkpoint-every-ops N] [--admin-token T]
+//!              [--max-subscriptions N]
 //! ```
+//!
+//! Durability: with `--data-dir PATH` the server runs the crash-safe
+//! live world ([`ppgnn_server::serve_durable`]): on first boot the
+//! seeded POI set is checkpointed into PATH; on every later boot the
+//! newest valid checkpoint is loaded and the WAL tail replayed, so the
+//! process resumes at the exact pre-crash index version. `--fsync`
+//! picks the WAL flush policy and `--checkpoint-every-ops` the log
+//! rotation cadence. `--admin-token` arms the `PoiUpdate` mutation
+//! lane (without it the world is durable but read-only over the wire).
 //!
 //! Every tunable flows through [`ServerConfig::builder`], so an
 //! inconsistent combination (zero workers, rate limiting with no burst)
@@ -43,8 +55,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ppgnn_core::{Lsp, PpgnnConfig};
-use ppgnn_geo::{Poi, Point};
-use ppgnn_server::{serve, HelloPolicy, ServerConfig, StatsProbe};
+use ppgnn_geo::{Poi, Point, Rect};
+use ppgnn_server::{
+    serve, serve_durable, DurabilityConfig, FsyncPolicy, HelloPolicy, ServerConfig, StatsProbe,
+};
 use ppgnn_telemetry::trace::{self, TracerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -111,6 +125,9 @@ fn parse_args() -> Result<Args, String> {
     let mut stats_json = None;
     let mut stats_interval = None;
     let mut trace_cfg: Option<TracerConfig> = None;
+    let mut data_dir: Option<String> = None;
+    let mut fsync: Option<FsyncPolicy> = None;
+    let mut checkpoint_every: Option<u64> = None;
     let mut builder = ServerConfig::builder();
     let mut policy = HelloPolicy::default();
     let mut it = std::env::args().skip(1);
@@ -196,6 +213,22 @@ fn parse_args() -> Result<Args, String> {
                     })
                     .capacity = cap;
             }
+            "--data-dir" => data_dir = Some(value("--data-dir")?),
+            "--fsync" => {
+                let name = value("--fsync")?;
+                fsync = Some(FsyncPolicy::from_name(&name).ok_or_else(|| {
+                    format!("--fsync must be always, interval, or never (got {name:?})")
+                })?);
+            }
+            "--checkpoint-every-ops" => {
+                checkpoint_every = Some(parse(&value("--checkpoint-every-ops")?)?)
+            }
+            "--admin-token" => {
+                builder = builder.admin_token(Some(parse(&value("--admin-token")?)?))
+            }
+            "--max-subscriptions" => {
+                builder = builder.max_subscriptions(parse(&value("--max-subscriptions")?)?)
+            }
             "--stats-json" => stats_json = Some(value("--stats-json")?),
             "--stats-interval-ms" => {
                 stats_interval = Some(Duration::from_millis(parse(&value(
@@ -212,7 +245,10 @@ fn parse_args() -> Result<Args, String> {
                      [--rate-burst N] [--max-strikes N] [--frame-timeout-ms MS] \
                      [--write-timeout-ms MS] [--stats-json PATH] \
                      [--stats-interval-ms MS] [--trace] [--trace-slow-us US] \
-                     [--trace-sample-permille P] [--trace-buf N]"
+                     [--trace-sample-permille P] [--trace-buf N] \
+                     [--data-dir PATH] [--fsync always|interval|never] \
+                     [--checkpoint-every-ops N] [--admin-token T] \
+                     [--max-subscriptions N]"
                 );
                 std::process::exit(0);
             }
@@ -222,6 +258,22 @@ fn parse_args() -> Result<Args, String> {
     // A stats file with no interval still gets periodic (and final) dumps.
     if stats_json.is_some() && stats_interval.is_none() {
         stats_interval = Some(Duration::from_millis(5000));
+    }
+    match data_dir {
+        Some(dir) => {
+            let mut durability = DurabilityConfig::new(dir);
+            if let Some(policy) = fsync {
+                durability.fsync = policy;
+            }
+            if let Some(every) = checkpoint_every {
+                durability.checkpoint_every_ops = every;
+            }
+            builder = builder.durability(Some(durability));
+        }
+        None if fsync.is_some() || checkpoint_every.is_some() => {
+            return Err("--fsync / --checkpoint-every-ops require --data-dir".into());
+        }
+        None => {}
     }
     let config = builder
         .hello_policy(policy)
@@ -265,7 +317,7 @@ fn spawn_stats_dumper(
     path: Option<String>,
     interval: Duration,
     stop: Arc<AtomicBool>,
-) -> std::thread::JoinHandle<()> {
+) -> std::io::Result<std::thread::JoinHandle<()>> {
     std::thread::Builder::new()
         .name("ppgnn-stats-dump".into())
         .spawn(move || {
@@ -288,7 +340,6 @@ fn spawn_stats_dumper(
             // Final dump so the file reflects the drained totals.
             dump_snapshot(&probe, path.as_deref());
         })
-        .expect("spawn stats dump thread")
 }
 
 fn main() {
@@ -315,46 +366,78 @@ fn main() {
     let pois: Vec<Poi> = (0..args.pois)
         .map(|i| Poi::new(i as u32, Point::new(rng.gen::<f64>(), rng.gen::<f64>())))
         .collect();
-    let lsp = Arc::new(Lsp::new(pois, config));
 
-    let handle = match serve(lsp, args.addr.as_str(), args.config.clone()) {
+    let durable = args.config.durability.is_some();
+    let served = if durable {
+        serve_durable(
+            pois,
+            config,
+            Rect::UNIT,
+            args.addr.as_str(),
+            args.config.clone(),
+        )
+    } else {
+        serve(
+            Arc::new(Lsp::new(pois, config)),
+            args.addr.as_str(),
+            args.config.clone(),
+        )
+    };
+    let handle = match served {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("ppgnn-server: bind {} failed: {e}", args.addr);
+            eprintln!("ppgnn-server: starting on {} failed: {e}", args.addr);
             std::process::exit(1);
         }
     };
     println!(
-        "ppgnn-server listening on {} ({} POIs, {} workers, queue depth {})",
+        "ppgnn-server listening on {} ({} POIs, {} workers, queue depth {}{})",
         handle.local_addr(),
         args.pois,
         args.config.workers,
-        args.config.queue_depth
+        args.config.queue_depth,
+        match &args.config.durability {
+            Some(d) => format!(
+                ", durable world in {} fsync={}",
+                d.data_dir.display(),
+                d.fsync.name()
+            ),
+            None => String::new(),
+        }
     );
     println!("type 'stats' for counters, 'traces' for kept spans, 'quit' (or EOF, or Ctrl-C) to drain and exit");
 
     let stop_dumper = Arc::new(AtomicBool::new(false));
-    let dumper = args.stats_interval.map(|interval| {
-        spawn_stats_dumper(
+    let dumper = args.stats_interval.and_then(|interval| {
+        match spawn_stats_dumper(
             handle.stats_probe(),
             args.stats_json.clone(),
             interval,
             Arc::clone(&stop_dumper),
-        )
+        ) {
+            Ok(h) => Some(h),
+            Err(e) => {
+                // Degraded, not fatal: the final dump at exit (below)
+                // still runs on the main thread.
+                eprintln!("ppgnn-server: no periodic stats dumps ({e}); final dump still runs");
+                None
+            }
+        }
     });
 
     // Stdin is read on its own thread so the main loop can poll the
     // SIGINT latch: a blocking `lines()` loop here would swallow Ctrl-C
     // until the next keystroke and skip the final stats flush entirely.
     let (line_tx, line_rx) = std::sync::mpsc::channel::<String>();
-    std::thread::Builder::new()
+    let reader_tx = line_tx.clone();
+    let spawned = std::thread::Builder::new()
         .name("ppgnn-stdin".into())
         .spawn(move || {
             let stdin = std::io::stdin();
             for line in stdin.lock().lines() {
                 match line {
                     Ok(l) => {
-                        if line_tx.send(l).is_err() {
+                        if reader_tx.send(l).is_err() {
                             break;
                         }
                     }
@@ -362,8 +445,21 @@ fn main() {
                 }
             }
             // Dropping the sender turns EOF into a Disconnected recv.
-        })
-        .expect("spawn stdin thread");
+        });
+    // When the reader thread is up, drop our sender so stdin EOF maps
+    // to Disconnected and exits the loop. If the spawn failed, keep it
+    // alive instead — the channel then never disconnects and the loop
+    // idles on timeouts, leaving SIGINT as the (still working) way out.
+    let _stdin_guard = match spawned {
+        Ok(_) => {
+            drop(line_tx);
+            None
+        }
+        Err(e) => {
+            eprintln!("ppgnn-server: stdin commands unavailable ({e}); use Ctrl-C to exit");
+            Some(line_tx)
+        }
+    };
 
     loop {
         if sigint::interrupted() {

@@ -104,6 +104,9 @@ pub struct GroupClient {
     /// Server pushes (invalidations, endings) received while waiting
     /// for something else; drained by [`GroupClient::take_notifications`].
     pending_updates: Vec<SubscriptionUpdatePayload>,
+    /// The standing query this client holds, if any — what a detected
+    /// server restart must surface an invalidation for.
+    standing: Option<SafeRegionToken>,
 }
 
 fn variant_tag(v: Variant) -> u8 {
@@ -199,7 +202,9 @@ fn classify(e: &ServerError) -> Recovery {
             | ErrorCode::Protocol
             | ErrorCode::Violation => (false, None, false, false),
         },
-        ServerError::Protocol(_) | ServerError::Violation(_) => (false, None, false, false),
+        ServerError::Protocol(_) | ServerError::Violation(_) | ServerError::Recovery(_) => {
+            (false, None, false, false)
+        }
     };
     Recovery {
         retryable,
@@ -254,10 +259,12 @@ impl GroupClient {
                 database_size: 0,
                 max_payload: 0,
                 workers: 0,
+                epoch: 0,
             },
             broken: false,
             stats: ClientStats::default(),
             pending_updates: Vec::new(),
+            standing: None,
         };
         let params = session_params_for(&client.config, n_users)?;
         client.handshake(params)?;
@@ -267,6 +274,66 @@ impl GroupClient {
     /// Server facts from the last `HelloAck`.
     pub fn server_info(&self) -> &HelloAckPayload {
         &self.server_info
+    }
+
+    /// The restart epoch last observed from the server (0 before the
+    /// first handshake).
+    pub fn server_epoch(&self) -> u64 {
+        self.server_info.epoch
+    }
+
+    /// Folds in an epoch observed on the wire (`HelloAck` or `Pong`).
+    /// A changed epoch means the server restarted since we last spoke:
+    /// its subscription registry is gone, so the standing query (if
+    /// any) gets a synthetic `Invalidated` push — the caller's normal
+    /// invalidation handling then re-subscribes. A crash can only
+    /// degrade to a spurious re-grant, never to silent staleness.
+    fn observe_epoch(&mut self, epoch: u64) -> bool {
+        let prev = std::mem::replace(&mut self.server_info.epoch, epoch);
+        let restarted = prev != 0 && epoch != prev;
+        if restarted {
+            if let Some(standing) = &self.standing {
+                self.pending_updates.push(SubscriptionUpdatePayload {
+                    request_id: standing.request_id,
+                    kind: SubscriptionKind::Invalidated,
+                    version: 0,
+                    margin: 0.0,
+                    drift_scale: 1,
+                });
+            }
+        }
+        restarted
+    }
+
+    /// Reconnects (if the connection is broken) and re-handshakes,
+    /// detecting a server restart via the `HelloAck` epoch. Returns
+    /// `true` when the server restarted since this client last spoke
+    /// to it — in which case [`Self::observe_epoch`] has queued a
+    /// synthetic `Invalidated` push for the standing query, retrievable
+    /// via [`Self::take_notifications`]. Idempotent: resuming against
+    /// a server that never died is a cheap re-`Hello`.
+    pub fn resume(&mut self) -> Result<bool, ServerError> {
+        self.ensure_connected()?;
+        let before = self.server_info.epoch;
+        if let Err(first) = self.refresh_epoch() {
+            // A crashed server kills the socket without this side
+            // noticing until the next read; one reconnect-and-retry
+            // covers exactly that window.
+            self.broken = true;
+            self.ensure_connected().map_err(|_| first)?;
+            self.refresh_epoch()?;
+        }
+        Ok(before != 0 && self.server_info.epoch != before)
+    }
+
+    /// Re-learns the server's epoch: a re-`Hello` when parameters were
+    /// already negotiated (restoring the session registry entry too),
+    /// a bare `Ping` otherwise.
+    fn refresh_epoch(&mut self) -> Result<(), ServerError> {
+        match self.negotiated {
+            Some(params) => self.handshake(params),
+            None => self.ping().map(|_| ()),
+        }
     }
 
     /// Queries issued by the underlying session (successful plans).
@@ -327,6 +394,7 @@ impl GroupClient {
                 if ack.max_payload > 0 {
                     self.max_payload = ack.max_payload as usize;
                 }
+                self.observe_epoch(ack.epoch);
                 self.server_info = ack;
                 self.negotiated = Some(params);
                 Ok(())
@@ -361,7 +429,11 @@ impl GroupClient {
             self.broken = true;
         })?;
         match frame.frame_type {
-            FrameType::Pong => PongPayload::decode(&frame.payload),
+            FrameType::Pong => {
+                let pong = PongPayload::decode(&frame.payload)?;
+                self.observe_epoch(pong.epoch);
+                Ok(pong)
+            }
             other => Err(ServerError::UnexpectedFrame {
                 expected: "Pong",
                 got: other,
@@ -477,6 +549,7 @@ impl GroupClient {
             // mutation — and every mutation near a free slot notifies.
             token.margin = f64::INFINITY;
         }
+        self.standing = Some(token);
         Ok((answer, token))
     }
 
@@ -805,8 +878,17 @@ impl GroupClient {
                     break;
                 }
                 Err(e) => {
+                    // A dead wire mid-poll is how a subscriber
+                    // experiences a server crash. Try one resume:
+                    // reconnect + re-handshake; restart detection then
+                    // queues the synthetic invalidation the caller
+                    // re-subscribes on. If the server is still down,
+                    // surface the original transport error.
                     self.broken = true;
-                    return Err(e);
+                    return match self.resume() {
+                        Ok(_) => Ok(self.take_notifications()),
+                        Err(_) => Err(e),
+                    };
                 }
             }
         }
@@ -837,6 +919,9 @@ impl GroupClient {
                     if update.request_id == token.request_id
                         && update.kind == SubscriptionKind::Ended
                     {
+                        if self.standing.map(|s| s.request_id) == Some(token.request_id) {
+                            self.standing = None;
+                        }
                         return Ok(());
                     }
                     self.pending_updates.push(update);
@@ -867,9 +952,23 @@ impl GroupClient {
         admin_token: u64,
         ops: &[PoiOp],
     ) -> Result<PoiUpdateAckPayload, ServerError> {
-        self.ensure_connected()?;
         let request_id = self.next_request_id;
         self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
+        self.poi_update_with_id(admin_token, request_id, ops)
+    }
+
+    /// As [`Self::poi_update`], but with a caller-chosen `request_id` —
+    /// the at-least-once redelivery path. Re-sending a previously acked
+    /// batch verbatim (same id, same ops) is safe against a durable
+    /// server: it recognizes the batch and acks the *original* version
+    /// without applying it twice.
+    pub fn poi_update_with_id(
+        &mut self,
+        admin_token: u64,
+        request_id: u32,
+        ops: &[PoiOp],
+    ) -> Result<PoiUpdateAckPayload, ServerError> {
+        self.ensure_connected()?;
         let payload = PoiUpdatePayload {
             admin_token,
             request_id,

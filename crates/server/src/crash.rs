@@ -1,0 +1,539 @@
+//! The kill-mid-soak chaos harness: proves the durable live world
+//! survives SIGKILL with zero wrong answers.
+//!
+//! The harness plays puppeteer over a *child-process* `ppgnn-server`
+//! (in-process threads cannot be SIGKILLed): it pre-seeds a data dir
+//! with a deterministic [`MovingWorld`]'s initial POIs, boots the
+//! child with `--data-dir`, then runs the moving-group soak against it
+//! — and at seeded tick points it kills the child dead (no drain, no
+//! flush beyond what the WAL policy promised), restarts it on the same
+//! data dir, and keeps going.
+//!
+//! The parent never loses state, so it is the oracle for everything
+//! the crash could have corrupted:
+//!
+//! * **version continuity** — every `PoiUpdateAck` must carry exactly
+//!   `previous + 1`; a restarted server that lost an acked batch or
+//!   replayed one twice breaks the chain;
+//! * **at-least-once redelivery** — the batch acked *just before* each
+//!   kill is re-sent verbatim after the restart and must come back
+//!   with its original version, not a second application;
+//! * **standing queries** — each group's next poll after the kill must
+//!   surface the restart (synthetic `Invalidated` from the epoch
+//!   change), and the re-planned answer must match the plaintext
+//!   oracle; silence over a changed answer is a missed invalidation,
+//!   exactly as in the live soak;
+//! * **telemetry** — the restarted child must have exercised the
+//!   `wal-append` and `recover-replay` stages, checked over the wire.
+//!
+//! The same harness backs `tests/crash_soak.rs` and the CI
+//! `crash-smoke` job; the child's stderr (the recovery summary lines)
+//! is teed into a log file for CI artifact upload.
+
+use std::collections::HashSet;
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ppgnn_core::PpgnnConfig;
+use ppgnn_geo::PoiId;
+use ppgnn_sim::moving::{MovingWorld, MovingWorldConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::client::{GroupClient, SafeRegionToken};
+use crate::error::ServerError;
+use crate::frame::SubscriptionKind;
+use crate::wal::{self, FsyncPolicy};
+
+/// Everything one crash soak needs. [`CrashSoakConfig::new`] is the
+/// tuned CI shape; `kill_at_ticks` places the SIGKILLs.
+#[derive(Debug, Clone)]
+pub struct CrashSoakConfig {
+    /// Path to the `ppgnn-server` binary to run as the victim child.
+    /// Tests use `env!("CARGO_BIN_EXE_ppgnn-server")`.
+    pub server_bin: PathBuf,
+    /// Durable state directory, shared across every child incarnation.
+    pub data_dir: PathBuf,
+    /// The deterministic world: groups, drift, churn, seed.
+    pub world: MovingWorldConfig,
+    /// Ticks to run.
+    pub ticks: usize,
+    /// Zero-based ticks after whose batch ack the child is SIGKILLed.
+    pub kill_at_ticks: Vec<usize>,
+    /// Protocol parameters each group subscribes under; also shipped
+    /// to the child as `--k/--d/--delta/--keysize`.
+    pub protocol: PpgnnConfig,
+    /// Shared secret for the admin lane (`--admin-token`).
+    pub admin_token: u64,
+    /// How long one notification poll waits when pushes are expected.
+    pub poll_wait: Duration,
+    /// The child's WAL flush policy. [`FsyncPolicy::Always`] makes
+    /// "no acked batch is ever lost" exact rather than probabilistic,
+    /// which is what the correctness gate needs.
+    pub fsync: FsyncPolicy,
+    /// The child's checkpoint cadence; small enough that the soak
+    /// crosses checkpoint boundaries, so recovery exercises both the
+    /// snapshot load and the WAL tail replay.
+    pub checkpoint_every_ops: u64,
+    /// How long to wait for a (re)started child to accept connections.
+    pub boot_timeout: Duration,
+    /// Telemetry stages to require on top of the built-in gate
+    /// (`wal-append` always, `recover-replay` once a kill happened).
+    pub extra_required_stages: Vec<String>,
+    /// Where to tee the child's stderr (recovery summaries). `None`
+    /// discards it.
+    pub recovery_log: Option<PathBuf>,
+}
+
+impl CrashSoakConfig {
+    /// The CI smoke shape: the moving-soak world, two kills, fsync on
+    /// every ack, checkpoints every 16 ops.
+    pub fn new(server_bin: impl Into<PathBuf>, data_dir: impl Into<PathBuf>) -> Self {
+        CrashSoakConfig {
+            server_bin: server_bin.into(),
+            data_dir: data_dir.into(),
+            world: MovingWorldConfig {
+                seed: 7,
+                n_groups: 4,
+                users_per_group: 2,
+                drift_step: 4e-6,
+                churn_per_tick: 2,
+                initial_pois: 150,
+                space: ppgnn_geo::Rect::UNIT,
+            },
+            ticks: 10,
+            kill_at_ticks: vec![3, 7],
+            protocol: PpgnnConfig {
+                k: 2,
+                d: 3,
+                delta: 6,
+                keysize: 128,
+                sanitize: false,
+                ..PpgnnConfig::fast_test()
+            },
+            admin_token: 0xD00D_F00D,
+            poll_wait: Duration::from_millis(400),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every_ops: 16,
+            boot_timeout: Duration::from_secs(30),
+            extra_required_stages: Vec::new(),
+            recovery_log: None,
+        }
+    }
+}
+
+/// What one crash soak observed. [`CrashSoakReport::passed`] is the CI
+/// gate; [`CrashSoakReport::render`] the human view.
+#[derive(Debug, Clone)]
+pub struct CrashSoakReport {
+    /// Ticks executed.
+    pub ticks: usize,
+    /// Groups holding standing queries.
+    pub groups: usize,
+    /// POI mutations shipped down the admin lane.
+    pub poi_ops: u64,
+    /// SIGKILLs delivered (== restarts performed).
+    pub kills: u64,
+    /// Post-restart redeliveries answered with the *original* version
+    /// and apply count — the idempotence proof. Must equal `kills`.
+    pub replay_acks: u64,
+    /// Acks whose version broke the `previous + 1` chain (or whose
+    /// redelivery re-applied). The design guarantees **zero**.
+    pub version_breaks: u64,
+    /// Restarts a group detected via the epoch change on its next
+    /// poll. Every standing query must notice every kill.
+    pub restarts_noticed: u64,
+    /// Re-plans performed (invalidation pushes, synthetic restart
+    /// invalidations, and drift exits together).
+    pub requeries: u64,
+    /// Oracle says the answer changed but no push arrived. Zero.
+    pub missed_invalidations: u64,
+    /// Re-plans whose answer disagreed with the plaintext oracle. Zero.
+    pub answer_mismatches: u64,
+    /// The index version the chain ended at.
+    pub final_version: u64,
+    /// Required telemetry stages the final child never exercised.
+    pub missing_stages: Vec<String>,
+    /// Wall-clock for the whole soak, restarts included.
+    pub wall: Duration,
+}
+
+impl CrashSoakReport {
+    /// The acceptance gate: every kill survived with zero wrong
+    /// answers, zero missed invalidations, an unbroken version chain,
+    /// idempotent redelivery, and the recovery stages exercised.
+    pub fn passed(&self) -> bool {
+        self.version_breaks == 0
+            && self.missed_invalidations == 0
+            && self.answer_mismatches == 0
+            && self.replay_acks == self.kills
+            && self.restarts_noticed == self.kills * self.groups as u64
+            && self.missing_stages.is_empty()
+    }
+
+    /// Plain-text summary for the CLI and CI logs.
+    pub fn render(&self) -> String {
+        format!(
+            "crash soak: {} groups x {} ticks, {} poi ops, {} kills\n\
+             redelivery     {} replay acks / {} kills (idempotent)\n\
+             version chain  final v{} | breaks {}\n\
+             restarts seen  {} / {} expected (groups x kills)\n\
+             re-queries     {} | missed invalidations {} | wrong answers {}\n\
+             stages missing {:?}\n\
+             wall           {:.2?}\n\
+             verdict        {}",
+            self.groups,
+            self.ticks,
+            self.poi_ops,
+            self.kills,
+            self.replay_acks,
+            self.kills,
+            self.final_version,
+            self.version_breaks,
+            self.restarts_noticed,
+            self.kills * self.groups as u64,
+            self.requeries,
+            self.missed_invalidations,
+            self.answer_mismatches,
+            self.missing_stages,
+            self.wall,
+            if self.passed() { "PASS" } else { "FAIL" },
+        )
+    }
+}
+
+/// Kills the child on drop so a failing soak never leaks a server
+/// process into the test runner.
+struct ChildGuard {
+    child: Child,
+}
+
+impl ChildGuard {
+    /// SIGKILL, then reap. `Child::kill` on unix is `SIGKILL` — no
+    /// handler runs, no flush happens; whatever the WAL promised is
+    /// all the durability there is.
+    fn kill_now(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        self.kill_now();
+    }
+}
+
+/// Picks a port by binding to 0 and releasing it. Racy in principle;
+/// in practice the window to the child's bind is milliseconds, and a
+/// lost race fails loudly at `wait_ready`.
+fn free_port() -> io::Result<u16> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    Ok(listener.local_addr()?.port())
+}
+
+fn spawn_server(config: &CrashSoakConfig, port: u16) -> io::Result<ChildGuard> {
+    // Append, not truncate: the log accumulates every incarnation's
+    // recovery summary, which is exactly what the CI artifact wants.
+    let stderr = match &config.recovery_log {
+        Some(path) => {
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            let _ = writeln!(file, "--- child incarnation ---");
+            Stdio::from(file)
+        }
+        None => Stdio::null(),
+    };
+    let child = Command::new(&config.server_bin)
+        .arg("--addr")
+        .arg(format!("127.0.0.1:{port}"))
+        // The data dir is pre-seeded; the child's own POI generation
+        // is dead weight on every boot after the first, so keep it 0.
+        .arg("--pois")
+        .arg("0")
+        .arg("--data-dir")
+        .arg(&config.data_dir)
+        .arg("--fsync")
+        .arg(config.fsync.name())
+        .arg("--checkpoint-every-ops")
+        .arg(config.checkpoint_every_ops.to_string())
+        .arg("--admin-token")
+        .arg(config.admin_token.to_string())
+        .arg("--max-subscriptions")
+        .arg((config.world.n_groups.max(1) * 2).to_string())
+        .arg("--k")
+        .arg(config.protocol.k.to_string())
+        .arg("--d")
+        .arg(config.protocol.d.to_string())
+        .arg("--delta")
+        .arg(config.protocol.delta.to_string())
+        .arg("--keysize")
+        .arg(config.protocol.keysize.to_string())
+        // Piped-and-held stdin: the server treats stdin EOF as "drain
+        // and exit", which Stdio::null would trigger immediately.
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(stderr)
+        .spawn()?;
+    Ok(ChildGuard { child })
+}
+
+/// Polls until the child accepts a TCP connection. `serve_durable`
+/// binds only *after* recovery finishes, so a successful connect means
+/// the world is already republished at the recovered version.
+fn wait_ready(addr: SocketAddr, timeout: Duration) -> Result<(), ServerError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+            Ok(_) => return Ok(()),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(ServerError::Recovery(format!(
+                        "child server not accepting on {addr} within {timeout:?}: {e}"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// One group's standing-query state between ticks (the crash-soak
+/// twin of the moving harness's internal state).
+struct GroupState {
+    client: GroupClient,
+    anchor: Vec<ppgnn_geo::Point>,
+    answer: HashSet<PoiId>,
+    token: SafeRegionToken,
+}
+
+/// Maps answer locations back to POI ids via the plaintext mirror;
+/// `None` is a hard correctness failure (the server answered with a
+/// location the live world does not contain).
+fn resolve_ids(world: &MovingWorld, answer: &[ppgnn_geo::Point]) -> Option<HashSet<PoiId>> {
+    let mut ids = HashSet::with_capacity(answer.len());
+    for loc in answer {
+        let poi = world
+            .live_pois()
+            .iter()
+            .find(|p| p.location.dist(loc) < 1e-9)?;
+        ids.insert(poi.id);
+    }
+    Some(ids)
+}
+
+/// Runs the whole chaos soak: seed, boot, soak, kill, restart, verify.
+///
+/// Transport-level failures that even resume cannot absorb surface as
+/// `Err`; correctness deviations land in the report so callers (tests,
+/// CI) choose their own severity.
+pub fn run_crash_soak(config: &CrashSoakConfig) -> Result<CrashSoakReport, ServerError> {
+    std::fs::create_dir_all(&config.data_dir)?;
+    let mut world = MovingWorld::new(config.world.clone());
+    // Pre-seed so every incarnation — including the first — boots by
+    // the recovery path, from *this* world's POIs, not the child's own
+    // seeded generation.
+    if !wal::has_checkpoint(&config.data_dir) {
+        wal::bootstrap(&config.data_dir, &world.initial_pois())?;
+    }
+
+    let port = free_port()?;
+    let addr: SocketAddr = ([127, 0, 0, 1], port).into();
+    let mut guard = spawn_server(config, port)?;
+    wait_ready(addr, config.boot_timeout)?;
+
+    let k = config.protocol.k;
+    let agg = config.protocol.aggregate;
+    let n_groups = world.groups.len();
+    let started = Instant::now();
+
+    let mut admin_rng = ChaCha8Rng::seed_from_u64(config.world.seed ^ 0xAD);
+    let mut admin = GroupClient::connect(
+        addr,
+        0xAD317,
+        config.protocol.clone(),
+        config.world.space,
+        config.world.users_per_group,
+        &mut admin_rng,
+    )?;
+
+    let mut report = CrashSoakReport {
+        ticks: config.ticks,
+        groups: n_groups,
+        poi_ops: 0,
+        kills: 0,
+        replay_acks: 0,
+        version_breaks: 0,
+        restarts_noticed: 0,
+        requeries: 0,
+        missed_invalidations: 0,
+        answer_mismatches: 0,
+        final_version: 0,
+        missing_stages: Vec::new(),
+        wall: Duration::ZERO,
+    };
+
+    // Subscribe every group at its starting position.
+    let mut states: Vec<GroupState> = Vec::with_capacity(n_groups);
+    for track in &world.groups {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.world.seed ^ track.group_id);
+        let mut client = GroupClient::connect(
+            addr,
+            track.group_id,
+            config.protocol.clone(),
+            config.world.space,
+            track.users.len(),
+            &mut rng,
+        )?;
+        let (answer, token) = client.subscribe(&track.users, &mut rng)?;
+        let ids = match resolve_ids(&world, &answer) {
+            Some(ids) => ids,
+            None => {
+                report.answer_mismatches += 1;
+                HashSet::new()
+            }
+        };
+        states.push(GroupState {
+            client,
+            anchor: track.users.clone(),
+            answer: ids,
+            token,
+        });
+    }
+    let mut rngs: Vec<ChaCha8Rng> = (0..n_groups)
+        .map(|i| ChaCha8Rng::seed_from_u64(config.world.seed ^ 0x9E37 ^ i as u64))
+        .collect();
+
+    // The bootstrap checkpoint is version 1; every admitted batch must
+    // extend the chain by exactly one, across restarts included.
+    let mut expected_version: u64 = 1;
+
+    for tick in 0..config.ticks {
+        let ops = world.tick();
+        report.poi_ops += ops.len() as u64;
+        let ack = admin.poi_update(config.admin_token, &ops)?;
+        expected_version += 1;
+        if ack.version != expected_version {
+            report.version_breaks += 1;
+            expected_version = ack.version;
+        }
+
+        let killed_here = config.kill_at_ticks.contains(&tick);
+        if killed_here {
+            report.kills += 1;
+            guard.kill_now();
+            guard = spawn_server(config, port)?;
+            wait_ready(addr, config.boot_timeout)?;
+            // The admin reconnects explicitly (its next op is a write,
+            // which has no self-heal path) ...
+            admin.resume()?;
+            // ... and redelivers the batch the dead server already
+            // acked. Durable dedup must answer with the original
+            // version and apply count — not a second application.
+            let redelivered = admin.poi_update_with_id(config.admin_token, ack.request_id, &ops)?;
+            if redelivered.version == ack.version && redelivered.applied == ack.applied {
+                report.replay_acks += 1;
+            } else {
+                report.version_breaks += 1;
+                expected_version = redelivered.version;
+            }
+        }
+
+        for (i, state) in states.iter_mut().enumerate() {
+            let current = world.groups[i].users.clone();
+            let radius = state.token.drift_radius();
+            let drifted = state
+                .anchor
+                .iter()
+                .zip(&current)
+                .any(|(a, c)| a.dist(c) > radius);
+            let wait = if killed_here || ack.invalidated > 0 {
+                config.poll_wait
+            } else {
+                Duration::from_millis(1)
+            };
+            // After a kill this poll hits a dead socket, self-heals by
+            // resuming, observes the new epoch, and hands back the
+            // synthetic restart invalidation — the group cannot tell a
+            // crash from an ordinary region invalidation, which is the
+            // point.
+            let epoch_before = state.client.server_epoch();
+            let pushes = state.client.poll_notifications(wait)?;
+            if state.client.server_epoch() != epoch_before {
+                report.restarts_noticed += 1;
+            }
+            let invalidated = pushes
+                .iter()
+                .any(|p| p.kind == SubscriptionKind::Invalidated);
+
+            if invalidated || drifted {
+                let (answer, token) = state.client.subscribe(&current, &mut rngs[i])?;
+                report.requeries += 1;
+                let ids = match resolve_ids(&world, &answer) {
+                    Some(ids) => ids,
+                    None => {
+                        report.answer_mismatches += 1;
+                        HashSet::new()
+                    }
+                };
+                let oracle: HashSet<PoiId> =
+                    world.oracle_top_k(&current, k, agg).into_iter().collect();
+                if ids != oracle {
+                    report.answer_mismatches += 1;
+                }
+                state.anchor = current;
+                state.answer = ids;
+                state.token = token;
+            } else {
+                let oracle: HashSet<PoiId> = world
+                    .oracle_top_k(&state.anchor, k, agg)
+                    .into_iter()
+                    .collect();
+                if oracle != state.answer {
+                    report.missed_invalidations += 1;
+                    state.answer = oracle;
+                }
+            }
+        }
+    }
+
+    // One deliberate empty batch closes the run: it extends the chain
+    // by exactly one and guarantees the final incarnation exercised
+    // `wal-append` even when the last kill landed on the last tick
+    // (where the only post-restart traffic is the deduped redelivery).
+    let closing = admin.poi_update(config.admin_token, &[])?;
+    expected_version += 1;
+    if closing.version != expected_version {
+        report.version_breaks += 1;
+        expected_version = closing.version;
+    }
+    report.final_version = expected_version;
+
+    // Telemetry gate, over the wire from the *final* incarnation:
+    // `wal-append` proves the durable path ran, `recover-replay` that
+    // at least one boot actually replayed (kills happened).
+    let snapshot = admin.server_stats()?;
+    let mut required: Vec<&str> = vec!["wal-append"];
+    if report.kills > 0 {
+        required.push("recover-replay");
+    }
+    for extra in &config.extra_required_stages {
+        if !required.contains(&extra.as_str()) {
+            required.push(extra);
+        }
+    }
+    report.missing_stages = snapshot.missing_stages(&required);
+
+    for state in &mut states {
+        let token = state.token;
+        state.client.unsubscribe(&token)?;
+    }
+    drop(guard);
+    report.wall = started.elapsed();
+    Ok(report)
+}

@@ -116,6 +116,11 @@ pub enum ServerError {
         expected: &'static str,
         got: FrameType,
     },
+    /// Startup recovery refused to serve: the data dir's durable state
+    /// failed validation (e.g. every checkpoint is corrupt). Typed so a
+    /// crashed-and-corrupted server fails loudly at boot instead of
+    /// silently serving stale state.
+    Recovery(String),
 }
 
 impl fmt::Display for ServerError {
@@ -147,6 +152,7 @@ impl fmt::Display for ServerError {
             ServerError::UnexpectedFrame { expected, got } => {
                 write!(f, "expected {expected} frame, got {got:?}")
             }
+            ServerError::Recovery(what) => write!(f, "recovery failed: {what}"),
         }
     }
 }

@@ -37,8 +37,10 @@ pub const MAGIC: [u8; 4] = *b"PPGN";
 /// exchange for pulling kept trace segments; 6 added the dynamic-world
 /// lanes: `PoiUpdate`/`PoiUpdateAck` admin mutations of the POI index
 /// and the `Subscribe`/`SubscriptionUpdate`/`Unsubscribe` standing-query
-/// exchange for moving groups).
-pub const VERSION: u8 = 6;
+/// exchange for moving groups; 7 added the server's restart `epoch` to
+/// `HelloAck` and `Pong` so clients detect a crash/recovery cycle and
+/// idempotently re-subscribe their standing queries).
+pub const VERSION: u8 = 7;
 /// Fixed header width: magic + version + type + u32 length + u32 crc.
 pub const HEADER_BYTES: usize = 14;
 /// Default cap on a single frame payload (16 MiB).
@@ -400,16 +402,22 @@ pub struct HelloAckPayload {
     pub max_payload: u32,
     /// Worker threads serving queries.
     pub workers: u32,
+    /// The server's restart epoch: a fresh value per process start that
+    /// survives nothing. A client that sees the epoch change between
+    /// handshakes knows the server crashed (or was restarted) and must
+    /// re-subscribe its standing queries.
+    pub epoch: u64,
 }
 
 impl HelloAckPayload {
     /// Serializes the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(24);
+        let mut buf = Vec::with_capacity(32);
         buf.extend_from_slice(&self.group_id.to_le_bytes());
         buf.extend_from_slice(&self.database_size.to_le_bytes());
         buf.extend_from_slice(&self.max_payload.to_le_bytes());
         buf.extend_from_slice(&self.workers.to_le_bytes());
+        buf.extend_from_slice(&self.epoch.to_le_bytes());
         buf
     }
 
@@ -420,12 +428,14 @@ impl HelloAckPayload {
         let database_size = get_u64(buf, &mut pos, "hello_ack.database_size")?;
         let max_payload = get_u32(buf, &mut pos, "hello_ack.max_payload")?;
         let workers = get_u32(buf, &mut pos, "hello_ack.workers")?;
+        let epoch = get_u64(buf, &mut pos, "hello_ack.epoch")?;
         expect_consumed(buf, pos, "hello_ack trailing bytes")?;
         Ok(HelloAckPayload {
             group_id,
             database_size,
             max_payload,
             workers,
+            epoch,
         })
     }
 }
@@ -635,6 +645,10 @@ impl ErrorPayload {
 pub struct PongPayload {
     /// The server's health snapshot.
     pub health: HealthSnapshot,
+    /// The server's restart epoch (see [`HelloAckPayload::epoch`]) —
+    /// carried on every pong so a long-lived connection notices a
+    /// restart without re-handshaking.
+    pub epoch: u64,
 }
 
 impl std::ops::Deref for PongPayload {
@@ -652,15 +666,27 @@ impl std::ops::DerefMut for PongPayload {
 }
 
 impl PongPayload {
-    /// Serializes the payload.
+    /// Serializes the payload: the snapshot's fixed-width encoding
+    /// followed by the epoch.
     pub fn encode(&self) -> Vec<u8> {
-        self.health.encode()
+        let mut buf = self.health.encode();
+        buf.extend_from_slice(&self.epoch.to_le_bytes());
+        buf
     }
 
     /// Parses the payload.
     pub fn decode(buf: &[u8]) -> Result<Self, ServerError> {
-        HealthSnapshot::decode(buf)
-            .map(|health| PongPayload { health })
+        if buf.len() < 8 {
+            return Err(ServerError::Malformed("pong health snapshot"));
+        }
+        let (snap, tail) = buf.split_at(buf.len() - 8);
+        let mut epoch_bytes = [0u8; 8];
+        epoch_bytes.copy_from_slice(tail);
+        HealthSnapshot::decode(snap)
+            .map(|health| PongPayload {
+                health,
+                epoch: u64::from_le_bytes(epoch_bytes),
+            })
             .map_err(|_| ServerError::Malformed("pong health snapshot"))
     }
 }
@@ -1072,6 +1098,7 @@ mod tests {
             database_size: 10_000,
             max_payload: 1 << 20,
             workers: 8,
+            epoch: 0xdead_beef_cafe_f00d,
         };
         assert_eq!(HelloAckPayload::decode(&ack.encode()).unwrap(), ack);
     }
@@ -1161,6 +1188,7 @@ mod tests {
                 slow_reaped: 3,
                 frame_garbage: 11,
             },
+            epoch: 0x0123_4567_89ab_cdef,
         };
         let wire = p.encode();
         assert_eq!(PongPayload::decode(&wire).unwrap(), p);
@@ -1188,9 +1216,9 @@ mod tests {
     #[test]
     fn stale_version_frames_rejected() {
         // The trace-context query header is a version-5 wire change (as
-        // Stats was for v4); a stale peer must get a typed rejection,
-        // never a silently misparsed payload.
-        for stale in [3u8, 4, 5] {
+        // Stats was for v4, and the restart epoch for v7); a stale peer
+        // must get a typed rejection, never a silently misparsed payload.
+        for stale in [3u8, 4, 5, 6] {
             let mut buf = Vec::new();
             write_frame(&mut buf, FrameType::Ping, &[]).unwrap();
             buf[4] = stale;

@@ -23,6 +23,12 @@
 //!   [`validate::TokenBucket`] rate limiter;
 //! * [`mallory`] — the seeded adversarial attack catalog driven by the
 //!   `mallory` binary and the hostile soak tests;
+//! * [`crash`] — the kill-mid-soak chaos harness: SIGKILLs a child
+//!   `ppgnn-server` at seeded points and proves recovery against a
+//!   plaintext oracle;
+//! * [`wal`] — crash durability for the live world: a CRC-framed
+//!   write-ahead log of admitted `PoiOp` batches, atomic checkpoints,
+//!   and torn-tail-tolerant recovery replay;
 //! * [`metrics`] — latency percentiles for the `loadgen` binary
 //!   (re-exported from [`ppgnn_telemetry`], the shared observability
 //!   crate that also backs the `Stats`/`Pong` snapshots).
@@ -53,6 +59,7 @@
 
 pub mod backoff;
 pub mod client;
+pub mod crash;
 pub mod error;
 pub mod fault;
 pub mod frame;
@@ -63,9 +70,11 @@ pub mod registry;
 pub mod server;
 pub mod subscription;
 pub mod validate;
+pub mod wal;
 
 pub use backoff::{BackoffSchedule, RetryPolicy};
 pub use client::{session_params_for, ClientStats, GroupClient, SafeRegionToken};
+pub use crash::{run_crash_soak, CrashSoakConfig, CrashSoakReport};
 pub use error::{ErrorCode, ServerError};
 pub use fault::{FaultAction, FaultConfig, FaultPlan, FaultyStream, Transport};
 pub use frame::{
@@ -80,10 +89,11 @@ pub use registry::{
     CachedAnswer, RegistryLimits, SessionParams, SessionRegistry, SessionTableFull,
 };
 pub use server::{
-    serve, serve_dynamic, ConfigError, ServerConfig, ServerConfigBuilder, ServerHandle,
-    ServerStats, StatsProbe, World,
+    serve, serve_durable, serve_dynamic, ConfigError, ServerConfig, ServerConfigBuilder,
+    ServerHandle, ServerStats, StatsProbe, World,
 };
 pub use subscription::{
     compute_regions, CandidateRegion, SafeRegionSummary, Subscription, SubscriptionRegistry,
 };
 pub use validate::{HelloPolicy, ProtocolViolation, TokenBucket};
+pub use wal::{DurabilityConfig, FsyncPolicy, Recovered, ReplayBatch, Wal, WalError};

@@ -35,8 +35,8 @@ use rand_chacha::ChaCha8Rng;
 use crate::client::session_params_for;
 use crate::error::{ErrorCode, ServerError};
 use crate::frame::{
-    crc32, read_frame, write_frame, FrameType, HelloAckPayload, HelloPayload, PoiUpdatePayload,
-    QueryPayload, MAGIC, VERSION,
+    crc32, read_frame, write_frame, FrameType, HelloAckPayload, HelloPayload, PoiUpdateAckPayload,
+    PoiUpdatePayload, QueryPayload, MAGIC, VERSION,
 };
 use crate::registry::SessionParams;
 
@@ -78,6 +78,15 @@ pub enum Attack {
     /// A `PoiUpdate` carrying a guessed admin token — a non-admin
     /// trying to mutate the live index.
     ForgedPoiUpdate,
+    /// An already-acked admin batch re-sent verbatim — the capture-and
+    /// -replay an at-least-once admin lane invites, sharpest right
+    /// after a server restart. A durable server must recognize the
+    /// batch and ack its *original* version without re-applying; a
+    /// second application is a leak even with a valid token. With no
+    /// captured token available ([`AttackContext::admin_token`] unset)
+    /// the attack degrades to the forged-token replay, which must draw
+    /// a typed violation exactly like [`Attack::ForgedPoiUpdate`].
+    StaleAdminReplay,
 }
 
 /// Every attack, in a fixed order (so `seed + index` reproduces).
@@ -99,6 +108,7 @@ pub const ATTACK_CATALOG: &[Attack] = &[
     Attack::SlowWriter,
     Attack::SubscribeFlood,
     Attack::ForgedPoiUpdate,
+    Attack::StaleAdminReplay,
 ];
 
 impl std::fmt::Display for Attack {
@@ -121,6 +131,7 @@ impl std::fmt::Display for Attack {
             Attack::SlowWriter => "slow-writer",
             Attack::SubscribeFlood => "subscribe-flood",
             Attack::ForgedPoiUpdate => "forged-poi-update",
+            Attack::StaleAdminReplay => "stale-admin-replay",
         };
         f.write_str(name)
     }
@@ -137,6 +148,10 @@ pub enum MalloryOutcome {
     Disconnected,
     /// A flood was fully admitted (registry had room for all of it).
     AckedAll,
+    /// A replayed admin batch was acked at its *original* version with
+    /// its original apply count — recognized and deduplicated, not
+    /// re-applied. The contained outcome for [`Attack::StaleAdminReplay`].
+    Idempotent,
     /// The server *answered* the attack — the gate leaked.
     Answered,
     /// No reply within the probe timeout — a wedged connection thread.
@@ -154,6 +169,7 @@ impl MalloryOutcome {
                 | MalloryOutcome::Shed
                 | MalloryOutcome::Disconnected
                 | MalloryOutcome::AckedAll
+                | MalloryOutcome::Idempotent
         )
     }
 
@@ -164,6 +180,7 @@ impl MalloryOutcome {
             MalloryOutcome::Shed => "shed",
             MalloryOutcome::Disconnected => "disconnected",
             MalloryOutcome::AckedAll => "acked-all",
+            MalloryOutcome::Idempotent => "idempotent",
             MalloryOutcome::Answered => "answered",
             MalloryOutcome::Hung => "hung",
             MalloryOutcome::Aborted(_) => "aborted",
@@ -195,6 +212,12 @@ pub struct AttackContext {
     /// so this stays small; point the attack at a server with a low
     /// `max_subscriptions` to exercise the rejection path.
     pub flood_subscriptions: usize,
+    /// A *captured* admin token, modeling an attacker who observed a
+    /// legitimate `PoiUpdate` exchange. Arms the honest-replay half of
+    /// [`Attack::StaleAdminReplay`]; only point it at a **durable**
+    /// server (the idempotence it asserts is the WAL dedup window's).
+    /// `None` (the default) degrades that attack to forged-token-only.
+    pub admin_token: Option<u64>,
 }
 
 impl AttackContext {
@@ -220,6 +243,7 @@ impl AttackContext {
             slow_stall: Duration::from_millis(1500),
             flood_sessions: 12,
             flood_subscriptions: 4,
+            admin_token: None,
         })
     }
 
@@ -741,6 +765,85 @@ fn attack_inner(
             write_frame(&mut stream, FrameType::PoiUpdate, &payload)?;
             Ok(probe(&mut stream))
         }
+        Attack::StaleAdminReplay => {
+            if let Some(early) = handshake(&mut stream, &ctx.hello(group_id))? {
+                return Ok(early);
+            }
+            // A net-zero batch (insert a far-corner POI, remove it in
+            // the same batch): bumps the version like any admitted
+            // batch but leaves every concurrent oracle untouched.
+            let ops = vec![
+                PoiOp::Insert(Poi::new(0xFFFF_FFFE, Point::new(0.999_999, 0.999_999))),
+                PoiOp::Remove(0xFFFF_FFFE),
+            ];
+            let request_id = (run_seed as u32) | 1;
+            if let Some(token) = ctx.admin_token {
+                // The captured exchange: send once honestly...
+                let payload = PoiUpdatePayload {
+                    admin_token: token,
+                    request_id,
+                    ops: ops.clone(),
+                }
+                .encode();
+                write_frame(&mut stream, FrameType::PoiUpdate, &payload)?;
+                let first = match read_poi_ack(&mut stream) {
+                    Ok(ack) => ack,
+                    Err(outcome) => return Ok(outcome),
+                };
+                // ...then replay the identical bytes. Anything but the
+                // original version + apply count is a double
+                // application — a leak despite the valid token.
+                write_frame(&mut stream, FrameType::PoiUpdate, &payload)?;
+                match read_poi_ack(&mut stream) {
+                    Ok(second)
+                        if second.version == first.version && second.applied == first.applied => {}
+                    Ok(_) => return Ok(MalloryOutcome::Answered),
+                    Err(outcome) => return Ok(outcome),
+                }
+            }
+            // With or without a capture, a replay under a forged token
+            // must still draw the typed violation — dedup runs *after*
+            // the token gate, never instead of it.
+            let forged = PoiUpdatePayload {
+                admin_token: run_seed ^ 0x5ca1_ab1e_0ddb_a11c,
+                request_id,
+                ops,
+            }
+            .encode();
+            write_frame(&mut stream, FrameType::PoiUpdate, &forged)?;
+            match probe(&mut stream) {
+                // Honest replay deduped AND forged replay refused: the
+                // full containment story for this attack.
+                MalloryOutcome::TypedError(_) if ctx.admin_token.is_some() => {
+                    Ok(MalloryOutcome::Idempotent)
+                }
+                other => Ok(other),
+            }
+        }
+    }
+}
+
+/// Reads the server's reply to an honest-token `PoiUpdate`: the ack on
+/// success, or the classified outcome (typed error, shed, transport)
+/// when the exchange ends some other way.
+fn read_poi_ack(stream: &mut TcpStream) -> Result<PoiUpdateAckPayload, MalloryOutcome> {
+    match read_frame(stream, crate::frame::DEFAULT_MAX_PAYLOAD) {
+        Ok(frame) => match frame.frame_type {
+            FrameType::PoiUpdateAck => PoiUpdateAckPayload::decode(&frame.payload)
+                .map_err(|e| MalloryOutcome::Aborted(format!("undecodable ack: {e}"))),
+            FrameType::Error => match crate::frame::ErrorPayload::decode(&frame.payload) {
+                Ok(err) => Err(MalloryOutcome::TypedError(err.code)),
+                Err(e) => Err(MalloryOutcome::Aborted(format!(
+                    "undecodable error frame: {e}"
+                ))),
+            },
+            FrameType::Busy => Err(MalloryOutcome::Shed),
+            FrameType::Goodbye => Err(MalloryOutcome::Disconnected),
+            other => Err(MalloryOutcome::Aborted(format!(
+                "unexpected {other:?} frame awaiting ack"
+            ))),
+        },
+        Err(e) => Err(classify_transport(e)),
     }
 }
 
@@ -750,7 +853,7 @@ mod tests {
 
     #[test]
     fn catalog_is_complete_and_displayable() {
-        assert_eq!(ATTACK_CATALOG.len(), 17);
+        assert_eq!(ATTACK_CATALOG.len(), 18);
         let mut names: Vec<String> = ATTACK_CATALOG.iter().map(|a| a.to_string()).collect();
         names.sort();
         names.dedup();

@@ -35,6 +35,7 @@
 //! still processed and answered (the workers drain the channel before
 //! exiting), so no accepted query is lost.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
@@ -45,7 +46,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use ppgnn_core::messages::{AnswerMessage, LocationSetMessage, QueryMessage};
-use ppgnn_core::{expand_candidates, DynamicLsp, Lsp};
+use ppgnn_core::{expand_candidates, DynamicLsp, Lsp, PpgnnConfig};
+use ppgnn_geo::{Poi, Rect};
 use ppgnn_sim::CostLedger;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -66,6 +68,7 @@ use crate::subscription::{compute_regions, Outbox, Subscription, SubscriptionReg
 use crate::validate::{
     validate_hello, validate_query, validate_set_count, HelloPolicy, ProtocolViolation, TokenBucket,
 };
+use crate::wal::{self, DurabilityConfig, Wal};
 
 /// How often an idle connection thread checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
@@ -126,6 +129,11 @@ pub struct ServerConfig {
     /// invalidation scan per mutation, so the table is bounded. 0
     /// refuses every `Subscribe`.
     pub max_subscriptions: usize,
+    /// Durability for the live world: `Some` makes [`serve_durable`]
+    /// write-ahead-log every admitted `PoiUpdate` batch and checkpoint
+    /// periodically; `None` (the default) keeps the world in-memory
+    /// only. Ignored by [`serve`] / [`serve_dynamic`].
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -148,6 +156,7 @@ impl Default for ServerConfig {
             fault: None,
             admin_token: None,
             max_subscriptions: 64,
+            durability: None,
         }
     }
 }
@@ -294,6 +303,12 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Durability config for [`serve_durable`]; `None` disables it.
+    pub fn durability(mut self, durability: Option<DurabilityConfig>) -> Self {
+        self.config.durability = durability;
+        self
+    }
+
     /// Validates the combination and returns the config, or a
     /// [`ConfigError`] naming the first bad knob.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
@@ -352,6 +367,13 @@ impl ServerConfigBuilder {
             return Err(ConfigError(
                 "max_strikes must be at least 1 (one violation always counts)".into(),
             ));
+        }
+        if let Some(d) = &c.durability {
+            if d.checkpoint_every_ops == 0 {
+                return Err(ConfigError(
+                    "durability.checkpoint_every_ops must be at least 1".into(),
+                ));
+            }
         }
         Ok(self.config)
     }
@@ -413,6 +435,11 @@ pub struct ServerStats {
     pub notifications_sent: AtomicU64,
     /// Standing queries dropped by an explicit `Unsubscribe`.
     pub unsubscribes: AtomicU64,
+    /// `PoiUpdate` batches acknowledged from the WAL's idempotency
+    /// window without re-applying (admin retries across a restart).
+    pub poi_update_replays: AtomicU64,
+    /// Checkpoints cut by the durability subsystem since boot.
+    pub checkpoints: AtomicU64,
 }
 
 /// The POI database the server answers from: either one immutable
@@ -482,6 +509,48 @@ enum Reply {
     },
 }
 
+/// Runtime durability state. Its mutex serializes every admitted
+/// mutation end to end (predict version → WAL append → apply →
+/// maybe checkpoint), which is what makes the predicted version and
+/// the checkpoint snapshot consistent with the log.
+struct DurableState {
+    wal: Wal,
+    /// batch-id → (version, applied): the idempotent re-admission
+    /// window. A batch the crash swallowed the ack for is re-sent by
+    /// the admin and answered from here at its original version.
+    acked: HashMap<u64, (u64, u32)>,
+    /// Insertion order for bounded eviction of `acked`.
+    acked_order: VecDeque<u64>,
+    ops_since_checkpoint: u64,
+    checkpoint_every_ops: u64,
+}
+
+/// Most batch ids remembered for idempotent re-acks. Retries arrive
+/// within a handful of batches of the original; the window is generous.
+const ACKED_WINDOW: usize = 8192;
+
+impl DurableState {
+    fn remember(&mut self, batch_id: u64, version: u64, applied: u32) {
+        if self.acked.insert(batch_id, (version, applied)).is_none() {
+            self.acked_order.push_back(batch_id);
+            while self.acked_order.len() > ACKED_WINDOW {
+                if let Some(old) = self.acked_order.pop_front() {
+                    self.acked.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// What startup recovery found, frozen for the stats surface.
+#[derive(Debug, Clone, Copy, Default)]
+struct RecoveryFacts {
+    checkpoint_version: u64,
+    replayed_batches: u64,
+    torn_bytes: u64,
+    corrupt_checkpoints: u64,
+}
+
 struct Shared {
     world: World,
     config: ServerConfig,
@@ -491,6 +560,13 @@ struct Shared {
     shutdown: AtomicBool,
     connections: AtomicU64,
     started: Instant,
+    /// Restart epoch: fresh per process start, surfaced in `HelloAck`
+    /// and `Pong` so clients detect a crash/recovery cycle.
+    epoch: u64,
+    /// `Some` only under [`serve_durable`].
+    durable: Option<Mutex<DurableState>>,
+    /// `Some` when this process recovered a pre-existing data dir.
+    recovery: Option<RecoveryFacts>,
 }
 
 /// Handle to a running server; dropping it shuts the server down.
@@ -630,10 +706,106 @@ pub fn serve_dynamic(
     serve_world(World::Dynamic(world), addr, config)
 }
 
+/// As [`serve_dynamic`], but crash-safe: the live world is recovered
+/// from (or bootstrapped into) the data dir named by
+/// [`ServerConfig::durability`], every admitted `PoiUpdate` batch is
+/// write-ahead-logged before it is applied, and checkpoints rotate the
+/// log periodically.
+///
+/// Boot order: load the newest valid checkpoint, replay the WAL tail
+/// (torn tail truncated, dropped bytes logged), republish at the exact
+/// pre-crash version, *then* bind the socket — a recovered server
+/// answers byte-identically to one that never died. `initial_pois` is
+/// used only when the data dir has no checkpoint yet (first boot).
+///
+/// Fails with [`ServerError::Recovery`] when `durability` is unset or
+/// the data dir's checkpoints all fail validation — never a silent
+/// stale serve.
+pub fn serve_durable(
+    initial_pois: Vec<Poi>,
+    protocol: PpgnnConfig,
+    space: Rect,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> Result<ServerHandle, ServerError> {
+    let Some(dur) = config.durability.clone() else {
+        return Err(ServerError::Recovery(
+            "serve_durable requires ServerConfig::durability".into(),
+        ));
+    };
+    let dir = dur.data_dir.clone();
+    let (world, recovery, replayed) = match wal::recover(&dir)? {
+        None => {
+            // First boot: seed the dir so the world is durable from
+            // version 1 on.
+            wal::bootstrap(&dir, &initial_pois)?;
+            let world = DynamicLsp::with_space(initial_pois, protocol, space);
+            (world, None, Vec::new())
+        }
+        Some(rec) => {
+            eprintln!("[ppgnn-server] {}", rec.summary());
+            let facts = RecoveryFacts {
+                checkpoint_version: rec.checkpoint_version,
+                replayed_batches: rec.batches.len() as u64,
+                torn_bytes: rec.torn_bytes,
+                corrupt_checkpoints: rec.corrupt_checkpoints,
+            };
+            let world = DynamicLsp::restore(rec.pois, protocol, space, rec.checkpoint_version);
+            let mut replayed = Vec::with_capacity(rec.batches.len());
+            for b in &rec.batches {
+                let (applied, version) = world.apply(&b.ops);
+                debug_assert_eq!(version, b.version, "replay must track the log versions");
+                replayed.push((b.batch_id, version, applied as u32));
+            }
+            (world, Some(facts), replayed)
+        }
+    };
+    let base = recovery.map(|f| f.checkpoint_version).unwrap_or(1);
+    let wal_file = Wal::open(&dir, base, dur.fsync)?;
+    let mut state = DurableState {
+        wal: wal_file,
+        acked: HashMap::new(),
+        acked_order: VecDeque::new(),
+        ops_since_checkpoint: 0,
+        checkpoint_every_ops: dur.checkpoint_every_ops,
+    };
+    for (batch_id, version, applied) in replayed {
+        state.remember(batch_id, version, applied);
+    }
+    serve_world_inner(
+        World::Dynamic(Arc::new(world)),
+        addr,
+        config,
+        Some(Mutex::new(state)),
+        recovery,
+    )
+}
+
 fn serve_world(
     world: World,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
+) -> Result<ServerHandle, ServerError> {
+    serve_world_inner(world, addr, config, None, None)
+}
+
+/// A per-process restart epoch: wall-clock nanos mixed with the pid,
+/// so two boots of the same data dir (even in quick succession, even
+/// as respawned children of one harness) never collide.
+fn fresh_epoch() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    (nanos ^ ((std::process::id() as u64) << 48)) | 1
+}
+
+fn serve_world_inner(
+    world: World,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+    durable: Option<Mutex<DurableState>>,
+    recovery: Option<RecoveryFacts>,
 ) -> Result<ServerHandle, ServerError> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
@@ -653,6 +825,9 @@ fn serve_world(
         shutdown: AtomicBool::new(false),
         connections: AtomicU64::new(0),
         started: Instant::now(),
+        epoch: fresh_epoch(),
+        durable,
+        recovery,
     });
 
     let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -1032,6 +1207,7 @@ fn connection_loop<S: Transport>(
                     FrameType::Ping => {
                         let pong = PongPayload {
                             health: health_snapshot(shared),
+                            epoch: shared.epoch,
                         };
                         write_frame(&mut stream, FrameType::Pong, &pong.encode())?;
                         ConnAction::Continue
@@ -1173,12 +1349,23 @@ fn full_snapshot(shared: &Shared) -> TelemetrySnapshot {
             s.notifications_sent.load(Ordering::Relaxed),
         ),
         ("unsubscribes", s.unsubscribes.load(Ordering::Relaxed)),
+        (
+            "poi-update-replays",
+            s.poi_update_replays.load(Ordering::Relaxed),
+        ),
+        ("checkpoints", s.checkpoints.load(Ordering::Relaxed)),
     ] {
         snap.push_counter(name, value);
     }
     snap.push_gauge("uptime-ms", shared.started.elapsed().as_millis() as u64);
     snap.push_gauge("subscriptions", shared.subscriptions.len() as u64);
     snap.push_gauge("index-version", shared.world.version());
+    if let Some(rec) = &shared.recovery {
+        snap.push_gauge("recovered-checkpoint-version", rec.checkpoint_version);
+        snap.push_gauge("recovered-batches", rec.replayed_batches);
+        snap.push_gauge("recovered-torn-bytes", rec.torn_bytes);
+        snap.push_gauge("recovered-corrupt-checkpoints", rec.corrupt_checkpoints);
+    }
     snap
 }
 
@@ -1257,6 +1444,7 @@ fn handle_hello(
         database_size: shared.world.database_size() as u64,
         max_payload: shared.config.max_payload as u32,
         workers: shared.config.workers as u32,
+        epoch: shared.epoch,
     };
     write_frame(stream, FrameType::HelloAck, &ack.encode())?;
     Ok(ConnAction::Continue)
@@ -1640,8 +1828,69 @@ fn handle_poi_update(
         )?;
         return Ok(ConnAction::Continue);
     };
-    // `DynamicLsp::apply` spans/times the `index-mutate` stage itself.
-    let (applied, version) = dyn_lsp.apply(&p.ops);
+    let (applied, version) = match &shared.durable {
+        // The durable path: predict the version, log, then apply — all
+        // under the durability lock, which serializes every mutation
+        // (queries only read published snapshots and never take it).
+        Some(durable) => {
+            let mut st = durable.lock().unwrap_or_else(|poison| poison.into_inner());
+            let id = wal::batch_id(p.request_id, &p.ops);
+            if let Some(&(version, applied)) = st.acked.get(&id) {
+                // The admin re-sent a batch we already admitted —
+                // typically because a crash swallowed the original
+                // ack. Re-ack at the original version, no re-apply.
+                shared
+                    .stats
+                    .poi_update_replays
+                    .fetch_add(1, Ordering::Relaxed);
+                let ack = PoiUpdateAckPayload {
+                    request_id: p.request_id,
+                    version,
+                    applied,
+                    invalidated: 0,
+                };
+                write_frame(stream, FrameType::PoiUpdateAck, &ack.encode())?;
+                return Ok(ConnAction::Continue);
+            }
+            let version = dyn_lsp.version() + 1;
+            // Log-before-apply: a batch that cannot reach the platter
+            // is refused outright, never half-admitted.
+            if let Err(e) = st.wal.append(version, id, &p.ops) {
+                send_error(
+                    stream,
+                    p.request_id,
+                    ErrorCode::Internal,
+                    &format!("wal append failed; batch refused: {e}"),
+                )?;
+                return Ok(ConnAction::Continue);
+            }
+            // `DynamicLsp::apply` spans/times `index-mutate` itself.
+            let (applied, published) = dyn_lsp.apply(&p.ops);
+            debug_assert_eq!(published, version, "wal and index versions must agree");
+            st.remember(id, published, applied as u32);
+            st.ops_since_checkpoint += (p.ops.len() as u64).max(1);
+            if st.ops_since_checkpoint >= st.checkpoint_every_ops {
+                // The snapshot is consistent with `published`: this
+                // lock is the only mutation path.
+                match st.wal.checkpoint(&dyn_lsp.live_pois(), published) {
+                    Ok(()) => {
+                        shared.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+                        st.ops_since_checkpoint = 0;
+                    }
+                    Err(e) => {
+                        // Durability degrades to the WAL alone; the
+                        // next batch retries the checkpoint.
+                        eprintln!("[ppgnn-server] checkpoint at v{published} failed: {e}");
+                    }
+                }
+            }
+            (applied, published)
+        }
+        None => {
+            // `DynamicLsp::apply` spans/times `index-mutate` itself.
+            dyn_lsp.apply(&p.ops)
+        }
+    };
     shared.stats.poi_updates.fetch_add(1, Ordering::Relaxed);
     shared
         .stats

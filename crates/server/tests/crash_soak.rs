@@ -1,0 +1,153 @@
+//! The crash-chaos acceptance gate: a child `ppgnn-server` is
+//! SIGKILLed mid-soak at seeded points, restarted on the same data
+//! dir, and must come back with zero wrong answers, zero missed
+//! invalidations, an unbroken version chain, and idempotent
+//! redelivery — checked against the parent's plaintext oracle.
+//!
+//! Two pinned seeds (the same pair as the CI moving-smoke matrix) keep
+//! the run deterministic; `CARGO_BIN_EXE_ppgnn-server` points at the
+//! binary Cargo built for this test profile.
+
+use std::path::PathBuf;
+
+use ppgnn_core::PpgnnConfig;
+use ppgnn_geo::{Poi, PoiOp, Point, Rect};
+use ppgnn_server::{
+    run_crash_soak, serve_durable, CrashSoakConfig, DurabilityConfig, FsyncPolicy, GroupClient,
+    ServerConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppgnn-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_seed(seed: u64, tag: &str) {
+    let data_dir = tmp_dir(tag);
+    let mut config = CrashSoakConfig::new(env!("CARGO_BIN_EXE_ppgnn-server"), &data_dir);
+    config.world.seed = seed;
+    config.recovery_log = Some(data_dir.join("recovery.log"));
+    let report = run_crash_soak(&config).expect("crash soak must not break the transport");
+    assert_eq!(
+        report.kills,
+        2,
+        "both seeded kills must fire:\n{}",
+        report.render()
+    );
+    assert!(report.passed(), "crash soak failed:\n{}", report.render());
+    // The recovery log is the CI artifact; each incarnation after the
+    // first must have logged its recovery summary.
+    let log = std::fs::read_to_string(data_dir.join("recovery.log")).unwrap();
+    assert!(
+        log.matches("--- child incarnation ---").count() >= 3,
+        "expected one log section per incarnation:\n{log}"
+    );
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
+fn kill_mid_soak_recovers_seed_7() {
+    run_seed(7, "seed7");
+}
+
+#[test]
+fn kill_mid_soak_recovers_seed_23() {
+    run_seed(23, "seed23");
+}
+
+/// The graceful twin of the kill tests: stop a durable server cleanly,
+/// boot a second one on the same dir, and check the contract pieces
+/// one by one — byte-identical answers, idempotent redelivery of an
+/// already-acked batch, and a version chain that extends by exactly
+/// one across the restart.
+#[test]
+fn in_process_durable_restart_resumes_exact_version() {
+    let dir = tmp_dir("inproc");
+    let protocol = PpgnnConfig {
+        k: 2,
+        d: 3,
+        delta: 6,
+        keysize: 128,
+        sanitize: false,
+        ..PpgnnConfig::fast_test()
+    };
+    let pois: Vec<Poi> = (0..60)
+        .map(|i| {
+            Poi::new(
+                i,
+                Point::new((i % 10) as f64 / 10.0 + 0.05, (i / 10) as f64 / 6.0 + 0.05),
+            )
+        })
+        .collect();
+    let config = ServerConfig::builder()
+        .admin_token(Some(0xBEEF))
+        .durability(Some(DurabilityConfig {
+            data_dir: dir.clone(),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every_ops: 1000,
+        }))
+        .build()
+        .unwrap();
+
+    let handle = serve_durable(
+        pois,
+        protocol.clone(),
+        Rect::UNIT,
+        "127.0.0.1:0",
+        config.clone(),
+    )
+    .unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut admin = GroupClient::connect(
+        handle.local_addr(),
+        9,
+        protocol.clone(),
+        Rect::UNIT,
+        2,
+        &mut rng,
+    )
+    .unwrap();
+    let ops = vec![
+        PoiOp::Insert(Poi::new(500, Point::new(0.5, 0.5))),
+        PoiOp::Remove(3),
+    ];
+    let ack = admin.poi_update(0xBEEF, &ops).unwrap();
+    assert_eq!(ack.version, 2, "bootstrap is v1, first batch must be v2");
+    let query = [Point::new(0.49, 0.5), Point::new(0.51, 0.5)];
+    let before = admin.query(&query, &mut rng).unwrap();
+    handle.shutdown();
+
+    // Second life: initial POIs are deliberately empty — everything
+    // must come from the checkpoint + WAL replay.
+    let handle = serve_durable(
+        Vec::new(),
+        protocol.clone(),
+        Rect::UNIT,
+        "127.0.0.1:0",
+        config,
+    )
+    .unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut admin =
+        GroupClient::connect(handle.local_addr(), 9, protocol, Rect::UNIT, 2, &mut rng).unwrap();
+    let after = admin.query(&query, &mut rng).unwrap();
+    assert_eq!(before, after, "recovered server must answer identically");
+
+    let redelivered = admin
+        .poi_update_with_id(0xBEEF, ack.request_id, &ops)
+        .unwrap();
+    assert_eq!(
+        redelivered.version, ack.version,
+        "redelivery must not re-apply"
+    );
+    assert_eq!(redelivered.applied, ack.applied);
+
+    let next = admin.poi_update(0xBEEF, &[PoiOp::Remove(5)]).unwrap();
+    assert_eq!(next.version, 3, "the chain extends by exactly one");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -83,11 +83,17 @@ pub enum Stage {
     InvalidateScan,
     /// Pushing re-plan notifications to invalidated subscribers.
     FanoutNotify,
+    /// Appending (and fsyncing, per policy) one WAL record.
+    WalAppend,
+    /// Writing one durable POI checkpoint and rotating the WAL.
+    Checkpoint,
+    /// Startup recovery: checkpoint load plus WAL tail replay.
+    RecoverReplay,
 }
 
 impl Stage {
     /// Every stage, in wire/report order.
-    pub const ALL: [Stage; 15] = [
+    pub const ALL: [Stage; 18] = [
         Stage::ClientPlan,
         Stage::ClientEncode,
         Stage::WireEncode,
@@ -103,6 +109,9 @@ impl Stage {
         Stage::IndexMutate,
         Stage::InvalidateScan,
         Stage::FanoutNotify,
+        Stage::WalAppend,
+        Stage::Checkpoint,
+        Stage::RecoverReplay,
     ];
 
     /// Number of stages.
@@ -126,6 +135,9 @@ impl Stage {
             Stage::IndexMutate => "index-mutate",
             Stage::InvalidateScan => "invalidate-scan",
             Stage::FanoutNotify => "fanout-notify",
+            Stage::WalAppend => "wal-append",
+            Stage::Checkpoint => "checkpoint",
+            Stage::RecoverReplay => "recover-replay",
         }
     }
 

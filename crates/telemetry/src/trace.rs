@@ -198,11 +198,17 @@ pub enum SpanName {
     InvalidateScan = 16,
     /// Re-plan notification fanout to invalidated subscribers.
     FanoutNotify = 17,
+    /// One WAL record append (encode + write + policy fsync).
+    WalAppend = 18,
+    /// One durable checkpoint write plus WAL rotation.
+    Checkpoint = 19,
+    /// Startup recovery: checkpoint load plus WAL tail replay.
+    RecoverReplay = 20,
 }
 
 impl SpanName {
     /// Every span name, in tag order.
-    pub const ALL: [SpanName; 17] = [
+    pub const ALL: [SpanName; 20] = [
         SpanName::ClientQuery,
         SpanName::ClientPlan,
         SpanName::ClientEncode,
@@ -220,6 +226,9 @@ impl SpanName {
         SpanName::IndexMutate,
         SpanName::InvalidateScan,
         SpanName::FanoutNotify,
+        SpanName::WalAppend,
+        SpanName::Checkpoint,
+        SpanName::RecoverReplay,
     ];
 
     /// The stable kebab-case name (JSON, Chrome trace, terminal tree).
@@ -242,6 +251,9 @@ impl SpanName {
             SpanName::IndexMutate => "index-mutate",
             SpanName::InvalidateScan => "invalidate-scan",
             SpanName::FanoutNotify => "fanout-notify",
+            SpanName::WalAppend => "wal-append",
+            SpanName::Checkpoint => "checkpoint",
+            SpanName::RecoverReplay => "recover-replay",
         }
     }
 
@@ -278,11 +290,13 @@ pub enum AttrKey {
     Invalidated = 10,
     /// POI mutations in an update batch.
     PoiOps = 11,
+    /// WAL records appended, replayed, or dropped.
+    Records = 12,
 }
 
 impl AttrKey {
     /// Every attribute key, in tag order.
-    pub const ALL: [AttrKey; 11] = [
+    pub const ALL: [AttrKey; 12] = [
         AttrKey::Candidates,
         AttrKey::Users,
         AttrKey::SetLen,
@@ -294,6 +308,7 @@ impl AttrKey {
         AttrKey::Subscriptions,
         AttrKey::Invalidated,
         AttrKey::PoiOps,
+        AttrKey::Records,
     ];
 
     /// The stable kebab-case key.
@@ -310,6 +325,7 @@ impl AttrKey {
             AttrKey::Subscriptions => "subscriptions",
             AttrKey::Invalidated => "invalidated",
             AttrKey::PoiOps => "poi-ops",
+            AttrKey::Records => "records",
         }
     }
 

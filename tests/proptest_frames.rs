@@ -94,6 +94,7 @@ fn corpus() -> &'static Vec<(FrameType, Vec<u8>)> {
                     database_size: 100,
                     max_payload: 1 << 20,
                     workers: 4,
+                    epoch: 0x5eed_0001,
                 }
                 .encode(),
             ),

@@ -18,7 +18,9 @@ use ppgnn::server::frame::{
     read_frame, write_frame, ErrorPayload, FrameType, QueryPayload, DEFAULT_MAX_PAYLOAD,
 };
 use ppgnn::server::mallory::{run_attack, run_catalog, Attack, AttackContext, MalloryOutcome};
-use ppgnn::server::{serve_dynamic, ErrorCode, HelloPolicy, ServerError};
+use ppgnn::server::{
+    serve_durable, serve_dynamic, DurabilityConfig, ErrorCode, HelloPolicy, ServerError,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -65,7 +67,7 @@ fn hardened(frame_timeout: Duration, max_sessions: usize) -> ServerConfig {
 fn mallory_soak_contains_catalog_while_legit_traffic_flows() {
     const SESSION_CAP: usize = 32;
     const ATTACKERS: usize = 2;
-    const ROUNDS: usize = 7; // 2 × 7 × 17 = 238 adversarial connections
+    const ROUNDS: usize = 7; // 2 × 7 × 18 = 252 adversarial connections
     const LEGIT_GROUPS: usize = 4;
     const LEGIT_QUERIES: usize = 25; // 4 × 25 = 100 oracle-checked
 
@@ -298,6 +300,13 @@ fn each_attack_variant_yields_its_typed_rejection() {
             Attack::ForgedPoiUpdate,
             MalloryOutcome::TypedError(ErrorCode::Violation),
         ),
+        // Without a captured token the replay attack degrades to its
+        // forged-token probe; the durable idempotency half has its own
+        // test below.
+        (
+            Attack::StaleAdminReplay,
+            MalloryOutcome::TypedError(ErrorCode::Violation),
+        ),
     ];
     for (i, (attack, expected)) in expectations.iter().enumerate() {
         let outcome = run_attack(*attack, addr, &ctx, 0xc0de + i as u64);
@@ -345,7 +354,7 @@ fn subscribe_flood_past_the_cap_is_refused() {
 fn forged_poi_update_cannot_mutate_a_dynamic_world() {
     let world = Arc::new(DynamicLsp::new(grid_db(8), test_config()));
     let config = ServerConfig {
-        admin_token: Some(0x5ec2_e7),
+        admin_token: Some(0x005e_c2e7),
         ..hardened(Duration::from_millis(300), 16)
     };
     let handle = serve_dynamic(Arc::clone(&world), "127.0.0.1:0", config).unwrap();
@@ -365,6 +374,40 @@ fn forged_poi_update_cannot_mutate_a_dynamic_world() {
     );
     assert_eq!(world.version(), before, "forged update mutated the index");
     handle.shutdown();
+}
+
+/// Replay of an already-acked admin batch against a durable world: the
+/// WAL dedup window answers with the original version (no double
+/// apply), and a forged token on the same wire still draws the typed
+/// violation — dedup runs after the token gate, never instead of it.
+#[test]
+fn stale_admin_replay_is_idempotent_on_a_durable_world() {
+    let dir = std::env::temp_dir().join(format!("ppgnn-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let token = 0x0dd5_7a1e;
+    let config = ServerConfig {
+        admin_token: Some(token),
+        durability: Some(DurabilityConfig::new(&dir)),
+        ..hardened(Duration::from_millis(300), 16)
+    };
+    let handle =
+        serve_durable(grid_db(8), test_config(), Rect::UNIT, "127.0.0.1:0", config).unwrap();
+    let mut ctx = AttackContext::new(29).unwrap();
+    ctx.admin_token = Some(token);
+
+    let outcome = run_attack(
+        Attack::StaleAdminReplay,
+        handle.local_addr(),
+        &ctx,
+        0x2e91a7,
+    );
+    assert_eq!(
+        outcome,
+        MalloryOutcome::Idempotent,
+        "replay must dedup and the forged token must still be refused"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Strikes escalate: a client that keeps violating gets disconnected

@@ -13,7 +13,17 @@
 //! answer) are the designed-in price of conservative regions; they are
 //! bounded here, not forbidden.
 
-use ppgnn::server::{run_moving_soak, MovingSoakConfig};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppgnn::geo::PoiOp;
+use ppgnn::prelude::*;
+use ppgnn::server::{
+    run_moving_soak, serve_dynamic, ErrorCode, MovingSoakConfig, ServerError, SubscriptionKind,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 fn check(seed: u64) {
     let mut config = MovingSoakConfig::default();
@@ -56,4 +66,173 @@ fn moving_soak_seed_7() {
 #[test]
 fn moving_soak_seed_23() {
     check(23);
+}
+
+fn grid_world(side: usize) -> Vec<Poi> {
+    (0..side * side)
+        .map(|i| {
+            Poi::new(
+                i as u32,
+                Point::new(
+                    (i % side) as f64 / side as f64 + 0.02,
+                    (i / side) as f64 / side as f64 + 0.02,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn subscription_config() -> PpgnnConfig {
+    PpgnnConfig {
+        k: 2,
+        d: 3,
+        delta: 6,
+        keysize: 128,
+        sanitize: false,
+        ..PpgnnConfig::fast_test()
+    }
+}
+
+/// Unsubscribing the same token twice is a no-op, not an error: the
+/// server confirms with `Ended` both times, the registry drops the
+/// standing query exactly once, and the connection stays healthy for
+/// further queries.
+#[test]
+fn double_unsubscribe_is_idempotent() {
+    let world = Arc::new(DynamicLsp::new(grid_world(8), subscription_config()));
+    let handle = serve_dynamic(Arc::clone(&world), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let mut client = GroupClient::connect(
+        handle.local_addr(),
+        1,
+        subscription_config(),
+        Rect::UNIT,
+        2,
+        &mut rng,
+    )
+    .unwrap();
+
+    let locations = [Point::new(0.3, 0.3), Point::new(0.4, 0.4)];
+    let (_, token) = client.subscribe(&locations, &mut rng).unwrap();
+    assert_eq!(handle.stats().subscribes_ok.load(Ordering::Relaxed), 1);
+
+    client.unsubscribe(&token).unwrap();
+    client.unsubscribe(&token).unwrap();
+    assert_eq!(
+        handle.stats().unsubscribes.load(Ordering::Relaxed),
+        1,
+        "the registry must drop the standing query exactly once"
+    );
+
+    // The connection took no strike and still answers queries.
+    let answer = client.query(&locations, &mut rng).unwrap();
+    let oracle = world.snapshot().0.plaintext_answer(&locations, 2);
+    assert_eq!(answer.len(), oracle.len());
+    for (a, o) in answer.iter().zip(&oracle) {
+        assert!(a.dist(&o.location) < 1e-6);
+    }
+    assert_eq!(handle.registry().violations(), 0);
+    client.goodbye();
+    handle.shutdown();
+}
+
+/// The standing-query cap boundary is exact: the cap-th subscription is
+/// granted, the cap-plus-one-th draws a typed violation, and — the part
+/// a sloppy implementation gets wrong — the refusal must not disturb
+/// the subscriptions already granted: they all still fire on the next
+/// invalidating mutation.
+#[test]
+fn subscription_cap_refusal_leaves_earlier_grants_live() {
+    const CAP: usize = 3;
+    let world = Arc::new(DynamicLsp::new(grid_world(8), subscription_config()));
+    let config = ServerConfig {
+        max_subscriptions: CAP,
+        admin_token: Some(0xCAB),
+        ..ServerConfig::default()
+    };
+    let handle = serve_dynamic(Arc::clone(&world), "127.0.0.1:0", config).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(37);
+
+    let mut subscribers = Vec::new();
+    let mut centroids = Vec::new();
+    for g in 0..CAP as u64 {
+        let mut client = GroupClient::connect(
+            handle.local_addr(),
+            g + 1,
+            subscription_config(),
+            Rect::UNIT,
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        let x = 0.2 + 0.25 * g as f64;
+        let locations = [Point::new(x, 0.3), Point::new(x, 0.5)];
+        client.subscribe(&locations, &mut rng).unwrap();
+        centroids.push(Point::new(x, 0.4));
+        subscribers.push(client);
+    }
+    assert_eq!(
+        handle.stats().subscribes_ok.load(Ordering::Relaxed),
+        CAP as u64,
+        "the cap-th subscription itself must be granted"
+    );
+
+    // One past the cap: typed violation, not a silent drop.
+    let mut over = GroupClient::connect(
+        handle.local_addr(),
+        99,
+        subscription_config(),
+        Rect::UNIT,
+        2,
+        &mut rng,
+    )
+    .unwrap();
+    let err = over
+        .subscribe(&[Point::new(0.6, 0.6), Point::new(0.7, 0.7)], &mut rng)
+        .expect_err("the cap-plus-one-th subscription must be refused");
+    assert!(
+        matches!(
+            err,
+            ServerError::Remote {
+                code: ErrorCode::Violation,
+                ..
+            }
+        ),
+        "wrong error: {err}"
+    );
+    assert!(handle.stats().subscribe_rejected.load(Ordering::Relaxed) >= 1);
+
+    // A plain query still works on the refused connection.
+    let probe = [Point::new(0.6, 0.6), Point::new(0.7, 0.7)];
+    assert!(!over.query(&probe, &mut rng).unwrap().is_empty());
+
+    // New POIs right on each group's centroid beat every current
+    // answer, so all CAP standing queries must fire — proving the
+    // refusal above did not evict or wedge them.
+    let ops: Vec<PoiOp> = centroids
+        .iter()
+        .enumerate()
+        .map(|(i, c)| PoiOp::Insert(Poi::new(10_000 + i as u32, *c)))
+        .collect();
+    let mut admin = GroupClient::connect(
+        handle.local_addr(),
+        500,
+        subscription_config(),
+        Rect::UNIT,
+        2,
+        &mut rng,
+    )
+    .unwrap();
+    admin.poi_update(0xCAB, &ops).unwrap();
+
+    for (g, client) in subscribers.iter_mut().enumerate() {
+        let updates = client.poll_notifications(Duration::from_secs(5)).unwrap();
+        assert!(
+            updates
+                .iter()
+                .any(|u| u.kind == SubscriptionKind::Invalidated),
+            "group {g}: subscription went silent after the cap refusal"
+        );
+    }
+    handle.shutdown();
 }
