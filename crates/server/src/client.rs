@@ -292,26 +292,45 @@ impl GroupClient {
         let prev = std::mem::replace(&mut self.server_info.epoch, epoch);
         let restarted = prev != 0 && epoch != prev;
         if restarted {
-            if let Some(standing) = &self.standing {
-                self.pending_updates.push(SubscriptionUpdatePayload {
-                    request_id: standing.request_id,
-                    kind: SubscriptionKind::Invalidated,
-                    version: 0,
-                    margin: 0.0,
-                    drift_scale: 1,
-                });
-            }
+            self.queue_standing_invalidated();
         }
         restarted
+    }
+
+    /// Queues the synthetic `Invalidated` push for the standing query,
+    /// if any. Deduplicated against pushes already pending, so a
+    /// reconnect followed by a restart detection yields one push, not
+    /// two.
+    fn queue_standing_invalidated(&mut self) {
+        let Some(standing) = &self.standing else {
+            return;
+        };
+        let request_id = standing.request_id;
+        if self
+            .pending_updates
+            .iter()
+            .any(|u| u.request_id == request_id && u.kind == SubscriptionKind::Invalidated)
+        {
+            return;
+        }
+        self.pending_updates.push(SubscriptionUpdatePayload {
+            request_id,
+            kind: SubscriptionKind::Invalidated,
+            version: 0,
+            margin: 0.0,
+            drift_scale: 1,
+        });
     }
 
     /// Reconnects (if the connection is broken) and re-handshakes,
     /// detecting a server restart via the `HelloAck` epoch. Returns
     /// `true` when the server restarted since this client last spoke
-    /// to it — in which case [`Self::observe_epoch`] has queued a
-    /// synthetic `Invalidated` push for the standing query, retrievable
-    /// via [`Self::take_notifications`]. Idempotent: resuming against
-    /// a server that never died is a cheap re-`Hello`.
+    /// to it. Whenever this had to reconnect — restart or not — a
+    /// synthetic `Invalidated` push is queued for the standing query
+    /// (a reconnect alone destroys the server-side subscription),
+    /// retrievable via [`Self::take_notifications`]. Idempotent:
+    /// resuming against a live server over a healthy connection is a
+    /// cheap re-`Hello`.
     pub fn resume(&mut self) -> Result<bool, ServerError> {
         self.ensure_connected()?;
         let before = self.server_info.epoch;
@@ -365,6 +384,15 @@ impl GroupClient {
         self.stream = stream;
         self.broken = false;
         self.stats.reconnects += 1;
+        // The session survives a reconnect, but the standing query
+        // does not: the server reaps a connection's subscriptions
+        // with the connection itself, even when it never restarted
+        // (network reset, slow-consumer disconnect). The token this
+        // client holds is therefore dead the moment a reconnect was
+        // needed — queue the synthetic push here, not only on an
+        // epoch change, or a same-epoch reconnect would leave the
+        // caller trusting a safe region nobody watches any more.
+        self.queue_standing_invalidated();
         Ok(())
     }
 
@@ -879,11 +907,13 @@ impl GroupClient {
                 }
                 Err(e) => {
                     // A dead wire mid-poll is how a subscriber
-                    // experiences a server crash. Try one resume:
-                    // reconnect + re-handshake; restart detection then
+                    // experiences a server crash *or* a plain network
+                    // reset. Try one resume: the reconnect itself
                     // queues the synthetic invalidation the caller
-                    // re-subscribes on. If the server is still down,
-                    // surface the original transport error.
+                    // re-subscribes on (the server reaped the standing
+                    // query with the old connection whether or not it
+                    // restarted). If the server is still down, surface
+                    // the original transport error.
                     self.broken = true;
                     return match self.resume() {
                         Ok(_) => Ok(self.take_notifications()),

@@ -515,12 +515,14 @@ enum Reply {
 /// the checkpoint snapshot consistent with the log.
 struct DurableState {
     wal: Wal,
-    /// batch-id → (version, applied): the idempotent re-admission
-    /// window. A batch the crash swallowed the ack for is re-sent by
-    /// the admin and answered from here at its original version.
-    acked: HashMap<u64, (u64, u32)>,
+    /// (request-id, batch-id) → (version, applied, invalidated): the
+    /// idempotent re-admission window. A batch the crash swallowed the
+    /// ack for is re-sent by the admin and answered from here with its
+    /// original ack. Keying on the request id too means a plain hash
+    /// collision between unrelated requests can never alias batches.
+    acked: HashMap<(u32, u64), (u64, u32, u32)>,
     /// Insertion order for bounded eviction of `acked`.
-    acked_order: VecDeque<u64>,
+    acked_order: VecDeque<(u32, u64)>,
     ops_since_checkpoint: u64,
     checkpoint_every_ops: u64,
 }
@@ -530,9 +532,13 @@ struct DurableState {
 const ACKED_WINDOW: usize = 8192;
 
 impl DurableState {
-    fn remember(&mut self, batch_id: u64, version: u64, applied: u32) {
-        if self.acked.insert(batch_id, (version, applied)).is_none() {
-            self.acked_order.push_back(batch_id);
+    fn remember(&mut self, key: (u32, u64), version: u64, applied: u32, invalidated: u32) {
+        if self
+            .acked
+            .insert(key, (version, applied, invalidated))
+            .is_none()
+        {
+            self.acked_order.push_back(key);
             while self.acked_order.len() > ACKED_WINDOW {
                 if let Some(old) = self.acked_order.pop_front() {
                     self.acked.remove(&old);
@@ -755,13 +761,15 @@ pub fn serve_durable(
             for b in &rec.batches {
                 let (applied, version) = world.apply(&b.ops);
                 debug_assert_eq!(version, b.version, "replay must track the log versions");
-                replayed.push((b.batch_id, version, applied as u32));
+                replayed.push(((b.request_id, b.batch_id), version, applied as u32));
             }
             (world, Some(facts), replayed)
         }
     };
-    let base = recovery.map(|f| f.checkpoint_version).unwrap_or(1);
-    let wal_file = Wal::open(&dir, base, dur.fsync)?;
+    // The WAL continues at the version recovery resumed at — after a
+    // checkpoint fall-back that is a *later* file than the loaded
+    // checkpoint's, and appending anywhere else would break the chain.
+    let wal_file = Wal::open(&dir, world.version(), dur.fsync)?;
     let mut state = DurableState {
         wal: wal_file,
         acked: HashMap::new(),
@@ -769,8 +777,11 @@ pub fn serve_durable(
         ops_since_checkpoint: 0,
         checkpoint_every_ops: dur.checkpoint_every_ops,
     };
-    for (batch_id, version, applied) in replayed {
-        state.remember(batch_id, version, applied);
+    for (key, version, applied) in replayed {
+        // Invalidation count 0 is truthful for a replayed ack: no
+        // standing queries exist at boot, so a post-restart re-send
+        // genuinely invalidates nothing.
+        state.remember(key, version, applied, 0);
     }
     serve_world_inner(
         World::Dynamic(Arc::new(world)),
@@ -1828,17 +1839,20 @@ fn handle_poi_update(
         )?;
         return Ok(ConnAction::Continue);
     };
-    let (applied, version) = match &shared.durable {
+    let (applied, version, invalidated) = match &shared.durable {
         // The durable path: predict the version, log, then apply — all
         // under the durability lock, which serializes every mutation
         // (queries only read published snapshots and never take it).
         Some(durable) => {
             let mut st = durable.lock().unwrap_or_else(|poison| poison.into_inner());
-            let id = wal::batch_id(p.request_id, &p.ops);
-            if let Some(&(version, applied)) = st.acked.get(&id) {
+            let key = (p.request_id, wal::batch_id(p.request_id, &p.ops));
+            if let Some(&(version, applied, invalidated)) = st.acked.get(&key) {
                 // The admin re-sent a batch we already admitted —
                 // typically because a crash swallowed the original
-                // ack. Re-ack at the original version, no re-apply.
+                // ack. Re-ack exactly what the original said (for a
+                // batch replayed from the WAL at boot the remembered
+                // invalidation count is 0, which is truthful: the
+                // restart orphaned every standing query), no re-apply.
                 shared
                     .stats
                     .poi_update_replays
@@ -1847,7 +1861,7 @@ fn handle_poi_update(
                     request_id: p.request_id,
                     version,
                     applied,
-                    invalidated: 0,
+                    invalidated,
                 };
                 write_frame(stream, FrameType::PoiUpdateAck, &ack.encode())?;
                 return Ok(ConnAction::Continue);
@@ -1855,7 +1869,7 @@ fn handle_poi_update(
             let version = dyn_lsp.version() + 1;
             // Log-before-apply: a batch that cannot reach the platter
             // is refused outright, never half-admitted.
-            if let Err(e) = st.wal.append(version, id, &p.ops) {
+            if let Err(e) = st.wal.append(version, p.request_id, key.1, &p.ops) {
                 send_error(
                     stream,
                     p.request_id,
@@ -1867,7 +1881,11 @@ fn handle_poi_update(
             // `DynamicLsp::apply` spans/times `index-mutate` itself.
             let (applied, published) = dyn_lsp.apply(&p.ops);
             debug_assert_eq!(published, version, "wal and index versions must agree");
-            st.remember(id, published, applied as u32);
+            // Invalidate inside the lock so the remembered count is
+            // the one this batch's ack carries — a later replayed ack
+            // must echo it verbatim.
+            let invalidated = shared.subscriptions.invalidate_for_ops(&p.ops, published);
+            st.remember(key, published, applied as u32, invalidated as u32);
             st.ops_since_checkpoint += (p.ops.len() as u64).max(1);
             if st.ops_since_checkpoint >= st.checkpoint_every_ops {
                 // The snapshot is consistent with `published`: this
@@ -1884,11 +1902,13 @@ fn handle_poi_update(
                     }
                 }
             }
-            (applied, published)
+            (applied, published, invalidated)
         }
         None => {
             // `DynamicLsp::apply` spans/times `index-mutate` itself.
-            dyn_lsp.apply(&p.ops)
+            let (applied, version) = dyn_lsp.apply(&p.ops);
+            let invalidated = shared.subscriptions.invalidate_for_ops(&p.ops, version);
+            (applied, version, invalidated)
         }
     };
     shared.stats.poi_updates.fetch_add(1, Ordering::Relaxed);
@@ -1896,7 +1916,6 @@ fn handle_poi_update(
         .stats
         .poi_ops
         .fetch_add(p.ops.len() as u64, Ordering::Relaxed);
-    let invalidated = shared.subscriptions.invalidate_for_ops(&p.ops, version);
     shared
         .stats
         .invalidations

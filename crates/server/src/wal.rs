@@ -30,7 +30,7 @@
 //! ```text
 //! header: "PWAL" | format u8 | base-version u64
 //! record: len u32 | crc32(body) | body
-//! body:   version u64 | batch-id u64 | n-ops u16 | ops
+//! body:   version u64 | batch-id u64 | request-id u32 | n-ops u16 | ops
 //! op:     0x01 id u32 x-bits u64 y-bits u64   (insert)
 //!         0x02 id u32                          (remove)
 //! ```
@@ -45,8 +45,16 @@
 //! bounded ack-loss window otherwise), so dropping it is correct and
 //! the admin's retry re-admits it. Recovery never panics on a torn or
 //! corrupt tail and never serves stale state silently: a checkpoint
-//! that fails its CRC is skipped for the next older one, and a data
-//! dir with no valid checkpoint at all is a typed startup error.
+//! that fails its CRC is skipped for the next older one (replay then
+//! *chains* across the rotated WAL files back up to the present — a
+//! rotation's base version is the last version of the file it
+//! supersedes, so the files are contiguous by construction), and a
+//! data dir with no valid checkpoint at all is a typed startup error.
+//! A newer WAL file the chain cannot reach (its base past the last
+//! contiguously replayed version) is renamed aside with an
+//! `.orphaned` suffix and counted in [`Recovered::orphaned_wal_files`]
+//! — lost acked batches are reported, never silently dropped, and the
+//! stale file can never collide with a later rotation.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -67,13 +75,15 @@ const CK_MAGIC: &[u8; 4] = b"PPCK";
 const WAL_MAGIC: &[u8; 4] = b"PWAL";
 /// WAL header bytes: magic + format + base version.
 const WAL_HEADER_BYTES: u64 = 4 + 1 + 8;
-/// Largest well-formed record body: version + batch id + count + ops.
-const MAX_RECORD_BYTES: usize = 8 + 8 + 2 + MAX_POI_OPS * 21;
+/// Largest well-formed record body: version + batch id + request id +
+/// count + ops.
+const MAX_RECORD_BYTES: usize = 8 + 8 + 4 + 2 + MAX_POI_OPS * 21;
 /// How often `FsyncPolicy::Interval` forces data to the platter.
 const FSYNC_INTERVAL: Duration = Duration::from_millis(25);
 /// Checkpoints retained after a rotation (newest first). Older ones
-/// only exist to survive disk corruption of the newest; the WAL tail
-/// is only guaranteed contiguous for the newest.
+/// only exist to survive disk corruption of the newest; their WAL
+/// files are retained with them, so a fall-back replays the full
+/// chain of rotated files back up to the present.
 const KEEP_CHECKPOINTS: usize = 2;
 
 /// When appended records are forced to the platter.
@@ -178,6 +188,9 @@ impl From<WalError> for crate::error::ServerError {
 pub struct ReplayBatch {
     /// Content identity of the batch (see [`batch_id`]).
     pub batch_id: u64,
+    /// The admin request id the batch arrived under; together with
+    /// [`ReplayBatch::batch_id`] it keys the idempotent re-ack window.
+    pub request_id: u32,
     /// The version the original apply published.
     pub version: u64,
     /// The ops, exactly as admitted.
@@ -200,6 +213,11 @@ pub struct Recovered {
     pub torn_records: u64,
     /// Checkpoints that failed validation and were skipped.
     pub corrupt_checkpoints: u64,
+    /// WAL files replay could not chain into (base past the last
+    /// contiguous version) — acked batches lost to a checkpoint
+    /// fall-back. The files were renamed aside with an `.orphaned`
+    /// suffix; anything non-zero deserves an operator's eyes.
+    pub orphaned_wal_files: u64,
 }
 
 impl Recovered {
@@ -215,13 +233,15 @@ impl Recovered {
     pub fn summary(&self) -> String {
         format!(
             "recovered checkpoint v{} + {} wal batches -> v{} \
-             (torn tail: {} records / {} bytes dropped, {} corrupt checkpoints skipped)",
+             (torn tail: {} records / {} bytes dropped, {} corrupt checkpoints skipped, \
+             {} unreachable wal files orphaned)",
             self.checkpoint_version,
             self.batches.len(),
             self.recovered_version(),
             self.torn_records,
             self.torn_bytes,
             self.corrupt_checkpoints,
+            self.orphaned_wal_files,
         )
     }
 }
@@ -230,6 +250,14 @@ impl Recovered {
 /// and the ops in wire order. Two sends of the same `(request_id,
 /// ops)` — the admin retrying an unacked batch across a restart —
 /// collide here by design, which is what makes the retry idempotent.
+///
+/// The dedup window keys on `(request_id, batch_id)`, so an
+/// accidental hash collision between unrelated request ids can never
+/// alias two batches. FNV-1a is *not* collision-resistant against a
+/// deliberately crafted second batch under the same request id, but
+/// crafting one requires the admin token, and a token holder can
+/// already mutate the world at will — dedup correctness assumes a
+/// non-adversarial admin.
 pub fn batch_id(request_id: u32, ops: &[PoiOp]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
@@ -498,52 +526,57 @@ pub fn recover(dir: &Path) -> Result<Option<Recovered>, WalError> {
     // The WAL whose records follow this checkpoint: the one with the
     // largest base version not past it (a crash between checkpoint
     // write and WAL rotation leaves the previous WAL carrying the
-    // records; versions <= the checkpoint are simply skipped).
-    let wal_base = list_versions(dir, "wal", "ppwal")?
-        .into_iter()
-        .filter(|&b| b <= checkpoint_version)
-        .max();
+    // records; versions <= the checkpoint are simply skipped). When a
+    // corrupt newest checkpoint forced a fall-back, the tail spans
+    // several rotated files; a rotation's base is the last version of
+    // the file it supersedes, so the files are contiguous by
+    // construction and replay chains file to file as long as each
+    // next base equals the last replayed version.
+    let wal_bases = list_versions(dir, "wal", "ppwal")?;
     let mut batches = Vec::new();
     let mut torn_bytes = 0u64;
     let mut torn_records = 0u64;
-    if let Some(base) = wal_base {
-        let path = wal_path(dir, base);
-        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
-        let mut buf = Vec::new();
-        file.read_to_end(&mut buf)?;
-        let mut good_end = buf.len().min(WAL_HEADER_BYTES as usize);
-        let header_ok =
-            buf.len() >= WAL_HEADER_BYTES as usize && &buf[..4] == WAL_MAGIC && buf[4] == FORMAT;
-        if header_ok {
-            let mut pos = WAL_HEADER_BYTES as usize;
-            let mut next_version = checkpoint_version + 1;
-            while let Some((record, end)) = read_record(&buf, pos) {
-                if record.version > checkpoint_version {
-                    // Contiguity: a gap means the tail is not a valid
-                    // continuation of this checkpoint — cut it.
-                    if record.version != next_version {
-                        break;
-                    }
-                    next_version += 1;
-                    batches.push(record);
-                }
-                pos = end;
-                good_end = end;
-            }
-            if good_end < buf.len() {
-                torn_bytes = (buf.len() - good_end) as u64;
-                torn_records = 1;
-                file.set_len(good_end as u64)?;
-                file.sync_all()?;
-            }
-        } else if !buf.is_empty() {
-            // Header itself is torn or garbage: treat the whole file
-            // as tail, so the next open lays down a clean header.
-            torn_bytes = buf.len() as u64;
-            torn_records = 1;
-            file.set_len(0)?;
-            file.sync_all()?;
+    let mut next_version = checkpoint_version + 1;
+    let mut base = wal_bases
+        .iter()
+        .copied()
+        .filter(|&b| b <= checkpoint_version)
+        .max();
+    while let Some(b) = base {
+        let clean = replay_wal_file(
+            &wal_path(dir, b),
+            checkpoint_version,
+            &mut next_version,
+            &mut batches,
+            &mut torn_bytes,
+            &mut torn_records,
+        )?;
+        if !clean {
+            // A cut tail ends the chain: anything in a newer file is
+            // no longer a contiguous continuation.
+            break;
         }
+        let last = next_version - 1;
+        base = wal_bases.iter().copied().find(|&nb| nb > b && nb == last);
+    }
+    // Newer WAL files the chain cannot reach hold acked batches this
+    // recovery loses (only possible after a checkpoint fall-back with
+    // a broken chain). Never silent, and never load-bearing for a
+    // later rotation: rename them aside and count them.
+    let last_version = batches
+        .last()
+        .map(|b| b.version)
+        .unwrap_or(checkpoint_version);
+    let mut orphaned_wal_files = 0u64;
+    for &nb in wal_bases.iter().filter(|&&nb| nb > last_version) {
+        let from = wal_path(dir, nb);
+        let to = from.with_extension("ppwal.orphaned");
+        if fs::rename(&from, &to).is_ok() {
+            orphaned_wal_files += 1;
+        }
+    }
+    if orphaned_wal_files > 0 {
+        sync_dir(dir);
     }
     span.attr(AttrKey::Records, batches.len() as u64);
     span.attr(
@@ -557,7 +590,62 @@ pub fn recover(dir: &Path) -> Result<Option<Recovered>, WalError> {
         torn_bytes,
         torn_records,
         corrupt_checkpoints,
+        orphaned_wal_files,
     }))
+}
+
+/// Replays one WAL file of the recovery chain: skips records at or
+/// before `checkpoint_version`, pushes contiguous records (expected to
+/// start at `*next_version`) onto `batches`, truncates a torn,
+/// corrupt, or discontinuous tail in place, and returns whether the
+/// file ended cleanly (no bytes cut) — the precondition for chaining
+/// into a successor file.
+fn replay_wal_file(
+    path: &Path,
+    checkpoint_version: u64,
+    next_version: &mut u64,
+    batches: &mut Vec<ReplayBatch>,
+    torn_bytes: &mut u64,
+    torn_records: &mut u64,
+) -> io::Result<bool> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+    let mut good_end = buf.len().min(WAL_HEADER_BYTES as usize);
+    let header_ok =
+        buf.len() >= WAL_HEADER_BYTES as usize && &buf[..4] == WAL_MAGIC && buf[4] == FORMAT;
+    if header_ok {
+        let mut pos = WAL_HEADER_BYTES as usize;
+        while let Some((record, end)) = read_record(&buf, pos) {
+            if record.version > checkpoint_version {
+                // Contiguity: a gap means the tail is not a valid
+                // continuation of this checkpoint — cut it.
+                if record.version != *next_version {
+                    break;
+                }
+                *next_version += 1;
+                batches.push(record);
+            }
+            pos = end;
+            good_end = end;
+        }
+        if good_end < buf.len() {
+            *torn_bytes += (buf.len() - good_end) as u64;
+            *torn_records += 1;
+            file.set_len(good_end as u64)?;
+            file.sync_all()?;
+            return Ok(false);
+        }
+    } else if !buf.is_empty() {
+        // Header itself is torn or garbage: treat the whole file
+        // as tail, so the next open lays down a clean header.
+        *torn_bytes += buf.len() as u64;
+        *torn_records += 1;
+        file.set_len(0)?;
+        file.sync_all()?;
+        return Ok(false);
+    }
+    Ok(true)
 }
 
 /// Reads one framed record at `pos`; `None` on a short, oversized, or
@@ -579,6 +667,7 @@ fn read_record(buf: &[u8], pos: usize) -> Option<(ReplayBatch, usize)> {
     let mut r = Reader { buf: body, pos: 0 };
     let version = r.u64()?;
     let batch_id = r.u64()?;
+    let request_id = r.u32()?;
     let ops = decode_ops(&mut r)?;
     if !r.done() {
         return None;
@@ -586,6 +675,7 @@ fn read_record(buf: &[u8], pos: usize) -> Option<(ReplayBatch, usize)> {
     Some((
         ReplayBatch {
             batch_id,
+            request_id,
             version,
             ops,
         },
@@ -605,12 +695,14 @@ pub struct Wal {
 
 impl Wal {
     /// Opens (creating if needed) the WAL that continues `base_version`
-    /// — the version of the checkpoint recovery loaded, which is also
-    /// the file recovery already truncated. Appends go to the end.
+    /// — the version recovery resumed at ([`Recovered::recovered_version`];
+    /// the checkpoint version on a first boot). The file with the
+    /// largest base not past it is exactly the file the recovery chain
+    /// ended in (and already truncated). Appends go to the end.
     pub fn open(dir: &Path, base_version: u64, policy: FsyncPolicy) -> io::Result<Wal> {
         fs::create_dir_all(dir)?;
-        // Continue the file recovery replayed from, if one exists for
-        // a base at or before this checkpoint; otherwise start fresh.
+        // Continue the file recovery replayed last, if one exists for
+        // a base at or before the resume point; otherwise start fresh.
         let base = list_versions(dir, "wal", "ppwal")?
             .into_iter()
             .filter(|&b| b <= base_version)
@@ -649,13 +741,20 @@ impl Wal {
     /// makes it as durable as the fsync policy promises. Called
     /// *before* the in-memory apply; an error here must abort the
     /// batch (typed reply, no apply), never half-admit it.
-    pub fn append(&mut self, version: u64, batch_id: u64, ops: &[PoiOp]) -> io::Result<()> {
+    pub fn append(
+        &mut self,
+        version: u64,
+        request_id: u32,
+        batch_id: u64,
+        ops: &[PoiOp],
+    ) -> io::Result<()> {
         let span = trace::span(SpanName::WalAppend);
         span.attr(AttrKey::PoiOps, ops.len() as u64);
         let _timer = telemetry::global().time(Stage::WalAppend);
-        let mut body = Vec::with_capacity(8 + 8 + 2 + ops.len() * 21);
+        let mut body = Vec::with_capacity(8 + 8 + 4 + 2 + ops.len() * 21);
         body.extend_from_slice(&version.to_be_bytes());
         body.extend_from_slice(&batch_id.to_be_bytes());
+        body.extend_from_slice(&request_id.to_be_bytes());
         encode_ops(&mut body, ops);
         let mut record = Vec::with_capacity(8 + body.len());
         record.extend_from_slice(&(body.len() as u32).to_be_bytes());
@@ -771,7 +870,8 @@ mod tests {
         let mut wal = Wal::open(&dir, 1, FsyncPolicy::Always).unwrap();
         for i in 0..3u32 {
             let ops = batch(i);
-            wal.append(2 + i as u64, batch_id(i, &ops), &ops).unwrap();
+            wal.append(2 + i as u64, i, batch_id(i, &ops), &ops)
+                .unwrap();
         }
         drop(wal);
         let rec = recover(&dir).unwrap().unwrap();
@@ -784,6 +884,7 @@ mod tests {
             assert_eq!(b.version, 2 + i as u64);
             assert_eq!(b.ops, batch(i as u32));
             assert_eq!(b.batch_id, batch_id(i as u32, &b.ops));
+            assert_eq!(b.request_id, i as u32);
         }
         let _ = fs::remove_dir_all(&dir);
     }
@@ -803,7 +904,8 @@ mod tests {
         let mut wal = Wal::open(&dir, 1, FsyncPolicy::Never).unwrap();
         for i in 0..3u32 {
             let ops = batch(i);
-            wal.append(2 + i as u64, batch_id(i, &ops), &ops).unwrap();
+            wal.append(2 + i as u64, i, batch_id(i, &ops), &ops)
+                .unwrap();
         }
         drop(wal);
         // Tear the last record: chop off its final 5 bytes.
@@ -827,7 +929,7 @@ mod tests {
         // And appends continue where the cut left off.
         let mut wal = Wal::open(&dir, 1, FsyncPolicy::Always).unwrap();
         let ops = batch(9);
-        wal.append(4, batch_id(9, &ops), &ops).unwrap();
+        wal.append(4, 9, batch_id(9, &ops), &ops).unwrap();
         drop(wal);
         assert_eq!(recover(&dir).unwrap().unwrap().recovered_version(), 4);
         let _ = fs::remove_dir_all(&dir);
@@ -839,10 +941,10 @@ mod tests {
         bootstrap(&dir, &pois(5)).unwrap();
         let mut wal = Wal::open(&dir, 1, FsyncPolicy::Never).unwrap();
         let first = batch(0);
-        wal.append(2, batch_id(0, &first), &first).unwrap();
+        wal.append(2, 0, batch_id(0, &first), &first).unwrap();
         let offset_second = fs::metadata(wal_path(&dir, 1)).unwrap().len();
         let second = batch(1);
-        wal.append(3, batch_id(1, &second), &second).unwrap();
+        wal.append(3, 1, batch_id(1, &second), &second).unwrap();
         drop(wal);
         // Flip one byte inside the second record's body.
         let path = wal_path(&dir, 1);
@@ -864,7 +966,7 @@ mod tests {
         bootstrap(&dir, &pois(5)).unwrap();
         let mut wal = Wal::open(&dir, 1, FsyncPolicy::Always).unwrap();
         let ops = batch(0);
-        wal.append(2, batch_id(0, &ops), &ops).unwrap();
+        wal.append(2, 0, batch_id(0, &ops), &ops).unwrap();
         // World at version 2 = pois(5) + insert 1000 - remove 0.
         let mut world = pois(5);
         world.retain(|p| p.id != 0);
@@ -872,7 +974,7 @@ mod tests {
         wal.checkpoint(&world, 2).unwrap();
         assert_eq!(wal.base_version(), 2);
         let ops2 = batch(1);
-        wal.append(3, batch_id(1, &ops2), &ops2).unwrap();
+        wal.append(3, 1, batch_id(1, &ops2), &ops2).unwrap();
         drop(wal);
         let rec = recover(&dir).unwrap().unwrap();
         assert_eq!(rec.checkpoint_version, 2);
@@ -918,6 +1020,80 @@ mod tests {
     }
 
     #[test]
+    fn fallback_checkpoint_replays_across_rotated_wal_files() {
+        let dir = tmp_dir("chain");
+        bootstrap(&dir, &pois(6)).unwrap();
+        let mut wal = Wal::open(&dir, 1, FsyncPolicy::Always).unwrap();
+        for i in 0..2u32 {
+            let ops = batch(i);
+            wal.append(2 + i as u64, i, batch_id(i, &ops), &ops)
+                .unwrap();
+        }
+        // Rotate at v3 (checkpoint-3 + wal-3), then keep appending.
+        wal.checkpoint(&pois(6), 3).unwrap();
+        for i in 2..4u32 {
+            let ops = batch(i);
+            wal.append(2 + i as u64, i, batch_id(i, &ops), &ops)
+                .unwrap();
+        }
+        drop(wal);
+        // Newest checkpoint corrupt: recovery falls back to v1 and
+        // must still reach v5 by chaining wal-1 into wal-3.
+        let path = checkpoint_path(&dir, 3);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let rec = recover(&dir).unwrap().unwrap();
+        assert_eq!(rec.checkpoint_version, 1);
+        assert_eq!(rec.corrupt_checkpoints, 1);
+        assert_eq!(
+            rec.batches.len(),
+            4,
+            "replay must chain across the rotation"
+        );
+        assert_eq!(rec.recovered_version(), 5);
+        assert_eq!(rec.orphaned_wal_files, 0);
+        // Appends continue in the file the chain ended in (wal-3), so
+        // the next recovery still sees one contiguous history.
+        let mut wal = Wal::open(&dir, rec.recovered_version(), FsyncPolicy::Always).unwrap();
+        assert_eq!(wal.base_version(), 3);
+        let ops = batch(9);
+        wal.append(6, 9, batch_id(9, &ops), &ops).unwrap();
+        drop(wal);
+        assert_eq!(recover(&dir).unwrap().unwrap().recovered_version(), 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreachable_wal_files_are_orphaned_loudly() {
+        let dir = tmp_dir("orphan");
+        bootstrap(&dir, &pois(4)).unwrap();
+        let mut wal = Wal::open(&dir, 1, FsyncPolicy::Always).unwrap();
+        let ops = batch(0);
+        wal.append(2, 0, batch_id(0, &ops), &ops).unwrap();
+        drop(wal);
+        // A stale rotated file from a divergent history: base 7, past
+        // anything the chain from v1 can reach.
+        let mut header = Vec::new();
+        header.extend_from_slice(WAL_MAGIC);
+        header.push(FORMAT);
+        header.extend_from_slice(&7u64.to_be_bytes());
+        fs::write(wal_path(&dir, 7), &header).unwrap();
+        let rec = recover(&dir).unwrap().unwrap();
+        assert_eq!(rec.recovered_version(), 2);
+        assert_eq!(rec.orphaned_wal_files, 1);
+        assert!(rec.summary().contains("1 unreachable wal files orphaned"));
+        assert!(!wal_path(&dir, 7).exists(), "orphan renamed aside");
+        // Idempotent: a second recovery finds nothing left to orphan
+        // and replays the same world.
+        let rec2 = recover(&dir).unwrap().unwrap();
+        assert_eq!(rec2.orphaned_wal_files, 0);
+        assert_eq!(rec2.recovered_version(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn batch_id_is_content_addressed() {
         let ops = batch(3);
         assert_eq!(batch_id(7, &ops), batch_id(7, &ops.clone()));
@@ -932,9 +1108,9 @@ mod tests {
         bootstrap(&dir, &pois(5)).unwrap();
         let mut wal = Wal::open(&dir, 1, FsyncPolicy::Always).unwrap();
         let a = batch(0);
-        wal.append(2, batch_id(0, &a), &a).unwrap();
+        wal.append(2, 0, batch_id(0, &a), &a).unwrap();
         let b = batch(1);
-        wal.append(9, batch_id(1, &b), &b).unwrap(); // discontinuous
+        wal.append(9, 1, batch_id(1, &b), &b).unwrap(); // discontinuous
         drop(wal);
         let rec = recover(&dir).unwrap().unwrap();
         assert_eq!(rec.batches.len(), 1);

@@ -236,3 +236,101 @@ fn subscription_cap_refusal_leaves_earlier_grants_live() {
     }
     handle.shutdown();
 }
+
+/// Forwards one client connection at a time to `server`, severing the
+/// live pair when `cut` goes high — a deterministic network reset the
+/// server experiences as an ordinary client disconnect (no restart, no
+/// epoch change). After a cut the next client connect is piped anew.
+fn wire_cutter(
+    listener: std::net::TcpListener,
+    server: std::net::SocketAddr,
+    cut: Arc<std::sync::atomic::AtomicBool>,
+) {
+    use std::io::{Read as _, Write as _};
+    use std::net::{Shutdown, TcpStream};
+    std::thread::spawn(move || {
+        for inbound in listener.incoming() {
+            let Ok(inbound) = inbound else { return };
+            let Ok(outbound) = TcpStream::connect(server) else {
+                return;
+            };
+            let pipes = [
+                (inbound.try_clone().unwrap(), outbound.try_clone().unwrap()),
+                (outbound.try_clone().unwrap(), inbound.try_clone().unwrap()),
+            ]
+            .map(|(mut from, mut to)| {
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 4096];
+                    loop {
+                        match from.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if to.write_all(&buf[..n]).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    let _ = to.shutdown(Shutdown::Both);
+                })
+            });
+            while !cut.load(Ordering::Relaxed) && pipes.iter().any(|p| !p.is_finished()) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let _ = inbound.shutdown(Shutdown::Both);
+            let _ = outbound.shutdown(Shutdown::Both);
+            for p in pipes {
+                let _ = p.join();
+            }
+            cut.store(false, Ordering::Relaxed);
+        }
+    });
+}
+
+/// A connection lost while the server stays alive must not be silent:
+/// the server reaps the standing query with the connection, so the
+/// client's self-healing poll — even at an *unchanged* epoch — must
+/// hand back a synthetic `Invalidated` instead of `Ok([])` over a
+/// token nobody watches any more.
+#[test]
+fn same_epoch_reconnect_invalidates_standing_query() {
+    let world = Arc::new(DynamicLsp::new(grid_world(8), subscription_config()));
+    let handle = serve_dynamic(Arc::clone(&world), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let proxy_addr = listener.local_addr().unwrap();
+    let cut = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    wire_cutter(listener, handle.local_addr(), Arc::clone(&cut));
+
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let mut client = GroupClient::connect(
+        proxy_addr,
+        1,
+        subscription_config(),
+        Rect::UNIT,
+        2,
+        &mut rng,
+    )
+    .unwrap();
+    let locations = [Point::new(0.3, 0.3), Point::new(0.4, 0.4)];
+    let (_, token) = client.subscribe(&locations, &mut rng).unwrap();
+    let epoch = client.server_epoch();
+
+    // Sever the wire. The server lives on; only the connection (and
+    // with it the server-side subscription) dies.
+    cut.store(true, Ordering::Relaxed);
+    let pushes = client.poll_notifications(Duration::from_secs(5)).unwrap();
+    assert_eq!(client.server_epoch(), epoch, "the server never restarted");
+    assert!(
+        pushes
+            .iter()
+            .any(|p| p.request_id == token.request_id && p.kind == SubscriptionKind::Invalidated),
+        "a same-epoch reconnect must invalidate the standing query"
+    );
+
+    // The caller's normal invalidation handling re-subscribes and the
+    // replacement standing query is fully live.
+    let (_, token2) = client.subscribe(&locations, &mut rng).unwrap();
+    client.unsubscribe(&token2).unwrap();
+    client.goodbye();
+    handle.shutdown();
+}
