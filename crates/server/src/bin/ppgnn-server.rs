@@ -11,7 +11,9 @@
 //!              [--stats-json PATH] [--stats-interval-ms 5000]
 //!              [--data-dir PATH] [--fsync always|interval|never]
 //!              [--checkpoint-every-ops N] [--admin-token T]
-//!              [--max-subscriptions N]
+//!              [--max-subscriptions N] [--shape off|padded]
+//!              [--shape-max-key-bits B] [--shape-max-k K]
+//!              [--latency-quantum-ms MS]
 //! ```
 //!
 //! Durability: with `--data-dir PATH` the server runs the crash-safe
@@ -22,6 +24,16 @@
 //! picks the WAL flush policy and `--checkpoint-every-ops` the log
 //! rotation cadence. `--admin-token` arms the `PoiUpdate` mutation
 //! lane (without it the world is durable but read-only over the wire).
+//!
+//! Shaping: `--shape padded` turns on the constant-shape response
+//! policy (DESIGN.md §16): every `Answer` / `Busy` / `Error` /
+//! `SubscriptionUpdate` frame is padded to a policy-wide constant and
+//! released only on `--latency-quantum-ms` boundaries, so a passive
+//! network observer cannot tell sessions with different parameters
+//! apart. The padding envelope defaults to the server's own
+//! `--keysize` / `--k`; raise `--shape-max-key-bits` /
+//! `--shape-max-k` to admit larger client handshakes under the same
+//! constant.
 //!
 //! Every tunable flows through [`ServerConfig::builder`], so an
 //! inconsistent combination (zero workers, rate limiting with no burst)
@@ -57,7 +69,8 @@ use std::time::Duration;
 use ppgnn_core::{Lsp, PpgnnConfig};
 use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_server::{
-    serve, serve_durable, DurabilityConfig, FsyncPolicy, HelloPolicy, ServerConfig, StatsProbe,
+    serve, serve_durable, DurabilityConfig, FsyncPolicy, HelloPolicy, ServerConfig, ShapeMode,
+    ShapePolicy, StatsProbe,
 };
 use ppgnn_telemetry::trace::{self, TracerConfig};
 use rand::rngs::StdRng;
@@ -125,6 +138,10 @@ fn parse_args() -> Result<Args, String> {
     let mut stats_json = None;
     let mut stats_interval = None;
     let mut trace_cfg: Option<TracerConfig> = None;
+    let mut shape_mode: Option<ShapeMode> = None;
+    let mut shape_max_key_bits: Option<usize> = None;
+    let mut shape_max_k: Option<usize> = None;
+    let mut latency_quantum: Option<Duration> = None;
     let mut data_dir: Option<String> = None;
     let mut fsync: Option<FsyncPolicy> = None;
     let mut checkpoint_every: Option<u64> = None;
@@ -229,6 +246,22 @@ fn parse_args() -> Result<Args, String> {
             "--max-subscriptions" => {
                 builder = builder.max_subscriptions(parse(&value("--max-subscriptions")?)?)
             }
+            "--shape" => {
+                let name = value("--shape")?;
+                shape_mode = Some(
+                    ShapeMode::from_name(&name)
+                        .ok_or_else(|| format!("--shape must be off or padded (got {name:?})"))?,
+                );
+            }
+            "--shape-max-key-bits" => {
+                shape_max_key_bits = Some(parse(&value("--shape-max-key-bits")?)?)
+            }
+            "--shape-max-k" => shape_max_k = Some(parse(&value("--shape-max-k")?)?),
+            "--latency-quantum-ms" => {
+                latency_quantum = Some(Duration::from_millis(parse(&value(
+                    "--latency-quantum-ms",
+                )?)?))
+            }
             "--stats-json" => stats_json = Some(value("--stats-json")?),
             "--stats-interval-ms" => {
                 stats_interval = Some(Duration::from_millis(parse(&value(
@@ -248,7 +281,9 @@ fn parse_args() -> Result<Args, String> {
                      [--trace-sample-permille P] [--trace-buf N] \
                      [--data-dir PATH] [--fsync always|interval|never] \
                      [--checkpoint-every-ops N] [--admin-token T] \
-                     [--max-subscriptions N]"
+                     [--max-subscriptions N] [--shape off|padded] \
+                     [--shape-max-key-bits B] [--shape-max-k K] \
+                     [--latency-quantum-ms MS]"
                 );
                 std::process::exit(0);
             }
@@ -258,6 +293,30 @@ fn parse_args() -> Result<Args, String> {
     // A stats file with no interval still gets periodic (and final) dumps.
     if stats_json.is_some() && stats_interval.is_none() {
         stats_interval = Some(Duration::from_millis(5000));
+    }
+    match shape_mode {
+        Some(ShapeMode::Padded) => {
+            // Envelope defaults follow the server's own parameters; the
+            // max-k default leaves headroom for the k + 1 a subscribe
+            // handshake negotiates for its runner-up sentinel.
+            builder = builder.shape(ShapePolicy::padded(
+                shape_max_key_bits.unwrap_or(keysize),
+                shape_max_k.unwrap_or(k + 1),
+                latency_quantum.unwrap_or(Duration::from_millis(200)),
+            ));
+        }
+        Some(ShapeMode::Off) | None
+            if shape_max_key_bits.is_some()
+                || shape_max_k.is_some()
+                || latency_quantum.is_some() =>
+        {
+            return Err(
+                "--shape-max-key-bits / --shape-max-k / --latency-quantum-ms require \
+                 --shape padded"
+                    .into(),
+            );
+        }
+        _ => {}
     }
     match data_dir {
         Some(dir) => {
@@ -391,7 +450,7 @@ fn main() {
         }
     };
     println!(
-        "ppgnn-server listening on {} ({} POIs, {} workers, queue depth {}{})",
+        "ppgnn-server listening on {} ({} POIs, {} workers, queue depth {}{}{})",
         handle.local_addr(),
         args.pois,
         args.config.workers,
@@ -403,6 +462,16 @@ fn main() {
                 d.fsync.name()
             ),
             None => String::new(),
+        },
+        if args.config.shape.is_padded() {
+            format!(
+                ", shaped: answer {}B / control {}B / quantum {}ms",
+                args.config.shape.answer_target(),
+                args.config.shape.control_target(),
+                args.config.shape.latency_quantum.as_millis()
+            )
+        } else {
+            String::new()
         }
     );
     println!("type 'stats' for counters, 'traces' for kept spans, 'quit' (or EOF, or Ctrl-C) to drain and exit");

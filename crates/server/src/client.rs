@@ -25,12 +25,13 @@ use rand::Rng;
 use crate::backoff::{BackoffSchedule, RetryPolicy};
 use crate::error::{ErrorCode, ServerError};
 use crate::frame::{
-    read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
-    HelloPayload, PoiUpdateAckPayload, PoiUpdatePayload, PongPayload, QueryPayload,
-    StatsReplyPayload, SubscriptionKind, SubscriptionUpdatePayload, TraceReplyPayload,
-    UnsubscribePayload, DEFAULT_MAX_PAYLOAD,
+    read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, Frame, FrameType,
+    HelloAckPayload, HelloPayload, PoiUpdateAckPayload, PoiUpdatePayload, PongPayload,
+    QueryPayload, StatsReplyPayload, SubscriptionKind, SubscriptionUpdatePayload,
+    TraceReplyPayload, UnsubscribePayload, DEFAULT_MAX_PAYLOAD, HEADER_BYTES,
 };
 use crate::registry::SessionParams;
+use crate::shape::ShapeMode;
 
 /// Ceiling on one attempt's blocking read (the per-query budget usually
 /// binds first).
@@ -49,6 +50,20 @@ pub struct ClientStats {
     pub replayed_answers: u64,
     /// `Busy` sheds observed (each one backed off and retried).
     pub busy_sheds: u64,
+}
+
+/// One response frame as a passive network observer would see it:
+/// nothing here requires the session keys — only the bytes on the wire
+/// and a clock. The `observer` binary builds its (size, latency)
+/// distributions from exactly these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireObservation {
+    /// Frame-type byte (plaintext on the wire either way).
+    pub frame_type: FrameType,
+    /// Total on-wire bytes: header + payload + pad.
+    pub total_bytes: usize,
+    /// Request write → response frame fully read.
+    pub latency: Duration,
 }
 
 /// The server's promise about a granted subscription: the group's
@@ -107,6 +122,11 @@ pub struct GroupClient {
     /// The standing query this client holds, if any — what a detected
     /// server restart must surface an invalidation for.
     standing: Option<SafeRegionToken>,
+    /// When enabled, every query-lane response frame is recorded as a
+    /// [`WireObservation`]; drained by
+    /// [`GroupClient::take_wire_observations`].
+    wire_tap: bool,
+    wire_observations: Vec<WireObservation>,
 }
 
 fn variant_tag(v: Variant) -> u8 {
@@ -260,11 +280,17 @@ impl GroupClient {
                 max_payload: 0,
                 workers: 0,
                 epoch: 0,
+                shape_mode: 0,
+                answer_target: 0,
+                control_target: 0,
+                latency_quantum_ms: 0,
             },
             broken: false,
             stats: ClientStats::default(),
             pending_updates: Vec::new(),
             standing: None,
+            wire_tap: false,
+            wire_observations: Vec::new(),
         };
         let params = session_params_for(&client.config, n_users)?;
         client.handshake(params)?;
@@ -274,6 +300,59 @@ impl GroupClient {
     /// Server facts from the last `HelloAck`.
     pub fn server_info(&self) -> &HelloAckPayload {
         &self.server_info
+    }
+
+    /// The response-shape mode the server negotiated in its `HelloAck`.
+    pub fn shape_mode(&self) -> ShapeMode {
+        ShapeMode::from_u8(self.server_info.shape_mode).unwrap_or(ShapeMode::Off)
+    }
+
+    /// Turns the passive wire tap on or off. While on, every
+    /// query-lane response frame is recorded (type, total on-wire
+    /// bytes, request→response latency) exactly as a network observer
+    /// would see it.
+    pub fn set_wire_tap(&mut self, enabled: bool) {
+        self.wire_tap = enabled;
+    }
+
+    /// Drains the recorded [`WireObservation`]s.
+    pub fn take_wire_observations(&mut self) -> Vec<WireObservation> {
+        std::mem::take(&mut self.wire_observations)
+    }
+
+    /// Validates a response frame against the negotiated shape: under
+    /// a padded server, every `Answer` must arrive at exactly the
+    /// answer target and every `Busy`/`Error`/`SubscriptionUpdate` at
+    /// exactly the control target — a deviation means the envelope
+    /// burst (a server-side policy bug) and is surfaced, not ignored.
+    fn check_shape(&self, frame: &Frame) -> Result<(), ServerError> {
+        if self.server_info.shape_mode != ShapeMode::Padded.to_u8() {
+            return Ok(());
+        }
+        let expected = match frame.frame_type {
+            FrameType::Answer => self.server_info.answer_target as usize,
+            FrameType::Busy | FrameType::Error | FrameType::SubscriptionUpdate => {
+                self.server_info.control_target as usize
+            }
+            _ => return Ok(()),
+        };
+        if frame.payload.len() + frame.pad != expected {
+            return Err(ServerError::Malformed(
+                "response frame does not match the negotiated shape target",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Records a response frame on the wire tap, if enabled.
+    fn observe_wire(&mut self, frame: &Frame, latency: Duration) {
+        if self.wire_tap {
+            self.wire_observations.push(WireObservation {
+                frame_type: frame.frame_type,
+                total_bytes: HEADER_BYTES + frame.payload.len() + frame.pad,
+                latency,
+            });
+        }
     }
 
     /// The restart epoch last observed from the server (0 before the
@@ -415,6 +494,16 @@ impl GroupClient {
                 let ack = HelloAckPayload::decode(&frame.payload)?;
                 if ack.group_id != self.group_id {
                     return Err(ServerError::Malformed("hello_ack for a different group"));
+                }
+                // A padded server must advertise a usable envelope; a
+                // zero target would make every later shape check fail
+                // in a confusing place, so reject the handshake here.
+                if ack.shape_mode == ShapeMode::Padded.to_u8()
+                    && (ack.answer_target == 0 || ack.control_target == 0)
+                {
+                    return Err(ServerError::Malformed(
+                        "padded shape negotiated with an empty target",
+                    ));
                 }
                 // Adopt the server's advertised frame cap so an
                 // oversized query fails fast client-side instead of
@@ -772,8 +861,13 @@ impl GroupClient {
             });
         }
         write_frame(&mut self.stream, frame_type, payload)?;
+        // The tap clock starts when the request hits the wire: what an
+        // on-path observer would measure as this request's latency.
+        let sent = Instant::now();
         loop {
             let frame = read_frame(&mut self.stream, self.max_payload)?;
+            self.check_shape(&frame)?;
+            self.observe_wire(&frame, sent.elapsed());
             match frame.frame_type {
                 // An earlier subscription's push can land while this
                 // query's answer is in flight; stash it, don't desync.

@@ -3,10 +3,10 @@
 //! Every message on the socket is one frame:
 //!
 //! ```text
-//! +------+---------+------+----------------+-------------+---------+
-//! | PPGN | version | type | payload length | payload crc | payload |
-//! | 4 B  | 1 B     | 1 B  | u32 LE         | u32 LE      | N bytes |
-//! +------+---------+------+----------------+-------------+---------+
+//! +------+---------+------+----------------+------------+-------------+---------+---------+
+//! | PPGN | version | type | payload length | pad length | payload crc | payload | padding |
+//! | 4 B  | 1 B     | 1 B  | u32 LE         | u32 LE     | u32 LE      | N bytes | P bytes |
+//! +------+---------+------+----------------+------------+-------------+---------+---------+
 //! ```
 //!
 //! The payload of `Query`/`Answer` frames wraps the byte-exact
@@ -14,8 +14,13 @@
 //! framing, typing, length policing, and integrity (version 2 added a
 //! CRC-32 of the payload: a flipped ciphertext byte would otherwise
 //! decrypt to a plausible-but-wrong answer with no way to tell).
-//! Decoding never panics: every truncated, oversized, corrupted, or
-//! garbage input maps to a typed [`ServerError`].
+//! Version 8 added the pad-length field: under a padded
+//! [`ShapePolicy`](crate::shape::ShapePolicy) the server stretches every
+//! response frame to one policy-wide size by appending `P` zero bytes
+//! that the reader discards. The CRC covers the real payload only — the
+//! padding carries no information by construction, so there is nothing
+//! to protect. Decoding never panics: every truncated, oversized,
+//! corrupted, or garbage input maps to a typed [`ServerError`].
 
 use std::io::{Read, Write};
 
@@ -39,10 +44,14 @@ pub const MAGIC: [u8; 4] = *b"PPGN";
 /// and the `Subscribe`/`SubscriptionUpdate`/`Unsubscribe` standing-query
 /// exchange for moving groups; 7 added the server's restart `epoch` to
 /// `HelloAck` and `Pong` so clients detect a crash/recovery cycle and
-/// idempotently re-subscribe their standing queries).
-pub const VERSION: u8 = 7;
-/// Fixed header width: magic + version + type + u32 length + u32 crc.
-pub const HEADER_BYTES: usize = 14;
+/// idempotently re-subscribe their standing queries; 8 added the u32
+/// pad-length header field and the shape facts in `HelloAck` so a
+/// padded server can stretch every response lane to one constant size
+/// that clients strip transparently).
+pub const VERSION: u8 = 8;
+/// Fixed header width: magic + version + type + u32 length + u32 pad
+/// length + u32 crc.
+pub const HEADER_BYTES: usize = 18;
 /// Default cap on a single frame payload (16 MiB).
 pub const DEFAULT_MAX_PAYLOAD: usize = 16 << 20;
 /// Cap on location sets per query (one per user; groups are small).
@@ -152,6 +161,10 @@ pub struct Frame {
     pub frame_type: FrameType,
     /// The raw payload (still to be parsed by the payload structs).
     pub payload: Vec<u8>,
+    /// Shape-padding bytes that followed the payload (already read and
+    /// discarded). `payload.len() + pad` is what an on-path observer
+    /// sees past the fixed header.
+    pub pad: usize,
 }
 
 fn map_eof(e: std::io::Error) -> ServerError {
@@ -197,13 +210,28 @@ pub fn write_frame(
     frame_type: FrameType,
     payload: &[u8],
 ) -> Result<(), ServerError> {
-    let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len());
+    write_frame_padded(w, frame_type, payload, 0)
+}
+
+/// Writes one frame with `pad` trailing zero bytes, as a single
+/// `write_all` — the shaped-response path. The CRC covers the real
+/// payload only; the padding is pure filler the reader discards.
+pub fn write_frame_padded(
+    w: &mut impl Write,
+    frame_type: FrameType,
+    payload: &[u8],
+    pad: usize,
+) -> Result<(), ServerError> {
+    let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len() + pad);
     buf.extend_from_slice(&MAGIC);
     buf.push(VERSION);
     buf.push(frame_type.to_u8());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(pad as u32).to_le_bytes());
     buf.extend_from_slice(&crc32(payload).to_le_bytes());
-    buf.extend_from_slice(payload);
+    buf.resize(buf.len() + payload.len() + pad, 0);
+    let payload_at = HEADER_BYTES;
+    buf[payload_at..payload_at + payload.len()].copy_from_slice(payload);
     w.write_all(&buf)?;
     w.flush()?;
     Ok(())
@@ -237,10 +265,14 @@ pub fn read_frame_with_lead(
     }
     let frame_type = FrameType::from_u8(rest[4])?;
     let len = u32::from_le_bytes([rest[5], rest[6], rest[7], rest[8]]) as usize;
-    let expected_crc = u32::from_le_bytes([rest[9], rest[10], rest[11], rest[12]]);
-    if len > max_payload {
+    let pad = u32::from_le_bytes([rest[9], rest[10], rest[11], rest[12]]) as usize;
+    let expected_crc = u32::from_le_bytes([rest[13], rest[14], rest[15], rest[16]]);
+    // Payload and padding count against the cap together: the cap
+    // bounds what one frame makes this side read, not just parse.
+    let total = len.saturating_add(pad);
+    if total > max_payload {
         return Err(ServerError::FrameTooLarge {
-            len,
+            len: total,
             max: max_payload,
         });
     }
@@ -253,9 +285,19 @@ pub fn read_frame_with_lead(
             actual: actual_crc,
         });
     }
+    // Drain the padding. Its content is discarded by design (all-zero
+    // on the wire, but nothing downstream may depend on that).
+    let mut remaining = pad;
+    let mut sink = [0u8; 4096];
+    while remaining > 0 {
+        let chunk = remaining.min(sink.len());
+        r.read_exact(&mut sink[..chunk]).map_err(map_eof)?;
+        remaining -= chunk;
+    }
     Ok(Frame {
         frame_type,
         payload,
+        pad,
     })
 }
 
@@ -407,17 +449,33 @@ pub struct HelloAckPayload {
     /// handshakes knows the server crashed (or was restarted) and must
     /// re-subscribe its standing queries.
     pub epoch: u64,
+    /// Shape mode tag (version 8): 0 = off, 1 = padded. Under `padded`
+    /// the client can hold the server to the advertised targets below.
+    pub shape_mode: u8,
+    /// Constant on-wire size (payload + pad) of every `Answer` frame
+    /// under `padded`; 0 when shaping is off.
+    pub answer_target: u32,
+    /// Constant on-wire size of every control-lane response
+    /// (`Busy`/`Error`/`SubscriptionUpdate`) under `padded`; 0 when off.
+    pub control_target: u32,
+    /// Latency quantum in milliseconds: responses release only on
+    /// multiples of this boundary; 0 when shaping is off.
+    pub latency_quantum_ms: u32,
 }
 
 impl HelloAckPayload {
     /// Serializes the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(32);
+        let mut buf = Vec::with_capacity(45);
         buf.extend_from_slice(&self.group_id.to_le_bytes());
         buf.extend_from_slice(&self.database_size.to_le_bytes());
         buf.extend_from_slice(&self.max_payload.to_le_bytes());
         buf.extend_from_slice(&self.workers.to_le_bytes());
         buf.extend_from_slice(&self.epoch.to_le_bytes());
+        buf.push(self.shape_mode);
+        buf.extend_from_slice(&self.answer_target.to_le_bytes());
+        buf.extend_from_slice(&self.control_target.to_le_bytes());
+        buf.extend_from_slice(&self.latency_quantum_ms.to_le_bytes());
         buf
     }
 
@@ -429,6 +487,13 @@ impl HelloAckPayload {
         let max_payload = get_u32(buf, &mut pos, "hello_ack.max_payload")?;
         let workers = get_u32(buf, &mut pos, "hello_ack.workers")?;
         let epoch = get_u64(buf, &mut pos, "hello_ack.epoch")?;
+        let shape_mode = get_u8(buf, &mut pos, "hello_ack.shape_mode")?;
+        if shape_mode > 1 {
+            return Err(ServerError::Malformed("hello_ack.shape_mode out of range"));
+        }
+        let answer_target = get_u32(buf, &mut pos, "hello_ack.answer_target")?;
+        let control_target = get_u32(buf, &mut pos, "hello_ack.control_target")?;
+        let latency_quantum_ms = get_u32(buf, &mut pos, "hello_ack.latency_quantum_ms")?;
         expect_consumed(buf, pos, "hello_ack trailing bytes")?;
         Ok(HelloAckPayload {
             group_id,
@@ -436,6 +501,10 @@ impl HelloAckPayload {
             max_payload,
             workers,
             epoch,
+            shape_mode,
+            answer_target,
+            control_target,
+            latency_quantum_ms,
         })
     }
 }
@@ -1040,6 +1109,51 @@ mod tests {
             read_frame(&mut buf.as_slice(), 1024),
             Err(ServerError::FrameTooLarge { .. })
         ));
+        // A hostile pad-length claim is policed by the same cap: the
+        // padding is read bytes too, even though it is discarded.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameType::Query, &[]).unwrap();
+        buf[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), 1024),
+            Err(ServerError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn padded_frame_round_trip() {
+        let payload = vec![7u8; 100];
+        let mut buf = Vec::new();
+        write_frame_padded(&mut buf, FrameType::Answer, &payload, 412).unwrap();
+        // The wire carries exactly header + payload + pad — what an
+        // observer sees is total length, independent of payload split.
+        assert_eq!(buf.len(), HEADER_BYTES + 100 + 412);
+        let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(frame.frame_type, FrameType::Answer);
+        assert_eq!(frame.payload, payload);
+        assert_eq!(frame.pad, 412);
+    }
+
+    #[test]
+    fn padded_frame_truncated_in_pad_is_connection_closed() {
+        let mut buf = Vec::new();
+        write_frame_padded(&mut buf, FrameType::Answer, &[1, 2, 3], 64).unwrap();
+        for cut in 0..buf.len() {
+            let err = read_frame(&mut &buf[..cut], DEFAULT_MAX_PAYLOAD).unwrap_err();
+            assert!(
+                matches!(err, ServerError::ConnectionClosed),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_pad_is_the_unpadded_wire_image() {
+        let payload = vec![9u8; 33];
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        write_frame(&mut a, FrameType::Answer, &payload).unwrap();
+        write_frame_padded(&mut b, FrameType::Answer, &payload, 0).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -1099,8 +1213,23 @@ mod tests {
             max_payload: 1 << 20,
             workers: 8,
             epoch: 0xdead_beef_cafe_f00d,
+            shape_mode: 1,
+            answer_target: 4096,
+            control_target: 576,
+            latency_quantum_ms: 200,
         };
-        assert_eq!(HelloAckPayload::decode(&ack.encode()).unwrap(), ack);
+        let wire = ack.encode();
+        assert_eq!(HelloAckPayload::decode(&wire).unwrap(), ack);
+        for cut in 0..wire.len() {
+            assert!(
+                HelloAckPayload::decode(&wire[..cut]).is_err(),
+                "hello_ack cut {cut}"
+            );
+        }
+        // Unknown shape-mode tags are a typed rejection, not a guess.
+        let mut bad = wire.clone();
+        bad[32] = 2;
+        assert!(HelloAckPayload::decode(&bad).is_err());
     }
 
     #[test]
@@ -1216,9 +1345,10 @@ mod tests {
     #[test]
     fn stale_version_frames_rejected() {
         // The trace-context query header is a version-5 wire change (as
-        // Stats was for v4, and the restart epoch for v7); a stale peer
-        // must get a typed rejection, never a silently misparsed payload.
-        for stale in [3u8, 4, 5, 6] {
+        // Stats was for v4, the restart epoch for v7, and the pad-length
+        // header field for v8); a stale peer must get a typed rejection,
+        // never a silently misparsed payload.
+        for stale in [3u8, 4, 5, 6, 7] {
             let mut buf = Vec::new();
             write_frame(&mut buf, FrameType::Ping, &[]).unwrap();
             buf[4] = stale;

@@ -23,6 +23,12 @@
 //!   [`validate::TokenBucket`] rate limiter;
 //! * [`mallory`] — the seeded adversarial attack catalog driven by the
 //!   `mallory` binary and the hostile soak tests;
+//! * [`shape`] — the constant-shape response policy: frame padding to
+//!   policy-bound targets and latency quantization (DESIGN.md §16);
+//! * [`observer`] — the passive network adversary behind the
+//!   `observer` binary: records (size, latency) distributions across
+//!   known-different workloads and runs a permutation
+//!   Kolmogorov–Smirnov distinguishability test against them;
 //! * [`crash`] — the kill-mid-soak chaos harness: SIGKILLs a child
 //!   `ppgnn-server` at seeded points and proves recovery against a
 //!   plaintext oracle;
@@ -66,14 +72,16 @@ pub mod frame;
 pub mod mallory;
 pub mod metrics;
 pub mod moving;
+pub mod observer;
 pub mod registry;
 pub mod server;
+pub mod shape;
 pub mod subscription;
 pub mod validate;
 pub mod wal;
 
 pub use backoff::{BackoffSchedule, RetryPolicy};
-pub use client::{session_params_for, ClientStats, GroupClient, SafeRegionToken};
+pub use client::{session_params_for, ClientStats, GroupClient, SafeRegionToken, WireObservation};
 pub use crash::{run_crash_soak, CrashSoakConfig, CrashSoakReport};
 pub use error::{ErrorCode, ServerError};
 pub use fault::{FaultAction, FaultConfig, FaultPlan, FaultyStream, Transport};
@@ -84,6 +92,7 @@ pub use frame::{
 pub use mallory::{Attack, AttackContext, MalloryOutcome, MalloryReport, ATTACK_CATALOG};
 pub use metrics::{percentile, summarize, LatencySummary};
 pub use moving::{run_moving_soak, MovingSoakConfig, MovingSoakReport};
+pub use observer::{run_observer, ChannelVerdict, ObserverConfig, ObserverReport, ScenarioResult};
 pub use ppgnn_telemetry::{HealthSnapshot, StageSnapshot, TelemetrySnapshot};
 pub use registry::{
     CachedAnswer, RegistryLimits, SessionParams, SessionRegistry, SessionTableFull,
@@ -92,6 +101,7 @@ pub use server::{
     serve, serve_durable, serve_dynamic, ConfigError, ServerConfig, ServerConfigBuilder,
     ServerHandle, ServerStats, StatsProbe, World,
 };
+pub use shape::{Lane, ShapeMode, ShapePolicy};
 pub use subscription::{
     compute_regions, CandidateRegion, SafeRegionSummary, Subscription, SubscriptionRegistry,
 };

@@ -36,7 +36,7 @@ use crate::client::session_params_for;
 use crate::error::{ErrorCode, ServerError};
 use crate::frame::{
     crc32, read_frame, write_frame, FrameType, HelloAckPayload, HelloPayload, PoiUpdateAckPayload,
-    PoiUpdatePayload, QueryPayload, MAGIC, VERSION,
+    PoiUpdatePayload, QueryPayload, HEADER_BYTES, MAGIC, VERSION,
 };
 use crate::registry::SessionParams;
 
@@ -499,13 +499,17 @@ fn handshake(
     }
 }
 
-/// A raw frame with full control over every header field.
+/// A raw v8-layout frame with full control over every header field
+/// (`pad_len` pinned to 0 — the attacks lie about length and CRC, not
+/// padding; an inflated pad count is the same read-cap probe as an
+/// inflated payload length).
 fn raw_frame(version: u8, frame_type: u8, len: u32, crc: u32, payload: &[u8]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(14 + payload.len());
+    let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len());
     buf.extend_from_slice(&MAGIC);
     buf.push(version);
     buf.push(frame_type);
     buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes());
     buf.extend_from_slice(&crc.to_le_bytes());
     buf.extend_from_slice(payload);
     buf

@@ -19,6 +19,15 @@
 //! the highest request ID served plus a strike counter fed by the
 //! validation gate — a hostile client can neither grow the table
 //! without bound nor rewind its request IDs.
+//!
+//! ## Panic policy
+//!
+//! No production path in this module panics: the shared-map guard
+//! recovers from mutex poisoning instead of unwrapping (see the
+//! private `lock` helper — every critical section leaves the map
+//! consistent), and
+//! the per-session counter reads fall back to zero for unknown groups.
+//! Bare `unwrap`/`expect` appears only under `#[cfg(test)]`.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -58,12 +58,13 @@ use ppgnn_telemetry::{self as telemetry, Gauge, HealthSnapshot, TelemetrySnapsho
 use crate::error::{ErrorCode, ServerError};
 use crate::fault::{FaultConfig, FaultyStream, Transport};
 use crate::frame::{
-    read_frame_with_lead, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType,
-    HelloAckPayload, HelloPayload, PoiUpdateAckPayload, PoiUpdatePayload, PongPayload,
-    QueryPayload, StatsReplyPayload, SubscriptionKind, SubscriptionUpdatePayload,
+    read_frame_with_lead, write_frame, write_frame_padded, AnswerPayload, BusyPayload,
+    ErrorPayload, FrameType, HelloAckPayload, HelloPayload, PoiUpdateAckPayload, PoiUpdatePayload,
+    PongPayload, QueryPayload, StatsReplyPayload, SubscriptionKind, SubscriptionUpdatePayload,
     TraceReplyPayload, UnsubscribePayload, DEFAULT_MAX_PAYLOAD,
 };
 use crate::registry::{RegistryLimits, SessionParams, SessionRegistry};
+use crate::shape::{Lane, ShapePolicy};
 use crate::subscription::{compute_regions, Outbox, Subscription, SubscriptionRegistry};
 use crate::validate::{
     validate_hello, validate_query, validate_set_count, HelloPolicy, ProtocolViolation, TokenBucket,
@@ -72,7 +73,10 @@ use crate::wal::{self, DurabilityConfig, Wal};
 
 /// How often an idle connection thread checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
-/// Suggested client backoff carried in `Busy` frames.
+/// Suggested client backoff carried in `Busy` frames — the *center* of
+/// the jittered hint: each shed draws a seeded value in ±25% of this,
+/// so a thundering herd of synchronized clients fans out instead of
+/// retrying in lockstep (clients honor the hint as a backoff floor).
 const RETRY_AFTER_MS: u32 = 50;
 /// Grace added to a request deadline while waiting for the worker reply.
 const REPLY_GRACE: Duration = Duration::from_secs(5);
@@ -134,6 +138,11 @@ pub struct ServerConfig {
     /// periodically; `None` (the default) keeps the world in-memory
     /// only. Ignored by [`serve`] / [`serve_dynamic`].
     pub durability: Option<DurabilityConfig>,
+    /// Response-shape policy (DESIGN.md §16): off (the default) sends
+    /// responses as-is; padded stretches every `Answer`/`Busy`/`Error`/
+    /// `SubscriptionUpdate` frame to a policy-wide constant size and
+    /// releases responses only on latency-quantum boundaries.
+    pub shape: ShapePolicy,
 }
 
 impl Default for ServerConfig {
@@ -157,6 +166,7 @@ impl Default for ServerConfig {
             admin_token: None,
             max_subscriptions: 64,
             durability: None,
+            shape: ShapePolicy::off(),
         }
     }
 }
@@ -309,6 +319,12 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Response-shape policy; [`ShapePolicy::off`] disables shaping.
+    pub fn shape(mut self, shape: ShapePolicy) -> Self {
+        self.config.shape = shape;
+        self
+    }
+
     /// Validates the combination and returns the config, or a
     /// [`ConfigError`] naming the first bad knob.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
@@ -373,6 +389,35 @@ impl ServerConfigBuilder {
                 return Err(ConfigError(
                     "durability.checkpoint_every_ops must be at least 1".into(),
                 ));
+            }
+        }
+        if c.shape.is_padded() {
+            if c.shape.max_key_bits < c.hello_policy.min_key_bits {
+                return Err(ConfigError(format!(
+                    "shape.max_key_bits of {} is below hello_policy.min_key_bits {}: \
+                     a padded server would refuse every admissible handshake",
+                    c.shape.max_key_bits, c.hello_policy.min_key_bits
+                )));
+            }
+            if c.shape.max_k == 0 {
+                return Err(ConfigError(
+                    "shape.max_k of 0 would refuse every query under a padded policy".into(),
+                ));
+            }
+            if c.shape.latency_quantum.is_zero() {
+                return Err(ConfigError(
+                    "shape.latency_quantum of 0 quantizes nothing; use ShapePolicy::off \
+                     to disable shaping"
+                        .into(),
+                ));
+            }
+            if c.shape.answer_target() > c.max_payload {
+                return Err(ConfigError(format!(
+                    "shape answer target of {} bytes exceeds max_payload {}; padded \
+                     answers would be rejected by the client's own frame cap",
+                    c.shape.answer_target(),
+                    c.max_payload
+                )));
             }
         }
         Ok(self.config)
@@ -573,6 +618,34 @@ struct Shared {
     durable: Option<Mutex<DurableState>>,
     /// `Some` when this process recovered a pre-existing data dir.
     recovery: Option<RecoveryFacts>,
+    /// Sequence behind the seeded `Busy` retry-hint jitter: each shed
+    /// draws the next value of a SplitMix64 stream keyed on
+    /// `rng_seed`, so hints are deterministic per seed yet distinct
+    /// per shed.
+    busy_seq: AtomicU64,
+}
+
+impl Shared {
+    /// The next jittered `retry_after_ms` hint: `RETRY_AFTER_MS` ±25%,
+    /// drawn from the seeded per-server stream. Clients treat the hint
+    /// as a backoff floor, so the spread directly desynchronizes
+    /// lockstep retry herds.
+    fn retry_after_hint(&self) -> u32 {
+        let seq = self.busy_seq.fetch_add(1, Ordering::Relaxed);
+        // SplitMix64 over (seed, seq): the same generator backoff.rs
+        // uses for client-side jitter.
+        let mut z = self
+            .config
+            .rng_seed
+            .wrapping_add(seq.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Map to [-25%, +25%] around the center, never below 1ms.
+        let span = (RETRY_AFTER_MS / 2).max(1);
+        let offset = (z % (span as u64 + 1)) as u32;
+        (RETRY_AFTER_MS - span / 2 + offset).max(1)
+    }
 }
 
 /// Handle to a running server; dropping it shuts the server down.
@@ -839,6 +912,7 @@ fn serve_world_inner(
         epoch: fresh_epoch(),
         durable,
         recovery,
+        busy_seq: AtomicU64::new(0),
     });
 
     let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -956,7 +1030,7 @@ fn accept_loop(
                 let active = shared.connections.load(Ordering::SeqCst);
                 if active >= shared.config.max_connections as u64 {
                     shared.stats.refused.fetch_add(1, Ordering::Relaxed);
-                    refuse(stream);
+                    refuse(&shared, stream);
                     continue;
                 }
                 shared.connections.fetch_add(1, Ordering::SeqCst);
@@ -1008,14 +1082,77 @@ fn accept_loop(
     }
 }
 
-fn refuse(mut stream: TcpStream) {
+fn refuse(shared: &Shared, mut stream: TcpStream) {
     let payload = BusyPayload {
         request_id: 0,
-        retry_after_ms: RETRY_AFTER_MS,
+        retry_after_ms: shared.retry_after_hint(),
     }
     .encode();
-    let _ = write_frame(&mut stream, FrameType::Busy, &payload);
+    // Pad-only: a refusal has no request to hold against, and sleeping
+    // here would block the acceptor thread for every other client.
+    let _ = send_shaped_unheld(
+        &shared.config.shape,
+        &mut stream,
+        FrameType::Busy,
+        &payload,
+        Lane::Control,
+    );
     let _ = stream.flush();
+}
+
+/// One request's response-shaping context: the server-wide policy plus
+/// the instant the request's frame finished arriving, so held responses
+/// release exactly on latency-quantum boundaries measured from arrival.
+#[derive(Clone, Copy)]
+struct ResponseShaper {
+    policy: ShapePolicy,
+    started: Instant,
+}
+
+impl ResponseShaper {
+    /// Holds to the next quantum boundary, then writes the frame padded
+    /// to its lane target. Every request-triggered response (`Answer`,
+    /// `Busy`, `Error`, `SubscriptionUpdate`) goes through here; with
+    /// shaping off this is exactly [`write_frame`].
+    fn send(
+        &self,
+        stream: &mut impl std::io::Write,
+        frame_type: FrameType,
+        payload: &[u8],
+        lane: Lane,
+    ) -> Result<(), ServerError> {
+        if !self.policy.is_padded() {
+            return write_frame(stream, frame_type, payload);
+        }
+        let hold = self.policy.hold_for(self.started.elapsed());
+        if !hold.is_zero() {
+            let _t = telemetry::global().time(telemetry::Stage::LatencyHold);
+            std::thread::sleep(hold);
+        }
+        let pad = self.policy.pad_for(lane, payload.len());
+        let _t = telemetry::global().time(telemetry::Stage::ShapePad);
+        write_frame_padded(stream, frame_type, payload, pad)
+    }
+}
+
+/// Pad-only shaped write for lanes with no request to hold against
+/// (subscription pushes from the outbox, connection refusals). Their
+/// release timing is governed elsewhere — pushes by the poll interval,
+/// refusals by the accept loop — so only the size channel is closed
+/// here.
+fn send_shaped_unheld(
+    policy: &ShapePolicy,
+    stream: &mut impl std::io::Write,
+    frame_type: FrameType,
+    payload: &[u8],
+    lane: Lane,
+) -> Result<(), ServerError> {
+    if !policy.is_padded() {
+        return write_frame(stream, frame_type, payload);
+    }
+    let pad = policy.pad_for(lane, payload.len());
+    let _t = telemetry::global().time(telemetry::Stage::ShapePad);
+    write_frame_padded(stream, frame_type, payload, pad)
 }
 
 /// Per-connection admission state: the token bucket and the strike
@@ -1063,7 +1200,13 @@ fn flush_outbox(
     outbox: &Outbox,
 ) -> Result<(), ServerError> {
     for update in outbox.drain() {
-        write_frame(stream, FrameType::SubscriptionUpdate, &update.encode())?;
+        send_shaped_unheld(
+            &shared.config.shape,
+            stream,
+            FrameType::SubscriptionUpdate,
+            &update.encode(),
+            Lane::Control,
+        )?;
         shared
             .stats
             .notifications_sent
@@ -1110,6 +1253,13 @@ fn connection_loop<S: Transport>(
                     read_frame_with_lead(&mut guarded, lead[0], shared.config.max_payload)
                 };
                 stream.set_read_timeout(Some(POLL_INTERVAL))?;
+                // The latency-quantization clock starts the moment the
+                // frame finished arriving: every response this request
+                // triggers releases on a quantum boundary from here.
+                let shaper = ResponseShaper {
+                    policy: shared.config.shape,
+                    started: Instant::now(),
+                };
                 let frame = match frame {
                     Ok(f) => f,
                     Err(ServerError::ConnectionClosed) => return Ok(()),
@@ -1134,7 +1284,7 @@ fn connection_loop<S: Transport>(
                             ServerError::FrameTooLarge { .. } => ErrorCode::Violation,
                             _ => ErrorCode::MalformedPayload,
                         };
-                        let _ = send_error(&mut stream, 0, code, &e.to_string());
+                        let _ = send_error(&shaper, &mut stream, 0, code, &e.to_string());
                         return Ok(());
                     }
                 };
@@ -1166,13 +1316,13 @@ fn connection_loop<S: Transport>(
                             request_id,
                             retry_after_ms: (wait.as_millis() as u32).max(1),
                         };
-                        write_frame(&mut stream, FrameType::Busy, &busy.encode())?;
+                        shaper.send(&mut stream, FrameType::Busy, &busy.encode(), Lane::Control)?;
                         continue;
                     }
                 }
                 let action = match frame.frame_type {
                     FrameType::Hello => {
-                        handle_hello(shared, &mut conn, &mut stream, &frame.payload)?
+                        handle_hello(shared, &mut conn, &shaper, &mut stream, &frame.payload)?
                     }
                     // Queries accepted before the signal drain; ones
                     // arriving after it are refused.
@@ -1183,6 +1333,7 @@ fn connection_loop<S: Transport>(
                             .map(|q| q.request_id)
                             .unwrap_or(0);
                         send_error(
+                            &shaper,
                             &mut stream,
                             request_id,
                             ErrorCode::ShuttingDown,
@@ -1193,6 +1344,7 @@ fn connection_loop<S: Transport>(
                     FrameType::Query => handle_query(
                         shared,
                         &mut conn,
+                        &shaper,
                         &mut stream,
                         &frame.payload,
                         &job_tx,
@@ -1201,6 +1353,7 @@ fn connection_loop<S: Transport>(
                     FrameType::Subscribe => handle_query(
                         shared,
                         &mut conn,
+                        &shaper,
                         &mut stream,
                         &frame.payload,
                         &job_tx,
@@ -1210,10 +1363,10 @@ fn connection_loop<S: Transport>(
                         }),
                     )?,
                     FrameType::PoiUpdate => {
-                        handle_poi_update(shared, &mut conn, &mut stream, &frame.payload)?
+                        handle_poi_update(shared, &mut conn, &shaper, &mut stream, &frame.payload)?
                     }
                     FrameType::Unsubscribe => {
-                        handle_unsubscribe(shared, &mut stream, &frame.payload)?
+                        handle_unsubscribe(shared, &shaper, &mut stream, &frame.payload)?
                     }
                     FrameType::Ping => {
                         let pong = PongPayload {
@@ -1246,6 +1399,7 @@ fn connection_loop<S: Transport>(
                     FrameType::Goodbye => return Ok(()),
                     other => {
                         send_error(
+                            &shaper,
                             &mut stream,
                             0,
                             ErrorCode::MalformedPayload,
@@ -1386,6 +1540,7 @@ fn full_snapshot(shared: &Shared) -> TelemetrySnapshot {
 fn reject_violation(
     shared: &Shared,
     conn: &mut ConnGuard,
+    shaper: &ResponseShaper,
     stream: &mut impl std::io::Write,
     group_id: u64,
     request_id: u32,
@@ -1394,6 +1549,7 @@ fn reject_violation(
     let session_strikes = shared.registry.strike(group_id);
     conn.strikes = conn.strikes.saturating_add(1);
     send_error(
+        shaper,
         stream,
         request_id,
         ErrorCode::Violation,
@@ -1408,6 +1564,7 @@ fn reject_violation(
         // session starts its next connection with a clean count.
         shared.registry.reset_strikes(group_id);
         let _ = send_error(
+            shaper,
             stream,
             0,
             ErrorCode::QuotaExceeded,
@@ -1421,18 +1578,45 @@ fn reject_violation(
 fn handle_hello(
     shared: &Shared,
     conn: &mut ConnGuard,
+    shaper: &ResponseShaper,
     stream: &mut impl std::io::Write,
     payload: &[u8],
 ) -> Result<ConnAction, ServerError> {
     let hello = match HelloPayload::decode(payload) {
         Ok(h) => h,
         Err(e) => {
-            send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string())?;
+            send_error(
+                shaper,
+                stream,
+                0,
+                ErrorCode::MalformedPayload,
+                &e.to_string(),
+            )?;
             return Ok(ConnAction::Continue);
         }
     };
     if let Err(v) = validate_hello(&hello, &shared.config.hello_policy) {
-        return reject_violation(shared, conn, stream, hello.group_id, 0, v);
+        return reject_violation(shared, conn, shaper, stream, hello.group_id, 0, v);
+    }
+    // A padded server only admits sessions its shape envelope covers: a
+    // session the targets cannot contain would burst the constant and
+    // hand the observer back the very channel padding closes.
+    let shape = &shared.config.shape;
+    if !shape.admits(hello.key_bits as usize, hello.k as usize) {
+        let v = if hello.key_bits as usize > shape.max_key_bits {
+            ProtocolViolation::ShapeBoundExceeded {
+                what: "key_bits",
+                got: hello.key_bits as usize,
+                max: shape.max_key_bits,
+            }
+        } else {
+            ProtocolViolation::ShapeBoundExceeded {
+                what: "k",
+                got: hello.k as usize,
+                max: shape.max_k,
+            }
+        };
+        return reject_violation(shared, conn, shaper, stream, hello.group_id, 0, v);
     }
     if shared
         .registry
@@ -1440,6 +1624,7 @@ fn handle_hello(
         .is_err()
     {
         send_error(
+            shaper,
             stream,
             0,
             ErrorCode::QuotaExceeded,
@@ -1456,6 +1641,10 @@ fn handle_hello(
         max_payload: shared.config.max_payload as u32,
         workers: shared.config.workers as u32,
         epoch: shared.epoch,
+        shape_mode: shape.mode.to_u8(),
+        answer_target: shape.answer_target() as u32,
+        control_target: shape.control_target() as u32,
+        latency_quantum_ms: shape.latency_quantum.as_millis() as u32,
     };
     write_frame(stream, FrameType::HelloAck, &ack.encode())?;
     Ok(ConnAction::Continue)
@@ -1471,6 +1660,7 @@ struct SubscribeLane<'a> {
 fn handle_query(
     shared: &Shared,
     conn: &mut ConnGuard,
+    shaper: &ResponseShaper,
     stream: &mut impl std::io::Write,
     payload: &[u8],
     job_tx: &Sender<Job>,
@@ -1480,7 +1670,13 @@ fn handle_query(
         Ok(q) => q,
         Err(e) => {
             shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
-            send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string())?;
+            send_error(
+                shaper,
+                stream,
+                0,
+                ErrorCode::MalformedPayload,
+                &e.to_string(),
+            )?;
             return Ok(ConnAction::Continue);
         }
     };
@@ -1498,7 +1694,7 @@ fn handle_query(
         let v = ProtocolViolation::SubscriptionLimit {
             max: shared.subscriptions.cap(),
         };
-        return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
+        return reject_violation(shared, conn, shaper, stream, q.group_id, q.request_id, v);
     }
     // Resume the client's trace context: from here to the early returns
     // below, dropping `tracing` without finish commits the server
@@ -1508,6 +1704,7 @@ fn handle_query(
     let Some(params) = shared.registry.get(q.group_id) else {
         shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
         send_error(
+            shaper,
             stream,
             q.request_id,
             ErrorCode::NoSession,
@@ -1527,7 +1724,7 @@ fn handle_query(
             replayed: true,
             answer: hit.answer,
         };
-        write_frame(stream, FrameType::Answer, &payload.encode())?;
+        shaper.send(stream, FrameType::Answer, &payload.encode(), Lane::Answer)?;
         // A replay is a success: finish the segment instead of letting
         // the drop-path flag it as an error.
         drop(active);
@@ -1546,7 +1743,7 @@ fn handle_query(
     vspan.attr(AttrKey::Bytes, payload.len() as u64);
     if let Err(v) = validate_set_count(&params, q.location_sets.len()) {
         shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
-        return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
+        return reject_violation(shared, conn, shaper, stream, q.group_id, q.request_id, v);
     }
     if let Err(high_water) = shared.registry.admit_request_id(q.group_id, q.request_id) {
         shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
@@ -1554,7 +1751,7 @@ fn handle_query(
             high_water,
             got: q.request_id,
         };
-        return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
+        return reject_violation(shared, conn, shaper, stream, q.group_id, q.request_id, v);
     }
     let ctx = params.wire_context();
     let query = match QueryMessage::from_wire(&q.query, &ctx) {
@@ -1562,6 +1759,7 @@ fn handle_query(
         Err(e) => {
             shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
             send_error(
+                shaper,
                 stream,
                 q.request_id,
                 ErrorCode::MalformedPayload,
@@ -1577,6 +1775,7 @@ fn handle_query(
             Err(e) => {
                 shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
                 send_error(
+                    shaper,
                     stream,
                     q.request_id,
                     ErrorCode::MalformedPayload,
@@ -1588,7 +1787,7 @@ fn handle_query(
     }
     if let Err(v) = validate_query(&params, &query, &location_sets) {
         shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
-        return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
+        return reject_violation(shared, conn, shaper, stream, q.group_id, q.request_id, v);
     }
     drop(vspan);
     // For a subscription the candidate expansion is needed twice: the
@@ -1601,7 +1800,13 @@ fn handle_query(
             Ok(c) => Some(c),
             Err(e) => {
                 shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
-                send_error(stream, q.request_id, ErrorCode::Protocol, &e.to_string())?;
+                send_error(
+                    shaper,
+                    stream,
+                    q.request_id,
+                    ErrorCode::Protocol,
+                    &e.to_string(),
+                )?;
                 return Ok(ConnAction::Continue);
             }
         },
@@ -1646,14 +1851,15 @@ fn handle_query(
             }
             let busy = BusyPayload {
                 request_id: q.request_id,
-                retry_after_ms: RETRY_AFTER_MS,
+                retry_after_ms: shared.retry_after_hint(),
             };
-            write_frame(stream, FrameType::Busy, &busy.encode())?;
+            shaper.send(stream, FrameType::Busy, &busy.encode(), Lane::Control)?;
             return Ok(ConnAction::Continue);
         }
         Err(TrySendError::Disconnected(_)) => {
             shared.stats.queued.fetch_sub(1, Ordering::SeqCst);
             send_error(
+                shaper,
                 stream,
                 q.request_id,
                 ErrorCode::ShuttingDown,
@@ -1690,11 +1896,12 @@ fn handle_query(
                 replayed: !fresh,
                 answer,
             };
-            write_frame(stream, FrameType::Answer, &payload.encode())?;
+            shaper.send(stream, FrameType::Answer, &payload.encode(), Lane::Answer)?;
             if let (Some(lane), Some(candidates)) = (subscribe, candidates) {
                 return grant_subscription(
                     shared,
                     conn,
+                    shaper,
                     stream,
                     &q,
                     &snapshot,
@@ -1719,7 +1926,7 @@ fn handle_query(
             } else {
                 shared.stats.queries_err.fetch_add(1, Ordering::Relaxed);
             }
-            send_error(stream, request_id, code, &message)?;
+            send_error(shaper, stream, request_id, code, &message)?;
             Ok(ConnAction::Continue)
         }
         Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
@@ -1728,6 +1935,7 @@ fn handle_query(
                 .deadline_expired
                 .fetch_add(1, Ordering::Relaxed);
             send_error(
+                shaper,
                 stream,
                 q.request_id,
                 ErrorCode::DeadlineExceeded,
@@ -1745,6 +1953,7 @@ fn handle_query(
 fn grant_subscription(
     shared: &Shared,
     conn: &mut ConnGuard,
+    shaper: &ResponseShaper,
     stream: &mut impl std::io::Write,
     q: &QueryPayload,
     snapshot: &Lsp,
@@ -1776,7 +1985,7 @@ fn grant_subscription(
         let v = ProtocolViolation::SubscriptionLimit {
             max: shared.subscriptions.cap(),
         };
-        return reject_violation(shared, conn, stream, q.group_id, q.request_id, v);
+        return reject_violation(shared, conn, shaper, stream, q.group_id, q.request_id, v);
     }
     shared.stats.subscribes_ok.fetch_add(1, Ordering::Relaxed);
     let granted = SubscriptionUpdatePayload {
@@ -1786,7 +1995,15 @@ fn grant_subscription(
         margin: token.margin,
         drift_scale: token.drift_scale,
     };
-    write_frame(stream, FrameType::SubscriptionUpdate, &granted.encode())?;
+    // The `Granted` push follows the answer on the same lane; pad-only
+    // (the answer's own hold already quantized this request's release).
+    send_shaped_unheld(
+        &shared.config.shape,
+        stream,
+        FrameType::SubscriptionUpdate,
+        &granted.encode(),
+        Lane::Control,
+    )?;
     // A mutation can land between snapshot pinning and registration —
     // its invalidation scan ran before this subscription existed. The
     // version gap detects exactly that window; self-invalidating turns
@@ -1808,13 +2025,20 @@ fn grant_subscription(
 fn handle_poi_update(
     shared: &Shared,
     conn: &mut ConnGuard,
+    shaper: &ResponseShaper,
     stream: &mut impl std::io::Write,
     payload: &[u8],
 ) -> Result<ConnAction, ServerError> {
     let p = match PoiUpdatePayload::decode(payload) {
         Ok(p) => p,
         Err(e) => {
-            send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string())?;
+            send_error(
+                shaper,
+                stream,
+                0,
+                ErrorCode::MalformedPayload,
+                &e.to_string(),
+            )?;
             return Ok(ConnAction::Continue);
         }
     };
@@ -1824,6 +2048,7 @@ fn handle_poi_update(
         return reject_violation(
             shared,
             conn,
+            shaper,
             stream,
             0,
             p.request_id,
@@ -1832,6 +2057,7 @@ fn handle_poi_update(
     }
     let World::Dynamic(dyn_lsp) = &shared.world else {
         send_error(
+            shaper,
             stream,
             p.request_id,
             ErrorCode::Protocol,
@@ -1871,6 +2097,7 @@ fn handle_poi_update(
             // is refused outright, never half-admitted.
             if let Err(e) = st.wal.append(version, p.request_id, key.1, &p.ops) {
                 send_error(
+                    shaper,
                     stream,
                     p.request_id,
                     ErrorCode::Internal,
@@ -1934,13 +2161,20 @@ fn handle_poi_update(
 /// sent whether or not the subscription still existed.
 fn handle_unsubscribe(
     shared: &Shared,
+    shaper: &ResponseShaper,
     stream: &mut impl std::io::Write,
     payload: &[u8],
 ) -> Result<ConnAction, ServerError> {
     let u = match UnsubscribePayload::decode(payload) {
         Ok(u) => u,
         Err(e) => {
-            send_error(stream, 0, ErrorCode::MalformedPayload, &e.to_string())?;
+            send_error(
+                shaper,
+                stream,
+                0,
+                ErrorCode::MalformedPayload,
+                &e.to_string(),
+            )?;
             return Ok(ConnAction::Continue);
         }
     };
@@ -1954,11 +2188,17 @@ fn handle_unsubscribe(
         margin: 0.0,
         drift_scale: 1,
     };
-    write_frame(stream, FrameType::SubscriptionUpdate, &ended.encode())?;
+    shaper.send(
+        stream,
+        FrameType::SubscriptionUpdate,
+        &ended.encode(),
+        Lane::Control,
+    )?;
     Ok(ConnAction::Continue)
 }
 
 fn send_error(
+    shaper: &ResponseShaper,
     stream: &mut impl std::io::Write,
     request_id: u32,
     code: ErrorCode,
@@ -1969,7 +2209,7 @@ fn send_error(
         code,
         message: to_owned_capped(message),
     };
-    write_frame(stream, FrameType::Error, &payload.encode())
+    shaper.send(stream, FrameType::Error, &payload.encode(), Lane::Control)
 }
 
 fn to_owned_capped(message: &str) -> String {
@@ -2187,5 +2427,74 @@ mod tests {
             let err = builder.build().unwrap_err();
             assert!(err.to_string().contains("timeout"));
         }
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_shape_policies() {
+        // Envelope below the Hello admission floor: every handshake
+        // the server would otherwise accept bursts the padding.
+        let err = ServerConfig::builder()
+            .shape(ShapePolicy::padded(16, 4, Duration::from_millis(200)))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("min_key_bits"), "{err}");
+
+        let err = ServerConfig::builder()
+            .shape(ShapePolicy::padded(128, 0, Duration::from_millis(200)))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("max_k"), "{err}");
+
+        let err = ServerConfig::builder()
+            .shape(ShapePolicy::padded(128, 4, Duration::ZERO))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("latency_quantum"), "{err}");
+
+        // Answer target past the frame cap: clients would reject every
+        // padded answer against their own max_payload.
+        let err = ServerConfig::builder()
+            .shape(ShapePolicy::padded(4096, 64, Duration::from_millis(200)))
+            .max_payload(1024)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("max_payload"), "{err}");
+    }
+
+    #[test]
+    fn builder_accepts_a_sound_padded_policy() {
+        let policy = ShapePolicy::padded(128, 8, Duration::from_millis(200));
+        let c = ServerConfig::builder().shape(policy).build().unwrap();
+        assert_eq!(c.shape, policy);
+        assert!(c.shape.answer_target() > 0);
+    }
+
+    #[test]
+    fn retry_hints_jitter_within_the_advertised_band() {
+        let config = ServerConfig::builder().rng_seed(7).build().unwrap();
+        let shared = Shared {
+            world: World::Static(Arc::new(Lsp::new(Vec::new(), PpgnnConfig::fast_test()))),
+            config,
+            registry: SessionRegistry::new(),
+            subscriptions: SubscriptionRegistry::new(16),
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            started: Instant::now(),
+            epoch: 0,
+            durable: None,
+            recovery: None,
+            busy_seq: AtomicU64::new(0),
+        };
+        let lo = RETRY_AFTER_MS - (RETRY_AFTER_MS / 2).max(1) / 2;
+        let hi = lo + (RETRY_AFTER_MS / 2).max(1);
+        let hints: Vec<u32> = (0..64).map(|_| shared.retry_after_hint()).collect();
+        assert!(
+            hints.iter().all(|&h| (lo..=hi).contains(&h)),
+            "hint outside [{lo}, {hi}]: {hints:?}"
+        );
+        // Jitter actually jitters: a constant stream would re-create
+        // the synchronized retry herd the hint exists to break up.
+        assert!(hints.iter().any(|&h| h != hints[0]), "{hints:?}");
     }
 }

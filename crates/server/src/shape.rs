@@ -1,0 +1,328 @@
+//! Constant-shape responses: the wire-shape side-channel defense.
+//!
+//! Even with plaintext redacted from traces (DESIGN.md §13), a passive
+//! network observer still sees two distributions per response: its
+//! **size** (`AnswerMessage::byte_len` is a function of key bits,
+//! packing level, and k) and its **latency** (candidate evaluation and
+//! sanitation scale with δ′ and the partition shape). Both are exactly
+//! the traffic-analysis leak class this module closes (DESIGN.md §16):
+//!
+//! * **Padding** — under [`ShapeMode::Padded`], every response frame on
+//!   a session lane is stretched to a per-lane constant derived from
+//!   the policy *bounds* (`max_key_bits`, `max_k`), not from the
+//!   session that triggered it: `Answer` frames to
+//!   [`ShapePolicy::answer_target`], `Busy`/`Error`/
+//!   `SubscriptionUpdate` frames to [`ShapePolicy::control_target`].
+//!   A handshake exceeding the bounds is refused outright (a session
+//!   the targets cannot cover would burst the envelope and leak).
+//! * **Latency quantization** — responses release only on multiples of
+//!   [`ShapePolicy::latency_quantum`] measured from request arrival:
+//!   the observer sees `⌈t/q⌉·q`, collapsing every sub-quantum timing
+//!   difference into one bucket.
+//!
+//! What shaping deliberately does **not** hide: the frame-type byte
+//! (an observer can tell an answer from a shed either way — frames are
+//! not encrypted, only their parameters are), request-direction sizes
+//! (the query the *client* sends still scales with δ′; the server
+//! cannot pad the client's bytes), and load-correlated queueing above
+//! the quantum. The `observer` binary measures exactly what is left —
+//! see DESIGN.md §16 for the residual budget.
+
+use std::time::Duration;
+
+use ppgnn_paillier::packing::Packer;
+
+/// Whether the server shapes its responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShapeMode {
+    /// No padding, no holds: responses leave as soon as they exist.
+    #[default]
+    Off,
+    /// Pad to the policy targets and release on quantum boundaries.
+    Padded,
+}
+
+impl ShapeMode {
+    /// Wire tag carried in `HelloAck` (0 = off, 1 = padded).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ShapeMode::Off => 0,
+            ShapeMode::Padded => 1,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(ShapeMode::Off),
+            1 => Some(ShapeMode::Padded),
+            _ => None,
+        }
+    }
+
+    /// CLI/display name (`--shape off|padded`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShapeMode::Off => "off",
+            ShapeMode::Padded => "padded",
+        }
+    }
+
+    /// Inverse of [`ShapeMode::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "off" => Some(ShapeMode::Off),
+            "padded" => Some(ShapeMode::Padded),
+            _ => None,
+        }
+    }
+}
+
+/// `AnswerPayload` framing overhead: request_id + two_phase + replayed.
+const ANSWER_PAYLOAD_OVERHEAD: usize = 6;
+/// Largest control-lane payload: `ErrorPayload` at its message cap
+/// (request_id 4 + code 2 + msg_len 2 + 512 capped message bytes),
+/// which dominates `Busy` (8) and `SubscriptionUpdate` (25).
+const CONTROL_PAYLOAD_MAX: usize = 4 + 2 + 2 + 512;
+/// Targets round up to this granule so near-boundary policy changes
+/// don't produce odd one-off sizes.
+const TARGET_GRANULE: usize = 64;
+
+/// The server-wide response-shape policy.
+///
+/// The targets are functions of the *bounds*, shared by every session:
+/// deriving them per-session would re-open the channel (two sessions
+/// with different k would emit two distinguishable constants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapePolicy {
+    /// Off or padded.
+    pub mode: ShapeMode,
+    /// Largest Paillier key size (bits) a padded server admits.
+    pub max_key_bits: usize,
+    /// Largest per-query answer count `k` a padded server admits (the
+    /// wire value — a `subscribe` handshake carries `k + 1` for its
+    /// runner-up sentinel, so size this one above the largest
+    /// subscribing `k`).
+    pub max_k: usize,
+    /// Latency bucket width; responses release on multiples of it.
+    pub latency_quantum: Duration,
+}
+
+impl Default for ShapePolicy {
+    fn default() -> Self {
+        ShapePolicy::off()
+    }
+}
+
+impl ShapePolicy {
+    /// The no-op policy: nothing padded, nothing held.
+    pub fn off() -> Self {
+        ShapePolicy {
+            mode: ShapeMode::Off,
+            max_key_bits: 0,
+            max_k: 0,
+            latency_quantum: Duration::ZERO,
+        }
+    }
+
+    /// A padded policy admitting sessions up to (`max_key_bits`,
+    /// `max_k`) with `latency_quantum` release buckets.
+    pub fn padded(max_key_bits: usize, max_k: usize, latency_quantum: Duration) -> Self {
+        ShapePolicy {
+            mode: ShapeMode::Padded,
+            max_key_bits,
+            max_k,
+            latency_quantum,
+        }
+    }
+
+    /// Whether responses are shaped at all.
+    pub fn is_padded(&self) -> bool {
+        self.mode == ShapeMode::Padded
+    }
+
+    /// Constant on-wire size (payload + pad, past the fixed header) of
+    /// every `Answer` frame; 0 when shaping is off.
+    ///
+    /// Upper bound over every session the policy admits: answer arity
+    /// is `Packer::packed_len(k + 1)` columns (§8.2 packing — the
+    /// count header plus k records, zero-padded to constant height),
+    /// each an ε₁ or ε₂ ciphertext of `(s + 1)·key_bits/8` bytes. The
+    /// s = 1 packing height with the ε₂ ciphertext width dominates
+    /// every real (variant, phase) combination.
+    pub fn answer_target(&self) -> usize {
+        if !self.is_padded() {
+            return 0;
+        }
+        let mut worst = 0;
+        for pack_s in 1..=2usize {
+            let height = Packer::new(self.max_key_bits, pack_s).packed_len(self.max_k + 1);
+            for cipher_s in 1..=2usize {
+                worst = worst.max(height * ((cipher_s + 1) * self.max_key_bits / 8));
+            }
+        }
+        round_up(ANSWER_PAYLOAD_OVERHEAD + worst)
+    }
+
+    /// Constant on-wire size of every control-lane response (`Busy`,
+    /// `Error`, `SubscriptionUpdate`); 0 when shaping is off.
+    pub fn control_target(&self) -> usize {
+        if !self.is_padded() {
+            return 0;
+        }
+        round_up(CONTROL_PAYLOAD_MAX)
+    }
+
+    /// Pad bytes to append to a `payload_len`-byte frame on `lane`.
+    ///
+    /// Admission guarantees every real payload fits under its lane
+    /// target; an oversized payload (only reachable through a policy
+    /// bug) saturates to zero rather than corrupting the frame — the
+    /// envelope degrades, the protocol does not.
+    pub fn pad_for(&self, lane: Lane, payload_len: usize) -> usize {
+        let target = match lane {
+            Lane::Answer => self.answer_target(),
+            Lane::Control => self.control_target(),
+        };
+        debug_assert!(
+            target == 0 || payload_len <= target,
+            "payload {payload_len} exceeds {lane:?} shape target {target}"
+        );
+        target.saturating_sub(payload_len)
+    }
+
+    /// How much longer to hold a response whose request arrived
+    /// `elapsed` ago, so it releases exactly on a quantum boundary.
+    /// Zero when shaping is off (or already on a boundary).
+    pub fn hold_for(&self, elapsed: Duration) -> Duration {
+        if !self.is_padded() || self.latency_quantum.is_zero() {
+            return Duration::ZERO;
+        }
+        let q = self.latency_quantum.as_nanos();
+        let t = elapsed.as_nanos();
+        let rem = t % q;
+        if rem == 0 && t > 0 {
+            return Duration::ZERO;
+        }
+        let hold = q - rem;
+        Duration::from_nanos(u64::try_from(hold).unwrap_or(u64::MAX))
+    }
+
+    /// Whether a handshake's negotiated (`key_bits`, `k`) fits under
+    /// the padding envelope. Always true when shaping is off.
+    pub fn admits(&self, key_bits: usize, k: usize) -> bool {
+        !self.is_padded() || (key_bits <= self.max_key_bits && k <= self.max_k)
+    }
+}
+
+/// Which shape target a response frame pads to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// `Answer` frames.
+    Answer,
+    /// `Busy` / `Error` / `SubscriptionUpdate` frames.
+    Control,
+}
+
+fn round_up(bytes: usize) -> usize {
+    bytes.div_ceil(TARGET_GRANULE) * TARGET_GRANULE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> ShapePolicy {
+        ShapePolicy::padded(128, 16, Duration::from_millis(200))
+    }
+
+    #[test]
+    fn off_policy_is_inert() {
+        let p = ShapePolicy::off();
+        assert_eq!(p.answer_target(), 0);
+        assert_eq!(p.control_target(), 0);
+        assert_eq!(p.pad_for(Lane::Answer, 123), 0);
+        assert_eq!(p.hold_for(Duration::from_millis(37)), Duration::ZERO);
+        assert!(p.admits(4096, 1000));
+    }
+
+    #[test]
+    fn answer_target_covers_every_admitted_session() {
+        let p = policy();
+        let target = p.answer_target();
+        // Exhaustive sweep of admitted sessions × real (packing,
+        // cipher) combinations: none may burst the envelope.
+        for k in 1..=p.max_k {
+            for key_bits in [32, 64, 128] {
+                for s in 1..=2usize {
+                    let height = Packer::new(key_bits, s).packed_len(k + 1);
+                    let bytes = 6 + height * ((s + 1) * key_bits / 8);
+                    assert!(
+                        bytes <= target,
+                        "k={k} key={key_bits} s={s}: {bytes} > {target}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn control_target_covers_the_biggest_error() {
+        // ErrorPayload caps its message at 512 bytes (`to_owned_capped`).
+        assert!(policy().control_target() >= 4 + 2 + 2 + 512);
+    }
+
+    #[test]
+    fn targets_depend_on_bounds_not_sessions() {
+        // Same policy, any payload: same total (payload + pad).
+        let p = policy();
+        for lane in [Lane::Answer, Lane::Control] {
+            let target = match lane {
+                Lane::Answer => p.answer_target(),
+                Lane::Control => p.control_target(),
+            };
+            for len in [0, 1, 8, 100, target] {
+                assert_eq!(len + p.pad_for(lane, len), target);
+            }
+        }
+    }
+
+    #[test]
+    fn hold_releases_on_quantum_boundaries() {
+        let p = policy();
+        let q = Duration::from_millis(200);
+        // Mid-bucket holds to the next boundary...
+        assert_eq!(
+            p.hold_for(Duration::from_millis(37)),
+            q - Duration::from_millis(37)
+        );
+        assert_eq!(
+            p.hold_for(Duration::from_millis(201)),
+            q - Duration::from_millis(1)
+        );
+        // ...an exact boundary releases immediately...
+        assert_eq!(p.hold_for(q), Duration::ZERO);
+        assert_eq!(p.hold_for(q * 3), Duration::ZERO);
+        // ...and zero elapsed still waits a full quantum (a response
+        // cannot release faster than the bucket it started).
+        assert_eq!(p.hold_for(Duration::ZERO), q);
+    }
+
+    #[test]
+    fn admission_tracks_the_bounds() {
+        let p = policy();
+        assert!(p.admits(128, 16));
+        assert!(!p.admits(256, 2));
+        assert!(!p.admits(64, 17));
+    }
+
+    #[test]
+    fn mode_tags_round_trip() {
+        for mode in [ShapeMode::Off, ShapeMode::Padded] {
+            assert_eq!(ShapeMode::from_u8(mode.to_u8()), Some(mode));
+            assert_eq!(ShapeMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(ShapeMode::from_u8(7), None);
+        assert_eq!(ShapeMode::from_name("quantized"), None);
+    }
+}

@@ -80,6 +80,14 @@ pub enum ProtocolViolation {
     /// A `Subscribe` would exceed the server's standing-query registry
     /// cap (each subscription costs an invalidation scan per mutation).
     SubscriptionLimit { max: usize },
+    /// Under a padded shape policy the handshake asked for a session
+    /// the padding envelope cannot cover: its answers would burst the
+    /// constant frame size and re-open the side channel for everyone.
+    ShapeBoundExceeded {
+        what: &'static str,
+        got: usize,
+        max: usize,
+    },
 }
 
 impl fmt::Display for ProtocolViolation {
@@ -152,6 +160,9 @@ impl fmt::Display for ProtocolViolation {
             }
             ProtocolViolation::SubscriptionLimit { max } => {
                 write!(f, "subscription registry full (cap {max})")
+            }
+            ProtocolViolation::ShapeBoundExceeded { what, got, max } => {
+                write!(f, "{what} {got} exceeds padded shape policy maximum {max}")
             }
         }
     }

@@ -55,6 +55,18 @@
 //! `.orphaned` suffix and counted in [`Recovered::orphaned_wal_files`]
 //! — lost acked batches are reported, never silently dropped, and the
 //! stale file can never collide with a later rotation.
+//!
+//! ## Panic policy
+//!
+//! No production path in this module panics. Every `unwrap_or*` is a
+//! total fallback, not a disguised assertion: "newest batch version"
+//! falls back to the checkpoint version when the tail is empty
+//! ([`Recovered::recovered_version`], rotation orphan scan), the
+//! fresh-boot probe treats an unreadable dir as "no checkpoint"
+//! ([`has_checkpoint`]), append targets the base version itself when
+//! no rotated file precedes it, and checkpoint retention keeps
+//! everything when fewer than the keep-count exist. Bare
+//! `unwrap`/`expect` appears only under `#[cfg(test)]`.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};

@@ -89,11 +89,16 @@ pub enum Stage {
     Checkpoint,
     /// Startup recovery: checkpoint load plus WAL tail replay.
     RecoverReplay,
+    /// Padding a response frame to the shape-policy target (bytes
+    /// written beyond the real payload).
+    ShapePad,
+    /// Holding a response until its latency-quantum boundary.
+    LatencyHold,
 }
 
 impl Stage {
     /// Every stage, in wire/report order.
-    pub const ALL: [Stage; 18] = [
+    pub const ALL: [Stage; 20] = [
         Stage::ClientPlan,
         Stage::ClientEncode,
         Stage::WireEncode,
@@ -112,6 +117,8 @@ impl Stage {
         Stage::WalAppend,
         Stage::Checkpoint,
         Stage::RecoverReplay,
+        Stage::ShapePad,
+        Stage::LatencyHold,
     ];
 
     /// Number of stages.
@@ -138,6 +145,8 @@ impl Stage {
             Stage::WalAppend => "wal-append",
             Stage::Checkpoint => "checkpoint",
             Stage::RecoverReplay => "recover-replay",
+            Stage::ShapePad => "shape-pad",
+            Stage::LatencyHold => "latency-hold",
         }
     }
 

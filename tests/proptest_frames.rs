@@ -12,10 +12,10 @@ use std::time::Duration;
 
 use ppgnn::prelude::*;
 use ppgnn::server::frame::{
-    read_frame, write_frame, AnswerPayload, BusyPayload, ErrorPayload, FrameType, HelloAckPayload,
-    HelloPayload, PoiUpdateAckPayload, PoiUpdatePayload, QueryPayload, StatsReplyPayload,
-    SubscriptionKind, SubscriptionUpdatePayload, TraceReplyPayload, UnsubscribePayload,
-    DEFAULT_MAX_PAYLOAD,
+    read_frame, write_frame, write_frame_padded, AnswerPayload, BusyPayload, ErrorPayload,
+    FrameType, HelloAckPayload, HelloPayload, PoiUpdateAckPayload, PoiUpdatePayload, QueryPayload,
+    StatsReplyPayload, SubscriptionKind, SubscriptionUpdatePayload, TraceReplyPayload,
+    UnsubscribePayload, DEFAULT_MAX_PAYLOAD, HEADER_BYTES,
 };
 use ppgnn::server::{serve, ErrorCode, ServerConfig, ServerError, ServerHandle};
 use ppgnn::telemetry::trace::{TraceContext, Tracer, TracerConfig, TRACE_CONTEXT_BYTES};
@@ -95,6 +95,10 @@ fn corpus() -> &'static Vec<(FrameType, Vec<u8>)> {
                     max_payload: 1 << 20,
                     workers: 4,
                     epoch: 0x5eed_0001,
+                    shape_mode: 1,
+                    answer_target: 1024,
+                    control_target: 576,
+                    latency_quantum_ms: 200,
                 }
                 .encode(),
             ),
@@ -429,6 +433,38 @@ proptest! {
     fn unsubscribe_round_trips(group_id in any::<u64>(), request_id in any::<u32>()) {
         let p = UnsubscribePayload { group_id, request_id };
         prop_assert_eq!(UnsubscribePayload::decode(&p.encode()).unwrap(), p);
+    }
+}
+
+// The v8 shape-padding layer: any pad amount must be invisible to the
+// payload after the strip.
+proptest! {
+    /// A padded frame occupies exactly header + payload + pad bytes on
+    /// the wire, and reads back bit-exactly: same type, same payload,
+    /// the pad length preserved for observers and nothing else.
+    #[test]
+    fn padded_frames_round_trip_bit_exactly(
+        type_tag in 0usize..3,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        pad in 0usize..8192,
+    ) {
+        let frame_type = [FrameType::Answer, FrameType::Error, FrameType::Busy][type_tag];
+        let mut padded = Vec::new();
+        write_frame_padded(&mut padded, frame_type, &payload, pad).unwrap();
+        prop_assert_eq!(padded.len(), HEADER_BYTES + payload.len() + pad);
+
+        let frame = read_frame(&mut &padded[..], DEFAULT_MAX_PAYLOAD).unwrap();
+        prop_assert_eq!(frame.frame_type, frame_type);
+        prop_assert_eq!(frame.pad, pad);
+        prop_assert_eq!(&frame.payload, &payload);
+
+        // Strip equivalence: the padded and unpadded encodings of the
+        // same payload decode to identical bytes.
+        let mut plain = Vec::new();
+        write_frame(&mut plain, frame_type, &payload).unwrap();
+        let unpadded = read_frame(&mut &plain[..], DEFAULT_MAX_PAYLOAD).unwrap();
+        prop_assert_eq!(unpadded.payload, frame.payload);
+        prop_assert_eq!(unpadded.pad, 0);
     }
 }
 
