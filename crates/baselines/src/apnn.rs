@@ -19,9 +19,11 @@
 use ppgnn_bigint::BigUint;
 use ppgnn_core::encoding::AnswerCodec;
 use ppgnn_geo::{DynamicRTree, Grid, Poi, Point, Rect};
-use ppgnn_paillier::{decrypt_vector, encrypt_indicator, matrix_select, DjContext, Keypair};
+use ppgnn_paillier::{
+    decrypt_vector, matrix_select, DjContext, Encryptor, FreshEncryptor, Keypair,
+};
 use ppgnn_sim::{CostLedger, Party, SCALAR_BYTES};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::common::BaselineRun;
 
@@ -134,6 +136,8 @@ impl Apnn {
         // User: choose the cloak block and encrypt the indicator of her
         // own cell within it.
         let ctx1 = DjContext::new(pk, 1);
+        let enc =
+            FreshEncryptor::with_rng(ctx1.clone(), rand::rngs::StdRng::seed_from_u64(rng.gen()));
         let (block, indicator) = ledger.time(user, || {
             let cell = self.grid.locate(&location);
             let block = self.grid.cloak_block(cell, b);
@@ -143,7 +147,8 @@ impl Apnn {
                 .expect("cloak block contains the user's cell");
             (
                 block.clone(),
-                encrypt_indicator(block.len(), position, &ctx1, rng),
+                enc.encrypt_indicator(block.len(), position)
+                    .expect("indicator plaintexts are 0/1"),
             )
         });
         // Query upload: block spec (corner + b) + b² ciphertexts + k.

@@ -18,9 +18,9 @@
 
 use ppgnn_bigint::{BigUint, UniformBigUint};
 use ppgnn_geo::{Poi, Point, RTree};
-use ppgnn_paillier::{generate_keypair, DjContext, Keypair};
+use ppgnn_paillier::{generate_keypair, DjContext, Encryptor, FreshEncryptor, Keypair};
 use ppgnn_sim::{CostLedger, Party, LOCATION_BYTES, SCALAR_BYTES};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::common::BaselineRun;
 
@@ -108,7 +108,13 @@ impl Glp {
                     }
                     // Encrypt under user j's key and send: the O(n²) cost.
                     let ctx = DjContext::new(&keys[j].0, 1);
-                    let ct = ledger.time(party, || ctx.encrypt(&share, rng));
+                    let enc = FreshEncryptor::with_rng(
+                        ctx.clone(),
+                        rand::rngs::StdRng::seed_from_u64(rng.gen()),
+                    );
+                    let ct = ledger.time(party, || {
+                        enc.encrypt(&share).expect("share below plaintext modulus")
+                    });
                     ledger.record_msg(party, Party::User(j as u32), ciphertext_bytes);
                     let pt = ledger.time(Party::User(j as u32), || ctx.decrypt(&ct, &keys[j].1));
                     incoming[j].push(pt);

@@ -14,9 +14,11 @@
 //! by the integration tests and the `figures table4` harness.
 
 use ppgnn_geo::{knn_brute_force, Grid, Poi, Point, RTree, Rect};
-use ppgnn_paillier::{decrypt_vector, encrypt_indicator, matrix_select, DjContext, Keypair};
+use ppgnn_paillier::{
+    decrypt_vector, matrix_select, DjContext, Encryptor, FreshEncryptor, Keypair,
+};
 use ppgnn_sim::{CostLedger, Party, LOCATION_BYTES, SCALAR_BYTES};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::common::BaselineRun;
 
@@ -197,9 +199,12 @@ impl PirKnn {
         let ctx = DjContext::new(pk, 1);
 
         let cell_count = self.grid.cell_count();
+        let enc =
+            FreshEncryptor::with_rng(ctx.clone(), rand::rngs::StdRng::seed_from_u64(rng.gen()));
         let indicator = ledger.time(user, || {
             let idx = self.grid.flat_index(self.grid.locate(&location));
-            encrypt_indicator(cell_count, idx, &ctx, rng)
+            enc.encrypt_indicator(cell_count, idx)
+                .expect("indicator plaintexts are 0/1")
         });
         ledger.record_msg(
             user,

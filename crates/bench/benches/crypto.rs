@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppgnn_bigint::{BigUint, UniformBigUint};
-use ppgnn_paillier::{generate_keypair, DjContext};
+use ppgnn_paillier::{generate_keypair, DjContext, Encryptor, FreshEncryptor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -14,15 +14,25 @@ fn bench_paillier_ops(c: &mut Criterion) {
         let (pk, sk) = generate_keypair(keysize, &mut rng);
         for s in [1usize, 2] {
             let ctx = DjContext::new(&pk, s);
+            let enc = FreshEncryptor::seeded(ctx.clone(), 5);
             let m = rng.gen_biguint_below(ctx.plaintext_modulus());
-            let ct = ctx.encrypt(&m, &mut rng);
+            let ct = enc.encrypt(&m).unwrap();
             let scalar = rng.gen_biguint(keysize - 17);
 
             let mut group = c.benchmark_group(format!("paillier/{keysize}b/eps{s}"));
             group.sample_size(20);
             group.bench_function("encrypt", |b| {
-                b.iter(|| ctx.encrypt(&m, &mut rng));
+                b.iter(|| enc.encrypt(&m).unwrap());
             });
+            {
+                use ppgnn_paillier::{PooledEncryptor, RandomizerPool};
+                use std::sync::Arc;
+                let pool = Arc::new(RandomizerPool::prefilled(&ctx, 4096, &mut rng));
+                let pooled = PooledEncryptor::seeded(pool, 6);
+                group.bench_function("encrypt_pooled", |b| {
+                    b.iter(|| pooled.encrypt(&m).unwrap());
+                });
+            }
             group.bench_function("decrypt", |b| {
                 b.iter(|| ctx.decrypt(&ct, &sk));
             });

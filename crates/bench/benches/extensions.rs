@@ -77,7 +77,11 @@ fn bench_crt_decryptor(c: &mut Criterion) {
     let (pk, sk) = generate_keypair(512, &mut rng);
     let ctx = DjContext::new(&pk, 1);
     let dec = Decryptor::new(&ctx, &sk);
-    let ct = ctx.encrypt(&BigUint::from(424242u64), &mut rng);
+    let ct = ppgnn_paillier::Encryptor::encrypt(
+        &ppgnn_paillier::FreshEncryptor::seeded(ctx.clone(), 5),
+        &BigUint::from(424242u64),
+    )
+    .unwrap();
     let mut group = c.benchmark_group("paillier/512b/decrypt");
     group.sample_size(20);
     group.bench_function("plain", |b| b.iter(|| ctx.decrypt(&ct, &sk)));

@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppgnn_bigint::{BigUint, UniformBigUint};
 use ppgnn_core::opt_split;
-use ppgnn_paillier::{encrypt_indicator, generate_keypair, matrix_select, DjContext};
+use ppgnn_paillier::{
+    generate_keypair, matrix_select_with, DjContext, Encryptor, FreshEncryptor, SelectOptions,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -25,33 +27,51 @@ fn bench_selection(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("selection/dp{delta_prime}"));
         group.sample_size(10);
 
-        let plain_ind = encrypt_indicator(delta_prime, delta_prime / 2, &ctx1, &mut rng);
-        group.bench_function("single_phase", |b| {
-            b.iter(|| matrix_select(&columns, &plain_ind, &ctx1).unwrap());
-        });
+        let enc1 = FreshEncryptor::seeded(ctx1.clone(), 3);
+        let enc2 = FreshEncryptor::seeded(ctx2.clone(), 4);
+        let plain_ind = enc1
+            .encrypt_indicator(delta_prime, delta_prime / 2)
+            .unwrap();
+        for (label, opts) in [
+            ("single_phase_naive", SelectOptions::naive()),
+            ("single_phase_straus", SelectOptions::default()),
+            (
+                "single_phase_straus_par4",
+                SelectOptions {
+                    parallelism: 4,
+                    ..SelectOptions::default()
+                },
+            ),
+        ] {
+            group.bench_function(label, |b| {
+                b.iter(|| matrix_select_with(&columns, &plain_ind, &ctx1, &opts).unwrap());
+            });
+        }
 
         let (omega, block) = opt_split(delta_prime);
-        let inner = encrypt_indicator(block, 1, &ctx1, &mut rng);
-        let outer = encrypt_indicator(omega, omega / 2, &ctx2, &mut rng);
+        let inner = enc1.encrypt_indicator(block, 1).unwrap();
+        let outer = enc2.encrypt_indicator(omega, omega / 2).unwrap();
         group.bench_function("two_phase", |b| {
+            let opts = SelectOptions::default();
             b.iter(|| {
                 let mut padded = columns.clone();
                 padded.resize(block * omega, vec![BigUint::zero(); m]);
                 let blocks: Vec<_> = (0..omega)
                     .map(|bi| {
-                        matrix_select(&padded[bi * block..(bi + 1) * block], &inner, &ctx1).unwrap()
+                        matrix_select_with(
+                            &padded[bi * block..(bi + 1) * block],
+                            &inner,
+                            &ctx1,
+                            &opts,
+                        )
+                        .unwrap()
                     })
                     .collect();
-                let rows: Vec<_> = (0..m)
-                    .map(|r| {
-                        let x: Vec<BigUint> = blocks
-                            .iter()
-                            .map(|bl| bl.elements()[r].as_plaintext())
-                            .collect();
-                        outer.dot(&x, &ctx2).unwrap()
-                    })
+                let cols2: Vec<Vec<BigUint>> = blocks
+                    .iter()
+                    .map(|bl| bl.elements().iter().map(|c| c.as_plaintext()).collect())
                     .collect();
-                rows
+                matrix_select_with(&cols2, &outer, &ctx2, &opts).unwrap()
             });
         });
         group.finish();
@@ -72,7 +92,8 @@ fn bench_indicator_encryption(c: &mut Criterion) {
             BenchmarkId::new("plain", delta_prime),
             &delta_prime,
             |b, &dp| {
-                b.iter(|| encrypt_indicator(dp, dp / 2, &ctx1, &mut rng));
+                let enc1 = FreshEncryptor::seeded(ctx1.clone(), 7);
+                b.iter(|| enc1.encrypt_indicator(dp, dp / 2).unwrap());
             },
         );
         group.bench_with_input(
@@ -80,10 +101,12 @@ fn bench_indicator_encryption(c: &mut Criterion) {
             &delta_prime,
             |b, &dp| {
                 let (omega, block) = opt_split(dp);
+                let enc1 = FreshEncryptor::seeded(ctx1.clone(), 8);
+                let enc2 = FreshEncryptor::seeded(ctx2.clone(), 9);
                 b.iter(|| {
                     (
-                        encrypt_indicator(block, 0, &ctx1, &mut rng),
-                        encrypt_indicator(omega, 0, &ctx2, &mut rng),
+                        enc1.encrypt_indicator(block, 0).unwrap(),
+                        enc2.encrypt_indicator(omega, 0).unwrap(),
                     )
                 });
             },

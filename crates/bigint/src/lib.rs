@@ -37,6 +37,7 @@ mod int;
 mod modular;
 mod montgomery;
 mod mul;
+mod multiexp;
 mod prime;
 mod random;
 mod uint;
@@ -45,6 +46,7 @@ pub use barrett::BarrettCtx;
 pub use int::{BigInt, Sign};
 pub use modular::ExtendedGcd;
 pub use montgomery::MontgomeryCtx;
+pub use multiexp::{modpow_with_table, multi_modpow, MontWindowTable, DEFAULT_WINDOW};
 pub use prime::{gen_prime, is_probable_prime, MillerRabin};
 pub use random::UniformBigUint;
 pub use uint::{BigUint, ParseBigUintError};

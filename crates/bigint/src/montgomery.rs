@@ -54,6 +54,15 @@ impl MontgomeryCtx {
         &self.n
     }
 
+    /// The Montgomery representative of `1` (`R mod n`).
+    ///
+    /// Useful as the multiplicative identity when composing chains of
+    /// [`MontgomeryCtx::mont_mul`] calls externally (e.g. the interleaved
+    /// multi-exponentiation in [`crate::multi_modpow`]).
+    pub fn one_mont(&self) -> BigUint {
+        self.r1.clone()
+    }
+
     /// Converts `a` (reduced automatically) into Montgomery form.
     pub fn to_mont(&self, a: &BigUint) -> BigUint {
         let a = if a >= &self.n { a % &self.n } else { a.clone() };

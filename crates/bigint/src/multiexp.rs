@@ -1,0 +1,308 @@
+//! Fixed-window tables and Straus–Shamir interleaved multi-exponentiation.
+//!
+//! The private-selection product `A ⨂ [v]` (paper Eqn 4) evaluates, per
+//! matrix row, `Π_i c_i^{a_i} mod N^{s+1}` — a multi-exponentiation whose
+//! bases (the indicator ciphertexts `c_i`) are *shared across every row*
+//! while only the exponents change. Two classic tricks exploit that shape:
+//!
+//! 1. **Fixed-window tables** ([`MontWindowTable`]): precompute
+//!    `c^0..c^(2^w-1)` in Montgomery form once per base, then reuse the
+//!    table for every exponentiation of that base. `MontgomeryCtx::modpow`
+//!    rebuilds this table on every call; hoisting it across the δ′×δ′
+//!    matrix removes `(rows-1) · (2^w-2)` full-width multiplications per
+//!    base.
+//! 2. **Straus–Shamir interleaving** ([`multi_modpow`]): evaluate all
+//!    bases of one product in lockstep so the squaring chain — the
+//!    dominant cost, one squaring per exponent bit — is paid *once per
+//!    product* instead of once per base. For `k` bases with ℓ-bit
+//!    exponents the naive cost is `k·ℓ` squarings + `k·ℓ/w` multiplies;
+//!    interleaved it is `ℓ` squarings + `k·ℓ/w` multiplies.
+//!
+//! Everything here stays in Montgomery form between steps; only the final
+//! result is converted back.
+
+use crate::montgomery::MontgomeryCtx;
+use crate::uint::BigUint;
+
+/// Default window width (bits). Matches `MontgomeryCtx::modpow`'s internal
+/// window: at 4 bits the table is 16 entries (~2 KiB per base at 1024-bit
+/// moduli on the ε₁ ciphertext ring) and the per-window multiply count is
+/// within a few percent of the optimum for 32–2048-bit exponents.
+pub const DEFAULT_WINDOW: usize = 4;
+
+/// A precomputed fixed-window power table for one base, in Montgomery form.
+///
+/// `powers[i] = base^i · R mod n` for `i ∈ 0..2^window`. Building the table
+/// costs `2^window - 2` Montgomery multiplications plus one conversion; each
+/// subsequent exponentiation via [`modpow_with_table`] or [`multi_modpow`]
+/// reuses it for free.
+#[derive(Debug, Clone)]
+pub struct MontWindowTable {
+    window: usize,
+    powers: Vec<BigUint>,
+}
+
+impl MontWindowTable {
+    /// Builds the table for `base` with the given window width (1..=8 bits).
+    ///
+    /// # Panics
+    /// Panics if `window` is outside `1..=8` (a 9-bit window would already
+    /// need a 512-entry table — beyond any sensible trade-off here).
+    pub fn build(ctx: &MontgomeryCtx, base: &BigUint, window: usize) -> Self {
+        assert!((1..=8).contains(&window), "window must be in 1..=8");
+        let base_m = ctx.to_mont(base);
+        let mut powers = Vec::with_capacity(1 << window);
+        powers.push(ctx.one_mont());
+        for i in 1..(1 << window) {
+            let prev: &BigUint = &powers[i - 1];
+            powers.push(ctx.mont_mul(prev, &base_m));
+        }
+        MontWindowTable { window, powers }
+    }
+
+    /// Builds the table with [`DEFAULT_WINDOW`].
+    pub fn build_default(ctx: &MontgomeryCtx, base: &BigUint) -> Self {
+        Self::build(ctx, base, DEFAULT_WINDOW)
+    }
+
+    /// The window width in bits.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// `base^w` in Montgomery form for `w < 2^window`.
+    fn power(&self, w: usize) -> &BigUint {
+        &self.powers[w]
+    }
+}
+
+/// Extracts the `window`-bit chunk of `exp` whose least-significant bit is
+/// at position `pos`.
+fn window_at(exp: &BigUint, pos: usize, window: usize) -> usize {
+    let mut w = 0usize;
+    for b in 0..window {
+        if exp.bit(pos + b) {
+            w |= 1 << b;
+        }
+    }
+    w
+}
+
+/// `base^exp mod n` reusing a prebuilt window table.
+///
+/// Identical output to `ctx.modpow(base, exp)` but skips the per-call table
+/// build — the win when the same base is raised to many exponents.
+pub fn modpow_with_table(ctx: &MontgomeryCtx, table: &MontWindowTable, exp: &BigUint) -> BigUint {
+    let window = table.window;
+    let bits = exp.bit_length();
+    if bits == 0 {
+        return BigUint::one() % ctx.modulus();
+    }
+    let mut acc = ctx.one_mont();
+    let mut started = false;
+    let mut pos = bits.div_ceil(window) * window;
+    while pos > 0 {
+        pos -= window;
+        if started {
+            for _ in 0..window {
+                acc = ctx.mont_mul(&acc, &acc.clone());
+            }
+        }
+        let w = window_at(exp, pos, window);
+        if w != 0 {
+            acc = ctx.mont_mul(&acc, table.power(w));
+            started = true;
+        }
+    }
+    if !started {
+        return BigUint::one() % ctx.modulus();
+    }
+    ctx.from_mont(&acc)
+}
+
+/// Straus–Shamir interleaved multi-exponentiation:
+/// `Π_i tables[i].base ^ exps[i] mod n`.
+///
+/// All tables must share the same window width. Bases whose exponent is
+/// zero contribute nothing (their every window is empty), so callers can
+/// pass sparse exponent vectors without pre-filtering.
+///
+/// # Panics
+/// Panics if `tables.len() != exps.len()` or the window widths disagree.
+pub fn multi_modpow(
+    ctx: &MontgomeryCtx,
+    tables: &[&MontWindowTable],
+    exps: &[&BigUint],
+) -> BigUint {
+    assert_eq!(
+        tables.len(),
+        exps.len(),
+        "multi_modpow: one exponent per table"
+    );
+    if tables.is_empty() {
+        return BigUint::one() % ctx.modulus();
+    }
+    let window = tables[0].window;
+    assert!(
+        tables.iter().all(|t| t.window == window),
+        "multi_modpow: all tables must share one window width"
+    );
+    let bits = exps.iter().map(|e| e.bit_length()).max().unwrap_or(0);
+    if bits == 0 {
+        return BigUint::one() % ctx.modulus();
+    }
+    let mut acc = ctx.one_mont();
+    let mut started = false;
+    let mut pos = bits.div_ceil(window) * window;
+    while pos > 0 {
+        pos -= window;
+        if started {
+            // One shared squaring chain for every base — the Straus saving.
+            for _ in 0..window {
+                acc = ctx.mont_mul(&acc, &acc.clone());
+            }
+        }
+        for (table, exp) in tables.iter().zip(exps.iter()) {
+            let w = window_at(exp, pos, window);
+            if w != 0 {
+                acc = ctx.mont_mul(&acc, table.power(w));
+                started = true;
+            }
+        }
+    }
+    if !started {
+        return BigUint::one() % ctx.modulus();
+    }
+    ctx.from_mont(&acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Limb;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_odd_modulus(rng: &mut ChaCha8Rng, limbs: usize) -> BigUint {
+        let v: Vec<Limb> = (0..limbs).map(|_| rng.gen()).collect();
+        let mut n = BigUint::from_limbs(v);
+        if n.is_even() {
+            n = n.add_limb(1);
+        }
+        n
+    }
+
+    #[test]
+    fn table_modpow_matches_plain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..20 {
+            let n = random_odd_modulus(&mut rng, 3);
+            let ctx = MontgomeryCtx::new(n.clone());
+            let base = BigUint::from(rng.gen::<u128>());
+            let table = MontWindowTable::build_default(&ctx, &base);
+            for _ in 0..4 {
+                let exp = BigUint::from(rng.gen::<u128>());
+                assert_eq!(
+                    modpow_with_table(&ctx, &table, &exp),
+                    base.modpow_plain(&exp, &n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_modpow_all_windows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let n = random_odd_modulus(&mut rng, 2);
+        let ctx = MontgomeryCtx::new(n.clone());
+        let base = BigUint::from(rng.gen::<u128>());
+        let exp = BigUint::from(rng.gen::<u128>());
+        let want = base.modpow_plain(&exp, &n);
+        for window in 1..=8 {
+            let table = MontWindowTable::build(&ctx, &base, window);
+            assert_eq!(modpow_with_table(&ctx, &table, &exp), want, "w={window}");
+        }
+    }
+
+    #[test]
+    fn table_modpow_edge_exponents() {
+        let n = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(n.clone());
+        let base = BigUint::from(123_456u64);
+        let table = MontWindowTable::build_default(&ctx, &base);
+        assert_eq!(
+            modpow_with_table(&ctx, &table, &BigUint::zero()),
+            BigUint::one()
+        );
+        assert_eq!(modpow_with_table(&ctx, &table, &BigUint::one()), base);
+        // Window-boundary exponent.
+        let e = BigUint::from(0xFFFFu64);
+        assert_eq!(
+            modpow_with_table(&ctx, &table, &e),
+            base.modpow_plain(&e, &n)
+        );
+    }
+
+    #[test]
+    fn multi_modpow_matches_product_of_modpows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for _ in 0..10 {
+            let n = random_odd_modulus(&mut rng, 3);
+            let ctx = MontgomeryCtx::new(n.clone());
+            let k = 1 + (rng.gen::<usize>() % 6);
+            let bases: Vec<BigUint> = (0..k).map(|_| BigUint::from(rng.gen::<u128>())).collect();
+            let exps: Vec<BigUint> = (0..k)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        BigUint::zero() // exercise sparse exponents
+                    } else {
+                        BigUint::from(rng.gen::<u128>())
+                    }
+                })
+                .collect();
+            let tables: Vec<MontWindowTable> = bases
+                .iter()
+                .map(|b| MontWindowTable::build_default(&ctx, b))
+                .collect();
+            let table_refs: Vec<&MontWindowTable> = tables.iter().collect();
+            let exp_refs: Vec<&BigUint> = exps.iter().collect();
+            let got = multi_modpow(&ctx, &table_refs, &exp_refs);
+
+            let mut want = BigUint::one();
+            for (b, e) in bases.iter().zip(exps.iter()) {
+                want = want.mod_mul(&b.modpow_plain(e, &n), &n);
+            }
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn multi_modpow_empty_and_zero() {
+        let n = BigUint::from(97u64);
+        let ctx = MontgomeryCtx::new(n.clone());
+        assert_eq!(multi_modpow(&ctx, &[], &[]), BigUint::one());
+        let base = BigUint::from(5u64);
+        let table = MontWindowTable::build_default(&ctx, &base);
+        let zero = BigUint::zero();
+        assert_eq!(multi_modpow(&ctx, &[&table], &[&zero]), BigUint::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "one exponent per table")]
+    fn multi_modpow_length_mismatch() {
+        let ctx = MontgomeryCtx::new(BigUint::from(97u64));
+        let table = MontWindowTable::build_default(&ctx, &BigUint::from(5u64));
+        let e = BigUint::one();
+        let _ = multi_modpow(&ctx, &[&table], &[&e, &e]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn multi_modpow_window_mismatch() {
+        let ctx = MontgomeryCtx::new(BigUint::from(97u64));
+        let t1 = MontWindowTable::build(&ctx, &BigUint::from(5u64), 3);
+        let t2 = MontWindowTable::build(&ctx, &BigUint::from(7u64), 4);
+        let e = BigUint::one();
+        let _ = multi_modpow(&ctx, &[&t1, &t2], &[&e, &e]);
+    }
+}

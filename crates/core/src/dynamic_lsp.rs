@@ -30,6 +30,7 @@ pub struct DynamicLsp {
     config: PpgnnConfig,
     space: Rect,
     parallelism: usize,
+    naive_crypto: bool,
 }
 
 impl DynamicLsp {
@@ -54,28 +55,51 @@ impl DynamicLsp {
     pub fn restore(pois: Vec<Poi>, config: PpgnnConfig, space: Rect, version: u64) -> Self {
         let version = version.max(INITIAL_VERSION);
         let master = DynamicRTree::new(pois);
-        let lsp = publish(&master, &config, space, 1);
+        let lsp = publish(&master, &config, space, 1, false);
         DynamicLsp {
             master: Mutex::new(master),
             published: RwLock::new((lsp, version)),
             config,
             space,
             parallelism: 1,
+            naive_crypto: false,
         }
     }
 
     /// Sets candidate-evaluation parallelism for snapshots published
     /// from now on (including the current one, which is republished).
     pub fn with_parallelism(self, threads: usize) -> Self {
-        let threads = threads.max(1);
-        let mut this = DynamicLsp {
-            parallelism: threads,
+        let this = DynamicLsp {
+            parallelism: threads.max(1),
             ..self
         };
-        let master = this.master.get_mut().unwrap_or_else(|p| p.into_inner());
-        let published = this.published.get_mut().unwrap_or_else(|p| p.into_inner());
-        published.0 = publish(master, &this.config, this.space, threads);
-        this
+        this.republish()
+    }
+
+    /// Forces the naive (per-entry modpow) selection path on snapshots
+    /// published from now on — for A/B benchmarks against the Straus
+    /// multi-exponentiation default. Both paths are bit-identical.
+    pub fn with_naive_crypto(self, naive: bool) -> Self {
+        let this = DynamicLsp {
+            naive_crypto: naive,
+            ..self
+        };
+        this.republish()
+    }
+
+    /// Republishes the current snapshot with the current tuning.
+    fn republish(mut self) -> Self {
+        let master = self.master.get_mut().unwrap_or_else(|p| p.into_inner());
+        let lsp = publish(
+            master,
+            &self.config,
+            self.space,
+            self.parallelism,
+            self.naive_crypto,
+        );
+        let published = self.published.get_mut().unwrap_or_else(|p| p.into_inner());
+        published.0 = lsp;
+        self
     }
 
     /// The current snapshot and its version. The returned `Arc<Lsp>`
@@ -128,7 +152,13 @@ impl DynamicLsp {
         let _timer = telemetry::global().time(telemetry::Stage::IndexMutate);
         let mut master = self.master.lock().unwrap_or_else(|p| p.into_inner());
         let changed = master.apply(ops);
-        let lsp = publish(&master, &self.config, self.space, self.parallelism);
+        let lsp = publish(
+            &master,
+            &self.config,
+            self.space,
+            self.parallelism,
+            self.naive_crypto,
+        );
         let mut published = self.published.write().unwrap_or_else(|p| p.into_inner());
         published.0 = lsp;
         published.1 += 1;
@@ -142,6 +172,7 @@ fn publish(
     config: &PpgnnConfig,
     space: Rect,
     parallelism: usize,
+    naive_crypto: bool,
 ) -> Arc<Lsp> {
     Arc::new(
         Lsp::with_engine(
@@ -149,7 +180,8 @@ fn publish(
             config.clone(),
             space,
         )
-        .with_parallelism(parallelism),
+        .with_parallelism(parallelism)
+        .with_naive_crypto(naive_crypto),
     )
 }
 

@@ -77,7 +77,8 @@ pub mod prelude {
     pub use crate::lsp::{expand_candidates, Lsp};
     pub use crate::params::{HypothesisConfig, PpgnnConfig, Variant};
     pub use crate::protocol::{
-        decode_answer, plan_query, run_ppgnn, run_ppgnn_with_keys, ProtocolRun, QueryPlan,
+        decode_answer, plan_query, plan_query_with, run_ppgnn, run_ppgnn_with_keys, ProtocolRun,
+        QueryPlan, SessionCrypto,
     };
     pub use crate::session::PpgnnSession;
 }

@@ -7,7 +7,9 @@
 
 use ppgnn_bigint::BigUint;
 use ppgnn_geo::{Poi, Point, Rect};
-use ppgnn_paillier::{matrix_select, DjContext, EncryptedVector};
+use ppgnn_paillier::{
+    matrix_select_with, DjContext, EncryptedVector, SelectOptions, SelectStrategy,
+};
 use ppgnn_sim::{CostLedger, Party};
 use ppgnn_telemetry as telemetry;
 use rand::{Rng, SeedableRng};
@@ -35,8 +37,13 @@ pub struct Lsp {
     /// candidates of Algorithm 2 are embarrassingly parallel: LSP is the
     /// well-provisioned party the paper is happy to load (§1's "some
     /// reasonable overhead on LSP"), and parallelism shrinks its
-    /// wall-clock without touching any privacy property.
+    /// wall-clock without touching any privacy property. The same
+    /// budget fans out the private-selection rows.
     parallelism: usize,
+    /// Route private selection through the naive per-entry modpow path
+    /// instead of Straus multi-exponentiation (A/B benchmarking only;
+    /// both paths are bit-identical).
+    naive_crypto: bool,
 }
 
 const _: () = {
@@ -95,13 +102,34 @@ impl Lsp {
             config,
             space,
             parallelism: 1,
+            naive_crypto: false,
         }
     }
 
-    /// Sets the number of worker threads for candidate evaluation.
+    /// Sets the number of worker threads for candidate evaluation and
+    /// private-selection rows.
     pub fn with_parallelism(mut self, threads: usize) -> Self {
         self.parallelism = threads.max(1);
         self
+    }
+
+    /// Forces the naive (per-entry modpow) selection path — for A/B
+    /// benchmarks against the Straus multi-exponentiation default.
+    pub fn with_naive_crypto(mut self, naive: bool) -> Self {
+        self.naive_crypto = naive;
+        self
+    }
+
+    /// The selection tuning derived from this LSP's knobs.
+    fn select_options(&self) -> SelectOptions {
+        SelectOptions {
+            parallelism: self.parallelism,
+            strategy: if self.naive_crypto {
+                SelectStrategy::Naive
+            } else {
+                SelectStrategy::Straus
+            },
+        }
     }
 
     /// The public protocol configuration (shared with users).
@@ -239,6 +267,7 @@ impl Lsp {
         select_span.attr(telemetry::trace::AttrKey::SetLen, columns.len() as u64);
         let _select_timer = telemetry::global().time(telemetry::Stage::PrivateSelection);
         let ctx1 = DjContext::new(&query.pk, 1);
+        let opts = self.select_options();
         match &query.indicator {
             IndicatorPayload::Plain(v) => {
                 if v.len() != columns.len() {
@@ -247,7 +276,7 @@ impl Lsp {
                         got: v.len(),
                     });
                 }
-                let selected = matrix_select(&columns, v, &ctx1)
+                let selected = matrix_select_with(&columns, v, &ctx1, &opts)
                     .map_err(|e| PpgnnError::BadAnswerEncoding(e.to_string()))?;
                 Ok(AnswerMessage::Plain(selected))
             }
@@ -269,28 +298,24 @@ impl Lsp {
                 let mut block_results: Vec<EncryptedVector> = Vec::with_capacity(omega);
                 for b in 0..omega {
                     let block = &columns[b * block_size..(b + 1) * block_size];
-                    let sel = matrix_select(block, inner, &ctx1)
+                    let sel = matrix_select_with(block, inner, &ctx1, &opts)
                         .map_err(|e| PpgnnError::BadAnswerEncoding(e.to_string()))?;
                     block_results.push(sel);
                 }
 
                 // Phase 2: select the block with [[v₂]] (ε₂), treating the
-                // ε₁ ciphertexts as ε₂ plaintexts.
+                // ε₁ ciphertexts as ε₂ plaintexts. Row r of the answer is
+                // Π_b outer[b]^{block_results[b][r]} — i.e. the transposed
+                // matrix select, which shares the per-block ε₂ window
+                // tables across all m rows and parallelizes them.
                 let ctx2 = DjContext::new(&query.pk, 2);
-                let mut rows = Vec::with_capacity(m);
-                for r in 0..m {
-                    let x: Vec<BigUint> = block_results
-                        .iter()
-                        .map(|bres| bres.elements()[r].as_plaintext())
-                        .collect();
-                    let row = outer
-                        .dot(&x, &ctx2)
-                        .map_err(|e| PpgnnError::BadAnswerEncoding(e.to_string()))?;
-                    rows.push(row);
-                }
-                Ok(AnswerMessage::TwoPhase(EncryptedVector::from_ciphertexts(
-                    rows,
-                )))
+                let cols2: Vec<Vec<BigUint>> = block_results
+                    .iter()
+                    .map(|bres| bres.elements().iter().map(|c| c.as_plaintext()).collect())
+                    .collect();
+                let selected = matrix_select_with(&cols2, outer, &ctx2, &opts)
+                    .map_err(|e| PpgnnError::BadAnswerEncoding(e.to_string()))?;
+                Ok(AnswerMessage::TwoPhase(selected))
             }
         }
     }
@@ -300,7 +325,7 @@ impl Lsp {
 mod tests {
     use super::*;
     use crate::params::Variant;
-    use ppgnn_paillier::{decrypt_vector, encrypt_indicator, generate_keypair};
+    use ppgnn_paillier::{decrypt_vector, generate_keypair, Encryptor, FreshEncryptor};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -372,7 +397,11 @@ mod tests {
             k: 3,
             pk: pk.clone(),
             partition: None,
-            indicator: IndicatorPayload::Plain(encrypt_indicator(4, 2, &ctx1, &mut rng)),
+            indicator: IndicatorPayload::Plain(
+                FreshEncryptor::seeded(ctx1.clone(), 91)
+                    .encrypt_indicator(4, 2)
+                    .unwrap(),
+            ),
             theta0: 0.05,
         };
         let mut ledger = CostLedger::new();
@@ -429,7 +458,11 @@ mod tests {
             k: 3,
             pk: pk.clone(),
             partition: None,
-            indicator: IndicatorPayload::Plain(encrypt_indicator(4, 2, &ctx1, &mut rng)),
+            indicator: IndicatorPayload::Plain(
+                FreshEncryptor::seeded(ctx1.clone(), 92)
+                    .encrypt_indicator(4, 2)
+                    .unwrap(),
+            ),
             theta0: 0.05,
         };
         let decode = |lsp: &Lsp, rng: &mut ChaCha8Rng| {
@@ -452,6 +485,69 @@ mod tests {
         let shorter = seq_ans.len().min(par_ans.len());
         for i in 0..shorter {
             assert!(seq_ans[i].dist(&par_ans[i]) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn naive_crypto_selection_is_bit_identical() {
+        // Straus + parallel selection vs the naive reference: same
+        // indicator, same columns, identical ciphertext bytes.
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let fast = Lsp::new(grid_db(10), config()).with_parallelism(4);
+        let naive = Lsp::new(grid_db(10), config()).with_naive_crypto(true);
+        let (pk, _) = generate_keypair(128, &mut rng);
+        let ctx1 = DjContext::new(&pk, 1);
+        let sets = vec![
+            LocationSetMessage {
+                user_index: 0,
+                locations: vec![
+                    Point::new(0.9, 0.9),
+                    Point::new(0.8, 0.1),
+                    Point::new(0.1, 0.1),
+                    Point::new(0.5, 0.9),
+                ],
+            },
+            LocationSetMessage {
+                user_index: 1,
+                locations: vec![
+                    Point::new(0.7, 0.2),
+                    Point::new(0.3, 0.8),
+                    Point::new(0.2, 0.2),
+                    Point::new(0.6, 0.4),
+                ],
+            },
+        ];
+        let query = QueryMessage {
+            k: 3,
+            pk: pk.clone(),
+            partition: None,
+            indicator: IndicatorPayload::Plain(
+                FreshEncryptor::seeded(ctx1.clone(), 95)
+                    .encrypt_indicator(4, 1)
+                    .unwrap(),
+            ),
+            theta0: 0.05,
+        };
+        let run = |lsp: &Lsp| {
+            let mut ledger = CostLedger::new();
+            let AnswerMessage::Plain(enc) = lsp
+                .process_query(
+                    &query,
+                    &sets,
+                    &mut ledger,
+                    &mut ChaCha8Rng::seed_from_u64(1),
+                )
+                .unwrap()
+            else {
+                panic!("plain expected")
+            };
+            enc
+        };
+        let a = run(&fast);
+        let b = run(&naive);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.elements().iter().zip(b.elements()) {
+            assert_eq!(x, y, "selection paths must be bit-identical");
         }
     }
 
@@ -492,7 +588,11 @@ mod tests {
             k: 3,
             pk,
             partition: None,
-            indicator: IndicatorPayload::Plain(encrypt_indicator(3, 0, &ctx1, &mut rng)),
+            indicator: IndicatorPayload::Plain(
+                FreshEncryptor::seeded(ctx1.clone(), 93)
+                    .encrypt_indicator(3, 0)
+                    .unwrap(),
+            ),
             theta0: 0.05,
         };
         let mut ledger = CostLedger::new();
@@ -525,7 +625,11 @@ mod tests {
             k: 3,
             pk,
             partition: None,
-            indicator: IndicatorPayload::Plain(encrypt_indicator(4, 0, &ctx1, &mut rng)),
+            indicator: IndicatorPayload::Plain(
+                FreshEncryptor::seeded(ctx1.clone(), 94)
+                    .encrypt_indicator(4, 0)
+                    .unwrap(),
+            ),
             theta0: 0.05,
         };
         let mut ledger = CostLedger::new();

@@ -108,7 +108,23 @@ impl AnswerMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppgnn_paillier::{encrypt_indicator, generate_keypair, DjContext};
+    use ppgnn_paillier::{generate_keypair, DjContext};
+
+    /// Same call shape as the retired free function, built on the
+    /// unified `Encryptor` API.
+    fn encrypt_indicator<R: rand::Rng + ?Sized>(
+        len: usize,
+        pos: usize,
+        ctx: &DjContext,
+        rng: &mut R,
+    ) -> ppgnn_paillier::EncryptedVector {
+        use ppgnn_paillier::{Encryptor, FreshEncryptor};
+        use rand::SeedableRng;
+        FreshEncryptor::with_rng(ctx.clone(), rand::rngs::StdRng::seed_from_u64(rng.gen()))
+            .encrypt_indicator(len, pos)
+            .unwrap()
+    }
+
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

@@ -6,14 +6,17 @@
 //! [`CostLedger`] records exactly what each party computed and every byte
 //! each message would occupy on the wire.
 
+use std::sync::Arc;
+
 use ppgnn_geo::{Point, Rect};
 use ppgnn_paillier::{
-    encrypt_indicator, encrypt_indicator_pooled, generate_keypair, Ciphertext, Decryptor,
-    DjContext, Keypair, RandomnessPool,
+    generate_keypair, Ciphertext, Decryptor, DjContext, Encryptor, FreshEncryptor, Keypair,
+    PooledEncryptor, PublicKey, RandomizerPool,
 };
 use ppgnn_sim::{CostLedger, CostReport, Party, SCALAR_BYTES};
 use ppgnn_telemetry as telemetry;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::candidate::query_index;
 use crate::encoding::AnswerCodec;
@@ -85,6 +88,100 @@ impl QueryPlan {
     }
 }
 
+/// Session-long client crypto: background-refilled randomizer pools for
+/// the ε₁ (and, under PPGNN-OPT, ε₂) contexts, sized so that one query's
+/// indicator encryptions are a pool hit and the refill thread tops the
+/// pools back up *between* queries — the server/session form of the
+/// paper's mobile-user offline phase.
+///
+/// Capacity is 2× the per-query randomizer need with the low watermark at
+/// one query's worth, so back-to-back queries overlap refill with query
+/// work and a dry pool degrades to fresh randomness (a `pool-miss`)
+/// instead of stalling.
+pub struct SessionCrypto {
+    enc1: PooledEncryptor,
+    enc2: Option<PooledEncryptor>,
+    /// Group size the pools were sized for.
+    users: usize,
+}
+
+impl std::fmt::Debug for SessionCrypto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionCrypto")
+            .field("users", &self.users)
+            .field("pool1", self.enc1.pool())
+            .field("pool2", &self.enc2.as_ref().map(|e| e.pool()))
+            .finish()
+    }
+}
+
+impl SessionCrypto {
+    /// Builds the pools for `config` and a group of `n` users. Pass a
+    /// `seed` for deterministic randomizers (tests); `None` draws from OS
+    /// entropy.
+    pub fn new(
+        config: &PpgnnConfig,
+        n: usize,
+        pk: &PublicKey,
+        seed: Option<u64>,
+    ) -> Result<Self, PpgnnError> {
+        let delta_prime = match config.variant {
+            Variant::Plain | Variant::Opt => {
+                solve_partition_cached(n, config.d, config.delta)?.delta_prime() as usize
+            }
+            Variant::Naive => config.delta,
+        };
+        let make = |ctx: DjContext, need: usize, salt: u64| {
+            let need = need.max(1);
+            // Watermark `need + 1`: any query's drain (`need` takes) is
+            // guaranteed to cross below it from any starting depth, so
+            // every query wakes the refill thread and the pool converges
+            // back to capacity between queries.
+            let pool = Arc::new(RandomizerPool::with_background_refill(
+                ctx,
+                2 * need,
+                need + 1,
+                seed.map(|s| s ^ salt),
+            ));
+            match seed {
+                Some(s) => PooledEncryptor::seeded(pool, s.wrapping_add(salt)),
+                None => PooledEncryptor::new(pool),
+            }
+        };
+        let ctx1 = DjContext::new(pk, 1);
+        Ok(match config.variant {
+            Variant::Opt => {
+                let (omega, block_size) = opt_split(delta_prime);
+                let ctx2 = DjContext::new(pk, 2);
+                SessionCrypto {
+                    enc1: make(ctx1, block_size, 0x5e55),
+                    enc2: Some(make(ctx2, omega, 0xc0de)),
+                    users: n,
+                }
+            }
+            Variant::Plain | Variant::Naive => SessionCrypto {
+                enc1: make(ctx1, delta_prime, 0x5e55),
+                enc2: None,
+                users: n,
+            },
+        })
+    }
+
+    /// The group size these pools were sized for.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Blocks until every pool is filled to capacity — for benchmarks
+    /// that must separate offline warm-up from online measurement.
+    pub fn wait_until_ready(&self) {
+        self.enc1.pool().wait_until_full();
+        if let Some(e2) = &self.enc2 {
+            e2.pool().wait_until_full();
+        }
+    }
+}
+
 /// Algorithm 1, the coordinator/user side only: partition the location
 /// sets, plant the real locations, and build the encrypted indicator(s).
 ///
@@ -100,6 +197,21 @@ pub fn plan_query<R: Rng + ?Sized>(
     keys: &Keypair,
     ledger: &mut CostLedger,
     rng: &mut R,
+) -> Result<QueryPlan, PpgnnError> {
+    plan_query_with(config, space, real_locations, keys, ledger, rng, None)
+}
+
+/// [`plan_query`], optionally drawing indicator randomizers from
+/// session-long background-refilled pools ([`SessionCrypto`]) instead of
+/// per-query offline pools.
+pub fn plan_query_with<R: Rng + ?Sized>(
+    config: &PpgnnConfig,
+    space: Rect,
+    real_locations: &[Point],
+    keys: &Keypair,
+    ledger: &mut CostLedger,
+    rng: &mut R,
+    session: Option<&SessionCrypto>,
 ) -> Result<QueryPlan, PpgnnError> {
     let n = real_locations.len();
     config.validate(n)?;
@@ -152,50 +264,71 @@ pub fn plan_query<R: Rng + ?Sized>(
     // ---- Coordinator: encrypted indicator(s) under the session key ----
     let pk = keys.0.clone();
     let ctx1 = DjContext::new(&pk, 1);
-    // Offline phase (not charged to the per-query user cost): the
-    // mobile-user randomizer pools, when enabled.
-    let mut pools: Option<(RandomnessPool, Option<RandomnessPool>)> = if config.offline_randomness {
-        match config.variant {
-            Variant::Plain | Variant::Naive => {
-                let p = RandomnessPool::generate(&ctx1, delta_prime, rng);
-                ledger.count("offline_randomizers", delta_prime as u64);
-                Some((p, None))
-            }
-            Variant::Opt => {
+    let needs_eps2 = matches!(config.variant, Variant::Opt);
+    let per_query_need = if needs_eps2 {
+        let (omega, block_size) = opt_split(delta_prime);
+        (omega + block_size) as u64
+    } else {
+        delta_prime as u64
+    };
+
+    // Offline phase (not charged to the per-query user cost): session
+    // pools when supplied, per-query prefilled pools under
+    // `offline_randomness`, fresh randomness otherwise.
+    type QueryEncryptors = (Box<dyn Encryptor>, Option<Box<dyn Encryptor>>);
+    let owned_crypto: Option<QueryEncryptors> = match (session, config.offline_randomness) {
+        (Some(_), true) => {
+            ledger.count("offline_randomizers", per_query_need);
+            None
+        }
+        (_, true) => {
+            ledger.count("offline_randomizers", per_query_need);
+            let pooled = |ctx: &DjContext, need: usize, rng: &mut R| -> Box<dyn Encryptor> {
+                let pool = Arc::new(RandomizerPool::prefilled(ctx, need, rng));
+                Box::new(PooledEncryptor::seeded(pool, rng.gen()))
+            };
+            if needs_eps2 {
                 let (omega, block_size) = opt_split(delta_prime);
                 let ctx2 = DjContext::new(&pk, 2);
-                let p1 = RandomnessPool::generate(&ctx1, block_size, rng);
-                let p2 = RandomnessPool::generate(&ctx2, omega, rng);
-                ledger.count("offline_randomizers", (block_size + omega) as u64);
-                Some((p1, Some(p2)))
+                Some((
+                    pooled(&ctx1, block_size, rng),
+                    Some(pooled(&ctx2, omega, rng)),
+                ))
+            } else {
+                Some((pooled(&ctx1, delta_prime, rng), None))
             }
         }
-    } else {
-        None
+        (_, false) => {
+            let fresh = |ctx: DjContext, rng: &mut R| -> Box<dyn Encryptor> {
+                Box::new(FreshEncryptor::with_rng(
+                    ctx,
+                    StdRng::seed_from_u64(rng.gen()),
+                ))
+            };
+            let e2 = needs_eps2.then(|| fresh(DjContext::new(&pk, 2), rng));
+            Some((fresh(ctx1.clone(), rng), e2))
+        }
+    };
+    let (enc1, enc2): (&dyn Encryptor, Option<&dyn Encryptor>) = match (&owned_crypto, session) {
+        (Some((e1, e2)), _) => (e1.as_ref(), e2.as_deref()),
+        (None, Some(sc)) => (&sc.enc1, sc.enc2.as_ref().map(|e| e as &dyn Encryptor)),
+        (None, None) => unreachable!("owned_crypto is built whenever no session is supplied"),
     };
     let indicator = ledger.time(Party::Coordinator, || match config.variant {
-        Variant::Plain | Variant::Naive => {
-            let enc = match pools.as_mut() {
-                Some((pool, _)) => encrypt_indicator_pooled(delta_prime, qi, &ctx1, pool)
-                    .expect("pool sized to δ'"),
-                None => encrypt_indicator(delta_prime, qi, &ctx1, rng),
-            };
-            IndicatorPayload::Plain(enc)
-        }
+        Variant::Plain | Variant::Naive => IndicatorPayload::Plain(
+            enc1.encrypt_indicator(delta_prime, qi)
+                .expect("indicator plaintexts are 0/1"),
+        ),
         Variant::Opt => {
             let (omega, block_size) = opt_split(delta_prime);
-            let ctx2 = DjContext::new(&pk, 2);
-            match pools.as_mut() {
-                Some((p1, Some(p2))) => IndicatorPayload::TwoPhase {
-                    inner: encrypt_indicator_pooled(block_size, qi % block_size, &ctx1, p1)
-                        .expect("pool sized to the block"),
-                    outer: encrypt_indicator_pooled(omega, qi / block_size, &ctx2, p2)
-                        .expect("pool sized to ω"),
-                },
-                _ => IndicatorPayload::TwoPhase {
-                    inner: encrypt_indicator(block_size, qi % block_size, &ctx1, rng),
-                    outer: encrypt_indicator(omega, qi / block_size, &ctx2, rng),
-                },
+            let e2 = enc2.expect("OPT always builds an ε₂ encryptor");
+            IndicatorPayload::TwoPhase {
+                inner: enc1
+                    .encrypt_indicator(block_size, qi % block_size)
+                    .expect("indicator plaintexts are 0/1"),
+                outer: e2
+                    .encrypt_indicator(omega, qi / block_size)
+                    .expect("indicator plaintexts are 0/1"),
             }
         }
     });

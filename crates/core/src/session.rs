@@ -15,12 +15,21 @@ use crate::error::PpgnnError;
 use crate::lsp::Lsp;
 use crate::messages::AnswerMessage;
 use crate::params::PpgnnConfig;
-use crate::protocol::{decode_answer, plan_query, run_ppgnn_with_keys, ProtocolRun, QueryPlan};
+use crate::protocol::{
+    decode_answer, plan_query_with, run_ppgnn_with_keys, ProtocolRun, QueryPlan, SessionCrypto,
+};
 
-/// A long-lived client session holding reusable key material.
+/// A long-lived client session holding reusable key material and, when
+/// the protocol enables `offline_randomness`, session-long
+/// background-refilled randomizer pools ([`SessionCrypto`]): the refill
+/// thread precomputes `r^{N^s}` between queries so the online plan is one
+/// binomial + one mulmod per indicator element.
 pub struct PpgnnSession {
     keys: Keypair,
     queries_issued: u64,
+    /// Lazily built on the first planned query, rebuilt if the group size
+    /// changes (pool sizing depends on δ′, which depends on `n`).
+    crypto: Option<SessionCrypto>,
 }
 
 impl PpgnnSession {
@@ -29,6 +38,7 @@ impl PpgnnSession {
         PpgnnSession {
             keys: generate_keypair(keysize, rng),
             queries_issued: 0,
+            crypto: None,
         }
     }
 
@@ -37,6 +47,7 @@ impl PpgnnSession {
         PpgnnSession {
             keys,
             queries_issued: 0,
+            crypto: None,
         }
     }
 
@@ -89,12 +100,46 @@ impl PpgnnSession {
                 config.keysize
             )));
         }
+        // Session pools amortize the offline randomizer precomputation
+        // across the session's queries; (re)build them lazily when the
+        // protocol wants offline randomness.
+        if config.offline_randomness {
+            let stale = self
+                .crypto
+                .as_ref()
+                .map(|sc| sc.users() != real_locations.len())
+                .unwrap_or(true);
+            if stale {
+                self.crypto = Some(SessionCrypto::new(
+                    config,
+                    real_locations.len(),
+                    &self.keys.0,
+                    Some(rng.gen()),
+                )?);
+            }
+        } else {
+            self.crypto = None;
+        }
         // The remote client keeps its own wall-clock stats; the protocol
         // cost accounting of the plan is not surfaced here.
         let mut ledger = CostLedger::new();
-        let plan = plan_query(config, space, real_locations, &self.keys, &mut ledger, rng)?;
+        let plan = plan_query_with(
+            config,
+            space,
+            real_locations,
+            &self.keys,
+            &mut ledger,
+            rng,
+            self.crypto.as_ref(),
+        )?;
         self.queries_issued += 1;
         Ok(plan)
+    }
+
+    /// The session-long randomizer pools, if built (first planned query
+    /// under `offline_randomness`).
+    pub fn crypto(&self) -> Option<&SessionCrypto> {
+        self.crypto.as_ref()
     }
 
     /// Decrypts and unpacks a remote LSP's answer to a planned query.
@@ -198,6 +243,40 @@ mod tests {
             .plan(lsp.config(), lsp.space(), &users, &mut rng)
             .is_err());
         assert_eq!(session.queries_issued(), 0);
+    }
+
+    #[test]
+    fn session_pools_serve_repeated_plans() {
+        // With offline randomness on, the session builds background
+        // pools on the first plan and reuses them; answers stay exact.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut session = PpgnnSession::new(128, &mut rng);
+        let config = PpgnnConfig {
+            offline_randomness: true,
+            ..cfg()
+        };
+        let lsp = Lsp::new(db(), config.clone());
+        let users = vec![Point::new(0.2, 0.3), Point::new(0.6, 0.4)];
+        for _ in 0..3 {
+            let plan = session
+                .plan(&config, lsp.space(), &users, &mut rng)
+                .unwrap();
+            let mut ledger = CostLedger::new();
+            let answer_msg = lsp
+                .process_query(&plan.query, &plan.location_sets, &mut ledger, &mut rng)
+                .unwrap();
+            let answer = session.decode(config.k, &answer_msg).unwrap();
+            let expected = lsp.plaintext_answer(&users, config.k);
+            for (got, want) in answer.iter().zip(&expected) {
+                assert!(got.dist(&want.location) < 1e-6);
+            }
+        }
+        let crypto = session.crypto().expect("pools built on first plan");
+        assert_eq!(crypto.users(), 2);
+        // Let the refill thread top the pools back up: next plan should
+        // be hits again (can't assert counters here, but readiness must
+        // converge — wait_until_ready would hang otherwise).
+        crypto.wait_until_ready();
     }
 
     #[test]

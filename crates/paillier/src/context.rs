@@ -148,6 +148,13 @@ impl DjContext {
         &self.n_pow[self.s + 1]
     }
 
+    /// The Montgomery context over the ciphertext ring `Z_{N^{s+1}}` —
+    /// shared with the vector/matrix layer so multi-exponentiation can
+    /// hoist window tables across rows.
+    pub(crate) fn mont(&self) -> &MontgomeryCtx {
+        &self.mont
+    }
+
     /// `(1+N)^m mod N^{s+1}` by the binomial theorem: only the first
     /// `s+1` terms survive because `N^{s+1} ≡ 0`.
     fn one_plus_n_pow(&self, m: &BigUint) -> BigUint {
@@ -174,7 +181,7 @@ impl DjContext {
     }
 
     /// Draws a random `r ∈ Z^*_N`.
-    fn random_unit<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+    pub(crate) fn random_unit<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
         let n = self.pk.n();
         loop {
             let r = rng.gen_biguint_range(&BigUint::one(), n);
@@ -184,41 +191,93 @@ impl DjContext {
         }
     }
 
-    /// Encrypts `m ∈ Z_{N^s}`: `c = (1+N)^m · r^{N^s} mod N^{s+1}`.
-    ///
-    /// # Panics
-    /// Panics if `m >= N^s`; use [`DjContext::try_encrypt`] to handle it.
-    pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Ciphertext {
-        self.try_encrypt(m, rng).expect("plaintext out of range")
-    }
-
-    /// Fallible encryption.
-    pub fn try_encrypt<R: Rng + ?Sized>(
-        &self,
-        m: &BigUint,
-        rng: &mut R,
-    ) -> Result<Ciphertext, PaillierError> {
+    /// Rejects plaintexts outside `Z_{N^s}`.
+    pub(crate) fn check_plaintext_range(&self, m: &BigUint) -> Result<(), PaillierError> {
         if m >= self.plaintext_modulus() {
             return Err(PaillierError::PlaintextOutOfRange {
                 plaintext_bits: m.bit_length(),
                 capacity_bits: self.plaintext_modulus().bit_length(),
             });
         }
+        Ok(())
+    }
+
+    /// Fresh-randomness encryption `c = (1+N)^m · r^{N^s} mod N^{s+1}`,
+    /// drawing `r` from `rng`. Records the `paillier-encrypt` stage/op.
+    pub(crate) fn encrypt_core<R: Rng + ?Sized>(
+        &self,
+        m: &BigUint,
+        rng: &mut R,
+    ) -> Result<Ciphertext, PaillierError> {
+        self.check_plaintext_range(m)?;
         let _t = telemetry::global().time(telemetry::Stage::PaillierEncrypt);
         telemetry::global().incr(telemetry::Op::PaillierEncrypt);
         let r = self.random_unit(rng);
-        Ok(self.encrypt_with_randomness(m, &r))
+        Ok(self.encrypt_with_randomness_core(m, &r))
     }
 
-    /// Deterministic encryption with caller-chosen randomness `r ∈ Z^*_N`
-    /// (used by tests and by re-randomization).
-    pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
+    /// Deterministic encryption under caller-chosen `r ∈ Z^*_N`. Not
+    /// telemetered: this is the reference/test path, never the hot one.
+    pub(crate) fn encrypt_with_randomness_core(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
         let gm = self.one_plus_n_pow(m);
         let rn = self.pow_n_s(r);
         Ciphertext {
             value: gm.mod_mul(&rn, self.ciphertext_modulus()),
             s: self.s,
         }
+    }
+
+    /// The fast online step: one binomial + one mulmod, given the
+    /// precomputed randomizer `rn = r^{N^s} mod N^{s+1}`. Records the
+    /// `paillier-encrypt` stage/op.
+    pub(crate) fn encrypt_with_randomizer_core(
+        &self,
+        m: &BigUint,
+        rn: &BigUint,
+    ) -> Result<Ciphertext, PaillierError> {
+        self.check_plaintext_range(m)?;
+        let _t = telemetry::global().time(telemetry::Stage::PaillierEncrypt);
+        telemetry::global().incr(telemetry::Op::PaillierEncrypt);
+        let gm = self.one_plus_n_pow(m);
+        Ok(Ciphertext {
+            value: gm.mod_mul(rn, self.ciphertext_modulus()),
+            s: self.s,
+        })
+    }
+
+    /// Encrypts `m ∈ Z_{N^s}`: `c = (1+N)^m · r^{N^s} mod N^{s+1}`.
+    ///
+    /// # Panics
+    /// Panics if `m >= N^s`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use the `Encryptor` trait (`FreshEncryptor::encrypt`) instead"
+    )]
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Ciphertext {
+        self.encrypt_core(m, rng).expect("plaintext out of range")
+    }
+
+    /// Fallible encryption.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use the `Encryptor` trait (`FreshEncryptor::encrypt`) instead"
+    )]
+    pub fn try_encrypt<R: Rng + ?Sized>(
+        &self,
+        m: &BigUint,
+        rng: &mut R,
+    ) -> Result<Ciphertext, PaillierError> {
+        self.encrypt_core(m, rng)
+    }
+
+    /// Deterministic encryption with caller-chosen randomness `r ∈ Z^*_N`
+    /// (used by tests and by re-randomization).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Encryptor::encrypt_with_randomness` instead"
+    )]
+    pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
+        self.encrypt_with_randomness_core(m, r)
     }
 
     /// The randomizer exponentiation `r^{N^s} mod N^{s+1}` — the
@@ -228,25 +287,17 @@ impl DjContext {
     }
 
     /// Fast online encryption given a pre-computed randomizer
-    /// `rn = r^{N^s} mod N^{s+1}` (see [`crate::RandomnessPool`]).
+    /// `rn = r^{N^s} mod N^{s+1}`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `PooledEncryptor::encrypt` (backed by `RandomizerPool`) instead"
+    )]
     pub fn encrypt_with_randomizer(
         &self,
         m: &BigUint,
         rn: &BigUint,
     ) -> Result<Ciphertext, PaillierError> {
-        if m >= self.plaintext_modulus() {
-            return Err(PaillierError::PlaintextOutOfRange {
-                plaintext_bits: m.bit_length(),
-                capacity_bits: self.plaintext_modulus().bit_length(),
-            });
-        }
-        let _t = telemetry::global().time(telemetry::Stage::PaillierEncrypt);
-        telemetry::global().incr(telemetry::Op::PaillierEncrypt);
-        let gm = self.one_plus_n_pow(m);
-        Ok(Ciphertext {
-            value: gm.mod_mul(rn, self.ciphertext_modulus()),
-            s: self.s,
-        })
+        self.encrypt_with_randomizer_core(m, rn)
     }
 
     /// Decrypts a ciphertext with the matching secret key.
@@ -375,12 +426,23 @@ mod tests {
         (DjContext::new(&pk, s), sk, rng)
     }
 
+    /// Fresh-randomness encryption for tests, via the crate-internal core
+    /// (the public path is the `Encryptor` trait, covered in encryptor.rs).
+    trait TestEncrypt {
+        fn enc<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Ciphertext;
+    }
+    impl TestEncrypt for DjContext {
+        fn enc<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Ciphertext {
+            self.encrypt_core(m, rng).expect("plaintext out of range")
+        }
+    }
+
     #[test]
     fn roundtrip_s1() {
         let (ctx, sk, mut rng) = setup(1);
         for m in [0u64, 1, 2, 42, u64::MAX] {
             let m = BigUint::from(m);
-            let c = ctx.encrypt(&m, &mut rng);
+            let c = ctx.enc(&m, &mut rng);
             assert_eq!(ctx.decrypt(&c, &sk), m);
         }
     }
@@ -391,7 +453,7 @@ mod tests {
         // Plaintexts larger than N (but < N^2) must roundtrip at s=2.
         let big = ctx.public_key().n() + &BigUint::from(12345u64);
         for m in [BigUint::zero(), BigUint::one(), big] {
-            let c = ctx.encrypt(&m, &mut rng);
+            let c = ctx.enc(&m, &mut rng);
             assert_eq!(ctx.decrypt(&c, &sk), m);
         }
     }
@@ -400,7 +462,7 @@ mod tests {
     fn roundtrip_s3() {
         let (ctx, sk, mut rng) = setup(3);
         let m = ctx.public_key().n().pow(2).mul_limb(3);
-        let c = ctx.encrypt(&m, &mut rng);
+        let c = ctx.enc(&m, &mut rng);
         assert_eq!(ctx.decrypt(&c, &sk), m);
     }
 
@@ -408,7 +470,7 @@ mod tests {
     fn roundtrip_max_plaintext() {
         let (ctx, sk, mut rng) = setup(1);
         let m = ctx.plaintext_modulus() - &BigUint::one();
-        let c = ctx.encrypt(&m, &mut rng);
+        let c = ctx.enc(&m, &mut rng);
         assert_eq!(ctx.decrypt(&c, &sk), m);
     }
 
@@ -417,7 +479,7 @@ mod tests {
         let (ctx, _, mut rng) = setup(1);
         let m = ctx.plaintext_modulus().clone();
         assert!(matches!(
-            ctx.try_encrypt(&m, &mut rng),
+            ctx.encrypt_core(&m, &mut rng),
             Err(PaillierError::PlaintextOutOfRange { .. })
         ));
     }
@@ -426,8 +488,8 @@ mod tests {
     fn probabilistic_encryption() {
         let (ctx, _, mut rng) = setup(1);
         let m = BigUint::from(7u64);
-        let c1 = ctx.encrypt(&m, &mut rng);
-        let c2 = ctx.encrypt(&m, &mut rng);
+        let c1 = ctx.enc(&m, &mut rng);
+        let c2 = ctx.enc(&m, &mut rng);
         assert_ne!(c1, c2, "same plaintext must yield different ciphertexts");
     }
 
@@ -436,7 +498,7 @@ mod tests {
         let (ctx, sk, mut rng) = setup(1);
         let a = BigUint::from(1234u64);
         let b = BigUint::from(8766u64);
-        let c = ctx.add(&ctx.encrypt(&a, &mut rng), &ctx.encrypt(&b, &mut rng));
+        let c = ctx.add(&ctx.enc(&a, &mut rng), &ctx.enc(&b, &mut rng));
         assert_eq!(ctx.decrypt(&c, &sk), BigUint::from(10000u64));
     }
 
@@ -445,7 +507,7 @@ mod tests {
         let (ctx, sk, mut rng) = setup(1);
         let a = ctx.plaintext_modulus() - &BigUint::one();
         let b = BigUint::from(2u64);
-        let c = ctx.add(&ctx.encrypt(&a, &mut rng), &ctx.encrypt(&b, &mut rng));
+        let c = ctx.add(&ctx.enc(&a, &mut rng), &ctx.enc(&b, &mut rng));
         assert_eq!(ctx.decrypt(&c, &sk), BigUint::one());
     }
 
@@ -454,27 +516,24 @@ mod tests {
         let (ctx, sk, mut rng) = setup(1);
         let m = BigUint::from(111u64);
         let k = BigUint::from(9u64);
-        let c = ctx.scalar_mul(&k, &ctx.encrypt(&m, &mut rng));
+        let c = ctx.scalar_mul(&k, &ctx.enc(&m, &mut rng));
         assert_eq!(ctx.decrypt(&c, &sk), BigUint::from(999u64));
     }
 
     #[test]
     fn scalar_mul_by_zero_gives_zero() {
         let (ctx, sk, mut rng) = setup(1);
-        let c = ctx.scalar_mul(
-            &BigUint::zero(),
-            &ctx.encrypt(&BigUint::from(5u64), &mut rng),
-        );
+        let c = ctx.scalar_mul(&BigUint::zero(), &ctx.enc(&BigUint::from(5u64), &mut rng));
         assert_eq!(ctx.decrypt(&c, &sk), BigUint::zero());
     }
 
     #[test]
     fn homomorphic_sub_and_neg() {
         let (ctx, sk, mut rng) = setup(1);
-        let a = ctx.encrypt(&BigUint::from(50u64), &mut rng);
-        let b = ctx.encrypt(&BigUint::from(8u64), &mut rng);
+        let a = ctx.enc(&BigUint::from(50u64), &mut rng);
+        let b = ctx.enc(&BigUint::from(8u64), &mut rng);
         assert_eq!(ctx.decrypt(&ctx.sub(&a, &b), &sk), BigUint::from(42u64));
-        let neg = ctx.neg(&ctx.encrypt(&BigUint::one(), &mut rng));
+        let neg = ctx.neg(&ctx.enc(&BigUint::one(), &mut rng));
         assert_eq!(
             ctx.decrypt(&neg, &sk),
             ctx.plaintext_modulus() - &BigUint::one()
@@ -485,7 +544,7 @@ mod tests {
     fn rerandomize_preserves_plaintext() {
         let (ctx, sk, mut rng) = setup(1);
         let m = BigUint::from(77u64);
-        let c = ctx.encrypt(&m, &mut rng);
+        let c = ctx.enc(&m, &mut rng);
         let c2 = ctx.rerandomize(&c, &mut rng);
         assert_ne!(c, c2);
         assert_eq!(ctx.decrypt(&c2, &sk), m);
@@ -499,8 +558,8 @@ mod tests {
         let ctx1 = DjContext::new(&pk, 1);
         let ctx2 = DjContext::new(&pk, 2);
         let m = BigUint::from(123456u64);
-        let inner = ctx1.encrypt(&m, &mut rng);
-        let outer = ctx2.encrypt(&inner.as_plaintext(), &mut rng);
+        let inner = ctx1.enc(&m, &mut rng);
+        let outer = ctx2.enc(&inner.as_plaintext(), &mut rng);
         let recovered_inner = ctx2.decrypt(&outer, &sk);
         let recovered = ctx1.decrypt(&Ciphertext::from_parts(recovered_inner, 1), &sk);
         assert_eq!(recovered, m);
@@ -512,8 +571,8 @@ mod tests {
         let (ctx, sk, mut rng) = setup(1);
         let (a, b) = (BigUint::from(13u64), BigUint::from(29u64));
         let (k1, k2) = (BigUint::from(3u64), BigUint::from(5u64));
-        let ca = ctx.encrypt(&a, &mut rng);
-        let cb = ctx.encrypt(&b, &mut rng);
+        let ca = ctx.enc(&a, &mut rng);
+        let cb = ctx.enc(&b, &mut rng);
         let combo = ctx.add(&ctx.scalar_mul(&k1, &ca), &ctx.scalar_mul(&k2, &cb));
         assert_eq!(ctx.decrypt(&combo, &sk), BigUint::from(3 * 13 + 5 * 29u64));
     }
@@ -523,12 +582,12 @@ mod tests {
         let (ctx, _, mut rng) = setup(1);
         let pk = ctx.public_key().clone();
         for m in [0u64, 1, 42, u64::MAX] {
-            let c = ctx.encrypt(&BigUint::from(m), &mut rng);
+            let c = ctx.enc(&BigUint::from(m), &mut rng);
             assert!(c.validate(&pk).is_ok());
         }
         // ε₂ ciphertexts validate against N³.
         let (ctx2, _, mut rng2) = setup(2);
-        let c2 = ctx2.encrypt(&BigUint::from(7u64), &mut rng2);
+        let c2 = ctx2.enc(&BigUint::from(7u64), &mut rng2);
         assert!(c2.validate(ctx2.public_key()).is_ok());
     }
 
@@ -556,7 +615,7 @@ mod tests {
         // probability only at higher levels; the level-1 check against
         // N² still accepts it — level agreement is the wire layer's
         // job. What must hold: validation never panics.
-        let c = ctx.encrypt(&BigUint::from(9u64), &mut rng);
+        let c = ctx.enc(&BigUint::from(9u64), &mut rng);
         let retagged = Ciphertext::from_parts(c.value().clone(), 2);
         let _ = retagged.validate(&pk);
     }
@@ -568,7 +627,7 @@ mod tests {
         let (pk, _sk) = generate_keypair(64, &mut rng);
         let ctx1 = DjContext::new(&pk, 1);
         let ctx2 = DjContext::new(&pk, 2);
-        let c = ctx1.encrypt(&BigUint::one(), &mut rng);
+        let c = ctx1.enc(&BigUint::one(), &mut rng);
         let _ = ctx2.scalar_mul(&BigUint::one(), &c);
     }
 }

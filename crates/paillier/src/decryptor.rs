@@ -112,7 +112,7 @@ mod tests {
             let dec = Decryptor::new(&ctx, &sk);
             for _ in 0..10 {
                 let m = rng.gen_biguint_below(ctx.plaintext_modulus());
-                let c = ctx.encrypt(&m, &mut rng);
+                let c = ctx.encrypt_core(&m, &mut rng).unwrap();
                 assert_eq!(dec.decrypt(&ctx, &c), ctx.decrypt(&c, &sk), "s={s}");
                 assert_eq!(dec.decrypt(&ctx, &c), m);
             }
@@ -139,7 +139,12 @@ mod tests {
         let ctx = DjContext::new(&pk, 1);
         let dec = Decryptor::new(&ctx, &sk);
         let values: Vec<BigUint> = (0..5).map(|i| BigUint::from(i as u64 * 111)).collect();
-        let enc = crate::encrypt_vector(&values, &ctx, &mut rng);
+        let enc = crate::EncryptedVector::from_ciphertexts(
+            values
+                .iter()
+                .map(|v| ctx.encrypt_core(v, &mut rng).unwrap())
+                .collect(),
+        );
         assert_eq!(dec.decrypt_vector(&ctx, &enc), values);
     }
 
@@ -151,7 +156,7 @@ mod tests {
         let (pk, sk) = generate_keypair(256, &mut rng);
         let ctx = DjContext::new(&pk, 1);
         let dec = Decryptor::new(&ctx, &sk);
-        let c = ctx.encrypt(&BigUint::from(42u64), &mut rng);
+        let c = ctx.encrypt_core(&BigUint::from(42u64), &mut rng).unwrap();
 
         let t0 = std::time::Instant::now();
         for _ in 0..20 {

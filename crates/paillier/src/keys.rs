@@ -181,7 +181,7 @@ mod tests {
         // The restored keys still decrypt.
         let ctx = crate::DjContext::new(&pk2, 1);
         let m = BigUint::from(123u64);
-        let c = ctx.encrypt(&m, &mut rng);
+        let c = ctx.encrypt_core(&m, &mut rng).unwrap();
         assert_eq!(ctx.decrypt(&c, &sk2), m);
     }
 

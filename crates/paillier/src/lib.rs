@@ -9,10 +9,16 @@
 //!   `Z_{N^s}`, ciphertexts in `Z^*_{N^{s+1}}`, with the fast binomial
 //!   evaluation of `(1+N)^m` and the Damgård–Jurik discrete-log
 //!   decryption;
+//! * the unified [`Encryptor`] API: [`FreshEncryptor`] draws randomness
+//!   per call, [`PooledEncryptor`] spends pre-computed `r^{N^s}`
+//!   randomizers from a (optionally background-refilled)
+//!   [`RandomizerPool`] and degrades to fresh randomness when empty;
 //! * the homomorphisms the paper relies on (its Eqn 2–4): addition `⊕`,
-//!   plaintext–ciphertext multiplication `⊗`, dot product `⊙`, and the
-//!   matrix private selection `A ⨂ [v]` of Theorem 3.1
-//!   ([`matrix_select`]);
+//!   plaintext–ciphertext multiplication `⊗`, dot product `⊙`
+//!   (Straus–Shamir multi-exponentiation), and the matrix private
+//!   selection `A ⨂ [v]` of Theorem 3.1 ([`matrix_select`] /
+//!   [`matrix_select_with`] for window-table hoisting and row
+//!   parallelism);
 //! * layered encryption: an ε₁ ciphertext (an element of `Z_{N²}`) can be
 //!   treated as an ε₂ plaintext, which is exactly the trick PPGNN-OPT's
 //!   two-phase selection uses;
@@ -22,21 +28,23 @@
 //! # Example
 //!
 //! ```
-//! use ppgnn_paillier::{generate_keypair, DjContext};
+//! use ppgnn_paillier::{generate_keypair, DjContext, Encryptor, FreshEncryptor};
 //! use ppgnn_bigint::BigUint;
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
 //! let (pk, sk) = generate_keypair(256, &mut rng);
 //! let ctx = DjContext::new(&pk, 1);
-//! let c1 = ctx.encrypt(&BigUint::from(20u64), &mut rng);
-//! let c2 = ctx.encrypt(&BigUint::from(22u64), &mut rng);
+//! let enc = FreshEncryptor::with_rng(ctx.clone(), rng);
+//! let c1 = enc.encrypt(&BigUint::from(20u64)).unwrap();
+//! let c2 = enc.encrypt(&BigUint::from(22u64)).unwrap();
 //! let sum = ctx.add(&c1, &c2);
 //! assert_eq!(ctx.decrypt(&sum, &sk), BigUint::from(42u64));
 //! ```
 
 mod context;
 mod decryptor;
+mod encryptor;
 mod error;
 mod keys;
 pub mod packing;
@@ -45,10 +53,13 @@ mod vector;
 
 pub use context::{Ciphertext, DjContext};
 pub use decryptor::Decryptor;
+pub use encryptor::{Encryptor, FreshEncryptor, PooledEncryptor, RandomizerPool};
 pub use error::PaillierError;
 pub use keys::{generate_keypair, Keypair, PublicKey, SecretKey};
 pub use pool::RandomnessPool;
 pub use vector::{
-    decrypt_vector, encrypt_indicator, encrypt_indicator_pooled, encrypt_vector, matrix_select,
-    EncryptedVector,
+    decrypt_vector, matrix_select, matrix_select_with, EncryptedVector, SelectOptions,
+    SelectStrategy,
 };
+#[allow(deprecated)]
+pub use vector::{encrypt_indicator, encrypt_indicator_pooled, encrypt_vector};

@@ -1,4 +1,4 @@
-//! Pre-computed encryption randomness.
+//! Pre-computed encryption randomness (legacy, manually-refilled form).
 //!
 //! The expensive half of an ε_s encryption is `r^{N^s} mod N^{s+1}` — it
 //! does not depend on the plaintext. A mobile user (the paper's target
@@ -6,10 +6,16 @@
 //! pre-compute a pool of randomizers while idle/charging and spend only
 //! the cheap binomial `(1+N)^m` plus one modular multiplication per
 //! encryption at query time.
+//!
+//! This module is the original, manually-refilled pool. New code should
+//! use [`crate::RandomizerPool`] (background-refilled, shareable across
+//! threads) through [`crate::PooledEncryptor`]; the API here is kept one
+//! release as deprecated shims.
 
 use rand::Rng;
 
-use ppgnn_bigint::{BigUint, UniformBigUint};
+use ppgnn_bigint::BigUint;
+use ppgnn_telemetry as telemetry;
 
 use crate::context::{Ciphertext, DjContext};
 use crate::error::PaillierError;
@@ -23,20 +29,14 @@ pub struct RandomnessPool {
 
 impl RandomnessPool {
     /// Pre-computes `capacity` randomizers (the slow, offline step).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `RandomizerPool::prefilled` / `RandomizerPool::with_background_refill` instead"
+    )]
     pub fn generate<R: Rng + ?Sized>(ctx: &DjContext, capacity: usize, rng: &mut R) -> Self {
-        let n = ctx.public_key().n();
-        let randomizers = (0..capacity)
-            .map(|_| {
-                let r = loop {
-                    let r = rng.gen_biguint_range(&BigUint::one(), n);
-                    if r.gcd(n).is_one() {
-                        break r;
-                    }
-                };
-                ctx.pow_n_s(&r)
-            })
-            .collect();
-        RandomnessPool { randomizers }
+        RandomnessPool {
+            randomizers: crate::encryptor::generate_randomizers(ctx, capacity, rng),
+        }
     }
 
     /// Remaining pre-computed randomizers.
@@ -46,19 +46,30 @@ impl RandomnessPool {
 
     /// Encrypts using one pooled randomizer (the fast, online step).
     ///
-    /// Returns [`PaillierError::PlaintextOutOfRange`] when `m ≥ N^s` and
-    /// an empty-pool error via `None` when exhausted.
-    pub fn encrypt(
-        &mut self,
-        ctx: &DjContext,
-        m: &BigUint,
-    ) -> Option<Result<Ciphertext, PaillierError>> {
-        let rn = self.randomizers.pop()?;
-        Some(ctx.encrypt_with_randomizer(m, &rn))
+    /// When the pool is exhausted this **degrades to fresh-randomness
+    /// encryption** (counted on the `pool-miss` telemetry counter) —
+    /// exhaustion is never an error and never a stall on the query path.
+    /// Returns [`PaillierError::PlaintextOutOfRange`] when `m ≥ N^s`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `PooledEncryptor::encrypt` (backed by `RandomizerPool`) instead"
+    )]
+    pub fn encrypt(&mut self, ctx: &DjContext, m: &BigUint) -> Result<Ciphertext, PaillierError> {
+        match self.randomizers.pop() {
+            Some(rn) => {
+                telemetry::global().incr(telemetry::Op::PoolHit);
+                ctx.encrypt_with_randomizer_core(m, &rn)
+            }
+            None => {
+                telemetry::global().incr(telemetry::Op::PoolMiss);
+                ctx.encrypt_core(m, &mut rand::thread_rng())
+            }
+        }
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shim-coverage tests for the legacy pool API
 mod tests {
     use super::*;
     use crate::keys::generate_keypair;
@@ -73,11 +84,27 @@ mod tests {
         let mut pool = RandomnessPool::generate(&ctx, 5, &mut rng);
         for i in 0..5u64 {
             let m = BigUint::from(i * 1000);
-            let c = pool.encrypt(&ctx, &m).unwrap().unwrap();
+            let c = pool.encrypt(&ctx, &m).unwrap();
             assert_eq!(ctx.decrypt(&c, &sk), m);
         }
         assert_eq!(pool.remaining(), 0);
-        assert!(pool.encrypt(&ctx, &BigUint::one()).is_none());
+    }
+
+    #[test]
+    fn exhaustion_degrades_to_fresh_randomness() {
+        // The pool must never fail or stall when empty: encryption
+        // continues with fresh randomness and stays correct.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (pk, sk) = generate_keypair(128, &mut rng);
+        let ctx = DjContext::new(&pk, 1);
+        let mut pool = RandomnessPool::generate(&ctx, 1, &mut rng);
+        let m = BigUint::from(31337u64);
+        let pooled = pool.encrypt(&ctx, &m).unwrap();
+        assert_eq!(pool.remaining(), 0);
+        let fresh = pool.encrypt(&ctx, &m).unwrap();
+        assert_eq!(ctx.decrypt(&pooled, &sk), m);
+        assert_eq!(ctx.decrypt(&fresh, &sk), m);
+        assert_ne!(pooled, fresh, "fallback must use fresh randomness");
     }
 
     #[test]
@@ -87,8 +114,8 @@ mod tests {
         let ctx = DjContext::new(&pk, 1);
         let mut pool = RandomnessPool::generate(&ctx, 3, &mut rng);
         let m = BigUint::from(7u64);
-        let c1 = pool.encrypt(&ctx, &m).unwrap().unwrap();
-        let c2 = pool.encrypt(&ctx, &m).unwrap().unwrap();
+        let c1 = pool.encrypt(&ctx, &m).unwrap();
+        let c2 = pool.encrypt(&ctx, &m).unwrap();
         assert_ne!(c1, c2, "distinct randomizers => distinct ciphertexts");
     }
 
@@ -104,13 +131,13 @@ mod tests {
 
         let t0 = std::time::Instant::now();
         for _ in 0..50 {
-            let _ = ctx.encrypt(&m, &mut rng);
+            let _ = ctx.encrypt_core(&m, &mut rng);
         }
         let full = t0.elapsed();
 
         let t0 = std::time::Instant::now();
         for _ in 0..50 {
-            let _ = pool.encrypt(&ctx, &m).unwrap().unwrap();
+            let _ = pool.encrypt(&ctx, &m).unwrap();
         }
         let online = t0.elapsed();
         assert!(
@@ -128,7 +155,7 @@ mod tests {
         let too_big = ctx.plaintext_modulus().clone();
         assert!(matches!(
             pool.encrypt(&ctx, &too_big),
-            Some(Err(PaillierError::PlaintextOutOfRange { .. }))
+            Err(PaillierError::PlaintextOutOfRange { .. })
         ));
     }
 }

@@ -66,9 +66,9 @@ use ppgnn_core::{Lsp, PpgnnConfig, Variant};
 use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_server::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
 use ppgnn_server::{
-    run_crash_soak, run_moving_soak, serve, summarize, ClientStats, CrashSoakConfig, FaultConfig,
-    FrameType, GroupClient, LatencySummary, MovingSoakConfig, ServerConfig, ServerError,
-    StatsReplyPayload, TelemetrySnapshot, TraceReplyPayload,
+    run_crash_soak, run_moving_soak, serve_world, summarize, ClientStats, CrashSoakConfig,
+    FaultConfig, FrameType, GroupClient, LatencySummary, MovingSoakConfig, ServerConfig,
+    ServerError, StatsReplyPayload, TelemetrySnapshot, TraceReplyPayload,
 };
 use ppgnn_telemetry::json;
 use ppgnn_telemetry::trace::{self, TraceSegment, TracerConfig};
@@ -99,6 +99,9 @@ struct Args {
     trace_slow_us: u64,
     trace_sample_permille: u32,
     chaos: FaultConfig,
+    parallelism: usize,
+    naive_crypto: bool,
+    offline_randomness: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -126,6 +129,9 @@ fn parse_args() -> Result<Args, String> {
         trace_slow_us: TracerConfig::default().slow_us,
         trace_sample_permille: 1000,
         chaos: FaultConfig::off(1),
+        parallelism: 1,
+        naive_crypto: false,
+        offline_randomness: false,
     };
     args.chaos.max_delay = Duration::from_millis(20);
     let mut it = std::env::args().skip(1);
@@ -171,6 +177,9 @@ fn parse_args() -> Result<Args, String> {
                 args.chaos.truncate_prob = parse(&value("--chaos-truncate-prob")?)?
             }
             "--chaos-sever-prob" => args.chaos.sever_prob = parse(&value("--chaos-sever-prob")?)?,
+            "--parallelism" => args.parallelism = parse(&value("--parallelism")?)?,
+            "--naive-crypto" => args.naive_crypto = true,
+            "--offline-randomness" => args.offline_randomness = true,
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--groups N] [--queries M] \
@@ -183,7 +192,8 @@ fn parse_args() -> Result<Args, String> {
                      [--trace-sample-permille P] \
                      [--chaos-seed S] [--chaos-delay-prob P] [--chaos-delay-ms MS] \
                      [--chaos-corrupt-prob P] [--chaos-truncate-prob P] \
-                     [--chaos-sever-prob P]"
+                     [--chaos-sever-prob P] [--parallelism T] [--naive-crypto] \
+                     [--offline-randomness]"
                 );
                 std::process::exit(0);
             }
@@ -249,6 +259,7 @@ fn main() {
         delta: args.delta,
         keysize: args.keysize,
         sanitize: args.sanitize,
+        offline_randomness: args.offline_randomness,
         variant: if args.opt {
             Variant::Opt
         } else {
@@ -263,12 +274,18 @@ fn main() {
         let pois: Vec<Poi> = (0..args.pois)
             .map(|i| Poi::new(i as u32, Point::new(rng.gen::<f64>(), rng.gen::<f64>())))
             .collect();
-        let lsp = Arc::new(Lsp::new(pois, config.clone()));
+        let lsp = Arc::new(
+            Lsp::new(pois, config.clone())
+                .with_parallelism(args.parallelism)
+                .with_naive_crypto(args.naive_crypto),
+        );
         let server_config = ServerConfig {
             fault: args.chaos.is_active().then(|| args.chaos.clone()),
+            selection_parallelism: args.parallelism.max(1),
+            naive_crypto: args.naive_crypto,
             ..ServerConfig::default()
         };
-        let handle = match serve(lsp, "127.0.0.1:0", server_config) {
+        let handle = match serve_world(lsp, "127.0.0.1:0", server_config) {
             Ok(h) => h,
             Err(e) => {
                 eprintln!("loadgen: failed to start in-process server: {e}");
@@ -737,6 +754,9 @@ fn bench_report(
     meta.field_bool("chaos", args.chaos.is_active());
     meta.field_u64("seed", args.seed);
     meta.field_u64("elapsed_ms", elapsed.as_millis() as u64);
+    meta.field_u64("parallelism", args.parallelism as u64);
+    meta.field_bool("naive_crypto", args.naive_crypto);
+    meta.field_bool("offline_randomness", args.offline_randomness);
 
     let mut client = json::Obj::new();
     client.field_u64("errors", errors);
@@ -745,11 +765,35 @@ fn bench_report(
     client.field_u64("reconnects", total.reconnects);
     client.field_u64("replayed_answers", total.replayed_answers);
 
+    // The crypto hot path (DESIGN.md §17): how often online encryption
+    // was served by a precomputed randomizer instead of a fresh modpow.
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    };
+    let (hits, misses) = (counter("pool-hit"), counter("pool-miss"));
+    let mut hotpath = json::Obj::new();
+    hotpath.field_u64("pool_hits", hits);
+    hotpath.field_u64("pool_misses", misses);
+    hotpath.field_f64(
+        "pool_hit_ratio",
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+    );
+
     let mut obj = json::Obj::new();
     obj.field_raw("meta", &meta.finish());
     obj.field_f64("throughput_qps", summary.throughput_qps);
     obj.field_raw("latency", &summary.to_json());
     obj.field_raw("client", &client.finish());
+    obj.field_raw("crypto_hotpath", &hotpath.finish());
     obj.field_raw("telemetry", &snapshot.to_json());
     obj.finish()
 }

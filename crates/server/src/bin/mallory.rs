@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 use ppgnn_core::{Lsp, PpgnnConfig};
 use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_server::mallory::{run_catalog, AttackContext, MalloryReport};
-use ppgnn_server::{serve_durable, DurabilityConfig, GroupClient, ServerConfig};
+use ppgnn_server::{serve_world, DurabilityConfig, GroupClient, ServerConfig, WorldSeed};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -141,10 +141,12 @@ fn main() {
             durability: Some(DurabilityConfig::new(&data_dir)),
             ..ServerConfig::default()
         };
-        let handle = match serve_durable(
-            pois,
-            config.clone(),
-            Rect::UNIT,
+        let handle = match serve_world(
+            WorldSeed::Durable {
+                initial_pois: pois,
+                protocol: config.clone(),
+                space: Rect::UNIT,
+            },
             "127.0.0.1:0",
             server_config,
         ) {

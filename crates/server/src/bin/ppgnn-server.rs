@@ -13,11 +13,11 @@
 //!              [--checkpoint-every-ops N] [--admin-token T]
 //!              [--max-subscriptions N] [--shape off|padded]
 //!              [--shape-max-key-bits B] [--shape-max-k K]
-//!              [--latency-quantum-ms MS]
+//!              [--latency-quantum-ms MS] [--parallelism T] [--naive-crypto]
 //! ```
 //!
 //! Durability: with `--data-dir PATH` the server runs the crash-safe
-//! live world ([`ppgnn_server::serve_durable`]): on first boot the
+//! live world ([`ppgnn_server::WorldSeed::Durable`]): on first boot the
 //! seeded POI set is checkpointed into PATH; on every later boot the
 //! newest valid checkpoint is loaded and the WAL tail replayed, so the
 //! process resumes at the exact pre-crash index version. `--fsync`
@@ -69,8 +69,8 @@ use std::time::Duration;
 use ppgnn_core::{Lsp, PpgnnConfig};
 use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_server::{
-    serve, serve_durable, DurabilityConfig, FsyncPolicy, HelloPolicy, ServerConfig, ShapeMode,
-    ShapePolicy, StatsProbe,
+    serve_world, DurabilityConfig, FsyncPolicy, HelloPolicy, ServerConfig, ShapeMode, ShapePolicy,
+    StatsProbe, WorldSeed,
 };
 use ppgnn_telemetry::trace::{self, TracerConfig};
 use rand::rngs::StdRng;
@@ -159,6 +159,10 @@ fn parse_args() -> Result<Args, String> {
             "--d" => d = parse(&value("--d")?)?,
             "--delta" => delta = parse(&value("--delta")?)?,
             "--workers" => builder = builder.workers(parse(&value("--workers")?)?),
+            "--parallelism" => {
+                builder = builder.selection_parallelism(parse(&value("--parallelism")?)?)
+            }
+            "--naive-crypto" => builder = builder.naive_crypto(true),
             "--queue-depth" => builder = builder.queue_depth(parse(&value("--queue-depth")?)?),
             "--max-connections" => {
                 builder = builder.max_connections(parse(&value("--max-connections")?)?)
@@ -283,7 +287,7 @@ fn parse_args() -> Result<Args, String> {
                      [--checkpoint-every-ops N] [--admin-token T] \
                      [--max-subscriptions N] [--shape off|padded] \
                      [--shape-max-key-bits B] [--shape-max-k K] \
-                     [--latency-quantum-ms MS]"
+                     [--latency-quantum-ms MS] [--parallelism T] [--naive-crypto]"
                 );
                 std::process::exit(0);
             }
@@ -428,16 +432,22 @@ fn main() {
 
     let durable = args.config.durability.is_some();
     let served = if durable {
-        serve_durable(
-            pois,
-            config,
-            Rect::UNIT,
+        serve_world(
+            WorldSeed::Durable {
+                initial_pois: pois,
+                protocol: config,
+                space: Rect::UNIT,
+            },
             args.addr.as_str(),
             args.config.clone(),
         )
     } else {
-        serve(
-            Arc::new(Lsp::new(pois, config)),
+        serve_world(
+            Arc::new(
+                Lsp::new(pois, config)
+                    .with_parallelism(args.config.selection_parallelism)
+                    .with_naive_crypto(args.config.naive_crypto),
+            ),
             args.addr.as_str(),
             args.config.clone(),
         )

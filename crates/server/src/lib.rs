@@ -43,7 +43,7 @@
 //! use std::sync::Arc;
 //! use ppgnn_core::{Lsp, PpgnnConfig};
 //! use ppgnn_geo::{Point, Poi, Rect};
-//! use ppgnn_server::{serve, GroupClient, ServerConfig};
+//! use ppgnn_server::{serve_world, GroupClient, ServerConfig};
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
@@ -52,7 +52,7 @@
 //!     .map(|i| Poi::new(i, Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0)))
 //!     .collect();
 //! let lsp = Arc::new(Lsp::new(pois, config.clone()));
-//! let handle = serve(lsp, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let handle = serve_world(lsp, "127.0.0.1:0", ServerConfig::default()).unwrap();
 //!
 //! let mut client =
 //!     GroupClient::connect(handle.local_addr(), 1, config, Rect::UNIT, 2, &mut rng).unwrap();
@@ -97,9 +97,11 @@ pub use ppgnn_telemetry::{HealthSnapshot, StageSnapshot, TelemetrySnapshot};
 pub use registry::{
     CachedAnswer, RegistryLimits, SessionParams, SessionRegistry, SessionTableFull,
 };
+#[allow(deprecated)]
+pub use server::{serve, serve_durable, serve_dynamic};
 pub use server::{
-    serve, serve_durable, serve_dynamic, ConfigError, ServerConfig, ServerConfigBuilder,
-    ServerHandle, ServerStats, StatsProbe, World,
+    serve_world, ConfigError, ServerConfig, ServerConfigBuilder, ServerHandle, ServerStats,
+    StatsProbe, World, WorldSeed,
 };
 pub use shape::{Lane, ShapeMode, ShapePolicy};
 pub use subscription::{

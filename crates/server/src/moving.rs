@@ -28,7 +28,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::client::{GroupClient, SafeRegionToken};
 use crate::error::ServerError;
 use crate::frame::SubscriptionKind;
-use crate::server::{serve_dynamic, ServerConfig, ServerHandle};
+use crate::server::{serve_world, ServerConfig, ServerHandle};
 
 /// Everything a moving-group soak needs; `Default` is the tuned CI
 /// smoke shape (seconds, not minutes).
@@ -209,7 +209,7 @@ pub fn run_moving_soak(config: &MovingSoakConfig) -> Result<MovingSoakReport, Se
         max_subscriptions: config.world.n_groups.max(1) * 2,
         ..ServerConfig::default()
     };
-    let handle = serve_dynamic(Arc::clone(&dyn_lsp), "127.0.0.1:0", server_config)?;
+    let handle = serve_world(Arc::clone(&dyn_lsp), "127.0.0.1:0", server_config)?;
     let report = run_against(&mut world, &handle, config);
     handle.shutdown();
     report

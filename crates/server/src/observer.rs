@@ -49,7 +49,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::client::GroupClient;
 use crate::error::ServerError;
 use crate::frame::FrameType;
-use crate::server::{serve, ServerConfig};
+use crate::server::{serve_world, ServerConfig};
 use crate::shape::{ShapeMode, ShapePolicy};
 
 /// Off-mode gate: a channel must separate at this level for the
@@ -317,7 +317,7 @@ fn run_arm(
         .build()
         .map_err(|e| ServerError::Recovery(e.0))?;
     let lsp = Arc::new(Lsp::new(pois, config.clone()));
-    let handle = serve(lsp, "127.0.0.1:0", server_config)?;
+    let handle = serve_world(lsp, "127.0.0.1:0", server_config)?;
     let mut rng = ChaCha8Rng::seed_from_u64(arm_seed);
     let result = (|| {
         let mut client = GroupClient::connect(

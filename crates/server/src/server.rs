@@ -83,7 +83,7 @@ const REPLY_GRACE: Duration = Duration::from_secs(5);
 /// How often the supervisor sweeps the pool for dead workers.
 const SUPERVISOR_SWEEP: Duration = Duration::from_millis(50);
 
-/// Tunables for [`serve`].
+/// Tunables for [`serve_world`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads processing queries.
@@ -133,16 +133,30 @@ pub struct ServerConfig {
     /// invalidation scan per mutation, so the table is bounded. 0
     /// refuses every `Subscribe`.
     pub max_subscriptions: usize,
-    /// Durability for the live world: `Some` makes [`serve_durable`]
-    /// write-ahead-log every admitted `PoiUpdate` batch and checkpoint
-    /// periodically; `None` (the default) keeps the world in-memory
-    /// only. Ignored by [`serve`] / [`serve_dynamic`].
+    /// Durability for the live world: `Some` makes a
+    /// [`WorldSeed::Durable`] deployment write-ahead-log every admitted
+    /// `PoiUpdate` batch and checkpoint periodically; `None` (the
+    /// default) keeps the world in-memory only. [`serve_world`]
+    /// requires the seed and this knob to agree.
     pub durability: Option<DurabilityConfig>,
     /// Response-shape policy (DESIGN.md §16): off (the default) sends
     /// responses as-is; padded stretches every `Answer`/`Busy`/`Error`/
     /// `SubscriptionUpdate` frame to a policy-wide constant size and
     /// releases responses only on latency-quantum boundaries.
     pub shape: ShapePolicy,
+    /// Per-query crypto parallelism — threads fanning out candidate
+    /// evaluation and private-selection rows (DESIGN.md §17). Applied
+    /// to worlds the server builds itself ([`WorldSeed::Durable`]);
+    /// in-memory seeds carry their own tuning on the `Lsp` /
+    /// `DynamicLsp` they wrap. Peak thread demand is
+    /// `workers × selection_parallelism`, so size it against the
+    /// worker budget.
+    pub selection_parallelism: usize,
+    /// Route private selection through the naive per-entry modpow path
+    /// instead of Straus multi-exponentiation (A/B benchmarking only;
+    /// both paths are bit-identical). Scoped like
+    /// [`ServerConfig::selection_parallelism`].
+    pub naive_crypto: bool,
 }
 
 impl Default for ServerConfig {
@@ -167,6 +181,8 @@ impl Default for ServerConfig {
             max_subscriptions: 64,
             durability: None,
             shape: ShapePolicy::off(),
+            selection_parallelism: 1,
+            naive_crypto: false,
         }
     }
 }
@@ -313,7 +329,7 @@ impl ServerConfigBuilder {
         self
     }
 
-    /// Durability config for [`serve_durable`]; `None` disables it.
+    /// Durability config for [`WorldSeed::Durable`]; `None` disables it.
     pub fn durability(mut self, durability: Option<DurabilityConfig>) -> Self {
         self.config.durability = durability;
         self
@@ -322,6 +338,18 @@ impl ServerConfigBuilder {
     /// Response-shape policy; [`ShapePolicy::off`] disables shaping.
     pub fn shape(mut self, shape: ShapePolicy) -> Self {
         self.config.shape = shape;
+        self
+    }
+
+    /// Per-query crypto parallelism for server-built worlds.
+    pub fn selection_parallelism(mut self, threads: usize) -> Self {
+        self.config.selection_parallelism = threads;
+        self
+    }
+
+    /// Forces the naive selection path (A/B benchmarking only).
+    pub fn naive_crypto(mut self, naive: bool) -> Self {
+        self.config.naive_crypto = naive;
         self
     }
 
@@ -390,6 +418,11 @@ impl ServerConfigBuilder {
                     "durability.checkpoint_every_ops must be at least 1".into(),
                 ));
             }
+        }
+        if c.selection_parallelism == 0 {
+            return Err(ConfigError(
+                "selection_parallelism must be at least 1 (1 = sequential)".into(),
+            ));
         }
         if c.shape.is_padded() {
             if c.shape.max_key_bits < c.hello_policy.min_key_bits {
@@ -761,28 +794,112 @@ fn lock_list(list: &Mutex<Vec<JoinHandle<()>>>) -> std::sync::MutexGuard<'_, Vec
     list.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
+/// The deployment shape handed to [`serve_world`]: which POI world the
+/// server boots, and — for the durable variant — what seeds the data
+/// dir on first boot.
+///
+/// `From` impls cover the in-memory shapes, so call sites pass an
+/// `Arc<Lsp>` or `Arc<DynamicLsp>` directly.
+pub enum WorldSeed {
+    /// A fixed database; the `PoiUpdate` lane is a protocol error.
+    Static(Arc<Lsp>),
+    /// A live database behind versioned snapshots, in-memory only.
+    Dynamic(Arc<DynamicLsp>),
+    /// A crash-safe live world, recovered from (or bootstrapped into)
+    /// the data dir named by [`ServerConfig::durability`] — which must
+    /// be set. The seed fields are used only when the data dir has no
+    /// checkpoint yet (first boot).
+    Durable {
+        initial_pois: Vec<Poi>,
+        protocol: PpgnnConfig,
+        space: Rect,
+    },
+}
+
+impl From<Arc<Lsp>> for WorldSeed {
+    fn from(lsp: Arc<Lsp>) -> Self {
+        WorldSeed::Static(lsp)
+    }
+}
+
+impl From<Arc<DynamicLsp>> for WorldSeed {
+    fn from(world: Arc<DynamicLsp>) -> Self {
+        WorldSeed::Dynamic(world)
+    }
+}
+
+/// Binds `addr` and serves the world described by `seed` under
+/// `config` — the single entrypoint that replaces the deprecated
+/// [`serve`] / [`serve_dynamic`] / [`serve_durable`] trio.
+///
+/// The world shape and [`ServerConfig::durability`] must agree: a
+/// [`WorldSeed::Durable`] seed without a durability config, or a
+/// durability config paired with an in-memory seed, fails with
+/// [`ServerError::Recovery`] — never a silent downgrade to a world
+/// that forgets on crash.
+///
+/// For [`WorldSeed::Durable`], boot order is: load the newest valid
+/// checkpoint, replay the WAL tail (torn tail truncated, dropped bytes
+/// logged), republish at the exact pre-crash version, *then* bind the
+/// socket — a recovered server answers byte-identically to one that
+/// never died.
+///
+/// Startup failures (bind, thread spawn) surface as
+/// [`ServerError::Io`] instead of panicking.
+pub fn serve_world(
+    seed: impl Into<WorldSeed>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> Result<ServerHandle, ServerError> {
+    let world = match seed.into() {
+        WorldSeed::Durable {
+            initial_pois,
+            protocol,
+            space,
+        } => return serve_durable_inner(initial_pois, protocol, space, addr, config),
+        WorldSeed::Static(lsp) => World::Static(lsp),
+        WorldSeed::Dynamic(d) => World::Dynamic(d),
+    };
+    if config.durability.is_some() {
+        return Err(ServerError::Recovery(
+            "ServerConfig::durability is set but the world seed is in-memory; \
+             pass WorldSeed::Durable so the world survives a crash"
+                .into(),
+        ));
+    }
+    serve_world_inner(world, addr, config, None, None)
+}
+
 /// Binds `addr` and starts serving `lsp` with `config`.
 ///
 /// Startup failures (bind, thread spawn) surface as
 /// [`ServerError::Io`] instead of panicking.
+#[deprecated(
+    since = "0.9.0",
+    note = "use serve_world(lsp, addr, config); Arc<Lsp> converts into WorldSeed::Static"
+)]
 pub fn serve(
     lsp: Arc<Lsp>,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> Result<ServerHandle, ServerError> {
-    serve_world(World::Static(lsp), addr, config)
+    serve_world_inner(World::Static(lsp), addr, config, None, None)
 }
 
 /// As [`serve`], but over a live [`DynamicLsp`]: the `PoiUpdate` admin
 /// lane (gated by [`ServerConfig::admin_token`]) mutates the index,
 /// and `Subscribe` turns queries into standing ones with safe-region
 /// invalidation pushes.
+#[deprecated(
+    since = "0.9.0",
+    note = "use serve_world(world, addr, config); Arc<DynamicLsp> converts into WorldSeed::Dynamic"
+)]
 pub fn serve_dynamic(
     world: Arc<DynamicLsp>,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> Result<ServerHandle, ServerError> {
-    serve_world(World::Dynamic(world), addr, config)
+    serve_world_inner(World::Dynamic(world), addr, config, None, None)
 }
 
 /// As [`serve_dynamic`], but crash-safe: the live world is recovered
@@ -800,7 +917,21 @@ pub fn serve_dynamic(
 /// Fails with [`ServerError::Recovery`] when `durability` is unset or
 /// the data dir's checkpoints all fail validation — never a silent
 /// stale serve.
+#[deprecated(
+    since = "0.9.0",
+    note = "use serve_world(WorldSeed::Durable { initial_pois, protocol, space }, addr, config)"
+)]
 pub fn serve_durable(
+    initial_pois: Vec<Poi>,
+    protocol: PpgnnConfig,
+    space: Rect,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> Result<ServerHandle, ServerError> {
+    serve_durable_inner(initial_pois, protocol, space, addr, config)
+}
+
+fn serve_durable_inner(
     initial_pois: Vec<Poi>,
     protocol: PpgnnConfig,
     space: Rect,
@@ -818,7 +949,9 @@ pub fn serve_durable(
             // First boot: seed the dir so the world is durable from
             // version 1 on.
             wal::bootstrap(&dir, &initial_pois)?;
-            let world = DynamicLsp::with_space(initial_pois, protocol, space);
+            let world = DynamicLsp::with_space(initial_pois, protocol, space)
+                .with_parallelism(config.selection_parallelism)
+                .with_naive_crypto(config.naive_crypto);
             (world, None, Vec::new())
         }
         Some(rec) => {
@@ -829,7 +962,9 @@ pub fn serve_durable(
                 torn_bytes: rec.torn_bytes,
                 corrupt_checkpoints: rec.corrupt_checkpoints,
             };
-            let world = DynamicLsp::restore(rec.pois, protocol, space, rec.checkpoint_version);
+            let world = DynamicLsp::restore(rec.pois, protocol, space, rec.checkpoint_version)
+                .with_parallelism(config.selection_parallelism)
+                .with_naive_crypto(config.naive_crypto);
             let mut replayed = Vec::with_capacity(rec.batches.len());
             for b in &rec.batches {
                 let (applied, version) = world.apply(&b.ops);
@@ -863,14 +998,6 @@ pub fn serve_durable(
         Some(Mutex::new(state)),
         recovery,
     )
-}
-
-fn serve_world(
-    world: World,
-    addr: impl ToSocketAddrs,
-    config: ServerConfig,
-) -> Result<ServerHandle, ServerError> {
-    serve_world_inner(world, addr, config, None, None)
 }
 
 /// A per-process restart epoch: wall-clock nanos mixed with the pid,

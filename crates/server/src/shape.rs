@@ -251,9 +251,12 @@ mod tests {
         let p = policy();
         let target = p.answer_target();
         // Exhaustive sweep of admitted sessions × real (packing,
-        // cipher) combinations: none may burst the envelope.
+        // cipher) combinations: none may burst the envelope. Keys start
+        // at 80 bits — `PpgnnConfig::validate` rejects anything smaller
+        // (it cannot pack one 64-bit answer record), so no session below
+        // that ever reaches the shaper.
         for k in 1..=p.max_k {
-            for key_bits in [32, 64, 128] {
+            for key_bits in [80, 96, 128] {
                 for s in 1..=2usize {
                     let height = Packer::new(key_bits, s).packed_len(k + 1);
                     let bytes = 6 + height * ((s + 1) * key_bits / 8);

@@ -414,7 +414,7 @@ mod tests {
     fn margin_is_the_sentinel_gap() {
         let snap = snapshot();
         let q = vec![Point::new(0.21, 0.31), Point::new(0.39, 0.29)];
-        let (regions, topk, token) = compute_regions(&snap, &[q.clone()], 3);
+        let (regions, topk, token) = compute_regions(&snap, std::slice::from_ref(&q), 3);
         assert_eq!(regions.len(), 1);
         assert_eq!(topk.len(), 2, "the sentinel answer is not protected");
         let answers = snap.plaintext_answer(&q, 3);
@@ -433,7 +433,7 @@ mod tests {
         let snap = snapshot();
         let q = vec![Point::new(0.21, 0.31), Point::new(0.39, 0.29)];
         let sentinel = snap.plaintext_answer(&q, 3)[2].id;
-        reg.register(sub_for(&[q.clone()], Arc::clone(&outbox)))
+        reg.register(sub_for(std::slice::from_ref(&q), Arc::clone(&outbox)))
             .unwrap();
         // Losing the runner-up cannot shrink the protected set; the
         // client's margin only grows.
@@ -470,7 +470,7 @@ mod tests {
         let outbox = Arc::new(Outbox::new());
         let reg = SubscriptionRegistry::new(8);
         let q = vec![Point::new(0.21, 0.31), Point::new(0.39, 0.29)];
-        reg.register(sub_for(&[q.clone()], Arc::clone(&outbox)))
+        reg.register(sub_for(std::slice::from_ref(&q), Arc::clone(&outbox)))
             .unwrap();
 
         // An insert on the far corner threatens nothing.
@@ -496,7 +496,7 @@ mod tests {
         let outbox = Arc::new(Outbox::new());
         let reg = SubscriptionRegistry::new(8);
         let q = vec![Point::new(0.21, 0.31)];
-        let sub = sub_for(&[q.clone()], Arc::clone(&outbox));
+        let sub = sub_for(std::slice::from_ref(&q), Arc::clone(&outbox));
         let victim = *sub.topk.iter().next().unwrap();
         reg.register(sub).unwrap();
         // Removing a POI no candidate holds is harmless.
@@ -511,17 +511,17 @@ mod tests {
         let reg = SubscriptionRegistry::new(2);
         let q = vec![Point::new(0.5, 0.5)];
         for gid in [1u64, 2] {
-            let mut s = sub_for(&[q.clone()], Arc::clone(&outbox));
+            let mut s = sub_for(std::slice::from_ref(&q), Arc::clone(&outbox));
             s.group_id = gid;
             reg.register(s).unwrap();
         }
-        let mut third = sub_for(&[q.clone()], Arc::clone(&outbox));
+        let mut third = sub_for(std::slice::from_ref(&q), Arc::clone(&outbox));
         third.group_id = 3;
         assert!(reg.would_reject(3));
         assert_eq!(reg.register(third), Err(2));
         // Group 2 re-subscribing replaces its own slot, no cap hit.
         assert!(!reg.would_reject(2));
-        let mut again = sub_for(&[q.clone()], Arc::clone(&outbox));
+        let mut again = sub_for(std::slice::from_ref(&q), Arc::clone(&outbox));
         again.group_id = 2;
         again.request_id = 9;
         reg.register(again).unwrap();

@@ -13,8 +13,8 @@ use std::path::PathBuf;
 use ppgnn_core::PpgnnConfig;
 use ppgnn_geo::{Poi, PoiOp, Point, Rect};
 use ppgnn_server::{
-    run_crash_soak, serve_durable, CrashSoakConfig, DurabilityConfig, FsyncPolicy, GroupClient,
-    ServerConfig,
+    run_crash_soak, serve_world, CrashSoakConfig, DurabilityConfig, FsyncPolicy, GroupClient,
+    ServerConfig, WorldSeed,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -93,10 +93,12 @@ fn in_process_durable_restart_resumes_exact_version() {
         .build()
         .unwrap();
 
-    let handle = serve_durable(
-        pois,
-        protocol.clone(),
-        Rect::UNIT,
+    let handle = serve_world(
+        WorldSeed::Durable {
+            initial_pois: pois,
+            protocol: protocol.clone(),
+            space: Rect::UNIT,
+        },
         "127.0.0.1:0",
         config.clone(),
     )
@@ -123,10 +125,12 @@ fn in_process_durable_restart_resumes_exact_version() {
 
     // Second life: initial POIs are deliberately empty — everything
     // must come from the checkpoint + WAL replay.
-    let handle = serve_durable(
-        Vec::new(),
-        protocol.clone(),
-        Rect::UNIT,
+    let handle = serve_world(
+        WorldSeed::Durable {
+            initial_pois: Vec::new(),
+            protocol: protocol.clone(),
+            space: Rect::UNIT,
+        },
         "127.0.0.1:0",
         config,
     )

@@ -172,17 +172,24 @@ pub enum Op {
     PaillierDot,
     /// Sanitation Z-tests (`reject_h0` evaluations, §5.3).
     SanitationZTest,
+    /// Encryptions served from a precomputed randomizer pool.
+    PoolHit,
+    /// Pooled encryptions that found the pool empty and fell back to
+    /// fresh randomness (never an error, never a stall).
+    PoolMiss,
 }
 
 impl Op {
     /// Every op counter, in wire/report order.
-    pub const ALL: [Op; 6] = [
+    pub const ALL: [Op; 8] = [
         Op::PaillierEncrypt,
         Op::PaillierDecrypt,
         Op::PaillierScalarMul,
         Op::PaillierAdd,
         Op::PaillierDot,
         Op::SanitationZTest,
+        Op::PoolHit,
+        Op::PoolMiss,
     ];
 
     /// Number of op counters.
@@ -198,6 +205,8 @@ impl Op {
             Op::PaillierAdd => "paillier-add-ops",
             Op::PaillierDot => "paillier-dot-ops",
             Op::SanitationZTest => "sanitation-z-tests",
+            Op::PoolHit => "pool-hit",
+            Op::PoolMiss => "pool-miss",
         }
     }
 }
@@ -214,15 +223,18 @@ pub enum Gauge {
     LiveWorkers,
     /// Live sessions in the registry.
     Sessions,
+    /// Precomputed randomizers currently available in the pool.
+    PoolDepth,
 }
 
 impl Gauge {
     /// Every gauge, in wire/report order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 5] = [
         Gauge::QueueDepth,
         Gauge::Inflight,
         Gauge::LiveWorkers,
         Gauge::Sessions,
+        Gauge::PoolDepth,
     ];
 
     /// Number of gauges.
@@ -235,6 +247,7 @@ impl Gauge {
             Gauge::Inflight => "inflight",
             Gauge::LiveWorkers => "live-workers",
             Gauge::Sessions => "sessions",
+            Gauge::PoolDepth => "pool-depth",
         }
     }
 }

@@ -76,9 +76,7 @@ fn wrong_size_location_set_rejected_by_lsp() {
         k: 3,
         pk,
         partition: Some(params),
-        indicator: IndicatorPayload::Plain(ppgnn::paillier::encrypt_indicator(
-            dp, 0, &ctx, &mut rng,
-        )),
+        indicator: IndicatorPayload::Plain(encrypt_indicator(dp, 0, &ctx, &mut rng)),
         theta0: 0.05,
     };
     // User 1 sends 3 locations instead of d = 4.
@@ -117,8 +115,8 @@ fn indicator_too_short_for_two_phase_grid() {
         pk,
         partition: Some(params),
         indicator: IndicatorPayload::TwoPhase {
-            inner: ppgnn::paillier::encrypt_indicator(2, 0, &ctx1, &mut rng),
-            outer: ppgnn::paillier::encrypt_indicator(2, 0, &ctx2, &mut rng),
+            inner: encrypt_indicator(2, 0, &ctx1, &mut rng),
+            outer: encrypt_indicator(2, 0, &ctx2, &mut rng),
         },
         theta0: 0.05,
     };
@@ -245,9 +243,7 @@ fn mismatched_indicator_vs_naive_columns() {
         k: 3,
         pk,
         partition: None, // Naive: columns = location-set length = 5
-        indicator: IndicatorPayload::Plain(ppgnn::paillier::encrypt_indicator(
-            9, 0, &ctx, &mut rng,
-        )),
+        indicator: IndicatorPayload::Plain(encrypt_indicator(9, 0, &ctx, &mut rng)),
         theta0: 0.05,
     };
     let sets = vec![LocationSetMessage {
@@ -262,4 +258,19 @@ fn mismatched_indicator_vs_naive_columns() {
             got: 9
         })
     ));
+}
+
+/// Same call shape as the retired free function, built on the unified
+/// `Encryptor` API.
+fn encrypt_indicator<R: rand::Rng + ?Sized>(
+    len: usize,
+    pos: usize,
+    ctx: &ppgnn::paillier::DjContext,
+    rng: &mut R,
+) -> ppgnn::paillier::EncryptedVector {
+    use ppgnn::paillier::{Encryptor, FreshEncryptor};
+    use rand::SeedableRng;
+    FreshEncryptor::with_rng(ctx.clone(), rand::rngs::StdRng::seed_from_u64(rng.gen()))
+        .encrypt_indicator(len, pos)
+        .unwrap()
 }

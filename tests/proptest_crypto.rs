@@ -103,6 +103,15 @@ proptest! {
     }
 }
 
+/// One fresh encryption through the unified `Encryptor` API, seeded from
+/// the property's RNG so cases stay deterministic.
+fn enc_one(ctx: &DjContext, m: &BigUint, rng: &mut ChaCha8Rng) -> ppgnn::paillier::Ciphertext {
+    use ppgnn::paillier::{Encryptor, FreshEncryptor};
+    FreshEncryptor::seeded(ctx.clone(), rand::Rng::gen(rng))
+        .encrypt(m)
+        .unwrap()
+}
+
 proptest! {
     // Crypto laws are slower per case; fewer cases suffice.
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -113,7 +122,7 @@ proptest! {
         let ctx = DjContext::new(pk, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let m = rng.gen_biguint_below(ctx.plaintext_modulus());
-        let c = ctx.encrypt(&m, &mut rng);
+        let c = enc_one(&ctx, &m, &mut rng);
         prop_assert_eq!(ctx.decrypt(&c, sk), m);
     }
 
@@ -124,7 +133,7 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let a = rng.gen_biguint_below(ctx.plaintext_modulus());
         let b = rng.gen_biguint_below(ctx.plaintext_modulus());
-        let sum = ctx.add(&ctx.encrypt(&a, &mut rng), &ctx.encrypt(&b, &mut rng));
+        let sum = ctx.add(&enc_one(&ctx, &a, &mut rng), &enc_one(&ctx, &b, &mut rng));
         let expected = a.mod_add(&b, ctx.plaintext_modulus());
         prop_assert_eq!(ctx.decrypt(&sum, sk), expected);
     }
@@ -135,20 +144,22 @@ proptest! {
         let ctx = DjContext::new(pk, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let m = rng.gen_biguint_below(ctx.plaintext_modulus());
-        let prod = ctx.scalar_mul(&BigUint::from(k), &ctx.encrypt(&m, &mut rng));
+        let prod = ctx.scalar_mul(&BigUint::from(k), &enc_one(&ctx, &m, &mut rng));
         let expected = m.mod_mul(&BigUint::from(k), ctx.plaintext_modulus());
         prop_assert_eq!(ctx.decrypt(&prod, sk), expected);
     }
 
     #[test]
     fn dot_product_law(seed in any::<u64>()) {
-        use ppgnn::paillier::encrypt_vector;
+        use ppgnn::paillier::{Encryptor, FreshEncryptor};
         let (pk, sk) = shared_keys();
         let ctx = DjContext::new(pk, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let v: Vec<BigUint> = (0..4).map(|_| BigUint::from(rng.gen_biguint(20).to_u64().unwrap_or(0))).collect();
         let x: Vec<BigUint> = (0..4).map(|_| BigUint::from(rng.gen_biguint(20).to_u64().unwrap_or(0))).collect();
-        let enc = encrypt_vector(&v, &ctx, &mut rng);
+        let enc = FreshEncryptor::seeded(ctx.clone(), rand::Rng::gen(&mut rng))
+            .encrypt_vector(&v)
+            .unwrap();
         let dot = enc.dot(&x, &ctx).unwrap();
         let expected = v.iter().zip(&x).fold(BigUint::zero(), |acc, (a, b)| &acc + &(a * b));
         prop_assert_eq!(ctx.decrypt(&dot, sk), expected % ctx.plaintext_modulus());
@@ -161,8 +172,8 @@ proptest! {
         let ctx2 = DjContext::new(pk, 2);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let m = rng.gen_biguint_below(ctx1.plaintext_modulus());
-        let inner = ctx1.encrypt(&m, &mut rng);
-        let outer = ctx2.encrypt(&inner.as_plaintext(), &mut rng);
+        let inner = enc_one(&ctx1, &m, &mut rng);
+        let outer = enc_one(&ctx2, &inner.as_plaintext(), &mut rng);
         let rec_inner = ctx2.decrypt(&outer, sk);
         let rec = ctx1.decrypt(&ppgnn::paillier::Ciphertext::from_parts(rec_inner, 1), sk);
         prop_assert_eq!(rec, m);

@@ -17,7 +17,7 @@ use ppgnn::server::frame::{
     StatsReplyPayload, SubscriptionKind, SubscriptionUpdatePayload, TraceReplyPayload,
     UnsubscribePayload, DEFAULT_MAX_PAYLOAD, HEADER_BYTES,
 };
-use ppgnn::server::{serve, ErrorCode, ServerConfig, ServerError, ServerHandle};
+use ppgnn::server::{serve_world, ErrorCode, ServerConfig, ServerError, ServerHandle};
 use ppgnn::telemetry::trace::{TraceContext, Tracer, TracerConfig, TRACE_CONTEXT_BYTES};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -142,7 +142,7 @@ fn corpus() -> &'static Vec<(FrameType, Vec<u8>)> {
             (
                 FrameType::PoiUpdate,
                 PoiUpdatePayload {
-                    admin_token: 0xAD000_0001,
+                    admin_token: 0x000A_D000_0001,
                     request_id: 3,
                     ops: vec![
                         ppgnn::geo::PoiOp::Insert(Poi::new(900, Point::new(0.1, 0.9))),
@@ -491,7 +491,7 @@ fn live_server() -> &'static ServerHandle {
             rate_limit_per_sec: 0.0, // cases arrive in a burst
             ..ServerConfig::default()
         };
-        serve(
+        serve_world(
             Arc::new(Lsp::new(pois, config)),
             "127.0.0.1:0",
             server_config,

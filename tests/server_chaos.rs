@@ -93,7 +93,7 @@ fn seeded_soak_survives_fault_injection() {
         frame_read_timeout: Duration::from_secs(2),
         ..ServerConfig::default()
     };
-    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(Arc::clone(&lsp), "127.0.0.1:0", config).unwrap();
     let addr = handle.local_addr();
 
     let (tx, rx) = mpsc::channel::<GroupOutcome>();
@@ -312,7 +312,7 @@ fn worker_panic_heals_and_query_still_succeeds() {
         workers: 2,
         ..ServerConfig::default()
     };
-    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(Arc::clone(&lsp), "127.0.0.1:0", config).unwrap();
     let addr = handle.local_addr();
 
     let mut rng = ChaCha8Rng::seed_from_u64(42);
@@ -378,7 +378,7 @@ fn worker_panic_is_a_typed_error_without_retry() {
         test_config(Variant::Plain),
         Rect::UNIT,
     ));
-    let handle = serve(
+    let handle = serve_world(
         Arc::clone(&lsp),
         "127.0.0.1:0",
         ServerConfig {

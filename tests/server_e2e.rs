@@ -46,7 +46,7 @@ fn concurrent_groups_match_in_process_protocol() {
     // The server's own variant setting is irrelevant to Algorithm 2
     // (the query message is self-describing); groups pick per-session.
     let lsp = Arc::new(Lsp::new(grid_db(10), test_config(Variant::Plain)));
-    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve_world(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let addr = handle.local_addr();
 
     let threads: Vec<_> = (0..4)
@@ -141,7 +141,7 @@ fn full_queue_sheds_with_busy() {
         queue_depth: 1,
         ..ServerConfig::default()
     };
-    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(lsp, "127.0.0.1:0", config).unwrap();
     let addr = handle.local_addr();
 
     let threads: Vec<_> = (0..6)
@@ -201,7 +201,7 @@ fn queued_past_deadline_is_rejected() {
         queue_depth: 4,
         ..ServerConfig::default()
     };
-    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(lsp, "127.0.0.1:0", config).unwrap();
     let addr = handle.local_addr();
 
     // Occupy the single worker with a long query.
@@ -256,7 +256,7 @@ fn queued_past_deadline_is_rejected() {
 #[test]
 fn shutdown_drains_inflight_queries() {
     let lsp = slow_lsp(Duration::from_millis(25));
-    let handle = serve(
+    let handle = serve_world(
         lsp,
         "127.0.0.1:0",
         ServerConfig {
@@ -306,7 +306,7 @@ fn registry_survives_reconnect_without_handshake() {
     };
 
     let lsp = Arc::new(Lsp::new(grid_db(10), test_config(Variant::Plain)));
-    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve_world(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let addr = handle.local_addr();
     let mut rng = ChaCha8Rng::seed_from_u64(500);
 

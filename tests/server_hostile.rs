@@ -19,7 +19,7 @@ use ppgnn::server::frame::{
 };
 use ppgnn::server::mallory::{run_attack, run_catalog, Attack, AttackContext, MalloryOutcome};
 use ppgnn::server::{
-    serve_durable, serve_dynamic, DurabilityConfig, ErrorCode, HelloPolicy, ServerError,
+    serve_world, DurabilityConfig, ErrorCode, HelloPolicy, ServerError, WorldSeed,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -72,7 +72,7 @@ fn mallory_soak_contains_catalog_while_legit_traffic_flows() {
     const LEGIT_QUERIES: usize = 25; // 4 × 25 = 100 oracle-checked
 
     let lsp = Arc::new(Lsp::new(grid_db(10), test_config()));
-    let handle = serve(
+    let handle = serve_world(
         Arc::clone(&lsp),
         "127.0.0.1:0",
         hardened(Duration::from_millis(300), SESSION_CAP),
@@ -232,7 +232,7 @@ fn mallory_soak_contains_catalog_while_legit_traffic_flows() {
 #[test]
 fn each_attack_variant_yields_its_typed_rejection() {
     let lsp = Arc::new(Lsp::new(grid_db(8), test_config()));
-    let handle = serve(lsp, "127.0.0.1:0", hardened(Duration::from_millis(300), 64)).unwrap();
+    let handle = serve_world(lsp, "127.0.0.1:0", hardened(Duration::from_millis(300), 64)).unwrap();
     let addr = handle.local_addr();
     let mut ctx = AttackContext::new(7).unwrap();
     ctx.slow_stall = Duration::from_millis(800);
@@ -325,7 +325,7 @@ fn subscribe_flood_past_the_cap_is_refused() {
         max_subscriptions: 2,
         ..hardened(Duration::from_millis(300), 64)
     };
-    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(lsp, "127.0.0.1:0", config).unwrap();
     let mut ctx = AttackContext::new(21).unwrap();
     ctx.flood_subscriptions = 4; // two past the cap
 
@@ -357,7 +357,7 @@ fn forged_poi_update_cannot_mutate_a_dynamic_world() {
         admin_token: Some(0x005e_c2e7),
         ..hardened(Duration::from_millis(300), 16)
     };
-    let handle = serve_dynamic(Arc::clone(&world), "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(Arc::clone(&world), "127.0.0.1:0", config).unwrap();
     let ctx = AttackContext::new(23).unwrap();
 
     let before = world.version();
@@ -390,8 +390,16 @@ fn stale_admin_replay_is_idempotent_on_a_durable_world() {
         durability: Some(DurabilityConfig::new(&dir)),
         ..hardened(Duration::from_millis(300), 16)
     };
-    let handle =
-        serve_durable(grid_db(8), test_config(), Rect::UNIT, "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(
+        WorldSeed::Durable {
+            initial_pois: grid_db(8),
+            protocol: test_config(),
+            space: Rect::UNIT,
+        },
+        "127.0.0.1:0",
+        config,
+    )
+    .unwrap();
     let mut ctx = AttackContext::new(29).unwrap();
     ctx.admin_token = Some(token);
 
@@ -419,7 +427,7 @@ fn repeated_violations_escalate_to_disconnect() {
         max_strikes: 3,
         ..hardened(Duration::from_millis(300), 16)
     };
-    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(lsp, "127.0.0.1:0", config).unwrap();
     let ctx = AttackContext::new(9).unwrap();
 
     let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
@@ -488,7 +496,7 @@ fn token_bucket_sheds_hello_bursts() {
         rate_limit_per_sec: 0.5,
         ..ServerConfig::default()
     };
-    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(lsp, "127.0.0.1:0", config).unwrap();
     let ctx = AttackContext::new(11).unwrap();
 
     let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
@@ -526,7 +534,7 @@ fn session_cap_and_ttl_reported_in_pong() {
         session_idle_ttl: Duration::from_millis(200),
         ..ServerConfig::default()
     };
-    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(lsp, "127.0.0.1:0", config).unwrap();
     let ctx = AttackContext::new(13).unwrap();
 
     let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
@@ -581,7 +589,7 @@ fn client_fails_fast_on_policy_violation() {
         },
         ..ServerConfig::default()
     };
-    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(lsp, "127.0.0.1:0", config).unwrap();
 
     let mut rng = ChaCha8Rng::seed_from_u64(21);
     let started = Instant::now();
@@ -624,7 +632,7 @@ fn client_adopts_server_frame_cap() {
         max_payload: 128, // admits the handshake but no real query
         ..ServerConfig::default()
     };
-    let handle = serve(lsp, "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(lsp, "127.0.0.1:0", config).unwrap();
 
     let mut rng = ChaCha8Rng::seed_from_u64(23);
     let mut client = GroupClient::connect(

@@ -20,7 +20,7 @@ use std::time::Duration;
 use ppgnn::geo::PoiOp;
 use ppgnn::prelude::*;
 use ppgnn::server::{
-    run_moving_soak, serve_dynamic, ErrorCode, MovingSoakConfig, ServerError, SubscriptionKind,
+    run_moving_soak, serve_world, ErrorCode, MovingSoakConfig, ServerError, SubscriptionKind,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -100,7 +100,7 @@ fn subscription_config() -> PpgnnConfig {
 #[test]
 fn double_unsubscribe_is_idempotent() {
     let world = Arc::new(DynamicLsp::new(grid_world(8), subscription_config()));
-    let handle = serve_dynamic(Arc::clone(&world), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve_world(Arc::clone(&world), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(31);
     let mut client = GroupClient::connect(
         handle.local_addr(),
@@ -150,7 +150,7 @@ fn subscription_cap_refusal_leaves_earlier_grants_live() {
         admin_token: Some(0xCAB),
         ..ServerConfig::default()
     };
-    let handle = serve_dynamic(Arc::clone(&world), "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(Arc::clone(&world), "127.0.0.1:0", config).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(37);
 
     let mut subscribers = Vec::new();
@@ -295,7 +295,7 @@ fn wire_cutter(
 #[test]
 fn same_epoch_reconnect_invalidates_standing_query() {
     let world = Arc::new(DynamicLsp::new(grid_world(8), subscription_config()));
-    let handle = serve_dynamic(Arc::clone(&world), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve_world(Arc::clone(&world), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let proxy_addr = listener.local_addr().unwrap();
     let cut = Arc::new(std::sync::atomic::AtomicBool::new(false));

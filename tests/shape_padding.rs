@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use ppgnn::prelude::*;
 use ppgnn::server::frame::{FrameType, HEADER_BYTES};
-use ppgnn::server::{serve, ServerConfig, ShapeMode, ShapePolicy};
+use ppgnn::server::{serve_world, ServerConfig, ShapeMode, ShapePolicy};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -46,7 +46,7 @@ fn answer_bytes_for(delta: usize, k: usize, shape: ShapePolicy) -> Vec<usize> {
         .shape(shape)
         .build()
         .expect("config");
-    let handle = serve(
+    let handle = serve_world(
         Arc::new(Lsp::new(pois, config.clone())),
         "127.0.0.1:0",
         server_config,
@@ -138,7 +138,7 @@ fn padded_handshake_advertises_the_policy() {
         .shape(policy())
         .build()
         .expect("config");
-    let handle = serve(
+    let handle = serve_world(
         Arc::new(Lsp::new(pois, config.clone())),
         "127.0.0.1:0",
         server_config,

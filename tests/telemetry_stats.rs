@@ -82,7 +82,7 @@ fn stats_reply_reflects_exactly_the_exercised_stages() {
 
     // Phase 1: sanitation disabled — the stage must stay dark.
     let lsp = Arc::new(Lsp::new(grid_db(10), test_config(false)));
-    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve_world(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let queries = run_queries(handle.local_addr(), &lsp, false, 1);
 
     let mut client = GroupClient::connect(
@@ -123,7 +123,7 @@ fn stats_reply_reflects_exactly_the_exercised_stages() {
     // Phase 2: same workload with sanitation enabled — only now does
     // the sanitation stage (and its Z-test counter) move.
     let lsp = Arc::new(Lsp::new(grid_db(10), test_config(true)));
-    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve_world(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
     run_queries(handle.local_addr(), &lsp, true, 3);
     let after = handle.telemetry_snapshot();
     handle.shutdown();
@@ -144,7 +144,7 @@ fn stats_reply_reflects_exactly_the_exercised_stages() {
 #[test]
 fn stats_round_trips_the_wire_sessionless() {
     let lsp = Arc::new(Lsp::new(grid_db(6), test_config(false)));
-    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve_world(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
 
     let mut stream = std::net::TcpStream::connect(handle.local_addr()).unwrap();
     stream
@@ -181,7 +181,7 @@ fn pong_health_agrees_with_stats_snapshot() {
         workers: 3,
         ..ServerConfig::default()
     };
-    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", config).unwrap();
+    let handle = serve_world(Arc::clone(&lsp), "127.0.0.1:0", config).unwrap();
     run_queries(handle.local_addr(), &lsp, false, 11);
 
     let mut client = GroupClient::connect(

@@ -90,7 +90,7 @@ fn exported_traces_carry_no_location_or_identifier_data() {
         })
         .collect();
     let lsp = Arc::new(Lsp::new(pois, config.clone()));
-    let handle = serve(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = serve_world(Arc::clone(&lsp), "127.0.0.1:0", ServerConfig::default()).unwrap();
 
     let mut rng = ChaCha8Rng::seed_from_u64(0xda7a);
     let mut client = GroupClient::connect(handle.local_addr(), 7, config, lsp.space(), 3, &mut rng)

@@ -66,16 +66,11 @@ fn run_over_the_wire(two_phase: bool) {
         let (omega, block) = opt_split(delta_prime);
         let ctx2 = ppgnn::paillier::DjContext::new(&pk, 2);
         IndicatorPayload::TwoPhase {
-            inner: ppgnn::paillier::encrypt_indicator(block, qi % block, &ctx1, &mut rng),
-            outer: ppgnn::paillier::encrypt_indicator(omega, qi / block, &ctx2, &mut rng),
+            inner: encrypt_indicator(block, qi % block, &ctx1, &mut rng),
+            outer: encrypt_indicator(omega, qi / block, &ctx2, &mut rng),
         }
     } else {
-        IndicatorPayload::Plain(ppgnn::paillier::encrypt_indicator(
-            delta_prime,
-            qi,
-            &ctx1,
-            &mut rng,
-        ))
+        IndicatorPayload::Plain(encrypt_indicator(delta_prime, qi, &ctx1, &mut rng))
     };
     let query = QueryMessage {
         k: cfg.k,
@@ -157,4 +152,19 @@ fn plain_protocol_over_the_wire() {
 #[test]
 fn two_phase_protocol_over_the_wire() {
     run_over_the_wire(true);
+}
+
+/// Same call shape as the retired free function, built on the unified
+/// `Encryptor` API.
+fn encrypt_indicator<R: rand::Rng + ?Sized>(
+    len: usize,
+    pos: usize,
+    ctx: &ppgnn::paillier::DjContext,
+    rng: &mut R,
+) -> ppgnn::paillier::EncryptedVector {
+    use ppgnn::paillier::{Encryptor, FreshEncryptor};
+    use rand::SeedableRng;
+    FreshEncryptor::with_rng(ctx.clone(), rand::rngs::StdRng::seed_from_u64(rng.gen()))
+        .encrypt_indicator(len, pos)
+        .unwrap()
 }
