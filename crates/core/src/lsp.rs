@@ -194,6 +194,7 @@ impl Lsp {
         );
         eval_span.attr(telemetry::trace::AttrKey::Users, n as u64);
         let eval_timer = telemetry::global().time(telemetry::Stage::CandidateEval);
+        telemetry::global().incr_by(telemetry::Op::CandidatesEvaluated, candidates.len() as u64);
         let mut columns: Vec<Vec<BigUint>>;
         if self.parallelism <= 1 || candidates.len() < 2 {
             columns = Vec::with_capacity(candidates.len());

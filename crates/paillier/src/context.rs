@@ -245,59 +245,10 @@ impl DjContext {
         })
     }
 
-    /// Encrypts `m ∈ Z_{N^s}`: `c = (1+N)^m · r^{N^s} mod N^{s+1}`.
-    ///
-    /// # Panics
-    /// Panics if `m >= N^s`.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use the `Encryptor` trait (`FreshEncryptor::encrypt`) instead"
-    )]
-    pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Ciphertext {
-        self.encrypt_core(m, rng).expect("plaintext out of range")
-    }
-
-    /// Fallible encryption.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use the `Encryptor` trait (`FreshEncryptor::encrypt`) instead"
-    )]
-    pub fn try_encrypt<R: Rng + ?Sized>(
-        &self,
-        m: &BigUint,
-        rng: &mut R,
-    ) -> Result<Ciphertext, PaillierError> {
-        self.encrypt_core(m, rng)
-    }
-
-    /// Deterministic encryption with caller-chosen randomness `r ∈ Z^*_N`
-    /// (used by tests and by re-randomization).
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `Encryptor::encrypt_with_randomness` instead"
-    )]
-    pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
-        self.encrypt_with_randomness_core(m, r)
-    }
-
     /// The randomizer exponentiation `r^{N^s} mod N^{s+1}` — the
     /// plaintext-independent (pre-computable) half of an encryption.
     pub fn pow_n_s(&self, r: &BigUint) -> BigUint {
         self.mont.modpow(r, &self.n_pow[self.s])
-    }
-
-    /// Fast online encryption given a pre-computed randomizer
-    /// `rn = r^{N^s} mod N^{s+1}`.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `PooledEncryptor::encrypt` (backed by `RandomizerPool`) instead"
-    )]
-    pub fn encrypt_with_randomizer(
-        &self,
-        m: &BigUint,
-        rn: &BigUint,
-    ) -> Result<Ciphertext, PaillierError> {
-        self.encrypt_with_randomizer_core(m, rn)
     }
 
     /// Decrypts a ciphertext with the matching secret key.

@@ -48,7 +48,6 @@ mod encryptor;
 mod error;
 mod keys;
 pub mod packing;
-mod pool;
 mod vector;
 
 pub use context::{Ciphertext, DjContext};
@@ -56,10 +55,7 @@ pub use decryptor::Decryptor;
 pub use encryptor::{Encryptor, FreshEncryptor, PooledEncryptor, RandomizerPool};
 pub use error::PaillierError;
 pub use keys::{generate_keypair, Keypair, PublicKey, SecretKey};
-pub use pool::RandomnessPool;
 pub use vector::{
     decrypt_vector, matrix_select, matrix_select_with, EncryptedVector, SelectOptions,
     SelectStrategy,
 };
-#[allow(deprecated)]
-pub use vector::{encrypt_indicator, encrypt_indicator_pooled, encrypt_vector};

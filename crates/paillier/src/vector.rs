@@ -13,8 +13,6 @@
 //! threads. All of this is exact integer arithmetic: the optimized paths
 //! return **bit-identical** ciphertexts to the naive path.
 
-use rand::Rng;
-
 use ppgnn_bigint::{multi_modpow, BigUint, MontWindowTable};
 use ppgnn_telemetry as telemetry;
 
@@ -137,6 +135,8 @@ impl EncryptedVector {
         }
         let _t = telemetry::global().time(telemetry::Stage::PaillierDot);
         telemetry::global().incr(telemetry::Op::PaillierDot);
+        let nonzero = x.iter().filter(|xi| !xi.is_zero()).count();
+        telemetry::global().incr_by(telemetry::Op::PaillierDotElements, nonzero as u64);
         let mut acc = ctx.one_ciphertext();
         for (xi, ci) in x.iter().zip(&self.elements) {
             if xi.is_zero() {
@@ -160,6 +160,7 @@ fn record_dot_ops(nonzero: usize) {
     if nonzero > 0 {
         telemetry::global().incr_by(telemetry::Op::PaillierScalarMul, nonzero as u64);
         telemetry::global().incr_by(telemetry::Op::PaillierAdd, nonzero as u64);
+        telemetry::global().incr_by(telemetry::Op::PaillierDotElements, nonzero as u64);
     }
 }
 
@@ -270,98 +271,9 @@ pub fn matrix_select(
     matrix_select_with(columns, v, ctx, &SelectOptions::default())
 }
 
-/// Encrypts a plaintext vector element-wise.
-#[deprecated(
-    since = "0.9.0",
-    note = "use `Encryptor::encrypt_vector` (`FreshEncryptor` / `PooledEncryptor`) instead"
-)]
-pub fn encrypt_vector<R: Rng + ?Sized>(
-    values: &[BigUint],
-    ctx: &DjContext,
-    rng: &mut R,
-) -> EncryptedVector {
-    let sp = telemetry::trace::span(telemetry::trace::SpanName::PaillierEncrypt);
-    sp.attr(telemetry::trace::AttrKey::Ciphertexts, values.len() as u64);
-    EncryptedVector {
-        elements: values
-            .iter()
-            .map(|v| ctx.encrypt_core(v, rng).expect("plaintext out of range"))
-            .collect(),
-    }
-}
-
-/// Builds and encrypts an indicator vector of length `len` with a single 1
-/// at `position` (the paper's Eqn 5 / Algorithm 1 line 9–10).
-///
-/// # Panics
-/// Panics if `position >= len`.
-#[deprecated(
-    since = "0.9.0",
-    note = "use `Encryptor::encrypt_indicator` (`FreshEncryptor` / `PooledEncryptor`) instead"
-)]
-pub fn encrypt_indicator<R: Rng + ?Sized>(
-    len: usize,
-    position: usize,
-    ctx: &DjContext,
-    rng: &mut R,
-) -> EncryptedVector {
-    assert!(
-        position < len,
-        "indicator position {position} out of range {len}"
-    );
-    let values: Vec<BigUint> = (0..len)
-        .map(|i| {
-            if i == position {
-                BigUint::one()
-            } else {
-                BigUint::zero()
-            }
-        })
-        .collect();
-    #[allow(deprecated)]
-    encrypt_vector(&values, ctx, rng)
-}
-
 /// Decrypts a vector element-wise.
 pub fn decrypt_vector(v: &EncryptedVector, ctx: &DjContext, sk: &SecretKey) -> Vec<BigUint> {
     v.elements.iter().map(|c| ctx.decrypt(c, sk)).collect()
-}
-
-/// Encrypts an indicator vector with pooled randomizers (the fast online
-/// step of the mobile-user optimization).
-///
-/// With the fixed exhaustion semantics the pool degrades to fresh
-/// randomness instead of failing, so this now always returns `Some`;
-/// the `Option` is kept for the deprecation window only.
-///
-/// # Panics
-/// Panics if `position >= len`.
-#[deprecated(
-    since = "0.9.0",
-    note = "use `PooledEncryptor::encrypt_indicator` instead"
-)]
-pub fn encrypt_indicator_pooled(
-    len: usize,
-    position: usize,
-    ctx: &DjContext,
-    pool: &mut crate::RandomnessPool,
-) -> Option<EncryptedVector> {
-    assert!(
-        position < len,
-        "indicator position {position} out of range {len}"
-    );
-    let mut elements = Vec::with_capacity(len);
-    for i in 0..len {
-        let m = if i == position {
-            BigUint::one()
-        } else {
-            BigUint::zero()
-        };
-        #[allow(deprecated)]
-        let ct = pool.encrypt(ctx, &m).expect("0/1 always in range");
-        elements.push(ct);
-    }
-    Some(EncryptedVector { elements })
 }
 
 #[cfg(test)]
@@ -520,24 +432,5 @@ mod tests {
         let v = enc.encrypt_vector(&nums(&[1, 2, 3])).unwrap();
         // 128-bit key, s=1 ⇒ 32 bytes per ciphertext.
         assert_eq!(v.byte_len(&ctx), 3 * 32);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_free_functions_still_work() {
-        // Shim coverage for the one-release deprecation window.
-        let mut rng = ChaCha8Rng::seed_from_u64(78);
-        let (pk, sk) = generate_keypair(128, &mut rng);
-        let ctx = DjContext::new(&pk, 1);
-        let vals = nums(&[4, 5]);
-        let v = encrypt_vector(&vals, &ctx, &mut rng);
-        assert_eq!(decrypt_vector(&v, &ctx, &sk), vals);
-        let ind = encrypt_indicator(3, 1, &ctx, &mut rng);
-        assert_eq!(decrypt_vector(&ind, &ctx, &sk), nums(&[0, 1, 0]));
-        let mut pool = crate::RandomnessPool::generate(&ctx, 2, &mut rng);
-        // Pool shorter than the indicator: the fixed exhaustion semantics
-        // degrade to fresh randomness instead of returning None.
-        let pooled = encrypt_indicator_pooled(3, 0, &ctx, &mut pool).unwrap();
-        assert_eq!(decrypt_vector(&pooled, &ctx, &sk), nums(&[1, 0, 0]));
     }
 }

@@ -67,9 +67,11 @@ use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_server::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
 use ppgnn_server::{
     run_crash_soak, run_moving_soak, serve_world, summarize, ClientStats, CrashSoakConfig,
-    FaultConfig, FrameType, GroupClient, LatencySummary, MovingSoakConfig, ServerConfig,
-    ServerError, StatsReplyPayload, TelemetrySnapshot, TraceReplyPayload,
+    FaultConfig, FrameType, GroupClient, HealthSnapshot, LatencySummary, MovingSoakConfig,
+    PongPayload, ServerConfig, ServerError, SloConfig, StatsReplyPayload, TelemetrySnapshot,
+    TraceReplyPayload,
 };
+use ppgnn_telemetry::costmodel::CostModel;
 use ppgnn_telemetry::json;
 use ppgnn_telemetry::trace::{self, TraceSegment, TracerConfig};
 use rand::rngs::StdRng;
@@ -102,6 +104,9 @@ struct Args {
     parallelism: usize,
     naive_crypto: bool,
     offline_randomness: bool,
+    repeats: usize,
+    slo: bool,
+    check_cost_model: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -132,6 +137,9 @@ fn parse_args() -> Result<Args, String> {
         parallelism: 1,
         naive_crypto: false,
         offline_randomness: false,
+        repeats: 1,
+        slo: false,
+        check_cost_model: false,
     };
     args.chaos.max_delay = Duration::from_millis(20);
     let mut it = std::env::args().skip(1);
@@ -180,6 +188,14 @@ fn parse_args() -> Result<Args, String> {
             "--parallelism" => args.parallelism = parse(&value("--parallelism")?)?,
             "--naive-crypto" => args.naive_crypto = true,
             "--offline-randomness" => args.offline_randomness = true,
+            "--repeats" => {
+                args.repeats = parse(&value("--repeats")?)?;
+                if args.repeats == 0 {
+                    return Err("--repeats must be at least 1".into());
+                }
+            }
+            "--slo" => args.slo = true,
+            "--check-cost-model" => args.check_cost_model = true,
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT] [--groups N] [--queries M] \
@@ -193,7 +209,8 @@ fn parse_args() -> Result<Args, String> {
                      [--chaos-seed S] [--chaos-delay-prob P] [--chaos-delay-ms MS] \
                      [--chaos-corrupt-prob P] [--chaos-truncate-prob P] \
                      [--chaos-sever-prob P] [--parallelism T] [--naive-crypto] \
-                     [--offline-randomness]"
+                     [--offline-randomness] [--repeats N] [--slo] \
+                     [--check-cost-model]"
                 );
                 std::process::exit(0);
             }
@@ -211,6 +228,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.crash && args.moving {
         return Err("--crash and --moving are distinct modes; pick one".into());
+    }
+    if args.check_cost_model && args.addr.is_some() {
+        return Err("--check-cost-model needs the in-process server (drop --addr)".into());
     }
     Ok(args)
 }
@@ -283,6 +303,7 @@ fn main() {
             fault: args.chaos.is_active().then(|| args.chaos.clone()),
             selection_parallelism: args.parallelism.max(1),
             naive_crypto: args.naive_crypto,
+            slo: args.slo.then(SloConfig::default),
             ..ServerConfig::default()
         };
         let handle = match serve_world(lsp, "127.0.0.1:0", server_config) {
@@ -312,87 +333,101 @@ fn main() {
     };
 
     let start = Instant::now();
-    let handles: Vec<_> = (0..args.groups)
-        .map(|g| {
-            let addr = addr.clone();
-            let config = config.clone();
-            let seed = args.seed;
-            let (users, queries) = (args.users, args.queries);
-            std::thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(g as u64));
-                let mut report = GroupReport {
-                    group: g,
-                    latencies_us: Vec::with_capacity(queries),
-                    errors: 0,
-                    stats: ClientStats::default(),
-                };
-                // The handshake itself can be hit by an injected fault;
-                // it carries no session state, so just connect again.
-                let mut client = None;
-                for attempt in 0u32..5 {
-                    match GroupClient::connect(
-                        addr.as_str(),
-                        g as u64 + 1,
-                        config.clone(),
-                        Rect::UNIT,
-                        users,
-                        &mut rng,
-                    ) {
-                        Ok(c) => {
-                            client = Some(c);
-                            break;
-                        }
-                        Err(e) => {
-                            eprintln!("group {g}: connect attempt {attempt} failed: {e}");
-                            std::thread::sleep(Duration::from_millis(10 << attempt));
-                        }
-                    }
-                }
-                let Some(mut client) = client else {
-                    report.errors += 1;
-                    return report;
-                };
-                for _ in 0..queries {
-                    let locations: Vec<Point> = (0..users)
-                        .map(|_| Point::new(rng.gen(), rng.gen()))
-                        .collect();
-                    let t0 = Instant::now();
-                    // Busy sheds and transient faults are retried
-                    // inside the client (honoring retry_after_ms);
-                    // only budget-exhausted or deterministic failures
-                    // surface here.
-                    match client.query(&locations, &mut rng) {
-                        Ok(answer) => {
-                            assert!(!answer.is_empty(), "empty answer");
-                            report.latencies_us.push(t0.elapsed().as_micros() as u64);
-                        }
-                        Err(e) => {
-                            eprintln!("group {g}: query failed: {e}");
-                            report.errors += 1;
-                        }
-                    }
-                }
-                report.stats = client.stats();
-                client.goodbye();
-                report
-            })
-        })
-        .collect();
-
-    let mut all_latencies = Vec::with_capacity(args.groups * args.queries);
-    let mut reports = Vec::with_capacity(args.groups);
+    let mut all_latencies = Vec::with_capacity(args.repeats * args.groups * args.queries);
+    let mut reports = Vec::with_capacity(args.repeats * args.groups);
     let mut join_failures = 0u64;
-    for h in handles {
-        match h.join() {
-            Ok(r) => {
-                all_latencies.extend(r.latencies_us.iter().copied());
-                reports.push(r);
+    // `--repeats N` re-runs the whole query phase N times against the
+    // same server, with distinct seeds and group IDs per repeat (same
+    // IDs would trip the registry's request-ID anti-rewind gate). The
+    // per-repeat summaries measure run-to-run variance — the spread CI
+    // derives its per-stage regression thresholds from.
+    let mut repeat_summaries: Vec<LatencySummary> = Vec::with_capacity(args.repeats);
+    for repeat in 0..args.repeats {
+        let repeat_start = Instant::now();
+        let handles: Vec<_> = (0..args.groups)
+            .map(|g| {
+                let addr = addr.clone();
+                let config = config.clone();
+                let seed = args.seed.wrapping_add((repeat as u64) << 32);
+                let group_id = (repeat * args.groups + g) as u64 + 1;
+                let (users, queries) = (args.users, args.queries);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(g as u64));
+                    let mut report = GroupReport {
+                        group: g,
+                        latencies_us: Vec::with_capacity(queries),
+                        errors: 0,
+                        stats: ClientStats::default(),
+                    };
+                    // The handshake itself can be hit by an injected fault;
+                    // it carries no session state, so just connect again.
+                    let mut client = None;
+                    for attempt in 0u32..5 {
+                        match GroupClient::connect(
+                            addr.as_str(),
+                            group_id,
+                            config.clone(),
+                            Rect::UNIT,
+                            users,
+                            &mut rng,
+                        ) {
+                            Ok(c) => {
+                                client = Some(c);
+                                break;
+                            }
+                            Err(e) => {
+                                eprintln!("group {g}: connect attempt {attempt} failed: {e}");
+                                std::thread::sleep(Duration::from_millis(10 << attempt));
+                            }
+                        }
+                    }
+                    let Some(mut client) = client else {
+                        report.errors += 1;
+                        return report;
+                    };
+                    for _ in 0..queries {
+                        let locations: Vec<Point> = (0..users)
+                            .map(|_| Point::new(rng.gen(), rng.gen()))
+                            .collect();
+                        let t0 = Instant::now();
+                        // Busy sheds and transient faults are retried
+                        // inside the client (honoring retry_after_ms);
+                        // only budget-exhausted or deterministic failures
+                        // surface here.
+                        match client.query(&locations, &mut rng) {
+                            Ok(answer) => {
+                                assert!(!answer.is_empty(), "empty answer");
+                                report.latencies_us.push(t0.elapsed().as_micros() as u64);
+                            }
+                            Err(e) => {
+                                eprintln!("group {g}: query failed: {e}");
+                                report.errors += 1;
+                            }
+                        }
+                    }
+                    report.stats = client.stats();
+                    client.goodbye();
+                    report
+                })
+            })
+            .collect();
+
+        let mut repeat_latencies = Vec::with_capacity(args.groups * args.queries);
+        for h in handles {
+            match h.join() {
+                Ok(r) => {
+                    repeat_latencies.extend(r.latencies_us.iter().copied());
+                    reports.push(r);
+                }
+                Err(_) => join_failures += 1,
             }
-            Err(_) => join_failures += 1,
         }
+        repeat_summaries.push(summarize(repeat_latencies.clone(), repeat_start.elapsed()));
+        all_latencies.extend(repeat_latencies);
     }
     let elapsed = start.elapsed();
     let summary = summarize(all_latencies, elapsed);
+    let variance = measure_variance(&repeat_summaries);
 
     println!("group   ok  errors  sheds  retries  reconnects  replays");
     let mut errors = join_failures;
@@ -435,6 +470,25 @@ fn main() {
         "latency_us p50={} p95={} p99={} mean={} max={}",
         summary.p50_us, summary.p95_us, summary.p99_us, summary.mean_us, summary.max_us
     );
+    if let Some(v) = &variance {
+        println!(
+            "variance over {} repeats: p50 {}..{}us (spread {}‰) p95 {}..{}us (spread {}‰)",
+            v.repeats,
+            v.p50_min_us,
+            v.p50_max_us,
+            v.p50_spread_permille,
+            v.p95_min_us,
+            v.p95_max_us,
+            v.p95_spread_permille
+        );
+    }
+
+    // Capture the observability window *now* so the windowed faces,
+    // the cost model, and the SLO burn rates all reflect this run even
+    // when it finished inside the ticker's first 1 s interval.
+    if let Some(handle) = &local_server {
+        handle.flush_windows();
+    }
 
     // In-process runs share one global registry, so the handle snapshot
     // already holds both client- and server-side stages. Against a
@@ -452,7 +506,17 @@ fn main() {
         }
     };
     if let Some(path) = &args.bench_json {
-        let report = bench_report(&args, &summary, errors, &total, elapsed, &snapshot);
+        let cost = local_server.as_ref().map(|h| h.cost_model());
+        let report = bench_report(
+            &args,
+            &summary,
+            errors,
+            &total,
+            elapsed,
+            &snapshot,
+            variance.as_ref(),
+            cost.as_ref(),
+        );
         match std::fs::write(path, report.as_bytes()) {
             Ok(()) => println!("bench report written to {path}"),
             Err(e) => {
@@ -477,6 +541,123 @@ fn main() {
                 missing.join(", ")
             );
             gate_failed = true;
+        }
+    }
+
+    // `--slo` gate: the run fails when any burn rate ran past budget
+    // (> 1000 permille = consuming the error budget faster than the
+    // objective allows). In-process the health comes off the handle;
+    // against `--addr` a sessionless Ping fetches the same snapshot.
+    if args.slo {
+        let health = match &local_server {
+            Some(handle) => Some(handle.health()),
+            None => match fetch_remote_health(&addr) {
+                Ok(h) => Some(h),
+                Err(e) => {
+                    eprintln!("loadgen: fetching health from {addr}: {e}");
+                    gate_failed = true;
+                    None
+                }
+            },
+        };
+        if let Some(h) = health {
+            let burns = [
+                ("latency-fast", h.slo_latency_fast_burn_pm),
+                ("latency-slow", h.slo_latency_slow_burn_pm),
+                ("error-fast", h.slo_error_fast_burn_pm),
+                ("error-slow", h.slo_error_slow_burn_pm),
+            ];
+            println!(
+                "slo burn (permille of budget): latency {}/{} errors {}/{} [fast/slow]",
+                burns[0].1, burns[1].1, burns[2].1, burns[3].1
+            );
+            for (name, pm) in burns {
+                if pm > 1000 {
+                    eprintln!(
+                        "loadgen: SLO {name} burn {pm}\u{2030} exceeds budget (1000\u{2030})"
+                    );
+                    gate_failed = true;
+                }
+            }
+        }
+    }
+
+    // `--check-cost-model` gate: the calibrated per-op constants must
+    // predict the windowed paillier stage medians within 25 % — the
+    // CI proof that calibration tracks reality, not a stale seed.
+    // The 25 % contract only means anything when per-op cost held
+    // still across the run; the repeat-to-repeat spread is the
+    // instability detector, and past 300‰ the check reports instead of
+    // failing (the host moved under the model, the model didn't drift).
+    if args.check_cost_model {
+        if let Some(handle) = &local_server {
+            let unstable_permille = variance
+                .as_ref()
+                .map(|v| v.p50_spread_permille.max(v.p95_spread_permille))
+                .filter(|&s| s > 300);
+            let windowed = handle.windowed_snapshot(usize::MAX);
+            let model = handle.cost_model();
+            let mut checked = 0usize;
+            for stage in [
+                ppgnn_telemetry::Stage::PaillierEncrypt,
+                ppgnn_telemetry::Stage::PaillierDecrypt,
+                ppgnn_telemetry::Stage::PaillierDot,
+            ] {
+                let Some(s) = windowed.stage(stage.name()) else {
+                    continue;
+                };
+                // Thin stages give noisy medians; the gate only judges
+                // constants with a statistically meaningful window.
+                if s.count < 30 {
+                    continue;
+                }
+                let Some(predicted) = model.predict_stage_median_us(args.keysize as u32, stage)
+                else {
+                    continue;
+                };
+                // The EWMA tracks the per-window mean; for tight stage
+                // distributions that coincides with the median, for
+                // right-skewed ones it sits above it. The prediction
+                // must land within 25 % of the window's central band —
+                // the median, or failing that the mean — with a 2 µs
+                // absolute floor so microsecond-scale stages aren't
+                // judged on histogram/timer quantization.
+                let p50 = s.p50_us.max(1);
+                let mean = (s.total_us / s.count).max(1);
+                let rel = |target: u64| predicted.abs_diff(target) * 100 / target;
+                let within = |target: u64| predicted.abs_diff(target) <= 2 || rel(target) <= 25;
+                let err_pct = rel(p50).min(rel(mean));
+                println!(
+                    "cost-model: {} predicted {}us actual p50 {}us mean {}us over {} samples ({}% error)",
+                    stage.name(),
+                    predicted,
+                    p50,
+                    mean,
+                    s.count,
+                    err_pct
+                );
+                checked += 1;
+                if !within(p50) && !within(mean) {
+                    match unstable_permille {
+                        Some(spread) => eprintln!(
+                            "loadgen: cost model off by {err_pct}% on {} but the host \
+                             was unstable (repeat spread {spread}\u{2030} > 300\u{2030}) - not failing",
+                            stage.name()
+                        ),
+                        None => {
+                            eprintln!(
+                                "loadgen: cost model off by {err_pct}% on {} (limit 25%)",
+                                stage.name()
+                            );
+                            gate_failed = true;
+                        }
+                    }
+                }
+            }
+            if checked == 0 {
+                eprintln!("loadgen: --check-cost-model found no calibratable stage");
+                gate_failed = true;
+            }
         }
     }
 
@@ -725,6 +906,7 @@ fn fetch_remote_traces(addr: &str) -> Result<Vec<TraceSegment>, ServerError> {
 /// The machine-readable bench report (`BENCH_server.json` in CI): run
 /// metadata, the end-to-end latency summary, client resilience totals,
 /// and the full telemetry snapshot.
+#[allow(clippy::too_many_arguments)]
 fn bench_report(
     args: &Args,
     summary: &LatencySummary,
@@ -732,6 +914,8 @@ fn bench_report(
     total: &ClientStats,
     elapsed: Duration,
     snapshot: &TelemetrySnapshot,
+    variance: Option<&Variance>,
+    cost: Option<&CostModel>,
 ) -> String {
     let mut meta = json::Obj::new();
     meta.field_str(
@@ -757,6 +941,15 @@ fn bench_report(
     meta.field_u64("parallelism", args.parallelism as u64);
     meta.field_bool("naive_crypto", args.naive_crypto);
     meta.field_bool("offline_randomness", args.offline_randomness);
+    meta.field_u64("repeats", args.repeats as u64);
+    if let Some(v) = variance {
+        meta.field_u64("p50_min_us", v.p50_min_us);
+        meta.field_u64("p50_max_us", v.p50_max_us);
+        meta.field_u64("p50_spread_permille", v.p50_spread_permille);
+        meta.field_u64("p95_min_us", v.p95_min_us);
+        meta.field_u64("p95_max_us", v.p95_max_us);
+        meta.field_u64("p95_spread_permille", v.p95_spread_permille);
+    }
 
     let mut client = json::Obj::new();
     client.field_u64("errors", errors);
@@ -795,5 +988,64 @@ fn bench_report(
     obj.field_raw("client", &client.finish());
     obj.field_raw("crypto_hotpath", &hotpath.finish());
     obj.field_raw("telemetry", &snapshot.to_json());
+    if let Some(c) = cost {
+        obj.field_raw("cost_model", &c.to_json());
+    }
     obj.finish()
+}
+
+/// Run-to-run latency spread across `--repeats` passes: the raw CI
+/// signal for how tight (or flaky) the bench host is, and the input
+/// for deriving per-stage regression thresholds.
+struct Variance {
+    repeats: u64,
+    p50_min_us: u64,
+    p50_max_us: u64,
+    p50_spread_permille: u64,
+    p95_min_us: u64,
+    p95_max_us: u64,
+    p95_spread_permille: u64,
+}
+
+fn measure_variance(summaries: &[LatencySummary]) -> Option<Variance> {
+    if summaries.len() < 2 {
+        return None;
+    }
+    let spread = |values: &mut dyn Iterator<Item = u64>| -> (u64, u64, u64) {
+        let (mut min, mut max) = (u64::MAX, 0u64);
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        (min, max, (max - min) * 1000 / max.max(1))
+    };
+    let (p50_min_us, p50_max_us, p50_spread_permille) =
+        spread(&mut summaries.iter().map(|s| s.p50_us));
+    let (p95_min_us, p95_max_us, p95_spread_permille) =
+        spread(&mut summaries.iter().map(|s| s.p95_us));
+    Some(Variance {
+        repeats: summaries.len() as u64,
+        p50_min_us,
+        p50_max_us,
+        p50_spread_permille,
+        p95_min_us,
+        p95_max_us,
+        p95_spread_permille,
+    })
+}
+
+/// Asks a remote server for its health snapshot (live workers, burn
+/// rates) with a sessionless `Ping` exchange on a fresh connection.
+fn fetch_remote_health(addr: &str) -> Result<HealthSnapshot, ServerError> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write_frame(&mut stream, FrameType::Ping, &[])?;
+    let frame = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD)?;
+    match frame.frame_type {
+        FrameType::Pong => Ok(PongPayload::decode(&frame.payload)?.health),
+        other => Err(ServerError::UnexpectedFrame {
+            expected: "Pong",
+            got: other,
+        }),
+    }
 }

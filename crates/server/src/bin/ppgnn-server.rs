@@ -14,6 +14,9 @@
 //!              [--max-subscriptions N] [--shape off|padded]
 //!              [--shape-max-key-bits B] [--shape-max-k K]
 //!              [--latency-quantum-ms MS] [--parallelism T] [--naive-crypto]
+//!              [--metrics-addr 127.0.0.1:9878] [--slo]
+//!              [--slo-latency-ms MS] [--slo-latency-budget-ppm P]
+//!              [--slo-error-budget-ppm P]
 //! ```
 //!
 //! Durability: with `--data-dir PATH` the server runs the crash-safe
@@ -46,6 +49,12 @@
 //! rewritten to PATH every `--stats-interval-ms`, and once more at
 //! exit. Without a path, `--stats-interval-ms` dumps the same JSON to
 //! stderr. The interactive `stats` stdin command prints it on demand.
+//! `--metrics-addr` binds a second listener serving `GET /metrics`
+//! (OpenMetrics text: cumulative + windowed stage latencies, op
+//! counters, calibrated cost constants, SLO burn rates) and
+//! `GET /healthz` (the `Pong` health snapshot as JSON) — DESIGN.md
+//! §18. `--slo` (with the optional `--slo-*` knobs) arms the burn-rate
+//! accounting those faces report.
 //!
 //! Tracing: `--trace` turns on the per-query span collector (see
 //! `ppgnn_telemetry::trace`): kept segments are served to clients over
@@ -70,7 +79,7 @@ use ppgnn_core::{Lsp, PpgnnConfig};
 use ppgnn_geo::{Poi, Point, Rect};
 use ppgnn_server::{
     serve_world, DurabilityConfig, FsyncPolicy, HelloPolicy, ServerConfig, ShapeMode, ShapePolicy,
-    StatsProbe, WorldSeed,
+    SloConfig, StatsProbe, WorldSeed,
 };
 use ppgnn_telemetry::trace::{self, TracerConfig};
 use rand::rngs::StdRng;
@@ -145,6 +154,7 @@ fn parse_args() -> Result<Args, String> {
     let mut data_dir: Option<String> = None;
     let mut fsync: Option<FsyncPolicy> = None;
     let mut checkpoint_every: Option<u64> = None;
+    let mut slo: Option<SloConfig> = None;
     let mut builder = ServerConfig::builder();
     let mut policy = HelloPolicy::default();
     let mut it = std::env::args().skip(1);
@@ -266,6 +276,22 @@ fn parse_args() -> Result<Args, String> {
                     "--latency-quantum-ms",
                 )?)?))
             }
+            "--metrics-addr" => builder = builder.metrics_addr(Some(value("--metrics-addr")?)),
+            "--slo" => {
+                slo.get_or_insert_with(SloConfig::default);
+            }
+            "--slo-latency-ms" => {
+                let ms: u64 = parse(&value("--slo-latency-ms")?)?;
+                slo.get_or_insert_with(SloConfig::default).latency_target_us = ms * 1000;
+            }
+            "--slo-latency-budget-ppm" => {
+                slo.get_or_insert_with(SloConfig::default)
+                    .latency_budget_ppm = parse(&value("--slo-latency-budget-ppm")?)?;
+            }
+            "--slo-error-budget-ppm" => {
+                slo.get_or_insert_with(SloConfig::default).error_budget_ppm =
+                    parse(&value("--slo-error-budget-ppm")?)?;
+            }
             "--stats-json" => stats_json = Some(value("--stats-json")?),
             "--stats-interval-ms" => {
                 stats_interval = Some(Duration::from_millis(parse(&value(
@@ -287,7 +313,9 @@ fn parse_args() -> Result<Args, String> {
                      [--checkpoint-every-ops N] [--admin-token T] \
                      [--max-subscriptions N] [--shape off|padded] \
                      [--shape-max-key-bits B] [--shape-max-k K] \
-                     [--latency-quantum-ms MS] [--parallelism T] [--naive-crypto]"
+                     [--latency-quantum-ms MS] [--parallelism T] [--naive-crypto] \
+                     [--metrics-addr A] [--slo] [--slo-latency-ms MS] \
+                     [--slo-latency-budget-ppm P] [--slo-error-budget-ppm P]"
                 );
                 std::process::exit(0);
             }
@@ -340,6 +368,7 @@ fn parse_args() -> Result<Args, String> {
     }
     let config = builder
         .hello_policy(policy)
+        .slo(slo)
         .build()
         .map_err(|e| e.to_string())?;
     Ok(Args {
@@ -386,19 +415,29 @@ fn spawn_stats_dumper(
         .spawn(move || {
             let tick = interval.max(Duration::from_millis(100));
             // Sleep in short slices so a long interval does not delay
-            // shutdown; only dump on interval boundaries.
+            // shutdown. Ticks are anchored to a deadline schedule
+            // (`next += tick`) so the time a dump itself takes never
+            // drifts the cadence; a dump delayed past a whole interval
+            // skips the missed deadlines instead of bursting.
             let slice = Duration::from_millis(200);
+            let mut next = std::time::Instant::now() + tick;
             'dumping: loop {
-                let mut slept = Duration::ZERO;
-                while slept < tick {
+                loop {
                     if stop.load(Ordering::SeqCst) {
                         break 'dumping;
                     }
-                    let step = slice.min(tick - slept);
-                    std::thread::sleep(step);
-                    slept += step;
+                    let now = std::time::Instant::now();
+                    if now >= next {
+                        break;
+                    }
+                    std::thread::sleep(slice.min(next - now));
                 }
                 dump_snapshot(&probe, path.as_deref());
+                next += tick;
+                let now = std::time::Instant::now();
+                if next < now {
+                    next = now + tick;
+                }
             }
             // Final dump so the file reflects the drained totals.
             dump_snapshot(&probe, path.as_deref());
@@ -484,6 +523,9 @@ fn main() {
             String::new()
         }
     );
+    if let Some(addr) = handle.metrics_addr() {
+        println!("metrics on http://{addr}/metrics (health: /healthz)");
+    }
     println!("type 'stats' for counters, 'traces' for kept spans, 'quit' (or EOF, or Ctrl-C) to drain and exit");
 
     let stop_dumper = Arc::new(AtomicBool::new(false));

@@ -47,8 +47,10 @@ pub const MAGIC: [u8; 4] = *b"PPGN";
 /// idempotently re-subscribe their standing queries; 8 added the u32
 /// pad-length header field and the shape facts in `HelloAck` so a
 /// padded server can stretch every response lane to one constant size
-/// that clients strip transparently).
-pub const VERSION: u8 = 8;
+/// that clients strip transparently; 9 widened [`HealthSnapshot`] — and
+/// therefore `Pong` — with the four SLO burn-rate fields, permille of
+/// the configured error budget over the fast and slow windows).
+pub const VERSION: u8 = 9;
 /// Fixed header width: magic + version + type + u32 length + u32 pad
 /// length + u32 crc.
 pub const HEADER_BYTES: usize = 18;
@@ -1316,6 +1318,10 @@ mod tests {
                 strike_disconnects: 7,
                 slow_reaped: 3,
                 frame_garbage: 11,
+                slo_latency_fast_burn_pm: 1500,
+                slo_latency_slow_burn_pm: 800,
+                slo_error_fast_burn_pm: 0,
+                slo_error_slow_burn_pm: 12,
             },
             epoch: 0x0123_4567_89ab_cdef,
         };

@@ -90,15 +90,13 @@ pub use frame::{
     SubscriptionKind, SubscriptionUpdatePayload, TraceReplyPayload, UnsubscribePayload,
 };
 pub use mallory::{Attack, AttackContext, MalloryOutcome, MalloryReport, ATTACK_CATALOG};
-pub use metrics::{percentile, summarize, LatencySummary};
+pub use metrics::{percentile, summarize, LatencySummary, SloConfig};
 pub use moving::{run_moving_soak, MovingSoakConfig, MovingSoakReport};
 pub use observer::{run_observer, ChannelVerdict, ObserverConfig, ObserverReport, ScenarioResult};
 pub use ppgnn_telemetry::{HealthSnapshot, StageSnapshot, TelemetrySnapshot};
 pub use registry::{
     CachedAnswer, RegistryLimits, SessionParams, SessionRegistry, SessionTableFull,
 };
-#[allow(deprecated)]
-pub use server::{serve, serve_durable, serve_dynamic};
 pub use server::{
     serve_world, ConfigError, ServerConfig, ServerConfigBuilder, ServerHandle, ServerStats,
     StatsProbe, World, WorldSeed,

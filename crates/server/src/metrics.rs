@@ -1,7 +1,422 @@
-//! Latency aggregation for the load generator.
+//! Server-side observability: windowed telemetry, cost-model
+//! calibration, SLO burn accounting, and the OpenMetrics scrape
+//! endpoint (DESIGN.md §18).
 //!
-//! The implementation moved to [`ppgnn_telemetry`] so loadgen, mallory,
-//! the bench crate, and the server share one definition; this module
-//! re-exports it for source compatibility.
+//! The cumulative registry in [`ppgnn_telemetry`] answers "what has
+//! this process done since boot"; this module adds the time dimension
+//! and the operator-facing faces on top:
+//!
+//! * a **ticker thread** drives a [`WindowRing`] at 1 Hz on a
+//!   deadline-anchored schedule, feeding it the server's own
+//!   `queries-ok` / `queries-err` counters as extras;
+//! * each tick folds the newest window into the [`CostModel`] —
+//!   per-element crypto costs keyed by the dominant session key size —
+//!   and recomputes the four **SLO burn rates** (latency and error
+//!   budget, fast and slow window) that ride every `Pong`;
+//! * the cost model is **persisted** next to the WAL data dir
+//!   (`costmodel.v1`) so a restarted server plans against calibrated
+//!   constants instead of cold guesses;
+//! * a second listener serves `GET /metrics` (OpenMetrics text) and
+//!   `GET /healthz` (the health snapshot as JSON). Both faces emit
+//!   only closed-enum names and integer magnitudes — never
+//!   coordinates, POI ids, group ids, or any other per-session data —
+//!   enforced by `tests/metrics_redaction.rs`.
+//!
+//! The legacy latency-percentile helpers for `loadgen` are re-exported
+//! unchanged from the shared telemetry crate.
 
 pub use ppgnn_telemetry::{percentile, summarize, LatencySummary};
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ppgnn_telemetry::costmodel::CostModel;
+use ppgnn_telemetry::openmetrics::{self, SloBurn};
+use ppgnn_telemetry::window::{WindowRing, WindowedSnapshot, DEFAULT_CAPACITY, DEFAULT_INTERVAL};
+use ppgnn_telemetry::{self as telemetry, Stage};
+
+use crate::server::{full_snapshot, health_snapshot, Shared};
+
+/// Declarative service-level objectives: the latency and error budgets
+/// the burn rates in [`ppgnn_telemetry::HealthSnapshot`] are measured
+/// against.
+///
+/// A burn rate of 1000 permille means the service is consuming its
+/// error budget exactly as fast as the objective allows; sustained
+/// values above 1000 on the slow window mean the objective will be
+/// missed. The fast window catches sharp regressions (page), the slow
+/// window catches slow leaks (ticket) — the standard multi-window
+/// burn-rate alerting shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloConfig {
+    /// A query slower than this burns the latency budget. Measured on
+    /// [`Stage::ServeQuery`] (enqueue → reply, queue wait included).
+    pub latency_target_us: u64,
+    /// Fraction of queries allowed over the latency target, in parts
+    /// per million (50_000 = 5 %).
+    pub latency_budget_ppm: u32,
+    /// Fraction of queries allowed to fail, in parts per million.
+    pub error_budget_ppm: u32,
+    /// Short burn window (sharp-regression signal).
+    pub fast_window: Duration,
+    /// Long burn window (slow-leak signal). Must fit the telemetry
+    /// ring: at most [`DEFAULT_CAPACITY`] × [`DEFAULT_INTERVAL`].
+    pub slow_window: Duration,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency_target_us: 100_000,
+            latency_budget_ppm: 50_000,
+            error_budget_ppm: 10_000,
+            fast_window: Duration::from_secs(10),
+            slow_window: Duration::from_secs(60),
+        }
+    }
+}
+
+/// File the calibrated cost model is persisted to, inside the
+/// durability data dir (it rides the same directory as the WAL so a
+/// recovered server warm-starts its planner too).
+pub const COST_MODEL_FILE: &str = "costmodel.v1";
+
+/// How many ticks between cost-model persists (~30 s at 1 Hz); the
+/// model is also persisted once at shutdown.
+const PERSIST_EVERY_TICKS: u64 = 30;
+
+/// Burn-rate atomics: latency-fast, latency-slow, error-fast,
+/// error-slow — the order [`health_snapshot`] reads them in.
+const BURN_SLOTS: usize = 4;
+
+/// The server's windowed-observability state, one per [`Shared`].
+///
+/// Lock order: `windows` before `cost`, never the reverse; neither is
+/// held across I/O except the cost-model persist (a dedicated clone).
+pub(crate) struct Observability {
+    windows: Mutex<WindowRing>,
+    cost: Mutex<CostModel>,
+    cost_path: Option<PathBuf>,
+    slo: Option<SloConfig>,
+    burns: [AtomicU32; BURN_SLOTS],
+}
+
+/// Recovers from a poisoned observability lock: every critical section
+/// leaves the ring/model structurally consistent (worst case a lost
+/// tick), so serving stale telemetry beats wedging the scrape path.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl Observability {
+    /// Fresh state; when `cost_path` names an existing persisted model
+    /// it is loaded so calibration resumes instead of restarting —
+    /// a corrupt or missing file just means a cold model.
+    pub(crate) fn new(slo: Option<SloConfig>, cost_path: Option<PathBuf>) -> Self {
+        let cost = cost_path
+            .as_deref()
+            .and_then(|p| CostModel::load(p).ok().flatten())
+            .unwrap_or_default();
+        Observability {
+            windows: Mutex::new(WindowRing::new(DEFAULT_INTERVAL, DEFAULT_CAPACITY)),
+            cost: Mutex::new(cost),
+            cost_path,
+            slo,
+            burns: [const { AtomicU32::new(0) }; BURN_SLOTS],
+        }
+    }
+
+    /// One observation cycle: capture an interval delta, fold the
+    /// fresh window into the cost model (attributed to `key_bits`),
+    /// and recompute the SLO burn rates. Driven by the ticker thread
+    /// and by [`crate::ServerHandle::flush_windows`].
+    fn tick(&self, extras: &[(&str, u64)], key_bits: Option<u32>) {
+        let mut ring = lock(&self.windows);
+        ring.tick_with_extras(telemetry::global(), extras);
+        if let Some(bits) = key_bits {
+            // Calibrate over the fast window: wide enough for stable
+            // ratios, fresh enough to track load shifts. Overlapping
+            // windows are fine — the model folds ratios by EWMA, so
+            // re-observing mostly-identical intervals only smooths.
+            let intervals = self.intervals_for(self.fast_window(), &ring);
+            let w = ring.windowed(intervals);
+            lock(&self.cost).observe(bits, &w);
+        }
+        if let Some(slo) = self.slo {
+            let fast = self.intervals_for(slo.fast_window, &ring);
+            let slow = self.intervals_for(slo.slow_window, &ring);
+            let (over_f, tot_f) =
+                ring.stage_over_threshold(Stage::ServeQuery, fast, slo.latency_target_us);
+            let (over_s, tot_s) =
+                ring.stage_over_threshold(Stage::ServeQuery, slow, slo.latency_target_us);
+            let err_f = ring.counter_delta("queries-err", fast);
+            let ok_f = ring.counter_delta("queries-ok", fast);
+            let err_s = ring.counter_delta("queries-err", slow);
+            let ok_s = ring.counter_delta("queries-ok", slow);
+            drop(ring);
+            let values = [
+                burn_permille(over_f, tot_f, slo.latency_budget_ppm),
+                burn_permille(over_s, tot_s, slo.latency_budget_ppm),
+                burn_permille(err_f, err_f + ok_f, slo.error_budget_ppm),
+                burn_permille(err_s, err_s + ok_s, slo.error_budget_ppm),
+            ];
+            for (slot, v) in self.burns.iter().zip(values) {
+                slot.store(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn fast_window(&self) -> Duration {
+        self.slo
+            .map(|s| s.fast_window)
+            .unwrap_or(Duration::from_secs(10))
+    }
+
+    /// How many ring intervals cover `window`, at least one.
+    fn intervals_for(&self, window: Duration, ring: &WindowRing) -> usize {
+        let iv = ring.interval().as_millis().max(1);
+        window.as_millis().div_ceil(iv).max(1) as usize
+    }
+
+    /// The windowed snapshot over the newest `intervals` ticks.
+    pub(crate) fn windowed(&self, intervals: usize) -> WindowedSnapshot {
+        lock(&self.windows).windowed(intervals)
+    }
+
+    /// A point-in-time copy of the calibrated cost model.
+    pub(crate) fn cost_model(&self) -> CostModel {
+        lock(&self.cost).clone()
+    }
+
+    /// The four burn rates, in [`health_snapshot`] field order:
+    /// latency-fast, latency-slow, error-fast, error-slow.
+    pub(crate) fn burns(&self) -> [u32; BURN_SLOTS] {
+        [
+            self.burns[0].load(Ordering::Relaxed),
+            self.burns[1].load(Ordering::Relaxed),
+            self.burns[2].load(Ordering::Relaxed),
+            self.burns[3].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Whether an SLO is configured (burn gauges are only exported
+    /// when they mean something).
+    pub(crate) fn has_slo(&self) -> bool {
+        self.slo.is_some()
+    }
+
+    /// Burn samples for the scrape body; empty without an SLO.
+    fn slo_burns(&self) -> Vec<SloBurn> {
+        if self.slo.is_none() {
+            return Vec::new();
+        }
+        let b = self.burns();
+        vec![
+            SloBurn {
+                objective: "latency",
+                window: "fast",
+                burn_pm: b[0] as u64,
+            },
+            SloBurn {
+                objective: "latency",
+                window: "slow",
+                burn_pm: b[1] as u64,
+            },
+            SloBurn {
+                objective: "errors",
+                window: "fast",
+                burn_pm: b[2] as u64,
+            },
+            SloBurn {
+                objective: "errors",
+                window: "slow",
+                burn_pm: b[3] as u64,
+            },
+        ]
+    }
+
+    /// Persists the cost model if a path is configured and the model
+    /// has learned anything. Persist failures are swallowed: a broken
+    /// disk must not take the ticker (and with it burn accounting)
+    /// down — the next restart just calibrates from cold.
+    pub(crate) fn persist(&self) {
+        let Some(path) = &self.cost_path else { return };
+        let model = self.cost_model();
+        if !model.is_empty() {
+            let _ = model.save(path);
+        }
+    }
+}
+
+/// `over/total` as a permille of the budget: 1000 = burning exactly at
+/// the allowed rate. 0 when nothing happened (no traffic burns no
+/// budget); saturates at `u32::MAX` instead of overflowing when the
+/// budget is tiny and everything violates.
+fn burn_permille(over: u64, total: u64, budget_ppm: u32) -> u32 {
+    if total == 0 || budget_ppm == 0 {
+        return 0;
+    }
+    let num = (over as u128) * 1_000_000_000u128;
+    let den = (total as u128) * (budget_ppm as u128);
+    (num / den).min(u32::MAX as u128) as u32
+}
+
+/// One observation cycle against the server's live counters — the
+/// single entry point both the ticker and `flush_windows` share.
+pub(crate) fn observability_tick(shared: &Shared) {
+    let extras = [
+        (
+            "queries-ok",
+            shared.stats.queries_ok.load(Ordering::Relaxed),
+        ),
+        (
+            "queries-err",
+            shared.stats.queries_err.load(Ordering::Relaxed),
+        ),
+    ];
+    let key_bits = shared.registry.dominant_key_bits();
+    shared.obs.tick(&extras, key_bits);
+}
+
+/// Spawns the 1 Hz observability ticker. Ticks are anchored to a
+/// deadline schedule (`next += interval`) so a slow tick does not
+/// shift every later one; a tick delayed past a full interval skips
+/// the missed deadlines instead of bursting to catch up.
+pub(crate) fn spawn_ticker(shared: Arc<Shared>) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("ppgnn-obs-ticker".into())
+        .spawn(move || {
+            let interval = DEFAULT_INTERVAL;
+            let mut next = Instant::now() + interval;
+            let mut ticks: u64 = 0;
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                let now = Instant::now();
+                if now < next {
+                    // Short naps so shutdown is noticed within ~50 ms.
+                    std::thread::sleep((next - now).min(Duration::from_millis(50)));
+                    continue;
+                }
+                next += interval;
+                if next < Instant::now() {
+                    next = Instant::now() + interval;
+                }
+                observability_tick(&shared);
+                ticks += 1;
+                if ticks.is_multiple_of(PERSIST_EVERY_TICKS) {
+                    shared.obs.persist();
+                }
+            }
+            // Final capture + persist so short-lived servers still
+            // leave a calibrated model behind.
+            observability_tick(&shared);
+            shared.obs.persist();
+        })
+}
+
+/// Largest accepted scrape request head; `/metrics` needs ~20 bytes,
+/// anything bigger is not a scraper.
+const MAX_REQUEST_BYTES: usize = 4096;
+/// Socket deadlines on the scrape listener: a stuck scraper loses its
+/// connection, never a listener slot.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Binds the metrics listener and serves `GET /metrics` and
+/// `GET /healthz` until shutdown. Single-threaded by design: scrape
+/// bodies are built in microseconds, scrapers poll at ≥1 s intervals,
+/// and one thread bounds the blast radius of a misbehaving scraper.
+pub(crate) fn spawn_metrics_listener(
+    addr: &str,
+    shared: Arc<Shared>,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let handle = std::thread::Builder::new()
+        .name("ppgnn-metrics".into())
+        .spawn(move || {
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = serve_scrape(stream, &shared);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        })?;
+    Ok((local_addr, handle))
+}
+
+/// The `/metrics` scrape body: cumulative + windowed + cost + burn
+/// families, rendered by the shared [`openmetrics`] module.
+pub(crate) fn render_scrape(shared: &Shared) -> String {
+    let snap = full_snapshot(shared);
+    let windowed = {
+        let ring = lock(&shared.obs.windows);
+        (!ring.is_empty()).then(|| ring.windowed(ring.len()))
+    };
+    let cost = shared.obs.cost_model();
+    let cost = (!cost.is_empty()).then_some(cost);
+    let burns = shared.obs.slo_burns();
+    openmetrics::render(&snap, windowed.as_ref(), cost.as_ref(), &burns)
+}
+
+/// Answers one scrape connection: reads the request head under a
+/// deadline, routes GET `/metrics` / `/healthz`, writes one response,
+/// closes. No keep-alive — scrapers reconnect per poll and a closed
+/// connection can never wedge the listener.
+fn serve_scrape(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(SCRAPE_TIMEOUT))?;
+    stream.set_write_timeout(Some(SCRAPE_TIMEOUT))?;
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            render_scrape(shared),
+        ),
+        ("GET", "/healthz") => {
+            let health = health_snapshot(shared);
+            let status = if health.live_workers > 0 {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            (status, "application/json", health.to_json())
+        }
+        ("GET", _) => ("404 Not Found", "text/plain", "not found\n".into()),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".into(),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -314,6 +314,12 @@ fn run_arm(
         .workers(2)
         .rng_seed(arm_seed)
         .shape(policy)
+        // The distinguishability gate runs with the metrics endpoint
+        // and SLO accounting live: an observability regression that
+        // leaks workload shape onto the wire fails this test, not
+        // just the redaction grep.
+        .metrics_addr(Some("127.0.0.1:0".into()))
+        .slo(Some(crate::metrics::SloConfig::default()))
         .build()
         .map_err(|e| ServerError::Recovery(e.0))?;
     let lsp = Arc::new(Lsp::new(pois, config.clone()));

@@ -367,6 +367,23 @@ impl SessionRegistry {
     }
 
     /// Number of registered sessions.
+    /// The most common key size among live sessions, weighted by
+    /// queries served — the key size the cost model attributes the
+    /// current window's work to. `None` when the table is empty.
+    pub fn dominant_key_bits(&self) -> Option<u32> {
+        let map = lock(&self.inner);
+        let mut weights: HashMap<usize, u64> = HashMap::new();
+        for entry in map.values() {
+            // `+1` so fresh sessions that have not queried yet still
+            // vote, otherwise an empty-weight tie hides them all.
+            *weights.entry(entry.params.key_bits).or_insert(0) += entry.queries + 1;
+        }
+        weights
+            .into_iter()
+            .max_by_key(|&(bits, weight)| (weight, bits))
+            .map(|(bits, _)| bits as u32)
+    }
+
     pub fn len(&self) -> usize {
         lock(&self.inner).len()
     }

@@ -52,7 +52,9 @@ use ppgnn_sim::CostLedger;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use ppgnn_telemetry::costmodel::CostModel;
 use ppgnn_telemetry::trace::{self, AttrKey, SpanName, TraceHandle};
+use ppgnn_telemetry::window::WindowedSnapshot;
 use ppgnn_telemetry::{self as telemetry, Gauge, HealthSnapshot, TelemetrySnapshot};
 
 use crate::error::{ErrorCode, ServerError};
@@ -63,6 +65,7 @@ use crate::frame::{
     PongPayload, QueryPayload, StatsReplyPayload, SubscriptionKind, SubscriptionUpdatePayload,
     TraceReplyPayload, UnsubscribePayload, DEFAULT_MAX_PAYLOAD,
 };
+use crate::metrics::{self, Observability, SloConfig, COST_MODEL_FILE};
 use crate::registry::{RegistryLimits, SessionParams, SessionRegistry};
 use crate::shape::{Lane, ShapePolicy};
 use crate::subscription::{compute_regions, Outbox, Subscription, SubscriptionRegistry};
@@ -157,6 +160,17 @@ pub struct ServerConfig {
     /// both paths are bit-identical). Scoped like
     /// [`ServerConfig::selection_parallelism`].
     pub naive_crypto: bool,
+    /// Address for the operator metrics listener (`GET /metrics`
+    /// OpenMetrics text, `GET /healthz` health JSON); `None` (the
+    /// default) binds no second socket. Kept separate from the query
+    /// port so scrapers never share a lane with clients and the
+    /// endpoint can be firewalled independently.
+    pub metrics_addr: Option<String>,
+    /// Service-level objectives; `Some` turns on the four burn-rate
+    /// fields in every `Pong` health snapshot, the `slo-*` gauges in
+    /// `Stats`, and the `ppgnn_slo_burn_permille` scrape family.
+    /// `None` (the default) reports zero burn everywhere.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServerConfig {
@@ -183,6 +197,8 @@ impl Default for ServerConfig {
             shape: ShapePolicy::off(),
             selection_parallelism: 1,
             naive_crypto: false,
+            metrics_addr: None,
+            slo: None,
         }
     }
 }
@@ -353,6 +369,18 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Metrics listener address; `None` binds no second socket.
+    pub fn metrics_addr(mut self, addr: Option<String>) -> Self {
+        self.config.metrics_addr = addr;
+        self
+    }
+
+    /// Service-level objectives; `None` reports zero burn everywhere.
+    pub fn slo(mut self, slo: Option<SloConfig>) -> Self {
+        self.config.slo = slo;
+        self
+    }
+
     /// Validates the combination and returns the config, or a
     /// [`ConfigError`] naming the first bad knob.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
@@ -423,6 +451,39 @@ impl ServerConfigBuilder {
             return Err(ConfigError(
                 "selection_parallelism must be at least 1 (1 = sequential)".into(),
             ));
+        }
+        if let Some(slo) = &c.slo {
+            if slo.latency_target_us == 0 {
+                return Err(ConfigError(
+                    "slo.latency_target_us of 0 counts every query as a violation".into(),
+                ));
+            }
+            if slo.latency_budget_ppm == 0 || slo.latency_budget_ppm > 1_000_000 {
+                return Err(ConfigError(format!(
+                    "slo.latency_budget_ppm of {} is not a fraction in (0, 1_000_000]",
+                    slo.latency_budget_ppm
+                )));
+            }
+            if slo.error_budget_ppm == 0 || slo.error_budget_ppm > 1_000_000 {
+                return Err(ConfigError(format!(
+                    "slo.error_budget_ppm of {} is not a fraction in (0, 1_000_000]",
+                    slo.error_budget_ppm
+                )));
+            }
+            if slo.fast_window.is_zero() || slo.fast_window > slo.slow_window {
+                return Err(ConfigError(
+                    "slo.fast_window must be non-zero and no longer than slo.slow_window".into(),
+                ));
+            }
+            let ring_span = ppgnn_telemetry::window::DEFAULT_INTERVAL
+                * ppgnn_telemetry::window::DEFAULT_CAPACITY as u32;
+            if slo.slow_window > ring_span {
+                return Err(ConfigError(format!(
+                    "slo.slow_window of {:?} exceeds the {:?} telemetry ring — the burn \
+                     rate would silently measure a shorter window",
+                    slo.slow_window, ring_span
+                )));
+            }
         }
         if c.shape.is_padded() {
             if c.shape.max_key_bits < c.hello_policy.min_key_bits {
@@ -635,15 +696,18 @@ struct RecoveryFacts {
     corrupt_checkpoints: u64,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     world: World,
-    config: ServerConfig,
-    registry: SessionRegistry,
+    pub(crate) config: ServerConfig,
+    pub(crate) registry: SessionRegistry,
     subscriptions: SubscriptionRegistry,
-    stats: ServerStats,
-    shutdown: AtomicBool,
+    pub(crate) stats: ServerStats,
+    pub(crate) shutdown: AtomicBool,
     connections: AtomicU64,
     started: Instant,
+    /// Windowed telemetry, cost model, and SLO burn state (the
+    /// [`metrics`] module's slice of the server).
+    pub(crate) obs: Observability,
     /// Restart epoch: fresh per process start, surfaced in `HelloAck`
     /// and `Pong` so clients detect a crash/recovery cycle.
     epoch: u64,
@@ -684,10 +748,13 @@ impl Shared {
 /// Handle to a running server; dropping it shuts the server down.
 pub struct ServerHandle {
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     job_tx: Option<Sender<Job>>,
     acceptor: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+    metrics_listener: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -695,6 +762,12 @@ impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound metrics-listener address, when
+    /// [`ServerConfig::metrics_addr`] was set (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Service counters.
@@ -719,6 +792,25 @@ impl ServerHandle {
         health_snapshot(&self.shared)
     }
 
+    /// The windowed telemetry snapshot over the newest `intervals`
+    /// ticks of the 1 Hz observability ring (DESIGN.md §18).
+    pub fn windowed_snapshot(&self, intervals: usize) -> WindowedSnapshot {
+        self.shared.obs.windowed(intervals)
+    }
+
+    /// A point-in-time copy of the live calibrated cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.shared.obs.cost_model()
+    }
+
+    /// Forces one observability tick *now*: captures an interval
+    /// delta, folds it into the cost model, and recomputes the SLO
+    /// burn rates. Tests and short benchmark runs call this instead
+    /// of sleeping out the 1 s ticker cadence.
+    pub fn flush_windows(&self) {
+        metrics::observability_tick(&self.shared);
+    }
+
     /// A detached, cloneable probe for reading the same snapshots from
     /// another thread (the `--stats-json` dump loop) without owning the
     /// handle.
@@ -737,6 +829,14 @@ impl ServerHandle {
     fn shutdown_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // The ticker runs a final capture + cost-model persist on its
+        // way out; the metrics listener just stops accepting.
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics_listener.take() {
             let _ = h.join();
         }
         // Connection threads notice the flag at their next poll, finish
@@ -786,6 +886,16 @@ impl StatsProbe {
     pub fn health(&self) -> HealthSnapshot {
         health_snapshot(&self.shared)
     }
+
+    /// Windowed telemetry over the newest `intervals` ring ticks.
+    pub fn windowed(&self, intervals: usize) -> WindowedSnapshot {
+        self.shared.obs.windowed(intervals)
+    }
+
+    /// A point-in-time copy of the live calibrated cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.shared.obs.cost_model()
+    }
 }
 
 /// Recovers the connection-thread list from a poisoned lock: pushes and
@@ -829,8 +939,8 @@ impl From<Arc<DynamicLsp>> for WorldSeed {
 }
 
 /// Binds `addr` and serves the world described by `seed` under
-/// `config` — the single entrypoint that replaces the deprecated
-/// [`serve`] / [`serve_dynamic`] / [`serve_durable`] trio.
+/// `config` — the single serving entrypoint (the pre-0.9 `serve` /
+/// `serve_dynamic` / `serve_durable` trio is gone).
 ///
 /// The world shape and [`ServerConfig::durability`] must agree: a
 /// [`WorldSeed::Durable`] seed without a durability config, or a
@@ -870,67 +980,6 @@ pub fn serve_world(
     serve_world_inner(world, addr, config, None, None)
 }
 
-/// Binds `addr` and starts serving `lsp` with `config`.
-///
-/// Startup failures (bind, thread spawn) surface as
-/// [`ServerError::Io`] instead of panicking.
-#[deprecated(
-    since = "0.9.0",
-    note = "use serve_world(lsp, addr, config); Arc<Lsp> converts into WorldSeed::Static"
-)]
-pub fn serve(
-    lsp: Arc<Lsp>,
-    addr: impl ToSocketAddrs,
-    config: ServerConfig,
-) -> Result<ServerHandle, ServerError> {
-    serve_world_inner(World::Static(lsp), addr, config, None, None)
-}
-
-/// As [`serve`], but over a live [`DynamicLsp`]: the `PoiUpdate` admin
-/// lane (gated by [`ServerConfig::admin_token`]) mutates the index,
-/// and `Subscribe` turns queries into standing ones with safe-region
-/// invalidation pushes.
-#[deprecated(
-    since = "0.9.0",
-    note = "use serve_world(world, addr, config); Arc<DynamicLsp> converts into WorldSeed::Dynamic"
-)]
-pub fn serve_dynamic(
-    world: Arc<DynamicLsp>,
-    addr: impl ToSocketAddrs,
-    config: ServerConfig,
-) -> Result<ServerHandle, ServerError> {
-    serve_world_inner(World::Dynamic(world), addr, config, None, None)
-}
-
-/// As [`serve_dynamic`], but crash-safe: the live world is recovered
-/// from (or bootstrapped into) the data dir named by
-/// [`ServerConfig::durability`], every admitted `PoiUpdate` batch is
-/// write-ahead-logged before it is applied, and checkpoints rotate the
-/// log periodically.
-///
-/// Boot order: load the newest valid checkpoint, replay the WAL tail
-/// (torn tail truncated, dropped bytes logged), republish at the exact
-/// pre-crash version, *then* bind the socket — a recovered server
-/// answers byte-identically to one that never died. `initial_pois` is
-/// used only when the data dir has no checkpoint yet (first boot).
-///
-/// Fails with [`ServerError::Recovery`] when `durability` is unset or
-/// the data dir's checkpoints all fail validation — never a silent
-/// stale serve.
-#[deprecated(
-    since = "0.9.0",
-    note = "use serve_world(WorldSeed::Durable { initial_pois, protocol, space }, addr, config)"
-)]
-pub fn serve_durable(
-    initial_pois: Vec<Poi>,
-    protocol: PpgnnConfig,
-    space: Rect,
-    addr: impl ToSocketAddrs,
-    config: ServerConfig,
-) -> Result<ServerHandle, ServerError> {
-    serve_durable_inner(initial_pois, protocol, space, addr, config)
-}
-
 fn serve_durable_inner(
     initial_pois: Vec<Poi>,
     protocol: PpgnnConfig,
@@ -940,7 +989,7 @@ fn serve_durable_inner(
 ) -> Result<ServerHandle, ServerError> {
     let Some(dur) = config.durability.clone() else {
         return Err(ServerError::Recovery(
-            "serve_durable requires ServerConfig::durability".into(),
+            "WorldSeed::Durable requires ServerConfig::durability".into(),
         ));
     };
     let dir = dur.data_dir.clone();
@@ -1027,6 +1076,12 @@ fn serve_world_inner(
         max_sessions: config.max_sessions.max(1),
         idle_ttl: config.session_idle_ttl,
     });
+    // The cost model lives in the durability data dir: the same place
+    // the world survives a crash is where its calibration survives one.
+    let cost_path = config
+        .durability
+        .as_ref()
+        .map(|d| d.data_dir.join(COST_MODEL_FILE));
     let shared = Arc::new(Shared {
         world,
         config: config.clone(),
@@ -1036,6 +1091,7 @@ fn serve_world_inner(
         shutdown: AtomicBool::new(false),
         connections: AtomicU64::new(0),
         started: Instant::now(),
+        obs: Observability::new(config.slo, cost_path),
         epoch: fresh_epoch(),
         durable,
         recovery,
@@ -1066,12 +1122,24 @@ fn serve_world_inner(
             .spawn(move || accept_loop(listener, shared, job_tx, conn_threads))?
     };
 
+    let ticker = metrics::spawn_ticker(Arc::clone(&shared))?;
+    let (metrics_addr, metrics_listener) = match &config.metrics_addr {
+        Some(addr) => {
+            let (bound, handle) = metrics::spawn_metrics_listener(addr, Arc::clone(&shared))?;
+            (Some(bound), Some(handle))
+        }
+        None => (None, None),
+    };
+
     Ok(ServerHandle {
         local_addr,
+        metrics_addr,
         shared,
         job_tx: Some(job_tx),
         acceptor: Some(acceptor),
         supervisor: Some(supervisor),
+        ticker: Some(ticker),
+        metrics_listener,
         conn_threads,
     })
 }
@@ -1561,7 +1629,8 @@ fn connection_loop<S: Transport>(
 }
 
 /// Compact load-and-health snapshot carried in every `Pong` reply.
-fn health_snapshot(shared: &Shared) -> HealthSnapshot {
+pub(crate) fn health_snapshot(shared: &Shared) -> HealthSnapshot {
+    let burns = shared.obs.burns();
     HealthSnapshot {
         queue_depth: shared.stats.queued.load(Ordering::SeqCst) as u32,
         inflight: shared.stats.inflight.load(Ordering::SeqCst) as u32,
@@ -1577,6 +1646,10 @@ fn health_snapshot(shared: &Shared) -> HealthSnapshot {
         strike_disconnects: shared.stats.strike_disconnects.load(Ordering::Relaxed),
         slow_reaped: shared.stats.slow_reaped.load(Ordering::Relaxed),
         frame_garbage: shared.stats.frame_garbage.load(Ordering::Relaxed),
+        slo_latency_fast_burn_pm: burns[0],
+        slo_latency_slow_burn_pm: burns[1],
+        slo_error_fast_burn_pm: burns[2],
+        slo_error_slow_burn_pm: burns[3],
     }
 }
 
@@ -1584,7 +1657,7 @@ fn health_snapshot(shared: &Shared) -> HealthSnapshot {
 /// pipeline stage histogram and crypto op counter from the global
 /// [`telemetry`] registry, overlaid with the service counters
 /// ([`ServerStats`], session registry) and the live load gauges.
-fn full_snapshot(shared: &Shared) -> TelemetrySnapshot {
+pub(crate) fn full_snapshot(shared: &Shared) -> TelemetrySnapshot {
     let reg = telemetry::global();
     reg.set_gauge(
         Gauge::QueueDepth,
@@ -1657,6 +1730,13 @@ fn full_snapshot(shared: &Shared) -> TelemetrySnapshot {
         snap.push_gauge("recovered-batches", rec.replayed_batches);
         snap.push_gauge("recovered-torn-bytes", rec.torn_bytes);
         snap.push_gauge("recovered-corrupt-checkpoints", rec.corrupt_checkpoints);
+    }
+    if shared.obs.has_slo() {
+        let burns = shared.obs.burns();
+        snap.push_gauge("slo-latency-fast-burn-pm", burns[0] as u64);
+        snap.push_gauge("slo-latency-slow-burn-pm", burns[1] as u64);
+        snap.push_gauge("slo-error-fast-burn-pm", burns[2] as u64);
+        snap.push_gauge("slo-error-slow-burn-pm", burns[3] as u64);
     }
     snap
 }
@@ -2023,7 +2103,9 @@ fn handle_query(
                 replayed: !fresh,
                 answer,
             };
-            shaper.send(stream, FrameType::Answer, &payload.encode(), Lane::Answer)?;
+            let encoded = payload.encode();
+            telemetry::global().incr_by(telemetry::Op::AnswerBytes, encoded.len() as u64);
+            shaper.send(stream, FrameType::Answer, &encoded, Lane::Answer)?;
             if let (Some(lane), Some(candidates)) = (subscribe, candidates) {
                 return grant_subscription(
                     shared,
@@ -2377,6 +2459,10 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>, index: u64) {
                 let _a = h.activate();
                 trace::mark_shed();
             }
+            // An expired query still burns the latency SLO: it spent at
+            // least a full deadline in the queue.
+            telemetry::global()
+                .record_duration(telemetry::Stage::ServeQuery, job.enqueued.elapsed());
             let _ = job.reply.send(Reply::Failure {
                 request_id: job.request_id,
                 code: ErrorCode::DeadlineExceeded,
@@ -2432,6 +2518,7 @@ fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>, index: u64) {
         if let Some(h) = job.trace.take() {
             h.finish();
         }
+        telemetry::global().record_duration(telemetry::Stage::ServeQuery, job.enqueued.elapsed());
         // A gone receiver means the connection died or timed out; the
         // query result is simply dropped.
         let _ = job.reply.send(reply);
@@ -2608,6 +2695,7 @@ mod tests {
             shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             started: Instant::now(),
+            obs: Observability::new(None, None),
             epoch: 0,
             durable: None,
             recovery: None,

@@ -1,0 +1,513 @@
+//! Live cost-model calibration: per-server cost constants, continuously
+//! fitted from windowed telemetry.
+//!
+//! ROADMAP item 5's adaptive planner needs to answer "what would this
+//! query plan cost *on this machine, right now*": per-element
+//! Damgård–Jurik dot ns, encrypt/decrypt ns, sanitation Z-test ns, and
+//! wire bytes per candidate — all of which move with key size, CPU, and
+//! load. Rather than a benchmark run, the [`CostModel`] divides windowed
+//! stage time by windowed op counts every tick and folds the quotient
+//! into an EWMA:
+//!
+//! ```text
+//! ns_per_op = Δ(stage sum_us) × 1000 / Δ(op count)       (per window)
+//! value     ← (3 × value + ns_per_op) / 4                (α = 1/4)
+//! ```
+//!
+//! Stage timers wrap exactly one op for the paillier stages (one
+//! encrypt, one decrypt, one dot), so `value` predicts the windowed
+//! stage's central band — it tracks the per-window mean exactly, which
+//! coincides with the median for tight distributions and sits above it
+//! for right-skewed ones. The bench gate asserts the prediction lands
+//! within 25 % of that band (median, or failing that mean).
+//! Constants are keyed by the session key size ([`CostTable`] per
+//! `key_bits`) because Damgård–Jurik cost is superlinear in modulus
+//! bits.
+//!
+//! Everything is integer nanoseconds (or integer bytes): the model is
+//! exported on `/metrics` and in snapshots, and every export face in
+//! this system is float-free by construction. The model persists as a
+//! line-based text file next to the WAL data dir ([`CostModel::save`] /
+//! [`CostModel::load`]) so a restarted server warm-starts with its
+//! previous constants instead of re-learning from zero.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::json;
+use crate::window::WindowedSnapshot;
+use crate::Stage;
+
+/// EWMA weight: new observations get 1/4, history keeps 3/4.
+const EWMA_NUM: u64 = 3;
+const EWMA_DEN: u64 = 4;
+
+/// The closed set of calibrated constants. Adding a variant is the
+/// moment to ask "can it leak?" — values must stay aggregate integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum CostKind {
+    /// One probabilistic Damgård–Jurik encryption, nanoseconds.
+    PaillierEncryptNs,
+    /// One Damgård–Jurik decryption, nanoseconds.
+    PaillierDecryptNs,
+    /// One homomorphic dot product, nanoseconds.
+    PaillierDotNs,
+    /// One ciphertext element inside a dot product, nanoseconds.
+    PaillierDotElementNs,
+    /// One sanitation Z-test (`reject_h0`), nanoseconds.
+    SanitationZTestNs,
+    /// Answer payload bytes per evaluated candidate.
+    AnswerBytesPerCandidate,
+}
+
+impl CostKind {
+    /// Every constant, in report order.
+    pub const ALL: [CostKind; 6] = [
+        CostKind::PaillierEncryptNs,
+        CostKind::PaillierDecryptNs,
+        CostKind::PaillierDotNs,
+        CostKind::PaillierDotElementNs,
+        CostKind::SanitationZTestNs,
+        CostKind::AnswerBytesPerCandidate,
+    ];
+
+    /// Number of constants.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The stable metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostKind::PaillierEncryptNs => "paillier-encrypt-ns",
+            CostKind::PaillierDecryptNs => "paillier-decrypt-ns",
+            CostKind::PaillierDotNs => "paillier-dot-ns",
+            CostKind::PaillierDotElementNs => "paillier-dot-element-ns",
+            CostKind::SanitationZTestNs => "sanitation-z-test-ns",
+            CostKind::AnswerBytesPerCandidate => "answer-bytes-per-candidate",
+        }
+    }
+
+    /// Inverse of [`CostKind::name`].
+    pub fn from_name(name: &str) -> Option<CostKind> {
+        CostKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One calibrated constant: the EWMA value and how many window
+/// observations were folded into it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostEntry {
+    /// Current EWMA estimate (integer ns, or integer bytes).
+    pub value: u64,
+    /// Window observations folded in so far (0 = never observed).
+    pub samples: u64,
+}
+
+impl CostEntry {
+    fn fold(&mut self, observed: u64) {
+        self.value = if self.samples == 0 {
+            observed
+        } else {
+            (self.value * EWMA_NUM + observed) / EWMA_DEN
+        };
+        self.samples += 1;
+    }
+}
+
+/// All constants for one key size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostTable {
+    /// Damgård–Jurik modulus bits the table was calibrated under.
+    pub key_bits: u32,
+    entries: [CostEntry; CostKind::COUNT],
+}
+
+impl CostTable {
+    fn new(key_bits: u32) -> Self {
+        CostTable {
+            key_bits,
+            entries: [CostEntry::default(); CostKind::COUNT],
+        }
+    }
+
+    /// The entry for one constant.
+    pub fn entry(&self, kind: CostKind) -> CostEntry {
+        self.entries[kind as usize]
+    }
+
+    /// The calibrated value, `None` until first observed.
+    pub fn get(&self, kind: CostKind) -> Option<u64> {
+        let e = self.entries[kind as usize];
+        (e.samples > 0).then_some(e.value)
+    }
+}
+
+/// The per-server cost model: one [`CostTable`] per key size seen.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    tables: Vec<CostTable>,
+}
+
+impl CostModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        CostModel::default()
+    }
+
+    /// Tables calibrated so far, ordered by key size.
+    pub fn tables(&self) -> &[CostTable] {
+        &self.tables
+    }
+
+    /// The table for `key_bits`, if any key of that size was observed.
+    pub fn table(&self, key_bits: u32) -> Option<&CostTable> {
+        self.tables.iter().find(|t| t.key_bits == key_bits)
+    }
+
+    /// Shorthand for `table(key_bits).and_then(|t| t.get(kind))`.
+    pub fn get(&self, key_bits: u32, kind: CostKind) -> Option<u64> {
+        self.table(key_bits).and_then(|t| t.get(kind))
+    }
+
+    /// True when no table holds any observation.
+    pub fn is_empty(&self) -> bool {
+        self.tables
+            .iter()
+            .all(|t| t.entries.iter().all(|e| e.samples == 0))
+    }
+
+    fn table_mut(&mut self, key_bits: u32) -> &mut CostTable {
+        match self.tables.iter().position(|t| t.key_bits == key_bits) {
+            Some(i) => &mut self.tables[i],
+            None => {
+                self.tables.push(CostTable::new(key_bits));
+                self.tables.sort_by_key(|t| t.key_bits);
+                let i = self
+                    .tables
+                    .iter()
+                    .position(|t| t.key_bits == key_bits)
+                    .unwrap();
+                &mut self.tables[i]
+            }
+        }
+    }
+
+    /// Folds one windowed observation into the table for `key_bits`.
+    /// Constants whose denominator op never fired in the window are
+    /// left untouched. Returns how many constants were updated.
+    pub fn observe(&mut self, key_bits: u32, w: &WindowedSnapshot) -> usize {
+        let stage_sum_us = |s: Stage| w.stage(s.name()).map(|x| x.total_us).unwrap_or(0);
+        let ops = |name: &str| w.counter(name).unwrap_or(0);
+
+        let mut updates: Vec<(CostKind, u64)> = Vec::new();
+        let mut per_op = |kind: CostKind, sum_us: u64, n: u64| {
+            if n > 0 && sum_us > 0 {
+                updates.push((kind, sum_us.saturating_mul(1000) / n));
+            }
+        };
+        per_op(
+            CostKind::PaillierEncryptNs,
+            stage_sum_us(Stage::PaillierEncrypt),
+            ops("paillier-encrypt-ops"),
+        );
+        per_op(
+            CostKind::PaillierDecryptNs,
+            stage_sum_us(Stage::PaillierDecrypt),
+            ops("paillier-decrypt-ops"),
+        );
+        per_op(
+            CostKind::PaillierDotNs,
+            stage_sum_us(Stage::PaillierDot),
+            ops("paillier-dot-ops"),
+        );
+        per_op(
+            CostKind::PaillierDotElementNs,
+            stage_sum_us(Stage::PaillierDot),
+            ops("paillier-dot-elements"),
+        );
+        per_op(
+            CostKind::SanitationZTestNs,
+            stage_sum_us(Stage::Sanitation),
+            ops("sanitation-z-tests"),
+        );
+        let candidates = ops("candidates-evaluated");
+        let answer_bytes = ops("answer-bytes");
+        if candidates > 0 && answer_bytes > 0 {
+            updates.push((CostKind::AnswerBytesPerCandidate, answer_bytes / candidates));
+        }
+
+        if updates.is_empty() {
+            return 0;
+        }
+        let table = self.table_mut(key_bits);
+        let n = updates.len();
+        for (kind, observed) in updates {
+            table.entries[kind as usize].fold(observed);
+        }
+        n
+    }
+
+    /// Predicted windowed stage median, microseconds, for stages whose
+    /// timer wraps exactly one op (the paillier stages). `None` for
+    /// other stages or before calibration.
+    pub fn predict_stage_median_us(&self, key_bits: u32, stage: Stage) -> Option<u64> {
+        let kind = match stage {
+            Stage::PaillierEncrypt => CostKind::PaillierEncryptNs,
+            Stage::PaillierDecrypt => CostKind::PaillierDecryptNs,
+            Stage::PaillierDot => CostKind::PaillierDotNs,
+            _ => return None,
+        };
+        self.get(key_bits, kind).map(|ns| ns / 1000)
+    }
+
+    /// The JSON value of the model. Integer-only.
+    pub fn to_json(&self) -> String {
+        let tables = self.tables.iter().map(|t| {
+            let mut obj = json::Obj::new();
+            obj.field_u64("key_bits", u64::from(t.key_bits));
+            obj.field_raw(
+                "costs",
+                &json::arr(CostKind::ALL.iter().map(|&k| {
+                    let e = t.entry(k);
+                    let mut c = json::Obj::new();
+                    c.field_str("name", k.name());
+                    c.field_u64("value", e.value);
+                    c.field_u64("samples", e.samples);
+                    c.finish()
+                })),
+            );
+            obj.finish()
+        });
+        let mut obj = json::Obj::new();
+        obj.field_raw("tables", &json::arr(tables));
+        obj.finish()
+    }
+
+    /// Serializes the model as the persisted text format: one
+    /// line-based record per constant, integers only, no floats to
+    /// parse back.
+    ///
+    /// ```text
+    /// ppgnn-costmodel v1
+    /// table key-bits 128
+    /// cost paillier-encrypt-ns 123456 samples 17
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("ppgnn-costmodel v1\n");
+        for t in &self.tables {
+            out.push_str(&format!("table key-bits {}\n", t.key_bits));
+            for k in CostKind::ALL {
+                let e = t.entry(k);
+                if e.samples > 0 {
+                    out.push_str(&format!(
+                        "cost {} {} samples {}\n",
+                        k.name(),
+                        e.value,
+                        e.samples
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`CostModel::to_text`]. Unknown cost names are
+    /// skipped (forward compatibility); a wrong header yields `None`.
+    pub fn from_text(text: &str) -> Option<CostModel> {
+        let mut lines = text.lines();
+        if lines.next()?.trim() != "ppgnn-costmodel v1" {
+            return None;
+        }
+        let mut model = CostModel::new();
+        let mut current: Option<u32> = None;
+        for line in lines {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields.as_slice() {
+                ["table", "key-bits", bits] => {
+                    current = bits.parse().ok();
+                }
+                ["cost", name, value, "samples", samples] => {
+                    let (Some(bits), Some(kind)) = (current, CostKind::from_name(name)) else {
+                        continue;
+                    };
+                    let (Ok(value), Ok(samples)) = (value.parse(), samples.parse()) else {
+                        continue;
+                    };
+                    let table = model.table_mut(bits);
+                    table.entries[kind as usize] = CostEntry { value, samples };
+                }
+                [] => {}
+                _ => continue,
+            }
+        }
+        Some(model)
+    }
+
+    /// Writes the model atomically (`path.tmp` + rename) so a crash
+    /// mid-save never leaves a torn file for recovery to choke on.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a persisted model; `Ok(None)` when the file is absent or
+    /// unreadable as a model (a missing or torn model is a cold start,
+    /// never a boot failure).
+    pub fn load(path: &Path) -> io::Result<Option<CostModel>> {
+        let mut text = String::new();
+        match std::fs::File::open(path) {
+            Ok(mut f) => {
+                if f.read_to_string(&mut text).is_err() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        Ok(CostModel::from_text(&text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowRing;
+    use crate::{MetricsRegistry, Op};
+    use std::time::Duration;
+
+    fn observed_window(reg: &MetricsRegistry) -> WindowedSnapshot {
+        let mut w = WindowRing::new(Duration::from_secs(1), 4);
+        w.tick(reg);
+        w.windowed(1)
+    }
+
+    #[cfg(not(feature = "noop"))]
+    #[test]
+    fn calibrates_per_op_constants_from_window() {
+        let reg = MetricsRegistry::new();
+        // 4 encryptions totalling 8 ms → 2 ms = 2_000_000 ns each.
+        for _ in 0..4 {
+            reg.record_us(Stage::PaillierEncrypt, 2_000);
+        }
+        reg.incr_by(Op::PaillierEncrypt, 4);
+        // 2 dots over 10 elements totalling 3 ms.
+        reg.record_us(Stage::PaillierDot, 1_000);
+        reg.record_us(Stage::PaillierDot, 2_000);
+        reg.incr_by(Op::PaillierDot, 2);
+        reg.incr_by(Op::PaillierDotElements, 10);
+        // 20 candidates produced 10 kB of answers.
+        reg.incr_by(Op::CandidatesEvaluated, 20);
+        reg.incr_by(Op::AnswerBytes, 10_240);
+
+        let mut model = CostModel::new();
+        let updated = model.observe(128, &observed_window(&reg));
+        assert_eq!(updated, 4);
+        assert_eq!(model.get(128, CostKind::PaillierEncryptNs), Some(2_000_000));
+        assert_eq!(model.get(128, CostKind::PaillierDotNs), Some(1_500_000));
+        assert_eq!(
+            model.get(128, CostKind::PaillierDotElementNs),
+            Some(300_000)
+        );
+        assert_eq!(model.get(128, CostKind::AnswerBytesPerCandidate), Some(512));
+        // Never-fired constants stay unobserved, other key sizes empty.
+        assert_eq!(model.get(128, CostKind::SanitationZTestNs), None);
+        assert_eq!(model.get(256, CostKind::PaillierEncryptNs), None);
+        assert_eq!(
+            model.predict_stage_median_us(128, Stage::PaillierEncrypt),
+            Some(2_000)
+        );
+    }
+
+    #[cfg(not(feature = "noop"))]
+    #[test]
+    fn ewma_smooths_and_splits_by_key_size() {
+        let mut model = CostModel::new();
+        let reg = MetricsRegistry::new();
+        reg.record_us(Stage::PaillierEncrypt, 1_000);
+        reg.incr(Op::PaillierEncrypt);
+        model.observe(128, &observed_window(&reg));
+        assert_eq!(model.get(128, CostKind::PaillierEncryptNs), Some(1_000_000));
+
+        // A second, 5× slower observation moves the EWMA by 1/4.
+        let reg2 = MetricsRegistry::new();
+        reg2.record_us(Stage::PaillierEncrypt, 5_000);
+        reg2.incr(Op::PaillierEncrypt);
+        model.observe(128, &observed_window(&reg2));
+        assert_eq!(model.get(128, CostKind::PaillierEncryptNs), Some(2_000_000));
+
+        // A different key size gets its own table.
+        let reg3 = MetricsRegistry::new();
+        reg3.record_us(Stage::PaillierEncrypt, 9_000);
+        reg3.incr(Op::PaillierEncrypt);
+        model.observe(256, &observed_window(&reg3));
+        assert_eq!(model.get(128, CostKind::PaillierEncryptNs), Some(2_000_000));
+        assert_eq!(model.get(256, CostKind::PaillierEncryptNs), Some(9_000_000));
+        assert_eq!(model.tables().len(), 2);
+    }
+
+    #[test]
+    fn text_round_trip_and_tolerant_parse() {
+        let mut model = CostModel::new();
+        let t = model.table_mut(128);
+        t.entries[CostKind::PaillierDotNs as usize] = CostEntry {
+            value: 77_000,
+            samples: 3,
+        };
+        let t = model.table_mut(512);
+        t.entries[CostKind::SanitationZTestNs as usize] = CostEntry {
+            value: 1_234,
+            samples: 9,
+        };
+        let text = model.to_text();
+        assert!(text.starts_with("ppgnn-costmodel v1\n"));
+        assert_eq!(CostModel::from_text(&text), Some(model.clone()));
+        // Unknown cost lines are skipped, wrong header rejected.
+        let padded = format!("{text}cost not-a-cost 1 samples 1\n");
+        assert_eq!(CostModel::from_text(&padded), Some(model));
+        assert_eq!(CostModel::from_text("garbage v9\n"), None);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ppgnn-costmodel-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("costmodel.v1");
+        let mut model = CostModel::new();
+        model.table_mut(128).entries[0] = CostEntry {
+            value: 42,
+            samples: 1,
+        };
+        model.save(&path).unwrap();
+        assert_eq!(CostModel::load(&path).unwrap(), Some(model));
+        assert_eq!(CostModel::load(&dir.join("absent.v1")).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_is_integer_only() {
+        let mut model = CostModel::new();
+        model.table_mut(128).entries[2] = CostEntry {
+            value: 123_456_789,
+            samples: 11,
+        };
+        let json = model.to_json();
+        assert!(json.contains(r#""key_bits":128"#));
+        assert!(json.contains(r#""name":"paillier-dot-ns","value":123456789"#));
+        let bytes = json.as_bytes();
+        for i in 1..bytes.len() - 1 {
+            assert!(
+                !(bytes[i] == b'.'
+                    && bytes[i - 1].is_ascii_digit()
+                    && bytes[i + 1].is_ascii_digit()),
+                "cost model JSON contains a float near {i}"
+            );
+        }
+    }
+}

@@ -36,8 +36,11 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+pub mod costmodel;
 pub mod json;
+pub mod openmetrics;
 pub mod trace;
+pub mod window;
 
 // ---------------------------------------------------------------------------
 // Stage / Op / Gauge name spaces
@@ -76,6 +79,9 @@ pub enum Stage {
     Sanitation,
     /// One whole client query: plan → wire → answer → decode.
     EndToEnd,
+    /// One whole server-side query: enqueue → worker reply (queue wait
+    /// included) — the stage the server's latency SLO burns against.
+    ServeQuery,
     /// Dynamic-index mutation: applying a `PoiUpdate` batch and
     /// publishing the new snapshot.
     IndexMutate,
@@ -98,7 +104,7 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in wire/report order.
-    pub const ALL: [Stage; 20] = [
+    pub const ALL: [Stage; 21] = [
         Stage::ClientPlan,
         Stage::ClientEncode,
         Stage::WireEncode,
@@ -111,6 +117,7 @@ impl Stage {
         Stage::PrivateSelection,
         Stage::Sanitation,
         Stage::EndToEnd,
+        Stage::ServeQuery,
         Stage::IndexMutate,
         Stage::InvalidateScan,
         Stage::FanoutNotify,
@@ -139,6 +146,7 @@ impl Stage {
             Stage::PrivateSelection => "private-selection",
             Stage::Sanitation => "sanitation",
             Stage::EndToEnd => "end-to-end",
+            Stage::ServeQuery => "serve-query",
             Stage::IndexMutate => "index-mutate",
             Stage::InvalidateScan => "invalidate-scan",
             Stage::FanoutNotify => "fanout-notify",
@@ -170,6 +178,10 @@ pub enum Op {
     PaillierAdd,
     /// Homomorphic dot products.
     PaillierDot,
+    /// Ciphertext elements consumed by dot products (the vector length
+    /// of every dot, summed) — denominator for the cost model's
+    /// per-element dot constant.
+    PaillierDotElements,
     /// Sanitation Z-tests (`reject_h0` evaluations, §5.3).
     SanitationZTest,
     /// Encryptions served from a precomputed randomizer pool.
@@ -177,19 +189,29 @@ pub enum Op {
     /// Pooled encryptions that found the pool empty and fell back to
     /// fresh randomness (never an error, never a stall).
     PoolMiss,
+    /// Candidate group-distance vectors evaluated by the LSP answer
+    /// loop (Algorithm 2 line 2), one per candidate per query.
+    CandidatesEvaluated,
+    /// Answer payload bytes sent on the wire (pre-padding). Together
+    /// with [`Op::CandidatesEvaluated`] this calibrates the cost
+    /// model's wire-bytes-per-candidate constant.
+    AnswerBytes,
 }
 
 impl Op {
     /// Every op counter, in wire/report order.
-    pub const ALL: [Op; 8] = [
+    pub const ALL: [Op; 11] = [
         Op::PaillierEncrypt,
         Op::PaillierDecrypt,
         Op::PaillierScalarMul,
         Op::PaillierAdd,
         Op::PaillierDot,
+        Op::PaillierDotElements,
         Op::SanitationZTest,
         Op::PoolHit,
         Op::PoolMiss,
+        Op::CandidatesEvaluated,
+        Op::AnswerBytes,
     ];
 
     /// Number of op counters.
@@ -204,10 +226,18 @@ impl Op {
             Op::PaillierScalarMul => "paillier-scalar-mul-ops",
             Op::PaillierAdd => "paillier-add-ops",
             Op::PaillierDot => "paillier-dot-ops",
+            Op::PaillierDotElements => "paillier-dot-elements",
             Op::SanitationZTest => "sanitation-z-tests",
             Op::PoolHit => "pool-hit",
             Op::PoolMiss => "pool-miss",
+            Op::CandidatesEvaluated => "candidates-evaluated",
+            Op::AnswerBytes => "answer-bytes",
         }
+    }
+
+    /// Inverse of [`Op::name`].
+    pub fn from_name(name: &str) -> Option<Op> {
+        Op::ALL.into_iter().find(|o| o.name() == name)
     }
 }
 
@@ -975,13 +1005,23 @@ pub struct HealthSnapshot {
     pub slow_reaped: u64,
     /// Undecodable frames dropped at the transport.
     pub frame_garbage: u64,
+    /// Latency-SLO burn rate over the fast window, in permille of the
+    /// error budget (1000 = burning exactly the budget; 0 when no SLO
+    /// is configured or the window is empty).
+    pub slo_latency_fast_burn_pm: u32,
+    /// Latency-SLO burn rate over the slow window, permille of budget.
+    pub slo_latency_slow_burn_pm: u32,
+    /// Error-rate-SLO burn rate over the fast window, permille of budget.
+    pub slo_error_fast_burn_pm: u32,
+    /// Error-rate-SLO burn rate over the slow window, permille of budget.
+    pub slo_error_slow_burn_pm: u32,
 }
 
 /// Encoded size of a [`HealthSnapshot`].
-pub const HEALTH_SNAPSHOT_BYTES: usize = 4 * 4 + 8 * 10;
+pub const HEALTH_SNAPSHOT_BYTES: usize = 4 * 4 + 8 * 10 + 4 * 4;
 
 impl HealthSnapshot {
-    /// Fixed-width big-endian encoding (96 bytes).
+    /// Fixed-width big-endian encoding (112 bytes).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEALTH_SNAPSHOT_BYTES);
         for v in [
@@ -1006,6 +1046,14 @@ impl HealthSnapshot {
         ] {
             out.extend_from_slice(&v.to_be_bytes());
         }
+        for v in [
+            self.slo_latency_fast_burn_pm,
+            self.slo_latency_slow_burn_pm,
+            self.slo_error_fast_burn_pm,
+            self.slo_error_slow_burn_pm,
+        ] {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
         out
     }
 
@@ -1027,9 +1075,51 @@ impl HealthSnapshot {
             strike_disconnects: cur.u64()?,
             slow_reaped: cur.u64()?,
             frame_garbage: cur.u64()?,
+            slo_latency_fast_burn_pm: cur.u32()?,
+            slo_latency_slow_burn_pm: cur.u32()?,
+            slo_error_fast_burn_pm: cur.u32()?,
+            slo_error_slow_burn_pm: cur.u32()?,
         };
         cur.done()?;
         Ok(snap)
+    }
+
+    /// The JSON value of this probe — the `/healthz` body. Integer-only
+    /// by construction (the closed-enum redaction argument in DESIGN.md
+    /// §18 relies on every export face being float-free).
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new();
+        obj.field_u64("queue_depth", u64::from(self.queue_depth));
+        obj.field_u64("inflight", u64::from(self.inflight));
+        obj.field_u64("live_workers", u64::from(self.live_workers));
+        obj.field_u64("sessions", u64::from(self.sessions));
+        obj.field_u64("worker_panics", self.worker_panics);
+        obj.field_u64("uptime_ms", self.uptime_ms);
+        obj.field_u64("queries_ok", self.queries_ok);
+        obj.field_u64("sessions_evicted", self.sessions_evicted);
+        obj.field_u64("sessions_rejected", self.sessions_rejected);
+        obj.field_u64("violations", self.violations);
+        obj.field_u64("rate_limited", self.rate_limited);
+        obj.field_u64("strike_disconnects", self.strike_disconnects);
+        obj.field_u64("slow_reaped", self.slow_reaped);
+        obj.field_u64("frame_garbage", self.frame_garbage);
+        obj.field_u64(
+            "slo_latency_fast_burn_pm",
+            u64::from(self.slo_latency_fast_burn_pm),
+        );
+        obj.field_u64(
+            "slo_latency_slow_burn_pm",
+            u64::from(self.slo_latency_slow_burn_pm),
+        );
+        obj.field_u64(
+            "slo_error_fast_burn_pm",
+            u64::from(self.slo_error_fast_burn_pm),
+        );
+        obj.field_u64(
+            "slo_error_slow_burn_pm",
+            u64::from(self.slo_error_slow_burn_pm),
+        );
+        obj.finish()
     }
 }
 
@@ -1281,6 +1371,10 @@ mod tests {
             strike_disconnects: 12,
             slow_reaped: 13,
             frame_garbage: 14,
+            slo_latency_fast_burn_pm: 15,
+            slo_latency_slow_burn_pm: 16,
+            slo_error_fast_burn_pm: 17,
+            slo_error_slow_burn_pm: 18,
         };
         let bytes = h.encode();
         assert_eq!(bytes.len(), HEALTH_SNAPSHOT_BYTES);

@@ -1,0 +1,372 @@
+//! OpenMetrics text rendering for the `/metrics` scrape endpoint.
+//!
+//! Everything a scraper sees here is drawn from closed enums: stage,
+//! op, and gauge names come from [`Stage::name`]/[`Op::name`]/
+//! [`Gauge::name`], service-event names from the server's fixed counter
+//! list, cost-constant names from [`CostKind::name`]. Values are
+//! integers (µs, ns, counts, permille) — coordinates and distances are
+//! the only floats in the whole pipeline, and none of them can reach a
+//! family below. That is the redaction argument (DESIGN.md §18); the
+//! golden test greps the rendered body for float-shaped tokens to pin
+//! it from the outside.
+//!
+//! The output targets the OpenMetrics 1.0 text format: one `# TYPE`
+//! line per family, counter samples suffixed `_total`, a final `# EOF`.
+
+use crate::costmodel::{CostKind, CostModel};
+use crate::window::WindowedSnapshot;
+use crate::{Op, TelemetrySnapshot};
+
+/// One SLO burn-rate sample for the `ppgnn_slo_burn_permille` family.
+#[derive(Debug, Clone, Copy)]
+pub struct SloBurn {
+    /// Which objective ("latency" or "errors").
+    pub objective: &'static str,
+    /// Which burn window ("fast" or "slow").
+    pub window: &'static str,
+    /// Burn rate in permille of the error budget.
+    pub burn_pm: u64,
+}
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push('\n');
+}
+
+fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            // Closed-enum names never contain quotes or backslashes;
+            // escape anyway so a future name cannot corrupt the format.
+            for c in v.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Renders the full scrape body: cumulative stage/op/gauge families
+/// from `snap`, windowed families from `windowed`, cost-model families
+/// from `cost`, and SLO burn rates. Ends with `# EOF`.
+pub fn render(
+    snap: &TelemetrySnapshot,
+    windowed: Option<&WindowedSnapshot>,
+    cost: Option<&CostModel>,
+    slo: &[SloBurn],
+) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+
+    family(
+        &mut out,
+        "ppgnn_up",
+        "gauge",
+        "1 while the server is serving.",
+    );
+    sample(&mut out, "ppgnn_up", &[], 1);
+
+    family(
+        &mut out,
+        "ppgnn_stage_samples",
+        "counter",
+        "Samples recorded per pipeline stage since boot.",
+    );
+    for s in &snap.stages {
+        sample(
+            &mut out,
+            "ppgnn_stage_samples_total",
+            &[("stage", &s.name)],
+            s.count,
+        );
+    }
+    family(
+        &mut out,
+        "ppgnn_stage_sum_us",
+        "counter",
+        "Total microseconds recorded per pipeline stage since boot.",
+    );
+    for s in &snap.stages {
+        sample(
+            &mut out,
+            "ppgnn_stage_sum_us_total",
+            &[("stage", &s.name)],
+            s.total_us,
+        );
+    }
+    family(
+        &mut out,
+        "ppgnn_stage_latency_us",
+        "gauge",
+        "Cumulative stage latency percentiles, microseconds (bucket midpoints).",
+    );
+    for s in &snap.stages {
+        for (p, v) in [
+            ("50", s.p50_us),
+            ("95", s.p95_us),
+            ("99", s.p99_us),
+            ("max", s.max_us),
+        ] {
+            sample(
+                &mut out,
+                "ppgnn_stage_latency_us",
+                &[("stage", &s.name), ("p", p)],
+                v,
+            );
+        }
+    }
+
+    // Cumulative counters split into op counters (closed Op enum) and
+    // service events (the server's fixed counter list).
+    family(
+        &mut out,
+        "ppgnn_ops",
+        "counter",
+        "Homomorphic and sanitation operation counts since boot.",
+    );
+    family(
+        &mut out,
+        "ppgnn_server_events",
+        "counter",
+        "Server lifecycle and admission-control event counts since boot.",
+    );
+    for c in &snap.counters {
+        if Op::from_name(&c.name).is_some() {
+            sample(&mut out, "ppgnn_ops_total", &[("op", &c.name)], c.value);
+        } else {
+            sample(
+                &mut out,
+                "ppgnn_server_events_total",
+                &[("event", &c.name)],
+                c.value,
+            );
+        }
+    }
+
+    family(
+        &mut out,
+        "ppgnn_gauge",
+        "gauge",
+        "Point-in-time load gauges.",
+    );
+    for g in &snap.gauges {
+        sample(&mut out, "ppgnn_gauge", &[("name", &g.name)], g.value);
+    }
+
+    if let Some(w) = windowed {
+        family(
+            &mut out,
+            "ppgnn_window_ms",
+            "gauge",
+            "Span of the rolling window the ppgnn_window_* families cover, ms.",
+        );
+        sample(&mut out, "ppgnn_window_ms", &[], w.window_ms);
+        family(
+            &mut out,
+            "ppgnn_window_stage_samples",
+            "gauge",
+            "Samples recorded per stage inside the rolling window.",
+        );
+        for s in &w.stages {
+            sample(
+                &mut out,
+                "ppgnn_window_stage_samples",
+                &[("stage", &s.name)],
+                s.count,
+            );
+        }
+        family(
+            &mut out,
+            "ppgnn_window_stage_latency_us",
+            "gauge",
+            "Stage latency percentiles inside the rolling window, microseconds.",
+        );
+        for s in &w.stages {
+            for (p, v) in [
+                ("50", s.p50_us),
+                ("95", s.p95_us),
+                ("99", s.p99_us),
+                ("max", s.max_us),
+            ] {
+                sample(
+                    &mut out,
+                    "ppgnn_window_stage_latency_us",
+                    &[("stage", &s.name), ("p", p)],
+                    v,
+                );
+            }
+        }
+        family(
+            &mut out,
+            "ppgnn_window_rate",
+            "gauge",
+            "Integer per-second counter rates inside the rolling window.",
+        );
+        for r in &w.rates {
+            sample(
+                &mut out,
+                "ppgnn_window_rate",
+                &[("counter", &r.name)],
+                r.value,
+            );
+        }
+    }
+
+    if let Some(model) = cost {
+        family(
+            &mut out,
+            "ppgnn_cost",
+            "gauge",
+            "Calibrated cost-model constants (integer ns or bytes) by key size.",
+        );
+        family(
+            &mut out,
+            "ppgnn_cost_samples",
+            "gauge",
+            "Window observations folded into each cost constant.",
+        );
+        for table in model.tables() {
+            let bits = table.key_bits.to_string();
+            for kind in CostKind::ALL {
+                let e = table.entry(kind);
+                if e.samples == 0 {
+                    continue;
+                }
+                let labels = [("cost", kind.name()), ("key_bits", bits.as_str())];
+                sample(&mut out, "ppgnn_cost", &labels, e.value);
+                sample(&mut out, "ppgnn_cost_samples", &labels, e.samples);
+            }
+        }
+    }
+
+    family(
+        &mut out,
+        "ppgnn_slo_burn_permille",
+        "gauge",
+        "SLO burn rate in permille of the error budget (1000 = at budget).",
+    );
+    for b in slo {
+        sample(
+            &mut out,
+            "ppgnn_slo_burn_permille",
+            &[("objective", b.objective), ("window", b.window)],
+            b.burn_pm,
+        );
+    }
+
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowRing;
+    use crate::{MetricsRegistry, Stage};
+    use std::time::Duration;
+
+    fn rendered() -> String {
+        let reg = MetricsRegistry::new();
+        #[cfg(not(feature = "noop"))]
+        {
+            reg.record_us(Stage::EndToEnd, 30_000);
+            reg.incr(crate::Op::PaillierDot);
+        }
+        let mut ring = WindowRing::new(Duration::from_secs(1), 4);
+        ring.tick_with_extras(&reg, &[("queries-ok", 5)]);
+        let mut snap = reg.snapshot();
+        snap.push_counter("queries-ok", 5);
+        let mut cost = CostModel::new();
+        cost.observe(128, &ring.windowed(1));
+        render(
+            &snap,
+            Some(&ring.windowed(1)),
+            Some(&cost),
+            &[SloBurn {
+                objective: "latency",
+                window: "fast",
+                burn_pm: 250,
+            }],
+        )
+    }
+
+    #[test]
+    fn body_has_required_families_and_eof() {
+        let body = rendered();
+        for fam in [
+            "ppgnn_up",
+            "ppgnn_stage_samples",
+            "ppgnn_stage_latency_us",
+            "ppgnn_ops",
+            "ppgnn_server_events",
+            "ppgnn_gauge",
+            "ppgnn_window_ms",
+            "ppgnn_window_stage_latency_us",
+            "ppgnn_window_rate",
+            "ppgnn_slo_burn_permille",
+        ] {
+            assert!(
+                body.contains(&format!("# TYPE {fam} ")),
+                "missing family {fam}"
+            );
+        }
+        assert!(body.ends_with("# EOF\n"));
+        assert!(body.contains(r#"ppgnn_slo_burn_permille{objective="latency",window="fast"} 250"#));
+        assert!(body.contains(r#"ppgnn_server_events_total{event="queries-ok"} 5"#));
+    }
+
+    #[test]
+    fn counter_samples_carry_total_suffix() {
+        let body = rendered();
+        for line in body.lines() {
+            if line.starts_with("ppgnn_stage_samples")
+                || line.starts_with("ppgnn_ops")
+                || line.starts_with("ppgnn_server_events")
+            {
+                let name = line.split(['{', ' ']).next().unwrap();
+                assert!(
+                    name.ends_with("_total"),
+                    "counter sample without _total: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn body_is_float_free() {
+        let body = rendered();
+        let bytes = body.as_bytes();
+        for i in 1..bytes.len() - 1 {
+            assert!(
+                !(bytes[i] == b'.'
+                    && bytes[i - 1].is_ascii_digit()
+                    && bytes[i + 1].is_ascii_digit()),
+                "scrape body contains a float near byte {i}: {:?}",
+                &body[i.saturating_sub(30)..(i + 10).min(body.len())]
+            );
+        }
+    }
+}

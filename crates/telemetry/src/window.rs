@@ -1,0 +1,666 @@
+//! Rolling-window telemetry: the time dimension of the metrics registry.
+//!
+//! The cumulative histograms in [`MetricsRegistry`] answer "what has this
+//! process done since boot"; operators and the adaptive planner need
+//! "what is it doing *now*". This module adds that lens without touching
+//! the wait-free record path: a [`WindowRing`] holds per-interval
+//! **deltas** of every stage histogram and counter, captured by an
+//! externally driven [`WindowRing::tick`] (the server runs one
+//! deadline-anchored ticker thread at 1 Hz). Aggregating the last *n*
+//! intervals yields windowed [`StageSnapshot`]s, per-second rates, and
+//! the [`WindowedSnapshot`] wire/JSON face.
+//!
+//! Because buckets are fixed and deltas are plain subtraction, a tick is
+//! O(stages × buckets) ≈ 3k relaxed loads — microseconds of work per
+//! second, far inside the ≤2 % overhead budget (DESIGN.md §18). Reads
+//! race with recorders exactly like cumulative snapshots do: a sample
+//! can land one interval late, never be lost, never be double-counted
+//! (saturating subtraction absorbs a concurrent `reset`).
+//!
+//! The ring also carries **extra counters**: cumulative values the
+//! embedder passes at tick time (the server feeds `queries-ok` /
+//! `queries-err`), windowed by the same delta machinery so SLO burn
+//! rates can be computed over any sub-window.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    bucket_value, get_counters, json, put_counters, CounterSnapshot, Cursor, Gauge,
+    MetricsRegistry, Op, SnapshotDecodeError, Stage, StageSnapshot, NUM_BUCKETS,
+};
+
+/// Default tick interval: one second.
+pub const DEFAULT_INTERVAL: Duration = Duration::from_secs(1);
+/// Default ring capacity: 60 intervals (one minute at 1 Hz).
+pub const DEFAULT_CAPACITY: usize = 60;
+
+/// Cumulative per-stage totals at the last tick — the delta baseline.
+#[derive(Clone)]
+struct StageBase {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+}
+
+impl StageBase {
+    fn zero() -> Self {
+        StageBase {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+/// One stage's activity during a single interval. Only allocated for
+/// stages that actually recorded samples that interval.
+#[derive(Clone)]
+struct StageDelta {
+    buckets: Vec<u32>,
+    count: u64,
+    sum_us: u64,
+}
+
+/// Everything that happened during one tick interval.
+struct Interval {
+    /// Indexed like [`Stage::ALL`]; `None` = no samples that interval.
+    stages: Vec<Option<StageDelta>>,
+    /// Op-counter deltas, indexed like [`Op::ALL`].
+    ops: [u64; Op::COUNT],
+    /// Extra-counter deltas, parallel to `WindowRing::extra_names`.
+    extras: Vec<u64>,
+    /// Point-in-time gauge values at the tick, indexed like
+    /// [`Gauge::ALL`].
+    gauges: [u64; Gauge::COUNT],
+}
+
+/// A ring of per-interval telemetry deltas behind a [`MetricsRegistry`].
+///
+/// Not a recorder: the hot path still writes to the registry's atomics.
+/// The ring only subtracts cumulative totals at tick boundaries, so it
+/// needs `&mut self` and lives behind the owner's mutex (the server
+/// locks it once per second plus once per scrape).
+pub struct WindowRing {
+    interval: Duration,
+    capacity: usize,
+    stage_base: Vec<StageBase>,
+    op_base: [u64; Op::COUNT],
+    extra_names: Vec<String>,
+    extra_base: Vec<u64>,
+    ring: VecDeque<Interval>,
+    ticks: u64,
+}
+
+impl WindowRing {
+    /// An empty ring capturing `capacity` intervals of `interval` each.
+    pub fn new(interval: Duration, capacity: usize) -> Self {
+        WindowRing {
+            interval: interval.max(Duration::from_millis(1)),
+            capacity: capacity.max(1),
+            stage_base: (0..Stage::COUNT).map(|_| StageBase::zero()).collect(),
+            op_base: [0; Op::COUNT],
+            extra_names: Vec::new(),
+            extra_base: Vec::new(),
+            ring: VecDeque::new(),
+            ticks: 0,
+        }
+    }
+
+    /// The configured tick interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Intervals currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True until the first tick.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Ticks captured since construction (monotone; the ring holds the
+    /// last `capacity` of them).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Captures one interval of deltas from `reg`.
+    pub fn tick(&mut self, reg: &MetricsRegistry) {
+        self.tick_with_extras(reg, &[]);
+    }
+
+    /// Captures one interval of deltas from `reg`, plus deltas of the
+    /// embedder's own cumulative counters. Extra names first seen here
+    /// are baselined at zero (correct for counters that start at zero
+    /// with the process); the set is expected to be stable across ticks.
+    pub fn tick_with_extras(&mut self, reg: &MetricsRegistry, extras: &[(&str, u64)]) {
+        let mut stages: Vec<Option<StageDelta>> = Vec::with_capacity(Stage::COUNT);
+        for (si, stage) in Stage::ALL.iter().enumerate() {
+            let hist = &reg.inner.stages[*stage as usize];
+            let base = &mut self.stage_base[si];
+            let count = hist.count.load(Ordering::Relaxed);
+            let sum_us = hist.sum_us.load(Ordering::Relaxed);
+            let d_count = count.saturating_sub(base.count);
+            if d_count == 0 {
+                // A reset mid-run shows up as count < base: rebaseline
+                // so the next interval's deltas are sane again.
+                if count < base.count {
+                    *base = StageBase::zero();
+                    for (i, b) in hist.buckets.iter().enumerate() {
+                        base.buckets[i] = b.load(Ordering::Relaxed);
+                    }
+                    base.count = count;
+                    base.sum_us = sum_us;
+                }
+                stages.push(None);
+                continue;
+            }
+            let mut delta = StageDelta {
+                buckets: vec![0; NUM_BUCKETS],
+                count: d_count,
+                sum_us: sum_us.saturating_sub(base.sum_us),
+            };
+            for (i, b) in hist.buckets.iter().enumerate() {
+                let cur = b.load(Ordering::Relaxed);
+                delta.buckets[i] =
+                    cur.saturating_sub(base.buckets[i]).min(u64::from(u32::MAX)) as u32;
+                base.buckets[i] = cur;
+            }
+            base.count = count;
+            base.sum_us = sum_us;
+            stages.push(Some(delta));
+        }
+
+        let mut ops = [0u64; Op::COUNT];
+        for (oi, op) in Op::ALL.iter().enumerate() {
+            let cur = reg.op_count(*op);
+            ops[oi] = cur.saturating_sub(self.op_base[oi]);
+            self.op_base[oi] = cur;
+        }
+
+        let mut extra_deltas = vec![0u64; self.extra_names.len()];
+        for &(name, value) in extras {
+            match self.extra_names.iter().position(|n| n == name) {
+                Some(i) => {
+                    extra_deltas[i] = value.saturating_sub(self.extra_base[i]);
+                    self.extra_base[i] = value;
+                }
+                None => {
+                    self.extra_names.push(name.to_string());
+                    self.extra_base.push(value);
+                    extra_deltas.push(value);
+                }
+            }
+        }
+
+        let mut gauges = [0u64; Gauge::COUNT];
+        for (gi, g) in Gauge::ALL.iter().enumerate() {
+            gauges[gi] = reg.gauge(*g);
+        }
+
+        self.ring.push_back(Interval {
+            stages,
+            ops,
+            extras: extra_deltas,
+            gauges,
+        });
+        while self.ring.len() > self.capacity {
+            self.ring.pop_front();
+        }
+        self.ticks += 1;
+    }
+
+    /// The intervals that make up the requested window: the newest
+    /// `min(intervals, len)` entries.
+    fn window(&self, intervals: usize) -> impl Iterator<Item = &Interval> {
+        let n = intervals.max(1).min(self.ring.len());
+        self.ring.iter().skip(self.ring.len() - n)
+    }
+
+    /// Aggregates the newest `intervals` intervals into one snapshot.
+    /// Asking for more intervals than captured aggregates everything.
+    pub fn windowed(&self, intervals: usize) -> WindowedSnapshot {
+        let n = intervals.max(1).min(self.ring.len());
+        let interval_ms = self.interval.as_millis().min(u64::MAX as u128) as u64;
+        let window_ms = interval_ms * n as u64;
+
+        let mut stages = Vec::with_capacity(Stage::COUNT);
+        for (si, stage) in Stage::ALL.iter().enumerate() {
+            let mut buckets = vec![0u64; NUM_BUCKETS];
+            let mut count = 0u64;
+            let mut sum_us = 0u64;
+            for iv in self.window(n) {
+                if let Some(d) = &iv.stages[si] {
+                    count += d.count;
+                    sum_us += d.sum_us;
+                    for (i, &b) in d.buckets.iter().enumerate() {
+                        buckets[i] += u64::from(b);
+                    }
+                }
+            }
+            stages.push(snapshot_from_buckets(stage.name(), &buckets, count, sum_us));
+        }
+
+        let mut counters = Vec::with_capacity(Op::COUNT + self.extra_names.len());
+        let mut rates = Vec::with_capacity(Op::COUNT + self.extra_names.len());
+        let mut push = |name: &str, total: u64| {
+            counters.push(CounterSnapshot {
+                name: name.to_string(),
+                value: total,
+            });
+            rates.push(CounterSnapshot {
+                name: name.to_string(),
+                value: total
+                    .saturating_mul(1000)
+                    .checked_div(window_ms)
+                    .unwrap_or(0),
+            });
+        };
+        for (oi, op) in Op::ALL.iter().enumerate() {
+            let total: u64 = self.window(n).map(|iv| iv.ops[oi]).sum();
+            push(op.name(), total);
+        }
+        for (ei, name) in self.extra_names.iter().enumerate() {
+            let total: u64 = self
+                .window(n)
+                .map(|iv| iv.extras.get(ei).copied().unwrap_or(0))
+                .sum();
+            push(name, total);
+        }
+
+        let gauges = match self.ring.back() {
+            Some(iv) => Gauge::ALL
+                .iter()
+                .enumerate()
+                .map(|(gi, g)| CounterSnapshot {
+                    name: g.name().to_string(),
+                    value: iv.gauges[gi],
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+
+        WindowedSnapshot {
+            interval_ms,
+            intervals: n as u32,
+            window_ms,
+            stages,
+            counters,
+            rates,
+            gauges,
+        }
+    }
+
+    /// `(over, total)` sample counts for `stage` in the newest
+    /// `intervals` intervals, where `over` counts samples whose bucket
+    /// midpoint exceeds `threshold_us`. Bucket granularity makes the
+    /// threshold fuzzy by ≤ 12.5 % — fine for SLO burn accounting.
+    pub fn stage_over_threshold(
+        &self,
+        stage: Stage,
+        intervals: usize,
+        threshold_us: u64,
+    ) -> (u64, u64) {
+        let si = stage as usize;
+        let mut over = 0u64;
+        let mut total = 0u64;
+        for iv in self.window(intervals) {
+            if let Some(d) = &iv.stages[si] {
+                total += d.count;
+                for (i, &b) in d.buckets.iter().enumerate() {
+                    if b != 0 && bucket_value(i) > threshold_us {
+                        over += u64::from(b);
+                    }
+                }
+            }
+        }
+        (over, total)
+    }
+
+    /// Delta of a counter (op or extra) over the newest `intervals`
+    /// intervals; 0 for unknown names.
+    pub fn counter_delta(&self, name: &str, intervals: usize) -> u64 {
+        if let Some(op) = Op::from_name(name) {
+            let oi = Op::ALL.iter().position(|o| *o == op).unwrap();
+            return self.window(intervals).map(|iv| iv.ops[oi]).sum();
+        }
+        match self.extra_names.iter().position(|n| n == name) {
+            Some(ei) => self
+                .window(intervals)
+                .map(|iv| iv.extras.get(ei).copied().unwrap_or(0))
+                .sum(),
+            None => 0,
+        }
+    }
+}
+
+/// Builds a [`StageSnapshot`] from summed delta buckets. Exemplars are
+/// zero: they link to the live trace ring, which has no per-interval
+/// notion.
+fn snapshot_from_buckets(name: &str, buckets: &[u64], count: u64, sum_us: u64) -> StageSnapshot {
+    let total: u64 = buckets.iter().sum();
+    let pct = |p: u64| -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        // Nearest-rank on integer permille: rank = ceil(p% of total).
+        let rank = (p * total).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(i);
+            }
+        }
+        bucket_value(NUM_BUCKETS - 1)
+    };
+    let max_us = buckets
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, &c)| c != 0)
+        .map(|(i, _)| bucket_value(i))
+        .unwrap_or(0);
+    StageSnapshot {
+        name: name.to_string(),
+        count,
+        total_us: sum_us,
+        max_us,
+        p50_us: pct(50),
+        p95_us: pct(95),
+        p99_us: pct(99),
+        p50_exemplar: 0,
+        p95_exemplar: 0,
+        p99_exemplar: 0,
+    }
+}
+
+/// Aggregated view of the newest *n* intervals of a [`WindowRing`]:
+/// windowed stage aggregates, counter deltas, integer per-second rates,
+/// and the latest gauge values. Serialized as JSON (`/metrics` sibling
+/// faces, `windowed` section of dumps) and as a compact binary payload.
+/// Integer-only by construction: the closed-enum redaction model.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowedSnapshot {
+    /// Tick interval, milliseconds.
+    pub interval_ms: u64,
+    /// Intervals aggregated into this view.
+    pub intervals: u32,
+    /// Window span: `intervals × interval_ms`.
+    pub window_ms: u64,
+    /// Windowed per-stage aggregates (exemplars zero).
+    pub stages: Vec<StageSnapshot>,
+    /// Counter deltas over the window (ops plus embedder extras).
+    pub counters: Vec<CounterSnapshot>,
+    /// Integer per-second rates for the same counters.
+    pub rates: Vec<CounterSnapshot>,
+    /// Gauge values at the newest tick.
+    pub gauges: Vec<CounterSnapshot>,
+}
+
+impl WindowedSnapshot {
+    /// Looks up a windowed stage aggregate by name.
+    pub fn stage(&self, name: &str) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a windowed counter delta by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a per-second rate by name.
+    pub fn rate(&self, name: &str) -> Option<u64> {
+        self.rates.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// The JSON value of this snapshot. Hand-rolled, integer-only.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new();
+        obj.field_u64("interval_ms", self.interval_ms);
+        obj.field_u64("intervals", u64::from(self.intervals));
+        obj.field_u64("window_ms", self.window_ms);
+        obj.field_raw(
+            "stages",
+            &json::arr(self.stages.iter().map(StageSnapshot::to_json)),
+        );
+        obj.field_raw(
+            "counters",
+            &json::arr(self.counters.iter().map(CounterSnapshot::to_json)),
+        );
+        obj.field_raw(
+            "rates",
+            &json::arr(self.rates.iter().map(CounterSnapshot::to_json)),
+        );
+        obj.field_raw(
+            "gauges",
+            &json::arr(self.gauges.iter().map(CounterSnapshot::to_json)),
+        );
+        obj.finish()
+    }
+
+    /// Compact binary encoding, following the `TelemetrySnapshot` wire
+    /// conventions (big-endian, length-prefixed names, hard caps).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 * self.stages.len() + 24 * self.counters.len());
+        out.extend_from_slice(&self.interval_ms.to_be_bytes());
+        out.extend_from_slice(&self.intervals.to_be_bytes());
+        out.extend_from_slice(&self.window_ms.to_be_bytes());
+        out.extend_from_slice(
+            &(self.stages.len().min(crate::MAX_WIRE_ENTRIES) as u16).to_be_bytes(),
+        );
+        for s in self.stages.iter().take(crate::MAX_WIRE_ENTRIES) {
+            crate::put_name(&mut out, &s.name);
+            for v in [s.count, s.total_us, s.max_us, s.p50_us, s.p95_us, s.p99_us] {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+        put_counters(&mut out, &self.counters);
+        put_counters(&mut out, &self.rates);
+        put_counters(&mut out, &self.gauges);
+        out
+    }
+
+    /// Inverse of [`WindowedSnapshot::to_bytes`]; rejects truncation,
+    /// trailing bytes, oversized tables, and malformed names.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, SnapshotDecodeError> {
+        let mut cur = Cursor { buf, pos: 0 };
+        let interval_ms = cur.u64()?;
+        let intervals = cur.u32()?;
+        let window_ms = cur.u64()?;
+        let n_stages = cur.u16()? as usize;
+        if n_stages > crate::MAX_WIRE_ENTRIES {
+            return Err(SnapshotDecodeError("too many entries"));
+        }
+        let mut stages = Vec::with_capacity(n_stages);
+        for _ in 0..n_stages {
+            let name = cur.name()?;
+            let mut vals = [0u64; 6];
+            for v in &mut vals {
+                *v = cur.u64()?;
+            }
+            stages.push(StageSnapshot {
+                name,
+                count: vals[0],
+                total_us: vals[1],
+                max_us: vals[2],
+                p50_us: vals[3],
+                p95_us: vals[4],
+                p99_us: vals[5],
+                p50_exemplar: 0,
+                p95_exemplar: 0,
+                p99_exemplar: 0,
+            });
+        }
+        let counters = get_counters(&mut cur)?;
+        let rates = get_counters(&mut cur)?;
+        let gauges = get_counters(&mut cur)?;
+        cur.done()?;
+        Ok(WindowedSnapshot {
+            interval_ms,
+            intervals,
+            window_ms,
+            stages,
+            counters,
+            rates,
+            gauges,
+        })
+    }
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    fn ring() -> WindowRing {
+        WindowRing::new(Duration::from_secs(1), 4)
+    }
+
+    #[test]
+    fn deltas_cover_only_their_interval() {
+        let reg = MetricsRegistry::new();
+        let mut w = ring();
+        reg.record_us(Stage::Validate, 100);
+        reg.record_us(Stage::Validate, 200);
+        w.tick(&reg);
+        reg.record_us(Stage::Validate, 400);
+        w.tick(&reg);
+
+        // Newest interval only holds the third sample.
+        let last = w.windowed(1);
+        let v = last.stage("validate").unwrap();
+        assert_eq!(v.count, 1);
+        assert_eq!(v.total_us, 400);
+        // The two-interval window holds all three.
+        let both = w.windowed(2);
+        let v = both.stage("validate").unwrap();
+        assert_eq!(v.count, 3);
+        assert_eq!(v.total_us, 700);
+        // Untouched stages report empty, not stale cumulative data.
+        assert_eq!(both.stage("sanitation").unwrap().count, 0);
+    }
+
+    #[test]
+    fn ring_evicts_beyond_capacity() {
+        let reg = MetricsRegistry::new();
+        let mut w = ring();
+        for i in 0..6u64 {
+            reg.record_us(Stage::EndToEnd, 1000 + i);
+            w.tick(&reg);
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.ticks(), 6);
+        // Only the newest 4 samples survive in the widest window.
+        assert_eq!(w.windowed(100).stage("end-to-end").unwrap().count, 4);
+    }
+
+    #[test]
+    fn windowed_percentiles_and_max_from_deltas() {
+        let reg = MetricsRegistry::new();
+        let mut w = ring();
+        for us in [1u64, 2, 2, 3, 15] {
+            reg.record_us(Stage::CandidateEval, us);
+        }
+        w.tick(&reg);
+        let s = w.windowed(1);
+        let c = s.stage("candidate-eval").unwrap();
+        assert_eq!(c.count, 5);
+        assert_eq!(c.p50_us, 2);
+        assert_eq!(c.max_us, 15);
+    }
+
+    #[test]
+    fn op_and_extra_counter_rates() {
+        let reg = MetricsRegistry::new();
+        let mut w = WindowRing::new(Duration::from_secs(2), 4);
+        reg.incr_by(Op::PaillierDot, 10);
+        w.tick_with_extras(&reg, &[("queries-ok", 4)]);
+        reg.incr_by(Op::PaillierDot, 6);
+        w.tick_with_extras(&reg, &[("queries-ok", 9)]);
+
+        let s = w.windowed(2);
+        assert_eq!(s.counter("paillier-dot-ops"), Some(16));
+        assert_eq!(s.counter("queries-ok"), Some(9));
+        // 16 ops over 4 s of window → 4/s.
+        assert_eq!(s.rate("paillier-dot-ops"), Some(4));
+        assert_eq!(w.counter_delta("queries-ok", 1), 5);
+        assert_eq!(w.counter_delta("nope", 2), 0);
+    }
+
+    #[test]
+    fn over_threshold_counts_tail_samples() {
+        let reg = MetricsRegistry::new();
+        let mut w = ring();
+        for us in [10u64, 10, 10, 50_000, 60_000] {
+            reg.record_us(Stage::EndToEnd, us);
+        }
+        w.tick(&reg);
+        let (over, total) = w.stage_over_threshold(Stage::EndToEnd, 1, 20_000);
+        assert_eq!(total, 5);
+        assert_eq!(over, 2);
+        let (over, _) = w.stage_over_threshold(Stage::EndToEnd, 1, 1_000_000);
+        assert_eq!(over, 0);
+    }
+
+    #[test]
+    fn registry_reset_rebaselines_instead_of_underflowing() {
+        let reg = MetricsRegistry::new();
+        let mut w = ring();
+        reg.record_us(Stage::Validate, 100);
+        w.tick(&reg);
+        reg.reset();
+        w.tick(&reg);
+        reg.record_us(Stage::Validate, 200);
+        w.tick(&reg);
+        let s = w.windowed(1).stage("validate").unwrap().clone();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_us, 200);
+    }
+
+    #[test]
+    fn windowed_json_is_integer_only_and_stable() {
+        let reg = MetricsRegistry::new();
+        let mut w = ring();
+        reg.record_us(Stage::EndToEnd, 12345);
+        w.tick_with_extras(&reg, &[("queries-ok", 1)]);
+        let json = w.windowed(1).to_json();
+        assert!(json.starts_with(r#"{"interval_ms":"#));
+        assert!(json.contains(r#""rates":["#));
+        let bytes = json.as_bytes();
+        for i in 1..bytes.len() - 1 {
+            assert!(
+                !(bytes[i] == b'.'
+                    && bytes[i - 1].is_ascii_digit()
+                    && bytes[i + 1].is_ascii_digit()),
+                "windowed JSON contains a float near {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_binary_round_trip() {
+        let reg = MetricsRegistry::new();
+        let mut w = ring();
+        reg.record_us(Stage::EndToEnd, 777);
+        reg.incr(Op::PaillierEncrypt);
+        w.tick_with_extras(&reg, &[("queries-ok", 3)]);
+        let snap = w.windowed(1);
+        let bytes = snap.to_bytes();
+        let back = WindowedSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert!(WindowedSnapshot::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(WindowedSnapshot::from_bytes(&padded).is_err());
+    }
+}

@@ -40,7 +40,9 @@ pub mod prelude {
     pub use ppgnn_core::prelude::*;
     pub use ppgnn_geo::{Aggregate, Poi, Point, Rect};
     pub use ppgnn_paillier::DjContext;
-    pub use ppgnn_server::{serve_world, GroupClient, ServerConfig, ServerHandle, WorldSeed};
+    pub use ppgnn_server::{
+        serve_world, GroupClient, ServerConfig, ServerHandle, SloConfig, WorldSeed,
+    };
     pub use ppgnn_telemetry::{
         HealthSnapshot, LatencySummary, MetricsRegistry, StageSnapshot, TelemetrySnapshot,
     };

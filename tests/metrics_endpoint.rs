@@ -1,0 +1,230 @@
+//! Integration tests for the 0.10 observability loop: the `/metrics`
+//! listener's HTTP behaviour, windowed snapshots and SLO burn gauges
+//! over a live run, and the cost-model warm restart — a server booted
+//! on a data dir with a persisted model answers cost questions before
+//! serving a single query.
+
+use std::io::{Read, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ppgnn::prelude::*;
+use ppgnn::server::{DurabilityConfig, FsyncPolicy, WorldSeed};
+use ppgnn::telemetry::costmodel::CostKind;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppgnn-obsrv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn http_request(addr: SocketAddr, request: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics listener");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn world_config() -> PpgnnConfig {
+    PpgnnConfig {
+        k: 2,
+        d: 3,
+        delta: 6,
+        keysize: 128,
+        sanitize: false,
+        ..PpgnnConfig::fast_test()
+    }
+}
+
+fn grid_pois() -> Vec<Poi> {
+    (0..36)
+        .map(|i| {
+            Poi::new(
+                i,
+                Point::new((i % 6) as f64 / 6.0 + 0.08, (i / 6) as f64 / 6.0 + 0.08),
+            )
+        })
+        .collect()
+}
+
+fn run_queries(handle: &ServerHandle, protocol: &PpgnnConfig, queries: usize) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9e7);
+    let mut client = GroupClient::connect(
+        handle.local_addr(),
+        11,
+        protocol.clone(),
+        Rect::UNIT,
+        2,
+        &mut rng,
+    )
+    .expect("connect");
+    for q in 0..queries {
+        let t = (q % 5) as f64 / 10.0;
+        let users = vec![Point::new(0.3 + t, 0.4), Point::new(0.5, 0.3 + t)];
+        client.query(&users, &mut rng).expect("query");
+    }
+    client.goodbye();
+}
+
+/// The listener speaks enough HTTP for a scraper: content-type on
+/// `/metrics`, 200 JSON on `/healthz`, 404 on unknown paths, 405 on
+/// non-GET methods — and burn gauges surface once an SLO is declared.
+#[test]
+fn metrics_listener_routes_and_reports_burn() {
+    let protocol = world_config();
+    let pois = grid_pois();
+    use std::sync::Arc;
+    let lsp = Arc::new(ppgnn::core::Lsp::new(pois, protocol.clone()));
+    let config = ServerConfig::builder()
+        .metrics_addr(Some("127.0.0.1:0".into()))
+        .slo(Some(SloConfig::default()))
+        .build()
+        .unwrap();
+    let handle = serve_world(lsp, "127.0.0.1:0", config).unwrap();
+    let addr = handle.metrics_addr().expect("metrics listener bound");
+
+    run_queries(&handle, &protocol, 4);
+    handle.flush_windows();
+
+    let scrape = http_request(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(scrape.starts_with("HTTP/1.1 200"), "scrape: {scrape}");
+    assert!(
+        scrape.contains("application/openmetrics-text"),
+        "missing OpenMetrics content type"
+    );
+    let body = scrape.split_once("\r\n\r\n").unwrap().1;
+    assert!(body.ends_with("# EOF\n"));
+    // All four burn samples are exported once an SLO is configured.
+    for (objective, window) in [
+        ("latency", "fast"),
+        ("latency", "slow"),
+        ("errors", "fast"),
+        ("errors", "slow"),
+    ] {
+        assert!(
+            body.contains(&format!(
+                "ppgnn_slo_burn_permille{{objective=\"{objective}\",window=\"{window}\"}}"
+            )),
+            "missing burn sample {objective}/{window} in:\n{body}"
+        );
+    }
+    // The windowed families carry the queries just run.
+    assert!(body.contains("ppgnn_window_stage_samples{stage=\"end-to-end\"}"));
+
+    // The same burns ride the health snapshot (and therefore Pong):
+    // an error-free run burns zero error budget, and a latency burn is
+    // structurally capped at 1e9/budget_ppm permille (everything over
+    // threshold), which the default budget puts at 20000‰.
+    let health = handle.health();
+    assert_eq!(health.slo_error_fast_burn_pm, 0);
+    assert_eq!(health.slo_error_slow_burn_pm, 0);
+    assert!(health.slo_latency_fast_burn_pm <= 20_000);
+    assert!(health.slo_latency_slow_burn_pm <= 20_000);
+
+    let healthz = http_request(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(healthz.starts_with("HTTP/1.1 200"), "healthz: {healthz}");
+    assert!(healthz.contains("\"live_workers\""));
+
+    let missing = http_request(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(missing.starts_with("HTTP/1.1 404"), "404: {missing}");
+
+    let post = http_request(addr, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(post.starts_with("HTTP/1.1 405"), "405: {post}");
+
+    // The stats face exposes the burn gauges for the text table.
+    let gauges = handle.stats_probe().snapshot().gauges;
+    for name in [
+        "slo-latency-fast-burn-pm",
+        "slo-latency-slow-burn-pm",
+        "slo-error-fast-burn-pm",
+        "slo-error-slow-burn-pm",
+    ] {
+        assert!(
+            gauges.iter().any(|g| g.name == name),
+            "stats snapshot missing gauge {name}"
+        );
+    }
+
+    handle.shutdown();
+}
+
+/// A durable server persists its calibrated cost model at shutdown and
+/// the next incarnation on the same data dir warm-starts from it: the
+/// model is non-empty (and predicts paillier medians) before the new
+/// server has answered anything.
+#[test]
+fn cost_model_survives_restart() {
+    let dir = tmp_dir("warmstart");
+    let protocol = world_config();
+    let config = ServerConfig::builder()
+        .durability(Some(DurabilityConfig {
+            data_dir: dir.clone(),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every_ops: 1000,
+        }))
+        .build()
+        .unwrap();
+
+    // First life: serve queries so calibration has something to chew
+    // on, flush the window, and shut down cleanly (which persists).
+    let handle = serve_world(
+        WorldSeed::Durable {
+            initial_pois: grid_pois(),
+            protocol: protocol.clone(),
+            space: Rect::UNIT,
+        },
+        "127.0.0.1:0",
+        config.clone(),
+    )
+    .unwrap();
+    run_queries(&handle, &protocol, 4);
+    handle.flush_windows();
+    let learned = handle.cost_model();
+    assert!(!learned.is_empty(), "first life calibrated nothing");
+    let key_bits = protocol.keysize as u32;
+    let first_encrypt = learned
+        .get(key_bits, CostKind::PaillierEncryptNs)
+        .expect("encrypt constant calibrated in first life");
+    handle.shutdown();
+    assert!(
+        dir.join("costmodel.v1").exists(),
+        "shutdown must persist the model"
+    );
+
+    // Second life: no traffic at all — the model must come off disk.
+    let handle = serve_world(
+        WorldSeed::Durable {
+            initial_pois: Vec::new(),
+            protocol: protocol.clone(),
+            space: Rect::UNIT,
+        },
+        "127.0.0.1:0",
+        config,
+    )
+    .unwrap();
+    let warm = handle.cost_model();
+    assert!(
+        !warm.is_empty(),
+        "restarted server must warm-start its cost model from disk"
+    );
+    assert_eq!(
+        warm.get(key_bits, CostKind::PaillierEncryptNs),
+        Some(first_encrypt),
+        "warm-started constant must match what the first life persisted"
+    );
+    assert!(
+        warm.predict_stage_median_us(key_bits, ppgnn::telemetry::Stage::PaillierEncrypt)
+            .is_some(),
+        "warm model must predict before any traffic"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
